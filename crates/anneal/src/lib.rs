@@ -1,0 +1,301 @@
+//! Simulated annealing over the scheduling search space.
+//!
+//! §1 of the paper groups genetic algorithms and simulated annealing under
+//! "guided random search methods". This crate provides the SA counterpart
+//! used by the ablation benches (`bench_moop_methods`): same chromosome
+//! encoding, same precedence-window mutation as the neighbourhood move,
+//! same objectives — only the acceptance rule differs (Metropolis with a
+//! geometric cooling schedule).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use rand::Rng;
+
+use rds_ga::chromosome::Chromosome;
+use rds_ga::mutation::mutate;
+use rds_ga::objective::{evaluate, Evaluation, Objective};
+use rds_sched::instance::Instance;
+use rds_stats::rng::rng_from_seed;
+
+/// Simulated annealing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaParams {
+    /// Initial temperature, in units of the energy scale.
+    pub initial_temp: f64,
+    /// Geometric cooling factor per temperature step (0 < factor < 1).
+    pub cooling: f64,
+    /// Moves attempted per temperature step.
+    pub moves_per_temp: usize,
+    /// Stop when the temperature falls below this value.
+    pub min_temp: f64,
+    /// Start from the HEFT schedule (otherwise a random chromosome).
+    pub seed_heft: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        Self {
+            initial_temp: 1.0,
+            cooling: 0.95,
+            moves_per_temp: 50,
+            min_temp: 1e-3,
+            seed_heft: true,
+            seed: 0,
+        }
+    }
+}
+
+impl SaParams {
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A small, fast configuration for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            moves_per_temp: 20,
+            cooling: 0.9,
+            ..Self::default()
+        }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    /// Returns a message for the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        // NaN must fail too, hence not `<= 0.0`.
+        if !self.initial_temp.is_finite() || self.initial_temp <= 0.0 {
+            return Err("initial_temp must be positive".into());
+        }
+        if !(self.cooling > 0.0 && self.cooling < 1.0) {
+            return Err("cooling must be in (0,1)".into());
+        }
+        if self.moves_per_temp == 0 {
+            return Err("moves_per_temp must be positive".into());
+        }
+        if !(self.min_temp > 0.0 && self.min_temp < self.initial_temp) {
+            return Err("min_temp must be in (0, initial_temp)".into());
+        }
+        Ok(())
+    }
+}
+
+/// Result of an SA run.
+#[derive(Debug, Clone)]
+pub struct SaResult {
+    /// Best chromosome found.
+    pub best: Chromosome,
+    /// Its evaluation.
+    pub best_eval: Evaluation,
+    /// Total moves attempted.
+    pub moves: usize,
+    /// Moves accepted.
+    pub accepted: usize,
+}
+
+/// Scalar energy (lower = better) of an evaluation under an objective,
+/// normalized by a reference scale so one temperature schedule fits all
+/// objectives. For constrained objectives, every infeasible state sits in
+/// an energy band strictly above every feasible state (offset + graded
+/// violation), so the Metropolis walk can pass through infeasible regions
+/// but the incumbent best is always feasible when any feasible state was
+/// visited.
+fn energy(obj: &Objective, e: &Evaluation, scale: f64) -> f64 {
+    match obj.bound() {
+        Some(bound) => {
+            if e.makespan <= bound {
+                -e.avg_slack / scale
+            } else {
+                // Feasible energies are ≥ -slack/scale > -(a few); 100 puts
+                // every infeasible state above them.
+                100.0 + (e.makespan - bound) / scale
+            }
+        }
+        None => {
+            let fitness = obj.fitness(std::slice::from_ref(e))[0];
+            -fitness / scale
+        }
+    }
+}
+
+/// Runs simulated annealing on an instance.
+///
+/// # Panics
+/// Panics when `params` fail validation.
+pub fn anneal(inst: &Instance, params: SaParams, objective: Objective) -> SaResult {
+    params.validate().expect("invalid SA parameters");
+    let mut rng = rng_from_seed(params.seed);
+
+    let mut current = if params.seed_heft {
+        let heft = rds_heft::heft_schedule(inst);
+        Chromosome::from_schedule(&inst.graph, &heft.schedule)
+    } else {
+        Chromosome::random_for(inst, &mut rng)
+    };
+    let mut current_eval = evaluate(inst, &current);
+    // Energy scale: the starting makespan keeps ΔE dimensionless-ish.
+    let scale = current_eval.makespan.max(1.0);
+
+    let mut best = current.clone();
+    let mut best_eval = current_eval;
+    let mut best_energy = energy(&objective, &best_eval, scale);
+    let mut current_energy = best_energy;
+
+    let mut temp = params.initial_temp;
+    let mut moves = 0usize;
+    let mut accepted = 0usize;
+
+    while temp > params.min_temp {
+        for _ in 0..params.moves_per_temp {
+            moves += 1;
+            let mut cand = current.clone();
+            mutate(&mut cand, &inst.graph, inst.proc_count(), &mut rng);
+            let cand_eval = evaluate(inst, &cand);
+            let cand_energy = energy(&objective, &cand_eval, scale);
+            let de = cand_energy - current_energy;
+            if de <= 0.0 || rng.gen::<f64>() < (-de / temp).exp() {
+                current = cand;
+                current_eval = cand_eval;
+                current_energy = cand_energy;
+                accepted += 1;
+                if current_energy < best_energy {
+                    best = current.clone();
+                    best_eval = current_eval;
+                    best_energy = current_energy;
+                }
+            }
+        }
+        temp *= params.cooling;
+    }
+
+    SaResult {
+        best,
+        best_eval,
+        moves,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+
+    fn inst(seed: u64) -> Instance {
+        InstanceSpec::new(25, 3).seed(seed).build().unwrap()
+    }
+
+    #[test]
+    fn sa_is_deterministic() {
+        let i = inst(1);
+        let a = anneal(&i, SaParams::quick().seed(5), Objective::MinimizeMakespan);
+        let b = anneal(&i, SaParams::quick().seed(5), Objective::MinimizeMakespan);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.accepted, b.accepted);
+    }
+
+    #[test]
+    fn sa_never_loses_to_its_heft_start() {
+        let i = inst(2);
+        let heft = rds_heft::heft_schedule(&i);
+        let r = anneal(&i, SaParams::quick().seed(7), Objective::MinimizeMakespan);
+        assert!(r.best_eval.makespan <= heft.makespan + 1e-9);
+        assert!(r.best.is_valid(&i.graph, 3));
+    }
+
+    #[test]
+    fn sa_improves_slack_under_slack_objective() {
+        let i = inst(3);
+        let heft = rds_heft::heft_schedule(&i);
+        let heft_eval = evaluate(
+            &i,
+            &Chromosome::from_schedule(&i.graph, &heft.schedule),
+        );
+        let r = anneal(&i, SaParams::quick().seed(9), Objective::MaximizeSlack);
+        assert!(
+            r.best_eval.avg_slack >= heft_eval.avg_slack,
+            "{} < {}",
+            r.best_eval.avg_slack,
+            heft_eval.avg_slack
+        );
+    }
+
+    #[test]
+    fn sa_accepts_some_and_rejects_some() {
+        let i = inst(4);
+        let r = anneal(&i, SaParams::quick().seed(11), Objective::MinimizeMakespan);
+        assert!(r.accepted > 0);
+        assert!(r.accepted < r.moves);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(SaParams { initial_temp: 0.0, ..SaParams::default() }.validate().is_err());
+        assert!(SaParams { cooling: 1.0, ..SaParams::default() }.validate().is_err());
+        assert!(SaParams { moves_per_temp: 0, ..SaParams::default() }.validate().is_err());
+        assert!(SaParams { min_temp: 2.0, ..SaParams::default() }.validate().is_err());
+    }
+
+    #[test]
+    fn colder_schedules_accept_less() {
+        // Acceptance rate must fall as the temperature schedule tightens.
+        let i = inst(6);
+        let hot = SaParams {
+            initial_temp: 10.0,
+            cooling: 0.95,
+            moves_per_temp: 30,
+            min_temp: 1.0,
+            seed_heft: true,
+            seed: 3,
+        };
+        let cold = SaParams {
+            initial_temp: 0.01,
+            min_temp: 0.001,
+            ..hot
+        };
+        let hot_rate = {
+            let r = anneal(&i, hot, Objective::MinimizeMakespan);
+            r.accepted as f64 / r.moves as f64
+        };
+        let cold_rate = {
+            let r = anneal(&i, cold, Objective::MinimizeMakespan);
+            r.accepted as f64 / r.moves as f64
+        };
+        assert!(
+            hot_rate > cold_rate,
+            "hot {hot_rate} should accept more than cold {cold_rate}"
+        );
+    }
+
+    #[test]
+    fn epsilon_constrained_sa_best_is_feasible() {
+        let i = inst(7);
+        let heft = rds_heft::heft_schedule(&i);
+        let obj = Objective::EpsilonConstraint {
+            epsilon: 1.2,
+            reference_makespan: heft.makespan,
+        };
+        let r = anneal(&i, SaParams::quick().seed(9), obj);
+        // The HEFT start is feasible and the energy band keeps the
+        // incumbent feasible thereafter.
+        assert!(r.best_eval.makespan <= 1.2 * heft.makespan + 1e-9);
+    }
+
+    #[test]
+    fn random_start_also_works() {
+        let i = inst(5);
+        let mut p = SaParams::quick().seed(13);
+        p.seed_heft = false;
+        let r = anneal(&i, p, Objective::MinimizeMakespan);
+        assert!(r.best.is_valid(&i.graph, 3));
+        assert!(r.best_eval.makespan > 0.0);
+    }
+}

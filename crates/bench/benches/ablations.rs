@@ -1,0 +1,209 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md.
+//!
+//! Each ablation measures the *time* of both variants; the accompanying
+//! quality deltas are printed once per bench run (criterion measures time,
+//! quality is a one-shot sanity log to stderr).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rds_bench::bench_instance;
+use rds_ga::{GaEngine, GaParams, Objective};
+use rds_heft::heft::schedule_by_priority_list;
+use rds_heft::heft_schedule;
+use rds_heft::ranks::rank_order;
+use rds_sched::realization::{realized_makespans, RealizationConfig};
+
+/// Ablation 1: insertion-based vs append-only HEFT.
+fn bench_heft_insertion(c: &mut Criterion) {
+    let inst = bench_instance(100, 8, 2.0);
+    let order = rank_order(&inst.graph, &inst.platform, &inst.timing);
+    let with = schedule_by_priority_list(&inst, &order, true).makespan;
+    let without = schedule_by_priority_list(&inst, &order, false).makespan;
+    eprintln!("[ablation heft-insertion] makespan with={with:.2} without={without:.2}");
+    c.bench_function("heft_insertion_on", |b| {
+        b.iter(|| schedule_by_priority_list(&inst, &order, true));
+    });
+    c.bench_function("heft_insertion_off", |b| {
+        b.iter(|| schedule_by_priority_list(&inst, &order, false));
+    });
+}
+
+/// Ablation 2: HEFT seeding of the GA initial population.
+fn bench_ga_seeding(c: &mut Criterion) {
+    let inst = bench_instance(60, 8, 2.0);
+    let heft = heft_schedule(&inst);
+    let objective = Objective::EpsilonConstraint {
+        epsilon: 1.5,
+        reference_makespan: heft.makespan,
+    };
+    let base = GaParams::paper().max_generations(20).stall_generations(20);
+    let seeded = GaEngine::new(&inst, base.seed(1), objective).run();
+    let unseeded = GaEngine::new(&inst, base.seed(1).without_heft_seed(), objective).run();
+    eprintln!(
+        "[ablation ga-seeding] slack seeded={:.2} unseeded={:.2}",
+        seeded.best_eval.avg_slack, unseeded.best_eval.avg_slack
+    );
+    c.bench_function("ga_with_heft_seed", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            GaEngine::new(&inst, base.seed(s), objective).run()
+        });
+    });
+    c.bench_function("ga_without_heft_seed", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            GaEngine::new(&inst, base.seed(s).without_heft_seed(), objective).run()
+        });
+    });
+}
+
+/// Ablation 3: Eq. 8's graded penalty vs flat rejection of infeasible
+/// individuals.
+fn bench_fitness_penalty(c: &mut Criterion) {
+    let inst = bench_instance(60, 8, 2.0);
+    let heft = heft_schedule(&inst);
+    let base = GaParams::paper().max_generations(20).stall_generations(20);
+    let graded = Objective::EpsilonConstraint {
+        epsilon: 1.2,
+        reference_makespan: heft.makespan,
+    };
+    let flat = Objective::EpsilonConstraintRejecting {
+        epsilon: 1.2,
+        reference_makespan: heft.makespan,
+    };
+    let g = GaEngine::new(&inst, base.seed(1), graded).run();
+    let f = GaEngine::new(&inst, base.seed(1), flat).run();
+    eprintln!(
+        "[ablation fitness-penalty] slack graded={:.2} flat={:.2}",
+        g.best_eval.avg_slack, f.best_eval.avg_slack
+    );
+    c.bench_function("ga_graded_penalty", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            GaEngine::new(&inst, base.seed(s), graded).run()
+        });
+    });
+    c.bench_function("ga_flat_rejection", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            GaEngine::new(&inst, base.seed(s), flat).run()
+        });
+    });
+}
+
+/// Ablation 4: ε-constraint GA vs simulated annealing at a similar
+/// evaluation budget.
+fn bench_moop_methods(c: &mut Criterion) {
+    let inst = bench_instance(60, 8, 2.0);
+    let heft = heft_schedule(&inst);
+    let objective = Objective::EpsilonConstraint {
+        epsilon: 1.5,
+        reference_makespan: heft.makespan,
+    };
+    // GA: 20 gens x 20 pop = 400 evals. SA: ~20 temps x 20 moves = 400.
+    let ga_params = GaParams::paper().max_generations(20).stall_generations(20);
+    let mut sa_params = rds_anneal::SaParams::quick();
+    sa_params.moves_per_temp = 20;
+    sa_params.cooling = 0.7;
+    c.bench_function("moop_ga", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            GaEngine::new(&inst, ga_params.seed(s), objective).run()
+        });
+    });
+    c.bench_function("moop_sa", |b| {
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            rds_anneal::anneal(&inst, sa_params.seed(s), objective)
+        });
+    });
+}
+
+/// Ablation 4b: ε-constraint sweep vs one NSGA-II run for approximating
+/// the Pareto front (time per front).
+fn bench_front_methods(c: &mut Criterion) {
+    let inst = bench_instance(40, 6, 2.0);
+    let heft = heft_schedule(&inst);
+    c.bench_function("front_epsilon_sweep_5pts", |b| {
+        let params = GaParams::paper().max_generations(15).stall_generations(15);
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            [1.0, 1.25, 1.5, 1.75, 2.0]
+                .iter()
+                .map(|&eps| {
+                    let obj = Objective::EpsilonConstraint {
+                        epsilon: eps,
+                        reference_makespan: heft.makespan,
+                    };
+                    GaEngine::new(&inst, params.seed(s), obj).run().best_eval
+                })
+                .collect::<Vec<_>>()
+        });
+    });
+    c.bench_function("front_nsga2_one_run", |b| {
+        let params = GaParams::paper().max_generations(15).population(40);
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            rds_ga::nsga2::nsga2(&inst, params.seed(s))
+        });
+    });
+}
+
+/// Ablation 4c: slack surrogate (Eq. 8) vs direct Monte Carlo fitness —
+/// the cost of optimizing measured robustness instead of the cheap proxy.
+fn bench_fitness_surrogate(c: &mut Criterion) {
+    use rds_ga::robust_engine::{run_robust_ga, RobustGaParams};
+    let inst = bench_instance(40, 6, 4.0);
+    let heft = heft_schedule(&inst);
+    let base = GaParams::paper().max_generations(10).stall_generations(10);
+    c.bench_function("fitness_slack_surrogate", |b| {
+        let obj = Objective::EpsilonConstraint {
+            epsilon: 1.3,
+            reference_makespan: heft.makespan,
+        };
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            GaEngine::new(&inst, base.seed(s), obj).run()
+        });
+    });
+    c.bench_function("fitness_direct_mc_16", |b| {
+        let mut params = RobustGaParams::new(1.3);
+        params.base = base;
+        params.mc_samples = 16;
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            run_robust_ga(&inst, params.seed(s))
+        });
+    });
+}
+
+/// Ablation 5: serial vs rayon-parallel Monte Carlo.
+fn bench_parallel_mc(c: &mut Criterion) {
+    let inst = bench_instance(100, 8, 4.0);
+    let heft = heft_schedule(&inst);
+    c.bench_function("mc_1000_parallel", |b| {
+        let cfg = RealizationConfig::with_realizations(1000).seed(1);
+        b.iter(|| realized_makespans(&inst, &heft.schedule, &cfg).unwrap());
+    });
+    c.bench_function("mc_1000_serial", |b| {
+        let cfg = RealizationConfig::with_realizations(1000).seed(1).serial();
+        b.iter(|| realized_makespans(&inst, &heft.schedule, &cfg).unwrap());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_heft_insertion, bench_ga_seeding, bench_fitness_penalty, bench_moop_methods, bench_front_methods, bench_fitness_surrogate, bench_parallel_mc
+}
+criterion_main!(benches);

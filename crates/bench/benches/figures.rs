@@ -1,0 +1,78 @@
+//! One benchmark per paper figure, each wrapping its generator at a tiny
+//! (shape-preserving) scale. `cargo bench -p rds-bench --bench figures`
+//! regenerates every evaluation artifact and reports its wall time; the
+//! figure CSVs land in `target/bench-results/`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rds_experiments::config::ExperimentConfig;
+use rds_experiments::figures::{fig2_3, fig4, fig5_6, fig7_8, sweep};
+
+fn tiny() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::smoke();
+    cfg.graphs = 2;
+    cfg.tasks = 25;
+    cfg.realizations = 50;
+    cfg.out_dir = "target/bench-results".to_owned();
+    cfg
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let cfg = tiny();
+    c.bench_function("fig2_evolution_min_makespan", |b| {
+        b.iter(|| {
+            let fig = fig2_3::run_fig2(&cfg);
+            let _ = fig.write_csv(&cfg.out_dir);
+            fig
+        });
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let cfg = tiny();
+    c.bench_function("fig3_evolution_max_slack", |b| {
+        b.iter(|| {
+            let fig = fig2_3::run_fig3(&cfg);
+            let _ = fig.write_csv(&cfg.out_dir);
+            fig
+        });
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let cfg = tiny();
+    c.bench_function("fig4_improvement_over_heft", |b| {
+        b.iter(|| {
+            let fig = fig4::run_fig4(&cfg);
+            let _ = fig.write_csv(&cfg.out_dir);
+            fig
+        });
+    });
+}
+
+fn bench_fig5_to_8(c: &mut Criterion) {
+    let cfg = tiny();
+    // Figures 5-8 share one sweep; bench the sweep once and the four
+    // figure extractions on top of it.
+    c.bench_function("fig5_to_8_epsilon_sweep", |b| {
+        b.iter(|| {
+            let sweeps = sweep::sweep_all(&cfg, &sweep::sweep_epsilon_grid());
+            for fig in [
+                fig5_6::fig5_from_sweeps(&sweeps),
+                fig5_6::fig6_from_sweeps(&sweeps),
+                fig7_8::fig7_from_sweeps(&sweeps),
+                fig7_8::fig8_from_sweeps(&sweeps),
+            ] {
+                let _ = fig.write_csv(&cfg.out_dir);
+            }
+            sweeps
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_fig2, bench_fig3, bench_fig4, bench_fig5_to_8
+}
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Micro-benchmarks of every hot kernel.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use rds_bench::bench_instance;
+use rds_ga::chromosome::Chromosome;
+use rds_graph::gen::layered::LayeredDagSpec;
+use rds_graph::topo::random_topological_order;
+use rds_sched::disjunctive::DisjunctiveGraph;
+use rds_sched::realization::{realized_makespans_with, RealizationConfig};
+use rds_sched::timing::{expected_durations, makespan_with_durations};
+use rds_stats::dist::Gamma;
+use rds_stats::rng::rng_from_seed;
+
+fn bench_graph_generation(c: &mut Criterion) {
+    c.bench_function("generate_layered_dag_100", |b| {
+        let spec = LayeredDagSpec::paper();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            spec.generate(seed).unwrap()
+        });
+    });
+}
+
+fn bench_gamma_sampling(c: &mut Criterion) {
+    c.bench_function("gamma_sample_1000", |b| {
+        let g = Gamma::with_mean_cov(20.0, 0.5).unwrap();
+        let mut rng = rng_from_seed(1);
+        b.iter(|| g.sample_n(&mut rng, 1000));
+    });
+}
+
+fn bench_random_topo(c: &mut Criterion) {
+    let inst = bench_instance(100, 8, 2.0);
+    c.bench_function("random_topological_order_100", |b| {
+        let mut rng = rng_from_seed(2);
+        b.iter(|| random_topological_order(&inst.graph, &mut rng));
+    });
+}
+
+fn bench_disjunctive_and_timing(c: &mut Criterion) {
+    let inst = bench_instance(100, 8, 2.0);
+    let mut rng = rng_from_seed(3);
+    let chromo = Chromosome::random_for(&inst, &mut rng);
+    let schedule = chromo.decode(inst.proc_count());
+
+    c.bench_function("disjunctive_build_100", |b| {
+        b.iter(|| DisjunctiveGraph::build(&inst.graph, &schedule).unwrap());
+    });
+
+    let ds = DisjunctiveGraph::build(&inst.graph, &schedule).unwrap();
+    let durations = expected_durations(&inst.timing, &schedule);
+    c.bench_function("makespan_eval_100", |b| {
+        b.iter_batched(
+            Vec::new,
+            |mut scratch| {
+                makespan_with_durations(&ds, &schedule, &inst.platform, &durations, &mut scratch)
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("slack_analysis_100", |b| {
+        b.iter(|| rds_sched::slack::analyze(&ds, &schedule, &inst.platform, &durations));
+    });
+}
+
+fn bench_realization_batch(c: &mut Criterion) {
+    let inst = bench_instance(100, 8, 4.0);
+    let mut rng = rng_from_seed(4);
+    let chromo = Chromosome::random_for(&inst, &mut rng);
+    let schedule = chromo.decode(inst.proc_count());
+    let ds = DisjunctiveGraph::build(&inst.graph, &schedule).unwrap();
+
+    c.bench_function("monte_carlo_100x100_parallel", |b| {
+        let cfg = RealizationConfig::with_realizations(100).seed(1);
+        b.iter(|| realized_makespans_with(&inst, &schedule, &ds, &cfg));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_generation,
+    bench_gamma_sampling,
+    bench_random_topo,
+    bench_disjunctive_and_timing,
+    bench_realization_batch
+);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! End-to-end scheduler benchmarks: HEFT, CPOP, random, GA, SA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rds_anneal::{anneal, SaParams};
+use rds_bench::bench_instance;
+use rds_ga::{GaEngine, GaParams, Objective};
+use rds_heft::{cpop_schedule, heft_schedule, random_schedule};
+use rds_stats::rng::rng_from_seed;
+
+fn bench_list_schedulers(c: &mut Criterion) {
+    let inst = bench_instance(100, 8, 2.0);
+    c.bench_function("heft_100x8", |b| b.iter(|| heft_schedule(&inst)));
+    c.bench_function("cpop_100x8", |b| b.iter(|| cpop_schedule(&inst)));
+    c.bench_function("lookahead_heft_100x8", |b| {
+        b.iter(|| rds_heft::lookahead_heft_schedule(&inst))
+    });
+    c.bench_function("sheft_100x8", |b| {
+        b.iter(|| rds_heft::sheft_schedule(&inst, 1.0))
+    });
+    c.bench_function("random_schedule_100x8", |b| {
+        let mut rng = rng_from_seed(1);
+        b.iter(|| random_schedule(&inst, &mut rng));
+    });
+    c.bench_function("dynamic_eft_run_100x8", |b| {
+        use rds_sched::dynamic::{run_dynamic, DynamicPriority};
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            run_dynamic(&inst, DynamicPriority::UpwardRank, s)
+        });
+    });
+}
+
+fn bench_ga_generations(c: &mut Criterion) {
+    let inst = bench_instance(60, 8, 2.0);
+    let heft = heft_schedule(&inst);
+    c.bench_function("ga_25_generations_60x8", |b| {
+        let params = GaParams::paper().max_generations(25).stall_generations(25);
+        let objective = Objective::EpsilonConstraint {
+            epsilon: 1.5,
+            reference_makespan: heft.makespan,
+        };
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            GaEngine::new(&inst, params.seed(seed), objective).run()
+        });
+    });
+}
+
+fn bench_islands(c: &mut Criterion) {
+    use rds_ga::islands::{run_islands, IslandParams};
+    let inst = bench_instance(60, 8, 2.0);
+    // Equal total budget: 1 island x pop 40 x 20 gens vs 4 islands x pop 10.
+    c.bench_function("ga_single_population_40", |b| {
+        let params = GaParams::paper()
+            .population(40)
+            .max_generations(20)
+            .stall_generations(20);
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            GaEngine::new(&inst, params.seed(s), Objective::MinimizeMakespan).run()
+        });
+    });
+    c.bench_function("ga_islands_4x10", |b| {
+        let mut params = IslandParams::new(
+            GaParams::paper()
+                .population(10)
+                .max_generations(20)
+                .stall_generations(20),
+        );
+        params.islands = 4;
+        params.migration_interval = 10;
+        params.migrants = 2;
+        let mut s = 0u64;
+        b.iter(|| {
+            s += 1;
+            let mut p = params;
+            p.base = p.base.seed(s);
+            run_islands(&inst, p, Objective::MinimizeMakespan)
+        });
+    });
+}
+
+fn bench_sa(c: &mut Criterion) {
+    let inst = bench_instance(60, 8, 2.0);
+    c.bench_function("sa_quick_60x8", |b| {
+        let mut params = SaParams::quick();
+        params.moves_per_temp = 10;
+        params.cooling = 0.8;
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            anneal(&inst, params.seed(seed), Objective::MaximizeSlack)
+        });
+    });
+}
+
+criterion_group!(benches, bench_list_schedulers, bench_ga_generations, bench_islands, bench_sa);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Shared fixtures for the criterion benchmarks.
+//!
+//! Benches need consistent, quickly constructed instances; this tiny crate
+//! centralizes them so every bench measures the same workloads.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use rds_sched::instance::{Instance, InstanceSpec};
+
+/// The standard bench instance: `tasks` tasks on `procs` processors,
+/// paper-style parameters, fixed seed.
+#[must_use]
+pub fn bench_instance(tasks: usize, procs: usize, ul: f64) -> Instance {
+    InstanceSpec::new(tasks, procs)
+        .seed(0xBE7C)
+        .uncertainty_level(ul)
+        .build()
+        .expect("bench instance generates")
+}

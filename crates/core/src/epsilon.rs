@@ -1,0 +1,229 @@
+//! ε sweeps: one GA solve per ε value, tracing the makespan/robustness
+//! trade-off (Figures 5–8 are all derived from these sweeps).
+
+use rayon::prelude::*;
+
+use rds_ga::{GaEngine, GaParams, Objective};
+use rds_heft::heft_schedule;
+use rds_sched::instance::Instance;
+use rds_sched::realization::{monte_carlo, RealizationConfig};
+use rds_stats::rng::SeedStream;
+
+/// One ε sample of the trade-off curve.
+#[derive(Debug, Clone)]
+pub struct EpsilonPoint {
+    /// The ε value.
+    pub epsilon: f64,
+    /// Expected makespan of the GA's best feasible schedule.
+    pub makespan: f64,
+    /// Its average slack.
+    pub avg_slack: f64,
+    /// Tardiness robustness `R1`.
+    pub r1: f64,
+    /// Miss-rate robustness `R2`.
+    pub r2: f64,
+    /// Miss rate α.
+    pub miss_rate: f64,
+    /// Mean tardiness `E[δ]`.
+    pub mean_tardiness: f64,
+}
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// GA parameters used at every ε.
+    pub ga: GaParams,
+    /// Monte Carlo realizations per point.
+    pub realizations: usize,
+    /// Master seed; each ε gets a derived sub-seed.
+    pub seed: u64,
+    /// Run ε points in parallel (each point is internally deterministic).
+    pub parallel: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            ga: GaParams::paper(),
+            realizations: 1000,
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+impl SweepConfig {
+    /// Scaled-down sweep for tests.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            ga: GaParams::quick(),
+            realizations: 200,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// The standard ε grid of the paper's Figures 5–8: 1.0, 1.1, …, 2.0.
+#[must_use]
+pub fn paper_epsilon_grid() -> Vec<f64> {
+    (0..=10).map(|i| 1.0 + 0.1 * f64::from(i)).collect()
+}
+
+/// Runs the ε sweep: one ε-constraint GA solve + Monte Carlo per grid
+/// point. The HEFT anchor is computed once.
+pub fn epsilon_sweep(inst: &Instance, epsilons: &[f64], cfg: &SweepConfig) -> Vec<EpsilonPoint> {
+    let heft = heft_schedule(inst);
+    let seeds = SeedStream::new(cfg.seed);
+    let solve_one = |(idx, &epsilon): (usize, &f64)| -> EpsilonPoint {
+        let objective = Objective::EpsilonConstraint {
+            epsilon,
+            reference_makespan: heft.makespan,
+        };
+        let sub = seeds.nth_seed(idx as u64);
+        let ga = GaEngine::new(inst, cfg.ga.seed(sub), objective).run();
+        let schedule = ga.best_schedule(inst);
+        let mc = RealizationConfig::with_realizations(cfg.realizations)
+            .seed(seeds.branch("mc").nth_seed(idx as u64));
+        let rr = monte_carlo(inst, &schedule, &mc).expect("GA schedules are valid");
+        EpsilonPoint {
+            epsilon,
+            makespan: rr.expected_makespan,
+            avg_slack: rr.average_slack,
+            r1: rr.r1,
+            r2: rr.r2,
+            miss_rate: rr.miss_rate,
+            mean_tardiness: rr.mean_tardiness,
+        }
+    };
+    if cfg.parallel {
+        epsilons.par_iter().enumerate().map(solve_one).collect()
+    } else {
+        epsilons.iter().enumerate().map(solve_one).collect()
+    }
+}
+
+/// SLA-style decision helper: among sweep points meeting a miss-rate
+/// budget (`miss_rate ≤ max_miss_rate`), pick the one with the smallest
+/// expected makespan. Returns `None` when no point qualifies (the budget
+/// is tighter than any sampled ε achieves — relax the budget or extend
+/// the grid).
+#[must_use]
+pub fn pick_epsilon_for_miss_rate(
+    points: &[EpsilonPoint],
+    max_miss_rate: f64,
+) -> Option<&EpsilonPoint> {
+    points
+        .iter()
+        .filter(|p| p.miss_rate <= max_miss_rate)
+        .min_by(|a, b| a.makespan.total_cmp(&b.makespan))
+}
+
+/// Companion helper for tardiness budgets: smallest-makespan point with
+/// `mean_tardiness ≤ max_tardiness`.
+#[must_use]
+pub fn pick_epsilon_for_tardiness(
+    points: &[EpsilonPoint],
+    max_tardiness: f64,
+) -> Option<&EpsilonPoint> {
+    points
+        .iter()
+        .filter(|p| p.mean_tardiness <= max_tardiness)
+        .min_by(|a, b| a.makespan.total_cmp(&b.makespan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+
+    fn pt(epsilon: f64, makespan: f64, miss_rate: f64, tardiness: f64) -> EpsilonPoint {
+        EpsilonPoint {
+            epsilon,
+            makespan,
+            avg_slack: 0.0,
+            r1: 1.0 / tardiness.max(1e-9),
+            r2: 1.0 / miss_rate.max(1e-9),
+            miss_rate,
+            mean_tardiness: tardiness,
+        }
+    }
+
+    #[test]
+    fn sla_picker_chooses_cheapest_qualifying_point() {
+        let pts = vec![
+            pt(1.0, 100.0, 0.8, 0.10),
+            pt(1.4, 140.0, 0.5, 0.05),
+            pt(1.8, 180.0, 0.3, 0.02),
+        ];
+        // Budget 0.6: points at eps 1.4 and 1.8 qualify; 1.4 is cheaper.
+        let p = pick_epsilon_for_miss_rate(&pts, 0.6).unwrap();
+        assert_eq!(p.epsilon, 1.4);
+        // Budget 0.9: everything qualifies; eps = 1.0 is cheapest.
+        assert_eq!(pick_epsilon_for_miss_rate(&pts, 0.9).unwrap().epsilon, 1.0);
+        // Budget tighter than anything sampled: no pick.
+        assert!(pick_epsilon_for_miss_rate(&pts, 0.1).is_none());
+        // Tardiness variant.
+        assert_eq!(pick_epsilon_for_tardiness(&pts, 0.06).unwrap().epsilon, 1.4);
+        assert!(pick_epsilon_for_tardiness(&pts, 0.001).is_none());
+    }
+
+    #[test]
+    fn grid_matches_paper() {
+        let g = paper_epsilon_grid();
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], 1.0);
+        assert!((g[10] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_points_track_epsilon() {
+        let inst = InstanceSpec::new(25, 3).seed(3).uncertainty_level(4.0).build().unwrap();
+        let mut cfg = SweepConfig::quick().seed(7);
+        cfg.realizations = 100;
+        cfg.ga = cfg.ga.max_generations(40).stall_generations(20);
+        let pts = epsilon_sweep(&inst, &[1.0, 1.5, 2.0], &cfg);
+        assert_eq!(pts.len(), 3);
+        // Larger ε admits larger slack (weak monotonicity — allow small
+        // stochastic wobble).
+        assert!(
+            pts[2].avg_slack >= pts[0].avg_slack * 0.9,
+            "slack at eps=2 ({}) should not collapse below eps=1 ({})",
+            pts[2].avg_slack,
+            pts[0].avg_slack
+        );
+        // Makespans respect their bounds relative to each other's epsilon.
+        let heft = rds_heft::heft_schedule(&inst);
+        for p in &pts {
+            assert!(
+                p.makespan < p.epsilon * heft.makespan + 1e-9,
+                "eps {}: {} vs bound {}",
+                p.epsilon,
+                p.makespan,
+                p.epsilon * heft.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_deterministic_and_parallel_consistent() {
+        let inst = InstanceSpec::new(20, 2).seed(5).build().unwrap();
+        let mut cfg = SweepConfig::quick().seed(11);
+        cfg.realizations = 50;
+        cfg.ga = cfg.ga.max_generations(20).stall_generations(10);
+        let par = epsilon_sweep(&inst, &[1.2, 1.6], &cfg);
+        cfg.parallel = false;
+        let ser = epsilon_sweep(&inst, &[1.2, 1.6], &cfg);
+        for (a, b) in par.iter().zip(&ser) {
+            assert_eq!(a.makespan, b.makespan);
+            assert_eq!(a.r1, b.r1);
+        }
+    }
+}

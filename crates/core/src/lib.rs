@@ -1,0 +1,49 @@
+//! High-level robust-scheduling API.
+//!
+//! This crate ties the substrates together into the workflow a user of the
+//! paper's system would follow:
+//!
+//! 1. build (or generate) an [`Instance`](rds_sched::Instance);
+//! 2. run [`RobustScheduler`] — HEFT anchors `M_HEFT`, the GA maximizes
+//!    average slack under `M₀ < ε·M_HEFT` (Eq. 7), Monte Carlo produces the
+//!    robustness report;
+//! 3. optionally sweep ε ([`epsilon::epsilon_sweep`]) to trace the
+//!    makespan/robustness trade-off, score points with the overall
+//!    performance `P(s)` of Eq. 9 ([`overall`]), or extract the Pareto
+//!    front ([`pareto`]).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod epsilon;
+pub mod overall;
+pub mod pareto;
+pub mod report;
+pub mod scheduler;
+
+pub use epsilon::{epsilon_sweep, EpsilonPoint, SweepConfig};
+pub use overall::{best_epsilon_for, overall_performance, RobustnessKind};
+pub use pareto::{dominates, pareto_front, ParetoPoint};
+pub use report::ScheduleReport;
+pub use scheduler::{RobustConfig, RobustOutcome, RobustScheduler, SolveError};
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use crate::epsilon::{
+        epsilon_sweep, pick_epsilon_for_miss_rate, pick_epsilon_for_tardiness, EpsilonPoint,
+        SweepConfig,
+    };
+    pub use crate::overall::{best_epsilon_for, overall_performance, RobustnessKind};
+    pub use crate::pareto::{coverage, hypervolume, pareto_front, ParetoPoint};
+    pub use crate::report::ScheduleReport;
+    pub use crate::scheduler::{RobustConfig, RobustOutcome, RobustScheduler};
+    pub use rds_ga::{Chromosome, GaEngine, GaParams, Objective};
+    pub use rds_graph::{TaskGraph, TaskGraphBuilder, TaskId};
+    pub use rds_heft::{cpop_schedule, heft_schedule, random_schedule, sheft_schedule, HeftResult};
+    pub use rds_platform::{Platform, PlatformSpec, ProcId, RealizationLaw, TimingModel};
+    pub use rds_sched::bounds::{efficiency, makespan_lower_bounds};
+    pub use rds_sched::{
+        monte_carlo, Instance, InstanceSpec, RealizationConfig, RobustnessReport, Schedule,
+    };
+    pub use rds_stats::{Histogram, Matrix, OnlineStats, Summary};
+}

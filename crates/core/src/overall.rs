@@ -1,0 +1,191 @@
+//! Overall performance `P(s)` (Eq. 9) and the best-ε search of Figs. 7–8.
+//!
+//! `P(s) = r · log(M_HEFT / M(s)) + (1 − r) · log(R(s) / R_HEFT)`
+//!
+//! `r ∈ [0, 1]` weighs makespan (large `r`) against robustness (small
+//! `r`); `R` is either `R1` or `R2`. Figures 7 and 8 report, for each
+//! uncertainty level, the ε value whose sweep point maximizes `P(s)` as a
+//! function of `r`.
+
+use crate::epsilon::EpsilonPoint;
+
+/// Which robustness definition enters Eq. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RobustnessKind {
+    /// Tardiness-based `R1` (Definition 3.6).
+    R1,
+    /// Miss-rate-based `R2` (Definition 3.7).
+    R2,
+}
+
+impl RobustnessKind {
+    /// Extracts the chosen robustness from a sweep point.
+    #[must_use]
+    pub fn of(&self, p: &EpsilonPoint) -> f64 {
+        match self {
+            RobustnessKind::R1 => p.r1,
+            RobustnessKind::R2 => p.r2,
+        }
+    }
+}
+
+/// Eq. 9. Infinite robustness ratios (a schedule that never misses) are
+/// clamped to a large finite log so comparisons stay total.
+///
+/// # Panics
+/// Panics when `r` is outside `[0,1]` or a makespan is non-positive.
+#[must_use]
+pub fn overall_performance(
+    r: f64,
+    makespan: f64,
+    robustness: f64,
+    heft_makespan: f64,
+    heft_robustness: f64,
+) -> f64 {
+    assert!((0.0..=1.0).contains(&r), "r must be in [0,1], got {r}");
+    assert!(
+        makespan > 0.0 && heft_makespan > 0.0,
+        "makespans must be positive"
+    );
+    const LOG_CAP: f64 = 50.0;
+    let mk_term = (heft_makespan / makespan).ln();
+    let rob_term = if robustness.is_finite() && heft_robustness.is_finite() {
+        (robustness / heft_robustness).ln().clamp(-LOG_CAP, LOG_CAP)
+    } else if robustness.is_finite() {
+        -LOG_CAP // HEFT never misses but s does: worst robustness ratio
+    } else if heft_robustness.is_finite() {
+        LOG_CAP // s never misses: best robustness ratio
+    } else {
+        0.0 // both never miss: tie
+    };
+    r * mk_term + (1.0 - r) * rob_term
+}
+
+/// Finds, for each `r` of the grid, the ε of the sweep point maximizing
+/// `P(s)` against the HEFT anchors. Returns `(r, best_epsilon)` pairs.
+///
+/// `heft_makespan`/`heft_robustness` are the HEFT schedule's own metrics
+/// under the same realization budget.
+pub fn best_epsilon_for(
+    points: &[EpsilonPoint],
+    kind: RobustnessKind,
+    r_grid: &[f64],
+    heft_makespan: f64,
+    heft_robustness: f64,
+) -> Vec<(f64, f64)> {
+    assert!(!points.is_empty(), "need at least one sweep point");
+    r_grid
+        .iter()
+        .map(|&r| {
+            let best = points
+                .iter()
+                .max_by(|a, b| {
+                    let pa = overall_performance(
+                        r,
+                        a.makespan,
+                        kind.of(a),
+                        heft_makespan,
+                        heft_robustness,
+                    );
+                    let pb = overall_performance(
+                        r,
+                        b.makespan,
+                        kind.of(b),
+                        heft_makespan,
+                        heft_robustness,
+                    );
+                    pa.total_cmp(&pb)
+                })
+                .expect("non-empty points");
+            (r, best.epsilon)
+        })
+        .collect()
+}
+
+/// The standard `r` grid of Figures 7–8: 0.0, 0.1, …, 1.0.
+#[must_use]
+pub fn paper_r_grid() -> Vec<f64> {
+    (0..=10).map(|i| 0.1 * f64::from(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(epsilon: f64, makespan: f64, r1: f64) -> EpsilonPoint {
+        EpsilonPoint {
+            epsilon,
+            makespan,
+            avg_slack: 0.0,
+            r1,
+            r2: r1,
+            miss_rate: 0.5,
+            mean_tardiness: 1.0 / r1,
+        }
+    }
+
+    #[test]
+    fn r_extremes_pick_extreme_epsilons() {
+        // eps=1: short makespan, low robustness. eps=2: long, robust.
+        let points = vec![pt(1.0, 100.0, 10.0), pt(2.0, 180.0, 40.0)];
+        let picks = best_epsilon_for(&points, RobustnessKind::R1, &[0.0, 1.0], 100.0, 10.0);
+        assert_eq!(picks[0], (0.0, 2.0), "pure-robustness user wants eps=2");
+        assert_eq!(picks[1], (1.0, 1.0), "pure-makespan user wants eps=1");
+    }
+
+    #[test]
+    fn best_epsilon_is_monotone_in_r() {
+        let points = vec![
+            pt(1.0, 100.0, 10.0),
+            pt(1.4, 130.0, 22.0),
+            pt(2.0, 180.0, 40.0),
+        ];
+        let picks =
+            best_epsilon_for(&points, RobustnessKind::R1, &paper_r_grid(), 100.0, 10.0);
+        for w in picks.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-12,
+                "best epsilon must not increase with r: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn overall_performance_hand_check() {
+        // r=0.5, M=M_HEFT/e, R=R_HEFT*e -> 0.5*1 + 0.5*1 = 1.
+        let p = overall_performance(
+            0.5,
+            100.0 / std::f64::consts::E,
+            10.0 * std::f64::consts::E,
+            100.0,
+            10.0,
+        );
+        assert!((p - 1.0).abs() < 1e-12);
+        // The HEFT schedule itself scores 0.
+        assert_eq!(overall_performance(0.7, 100.0, 10.0, 100.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn infinite_robustness_is_handled() {
+        let best = overall_performance(0.0, 100.0, f64::INFINITY, 100.0, 10.0);
+        let worst = overall_performance(0.0, 100.0, 10.0, 100.0, f64::INFINITY);
+        let tie = overall_performance(0.0, 100.0, f64::INFINITY, 100.0, f64::INFINITY);
+        assert!(best > 0.0);
+        assert!(worst < 0.0);
+        assert_eq!(tie, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "r must be in")]
+    fn rejects_out_of_range_r() {
+        let _ = overall_performance(1.5, 1.0, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    fn paper_r_grid_shape() {
+        let g = paper_r_grid();
+        assert_eq!(g.len(), 11);
+        assert_eq!(g[0], 0.0);
+        assert!((g[10] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,208 @@
+//! Non-dominated (Pareto) set utilities (Deb, *Multi-Objective
+//! Optimization using Evolutionary Algorithms*, cited as \[10\]).
+//!
+//! The bi-objective space is (makespan ↓, slack ↑). A point dominates
+//! another when it is no worse in both coordinates and strictly better in
+//! at least one. The ε sweep's output is generally a sampled approximation
+//! of the Pareto front; [`pareto_front`] filters it down to the
+//! non-dominated subset.
+
+/// A point of the bi-objective space with an arbitrary tag (e.g. its ε).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParetoPoint {
+    /// Expected makespan (minimized).
+    pub makespan: f64,
+    /// Average slack (maximized).
+    pub slack: f64,
+    /// Caller tag (ε value, solver id, …).
+    pub tag: f64,
+}
+
+/// `true` when `a` dominates `b`: `a.makespan ≤ b.makespan`,
+/// `a.slack ≥ b.slack`, with at least one strict.
+#[must_use]
+pub fn dominates(a: &ParetoPoint, b: &ParetoPoint) -> bool {
+    let no_worse = a.makespan <= b.makespan && a.slack >= b.slack;
+    let strictly_better = a.makespan < b.makespan || a.slack > b.slack;
+    no_worse && strictly_better
+}
+
+/// Extracts the non-dominated subset, sorted by increasing makespan.
+/// Duplicate coordinates are kept once (first tag wins).
+#[must_use]
+pub fn pareto_front(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    for p in points {
+        if points.iter().any(|q| dominates(q, p)) {
+            continue;
+        }
+        if front
+            .iter()
+            .any(|q| q.makespan == p.makespan && q.slack == p.slack)
+        {
+            continue;
+        }
+        front.push(*p);
+    }
+    front.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
+    front
+}
+
+/// Hypervolume of a front in (makespan ↓, slack ↑) against a reference
+/// point `(ref_makespan, ref_slack)` that every front point must dominate
+/// (`makespan ≤ ref_makespan`, `slack ≥ ref_slack`). Points failing that
+/// are ignored. Larger is better.
+///
+/// For the 2-D bi-objective case the hypervolume is the staircase area:
+/// sort by makespan and accumulate `(next_makespan − makespan) ×
+/// (slack − ref_slack)` strips, right-closed at the reference makespan.
+#[must_use]
+pub fn hypervolume(points: &[ParetoPoint], ref_makespan: f64, ref_slack: f64) -> f64 {
+    let mut front: Vec<ParetoPoint> = pareto_front(points)
+        .into_iter()
+        .filter(|p| p.makespan <= ref_makespan && p.slack >= ref_slack)
+        .collect();
+    if front.is_empty() {
+        return 0.0;
+    }
+    front.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
+    let mut area = 0.0;
+    for (i, p) in front.iter().enumerate() {
+        let right = if i + 1 < front.len() {
+            front[i + 1].makespan
+        } else {
+            ref_makespan
+        };
+        area += (right - p.makespan) * (p.slack - ref_slack);
+    }
+    area
+}
+
+/// Coverage `C(A, B)`: the fraction of `B`'s points weakly dominated by
+/// some point of `A` (Zitzler's two-set coverage). `C(A,B) = 1` means `A`
+/// covers all of `B`; the measure is not symmetric.
+#[must_use]
+pub fn coverage(a: &[ParetoPoint], b: &[ParetoPoint]) -> f64 {
+    if b.is_empty() {
+        return f64::NAN;
+    }
+    let covered = b
+        .iter()
+        .filter(|q| {
+            a.iter().any(|p| {
+                (p.makespan <= q.makespan && p.slack >= q.slack)
+                    && (p.makespan < q.makespan
+                        || p.slack > q.slack
+                        || (p.makespan == q.makespan && p.slack == q.slack))
+            })
+        })
+        .count();
+    covered as f64 / b.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(makespan: f64, slack: f64) -> ParetoPoint {
+        ParetoPoint {
+            makespan,
+            slack,
+            tag: 0.0,
+        }
+    }
+
+    #[test]
+    fn dominance_relation() {
+        assert!(dominates(&p(1.0, 5.0), &p(2.0, 4.0)));
+        assert!(dominates(&p(1.0, 5.0), &p(1.0, 4.0)));
+        assert!(dominates(&p(1.0, 5.0), &p(2.0, 5.0)));
+        assert!(!dominates(&p(1.0, 5.0), &p(1.0, 5.0)), "no self-dominance");
+        assert!(!dominates(&p(1.0, 3.0), &p(2.0, 5.0)), "trade-off points");
+        assert!(!dominates(&p(2.0, 5.0), &p(1.0, 3.0)));
+    }
+
+    #[test]
+    fn front_filters_dominated() {
+        let pts = vec![
+            p(1.0, 1.0), // front
+            p(2.0, 3.0), // front
+            p(3.0, 2.0), // dominated by (2,3)
+            p(4.0, 5.0), // front
+            p(4.5, 4.0), // dominated by (4,5)
+        ];
+        let f = pareto_front(&pts);
+        let coords: Vec<(f64, f64)> = f.iter().map(|q| (q.makespan, q.slack)).collect();
+        assert_eq!(coords, vec![(1.0, 1.0), (2.0, 3.0), (4.0, 5.0)]);
+    }
+
+    #[test]
+    fn front_is_monotone_in_both_objectives() {
+        let pts: Vec<ParetoPoint> = (0..20)
+            .map(|i| {
+                let x = f64::from(i);
+                p(10.0 + x, (x * 1.7).sin() * 5.0 + x * 0.3)
+            })
+            .collect();
+        let f = pareto_front(&pts);
+        for w in f.windows(2) {
+            assert!(w[0].makespan < w[1].makespan);
+            assert!(w[0].slack < w[1].slack, "front must trade off");
+        }
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let pts = vec![p(1.0, 1.0), p(1.0, 1.0), p(1.0, 1.0)];
+        assert_eq!(pareto_front(&pts).len(), 1);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(pareto_front(&[]).is_empty());
+        assert_eq!(pareto_front(&[p(3.0, 2.0)]).len(), 1);
+    }
+
+    #[test]
+    fn hypervolume_single_point_rectangle() {
+        // One point (2, 5), reference (10, 1): area (10-2) * (5-1) = 32.
+        assert_eq!(hypervolume(&[p(2.0, 5.0)], 10.0, 1.0), 32.0);
+    }
+
+    #[test]
+    fn hypervolume_staircase() {
+        // Points (2,5) and (6,8), reference (10, 1).
+        // Strip 1: (6-2) * (5-1) = 16. Strip 2: (10-6) * (8-1) = 28.
+        let hv = hypervolume(&[p(2.0, 5.0), p(6.0, 8.0)], 10.0, 1.0);
+        assert_eq!(hv, 44.0);
+        // Adding a dominated point changes nothing.
+        let hv2 = hypervolume(&[p(2.0, 5.0), p(6.0, 8.0), p(7.0, 4.0)], 10.0, 1.0);
+        assert_eq!(hv2, 44.0);
+    }
+
+    #[test]
+    fn hypervolume_ignores_points_beyond_reference() {
+        assert_eq!(hypervolume(&[p(11.0, 5.0)], 10.0, 1.0), 0.0);
+        assert_eq!(hypervolume(&[p(2.0, 0.5)], 10.0, 1.0), 0.0);
+        assert_eq!(hypervolume(&[], 10.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn bigger_front_never_has_smaller_hypervolume() {
+        let base = vec![p(2.0, 5.0), p(6.0, 8.0)];
+        let richer = vec![p(2.0, 5.0), p(4.0, 7.0), p(6.0, 8.0)];
+        assert!(hypervolume(&richer, 10.0, 1.0) >= hypervolume(&base, 10.0, 1.0));
+    }
+
+    #[test]
+    fn coverage_basics() {
+        let a = vec![p(1.0, 5.0), p(3.0, 8.0)];
+        let b = vec![p(2.0, 4.0), p(3.0, 8.0), p(0.5, 9.0)];
+        // (1,5) dominates (2,4); (3,8) weakly covers (3,8); (0.5,9) uncovered.
+        assert!((coverage(&a, &b) - 2.0 / 3.0).abs() < 1e-12);
+        // In the other direction (0.5,9) covers (1,5) and (3,8) covers
+        // itself, so coverage(b,a) = 1 — the measure is not symmetric.
+        assert!((coverage(&b, &a) - 1.0).abs() < 1e-12);
+        assert!(coverage(&a, &[]).is_nan());
+    }
+}

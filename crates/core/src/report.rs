@@ -1,0 +1,84 @@
+//! The user-facing schedule report.
+
+use rds_sched::RobustnessReport;
+
+/// Flattened robustness report for one schedule, with optional HEFT
+/// comparison ratios.
+#[derive(Debug, Clone)]
+pub struct ScheduleReport {
+    /// Expected makespan `M₀`.
+    pub expected_makespan: f64,
+    /// Average slack `σ̄`.
+    pub average_slack: f64,
+    /// Mean realized makespan.
+    pub mean_realized_makespan: f64,
+    /// Mean relative tardiness `E[δ]`.
+    pub mean_tardiness: f64,
+    /// Tardiness robustness `R1 = 1/E[δ]`.
+    pub r1: f64,
+    /// Miss rate `α`.
+    pub miss_rate: f64,
+    /// Miss-rate robustness `R2 = 1/α`.
+    pub r2: f64,
+    /// Number of Monte Carlo realizations behind the estimates.
+    pub realizations: usize,
+}
+
+impl ScheduleReport {
+    /// Builds a report from the Monte Carlo output.
+    #[must_use]
+    pub fn from_robustness(r: &RobustnessReport) -> Self {
+        Self {
+            expected_makespan: r.expected_makespan,
+            average_slack: r.average_slack,
+            mean_realized_makespan: r.mean_makespan,
+            mean_tardiness: r.mean_tardiness,
+            r1: r.r1,
+            miss_rate: r.miss_rate,
+            r2: r.r2,
+            realizations: r.realizations,
+        }
+    }
+
+    /// Renders a compact human-readable block.
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        format!(
+            "expected makespan M0 : {:>10.3}\n\
+             average slack      : {:>10.3}\n\
+             mean realized M    : {:>10.3}\n\
+             mean tardiness E[d]: {:>10.4}\n\
+             robustness R1      : {:>10.3}\n\
+             miss rate alpha    : {:>10.4}\n\
+             robustness R2      : {:>10.3}\n\
+             realizations       : {:>10}",
+            self.expected_makespan,
+            self.average_slack,
+            self.mean_realized_makespan,
+            self.mean_tardiness,
+            self.r1,
+            self.miss_rate,
+            self.r2,
+            self.realizations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_copies_fields() {
+        let rr = RobustnessReport::from_makespans(10.0, 1.2, vec![9.0, 11.0, 12.0]);
+        let r = ScheduleReport::from_robustness(&rr);
+        assert_eq!(r.expected_makespan, 10.0);
+        assert_eq!(r.average_slack, 1.2);
+        assert_eq!(r.realizations, 3);
+        assert_eq!(r.miss_rate, rr.miss_rate);
+        assert_eq!(r.r1, rr.r1);
+        let text = r.to_pretty_string();
+        assert!(text.contains("robustness R1"));
+        assert!(text.contains("10.000"));
+    }
+}

@@ -1,0 +1,267 @@
+//! The ε-constraint robust scheduler (Eq. 7) as a one-call API.
+
+use rds_ga::{GaEngine, GaParams, GaResult, Objective};
+use rds_heft::{heft_schedule, HeftResult};
+use rds_sched::instance::Instance;
+use rds_sched::realization::{monte_carlo, RealizationConfig};
+use rds_sched::schedule::Schedule;
+
+use crate::report::ScheduleReport;
+
+/// Configuration of a robust-scheduling solve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustConfig {
+    /// The ε multiplier of Eq. 7: the GA maximizes slack subject to
+    /// `M₀ < ε · M_HEFT`. Paper range: 1.0–2.0.
+    pub epsilon: f64,
+    /// GA hyper-parameters.
+    pub ga: GaParams,
+    /// Monte Carlo realizations for the final report.
+    pub realizations: usize,
+    /// Seed (drives both the GA and the realizations).
+    pub seed: u64,
+}
+
+impl RobustConfig {
+    /// A config with the given ε and paper-default GA parameters.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            ga: GaParams::paper(),
+            realizations: 1000,
+            seed: 0,
+        }
+    }
+
+    /// A scaled-down config for tests and examples.
+    #[must_use]
+    pub fn quick(epsilon: f64) -> Self {
+        Self {
+            epsilon,
+            ga: GaParams::quick(),
+            realizations: 200,
+            seed: 0,
+        }
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the GA parameters.
+    #[must_use]
+    pub fn ga(mut self, ga: GaParams) -> Self {
+        self.ga = ga;
+        self
+    }
+
+    /// Overrides the realization count.
+    #[must_use]
+    pub fn realizations(mut self, n: usize) -> Self {
+        self.realizations = n;
+        self
+    }
+}
+
+/// Errors from [`RobustScheduler::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// `epsilon` below 1 makes the HEFT seed infeasible and the constraint
+    /// generally unattainable.
+    InvalidEpsilon(f64),
+    /// The instance is degenerate (no tasks).
+    EmptyInstance,
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::InvalidEpsilon(e) => {
+                write!(f, "epsilon must be >= 1.0 (got {e}); the constraint M0 < eps*M_HEFT would exclude HEFT itself")
+            }
+            SolveError::EmptyInstance => write!(f, "instance has no tasks"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Outcome of a robust solve.
+#[derive(Debug, Clone)]
+pub struct RobustOutcome {
+    /// The robust schedule.
+    pub schedule: Schedule,
+    /// Monte Carlo report of the robust schedule.
+    pub report: ScheduleReport,
+    /// Monte Carlo report of the HEFT baseline (same realizations budget).
+    pub heft_report: ScheduleReport,
+    /// The HEFT baseline itself.
+    pub heft: HeftResult,
+    /// Full GA trace.
+    pub ga: GaResult,
+}
+
+impl RobustOutcome {
+    /// Ratio `M₀(robust) / M₀(HEFT)` — at most ε by construction (up to the
+    /// GA's strictness).
+    #[must_use]
+    pub fn makespan_ratio(&self) -> f64 {
+        self.report.expected_makespan / self.heft_report.expected_makespan
+    }
+
+    /// Ratio `R1(robust) / R1(HEFT)` (`NaN` when either is infinite).
+    #[must_use]
+    pub fn r1_ratio(&self) -> f64 {
+        if self.report.r1.is_finite() && self.heft_report.r1.is_finite() {
+            self.report.r1 / self.heft_report.r1
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// The ε-constraint robust scheduler.
+#[derive(Debug, Clone)]
+pub struct RobustScheduler {
+    config: RobustConfig,
+}
+
+impl RobustScheduler {
+    /// Creates a scheduler with the given configuration.
+    #[must_use]
+    pub fn new(config: RobustConfig) -> Self {
+        Self { config }
+    }
+
+    /// Solves the instance: HEFT anchor → ε-constraint GA → Monte Carlo
+    /// reports for both the robust schedule and the HEFT baseline.
+    ///
+    /// # Errors
+    /// Returns [`SolveError`] for ε < 1 or an empty instance.
+    pub fn solve(&self, inst: &Instance) -> Result<RobustOutcome, SolveError> {
+        if self.config.epsilon < 1.0 {
+            return Err(SolveError::InvalidEpsilon(self.config.epsilon));
+        }
+        if inst.task_count() == 0 {
+            return Err(SolveError::EmptyInstance);
+        }
+        let heft = heft_schedule(inst);
+        let objective = Objective::EpsilonConstraint {
+            epsilon: self.config.epsilon,
+            reference_makespan: heft.makespan,
+        };
+        let ga_params = self.config.ga.seed(self.config.seed);
+        let ga = GaEngine::new(inst, ga_params, objective).run();
+        let schedule = ga.best_schedule(inst);
+
+        let mc = RealizationConfig::with_realizations(self.config.realizations)
+            .seed(self.config.seed ^ 0x5DEECE66D);
+        let robust_rr = monte_carlo(inst, &schedule, &mc)
+            .expect("GA schedules are precedence-valid");
+        let heft_rr = monte_carlo(inst, &heft.schedule, &mc)
+            .expect("HEFT schedules are precedence-valid");
+
+        Ok(RobustOutcome {
+            schedule,
+            report: ScheduleReport::from_robustness(&robust_rr),
+            heft_report: ScheduleReport::from_robustness(&heft_rr),
+            heft,
+            ga,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+
+    fn inst(seed: u64) -> Instance {
+        InstanceSpec::new(30, 3).seed(seed).uncertainty_level(2.0).build().unwrap()
+    }
+
+    #[test]
+    fn solve_respects_epsilon_bound() {
+        let i = inst(1);
+        let out = RobustScheduler::new(RobustConfig::quick(1.3).seed(2))
+            .solve(&i)
+            .unwrap();
+        assert!(
+            out.report.expected_makespan < 1.3 * out.heft.makespan,
+            "constraint violated: {} vs {}",
+            out.report.expected_makespan,
+            1.3 * out.heft.makespan
+        );
+        assert!(out.makespan_ratio() < 1.3);
+    }
+
+    #[test]
+    fn robust_schedule_has_at_least_heft_slack() {
+        let i = inst(2);
+        let out = RobustScheduler::new(RobustConfig::quick(1.5).seed(3))
+            .solve(&i)
+            .unwrap();
+        assert!(
+            out.report.average_slack >= out.heft_report.average_slack - 1e-9,
+            "GA slack {} below HEFT slack {}",
+            out.report.average_slack,
+            out.heft_report.average_slack
+        );
+    }
+
+    #[test]
+    fn rejects_bad_epsilon_and_empty_instance() {
+        let i = inst(3);
+        assert_eq!(
+            RobustScheduler::new(RobustConfig::quick(0.5)).solve(&i).unwrap_err(),
+            SolveError::InvalidEpsilon(0.5)
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let i = inst(4);
+        let cfg = RobustConfig::quick(1.2).seed(9);
+        let a = RobustScheduler::new(cfg).solve(&i).unwrap();
+        let b = RobustScheduler::new(cfg).solve(&i).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.report.r1, b.report.r1);
+    }
+
+    #[test]
+    fn error_messages_are_actionable() {
+        assert!(SolveError::InvalidEpsilon(0.5)
+            .to_string()
+            .contains("epsilon must be >= 1.0"));
+        assert!(SolveError::EmptyInstance.to_string().contains("no tasks"));
+    }
+
+    #[test]
+    fn outcome_ratios_are_consistent_with_reports() {
+        let i = inst(6);
+        let out = RobustScheduler::new(RobustConfig::quick(1.3).seed(4))
+            .solve(&i)
+            .unwrap();
+        let expect = out.report.expected_makespan / out.heft_report.expected_makespan;
+        assert!((out.makespan_ratio() - expect).abs() < 1e-12);
+        if out.report.r1.is_finite() && out.heft_report.r1.is_finite() {
+            assert!((out.r1_ratio() - out.report.r1 / out.heft_report.r1).abs() < 1e-12);
+        } else {
+            assert!(out.r1_ratio().is_nan());
+        }
+    }
+
+    #[test]
+    fn reports_share_realization_budget() {
+        let i = inst(5);
+        let out = RobustScheduler::new(RobustConfig::quick(1.4).realizations(64).seed(1))
+            .solve(&i)
+            .unwrap();
+        assert_eq!(out.report.realizations, 64);
+        assert_eq!(out.heft_report.realizations, 64);
+    }
+}

@@ -1,0 +1,119 @@
+//! `figures` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! figures <subcommand> [flags]
+//!
+//! paper figures:  fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep all
+//! extensions:     corr future dynamic law ccr contention gatune
+//! utilities:      report   (re-render every results/*.csv as tables)
+//!
+//! flags:
+//!   --full                paper scale (100 graphs, 1000 realizations, 1000 gens)
+//!   --graphs N            task graphs per data point        [default 5]
+//!   --tasks N             tasks per graph                   [default 60]
+//!   --procs N             processors                        [default 8]
+//!   --realizations N      Monte Carlo realizations          [default 200]
+//!   --generations N       GA generation cap                 [default 300]
+//!   --uls a,b,c           uncertainty levels                [default 2,4,6,8]
+//!   --ccr X               communication-to-computation      [default 0.1]
+//!   --stride N            history sampling stride (fig2/3)  [default 10]
+//!   --seed N              master seed                       [default 42]
+//!   --out DIR             CSV output directory              [default results]
+//! ```
+//!
+//! `sweep`/`all` run the shared ε sweep once and emit figs 5–8 from it.
+
+use std::process::ExitCode;
+
+use rds_experiments::config::ExperimentConfig;
+use rds_experiments::figures::{ccr_study, contention_cmp, correlation, dynamic_cmp, fig2_3, fig4, fig5_6, fig7_8, future, gatune, law, sweep};
+use rds_experiments::output::FigureData;
+
+fn emit(fig: &FigureData, cfg: &ExperimentConfig) {
+    println!("{}", fig.to_table());
+    match fig.write_csv(&cfg.out_dir) {
+        Ok(path) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("warning: could not write CSV: {e}\n"),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        eprintln!(
+            "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|sweep|all|\
+             corr|future|dynamic|law|contention|ccr|report> [flags]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let cfg = match ExperimentConfig::from_args(&args[1..]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "# config: graphs={} tasks={} procs={} realizations={} generations={} uls={:?} seed={}",
+        cfg.graphs,
+        cfg.tasks,
+        cfg.procs,
+        cfg.realizations,
+        cfg.ga.max_generations,
+        cfg.uls,
+        cfg.seed
+    );
+
+    let run_sweep_figs = |which: &[&str]| {
+        let sweeps = sweep::sweep_all(&cfg, &sweep::sweep_epsilon_grid());
+        if which.contains(&"fig5") {
+            emit(&fig5_6::fig5_from_sweeps(&sweeps), &cfg);
+        }
+        if which.contains(&"fig6") {
+            emit(&fig5_6::fig6_from_sweeps(&sweeps), &cfg);
+        }
+        if which.contains(&"fig7") {
+            emit(&fig7_8::fig7_from_sweeps(&sweeps), &cfg);
+        }
+        if which.contains(&"fig8") {
+            emit(&fig7_8::fig8_from_sweeps(&sweeps), &cfg);
+        }
+    };
+
+    match cmd.as_str() {
+        "fig2" => emit(&fig2_3::run_fig2(&cfg), &cfg),
+        "fig3" => emit(&fig2_3::run_fig3(&cfg), &cfg),
+        "fig4" => emit(&fig4::run_fig4(&cfg), &cfg),
+        "fig5" => run_sweep_figs(&["fig5"]),
+        "fig6" => run_sweep_figs(&["fig6"]),
+        "fig7" => run_sweep_figs(&["fig7"]),
+        "fig8" => run_sweep_figs(&["fig8"]),
+        "sweep" => run_sweep_figs(&["fig5", "fig6", "fig7", "fig8"]),
+        "corr" => emit(&correlation::run_correlation(&cfg), &cfg),
+        "future" => emit(&future::run_future(&cfg), &cfg),
+        "dynamic" => emit(&dynamic_cmp::run_dynamic_cmp(&cfg), &cfg),
+        "law" => emit(&law::run_law(&cfg), &cfg),
+        "contention" => emit(&contention_cmp::run_contention(&cfg), &cfg),
+        "ccr" => emit(&ccr_study::run_ccr(&cfg), &cfg),
+        "gatune" => emit(&gatune::run_gatune(&cfg), &cfg),
+        "report" => match rds_experiments::output::render_report(&cfg.out_dir) {
+            Ok(text) => println!("{text}"),
+            Err(e) => {
+                eprintln!("error reading {}: {e}", cfg.out_dir);
+                return ExitCode::FAILURE;
+            }
+        },
+        "all" => {
+            emit(&fig2_3::run_fig2(&cfg), &cfg);
+            emit(&fig2_3::run_fig3(&cfg), &cfg);
+            emit(&fig4::run_fig4(&cfg), &cfg);
+            run_sweep_figs(&["fig5", "fig6", "fig7", "fig8"]);
+            emit(&correlation::run_correlation(&cfg), &cfg);
+        }
+        other => {
+            eprintln!("unknown subcommand {other}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,242 @@
+//! Shared experiment configuration and CLI parsing.
+
+use rds_ga::GaParams;
+use rds_sched::instance::{Instance, InstanceSpec};
+use rds_stats::rng::SeedStream;
+
+/// Scale and workload knobs shared by every figure generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentConfig {
+    /// Number of random task graphs per data point (paper: 100).
+    pub graphs: usize,
+    /// Tasks per graph (paper: 100).
+    pub tasks: usize,
+    /// Processors (paper does not state m; 8 is the conventional choice for
+    /// n = 100 in the HEFT literature).
+    pub procs: usize,
+    /// Monte Carlo realizations per schedule (paper: 1000).
+    pub realizations: usize,
+    /// GA parameters (paper: Np=20, pc=0.9, pm=0.1, 1000 gens / 100 stall).
+    pub ga: GaParams,
+    /// Uncertainty levels swept (paper: 2, 4, 6, 8).
+    pub uls: Vec<f64>,
+    /// Master seed.
+    pub seed: u64,
+    /// Communication-to-computation ratio (paper: 0.1; the contention
+    /// study raises it).
+    pub ccr: f64,
+    /// Evolution-history sampling stride for Figs. 2–3 (realized metrics
+    /// are recomputed every `stride` generations).
+    pub history_stride: usize,
+    /// Output directory for CSV files.
+    pub out_dir: String,
+}
+
+impl Default for ExperimentConfig {
+    /// Laptop-scale defaults preserving the figures' shapes.
+    fn default() -> Self {
+        Self {
+            graphs: 5,
+            tasks: 60,
+            procs: 8,
+            realizations: 200,
+            ga: GaParams::paper().max_generations(300).stall_generations(60),
+            uls: vec![2.0, 4.0, 6.0, 8.0],
+            seed: 42,
+            ccr: 0.1,
+            history_stride: 10,
+            out_dir: "results".to_owned(),
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// The paper's full-scale configuration.
+    #[must_use]
+    pub fn full() -> Self {
+        Self {
+            graphs: 100,
+            tasks: 100,
+            realizations: 1000,
+            ga: GaParams::paper(),
+            history_stride: 25,
+            ..Self::default()
+        }
+    }
+
+    /// A minimal smoke configuration for tests.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            graphs: 2,
+            tasks: 25,
+            procs: 4,
+            realizations: 50,
+            ga: GaParams::quick().max_generations(30).stall_generations(15),
+            uls: vec![2.0, 8.0],
+            seed: 7,
+            ccr: 0.1,
+            history_stride: 10,
+            out_dir: "results".to_owned(),
+        }
+    }
+
+    /// Builds the instance for graph index `g` at uncertainty level `ul`.
+    /// The graph and BCET matrix depend only on `(seed, g)`, so all ULs see
+    /// the same workloads — the paper's UL sweep design.
+    ///
+    /// # Panics
+    /// Panics when generation fails (configuration invariants are checked
+    /// by the generators).
+    #[must_use]
+    pub fn instance(&self, g: usize, ul: f64) -> Instance {
+        let graph_seed = SeedStream::new(self.seed).branch("graphs").nth_seed(g as u64);
+        InstanceSpec::new(self.tasks, self.procs)
+            .seed(graph_seed)
+            .uncertainty_level(ul)
+            .ccr(self.ccr)
+            .build()
+            .expect("valid experiment configuration")
+    }
+
+    /// Sub-seed for stochastic component `label` of graph `g`.
+    #[must_use]
+    pub fn sub_seed(&self, label: &str, g: usize) -> u64 {
+        SeedStream::new(self.seed).branch(label).nth_seed(g as u64)
+    }
+
+    /// Parses CLI flags (everything after the subcommand). Unknown flags
+    /// are an error; every flag takes a value except `--full` and
+    /// `--serial`.
+    ///
+    /// # Errors
+    /// Returns a usage message on malformed input.
+    pub fn from_args(args: &[String]) -> Result<Self, String> {
+        let mut cfg = ExperimentConfig::default();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut take = || -> Result<&String, String> {
+                it.next().ok_or_else(|| format!("flag {flag} needs a value"))
+            };
+            match flag.as_str() {
+                "--full" => {
+                    cfg = ExperimentConfig::full();
+                }
+                "--graphs" => cfg.graphs = parse(take()?)?,
+                "--tasks" => cfg.tasks = parse(take()?)?,
+                "--procs" => cfg.procs = parse(take()?)?,
+                "--realizations" => cfg.realizations = parse(take()?)?,
+                "--generations" => {
+                    let g: usize = parse(take()?)?;
+                    cfg.ga = cfg.ga.max_generations(g).stall_generations(g.max(5));
+                }
+                "--seed" => cfg.seed = parse(take()?)?,
+                "--stride" => cfg.history_stride = parse(take()?)?,
+                "--ccr" => cfg.ccr = parse(take()?)?,
+                "--out" => cfg.out_dir = take()?.clone(),
+                "--uls" => {
+                    cfg.uls = take()?
+                        .split(',')
+                        .map(|s| s.trim().parse::<f64>().map_err(|e| e.to_string()))
+                        .collect::<Result<Vec<_>, _>>()?;
+                }
+                other => return Err(format!("unknown flag {other}")),
+            }
+        }
+        if cfg.graphs == 0 || cfg.tasks == 0 || cfg.procs == 0 || cfg.realizations == 0 {
+            return Err("graphs/tasks/procs/realizations must be positive".into());
+        }
+        if cfg.history_stride == 0 {
+            return Err("stride must be positive".into());
+        }
+        Ok(cfg)
+    }
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse::<T>().map_err(|e| format!("invalid value {s}: {e}"))
+}
+
+/// Mean of the finite values in `xs`; `None` when none are finite.
+#[must_use]
+pub fn mean_finite(xs: &[f64]) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for &x in xs {
+        if x.is_finite() {
+            sum += x;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn default_flags_roundtrip() {
+        let cfg = ExperimentConfig::from_args(&[]).unwrap();
+        assert_eq!(cfg, ExperimentConfig::default());
+    }
+
+    #[test]
+    fn full_flag_scales_up() {
+        let cfg = ExperimentConfig::from_args(&args(&["--full"])).unwrap();
+        assert_eq!(cfg.graphs, 100);
+        assert_eq!(cfg.tasks, 100);
+        assert_eq!(cfg.realizations, 1000);
+        assert_eq!(cfg.ga.max_generations, 1000);
+    }
+
+    #[test]
+    fn individual_flags_apply() {
+        let cfg = ExperimentConfig::from_args(&args(&[
+            "--graphs", "3", "--tasks", "40", "--seed", "9", "--uls", "2,4", "--out", "/tmp/x",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.graphs, 3);
+        assert_eq!(cfg.tasks, 40);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.uls, vec![2.0, 4.0]);
+        assert_eq!(cfg.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn bad_flags_error() {
+        assert!(ExperimentConfig::from_args(&args(&["--bogus"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--graphs"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--graphs", "zero"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--graphs", "0"])).is_err());
+    }
+
+    #[test]
+    fn instances_share_graph_across_uls() {
+        let cfg = ExperimentConfig::smoke();
+        let a = cfg.instance(0, 2.0);
+        let b = cfg.instance(0, 8.0);
+        assert_eq!(a.graph, b.graph);
+        assert_ne!(
+            a.timing.ul_matrix().mean(),
+            b.timing.ul_matrix().mean()
+        );
+        let c = cfg.instance(1, 2.0);
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn mean_finite_filters() {
+        assert_eq!(mean_finite(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(mean_finite(&[1.0, f64::INFINITY, 3.0]), Some(2.0));
+        assert_eq!(mean_finite(&[f64::NAN]), None);
+        assert_eq!(mean_finite(&[]), None);
+    }
+}

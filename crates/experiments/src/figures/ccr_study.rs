@@ -1,0 +1,113 @@
+//! Sensitivity of the robustness gain to communication intensity.
+//!
+//! The paper fixes CCR = 0.1 (computation-dominated workloads). This
+//! study re-runs the Figure-4 comparison (ε = 1.2 GA vs HEFT, fixed
+//! UL = 4) across a CCR sweep: as communication grows, schedules gain
+//! structural gaps (waiting for transfers) that act as incidental slack,
+//! and the communication part of the critical path is *deterministic* in
+//! the paper's model — both effects change how much explicit slack
+//! optimization can add.
+//!
+//! Output series (x = CCR): `R1gain` = mean `ln(R1_GA/R1_HEFT)`;
+//! `M0ratio` = mean `M₀_GA / M₀_HEFT`; `HEFT_missrate` for context.
+
+use rayon::prelude::*;
+
+use rds_ga::{GaEngine, Objective};
+use rds_heft::heft_schedule;
+use rds_sched::realization::{monte_carlo, RealizationConfig};
+use rds_stats::series::{log_ratio, Series};
+
+use crate::config::{mean_finite, ExperimentConfig};
+use crate::output::FigureData;
+
+/// The CCR grid swept (the paper's 0.1 plus communication-heavier mixes).
+pub const CCR_GRID: [f64; 4] = [0.1, 0.5, 1.0, 2.0];
+
+/// The fixed uncertainty level of the study.
+pub const STUDY_UL: f64 = 4.0;
+
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    r1_gain: f64,
+    m0_ratio: f64,
+    heft_miss: f64,
+}
+
+fn study_one_graph(cfg: &ExperimentConfig, g: usize, ccr: f64) -> Row {
+    let mut cfg_ccr = cfg.clone();
+    cfg_ccr.ccr = ccr;
+    let inst = cfg_ccr.instance(g, STUDY_UL);
+    let heft = heft_schedule(&inst);
+    let mc = RealizationConfig::with_realizations(cfg.realizations)
+        .seed(cfg.sub_seed("mc-ccr", g));
+    let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("HEFT valid");
+    let objective = Objective::EpsilonConstraint {
+        epsilon: 1.2,
+        reference_makespan: heft.makespan,
+    };
+    let ga = GaEngine::new(&inst, cfg.ga.seed(cfg.sub_seed("ga-ccr", g)), objective).run();
+    let ga_rep = monte_carlo(&inst, &ga.best_schedule(&inst), &mc).expect("GA valid");
+    Row {
+        r1_gain: log_ratio(ga_rep.r1, heft_rep.r1),
+        m0_ratio: ga_rep.expected_makespan / heft_rep.expected_makespan,
+        heft_miss: heft_rep.miss_rate,
+    }
+}
+
+/// Runs the CCR sensitivity study.
+#[must_use]
+pub fn run_ccr(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "ccr",
+        "Robustness gain vs communication intensity (UL = 4, eps = 1.2)",
+        "CCR",
+        "R1gain = ln(R1_GA/R1_HEFT); M0ratio = M0_GA/M0_HEFT",
+    );
+    let mut s_gain = Series::new("R1gain");
+    let mut s_ratio = Series::new("M0ratio");
+    let mut s_miss = Series::new("HEFT_missrate");
+    for &ccr in &CCR_GRID {
+        let rows: Vec<Row> = (0..cfg.graphs)
+            .into_par_iter()
+            .map(|g| study_one_graph(cfg, g, ccr))
+            .collect();
+        let pick = |f: &dyn Fn(&Row) -> f64| {
+            let v: Vec<f64> = rows.iter().map(f).collect();
+            mean_finite(&v).unwrap_or(f64::NAN)
+        };
+        s_gain.push(ccr, pick(&|r| r.r1_gain));
+        s_ratio.push(ccr, pick(&|r| r.m0_ratio));
+        s_miss.push(ccr, pick(&|r| r.heft_miss));
+    }
+    fig.push(s_gain);
+    fig.push(s_ratio);
+    fig.push(s_miss);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ccr_study_shapes() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.realizations = 60;
+        cfg.ga = cfg.ga.max_generations(25).stall_generations(15);
+        let fig = run_ccr(&cfg);
+        assert_eq!(fig.series.len(), 3);
+        let gain = fig.series.iter().find(|s| s.label == "R1gain").unwrap();
+        assert_eq!(gain.points.len(), CCR_GRID.len());
+        // The gain never inverts badly at any CCR.
+        for &(ccr, y) in &gain.points {
+            assert!(y > -0.15, "CCR {ccr}: R1 gain {y}");
+        }
+        // The GA stays within its eps budget everywhere.
+        let ratio = fig.series.iter().find(|s| s.label == "M0ratio").unwrap();
+        for &(_, y) in &ratio.points {
+            assert!(y <= 1.2 + 1e-6);
+        }
+    }
+}

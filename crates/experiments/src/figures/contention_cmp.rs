@@ -1,0 +1,186 @@
+//! Does the robustness edge survive communication contention?
+//!
+//! §3.1 assumes contention-free communication; the single-port model of
+//! [`rds_sched::contention`] is harsher and more realistic. This study
+//! schedules with the contention-free model (as the paper does), then
+//! *evaluates* both HEFT and the ε = 1.2 GA schedule under single-port
+//! contention: realized makespans are computed with serialized transfers,
+//! and `R1` is measured against the contention-aware expected makespan.
+//!
+//! Run with a meaningful `--ccr` (e.g. 1.0): at the paper's CCR = 0.1 the
+//! network is nearly idle and contention changes little.
+//!
+//! Output series (x = UL, averaged over graphs):
+//!
+//! * `penalty:<sched>` — `M₀(contention) / M₀(free)`: how much the
+//!   contention-free plan underestimates reality;
+//! * `R1gain:free` / `R1gain:contention` — `ln(R1_GA/R1_HEFT)` under each
+//!   evaluation model.
+
+use rayon::prelude::*;
+
+use rds_ga::{GaEngine, Objective};
+use rds_heft::heft_schedule;
+use rds_sched::contention::evaluate_with_contention;
+use rds_sched::disjunctive::DisjunctiveGraph;
+use rds_sched::instance::Instance;
+use rds_sched::metrics::r1_from_tardiness;
+use rds_sched::realization::{monte_carlo, RealizationConfig};
+use rds_sched::schedule::Schedule;
+use rds_sched::timing::expected_durations;
+use rds_stats::rng::SeedStream;
+use rds_stats::series::{log_ratio, Series};
+
+use crate::config::{mean_finite, ExperimentConfig};
+use crate::output::FigureData;
+
+/// Contention-aware Monte Carlo: realized makespans with serialized
+/// transfers, aggregated into `(M0_cont, R1_cont)`.
+fn contention_r1(
+    inst: &Instance,
+    schedule: &Schedule,
+    realizations: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule).expect("valid schedule");
+    let expected = expected_durations(&inst.timing, schedule);
+    let m0 =
+        evaluate_with_contention(&inst.graph, &ds, schedule, &inst.platform, &expected)
+            .timed
+            .makespan;
+    let seeds = SeedStream::new(seed);
+    let assignment = schedule.assignment();
+    let mean_tardiness: f64 = (0..realizations)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = seeds.nth_rng(i as u64);
+            let durations = inst.timing.sample_assigned(assignment, &mut rng);
+            let m = evaluate_with_contention(
+                &inst.graph,
+                &ds,
+                schedule,
+                &inst.platform,
+                &durations,
+            )
+            .timed
+            .makespan;
+            (m - m0).max(0.0) / m0
+        })
+        .sum::<f64>()
+        / realizations as f64;
+    (m0, r1_from_tardiness(mean_tardiness))
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    penalty_heft: f64,
+    penalty_ga: f64,
+    r1_gain_free: f64,
+    r1_gain_cont: f64,
+}
+
+fn study_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> Row {
+    let inst = cfg.instance(g, ul);
+    let heft = heft_schedule(&inst);
+    let objective = Objective::EpsilonConstraint {
+        epsilon: 1.2,
+        reference_makespan: heft.makespan,
+    };
+    let ga = GaEngine::new(
+        &inst,
+        cfg.ga.seed(cfg.sub_seed("ga-contention", g)),
+        objective,
+    )
+    .run();
+    let robust = ga.best_schedule(&inst);
+
+    // Contention-free reference.
+    let mc = RealizationConfig::with_realizations(cfg.realizations)
+        .seed(cfg.sub_seed("mc-contention", g));
+    let h_free = monte_carlo(&inst, &heft.schedule, &mc).expect("valid");
+    let g_free = monte_carlo(&inst, &robust, &mc).expect("valid");
+
+    // Contention-aware.
+    let (h_m0c, h_r1c) = contention_r1(
+        &inst,
+        &heft.schedule,
+        cfg.realizations,
+        cfg.sub_seed("mc-contention", g),
+    );
+    let (g_m0c, g_r1c) = contention_r1(
+        &inst,
+        &robust,
+        cfg.realizations,
+        cfg.sub_seed("mc-contention", g),
+    );
+
+    Row {
+        penalty_heft: h_m0c / h_free.expected_makespan,
+        penalty_ga: g_m0c / g_free.expected_makespan,
+        r1_gain_free: log_ratio(g_free.r1, h_free.r1),
+        r1_gain_cont: log_ratio(g_r1c, h_r1c),
+    }
+}
+
+/// Runs the contention study.
+#[must_use]
+pub fn run_contention(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "contention",
+        "Single-port contention: plan penalty and robustness edge",
+        "UL",
+        "penalty:* = M0(cont)/M0(free); R1gain:* = ln(R1_GA/R1_HEFT)",
+    );
+    let mut s_ph = Series::new("penalty:HEFT");
+    let mut s_pg = Series::new("penalty:GA");
+    let mut s_rf = Series::new("R1gain:free");
+    let mut s_rc = Series::new("R1gain:contention");
+    for &ul in &cfg.uls {
+        let rows: Vec<Row> = (0..cfg.graphs)
+            .into_par_iter()
+            .map(|g| study_one_graph(cfg, g, ul))
+            .collect();
+        let pick = |f: &dyn Fn(&Row) -> f64| -> f64 {
+            let v: Vec<f64> = rows.iter().map(f).collect();
+            mean_finite(&v).unwrap_or(f64::NAN)
+        };
+        s_ph.push(ul, pick(&|r| r.penalty_heft));
+        s_pg.push(ul, pick(&|r| r.penalty_ga));
+        s_rf.push(ul, pick(&|r| r.r1_gain_free));
+        s_rc.push(ul, pick(&|r| r.r1_gain_cont));
+    }
+    fig.push(s_ph);
+    fig.push(s_pg);
+    fig.push(s_rf);
+    fig.push(s_rc);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contention_penalty_is_at_least_one() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.realizations = 50;
+        cfg.ccr = 1.0;
+        cfg.uls = vec![4.0];
+        cfg.ga = cfg.ga.max_generations(20).stall_generations(10);
+        let fig = run_contention(&cfg);
+        assert_eq!(fig.series.len(), 4);
+        let get = |label: &str| -> f64 {
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .points[0]
+                .1
+        };
+        assert!(get("penalty:HEFT") >= 1.0 - 1e-9);
+        assert!(get("penalty:GA") >= 1.0 - 1e-9);
+        // With CCR=1 the penalty should actually bite.
+        assert!(get("penalty:HEFT") > 1.01, "{}", get("penalty:HEFT"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Static vs dynamic scheduling under uncertainty.
+//!
+//! The paper's introduction names dynamic scheduling as the obvious
+//! alternative to static-robust scheduling. This study compares, on the
+//! same realizations: static HEFT, the paper's static-robust GA
+//! (ε = 1.2), and an on-line EFT dispatcher with HEFT's prioritization
+//! ([`rds_sched::dynamic`]).
+//!
+//! Output series (x = UL, averaged over graphs):
+//!
+//! * `M:<scheduler>` — mean realized makespan normalized by static HEFT's
+//!   mean realized makespan (lower is faster in the real environment);
+//! * `CoV:<scheduler>` — coefficient of variation of realized makespans
+//!   (lower is more predictable).
+
+use rayon::prelude::*;
+
+use rds_ga::{GaEngine, Objective};
+use rds_heft::heft_schedule;
+use rds_sched::dynamic::{dynamic_makespans, DynamicPriority};
+use rds_sched::realization::{monte_carlo, RealizationConfig};
+use rds_stats::describe::OnlineStats;
+use rds_stats::series::Series;
+
+use crate::config::{mean_finite, ExperimentConfig};
+use crate::output::FigureData;
+
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    mean_ratio: f64,
+    cov: f64,
+}
+
+fn study_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> [Row; 3] {
+    let inst = cfg.instance(g, ul);
+    let heft = heft_schedule(&inst);
+    let mc = RealizationConfig::with_realizations(cfg.realizations)
+        .seed(cfg.sub_seed("mc-dynamic", g));
+    let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("HEFT valid");
+
+    let objective = Objective::EpsilonConstraint {
+        epsilon: 1.2,
+        reference_makespan: heft.makespan,
+    };
+    let ga = GaEngine::new(&inst, cfg.ga.seed(cfg.sub_seed("ga-dynamic", g)), objective).run();
+    let ga_rep = monte_carlo(&inst, &ga.best_schedule(&inst), &mc).expect("GA valid");
+
+    let dyn_ms = dynamic_makespans(
+        &inst,
+        DynamicPriority::UpwardRank,
+        cfg.realizations,
+        cfg.sub_seed("dyn-realizations", g),
+    );
+    let dyn_stats = OnlineStats::from_iter(dyn_ms.iter().copied());
+
+    let base = heft_rep.mean_makespan;
+    [
+        Row {
+            mean_ratio: 1.0,
+            cov: heft_rep.makespan_cov(),
+        },
+        Row {
+            mean_ratio: ga_rep.mean_makespan / base,
+            cov: ga_rep.makespan_cov(),
+        },
+        Row {
+            mean_ratio: dyn_stats.mean() / base,
+            cov: dyn_stats.std_dev() / dyn_stats.mean(),
+        },
+    ]
+}
+
+/// Scheduler labels, aligned with [`study_one_graph`]'s rows.
+const LABELS: [&str; 3] = ["HEFT(static)", "GA(static,eps=1.2)", "EFT(dynamic)"];
+
+/// Runs the static-vs-dynamic study.
+#[must_use]
+pub fn run_dynamic_cmp(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "dynamic",
+        "Static vs dynamic scheduling under uncertainty",
+        "UL",
+        "M:* = mean realized makespan / HEFT; CoV:* = realized-makespan CoV",
+    );
+    let mut m_series: Vec<Series> = LABELS.iter().map(|l| Series::new(format!("M:{l}"))).collect();
+    let mut cov_series: Vec<Series> =
+        LABELS.iter().map(|l| Series::new(format!("CoV:{l}"))).collect();
+
+    for &ul in &cfg.uls {
+        let rows: Vec<[Row; 3]> = (0..cfg.graphs)
+            .into_par_iter()
+            .map(|g| study_one_graph(cfg, g, ul))
+            .collect();
+        for s in 0..LABELS.len() {
+            let ratios: Vec<f64> = rows.iter().map(|r| r[s].mean_ratio).collect();
+            let covs: Vec<f64> = rows.iter().map(|r| r[s].cov).collect();
+            m_series[s].push(ul, mean_finite(&ratios).unwrap_or(f64::NAN));
+            cov_series[s].push(ul, mean_finite(&covs).unwrap_or(f64::NAN));
+        }
+    }
+    for s in m_series.into_iter().chain(cov_series) {
+        fig.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamic_study_shapes() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.realizations = 60;
+        cfg.uls = vec![4.0];
+        cfg.ga = cfg.ga.max_generations(25).stall_generations(15);
+        let fig = run_dynamic_cmp(&cfg);
+        assert_eq!(fig.series.len(), 6);
+        let get = |label: &str| -> f64 {
+            fig.series
+                .iter()
+                .find(|s| s.label == label)
+                .unwrap()
+                .points[0]
+                .1
+        };
+        // HEFT normalizes to exactly 1.
+        assert!((get("M:HEFT(static)") - 1.0).abs() < 1e-12);
+        // The GA pays at most its eps budget in the real environment
+        // (generous slack for realization noise).
+        assert!(get("M:GA(static,eps=1.2)") < 1.4);
+        // The dynamic dispatcher is competitive: within 2x of HEFT.
+        assert!(get("M:EFT(dynamic)") < 2.0);
+        // All CoVs are positive and sane.
+        for l in ["CoV:HEFT(static)", "CoV:GA(static,eps=1.2)", "CoV:EFT(dynamic)"] {
+            let v = get(l);
+            assert!(v > 0.0 && v < 1.0, "{l} = {v}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Figures 5 and 6: robustness improvement from relaxing ε.
+//!
+//! One series per uncertainty level; x is ε ∈ (1.0, 2.0]; y is the mean
+//! relative improvement of `R1` (Fig. 5) / `R2` (Fig. 6) over the ε = 1.0
+//! solution. Expected shapes (§5.2): improvements grow with ε; larger UL
+//! keeps improving at large ε while small UL saturates early ("at UL = 2.0
+//! there is relatively no more improvement of R1 after ε = 1.6; at
+//! UL = 8.0 the robustness is still improving at ε = 2.0"); the `R2`
+//! curves for different ULs are less spread out than the `R1` curves.
+
+use rds_stats::series::Series;
+
+use crate::config::ExperimentConfig;
+use crate::figures::sweep::{sweep_all, sweep_epsilon_grid, UlSweep};
+use crate::output::FigureData;
+
+fn build(id: &str, title: &str, sweeps: &[UlSweep], pick_r1: bool) -> FigureData {
+    let mut fig = FigureData::new(
+        id,
+        title,
+        "epsilon",
+        if pick_r1 {
+            "R1 improvement over eps = 1.0"
+        } else {
+            "R2 improvement over eps = 1.0"
+        },
+    );
+    for s in sweeps {
+        let mut series = Series::new(format!("UL={:.1}", s.ul));
+        let imp = if pick_r1 {
+            &s.r1_improvement
+        } else {
+            &s.r2_improvement
+        };
+        for (ei, &eps) in s.epsilons.iter().enumerate() {
+            if eps > 1.0 + 1e-12 {
+                series.push(eps, imp[ei]);
+            }
+        }
+        fig.push(series);
+    }
+    fig
+}
+
+/// Figure 5 from precomputed sweeps.
+#[must_use]
+pub fn fig5_from_sweeps(sweeps: &[UlSweep]) -> FigureData {
+    build("fig5", "R1 improvement over eps = 1.0", sweeps, true)
+}
+
+/// Figure 6 from precomputed sweeps.
+#[must_use]
+pub fn fig6_from_sweeps(sweeps: &[UlSweep]) -> FigureData {
+    build("fig6", "R2 improvement over eps = 1.0", sweeps, false)
+}
+
+/// Figure 5 generator (runs its own sweep).
+#[must_use]
+pub fn run_fig5(cfg: &ExperimentConfig) -> FigureData {
+    fig5_from_sweeps(&sweep_all(cfg, &sweep_epsilon_grid()))
+}
+
+/// Figure 6 generator (runs its own sweep).
+#[must_use]
+pub fn run_fig6(cfg: &ExperimentConfig) -> FigureData {
+    fig6_from_sweeps(&sweep_all(cfg, &sweep_epsilon_grid()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::sweep::sweep_ul;
+
+    #[test]
+    fn fig5_series_have_expected_grid() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.uls = vec![4.0];
+        cfg.ga = cfg.ga.max_generations(20).stall_generations(10);
+        let sweeps = vec![sweep_ul(&cfg, 4.0, &[1.0, 1.4, 2.0])];
+        let fig = fig5_from_sweeps(&sweeps);
+        assert_eq!(fig.series.len(), 1);
+        // Reference point 1.0 is excluded from the plot.
+        let xs: Vec<f64> = fig.series[0].points.iter().map(|&(x, _)| x).collect();
+        assert_eq!(xs, vec![1.4, 2.0]);
+        let fig6 = fig6_from_sweeps(&sweeps);
+        assert_eq!(fig6.series[0].points.len(), 2);
+    }
+}

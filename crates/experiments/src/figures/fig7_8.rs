@@ -1,0 +1,130 @@
+//! Figures 7 and 8: the best ε for the overall performance P(s) (Eq. 9).
+//!
+//! For every uncertainty level, the ε sweep provides per-ε aggregates of
+//! the two log terms of Eq. 9 (`ln(M_HEFT/M(ε))` and `ln(R(ε)/R_HEFT)`).
+//! `P` is linear in those terms, so averaging the terms over graphs and
+//! then maximizing equals averaging `P` itself. One series per UL; x is
+//! the user weight `r`; y is the maximizing ε.
+//!
+//! Expected shapes (§5.2): best ε decreases as `r` grows (makespan-focused
+//! users want tight ε); larger UL pushes the best ε higher at small `r`.
+
+use rds_stats::series::Series;
+
+use crate::config::ExperimentConfig;
+use crate::figures::sweep::{sweep_all, sweep_epsilon_grid, UlSweep};
+use crate::output::FigureData;
+
+/// The r grid of the figures: 0.0, 0.1, …, 1.0.
+#[must_use]
+pub fn r_grid() -> Vec<f64> {
+    (0..=10).map(|i| 0.1 * f64::from(i)).collect()
+}
+
+fn build(id: &str, title: &str, sweeps: &[UlSweep], pick_r1: bool) -> FigureData {
+    let mut fig = FigureData::new(id, title, "r", "best epsilon");
+    for s in sweeps {
+        let rob_term = if pick_r1 { &s.r1_term } else { &s.r2_term };
+        let mut series = Series::new(format!("UL={:.1}", s.ul));
+        for r in r_grid() {
+            let best = s
+                .epsilons
+                .iter()
+                .enumerate()
+                .filter(|&(ei, _)| s.mk_term[ei].is_finite() && rob_term[ei].is_finite())
+                .max_by(|&(a, _), &(b, _)| {
+                    let pa = r * s.mk_term[a] + (1.0 - r) * rob_term[a];
+                    let pb = r * s.mk_term[b] + (1.0 - r) * rob_term[b];
+                    pa.total_cmp(&pb)
+                })
+                .map(|(_, &eps)| eps)
+                .unwrap_or(f64::NAN);
+            series.push(r, best);
+        }
+        fig.push(series);
+    }
+    fig
+}
+
+/// Figure 7 from precomputed sweeps (overall performance uses `R1`).
+#[must_use]
+pub fn fig7_from_sweeps(sweeps: &[UlSweep]) -> FigureData {
+    build(
+        "fig7",
+        "Best eps for overall performance based on R1 and makespan",
+        sweeps,
+        true,
+    )
+}
+
+/// Figure 8 from precomputed sweeps (overall performance uses `R2`).
+#[must_use]
+pub fn fig8_from_sweeps(sweeps: &[UlSweep]) -> FigureData {
+    build(
+        "fig8",
+        "Best eps for overall performance based on R2 and makespan",
+        sweeps,
+        false,
+    )
+}
+
+/// Figure 7 generator (runs its own sweep).
+#[must_use]
+pub fn run_fig7(cfg: &ExperimentConfig) -> FigureData {
+    fig7_from_sweeps(&sweep_all(cfg, &sweep_epsilon_grid()))
+}
+
+/// Figure 8 generator (runs its own sweep).
+#[must_use]
+pub fn run_fig8(cfg: &ExperimentConfig) -> FigureData {
+    fig8_from_sweeps(&sweep_all(cfg, &sweep_epsilon_grid()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::sweep::UlSweep;
+
+    /// A synthetic sweep with a clean monotone trade-off.
+    fn synthetic() -> UlSweep {
+        // eps 1.0..2.0: makespan term falls (GA loses speed), robustness
+        // term rises.
+        let epsilons = vec![1.0, 1.25, 1.5, 1.75, 2.0];
+        let mk_term = vec![0.05, -0.1, -0.25, -0.42, -0.6];
+        let r1_term = vec![0.1, 0.35, 0.55, 0.68, 0.75];
+        UlSweep {
+            ul: 4.0,
+            epsilons,
+            r1_improvement: vec![0.0; 5],
+            r2_improvement: vec![0.0; 5],
+            mk_term,
+            r1_term: r1_term.clone(),
+            r2_term: r1_term,
+        }
+    }
+
+    #[test]
+    fn best_eps_is_monotone_non_increasing_in_r() {
+        let fig = fig7_from_sweeps(&[synthetic()]);
+        let pts = &fig.series[0].points;
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(
+                w[1].1 <= w[0].1 + 1e-12,
+                "best eps must not rise with r: {pts:?}"
+            );
+        }
+        // Pure robustness (r=0) wants the largest eps; pure makespan (r=1)
+        // the smallest.
+        assert_eq!(pts[0].1, 2.0);
+        assert_eq!(pts[10].1, 1.0);
+    }
+
+    #[test]
+    fn fig8_mirrors_structure() {
+        let fig = fig8_from_sweeps(&[synthetic()]);
+        assert_eq!(fig.id, "fig8");
+        assert_eq!(fig.series.len(), 1);
+        assert_eq!(fig.series[0].points.len(), 11);
+    }
+}

@@ -1,0 +1,143 @@
+//! Future-work study: stochastic-information-guided scheduling (§6).
+//!
+//! The paper closes by proposing to feed the scheduler *stochastic*
+//! information rather than expectations alone. This experiment evaluates
+//! that idea using the closed-form standard deviation of the realization
+//! law: `SHEFT(k)` plans with `E[c] + k·σ` (see
+//! [`rds_heft::stochastic`]), compared against plain HEFT and the paper's
+//! ε-constraint GA at ε = 1.2.
+//!
+//! Output series (x = UL, averaged over graphs):
+//!
+//! * `R1:<scheduler>` — `ln(R1 / R1_HEFT)`: robustness gain over HEFT;
+//! * `M0:<scheduler>` — `M₀ / M₀_HEFT`: the expected-makespan price paid.
+
+use rayon::prelude::*;
+
+use rds_ga::{GaEngine, Objective};
+use rds_heft::{heft_schedule, sheft_schedule};
+use rds_sched::realization::{monte_carlo, RealizationConfig};
+use rds_stats::series::{log_ratio, Series};
+
+use crate::config::{mean_finite, ExperimentConfig};
+use crate::output::FigureData;
+
+/// The SHEFT risk factors compared.
+pub const SHEFT_KS: [f64; 3] = [0.5, 1.0, 2.0];
+
+#[derive(Debug, Clone, Copy)]
+struct Row {
+    r1_gain: f64,
+    m0_ratio: f64,
+}
+
+fn study_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> Vec<Row> {
+    let inst = cfg.instance(g, ul);
+    let heft = heft_schedule(&inst);
+    let mc = RealizationConfig::with_realizations(cfg.realizations)
+        .seed(cfg.sub_seed("mc-future", g));
+    let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("HEFT valid");
+
+    let mut rows = Vec::with_capacity(SHEFT_KS.len() + 1);
+    for &k in &SHEFT_KS {
+        let s = sheft_schedule(&inst, k);
+        let rep = monte_carlo(&inst, &s.schedule, &mc).expect("SHEFT valid");
+        rows.push(Row {
+            r1_gain: log_ratio(rep.r1, heft_rep.r1),
+            m0_ratio: rep.expected_makespan / heft_rep.expected_makespan,
+        });
+    }
+    // The paper's GA at a mild makespan budget.
+    let objective = Objective::EpsilonConstraint {
+        epsilon: 1.2,
+        reference_makespan: heft.makespan,
+    };
+    let ga = GaEngine::new(&inst, cfg.ga.seed(cfg.sub_seed("ga-future", g)), objective).run();
+    let rep = monte_carlo(&inst, &ga.best_schedule(&inst), &mc).expect("GA valid");
+    rows.push(Row {
+        r1_gain: log_ratio(rep.r1, heft_rep.r1),
+        m0_ratio: rep.expected_makespan / heft_rep.expected_makespan,
+    });
+    rows
+}
+
+/// Scheduler labels, aligned with the per-graph study rows.
+#[must_use]
+pub fn scheduler_labels() -> Vec<String> {
+    SHEFT_KS
+        .iter()
+        .map(|k| format!("SHEFT(k={k})"))
+        .chain(std::iter::once("GA(eps=1.2)".to_owned()))
+        .collect()
+}
+
+/// Runs the future-work study.
+#[must_use]
+pub fn run_future(cfg: &ExperimentConfig) -> FigureData {
+    let labels = scheduler_labels();
+    let mut fig = FigureData::new(
+        "future",
+        "Stochastic-information-guided scheduling vs HEFT (paper future work)",
+        "UL",
+        "R1:* = ln(R1/R1_HEFT); M0:* = M0/M0_HEFT",
+    );
+    let mut r1_series: Vec<Series> = labels
+        .iter()
+        .map(|l| Series::new(format!("R1:{l}")))
+        .collect();
+    let mut m0_series: Vec<Series> = labels
+        .iter()
+        .map(|l| Series::new(format!("M0:{l}")))
+        .collect();
+
+    for &ul in &cfg.uls {
+        let rows: Vec<Vec<Row>> = (0..cfg.graphs)
+            .into_par_iter()
+            .map(|g| study_one_graph(cfg, g, ul))
+            .collect();
+        for s in 0..labels.len() {
+            let gains: Vec<f64> = rows.iter().map(|r| r[s].r1_gain).collect();
+            let ratios: Vec<f64> = rows.iter().map(|r| r[s].m0_ratio).collect();
+            r1_series[s].push(ul, mean_finite(&gains).unwrap_or(f64::NAN));
+            m0_series[s].push(ul, mean_finite(&ratios).unwrap_or(f64::NAN));
+        }
+    }
+    for s in r1_series.into_iter().chain(m0_series) {
+        fig.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn future_study_produces_consistent_series() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.realizations = 60;
+        cfg.uls = vec![6.0];
+        cfg.ga = cfg.ga.max_generations(25).stall_generations(15);
+        let fig = run_future(&cfg);
+        // 4 schedulers × 2 metric families.
+        assert_eq!(fig.series.len(), 8);
+        // Makespan ratios: SHEFT pays more as k grows (weak monotonicity
+        // with tolerance — tiny smoke sample).
+        let m0 = |label: &str| -> f64 {
+            fig.series
+                .iter()
+                .find(|s| s.label == format!("M0:{label}"))
+                .unwrap()
+                .points[0]
+                .1
+        };
+        assert!(m0("SHEFT(k=0.5)") >= 0.95, "ratios are around/above 1");
+        assert!(
+            m0("SHEFT(k=2)") + 1e-9 >= m0("SHEFT(k=0.5)") - 0.1,
+            "larger k should not be dramatically cheaper"
+        );
+        // The GA respects its eps = 1.2 budget.
+        assert!(m0("GA(eps=1.2)") <= 1.2 + 1e-6);
+    }
+}

@@ -1,0 +1,21 @@
+//! Figure generators.
+//!
+//! * [`fig2_3`] — evolution of realized makespan / slack / R1 along GA
+//!   generations under the two single objectives.
+//! * [`fig4`] — improvement over HEFT at ε = 1.0.
+//! * [`sweep`] — the shared ε-sweep machinery feeding Figures 5–8.
+//! * [`fig5_6`] — robustness improvement when relaxing ε.
+//! * [`fig7_8`] — best ε for the overall performance P(s).
+
+pub mod ccr_study;
+pub mod contention_cmp;
+pub mod correlation;
+pub mod dynamic_cmp;
+pub mod future;
+pub mod gatune;
+pub mod fig2_3;
+pub mod fig4;
+pub mod fig5_6;
+pub mod fig7_8;
+pub mod law;
+pub mod sweep;

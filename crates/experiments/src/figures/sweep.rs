@@ -1,0 +1,181 @@
+//! The shared ε sweep behind Figures 5–8.
+//!
+//! For every uncertainty level and every ε on the grid, run the
+//! ε-constraint GA on each graph and Monte Carlo the best schedule. The
+//! aggregation keeps exactly the quantities the four figures need:
+//!
+//! * relative `R1`/`R2` improvement over the ε = 1.0 point (Figs. 5–6);
+//! * mean log ratios against HEFT: `ln(M_HEFT/M(ε))`, `ln(R(ε)/R_HEFT)`
+//!   (Figs. 7–8 plug these into Eq. 9).
+
+use rayon::prelude::*;
+
+use rds_ga::{GaEngine, Objective};
+use rds_heft::heft_schedule;
+use rds_sched::realization::{monte_carlo, RealizationConfig};
+use rds_stats::series::log_ratio;
+
+use crate::config::{mean_finite, ExperimentConfig};
+
+/// Metrics of one (graph, ε) cell.
+#[derive(Debug, Clone, Copy)]
+pub struct CellMetrics {
+    /// Mean realized makespan of the GA schedule.
+    pub mean_makespan: f64,
+    /// `R1` of the GA schedule.
+    pub r1: f64,
+    /// `R2` of the GA schedule.
+    pub r2: f64,
+}
+
+/// Per-UL sweep results, aggregated over graphs.
+#[derive(Debug, Clone)]
+pub struct UlSweep {
+    /// The uncertainty level.
+    pub ul: f64,
+    /// The ε grid (index 0 must be 1.0 — the reference point).
+    pub epsilons: Vec<f64>,
+    /// Mean relative `R1` improvement over ε = 1.0, per ε.
+    pub r1_improvement: Vec<f64>,
+    /// Mean relative `R2` improvement over ε = 1.0, per ε.
+    pub r2_improvement: Vec<f64>,
+    /// Mean `ln(M_HEFT / M(ε))` (realized means), per ε.
+    pub mk_term: Vec<f64>,
+    /// Mean `ln(R1(ε) / R1_HEFT)`, per ε.
+    pub r1_term: Vec<f64>,
+    /// Mean `ln(R2(ε) / R2_HEFT)`, per ε.
+    pub r2_term: Vec<f64>,
+}
+
+/// The paper's ε grid for the sweep figures: 1.0, 1.2, …, 2.0 (Fig. 5–6
+/// plot from 1.2; 1.0 is the reference and Fig. 7–8 include it).
+#[must_use]
+pub fn sweep_epsilon_grid() -> Vec<f64> {
+    (0..=5).map(|i| 1.0 + 0.2 * f64::from(i)).collect()
+}
+
+/// Runs the sweep for one uncertainty level.
+#[must_use]
+pub fn sweep_ul(cfg: &ExperimentConfig, ul: f64, epsilons: &[f64]) -> UlSweep {
+    assert!(
+        (epsilons[0] - 1.0).abs() < 1e-12,
+        "epsilon grid must start at the 1.0 reference"
+    );
+    // cells[g][e]
+    let cells: Vec<(Vec<CellMetrics>, CellMetrics)> = (0..cfg.graphs)
+        .into_par_iter()
+        .map(|g| {
+            let inst = cfg.instance(g, ul);
+            let heft = heft_schedule(&inst);
+            let mc = RealizationConfig::with_realizations(cfg.realizations)
+                .seed(cfg.sub_seed("mc-sweep", g));
+            let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("HEFT valid");
+            let heft_cell = CellMetrics {
+                mean_makespan: heft_rep.mean_makespan,
+                r1: heft_rep.r1,
+                r2: heft_rep.r2,
+            };
+            let row: Vec<CellMetrics> = epsilons
+                .iter()
+                .enumerate()
+                .map(|(ei, &epsilon)| {
+                    let objective = Objective::EpsilonConstraint {
+                        epsilon,
+                        reference_makespan: heft.makespan,
+                    };
+                    let seed = cfg.sub_seed("ga-sweep", g * 1000 + ei);
+                    let ga = GaEngine::new(&inst, cfg.ga.seed(seed), objective).run();
+                    let schedule = ga.best_schedule(&inst);
+                    let rep = monte_carlo(&inst, &schedule, &mc).expect("GA valid");
+                    CellMetrics {
+                        mean_makespan: rep.mean_makespan,
+                        r1: rep.r1,
+                        r2: rep.r2,
+                    }
+                })
+                .collect();
+            (row, heft_cell)
+        })
+        .collect();
+
+    let ne = epsilons.len();
+    let agg = |f: &dyn Fn(&CellMetrics, &CellMetrics, &CellMetrics) -> f64| -> Vec<f64> {
+        (0..ne)
+            .map(|ei| {
+                let vals: Vec<f64> = cells
+                    .iter()
+                    .map(|(row, heft)| f(&row[ei], &row[0], heft))
+                    .collect();
+                mean_finite(&vals).unwrap_or(f64::NAN)
+            })
+            .collect()
+    };
+
+    UlSweep {
+        ul,
+        epsilons: epsilons.to_vec(),
+        r1_improvement: agg(&|c, base, _|
+
+            if base.r1.is_finite() && c.r1.is_finite() && base.r1 > 0.0 {
+                (c.r1 - base.r1) / base.r1
+            } else {
+                f64::NAN
+            }),
+        r2_improvement: agg(&|c, base, _| {
+            if base.r2.is_finite() && c.r2.is_finite() && base.r2 > 0.0 {
+                (c.r2 - base.r2) / base.r2
+            } else {
+                f64::NAN
+            }
+        }),
+        mk_term: agg(&|c, _, h| log_ratio(h.mean_makespan, c.mean_makespan)),
+        r1_term: agg(&|c, _, h| log_ratio(c.r1, h.r1)),
+        r2_term: agg(&|c, _, h| log_ratio(c.r2, h.r2)),
+    }
+}
+
+/// Runs the sweep for every configured uncertainty level.
+#[must_use]
+pub fn sweep_all(cfg: &ExperimentConfig, epsilons: &[f64]) -> Vec<UlSweep> {
+    cfg.uls
+        .iter()
+        .map(|&ul| sweep_ul(cfg, ul, epsilons))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_starts_at_reference() {
+        let g = sweep_epsilon_grid();
+        assert_eq!(g[0], 1.0);
+        assert!((g[5] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_reference_improvement_is_zero() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.ga = cfg.ga.max_generations(20).stall_generations(10);
+        let s = sweep_ul(&cfg, 4.0, &[1.0, 1.6]);
+        assert_eq!(s.epsilons.len(), 2);
+        // Improvement of eps=1.0 over itself is exactly 0.
+        assert!(s.r1_improvement[0].abs() < 1e-12);
+        assert!(s.r2_improvement[0].abs() < 1e-12);
+        // Relaxing to 1.6 should not hurt robustness.
+        assert!(
+            s.r1_improvement[1] > -0.1,
+            "R1 improvement at eps=1.6: {}",
+            s.r1_improvement[1]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "reference")]
+    fn grid_without_reference_rejected() {
+        let cfg = ExperimentConfig::smoke();
+        let _ = sweep_ul(&cfg, 2.0, &[1.2, 1.6]);
+    }
+}

@@ -1,0 +1,29 @@
+//! Experiment harness regenerating the paper's evaluation figures.
+//!
+//! The paper's evaluation (§5) has no numbered tables; the artifacts are
+//! Figures 2–8. Each figure has a generator here, reachable through the
+//! `figures` binary:
+//!
+//! | Figure | Generator | What it shows |
+//! |---|---|---|
+//! | 2 | [`figures::fig2_3::run_fig2`] | GA evolution, makespan objective: log-ratio vs step 0 of realized makespan / slack / R1 at UL ∈ {2,4,6,8} |
+//! | 3 | [`figures::fig2_3::run_fig3`] | same, slack objective |
+//! | 4 | [`figures::fig4::run_fig4`] | ln-ratio improvement over HEFT at ε = 1.0 of makespan, R1, R2 vs UL |
+//! | 5 | [`figures::fig5_6::run_fig5`] | relative R1 improvement over ε = 1.0 for ε ∈ [1.2, 2.0] |
+//! | 6 | [`figures::fig5_6::run_fig6`] | same for R2 |
+//! | 7 | [`figures::fig7_8::run_fig7`] | best ε for overall performance P(s) with R1, vs r |
+//! | 8 | [`figures::fig7_8::run_fig8`] | same with R2 |
+//!
+//! Scale knobs (graphs, realizations, generations) default to a laptop-
+//! friendly configuration preserving every qualitative shape; `--full`
+//! restores the paper's 100 graphs × 1000 realizations × 1000 generations.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod figures;
+pub mod output;
+
+pub use config::ExperimentConfig;
+pub use output::FigureData;

@@ -1,0 +1,278 @@
+//! Figure output: CSV files plus a terminal rendering.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use rds_stats::series::Series;
+
+/// The data behind one figure: labelled series over a common x axis.
+#[derive(Debug, Clone)]
+pub struct FigureData {
+    /// Figure identifier, e.g. `"fig4"`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl FigureData {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(id: &str, title: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            id: id.to_owned(),
+            title: title.to_owned(),
+            x_label: x_label.to_owned(),
+            y_label: y_label.to_owned(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds one series.
+    pub fn push(&mut self, s: Series) {
+        self.series.push(s);
+    }
+
+    /// Renders the CSV content (`series,x,y` rows with a header).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str("series,x,y\n");
+        for s in &self.series {
+            out.push_str(&s.to_csv_rows());
+        }
+        out
+    }
+
+    /// Writes `<out_dir>/<id>.csv`, creating the directory.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, out_dir: &str) -> std::io::Result<std::path::PathBuf> {
+        fs::create_dir_all(out_dir)?;
+        let path = Path::new(out_dir).join(format!("{}.csv", self.id));
+        let mut f = fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+
+    /// A compact terminal table: one row per x, one column per series.
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {} — {}", self.id, self.title);
+        let _ = writeln!(out, "# y: {}", self.y_label);
+        // Header.
+        let _ = write!(out, "{:>10}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>22}", truncate(&s.label, 22));
+        }
+        out.push('\n');
+        // Union of x values in first-series order (series share x grids).
+        let xs: Vec<f64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default();
+        for (i, x) in xs.iter().enumerate() {
+            let _ = write!(out, "{x:>10.3}");
+            for s in &self.series {
+                match s.points.get(i) {
+                    Some(&(_, y)) => {
+                        let _ = write!(out, " {y:>22.5}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>22}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl FigureData {
+    /// Parses figure data back from its CSV form (header `series,x,y`).
+    /// Metadata (title/axis labels) is not stored in the CSV; the id is
+    /// taken from the caller (usually the file stem).
+    ///
+    /// # Errors
+    /// Returns a message naming the offending line.
+    pub fn from_csv(id: &str, csv: &str) -> Result<Self, String> {
+        let mut lines = csv.lines().enumerate();
+        match lines.next() {
+            Some((_, h)) if h.trim() == "series,x,y" => {}
+            Some((_, h)) => return Err(format!("expected 'series,x,y' header, got '{h}'")),
+            None => return Err("empty CSV".into()),
+        }
+        let mut fig = FigureData::new(id, id, "x", "y");
+        for (i, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Split from the right: series labels may contain commas.
+            let mut parts = line.rsplitn(3, ',');
+            let y = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing y", i + 1))?;
+            let x = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing x", i + 1))?;
+            let label = parts
+                .next()
+                .ok_or_else(|| format!("line {}: missing series", i + 1))?;
+            let x: f64 = x
+                .parse()
+                .map_err(|e| format!("line {}: bad x '{x}': {e}", i + 1))?;
+            let y: f64 = y
+                .parse()
+                .map_err(|e| format!("line {}: bad y '{y}': {e}", i + 1))?;
+            match fig.series.iter_mut().find(|s| s.label == label) {
+                Some(s) => s.push(x, y),
+                None => {
+                    let mut s = Series::new(label);
+                    s.push(x, y);
+                    fig.push(s);
+                }
+            }
+        }
+        Ok(fig)
+    }
+}
+
+/// Reads every `*.csv` in `dir` and renders each as a terminal table —
+/// the `figures report` subcommand.
+///
+/// # Errors
+/// Propagates I/O errors; skips files that fail to parse, reporting them
+/// in the output.
+pub fn render_report(dir: &str) -> std::io::Result<String> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    entries.sort();
+    let mut out = String::new();
+    for path in entries {
+        let id = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("figure")
+            .to_owned();
+        let csv = fs::read_to_string(&path)?;
+        match FigureData::from_csv(&id, &csv) {
+            Ok(fig) => {
+                out.push_str(&fig.to_table());
+                out.push('\n');
+            }
+            Err(e) => {
+                out.push_str(&format!("# {id}: unparseable ({e})\n\n"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut f = FigureData::new("figX", "Test", "UL", "improvement");
+        let mut a = Series::new("Makespan");
+        a.push(2.0, 0.1);
+        a.push(4.0, 0.2);
+        let mut b = Series::new("R1");
+        b.push(2.0, 0.3);
+        b.push(4.0, 0.4);
+        f.push(a);
+        f.push(b);
+        f
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "series,x,y");
+        assert_eq!(lines.len(), 5);
+        assert!(lines.contains(&"Makespan,2,0.1"));
+        assert!(lines.contains(&"R1,4,0.4"));
+    }
+
+    #[test]
+    fn table_renders_all_series() {
+        let t = sample().to_table();
+        assert!(t.contains("figX"));
+        assert!(t.contains("Makespan"));
+        assert!(t.contains("R1"));
+        assert!(t.contains("0.40000"));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let fig = sample();
+        let back = FigureData::from_csv("figX", &fig.to_csv()).unwrap();
+        assert_eq!(back.series.len(), 2);
+        assert_eq!(back.series[0].label, "Makespan");
+        assert_eq!(back.series[0].points, vec![(2.0, 0.1), (4.0, 0.2)]);
+        assert_eq!(back.series[1].points, vec![(2.0, 0.3), (4.0, 0.4)]);
+    }
+
+    #[test]
+    fn csv_labels_with_commas_roundtrip() {
+        let mut fig = FigureData::new("f", "t", "x", "y");
+        let mut s = Series::new("UL=2.0,Makespan");
+        s.push(1.0, 2.0);
+        fig.push(s);
+        let back = FigureData::from_csv("f", &fig.to_csv()).unwrap();
+        assert_eq!(back.series[0].label, "UL=2.0,Makespan");
+        assert_eq!(back.series[0].points, vec![(1.0, 2.0)]);
+    }
+
+    #[test]
+    fn csv_parse_errors() {
+        assert!(FigureData::from_csv("f", "").is_err());
+        assert!(FigureData::from_csv("f", "wrong,header,here\n").is_err());
+        assert!(FigureData::from_csv("f", "series,x,y\nA,notanumber,1\n").is_err());
+    }
+
+    #[test]
+    fn report_renders_directory() {
+        let dir = std::env::temp_dir().join(format!("rds_report_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        sample().write_csv(dir.to_str().unwrap()).unwrap();
+        std::fs::write(dir.join("broken.csv"), "garbage").unwrap();
+        let report = render_report(dir.to_str().unwrap()).unwrap();
+        assert!(report.contains("figX"));
+        assert!(report.contains("Makespan"));
+        assert!(report.contains("unparseable"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("rds_test_output");
+        let path = sample().write_csv(dir.to_str().unwrap()).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("series,x,y"));
+        std::fs::remove_file(path).unwrap();
+    }
+}

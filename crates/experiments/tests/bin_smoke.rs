@@ -1,0 +1,55 @@
+//! End-to-end smoke test of the `figures` binary: spawn the real
+//! executable at a tiny scale and check the artifacts.
+
+use std::process::Command;
+
+fn figures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+#[test]
+fn fig4_end_to_end_writes_csv_and_prints_table() {
+    let dir = std::env::temp_dir().join(format!("rds_binsmoke_{}", std::process::id()));
+    let out = figures()
+        .args([
+            "fig4", "--graphs", "2", "--tasks", "20", "--procs", "3", "--realizations", "40",
+            "--generations", "15", "--uls", "2,6", "--seed", "3", "--out",
+            dir.to_str().unwrap(),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fig4"));
+    assert!(stdout.contains("Makespan"));
+    let csv = std::fs::read_to_string(dir.join("fig4.csv")).expect("csv written");
+    assert!(csv.starts_with("series,x,y"));
+    assert!(csv.lines().count() > 4);
+
+    // The report subcommand renders the directory back.
+    let rep = figures()
+        .args(["report", "--out", dir.to_str().unwrap()])
+        .output()
+        .expect("binary runs");
+    assert!(rep.status.success());
+    assert!(String::from_utf8_lossy(&rep.stdout).contains("fig4"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_subcommand_and_bad_flags_fail_cleanly() {
+    let out = figures().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown subcommand"));
+
+    let out = figures()
+        .args(["fig4", "--graphs", "0"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("must be positive"));
+
+    let out = figures().output().expect("binary runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

@@ -1,0 +1,196 @@
+//! The chromosome encoding of §4.2.1.
+//!
+//! A chromosome is a *scheduling string* — a topological order of the task
+//! graph — plus the assignment of every task to a processor. The paper
+//! stores the assignment as `p` per-processor strings; since each
+//! processor's execution order must agree with the scheduling string, the
+//! task → processor vector is an equivalent, more compact encoding, and the
+//! per-processor strings are recovered on decode (this is exactly the
+//! "convert each parent's assignment string into a processor string"
+//! round-trip the paper itself performs inside crossover).
+
+use rand::Rng;
+
+use rds_graph::topo::random_topological_order;
+use rds_graph::{TaskGraph, TaskId};
+use rds_platform::ProcId;
+use rds_sched::instance::Instance;
+use rds_sched::schedule::Schedule;
+
+/// One GA individual.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Chromosome {
+    /// The scheduling string: a topological order of all tasks.
+    pub order: Vec<TaskId>,
+    /// The processor string: `assignment[i]` is task `i`'s processor.
+    pub assignment: Vec<ProcId>,
+}
+
+impl Chromosome {
+    /// Draws a uniformly random valid chromosome (§4.2.2: random
+    /// topological sort + random processor per task).
+    pub fn random<R: Rng + ?Sized>(graph: &TaskGraph, proc_count: usize, rng: &mut R) -> Self {
+        let order = random_topological_order(graph, rng);
+        let assignment = (0..graph.task_count())
+            .map(|_| ProcId(rng.gen_range(0..proc_count) as u32))
+            .collect();
+        Self { order, assignment }
+    }
+
+    /// Encodes an existing schedule (used to seed HEFT's solution into the
+    /// initial population). The scheduling string is a topological order of
+    /// the schedule's disjunctive graph, so per-processor orders decode
+    /// back exactly.
+    ///
+    /// # Panics
+    /// Panics if the schedule is incompatible with the graph (cyclic
+    /// disjunctive graph) — seed schedules come from validated heuristics.
+    pub fn from_schedule(graph: &TaskGraph, schedule: &Schedule) -> Self {
+        let ds = rds_sched::disjunctive::DisjunctiveGraph::build(graph, schedule)
+            .expect("seed schedule must be valid");
+        Self {
+            order: ds.topo_order().to_vec(),
+            assignment: schedule.assignment().to_vec(),
+        }
+    }
+
+    /// Decodes into a [`Schedule`]: each processor executes its tasks in
+    /// scheduling-string order.
+    ///
+    /// # Panics
+    /// Panics if the chromosome is malformed (operators preserve validity,
+    /// so this indicates a bug).
+    pub fn decode(&self, proc_count: usize) -> Schedule {
+        Schedule::from_order_and_assignment(&self.order, &self.assignment, proc_count)
+            .expect("chromosome operators preserve validity")
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` for the empty chromosome.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Structural validity: scheduling string is a topological order and
+    /// every assignment is within range.
+    pub fn is_valid(&self, graph: &TaskGraph, proc_count: usize) -> bool {
+        rds_graph::topo::is_topological_order(graph, &self.order)
+            && self.assignment.len() == graph.task_count()
+            && self.assignment.iter().all(|p| p.index() < proc_count)
+    }
+
+    /// A 64-bit structural fingerprint for the uniqueness check of §4.2.2
+    /// (identical chromosomes are discarded at population init). FNV-1a
+    /// over the order and assignment words.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: u32| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for t in &self.order {
+            eat(t.0);
+        }
+        eat(u32::MAX); // separator
+        for p in &self.assignment {
+            eat(p.0);
+        }
+        h
+    }
+
+    /// Random chromosome for an instance (convenience).
+    pub fn random_for<R: Rng + ?Sized>(inst: &Instance, rng: &mut R) -> Self {
+        Self::random(&inst.graph, inst.proc_count(), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::rng::rng_from_seed;
+
+    #[test]
+    fn random_chromosomes_are_valid() {
+        let inst = InstanceSpec::new(30, 4).seed(1).build().unwrap();
+        let mut rng = rng_from_seed(2);
+        for _ in 0..50 {
+            let c = Chromosome::random_for(&inst, &mut rng);
+            assert!(c.is_valid(&inst.graph, 4));
+            let s = c.decode(4);
+            assert!(s.validate_against(&inst.graph).is_ok());
+        }
+    }
+
+    #[test]
+    fn decode_orders_procs_by_scheduling_string() {
+        let inst = InstanceSpec::new(20, 2).seed(3).build().unwrap();
+        let mut rng = rng_from_seed(4);
+        let c = Chromosome::random_for(&inst, &mut rng);
+        let s = c.decode(2);
+        // Tasks on each processor must appear in scheduling-string order.
+        let pos: Vec<usize> = {
+            let mut v = vec![0usize; c.len()];
+            for (i, t) in c.order.iter().enumerate() {
+                v[t.index()] = i;
+            }
+            v
+        };
+        for p in 0..2u32 {
+            let tasks = s.tasks_on(ProcId(p));
+            for w in tasks.windows(2) {
+                assert!(pos[w[0].index()] < pos[w[1].index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn from_schedule_roundtrip() {
+        let inst = InstanceSpec::new(30, 3).seed(5).build().unwrap();
+        let heft = rds_heft::heft_schedule(&inst);
+        let c = Chromosome::from_schedule(&inst.graph, &heft.schedule);
+        assert!(c.is_valid(&inst.graph, 3));
+        let decoded = c.decode(3);
+        assert_eq!(decoded, heft.schedule);
+    }
+
+    #[test]
+    fn fingerprints_distinguish_chromosomes() {
+        let inst = InstanceSpec::new(25, 3).seed(6).build().unwrap();
+        let mut rng = rng_from_seed(7);
+        let a = Chromosome::random_for(&inst, &mut rng);
+        let b = Chromosome::random_for(&inst, &mut rng);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sensitive_to_assignment_only_changes() {
+        let inst = InstanceSpec::new(10, 3).seed(8).build().unwrap();
+        let mut rng = rng_from_seed(9);
+        let a = Chromosome::random_for(&inst, &mut rng);
+        let mut b = a.clone();
+        b.assignment[0] = ProcId((b.assignment[0].0 + 1) % 3);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn invalid_chromosomes_detected() {
+        let inst = InstanceSpec::new(10, 2).seed(10).build().unwrap();
+        let mut rng = rng_from_seed(11);
+        let mut c = Chromosome::random_for(&inst, &mut rng);
+        // Swap the first two entries; most likely breaks topo order on a
+        // layered DAG only if related — force invalid via out-of-range proc.
+        c.assignment[0] = ProcId(99);
+        assert!(!c.is_valid(&inst.graph, 2));
+    }
+}

@@ -1,0 +1,179 @@
+//! Topology-preserving single-point crossover (§4.2.5).
+//!
+//! **Scheduling strings.** A cut position divides both parents' scheduling
+//! strings into left and right parts. Each child keeps its own parent's
+//! left part; the right part's tasks are reordered to follow their relative
+//! positions in the *other* parent's scheduling string. This always yields
+//! a valid topological order: for any edge `(u, v)`, either both endpoints
+//! stay in the left part (parent order, valid), `u` is left and `v` right
+//! (trivially ordered), or both are right (the other parent's relative
+//! order is itself topological). The case `u` right / `v` left cannot occur
+//! because the parent's left part precedes `u` entirely.
+//!
+//! **Assignment strings.** Both parents' assignments are viewed as
+//! processor strings (task → processor); a second independent cut swaps the
+//! right halves. Per-processor orders are re-derived from each child's own
+//! scheduling string on decode, so no repair is needed.
+
+use rand::Rng;
+
+use crate::chromosome::Chromosome;
+
+/// Crosses two parents, producing two children.
+///
+/// `cut_order` and `cut_assign` are the two cut positions; use
+/// [`crossover`] to draw them uniformly.
+///
+/// # Panics
+/// Panics when parents have different lengths or a cut is out of range.
+pub fn crossover_at(
+    p1: &Chromosome,
+    p2: &Chromosome,
+    cut_order: usize,
+    cut_assign: usize,
+) -> (Chromosome, Chromosome) {
+    let n = p1.order.len();
+    assert_eq!(n, p2.order.len(), "parents must have equal length");
+    assert!(cut_order <= n, "order cut out of range");
+    assert!(cut_assign <= n, "assignment cut out of range");
+
+    let child_order = |keep: &Chromosome, donor: &Chromosome| -> Vec<rds_graph::TaskId> {
+        let mut order = Vec::with_capacity(n);
+        order.extend_from_slice(&keep.order[..cut_order]);
+        // Membership of the right part.
+        let mut in_right = vec![false; n];
+        for t in &keep.order[cut_order..] {
+            in_right[t.index()] = true;
+        }
+        // Right tasks in the donor's relative order.
+        order.extend(donor.order.iter().copied().filter(|t| in_right[t.index()]));
+        order
+    };
+
+    let child_assign = |left: &Chromosome, right: &Chromosome| -> Vec<rds_platform::ProcId> {
+        let mut a = Vec::with_capacity(n);
+        a.extend_from_slice(&left.assignment[..cut_assign]);
+        a.extend_from_slice(&right.assignment[cut_assign..]);
+        a
+    };
+
+    let c1 = Chromosome {
+        order: child_order(p1, p2),
+        assignment: child_assign(p1, p2),
+    };
+    let c2 = Chromosome {
+        order: child_order(p2, p1),
+        assignment: child_assign(p2, p1),
+    };
+    (c1, c2)
+}
+
+/// Single-point crossover with uniformly drawn cut positions.
+pub fn crossover<R: Rng + ?Sized>(
+    p1: &Chromosome,
+    p2: &Chromosome,
+    rng: &mut R,
+) -> (Chromosome, Chromosome) {
+    let n = p1.order.len();
+    if n < 2 {
+        return (p1.clone(), p2.clone());
+    }
+    // Cuts in 1..n keep both sides non-trivial for the scheduling string.
+    let cut_order = rng.gen_range(1..n);
+    let cut_assign = rng.gen_range(1..n);
+    crossover_at(p1, p2, cut_order, cut_assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_graph::is_topological_order;
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::rng::rng_from_seed;
+
+    #[test]
+    fn children_are_valid_on_random_instances() {
+        for seed in 0..5u64 {
+            let inst = InstanceSpec::new(40, 4).seed(seed).build().unwrap();
+            let mut rng = rng_from_seed(seed ^ 0xff);
+            for _ in 0..40 {
+                let p1 = Chromosome::random_for(&inst, &mut rng);
+                let p2 = Chromosome::random_for(&inst, &mut rng);
+                let (c1, c2) = crossover(&p1, &p2, &mut rng);
+                assert!(c1.is_valid(&inst.graph, 4), "seed {seed}");
+                assert!(c2.is_valid(&inst.graph, 4), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn children_mix_parent_assignments() {
+        let inst = InstanceSpec::new(20, 4).seed(9).build().unwrap();
+        let mut rng = rng_from_seed(10);
+        let p1 = Chromosome::random_for(&inst, &mut rng);
+        let p2 = Chromosome::random_for(&inst, &mut rng);
+        let cut = 10;
+        let (c1, c2) = crossover_at(&p1, &p2, 10, cut);
+        assert_eq!(&c1.assignment[..cut], &p1.assignment[..cut]);
+        assert_eq!(&c1.assignment[cut..], &p2.assignment[cut..]);
+        assert_eq!(&c2.assignment[..cut], &p2.assignment[..cut]);
+        assert_eq!(&c2.assignment[cut..], &p1.assignment[cut..]);
+    }
+
+    #[test]
+    fn left_part_of_order_is_preserved() {
+        let inst = InstanceSpec::new(20, 2).seed(11).build().unwrap();
+        let mut rng = rng_from_seed(12);
+        let p1 = Chromosome::random_for(&inst, &mut rng);
+        let p2 = Chromosome::random_for(&inst, &mut rng);
+        let (c1, c2) = crossover_at(&p1, &p2, 7, 5);
+        assert_eq!(&c1.order[..7], &p1.order[..7]);
+        assert_eq!(&c2.order[..7], &p2.order[..7]);
+        assert!(is_topological_order(&inst.graph, &c1.order));
+        assert!(is_topological_order(&inst.graph, &c2.order));
+    }
+
+    #[test]
+    fn right_part_follows_other_parents_relative_order() {
+        let inst = InstanceSpec::new(15, 2).seed(13).build().unwrap();
+        let mut rng = rng_from_seed(14);
+        let p1 = Chromosome::random_for(&inst, &mut rng);
+        let p2 = Chromosome::random_for(&inst, &mut rng);
+        let cut = 6;
+        let (c1, _) = crossover_at(&p1, &p2, cut, cut);
+        // The tasks after the cut are the same *set* as p1's right part...
+        let mut expect: Vec<u32> = p1.order[cut..].iter().map(|t| t.0).collect();
+        let got: Vec<u32> = c1.order[cut..].iter().map(|t| t.0).collect();
+        expect.sort_unstable();
+        let mut got_sorted = got.clone();
+        got_sorted.sort_unstable();
+        assert_eq!(expect, got_sorted);
+        // ...ordered by p2's positions.
+        let pos2: std::collections::HashMap<u32, usize> =
+            p2.order.iter().enumerate().map(|(i, t)| (t.0, i)).collect();
+        for w in got.windows(2) {
+            assert!(pos2[&w[0]] < pos2[&w[1]]);
+        }
+    }
+
+    #[test]
+    fn identical_parents_produce_identical_children() {
+        let inst = InstanceSpec::new(12, 3).seed(15).build().unwrap();
+        let mut rng = rng_from_seed(16);
+        let p = Chromosome::random_for(&inst, &mut rng);
+        let (c1, c2) = crossover(&p, &p, &mut rng);
+        assert_eq!(c1, p);
+        assert_eq!(c2, p);
+    }
+
+    #[test]
+    fn tiny_chromosomes_are_cloned() {
+        let inst = InstanceSpec::new(1, 2).seed(17).build().unwrap();
+        let mut rng = rng_from_seed(18);
+        let p1 = Chromosome::random_for(&inst, &mut rng);
+        let p2 = Chromosome::random_for(&inst, &mut rng);
+        let (c1, c2) = crossover(&p1, &p2, &mut rng);
+        assert_eq!(c1, p1);
+        assert_eq!(c2, p2);
+    }
+}

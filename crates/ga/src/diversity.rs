@@ -1,0 +1,172 @@
+//! Population-diversity diagnostics.
+//!
+//! §4.2.2 motivates the uniqueness filter with premature convergence
+//! ("identical chromosomes could lead to a premature convergence where all
+//! chromosomes in a population have the same fitness values"). These
+//! functions quantify that risk so engines and experiments can watch it:
+//!
+//! * [`unique_fraction`] — fraction of structurally distinct chromosomes;
+//! * [`assignment_entropy`] — mean per-task Shannon entropy of the
+//!   processor assignment across the population (bits), `0` when every
+//!   individual assigns every task identically;
+//! * [`mean_pairwise_distance`] — average normalized Hamming distance
+//!   between assignment strings.
+
+use std::collections::HashSet;
+
+use crate::chromosome::Chromosome;
+
+/// Fraction of distinct fingerprints, in `(0, 1]`.
+///
+/// # Panics
+/// Panics on an empty population.
+#[must_use]
+pub fn unique_fraction(pop: &[Chromosome]) -> f64 {
+    assert!(!pop.is_empty(), "population must be non-empty");
+    let distinct: HashSet<u64> = pop.iter().map(Chromosome::fingerprint).collect();
+    distinct.len() as f64 / pop.len() as f64
+}
+
+/// Mean per-task Shannon entropy (bits) of processor assignments.
+///
+/// # Panics
+/// Panics on an empty population or inconsistent chromosome lengths.
+#[must_use]
+pub fn assignment_entropy(pop: &[Chromosome], proc_count: usize) -> f64 {
+    assert!(!pop.is_empty(), "population must be non-empty");
+    let n = pop[0].assignment.len();
+    assert!(
+        pop.iter().all(|c| c.assignment.len() == n),
+        "chromosomes must have equal length"
+    );
+    if n == 0 {
+        return 0.0;
+    }
+    let np = pop.len() as f64;
+    let mut total = 0.0;
+    let mut counts = vec![0usize; proc_count];
+    for t in 0..n {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for c in pop {
+            counts[c.assignment[t].index()] += 1;
+        }
+        let h: f64 = counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / np;
+                -p * p.log2()
+            })
+            .sum();
+        total += h;
+    }
+    total / n as f64
+}
+
+/// Mean pairwise normalized Hamming distance between assignment strings,
+/// in `[0, 1]`. O(|pop|²·n); intended for diagnostics, not hot loops.
+///
+/// # Panics
+/// Panics on an empty population.
+#[must_use]
+pub fn mean_pairwise_distance(pop: &[Chromosome]) -> f64 {
+    assert!(!pop.is_empty(), "population must be non-empty");
+    let k = pop.len();
+    if k == 1 {
+        return 0.0;
+    }
+    let n = pop[0].assignment.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..k {
+        for j in i + 1..k {
+            let d = pop[i]
+                .assignment
+                .iter()
+                .zip(&pop[j].assignment)
+                .filter(|(a, b)| a != b)
+                .count();
+            sum += d as f64 / n as f64;
+            pairs += 1;
+        }
+    }
+    sum / pairs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::rng::rng_from_seed;
+
+    fn population(seed: u64, k: usize) -> Vec<Chromosome> {
+        let inst = InstanceSpec::new(20, 4).seed(seed).build().unwrap();
+        let mut rng = rng_from_seed(seed ^ 0x77);
+        (0..k)
+            .map(|_| Chromosome::random_for(&inst, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn identical_population_has_zero_diversity() {
+        let pop = population(1, 1);
+        let clones: Vec<Chromosome> = (0..10).map(|_| pop[0].clone()).collect();
+        assert!((unique_fraction(&clones) - 0.1).abs() < 1e-12);
+        assert_eq!(assignment_entropy(&clones, 4), 0.0);
+        assert_eq!(mean_pairwise_distance(&clones), 0.0);
+    }
+
+    #[test]
+    fn random_population_is_diverse() {
+        let pop = population(2, 16);
+        assert_eq!(unique_fraction(&pop), 1.0);
+        // Uniform over 4 procs -> per-task entropy near log2(4) = 2 bits.
+        let h = assignment_entropy(&pop, 4);
+        assert!(h > 1.0, "entropy {h}");
+        // Random pairs differ in ~3/4 of positions.
+        let d = mean_pairwise_distance(&pop);
+        assert!((0.55..0.95).contains(&d), "distance {d}");
+    }
+
+    #[test]
+    fn entropy_bounded_by_log_procs() {
+        let pop = population(3, 32);
+        let h = assignment_entropy(&pop, 4);
+        assert!(h <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn ga_population_loses_diversity_over_time() {
+        use crate::engine::GaEngine;
+        use crate::objective::Objective;
+        use crate::params::GaParams;
+        let inst = InstanceSpec::new(20, 4).seed(4).build().unwrap();
+        let early = GaEngine::new(
+            &inst,
+            GaParams::quick().seed(5).max_generations(1).stall_generations(1),
+            Objective::MinimizeMakespan,
+        )
+        .run();
+        let late = GaEngine::new(
+            &inst,
+            GaParams::quick().seed(5).max_generations(80).stall_generations(80),
+            Objective::MinimizeMakespan,
+        )
+        .run();
+        let h_early = assignment_entropy(&early.final_population, 4);
+        let h_late = assignment_entropy(&late.final_population, 4);
+        assert!(
+            h_late < h_early,
+            "selection should reduce entropy: {h_early} -> {h_late}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_rejected() {
+        let _ = unique_fraction(&[]);
+    }
+}

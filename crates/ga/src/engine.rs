@@ -1,0 +1,483 @@
+//! The GA loop (§4.2).
+//!
+//! Structure per generation: evaluate → (record) → systematic binary
+//! tournament → paired single-point crossover with probability `pc` →
+//! mutation with probability `pm` → elitism (the new population's worst is
+//! replaced by the previous population's best). Evolution stops at
+//! `max_generations` or when the best solution has not improved for
+//! `stall_generations` (paper: 1000 / 100).
+//!
+//! The initial population consists of unique random chromosomes plus —
+//! §4.2.2 — the HEFT solution.
+
+use rand::Rng;
+use std::collections::HashSet;
+
+use rds_sched::instance::Instance;
+use rds_stats::rng::rng_from_seed;
+
+use crate::chromosome::Chromosome;
+use crate::crossover::crossover;
+use crate::mutation::mutate;
+use crate::objective::{evaluate, Evaluation, Objective};
+use crate::params::GaParams;
+use crate::selection::binary_tournament;
+
+/// Per-generation record used by the figure generators.
+#[derive(Debug, Clone)]
+pub struct GenerationStats {
+    /// Generation index (0 = initial population).
+    pub generation: usize,
+    /// Expected makespan of the generation's best individual.
+    pub best_makespan: f64,
+    /// Average slack of the generation's best individual.
+    pub best_slack: f64,
+    /// Whether the best individual satisfies the ε-constraint (always
+    /// `true` for unconstrained objectives).
+    pub best_feasible: bool,
+    /// The generation's best chromosome (for post-hoc Monte Carlo
+    /// evaluation along the evolution, Figs. 2–3).
+    pub best_chromosome: Chromosome,
+}
+
+/// Result of a GA run.
+#[derive(Debug, Clone)]
+pub struct GaResult {
+    /// Best chromosome found across the whole run.
+    pub best: Chromosome,
+    /// Its evaluation.
+    pub best_eval: Evaluation,
+    /// Whether the best chromosome satisfies the objective's constraint.
+    pub best_feasible: bool,
+    /// Number of generations executed (excluding the initial population).
+    pub generations: usize,
+    /// Per-generation history (entry 0 is the initial population).
+    pub history: Vec<GenerationStats>,
+    /// The final population (used by the island model to continue
+    /// evolution across migration epochs).
+    pub final_population: Vec<Chromosome>,
+}
+
+impl GaResult {
+    /// Decodes the best chromosome into a schedule.
+    #[must_use]
+    pub fn best_schedule(&self, inst: &Instance) -> rds_sched::schedule::Schedule {
+        self.best.decode(inst.proc_count())
+    }
+}
+
+/// Population-independent quality used for best-so-far tracking and stall
+/// detection: feasibility dominates, then the objective's own scalar.
+fn quality(obj: &Objective, e: &Evaluation) -> (bool, f64) {
+    let feasible = obj.is_feasible(e);
+    let value = match obj {
+        Objective::MinimizeMakespan => -e.makespan,
+        Objective::MaximizeSlack => e.avg_slack,
+        Objective::EpsilonConstraint { .. } | Objective::EpsilonConstraintRejecting { .. } => {
+            if feasible {
+                e.avg_slack
+            } else {
+                // Less infeasible is better.
+                -e.makespan
+            }
+        }
+        Objective::WeightedSum { weight } => {
+            (1.0 - weight) * e.avg_slack - weight * e.makespan
+        }
+    };
+    (feasible, value)
+}
+
+fn better(a: (bool, f64), b: (bool, f64)) -> bool {
+    a.0 & !b.0 || (a.0 == b.0 && a.1 > b.1)
+}
+
+/// The GA engine. Construct, then [`GaEngine::run`].
+///
+/// ```
+/// use rds_ga::{GaEngine, GaParams, Objective};
+/// use rds_sched::InstanceSpec;
+///
+/// let inst = InstanceSpec::new(20, 3).seed(5).build()?;
+/// let heft = rds_heft::heft_schedule(&inst);
+/// // Eq. 7: maximize average slack subject to M0 <= 1.3 x M_HEFT.
+/// let objective = Objective::EpsilonConstraint {
+///     epsilon: 1.3,
+///     reference_makespan: heft.makespan,
+/// };
+/// let result = GaEngine::new(&inst, GaParams::quick().seed(1), objective).run();
+/// assert!(result.best_feasible);
+/// assert!(result.best_eval.makespan <= 1.3 * heft.makespan);
+/// # Ok::<(), String>(())
+/// ```
+pub struct GaEngine<'a> {
+    inst: &'a Instance,
+    params: GaParams,
+    objective: Objective,
+    initial: Option<Vec<Chromosome>>,
+}
+
+impl<'a> GaEngine<'a> {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    /// Panics when `params` fail validation.
+    pub fn new(inst: &'a Instance, params: GaParams, objective: Objective) -> Self {
+        params.validate().expect("invalid GA parameters");
+        Self {
+            inst,
+            params,
+            objective,
+            initial: None,
+        }
+    }
+
+    /// Supplies an explicit initial population (the island model resumes
+    /// evolution this way). Must contain exactly `params.population`
+    /// chromosomes; bypasses the HEFT seed and the uniqueness filter.
+    ///
+    /// # Panics
+    /// Panics when the size disagrees with `params.population`.
+    #[must_use]
+    pub fn with_initial_population(mut self, pop: Vec<Chromosome>) -> Self {
+        assert_eq!(
+            pop.len(),
+            self.params.population,
+            "initial population must match the configured size"
+        );
+        self.initial = Some(pop);
+        self
+    }
+
+    /// Builds the initial population: the HEFT seed (if enabled) plus
+    /// unique random chromosomes (§4.2.2 discards duplicates).
+    fn initial_population<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<Chromosome> {
+        let np = self.params.population;
+        let mut pop: Vec<Chromosome> = Vec::with_capacity(np);
+        let mut seen: HashSet<u64> = HashSet::with_capacity(np * 2);
+        if self.params.seed_heft {
+            let heft = rds_heft::heft_schedule(self.inst);
+            let c = Chromosome::from_schedule(&self.inst.graph, &heft.schedule);
+            seen.insert(c.fingerprint());
+            pop.push(c);
+        }
+        // Uniqueness with a bounded retry budget; tiny instances may not
+        // have Np distinct chromosomes, in which case duplicates are
+        // admitted after the budget is spent.
+        let mut attempts = 0usize;
+        let budget = np * 200;
+        while pop.len() < np {
+            let c = Chromosome::random_for(self.inst, rng);
+            attempts += 1;
+            if seen.insert(c.fingerprint()) || attempts > budget {
+                pop.push(c);
+            }
+        }
+        pop
+    }
+
+    /// Runs the GA to completion.
+    pub fn run(&self) -> GaResult {
+        let mut rng = rng_from_seed(self.params.seed);
+        let np = self.params.population;
+
+        let mut pop = match &self.initial {
+            Some(p) => p.clone(),
+            None => self.initial_population(&mut rng),
+        };
+        let mut evals: Vec<Evaluation> = pop.iter().map(|c| evaluate(self.inst, c)).collect();
+
+        let gen_best = |pop: &[Chromosome], evals: &[Evaluation]| -> usize {
+            let mut bi = 0;
+            for i in 1..pop.len() {
+                if better(
+                    quality(&self.objective, &evals[i]),
+                    quality(&self.objective, &evals[bi]),
+                ) {
+                    bi = i;
+                }
+            }
+            bi
+        };
+
+        let mut history: Vec<GenerationStats> = Vec::with_capacity(self.params.max_generations + 1);
+        let record =
+            |gen: usize, pop: &[Chromosome], evals: &[Evaluation], hist: &mut Vec<GenerationStats>| {
+                let bi = gen_best(pop, evals);
+                hist.push(GenerationStats {
+                    generation: gen,
+                    best_makespan: evals[bi].makespan,
+                    best_slack: evals[bi].avg_slack,
+                    best_feasible: self.objective.is_feasible(&evals[bi]),
+                    best_chromosome: pop[bi].clone(),
+                });
+            };
+        record(0, &pop, &evals, &mut history);
+
+        let mut best_idx = gen_best(&pop, &evals);
+        let mut best = pop[best_idx].clone();
+        let mut best_eval = evals[best_idx];
+        let mut best_q = quality(&self.objective, &best_eval);
+
+        let mut stall = 0usize;
+        let mut generations = 0usize;
+
+        for gen in 1..=self.params.max_generations {
+            generations = gen;
+            let fitness = self.objective.fitness(&evals);
+
+            // Previous best (for elitism), by population-based fitness as
+            // the paper specifies.
+            let prev_best_idx = fitness
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(i, _)| i)
+                .expect("non-empty population");
+            let elite = pop[prev_best_idx].clone();
+            let elite_eval = evals[prev_best_idx];
+
+            // Selection.
+            let winners = binary_tournament(&fitness, &mut rng);
+            let mut next: Vec<Chromosome> =
+                winners.iter().map(|&i| pop[i].clone()).collect();
+
+            // Crossover over consecutive pairs with probability pc.
+            for pair in 0..np / 2 {
+                let (a, b) = (2 * pair, 2 * pair + 1);
+                if rng.gen_bool(self.params.crossover_prob) {
+                    let (c1, c2) = crossover(&next[a], &next[b], &mut rng);
+                    next[a] = c1;
+                    next[b] = c2;
+                }
+            }
+
+            // Mutation with probability pm per individual.
+            for c in &mut next {
+                if rng.gen_bool(self.params.mutation_prob) {
+                    mutate(c, &self.inst.graph, self.inst.proc_count(), &mut rng);
+                }
+            }
+
+            // Evaluate and apply elitism: replace the worst of the new
+            // population with the previous best.
+            let mut next_evals: Vec<Evaluation> =
+                next.iter().map(|c| evaluate(self.inst, c)).collect();
+            let next_fitness = self.objective.fitness(&next_evals);
+            let worst_idx = next_fitness
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.total_cmp(b))
+                .map(|(i, _)| i)
+                .expect("non-empty population");
+            next[worst_idx] = elite;
+            next_evals[worst_idx] = elite_eval;
+
+            pop = next;
+            evals = next_evals;
+            record(gen, &pop, &evals, &mut history);
+
+            // Best-so-far and stall tracking.
+            let bi = gen_best(&pop, &evals);
+            let q = quality(&self.objective, &evals[bi]);
+            if better(q, best_q) {
+                best_q = q;
+                best_idx = bi;
+                best = pop[bi].clone();
+                best_eval = evals[bi];
+                stall = 0;
+            } else {
+                stall += 1;
+            }
+            let _ = best_idx;
+            if stall >= self.params.stall_generations {
+                break;
+            }
+        }
+
+        GaResult {
+            best_feasible: best_q.0,
+            best,
+            best_eval,
+            generations,
+            history,
+            final_population: pop,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+
+    fn quick_inst(seed: u64) -> Instance {
+        InstanceSpec::new(30, 3).seed(seed).build().unwrap()
+    }
+
+    #[test]
+    fn run_is_deterministic_per_seed() {
+        let inst = quick_inst(1);
+        let params = GaParams::quick().seed(42).max_generations(20);
+        let a = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        let b = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.generations, b.generations);
+        assert_eq!(a.best_eval.makespan, b.best_eval.makespan);
+    }
+
+    #[test]
+    fn minimize_makespan_improves_over_initial() {
+        let inst = quick_inst(2);
+        let params = GaParams::quick().seed(7);
+        let r = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        let initial_best = r.history[0].best_makespan;
+        assert!(
+            r.best_eval.makespan <= initial_best + 1e-9,
+            "GA must not regress: {} > {}",
+            r.best_eval.makespan,
+            initial_best
+        );
+        // Best chromosome decodes to a valid schedule.
+        let s = r.best_schedule(&inst);
+        assert!(s.validate_against(&inst.graph).is_ok());
+    }
+
+    #[test]
+    fn maximize_slack_improves_slack_and_costs_makespan() {
+        let inst = quick_inst(3);
+        let params = GaParams::quick().seed(9).max_generations(80);
+        let slack_run = GaEngine::new(&inst, params, Objective::MaximizeSlack).run();
+        let mk_run = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        assert!(
+            slack_run.best_eval.avg_slack > mk_run.best_eval.avg_slack,
+            "slack objective should find slackier schedules ({} vs {})",
+            slack_run.best_eval.avg_slack,
+            mk_run.best_eval.avg_slack
+        );
+        assert!(
+            slack_run.best_eval.makespan >= mk_run.best_eval.makespan,
+            "conflict: slack-optimal should not also be makespan-optimal"
+        );
+    }
+
+    #[test]
+    fn heft_seed_guarantees_quality_floor() {
+        // With elitism and the HEFT seed, the best makespan can never be
+        // worse than HEFT's.
+        let inst = quick_inst(4);
+        let heft = rds_heft::heft_schedule(&inst);
+        let params = GaParams::quick().seed(11).max_generations(15);
+        let r = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        assert!(r.best_eval.makespan <= heft.makespan + 1e-9);
+    }
+
+    #[test]
+    fn epsilon_constraint_respected_by_best() {
+        let inst = quick_inst(5);
+        let heft = rds_heft::heft_schedule(&inst);
+        let obj = Objective::EpsilonConstraint {
+            epsilon: 1.3,
+            reference_makespan: heft.makespan,
+        };
+        let params = GaParams::quick().seed(13).max_generations(60);
+        let r = GaEngine::new(&inst, params, obj).run();
+        assert!(r.best_feasible, "HEFT seed guarantees one feasible point");
+        assert!(r.best_eval.makespan < 1.3 * heft.makespan);
+        // And the slack should beat HEFT's own slack (that is the point).
+        let heft_eval = evaluate(
+            &inst,
+            &Chromosome::from_schedule(&inst.graph, &heft.schedule),
+        );
+        assert!(
+            r.best_eval.avg_slack >= heft_eval.avg_slack - 1e-9,
+            "{} < {}",
+            r.best_eval.avg_slack,
+            heft_eval.avg_slack
+        );
+    }
+
+    #[test]
+    fn stall_terminates_early() {
+        let inst = quick_inst(6);
+        let params = GaParams::quick()
+            .seed(17)
+            .max_generations(1000)
+            .stall_generations(5);
+        let r = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        assert!(r.generations < 1000, "stall should stop the run");
+        assert_eq!(r.history.len(), r.generations + 1);
+    }
+
+    #[test]
+    fn history_is_complete_and_monotone_for_elitist_quality() {
+        let inst = quick_inst(7);
+        let params = GaParams::quick().seed(19).max_generations(30);
+        let r = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        assert_eq!(r.history[0].generation, 0);
+        // Elitism ⇒ per-generation best makespan is non-increasing.
+        for w in r.history.windows(2) {
+            assert!(
+                w[1].best_makespan <= w[0].best_makespan + 1e-9,
+                "gen {} regressed",
+                w[1].generation
+            );
+        }
+    }
+
+    #[test]
+    fn population_size_is_constant() {
+        let inst = quick_inst(8);
+        let engine = GaEngine::new(&inst, GaParams::quick().seed(21), Objective::MaximizeSlack);
+        let mut rng = rng_from_seed(21);
+        let pop = engine.initial_population(&mut rng);
+        assert_eq!(pop.len(), GaParams::quick().population);
+        // All unique.
+        let fps: HashSet<u64> = pop.iter().map(Chromosome::fingerprint).collect();
+        assert_eq!(fps.len(), pop.len());
+    }
+
+    #[test]
+    fn final_population_has_configured_size_and_contains_best() {
+        let inst = quick_inst(10);
+        let params = GaParams::quick().seed(25).max_generations(15);
+        let r = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        assert_eq!(r.final_population.len(), params.population);
+        // Elitism keeps the best in the final population.
+        assert!(
+            r.final_population.contains(&r.best),
+            "best chromosome must survive to the end"
+        );
+    }
+
+    #[test]
+    fn initial_population_continuation_is_seamless() {
+        let inst = quick_inst(11);
+        let params = GaParams::quick().seed(27).max_generations(10).stall_generations(10);
+        let first = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        // Continue from where the first run stopped.
+        let second = GaEngine::new(&inst, params.seed(28), Objective::MinimizeMakespan)
+            .with_initial_population(first.final_population.clone())
+            .run();
+        // Continuation cannot regress below the carried-over population's
+        // best (elitism).
+        assert!(second.best_eval.makespan <= first.best_eval.makespan + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn wrong_initial_population_size_rejected() {
+        let inst = quick_inst(12);
+        let params = GaParams::quick().seed(1);
+        let _ = GaEngine::new(&inst, params, Objective::MinimizeMakespan)
+            .with_initial_population(vec![]);
+    }
+
+    #[test]
+    fn without_heft_seed_still_runs() {
+        let inst = quick_inst(9);
+        let params = GaParams::quick().seed(23).without_heft_seed().max_generations(10);
+        let r = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        assert!(r.best_eval.makespan > 0.0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Island-model parallel GA.
+//!
+//! The classic coarse-grained parallelization of a GA: `k` independent
+//! populations ("islands") evolve concurrently; every `migration_interval`
+//! generations, each island's best individuals replace the worst of the
+//! next island on a ring. Islands explore different basins; migration
+//! propagates the winners — typically better diversity *and* wall-clock
+//! than one k-times-larger population.
+//!
+//! Islands run in parallel with rayon; every island's stream is derived
+//! deterministically from `(seed, island, epoch)`, so results are
+//! bit-identical regardless of thread count.
+
+use rayon::prelude::*;
+
+use rds_sched::instance::Instance;
+use rds_stats::rng::SeedStream;
+
+use crate::chromosome::Chromosome;
+use crate::engine::{GaEngine, GaResult};
+use crate::objective::{evaluate, Evaluation, Objective};
+use crate::params::GaParams;
+
+/// Island-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IslandParams {
+    /// Per-island GA parameters (`population` is per island;
+    /// `max_generations` is the *total* generation budget).
+    pub base: GaParams,
+    /// Number of islands.
+    pub islands: usize,
+    /// Generations between migrations.
+    pub migration_interval: usize,
+    /// Individuals migrating along the ring per epoch.
+    pub migrants: usize,
+}
+
+impl IslandParams {
+    /// Defaults: 4 islands, paper GA knobs per island, migrate 2 every 25
+    /// generations.
+    #[must_use]
+    pub fn new(base: GaParams) -> Self {
+        Self {
+            base,
+            islands: 4,
+            migration_interval: 25,
+            migrants: 2,
+        }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        self.base.validate()?;
+        if self.islands == 0 {
+            return Err("need at least one island".into());
+        }
+        if self.migration_interval == 0 {
+            return Err("migration_interval must be positive".into());
+        }
+        if self.migrants >= self.base.population {
+            return Err("migrants must be fewer than the island population".into());
+        }
+        Ok(())
+    }
+}
+
+/// Result of an island run: the globally best individual plus per-island
+/// bests.
+#[derive(Debug, Clone)]
+pub struct IslandResult {
+    /// Best chromosome across all islands.
+    pub best: Chromosome,
+    /// Its evaluation.
+    pub best_eval: Evaluation,
+    /// Best evaluation per island (diagnostics).
+    pub island_bests: Vec<Evaluation>,
+    /// Epochs executed.
+    pub epochs: usize,
+}
+
+/// Runs the island-model GA.
+///
+/// # Panics
+/// Panics when the parameters fail validation.
+#[allow(clippy::needless_range_loop)] // ring migration indexes two vectors in lockstep
+pub fn run_islands(inst: &Instance, params: IslandParams, objective: Objective) -> IslandResult {
+    params.validate().expect("invalid island parameters");
+    let seeds = SeedStream::new(params.base.seed);
+    let epochs = params.base.max_generations.div_ceil(params.migration_interval);
+    let k = params.islands;
+
+    // Initialize island populations: island 0 gets the HEFT seed (when
+    // enabled), the rest start fully random for diversity.
+    let mut populations: Vec<Vec<Chromosome>> = (0..k)
+        .into_par_iter()
+        .map(|i| {
+            let p = params
+                .base
+                .seed(seeds.branch("init").nth_seed(i as u64))
+                .max_generations(1)
+                .stall_generations(1);
+            let p = if i == 0 { p } else { p.without_heft_seed() };
+            // One throwaway generation builds a valid initial population.
+            GaEngine::new(inst, p, objective).run().final_population
+        })
+        .collect();
+
+    let mut epoch_results: Vec<GaResult> = Vec::new();
+    for epoch in 0..epochs {
+        // Evolve each island for one interval, in parallel.
+        let results: Vec<GaResult> = populations
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, pop)| {
+                let p = params
+                    .base
+                    .seed(seeds.branch("epoch").nth_seed((epoch * k + i) as u64))
+                    .max_generations(params.migration_interval)
+                    .stall_generations(params.migration_interval); // no early stop mid-epoch
+                GaEngine::new(inst, p, objective)
+                    .with_initial_population(pop)
+                    .run()
+            })
+            .collect();
+
+        // Ring migration: island i's best `migrants` replace island
+        // (i+1)'s worst.
+        let mut next: Vec<Vec<Chromosome>> =
+            results.iter().map(|r| r.final_population.clone()).collect();
+        for i in 0..k {
+            let dst = (i + 1) % k;
+            if k == 1 {
+                break;
+            }
+            // Rank source by fitness (population-based; evaluate fresh).
+            let src_evals: Vec<Evaluation> =
+                results[i].final_population.iter().map(|c| evaluate(inst, c)).collect();
+            let src_fit = objective.fitness(&src_evals);
+            let mut src_order: Vec<usize> = (0..src_fit.len()).collect();
+            src_order.sort_by(|&a, &b| src_fit[b].total_cmp(&src_fit[a]));
+
+            let dst_evals: Vec<Evaluation> =
+                next[dst].iter().map(|c| evaluate(inst, c)).collect();
+            let dst_fit = objective.fitness(&dst_evals);
+            let mut dst_order: Vec<usize> = (0..dst_fit.len()).collect();
+            dst_order.sort_by(|&a, &b| dst_fit[a].total_cmp(&dst_fit[b])); // worst first
+
+            for mi in 0..params.migrants {
+                let donor = results[i].final_population[src_order[mi]].clone();
+                next[dst][dst_order[mi]] = donor;
+            }
+        }
+        populations = next;
+        epoch_results = results;
+    }
+
+    // Global best across the last epoch's engine results (each tracks its
+    // own best-so-far; migration means earlier bests survive via elitism).
+    let island_bests: Vec<Evaluation> = epoch_results.iter().map(|r| r.best_eval).collect();
+    let best_idx = epoch_results
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| {
+            let fa = objective.fitness(std::slice::from_ref(&a.best_eval))[0];
+            let fb = objective.fitness(std::slice::from_ref(&b.best_eval))[0];
+            fa.total_cmp(&fb)
+        })
+        .map(|(i, _)| i)
+        .expect("at least one island");
+    IslandResult {
+        best: epoch_results[best_idx].best.clone(),
+        best_eval: epoch_results[best_idx].best_eval,
+        island_bests,
+        epochs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+
+    fn inst(seed: u64) -> Instance {
+        InstanceSpec::new(30, 3).seed(seed).build().unwrap()
+    }
+
+    fn quick_params(seed: u64) -> IslandParams {
+        let mut p = IslandParams::new(
+            GaParams::quick().seed(seed).max_generations(40).population(10),
+        );
+        p.islands = 3;
+        p.migration_interval = 10;
+        p.migrants = 2;
+        p
+    }
+
+    #[test]
+    fn islands_are_deterministic() {
+        let i = inst(1);
+        let a = run_islands(&i, quick_params(5), Objective::MinimizeMakespan);
+        let b = run_islands(&i, quick_params(5), Objective::MinimizeMakespan);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_eval.makespan, b.best_eval.makespan);
+        assert_eq!(a.epochs, 4);
+    }
+
+    #[test]
+    fn islands_beat_or_match_heft_with_seeded_island() {
+        let i = inst(2);
+        let heft = rds_heft::heft_schedule(&i);
+        let r = run_islands(&i, quick_params(7), Objective::MinimizeMakespan);
+        assert!(r.best_eval.makespan <= heft.makespan + 1e-9);
+        assert!(r.best.is_valid(&i.graph, 3));
+        assert_eq!(r.island_bests.len(), 3);
+    }
+
+    #[test]
+    fn epsilon_objective_respected() {
+        let i = inst(3);
+        let heft = rds_heft::heft_schedule(&i);
+        let obj = Objective::EpsilonConstraint {
+            epsilon: 1.4,
+            reference_makespan: heft.makespan,
+        };
+        let r = run_islands(&i, quick_params(9), obj);
+        assert!(r.best_eval.makespan <= 1.4 * heft.makespan + 1e-9);
+    }
+
+    #[test]
+    fn single_island_works() {
+        let i = inst(4);
+        let mut p = quick_params(11);
+        p.islands = 1;
+        let r = run_islands(&i, p, Objective::MaximizeSlack);
+        assert!(r.best_eval.avg_slack >= 0.0);
+        assert_eq!(r.island_bests.len(), 1);
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let base = GaParams::quick();
+        let mut p = IslandParams::new(base);
+        p.islands = 0;
+        assert!(p.validate().is_err());
+        let mut p = IslandParams::new(base);
+        p.migration_interval = 0;
+        assert!(p.validate().is_err());
+        let mut p = IslandParams::new(base);
+        p.migrants = base.population;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! The bi-objective genetic algorithm of §4.2.
+//!
+//! * [`chromosome`] — the encoding: a *scheduling string* (topological
+//!   order) plus per-processor *assignment strings* (stored compactly as a
+//!   task → processor vector; the per-processor orders are recovered from
+//!   the scheduling string, exactly the decoding of §4.2.1).
+//! * [`objective`] — the three objective functions used by the paper's
+//!   experiments: minimize makespan (Fig. 2), maximize slack (Fig. 3), and
+//!   the ε-constraint fitness of Eq. 8 (Figs. 4–8) with its
+//!   population-based penalty for infeasible individuals.
+//! * [`selection`] — systematic binary tournament (§4.2.4: every individual
+//!   participates in exactly two tournaments).
+//! * [`crossover`] — topology-preserving single-point crossover of both
+//!   strings (§4.2.5).
+//! * [`mutation`] — precedence-window task repositioning plus processor
+//!   reassignment (§4.2.6).
+//! * [`engine`] — the GA loop: HEFT-seeded unique initial population,
+//!   selection → crossover → mutation, elitism, and the paper's stopping
+//!   rule (1000 generations or 100 without improvement), with a
+//!   per-generation history used by the figure generators.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod chromosome;
+pub mod crossover;
+pub mod diversity;
+pub mod engine;
+pub mod islands;
+pub mod mutation;
+pub mod nsga2;
+pub mod objective;
+pub mod params;
+pub mod robust_engine;
+pub mod selection;
+
+pub use chromosome::Chromosome;
+pub use engine::{GaEngine, GaResult, GenerationStats};
+pub use objective::{Evaluation, Objective};
+pub use params::GaParams;

@@ -1,0 +1,169 @@
+//! Precedence-window mutation (§4.2.6).
+//!
+//! A task `v` is drawn uniformly from the scheduling string and moved to a
+//! uniformly drawn position inside its *valid range* — strictly after the
+//! last of its immediate predecessors and strictly before the first of its
+//! immediate successors in the current string. Any position in that window
+//! keeps the string a valid topological order. The task is then assigned a
+//! uniformly drawn (possibly different) processor; its position inside the
+//! new processor's order is implied by the scheduling string, which is
+//! exactly the paper's "keeping the relative order of all the tasks
+//! assigned on that processor according to the scheduling string".
+
+use rand::Rng;
+
+use rds_graph::{TaskGraph, TaskId};
+use rds_platform::ProcId;
+
+use crate::chromosome::Chromosome;
+
+/// Mutates `c` in place.
+pub fn mutate<R: Rng + ?Sized>(
+    c: &mut Chromosome,
+    graph: &TaskGraph,
+    proc_count: usize,
+    rng: &mut R,
+) {
+    let n = c.order.len();
+    if n == 0 {
+        return;
+    }
+    let v = c.order[rng.gen_range(0..n)];
+    reposition_in_window(c, graph, v, rng);
+    // New processor, drawn uniformly (may equal the old one).
+    c.assignment[v.index()] = ProcId(rng.gen_range(0..proc_count) as u32);
+}
+
+/// Moves `v` to a uniform position within its precedence window.
+fn reposition_in_window<R: Rng + ?Sized>(
+    c: &mut Chromosome,
+    graph: &TaskGraph,
+    v: TaskId,
+    rng: &mut R,
+) {
+    let n = c.order.len();
+    let mut pos = vec![usize::MAX; n];
+    for (i, t) in c.order.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    let cur = pos[v.index()];
+
+    // Window bounds in the *current* string.
+    let lo = graph
+        .predecessors(v)
+        .iter()
+        .map(|e| pos[e.task.index()])
+        .max()
+        .map_or(0, |p| p + 1); // first legal index
+    let hi = graph
+        .successors(v)
+        .iter()
+        .map(|e| pos[e.task.index()])
+        .min()
+        .map_or(n, |p| p); // one past the last legal index (exclusive)
+    debug_assert!(lo <= cur && cur < hi, "current position must be legal");
+
+    // Choose the target slot among the window's positions.
+    let target = rng.gen_range(lo..hi);
+    if target == cur {
+        return;
+    }
+    // Rotate v into place, shifting the in-between tasks by one.
+    if target < cur {
+        c.order[target..=cur].rotate_right(1);
+    } else {
+        c.order[cur..=target].rotate_left(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_graph::is_topological_order;
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::rng::rng_from_seed;
+
+    #[test]
+    fn mutation_preserves_validity() {
+        for seed in 0..5u64 {
+            let inst = InstanceSpec::new(40, 4).seed(seed).build().unwrap();
+            let mut rng = rng_from_seed(seed ^ 0x55);
+            let mut c = Chromosome::random_for(&inst, &mut rng);
+            for _ in 0..200 {
+                mutate(&mut c, &inst.graph, 4, &mut rng);
+                assert!(c.is_valid(&inst.graph, 4), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_changes_chromosomes_eventually() {
+        let inst = InstanceSpec::new(30, 4).seed(7).build().unwrap();
+        let mut rng = rng_from_seed(8);
+        let c0 = Chromosome::random_for(&inst, &mut rng);
+        let mut c = c0.clone();
+        let mut changed = false;
+        for _ in 0..20 {
+            mutate(&mut c, &inst.graph, 4, &mut rng);
+            if c != c0 {
+                changed = true;
+                break;
+            }
+        }
+        assert!(changed, "20 mutations should alter the chromosome");
+    }
+
+    #[test]
+    fn chain_graph_pins_positions() {
+        // In a pure chain every task's window is exactly its own position:
+        // only the processor can change.
+        use rds_graph::gen::workflows::chain;
+        use rds_graph::TaskGraphBuilder;
+        let _ = TaskGraphBuilder::with_tasks(0); // silence unused import lint paths
+        let g = chain(10, 1.0);
+        let order: Vec<TaskId> = (0..10u32).map(TaskId).collect();
+        let mut c = Chromosome {
+            order: order.clone(),
+            assignment: vec![ProcId(0); 10],
+        };
+        let mut rng = rng_from_seed(9);
+        for _ in 0..50 {
+            mutate(&mut c, &g, 3, &mut rng);
+            assert_eq!(c.order, order, "chain order is rigid");
+        }
+        // But processors do get reassigned.
+        assert!(c.assignment.iter().any(|p| p.index() != 0));
+    }
+
+    #[test]
+    fn independent_tasks_can_move_anywhere() {
+        // No edges: all n! orders are legal; mutation should move tasks.
+        use rds_graph::TaskGraphBuilder;
+        let g = TaskGraphBuilder::with_tasks(6).build().unwrap();
+        let mut c = Chromosome {
+            order: (0..6u32).map(TaskId).collect(),
+            assignment: vec![ProcId(0); 6],
+        };
+        let mut rng = rng_from_seed(10);
+        let mut seen_orders = std::collections::HashSet::new();
+        for _ in 0..100 {
+            mutate(&mut c, &g, 1, &mut rng);
+            assert!(is_topological_order(&g, &c.order));
+            seen_orders.insert(c.order.clone());
+        }
+        assert!(seen_orders.len() > 10, "mutation should explore orders");
+    }
+
+    #[test]
+    fn empty_chromosome_is_untouched() {
+        use rds_graph::TaskGraphBuilder;
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        let mut c = Chromosome {
+            order: vec![],
+            assignment: vec![],
+        };
+        let mut rng = rng_from_seed(11);
+        mutate(&mut c, &g, 2, &mut rng);
+        assert!(c.is_empty());
+    }
+}

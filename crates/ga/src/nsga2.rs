@@ -1,0 +1,354 @@
+//! NSGA-II: a true multi-objective GA over (makespan ↓, slack ↑).
+//!
+//! The paper solves its bi-objective problem with the classical
+//! ε-constraint scalarization (one GA run per ε). The evolutionary
+//! alternative from the same literature (Deb, cited as \[10\]) approximates
+//! the whole Pareto front in a *single* run: rank individuals by fast
+//! non-dominated sorting, break ties by crowding distance, and select/vary
+//! as usual. This module provides that alternative for the
+//! `bench_moop_methods` ablation and the `pareto_front` example — same
+//! chromosome encoding and variation operators as the paper's GA, only the
+//! selection pressure differs.
+
+use rand::Rng;
+
+use rds_sched::instance::Instance;
+use rds_stats::rng::rng_from_seed;
+
+use crate::chromosome::Chromosome;
+use crate::crossover::crossover;
+use crate::mutation::mutate;
+use crate::objective::{evaluate, Evaluation};
+use crate::params::GaParams;
+
+/// `true` when `a` Pareto-dominates `b` in (makespan ↓, slack ↑).
+#[must_use]
+pub fn dominates(a: &Evaluation, b: &Evaluation) -> bool {
+    let no_worse = a.makespan <= b.makespan && a.avg_slack >= b.avg_slack;
+    let better = a.makespan < b.makespan || a.avg_slack > b.avg_slack;
+    no_worse && better
+}
+
+/// Fast non-dominated sorting: returns the front index (0 = best) of every
+/// individual (Deb et al. 2002, O(M·N²)).
+#[must_use]
+pub fn non_dominated_sort(evals: &[Evaluation]) -> Vec<usize> {
+    let n = evals.len();
+    let mut dominated_by: Vec<usize> = vec![0; n]; // how many dominate i
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if dominates(&evals[i], &evals[j]) {
+                dominates_list[i].push(j);
+            } else if dominates(&evals[j], &evals[i]) {
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut front = vec![usize::MAX; n];
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut rank = 0;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            front[i] = rank;
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        rank += 1;
+    }
+    front
+}
+
+/// Crowding distances within one front (Deb et al. 2002): boundary points
+/// get `+∞`; interior points the normalized side lengths of their
+/// enclosing cuboid.
+#[must_use]
+pub fn crowding_distance(evals: &[Evaluation], members: &[usize]) -> Vec<f64> {
+    let m = members.len();
+    let mut dist = vec![0.0_f64; m];
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    // Objective extractors: makespan and slack.
+    for get in [
+        (|e: &Evaluation| e.makespan) as fn(&Evaluation) -> f64,
+        |e: &Evaluation| e.avg_slack,
+    ] {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| get(&evals[members[a]]).total_cmp(&get(&evals[members[b]])));
+        let lo = get(&evals[members[order[0]]]);
+        let hi = get(&evals[members[order[m - 1]]]);
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..m - 1 {
+            let prev = get(&evals[members[order[w - 1]]]);
+            let next = get(&evals[members[order[w + 1]]]);
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+/// One point of the final front.
+#[derive(Debug, Clone)]
+pub struct FrontPoint {
+    /// The chromosome.
+    pub chromosome: Chromosome,
+    /// Its evaluation.
+    pub eval: Evaluation,
+}
+
+/// Result of an NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct Nsga2Result {
+    /// The non-dominated set of the final population, sorted by makespan.
+    pub front: Vec<FrontPoint>,
+    /// Generations executed.
+    pub generations: usize,
+}
+
+/// Runs NSGA-II. Reuses [`GaParams`] (population, pc, pm, max
+/// generations — the stall rule does not apply; front-quality stalls are
+/// ill-defined, so the run always uses `max_generations`).
+///
+/// # Panics
+/// Panics when `params` fail validation.
+pub fn nsga2(inst: &Instance, params: GaParams) -> Nsga2Result {
+    params.validate().expect("invalid GA parameters");
+    let mut rng = rng_from_seed(params.seed);
+    let np = params.population;
+
+    // Initial population (HEFT seed included when enabled: it anchors the
+    // low-makespan end of the front).
+    let mut pop: Vec<Chromosome> = Vec::with_capacity(np);
+    if params.seed_heft {
+        let heft = rds_heft::heft_schedule(inst);
+        pop.push(Chromosome::from_schedule(&inst.graph, &heft.schedule));
+    }
+    while pop.len() < np {
+        pop.push(Chromosome::random_for(inst, &mut rng));
+    }
+    let mut evals: Vec<Evaluation> = pop.iter().map(|c| evaluate(inst, c)).collect();
+
+    for _gen in 0..params.max_generations {
+        // Variation: binary tournaments on (rank, crowding), then
+        // crossover + mutation to produce np offspring.
+        let fronts = non_dominated_sort(&evals);
+        let crowd = full_crowding(&evals, &fronts);
+        let pick = |rng: &mut rds_stats::rng::StdRng64| -> usize {
+            let a = rng.gen_range(0..np);
+            let b = rng.gen_range(0..np);
+            if (fronts[a], std::cmp::Reverse(ordered(crowd[a])))
+                <= (fronts[b], std::cmp::Reverse(ordered(crowd[b])))
+            {
+                a
+            } else {
+                b
+            }
+        };
+        let mut offspring: Vec<Chromosome> = Vec::with_capacity(np);
+        while offspring.len() < np {
+            let p1 = pick(&mut rng);
+            let p2 = pick(&mut rng);
+            let (mut c1, mut c2) = if rng.gen_bool(params.crossover_prob) {
+                crossover(&pop[p1], &pop[p2], &mut rng)
+            } else {
+                (pop[p1].clone(), pop[p2].clone())
+            };
+            if rng.gen_bool(params.mutation_prob) {
+                mutate(&mut c1, &inst.graph, inst.proc_count(), &mut rng);
+            }
+            if rng.gen_bool(params.mutation_prob) {
+                mutate(&mut c2, &inst.graph, inst.proc_count(), &mut rng);
+            }
+            offspring.push(c1);
+            if offspring.len() < np {
+                offspring.push(c2);
+            }
+        }
+        let off_evals: Vec<Evaluation> = offspring.iter().map(|c| evaluate(inst, c)).collect();
+
+        // Environmental selection over parents + offspring.
+        let mut all_pop = pop;
+        all_pop.extend(offspring);
+        let mut all_evals = evals;
+        all_evals.extend(off_evals);
+        let fronts = non_dominated_sort(&all_evals);
+        let crowd = full_crowding(&all_evals, &fronts);
+        let mut order: Vec<usize> = (0..all_pop.len()).collect();
+        order.sort_by(|&a, &b| {
+            fronts[a]
+                .cmp(&fronts[b])
+                .then_with(|| crowd[b].total_cmp(&crowd[a]))
+        });
+        order.truncate(np);
+        pop = order.iter().map(|&i| all_pop[i].clone()).collect();
+        evals = order.iter().map(|&i| all_evals[i]).collect();
+    }
+
+    // Extract the final non-dominated set.
+    let fronts = non_dominated_sort(&evals);
+    let mut front: Vec<FrontPoint> = pop
+        .into_iter()
+        .zip(evals)
+        .zip(&fronts)
+        .filter(|(_, &f)| f == 0)
+        .map(|((chromosome, eval), _)| FrontPoint { chromosome, eval })
+        .collect();
+    front.sort_by(|a, b| a.eval.makespan.total_cmp(&b.eval.makespan));
+    // Collapse duplicate objective vectors.
+    front.dedup_by(|a, b| {
+        a.eval.makespan == b.eval.makespan && a.eval.avg_slack == b.eval.avg_slack
+    });
+    Nsga2Result {
+        front,
+        generations: params.max_generations,
+    }
+}
+
+/// Crowding distance across the whole population, computed front by front.
+fn full_crowding(evals: &[Evaluation], fronts: &[usize]) -> Vec<f64> {
+    let n = evals.len();
+    let max_front = fronts.iter().copied().max().unwrap_or(0);
+    let mut crowd = vec![0.0_f64; n];
+    for f in 0..=max_front {
+        let members: Vec<usize> = (0..n).filter(|&i| fronts[i] == f).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let d = crowding_distance(evals, &members);
+        for (k, &i) in members.iter().enumerate() {
+            crowd[i] = d[k];
+        }
+    }
+    crowd
+}
+
+/// Total order helper for possibly infinite crowding values.
+fn ordered(x: f64) -> std::cmp::Reverse<u64> {
+    // Map to an order-preserving integer (f64 total order via bits for
+    // non-negative values; infinities map to the max).
+    std::cmp::Reverse(x.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+
+    fn e(makespan: f64, avg_slack: f64) -> Evaluation {
+        Evaluation {
+            makespan,
+            avg_slack,
+        }
+    }
+
+    #[test]
+    fn dominance_in_objective_space() {
+        assert!(dominates(&e(1.0, 5.0), &e(2.0, 4.0)));
+        assert!(!dominates(&e(1.0, 3.0), &e(2.0, 5.0)));
+        assert!(!dominates(&e(1.0, 5.0), &e(1.0, 5.0)));
+    }
+
+    #[test]
+    fn non_dominated_sort_layers() {
+        // (1,5) and (2,6): front 0. (2,4): dominated by (1,5) only -> front 1.
+        // (3,3): dominated by (1,5), (2,4)... wait (2,4) dominates (3,3).
+        let evals = vec![e(1.0, 5.0), e(2.0, 6.0), e(2.0, 4.0), e(3.0, 3.0)];
+        let fronts = non_dominated_sort(&evals);
+        assert_eq!(fronts[0], 0);
+        assert_eq!(fronts[1], 0);
+        assert_eq!(fronts[2], 1);
+        assert_eq!(fronts[3], 2);
+    }
+
+    #[test]
+    fn crowding_boundaries_are_infinite() {
+        let evals = vec![e(1.0, 1.0), e(2.0, 2.0), e(3.0, 3.0), e(4.0, 4.0)];
+        let members = vec![0, 1, 2, 3];
+        let d = crowding_distance(&evals, &members);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn tiny_fronts_are_all_infinite() {
+        let evals = vec![e(1.0, 1.0), e(2.0, 2.0)];
+        let d = crowding_distance(&evals, &[0, 1]);
+        assert!(d.iter().all(|x| x.is_infinite()));
+    }
+
+    #[test]
+    fn nsga2_front_is_non_dominated_and_sorted() {
+        let inst = InstanceSpec::new(25, 3).seed(5).build().unwrap();
+        let params = GaParams::quick().seed(7).max_generations(30);
+        let r = nsga2(&inst, params);
+        assert!(!r.front.is_empty());
+        // Sorted by makespan; mutually non-dominated means slack must also
+        // be increasing.
+        for w in r.front.windows(2) {
+            assert!(w[0].eval.makespan <= w[1].eval.makespan);
+            assert!(
+                w[0].eval.avg_slack <= w[1].eval.avg_slack + 1e-9,
+                "front not a trade-off curve"
+            );
+        }
+        for a in &r.front {
+            for b in &r.front {
+                assert!(!dominates(&a.eval, &b.eval) || a.eval == b.eval || {
+                    // identical coordinates deduped; strict domination forbidden
+                    false
+                });
+            }
+        }
+        // Every front chromosome decodes to a valid schedule.
+        for p in &r.front {
+            assert!(p.chromosome.decode(3).validate_against(&inst.graph).is_ok());
+        }
+    }
+
+    #[test]
+    fn nsga2_is_deterministic() {
+        let inst = InstanceSpec::new(20, 3).seed(6).build().unwrap();
+        let params = GaParams::quick().seed(9).max_generations(15);
+        let a = nsga2(&inst, params);
+        let b = nsga2(&inst, params);
+        assert_eq!(a.front.len(), b.front.len());
+        for (x, y) in a.front.iter().zip(&b.front) {
+            assert_eq!(x.eval.makespan, y.eval.makespan);
+        }
+    }
+
+    #[test]
+    fn nsga2_front_spans_a_tradeoff() {
+        // With enough generations the front should contain more than one
+        // point (both a fast and a slacky schedule).
+        let inst = InstanceSpec::new(30, 4).seed(8).build().unwrap();
+        let params = GaParams::quick().seed(3).population(24).max_generations(40);
+        let r = nsga2(&inst, params);
+        assert!(
+            r.front.len() >= 2,
+            "expected a spread front, got {} point(s)",
+            r.front.len()
+        );
+        let first = &r.front[0].eval;
+        let last = &r.front[r.front.len() - 1].eval;
+        assert!(last.avg_slack > first.avg_slack);
+        assert!(last.makespan > first.makespan);
+    }
+}

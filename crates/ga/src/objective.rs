@@ -1,0 +1,274 @@
+//! Objective functions and the ε-constraint fitness of Eq. 8.
+//!
+//! Every chromosome is evaluated once per generation into an
+//! [`Evaluation`] (expected makespan `M₀` and average slack `σ̄`, both
+//! computed on the disjunctive graph with expected durations). The
+//! [`Objective`] then maps evaluations to *fitness* values, where **larger
+//! fitness is always better**:
+//!
+//! * `MinimizeMakespan` → fitness `= −M₀` (Fig. 2's objective);
+//! * `MaximizeSlack` → fitness `= σ̄` (Fig. 3's objective);
+//! * `EpsilonConstraint` → Eq. 8: feasible individuals
+//!   (`M₀ < ε·M_HEFT`) score `σ̄`; infeasible ones score
+//!   `min{fitness of feasible} · ε·M_HEFT / M₀` — a population-based
+//!   penalty that ranks worse violators lower. When a population has no
+//!   feasible individual the paper's formula is undefined; we fall back to
+//!   penalizing the individual's own slack by the same violation ratio,
+//!   which preserves the ordering intent (documented deviation).
+
+use rds_sched::disjunctive::DisjunctiveGraph;
+use rds_sched::instance::Instance;
+use rds_sched::slack;
+use rds_sched::timing::expected_durations;
+
+use crate::chromosome::Chromosome;
+
+/// Expected-time evaluation of one chromosome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Evaluation {
+    /// Expected makespan `M₀`.
+    pub makespan: f64,
+    /// Average slack `σ̄`.
+    pub avg_slack: f64,
+}
+
+/// Evaluates a chromosome: decode, build `G_s`, expected-duration slack
+/// analysis.
+///
+/// # Panics
+/// Panics if the chromosome is invalid for the instance (operators
+/// preserve validity, so this indicates a bug).
+pub fn evaluate(inst: &Instance, c: &Chromosome) -> Evaluation {
+    let schedule = c.decode(inst.proc_count());
+    let ds = DisjunctiveGraph::build(&inst.graph, &schedule)
+        .expect("valid chromosome decodes to an acyclic disjunctive graph");
+    let durations = expected_durations(&inst.timing, &schedule);
+    let a = slack::analyze(&ds, &schedule, &inst.platform, &durations);
+    Evaluation {
+        makespan: a.makespan,
+        avg_slack: a.average_slack,
+    }
+}
+
+/// The GA's objective function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Minimize the expected makespan (Fig. 2).
+    MinimizeMakespan,
+    /// Maximize the average slack, unconstrained (Fig. 3).
+    MaximizeSlack,
+    /// Eq. 7/8: maximize slack subject to `M₀ < ε · M_ref`.
+    EpsilonConstraint {
+        /// The ε multiplier (paper: 1.0–2.0).
+        epsilon: f64,
+        /// The reference makespan `M_HEFT`.
+        reference_makespan: f64,
+    },
+    /// Ablation variant of the ε-constraint: infeasible individuals get a
+    /// flat zero fitness instead of Eq. 8's graded penalty. Used by
+    /// `bench_fitness_penalty` to quantify the value of the
+    /// population-based penalty (a flat penalty leaves selection no
+    /// gradient back into the feasible region).
+    EpsilonConstraintRejecting {
+        /// The ε multiplier.
+        epsilon: f64,
+        /// The reference makespan `M_HEFT`.
+        reference_makespan: f64,
+    },
+    /// The other classical MOOP scalarization: maximize
+    /// `(1−w)·σ̄ − w·M₀`. Both objectives are time-dimensional, so the raw
+    /// weighted sum is commensurable; `w = 1` reduces to makespan
+    /// minimization, `w = 0` to slack maximization. Unlike the
+    /// ε-constraint it offers no makespan *guarantee* — which is exactly
+    /// the comparison the `bench_moop_methods` ablation makes.
+    WeightedSum {
+        /// Makespan weight `w ∈ [0, 1]`.
+        weight: f64,
+    },
+}
+
+impl Objective {
+    /// The makespan bound `ε·M_HEFT`, if this objective has one.
+    #[must_use]
+    pub fn bound(&self) -> Option<f64> {
+        match *self {
+            Objective::EpsilonConstraint {
+                epsilon,
+                reference_makespan,
+            }
+            | Objective::EpsilonConstraintRejecting {
+                epsilon,
+                reference_makespan,
+            } => Some(epsilon * reference_makespan),
+            _ => None,
+        }
+    }
+
+    /// `true` when `eval` satisfies the constraint (trivially true for the
+    /// single-objective variants).
+    ///
+    /// Eq. 7 writes the bound strictly, but §5.2 spells out the intended
+    /// semantics — "only those schedules with expected makespan **less or
+    /// equal** to the makespan of \[HEFT\] are feasible" — and at ε = 1.0 the
+    /// strict reading would exclude the HEFT seed itself, leaving the
+    /// population with no feasible anchor. The constraint is therefore `≤`.
+    #[must_use]
+    pub fn is_feasible(&self, eval: &Evaluation) -> bool {
+        match self.bound() {
+            Some(b) => eval.makespan <= b,
+            None => true,
+        }
+    }
+
+    /// Maps a population's evaluations to fitness values (larger = better).
+    pub fn fitness(&self, evals: &[Evaluation]) -> Vec<f64> {
+        match *self {
+            Objective::MinimizeMakespan => evals.iter().map(|e| -e.makespan).collect(),
+            Objective::MaximizeSlack => evals.iter().map(|e| e.avg_slack).collect(),
+            Objective::EpsilonConstraint { .. } => {
+                let bound = self.bound().expect("epsilon constraint has a bound");
+                let min_feasible = evals
+                    .iter()
+                    .filter(|e| e.makespan <= bound)
+                    .map(|e| e.avg_slack)
+                    .fold(f64::INFINITY, f64::min);
+                evals
+                    .iter()
+                    .map(|e| {
+                        if e.makespan <= bound {
+                            e.avg_slack
+                        } else {
+                            // Violation ratio in (0, 1).
+                            let ratio = bound / e.makespan;
+                            if min_feasible.is_finite() {
+                                min_feasible * ratio
+                            } else {
+                                // No feasible individual in this population:
+                                // penalize own slack by the ratio.
+                                e.avg_slack * ratio
+                            }
+                        }
+                    })
+                    .collect()
+            }
+            Objective::EpsilonConstraintRejecting { .. } => {
+                let bound = self.bound().expect("epsilon constraint has a bound");
+                evals
+                    .iter()
+                    .map(|e| if e.makespan <= bound { e.avg_slack } else { 0.0 })
+                    .collect()
+            }
+            Objective::WeightedSum { weight } => evals
+                .iter()
+                .map(|e| (1.0 - weight) * e.avg_slack - weight * e.makespan)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::rng::rng_from_seed;
+
+    fn e(makespan: f64, avg_slack: f64) -> Evaluation {
+        Evaluation {
+            makespan,
+            avg_slack,
+        }
+    }
+
+    #[test]
+    fn minimize_makespan_orders_by_negated_makespan() {
+        let f = Objective::MinimizeMakespan.fitness(&[e(10.0, 0.0), e(5.0, 9.0)]);
+        assert!(f[1] > f[0]);
+    }
+
+    #[test]
+    fn maximize_slack_orders_by_slack() {
+        let f = Objective::MaximizeSlack.fitness(&[e(10.0, 2.0), e(50.0, 7.0)]);
+        assert!(f[1] > f[0]);
+    }
+
+    #[test]
+    fn epsilon_constraint_feasible_score_is_slack() {
+        let obj = Objective::EpsilonConstraint {
+            epsilon: 1.2,
+            reference_makespan: 10.0,
+        };
+        // bound = 12; both feasible.
+        let f = obj.fitness(&[e(11.0, 3.0), e(9.0, 5.0)]);
+        assert_eq!(f, vec![3.0, 5.0]);
+        assert!(obj.is_feasible(&e(11.0, 3.0)));
+        assert!(obj.is_feasible(&e(12.0, 3.0))); // boundary is feasible (§5.2)
+        assert!(!obj.is_feasible(&e(12.1, 3.0)));
+    }
+
+    #[test]
+    fn epsilon_constraint_penalizes_infeasible_below_feasible() {
+        let obj = Objective::EpsilonConstraint {
+            epsilon: 1.0,
+            reference_makespan: 10.0,
+        };
+        // bound = 10. evals: feasible slack {4, 6}; infeasible makespans 12, 20.
+        let f = obj.fitness(&[e(9.0, 4.0), e(8.0, 6.0), e(12.0, 9.0), e(20.0, 9.0)]);
+        assert_eq!(f[0], 4.0);
+        assert_eq!(f[1], 6.0);
+        // min feasible = 4; penalties 4*10/12 and 4*10/20.
+        assert!((f[2] - 4.0 * 10.0 / 12.0).abs() < 1e-12);
+        assert!((f[3] - 4.0 * 10.0 / 20.0).abs() < 1e-12);
+        // Every infeasible fitness below every feasible fitness.
+        assert!(f[2] < f[0] && f[3] < f[0]);
+        // Worse violators are penalized more.
+        assert!(f[3] < f[2]);
+    }
+
+    #[test]
+    fn epsilon_constraint_all_infeasible_fallback() {
+        let obj = Objective::EpsilonConstraint {
+            epsilon: 1.0,
+            reference_makespan: 10.0,
+        };
+        let f = obj.fitness(&[e(20.0, 4.0), e(40.0, 4.0)]);
+        // Own slack × bound/makespan.
+        assert!((f[0] - 4.0 * 0.5).abs() < 1e-12);
+        assert!((f[1] - 4.0 * 0.25).abs() < 1e-12);
+        assert!(f[0] > f[1]);
+    }
+
+    #[test]
+    fn weighted_sum_extremes_match_single_objectives() {
+        let evals = [e(10.0, 2.0), e(20.0, 9.0), e(15.0, 5.0)];
+        // w = 1: pure makespan minimization ordering.
+        let f1 = Objective::WeightedSum { weight: 1.0 }.fitness(&evals);
+        let m1 = Objective::MinimizeMakespan.fitness(&evals);
+        let order = |f: &[f64]| {
+            let mut idx: Vec<usize> = (0..f.len()).collect();
+            idx.sort_by(|&a, &b| f[b].total_cmp(&f[a]));
+            idx
+        };
+        assert_eq!(order(&f1), order(&m1));
+        // w = 0: pure slack maximization ordering.
+        let f0 = Objective::WeightedSum { weight: 0.0 }.fitness(&evals);
+        let s0 = Objective::MaximizeSlack.fitness(&evals);
+        assert_eq!(order(&f0), order(&s0));
+        // Intermediate weight trades off: no bound exists.
+        assert!(Objective::WeightedSum { weight: 0.5 }.bound().is_none());
+        assert!(Objective::WeightedSum { weight: 0.5 }.is_feasible(&evals[0]));
+    }
+
+    #[test]
+    fn evaluate_matches_slack_analysis() {
+        let inst = InstanceSpec::new(25, 3).seed(1).build().unwrap();
+        let mut rng = rng_from_seed(2);
+        let c = crate::chromosome::Chromosome::random_for(&inst, &mut rng);
+        let ev = evaluate(&inst, &c);
+        let s = c.decode(3);
+        let a = rds_sched::slack::analyze_expected(&inst, &s).unwrap();
+        assert_eq!(ev.makespan, a.makespan);
+        assert_eq!(ev.avg_slack, a.average_slack);
+        assert!(ev.makespan > 0.0);
+        assert!(ev.avg_slack >= 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! GA hyper-parameters.
+
+/// Hyper-parameters of the genetic algorithm.
+///
+/// Defaults are the paper's §5 settings: `Np = 20`, `pc = 0.9`,
+/// `pm = 0.1`, stop after 1000 generations or 100 without improvement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaParams {
+    /// Population size `Np` (kept constant through evolution).
+    pub population: usize,
+    /// Crossover probability `pc`: the fraction of the intermediate
+    /// population that undergoes crossover; the rest is copied unchanged.
+    pub crossover_prob: f64,
+    /// Mutation probability `pm` applied per selected individual.
+    pub mutation_prob: f64,
+    /// Hard generation cap.
+    pub max_generations: usize,
+    /// Stop when the best fitness has not improved for this many
+    /// generations.
+    pub stall_generations: usize,
+    /// Seed HEFT's solution into the initial population (§4.2.2).
+    pub seed_heft: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        Self {
+            population: 20,
+            crossover_prob: 0.9,
+            mutation_prob: 0.1,
+            max_generations: 1000,
+            stall_generations: 100,
+            seed_heft: true,
+            seed: 0,
+        }
+    }
+}
+
+impl GaParams {
+    /// The paper's configuration (same as `Default`).
+    #[must_use]
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// A scaled-down configuration for tests and quick experiments.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            population: 12,
+            max_generations: 60,
+            stall_generations: 25,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the generation cap.
+    #[must_use]
+    pub fn max_generations(mut self, g: usize) -> Self {
+        self.max_generations = g;
+        self
+    }
+
+    /// Sets the stall window.
+    #[must_use]
+    pub fn stall_generations(mut self, g: usize) -> Self {
+        self.stall_generations = g;
+        self
+    }
+
+    /// Sets the population size.
+    #[must_use]
+    pub fn population(mut self, n: usize) -> Self {
+        self.population = n;
+        self
+    }
+
+    /// Disables the HEFT seed (ablation).
+    #[must_use]
+    pub fn without_heft_seed(mut self) -> Self {
+        self.seed_heft = false;
+        self
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.population < 2 {
+            return Err("population must be at least 2".into());
+        }
+        if !(0.0..=1.0).contains(&self.crossover_prob) {
+            return Err(format!("crossover_prob {} outside [0,1]", self.crossover_prob));
+        }
+        if !(0.0..=1.0).contains(&self.mutation_prob) {
+            return Err(format!("mutation_prob {} outside [0,1]", self.mutation_prob));
+        }
+        if self.max_generations == 0 {
+            return Err("max_generations must be positive".into());
+        }
+        if self.stall_generations == 0 {
+            return Err("stall_generations must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let p = GaParams::paper();
+        assert_eq!(p.population, 20);
+        assert_eq!(p.crossover_prob, 0.9);
+        assert_eq!(p.mutation_prob, 0.1);
+        assert_eq!(p.max_generations, 1000);
+        assert_eq!(p.stall_generations, 100);
+        assert!(p.seed_heft);
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_apply() {
+        let p = GaParams::quick().seed(9).population(8).max_generations(5);
+        assert_eq!(p.seed, 9);
+        assert_eq!(p.population, 8);
+        assert_eq!(p.max_generations, 5);
+        assert!(!p.without_heft_seed().seed_heft);
+    }
+
+    #[test]
+    fn validation_catches_bad_values() {
+        assert!(GaParams::paper().population(1).validate().is_err());
+        let mut p = GaParams::paper();
+        p.crossover_prob = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = GaParams::paper();
+        p.mutation_prob = -0.1;
+        assert!(p.validate().is_err());
+        assert!(GaParams::paper().max_generations(0).validate().is_err());
+        assert!(GaParams::paper().stall_generations(0).validate().is_err());
+    }
+}

@@ -1,0 +1,363 @@
+//! A GA that optimizes *measured* robustness directly — Monte Carlo in
+//! the fitness loop.
+//!
+//! The paper optimizes slack as a cheap robustness *surrogate* and lists
+//! stochastic-information-guided scheduling as future work (§6). This
+//! engine implements the direct approach: each chromosome's fitness is the
+//! (negated) mean relative tardiness estimated from a small batch of
+//! realizations, under the same ε-constraint on the expected makespan.
+//!
+//! Two standard simulation techniques keep this honest and affordable:
+//!
+//! * **Common random numbers** — every chromosome in every generation is
+//!   evaluated on the *same* fixed set of realization seeds, so fitness
+//!   differences reflect schedule differences, not sampling noise;
+//! * **small batches** — a few dozen realizations suffice for ranking
+//!   (the final report should still use a large independent batch).
+
+use rand::Rng;
+use std::collections::HashSet;
+
+use rds_sched::disjunctive::DisjunctiveGraph;
+use rds_sched::instance::Instance;
+use rds_sched::slack;
+use rds_sched::timing::{expected_durations, makespan_with_durations};
+use rds_stats::rng::{rng_from_seed, SeedStream};
+
+use crate::chromosome::Chromosome;
+use crate::crossover::crossover;
+use crate::mutation::mutate;
+use crate::params::GaParams;
+use crate::selection::binary_tournament;
+
+/// Parameters of the robustness-direct GA.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustGaParams {
+    /// The usual GA knobs.
+    pub base: GaParams,
+    /// Realizations per fitness evaluation (common random numbers).
+    pub mc_samples: usize,
+    /// Seed of the shared realization streams.
+    pub mc_seed: u64,
+    /// The ε multiplier of the makespan constraint.
+    pub epsilon: f64,
+}
+
+impl RobustGaParams {
+    /// Defaults: paper GA knobs, 32 realizations per evaluation.
+    #[must_use]
+    pub fn new(epsilon: f64) -> Self {
+        Self {
+            base: GaParams::paper(),
+            mc_samples: 32,
+            mc_seed: 0xC0FFEE,
+            epsilon,
+        }
+    }
+
+    /// Scaled-down configuration for tests.
+    #[must_use]
+    pub fn quick(epsilon: f64) -> Self {
+        Self {
+            base: GaParams::quick(),
+            mc_samples: 16,
+            ..Self::new(epsilon)
+        }
+    }
+
+    /// Sets the GA seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.base = self.base.seed(seed);
+        self
+    }
+}
+
+/// Evaluation of one chromosome under the direct objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustEvaluation {
+    /// Expected makespan `M₀`.
+    pub makespan: f64,
+    /// Average slack (reported for comparison; not optimized).
+    pub avg_slack: f64,
+    /// Estimated mean relative tardiness over the common batch.
+    pub mean_tardiness: f64,
+}
+
+/// Result of a robustness-direct GA run.
+#[derive(Debug, Clone)]
+pub struct RobustGaResult {
+    /// Best chromosome found (feasible whenever any feasible individual
+    /// was seen — the HEFT seed guarantees that).
+    pub best: Chromosome,
+    /// Its evaluation.
+    pub best_eval: RobustEvaluation,
+    /// Generations executed.
+    pub generations: usize,
+}
+
+/// Evaluates one chromosome on the shared realization seeds.
+fn evaluate_mc(
+    inst: &Instance,
+    c: &Chromosome,
+    sample_seeds: &[u64],
+) -> RobustEvaluation {
+    let schedule = c.decode(inst.proc_count());
+    let ds = DisjunctiveGraph::build(&inst.graph, &schedule)
+        .expect("valid chromosome decodes to an acyclic disjunctive graph");
+    let durations = expected_durations(&inst.timing, &schedule);
+    let analysis = slack::analyze(&ds, &schedule, &inst.platform, &durations);
+    let m0 = analysis.makespan;
+
+    let assignment = schedule.assignment();
+    let mut scratch = Vec::new();
+    let mut realized = Vec::with_capacity(sample_seeds.len());
+    let mut tardiness_sum = 0.0;
+    for &s in sample_seeds {
+        let mut rng = rng_from_seed(s);
+        realized.clear();
+        realized.extend(
+            assignment
+                .iter()
+                .enumerate()
+                .map(|(t, &p)| inst.timing.sample(t, p, &mut rng)),
+        );
+        let m = makespan_with_durations(&ds, &schedule, &inst.platform, &realized, &mut scratch);
+        tardiness_sum += (m - m0).max(0.0) / m0;
+    }
+    RobustEvaluation {
+        makespan: m0,
+        avg_slack: analysis.average_slack,
+        mean_tardiness: tardiness_sum / sample_seeds.len() as f64,
+    }
+}
+
+/// Population fitness: feasible → `−mean_tardiness`; infeasible → below
+/// every feasible value, ordered by violation (mirrors Eq. 8's intent).
+fn fitness(evals: &[RobustEvaluation], bound: f64) -> Vec<f64> {
+    let min_feasible = evals
+        .iter()
+        .filter(|e| e.makespan <= bound)
+        .map(|e| -e.mean_tardiness)
+        .fold(f64::INFINITY, f64::min);
+    evals
+        .iter()
+        .map(|e| {
+            if e.makespan <= bound {
+                -e.mean_tardiness
+            } else if min_feasible.is_finite() {
+                min_feasible - e.makespan / bound
+            } else {
+                -e.mean_tardiness - e.makespan / bound
+            }
+        })
+        .collect()
+}
+
+/// Runs the robustness-direct GA.
+///
+/// # Panics
+/// Panics when the parameters fail validation or `mc_samples == 0`.
+pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult {
+    params.base.validate().expect("invalid GA parameters");
+    assert!(params.mc_samples > 0, "need at least one realization");
+    let heft = rds_heft::heft_schedule(inst);
+    let bound = params.epsilon * heft.makespan;
+
+    // The common random numbers: one seed per sample, fixed for the run.
+    let seeds = SeedStream::new(params.mc_seed);
+    let sample_seeds: Vec<u64> = (0..params.mc_samples)
+        .map(|i| seeds.nth_seed(i as u64))
+        .collect();
+
+    let mut rng = rng_from_seed(params.base.seed);
+    let np = params.base.population;
+
+    // Initial population: HEFT seed + unique randoms.
+    let mut pop: Vec<Chromosome> = Vec::with_capacity(np);
+    let mut seen: HashSet<u64> = HashSet::new();
+    if params.base.seed_heft {
+        let c = Chromosome::from_schedule(&inst.graph, &heft.schedule);
+        seen.insert(c.fingerprint());
+        pop.push(c);
+    }
+    let mut attempts = 0;
+    while pop.len() < np {
+        let c = Chromosome::random_for(inst, &mut rng);
+        attempts += 1;
+        if seen.insert(c.fingerprint()) || attempts > np * 200 {
+            pop.push(c);
+        }
+    }
+    let mut evals: Vec<RobustEvaluation> = pop
+        .iter()
+        .map(|c| evaluate_mc(inst, c, &sample_seeds))
+        .collect();
+
+    let quality = |e: &RobustEvaluation| -> (bool, f64) {
+        (e.makespan <= bound, -e.mean_tardiness)
+    };
+    let better = |a: (bool, f64), b: (bool, f64)| a.0 & !b.0 || (a.0 == b.0 && a.1 > b.1);
+
+    let mut best_idx = 0;
+    for i in 1..np {
+        if better(quality(&evals[i]), quality(&evals[best_idx])) {
+            best_idx = i;
+        }
+    }
+    let mut best = pop[best_idx].clone();
+    let mut best_eval = evals[best_idx];
+    let mut best_q = quality(&best_eval);
+
+    let mut stall = 0;
+    let mut generations = 0;
+    for gen in 1..=params.base.max_generations {
+        generations = gen;
+        let fit = fitness(&evals, bound);
+        let elite_idx = fit
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .expect("non-empty population");
+        let elite = pop[elite_idx].clone();
+        let elite_eval = evals[elite_idx];
+
+        let winners = binary_tournament(&fit, &mut rng);
+        let mut next: Vec<Chromosome> = winners.iter().map(|&i| pop[i].clone()).collect();
+        for pair in 0..np / 2 {
+            let (a, b) = (2 * pair, 2 * pair + 1);
+            if rng.gen_bool(params.base.crossover_prob) {
+                let (c1, c2) = crossover(&next[a], &next[b], &mut rng);
+                next[a] = c1;
+                next[b] = c2;
+            }
+        }
+        for c in &mut next {
+            if rng.gen_bool(params.base.mutation_prob) {
+                mutate(c, &inst.graph, inst.proc_count(), &mut rng);
+            }
+        }
+        let mut next_evals: Vec<RobustEvaluation> = next
+            .iter()
+            .map(|c| evaluate_mc(inst, c, &sample_seeds))
+            .collect();
+        let next_fit = fitness(&next_evals, bound);
+        let worst = next_fit
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(i, _)| i)
+            .expect("non-empty population");
+        next[worst] = elite;
+        next_evals[worst] = elite_eval;
+        pop = next;
+        evals = next_evals;
+
+        let mut gi = 0;
+        for i in 1..np {
+            if better(quality(&evals[i]), quality(&evals[gi])) {
+                gi = i;
+            }
+        }
+        let q = quality(&evals[gi]);
+        if better(q, best_q) {
+            best_q = q;
+            best = pop[gi].clone();
+            best_eval = evals[gi];
+            stall = 0;
+        } else {
+            stall += 1;
+        }
+        if stall >= params.base.stall_generations {
+            break;
+        }
+    }
+
+    RobustGaResult {
+        best,
+        best_eval,
+        generations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+
+    fn inst(seed: u64) -> Instance {
+        InstanceSpec::new(25, 3)
+            .seed(seed)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let i = inst(1);
+        let p = RobustGaParams::quick(1.3).seed(5);
+        let a = run_robust_ga(&i, p);
+        let b = run_robust_ga(&i, p);
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.best_eval.mean_tardiness, b.best_eval.mean_tardiness);
+    }
+
+    #[test]
+    fn best_is_feasible_and_no_worse_than_heft_on_crn() {
+        let i = inst(2);
+        let p = RobustGaParams::quick(1.3).seed(7);
+        let r = run_robust_ga(&i, p);
+        let heft = rds_heft::heft_schedule(&i);
+        assert!(r.best_eval.makespan <= 1.3 * heft.makespan + 1e-9);
+
+        // On the same common random numbers, elitism + HEFT seed mean the
+        // best tardiness can never exceed HEFT's.
+        let seeds: Vec<u64> = {
+            let s = SeedStream::new(p.mc_seed);
+            (0..p.mc_samples).map(|k| s.nth_seed(k as u64)).collect()
+        };
+        let heft_eval = evaluate_mc(
+            &i,
+            &Chromosome::from_schedule(&i.graph, &heft.schedule),
+            &seeds,
+        );
+        assert!(
+            r.best_eval.mean_tardiness <= heft_eval.mean_tardiness + 1e-12,
+            "{} > {}",
+            r.best_eval.mean_tardiness,
+            heft_eval.mean_tardiness
+        );
+    }
+
+    #[test]
+    fn direct_objective_actually_reduces_tardiness() {
+        // Against an independent validation batch, the direct GA's best
+        // should have tardiness no worse than HEFT's (generous tolerance;
+        // small instance).
+        let i = inst(3);
+        let r = run_robust_ga(&i, RobustGaParams::quick(1.5).seed(9));
+        let heft = rds_heft::heft_schedule(&i);
+        let mc = rds_sched::realization::RealizationConfig::with_realizations(400).seed(777);
+        let ga_rep =
+            rds_sched::realization::monte_carlo(&i, &r.best.decode(3), &mc).unwrap();
+        let heft_rep =
+            rds_sched::realization::monte_carlo(&i, &heft.schedule, &mc).unwrap();
+        assert!(
+            ga_rep.mean_tardiness <= heft_rep.mean_tardiness * 1.1,
+            "direct GA {} vs HEFT {}",
+            ga_rep.mean_tardiness,
+            heft_rep.mean_tardiness
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one realization")]
+    fn zero_samples_rejected() {
+        let i = inst(4);
+        let mut p = RobustGaParams::quick(1.2);
+        p.mc_samples = 0;
+        let _ = run_robust_ga(&i, p);
+    }
+}

@@ -1,0 +1,118 @@
+//! Systematic binary tournament selection (§4.2.4).
+//!
+//! Two random permutations of the population are drawn; adjacent pairs in
+//! each permutation fight one tournament, the fitter individual advancing.
+//! Every individual therefore participates in **exactly two** tournaments:
+//! the population's best wins both (two copies advance), the worst loses
+//! both (eliminated) — the behaviour the paper describes.
+
+use rand::Rng;
+
+/// Returns the indices of the `n` tournament winners forming the
+/// intermediate population (`n` = population size; assumes `n ≥ 2`).
+///
+/// For odd `n`, the leftover individual of each permutation fights a
+/// uniformly drawn opponent.
+pub fn binary_tournament<R: Rng + ?Sized>(fitness: &[f64], rng: &mut R) -> Vec<usize> {
+    let n = fitness.len();
+    assert!(n >= 2, "tournament needs at least two individuals");
+    let mut winners = Vec::with_capacity(n);
+    for _round in 0..2 {
+        let mut perm: Vec<usize> = (0..n).collect();
+        // Fisher–Yates shuffle.
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            perm.swap(i, j);
+        }
+        let mut i = 0;
+        while i + 1 < n {
+            winners.push(fight(fitness, perm[i], perm[i + 1]));
+            i += 2;
+        }
+        if n % 2 == 1 {
+            // Leftover fights a random opponent.
+            let lone = perm[n - 1];
+            let opp = rng.gen_range(0..n);
+            winners.push(fight(fitness, lone, opp));
+        }
+    }
+    // Two rounds of ⌈n/2⌉ winners yield n (even) or n+1 (odd) — trim.
+    winners.truncate(n);
+    winners
+}
+
+#[inline]
+fn fight(fitness: &[f64], a: usize, b: usize) -> usize {
+    if fitness[a] >= fitness[b] {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_stats::rng::rng_from_seed;
+
+    #[test]
+    fn returns_population_size_winners() {
+        let mut rng = rng_from_seed(1);
+        for n in [2usize, 3, 4, 7, 20] {
+            let fitness: Vec<f64> = (0..n).map(|i| i as f64).collect();
+            let w = binary_tournament(&fitness, &mut rng);
+            assert_eq!(w.len(), n, "n={n}");
+        }
+    }
+
+    #[test]
+    fn best_appears_exactly_twice_for_even_population() {
+        let fitness = vec![1.0, 5.0, 3.0, 9.0, 2.0, 0.5];
+        let mut rng = rng_from_seed(2);
+        for _ in 0..32 {
+            let w = binary_tournament(&fitness, &mut rng);
+            let best_copies = w.iter().filter(|&&i| i == 3).count();
+            assert_eq!(best_copies, 2, "best must win both its tournaments");
+        }
+    }
+
+    #[test]
+    fn worst_is_eliminated_for_even_population() {
+        let fitness = vec![1.0, 5.0, 3.0, 9.0, 2.0, 0.5];
+        let mut rng = rng_from_seed(3);
+        for _ in 0..32 {
+            let w = binary_tournament(&fitness, &mut rng);
+            assert!(!w.contains(&5), "worst must lose both tournaments");
+        }
+    }
+
+    #[test]
+    fn average_fitness_improves() {
+        let fitness: Vec<f64> = (0..20).map(|i| (i as f64 * 1.37).sin() * 10.0).collect();
+        let pop_mean = fitness.iter().sum::<f64>() / 20.0;
+        let mut rng = rng_from_seed(4);
+        let mut sel_mean_sum = 0.0;
+        let rounds = 50;
+        for _ in 0..rounds {
+            let w = binary_tournament(&fitness, &mut rng);
+            sel_mean_sum += w.iter().map(|&i| fitness[i]).sum::<f64>() / 20.0;
+        }
+        assert!(
+            sel_mean_sum / rounds as f64 > pop_mean,
+            "selection must raise mean fitness"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_individual() {
+        let mut rng = rng_from_seed(5);
+        let _ = binary_tournament(&[1.0], &mut rng);
+    }
+
+    #[test]
+    fn ties_resolve_deterministically_to_first_arg() {
+        assert_eq!(fight(&[2.0, 2.0], 0, 1), 0);
+        assert_eq!(fight(&[2.0, 3.0], 0, 1), 1);
+    }
+}

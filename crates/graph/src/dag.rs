@@ -1,0 +1,623 @@
+//! The task graph `G = (V, E)` of §3.1.
+//!
+//! Nodes are tasks identified by dense [`TaskId`]s; directed edges carry the
+//! communication data size `d_ij` (the matrix `D` of the paper, stored
+//! sparsely on the edges). The structure keeps both successor and
+//! predecessor adjacency for O(1) traversal in either direction — schedulers
+//! walk predecessors (ready times) as often as successors (ranks).
+
+use std::fmt;
+
+/// Dense task identifier; index into all per-task arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A directed edge with its communication data size `d_ij`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// The task at the other end of the edge.
+    pub task: TaskId,
+    /// Amount of data transferred along the edge (units of the data-size
+    /// matrix `D`; divided by a transfer rate to obtain a communication
+    /// time).
+    pub data: f64,
+}
+
+/// Errors from graph construction/validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// An edge referenced a task id outside `0..n`.
+    UnknownTask(TaskId),
+    /// A self-loop `v -> v` was added.
+    SelfLoop(TaskId),
+    /// The same directed edge was added twice.
+    DuplicateEdge(TaskId, TaskId),
+    /// The edge set contains a cycle (not a DAG).
+    Cycle,
+    /// A data size was negative or non-finite.
+    InvalidData {
+        /// Edge source.
+        from: TaskId,
+        /// Edge destination.
+        to: TaskId,
+        /// Offending data size.
+        data: f64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            GraphError::SelfLoop(t) => write!(f, "self loop on {t}"),
+            GraphError::DuplicateEdge(a, b) => write!(f, "duplicate edge {a} -> {b}"),
+            GraphError::Cycle => write!(f, "graph contains a cycle"),
+            GraphError::InvalidData { from, to, data } => {
+                write!(f, "invalid data size {data} on edge {from} -> {to}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, validated task DAG.
+///
+/// Construct through [`TaskGraphBuilder`], which checks ids, rejects
+/// duplicate edges and self-loops, and verifies acyclicity on
+/// [`TaskGraphBuilder::build`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskGraph {
+    succs: Vec<Vec<Edge>>,
+    preds: Vec<Vec<Edge>>,
+    edge_count: usize,
+}
+
+impl TaskGraph {
+    /// Number of tasks `n = |V|`.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Iterator over all task ids in increasing order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.succs.len() as u32).map(TaskId)
+    }
+
+    /// Immediate successors of `t` with their data sizes.
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[Edge] {
+        &self.succs[t.index()]
+    }
+
+    /// Immediate predecessors of `t` with their data sizes.
+    #[inline]
+    pub fn predecessors(&self, t: TaskId) -> &[Edge] {
+        &self.preds[t.index()]
+    }
+
+    /// In-degree of `t`.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> usize {
+        self.preds[t.index()].len()
+    }
+
+    /// Out-degree of `t`.
+    #[inline]
+    pub fn out_degree(&self, t: TaskId) -> usize {
+        self.succs[t.index()].len()
+    }
+
+    /// `true` when `t` has no predecessors (an *entry* node).
+    #[inline]
+    pub fn is_entry(&self, t: TaskId) -> bool {
+        self.preds[t.index()].is_empty()
+    }
+
+    /// `true` when `t` has no successors (an *exit* node).
+    #[inline]
+    pub fn is_exit(&self, t: TaskId) -> bool {
+        self.succs[t.index()].is_empty()
+    }
+
+    /// All entry nodes.
+    pub fn entries(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.is_entry(t)).collect()
+    }
+
+    /// All exit nodes.
+    pub fn exits(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.is_exit(t)).collect()
+    }
+
+    /// The data size `d_ij` if the edge `from -> to` exists.
+    pub fn edge_data(&self, from: TaskId, to: TaskId) -> Option<f64> {
+        self.succs[from.index()]
+            .iter()
+            .find(|e| e.task == to)
+            .map(|e| e.data)
+    }
+
+    /// `true` when the edge `from -> to` exists.
+    #[inline]
+    pub fn has_edge(&self, from: TaskId, to: TaskId) -> bool {
+        self.edge_data(from, to).is_some()
+    }
+
+    /// Iterator over all edges as `(from, to, data)`.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId, f64)> + '_ {
+        self.succs.iter().enumerate().flat_map(|(i, es)| {
+            es.iter()
+                .map(move |e| (TaskId(i as u32), e.task, e.data))
+        })
+    }
+
+    /// Total of all edge data sizes (useful for CCR accounting).
+    pub fn total_edge_data(&self) -> f64 {
+        self.edges().map(|(_, _, d)| d).sum()
+    }
+
+    /// Order-insensitive structural equality: same task count and same
+    /// edge set (with data), regardless of adjacency-list ordering.
+    /// `PartialEq` on `TaskGraph` is stricter (it compares list order,
+    /// which depends on construction order); serialization round-trips
+    /// preserve structure but not necessarily predecessor-list order.
+    #[must_use]
+    pub fn same_structure(&self, other: &TaskGraph) -> bool {
+        if self.task_count() != other.task_count() || self.edge_count() != other.edge_count() {
+            return false;
+        }
+        let canon = |g: &TaskGraph| -> Vec<(u32, u32, u64)> {
+            let mut edges: Vec<(u32, u32, u64)> = g
+                .edges()
+                .map(|(a, b, d)| (a.0, b.0, d.to_bits()))
+                .collect();
+            edges.sort_unstable();
+            edges
+        };
+        canon(self) == canon(other)
+    }
+
+    /// `true` when `a` and `b` are **independent**: neither reaches the
+    /// other. (Corollary 3.5 composes slack over *independent* tasks; tests
+    /// use this.) O(V + E) per query via BFS.
+    pub fn are_independent(&self, a: TaskId, b: TaskId) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+
+    /// `true` when a directed path `from ⇝ to` exists.
+    pub fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.task_count()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(t) = stack.pop() {
+            for e in self.successors(t) {
+                if e.task == to {
+                    return true;
+                }
+                if !seen[e.task.index()] {
+                    seen[e.task.index()] = true;
+                    stack.push(e.task);
+                }
+            }
+        }
+        false
+    }
+
+    /// The transitive closure as a boolean matrix `reach[i][j]`
+    /// (row-major `n×n`, computed in O(V·E)); callers doing many
+    /// independence queries should use this instead of [`Self::reaches`].
+    pub fn reachability(&self) -> Vec<bool> {
+        let n = self.task_count();
+        let mut reach = vec![false; n * n];
+        // Process in reverse topological order so successors are complete.
+        let order = crate::topo::topological_order(self).expect("validated DAG");
+        for &t in order.iter().rev() {
+            let ti = t.index();
+            reach[ti * n + ti] = true;
+            // Collect successor rows first to appease the borrow checker.
+            for e in self.successors(t) {
+                let si = e.task.index();
+                // reach[t] |= reach[s]
+                for j in 0..n {
+                    if reach[si * n + j] {
+                        reach[ti * n + j] = true;
+                    }
+                }
+            }
+        }
+        reach
+    }
+}
+
+/// Builder for [`TaskGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct TaskGraphBuilder {
+    succs: Vec<Vec<Edge>>,
+    preds: Vec<Vec<Edge>>,
+    edge_count: usize,
+    error: Option<GraphError>,
+}
+
+impl TaskGraphBuilder {
+    /// Starts a builder with `n` tasks and no edges.
+    #[must_use]
+    pub fn with_tasks(n: usize) -> Self {
+        Self {
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            edge_count: 0,
+            error: None,
+        }
+    }
+
+    /// Adds one more task, returning its id.
+    pub fn add_task(&mut self) -> TaskId {
+        let id = TaskId(self.succs.len() as u32);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Number of tasks added so far.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Adds the directed edge `from -> to` carrying `data`.
+    ///
+    /// Errors are latched and reported by [`Self::build`], so call sites can
+    /// chain additions without per-call `?`.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId, data: f64) -> &mut Self {
+        if self.error.is_some() {
+            return self;
+        }
+        let n = self.succs.len();
+        if from.index() >= n {
+            self.error = Some(GraphError::UnknownTask(from));
+            return self;
+        }
+        if to.index() >= n {
+            self.error = Some(GraphError::UnknownTask(to));
+            return self;
+        }
+        if from == to {
+            self.error = Some(GraphError::SelfLoop(from));
+            return self;
+        }
+        if !(data.is_finite() && data >= 0.0) {
+            self.error = Some(GraphError::InvalidData { from, to, data });
+            return self;
+        }
+        if self.succs[from.index()].iter().any(|e| e.task == to) {
+            self.error = Some(GraphError::DuplicateEdge(from, to));
+            return self;
+        }
+        self.succs[from.index()].push(Edge { task: to, data });
+        self.preds[to.index()].push(Edge { task: from, data });
+        self.edge_count += 1;
+        self
+    }
+
+    /// `true` if the edge is already present (lets generators avoid the
+    /// duplicate-edge error without tracking their own set).
+    pub fn has_edge(&self, from: TaskId, to: TaskId) -> bool {
+        from.index() < self.succs.len()
+            && self.succs[from.index()].iter().any(|e| e.task == to)
+    }
+
+    /// Finalizes the graph, verifying acyclicity (Kahn's algorithm).
+    ///
+    /// # Errors
+    /// Returns the first construction error, or [`GraphError::Cycle`] if the
+    /// edge set is not a DAG.
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let g = TaskGraph {
+            succs: self.succs,
+            preds: self.preds,
+            edge_count: self.edge_count,
+        };
+        // Kahn: if we cannot consume every node, there is a cycle.
+        let mut indeg: Vec<usize> = g.tasks().map(|t| g.in_degree(t)).collect();
+        let mut ready: Vec<TaskId> = g.tasks().filter(|t| indeg[t.index()] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(t) = ready.pop() {
+            seen += 1;
+            for e in g.successors(t) {
+                indeg[e.task.index()] -= 1;
+                if indeg[e.task.index()] == 0 {
+                    ready.push(e.task);
+                }
+            }
+        }
+        if seen != g.task_count() {
+            return Err(GraphError::Cycle);
+        }
+        Ok(g)
+    }
+}
+
+/// The transitive reduction of a DAG: the unique minimal edge subset with
+/// the same reachability. Useful for sparsifying generated graphs (the
+/// G(n,p) generator emits many redundant edges) before scheduling — note
+/// that removing a redundant edge also removes its communication data, so
+/// only reduce when the data on redundant edges is immaterial (e.g. the
+/// producer also reaches the consumer through an intermediate task that
+/// re-exports the data).
+///
+/// O(V·E) time using the reverse-topological reachability closure.
+#[must_use]
+pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
+    let n = g.task_count();
+    let reach = g.reachability();
+    let mut b = TaskGraphBuilder::with_tasks(n);
+    for (from, to, data) in g.edges() {
+        // The edge is redundant iff some *other* successor of `from`
+        // reaches `to`.
+        let redundant = g.successors(from).iter().any(|mid| {
+            mid.task != to && reach[mid.task.index() * n + to.index()]
+        });
+        if !redundant {
+            b.add_edge(from, to, data);
+        }
+    }
+    b.build().expect("subset of a DAG is a DAG")
+}
+
+/// Builds the 8-task example graph of the paper's Figure 1(a).
+///
+/// Edge data sizes are uniform (`data` per edge); the paper's figure does
+/// not annotate sizes, so a single knob suffices for the worked example.
+///
+/// Structure: v1 feeds v2..v6; v2 and v4 feed v7 is **not** in the figure —
+/// the figure shows: v1 → {v2,v3,v4}; v2 → v5; v3 → {v5,v6}; v4 → v6;
+/// v5 → v7, v5 → v8; v6 → v8; v7 → v8 is not present; v7 and v8 are exits
+/// fed as above. (The exact figure wiring reproduced from Fig. 1(a)/(d).)
+pub fn fig1_example(data: f64) -> TaskGraph {
+    let mut b = TaskGraphBuilder::with_tasks(8);
+    let v = |i: u32| TaskId(i - 1); // paper numbers tasks from 1
+    b.add_edge(v(1), v(2), data)
+        .add_edge(v(1), v(3), data)
+        .add_edge(v(1), v(4), data)
+        .add_edge(v(2), v(5), data)
+        .add_edge(v(3), v(5), data)
+        .add_edge(v(3), v(6), data)
+        .add_edge(v(4), v(8), data)
+        .add_edge(v(5), v(7), data)
+        .add_edge(v(5), v(8), data)
+        .add_edge(v(6), v(7), data);
+    b.build().expect("fig1 graph is a valid DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+        let mut b = TaskGraphBuilder::with_tasks(4);
+        b.add_edge(TaskId(0), TaskId(1), 1.0)
+            .add_edge(TaskId(0), TaskId(2), 2.0)
+            .add_edge(TaskId(1), TaskId(3), 3.0)
+            .add_edge(TaskId(2), TaskId(3), 4.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_diamond() {
+        let g = diamond();
+        assert_eq!(g.task_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.entries(), vec![TaskId(0)]);
+        assert_eq!(g.exits(), vec![TaskId(3)]);
+        assert_eq!(g.edge_data(TaskId(0), TaskId(2)), Some(2.0));
+        assert_eq!(g.edge_data(TaskId(2), TaskId(0)), None);
+        assert!(g.has_edge(TaskId(1), TaskId(3)));
+        assert_eq!(g.in_degree(TaskId(3)), 2);
+        assert_eq!(g.out_degree(TaskId(0)), 2);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 0.0)
+            .add_edge(TaskId(1), TaskId(2), 0.0)
+            .add_edge(TaskId(2), TaskId(0), 0.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::Cycle);
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let mut b = TaskGraphBuilder::with_tasks(1);
+        b.add_edge(TaskId(0), TaskId(0), 0.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::SelfLoop(TaskId(0)));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge() {
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(1), 1.0)
+            .add_edge(TaskId(0), TaskId(1), 2.0);
+        assert_eq!(
+            b.build().unwrap_err(),
+            GraphError::DuplicateEdge(TaskId(0), TaskId(1))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_task_and_bad_data() {
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(5), 1.0);
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownTask(TaskId(5)));
+
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(1), -1.0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            GraphError::InvalidData { .. }
+        ));
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(9), 1.0) // unknown
+            .add_edge(TaskId(0), TaskId(0), 1.0); // self loop, ignored
+        assert_eq!(b.build().unwrap_err(), GraphError::UnknownTask(TaskId(9)));
+    }
+
+    #[test]
+    fn reachability_and_independence() {
+        let g = diamond();
+        assert!(g.reaches(TaskId(0), TaskId(3)));
+        assert!(!g.reaches(TaskId(3), TaskId(0)));
+        assert!(g.are_independent(TaskId(1), TaskId(2)));
+        assert!(!g.are_independent(TaskId(0), TaskId(1)));
+        assert!(!g.are_independent(TaskId(1), TaskId(1)));
+
+        let reach = g.reachability();
+        let n = g.task_count();
+        assert!(reach[3]); // row 0, col 3
+        assert!(!reach[3 * n]);
+        assert!(!reach[n + 2]);
+        assert!(reach[2 * n + 2]); // reflexive
+    }
+
+    #[test]
+    fn add_task_grows_graph() {
+        let mut b = TaskGraphBuilder::with_tasks(0);
+        let a = b.add_task();
+        let c = b.add_task();
+        b.add_edge(a, c, 1.5);
+        let g = b.build().unwrap();
+        assert_eq!(g.task_count(), 2);
+        assert_eq!(g.edge_data(a, c), Some(1.5));
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        assert_eq!(g.task_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.entries().is_empty());
+    }
+
+    #[test]
+    fn isolated_tasks_are_entry_and_exit() {
+        let g = TaskGraphBuilder::with_tasks(3).build().unwrap();
+        for t in g.tasks() {
+            assert!(g.is_entry(t));
+            assert!(g.is_exit(t));
+        }
+    }
+
+    #[test]
+    fn transitive_reduction_removes_shortcuts() {
+        // Chain 0 -> 1 -> 2 plus shortcut 0 -> 2: the shortcut goes.
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 1.0)
+            .add_edge(TaskId(1), TaskId(2), 2.0)
+            .add_edge(TaskId(0), TaskId(2), 9.0);
+        let g = b.build().unwrap();
+        let r = transitive_reduction(&g);
+        assert_eq!(r.edge_count(), 2);
+        assert!(r.has_edge(TaskId(0), TaskId(1)));
+        assert!(r.has_edge(TaskId(1), TaskId(2)));
+        assert!(!r.has_edge(TaskId(0), TaskId(2)));
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_reachability() {
+        use crate::gen::erdos::ErdosDagSpec;
+        let g = ErdosDagSpec::new(30, 0.25).generate(3).unwrap();
+        let r = transitive_reduction(&g);
+        assert!(r.edge_count() < g.edge_count(), "G(n,p) has redundancy");
+        let n = g.task_count();
+        let a = g.reachability();
+        let b = r.reachability();
+        for i in 0..n * n {
+            assert_eq!(a[i], b[i], "reachability changed at {i}");
+        }
+    }
+
+    #[test]
+    fn reduction_of_reduced_graph_is_identity() {
+        let g = fig1_example(1.0);
+        let r = transitive_reduction(&g);
+        let rr = transitive_reduction(&r);
+        assert!(r.same_structure(&rr));
+    }
+
+    #[test]
+    fn fig1_graph_shape() {
+        let g = fig1_example(10.0);
+        assert_eq!(g.task_count(), 8);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.entries(), vec![TaskId(0)]);
+        // v7 (index 6) and v8 (index 7) are exits.
+        assert_eq!(g.exits(), vec![TaskId(6), TaskId(7)]);
+    }
+
+    #[test]
+    fn same_structure_ignores_adjacency_order() {
+        // Build the diamond twice with edges added in different orders.
+        let mut b1 = TaskGraphBuilder::with_tasks(4);
+        b1.add_edge(TaskId(0), TaskId(1), 1.0)
+            .add_edge(TaskId(0), TaskId(2), 2.0)
+            .add_edge(TaskId(1), TaskId(3), 3.0)
+            .add_edge(TaskId(2), TaskId(3), 4.0);
+        let g1 = b1.build().unwrap();
+        let mut b2 = TaskGraphBuilder::with_tasks(4);
+        b2.add_edge(TaskId(2), TaskId(3), 4.0)
+            .add_edge(TaskId(0), TaskId(2), 2.0)
+            .add_edge(TaskId(1), TaskId(3), 3.0)
+            .add_edge(TaskId(0), TaskId(1), 1.0);
+        let g2 = b2.build().unwrap();
+        assert!(g1.same_structure(&g2));
+        // Different data breaks it.
+        let mut b3 = TaskGraphBuilder::with_tasks(4);
+        b3.add_edge(TaskId(0), TaskId(1), 9.0)
+            .add_edge(TaskId(0), TaskId(2), 2.0)
+            .add_edge(TaskId(1), TaskId(3), 3.0)
+            .add_edge(TaskId(2), TaskId(3), 4.0);
+        assert!(!g1.same_structure(&b3.build().unwrap()));
+        // Different sizes break it.
+        let small = TaskGraphBuilder::with_tasks(3).build().unwrap();
+        assert!(!g1.same_structure(&small));
+    }
+
+    #[test]
+    fn edges_iterator_and_total_data() {
+        let g = diamond();
+        assert_eq!(g.edges().count(), 4);
+        assert_eq!(g.total_edge_data(), 10.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Graphviz DOT export.
+//!
+//! Used by the worked example (paper Figure 1) and for debugging generated
+//! workloads. The schedule crate adds its own export for disjunctive graphs
+//! with the extra `E'` edges dashed, mirroring Fig. 1(d).
+
+use std::fmt::Write as _;
+
+use crate::dag::{TaskGraph, TaskId};
+
+/// Options controlling DOT rendering.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Graph name.
+    pub name: String,
+    /// Render edge data sizes as labels.
+    pub edge_labels: bool,
+    /// Optional per-task extra label (e.g. `"v3\nw=5.0"`).
+    pub task_label: Option<fn(TaskId) -> String>,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        Self {
+            name: "G".to_owned(),
+            edge_labels: false,
+            task_label: None,
+        }
+    }
+}
+
+/// Renders the task graph as a DOT digraph.
+pub fn to_dot(g: &TaskGraph, opts: &DotOptions) -> String {
+    let mut out = String::with_capacity(64 + 32 * (g.task_count() + g.edge_count()));
+    let _ = writeln!(out, "digraph {} {{", opts.name);
+    let _ = writeln!(out, "  rankdir=TB;");
+    for t in g.tasks() {
+        let label = match opts.task_label {
+            Some(f) => f(t),
+            None => format!("{t}"),
+        };
+        let _ = writeln!(out, "  {} [label=\"{}\"];", t.index(), label);
+    }
+    for (from, to, data) in g.edges() {
+        if opts.edge_labels {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{:.1}\"];",
+                from.index(),
+                to.index(),
+                data
+            );
+        } else {
+            let _ = writeln!(out, "  {} -> {};", from.index(), to.index());
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::fig1_example;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let g = fig1_example(1.0);
+        let dot = to_dot(&g, &DotOptions::default());
+        assert!(dot.starts_with("digraph G {"));
+        assert!(dot.trim_end().ends_with('}'));
+        for t in g.tasks() {
+            assert!(dot.contains(&format!("{} [label=\"v{}\"]", t.index(), t.0)));
+        }
+        assert_eq!(dot.matches("->").count(), g.edge_count());
+    }
+
+    #[test]
+    fn edge_labels_render_data() {
+        let g = fig1_example(2.5);
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                edge_labels: true,
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("label=\"2.5\""));
+    }
+
+    #[test]
+    fn custom_task_labels() {
+        let g = fig1_example(1.0);
+        let dot = to_dot(
+            &g,
+            &DotOptions {
+                task_label: Some(|t| format!("task-{}", t.0 + 1)),
+                ..DotOptions::default()
+            },
+        );
+        assert!(dot.contains("task-1"));
+        assert!(dot.contains("task-8"));
+    }
+}

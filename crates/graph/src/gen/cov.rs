@@ -1,0 +1,185 @@
+//! COV-based matrix generation (Ali et al., HCW 2000) as used in §5.
+//!
+//! The paper generates both the best-case execution time matrix `B` and the
+//! uncertainty-level matrix `UL` with the *coefficient-of-variation* method:
+//!
+//! 1. Draw a per-task vector `q = {q_1..q_n}` from `G(1/V₁², μ·V₁²)` —
+//!    a gamma with mean `μ` (the average computation cost `cc`, or the
+//!    average uncertainty level `UL`) and CoV `V₁` (task heterogeneity).
+//! 2. For each task `i` and processor `j`, draw `x_{i,j}` from
+//!    `G(1/V₂², q_i·V₂²)` — mean `q_i`, CoV `V₂` (machine heterogeneity).
+//!
+//! The paper sets `V_task = V_mach = 0.5` for `B` and `V₁ = V₂ = 0.5` for
+//! `UL`. For the `UL` matrix, entries are clamped to `≥ 1`: `UL = 1` means
+//! *no uncertainty* (the realization law `U(b, (2·UL−1)·b)` degenerates to
+//! the point mass at `b`), and values below 1 would make the law's upper
+//! bound fall below its lower bound. The paper's average UL values (2–8)
+//! with V=0.5 make sub-1 draws rare, so the clamp is a boundary guard, not
+//! a distribution change.
+
+use rand::Rng;
+
+use rds_stats::dist::{DistError, Gamma};
+use rds_stats::matrix::Matrix;
+use rds_stats::rng::rng_from_seed;
+
+/// Specification of a COV-generated `tasks × machines` matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CovMatrixSpec {
+    /// Number of rows (tasks).
+    pub tasks: usize,
+    /// Number of columns (machines).
+    pub machines: usize,
+    /// Overall mean `μ` (paper: `cc = 20` for `B`; `UL ∈ {2,4,6,8}` for `UL`).
+    pub mean: f64,
+    /// Task heterogeneity `V_task` / `V₁` (paper: 0.5).
+    pub task_cov: f64,
+    /// Machine heterogeneity `V_mach` / `V₂` (paper: 0.5).
+    pub machine_cov: f64,
+    /// Lower clamp applied to every entry (`0` disables; `1` for UL
+    /// matrices, a small positive floor for BCET matrices so no task is
+    /// free).
+    pub floor: f64,
+}
+
+impl CovMatrixSpec {
+    /// The paper's BCET spec: mean `cc = 20`, `V_task = V_mach = 0.5`,
+    /// floored at a small ε so no execution time is zero.
+    #[must_use]
+    pub fn bcet(tasks: usize, machines: usize) -> Self {
+        Self {
+            tasks,
+            machines,
+            mean: 20.0,
+            task_cov: 0.5,
+            machine_cov: 0.5,
+            floor: 1e-6,
+        }
+    }
+
+    /// The paper's uncertainty-level spec: mean `avg_ul`, `V₁ = V₂ = 0.5`,
+    /// floored at 1 (no-uncertainty lower bound).
+    #[must_use]
+    pub fn uncertainty(tasks: usize, machines: usize, avg_ul: f64) -> Self {
+        Self {
+            tasks,
+            machines,
+            mean: avg_ul,
+            task_cov: 0.5,
+            machine_cov: 0.5,
+            floor: 1.0,
+        }
+    }
+
+    /// Overrides the overall mean.
+    #[must_use]
+    pub fn mean(mut self, mean: f64) -> Self {
+        self.mean = mean;
+        self
+    }
+
+    /// Overrides both CoVs.
+    #[must_use]
+    pub fn covs(mut self, task_cov: f64, machine_cov: f64) -> Self {
+        self.task_cov = task_cov;
+        self.machine_cov = machine_cov;
+        self
+    }
+
+    /// Generates the matrix deterministically from a seed.
+    ///
+    /// # Errors
+    /// Returns [`DistError`] when the spec's mean/CoVs are invalid.
+    pub fn generate(&self, seed: u64) -> Result<Matrix, DistError> {
+        let mut rng = rng_from_seed(seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates the matrix drawing randomness from the provided RNG.
+    ///
+    /// # Errors
+    /// Returns [`DistError`] when the spec's mean/CoVs are invalid.
+    pub fn generate_with<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Matrix, DistError> {
+        let task_dist = Gamma::with_mean_cov(self.mean, self.task_cov)?;
+        let mut m = Matrix::zeros(self.tasks, self.machines);
+        for i in 0..self.tasks {
+            // Stage 1: the task's expected value across machines.
+            let qi = task_dist.sample(rng).max(f64::MIN_POSITIVE);
+            // Stage 2: per-machine values around q_i.
+            let mach_dist = Gamma::with_mean_cov(qi, self.machine_cov)?;
+            for j in 0..self.machines {
+                m[(i, j)] = mach_dist.sample(rng).max(self.floor);
+            }
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_stats::describe::OnlineStats;
+
+    #[test]
+    fn bcet_matrix_has_right_shape_and_mean() {
+        let m = CovMatrixSpec::bcet(200, 16).generate(42).unwrap();
+        assert_eq!(m.rows(), 200);
+        assert_eq!(m.cols(), 16);
+        assert!(m.all_positive());
+        // Mean over 3200 entries should be near 20 (CoV 0.5 at two stages
+        // leaves the grand mean unbiased).
+        assert!((m.mean() - 20.0).abs() < 2.0, "mean {}", m.mean());
+    }
+
+    #[test]
+    fn uncertainty_matrix_is_clamped_at_one() {
+        // Low average UL forces many sub-1 draws; all must clamp to 1.
+        let m = CovMatrixSpec::uncertainty(100, 8, 1.05).generate(3).unwrap();
+        for (_, _, v) in m.iter() {
+            assert!(v >= 1.0);
+        }
+    }
+
+    #[test]
+    fn uncertainty_matrix_mean_tracks_target() {
+        let m = CovMatrixSpec::uncertainty(300, 16, 6.0).generate(5).unwrap();
+        assert!((m.mean() - 6.0).abs() < 0.6, "mean {}", m.mean());
+    }
+
+    #[test]
+    fn task_rows_are_correlated_machine_columns_vary() {
+        // With task CoV 0.5 and machine CoV 0.05, row means should spread
+        // much more than within-row variation.
+        let spec = CovMatrixSpec::bcet(50, 16).covs(0.5, 0.05);
+        let m = spec.generate(7).unwrap();
+        let row_means: Vec<f64> = (0..50).map(|i| m.row_mean(i)).collect();
+        let between = OnlineStats::from_iter(row_means.iter().copied()).std_dev();
+        let mut within = OnlineStats::new();
+        for i in 0..50 {
+            let mean = m.row_mean(i);
+            let sd = OnlineStats::from_iter(m.row(i).iter().copied()).std_dev();
+            within.push(sd / mean);
+        }
+        // Within-row relative spread ≈ 0.05; between-row relative spread ≈ 0.5.
+        assert!(between / 20.0 > 4.0 * within.mean(), "between {between}, within {}", within.mean());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = CovMatrixSpec::bcet(10, 4);
+        assert_eq!(spec.generate(1).unwrap(), spec.generate(1).unwrap());
+        assert_ne!(spec.generate(1).unwrap(), spec.generate(2).unwrap());
+    }
+
+    #[test]
+    fn invalid_spec_is_an_error() {
+        assert!(CovMatrixSpec::bcet(4, 4).mean(-1.0).generate(0).is_err());
+        assert!(CovMatrixSpec::bcet(4, 4).covs(0.0, 0.5).generate(0).is_err());
+    }
+
+    #[test]
+    fn empty_dimensions_are_fine() {
+        let m = CovMatrixSpec::bcet(0, 4).generate(0).unwrap();
+        assert_eq!(m.rows(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! G(n, p) random DAGs (upper-triangular Erdős–Rényi).
+//!
+//! The second standard random-topology family in the scheduling
+//! literature: fix an ordering `v0 < v1 < … < v_{n−1}` and include each
+//! forward edge `(v_i, v_j)`, `i < j`, independently with probability
+//! `p`. Compared to the layered generator, G(n,p) has no level structure
+//! — long edges are as likely as short ones — which stresses schedulers
+//! differently (denser precedence, fewer clean fronts). Used by the
+//! sensitivity tests.
+
+use rand::Rng;
+
+use crate::dag::{TaskGraph, TaskGraphBuilder, TaskId};
+use rds_stats::rng::rng_from_seed;
+
+/// Specification of a G(n, p) DAG.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErdosDagSpec {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Forward-edge probability `p ∈ [0, 1]`.
+    pub edge_prob: f64,
+    /// Average computation cost (scales data sizes, as in the layered
+    /// generator).
+    pub avg_comp_cost: f64,
+    /// Communication-to-computation ratio.
+    pub ccr: f64,
+}
+
+impl ErdosDagSpec {
+    /// A spec with the given size and edge probability, paper-default cost
+    /// parameters.
+    #[must_use]
+    pub fn new(tasks: usize, edge_prob: f64) -> Self {
+        Self {
+            tasks,
+            edge_prob,
+            avg_comp_cost: 20.0,
+            ccr: 0.1,
+        }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tasks == 0 {
+            return Err("tasks must be >= 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.edge_prob) {
+            return Err(format!("edge_prob {} outside [0,1]", self.edge_prob));
+        }
+        if !(self.avg_comp_cost.is_finite() && self.avg_comp_cost > 0.0) {
+            return Err("avg_comp_cost must be positive".into());
+        }
+        if !(self.ccr.is_finite() && self.ccr >= 0.0) {
+            return Err("ccr must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Generates the DAG deterministically from a seed.
+    ///
+    /// # Errors
+    /// Returns validation errors as a message.
+    pub fn generate(&self, seed: u64) -> Result<TaskGraph, String> {
+        self.validate()?;
+        let mut rng = rng_from_seed(seed);
+        let max_data = 2.0 * self.avg_comp_cost * self.ccr;
+        let mut b = TaskGraphBuilder::with_tasks(self.tasks);
+        for i in 0..self.tasks {
+            for j in i + 1..self.tasks {
+                if rng.gen_bool(self.edge_prob) {
+                    let data = if max_data > 0.0 {
+                        rng.gen_range(0.0..max_data)
+                    } else {
+                        0.0
+                    };
+                    b.add_edge(TaskId(i as u32), TaskId(j as u32), data);
+                }
+            }
+        }
+        b.build().map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::topological_order;
+
+    #[test]
+    fn generates_valid_dags() {
+        for seed in 0..4 {
+            let g = ErdosDagSpec::new(50, 0.1).generate(seed).unwrap();
+            assert_eq!(g.task_count(), 50);
+            assert!(topological_order(&g).is_some());
+        }
+    }
+
+    #[test]
+    fn edge_count_tracks_probability() {
+        let n = 80;
+        let pairs = (n * (n - 1) / 2) as f64;
+        for &p in &[0.05, 0.2, 0.5] {
+            let g = ErdosDagSpec::new(n, p).generate(7).unwrap();
+            let expected = pairs * p;
+            let got = g.edge_count() as f64;
+            assert!(
+                (got - expected).abs() < 4.0 * (pairs * p * (1.0 - p)).sqrt(),
+                "p={p}: {got} edges vs expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_probabilities() {
+        let empty = ErdosDagSpec::new(20, 0.0).generate(1).unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = ErdosDagSpec::new(10, 1.0).generate(1).unwrap();
+        assert_eq!(full.edge_count(), 45);
+        // Full upper-triangular DAG is a total order.
+        let m = crate::metrics::graph_metrics(&full);
+        assert_eq!(m.depth, 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = ErdosDagSpec::new(30, 0.15);
+        assert_eq!(spec.generate(3).unwrap(), spec.generate(3).unwrap());
+        assert_ne!(spec.generate(3).unwrap(), spec.generate(4).unwrap());
+    }
+
+    #[test]
+    fn rejects_invalid_specs() {
+        assert!(ErdosDagSpec::new(0, 0.1).generate(0).is_err());
+        assert!(ErdosDagSpec::new(5, 1.5).generate(0).is_err());
+        let mut s = ErdosDagSpec::new(5, 0.5);
+        s.ccr = -1.0;
+        assert!(s.generate(0).is_err());
+    }
+
+    #[test]
+    fn no_level_structure_unlike_layered() {
+        // In G(n,p) some edge should skip more than a few "levels":
+        // check max edge span is large relative to n.
+        let g = ErdosDagSpec::new(60, 0.1).generate(5).unwrap();
+        let max_span = g
+            .edges()
+            .map(|(a, b, _)| b.0 as i64 - a.0 as i64)
+            .max()
+            .unwrap();
+        assert!(max_span > 30, "max span {max_span}");
+    }
+}

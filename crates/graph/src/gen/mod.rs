@@ -1,0 +1,15 @@
+//! Workload generators.
+//!
+//! * [`layered`] — the random layered DAG generator of §5 (parameters `n`,
+//!   shape `α`, with data sizes calibrated for a target CCR).
+//! * [`cov`] — the COV-based matrix generation method of Ali et al.
+//!   (HCW 2000) used for both the BCET matrix `B` and the uncertainty-level
+//!   matrix `UL` (§5, two-stage gamma).
+//! * [`workflows`] — structured workflow topologies (fork–join, chains,
+//!   Gaussian elimination, FFT, Montage-like mosaicking) used by examples
+//!   and tests as realistic non-random workloads.
+
+pub mod cov;
+pub mod erdos;
+pub mod layered;
+pub mod workflows;

@@ -1,0 +1,379 @@
+//! Structured workflow topologies.
+//!
+//! The paper's introduction motivates DAG scheduling with real parallel
+//! applications; these generators provide the classic structured topologies
+//! used across the DAG-scheduling literature (Topcuoglu et al. evaluate on
+//! Gaussian elimination and FFT graphs; Montage is the canonical
+//! astronomy-mosaicking workflow). They give the examples and tests
+//! realistic, *deterministic* workloads to complement the random layered
+//! generator.
+//!
+//! All generators take a `data` knob for the uniform edge data size; callers
+//! pair them with a COV-generated BCET matrix for heterogeneous timings.
+
+use crate::dag::{TaskGraph, TaskGraphBuilder, TaskId};
+
+/// A linear chain `v0 → v1 → … → v_{n-1}`.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn chain(n: usize, data: f64) -> TaskGraph {
+    assert!(n > 0, "chain needs at least one task");
+    let mut b = TaskGraphBuilder::with_tasks(n);
+    for i in 1..n {
+        b.add_edge(TaskId(i as u32 - 1), TaskId(i as u32), data);
+    }
+    b.build().expect("chain is a DAG")
+}
+
+/// Fork–join: one source fans out to `width` parallel tasks which join into
+/// one sink. Total `width + 2` tasks.
+///
+/// # Panics
+/// Panics if `width == 0`.
+pub fn fork_join(width: usize, data: f64) -> TaskGraph {
+    assert!(width > 0, "fork_join needs at least one branch");
+    let n = width + 2;
+    let mut b = TaskGraphBuilder::with_tasks(n);
+    let source = TaskId(0);
+    let sink = TaskId(n as u32 - 1);
+    for i in 0..width {
+        let mid = TaskId(1 + i as u32);
+        b.add_edge(source, mid, data).add_edge(mid, sink, data);
+    }
+    b.build().expect("fork-join is a DAG")
+}
+
+/// The task graph of Gaussian elimination on an `m × m` matrix
+/// (Topcuoglu et al. §VI): for each elimination step `k`, one pivot task
+/// `T_{k,k}` feeds the `m−k−1` update tasks `T_{k,j}` of its step, and each
+/// update task feeds the next step's pivot and its own column's update.
+///
+/// Task count is `(m² + m − 2) / 2` for `m ≥ 2`.
+///
+/// # Panics
+/// Panics if `m < 2`.
+pub fn gaussian_elimination(m: usize, data: f64) -> TaskGraph {
+    assert!(m >= 2, "gaussian elimination needs m >= 2");
+    // Index tasks: step k has a pivot P_k and updates U_{k,j} for j in k+1..m.
+    // Lay out ids step by step.
+    let mut id_of_pivot = vec![0u32; m - 1];
+    let mut id_of_update = vec![std::collections::HashMap::new(); m - 1];
+    let mut next = 0u32;
+    for k in 0..m - 1 {
+        id_of_pivot[k] = next;
+        next += 1;
+        for j in k + 1..m {
+            id_of_update[k].insert(j, next);
+            next += 1;
+        }
+    }
+    let mut b = TaskGraphBuilder::with_tasks(next as usize);
+    for k in 0..m - 1 {
+        let pk = TaskId(id_of_pivot[k]);
+        for j in k + 1..m {
+            let ukj = TaskId(id_of_update[k][&j]);
+            // Pivot feeds each update of its step.
+            b.add_edge(pk, ukj, data);
+            if k + 1 < m - 1 {
+                if j == k + 1 {
+                    // First update feeds the next pivot.
+                    b.add_edge(ukj, TaskId(id_of_pivot[k + 1]), data);
+                } else {
+                    // Update feeds the same column's update in the next step.
+                    b.add_edge(ukj, TaskId(id_of_update[k + 1][&j]), data);
+                }
+            }
+        }
+    }
+    b.build().expect("gaussian elimination graph is a DAG")
+}
+
+/// The butterfly task graph of a recursive FFT on `2^log2n` points:
+/// `log2n + 1` ranks of `2^log2n` tasks; task `(r+1, i)` depends on
+/// `(r, i)` and `(r, i XOR 2^r)`.
+///
+/// # Panics
+/// Panics if `log2n == 0` or the graph would exceed `u32` ids.
+pub fn fft(log2n: usize, data: f64) -> TaskGraph {
+    assert!(log2n > 0, "fft needs at least one stage");
+    let width = 1usize << log2n;
+    let ranks = log2n + 1;
+    let n = width * ranks;
+    assert!(n <= u32::MAX as usize, "fft graph too large");
+    let id = |rank: usize, i: usize| TaskId((rank * width + i) as u32);
+    let mut b = TaskGraphBuilder::with_tasks(n);
+    for r in 0..log2n {
+        for i in 0..width {
+            let partner = i ^ (1 << r);
+            b.add_edge(id(r, i), id(r + 1, i), data);
+            b.add_edge(id(r, partner), id(r + 1, i), data);
+        }
+    }
+    b.build().expect("fft butterfly is a DAG")
+}
+
+/// A Montage-like astronomy mosaicking workflow:
+///
+/// ```text
+///   mProject × w   (reproject each input image)
+///   mDiffFit  × (w-1)  (fit overlaps of neighbouring projections)
+///   mConcatFit × 1  (combine the fits)
+///   mBgModel  × 1   (model background corrections)
+///   mBackground × w (apply corrections, one per image)
+///   mImgtbl   × 1   (aggregate metadata)
+///   mAdd      × 1   (co-add into the final mosaic)
+/// ```
+///
+/// Total `3w + 3` tasks for `w ≥ 2` input images.
+///
+/// # Panics
+/// Panics if `images < 2`.
+pub fn montage(images: usize, data: f64) -> TaskGraph {
+    assert!(images >= 2, "montage needs at least two input images");
+    let w = images;
+    let n = 3 * w + 3;
+    let mut b = TaskGraphBuilder::with_tasks(n);
+    let project = |i: usize| TaskId(i as u32);
+    let difffit = |i: usize| TaskId((w + i) as u32);
+    let concat = TaskId((2 * w - 1) as u32);
+    let bgmodel = TaskId((2 * w) as u32);
+    let background = |i: usize| TaskId((2 * w + 1 + i) as u32);
+    let imgtbl = TaskId((3 * w + 1) as u32);
+    let add = TaskId((3 * w + 2) as u32);
+
+    for i in 0..w - 1 {
+        // Each overlap fit consumes two neighbouring projections.
+        b.add_edge(project(i), difffit(i), data)
+            .add_edge(project(i + 1), difffit(i), data)
+            .add_edge(difffit(i), concat, data);
+    }
+    b.add_edge(concat, bgmodel, data);
+    for i in 0..w {
+        b.add_edge(bgmodel, background(i), data)
+            .add_edge(project(i), background(i), data)
+            .add_edge(background(i), imgtbl, data);
+    }
+    b.add_edge(imgtbl, add, data);
+    b.build().expect("montage workflow is a DAG")
+}
+
+/// The task graph of a tiled Cholesky factorization on a `t × t` tile
+/// grid: per step `k`, `POTRF(k)` feeds the `TRSM(k,i)` of its column
+/// (`i > k`), each `TRSM(k,i)` feeds the `SYRK(k,i)` update of its
+/// diagonal tile and the `GEMM(k,i,j)` updates of its row/column pairs,
+/// and the step-`k` updates feed the step-`k+1` kernels that touch the
+/// same tiles.
+///
+/// Task count is `t` POTRFs + `t(t−1)/2` TRSMs + `t(t−1)/2` SYRKs +
+/// `t(t−1)(t−2)/6` GEMMs.
+///
+/// # Panics
+/// Panics if `tiles < 2`.
+#[allow(clippy::needless_range_loop)] // index math mirrors the kernel indices
+pub fn cholesky(tiles: usize, data: f64) -> TaskGraph {
+    assert!(tiles >= 2, "cholesky needs at least a 2x2 tile grid");
+    let t = tiles;
+    // Assign ids kernel by kernel, step by step.
+    let mut next = 0u32;
+    let mut potrf = vec![0u32; t];
+    let mut trsm = std::collections::HashMap::new(); // (k, i), i > k
+    let mut syrk = std::collections::HashMap::new(); // (k, i), i > k
+    let mut gemm = std::collections::HashMap::new(); // (k, i, j), k < i < j
+    for k in 0..t {
+        potrf[k] = next;
+        next += 1;
+        for i in k + 1..t {
+            trsm.insert((k, i), next);
+            next += 1;
+        }
+        for i in k + 1..t {
+            syrk.insert((k, i), next);
+            next += 1;
+            for j in i + 1..t {
+                gemm.insert((k, i, j), next);
+                next += 1;
+            }
+        }
+    }
+    let mut b = TaskGraphBuilder::with_tasks(next as usize);
+    let edge = |from: u32, to: u32, b: &mut TaskGraphBuilder| {
+        if !b.has_edge(TaskId(from), TaskId(to)) {
+            b.add_edge(TaskId(from), TaskId(to), data);
+        }
+    };
+    for k in 0..t {
+        for i in k + 1..t {
+            // POTRF(k) -> TRSM(k, i)
+            edge(potrf[k], trsm[&(k, i)], &mut b);
+            // TRSM(k, i) -> SYRK(k, i)
+            edge(trsm[&(k, i)], syrk[&(k, i)], &mut b);
+            for j in i + 1..t {
+                // TRSM(k, i) and TRSM(k, j) -> GEMM(k, i, j)
+                edge(trsm[&(k, i)], gemm[&(k, i, j)], &mut b);
+                edge(trsm[&(k, j)], gemm[&(k, i, j)], &mut b);
+            }
+            // Step-k update of tile (i, i) feeds step-(k+1) kernels on it.
+            if i == k + 1 {
+                edge(syrk[&(k, i)], potrf[k + 1], &mut b);
+            } else {
+                edge(syrk[&(k, i)], syrk[&(k + 1, i)], &mut b);
+            }
+            for j in i + 1..t {
+                if i == k + 1 {
+                    edge(gemm[&(k, i, j)], trsm[&(k + 1, j)], &mut b);
+                } else {
+                    edge(gemm[&(k, i, j)], gemm[&(k + 1, i, j)], &mut b);
+                }
+            }
+        }
+    }
+    b.build().expect("cholesky task graph is a DAG")
+}
+
+/// A stencil/pipeline grid: `rows × cols` tasks; task `(r,c)` feeds
+/// `(r+1,c)` and `(r+1,c+1)` (wavefront dependence).
+///
+/// # Panics
+/// Panics if `rows == 0 || cols == 0`.
+pub fn wavefront(rows: usize, cols: usize, data: f64) -> TaskGraph {
+    assert!(rows > 0 && cols > 0, "wavefront needs positive dimensions");
+    let id = |r: usize, c: usize| TaskId((r * cols + c) as u32);
+    let mut b = TaskGraphBuilder::with_tasks(rows * cols);
+    for r in 0..rows - 1 {
+        for c in 0..cols {
+            b.add_edge(id(r, c), id(r + 1, c), data);
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r + 1, c + 1), data);
+            }
+        }
+    }
+    b.build().expect("wavefront is a DAG")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::critical_path_length;
+    use crate::topo::topological_order;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5, 1.0);
+        assert_eq!(g.task_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.entries().len(), 1);
+        assert_eq!(g.exits().len(), 1);
+        // Unit node weights, zero comm: CP length = 5.
+        assert_eq!(critical_path_length(&g, |_| 1.0, |_, _, _| 0.0), 5.0);
+    }
+
+    #[test]
+    fn fork_join_shape() {
+        let g = fork_join(8, 2.0);
+        assert_eq!(g.task_count(), 10);
+        assert_eq!(g.edge_count(), 16);
+        assert_eq!(g.entries(), vec![TaskId(0)]);
+        assert_eq!(g.exits(), vec![TaskId(9)]);
+        // Depth is 3 regardless of width.
+        assert_eq!(critical_path_length(&g, |_| 1.0, |_, _, _| 0.0), 3.0);
+    }
+
+    #[test]
+    fn gaussian_elimination_task_count() {
+        // m=5: (25 + 5 - 2)/2 = 14 tasks.
+        let g = gaussian_elimination(5, 1.0);
+        assert_eq!(g.task_count(), 14);
+        assert!(topological_order(&g).is_some());
+        assert_eq!(g.entries().len(), 1, "single initial pivot");
+    }
+
+    #[test]
+    fn gaussian_elimination_depth_grows_linearly() {
+        let d = |m: usize| {
+            critical_path_length(&gaussian_elimination(m, 0.0), |_| 1.0, |_, _, _| 0.0)
+        };
+        // Each step adds pivot + update to the critical path: depth 2(m-1).
+        assert_eq!(d(2), 2.0);
+        assert_eq!(d(4), 6.0);
+        assert_eq!(d(6), 10.0);
+    }
+
+    #[test]
+    fn fft_shape() {
+        let g = fft(3, 1.0); // 8-point FFT: 4 ranks x 8 = 32 tasks
+        assert_eq!(g.task_count(), 32);
+        assert_eq!(g.edge_count(), 3 * 8 * 2);
+        assert_eq!(g.entries().len(), 8);
+        assert_eq!(g.exits().len(), 8);
+        assert_eq!(critical_path_length(&g, |_| 1.0, |_, _, _| 0.0), 4.0);
+    }
+
+    #[test]
+    fn fft_dependencies_are_butterflies() {
+        let g = fft(2, 1.0); // width 4
+        // Task (1, 0) depends on (0,0) and (0,1).
+        let t10 = TaskId(4);
+        let preds: Vec<u32> = g.predecessors(t10).iter().map(|e| e.task.0).collect();
+        let mut sorted = preds.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1]);
+    }
+
+    #[test]
+    fn montage_shape() {
+        let g = montage(4, 1.0);
+        assert_eq!(g.task_count(), 15);
+        assert!(topological_order(&g).is_some());
+        // Entries are exactly the projections.
+        assert_eq!(g.entries().len(), 4);
+        // Single final mosaic.
+        assert_eq!(g.exits().len(), 1);
+    }
+
+    #[test]
+    fn wavefront_shape() {
+        let g = wavefront(3, 4, 1.0);
+        assert_eq!(g.task_count(), 12);
+        assert!(topological_order(&g).is_some());
+        assert_eq!(critical_path_length(&g, |_| 1.0, |_, _, _| 0.0), 3.0);
+        assert_eq!(g.entries().len(), 4, "whole first row is ready initially");
+    }
+
+    #[test]
+    fn cholesky_task_count_and_validity() {
+        // t tiles: t + t(t-1)/2 + t(t-1)/2 + t(t-1)(t-2)/6 tasks.
+        let count = |t: usize| t + t * (t - 1) + t * (t - 1) * (t - 2) / 6;
+        for t in 2..=6 {
+            let g = cholesky(t, 1.0);
+            assert_eq!(g.task_count(), count(t), "t={t}");
+            assert!(topological_order(&g).is_some());
+            // Exactly one entry: POTRF(0).
+            assert_eq!(g.entries(), vec![TaskId(0)], "t={t}");
+        }
+    }
+
+    #[test]
+    fn cholesky_critical_path_scales_with_steps() {
+        // Unit durations, zero comm: the dependency chain
+        // POTRF(k) -> TRSM -> SYRK -> POTRF(k+1) gives depth 3(t-1)+1.
+        let d = |t: usize| {
+            critical_path_length(&cholesky(t, 0.0), |_| 1.0, |_, _, _| 0.0)
+        };
+        assert_eq!(d(2), 4.0);
+        assert_eq!(d(3), 7.0);
+        assert_eq!(d(5), 13.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn montage_rejects_tiny_inputs() {
+        let _ = montage(1, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn chain_rejects_zero() {
+        let _ = chain(0, 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Task-DAG substrate for the `rds` workspace.
+//!
+//! Implements the application model of §3.1 of the paper: a task graph
+//! `G = (V, E)` whose edges carry communication data sizes, plus everything
+//! the schedulers and experiments need around it:
+//!
+//! * [`dag`] — the [`TaskGraph`] structure and its builder/validator.
+//! * [`topo`] — deterministic and *random* topological sorts (the GA's
+//!   initial population draws random topological orders, §4.2.2).
+//! * [`paths`] — longest-path machinery: top/bottom levels over arbitrary
+//!   node/edge weight functions (used by HEFT's upward rank and by the
+//!   disjunctive-graph slack computation).
+//! * [`gen`] — workload generators: the layered random DAG generator used in
+//!   §5 (parameters `n`, shape `α`, average computation cost `cc`, `CCR`)
+//!   and the COV-based matrix generation method of Ali et al. for the BCET
+//!   and uncertainty-level matrices.
+//! * [`dot`] — Graphviz export for debugging and the worked example.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod dag;
+pub mod dot;
+pub mod gen;
+pub mod metrics;
+pub mod paths;
+pub mod topo;
+
+pub use dag::{Edge, GraphError, TaskGraph, TaskGraphBuilder, TaskId};
+pub use gen::cov::CovMatrixSpec;
+pub use gen::layered::LayeredDagSpec;
+pub use topo::{is_topological_order, random_topological_order, topological_order};

@@ -1,0 +1,162 @@
+//! Structural metrics of task graphs.
+//!
+//! Used by the experiment harness to characterize generated workloads
+//! (sanity-checking the layered generator against its `α`/CCR targets)
+//! and by the CLI's `info` command.
+
+use crate::dag::{TaskGraph, TaskId};
+use crate::paths::bottom_levels;
+
+/// Summary of a task graph's shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphMetrics {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Entry-node count.
+    pub entries: usize,
+    /// Exit-node count.
+    pub exits: usize,
+    /// Longest path in hops (unit node weights, zero edge weights).
+    pub depth: usize,
+    /// Maximum antichain *approximation*: the largest level population of
+    /// the canonical level decomposition (exact max-antichain is NP-easy
+    /// via matching but unnecessary here).
+    pub max_level_width: usize,
+    /// Average parallelism `tasks / depth`.
+    pub avg_parallelism: f64,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// Edge density relative to a full level-respecting DAG: `edges /
+    /// (tasks·(tasks−1)/2)`.
+    pub density: f64,
+}
+
+/// Computes the metrics.
+#[must_use]
+pub fn graph_metrics(g: &TaskGraph) -> GraphMetrics {
+    let n = g.task_count();
+    if n == 0 {
+        return GraphMetrics {
+            tasks: 0,
+            edges: 0,
+            entries: 0,
+            exits: 0,
+            depth: 0,
+            max_level_width: 0,
+            avg_parallelism: 0.0,
+            mean_out_degree: 0.0,
+            density: 0.0,
+        };
+    }
+    // Depth via unit-weight bottom levels.
+    let bl = bottom_levels(g, |_| 1.0, |_, _, _| 0.0);
+    let depth = bl.iter().copied().fold(0.0_f64, f64::max) as usize;
+
+    // Level decomposition: level(t) = longest hop distance from an entry.
+    let tl = crate::paths::top_levels(g, |_| 1.0, |_, _, _| 0.0);
+    let mut width = vec![0usize; depth.max(1)];
+    let last = width.len() - 1;
+    for t in g.tasks() {
+        let level = tl[t.index()] as usize;
+        width[level.min(last)] += 1;
+    }
+    let max_level_width = width.iter().copied().max().unwrap_or(0);
+
+    GraphMetrics {
+        tasks: n,
+        edges: g.edge_count(),
+        entries: g.entries().len(),
+        exits: g.exits().len(),
+        depth,
+        max_level_width,
+        avg_parallelism: n as f64 / depth.max(1) as f64,
+        mean_out_degree: g.edge_count() as f64 / n as f64,
+        density: if n > 1 {
+            g.edge_count() as f64 / (n * (n - 1) / 2) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// The *sequential bottleneck* of a weighted DAG: critical-path work
+/// divided by total work, in `[1/n, 1]` — 1 means a pure chain; small
+/// values mean abundant parallelism.
+#[must_use]
+pub fn sequentiality(g: &TaskGraph, node_w: impl Fn(TaskId) -> f64 + Copy) -> f64 {
+    let total: f64 = g.tasks().map(node_w).sum();
+    if total <= 0.0 {
+        return f64::NAN;
+    }
+    let cp = crate::paths::critical_path_length(g, node_w, |_, _, _| 0.0);
+    cp / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::workflows::{chain, fork_join};
+    use crate::TaskGraphBuilder;
+
+    #[test]
+    fn chain_metrics() {
+        let g = chain(6, 1.0);
+        let m = graph_metrics(&g);
+        assert_eq!(m.tasks, 6);
+        assert_eq!(m.edges, 5);
+        assert_eq!(m.depth, 6);
+        assert_eq!(m.max_level_width, 1);
+        assert_eq!(m.entries, 1);
+        assert_eq!(m.exits, 1);
+        assert!((m.avg_parallelism - 1.0).abs() < 1e-12);
+        assert_eq!(sequentiality(&g, |_| 1.0), 1.0);
+    }
+
+    #[test]
+    fn fork_join_metrics() {
+        let g = fork_join(8, 1.0);
+        let m = graph_metrics(&g);
+        assert_eq!(m.tasks, 10);
+        assert_eq!(m.depth, 3);
+        assert_eq!(m.max_level_width, 8);
+        assert!((m.avg_parallelism - 10.0 / 3.0).abs() < 1e-12);
+        // Sequentiality of a wide fork-join is low.
+        assert!(sequentiality(&g, |_| 1.0) < 0.5);
+    }
+
+    #[test]
+    fn empty_graph_metrics() {
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        let m = graph_metrics(&g);
+        assert_eq!(m.tasks, 0);
+        assert_eq!(m.depth, 0);
+        assert!(sequentiality(&g, |_| 1.0).is_nan());
+    }
+
+    #[test]
+    fn layered_generator_width_tracks_alpha() {
+        use crate::gen::layered::LayeredDagSpec;
+        let wide = graph_metrics(&LayeredDagSpec::with_tasks(100).alpha(4.0).generate(1).unwrap());
+        let tall = graph_metrics(&LayeredDagSpec::with_tasks(100).alpha(0.25).generate(1).unwrap());
+        assert!(wide.max_level_width > tall.max_level_width);
+        assert!(wide.depth < tall.depth);
+        assert!(wide.avg_parallelism > tall.avg_parallelism);
+    }
+
+    #[test]
+    fn weighted_sequentiality() {
+        // Diamond with a heavy branch: 0 -> {1,2} -> 3, w = [1, 1, 8, 1].
+        let mut b = TaskGraphBuilder::with_tasks(4);
+        use crate::TaskId;
+        b.add_edge(TaskId(0), TaskId(1), 0.0)
+            .add_edge(TaskId(0), TaskId(2), 0.0)
+            .add_edge(TaskId(1), TaskId(3), 0.0)
+            .add_edge(TaskId(2), TaskId(3), 0.0);
+        let g = b.build().unwrap();
+        let w = |t: TaskId| [1.0, 1.0, 8.0, 1.0][t.index()];
+        // CP = 1 + 8 + 1 = 10; total = 11.
+        assert!((sequentiality(&g, w) - 10.0 / 11.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,219 @@
+//! Longest-path machinery over a weighted view of a [`TaskGraph`].
+//!
+//! The paper's definitions all reduce to longest paths with node and edge
+//! weights supplied *by the caller* (Definition 3.3):
+//!
+//! * **top level** `Tl(i)` — length of a longest entry→`i` path *excluding*
+//!   `i`'s own weight;
+//! * **bottom level** `Bl(i)` — length of a longest `i`→exit path
+//!   *including* `i`'s weight;
+//! * the **critical path** length is `max_i (Tl(i) + Bl(i))`, and equals the
+//!   makespan of a schedule on its disjunctive graph (Claim 3.2).
+//!
+//! Keeping the weights as closures lets the same kernels serve HEFT's
+//! upward rank (mean execution + mean communication weights), expected-time
+//! slack analysis, and realized-duration makespans.
+
+use crate::dag::{TaskGraph, TaskId};
+use crate::topo::topological_order;
+
+/// Top levels of all tasks under the given weights.
+///
+/// `node_w(t)` is the duration of task `t`; `edge_w(u, v, data)` is the
+/// communication time along the edge `u → v` carrying `data` units.
+pub fn top_levels(
+    g: &TaskGraph,
+    node_w: impl Fn(TaskId) -> f64,
+    edge_w: impl Fn(TaskId, TaskId, f64) -> f64,
+) -> Vec<f64> {
+    let order = topological_order(g).expect("TaskGraph is validated acyclic");
+    let mut tl = vec![0.0; g.task_count()];
+    for &t in &order {
+        for e in g.predecessors(t) {
+            let cand = tl[e.task.index()] + node_w(e.task) + edge_w(e.task, t, e.data);
+            if cand > tl[t.index()] {
+                tl[t.index()] = cand;
+            }
+        }
+    }
+    tl
+}
+
+/// Bottom levels of all tasks under the given weights (includes the task's
+/// own weight, per Kwok & Ahmad's b-level convention used in the paper).
+pub fn bottom_levels(
+    g: &TaskGraph,
+    node_w: impl Fn(TaskId) -> f64,
+    edge_w: impl Fn(TaskId, TaskId, f64) -> f64,
+) -> Vec<f64> {
+    let order = topological_order(g).expect("TaskGraph is validated acyclic");
+    let mut bl = vec![0.0; g.task_count()];
+    for &t in order.iter().rev() {
+        let own = node_w(t);
+        let mut best = own;
+        for e in g.successors(t) {
+            let cand = own + edge_w(t, e.task, e.data) + bl[e.task.index()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        bl[t.index()] = best;
+    }
+    bl
+}
+
+/// Critical-path length: `max_t (Tl(t) + Bl(t))`, which simplifies to
+/// `max over entries of Bl` (0 for an empty graph).
+pub fn critical_path_length(
+    g: &TaskGraph,
+    node_w: impl Fn(TaskId) -> f64,
+    edge_w: impl Fn(TaskId, TaskId, f64) -> f64,
+) -> f64 {
+    bottom_levels(g, &node_w, &edge_w)
+        .into_iter()
+        .fold(0.0, f64::max)
+}
+
+/// One concrete critical path (sequence of tasks realizing the longest
+/// path). Useful for CPOP and for diagnostics.
+pub fn critical_path(
+    g: &TaskGraph,
+    node_w: impl Fn(TaskId) -> f64,
+    edge_w: impl Fn(TaskId, TaskId, f64) -> f64,
+) -> Vec<TaskId> {
+    if g.task_count() == 0 {
+        return Vec::new();
+    }
+    let bl = bottom_levels(g, &node_w, &edge_w);
+    // Start from the entry with largest bottom level.
+    let mut cur = g
+        .tasks()
+        .filter(|&t| g.is_entry(t))
+        .max_by(|&a, &b| bl[a.index()].total_cmp(&bl[b.index()]))
+        .expect("non-empty DAG has an entry");
+    let mut path = vec![cur];
+    const EPS: f64 = 1e-9;
+    loop {
+        let own = node_w(cur);
+        // Follow the successor on the longest path.
+        let next = g
+            .successors(cur)
+            .iter()
+            .find(|e| {
+                (own + edge_w(cur, e.task, e.data) + bl[e.task.index()] - bl[cur.index()]).abs()
+                    <= EPS * bl[cur.index()].max(1.0)
+            })
+            .map(|e| e.task);
+        match next {
+            Some(t) => {
+                path.push(t);
+                cur = t;
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::TaskGraphBuilder;
+
+    /// Diamond with distinguishable weights:
+    /// 0(w=1) -> 1(w=2) -> 3(w=1), 0 -> 2(w=5) -> 3; edges carry data=10,
+    /// edge weight = data / 10 = 1.
+    fn weighted_diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::with_tasks(4);
+        b.add_edge(TaskId(0), TaskId(1), 10.0)
+            .add_edge(TaskId(0), TaskId(2), 10.0)
+            .add_edge(TaskId(1), TaskId(3), 10.0)
+            .add_edge(TaskId(2), TaskId(3), 10.0);
+        b.build().unwrap()
+    }
+
+    fn w(t: TaskId) -> f64 {
+        [1.0, 2.0, 5.0, 1.0][t.index()]
+    }
+
+    fn e(_: TaskId, _: TaskId, data: f64) -> f64 {
+        data / 10.0
+    }
+
+    #[test]
+    fn top_levels_exclude_own_weight() {
+        let g = weighted_diamond();
+        let tl = top_levels(&g, w, e);
+        assert_eq!(tl[0], 0.0);
+        assert_eq!(tl[1], 2.0); // 1 + edge 1
+        assert_eq!(tl[2], 2.0);
+        // via 2: tl=2 + w(2)=5 + edge 1 = 8; via 1: 2 + 2 + 1 = 5.
+        assert_eq!(tl[3], 8.0);
+    }
+
+    #[test]
+    fn bottom_levels_include_own_weight() {
+        let g = weighted_diamond();
+        let bl = bottom_levels(&g, w, e);
+        assert_eq!(bl[3], 1.0);
+        assert_eq!(bl[1], 2.0 + 1.0 + 1.0); // own + edge + bl(3)
+        assert_eq!(bl[2], 5.0 + 1.0 + 1.0);
+        assert_eq!(bl[0], 1.0 + 1.0 + 7.0); // via 2
+    }
+
+    #[test]
+    fn critical_path_length_is_max_entry_bl() {
+        let g = weighted_diamond();
+        assert_eq!(critical_path_length(&g, w, e), 9.0);
+        // And Tl + Bl is constant along the critical path.
+        let tl = top_levels(&g, w, e);
+        let bl = bottom_levels(&g, w, e);
+        assert_eq!(tl[2] + bl[2], 9.0);
+        assert_eq!(tl[0] + bl[0], 9.0);
+        assert_eq!(tl[3] + bl[3], 9.0);
+        // Off-critical task 1 has smaller total.
+        assert!(tl[1] + bl[1] < 9.0);
+    }
+
+    #[test]
+    fn critical_path_follows_heavy_branch() {
+        let g = weighted_diamond();
+        let p = critical_path(&g, w, e);
+        assert_eq!(p, vec![TaskId(0), TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn zero_edge_weights_reduce_to_node_sums() {
+        let g = weighted_diamond();
+        let len = critical_path_length(&g, w, |_, _, _| 0.0);
+        assert_eq!(len, 1.0 + 5.0 + 1.0);
+    }
+
+    #[test]
+    fn single_task_graph() {
+        let g = TaskGraphBuilder::with_tasks(1).build().unwrap();
+        let tl = top_levels(&g, |_| 3.0, |_, _, _| 0.0);
+        let bl = bottom_levels(&g, |_| 3.0, |_, _, _| 0.0);
+        assert_eq!(tl, vec![0.0]);
+        assert_eq!(bl, vec![3.0]);
+        assert_eq!(critical_path(&g, |_| 3.0, |_, _, _| 0.0), vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        assert_eq!(critical_path_length(&g, |_| 1.0, |_, _, _| 0.0), 0.0);
+        assert!(critical_path(&g, |_| 1.0, |_, _, _| 0.0).is_empty());
+    }
+
+    #[test]
+    fn disconnected_components_take_max() {
+        // Two chains: 0->1 (weights 1,1) and 2->3 (weights 4,4).
+        let mut b = TaskGraphBuilder::with_tasks(4);
+        b.add_edge(TaskId(0), TaskId(1), 0.0)
+            .add_edge(TaskId(2), TaskId(3), 0.0);
+        let g = b.build().unwrap();
+        let w = |t: TaskId| [1.0, 1.0, 4.0, 4.0][t.index()];
+        assert_eq!(critical_path_length(&g, w, |_, _, _| 0.0), 8.0);
+    }
+}

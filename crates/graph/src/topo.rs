@@ -1,0 +1,191 @@
+//! Topological orders over a [`TaskGraph`].
+//!
+//! Three operations matter to the paper:
+//!
+//! * a deterministic topological order ([`topological_order`]) for timing
+//!   and level computations;
+//! * a **uniformly randomized** topological order
+//!   ([`random_topological_order`]) — §4.2.2 builds each initial GA
+//!   chromosome from "a randomly generated topological sort list";
+//! * validity checking ([`is_topological_order`]) — the GA's crossover and
+//!   mutation must preserve precedence constraints, and tests verify this.
+
+use rand::Rng;
+
+use crate::dag::{TaskGraph, TaskId};
+
+/// Deterministic topological order (Kahn's algorithm, smallest-id-first so
+/// the result is stable across runs).
+///
+/// Returns `None` if the graph contains a cycle; a [`TaskGraph`] built
+/// through the builder is always acyclic, so `None` can only occur for
+/// graphs assembled by unsafe means (not possible in this crate) — callers
+/// may safely `expect`.
+pub fn topological_order(g: &TaskGraph) -> Option<Vec<TaskId>> {
+    let n = g.task_count();
+    let mut indeg: Vec<usize> = g.tasks().map(|t| g.in_degree(t)).collect();
+    // Min-heap by id for determinism.
+    let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<TaskId>> = g
+        .tasks()
+        .filter(|t| indeg[t.index()] == 0)
+        .map(std::cmp::Reverse)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(std::cmp::Reverse(t)) = ready.pop() {
+        order.push(t);
+        for e in g.successors(t) {
+            indeg[e.task.index()] -= 1;
+            if indeg[e.task.index()] == 0 {
+                ready.push(std::cmp::Reverse(e.task));
+            }
+        }
+    }
+    (order.len() == n).then_some(order)
+}
+
+/// A random topological order: at every step one task is drawn uniformly
+/// from the current ready set (randomized Kahn).
+///
+/// This samples a topological order with full support (every valid order has
+/// positive probability), which is what the GA's initial-population
+/// diversity relies on.
+pub fn random_topological_order<R: Rng + ?Sized>(g: &TaskGraph, rng: &mut R) -> Vec<TaskId> {
+    let n = g.task_count();
+    let mut indeg: Vec<usize> = g.tasks().map(|t| g.in_degree(t)).collect();
+    let mut ready: Vec<TaskId> = g.tasks().filter(|t| indeg[t.index()] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while !ready.is_empty() {
+        let pick = rng.gen_range(0..ready.len());
+        let t = ready.swap_remove(pick);
+        order.push(t);
+        for e in g.successors(t) {
+            indeg[e.task.index()] -= 1;
+            if indeg[e.task.index()] == 0 {
+                ready.push(e.task);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "TaskGraph is validated acyclic");
+    order
+}
+
+/// Checks that `order` is a permutation of all tasks satisfying every
+/// precedence constraint.
+pub fn is_topological_order(g: &TaskGraph, order: &[TaskId]) -> bool {
+    let n = g.task_count();
+    if order.len() != n {
+        return false;
+    }
+    let mut pos = vec![usize::MAX; n];
+    for (i, &t) in order.iter().enumerate() {
+        if t.index() >= n || pos[t.index()] != usize::MAX {
+            return false; // out of range or repeated
+        }
+        pos[t.index()] = i;
+    }
+    g.edges().all(|(from, to, _)| pos[from.index()] < pos[to.index()])
+}
+
+/// Position-lookup table for an order: `positions[task] = index in order`.
+///
+/// The GA's crossover/mutation operators consult positions constantly; this
+/// is the one shared helper.
+pub fn positions(order: &[TaskId], n: usize) -> Vec<usize> {
+    let mut pos = vec![usize::MAX; n];
+    for (i, &t) in order.iter().enumerate() {
+        pos[t.index()] = i;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag::TaskGraphBuilder;
+    use rds_stats::rng::rng_from_seed;
+
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::with_tasks(4);
+        b.add_edge(TaskId(0), TaskId(1), 0.0)
+            .add_edge(TaskId(0), TaskId(2), 0.0)
+            .add_edge(TaskId(1), TaskId(3), 0.0)
+            .add_edge(TaskId(2), TaskId(3), 0.0);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_order_is_valid_and_stable() {
+        let g = diamond();
+        let o1 = topological_order(&g).unwrap();
+        let o2 = topological_order(&g).unwrap();
+        assert_eq!(o1, o2);
+        assert!(is_topological_order(&g, &o1));
+        assert_eq!(o1[0], TaskId(0));
+        assert_eq!(o1[3], TaskId(3));
+    }
+
+    #[test]
+    fn random_orders_are_valid() {
+        let g = diamond();
+        let mut rng = rng_from_seed(42);
+        for _ in 0..100 {
+            let o = random_topological_order(&g, &mut rng);
+            assert!(is_topological_order(&g, &o));
+        }
+    }
+
+    #[test]
+    fn random_orders_cover_both_middles() {
+        // The diamond admits exactly two orders; both must appear.
+        let g = diamond();
+        let mut rng = rng_from_seed(7);
+        let mut seen_12 = false;
+        let mut seen_21 = false;
+        for _ in 0..64 {
+            let o = random_topological_order(&g, &mut rng);
+            match (o[1], o[2]) {
+                (TaskId(1), TaskId(2)) => seen_12 = true,
+                (TaskId(2), TaskId(1)) => seen_21 = true,
+                other => panic!("unexpected middle {other:?}"),
+            }
+        }
+        assert!(seen_12 && seen_21, "both diamond orders should be sampled");
+    }
+
+    #[test]
+    fn is_topological_order_rejects_bad_inputs() {
+        let g = diamond();
+        // wrong length
+        assert!(!is_topological_order(&g, &[TaskId(0)]));
+        // repeated task
+        assert!(!is_topological_order(
+            &g,
+            &[TaskId(0), TaskId(1), TaskId(1), TaskId(3)]
+        ));
+        // precedence violation
+        assert!(!is_topological_order(
+            &g,
+            &[TaskId(1), TaskId(0), TaskId(2), TaskId(3)]
+        ));
+        // out-of-range id
+        assert!(!is_topological_order(
+            &g,
+            &[TaskId(0), TaskId(1), TaskId(2), TaskId(9)]
+        ));
+    }
+
+    #[test]
+    fn positions_inverts_order() {
+        let order = vec![TaskId(2), TaskId(0), TaskId(1)];
+        let pos = positions(&order, 3);
+        assert_eq!(pos, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn empty_graph_topo_is_empty() {
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        assert_eq!(topological_order(&g).unwrap(), Vec::<TaskId>::new());
+        let mut rng = rng_from_seed(1);
+        assert!(random_topological_order(&g, &mut rng).is_empty());
+    }
+}

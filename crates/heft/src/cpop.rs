@@ -1,0 +1,198 @@
+//! CPOP — Critical Path on a Processor (Topcuoglu et al., TPDS 2002 §IV).
+//!
+//! CPOP prioritizes tasks by `rank_u + rank_d`, pins every critical-path
+//! task onto the single processor minimizing the critical path's total
+//! expected execution time, and schedules the rest by earliest finish time
+//! with insertion. It serves as a second classical baseline for the
+//! ablation benches.
+
+use rds_graph::TaskId;
+use rds_platform::ProcId;
+use rds_sched::instance::Instance;
+use rds_sched::schedule::Schedule;
+
+use crate::heft::HeftResult;
+use crate::ranks::{downward_ranks, upward_ranks};
+use crate::timeline::ProcTimeline;
+
+/// Runs CPOP on an instance.
+pub fn cpop_schedule(inst: &Instance) -> HeftResult {
+    let n = inst.task_count();
+    let ranks_u = upward_ranks(&inst.graph, &inst.platform, &inst.timing);
+    let ranks_d = downward_ranks(&inst.graph, &inst.platform, &inst.timing);
+    let priority: Vec<f64> = (0..n).map(|i| ranks_u[i] + ranks_d[i]).collect();
+
+    // Critical tasks: priority equal (within tolerance) to the maximum.
+    let cp_len = priority.iter().copied().fold(0.0, f64::max);
+    let tol = 1e-9 * cp_len.max(1.0);
+    let critical: Vec<TaskId> = (0..n as u32)
+        .map(TaskId)
+        .filter(|t| (priority[t.index()] - cp_len).abs() <= tol)
+        .collect();
+
+    // The critical-path processor minimizes total expected time of the
+    // critical tasks.
+    let cp_proc = inst
+        .platform
+        .procs()
+        .min_by(|&a, &b| {
+            let cost = |p: ProcId| -> f64 {
+                critical.iter().map(|t| inst.expected(*t, p)).sum()
+            };
+            cost(a).total_cmp(&cost(b))
+        })
+        .expect("at least one processor");
+    let is_critical: Vec<bool> = {
+        let mut v = vec![false; n];
+        for t in &critical {
+            v[t.index()] = true;
+        }
+        v
+    };
+
+    // Priority queue of ready tasks by decreasing priority.
+    let mut indeg: Vec<usize> = inst.graph.tasks().map(|t| inst.graph.in_degree(t)).collect();
+    let mut ready: Vec<TaskId> = inst
+        .graph
+        .tasks()
+        .filter(|t| indeg[t.index()] == 0)
+        .collect();
+
+    let m = inst.proc_count();
+    let mut timelines: Vec<ProcTimeline> = vec![ProcTimeline::new(); m];
+    let mut assigned: Vec<ProcId> = vec![ProcId(0); n];
+    let mut finish: Vec<f64> = vec![0.0; n];
+
+    while !ready.is_empty() {
+        // Pop the highest-priority ready task (ties by id).
+        let (idx, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                priority[a.index()]
+                    .total_cmp(&priority[b.index()])
+                    .then_with(|| b.cmp(a))
+            })
+            .expect("ready set non-empty");
+        let t = ready.swap_remove(idx);
+        let ti = t.index();
+
+        let ready_on = |p: ProcId, assigned: &[ProcId], finish: &[f64]| -> f64 {
+            let mut r = 0.0_f64;
+            for e in inst.graph.predecessors(t) {
+                let q = e.task;
+                let arrive =
+                    finish[q.index()] + inst.platform.comm_time(e.data, assigned[q.index()], p);
+                if arrive > r {
+                    r = arrive;
+                }
+            }
+            r
+        };
+
+        let (p, est) = if is_critical[ti] {
+            let r = ready_on(cp_proc, &assigned, &finish);
+            let dur = inst.timing.expected(ti, cp_proc);
+            (cp_proc, timelines[cp_proc.index()].earliest_start(r, dur, true))
+        } else {
+            let mut best: Option<(f64, f64, ProcId)> = None;
+            for p in inst.platform.procs() {
+                let r = ready_on(p, &assigned, &finish);
+                let dur = inst.timing.expected(ti, p);
+                let est = timelines[p.index()].earliest_start(r, dur, true);
+                let eft = est + dur;
+                if best.is_none_or(|(beft, _, _)| eft < beft - 1e-12) {
+                    best = Some((eft, est, p));
+                }
+            }
+            let (_, est, p) = best.expect("at least one processor");
+            (p, est)
+        };
+        let dur = inst.timing.expected(ti, p);
+        timelines[p.index()].commit(est, dur, t);
+        assigned[ti] = p;
+        finish[ti] = est + dur;
+
+        for e in inst.graph.successors(t) {
+            indeg[e.task.index()] -= 1;
+            if indeg[e.task.index()] == 0 {
+                ready.push(e.task);
+            }
+        }
+    }
+
+    let proc_tasks: Vec<Vec<TaskId>> = timelines.iter().map(ProcTimeline::task_order).collect();
+    let schedule =
+        Schedule::from_proc_lists(n, proc_tasks).expect("CPOP covers every task once");
+    let timed = rds_sched::timing::evaluate_expected(
+        &inst.graph,
+        &inst.platform,
+        &inst.timing,
+        &schedule,
+    )
+    .expect("CPOP schedule respects precedence");
+    let makespan = timed.makespan;
+    HeftResult {
+        schedule,
+        timed,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+
+    #[test]
+    fn cpop_produces_valid_schedules() {
+        for seed in 0..6 {
+            let inst = InstanceSpec::new(50, 4).seed(seed).build().unwrap();
+            let r = cpop_schedule(&inst);
+            assert!(r.schedule.validate_against(&inst.graph).is_ok(), "seed {seed}");
+            assert!(r.makespan > 0.0);
+        }
+    }
+
+    #[test]
+    fn cpop_deterministic() {
+        let inst = InstanceSpec::new(40, 3).seed(8).build().unwrap();
+        assert_eq!(cpop_schedule(&inst).schedule, cpop_schedule(&inst).schedule);
+    }
+
+    #[test]
+    fn cpop_pins_critical_tasks_together_zero_comm_case() {
+        // With zero CCR, the critical path is purely computational; CPOP
+        // should place all critical tasks on one processor.
+        let inst = InstanceSpec::new(30, 4).seed(3).ccr(0.0).build().unwrap();
+        let ranks_u = upward_ranks(&inst.graph, &inst.platform, &inst.timing);
+        let ranks_d = downward_ranks(&inst.graph, &inst.platform, &inst.timing);
+        let n = inst.task_count();
+        let prio: Vec<f64> = (0..n).map(|i| ranks_u[i] + ranks_d[i]).collect();
+        let cp = prio.iter().copied().fold(0.0, f64::max);
+        let r = cpop_schedule(&inst);
+        let critical_procs: std::collections::HashSet<_> = (0..n)
+            .filter(|&i| (prio[i] - cp).abs() <= 1e-9 * cp)
+            .map(|i| r.schedule.proc_of(TaskId(i as u32)))
+            .collect();
+        assert_eq!(critical_procs.len(), 1);
+    }
+
+    #[test]
+    fn cpop_competitive_with_heft() {
+        // CPOP is usually a bit worse than HEFT but in the same ballpark.
+        let mut ratio_sum = 0.0;
+        let runs = 8;
+        for seed in 0..runs {
+            let inst = InstanceSpec::new(50, 4).seed(seed).build().unwrap();
+            let h = crate::heft::heft_schedule(&inst).makespan;
+            let c = cpop_schedule(&inst).makespan;
+            ratio_sum += c / h;
+        }
+        let mean_ratio = ratio_sum / runs as f64;
+        assert!(
+            (0.7..1.6).contains(&mean_ratio),
+            "CPOP/HEFT mean ratio {mean_ratio} out of plausible range"
+        );
+    }
+}

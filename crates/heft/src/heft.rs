@@ -1,0 +1,244 @@
+//! HEFT — Heterogeneous Earliest Finish Time (Topcuoglu et al., TPDS 2002).
+//!
+//! 1. Compute upward ranks with mean expected execution and communication
+//!    costs and order tasks by decreasing rank (a topological order).
+//! 2. For each task in order, compute its earliest finish time on every
+//!    processor using the insertion-based policy and commit it to the
+//!    processor minimizing EFT.
+//!
+//! Durations are the **expected** execution times `UL·B` — the paper's
+//! schedulers see only expectations (§1). The reported `makespan` is the
+//! critical-path evaluation of the resulting schedule's disjunctive graph,
+//! which matches the internal timeline by construction (asserted in tests)
+//! and keeps `MakespanHEFT` on the same footing as every other makespan in
+//! the workspace.
+
+use rds_graph::TaskId;
+use rds_platform::ProcId;
+use rds_sched::instance::Instance;
+use rds_sched::schedule::Schedule;
+use rds_sched::timing::TimedSchedule;
+
+use crate::ranks::rank_order;
+use crate::timeline::ProcTimeline;
+
+/// Output of a list-scheduling heuristic.
+#[derive(Debug, Clone)]
+pub struct HeftResult {
+    /// The produced schedule.
+    pub schedule: Schedule,
+    /// Start/finish times under expected durations.
+    pub timed: TimedSchedule,
+    /// Expected makespan `M₀` (critical path of the disjunctive graph).
+    pub makespan: f64,
+}
+
+/// Runs HEFT on an instance.
+///
+/// ```
+/// use rds_heft::heft_schedule;
+/// use rds_sched::InstanceSpec;
+///
+/// let inst = InstanceSpec::new(30, 4).seed(7).build()?;
+/// let result = heft_schedule(&inst);
+/// assert!(result.makespan > 0.0);
+/// assert!(result.schedule.validate_against(&inst.graph).is_ok());
+/// # Ok::<(), String>(())
+/// ```
+///
+/// # Panics
+/// Panics if the instance has no processors (impossible through
+/// [`rds_platform::Platform`] constructors) or the internal schedule fails
+/// validation, which would indicate a bug.
+pub fn heft_schedule(inst: &Instance) -> HeftResult {
+    schedule_by_priority_list(
+        inst,
+        &rank_order(&inst.graph, &inst.platform, &inst.timing),
+        true,
+    )
+}
+
+/// List-schedules tasks following an explicit priority order (must be a
+/// topological order). Exposed so CPOP and the ablation benches (insertion
+/// on/off) can share the machinery.
+pub fn schedule_by_priority_list(
+    inst: &Instance,
+    order: &[TaskId],
+    insertion: bool,
+) -> HeftResult {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    debug_assert_eq!(order.len(), n);
+
+    let mut timelines: Vec<ProcTimeline> = vec![ProcTimeline::new(); m];
+    let mut assigned_proc: Vec<ProcId> = vec![ProcId(0); n];
+    let mut finish: Vec<f64> = vec![0.0; n];
+
+    for &t in order {
+        let ti = t.index();
+        let mut best: Option<(f64, f64, ProcId)> = None; // (eft, est, proc)
+        for p in inst.platform.procs() {
+            // Ready time on p: all predecessor data must have arrived.
+            let mut ready = 0.0_f64;
+            for e in inst.graph.predecessors(t) {
+                let q = e.task;
+                let arrive = finish[q.index()]
+                    + inst
+                        .platform
+                        .comm_time(e.data, assigned_proc[q.index()], p);
+                if arrive > ready {
+                    ready = arrive;
+                }
+            }
+            let dur = inst.timing.expected(ti, p);
+            let est = timelines[p.index()].earliest_start(ready, dur, insertion);
+            let eft = est + dur;
+            let better = match best {
+                None => true,
+                Some((beft, _, bp)) => {
+                    eft < beft - 1e-12 || (eft <= beft + 1e-12 && p < bp && eft < beft + 1e-12)
+                }
+            };
+            if better {
+                best = Some((eft, est, p));
+            }
+        }
+        let (eft, est, p) = best.expect("platform has at least one processor");
+        timelines[p.index()].commit(est, eft - est, t);
+        assigned_proc[ti] = p;
+        finish[ti] = eft;
+    }
+
+    let proc_tasks: Vec<Vec<TaskId>> = timelines.iter().map(ProcTimeline::task_order).collect();
+    let schedule =
+        Schedule::from_proc_lists(n, proc_tasks).expect("list scheduling covers every task once");
+    let timed = rds_sched::timing::evaluate_expected(
+        &inst.graph,
+        &inst.platform,
+        &inst.timing,
+        &schedule,
+    )
+    .expect("list schedule respects precedence");
+    let makespan = timed.makespan;
+    HeftResult {
+        schedule,
+        timed,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_graph::TaskGraphBuilder;
+    use rds_platform::{Platform, TimingModel};
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::matrix::Matrix;
+
+    /// The classic 3-task fixture where greedy EFT is checkable by hand:
+    /// chain 0 -> 1 plus independent 2.
+    fn tiny_instance() -> Instance {
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 10.0)
+            .add_edge(TaskId(0), TaskId(2), 10.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(2, 1.0).unwrap();
+        // proc 0 fast for everyone, proc 1 slow.
+        let bcet = Matrix::from_rows(&[&[2.0, 4.0], &[2.0, 4.0], &[2.0, 4.0]]);
+        let t = TimingModel::deterministic(bcet).unwrap();
+        Instance::new(g, p, t).unwrap()
+    }
+
+    #[test]
+    fn heft_on_tiny_instance() {
+        let inst = tiny_instance();
+        let r = heft_schedule(&inst);
+        // Task 0 goes to p0 (EFT 2 vs 4). Then tasks 1,2 (equal ranks, id
+        // order): task 1 on p0 (ready 2, EFT 4) beats p1 (ready 2+10=12,
+        // EFT 16). Task 2 on p0: ready 2, start 4 (after task 1), EFT 6;
+        // p1: ready 12, EFT 16 -> p0.
+        assert_eq!(r.schedule.proc_of(TaskId(0)), ProcId(0));
+        assert_eq!(r.schedule.proc_of(TaskId(1)), ProcId(0));
+        assert_eq!(r.schedule.proc_of(TaskId(2)), ProcId(0));
+        assert_eq!(r.makespan, 6.0);
+    }
+
+    #[test]
+    fn heft_beats_random_on_average() {
+        use crate::random::random_schedule;
+        use rds_stats::rng::rng_from_seed;
+        let mut wins = 0;
+        let total = 10;
+        for seed in 0..total {
+            let inst = InstanceSpec::new(50, 4).seed(seed).build().unwrap();
+            let heft = heft_schedule(&inst);
+            let mut rng = rng_from_seed(seed ^ 0xabcd);
+            let rand_s = random_schedule(&inst, &mut rng);
+            let rand_m = rds_sched::timing::evaluate_expected(
+                &inst.graph,
+                &inst.platform,
+                &inst.timing,
+                &rand_s,
+            )
+            .unwrap()
+            .makespan;
+            if heft.makespan < rand_m {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 8, "HEFT won only {wins}/{total} against random");
+    }
+
+    #[test]
+    fn heft_schedule_is_valid_and_deterministic() {
+        let inst = InstanceSpec::new(60, 4).seed(5).build().unwrap();
+        let a = heft_schedule(&inst);
+        let b = heft_schedule(&inst);
+        assert_eq!(a.schedule, b.schedule);
+        assert!(a.schedule.validate_against(&inst.graph).is_ok());
+        assert!(a.makespan > 0.0);
+    }
+
+    #[test]
+    fn insertion_never_hurts() {
+        for seed in 0..8 {
+            let inst = InstanceSpec::new(40, 3).seed(seed).ccr(1.0).build().unwrap();
+            let order = rank_order(&inst.graph, &inst.platform, &inst.timing);
+            let with = schedule_by_priority_list(&inst, &order, true);
+            let without = schedule_by_priority_list(&inst, &order, false);
+            assert!(
+                with.makespan <= without.makespan + 1e-9,
+                "seed {seed}: insertion {} > append {}",
+                with.makespan,
+                without.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn makespan_lower_bounded_by_best_critical_path() {
+        // The makespan can never beat the critical path under per-task best
+        // expected durations with zero communication.
+        let inst = InstanceSpec::new(40, 4).seed(9).build().unwrap();
+        let best_dur = |t: TaskId| {
+            inst.platform
+                .procs()
+                .map(|p| inst.expected(t, p))
+                .fold(f64::INFINITY, f64::min)
+        };
+        let lower = rds_graph::paths::critical_path_length(&inst.graph, best_dur, |_, _, _| 0.0);
+        let r = heft_schedule(&inst);
+        assert!(r.makespan >= lower - 1e-9, "{} < {lower}", r.makespan);
+    }
+
+    #[test]
+    fn single_processor_heft_serializes_everything() {
+        let inst = InstanceSpec::new(20, 1).seed(2).build().unwrap();
+        let r = heft_schedule(&inst);
+        assert_eq!(r.schedule.tasks_on(ProcId(0)).len(), 20);
+        // Makespan equals the sum of expected durations (no gaps needed:
+        // zero comm on one processor means tasks can run back-to-back).
+        let sum: f64 = (0..20).map(|i| inst.timing.expected(i, ProcId(0))).sum();
+        assert!((r.makespan - sum).abs() < 1e-9);
+    }
+}

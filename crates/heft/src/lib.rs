@@ -1,0 +1,32 @@
+//! List-scheduling baselines.
+//!
+//! The paper's comparator is **HEFT** (Topcuoglu, Hariri & Wu, TPDS 2002):
+//! upward-rank prioritization followed by insertion-based earliest-finish-
+//! time processor selection, fed with *expected* execution times
+//! (`UL · B`). `MakespanHEFT` anchors the ε-constraint (Eq. 7), HEFT seeds
+//! the GA's initial population (§4.2.2), and Figure 4 reports improvements
+//! over HEFT.
+//!
+//! Also provided:
+//!
+//! * [`cpop`] — the CPOP (Critical-Path-on-a-Processor) companion heuristic
+//!   from the same paper, used as an extra baseline in ablations;
+//! * [`random_schedule`] — a valid random schedule, the null baseline.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cpop;
+pub mod heft;
+pub mod lookahead;
+pub mod random;
+pub mod ranks;
+pub mod stochastic;
+pub mod timeline;
+
+pub use cpop::cpop_schedule;
+pub use heft::{heft_schedule, HeftResult};
+pub use lookahead::lookahead_heft_schedule;
+pub use random::random_schedule;
+pub use ranks::{downward_ranks, upward_ranks};
+pub use stochastic::sheft_schedule;

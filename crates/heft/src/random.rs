@@ -1,0 +1,60 @@
+//! The null baseline: a uniformly random valid schedule.
+//!
+//! Mirrors the GA's random chromosome construction (§4.2.2): a random
+//! topological order plus an independent uniform processor pick per task.
+
+use rand::Rng;
+
+use rds_graph::topo::random_topological_order;
+use rds_platform::ProcId;
+use rds_sched::instance::Instance;
+use rds_sched::schedule::Schedule;
+
+/// Draws a uniformly random valid schedule for the instance.
+pub fn random_schedule<R: Rng + ?Sized>(inst: &Instance, rng: &mut R) -> Schedule {
+    let order = random_topological_order(&inst.graph, rng);
+    let m = inst.proc_count();
+    let assignment: Vec<ProcId> = (0..inst.task_count())
+        .map(|_| ProcId(rng.gen_range(0..m) as u32))
+        .collect();
+    Schedule::from_order_and_assignment(&order, &assignment, m)
+        .expect("random topological order covers every task once")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::rng::rng_from_seed;
+
+    #[test]
+    fn random_schedules_are_valid() {
+        let inst = InstanceSpec::new(40, 4).seed(1).build().unwrap();
+        let mut rng = rng_from_seed(2);
+        for _ in 0..20 {
+            let s = random_schedule(&inst, &mut rng);
+            assert!(s.validate_against(&inst.graph).is_ok());
+            assert_eq!(s.task_count(), 40);
+        }
+    }
+
+    #[test]
+    fn random_schedules_differ() {
+        let inst = InstanceSpec::new(30, 3).seed(1).build().unwrap();
+        let mut rng = rng_from_seed(3);
+        let a = random_schedule(&inst, &mut rng);
+        let b = random_schedule(&inst, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uses_all_processors_eventually() {
+        let inst = InstanceSpec::new(50, 4).seed(1).build().unwrap();
+        let mut rng = rng_from_seed(4);
+        let s = random_schedule(&inst, &mut rng);
+        let used = (0..4)
+            .filter(|&p| !s.tasks_on(ProcId(p)).is_empty())
+            .count();
+        assert_eq!(used, 4, "50 tasks over 4 procs should hit each");
+    }
+}

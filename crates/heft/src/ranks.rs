@@ -1,0 +1,138 @@
+//! Task ranks (Topcuoglu et al. §III-B).
+//!
+//! * **Upward rank**: `rank_u(i) = w̄_i + max_{j ∈ succ(i)} (c̄_ij + rank_u(j))`
+//!   with `w̄_i` the mean *expected* execution cost over processors and
+//!   `c̄_ij` the mean communication cost over processor pairs. Scheduling in
+//!   decreasing `rank_u` order is a topological order.
+//! * **Downward rank**: `rank_d(i) = max_{j ∈ pred(i)} (rank_d(j) + w̄_j + c̄_ji)`.
+//!   `rank_u + rank_d` identifies the critical path; CPOP uses it.
+
+use rds_graph::paths::{bottom_levels, top_levels};
+use rds_graph::{TaskGraph, TaskId};
+use rds_platform::Platform;
+use rds_platform::TimingModel;
+
+/// Mean expected execution cost of every task (`w̄`).
+pub fn mean_costs(graph: &TaskGraph, timing: &TimingModel) -> Vec<f64> {
+    (0..graph.task_count())
+        .map(|i| timing.mean_expected(i))
+        .collect()
+}
+
+/// Upward ranks of all tasks: the bottom level under mean execution and
+/// mean communication weights.
+pub fn upward_ranks(graph: &TaskGraph, platform: &Platform, timing: &TimingModel) -> Vec<f64> {
+    let w = mean_costs(graph, timing);
+    bottom_levels(
+        graph,
+        |t: TaskId| w[t.index()],
+        |_, _, data| platform.mean_comm_time(data),
+    )
+}
+
+/// Downward ranks of all tasks: the top level under the same mean weights.
+pub fn downward_ranks(graph: &TaskGraph, platform: &Platform, timing: &TimingModel) -> Vec<f64> {
+    let w = mean_costs(graph, timing);
+    top_levels(
+        graph,
+        |t: TaskId| w[t.index()],
+        |_, _, data| platform.mean_comm_time(data),
+    )
+}
+
+/// Tasks sorted by decreasing upward rank (HEFT's scheduling order). Ties
+/// break by task id so the order is deterministic.
+pub fn rank_order(graph: &TaskGraph, platform: &Platform, timing: &TimingModel) -> Vec<TaskId> {
+    let ranks = upward_ranks(graph, platform, timing);
+    let mut order: Vec<TaskId> = graph.tasks().collect();
+    order.sort_by(|&a, &b| {
+        ranks[b.index()]
+            .total_cmp(&ranks[a.index()])
+            .then_with(|| a.cmp(&b))
+    });
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_graph::{is_topological_order, TaskGraphBuilder};
+    use rds_platform::Platform;
+    use rds_stats::matrix::Matrix;
+
+    /// Chain 0 -> 1 -> 2 with uniform expected costs 2 and data 4 on rate-2
+    /// links across 2 procs (mean comm = 1/2 * 4/2 = 1).
+    fn chain_fixture() -> (TaskGraph, Platform, TimingModel) {
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 4.0)
+            .add_edge(TaskId(1), TaskId(2), 4.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(2, 2.0).unwrap();
+        let bcet = Matrix::filled(3, 2, 2.0);
+        let t = TimingModel::deterministic(bcet).unwrap();
+        (g, p, t)
+    }
+
+    #[test]
+    fn chain_upward_ranks() {
+        let (g, p, t) = chain_fixture();
+        let r = upward_ranks(&g, &p, &t);
+        // rank(2) = 2; rank(1) = 2 + 1 + 2 = 5; rank(0) = 2 + 1 + 5 = 8.
+        assert_eq!(r, vec![8.0, 5.0, 2.0]);
+    }
+
+    #[test]
+    fn chain_downward_ranks() {
+        let (g, p, t) = chain_fixture();
+        let r = downward_ranks(&g, &p, &t);
+        assert_eq!(r, vec![0.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn rank_order_is_topological() {
+        let (g, p, t) = chain_fixture();
+        let order = rank_order(&g, &p, &t);
+        assert!(is_topological_order(&g, &order));
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn rank_order_topological_on_random_graphs() {
+        use rds_graph::gen::layered::LayeredDagSpec;
+        use rds_graph::gen::cov::CovMatrixSpec;
+        for seed in 0..5 {
+            let g = LayeredDagSpec::with_tasks(60).generate(seed).unwrap();
+            let p = Platform::uniform(4, 1.0).unwrap();
+            let bcet = CovMatrixSpec::bcet(60, 4).generate(seed).unwrap();
+            let t = TimingModel::deterministic(bcet).unwrap();
+            let order = rank_order(&g, &p, &t);
+            assert!(is_topological_order(&g, &order), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn heterogeneous_costs_change_ranks() {
+        // Task 1 much more expensive than task 2 on average.
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 0.0)
+            .add_edge(TaskId(0), TaskId(2), 0.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(2, 1.0).unwrap();
+        let bcet = Matrix::from_rows(&[&[1.0, 1.0], &[10.0, 20.0], &[1.0, 3.0]]);
+        let t = TimingModel::deterministic(bcet).unwrap();
+        let r = upward_ranks(&g, &p, &t);
+        assert_eq!(r[1], 15.0);
+        assert_eq!(r[2], 2.0);
+        assert_eq!(r[0], 1.0 + 15.0);
+        let order = rank_order(&g, &p, &t);
+        assert_eq!(order, vec![TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    #[test]
+    fn single_proc_has_zero_mean_comm() {
+        let (g, _, t) = chain_fixture();
+        let p1 = Platform::uniform(1, 1.0).unwrap();
+        let r = upward_ranks(&g, &p1, &t);
+        assert_eq!(r, vec![6.0, 4.0, 2.0]);
+    }
+}

@@ -1,0 +1,179 @@
+//! Stochastic-information-guided list scheduling — the paper's future
+//! work (§6: "Our future works are directed toward guiding the scheduling
+//! algorithm with stochastic information about the environment"),
+//! implemented as a HEFT variant.
+//!
+//! Plain HEFT sees only the *expected* duration `E[c_ij] = UL_ij·b_ij`.
+//! Under the realization law `c_ij ~ U(b_ij, (2·UL_ij−1)·b_ij)` the
+//! standard deviation is available in closed form:
+//!
+//! ```text
+//! σ_ij = ((2·UL_ij−1)·b_ij − b_ij) / √12 = (UL_ij − 1)·b_ij / √3
+//! ```
+//!
+//! The stochastic variant plans with the *risk-adjusted* duration
+//! `E[c_ij] + k·σ_ij` — a mean-plus-k-sigma rule that biases both the
+//! ranking and the processor choice away from high-variance placements.
+//! `k = 0` recovers HEFT exactly; larger `k` buys robustness with expected
+//! makespan (the same trade-off the ε-constraint GA navigates, obtained
+//! here for free from distribution knowledge).
+
+use rds_platform::TimingModel;
+use rds_sched::instance::Instance;
+use rds_stats::matrix::Matrix;
+
+use crate::heft::{heft_schedule, HeftResult};
+
+/// Risk-adjusted planning durations: `E[c] + k·σ` per (task, processor).
+///
+/// # Panics
+/// Panics when `k` is negative or non-finite.
+#[must_use]
+pub fn risk_adjusted_durations(inst: &Instance, k: f64) -> Matrix {
+    assert!(k.is_finite() && k >= 0.0, "k must be a non-negative factor");
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    let sqrt3 = 3.0_f64.sqrt();
+    Matrix::from_fn(n, m, |t, p| {
+        let b = inst.timing.bcet_matrix()[(t, p)];
+        let ul = inst.timing.ul_matrix()[(t, p)];
+        let mean = ul * b;
+        let sigma = (ul - 1.0) * b / sqrt3;
+        mean + k * sigma
+    })
+}
+
+/// Runs HEFT with risk-adjusted durations (`SHEFT(k)`).
+///
+/// The returned [`HeftResult`]'s `timed`/`makespan` are re-evaluated with
+/// the **true expected** durations, so results are directly comparable to
+/// [`heft_schedule`]'s.
+///
+/// # Panics
+/// Panics when `k` is negative or non-finite.
+pub fn sheft_schedule(inst: &Instance, k: f64) -> HeftResult {
+    // Plan on a surrogate instance whose expected durations are the
+    // risk-adjusted ones (UL ≡ 1 makes `expected == bcet == adjusted`).
+    let adjusted = risk_adjusted_durations(inst, k);
+    let surrogate_timing =
+        TimingModel::deterministic(adjusted).expect("adjusted durations are positive");
+    let surrogate = Instance::new(
+        inst.graph.clone(),
+        inst.platform.clone(),
+        surrogate_timing,
+    )
+    .expect("surrogate shares the instance dimensions");
+    let planned = heft_schedule(&surrogate);
+
+    // Re-time the schedule under the true expected durations.
+    let timed = rds_sched::timing::evaluate_expected(
+        &inst.graph,
+        &inst.platform,
+        &inst.timing,
+        &planned.schedule,
+    )
+    .expect("planned schedule respects precedence");
+    let makespan = timed.makespan;
+    HeftResult {
+        schedule: planned.schedule,
+        timed,
+        makespan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+    use rds_sched::realization::{monte_carlo, RealizationConfig};
+
+    fn inst(seed: u64, ul: f64) -> Instance {
+        InstanceSpec::new(40, 4)
+            .seed(seed)
+            .uncertainty_level(ul)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn k_zero_recovers_heft_exactly() {
+        let i = inst(1, 4.0);
+        let heft = heft_schedule(&i);
+        let sheft = sheft_schedule(&i, 0.0);
+        assert_eq!(sheft.schedule, heft.schedule);
+        assert_eq!(sheft.makespan, heft.makespan);
+    }
+
+    #[test]
+    fn adjusted_durations_formula() {
+        let i = inst(2, 4.0);
+        let adj = risk_adjusted_durations(&i, 1.0);
+        let b = i.timing.bcet_matrix()[(0, 0)];
+        let ul = i.timing.ul_matrix()[(0, 0)];
+        let expect = ul * b + (ul - 1.0) * b / 3.0_f64.sqrt();
+        assert!((adj[(0, 0)] - expect).abs() < 1e-12);
+        // k=0 gives the plain expectation.
+        let adj0 = risk_adjusted_durations(&i, 0.0);
+        assert!((adj0[(0, 0)] - ul * b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sheft_schedules_are_valid_and_deterministic() {
+        let i = inst(3, 6.0);
+        let a = sheft_schedule(&i, 1.0);
+        let b = sheft_schedule(&i, 1.0);
+        assert_eq!(a.schedule, b.schedule);
+        assert!(a.schedule.validate_against(&i.graph).is_ok());
+        assert!(a.makespan > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_k_rejected() {
+        let i = inst(4, 2.0);
+        let _ = sheft_schedule(&i, -1.0);
+    }
+
+    #[test]
+    fn sheft_expected_makespan_stays_comparable() {
+        // Risk adjustment must not blow up the expected makespan: it plans
+        // with inflated durations but executes the same task set. Allow a
+        // generous factor.
+        for seed in 0..5 {
+            let i = inst(seed, 6.0);
+            let heft = heft_schedule(&i);
+            let sheft = sheft_schedule(&i, 1.0);
+            assert!(
+                sheft.makespan <= 1.5 * heft.makespan,
+                "seed {seed}: SHEFT {} vs HEFT {}",
+                sheft.makespan,
+                heft.makespan
+            );
+        }
+    }
+
+    #[test]
+    fn sheft_tends_to_reduce_tail_risk_at_high_uncertainty() {
+        // Aggregate over several instances: the 95th-percentile realized
+        // makespan (absolute time, not relative) under SHEFT(1) should on
+        // average not exceed HEFT's — the variance-aware placements avoid
+        // high-σ processors.
+        let mut wins = 0usize;
+        let total = 8;
+        for seed in 0..total {
+            let i = inst(seed as u64, 8.0);
+            let mc = RealizationConfig::with_realizations(300).seed(seed as u64);
+            let heft = heft_schedule(&i);
+            let sheft = sheft_schedule(&i, 1.0);
+            let h = monte_carlo(&i, &heft.schedule, &mc).unwrap();
+            let s = monte_carlo(&i, &sheft.schedule, &mc).unwrap();
+            if s.makespans.quantile(0.95) <= h.makespans.quantile(0.95) * 1.02 {
+                wins += 1;
+            }
+        }
+        assert!(
+            wins >= total / 2,
+            "SHEFT should be tail-competitive on at least half the instances, won {wins}/{total}"
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-processor timelines with insertion-based slot search.
+//!
+//! HEFT's processor selection computes, for every candidate processor, the
+//! earliest start compatible with (a) the task's ready time and (b) the
+//! processor's already-committed busy intervals — optionally *inserting*
+//! the task into an idle gap between two committed intervals (the
+//! "insertion-based scheduling policy" of Topcuoglu et al. §III-C).
+
+use rds_graph::TaskId;
+
+/// One busy interval on a processor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Slot {
+    /// Start time.
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+    /// The occupying task.
+    pub task: TaskId,
+}
+
+/// A processor's committed busy intervals, kept sorted by start time.
+#[derive(Debug, Clone, Default)]
+pub struct ProcTimeline {
+    slots: Vec<Slot>,
+}
+
+impl ProcTimeline {
+    /// An empty timeline.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The committed intervals in time order.
+    #[inline]
+    pub fn slots(&self) -> &[Slot] {
+        &self.slots
+    }
+
+    /// The finish time of the last committed interval (0 when idle).
+    pub fn last_finish(&self) -> f64 {
+        self.slots.last().map_or(0.0, |s| s.finish)
+    }
+
+    /// Earliest start time `≥ ready` for a task of length `duration`.
+    ///
+    /// With `insertion`, idle gaps between committed intervals are
+    /// considered; otherwise the task can only go after the last interval.
+    pub fn earliest_start(&self, ready: f64, duration: f64, insertion: bool) -> f64 {
+        if insertion {
+            // Gap before the first slot.
+            let mut prev_finish = 0.0_f64;
+            for s in &self.slots {
+                let candidate = ready.max(prev_finish);
+                if candidate + duration <= s.start {
+                    return candidate;
+                }
+                prev_finish = prev_finish.max(s.finish);
+            }
+            ready.max(prev_finish)
+        } else {
+            ready.max(self.last_finish())
+        }
+    }
+
+    /// Commits the interval `[start, start + duration)` for `task`.
+    ///
+    /// # Panics
+    /// Panics (debug assertions) when the interval overlaps a committed one
+    /// — callers must only commit starts returned by
+    /// [`Self::earliest_start`].
+    pub fn commit(&mut self, start: f64, duration: f64, task: TaskId) {
+        let finish = start + duration;
+        let idx = self
+            .slots
+            .partition_point(|s| s.start < start);
+        debug_assert!(
+            idx == 0 || self.slots[idx - 1].finish <= start + 1e-9,
+            "overlap with previous slot"
+        );
+        debug_assert!(
+            idx == self.slots.len() || finish <= self.slots[idx].start + 1e-9,
+            "overlap with next slot"
+        );
+        self.slots.insert(
+            idx,
+            Slot {
+                start,
+                finish,
+                task,
+            },
+        );
+    }
+
+    /// The tasks in execution order.
+    pub fn task_order(&self) -> Vec<TaskId> {
+        self.slots.iter().map(|s| s.task).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_timeline_starts_at_ready() {
+        let t = ProcTimeline::new();
+        assert_eq!(t.earliest_start(3.0, 2.0, true), 3.0);
+        assert_eq!(t.earliest_start(0.0, 2.0, false), 0.0);
+        assert_eq!(t.last_finish(), 0.0);
+    }
+
+    #[test]
+    fn append_only_ignores_gaps() {
+        let mut t = ProcTimeline::new();
+        t.commit(5.0, 5.0, TaskId(0));
+        // A gap [0,5) exists but append-only scheduling skips it.
+        assert_eq!(t.earliest_start(0.0, 2.0, false), 10.0);
+        assert_eq!(t.earliest_start(0.0, 2.0, true), 0.0);
+    }
+
+    #[test]
+    fn insertion_finds_middle_gap() {
+        let mut t = ProcTimeline::new();
+        t.commit(0.0, 2.0, TaskId(0)); // [0,2)
+        t.commit(6.0, 2.0, TaskId(1)); // [6,8)
+        // Gap [2,6): a 3-long task fits at 2.
+        assert_eq!(t.earliest_start(0.0, 3.0, true), 2.0);
+        // A 5-long task does not fit; goes after 8.
+        assert_eq!(t.earliest_start(0.0, 5.0, true), 8.0);
+        // Ready time inside the gap shifts the candidate.
+        assert_eq!(t.earliest_start(3.0, 3.0, true), 3.0);
+        // Ready time that leaves too little room pushes past the gap.
+        assert_eq!(t.earliest_start(4.0, 3.0, true), 8.0);
+    }
+
+    #[test]
+    fn commit_keeps_slots_sorted() {
+        let mut t = ProcTimeline::new();
+        t.commit(6.0, 2.0, TaskId(1));
+        t.commit(0.0, 2.0, TaskId(0));
+        t.commit(3.0, 1.0, TaskId(2));
+        assert_eq!(t.task_order(), vec![TaskId(0), TaskId(2), TaskId(1)]);
+        assert_eq!(t.last_finish(), 8.0);
+    }
+
+    #[test]
+    fn exact_fit_in_gap() {
+        let mut t = ProcTimeline::new();
+        t.commit(0.0, 2.0, TaskId(0));
+        t.commit(5.0, 1.0, TaskId(1));
+        // Gap [2,5): exactly 3 long.
+        assert_eq!(t.earliest_start(0.0, 3.0, true), 2.0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "overlap")]
+    fn overlapping_commit_panics_in_debug() {
+        let mut t = ProcTimeline::new();
+        t.commit(0.0, 5.0, TaskId(0));
+        t.commit(3.0, 1.0, TaskId(1));
+    }
+}

@@ -1,0 +1,163 @@
+//! Platform generation.
+//!
+//! The paper's experiments use fully connected processors; it "does not
+//! consider the variation in data transfer rates", so the default platform
+//! has uniform unit rates. Heterogeneous-rate platforms are supported for
+//! extension studies (rates drawn log-uniformly within a span).
+
+use rand::Rng;
+
+use rds_stats::matrix::Matrix;
+use rds_stats::rng::rng_from_seed;
+
+use crate::proc::{Platform, PlatformError};
+
+/// Specification of a random platform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformSpec {
+    /// Number of processors `m` ≥ 1.
+    pub procs: usize,
+    /// Base transfer rate (uniform value, or geometric mean when
+    /// `rate_span > 1`).
+    pub base_rate: f64,
+    /// Heterogeneity span: each directed link rate is drawn log-uniformly in
+    /// `[base/√span, base·√span]`. `1.0` (default) yields uniform rates.
+    pub rate_span: f64,
+    /// Make the rate matrix symmetric (`TR[a][b] == TR[b][a]`).
+    pub symmetric: bool,
+}
+
+impl PlatformSpec {
+    /// The paper's setup: `m` fully connected processors, uniform unit
+    /// transfer rates.
+    #[must_use]
+    pub fn uniform(procs: usize) -> Self {
+        Self {
+            procs,
+            base_rate: 1.0,
+            rate_span: 1.0,
+            symmetric: true,
+        }
+    }
+
+    /// Enables heterogeneous link rates with the given span (`≥ 1`).
+    #[must_use]
+    pub fn heterogeneous(mut self, span: f64) -> Self {
+        self.rate_span = span;
+        self
+    }
+
+    /// Sets the base rate.
+    #[must_use]
+    pub fn base_rate(mut self, rate: f64) -> Self {
+        self.base_rate = rate;
+        self
+    }
+
+    /// Generates the platform deterministically from a seed.
+    ///
+    /// # Errors
+    /// Returns [`PlatformError`] for invalid parameters.
+    pub fn generate(&self, seed: u64) -> Result<Platform, PlatformError> {
+        let mut rng = rng_from_seed(seed);
+        self.generate_with(&mut rng)
+    }
+
+    /// Generates the platform drawing randomness from the provided RNG.
+    ///
+    /// # Errors
+    /// Returns [`PlatformError`] for invalid parameters.
+    pub fn generate_with<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Platform, PlatformError> {
+        if self.rate_span <= 1.0 {
+            return Platform::uniform(self.procs, self.base_rate);
+        }
+        let m = self.procs;
+        if m == 0 {
+            return Err(PlatformError::Empty);
+        }
+        let half_span = self.rate_span.sqrt();
+        let lo = (self.base_rate / half_span).ln();
+        let hi = (self.base_rate * half_span).ln();
+        let mut rates = Matrix::filled(m, m, self.base_rate);
+        for a in 0..m {
+            for b in 0..m {
+                if a == b {
+                    continue;
+                }
+                if self.symmetric && b < a {
+                    rates[(a, b)] = rates[(b, a)];
+                } else {
+                    rates[(a, b)] = rng.gen_range(lo..hi).exp();
+                }
+            }
+        }
+        Platform::from_rates(m, rates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proc::ProcId;
+
+    #[test]
+    fn uniform_spec_generates_uniform_rates() {
+        let p = PlatformSpec::uniform(4).generate(0).unwrap();
+        assert_eq!(p.proc_count(), 4);
+        for a in p.procs() {
+            for b in p.procs() {
+                if a != b {
+                    assert_eq!(p.rate(a, b), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_rates_span_and_symmetry() {
+        let spec = PlatformSpec::uniform(6).heterogeneous(4.0).base_rate(2.0);
+        let p = spec.generate(9).unwrap();
+        for a in p.procs() {
+            for b in p.procs() {
+                if a == b {
+                    continue;
+                }
+                let r = p.rate(a, b);
+                assert!((1.0..=4.0).contains(&r), "rate {r} outside span");
+                assert_eq!(r, p.rate(b, a), "must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn asymmetric_generation() {
+        let mut spec = PlatformSpec::uniform(5).heterogeneous(8.0);
+        spec.symmetric = false;
+        let p = spec.generate(3).unwrap();
+        // With 20 directed links, at least one pair should differ.
+        let any_asym = p.procs().any(|a| {
+            p.procs()
+                .any(|b| a != b && (p.rate(a, b) - p.rate(b, a)).abs() > 1e-12)
+        });
+        assert!(any_asym);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = PlatformSpec::uniform(4).heterogeneous(3.0);
+        assert_eq!(spec.generate(5).unwrap(), spec.generate(5).unwrap());
+    }
+
+    #[test]
+    fn zero_procs_is_error() {
+        assert!(PlatformSpec::uniform(0).generate(0).is_err());
+        assert!(PlatformSpec::uniform(0).heterogeneous(2.0).generate(0).is_err());
+    }
+
+    #[test]
+    fn single_proc_platform_works() {
+        let p = PlatformSpec::uniform(1).generate(0).unwrap();
+        assert_eq!(p.proc_count(), 1);
+        assert_eq!(p.comm_time(100.0, ProcId(0), ProcId(0)), 0.0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Heterogeneous platform model (§3.1 of the paper).
+//!
+//! A computing system is a set `P = {p_1..p_m}` of `m` fully connected
+//! heterogeneous processors with:
+//!
+//! * a transfer-rate matrix `TR` (m×m) — the communication time for `d`
+//!   units of data from a task on `p_a` to one on `p_b` is `d / TR[a][b]`,
+//!   and **zero** when `a == b` (intra-processor communication is free);
+//! * a best-case execution time matrix `B` (n×m);
+//! * an uncertainty-level matrix `UL` (n×m): the *actual* execution time of
+//!   task `i` on processor `j` is `c_ij ~ U(b_ij, (2·UL_ij − 1)·b_ij)` with
+//!   expectation `UL_ij · b_ij`. Schedulers only ever see the expectation;
+//!   realizations are drawn by the Monte Carlo engine.
+//!
+//! [`Platform`] carries the processor count and `TR`; [`TimingModel`]
+//! carries `B` and `UL` for one (graph, platform) pairing.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod gen;
+pub mod proc;
+pub mod timing;
+
+pub use gen::PlatformSpec;
+pub use proc::{Platform, ProcId};
+pub use timing::{RealizationLaw, TimingModel};

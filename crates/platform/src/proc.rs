@@ -1,0 +1,258 @@
+//! Processors and the fully connected interconnect.
+
+use std::fmt;
+
+use rds_stats::matrix::Matrix;
+
+/// Dense processor identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Errors from platform construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// The transfer-rate matrix was not `m × m`.
+    RateShape {
+        /// Expected processor count.
+        procs: usize,
+        /// Actual rows of the provided matrix.
+        rows: usize,
+        /// Actual cols of the provided matrix.
+        cols: usize,
+    },
+    /// A transfer rate was zero, negative or non-finite.
+    InvalidRate {
+        /// Source processor.
+        from: ProcId,
+        /// Destination processor.
+        to: ProcId,
+        /// Offending rate.
+        rate: f64,
+    },
+    /// The platform had no processors.
+    Empty,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::RateShape { procs, rows, cols } => write!(
+                f,
+                "transfer-rate matrix must be {procs}x{procs}, got {rows}x{cols}"
+            ),
+            PlatformError::InvalidRate { from, to, rate } => {
+                write!(f, "invalid transfer rate {rate} for {from} -> {to}")
+            }
+            PlatformError::Empty => write!(f, "platform must have at least one processor"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// A fully connected heterogeneous multiprocessor.
+///
+/// Communication between distinct processors costs `data / rate`; on the
+/// same processor it costs zero (§3.1: intra-processor communication cost
+/// is assumed to be zero). Communication never contends and overlaps with
+/// computation, so no link-occupancy bookkeeping is needed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    rates: Matrix,
+}
+
+impl Platform {
+    /// A platform of `m` processors with every inter-processor link at
+    /// `rate` data units per time unit.
+    ///
+    /// # Errors
+    /// Returns [`PlatformError`] when `m == 0` or `rate` is invalid.
+    pub fn uniform(m: usize, rate: f64) -> Result<Self, PlatformError> {
+        if m == 0 {
+            return Err(PlatformError::Empty);
+        }
+        if !(rate.is_finite() && rate > 0.0) {
+            return Err(PlatformError::InvalidRate {
+                from: ProcId(0),
+                to: ProcId(0),
+                rate,
+            });
+        }
+        Ok(Self {
+            rates: Matrix::filled(m, m, rate),
+        })
+    }
+
+    /// A platform from an explicit `m × m` transfer-rate matrix.
+    ///
+    /// Diagonal entries are ignored (intra-processor communication is free
+    /// by the model); off-diagonal entries must be positive and finite.
+    ///
+    /// # Errors
+    /// Returns [`PlatformError`] on shape or rate violations.
+    pub fn from_rates(m: usize, rates: Matrix) -> Result<Self, PlatformError> {
+        if m == 0 {
+            return Err(PlatformError::Empty);
+        }
+        if rates.rows() != m || rates.cols() != m {
+            return Err(PlatformError::RateShape {
+                procs: m,
+                rows: rates.rows(),
+                cols: rates.cols(),
+            });
+        }
+        for (r, c, v) in rates.iter() {
+            if r != c && !(v.is_finite() && v > 0.0) {
+                return Err(PlatformError::InvalidRate {
+                    from: ProcId(r as u32),
+                    to: ProcId(c as u32),
+                    rate: v,
+                });
+            }
+        }
+        Ok(Self { rates })
+    }
+
+    /// Number of processors `m`.
+    #[inline]
+    pub fn proc_count(&self) -> usize {
+        self.rates.rows()
+    }
+
+    /// Iterator over all processor ids.
+    pub fn procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        (0..self.proc_count() as u32).map(ProcId)
+    }
+
+    /// Transfer rate of the `from → to` link.
+    #[inline]
+    pub fn rate(&self, from: ProcId, to: ProcId) -> f64 {
+        self.rates[(from.index(), to.index())]
+    }
+
+    /// Communication time for `data` units from `from` to `to` — zero when
+    /// the processors coincide or no data moves.
+    #[inline]
+    pub fn comm_time(&self, data: f64, from: ProcId, to: ProcId) -> f64 {
+        if from == to || data == 0.0 {
+            0.0
+        } else {
+            data / self.rate(from, to)
+        }
+    }
+
+    /// Mean transfer rate over all ordered off-diagonal pairs (used by
+    /// HEFT's rank, which averages communication costs).
+    pub fn mean_rate(&self) -> f64 {
+        let m = self.proc_count();
+        if m <= 1 {
+            // No inter-processor links; any positive value works since all
+            // communication is free. Use 1 to keep `data / rate` finite.
+            return 1.0;
+        }
+        let mut sum = 0.0;
+        for (r, c, v) in self.rates.iter() {
+            if r != c {
+                sum += v;
+            }
+        }
+        sum / (m * (m - 1)) as f64
+    }
+
+    /// Mean communication time for `data` units over distinct processor
+    /// pairs, weighted by the probability `1/m` that two random placements
+    /// coincide (the standard "average communication cost" of HEFT).
+    pub fn mean_comm_time(&self, data: f64) -> f64 {
+        let m = self.proc_count() as f64;
+        if m <= 1.0 || data == 0.0 {
+            return 0.0;
+        }
+        // P(distinct) = (m-1)/m; mean time when distinct = data / mean_rate.
+        (m - 1.0) / m * data / self.mean_rate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_platform() {
+        let p = Platform::uniform(4, 2.0).unwrap();
+        assert_eq!(p.proc_count(), 4);
+        assert_eq!(p.rate(ProcId(0), ProcId(3)), 2.0);
+        assert_eq!(p.comm_time(10.0, ProcId(0), ProcId(1)), 5.0);
+        assert_eq!(p.comm_time(10.0, ProcId(2), ProcId(2)), 0.0);
+        assert_eq!(p.comm_time(0.0, ProcId(0), ProcId(1)), 0.0);
+        assert_eq!(p.mean_rate(), 2.0);
+    }
+
+    #[test]
+    fn rejects_empty_or_bad_rate() {
+        assert_eq!(Platform::uniform(0, 1.0).unwrap_err(), PlatformError::Empty);
+        assert!(matches!(
+            Platform::uniform(2, 0.0).unwrap_err(),
+            PlatformError::InvalidRate { .. }
+        ));
+        assert!(matches!(
+            Platform::uniform(2, f64::NAN).unwrap_err(),
+            PlatformError::InvalidRate { .. }
+        ));
+    }
+
+    #[test]
+    fn from_rates_validates_shape_and_entries() {
+        let bad_shape = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Platform::from_rates(2, bad_shape).unwrap_err(),
+            PlatformError::RateShape { .. }
+        ));
+
+        // Zero off-diagonal is invalid; zero diagonal is fine (ignored).
+        let mut rates = Matrix::filled(2, 2, 1.0);
+        rates[(0, 0)] = 0.0;
+        rates[(1, 1)] = 0.0;
+        assert!(Platform::from_rates(2, rates.clone()).is_ok());
+        rates[(0, 1)] = 0.0;
+        assert!(matches!(
+            Platform::from_rates(2, rates).unwrap_err(),
+            PlatformError::InvalidRate { .. }
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_rates() {
+        let rates = Matrix::from_rows(&[&[0.0, 1.0], &[4.0, 0.0]]);
+        let p = Platform::from_rates(2, rates).unwrap();
+        assert_eq!(p.comm_time(8.0, ProcId(0), ProcId(1)), 8.0);
+        assert_eq!(p.comm_time(8.0, ProcId(1), ProcId(0)), 2.0);
+        assert_eq!(p.mean_rate(), 2.5);
+    }
+
+    #[test]
+    fn single_proc_mean_comm_is_zero() {
+        let p = Platform::uniform(1, 1.0).unwrap();
+        assert_eq!(p.mean_comm_time(100.0), 0.0);
+    }
+
+    #[test]
+    fn mean_comm_time_scales_with_data() {
+        let p = Platform::uniform(4, 2.0).unwrap();
+        // (m-1)/m * data/rate = 3/4 * 10/2 = 3.75
+        assert!((p.mean_comm_time(10.0) - 3.75).abs() < 1e-12);
+    }
+}

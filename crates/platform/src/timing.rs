@@ -1,0 +1,419 @@
+//! The timing model: BCET matrix `B`, uncertainty matrix `UL`, expected
+//! durations, and the realization law.
+//!
+//! The scheduler-facing quantity is the **expected execution time**
+//! `E[c_ij] = UL_ij · b_ij` (the paper's schedulers are fed expected times,
+//! §1). The Monte Carlo engine draws **realized** durations from
+//! `c_ij ~ U(b_ij, (2·UL_ij − 1)·b_ij)` (§5). `UL_ij = 1` degenerates to
+//! the deterministic case `c_ij = b_ij`.
+
+use rand::Rng;
+
+use rds_stats::dist::{exponential, standard_normal};
+use rds_stats::matrix::Matrix;
+
+use crate::proc::ProcId;
+
+/// The probability law actual durations are drawn from.
+///
+/// Every law shares the same two anchors so schedulers are oblivious to
+/// the choice: the support's lower end is the best case `b`, and the mean
+/// is the expected duration `UL·b`. The paper uses `Uniform`
+/// (`RealizationLaw::Uniform`); the others are sensitivity-analysis
+/// extensions with matched means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RealizationLaw {
+    /// The paper's law `U(b, (2·UL−1)·b)`.
+    #[default]
+    Uniform,
+    /// Normal with mean `UL·b` and the uniform's standard deviation
+    /// `(UL−1)·b/√3`, truncated below at `b` by resampling. The truncation
+    /// point sits `√3 ≈ 1.73` standard deviations below the mean, so the
+    /// truncated mean is inflated by `λ(√3)·σ ≈ 0.093·σ` (~2–4%).
+    TruncatedNormal,
+    /// `b + Exp(mean = (UL−1)·b)` — same mean, heavier right tail; the
+    /// adversarial case for slack-based robustness.
+    ShiftedExponential,
+}
+
+/// Errors from timing-model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingError {
+    /// `B` and `UL` shapes disagree.
+    ShapeMismatch {
+        /// BCET rows/cols.
+        bcet: (usize, usize),
+        /// UL rows/cols.
+        ul: (usize, usize),
+    },
+    /// A BCET entry was non-positive or non-finite.
+    InvalidBcet {
+        /// Task row.
+        task: usize,
+        /// Processor column.
+        proc: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// An uncertainty level was below 1 or non-finite.
+    InvalidUl {
+        /// Task row.
+        task: usize,
+        /// Processor column.
+        proc: usize,
+        /// Offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for TimingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TimingError::ShapeMismatch { bcet, ul } => write!(
+                f,
+                "BCET is {}x{} but UL is {}x{}",
+                bcet.0, bcet.1, ul.0, ul.1
+            ),
+            TimingError::InvalidBcet { task, proc, value } => {
+                write!(f, "invalid BCET {value} for task {task} on proc {proc}")
+            }
+            TimingError::InvalidUl { task, proc, value } => {
+                write!(f, "invalid UL {value} for task {task} on proc {proc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TimingError {}
+
+/// Per-(task, processor) best-case times and uncertainty levels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingModel {
+    bcet: Matrix,
+    ul: Matrix,
+    law: RealizationLaw,
+}
+
+impl TimingModel {
+    /// Builds a timing model from a BCET matrix and an UL matrix of equal
+    /// shape.
+    ///
+    /// # Errors
+    /// Returns [`TimingError`] when shapes disagree, a BCET entry is not a
+    /// positive finite number, or an UL entry is below 1/non-finite.
+    pub fn new(bcet: Matrix, ul: Matrix) -> Result<Self, TimingError> {
+        if bcet.rows() != ul.rows() || bcet.cols() != ul.cols() {
+            return Err(TimingError::ShapeMismatch {
+                bcet: (bcet.rows(), bcet.cols()),
+                ul: (ul.rows(), ul.cols()),
+            });
+        }
+        for (t, p, v) in bcet.iter() {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(TimingError::InvalidBcet {
+                    task: t,
+                    proc: p,
+                    value: v,
+                });
+            }
+        }
+        for (t, p, v) in ul.iter() {
+            if !(v.is_finite() && v >= 1.0) {
+                return Err(TimingError::InvalidUl {
+                    task: t,
+                    proc: p,
+                    value: v,
+                });
+            }
+        }
+        Ok(Self {
+            bcet,
+            ul,
+            law: RealizationLaw::Uniform,
+        })
+    }
+
+    /// Switches the realization law (the scheduler-facing expectations are
+    /// unaffected — all laws share the mean `UL·b`).
+    #[must_use]
+    pub fn with_law(mut self, law: RealizationLaw) -> Self {
+        self.law = law;
+        self
+    }
+
+    /// The realization law in effect.
+    #[inline]
+    pub fn law(&self) -> RealizationLaw {
+        self.law
+    }
+
+    /// A deterministic model: `UL ≡ 1`, so expected = best case = realized.
+    ///
+    /// # Errors
+    /// Returns [`TimingError`] on invalid BCET entries.
+    pub fn deterministic(bcet: Matrix) -> Result<Self, TimingError> {
+        let ul = Matrix::filled(bcet.rows(), bcet.cols(), 1.0);
+        Self::new(bcet, ul)
+    }
+
+    /// Number of tasks (rows).
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.bcet.rows()
+    }
+
+    /// Number of processors (columns).
+    #[inline]
+    pub fn proc_count(&self) -> usize {
+        self.bcet.cols()
+    }
+
+    /// Best-case execution time `b_ij`.
+    #[inline]
+    pub fn best_case(&self, task: usize, proc: ProcId) -> f64 {
+        self.bcet[(task, proc.index())]
+    }
+
+    /// Uncertainty level `UL_ij ≥ 1`.
+    #[inline]
+    pub fn uncertainty(&self, task: usize, proc: ProcId) -> f64 {
+        self.ul[(task, proc.index())]
+    }
+
+    /// Expected execution time `UL_ij · b_ij` — what schedulers see.
+    #[inline]
+    pub fn expected(&self, task: usize, proc: ProcId) -> f64 {
+        self.ul[(task, proc.index())] * self.bcet[(task, proc.index())]
+    }
+
+    /// Mean *expected* execution time of `task` across processors (HEFT's
+    /// `w̄_i`).
+    pub fn mean_expected(&self, task: usize) -> f64 {
+        let m = self.proc_count();
+        (0..m)
+            .map(|p| self.expected(task, ProcId(p as u32)))
+            .sum::<f64>()
+            / m as f64
+    }
+
+    /// Draws one realized duration from the configured law (default:
+    /// `c_ij ~ U(b_ij, (2·UL_ij − 1)·b_ij)`, the paper's §5 model).
+    ///
+    /// `UL_ij = 1` degenerates to `b_ij` exactly under every law.
+    pub fn sample<R: Rng + ?Sized>(&self, task: usize, proc: ProcId, rng: &mut R) -> f64 {
+        let b = self.best_case(task, proc);
+        let ul = self.uncertainty(task, proc);
+        if ul <= 1.0 {
+            return b;
+        }
+        match self.law {
+            RealizationLaw::Uniform => {
+                let hi = (2.0 * ul - 1.0) * b;
+                rng.gen_range(b..hi)
+            }
+            RealizationLaw::TruncatedNormal => {
+                let mean = ul * b;
+                let sd = (ul - 1.0) * b / 3.0_f64.sqrt();
+                // Resample below-support draws; acceptance > 95% at UL>=2.
+                loop {
+                    let x = mean + sd * standard_normal(rng);
+                    if x >= b {
+                        return x;
+                    }
+                }
+            }
+            RealizationLaw::ShiftedExponential => b + exponential((ul - 1.0) * b, rng),
+        }
+    }
+
+    /// Samples a full duration vector for an assignment `task → proc`
+    /// (`assignment[i]` is task `i`'s processor). One realization of the
+    /// schedule's execution environment.
+    pub fn sample_assigned<R: Rng + ?Sized>(
+        &self,
+        assignment: &[ProcId],
+        rng: &mut R,
+    ) -> Vec<f64> {
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(t, &p)| self.sample(t, p, rng))
+            .collect()
+    }
+
+    /// The BCET matrix.
+    #[inline]
+    pub fn bcet_matrix(&self) -> &Matrix {
+        &self.bcet
+    }
+
+    /// The UL matrix.
+    #[inline]
+    pub fn ul_matrix(&self) -> &Matrix {
+        &self.ul
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_stats::describe::OnlineStats;
+    use rds_stats::rng::rng_from_seed;
+
+    fn model() -> TimingModel {
+        let bcet = Matrix::from_rows(&[&[2.0, 4.0], &[6.0, 8.0]]);
+        let ul = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 1.5]]);
+        TimingModel::new(bcet, ul).unwrap()
+    }
+
+    #[test]
+    fn expected_is_ul_times_bcet() {
+        let m = model();
+        assert_eq!(m.expected(0, ProcId(0)), 2.0);
+        assert_eq!(m.expected(0, ProcId(1)), 8.0);
+        assert_eq!(m.expected(1, ProcId(0)), 18.0);
+        assert_eq!(m.expected(1, ProcId(1)), 12.0);
+        assert_eq!(m.mean_expected(0), 5.0);
+        assert_eq!(m.mean_expected(1), 15.0);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let bcet = Matrix::zeros(2, 2).map(|_| 1.0);
+        let ul = Matrix::filled(2, 3, 1.0);
+        assert!(matches!(
+            TimingModel::new(bcet, ul).unwrap_err(),
+            TimingError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn invalid_entries_rejected() {
+        let bad_b = Matrix::from_rows(&[&[0.0]]);
+        assert!(matches!(
+            TimingModel::new(bad_b, Matrix::filled(1, 1, 1.0)).unwrap_err(),
+            TimingError::InvalidBcet { .. }
+        ));
+        let b = Matrix::from_rows(&[&[1.0]]);
+        let bad_ul = Matrix::from_rows(&[&[0.5]]);
+        assert!(matches!(
+            TimingModel::new(b, bad_ul).unwrap_err(),
+            TimingError::InvalidUl { .. }
+        ));
+    }
+
+    #[test]
+    fn deterministic_sampling_returns_bcet() {
+        let bcet = Matrix::from_rows(&[&[3.0, 5.0]]);
+        let m = TimingModel::deterministic(bcet).unwrap();
+        let mut rng = rng_from_seed(0);
+        for _ in 0..10 {
+            assert_eq!(m.sample(0, ProcId(0), &mut rng), 3.0);
+            assert_eq!(m.sample(0, ProcId(1), &mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn sample_bounds_and_mean() {
+        // UL=3, b=2: U(2, 10), mean 6 = UL*b.
+        let bcet = Matrix::from_rows(&[&[2.0]]);
+        let ul = Matrix::from_rows(&[&[3.0]]);
+        let m = TimingModel::new(bcet, ul).unwrap();
+        let mut rng = rng_from_seed(5);
+        let mut st = OnlineStats::new();
+        for _ in 0..100_000 {
+            let c = m.sample(0, ProcId(0), &mut rng);
+            assert!((2.0..10.0).contains(&c));
+            st.push(c);
+        }
+        assert!((st.mean() - 6.0).abs() < 0.05, "mean {}", st.mean());
+    }
+
+    #[test]
+    fn realized_can_be_below_expected() {
+        // Crucial for the miss-rate metric: with UL>1 roughly half of the
+        // mass lies below the expectation.
+        let bcet = Matrix::from_rows(&[&[2.0]]);
+        let ul = Matrix::from_rows(&[&[3.0]]);
+        let m = TimingModel::new(bcet, ul).unwrap();
+        let mut rng = rng_from_seed(6);
+        let below = (0..10_000)
+            .filter(|_| m.sample(0, ProcId(0), &mut rng) < m.expected(0, ProcId(0)))
+            .count();
+        assert!((4500..5500).contains(&below), "below {below}");
+    }
+
+    #[test]
+    fn alternative_laws_share_support_floor_and_mean() {
+        let bcet = Matrix::from_rows(&[&[2.0]]);
+        let ul = Matrix::from_rows(&[&[3.0]]);
+        for law in [
+            RealizationLaw::Uniform,
+            RealizationLaw::TruncatedNormal,
+            RealizationLaw::ShiftedExponential,
+        ] {
+            let m = TimingModel::new(bcet.clone(), ul.clone())
+                .unwrap()
+                .with_law(law);
+            assert_eq!(m.law(), law);
+            // Expected duration is law-independent.
+            assert_eq!(m.expected(0, ProcId(0)), 6.0);
+            let mut rng = rng_from_seed(42);
+            let mut st = OnlineStats::new();
+            for _ in 0..60_000 {
+                let c = m.sample(0, ProcId(0), &mut rng);
+                assert!(c >= 2.0, "{law:?} violated the BCET floor: {c}");
+                st.push(c);
+            }
+            // Mean UL*b = 6. The truncated normal's mean is inflated by
+            // λ(√3)·σ ≈ 0.215 here; allow for it.
+            assert!(
+                (st.mean() - 6.0).abs() < 0.3,
+                "{law:?} mean {}",
+                st.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_law_has_the_heaviest_tail() {
+        let bcet = Matrix::from_rows(&[&[2.0]]);
+        let ul = Matrix::from_rows(&[&[3.0]]);
+        let p99 = |law: RealizationLaw| -> f64 {
+            let m = TimingModel::new(bcet.clone(), ul.clone()).unwrap().with_law(law);
+            let mut rng = rng_from_seed(7);
+            let mut xs: Vec<f64> = (0..40_000).map(|_| m.sample(0, ProcId(0), &mut rng)).collect();
+            xs.sort_by(f64::total_cmp);
+            xs[(xs.len() as f64 * 0.99) as usize]
+        };
+        let uni = p99(RealizationLaw::Uniform);
+        let exp = p99(RealizationLaw::ShiftedExponential);
+        assert!(exp > uni, "exp p99 {exp} should exceed uniform p99 {uni}");
+    }
+
+    #[test]
+    fn ul_one_is_deterministic_under_every_law() {
+        let bcet = Matrix::from_rows(&[&[5.0]]);
+        for law in [
+            RealizationLaw::Uniform,
+            RealizationLaw::TruncatedNormal,
+            RealizationLaw::ShiftedExponential,
+        ] {
+            let m = TimingModel::deterministic(bcet.clone()).unwrap().with_law(law);
+            let mut rng = rng_from_seed(1);
+            assert_eq!(m.sample(0, ProcId(0), &mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn sample_assigned_uses_assignment() {
+        let m = model();
+        let mut rng = rng_from_seed(1);
+        let durs = m.sample_assigned(&[ProcId(0), ProcId(1)], &mut rng);
+        assert_eq!(durs.len(), 2);
+        // Task 0 on p0 has UL=1 -> deterministic 2.0.
+        assert_eq!(durs[0], 2.0);
+        // Task 1 on p1: U(8, 16).
+        assert!((8.0..16.0).contains(&durs[1]));
+    }
+}

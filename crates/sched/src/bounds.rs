@@ -1,0 +1,183 @@
+//! Makespan lower bounds and schedule-efficiency metrics.
+//!
+//! Useful for judging how much of a schedule's makespan is workload-
+//! intrinsic versus scheduler-inflicted:
+//!
+//! * **critical-path bound** — no schedule can beat the longest chain of
+//!   (best-processor) expected durations, even with free communication;
+//! * **work bound** — `m` processors cannot execute faster than the total
+//!   (best-processor) expected work divided by `m`;
+//! * **utilization / speedup / efficiency** — the classic parallel
+//!   metrics, computed from a timed schedule.
+
+use rds_graph::{paths, TaskId};
+
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::timing::TimedSchedule;
+
+/// Lower bounds on the expected makespan of *any* schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MakespanBounds {
+    /// Longest chain of per-task best-processor expected durations
+    /// (communication ignored — a valid relaxation).
+    pub critical_path: f64,
+    /// Total best-processor expected work divided by the processor count.
+    pub work: f64,
+}
+
+impl MakespanBounds {
+    /// The tighter (larger) of the two bounds.
+    #[must_use]
+    pub fn best(&self) -> f64 {
+        self.critical_path.max(self.work)
+    }
+}
+
+/// Computes both lower bounds for an instance.
+#[must_use]
+pub fn makespan_lower_bounds(inst: &Instance) -> MakespanBounds {
+    let best_dur = |t: TaskId| -> f64 {
+        inst.platform
+            .procs()
+            .map(|p| inst.expected(t, p))
+            .fold(f64::INFINITY, f64::min)
+    };
+    let critical_path = paths::critical_path_length(&inst.graph, best_dur, |_, _, _| 0.0);
+    let total: f64 = inst.graph.tasks().map(best_dur).sum();
+    MakespanBounds {
+        critical_path,
+        work: total / inst.proc_count() as f64,
+    }
+}
+
+/// Efficiency metrics of one timed schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleEfficiency {
+    /// Fraction of the `m × makespan` area spent computing.
+    pub utilization: f64,
+    /// Serial time (sum of assigned durations) over the makespan.
+    pub speedup: f64,
+    /// `speedup / m`.
+    pub efficiency: f64,
+    /// Ratio of the makespan to the best lower bound (≥ 1; 1 = provably
+    /// optimal).
+    pub bound_ratio: f64,
+}
+
+/// Computes efficiency metrics for a schedule under its expected
+/// durations.
+///
+/// # Panics
+/// Panics when the timed schedule's makespan is zero with tasks present.
+#[must_use]
+pub fn efficiency(
+    inst: &Instance,
+    schedule: &Schedule,
+    timed: &TimedSchedule,
+) -> ScheduleEfficiency {
+    let m = inst.proc_count() as f64;
+    let busy: f64 = inst
+        .graph
+        .tasks()
+        .map(|t| timed.finish_of(t) - timed.start_of(t))
+        .sum();
+    let makespan = timed.makespan;
+    assert!(
+        makespan > 0.0 || inst.task_count() == 0,
+        "non-empty schedule must have positive makespan"
+    );
+    let bounds = makespan_lower_bounds(inst);
+    // "Serial time" = executing every task on its assigned processor
+    // back-to-back.
+    let serial: f64 = busy;
+    let _ = schedule;
+    ScheduleEfficiency {
+        utilization: if makespan > 0.0 { busy / (m * makespan) } else { 0.0 },
+        speedup: if makespan > 0.0 { serial / makespan } else { 0.0 },
+        efficiency: if makespan > 0.0 { serial / makespan / m } else { 0.0 },
+        bound_ratio: if bounds.best() > 0.0 {
+            makespan / bounds.best()
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+    use crate::timing::evaluate_expected;
+    use rds_platform::ProcId;
+
+    fn heft_like(inst: &Instance) -> Schedule {
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let m = inst.proc_count();
+        let assignment: Vec<ProcId> = (0..inst.task_count())
+            .map(|i| ProcId((i % m) as u32))
+            .collect();
+        Schedule::from_order_and_assignment(&order, &assignment, m).unwrap()
+    }
+
+    #[test]
+    fn bounds_are_actual_lower_bounds() {
+        for seed in 0..8 {
+            let inst = InstanceSpec::new(40, 4).seed(seed).build().unwrap();
+            let bounds = makespan_lower_bounds(&inst);
+            assert!(bounds.critical_path > 0.0);
+            assert!(bounds.work > 0.0);
+            let s = heft_like(&inst);
+            let t = evaluate_expected(&inst.graph, &inst.platform, &inst.timing, &s).unwrap();
+            assert!(
+                t.makespan >= bounds.best() - 1e-9,
+                "seed {seed}: makespan {} below bound {}",
+                t.makespan,
+                bounds.best()
+            );
+        }
+    }
+
+    #[test]
+    fn chain_bound_is_the_chain_length() {
+        use rds_graph::gen::workflows::chain;
+        use rds_platform::{Platform, TimingModel};
+        use rds_stats::matrix::Matrix;
+        let g = chain(5, 0.0);
+        let bcet = Matrix::filled(5, 2, 3.0);
+        let inst = Instance::new(
+            g,
+            Platform::uniform(2, 1.0).unwrap(),
+            TimingModel::deterministic(bcet).unwrap(),
+        )
+        .unwrap();
+        let b = makespan_lower_bounds(&inst);
+        assert_eq!(b.critical_path, 15.0);
+        assert_eq!(b.work, 7.5);
+        assert_eq!(b.best(), 15.0);
+    }
+
+    #[test]
+    fn efficiency_metrics_are_consistent() {
+        let inst = InstanceSpec::new(40, 4).seed(3).build().unwrap();
+        let s = heft_like(&inst);
+        let t = evaluate_expected(&inst.graph, &inst.platform, &inst.timing, &s).unwrap();
+        let e = efficiency(&inst, &s, &t);
+        assert!(e.utilization > 0.0 && e.utilization <= 1.0 + 1e-9);
+        assert!(e.speedup > 0.0);
+        assert!((e.efficiency - e.speedup / 4.0).abs() < 1e-12);
+        assert!((e.utilization - e.efficiency).abs() < 1e-12, "equal by definition here");
+        assert!(e.bound_ratio >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn single_proc_full_utilization() {
+        let inst = InstanceSpec::new(10, 1).seed(1).ccr(0.0).build().unwrap();
+        let s = heft_like(&inst);
+        let t = evaluate_expected(&inst.graph, &inst.platform, &inst.timing, &s).unwrap();
+        let e = efficiency(&inst, &s, &t);
+        // One processor, no comm: tasks run back to back.
+        assert!((e.utilization - 1.0).abs() < 1e-9);
+        assert!((e.speedup - 1.0).abs() < 1e-9);
+    }
+}

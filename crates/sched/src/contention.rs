@@ -1,0 +1,284 @@
+//! Contention-aware schedule evaluation (single-port communication).
+//!
+//! §3.1 assumes all inter-processor communications proceed without
+//! contention — the standard macro-dataflow model. Real clusters serialize
+//! transfers on NICs. This module re-times a fixed schedule under the
+//! **single-port model**: each processor sends at most one message at a
+//! time and receives at most one message at a time; transfers are started
+//! in data-readiness order (earliest-ready-first, ties by task id).
+//!
+//! The evaluation answers an honesty question about the paper's results:
+//! does a schedule tuned for the contention-free model keep its robustness
+//! edge when the network pushes back? (`figures contention` runs the
+//! comparison; see EXPERIMENTS.md.)
+//!
+//! The simulation is event-free in the queueing sense: because the task
+//! order per processor and the message set are fixed, transfers and tasks
+//! can be committed greedily in a deterministic global order.
+
+use rds_graph::{TaskGraph, TaskId};
+use rds_platform::{Platform, ProcId};
+
+use crate::disjunctive::DisjunctiveGraph;
+use crate::schedule::Schedule;
+use crate::timing::TimedSchedule;
+
+/// One committed message transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transfer {
+    /// Producing task.
+    pub from: TaskId,
+    /// Consuming task.
+    pub to: TaskId,
+    /// Transfer start time.
+    pub start: f64,
+    /// Transfer completion time.
+    pub finish: f64,
+}
+
+/// Result of a contention-aware evaluation.
+#[derive(Debug, Clone)]
+pub struct ContentionTimed {
+    /// Task start/finish times and the makespan.
+    pub timed: TimedSchedule,
+    /// Every inter-processor transfer with its serialized window.
+    pub transfers: Vec<Transfer>,
+}
+
+/// Evaluates `schedule` under single-port contention with the given
+/// per-task durations.
+///
+/// Algorithm: process tasks in the disjunctive graph's topological order.
+/// A task's inbound cross-processor messages are scheduled against the
+/// sender's *send port* and the receiver's *receive port*, each message
+/// starting no earlier than the producer's finish and the ports' previous
+/// commitments (earliest-ready message first). The task then starts at
+/// the max of its processor-availability and its last message arrival.
+pub fn evaluate_with_contention(
+    graph: &TaskGraph,
+    ds: &DisjunctiveGraph,
+    schedule: &Schedule,
+    platform: &Platform,
+    durations: &[f64],
+) -> ContentionTimed {
+    let n = ds.task_count();
+    debug_assert_eq!(durations.len(), n);
+    let m = schedule.proc_count();
+
+    let mut start = vec![0.0_f64; n];
+    let mut finish = vec![0.0_f64; n];
+    let mut send_free = vec![0.0_f64; m]; // send-port availability
+    let mut recv_free = vec![0.0_f64; m]; // receive-port availability
+    let mut proc_free = vec![0.0_f64; m]; // CPU availability
+    let mut transfers = Vec::new();
+    let mut makespan = 0.0_f64;
+
+    for &t in ds.topo_order() {
+        let ti = t.index();
+        let pt = schedule.proc_of(t);
+
+        // Gather inbound cross-processor messages (graph predecessors with
+        // data, on other processors), readiness = producer finish.
+        let mut inbound: Vec<(TaskId, ProcId, f64 /*data*/, f64 /*ready*/)> = graph
+            .predecessors(t)
+            .iter()
+            .filter(|e| e.data > 0.0 && schedule.proc_of(e.task) != pt)
+            .map(|e| {
+                let q = e.task;
+                (q, schedule.proc_of(q), e.data, finish[q.index()])
+            })
+            .collect();
+        // Earliest-ready first; ties by producer id for determinism.
+        inbound.sort_by(|a, b| a.3.total_cmp(&b.3).then_with(|| a.0.cmp(&b.0)));
+
+        let mut data_ready = 0.0_f64;
+        for (q, pq, data, ready) in inbound {
+            let s = ready.max(send_free[pq.index()]).max(recv_free[pt.index()]);
+            let f = s + data / platform.rate(pq, pt);
+            send_free[pq.index()] = f;
+            recv_free[pt.index()] = f;
+            transfers.push(Transfer {
+                from: q,
+                to: t,
+                start: s,
+                finish: f,
+            });
+            if f > data_ready {
+                data_ready = f;
+            }
+        }
+
+        // Every disjunctive-graph predecessor still gates the start by its
+        // finish time: same-processor ones and zero-data cross-processor
+        // ones need no transfer but remain precedence constraints (for
+        // messaged predecessors the transfer finish already dominates).
+        let mut ready = data_ready.max(proc_free[pt.index()]);
+        for e in ds.predecessors(t) {
+            ready = ready.max(finish[e.task.index()]);
+        }
+
+        start[ti] = ready;
+        finish[ti] = ready + durations[ti];
+        proc_free[pt.index()] = finish[ti];
+        if finish[ti] > makespan {
+            makespan = finish[ti];
+        }
+    }
+
+    ContentionTimed {
+        timed: TimedSchedule {
+            start,
+            finish,
+            makespan,
+        },
+        transfers,
+    }
+}
+
+/// Contention-aware *expected* makespan of a schedule on an instance.
+///
+/// # Errors
+/// Returns an error when the schedule is incompatible with the graph.
+pub fn expected_makespan_with_contention(
+    inst: &crate::instance::Instance,
+    schedule: &Schedule,
+) -> Result<f64, crate::disjunctive::CycleError> {
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
+    let durations = crate::timing::expected_durations(&inst.timing, schedule);
+    Ok(
+        evaluate_with_contention(&inst.graph, &ds, schedule, &inst.platform, &durations)
+            .timed
+            .makespan,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+    use crate::timing::evaluate_with_durations;
+    use rds_graph::TaskGraphBuilder;
+    use rds_platform::Platform;
+
+    fn ids(xs: &[u32]) -> Vec<TaskId> {
+        xs.iter().map(|&x| TaskId(x)).collect()
+    }
+
+    /// Fan-out fixture stressing the send port: task 0 on p0 feeds tasks
+    /// 1 and 2 on p1 and p2, each with 10 units of data at rate 1.
+    fn fan_out() -> (TaskGraph, Platform, Schedule, Vec<f64>) {
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 10.0)
+            .add_edge(TaskId(0), TaskId(2), 10.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(3, 1.0).unwrap();
+        let s =
+            Schedule::from_proc_lists(3, vec![ids(&[0]), ids(&[1]), ids(&[2])]).unwrap();
+        (g, p, s, vec![2.0, 1.0, 1.0])
+    }
+
+    #[test]
+    fn single_port_serializes_fan_out() {
+        let (g, p, s, dur) = fan_out();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        // Contention-free: both transfers overlap; both consumers start at
+        // 2 + 10 = 12; makespan 13.
+        let free = evaluate_with_durations(&ds, &s, &p, &dur);
+        assert_eq!(free.makespan, 13.0);
+        // Single-port: the second transfer waits for the first; the later
+        // consumer starts at 2 + 10 + 10 = 22; makespan 23.
+        let cont = evaluate_with_contention(&g, &ds, &s, &p, &dur);
+        assert_eq!(cont.timed.makespan, 23.0);
+        assert_eq!(cont.transfers.len(), 2);
+        assert_eq!(cont.transfers[0].start, 2.0);
+        assert_eq!(cont.transfers[0].finish, 12.0);
+        assert_eq!(cont.transfers[1].start, 12.0);
+        assert_eq!(cont.transfers[1].finish, 22.0);
+    }
+
+    #[test]
+    fn contention_never_beats_contention_free() {
+        for seed in 0..6 {
+            let inst = InstanceSpec::new(30, 4).seed(seed).ccr(1.0).build().unwrap();
+            let heft = rds_heft_like(&inst);
+            let ds = DisjunctiveGraph::build(&inst.graph, &heft).unwrap();
+            let dur = crate::timing::expected_durations(&inst.timing, &heft);
+            let free = evaluate_with_durations(&ds, &heft, &inst.platform, &dur).makespan;
+            let cont =
+                evaluate_with_contention(&inst.graph, &ds, &heft, &inst.platform, &dur)
+                    .timed
+                    .makespan;
+            assert!(
+                cont >= free - 1e-9,
+                "seed {seed}: contention {cont} < contention-free {free}"
+            );
+        }
+    }
+
+    fn rds_heft_like(inst: &crate::instance::Instance) -> Schedule {
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let m = inst.proc_count();
+        let assignment: Vec<ProcId> = (0..inst.task_count())
+            .map(|i| ProcId((i % m) as u32))
+            .collect();
+        Schedule::from_order_and_assignment(&order, &assignment, m).unwrap()
+    }
+
+    #[test]
+    fn zero_ccr_is_contention_immune() {
+        let inst = InstanceSpec::new(25, 3).seed(2).ccr(0.0).build().unwrap();
+        let s = rds_heft_like(&inst);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let dur = crate::timing::expected_durations(&inst.timing, &s);
+        let free = evaluate_with_durations(&ds, &s, &inst.platform, &dur).makespan;
+        let cont = expected_makespan_with_contention(&inst, &s).unwrap();
+        assert!((cont - free).abs() < 1e-9);
+        // And no transfers were scheduled at all.
+        let ct = evaluate_with_contention(&inst.graph, &ds, &s, &inst.platform, &dur);
+        assert!(ct.transfers.is_empty());
+    }
+
+    #[test]
+    fn transfers_never_overlap_on_a_port() {
+        let inst = InstanceSpec::new(40, 4).seed(3).ccr(2.0).build().unwrap();
+        let s = rds_heft_like(&inst);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let dur = crate::timing::expected_durations(&inst.timing, &s);
+        let ct = evaluate_with_contention(&inst.graph, &ds, &s, &inst.platform, &dur);
+        // Group transfers by sender and by receiver; check pairwise
+        // disjointness within each group.
+        let check = |key: &dyn Fn(&Transfer) -> ProcId| {
+            let mut by_port: std::collections::HashMap<ProcId, Vec<&Transfer>> =
+                std::collections::HashMap::new();
+            for tr in &ct.transfers {
+                by_port.entry(key(tr)).or_default().push(tr);
+            }
+            for (_, mut ts) in by_port {
+                ts.sort_by(|a, b| a.start.total_cmp(&b.start));
+                for w in ts.windows(2) {
+                    assert!(
+                        w[1].start >= w[0].finish - 1e-9,
+                        "port overlap: {:?} then {:?}",
+                        w[0],
+                        w[1]
+                    );
+                }
+            }
+        };
+        check(&|tr| s.proc_of(tr.from)); // send ports
+        check(&|tr| s.proc_of(tr.to)); // receive ports
+    }
+
+    #[test]
+    fn task_starts_respect_their_transfers() {
+        let inst = InstanceSpec::new(30, 3).seed(4).ccr(1.0).build().unwrap();
+        let s = rds_heft_like(&inst);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let dur = crate::timing::expected_durations(&inst.timing, &s);
+        let ct = evaluate_with_contention(&inst.graph, &ds, &s, &inst.platform, &dur);
+        for tr in &ct.transfers {
+            assert!(tr.start >= ct.timed.finish_of(tr.from) - 1e-9);
+            assert!(ct.timed.start_of(tr.to) >= tr.finish - 1e-9);
+        }
+    }
+}

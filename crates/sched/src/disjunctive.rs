@@ -1,0 +1,315 @@
+//! The disjunctive graph `G_s = (V, E ∪ E')` of Definition 3.1.
+//!
+//! For a schedule `s`, the disjunctive edge set `E'` links each pair of
+//! *consecutive* tasks on the same processor that is not already related by
+//! a graph edge. The data size of a disjunctive edge is zero; data on
+//! intra-processor graph edges is neutralized at evaluation time because
+//! the platform's `comm_time` is zero for co-located tasks — which is
+//! exactly Eq. (1)'s effect.
+//!
+//! `G_s` is acyclic **iff** the schedule's per-processor orders are
+//! compatible with the precedence constraints; [`DisjunctiveGraph::build`]
+//! verifies this with Kahn's algorithm and caches the topological order for
+//! all later timing/slack passes.
+
+use rds_graph::{TaskGraph, TaskId};
+
+use crate::schedule::Schedule;
+
+/// One edge of the disjunctive graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisEdge {
+    /// The neighbour task.
+    pub task: TaskId,
+    /// Data size (zero for pure disjunctive edges).
+    pub data: f64,
+}
+
+/// Error: the schedule contradicts the precedence constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleError;
+
+impl std::fmt::Display for CycleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "disjunctive graph is cyclic (invalid schedule)")
+    }
+}
+
+impl std::error::Error for CycleError {}
+
+/// The materialized disjunctive graph with a cached topological order.
+#[derive(Debug, Clone)]
+pub struct DisjunctiveGraph {
+    preds: Vec<Vec<DisEdge>>,
+    succs: Vec<Vec<DisEdge>>,
+    topo: Vec<TaskId>,
+    disjunctive_edges: usize,
+}
+
+impl DisjunctiveGraph {
+    /// Builds `G_s` from the application graph and a schedule, verifying
+    /// acyclicity.
+    ///
+    /// # Errors
+    /// Returns [`CycleError`] when the schedule's per-processor orders
+    /// contradict the DAG's precedence constraints.
+    ///
+    /// # Panics
+    /// Panics if `schedule.task_count() != graph.task_count()`.
+    pub fn build(graph: &TaskGraph, schedule: &Schedule) -> Result<Self, CycleError> {
+        let n = graph.task_count();
+        assert_eq!(
+            schedule.task_count(),
+            n,
+            "schedule and graph task counts must agree"
+        );
+        let mut preds: Vec<Vec<DisEdge>> = Vec::with_capacity(n);
+        let mut succs: Vec<Vec<DisEdge>> = vec![Vec::new(); n];
+
+        let mut disjunctive_edges = 0usize;
+        for t in graph.tasks() {
+            // Start from the conjunctive (graph) predecessors.
+            let mut pl: Vec<DisEdge> = graph
+                .predecessors(t)
+                .iter()
+                .map(|e| DisEdge {
+                    task: e.task,
+                    data: e.data,
+                })
+                .collect();
+            // Add the disjunctive predecessor unless it is already a graph
+            // predecessor (Def. 3.1: E' excludes edges already in E).
+            if let Some(prev) = schedule.prev_on_proc(t) {
+                if !pl.iter().any(|e| e.task == prev) {
+                    pl.push(DisEdge {
+                        task: prev,
+                        data: 0.0,
+                    });
+                    disjunctive_edges += 1;
+                }
+            }
+            for e in &pl {
+                succs[e.task.index()].push(DisEdge {
+                    task: t,
+                    data: e.data,
+                });
+            }
+            preds.push(pl);
+        }
+
+        // Kahn topological sort over the merged graph.
+        let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+        let mut ready: Vec<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|t| indeg[t.index()] == 0)
+            .collect();
+        let mut topo = Vec::with_capacity(n);
+        while let Some(t) = ready.pop() {
+            topo.push(t);
+            for e in &succs[t.index()] {
+                indeg[e.task.index()] -= 1;
+                if indeg[e.task.index()] == 0 {
+                    ready.push(e.task);
+                }
+            }
+        }
+        if topo.len() != n {
+            return Err(CycleError);
+        }
+        Ok(Self {
+            preds,
+            succs,
+            topo,
+            disjunctive_edges,
+        })
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Predecessors of `t` in `G_s` (conjunctive + disjunctive).
+    #[inline]
+    pub fn predecessors(&self, t: TaskId) -> &[DisEdge] {
+        &self.preds[t.index()]
+    }
+
+    /// Successors of `t` in `G_s`.
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[DisEdge] {
+        &self.succs[t.index()]
+    }
+
+    /// A topological order of `G_s` (cached at build time).
+    #[inline]
+    pub fn topo_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Number of pure disjunctive edges `|E'|`.
+    #[inline]
+    pub fn disjunctive_edge_count(&self) -> usize {
+        self.disjunctive_edges
+    }
+
+    /// `true` when `a` and `b` are independent in `G_s` (neither reaches the
+    /// other) — the hypothesis of Corollary 3.5.
+    pub fn are_independent(&self, a: TaskId, b: TaskId) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+
+    fn reaches(&self, from: TaskId, to: TaskId) -> bool {
+        let mut seen = vec![false; self.task_count()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(t) = stack.pop() {
+            for e in &self.succs[t.index()] {
+                if e.task == to {
+                    return true;
+                }
+                if !seen[e.task.index()] {
+                    seen[e.task.index()] = true;
+                    stack.push(e.task);
+                }
+            }
+        }
+        false
+    }
+
+    /// DOT rendering with disjunctive edges dashed, mirroring Fig. 1(d).
+    pub fn to_dot(&self, graph: &TaskGraph) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "digraph Gs {{");
+        for t in 0..self.task_count() {
+            let _ = writeln!(out, "  {t} [label=\"v{t}\"];");
+        }
+        for t in 0..self.task_count() {
+            let tid = TaskId(t as u32);
+            for e in &self.succs[t] {
+                if graph.has_edge(tid, e.task) {
+                    let _ = writeln!(out, "  {} -> {};", t, e.task.index());
+                } else {
+                    let _ = writeln!(out, "  {} -> {} [style=dashed];", t, e.task.index());
+                }
+            }
+        }
+        let _ = writeln!(out, "}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_graph::dag::fig1_example;
+    use rds_graph::TaskGraphBuilder;
+
+    fn ids(xs: &[u32]) -> Vec<TaskId> {
+        xs.iter().map(|&x| TaskId(x)).collect()
+    }
+
+    /// Fig. 1 schedule: p0=[v1,v2,v4], p1=[v3,v5,v8], p2=[v6,v7], p3=[].
+    fn fig1_schedule() -> Schedule {
+        Schedule::from_proc_lists(
+            8,
+            vec![ids(&[0, 1, 3]), ids(&[2, 4, 7]), ids(&[5, 6]), vec![]],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fig1_disjunctive_edges() {
+        let g = fig1_example(1.0);
+        let s = fig1_schedule();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        // E' pairs: (v1,v2) is in E (v0->v1 edge exists), so not in E'.
+        // (v2,v4): v1->v3 not in E => disjunctive.
+        // (v3,v5): v2->v4 in E => not in E'.
+        // (v5,v8): v4->v7 in E => not in E'.
+        // (v6,v7): v5->v6 in E => not in E'.
+        assert_eq!(ds.disjunctive_edge_count(), 1);
+        // v3 (paper v4) has disjunctive pred v1 (paper v2) with data 0.
+        let preds3: Vec<(u32, f64)> = ds
+            .predecessors(TaskId(3))
+            .iter()
+            .map(|e| (e.task.0, e.data))
+            .collect();
+        assert!(preds3.contains(&(0, 1.0))); // graph edge v1->v4
+        assert!(preds3.contains(&(1, 0.0))); // disjunctive edge v2->v4
+    }
+
+    #[test]
+    fn topo_order_is_valid() {
+        let g = fig1_example(1.0);
+        let s = fig1_schedule();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let order = ds.topo_order();
+        assert_eq!(order.len(), 8);
+        let mut pos = [0usize; 8];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for t in g.tasks() {
+            for e in ds.predecessors(t) {
+                assert!(pos[e.task.index()] < pos[t.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn cyclic_schedule_detected() {
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 1.0)
+            .add_edge(TaskId(1), TaskId(2), 1.0);
+        let g = b.build().unwrap();
+        // p0 executes 2 before 0: E' gives 2 -> 0 and E gives 0 -> .. -> 2.
+        let s = Schedule::from_proc_lists(3, vec![ids(&[2, 0, 1])]).unwrap();
+        assert!(DisjunctiveGraph::build(&g, &s).is_err());
+    }
+
+    #[test]
+    fn independent_tasks_in_gs() {
+        let g = fig1_example(1.0);
+        let s = fig1_schedule();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        // v6 (index 5) and v4 (index 3) are on different processors and not
+        // ordered by any path in Gs.
+        assert!(ds.are_independent(TaskId(5), TaskId(3)));
+        // v2 (1) precedes v4 (3) on p0 via E'.
+        assert!(!ds.are_independent(TaskId(1), TaskId(3)));
+    }
+
+    #[test]
+    fn dedup_when_graph_edge_equals_chain_edge() {
+        // 0 -> 1 in E, and both on p0 consecutively: no E' edge added.
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(1), 5.0);
+        let g = b.build().unwrap();
+        let s = Schedule::from_proc_lists(2, vec![ids(&[0, 1])]).unwrap();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        assert_eq!(ds.disjunctive_edge_count(), 0);
+        assert_eq!(ds.predecessors(TaskId(1)).len(), 1);
+    }
+
+    #[test]
+    fn dot_marks_disjunctive_edges_dashed() {
+        let g = fig1_example(1.0);
+        let s = fig1_schedule();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let dot = ds.to_dot(&g);
+        assert_eq!(dot.matches("style=dashed").count(), 1);
+        assert!(dot.contains("1 -> 3 [style=dashed]"));
+    }
+
+    #[test]
+    fn empty_graph_empty_schedule() {
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        let s = Schedule::from_proc_lists(0, vec![vec![], vec![]]).unwrap();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        assert_eq!(ds.task_count(), 0);
+        assert!(ds.topo_order().is_empty());
+    }
+}

@@ -1,0 +1,229 @@
+//! Gantt-chart rendering of timed schedules: ASCII for terminals, SVG for
+//! reports. Both are hand-rolled string builders — no drawing dependency.
+
+use rds_graph::TaskId;
+use rds_platform::ProcId;
+
+use crate::schedule::Schedule;
+use crate::timing::TimedSchedule;
+
+/// Renders an ASCII Gantt chart: one row per processor, time flowing
+/// right, `width` character columns spanning `[0, makespan]`.
+///
+/// Task boxes are labelled with the task id when they are wide enough;
+/// idle time renders as dots.
+///
+/// # Panics
+/// Panics when `width < 10`.
+#[must_use]
+pub fn ascii_gantt(schedule: &Schedule, timed: &TimedSchedule, width: usize) -> String {
+    assert!(width >= 10, "chart needs at least 10 columns");
+    let mut out = String::new();
+    let span = timed.makespan.max(f64::MIN_POSITIVE);
+    let col = |t: f64| -> usize { ((t / span) * width as f64).round() as usize };
+
+    for p in 0..schedule.proc_count() {
+        let pid = ProcId(p as u32);
+        let mut row = vec![b'.'; width];
+        for &t in schedule.tasks_on(pid) {
+            let s = col(timed.start_of(t)).min(width.saturating_sub(1));
+            let f = col(timed.finish_of(t)).clamp(s + 1, width);
+            for cell in &mut row[s..f] {
+                *cell = b'#';
+            }
+            // Label if it fits: [v12].
+            let label = format!("{t}");
+            if f - s >= label.len() + 2 {
+                row[s] = b'[';
+                row[f - 1] = b']';
+                for (k, ch) in label.bytes().enumerate() {
+                    row[s + 1 + k] = ch;
+                }
+            }
+        }
+        out.push_str(&format!("p{p:<3}|"));
+        out.push_str(std::str::from_utf8(&row).expect("ascii row"));
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{:width$}\n",
+        format!("0{:>w$.1}", timed.makespan, w = width + 3),
+        width = width
+    ));
+    out
+}
+
+/// Renders an SVG Gantt chart. One lane per processor; boxes are shaded by
+/// task id; a time axis runs along the bottom.
+#[must_use]
+pub fn svg_gantt(schedule: &Schedule, timed: &TimedSchedule, width_px: u32) -> String {
+    use std::fmt::Write as _;
+    const LANE_H: u32 = 28;
+    const PAD: u32 = 40;
+    let m = schedule.proc_count() as u32;
+    let height = m * LANE_H + 2 * PAD;
+    let span = timed.makespan.max(f64::MIN_POSITIVE);
+    let x = |t: f64| -> f64 { f64::from(PAD) + (t / span) * f64::from(width_px - 2 * PAD) };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height}\" viewBox=\"0 0 {width_px} {height}\">"
+    );
+    let _ = writeln!(out, "  <style>text{{font:10px sans-serif}}</style>");
+    for p in 0..schedule.proc_count() {
+        let y = PAD + p as u32 * LANE_H;
+        let _ = writeln!(
+            out,
+            "  <text x=\"4\" y=\"{}\">p{p}</text>",
+            y + LANE_H / 2 + 4
+        );
+        let _ = writeln!(
+            out,
+            "  <line x1=\"{PAD}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#ccc\"/>",
+            y + LANE_H,
+            width_px - PAD,
+            y + LANE_H
+        );
+        for &t in schedule.tasks_on(ProcId(p as u32)) {
+            let x0 = x(timed.start_of(t));
+            let w = (x(timed.finish_of(t)) - x0).max(1.0);
+            // Deterministic pastel per task id.
+            let hue = (t.0 * 47) % 360;
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{x0:.1}\" y=\"{}\" width=\"{w:.1}\" height=\"{}\" fill=\"hsl({hue},60%,70%)\" stroke=\"#333\"/>",
+                y + 3,
+                LANE_H - 6
+            );
+            let _ = writeln!(
+                out,
+                "  <text x=\"{:.1}\" y=\"{}\">{t}</text>",
+                x0 + 2.0,
+                y + LANE_H / 2 + 4
+            );
+        }
+    }
+    // Axis.
+    let _ = writeln!(
+        out,
+        "  <text x=\"{PAD}\" y=\"{}\">0</text>",
+        height - PAD / 2
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{:.1}</text>",
+        width_px - PAD,
+        height - PAD / 2,
+        timed.makespan
+    );
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
+/// Convenience: evaluates and renders the expected-duration ASCII chart.
+///
+/// # Errors
+/// Returns an error when the schedule is incompatible with the instance's
+/// graph.
+pub fn ascii_gantt_expected(
+    inst: &crate::instance::Instance,
+    schedule: &Schedule,
+    width: usize,
+) -> Result<String, crate::disjunctive::CycleError> {
+    let timed =
+        crate::timing::evaluate_expected(&inst.graph, &inst.platform, &inst.timing, schedule)?;
+    Ok(ascii_gantt(schedule, &timed, width))
+}
+
+/// Returns the tasks whose boxes would overlap in a correct chart — i.e.
+/// never; exposed for tests as an invariant check on (schedule, timed)
+/// pairs: on one processor, a task's start must be at or after its
+/// predecessor's finish.
+#[must_use]
+pub fn overlapping_tasks(schedule: &Schedule, timed: &TimedSchedule) -> Vec<(TaskId, TaskId)> {
+    let mut bad = Vec::new();
+    for p in 0..schedule.proc_count() {
+        let tasks = schedule.tasks_on(ProcId(p as u32));
+        for w in tasks.windows(2) {
+            if timed.start_of(w[1]) < timed.finish_of(w[0]) - 1e-9 {
+                bad.push((w[0], w[1]));
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjunctive::DisjunctiveGraph;
+    use crate::instance::InstanceSpec;
+    use crate::timing::{evaluate_with_durations, expected_durations};
+
+    fn fixture() -> (crate::instance::Instance, Schedule, TimedSchedule) {
+        let inst = InstanceSpec::new(12, 3).seed(5).build().unwrap();
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let assignment: Vec<ProcId> = (0..12).map(|i| ProcId((i % 3) as u32)).collect();
+        let s = Schedule::from_order_and_assignment(&order, &assignment, 3).unwrap();
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let durations = expected_durations(&inst.timing, &s);
+        let t = evaluate_with_durations(&ds, &s, &inst.platform, &durations);
+        (inst, s, t)
+    }
+
+    #[test]
+    fn ascii_chart_has_one_row_per_proc() {
+        let (_, s, t) = fixture();
+        let chart = ascii_gantt(&s, &t, 60);
+        let rows: Vec<&str> = chart.lines().collect();
+        assert_eq!(rows.len(), 4); // 3 procs + axis
+        assert!(rows[0].starts_with("p0"));
+        assert!(rows[2].starts_with("p2"));
+        // Every processor with tasks shows boxes.
+        assert!(rows[0].contains('#') || rows[0].contains('['));
+    }
+
+    #[test]
+    fn ascii_chart_rejects_tiny_width() {
+        let (_, s, t) = fixture();
+        let result = std::panic::catch_unwind(|| ascii_gantt(&s, &t, 5));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn svg_chart_is_well_formed() {
+        let (_, s, t) = fixture();
+        let svg = svg_gantt(&s, &t, 600);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One rect per task.
+        assert_eq!(svg.matches("<rect").count(), 12);
+        // Makespan appears on the axis.
+        assert!(svg.contains(&format!("{:.1}", t.makespan)));
+    }
+
+    #[test]
+    fn no_overlaps_in_valid_timing() {
+        let (_, s, t) = fixture();
+        assert!(overlapping_tasks(&s, &t).is_empty());
+    }
+
+    #[test]
+    fn overlap_detector_catches_bad_timing() {
+        let (_, s, mut t) = fixture();
+        // Force the second task on p0 to start before the first finishes.
+        let tasks = s.tasks_on(ProcId(0)).to_vec();
+        if tasks.len() >= 2 {
+            t.start[tasks[1].index()] = t.start[tasks[0].index()];
+            assert!(!overlapping_tasks(&s, &t).is_empty());
+        }
+    }
+
+    #[test]
+    fn expected_helper_renders() {
+        let (inst, s, _) = fixture();
+        let chart = ascii_gantt_expected(&inst, &s, 50).unwrap();
+        assert!(chart.contains("p0"));
+    }
+}

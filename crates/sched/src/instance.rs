@@ -1,0 +1,256 @@
+//! A problem instance and its generator.
+//!
+//! [`Instance`] bundles the three ingredients every scheduler consumes: the
+//! task graph `G`, the platform `P` (+ transfer rates) and the timing model
+//! (`B`, `UL`). [`InstanceSpec`] wires the §5 generators together — layered
+//! random DAG, COV-based BCET matrix, COV-based UL matrix, uniform-rate
+//! platform — under one seed.
+
+use rds_graph::gen::cov::CovMatrixSpec;
+use rds_graph::gen::layered::LayeredDagSpec;
+use rds_graph::{TaskGraph, TaskId};
+use rds_platform::gen::PlatformSpec;
+use rds_platform::timing::TimingModel;
+use rds_platform::{Platform, ProcId};
+use rds_stats::rng::SeedStream;
+
+/// A complete robust-scheduling problem instance.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    /// The application DAG.
+    pub graph: TaskGraph,
+    /// The heterogeneous platform.
+    pub platform: Platform,
+    /// Best-case times and uncertainty levels.
+    pub timing: TimingModel,
+}
+
+impl Instance {
+    /// Bundles the parts, validating dimension agreement.
+    ///
+    /// # Errors
+    /// Returns a message when the timing model's shape does not match the
+    /// graph/platform.
+    pub fn new(
+        graph: TaskGraph,
+        platform: Platform,
+        timing: TimingModel,
+    ) -> Result<Self, String> {
+        if timing.task_count() != graph.task_count() {
+            return Err(format!(
+                "timing has {} tasks but graph has {}",
+                timing.task_count(),
+                graph.task_count()
+            ));
+        }
+        if timing.proc_count() != platform.proc_count() {
+            return Err(format!(
+                "timing has {} procs but platform has {}",
+                timing.proc_count(),
+                platform.proc_count()
+            ));
+        }
+        Ok(Self {
+            graph,
+            platform,
+            timing,
+        })
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.graph.task_count()
+    }
+
+    /// Number of processors.
+    #[inline]
+    pub fn proc_count(&self) -> usize {
+        self.platform.proc_count()
+    }
+
+    /// Expected duration of `task` on `proc` (`UL·B`) — the scheduler view.
+    #[inline]
+    pub fn expected(&self, task: TaskId, proc: ProcId) -> f64 {
+        self.timing.expected(task.index(), proc)
+    }
+
+    /// Communication time of the edge `from → to` when placed on the given
+    /// processors.
+    #[inline]
+    pub fn comm_time(&self, data: f64, from: ProcId, to: ProcId) -> f64 {
+        self.platform.comm_time(data, from, to)
+    }
+}
+
+/// Generator for random instances following §5 of the paper.
+///
+/// ```
+/// use rds_sched::InstanceSpec;
+/// let inst = InstanceSpec::new(50, 4)
+///     .seed(7)
+///     .uncertainty_level(4.0)
+///     .build()
+///     .unwrap();
+/// assert_eq!(inst.task_count(), 50);
+/// assert_eq!(inst.proc_count(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceSpec {
+    /// DAG topology parameters.
+    pub dag: LayeredDagSpec,
+    /// Number of processors.
+    pub procs: usize,
+    /// Platform parameters.
+    pub platform: PlatformSpec,
+    /// Task/machine heterogeneity of the BCET matrix (paper: 0.5, 0.5).
+    pub bcet_covs: (f64, f64),
+    /// Average uncertainty level (paper: 2–8) and its two-stage CoVs
+    /// (paper: `V1 = V2 = 0.5`).
+    pub avg_ul: f64,
+    /// `V1`, `V2` of the UL generation.
+    pub ul_covs: (f64, f64),
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl InstanceSpec {
+    /// Paper-default spec with the given task/processor counts
+    /// (`α=1, cc=20, CCR=0.1, V=0.5` everywhere, `UL=2`, unit rates).
+    #[must_use]
+    pub fn new(tasks: usize, procs: usize) -> Self {
+        Self {
+            dag: LayeredDagSpec::with_tasks(tasks),
+            procs,
+            platform: PlatformSpec::uniform(procs),
+            bcet_covs: (0.5, 0.5),
+            avg_ul: 2.0,
+            ul_covs: (0.5, 0.5),
+            seed: 0,
+        }
+    }
+
+    /// The paper's full-scale configuration: 100 tasks.
+    #[must_use]
+    pub fn paper(procs: usize) -> Self {
+        Self::new(100, procs)
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the average uncertainty level (the experiments' `UL` knob).
+    #[must_use]
+    pub fn uncertainty_level(mut self, ul: f64) -> Self {
+        self.avg_ul = ul;
+        self
+    }
+
+    /// Sets the communication-to-computation ratio.
+    #[must_use]
+    pub fn ccr(mut self, ccr: f64) -> Self {
+        self.dag = self.dag.ccr(ccr);
+        self
+    }
+
+    /// Sets the DAG shape parameter α.
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.dag = self.dag.alpha(alpha);
+        self
+    }
+
+    /// Sets the average computation cost `cc`.
+    #[must_use]
+    pub fn avg_comp_cost(mut self, cc: f64) -> Self {
+        self.dag = self.dag.avg_comp_cost(cc);
+        self
+    }
+
+    /// Generates the instance. Sub-seeds for the DAG, BCET, UL and platform
+    /// are derived from the master seed, so two specs differing only in
+    /// `avg_ul` share the *same* graph and BCET matrix — exactly what the
+    /// UL-sweep experiments need.
+    ///
+    /// # Errors
+    /// Returns a message describing the first generator failure.
+    pub fn build(&self) -> Result<Instance, String> {
+        let seeds = SeedStream::new(self.seed);
+        let graph = self
+            .dag
+            .generate(seeds.branch("dag").nth_seed(0))
+            .map_err(|e| format!("dag generation: {e}"))?;
+        let n = graph.task_count();
+        let m = self.procs;
+        let bcet = CovMatrixSpec::bcet(n, m)
+            .mean(self.dag.avg_comp_cost)
+            .covs(self.bcet_covs.0, self.bcet_covs.1)
+            .generate(seeds.branch("bcet").nth_seed(0))
+            .map_err(|e| format!("bcet generation: {e}"))?;
+        let ul = CovMatrixSpec::uncertainty(n, m, self.avg_ul)
+            .covs(self.ul_covs.0, self.ul_covs.1)
+            .generate(seeds.branch("ul").nth_seed(0))
+            .map_err(|e| format!("ul generation: {e}"))?;
+        let platform = self
+            .platform
+            .generate(seeds.branch("platform").nth_seed(0))
+            .map_err(|e| format!("platform generation: {e}"))?;
+        let timing = TimingModel::new(bcet, ul).map_err(|e| format!("timing model: {e}"))?;
+        Instance::new(graph, platform, timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_consistent_instance() {
+        let inst = InstanceSpec::new(40, 4).seed(1).build().unwrap();
+        assert_eq!(inst.task_count(), 40);
+        assert_eq!(inst.proc_count(), 4);
+        assert_eq!(inst.timing.task_count(), 40);
+        assert_eq!(inst.timing.proc_count(), 4);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = InstanceSpec::new(30, 3).seed(5).build().unwrap();
+        let b = InstanceSpec::new(30, 3).seed(5).build().unwrap();
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.timing, b.timing);
+        let c = InstanceSpec::new(30, 3).seed(6).build().unwrap();
+        assert_ne!(a.graph, c.graph);
+    }
+
+    #[test]
+    fn ul_sweep_shares_graph_and_bcet() {
+        let lo = InstanceSpec::new(30, 3).seed(5).uncertainty_level(2.0).build().unwrap();
+        let hi = InstanceSpec::new(30, 3).seed(5).uncertainty_level(8.0).build().unwrap();
+        assert_eq!(lo.graph, hi.graph);
+        assert_eq!(lo.timing.bcet_matrix(), hi.timing.bcet_matrix());
+        assert_ne!(lo.timing.ul_matrix(), hi.timing.ul_matrix());
+        assert!(hi.timing.ul_matrix().mean() > lo.timing.ul_matrix().mean());
+    }
+
+    #[test]
+    fn mismatched_dims_rejected() {
+        let inst = InstanceSpec::new(10, 2).seed(0).build().unwrap();
+        let other = InstanceSpec::new(11, 2).seed(0).build().unwrap();
+        assert!(Instance::new(inst.graph.clone(), inst.platform.clone(), other.timing).is_err());
+        let p3 = InstanceSpec::new(10, 3).seed(0).build().unwrap();
+        assert!(Instance::new(inst.graph, p3.platform, inst.timing).is_err());
+    }
+
+    #[test]
+    fn expected_accessor_matches_timing() {
+        let inst = InstanceSpec::new(10, 2).seed(3).build().unwrap();
+        let t = TaskId(4);
+        let p = ProcId(1);
+        assert_eq!(inst.expected(t, p), inst.timing.expected(4, p));
+    }
+}

@@ -1,0 +1,45 @@
+//! Schedule substrate: everything §3 of the paper defines.
+//!
+//! * [`instance`] — a problem [`Instance`] bundling task graph, platform and
+//!   timing model, plus the [`InstanceSpec`] generator wiring together the
+//!   random workload generators of §5.
+//! * [`schedule`] — the schedule representation `s = {s_1..s_m}` (per-
+//!   processor task orders + assignment).
+//! * [`disjunctive`] — the disjunctive graph `G_s = (V, E ∪ E')` of
+//!   Definition 3.1, with cycle detection (a schedule incompatible with the
+//!   precedence constraints yields a cyclic `G_s`).
+//! * [`timing`] — start/finish times and makespan under arbitrary duration
+//!   vectors: the makespan is the critical-path length of `G_s` (Claim 3.2).
+//! * [`slack`] — top/bottom levels on `G_s` and the slack of Definition 3.3,
+//!   `σ_i = M − Bl(i) − Tl(i)`.
+//! * [`metrics`] — relative tardiness, miss rate, and the robustness
+//!   measures `R1` (Def. 3.6) and `R2` (Def. 3.7).
+//! * [`realization`] — the Monte Carlo engine standing in for the paper's
+//!   "real resource environment": realized durations are drawn from
+//!   `U(b, (2·UL−1)·b)` and aggregated into a robustness report
+//!   (rayon-parallel, deterministic per seed).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod bounds;
+pub mod contention;
+pub mod disjunctive;
+pub mod dynamic;
+pub mod gantt;
+pub mod instance;
+pub mod io;
+pub mod metrics;
+pub mod realization;
+pub mod schedule;
+pub mod slack;
+pub mod timing;
+pub mod trace;
+
+pub use disjunctive::DisjunctiveGraph;
+pub use instance::{Instance, InstanceSpec};
+pub use metrics::{r1_from_tardiness, r2_from_miss_rate, RobustnessReport};
+pub use realization::{monte_carlo, RealizationConfig};
+pub use schedule::{Schedule, ScheduleError};
+pub use slack::SlackAnalysis;
+pub use timing::TimedSchedule;

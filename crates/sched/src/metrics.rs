@@ -1,0 +1,234 @@
+//! Robustness metrics (Definitions 3.6 and 3.7).
+//!
+//! Given the expected makespan `M₀` and realized makespans `M_1..M_N`:
+//!
+//! * relative tardiness `δ_i = max(0, M_i − M₀) / M₀`;
+//! * `R1 = 1 / E[δ]` — tardiness-based robustness;
+//! * miss rate `α = |{i : M_i > M₀}| / N`;
+//! * `R2 = 1 / α` — miss-rate-based robustness.
+//!
+//! Both are `+∞` for a schedule that never runs late (e.g. `UL ≡ 1`); the
+//! experiment harness guards ratios accordingly.
+
+use rds_stats::describe::Summary;
+
+/// Relative tardiness `δ` of one realization.
+///
+/// # Panics
+/// Panics when `expected <= 0` — makespans of non-empty schedules are
+/// strictly positive.
+#[inline]
+pub fn relative_tardiness(realized: f64, expected: f64) -> f64 {
+    assert!(expected > 0.0, "expected makespan must be positive");
+    (realized - expected).max(0.0) / expected
+}
+
+/// `R1 = 1 / E[δ]` from a mean tardiness (`+∞` when the mean is zero).
+#[inline]
+pub fn r1_from_tardiness(mean_tardiness: f64) -> f64 {
+    if mean_tardiness <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / mean_tardiness
+    }
+}
+
+/// `R2 = 1 / α` from a miss rate (`+∞` when no realization missed).
+#[inline]
+pub fn r2_from_miss_rate(miss_rate: f64) -> f64 {
+    if miss_rate <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / miss_rate
+    }
+}
+
+/// Aggregated Monte Carlo results for one schedule.
+#[derive(Debug, Clone)]
+pub struct RobustnessReport {
+    /// Expected makespan `M₀` (deterministic evaluation with `UL·B`).
+    pub expected_makespan: f64,
+    /// Average slack `σ̄` of the schedule (expected durations).
+    pub average_slack: f64,
+    /// Number of realizations `N`.
+    pub realizations: usize,
+    /// Mean realized makespan `E[M_i]`.
+    pub mean_makespan: f64,
+    /// Mean relative tardiness `E[δ]`.
+    pub mean_tardiness: f64,
+    /// Tardiness-based robustness `R1`.
+    pub r1: f64,
+    /// Miss rate `α`.
+    pub miss_rate: f64,
+    /// Miss-rate-based robustness `R2`.
+    pub r2: f64,
+    /// Summary of the realized makespans (quantiles etc.).
+    pub makespans: Summary,
+}
+
+impl RobustnessReport {
+    /// Dispersion of the realized makespans: `std(M_i) / mean(M_i)` —
+    /// the coefficient-of-variation robustness surrogate used by several
+    /// works the paper surveys (smaller = more stable).
+    #[must_use]
+    pub fn makespan_cov(&self) -> f64 {
+        self.makespans.std_dev() / self.makespans.mean()
+    }
+
+    /// Tail ratio `quantile_q(M_i) / M₀` — how bad the worst `1−q` of
+    /// realizations get, relative to the promise `M₀`.
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `[0,1]`.
+    #[must_use]
+    pub fn quantile_ratio(&self, q: f64) -> f64 {
+        self.makespans.quantile(q) / self.expected_makespan
+    }
+
+    /// Probabilistic guarantee `P(M_i ≤ (1+γ)·M₀)`: the fraction of
+    /// realizations finishing within a `γ` overrun budget. `γ = 0` gives
+    /// `1 − α` (the complement of the miss rate).
+    ///
+    /// # Panics
+    /// Panics when `gamma` is negative.
+    #[must_use]
+    pub fn prob_within(&self, gamma: f64) -> f64 {
+        assert!(gamma >= 0.0, "overrun budget must be non-negative");
+        1.0 - self
+            .makespans
+            .fraction_above((1.0 + gamma) * self.expected_makespan)
+    }
+
+    /// Mean *absolute* overrun `E[max(0, M_i − M₀)]` in time units
+    /// (`mean_tardiness · M₀`).
+    #[must_use]
+    pub fn expected_overrun(&self) -> f64 {
+        self.mean_tardiness * self.expected_makespan
+    }
+
+    /// Builds the report from `M₀`, the schedule's average slack and the
+    /// realized makespans.
+    ///
+    /// # Panics
+    /// Panics when `makespans` is empty or `expected_makespan <= 0`.
+    pub fn from_makespans(
+        expected_makespan: f64,
+        average_slack: f64,
+        makespans: Vec<f64>,
+    ) -> Self {
+        assert!(
+            !makespans.is_empty(),
+            "at least one realization is required"
+        );
+        assert!(expected_makespan > 0.0, "expected makespan must be positive");
+        let n = makespans.len();
+        let mean_makespan = makespans.iter().sum::<f64>() / n as f64;
+        let mean_tardiness = makespans
+            .iter()
+            .map(|&m| relative_tardiness(m, expected_makespan))
+            .sum::<f64>()
+            / n as f64;
+        let summary = Summary::from_samples(makespans);
+        let miss_rate = summary.fraction_above(expected_makespan);
+        Self {
+            expected_makespan,
+            average_slack,
+            realizations: n,
+            mean_makespan,
+            mean_tardiness,
+            r1: r1_from_tardiness(mean_tardiness),
+            miss_rate,
+            r2: r2_from_miss_rate(miss_rate),
+            makespans: summary,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tardiness_clamps_early_finishes() {
+        assert_eq!(relative_tardiness(8.0, 10.0), 0.0);
+        assert_eq!(relative_tardiness(15.0, 10.0), 0.5);
+        assert_eq!(relative_tardiness(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tardiness_rejects_zero_expected() {
+        let _ = relative_tardiness(1.0, 0.0);
+    }
+
+    #[test]
+    fn r1_r2_inverses_and_infinities() {
+        assert_eq!(r1_from_tardiness(0.5), 2.0);
+        assert_eq!(r1_from_tardiness(0.0), f64::INFINITY);
+        assert_eq!(r2_from_miss_rate(0.25), 4.0);
+        assert_eq!(r2_from_miss_rate(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn report_hand_computed() {
+        // M0 = 10; realizations 8, 12, 10, 14.
+        // δ = 0, 0.2, 0, 0.4 -> mean 0.15; R1 = 1/0.15.
+        // misses (strictly > 10): 12, 14 -> α = 0.5; R2 = 2.
+        let r = RobustnessReport::from_makespans(10.0, 1.5, vec![8.0, 12.0, 10.0, 14.0]);
+        assert_eq!(r.realizations, 4);
+        assert_eq!(r.mean_makespan, 11.0);
+        assert!((r.mean_tardiness - 0.15).abs() < 1e-12);
+        assert!((r.r1 - 1.0 / 0.15).abs() < 1e-9);
+        assert_eq!(r.miss_rate, 0.5);
+        assert_eq!(r.r2, 2.0);
+        assert_eq!(r.average_slack, 1.5);
+        assert_eq!(r.makespans.max(), 14.0);
+    }
+
+    #[test]
+    fn never_late_schedule_has_infinite_robustness() {
+        let r = RobustnessReport::from_makespans(10.0, 0.0, vec![10.0, 9.0, 8.0]);
+        assert_eq!(r.mean_tardiness, 0.0);
+        assert_eq!(r.r1, f64::INFINITY);
+        assert_eq!(r.miss_rate, 0.0);
+        assert_eq!(r.r2, f64::INFINITY);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one realization")]
+    fn empty_realizations_rejected() {
+        let _ = RobustnessReport::from_makespans(10.0, 0.0, vec![]);
+    }
+
+    #[test]
+    fn extended_metrics_hand_computed() {
+        // M0 = 10; realizations 8, 12, 10, 14.
+        let r = RobustnessReport::from_makespans(10.0, 0.0, vec![8.0, 12.0, 10.0, 14.0]);
+        // P(M <= 1.1 * 10 = 11): {8, 10} of 4.
+        assert_eq!(r.prob_within(0.1), 0.5);
+        // P(M <= 1.4 * 10 = 14): all four (14 not strictly above).
+        assert_eq!(r.prob_within(0.4), 1.0);
+        // gamma=0 complements the miss rate.
+        assert!((r.prob_within(0.0) - (1.0 - r.miss_rate)).abs() < 1e-12);
+        // Max-quantile ratio.
+        assert!((r.quantile_ratio(1.0) - 1.4).abs() < 1e-12);
+        // Expected absolute overrun = 0.15 * 10.
+        assert!((r.expected_overrun() - 1.5).abs() < 1e-12);
+        // CoV is positive for a spread sample.
+        assert!(r.makespan_cov() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn prob_within_rejects_negative_budget() {
+        let r = RobustnessReport::from_makespans(10.0, 0.0, vec![10.0]);
+        let _ = r.prob_within(-0.1);
+    }
+
+    #[test]
+    fn more_tardy_realizations_lower_r1() {
+        let good = RobustnessReport::from_makespans(10.0, 0.0, vec![10.5, 10.5]);
+        let bad = RobustnessReport::from_makespans(10.0, 0.0, vec![15.0, 15.0]);
+        assert!(good.r1 > bad.r1);
+    }
+}

@@ -1,0 +1,265 @@
+//! The Monte Carlo realization engine — the stand-in for the paper's "real
+//! resource environment".
+//!
+//! §5: each experiment performs 1000 *realizations* of the expected task
+//! execution times; a realization draws every task's actual duration from
+//! `U(b_ij, (2·UL_ij − 1)·b_ij)` and re-times the schedule (the task order
+//! and placement stay fixed — Claim 3.2 — only start times shift).
+//!
+//! Realizations are embarrassingly parallel; with `parallel = true` they
+//! fan out over rayon. Each realization `i` draws from an RNG derived from
+//! `(seed, i)`, so results are bit-identical regardless of thread count or
+//! scheduling.
+
+use rayon::prelude::*;
+
+use rds_stats::rng::SeedStream;
+
+use crate::disjunctive::{CycleError, DisjunctiveGraph};
+use crate::instance::Instance;
+use crate::metrics::RobustnessReport;
+use crate::schedule::Schedule;
+use crate::slack;
+use crate::timing;
+
+/// Configuration of a Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RealizationConfig {
+    /// Number of realizations `N` (paper: 1000).
+    pub realizations: usize,
+    /// Seed for the realization streams.
+    pub seed: u64,
+    /// Fan out over rayon. Deterministic either way.
+    pub parallel: bool,
+}
+
+impl Default for RealizationConfig {
+    fn default() -> Self {
+        Self {
+            realizations: 1000,
+            seed: 0,
+            parallel: true,
+        }
+    }
+}
+
+impl RealizationConfig {
+    /// A config with the given realization count (seed 0, parallel).
+    #[must_use]
+    pub fn with_realizations(realizations: usize) -> Self {
+        Self {
+            realizations,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables rayon fan-out (used by the parallel-vs-serial ablation
+    /// bench).
+    #[must_use]
+    pub fn serial(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+}
+
+/// Draws `cfg.realizations` realized makespans for `schedule`.
+///
+/// # Errors
+/// Returns [`CycleError`] when the schedule is incompatible with the
+/// instance's graph.
+pub fn realized_makespans(
+    inst: &Instance,
+    schedule: &Schedule,
+    cfg: &RealizationConfig,
+) -> Result<Vec<f64>, CycleError> {
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
+    Ok(realized_makespans_with(inst, schedule, &ds, cfg))
+}
+
+/// Same as [`realized_makespans`] but reuses a prebuilt disjunctive graph
+/// (hot path for experiment sweeps that evaluate one schedule many times).
+pub fn realized_makespans_with(
+    inst: &Instance,
+    schedule: &Schedule,
+    ds: &DisjunctiveGraph,
+    cfg: &RealizationConfig,
+) -> Vec<f64> {
+    let seeds = SeedStream::new(cfg.seed);
+    let assignment = schedule.assignment();
+    let one = |i: usize| -> f64 {
+        let mut rng = seeds.nth_rng(i as u64);
+        let durations = inst.timing.sample_assigned(assignment, &mut rng);
+        let mut scratch = Vec::new();
+        timing::makespan_with_durations(ds, schedule, &inst.platform, &durations, &mut scratch)
+    };
+    if cfg.parallel {
+        (0..cfg.realizations).into_par_iter().map(one).collect()
+    } else {
+        (0..cfg.realizations).map(one).collect()
+    }
+}
+
+/// Full Monte Carlo evaluation: expected makespan, slack, realized
+/// makespans, and the robustness metrics of Definitions 3.6/3.7.
+///
+/// ```
+/// use rds_sched::{monte_carlo, InstanceSpec, RealizationConfig};
+///
+/// let inst = InstanceSpec::new(20, 3).seed(1).uncertainty_level(4.0).build()?;
+/// // Any valid schedule works; derive one from a topological order.
+/// let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+/// let assignment: Vec<_> = (0..20).map(|i| rds_platform::ProcId((i % 3) as u32)).collect();
+/// let schedule = rds_sched::Schedule::from_order_and_assignment(&order, &assignment, 3)?;
+///
+/// let report = monte_carlo(&inst, &schedule, &RealizationConfig::with_realizations(200))?;
+/// assert!(report.expected_makespan > 0.0);
+/// assert!(report.r1 > 0.0);               // 1 / E[tardiness]
+/// assert!(report.miss_rate <= 1.0);       // fraction of overruns
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+///
+/// # Errors
+/// Returns [`CycleError`] when the schedule is incompatible with the
+/// instance's graph.
+///
+/// # Panics
+/// Panics when `cfg.realizations == 0`.
+pub fn monte_carlo(
+    inst: &Instance,
+    schedule: &Schedule,
+    cfg: &RealizationConfig,
+) -> Result<RobustnessReport, CycleError> {
+    assert!(cfg.realizations > 0, "need at least one realization");
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
+    let durations = timing::expected_durations(&inst.timing, schedule);
+    let analysis = slack::analyze(&ds, schedule, &inst.platform, &durations);
+    let makespans = realized_makespans_with(inst, schedule, &ds, cfg);
+    Ok(RobustnessReport::from_makespans(
+        analysis.makespan,
+        analysis.average_slack,
+        makespans,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+    use rds_graph::TaskId;
+    use rds_platform::ProcId;
+
+    /// A simple round-robin schedule used as a test subject.
+    fn round_robin(inst: &Instance) -> Schedule {
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let m = inst.proc_count();
+        let assignment: Vec<ProcId> = (0..inst.task_count())
+            .map(|i| ProcId((i % m) as u32))
+            .collect();
+        Schedule::from_order_and_assignment(&order, &assignment, m).unwrap()
+    }
+
+    #[test]
+    fn deterministic_across_parallel_and_serial() {
+        let inst = InstanceSpec::new(30, 3).seed(11).build().unwrap();
+        let s = round_robin(&inst);
+        let par = realized_makespans(&inst, &s, &RealizationConfig::with_realizations(64).seed(5))
+            .unwrap();
+        let ser = realized_makespans(
+            &inst,
+            &s,
+            &RealizationConfig::with_realizations(64).seed(5).serial(),
+        )
+        .unwrap();
+        assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let inst = InstanceSpec::new(20, 2).seed(3).build().unwrap();
+        let s = round_robin(&inst);
+        let a = realized_makespans(&inst, &s, &RealizationConfig::with_realizations(16).seed(1))
+            .unwrap();
+        let b = realized_makespans(&inst, &s, &RealizationConfig::with_realizations(16).seed(2))
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn realized_makespans_bounded_below_by_bcet_makespan() {
+        // Every realized duration >= BCET, so every realized makespan is at
+        // least the all-BCET makespan.
+        let inst = InstanceSpec::new(25, 3).seed(7).uncertainty_level(4.0).build().unwrap();
+        let s = round_robin(&inst);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let bcet_durs: Vec<f64> = (0..inst.task_count())
+            .map(|i| inst.timing.best_case(i, s.proc_of(TaskId(i as u32))))
+            .collect();
+        let mut scratch = Vec::new();
+        let floor = timing::makespan_with_durations(&ds, &s, &inst.platform, &bcet_durs, &mut scratch);
+        let ms = realized_makespans(&inst, &s, &RealizationConfig::with_realizations(50).seed(9))
+            .unwrap();
+        for m in ms {
+            assert!(m >= floor - 1e-9, "{m} < floor {floor}");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_report_is_consistent() {
+        let inst = InstanceSpec::new(30, 3).seed(13).uncertainty_level(2.0).build().unwrap();
+        let s = round_robin(&inst);
+        let rep = monte_carlo(&inst, &s, &RealizationConfig::with_realizations(200).seed(1))
+            .unwrap();
+        assert_eq!(rep.realizations, 200);
+        assert!(rep.expected_makespan > 0.0);
+        assert!(rep.mean_makespan > 0.0);
+        assert!(rep.miss_rate >= 0.0 && rep.miss_rate <= 1.0);
+        assert!(rep.r1 > 0.0);
+        assert!(rep.r2 >= 1.0); // 1/α ≥ 1
+        assert!(rep.average_slack >= 0.0);
+        // With UL >= 1 the mean realized makespan is at least near M0's
+        // BCET floor; sanity: mean within (0, 3×M0].
+        assert!(rep.mean_makespan <= 3.0 * rep.expected_makespan);
+    }
+
+    #[test]
+    fn higher_uncertainty_increases_tardiness() {
+        let lo = InstanceSpec::new(40, 4).seed(21).uncertainty_level(2.0).build().unwrap();
+        let hi = InstanceSpec::new(40, 4).seed(21).uncertainty_level(8.0).build().unwrap();
+        let s_lo = round_robin(&lo);
+        let s_hi = round_robin(&hi);
+        let cfg = RealizationConfig::with_realizations(300).seed(2);
+        let rep_lo = monte_carlo(&lo, &s_lo, &cfg).unwrap();
+        let rep_hi = monte_carlo(&hi, &s_hi, &cfg).unwrap();
+        // More uncertainty -> relatively larger spread of realized
+        // makespans around M0. Compare coefficient-style ratios.
+        let spread_lo = rep_lo.makespans.std_dev() / rep_lo.expected_makespan;
+        let spread_hi = rep_hi.makespans.std_dev() / rep_hi.expected_makespan;
+        assert!(
+            spread_hi > spread_lo,
+            "spread_hi {spread_hi} <= spread_lo {spread_lo}"
+        );
+    }
+
+    #[test]
+    fn deterministic_instance_never_misses() {
+        // UL exactly 1 everywhere: realized == expected == BCET.
+        let base = InstanceSpec::new(15, 2).seed(4).build().unwrap();
+        let timing =
+            rds_platform::TimingModel::deterministic(base.timing.bcet_matrix().clone()).unwrap();
+        let inst = Instance::new(base.graph, base.platform, timing).unwrap();
+        let s = round_robin(&inst);
+        let rep = monte_carlo(&inst, &s, &RealizationConfig::with_realizations(32).seed(8))
+            .unwrap();
+        assert_eq!(rep.miss_rate, 0.0);
+        assert_eq!(rep.r1, f64::INFINITY);
+        assert_eq!(rep.r2, f64::INFINITY);
+        assert!((rep.mean_makespan - rep.expected_makespan).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,316 @@
+//! The schedule representation `s = {s_1, .., s_m}` of §3.1.
+//!
+//! A schedule stores, for every processor, the ordered list of tasks it
+//! executes, plus the inverse map (task → processor and position). The
+//! paper's notation lists each `s_i` as consecutive pairs; here the order
+//! list is stored directly and the pairs are implied by adjacency.
+
+use std::fmt;
+
+use rds_graph::{TaskGraph, TaskId};
+use rds_platform::ProcId;
+
+/// Errors from schedule construction/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// A task id exceeded the declared task count.
+    UnknownTask(TaskId),
+    /// A task appeared on more than one processor (or twice on one).
+    DuplicateTask(TaskId),
+    /// Some declared task never appeared on any processor.
+    MissingTask(TaskId),
+    /// The schedule's disjunctive graph is cyclic: the per-processor orders
+    /// contradict the precedence constraints.
+    PrecedenceCycle,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::UnknownTask(t) => write!(f, "unknown task {t}"),
+            ScheduleError::DuplicateTask(t) => write!(f, "task {t} scheduled more than once"),
+            ScheduleError::MissingTask(t) => write!(f, "task {t} never scheduled"),
+            ScheduleError::PrecedenceCycle => {
+                write!(f, "per-processor orders contradict the precedence constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// An assignment of every task to a processor together with per-processor
+/// execution orders.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    proc_tasks: Vec<Vec<TaskId>>,
+    assignment: Vec<ProcId>,
+    position: Vec<u32>, // index of each task within its processor's order
+}
+
+impl Schedule {
+    /// Builds a schedule from per-processor ordered task lists.
+    ///
+    /// `task_count` is the total number of tasks expected; every task in
+    /// `0..task_count` must appear exactly once across all lists.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError`] on unknown/duplicate/missing tasks. This
+    /// constructor does **not** check precedence compatibility — that
+    /// requires the graph; see [`Schedule::validate_against`].
+    pub fn from_proc_lists(
+        task_count: usize,
+        proc_tasks: Vec<Vec<TaskId>>,
+    ) -> Result<Self, ScheduleError> {
+        let mut assignment = vec![ProcId(u32::MAX); task_count];
+        let mut position = vec![u32::MAX; task_count];
+        let mut seen = vec![false; task_count];
+        for (p, tasks) in proc_tasks.iter().enumerate() {
+            for (pos, &t) in tasks.iter().enumerate() {
+                if t.index() >= task_count {
+                    return Err(ScheduleError::UnknownTask(t));
+                }
+                if seen[t.index()] {
+                    return Err(ScheduleError::DuplicateTask(t));
+                }
+                seen[t.index()] = true;
+                assignment[t.index()] = ProcId(p as u32);
+                position[t.index()] = pos as u32;
+            }
+        }
+        if let Some(missing) = seen.iter().position(|&s| !s) {
+            return Err(ScheduleError::MissingTask(TaskId(missing as u32)));
+        }
+        Ok(Self {
+            proc_tasks,
+            assignment,
+            position,
+        })
+    }
+
+    /// Builds a schedule from a global task order and a per-task processor
+    /// assignment: each processor executes its tasks in the order they
+    /// appear in `order`. This is exactly the GA chromosome decoding of
+    /// §4.2.1 (scheduling string + assignment).
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError`] when `order` is not a permutation of
+    /// `0..assignment.len()`.
+    pub fn from_order_and_assignment(
+        order: &[TaskId],
+        assignment: &[ProcId],
+        proc_count: usize,
+    ) -> Result<Self, ScheduleError> {
+        let task_count = assignment.len();
+        let mut proc_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); proc_count];
+        let mut seen = vec![false; task_count];
+        for &t in order {
+            if t.index() >= task_count {
+                return Err(ScheduleError::UnknownTask(t));
+            }
+            if seen[t.index()] {
+                return Err(ScheduleError::DuplicateTask(t));
+            }
+            seen[t.index()] = true;
+            let p = assignment[t.index()];
+            if p.index() >= proc_count {
+                return Err(ScheduleError::UnknownTask(t));
+            }
+            proc_tasks[p.index()].push(t);
+        }
+        if order.len() != task_count {
+            if let Some(missing) = seen.iter().position(|&s| !s) {
+                return Err(ScheduleError::MissingTask(TaskId(missing as u32)));
+            }
+        }
+        Self::from_proc_lists(task_count, proc_tasks)
+    }
+
+    /// Number of processors (some may be idle).
+    #[inline]
+    pub fn proc_count(&self) -> usize {
+        self.proc_tasks.len()
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The ordered task list of processor `p`.
+    #[inline]
+    pub fn tasks_on(&self, p: ProcId) -> &[TaskId] {
+        &self.proc_tasks[p.index()]
+    }
+
+    /// The processor executing `t`.
+    #[inline]
+    pub fn proc_of(&self, t: TaskId) -> ProcId {
+        self.assignment[t.index()]
+    }
+
+    /// The full task → processor assignment vector.
+    #[inline]
+    pub fn assignment(&self) -> &[ProcId] {
+        &self.assignment
+    }
+
+    /// The task executed immediately before `t` on its processor, if any —
+    /// i.e. `t`'s disjunctive predecessor.
+    pub fn prev_on_proc(&self, t: TaskId) -> Option<TaskId> {
+        let pos = self.position[t.index()] as usize;
+        if pos == 0 {
+            None
+        } else {
+            Some(self.proc_tasks[self.proc_of(t).index()][pos - 1])
+        }
+    }
+
+    /// The task executed immediately after `t` on its processor, if any —
+    /// i.e. `t`'s disjunctive successor.
+    pub fn next_on_proc(&self, t: TaskId) -> Option<TaskId> {
+        let p = self.proc_of(t).index();
+        let pos = self.position[t.index()] as usize;
+        self.proc_tasks[p].get(pos + 1).copied()
+    }
+
+    /// The paper's pair notation for one processor:
+    /// `{(v_a, v_b), (v_b, v_c), ...}`.
+    pub fn pairs_on(&self, p: ProcId) -> Vec<(TaskId, TaskId)> {
+        self.proc_tasks[p.index()]
+            .windows(2)
+            .map(|w| (w[0], w[1]))
+            .collect()
+    }
+
+    /// Checks precedence compatibility against a task graph by building the
+    /// disjunctive graph and verifying it is acyclic.
+    ///
+    /// # Errors
+    /// Returns [`ScheduleError::PrecedenceCycle`] when incompatible.
+    pub fn validate_against(&self, graph: &TaskGraph) -> Result<(), ScheduleError> {
+        crate::disjunctive::DisjunctiveGraph::build(graph, self)
+            .map(|_| ())
+            .map_err(|_| ScheduleError::PrecedenceCycle)
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (p, tasks) in self.proc_tasks.iter().enumerate() {
+            write!(f, "p{p}: ")?;
+            if tasks.is_empty() {
+                writeln!(f, "(idle)")?;
+            } else {
+                let list: Vec<String> = tasks.iter().map(|t| t.to_string()).collect();
+                writeln!(f, "{}", list.join(" -> "))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_graph::TaskGraphBuilder;
+
+    fn ids(xs: &[u32]) -> Vec<TaskId> {
+        xs.iter().map(|&x| TaskId(x)).collect()
+    }
+
+    #[test]
+    fn from_proc_lists_happy_path() {
+        let s = Schedule::from_proc_lists(4, vec![ids(&[0, 2]), ids(&[1, 3]), vec![]]).unwrap();
+        assert_eq!(s.proc_count(), 3);
+        assert_eq!(s.task_count(), 4);
+        assert_eq!(s.proc_of(TaskId(2)), ProcId(0));
+        assert_eq!(s.proc_of(TaskId(3)), ProcId(1));
+        assert_eq!(s.tasks_on(ProcId(0)), &ids(&[0, 2])[..]);
+        assert_eq!(s.prev_on_proc(TaskId(2)), Some(TaskId(0)));
+        assert_eq!(s.prev_on_proc(TaskId(0)), None);
+        assert_eq!(s.next_on_proc(TaskId(0)), Some(TaskId(2)));
+        assert_eq!(s.next_on_proc(TaskId(2)), None);
+        assert_eq!(s.pairs_on(ProcId(0)), vec![(TaskId(0), TaskId(2))]);
+        assert!(s.pairs_on(ProcId(2)).is_empty());
+    }
+
+    #[test]
+    fn rejects_duplicates_missing_unknown() {
+        assert_eq!(
+            Schedule::from_proc_lists(2, vec![ids(&[0, 0]), ids(&[1])]).unwrap_err(),
+            ScheduleError::DuplicateTask(TaskId(0))
+        );
+        assert_eq!(
+            Schedule::from_proc_lists(3, vec![ids(&[0]), ids(&[1])]).unwrap_err(),
+            ScheduleError::MissingTask(TaskId(2))
+        );
+        assert_eq!(
+            Schedule::from_proc_lists(2, vec![ids(&[0, 7]), ids(&[1])]).unwrap_err(),
+            ScheduleError::UnknownTask(TaskId(7))
+        );
+    }
+
+    #[test]
+    fn from_order_and_assignment_decodes_chromosome() {
+        // order 0,1,2,3 with assignment [p0, p1, p0, p1]
+        let order = ids(&[0, 1, 2, 3]);
+        let assign = vec![ProcId(0), ProcId(1), ProcId(0), ProcId(1)];
+        let s = Schedule::from_order_and_assignment(&order, &assign, 2).unwrap();
+        assert_eq!(s.tasks_on(ProcId(0)), &ids(&[0, 2])[..]);
+        assert_eq!(s.tasks_on(ProcId(1)), &ids(&[1, 3])[..]);
+
+        // A different order permutes per-processor sequences.
+        let order2 = ids(&[1, 3, 0, 2]);
+        let s2 = Schedule::from_order_and_assignment(&order2, &assign, 2).unwrap();
+        assert_eq!(s2.tasks_on(ProcId(1)), &ids(&[1, 3])[..]);
+        assert_eq!(s2.tasks_on(ProcId(0)), &ids(&[0, 2])[..]);
+    }
+
+    #[test]
+    fn order_decoding_rejects_short_order() {
+        let assign = vec![ProcId(0), ProcId(0)];
+        let err = Schedule::from_order_and_assignment(&ids(&[0]), &assign, 1).unwrap_err();
+        assert_eq!(err, ScheduleError::MissingTask(TaskId(1)));
+    }
+
+    #[test]
+    fn validate_against_detects_precedence_cycle() {
+        // 0 -> 1, but p0 executes 1 before 0: Gs has 0->1 (E) and 1->0 (E').
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(1), 1.0);
+        let g = b.build().unwrap();
+        let bad = Schedule::from_proc_lists(2, vec![ids(&[1, 0])]).unwrap();
+        assert_eq!(
+            bad.validate_against(&g).unwrap_err(),
+            ScheduleError::PrecedenceCycle
+        );
+        let good = Schedule::from_proc_lists(2, vec![ids(&[0, 1])]).unwrap();
+        assert!(good.validate_against(&g).is_ok());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = Schedule::from_proc_lists(2, vec![ids(&[0, 1]), vec![]]).unwrap();
+        let text = s.to_string();
+        assert!(text.contains("p0: v0 -> v1"));
+        assert!(text.contains("p1: (idle)"));
+    }
+
+    #[test]
+    fn paper_fig1_schedule_notation() {
+        // Fig 1(c): {{(v1,v2),(v2,v4)}, {(v3,v5),(v5,v8)}, {(v6,v7)}, {}}
+        // In 0-based ids: p0=[0,1,3], p1=[2,4,7], p2=[5,6], p3=[].
+        let s = Schedule::from_proc_lists(
+            8,
+            vec![ids(&[0, 1, 3]), ids(&[2, 4, 7]), ids(&[5, 6]), vec![]],
+        )
+        .unwrap();
+        assert_eq!(
+            s.pairs_on(ProcId(0)),
+            vec![(TaskId(0), TaskId(1)), (TaskId(1), TaskId(3))]
+        );
+        assert_eq!(s.tasks_on(ProcId(3)), &[] as &[TaskId]);
+    }
+}

@@ -1,0 +1,271 @@
+//! Slack (Definition 3.3) on the disjunctive graph.
+//!
+//! With the schedule fixed, compute on `G_s` (expected durations as node
+//! weights, transfer times as edge weights):
+//!
+//! * `Tl(i)` — longest entry→`i` path length *excluding* `i`'s duration
+//!   (equals the earliest start of `i`);
+//! * `Bl(i)` — longest `i`→exit path length *including* `i`'s duration;
+//! * `σ_i = M − Bl(i) − Tl(i)` where `M` is the makespan;
+//! * the *average slack* `σ̄ = Σσ_i / N` — the GA's robustness surrogate.
+//!
+//! Theorem 3.4 (verified by tests here and property tests in the workspace
+//! integration suite): a task finishing late by `Δ ≤ σ_i` cannot extend the
+//! makespan, provided all other tasks hold their expected durations.
+
+use rds_graph::TaskId;
+use rds_platform::Platform;
+
+use crate::disjunctive::DisjunctiveGraph;
+use crate::schedule::Schedule;
+
+/// Slack decomposition of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlackAnalysis {
+    /// Top level `Tl(i)` of every task.
+    pub top_level: Vec<f64>,
+    /// Bottom level `Bl(i)` of every task.
+    pub bottom_level: Vec<f64>,
+    /// Slack `σ_i` of every task.
+    pub slack: Vec<f64>,
+    /// Makespan `M` (critical path of `G_s`).
+    pub makespan: f64,
+    /// Average slack `σ̄`.
+    pub average_slack: f64,
+}
+
+impl SlackAnalysis {
+    /// Slack of task `t`.
+    #[inline]
+    pub fn slack_of(&self, t: TaskId) -> f64 {
+        self.slack[t.index()]
+    }
+
+    /// Tasks with (numerically) zero slack — the critical tasks.
+    pub fn critical_tasks(&self) -> Vec<TaskId> {
+        const EPS: f64 = 1e-9;
+        self.slack
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s.abs() <= EPS * self.makespan.max(1.0))
+            .map(|(i, _)| TaskId(i as u32))
+            .collect()
+    }
+}
+
+/// Computes the slack analysis for a schedule under the given durations.
+///
+/// `durations[i]` is task `i`'s duration on its assigned processor (usually
+/// the *expected* duration — the paper computes slack once the schedule is
+/// fixed, with expected times).
+pub fn analyze(
+    ds: &DisjunctiveGraph,
+    schedule: &Schedule,
+    platform: &Platform,
+    durations: &[f64],
+) -> SlackAnalysis {
+    let n = ds.task_count();
+    debug_assert_eq!(durations.len(), n);
+
+    // Forward pass: top levels (= earliest starts).
+    let mut tl = vec![0.0_f64; n];
+    for &t in ds.topo_order() {
+        let pt = schedule.proc_of(t);
+        let mut best = 0.0_f64;
+        for e in ds.predecessors(t) {
+            let q = e.task;
+            let cand = tl[q.index()]
+                + durations[q.index()]
+                + platform.comm_time(e.data, schedule.proc_of(q), pt);
+            if cand > best {
+                best = cand;
+            }
+        }
+        tl[t.index()] = best;
+    }
+
+    // Backward pass: bottom levels.
+    let mut bl = vec![0.0_f64; n];
+    for &t in ds.topo_order().iter().rev() {
+        let pt = schedule.proc_of(t);
+        let own = durations[t.index()];
+        let mut best = own;
+        for e in ds.successors(t) {
+            let q = e.task;
+            let cand =
+                own + platform.comm_time(e.data, pt, schedule.proc_of(q)) + bl[q.index()];
+            if cand > best {
+                best = cand;
+            }
+        }
+        bl[t.index()] = best;
+    }
+
+    let makespan = (0..n).map(|i| tl[i] + bl[i]).fold(0.0, f64::max);
+    let mut slack = Vec::with_capacity(n);
+    for i in 0..n {
+        // Clamp the tiny negative values produced by float rounding on the
+        // critical path itself.
+        slack.push((makespan - bl[i] - tl[i]).max(0.0));
+    }
+    let average_slack = if n == 0 {
+        0.0
+    } else {
+        slack.iter().sum::<f64>() / n as f64
+    };
+    SlackAnalysis {
+        top_level: tl,
+        bottom_level: bl,
+        slack,
+        makespan,
+        average_slack,
+    }
+}
+
+/// Convenience: expected-duration slack analysis straight from an instance
+/// and a schedule.
+///
+/// # Errors
+/// Returns an error when the schedule is incompatible with the graph.
+pub fn analyze_expected(
+    inst: &crate::instance::Instance,
+    schedule: &Schedule,
+) -> Result<SlackAnalysis, crate::disjunctive::CycleError> {
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
+    let durations = crate::timing::expected_durations(&inst.timing, schedule);
+    Ok(analyze(&ds, schedule, &inst.platform, &durations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timing::evaluate_with_durations;
+    use rds_graph::{TaskGraph, TaskGraphBuilder};
+    use rds_platform::Platform;
+
+    fn ids(xs: &[u32]) -> Vec<TaskId> {
+        xs.iter().map(|&x| TaskId(x)).collect()
+    }
+
+    /// Two independent chains on two processors:
+    /// p0 runs 0 (dur 10); p1 runs 1 (dur 4).
+    fn two_chain() -> (TaskGraph, Platform, Schedule, Vec<f64>) {
+        let g = TaskGraphBuilder::with_tasks(2).build().unwrap();
+        let p = Platform::uniform(2, 1.0).unwrap();
+        let s = Schedule::from_proc_lists(2, vec![ids(&[0]), ids(&[1])]).unwrap();
+        (g, p, s, vec![10.0, 4.0])
+    }
+
+    #[test]
+    fn slack_of_short_chain_is_gap() {
+        let (g, p, s, dur) = two_chain();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let a = analyze(&ds, &s, &p, &dur);
+        assert_eq!(a.makespan, 10.0);
+        assert_eq!(a.slack_of(TaskId(0)), 0.0);
+        assert_eq!(a.slack_of(TaskId(1)), 6.0);
+        assert_eq!(a.average_slack, 3.0);
+        assert_eq!(a.critical_tasks(), vec![TaskId(0)]);
+    }
+
+    #[test]
+    fn makespan_matches_timing_evaluation() {
+        let (g, p, s, dur) = two_chain();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let a = analyze(&ds, &s, &p, &dur);
+        let t = evaluate_with_durations(&ds, &s, &p, &dur);
+        assert_eq!(a.makespan, t.makespan);
+        // Top level equals earliest start.
+        assert_eq!(a.top_level, t.start);
+    }
+
+    #[test]
+    fn critical_path_tasks_have_zero_slack() {
+        // Chain 0 -> 1 -> 2 on one processor: all critical.
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 0.0)
+            .add_edge(TaskId(1), TaskId(2), 0.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(1, 1.0).unwrap();
+        let s = Schedule::from_proc_lists(3, vec![ids(&[0, 1, 2])]).unwrap();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let a = analyze(&ds, &s, &p, &[1.0, 2.0, 3.0]);
+        assert_eq!(a.makespan, 6.0);
+        assert!(a.slack.iter().all(|&x| x == 0.0));
+        assert_eq!(a.critical_tasks().len(), 3);
+        assert_eq!(a.average_slack, 0.0);
+    }
+
+    /// Theorem 3.4: inflating one task by less than its slack leaves the
+    /// makespan unchanged; inflating beyond the slack extends it.
+    #[test]
+    fn theorem_3_4_single_task_inflation() {
+        let (g, p, s, dur) = two_chain();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let a = analyze(&ds, &s, &p, &dur);
+        let sigma = a.slack_of(TaskId(1));
+        assert!(sigma > 0.0);
+
+        // Δ = σ: makespan unchanged (boundary case included).
+        let mut inflated = dur.clone();
+        inflated[1] += sigma;
+        let m = evaluate_with_durations(&ds, &s, &p, &inflated).makespan;
+        assert!((m - a.makespan).abs() < 1e-9);
+
+        // Δ > σ: makespan extends by exactly the excess here.
+        inflated[1] += 1.0;
+        let m2 = evaluate_with_durations(&ds, &s, &p, &inflated).makespan;
+        assert!((m2 - (a.makespan + 1.0)).abs() < 1e-9);
+    }
+
+    /// Corollary 3.5: inflating several *independent* tasks each within
+    /// their own slack keeps the makespan.
+    #[test]
+    fn corollary_3_5_independent_inflations() {
+        // Diamond on 3 procs so the two middles are independent in Gs.
+        let mut b = TaskGraphBuilder::with_tasks(4);
+        b.add_edge(TaskId(0), TaskId(1), 0.0)
+            .add_edge(TaskId(0), TaskId(2), 0.0)
+            .add_edge(TaskId(1), TaskId(3), 0.0)
+            .add_edge(TaskId(2), TaskId(3), 0.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(3, 1.0).unwrap();
+        let s = Schedule::from_proc_lists(
+            4,
+            vec![ids(&[0, 3]), ids(&[1]), ids(&[2])],
+        )
+        .unwrap();
+        let dur = vec![1.0, 2.0, 8.0, 1.0];
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        assert!(ds.are_independent(TaskId(1), TaskId(2)));
+        let a = analyze(&ds, &s, &p, &dur);
+        let s1 = a.slack_of(TaskId(1));
+        assert!(s1 > 0.0, "short branch has slack");
+        // Inflate task 1 by its slack; task 2 is critical (slack 0, inflate 0).
+        let mut inflated = dur.clone();
+        inflated[1] += s1;
+        let m = evaluate_with_durations(&ds, &s, &p, &inflated).makespan;
+        assert!((m - a.makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exit_tasks_on_critical_path_have_zero_slack() {
+        let (g, p, s, dur) = two_chain();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let a = analyze(&ds, &s, &p, &dur);
+        // The paper's proof sketch notes the slack of any exit task on the
+        // critical path is 0.
+        assert_eq!(a.slack_of(TaskId(0)), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_analysis() {
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        let p = Platform::uniform(1, 1.0).unwrap();
+        let s = Schedule::from_proc_lists(0, vec![vec![]]).unwrap();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let a = analyze(&ds, &s, &p, &[]);
+        assert_eq!(a.makespan, 0.0);
+        assert_eq!(a.average_slack, 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Start/finish times and makespan under a duration assignment.
+//!
+//! Claim 3.2: if each task starts as soon as it becomes ready, the makespan
+//! of schedule `s` equals the critical-path length of the disjunctive graph
+//! `G_s`. The evaluation below is a single forward pass over the cached
+//! topological order of `G_s`:
+//!
+//! ```text
+//! start(t)  = max over preds q of  finish(q) + comm(q → t)
+//! finish(t) = start(t) + duration(t)
+//! ```
+//!
+//! where `comm` uses the platform's transfer rates and is zero for
+//! co-located tasks (which subsumes Eq. (1)'s zeroing of intra-processor
+//! data). Durations are supplied by the caller, so the same kernel serves
+//! the *expected* makespan `M₀` (durations = `UL·B`) and each *realized*
+//! makespan `M_i` (durations sampled from the realization law).
+
+use rds_graph::{TaskGraph, TaskId};
+use rds_platform::Platform;
+
+use crate::disjunctive::DisjunctiveGraph;
+use crate::schedule::Schedule;
+
+/// Start/finish times for every task plus the makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedSchedule {
+    /// Per-task start times.
+    pub start: Vec<f64>,
+    /// Per-task finish times.
+    pub finish: Vec<f64>,
+    /// `max(finish)` (0 for an empty graph).
+    pub makespan: f64,
+}
+
+impl TimedSchedule {
+    /// Start time of `t`.
+    #[inline]
+    pub fn start_of(&self, t: TaskId) -> f64 {
+        self.start[t.index()]
+    }
+
+    /// Finish time of `t`.
+    #[inline]
+    pub fn finish_of(&self, t: TaskId) -> f64 {
+        self.finish[t.index()]
+    }
+}
+
+/// Computes start/finish times for `schedule` given per-task durations.
+///
+/// `durations[i]` is the duration of task `i` on its *assigned* processor.
+pub fn evaluate_with_durations(
+    ds: &DisjunctiveGraph,
+    schedule: &Schedule,
+    platform: &Platform,
+    durations: &[f64],
+) -> TimedSchedule {
+    let n = ds.task_count();
+    debug_assert_eq!(durations.len(), n);
+    let mut start = vec![0.0_f64; n];
+    let mut finish = vec![0.0_f64; n];
+    let mut makespan = 0.0_f64;
+    for &t in ds.topo_order() {
+        let ti = t.index();
+        let pt = schedule.proc_of(t);
+        let mut s = 0.0_f64;
+        for e in ds.predecessors(t) {
+            let q = e.task;
+            let ready = finish[q.index()] + platform.comm_time(e.data, schedule.proc_of(q), pt);
+            if ready > s {
+                s = ready;
+            }
+        }
+        start[ti] = s;
+        finish[ti] = s + durations[ti];
+        if finish[ti] > makespan {
+            makespan = finish[ti];
+        }
+    }
+    TimedSchedule {
+        start,
+        finish,
+        makespan,
+    }
+}
+
+/// Only the makespan — avoids materializing the start/finish vectors on the
+/// Monte Carlo hot path (one `Vec` per realization still needed for finish
+/// times; reuse via the `scratch` buffer).
+pub fn makespan_with_durations(
+    ds: &DisjunctiveGraph,
+    schedule: &Schedule,
+    platform: &Platform,
+    durations: &[f64],
+    scratch: &mut Vec<f64>,
+) -> f64 {
+    let n = ds.task_count();
+    debug_assert_eq!(durations.len(), n);
+    scratch.clear();
+    scratch.resize(n, 0.0);
+    let mut makespan = 0.0_f64;
+    for &t in ds.topo_order() {
+        let ti = t.index();
+        let pt = schedule.proc_of(t);
+        let mut s = 0.0_f64;
+        for e in ds.predecessors(t) {
+            let q = e.task;
+            let ready = scratch[q.index()] + platform.comm_time(e.data, schedule.proc_of(q), pt);
+            if ready > s {
+                s = ready;
+            }
+        }
+        let f = s + durations[ti];
+        scratch[ti] = f;
+        if f > makespan {
+            makespan = f;
+        }
+    }
+    makespan
+}
+
+/// Expected durations of every task on its assigned processor.
+pub fn expected_durations(
+    timing: &rds_platform::TimingModel,
+    schedule: &Schedule,
+) -> Vec<f64> {
+    (0..schedule.task_count())
+        .map(|i| timing.expected(i, schedule.proc_of(TaskId(i as u32))))
+        .collect()
+}
+
+/// Convenience: builds `G_s` and evaluates the *expected* timing (`M₀`).
+///
+/// # Errors
+/// Returns an error when the schedule is incompatible with the graph.
+pub fn evaluate_expected(
+    graph: &TaskGraph,
+    platform: &Platform,
+    timing: &rds_platform::TimingModel,
+    schedule: &Schedule,
+) -> Result<TimedSchedule, crate::disjunctive::CycleError> {
+    let ds = DisjunctiveGraph::build(graph, schedule)?;
+    let durations = expected_durations(timing, schedule);
+    Ok(evaluate_with_durations(&ds, schedule, platform, &durations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_graph::TaskGraphBuilder;
+    use rds_platform::{Platform, ProcId, TimingModel};
+    use rds_stats::matrix::Matrix;
+
+    fn ids(xs: &[u32]) -> Vec<TaskId> {
+        xs.iter().map(|&x| TaskId(x)).collect()
+    }
+
+    /// Hand-checkable fixture:
+    /// graph 0 -> 1 (data 4), 0 -> 2 (data 8), 1 -> 3 (data 2), 2 -> 3 (data 2)
+    /// platform: 2 procs, rate 2 (comm = data/2)
+    /// durations: [2, 3, 4, 1]
+    /// schedule: p0 = [0, 1], p1 = [2, 3]
+    fn fixture() -> (TaskGraph, Platform, Schedule, Vec<f64>) {
+        let mut b = TaskGraphBuilder::with_tasks(4);
+        b.add_edge(TaskId(0), TaskId(1), 4.0)
+            .add_edge(TaskId(0), TaskId(2), 8.0)
+            .add_edge(TaskId(1), TaskId(3), 2.0)
+            .add_edge(TaskId(2), TaskId(3), 2.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(2, 2.0).unwrap();
+        let s = Schedule::from_proc_lists(4, vec![ids(&[0, 1]), ids(&[2, 3])]).unwrap();
+        (g, p, s, vec![2.0, 3.0, 4.0, 1.0])
+    }
+
+    #[test]
+    fn hand_computed_timing() {
+        let (g, p, s, dur) = fixture();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let t = evaluate_with_durations(&ds, &s, &p, &dur);
+        // start(0)=0, finish(0)=2
+        // start(1): pred 0 same proc, comm 0 -> finish(0)=2; start=2, finish=5
+        // start(2): pred 0 cross proc, comm 8/2=4 -> 2+4=6; finish=10
+        // start(3): preds 1 (cross, comm 1) -> 5+1=6; 2 (same, comm 0) -> 10
+        //   start=10, finish=11
+        assert_eq!(t.start, vec![0.0, 2.0, 6.0, 10.0]);
+        assert_eq!(t.finish, vec![2.0, 5.0, 10.0, 11.0]);
+        assert_eq!(t.makespan, 11.0);
+    }
+
+    #[test]
+    fn makespan_only_matches_full_eval() {
+        let (g, p, s, dur) = fixture();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let mut scratch = Vec::new();
+        let m = makespan_with_durations(&ds, &s, &p, &dur, &mut scratch);
+        assert_eq!(m, 11.0);
+        // scratch reuse across calls
+        let m2 = makespan_with_durations(&ds, &s, &p, &dur, &mut scratch);
+        assert_eq!(m2, 11.0);
+    }
+
+    #[test]
+    fn disjunctive_chain_serializes_same_proc_tasks() {
+        // Independent tasks 0 and 1 on one processor must serialize.
+        let g = TaskGraphBuilder::with_tasks(2).build().unwrap();
+        let p = Platform::uniform(1, 1.0).unwrap();
+        let s = Schedule::from_proc_lists(2, vec![ids(&[0, 1])]).unwrap();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let t = evaluate_with_durations(&ds, &s, &p, &[5.0, 3.0]);
+        assert_eq!(t.start, vec![0.0, 5.0]);
+        assert_eq!(t.makespan, 8.0);
+    }
+
+    #[test]
+    fn same_proc_communication_is_free() {
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(1), 100.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(2, 1.0).unwrap();
+        let s = Schedule::from_proc_lists(2, vec![ids(&[0, 1]), vec![]]).unwrap();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let t = evaluate_with_durations(&ds, &s, &p, &[1.0, 1.0]);
+        assert_eq!(t.start_of(TaskId(1)), 1.0);
+        assert_eq!(t.makespan, 2.0);
+    }
+
+    #[test]
+    fn evaluate_expected_uses_ul_times_bcet() {
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(1), 0.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(1, 1.0).unwrap();
+        let bcet = Matrix::from_rows(&[&[2.0], &[3.0]]);
+        let ul = Matrix::from_rows(&[&[2.0], &[3.0]]);
+        let tm = TimingModel::new(bcet, ul).unwrap();
+        let s = Schedule::from_proc_lists(2, vec![ids(&[0, 1])]).unwrap();
+        let t = evaluate_expected(&g, &p, &tm, &s).unwrap();
+        // expected durations: 4 and 9.
+        assert_eq!(t.makespan, 13.0);
+        assert_eq!(s.proc_of(TaskId(0)), ProcId(0));
+    }
+
+    #[test]
+    fn longer_realized_durations_cannot_shrink_makespan() {
+        let (g, p, s, dur) = fixture();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let base = evaluate_with_durations(&ds, &s, &p, &dur).makespan;
+        let inflated: Vec<f64> = dur.iter().map(|d| d * 1.5).collect();
+        let m = evaluate_with_durations(&ds, &s, &p, &inflated).makespan;
+        assert!(m >= base);
+    }
+
+    #[test]
+    fn empty_graph_makespan_zero() {
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        let p = Platform::uniform(1, 1.0).unwrap();
+        let s = Schedule::from_proc_lists(0, vec![vec![]]).unwrap();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let t = evaluate_with_durations(&ds, &s, &p, &[]);
+        assert_eq!(t.makespan, 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Chrome-trace export (`chrome://tracing` / Perfetto).
+//!
+//! Serializes a timed schedule as a Trace Event Format JSON array: one
+//! complete ("X") event per task, one thread lane per processor — so any
+//! schedule produced by this workspace can be inspected interactively in
+//! a trace viewer. JSON is built by hand (the event format is trivial and
+//! the workspace avoids a JSON dependency).
+
+use rds_platform::ProcId;
+
+use crate::schedule::Schedule;
+use crate::timing::TimedSchedule;
+
+/// Escapes the few JSON-significant characters task labels can contain.
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the Trace Event Format JSON for a timed schedule.
+///
+/// Times are emitted in microseconds (the format's unit); one schedule
+/// time unit maps to 1000 µs so sub-unit starts stay visible.
+#[must_use]
+pub fn to_chrome_trace(schedule: &Schedule, timed: &TimedSchedule) -> String {
+    use std::fmt::Write as _;
+    const SCALE: f64 = 1000.0;
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for p in 0..schedule.proc_count() {
+        // Thread-name metadata event per processor lane.
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "  {{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{p},\
+             \"args\":{{\"name\":\"p{p}\"}}}}"
+        );
+        for &t in schedule.tasks_on(ProcId(p as u32)) {
+            let ts = timed.start_of(t) * SCALE;
+            let dur = (timed.finish_of(t) - timed.start_of(t)) * SCALE;
+            let _ = write!(
+                out,
+                ",\n  {{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{p},\
+                 \"ts\":{ts:.3},\"dur\":{dur:.3}}}",
+                esc(&t.to_string())
+            );
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disjunctive::DisjunctiveGraph;
+    use crate::instance::InstanceSpec;
+    use crate::timing::{evaluate_with_durations, expected_durations};
+
+    fn fixture() -> (Schedule, TimedSchedule) {
+        let inst = InstanceSpec::new(10, 2).seed(1).build().unwrap();
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let assignment: Vec<ProcId> = (0..10).map(|i| ProcId((i % 2) as u32)).collect();
+        let s = Schedule::from_order_and_assignment(&order, &assignment, 2).unwrap();
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let d = expected_durations(&inst.timing, &s);
+        let t = evaluate_with_durations(&ds, &s, &inst.platform, &d);
+        (s, t)
+    }
+
+    #[test]
+    fn trace_contains_every_task_and_lane() {
+        let (s, t) = fixture();
+        let json = to_chrome_trace(&s, &t);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        // One X event per task.
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 10);
+        // One metadata event per processor.
+        assert_eq!(json.matches("\"ph\":\"M\"").count(), 2);
+        assert!(json.contains("\"name\":\"v0\""));
+        assert!(json.contains("\"args\":{\"name\":\"p1\"}"));
+    }
+
+    #[test]
+    fn trace_is_structurally_balanced_json() {
+        let (s, t) = fixture();
+        let json = to_chrome_trace(&s, &t);
+        // Braces and brackets balance (a cheap well-formedness check
+        // without a JSON parser in the dependency set).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn durations_scale_to_microseconds() {
+        let (s, t) = fixture();
+        let json = to_chrome_trace(&s, &t);
+        // The first task's duration in the JSON equals 1000x its span.
+        let task0 = rds_graph::TaskId(0);
+        let span = (t.finish_of(task0) - t.start_of(task0)) * 1000.0;
+        assert!(json.contains(&format!("\"dur\":{span:.3}")));
+    }
+}

@@ -1,0 +1,145 @@
+//! Correlation coefficients.
+//!
+//! The paper's first experimental question is whether *slack is an
+//! effective metric to control robustness* (§5, question 1). The
+//! experiment harness answers it quantitatively by correlating the average
+//! slack of schedules with their measured robustness across random
+//! schedules — Pearson for linear association, Spearman for monotone
+//! association (robust to the nonlinear `1/E[δ]` shape of `R1`).
+
+/// Pearson product-moment correlation of two equally long samples.
+///
+/// Returns `NaN` when either sample has zero variance or fewer than two
+/// points.
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must pair up");
+    let n = xs.len();
+    if n < 2 {
+        return f64::NAN;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return f64::NAN;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Spearman rank correlation: Pearson over fractional ranks (ties get the
+/// average rank).
+///
+/// # Panics
+/// Panics when the slices have different lengths.
+#[must_use]
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must pair up");
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Fractional ranks (1-based; ties averaged).
+///
+/// # Panics
+/// Panics when a value is `NaN` (ranks are undefined).
+#[must_use]
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    assert!(xs.iter().all(|x| !x.is_nan()), "ranks need non-NaN values");
+    let n = xs.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < n && xs[idx[j]] == xs[idx[i]] {
+            j += 1;
+        }
+        // Average rank of the group (1-based).
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            out[k] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = ys.iter().map(|y| -y).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_independent_is_small() {
+        // Deterministic pseudo-random pairing.
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let ys: Vec<f64> = (0..500).map(|i| ((i * 53) % 97) as f64).collect();
+        assert!(pearson(&xs, &ys).abs() < 0.15);
+    }
+
+    #[test]
+    fn pearson_edge_cases() {
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_nan()); // zero variance
+        assert!(pearson(&[], &[]).is_nan());
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn pearson_length_mismatch_panics() {
+        let _ = pearson(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys: Vec<f64> = xs.iter().map(|&x: &f64| x.exp()).collect(); // nonlinear, monotone
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        // Pearson is below 1 for the same data.
+        assert!(pearson(&xs, &ys) < 1.0);
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ranks_of_sorted_input() {
+        let r = ranks(&[5.0, 6.0, 7.0]);
+        assert_eq!(r, vec![1.0, 2.0, 3.0]);
+        let r = ranks(&[7.0, 6.0, 5.0]);
+        assert_eq!(r, vec![3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn spearman_reversed_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [9.0, 7.0, 5.0, 1.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,386 @@
+//! Descriptive statistics for Monte Carlo aggregation.
+//!
+//! The robustness metrics of the paper are expectations over realizations
+//! (`R1 = 1/E[δ]`) and empirical rates (`R2 = 1/α`), so the experiment
+//! harness needs numerically stable online mean/variance ([`OnlineStats`],
+//! Welford's algorithm) and order statistics over collected samples
+//! ([`Summary`]).
+
+/// Welford online mean/variance accumulator.
+///
+/// Single pass, numerically stable, O(1) memory. Merging two accumulators is
+/// supported so parallel shards can be combined deterministically.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// An empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend(&mut self, xs: impl IntoIterator<Item = f64>) {
+        for x in xs {
+            self.push(x);
+        }
+    }
+
+    /// Builds an accumulator from an iterator (alias of the
+    /// [`FromIterator`] impl, kept for call-site readability).
+    #[allow(clippy::should_implement_trait)] // the trait IS implemented below
+    pub fn from_iter(xs: impl IntoIterator<Item = f64>) -> Self {
+        let mut s = Self::new();
+        s.extend(xs);
+        s
+    }
+
+    /// Merges another accumulator (Chan et al. parallel variance).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (`NaN` when empty).
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` with fewer than 2 observations).
+    #[inline]
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Standard error of the mean (`NaN` with fewer than 2 observations).
+    #[inline]
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// 95% confidence half-width of the mean, using Student's t for small
+    /// samples (two-sided, linear interpolation over a small quantile
+    /// table) and 1.96 beyond 30 degrees of freedom. `NaN` with fewer
+    /// than 2 observations.
+    #[must_use]
+    pub fn mean_ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
+        t_quantile_975(self.n - 1) * self.std_error()
+    }
+}
+
+/// Two-sided 97.5% Student t quantile for `df` degrees of freedom.
+fn t_quantile_975(df: u64) -> f64 {
+    // Exact-enough table for df 1..30; 1.96 asymptote beyond.
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, //
+        2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, //
+        2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    if df == 0 {
+        f64::NAN
+    } else if df <= 30 {
+        TABLE[(df - 1) as usize]
+    } else {
+        1.96
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(xs: I) -> Self {
+        let mut s = Self::new();
+        s.extend(xs);
+        s
+    }
+}
+
+/// An owning summary of a sample: mean, spread, and quantiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    sorted: Vec<f64>,
+    stats: OnlineStats,
+}
+
+impl Summary {
+    /// Builds a summary from samples. `NaN`s are rejected.
+    ///
+    /// # Panics
+    /// Panics when a sample is `NaN` — metrics feeding a summary must be
+    /// well-defined numbers.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "Summary samples must not contain NaN"
+        );
+        let stats = OnlineStats::from_iter(samples.iter().copied());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Self {
+            sorted: samples,
+            stats,
+        }
+    }
+
+    /// Number of samples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when the summary has no samples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Sample mean.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Sample standard deviation.
+    #[inline]
+    pub fn std_dev(&self) -> f64 {
+        self.stats.std_dev()
+    }
+
+    /// Minimum.
+    #[inline]
+    pub fn min(&self) -> f64 {
+        self.stats.min()
+    }
+
+    /// Maximum.
+    #[inline]
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+
+    /// Linear-interpolated quantile, `q ∈ [0,1]` (`NaN` when empty).
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `[0,1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let pos = q * (self.sorted.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            self.sorted[lo]
+        } else {
+            let frac = pos - lo as f64;
+            self.sorted[lo] * (1.0 - frac) + self.sorted[hi] * frac
+        }
+    }
+
+    /// Median (0.5 quantile).
+    #[inline]
+    pub fn median(&self) -> f64 {
+        self.quantile(0.5)
+    }
+
+    /// Fraction of samples strictly greater than `threshold` — this is the
+    /// paper's *miss rate* `α` when `threshold = M₀`.
+    pub fn fraction_above(&self, threshold: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        // sorted, so binary search for the first element > threshold.
+        let idx = self.sorted.partition_point(|&x| x <= threshold);
+        (self.sorted.len() - idx) as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted samples.
+    #[inline]
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_mean_variance_match_two_pass() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let st = OnlineStats::from_iter(xs.iter().copied());
+        assert_eq!(st.count(), 8);
+        assert!((st.mean() - 5.0).abs() < 1e-12);
+        // two-pass variance
+        let var = xs.iter().map(|x| (x - 5.0f64).powi(2)).sum::<f64>() / 7.0;
+        assert!((st.variance() - var).abs() < 1e-12);
+        assert_eq!(st.min(), 2.0);
+        assert_eq!(st.max(), 9.0);
+    }
+
+    #[test]
+    fn empty_stats_are_nan() {
+        let st = OnlineStats::new();
+        assert!(st.mean().is_nan());
+        assert!(st.variance().is_nan());
+        assert_eq!(st.count(), 0);
+    }
+
+    #[test]
+    fn single_observation_variance_is_nan() {
+        let st = OnlineStats::from_iter([3.0]);
+        assert_eq!(st.mean(), 3.0);
+        assert!(st.variance().is_nan());
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let seq = OnlineStats::from_iter(xs.iter().copied());
+        let mut a = OnlineStats::from_iter(xs[..37].iter().copied());
+        let b = OnlineStats::from_iter(xs[37..].iter().copied());
+        a.merge(&b);
+        assert_eq!(a.count(), seq.count());
+        assert!((a.mean() - seq.mean()).abs() < 1e-10);
+        assert!((a.variance() - seq.variance()).abs() < 1e-10);
+        assert_eq!(a.min(), seq.min());
+        assert_eq!(a.max(), seq.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = OnlineStats::from_iter([1.0, 2.0]);
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+        let mut empty = OnlineStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn confidence_interval_half_width() {
+        // n=4, sd=1: half width = t_3 * 1/2 = 3.182 / 2.
+        let xs = [9.0, 10.0, 10.0, 11.0];
+        let st = OnlineStats::from_iter(xs.iter().copied());
+        let sd = st.std_dev();
+        let expect = 3.182 * sd / 2.0;
+        assert!((st.mean_ci95_half_width() - expect).abs() < 1e-9);
+        // Large samples approach the normal quantile.
+        let big = OnlineStats::from_iter((0..1000).map(|i| (i % 7) as f64));
+        let hw = big.mean_ci95_half_width();
+        assert!((hw - 1.96 * big.std_error()).abs() < 1e-12);
+        // Degenerate cases.
+        assert!(OnlineStats::from_iter([1.0]).mean_ci95_half_width().is_nan());
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let s = Summary::from_samples(vec![3.0, 1.0, 2.0, 4.0, 5.0]);
+        assert_eq!(s.median(), 3.0);
+        assert_eq!(s.quantile(0.0), 1.0);
+        assert_eq!(s.quantile(1.0), 5.0);
+        assert!((s.quantile(0.25) - 2.0).abs() < 1e-12);
+        assert_eq!(s.len(), 5);
+    }
+
+    #[test]
+    fn fraction_above_counts_strictly_greater() {
+        let s = Summary::from_samples(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(s.fraction_above(2.0), 0.25);
+        assert_eq!(s.fraction_above(0.0), 1.0);
+        assert_eq!(s.fraction_above(3.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn summary_rejects_nan() {
+        let _ = Summary::from_samples(vec![1.0, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_out_of_range() {
+        let s = Summary::from_samples(vec![1.0]);
+        let _ = s.quantile(1.5);
+    }
+
+    #[test]
+    fn empty_summary_quantile_is_nan() {
+        let s = Summary::from_samples(vec![]);
+        assert!(s.median().is_nan());
+        assert!(s.fraction_above(1.0).is_nan());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,319 @@
+//! Probability distributions used by the paper's workload generators.
+//!
+//! The allowed offline crate set does not include `rand_distr`, so the gamma
+//! sampler is implemented here from scratch using the Marsaglia–Tsang
+//! squeeze method (ACM TOMS 2000), with Ahrens–Dieter style boosting for
+//! shape < 1. The parameterization follows §5 of the paper:
+//! `G(1/V², μ·V²)` is a gamma with **mean μ** and **coefficient of variation
+//! V**, which is exactly the form used by the COV-based matrix generation
+//! method of Ali et al.
+
+use rand::Rng;
+
+/// Gamma distribution `Γ(shape k, scale θ)` with density
+/// `x^{k-1} e^{-x/θ} / (Γ(k) θ^k)`.
+///
+/// Mean is `k·θ`, variance `k·θ²`, coefficient of variation `1/√k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma from shape/scale.
+    ///
+    /// # Errors
+    /// Returns `Err` when either parameter is non-finite or non-positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, DistError> {
+        if !(shape.is_finite() && shape > 0.0) {
+            return Err(DistError::InvalidShape(shape));
+        }
+        if !(scale.is_finite() && scale > 0.0) {
+            return Err(DistError::InvalidScale(scale));
+        }
+        Ok(Self { shape, scale })
+    }
+
+    /// The paper's parameterization `G(1/V², μ·V²)`: a gamma with mean
+    /// `mean` and coefficient of variation `cov`.
+    ///
+    /// # Errors
+    /// Returns `Err` when `mean` or `cov` is non-finite or non-positive.
+    pub fn with_mean_cov(mean: f64, cov: f64) -> Result<Self, DistError> {
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(DistError::InvalidMean(mean));
+        }
+        if !(cov.is_finite() && cov > 0.0) {
+            return Err(DistError::InvalidCov(cov));
+        }
+        let v2 = cov * cov;
+        Self::new(1.0 / v2, mean * v2)
+    }
+
+    /// Shape parameter `k`.
+    #[inline]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    #[inline]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Distribution mean `k·θ`.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    /// Coefficient of variation `1/√k`.
+    #[inline]
+    pub fn cov(&self) -> f64 {
+        1.0 / self.shape.sqrt()
+    }
+
+    /// Draws one sample.
+    ///
+    /// Marsaglia–Tsang for `k ≥ 1`; for `k < 1` sample with shape `k+1` and
+    /// apply the boosting transform `x · u^{1/k}`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let k = self.shape;
+        if k < 1.0 {
+            // Boost: if Y ~ Γ(k+1, 1) and U ~ U(0,1), then Y·U^{1/k} ~ Γ(k, 1).
+            let y = sample_shape_ge1(k + 1.0, rng);
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            y * u.powf(1.0 / k) * self.scale
+        } else {
+            sample_shape_ge1(k, rng) * self.scale
+        }
+    }
+
+    /// Draws `n` samples into a fresh vector.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+/// Marsaglia–Tsang sampler for unit-scale gamma with shape `k ≥ 1`.
+fn sample_shape_ge1<R: Rng + ?Sized>(k: f64, rng: &mut R) -> f64 {
+    debug_assert!(k >= 1.0);
+    let d = k - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        // Standard normal via Marsaglia polar method.
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v3 = v * v * v;
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        // Squeeze acceptance, then full acceptance test.
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v3;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v3 + v3.ln()) {
+            return d * v3;
+        }
+    }
+}
+
+/// Standard normal deviate via the Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * ((-2.0 * s.ln()) / s).sqrt();
+        }
+    }
+}
+
+/// A uniform distribution over `[lo, hi]` that tolerates the degenerate case
+/// `lo == hi` (which the paper's realization law hits when `UL = 1`, i.e. no
+/// uncertainty: `U(b, (2·1−1)b) = U(b,b)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformRange {
+    lo: f64,
+    hi: f64,
+}
+
+impl UniformRange {
+    /// Creates the distribution.
+    ///
+    /// # Errors
+    /// Returns `Err` if bounds are non-finite or `lo > hi`.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, DistError> {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(DistError::InvalidRange { lo, hi });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Lower bound.
+    #[inline]
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    #[inline]
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Distribution mean `(lo+hi)/2`.
+    #[inline]
+    pub fn mean(&self) -> f64 {
+        0.5 * (self.lo + self.hi)
+    }
+
+    /// Draws one sample (returns `lo` exactly when the range is degenerate).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.hi <= self.lo {
+            self.lo
+        } else {
+            rng.gen_range(self.lo..self.hi)
+        }
+    }
+}
+
+/// Exponential deviate with the given mean (`mean·(−ln U)`), `0` when
+/// `mean <= 0`.
+pub fn exponential<R: Rng + ?Sized>(mean: f64, rng: &mut R) -> f64 {
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Errors produced by distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistError {
+    /// Shape parameter was non-finite or non-positive.
+    InvalidShape(f64),
+    /// Scale parameter was non-finite or non-positive.
+    InvalidScale(f64),
+    /// Mean was non-finite or non-positive.
+    InvalidMean(f64),
+    /// Coefficient of variation was non-finite or non-positive.
+    InvalidCov(f64),
+    /// Uniform bounds were invalid.
+    InvalidRange {
+        /// Offending lower bound.
+        lo: f64,
+        /// Offending upper bound.
+        hi: f64,
+    },
+}
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DistError::InvalidShape(v) => write!(f, "invalid gamma shape {v}"),
+            DistError::InvalidScale(v) => write!(f, "invalid gamma scale {v}"),
+            DistError::InvalidMean(v) => write!(f, "invalid mean {v}"),
+            DistError::InvalidCov(v) => write!(f, "invalid coefficient of variation {v}"),
+            DistError::InvalidRange { lo, hi } => write!(f, "invalid uniform range [{lo},{hi}]"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::describe::OnlineStats;
+    use crate::rng::rng_from_seed;
+
+    fn sample_stats(g: Gamma, n: usize, seed: u64) -> OnlineStats {
+        let mut rng = rng_from_seed(seed);
+        let mut st = OnlineStats::new();
+        for _ in 0..n {
+            st.push(g.sample(&mut rng));
+        }
+        st
+    }
+
+    #[test]
+    fn mean_cov_parameterization_roundtrip() {
+        let g = Gamma::with_mean_cov(20.0, 0.5).unwrap();
+        assert!((g.mean() - 20.0).abs() < 1e-12);
+        assert!((g.cov() - 0.5).abs() < 1e-12);
+        assert!((g.shape() - 4.0).abs() < 1e-12);
+        assert!((g.scale() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, -1.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+        assert!(Gamma::with_mean_cov(-5.0, 0.5).is_err());
+        assert!(Gamma::with_mean_cov(5.0, 0.0).is_err());
+        assert!(UniformRange::new(2.0, 1.0).is_err());
+        assert!(UniformRange::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn gamma_sample_mean_converges_shape_ge1() {
+        // mean 20, CoV 0.5 -> shape 4 (Marsaglia–Tsang path).
+        let st = sample_stats(Gamma::with_mean_cov(20.0, 0.5).unwrap(), 200_000, 11);
+        assert!((st.mean() - 20.0).abs() < 0.15, "mean {}", st.mean());
+        let cov = st.std_dev() / st.mean();
+        assert!((cov - 0.5).abs() < 0.02, "cov {cov}");
+    }
+
+    #[test]
+    fn gamma_sample_mean_converges_shape_lt1() {
+        // CoV 2 -> shape 0.25 (boosting path).
+        let st = sample_stats(Gamma::with_mean_cov(10.0, 2.0).unwrap(), 400_000, 13);
+        assert!((st.mean() - 10.0).abs() < 0.4, "mean {}", st.mean());
+        let cov = st.std_dev() / st.mean();
+        assert!((cov - 2.0).abs() < 0.1, "cov {cov}");
+    }
+
+    #[test]
+    fn gamma_samples_are_positive() {
+        let g = Gamma::with_mean_cov(1.0, 0.5).unwrap();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..10_000 {
+            assert!(g.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uniform_degenerate_range_returns_bound() {
+        let u = UniformRange::new(3.0, 3.0).unwrap();
+        let mut rng = rng_from_seed(2);
+        assert_eq!(u.sample(&mut rng), 3.0);
+    }
+
+    #[test]
+    fn uniform_stays_in_bounds_and_mean_converges() {
+        let u = UniformRange::new(5.0, 15.0).unwrap();
+        let mut rng = rng_from_seed(3);
+        let mut st = OnlineStats::new();
+        for _ in 0..100_000 {
+            let x = u.sample(&mut rng);
+            assert!((5.0..15.0).contains(&x));
+            st.push(x);
+        }
+        assert!((st.mean() - 10.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn realization_law_mean_is_ul_times_bcet() {
+        // The paper: c ~ U(b, (2UL-1)b) has mean UL*b.
+        let b = 7.0;
+        let ul = 3.0;
+        let u = UniformRange::new(b, (2.0 * ul - 1.0) * b).unwrap();
+        assert!((u.mean() - ul * b).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! Fixed-bin histograms with terminal rendering.
+//!
+//! Used by the CLI's `eval` command to show the realized-makespan
+//! distribution at a glance, and available to any consumer of Monte Carlo
+//! outputs.
+
+/// A histogram over `[lo, hi]` with equal-width bins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    /// Panics when `bins == 0` or the range is degenerate/non-finite.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid range [{lo}, {hi}]"
+        );
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Builds a histogram spanning the sample range (plus 0.1% margin so
+    /// the max lands inside the last bin).
+    ///
+    /// # Panics
+    /// Panics for empty or non-finite samples.
+    #[must_use]
+    pub fn from_samples(samples: &[f64], bins: usize) -> Self {
+        assert!(!samples.is_empty(), "need samples");
+        let lo = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(lo.is_finite() && hi.is_finite(), "samples must be finite");
+        let span = (hi - lo).max(f64::MIN_POSITIVE);
+        let mut h = Self::new(lo, hi + span * 1e-3, bins);
+        for &x in samples {
+            h.push(x);
+        }
+        h
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let last = self.counts.len() - 1;
+            let bin = ((x - self.lo) / (self.hi - self.lo) * self.counts.len() as f64) as usize;
+            self.counts[bin.min(last)] += 1;
+        }
+    }
+
+    /// Bin counts.
+    #[inline]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total observations (including under/overflow).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Observations below the range.
+    #[inline]
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the range's end.
+    #[inline]
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// One-line Unicode sparkline (`▁▂▃▄▅▆▇█`), one glyph per bin.
+    #[must_use]
+    pub fn sparkline(&self) -> String {
+        const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+        let max = self.counts.iter().copied().max().unwrap_or(0);
+        if max == 0 {
+            return GLYPHS[0].to_string().repeat(self.counts.len());
+        }
+        self.counts
+            .iter()
+            .map(|&c| {
+                let level = (c as f64 / max as f64 * (GLYPHS.len() - 1) as f64).round() as usize;
+                GLYPHS[level]
+            })
+            .collect()
+    }
+
+    /// Multi-line bar rendering with counts.
+    #[must_use]
+    pub fn to_text(&self, bar_width: usize) -> String {
+        use std::fmt::Write as _;
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let bin_w = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut out = String::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            let lo = self.lo + bin_w * i as f64;
+            let bar = "#".repeat((c as f64 / max as f64 * bar_width as f64).round() as usize);
+            let _ = writeln!(out, "{lo:>12.2} | {bar} {c}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_count_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for x in [0.0, 1.9, 2.0, 5.5, 9.9] {
+            h.push(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 0, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.push(-0.5);
+        h.push(1.0); // hi is exclusive
+        h.push(0.5);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn from_samples_covers_extremes() {
+        let xs = [3.0, 7.0, 7.0, 11.0];
+        let h = Histogram::from_samples(&xs, 4);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        assert_eq!(h.counts().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        let mut h = Histogram::new(0.0, 3.0, 3);
+        for _ in 0..8 {
+            h.push(0.5);
+        }
+        h.push(1.5);
+        let s = h.sparkline();
+        assert_eq!(s.chars().count(), 3);
+        assert!(s.starts_with('█'));
+        assert!(s.ends_with('▁'));
+    }
+
+    #[test]
+    fn empty_sparkline_is_flat() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.sparkline(), "▁▁▁▁");
+    }
+
+    #[test]
+    fn text_rendering() {
+        let h = Histogram::from_samples(&[1.0, 1.0, 2.0], 2);
+        let t = h.to_text(10);
+        assert_eq!(t.lines().count(), 2);
+        assert!(t.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_rejected() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid range")]
+    fn degenerate_range_rejected() {
+        let _ = Histogram::new(1.0, 1.0, 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! Statistics substrate for the `rds` workspace.
+//!
+//! The paper's evaluation methodology (Shi, Jeannot & Dongarra, CLUSTER 2006,
+//! §5) relies on three statistical building blocks that this crate provides
+//! from scratch:
+//!
+//! * **Gamma sampling** with the mean/coefficient-of-variation
+//!   parameterization `G(1/V², μ·V²)` used by the COV-based matrix generation
+//!   method of Ali et al. (HCW 2000) — see [`dist::Gamma`].
+//! * **Seeded, splittable RNG streams** so that every experiment is
+//!   reproducible and parallel iterations draw from independent,
+//!   deterministically derived streams — see [`rng`].
+//! * **Descriptive statistics** (online mean/variance, quantiles, summaries)
+//!   used to aggregate Monte Carlo realizations — see [`describe`].
+//!
+//! It also provides the dense row-major [`Matrix`] type shared by the BCET
+//! matrix `B`, the uncertainty-level matrix `UL`, the data-size matrix `D`
+//! and the transfer-rate matrix `TR`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod corr;
+pub mod describe;
+pub mod histogram;
+pub mod dist;
+pub mod matrix;
+pub mod rng;
+pub mod series;
+
+pub use corr::{pearson, spearman};
+pub use describe::{OnlineStats, Summary};
+pub use histogram::Histogram;
+pub use dist::{Gamma, UniformRange};
+pub use matrix::Matrix;
+pub use rng::{split_seed, SeedStream, StdRng64};

@@ -1,0 +1,332 @@
+//! Dense row-major matrix used throughout the workspace.
+//!
+//! The paper manipulates four matrices: the data-size matrix `D` (n×n), the
+//! best-case execution time matrix `B` (n×m), the uncertainty-level matrix
+//! `UL` (n×m) and the transfer-rate matrix `TR` (m×m). All are small and
+//! dense, so a flat `Vec<f64>` with row-major indexing is the right
+//! representation: contiguous, cache-friendly, no per-row allocation.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64` values.
+///
+/// Indexing is `(row, col)`; both [`Index`] and checked accessors are
+/// provided. Rows are contiguous in memory.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with `fill`.
+    ///
+    /// # Panics
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn filled(rows: usize, cols: usize, fill: f64) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Self {
+            rows,
+            cols,
+            data: vec![fill; len],
+        }
+    }
+
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::filled(rows, cols, 0.0)
+    }
+
+    /// Builds a matrix from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a square matrix from nested arrays (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(
+            rows.iter().all(|row| row.len() == c),
+            "all rows must have equal length"
+        );
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Self::from_vec(r, c, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Checked access; returns `None` when out of bounds.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Sets a cell, panicking on out-of-bounds.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] = value;
+    }
+
+    /// A view of row `row` as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f64] {
+        let start = row * self.cols;
+        &self.data[start..start + self.cols]
+    }
+
+    /// Mutable view of row `row`.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        let start = row * self.cols;
+        &mut self.data[start..start + self.cols]
+    }
+
+    /// The underlying row-major data.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Mean of all entries; `NaN` for an empty matrix.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            f64::NAN
+        } else {
+            self.data.iter().sum::<f64>() / self.data.len() as f64
+        }
+    }
+
+    /// Mean of one row (the per-task average execution cost used by HEFT's
+    /// upward rank, for instance).
+    pub fn row_mean(&self, row: usize) -> f64 {
+        let r = self.row(row);
+        if r.is_empty() {
+            f64::NAN
+        } else {
+            r.iter().sum::<f64>() / r.len() as f64
+        }
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two equally sized matrices.
+    ///
+    /// # Panics
+    /// Panics if dimensions differ.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f64, f64) -> f64) -> Self {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `true` when every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// `true` when every entry is strictly positive.
+    pub fn all_positive(&self) -> bool {
+        self.data.iter().all(|&v| v > 0.0)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    #[inline]
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index ({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index ({row},{col}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                if c > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.3}", self[(r, c)])?;
+            }
+            if self.cols > 8 {
+                write!(f, ", …")?;
+            }
+            writeln!(f, "]")?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_and_zeros() {
+        let m = Matrix::filled(2, 3, 1.5);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert!(m.as_slice().iter().all(|&v| v == 1.5));
+        let z = Matrix::zeros(4, 4);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn from_fn_indexing() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r * 10 + c) as f64);
+        assert_eq!(m[(0, 0)], 0.0);
+        assert_eq!(m[(2, 3)], 23.0);
+        assert_eq!(m.get(2, 3), Some(23.0));
+        assert_eq!(m.get(3, 0), None);
+        assert_eq!(m.get(0, 4), None);
+    }
+
+    #[test]
+    fn from_rows_builds_expected_layout() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let m = Matrix::zeros(2, 2);
+        let _ = m[(2, 0)];
+    }
+
+    #[test]
+    fn row_mean_and_mean() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0], &[5.0, 7.0]]);
+        assert_eq!(m.row_mean(0), 2.0);
+        assert_eq!(m.row_mean(1), 6.0);
+        assert_eq!(m.mean(), 4.0);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[10.0, 20.0]]);
+        assert_eq!(a.map(|v| v * 2.0).row(0), &[2.0, 4.0]);
+        assert_eq!(a.zip_map(&b, |x, y| x + y).row(0), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn iter_visits_every_cell() {
+        let m = Matrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let cells: Vec<_> = m.iter().collect();
+        assert_eq!(
+            cells,
+            vec![(0, 0, 0.0), (0, 1, 1.0), (1, 0, 1.0), (1, 1, 2.0)]
+        );
+    }
+
+    #[test]
+    fn finite_and_positive_checks() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0]]);
+        assert!(m.all_finite());
+        assert!(m.all_positive());
+        let bad = Matrix::from_rows(&[&[1.0, f64::NAN]]);
+        assert!(!bad.all_finite());
+        let zero = Matrix::from_rows(&[&[1.0, 0.0]]);
+        assert!(!zero.all_positive());
+    }
+
+    #[test]
+    fn row_mut_updates_in_place() {
+        let mut m = Matrix::zeros(2, 2);
+        m.row_mut(1)[0] = 9.0;
+        assert_eq!(m[(1, 0)], 9.0);
+    }
+}

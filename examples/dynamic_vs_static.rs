@@ -1,0 +1,83 @@
+//! Static-robust vs dynamic scheduling: the two answers to uncertainty
+//! that the paper's introduction contrasts, compared head-to-head on the
+//! same realizations.
+//!
+//! * **Static HEFT** plans once with expected durations and never adapts.
+//! * **Static robust GA** (the paper's contribution) also plans once, but
+//!   buys slack within an ε makespan budget.
+//! * **Dynamic EFT** re-decides at run time as actual durations unfold.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_vs_static
+//! ```
+
+use rds::prelude::*;
+use rds::sched::dynamic::{dynamic_makespans, DynamicPriority};
+use rds::stats::describe::Summary;
+
+fn main() {
+    let realizations = 600;
+    println!(
+        "{:>5} {:>22} {:>12} {:>10} {:>10}",
+        "UL", "scheduler", "mean M", "p95 M", "CoV"
+    );
+    for ul in [2.0, 4.0, 8.0] {
+        let inst = InstanceSpec::new(50, 6)
+            .seed(1234)
+            .uncertainty_level(ul)
+            .build()
+            .expect("valid instance");
+
+        // Static HEFT.
+        let heft = heft_schedule(&inst);
+        let mc = RealizationConfig::with_realizations(realizations).seed(9);
+        let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("valid");
+
+        // Static robust GA at eps = 1.2.
+        let outcome = RobustScheduler::new(
+            RobustConfig::new(1.2)
+                .seed(5)
+                .ga(GaParams::paper().max_generations(200).stall_generations(50))
+                .realizations(realizations),
+        )
+        .solve(&inst)
+        .expect("solver succeeds");
+
+        // Dynamic EFT with upward-rank priorities.
+        let dyn_ms = dynamic_makespans(&inst, DynamicPriority::UpwardRank, realizations, 9);
+        let dyn_sum = Summary::from_samples(dyn_ms);
+
+        let row = |name: &str, mean: f64, p95: f64, cov: f64| {
+            println!("{ul:>5.1} {name:>22} {mean:>12.1} {p95:>10.1} {cov:>10.3}");
+        };
+        row(
+            "HEFT (static)",
+            heft_rep.mean_makespan,
+            heft_rep.makespans.quantile(0.95),
+            heft_rep.makespan_cov(),
+        );
+        let ga_rep = &outcome.report;
+        // Re-derive quantiles from a fresh MC for the GA schedule.
+        let ga_mc = monte_carlo(&inst, &outcome.schedule, &mc).expect("valid");
+        row(
+            "robust GA (static)",
+            ga_rep.mean_realized_makespan,
+            ga_mc.makespans.quantile(0.95),
+            ga_mc.makespan_cov(),
+        );
+        row(
+            "EFT (dynamic)",
+            dyn_sum.mean(),
+            dyn_sum.quantile(0.95),
+            dyn_sum.std_dev() / dyn_sum.mean(),
+        );
+        println!();
+    }
+    println!(
+        "Reading: the dynamic dispatcher reacts to reality and usually wins on\n\
+         raw speed, but it promises nothing in advance; the robust GA gives a\n\
+         *predictable* makespan (low CoV around its declared M0) at a bounded\n\
+         premium — which is the paper's value proposition for environments\n\
+         where a schedule is a contract (reservations, co-allocations)."
+    );
+}

@@ -1,0 +1,71 @@
+//! The makespan/robustness trade-off: sweep ε, print the frontier, extract
+//! the Pareto front, and report the best ε for several user weights `r`
+//! (Eq. 9) — the decision-support workflow of §5.2.
+//!
+//! ```sh
+//! cargo run --release --example epsilon_tradeoff
+//! ```
+
+use rds::core::overall::{best_epsilon_for, paper_r_grid, RobustnessKind};
+use rds::core::pareto::{pareto_front, ParetoPoint};
+use rds::prelude::*;
+
+fn main() {
+    let inst = InstanceSpec::new(60, 8)
+        .seed(31)
+        .uncertainty_level(6.0)
+        .build()
+        .expect("valid instance");
+
+    let heft = heft_schedule(&inst);
+    let mc = RealizationConfig::with_realizations(600).seed(3);
+    let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("valid");
+    println!(
+        "HEFT: M0 = {:.1}, slack = {:.2}, R1 = {:.2}, R2 = {:.2}",
+        heft_rep.expected_makespan, heft_rep.average_slack, heft_rep.r1, heft_rep.r2
+    );
+
+    // Sweep eps over the paper's 1.0..2.0 range.
+    let epsilons: Vec<f64> = (0..=5).map(|i| 1.0 + 0.2 * f64::from(i)).collect();
+    let mut cfg = SweepConfig::quick().seed(11);
+    cfg.ga = GaParams::paper().max_generations(200).stall_generations(50);
+    cfg.realizations = 600;
+    let points = epsilon_sweep(&inst, &epsilons, &cfg);
+
+    println!("\n{:>6} {:>10} {:>10} {:>10} {:>10}", "eps", "M0", "slack", "R1", "R2");
+    for p in &points {
+        println!(
+            "{:>6.1} {:>10.1} {:>10.2} {:>10.2} {:>10.2}",
+            p.epsilon, p.makespan, p.avg_slack, p.r1, p.r2
+        );
+    }
+
+    // Pareto front in (makespan down, slack up).
+    let pp: Vec<ParetoPoint> = points
+        .iter()
+        .map(|p| ParetoPoint {
+            makespan: p.makespan,
+            slack: p.avg_slack,
+            tag: p.epsilon,
+        })
+        .collect();
+    let front = pareto_front(&pp);
+    println!("\nPareto-optimal eps values:");
+    for f in &front {
+        println!("  eps = {:.1}: M0 = {:.1}, slack = {:.2}", f.tag, f.makespan, f.slack);
+    }
+
+    // Best eps per user weight r (Eq. 9 with R1).
+    let picks = best_epsilon_for(
+        &points,
+        RobustnessKind::R1,
+        &paper_r_grid(),
+        heft_rep.mean_makespan,
+        heft_rep.r1,
+    );
+    println!("\nbest eps per r (overall performance, R1):");
+    for (r, eps) in picks {
+        println!("  r = {r:.1} -> eps = {eps:.1}");
+    }
+    println!("\nLarge r (makespan-focused) favours tight eps; small r favours relaxed eps.");
+}

@@ -1,0 +1,98 @@
+//! The island-model GA and population-diversity diagnostics.
+//!
+//! Compares one big population against several migrating islands at an
+//! equal evaluation budget, and shows how diversity decays during a run —
+//! the premature-convergence risk the paper's §4.2.2 uniqueness filter
+//! guards against.
+//!
+//! ```sh
+//! cargo run --release --example islands_and_diversity
+//! ```
+
+use rds::ga::diversity::{assignment_entropy, unique_fraction};
+use rds::ga::islands::{run_islands, IslandParams};
+use rds::prelude::*;
+
+fn main() {
+    let inst = InstanceSpec::new(60, 6)
+        .seed(909)
+        .uncertainty_level(4.0)
+        .build()
+        .expect("valid instance");
+    let heft = heft_schedule(&inst);
+    let objective = Objective::EpsilonConstraint {
+        epsilon: 1.4,
+        reference_makespan: heft.makespan,
+    };
+
+    // Equal budget: 1 x 40 population vs 4 x 10 islands, 200 generations.
+    let single = GaEngine::new(
+        &inst,
+        GaParams::paper()
+            .population(40)
+            .max_generations(200)
+            .stall_generations(200)
+            .seed(1),
+        objective,
+    )
+    .run();
+
+    let mut ip = IslandParams::new(
+        GaParams::paper()
+            .population(10)
+            .max_generations(200)
+            .stall_generations(200)
+            .seed(1),
+    );
+    ip.islands = 4;
+    ip.migration_interval = 25;
+    ip.migrants = 2;
+    let islands = run_islands(&inst, ip, objective);
+
+    println!("equal budget (8000 evaluations), eps = 1.4:");
+    println!(
+        "  single 1x40 population: slack {:8.2}  (makespan {:.1})",
+        single.best_eval.avg_slack, single.best_eval.makespan
+    );
+    println!(
+        "  islands 4x10 + ring migration: slack {:8.2}  (makespan {:.1})",
+        islands.best_eval.avg_slack, islands.best_eval.makespan
+    );
+    println!("  per-island bests: {:?}",
+        islands
+            .island_bests
+            .iter()
+            .map(|e| (e.avg_slack * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+
+    // Diversity decay along a single-population run.
+    println!("\ndiversity along the single-population run:");
+    println!("{:>12} {:>10} {:>10}", "generation", "unique", "entropy");
+    for gens in [1usize, 25, 100, 200] {
+        let r = GaEngine::new(
+            &inst,
+            GaParams::paper()
+                .population(40)
+                .max_generations(gens)
+                .stall_generations(gens)
+                .seed(1),
+            objective,
+        )
+        .run();
+        println!(
+            "{:>12} {:>10.2} {:>10.3}",
+            gens,
+            unique_fraction(&r.final_population),
+            assignment_entropy(&r.final_population, inst.proc_count()),
+        );
+    }
+    println!(
+        "\nSelection collapses assignment entropy within a few dozen generations.\n\
+         Note the honest trade-off above: at this instance size a single large\n\
+         population typically finds MORE slack per evaluation than 4 small\n\
+         islands — the island model's payoff is wall-clock (islands evolve in\n\
+         parallel) and resistance to the entropy collapse shown here, not\n\
+         per-evaluation quality."
+    );
+}

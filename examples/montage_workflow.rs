@@ -1,0 +1,115 @@
+//! Robust scheduling of a realistic scientific workflow: a Montage-style
+//! astronomy mosaicking pipeline on a heterogeneous cluster whose node
+//! performance fluctuates (shared filesystem, co-tenant jobs).
+//!
+//! Demonstrates assembling an [`Instance`] from a *structured* workflow
+//! (not the random generator), heterogeneous transfer rates, and comparing
+//! HEFT / CPOP / the robust GA at two ε values.
+//!
+//! ```sh
+//! cargo run --release --example montage_workflow
+//! ```
+
+use rds::graph::gen::workflows::montage;
+use rds::prelude::*;
+use rds::stats::rng::SeedStream;
+
+fn main() {
+    let images = 12;
+    let graph = montage(images, 50.0); // 50 MB between stages
+    let n = graph.task_count();
+    println!(
+        "Montage workflow: {images} input images -> {n} tasks, {} edges",
+        graph.edge_count()
+    );
+
+    // 6 nodes; link bandwidths spread over a 4x span (shared switch).
+    let platform = PlatformSpec::uniform(6)
+        .heterogeneous(4.0)
+        .base_rate(10.0) // 10 MB per time unit
+        .generate(99)
+        .expect("valid platform");
+
+    // Execution times: projections and background corrections are
+    // data-parallel and comparable; the fits and the final co-add are
+    // heavier. Build a BCET matrix with per-stage means and machine
+    // heterogeneity via the COV method.
+    let seeds = SeedStream::new(4242);
+    let stage_mean = |task: usize| -> f64 {
+        // Layout (see rds_graph::gen::workflows::montage):
+        //   [0, w)            mProject    : 20
+        //   [w, 2w-1)         mDiffFit    : 8
+        //   2w-1               mConcatFit : 5
+        //   2w                 mBgModel   : 15
+        //   [2w+1, 3w+1)      mBackground : 10
+        //   3w+1               mImgtbl    : 4
+        //   3w+2               mAdd       : 30
+        let w = images;
+        match task {
+            t if t < w => 20.0,
+            t if t < 2 * w - 1 => 8.0,
+            t if t == 2 * w - 1 => 5.0,
+            t if t == 2 * w => 15.0,
+            t if t < 3 * w + 1 => 10.0,
+            t if t == 3 * w + 1 => 4.0,
+            _ => 30.0,
+        }
+    };
+    let mut rng = seeds.branch("bcet").nth_rng(0);
+    let bcet = Matrix::from_fn(n, 6, |t, _| {
+        let g = rds::stats::dist::Gamma::with_mean_cov(stage_mean(t), 0.3).expect("valid gamma");
+        g.sample(&mut rng).max(0.5)
+    });
+    // Uncertainty: I/O-heavy stages (projections, co-add) fluctuate more.
+    let mut ul_rng = seeds.branch("ul").nth_rng(0);
+    let ul = Matrix::from_fn(n, 6, |t, _| {
+        let base = if stage_mean(t) >= 20.0 { 3.0 } else { 1.5 };
+        let g = rds::stats::dist::Gamma::with_mean_cov(base, 0.3).expect("valid gamma");
+        g.sample(&mut ul_rng).max(1.0)
+    });
+    let timing = TimingModel::new(bcet, ul).expect("valid timing");
+    let inst = Instance::new(graph, platform, timing).expect("consistent instance");
+
+    // Baselines.
+    let heft = heft_schedule(&inst);
+    let cpop = cpop_schedule(&inst);
+    let mc = RealizationConfig::with_realizations(1000).seed(5);
+    let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("valid");
+    let cpop_rep = monte_carlo(&inst, &cpop.schedule, &mc).expect("valid");
+
+    println!("\n{:<22} {:>10} {:>10} {:>10} {:>10}", "scheduler", "M0", "slack", "R1", "miss rate");
+    let row = |name: &str, r: &RobustnessReport| {
+        println!(
+            "{:<22} {:>10.1} {:>10.2} {:>10.2} {:>10.3}",
+            name, r.expected_makespan, r.average_slack, r.r1, r.miss_rate
+        );
+    };
+    row("HEFT", &heft_rep);
+    row("CPOP", &cpop_rep);
+
+    for eps in [1.1, 1.4] {
+        let outcome = RobustScheduler::new(
+            RobustConfig::new(eps)
+                .seed(17)
+                .ga(GaParams::paper().max_generations(250).stall_generations(60))
+                .realizations(1000),
+        )
+        .solve(&inst)
+        .expect("solver succeeds");
+        let r = &outcome.report;
+        println!(
+            "{:<22} {:>10.1} {:>10.2} {:>10.2} {:>10.3}",
+            format!("robust GA (eps={eps})"),
+            r.expected_makespan,
+            r.average_slack,
+            r.r1,
+            r.miss_rate
+        );
+    }
+
+    println!(
+        "\nReading: the robust schedules trade a bounded increase of the\n\
+         expected makespan for more slack, which absorbs node slowdowns —\n\
+         higher R1 (rarer and smaller overruns) at the same miss budget."
+    );
+}

@@ -1,0 +1,56 @@
+//! Quickstart: generate a random heterogeneous workload, schedule it with
+//! HEFT, then find a more robust schedule with the ε-constraint GA and
+//! compare both in the simulated non-deterministic environment.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rds::prelude::*;
+
+fn main() {
+    // A random 50-task workload on 6 heterogeneous processors with
+    // moderate uncertainty (average UL = 4: tasks take on average 4x their
+    // best-case time, with per-(task, processor) variability).
+    let inst = InstanceSpec::new(50, 6)
+        .seed(2024)
+        .uncertainty_level(4.0)
+        .build()
+        .expect("valid instance");
+
+    println!(
+        "instance: {} tasks, {} processors, {} edges",
+        inst.task_count(),
+        inst.proc_count(),
+        inst.graph.edge_count()
+    );
+
+    // Baseline: HEFT with expected execution times.
+    let heft = heft_schedule(&inst);
+    println!("\nHEFT expected makespan: {:.2}", heft.makespan);
+
+    // Robust schedule: maximize average slack subject to the expected
+    // makespan staying within 1.3x HEFT.
+    let config = RobustConfig::new(1.3)
+        .seed(7)
+        .ga(GaParams::paper().max_generations(200).stall_generations(50))
+        .realizations(500);
+    let outcome = RobustScheduler::new(config)
+        .solve(&inst)
+        .expect("solver succeeds");
+
+    println!("\n=== HEFT under uncertainty ===");
+    println!("{}", ScheduleReport::to_pretty_string(&outcome.heft_report));
+    println!("\n=== robust (eps = 1.3) under uncertainty ===");
+    println!("{}", ScheduleReport::to_pretty_string(&outcome.report));
+
+    println!("\nmakespan ratio (robust / HEFT): {:.3}", outcome.makespan_ratio());
+    if outcome.r1_ratio().is_finite() {
+        println!("R1 ratio (robust / HEFT):       {:.3}", outcome.r1_ratio());
+    }
+    println!(
+        "\nGA: {} generations, best feasible = {}",
+        outcome.ga.generations, outcome.ga.best_feasible
+    );
+    println!("\nrobust schedule:\n{}", outcome.schedule);
+}

@@ -1,0 +1,58 @@
+//! How does the value of robust scheduling change with the environment's
+//! uncertainty? Sweep the average uncertainty level UL over the paper's
+//! range and compare HEFT against the robust GA at a fixed ε — the
+//! single-instance analogue of Figure 4.
+//!
+//! ```sh
+//! cargo run --release --example uncertainty_study
+//! ```
+
+use rds::prelude::*;
+
+fn main() {
+    let seed = 77;
+    let eps = 1.2;
+    println!("UL sweep on one 50-task/6-proc workload, eps = {eps}\n");
+    println!(
+        "{:>5} {:>12} {:>12} {:>10} {:>10} {:>10} {:>10}",
+        "UL", "M0 (HEFT)", "M0 (GA)", "R1 (HEFT)", "R1 (GA)", "a (HEFT)", "a (GA)"
+    );
+
+    for ul in [2.0, 4.0, 6.0, 8.0] {
+        // Same graph and BCET matrix at every UL (only the UL matrix
+        // varies) — the paper's sweep design.
+        let inst = InstanceSpec::new(50, 6)
+            .seed(seed)
+            .uncertainty_level(ul)
+            .build()
+            .expect("valid instance");
+
+        let outcome = RobustScheduler::new(
+            RobustConfig::new(eps)
+                .seed(5)
+                .ga(GaParams::paper().max_generations(200).stall_generations(50))
+                .realizations(800),
+        )
+        .solve(&inst)
+        .expect("solver succeeds");
+
+        println!(
+            "{:>5.1} {:>12.1} {:>12.1} {:>10.2} {:>10.2} {:>10.3} {:>10.3}",
+            ul,
+            outcome.heft_report.expected_makespan,
+            outcome.report.expected_makespan,
+            outcome.heft_report.r1,
+            outcome.report.r1,
+            outcome.heft_report.miss_rate,
+            outcome.report.miss_rate,
+        );
+    }
+
+    println!(
+        "\nReading: at every uncertainty level the GA's schedule keeps its\n\
+         expected makespan within eps x HEFT while achieving a higher R1\n\
+         (overruns are relatively smaller). The paper's Figure 4 shows the\n\
+         improvement is largest at low UL — at high UL the bounded extra\n\
+         slack cannot absorb the (much larger) duration variance."
+    );
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline for the paper's evaluation plus the extension
+# studies. Paper scale (100 graphs x 1000 realizations x 1000 GA
+# generations) takes a while; pass a smaller --graphs/--realizations for a
+# quick pass (see README).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p rds-experiments
+
+FIG=target/release/figures
+OUT=${OUT:-results_full}
+SCALE=${SCALE:---full}
+
+# The paper's figures (2-8; fig5-8 share one epsilon sweep).
+$FIG fig2 $SCALE --out "$OUT"
+$FIG fig3 $SCALE --out "$OUT"
+$FIG fig4 $SCALE --uls 2,3,4,5,6,7,8 --out "$OUT"
+$FIG sweep $SCALE --out "$OUT"
+
+# Extension studies.
+$FIG corr $SCALE --out "$OUT"
+$FIG future $SCALE --out "$OUT"
+$FIG dynamic $SCALE --out "$OUT"
+$FIG law $SCALE --out "$OUT"
+$FIG ccr $SCALE --out "$OUT"
+$FIG contention $SCALE --ccr 1.0 --out "$OUT"
+$FIG gatune $SCALE --out "$OUT"
+
+# Render everything as terminal tables.
+$FIG report --out "$OUT"

@@ -1,0 +1,57 @@
+//! # rds — Robust DAG Scheduling for non-deterministic heterogeneous systems
+//!
+//! A complete Rust reproduction of *"Robust task scheduling in
+//! non-deterministic heterogeneous computing systems"* (Zhiao Shi, Emmanuel
+//! Jeannot, Jack J. Dongarra — IEEE CLUSTER 2006).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`stats`] — matrices, seeded RNG streams, gamma sampling, statistics.
+//! * [`graph`] — task DAGs, topological sorts, random workload generators.
+//! * [`platform`] — heterogeneous platform, BCET and uncertainty models.
+//! * [`sched`] — schedules, disjunctive graphs, timing, slack, robustness
+//!   metrics, the Monte Carlo realization engine.
+//! * [`heft`] — the HEFT baseline (and CPOP).
+//! * [`ga`] — the paper's bi-objective genetic algorithm.
+//! * [`anneal`] — a simulated-annealing alternative used in ablations.
+//! * [`core`] — the high-level ε-constraint robust scheduler API.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use rds::prelude::*;
+//!
+//! // A random 40-task workload on 4 heterogeneous processors.
+//! let inst = InstanceSpec::new(40, 4)
+//!     .seed(7)
+//!     .uncertainty_level(2.0)
+//!     .build()
+//!     .expect("valid instance");
+//!
+//! // Baseline: HEFT.
+//! let heft = heft_schedule(&inst);
+//!
+//! // Robust schedule: maximize slack subject to makespan <= 1.3 × HEFT.
+//! let config = RobustConfig::new(1.3).seed(7);
+//! let robust = RobustScheduler::new(config)
+//!     .solve(&inst)
+//!     .expect("solver succeeds");
+//!
+//! println!("HEFT makespan:   {:.2}", heft.makespan);
+//! println!("robust makespan: {:.2}", robust.report.expected_makespan);
+//! println!("robust slack:    {:.2}", robust.report.average_slack);
+//! ```
+
+pub use rds_anneal as anneal;
+pub use rds_core as core;
+pub use rds_ga as ga;
+pub use rds_graph as graph;
+pub use rds_heft as heft;
+pub use rds_platform as platform;
+pub use rds_sched as sched;
+pub use rds_stats as stats;
+
+/// Convenient glob-import surface for applications.
+pub mod prelude {
+    pub use rds_core::prelude::*;
+}

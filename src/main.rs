@@ -1,0 +1,375 @@
+//! `rds` — command-line front end for the robust-scheduling library.
+//!
+//! ```text
+//! rds gen      --tasks 60 --procs 8 --ul 4 --seed 1 -o inst.rds
+//! rds info     -i inst.rds
+//! rds schedule -i inst.rds --algo ga --epsilon 1.3 -o sched.rds
+//! rds eval     -i inst.rds -s sched.rds --realizations 1000
+//! rds gantt    -i inst.rds -s sched.rds [--svg chart.svg]
+//! ```
+//!
+//! Instances and schedules use the plain-text formats of
+//! [`rds::sched::io`], so everything the CLI produces can be archived,
+//! diffed and re-read by the library.
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use rds::core::prelude::*;
+use rds::ga::objective::evaluate as evaluate_chromosome;
+use rds::ga::Chromosome;
+use rds::sched::gantt::{ascii_gantt, svg_gantt};
+use rds::sched::io;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt> [flags]
+
+  gen      --tasks N --procs M [--ul U] [--ccr C] [--alpha A] [--seed S] -o FILE
+  info     -i INSTANCE
+  schedule -i INSTANCE --algo heft|cpop|laheft|sheft|ga|random|sa
+           [--epsilon E] [--k K] [--seed S] [--generations G] -o FILE
+  eval     -i INSTANCE -s SCHEDULE [--realizations N] [--seed S] [--law uniform|normal|exp]
+  gantt    -i INSTANCE -s SCHEDULE [--width W] [--svg FILE] [--trace FILE]";
+
+/// Parses `--flag value` pairs after the subcommand.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if !flag.starts_with('-') {
+            return Err(format!("unexpected positional argument '{flag}'"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value"))?;
+        flags.insert(flag.trim_start_matches('-').to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|e| format!("invalid --{key} '{v}': {e}")),
+        None => Ok(default),
+    }
+}
+
+fn require<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required flag --{key}\n\n{USAGE}"))
+}
+
+fn load_instance(flags: &HashMap<String, String>) -> Result<Instance, String> {
+    let path = require(flags, "i")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    io::read_instance(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn load_schedule(flags: &HashMap<String, String>) -> Result<Schedule, String> {
+    let path = require(flags, "s")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    io::read_schedule(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+/// The instance and schedule files must describe the same problem.
+fn check_compatible(inst: &Instance, schedule: &Schedule) -> Result<(), String> {
+    if schedule.task_count() != inst.task_count() {
+        return Err(format!(
+            "schedule has {} tasks but instance has {} — mismatched files?",
+            schedule.task_count(),
+            inst.task_count()
+        ));
+    }
+    if schedule.proc_count() != inst.proc_count() {
+        return Err(format!(
+            "schedule has {} processors but instance has {}",
+            schedule.proc_count(),
+            inst.proc_count()
+        ));
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_owned());
+    };
+    let flags = parse_flags(&args[1..])?;
+    match cmd.as_str() {
+        "gen" => cmd_gen(&flags),
+        "info" => cmd_info(&flags),
+        "schedule" => cmd_schedule(&flags),
+        "eval" => cmd_eval(&flags),
+        "gantt" => cmd_gantt(&flags),
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn cmd_gen(flags: &HashMap<String, String>) -> Result<(), String> {
+    let tasks: usize = get(flags, "tasks", 60)?;
+    let procs: usize = get(flags, "procs", 8)?;
+    let ul: f64 = get(flags, "ul", 2.0)?;
+    let ccr: f64 = get(flags, "ccr", 0.1)?;
+    let alpha: f64 = get(flags, "alpha", 1.0)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    let out = require(flags, "o")?;
+
+    let inst = InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .uncertainty_level(ul)
+        .ccr(ccr)
+        .alpha(alpha)
+        .build()?;
+    std::fs::write(out, io::write_instance(&inst)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} tasks, {} procs, {} edges, avg UL {:.2}",
+        inst.task_count(),
+        inst.proc_count(),
+        inst.graph.edge_count(),
+        inst.timing.ul_matrix().mean()
+    );
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let heft = heft_schedule(&inst);
+    let hops = rds::graph::paths::critical_path_length(&inst.graph, |_| 1.0, |_, _, _| 0.0);
+    println!("tasks          : {}", inst.task_count());
+    println!("processors     : {}", inst.proc_count());
+    println!("edges          : {}", inst.graph.edge_count());
+    println!("entry/exit     : {} / {}", inst.graph.entries().len(), inst.graph.exits().len());
+    println!("depth (hops)   : {hops}");
+    println!("mean BCET      : {:.3}", inst.timing.bcet_matrix().mean());
+    println!("mean UL        : {:.3}", inst.timing.ul_matrix().mean());
+    println!("HEFT makespan  : {:.3}", heft.makespan);
+    Ok(())
+}
+
+fn cmd_schedule(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let algo = require(flags, "algo")?;
+    let out = require(flags, "o")?;
+    let seed: u64 = get(flags, "seed", 0)?;
+
+    let schedule = match algo {
+        "heft" => heft_schedule(&inst).schedule,
+        "cpop" => cpop_schedule(&inst).schedule,
+        "laheft" => rds::heft::lookahead_heft_schedule(&inst).schedule,
+        "sheft" => {
+            let k: f64 = get(flags, "k", 1.0)?;
+            rds::heft::sheft_schedule(&inst, k).schedule
+        }
+        "random" => {
+            let mut rng = rds::stats::rng::rng_from_seed(seed);
+            random_schedule(&inst, &mut rng)
+        }
+        "ga" => {
+            let epsilon: f64 = get(flags, "epsilon", 1.3)?;
+            let generations: usize = get(flags, "generations", 300)?;
+            let cfg = RobustConfig::new(epsilon)
+                .seed(seed)
+                .ga(GaParams::paper()
+                    .max_generations(generations)
+                    .stall_generations((generations / 5).max(10)))
+                .realizations(1); // report computed separately by `eval`
+            RobustScheduler::new(cfg)
+                .solve(&inst)
+                .map_err(|e| e.to_string())?
+                .schedule
+        }
+        "sa" => {
+            let epsilon: f64 = get(flags, "epsilon", 1.3)?;
+            let heft = heft_schedule(&inst);
+            let obj = Objective::EpsilonConstraint {
+                epsilon,
+                reference_makespan: heft.makespan,
+            };
+            let sa = rds::anneal::anneal(&inst, rds::anneal::SaParams::default().seed(seed), obj);
+            sa.best.decode(inst.proc_count())
+        }
+        other => return Err(format!("unknown --algo '{other}' (heft|cpop|laheft|sheft|ga|random|sa)")),
+    };
+
+    // Report the expected metrics before writing.
+    let c = Chromosome::from_schedule(&inst.graph, &schedule);
+    let ev = evaluate_chromosome(&inst, &c);
+    std::fs::write(out, io::write_schedule(&schedule))
+        .map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {out}: algo={algo}, expected makespan {:.3}, average slack {:.3}",
+        ev.makespan, ev.avg_slack
+    );
+    Ok(())
+}
+
+fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut inst = load_instance(flags)?;
+    let schedule = load_schedule(flags)?;
+    check_compatible(&inst, &schedule)?;
+    let realizations: usize = get(flags, "realizations", 1000)?;
+    let seed: u64 = get(flags, "seed", 0)?;
+    if let Some(law) = flags.get("law") {
+        use rds::platform::RealizationLaw;
+        let law = match law.as_str() {
+            "uniform" => RealizationLaw::Uniform,
+            "normal" => RealizationLaw::TruncatedNormal,
+            "exp" | "exponential" => RealizationLaw::ShiftedExponential,
+            other => return Err(format!("unknown --law '{other}' (uniform|normal|exp)")),
+        };
+        let timing = inst.timing.clone().with_law(law);
+        inst = Instance::new(inst.graph, inst.platform, timing)
+            .expect("law swap preserves dimensions");
+    }
+    let mc = RealizationConfig::with_realizations(realizations).seed(seed);
+    let rep = monte_carlo(&inst, &schedule, &mc)
+        .map_err(|_| "schedule is incompatible with the instance's precedence constraints")?;
+    println!("{}", ScheduleReport::from_robustness(&rep).to_pretty_string());
+    println!("makespan CoV       : {:>10.4}", rep.makespan_cov());
+    println!("p95/M0 ratio       : {:>10.4}", rep.quantile_ratio(0.95));
+    println!("P(M <= 1.1 M0)     : {:>10.4}", rep.prob_within(0.1));
+    let hist = rds::stats::Histogram::from_samples(rep.makespans.sorted(), 40);
+    println!(
+        "distribution       : {:.1} {} {:.1}",
+        rep.makespans.min(),
+        hist.sparkline(),
+        rep.makespans.max()
+    );
+    Ok(())
+}
+
+fn cmd_gantt(flags: &HashMap<String, String>) -> Result<(), String> {
+    let inst = load_instance(flags)?;
+    let schedule = load_schedule(flags)?;
+    check_compatible(&inst, &schedule)?;
+    let timed = rds::sched::timing::evaluate_expected(
+        &inst.graph,
+        &inst.platform,
+        &inst.timing,
+        &schedule,
+    )
+    .map_err(|_| "schedule is incompatible with the instance's precedence constraints")?;
+    if let Some(trace_path) = flags.get("trace") {
+        let json = rds::sched::trace::to_chrome_trace(&schedule, &timed);
+        std::fs::write(trace_path, json).map_err(|e| format!("writing {trace_path}: {e}"))?;
+        println!("wrote {trace_path} (open in chrome://tracing or Perfetto)");
+    } else if let Some(svg_path) = flags.get("svg") {
+        let svg = svg_gantt(&schedule, &timed, 900);
+        std::fs::write(svg_path, svg).map_err(|e| format!("writing {svg_path}: {e}"))?;
+        println!("wrote {svg_path}");
+    } else {
+        let width: usize = get(flags, "width", 100)?;
+        print!("{}", ascii_gantt(&schedule, &timed, width));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+        pairs
+            .iter()
+            .map(|&(k, v)| (k.to_owned(), v.to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_flags_happy_and_sad() {
+        let ok = parse_flags(&["--tasks".into(), "5".into(), "-o".into(), "x".into()]).unwrap();
+        assert_eq!(ok.get("tasks").unwrap(), "5");
+        assert_eq!(ok.get("o").unwrap(), "x");
+        assert!(parse_flags(&["--tasks".into()]).is_err());
+        assert!(parse_flags(&["oops".into()]).is_err());
+    }
+
+    #[test]
+    fn get_parses_defaults_and_values() {
+        let f = flags(&[("n", "7")]);
+        assert_eq!(get::<usize>(&f, "n", 1).unwrap(), 7);
+        assert_eq!(get::<usize>(&f, "missing", 3).unwrap(), 3);
+        let bad = flags(&[("n", "x")]);
+        assert!(get::<usize>(&bad, "n", 1).is_err());
+    }
+
+    #[test]
+    fn end_to_end_gen_schedule_eval_in_tempdir() {
+        let dir = std::env::temp_dir().join(format!("rds_cli_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let inst_path = dir.join("inst.rds").to_str().unwrap().to_owned();
+        let sched_path = dir.join("sched.rds").to_str().unwrap().to_owned();
+
+        run(&[
+            "gen".into(),
+            "--tasks".into(),
+            "20".into(),
+            "--procs".into(),
+            "3".into(),
+            "--seed".into(),
+            "5".into(),
+            "-o".into(),
+            inst_path.clone(),
+        ])
+        .unwrap();
+        run(&[
+            "schedule".into(),
+            "-i".into(),
+            inst_path.clone(),
+            "--algo".into(),
+            "heft".into(),
+            "-o".into(),
+            sched_path.clone(),
+        ])
+        .unwrap();
+        run(&[
+            "eval".into(),
+            "-i".into(),
+            inst_path.clone(),
+            "-s".into(),
+            sched_path.clone(),
+            "--realizations".into(),
+            "50".into(),
+        ])
+        .unwrap();
+        run(&["info".into(), "-i".into(), inst_path.clone()]).unwrap();
+        run(&[
+            "gantt".into(),
+            "-i".into(),
+            inst_path,
+            "-s".into(),
+            sched_path,
+            "--width".into(),
+            "60".into(),
+        ])
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_subcommand_errors() {
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&[]).is_err());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property-based verification of the paper's formal claims:
+//!
+//! * Claim 3.2 — the makespan is the critical-path length of `G_s`;
+//! * Theorem 3.4 — a single overrun within a task's slack never extends
+//!   the makespan, and independent tasks' slacks are unaffected;
+//! * Corollary 3.5 — several independent overruns within their own slacks
+//!   never extend the makespan;
+//! * Definition 3.3 consistency — slack is non-negative, zero on the
+//!   critical path.
+
+use proptest::prelude::*;
+
+use rds::ga::chromosome::Chromosome;
+use rds::prelude::*;
+use rds::sched::disjunctive::DisjunctiveGraph;
+use rds::sched::slack;
+use rds::sched::timing::{evaluate_with_durations, expected_durations};
+use rds::stats::rng::rng_from_seed;
+
+/// Builds a random instance plus a random valid schedule for it.
+fn setup(seed: u64, tasks: usize, procs: usize) -> (Instance, Schedule) {
+    let inst = InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .uncertainty_level(4.0)
+        .build()
+        .unwrap();
+    let mut rng = rng_from_seed(seed ^ 0xDEAD);
+    let c = Chromosome::random_for(&inst, &mut rng);
+    let s = c.decode(procs);
+    (inst, s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Claim 3.2: start-as-soon-as-ready timing equals the critical path of
+    /// Gs, i.e. max over tasks of (Tl + duration + remaining Bl) — checked
+    /// via the slack analysis makespan.
+    #[test]
+    fn claim_3_2_makespan_is_critical_path(seed in 0u64..500, tasks in 5usize..40, procs in 2usize..6) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let durations = expected_durations(&inst.timing, &s);
+        let timed = evaluate_with_durations(&ds, &s, &inst.platform, &durations);
+        let analysis = slack::analyze(&ds, &s, &inst.platform, &durations);
+        prop_assert!((timed.makespan - analysis.makespan).abs() <= 1e-9 * timed.makespan.max(1.0));
+        // Top level equals the earliest start everywhere.
+        for i in 0..tasks {
+            prop_assert!((analysis.top_level[i] - timed.start[i]).abs() <= 1e-9 * timed.makespan.max(1.0));
+        }
+    }
+
+    /// Theorem 3.4, first part: inflating one task by δ ≤ σ keeps M.
+    #[test]
+    fn theorem_3_4_inflation_within_slack(seed in 0u64..500, tasks in 5usize..40, procs in 2usize..6, frac in 0.0f64..1.0) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let durations = expected_durations(&inst.timing, &s);
+        let analysis = slack::analyze(&ds, &s, &inst.platform, &durations);
+        // Pick the task with the largest slack (if all zero, nothing to test).
+        let (victim, &sigma) = analysis
+            .slack
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        prop_assume!(sigma > 1e-9);
+        let mut inflated = durations.clone();
+        inflated[victim] += frac * sigma;
+        let m = evaluate_with_durations(&ds, &s, &inst.platform, &inflated).makespan;
+        prop_assert!(
+            m <= analysis.makespan * (1.0 + 1e-9),
+            "inflating {victim} by {} <= slack {} extended makespan {} -> {}",
+            frac * sigma, sigma, analysis.makespan, m
+        );
+    }
+
+    /// Theorem 3.4, second part: the slack of tasks independent of the
+    /// inflated one (in Gs) is unchanged.
+    #[test]
+    fn theorem_3_4_independent_slacks_unchanged(seed in 0u64..300, tasks in 5usize..30, procs in 2usize..5) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let durations = expected_durations(&inst.timing, &s);
+        let analysis = slack::analyze(&ds, &s, &inst.platform, &durations);
+        let (victim, &sigma) = analysis
+            .slack
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        prop_assume!(sigma > 1e-9);
+        let mut inflated = durations.clone();
+        inflated[victim] += 0.5 * sigma;
+        let after = slack::analyze(&ds, &s, &inst.platform, &inflated);
+        let vt = TaskId(victim as u32);
+        for i in 0..tasks {
+            let ti = TaskId(i as u32);
+            if ds.are_independent(vt, ti) {
+                prop_assert!(
+                    (after.slack[i] - analysis.slack[i]).abs() <= 1e-9 * analysis.makespan.max(1.0),
+                    "independent task {i} slack changed {} -> {}",
+                    analysis.slack[i], after.slack[i]
+                );
+            }
+        }
+    }
+
+    /// Corollary 3.5: inflate EVERY task of a pairwise-independent set
+    /// within its own slack; makespan must hold.
+    #[test]
+    fn corollary_3_5_independent_set_inflation(seed in 0u64..300, tasks in 6usize..30, procs in 2usize..5) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let durations = expected_durations(&inst.timing, &s);
+        let analysis = slack::analyze(&ds, &s, &inst.platform, &durations);
+
+        // Greedily build a pairwise-independent set of slack-bearing tasks.
+        let mut chosen: Vec<usize> = Vec::new();
+        for i in 0..tasks {
+            if analysis.slack[i] <= 1e-9 {
+                continue;
+            }
+            let ti = TaskId(i as u32);
+            if chosen.iter().all(|&j| ds.are_independent(ti, TaskId(j as u32))) {
+                chosen.push(i);
+            }
+        }
+        prop_assume!(!chosen.is_empty());
+        let mut inflated = durations.clone();
+        for &i in &chosen {
+            inflated[i] += analysis.slack[i]; // boundary case δ = σ
+        }
+        let m = evaluate_with_durations(&ds, &s, &inst.platform, &inflated).makespan;
+        prop_assert!(
+            m <= analysis.makespan * (1.0 + 1e-9),
+            "inflating independent set {chosen:?} extended {} -> {}",
+            analysis.makespan, m
+        );
+    }
+
+    /// Definition 3.3 consistency: slacks are non-negative, the critical
+    /// path has zero slack, and some task always has zero slack.
+    #[test]
+    fn slack_definition_consistency(seed in 0u64..500, tasks in 2usize..40, procs in 1usize..6) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let a = slack::analyze_expected(&inst, &s).unwrap();
+        prop_assert!(a.slack.iter().all(|&x| x >= 0.0));
+        prop_assert!(!a.critical_tasks().is_empty(), "some task is always critical");
+        prop_assert!(a.average_slack >= 0.0);
+        prop_assert!(a.makespan > 0.0);
+    }
+
+    /// Realized makespans never undercut the all-BCET critical path and the
+    /// expected makespan never undercuts any single realization's floor.
+    #[test]
+    fn realization_bounds(seed in 0u64..200, tasks in 5usize..25) {
+        let (inst, s) = setup(seed, tasks, 3);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let bcet: Vec<f64> = (0..tasks)
+            .map(|i| inst.timing.best_case(i, s.proc_of(TaskId(i as u32))))
+            .collect();
+        let floor = evaluate_with_durations(&ds, &s, &inst.platform, &bcet).makespan;
+        let mc = RealizationConfig::with_realizations(32).seed(seed);
+        let ms = rds::sched::realization::realized_makespans_with(&inst, &s, &ds, &mc);
+        for m in ms {
+            prop_assert!(m >= floor - 1e-9);
+        }
+    }
+}

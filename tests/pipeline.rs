@@ -1,0 +1,160 @@
+//! End-to-end integration: instance generation → baselines → robust GA →
+//! Monte Carlo, crossing every crate boundary.
+
+use rds::prelude::*;
+
+#[test]
+fn full_pipeline_produces_consistent_reports() {
+    let inst = InstanceSpec::new(40, 4)
+        .seed(100)
+        .uncertainty_level(4.0)
+        .build()
+        .unwrap();
+
+    let outcome = RobustScheduler::new(RobustConfig::quick(1.3).seed(1))
+        .solve(&inst)
+        .unwrap();
+
+    // Constraint holds.
+    assert!(outcome.report.expected_makespan <= 1.3 * outcome.heft.makespan + 1e-9);
+    // The robust schedule is valid.
+    assert!(outcome.schedule.validate_against(&inst.graph).is_ok());
+    // Slack never below HEFT's (HEFT is in the initial population and
+    // elitism keeps the best).
+    assert!(outcome.report.average_slack >= outcome.heft_report.average_slack - 1e-9);
+    // Reports are internally consistent.
+    for rep in [&outcome.report, &outcome.heft_report] {
+        assert!(rep.expected_makespan > 0.0);
+        assert!(rep.mean_realized_makespan > 0.0);
+        assert!((0.0..=1.0).contains(&rep.miss_rate));
+        assert!(rep.r1 > 0.0);
+        assert!(rep.r2 >= 1.0);
+    }
+}
+
+#[test]
+fn ga_beats_heft_on_slack_with_relaxed_epsilon() {
+    // With eps = 2.0 the GA has ample room; its slack advantage over HEFT
+    // should be strict on most instances.
+    let mut strict_wins = 0;
+    let total = 5;
+    for seed in 0..total {
+        let inst = InstanceSpec::new(30, 4).seed(seed).build().unwrap();
+        let outcome = RobustScheduler::new(RobustConfig::quick(2.0).seed(seed))
+            .solve(&inst)
+            .unwrap();
+        if outcome.report.average_slack > outcome.heft_report.average_slack + 1e-9 {
+            strict_wins += 1;
+        }
+    }
+    assert!(
+        strict_wins >= 3,
+        "GA should strictly beat HEFT's slack on most instances, won {strict_wins}/{total}"
+    );
+}
+
+#[test]
+fn epsilon_controls_the_tradeoff() {
+    let inst = InstanceSpec::new(40, 4)
+        .seed(7)
+        .uncertainty_level(6.0)
+        .build()
+        .unwrap();
+    let mut cfg = SweepConfig::quick().seed(3);
+    cfg.realizations = 150;
+    let pts = epsilon_sweep(&inst, &[1.0, 2.0], &cfg);
+    // More room -> at least as much slack (allow small stochastic wobble).
+    assert!(
+        pts[1].avg_slack >= pts[0].avg_slack - 0.05 * pts[0].avg_slack.abs(),
+        "slack at eps=2 ({}) collapsed below eps=1 ({})",
+        pts[1].avg_slack,
+        pts[0].avg_slack
+    );
+}
+
+#[test]
+fn all_baselines_schedule_the_same_instance() {
+    let inst = InstanceSpec::new(50, 5).seed(11).build().unwrap();
+    let heft = heft_schedule(&inst);
+    let cpop = cpop_schedule(&inst);
+    let mut rng = rds::stats::rng::rng_from_seed(1);
+    let rand_s = random_schedule(&inst, &mut rng);
+
+    for s in [&heft.schedule, &cpop.schedule, &rand_s] {
+        assert!(s.validate_against(&inst.graph).is_ok());
+        assert_eq!(s.task_count(), 50);
+    }
+    // Sanity ordering: HEFT should beat random.
+    let mc = RealizationConfig::with_realizations(100).seed(9);
+    let rand_rep = monte_carlo(&inst, &rand_s, &mc).unwrap();
+    let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).unwrap();
+    assert!(heft_rep.expected_makespan < rand_rep.expected_makespan);
+}
+
+#[test]
+fn simulated_annealing_integrates_with_the_same_objectives() {
+    let inst = InstanceSpec::new(30, 3).seed(13).build().unwrap();
+    let heft = heft_schedule(&inst);
+    let obj = Objective::EpsilonConstraint {
+        epsilon: 1.5,
+        reference_makespan: heft.makespan,
+    };
+    let sa = rds::anneal::anneal(&inst, rds::anneal::SaParams::quick().seed(5), obj);
+    let schedule = sa.best.decode(inst.proc_count());
+    assert!(schedule.validate_against(&inst.graph).is_ok());
+    assert!(sa.best_eval.makespan <= 1.5 * heft.makespan + 1e-9);
+}
+
+#[test]
+fn island_ga_and_direct_mc_ga_integrate_through_the_facade() {
+    use rds::ga::islands::{run_islands, IslandParams};
+    use rds::ga::robust_engine::{run_robust_ga, RobustGaParams};
+    let inst = InstanceSpec::new(25, 3).seed(21).uncertainty_level(4.0).build().unwrap();
+    let heft = heft_schedule(&inst);
+
+    // Island model respects the epsilon constraint.
+    let mut ip = IslandParams::new(GaParams::quick().seed(1).max_generations(30).population(8));
+    ip.islands = 2;
+    ip.migration_interval = 10;
+    ip.migrants = 1;
+    let obj = Objective::EpsilonConstraint {
+        epsilon: 1.3,
+        reference_makespan: heft.makespan,
+    };
+    let ir = run_islands(&inst, ip, obj);
+    assert!(ir.best_eval.makespan <= 1.3 * heft.makespan + 1e-9);
+    assert!(ir.best.decode(3).validate_against(&inst.graph).is_ok());
+
+    // Direct-MC GA's schedule validates and respects the constraint too.
+    let rr = run_robust_ga(&inst, RobustGaParams::quick(1.3).seed(2));
+    assert!(rr.best_eval.makespan <= 1.3 * heft.makespan + 1e-9);
+    assert!(rr.best.decode(3).validate_against(&inst.graph).is_ok());
+}
+
+#[test]
+fn bounds_hold_for_every_scheduler() {
+    use rds::sched::bounds::makespan_lower_bounds;
+    let inst = InstanceSpec::new(30, 4).seed(22).build().unwrap();
+    let lb = makespan_lower_bounds(&inst).best();
+    for makespan in [
+        heft_schedule(&inst).makespan,
+        cpop_schedule(&inst).makespan,
+        rds::heft::sheft_schedule(&inst, 1.0).makespan,
+    ] {
+        assert!(makespan >= lb - 1e-9, "{makespan} < bound {lb}");
+    }
+}
+
+#[test]
+fn prelude_exposes_the_advertised_api() {
+    // Compile-time check that the prelude surface is complete enough to
+    // write the quickstart without extra imports.
+    let inst: Instance = InstanceSpec::new(10, 2).seed(1).build().unwrap();
+    let _: HeftResult = heft_schedule(&inst);
+    let _: GaParams = GaParams::paper();
+    let _: RealizationConfig = RealizationConfig::default();
+    let m: Matrix = Matrix::zeros(2, 2);
+    assert_eq!(m.rows(), 2);
+    let _: Summary = Summary::from_samples(vec![1.0]);
+    let _: OnlineStats = OnlineStats::new();
+}

@@ -1,0 +1,92 @@
+//! Cross-crate property tests of the scheduler stack: HEFT/CPOP/SHEFT
+//! timelines are physical (no processor overlap, precedence + transfer
+//! delays respected), and the contention evaluation only ever delays.
+
+use proptest::prelude::*;
+
+use rds::prelude::*;
+use rds::sched::contention::evaluate_with_contention;
+use rds::sched::disjunctive::DisjunctiveGraph;
+use rds::sched::gantt::overlapping_tasks;
+use rds::sched::timing::{evaluate_with_durations, expected_durations};
+
+fn build(seed: u64, tasks: usize, procs: usize, ccr: f64) -> Instance {
+    InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .ccr(ccr)
+        .uncertainty_level(3.0)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn heft_timeline_is_physical(seed in 0u64..400, tasks in 2usize..60, procs in 1usize..8) {
+        let inst = build(seed, tasks, procs, 0.5);
+        let r = heft_schedule(&inst);
+        // No two tasks overlap on a processor.
+        prop_assert!(overlapping_tasks(&r.schedule, &r.timed).is_empty());
+        // Starts respect predecessors + communication.
+        for t in inst.graph.tasks() {
+            let pt = r.schedule.proc_of(t);
+            for e in inst.graph.predecessors(t) {
+                let q = e.task;
+                let arrive = r.timed.finish_of(q)
+                    + inst.platform.comm_time(e.data, r.schedule.proc_of(q), pt);
+                prop_assert!(
+                    r.timed.start_of(t) >= arrive - 1e-9,
+                    "{t} started before data from {q} arrived"
+                );
+            }
+        }
+        // Makespan is the max finish.
+        let max_finish = inst
+            .graph
+            .tasks()
+            .map(|t| r.timed.finish_of(t))
+            .fold(0.0_f64, f64::max);
+        prop_assert!((r.makespan - max_finish).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpop_and_sheft_timelines_are_physical(seed in 0u64..200, tasks in 2usize..40) {
+        let inst = build(seed, tasks, 4, 0.5);
+        for result in [cpop_schedule(&inst), rds::heft::sheft_schedule(&inst, 1.0)] {
+            prop_assert!(overlapping_tasks(&result.schedule, &result.timed).is_empty());
+            prop_assert!(result.schedule.validate_against(&inst.graph).is_ok());
+        }
+    }
+
+    #[test]
+    fn contention_only_delays(seed in 0u64..200, tasks in 2usize..40, ccr in 0.0f64..2.0) {
+        let inst = build(seed, tasks, 4, ccr);
+        let heft = heft_schedule(&inst);
+        let ds = DisjunctiveGraph::build(&inst.graph, &heft.schedule).unwrap();
+        let dur = expected_durations(&inst.timing, &heft.schedule);
+        let free = evaluate_with_durations(&ds, &heft.schedule, &inst.platform, &dur);
+        let cont = evaluate_with_contention(&inst.graph, &ds, &heft.schedule, &inst.platform, &dur);
+        prop_assert!(cont.timed.makespan >= free.makespan - 1e-9);
+        // Per-task: contention can only push starts later.
+        for t in inst.graph.tasks() {
+            prop_assert!(
+                cont.timed.start_of(t) >= free.start_of(t) - 1e-9,
+                "{t} started earlier under contention"
+            );
+        }
+    }
+
+    #[test]
+    fn dynamic_runs_are_physical(seed in 0u64..200, tasks in 2usize..40, rseed in 0u64..50) {
+        use rds::sched::dynamic::{run_dynamic, DynamicPriority};
+        let inst = build(seed, tasks, 4, 0.3);
+        let r = run_dynamic(&inst, DynamicPriority::UpwardRank, rseed);
+        prop_assert!(r.schedule.validate_against(&inst.graph).is_ok());
+        for t in inst.graph.tasks() {
+            for e in inst.graph.predecessors(t) {
+                prop_assert!(r.start[t.index()] >= r.finish[e.task.index()] - 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Robust scheduling of structured (non-random) workflows: fork–join,
+//! Gaussian elimination, FFT, Montage, wavefront. Exercises the public API
+//! on the workload classes the DAG-scheduling literature evaluates.
+
+use rds::graph::gen::cov::CovMatrixSpec;
+use rds::graph::gen::workflows;
+use rds::graph::TaskGraph;
+use rds::prelude::*;
+
+/// Wraps a structured topology into a full instance with COV-generated
+/// timings.
+fn instance_for(graph: TaskGraph, procs: usize, ul: f64, seed: u64) -> Instance {
+    let n = graph.task_count();
+    let bcet = CovMatrixSpec::bcet(n, procs).generate(seed).unwrap();
+    let ulm = CovMatrixSpec::uncertainty(n, procs, ul)
+        .generate(seed ^ 0xA5)
+        .unwrap();
+    let timing = TimingModel::new(bcet, ulm).unwrap();
+    let platform = Platform::uniform(procs, 1.0).unwrap();
+    Instance::new(graph, platform, timing).unwrap()
+}
+
+fn solve_and_check(inst: &Instance, label: &str) {
+    let heft = heft_schedule(inst);
+    assert!(heft.makespan > 0.0, "{label}: HEFT failed");
+    let outcome = RobustScheduler::new(RobustConfig::quick(1.5).seed(3))
+        .solve(inst)
+        .unwrap_or_else(|e| panic!("{label}: solve failed: {e}"));
+    assert!(
+        outcome.report.expected_makespan <= 1.5 * heft.makespan + 1e-9,
+        "{label}: epsilon bound violated"
+    );
+    assert!(
+        outcome.report.average_slack >= outcome.heft_report.average_slack - 1e-9,
+        "{label}: GA slack below HEFT"
+    );
+}
+
+#[test]
+fn fork_join_workflow() {
+    let inst = instance_for(workflows::fork_join(12, 5.0), 4, 4.0, 1);
+    solve_and_check(&inst, "fork-join");
+}
+
+#[test]
+fn gaussian_elimination_workflow() {
+    let inst = instance_for(workflows::gaussian_elimination(6, 5.0), 4, 2.0, 2);
+    solve_and_check(&inst, "gaussian-elimination");
+}
+
+#[test]
+fn fft_workflow() {
+    let inst = instance_for(workflows::fft(3, 5.0), 4, 2.0, 3);
+    solve_and_check(&inst, "fft");
+}
+
+#[test]
+fn montage_workflow() {
+    let inst = instance_for(workflows::montage(6, 5.0), 4, 4.0, 4);
+    solve_and_check(&inst, "montage");
+}
+
+#[test]
+fn cholesky_workflow() {
+    let inst = instance_for(workflows::cholesky(4, 5.0), 4, 2.0, 8);
+    solve_and_check(&inst, "cholesky");
+}
+
+#[test]
+fn wavefront_workflow() {
+    let inst = instance_for(workflows::wavefront(4, 5, 5.0), 4, 2.0, 5);
+    solve_and_check(&inst, "wavefront");
+}
+
+#[test]
+fn chain_workflow_single_processor_is_degenerate_but_valid() {
+    // A pure chain on one processor has zero slack everywhere: the GA can
+    // only return the (unique) order; robustness metrics stay defined.
+    let inst = instance_for(workflows::chain(8, 0.0), 1, 2.0, 6);
+    let heft = heft_schedule(&inst);
+    let a = rds::sched::slack::analyze_expected(&inst, &heft.schedule).unwrap();
+    assert!(
+        a.average_slack < 1e-9,
+        "chains are fully critical, got {}",
+        a.average_slack
+    );
+    let mc = RealizationConfig::with_realizations(64).seed(1);
+    let rep = monte_carlo(&inst, &heft.schedule, &mc).unwrap();
+    assert!(rep.miss_rate > 0.0, "UL=2 chain must sometimes overrun");
+}
+
+#[test]
+fn wide_fork_join_gains_more_slack_than_chain() {
+    // Structural sanity: parallel structures leave room for slack, chains
+    // do not.
+    let fj = instance_for(workflows::fork_join(10, 1.0), 4, 2.0, 7);
+    let heft_fj = heft_schedule(&fj);
+    let a_fj = rds::sched::slack::analyze_expected(&fj, &heft_fj.schedule).unwrap();
+    assert!(
+        a_fj.average_slack > 0.0,
+        "fork-join under HEFT should have slack"
+    );
+}
