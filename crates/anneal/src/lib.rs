@@ -215,10 +215,7 @@ mod tests {
     fn sa_improves_slack_under_slack_objective() {
         let i = inst(3);
         let heft = rds_heft::heft_schedule(&i);
-        let heft_eval = evaluate(
-            &i,
-            &Chromosome::from_schedule(&i.graph, &heft.schedule),
-        );
+        let heft_eval = evaluate(&i, &Chromosome::from_schedule(&i.graph, &heft.schedule));
         let r = anneal(&i, SaParams::quick().seed(9), Objective::MaximizeSlack);
         assert!(
             r.best_eval.avg_slack >= heft_eval.avg_slack,
@@ -238,10 +235,30 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(SaParams { initial_temp: 0.0, ..SaParams::default() }.validate().is_err());
-        assert!(SaParams { cooling: 1.0, ..SaParams::default() }.validate().is_err());
-        assert!(SaParams { moves_per_temp: 0, ..SaParams::default() }.validate().is_err());
-        assert!(SaParams { min_temp: 2.0, ..SaParams::default() }.validate().is_err());
+        assert!(SaParams {
+            initial_temp: 0.0,
+            ..SaParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SaParams {
+            cooling: 1.0,
+            ..SaParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SaParams {
+            moves_per_temp: 0,
+            ..SaParams::default()
+        }
+        .validate()
+        .is_err());
+        assert!(SaParams {
+            min_temp: 2.0,
+            ..SaParams::default()
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

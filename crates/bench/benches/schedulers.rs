@@ -98,5 +98,11 @@ fn bench_sa(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_list_schedulers, bench_ga_generations, bench_islands, bench_sa);
+criterion_group!(
+    benches,
+    bench_list_schedulers,
+    bench_ga_generations,
+    bench_islands,
+    bench_sa
+);
 criterion_main!(benches);

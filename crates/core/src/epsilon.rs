@@ -185,7 +185,11 @@ mod tests {
 
     #[test]
     fn sweep_points_track_epsilon() {
-        let inst = InstanceSpec::new(25, 3).seed(3).uncertainty_level(4.0).build().unwrap();
+        let inst = InstanceSpec::new(25, 3)
+            .seed(3)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
         let mut cfg = SweepConfig::quick().seed(7);
         cfg.realizations = 100;
         cfg.ga = cfg.ga.max_generations(40).stall_generations(20);

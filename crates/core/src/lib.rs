@@ -24,7 +24,7 @@ pub mod scheduler;
 pub use epsilon::{epsilon_sweep, EpsilonPoint, SweepConfig};
 pub use overall::{best_epsilon_for, overall_performance, RobustnessKind};
 pub use pareto::{dominates, pareto_front, ParetoPoint};
-pub use report::ScheduleReport;
+pub use report::{FaultReport, ScheduleReport};
 pub use scheduler::{RobustConfig, RobustOutcome, RobustScheduler, SolveError};
 
 /// One-stop imports for applications and examples.
@@ -35,15 +35,22 @@ pub mod prelude {
     };
     pub use crate::overall::{best_epsilon_for, overall_performance, RobustnessKind};
     pub use crate::pareto::{coverage, hypervolume, pareto_front, ParetoPoint};
-    pub use crate::report::ScheduleReport;
+    pub use crate::report::{FaultReport, ScheduleReport};
     pub use crate::scheduler::{RobustConfig, RobustOutcome, RobustScheduler};
     pub use rds_ga::{Chromosome, GaEngine, GaParams, Objective};
     pub use rds_graph::{TaskGraph, TaskGraphBuilder, TaskId};
-    pub use rds_heft::{cpop_schedule, heft_schedule, random_schedule, sheft_schedule, HeftResult};
-    pub use rds_platform::{Platform, PlatformSpec, ProcId, RealizationLaw, TimingModel};
+    pub use rds_heft::{
+        cpop_schedule, heft_reschedule, heft_schedule, random_schedule, sheft_schedule, HeftResult,
+        PartialState,
+    };
+    pub use rds_platform::{
+        Availability, Platform, PlatformSpec, ProcId, RealizationLaw, TimingModel,
+    };
     pub use rds_sched::bounds::{efficiency, makespan_lower_bounds};
     pub use rds_sched::{
-        monte_carlo, Instance, InstanceSpec, RealizationConfig, RobustnessReport, Schedule,
+        execute_with_faults, monte_carlo, monte_carlo_faulty, FaultConfig, FaultRobustnessReport,
+        FaultScenario, Instance, InstanceSpec, RealizationConfig, RecoveryConfig, RecoveryPolicy,
+        RobustnessReport, Schedule,
     };
     pub use rds_stats::{Histogram, Matrix, OnlineStats, Summary};
 }

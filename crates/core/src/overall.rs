@@ -140,8 +140,7 @@ mod tests {
             pt(1.4, 130.0, 22.0),
             pt(2.0, 180.0, 40.0),
         ];
-        let picks =
-            best_epsilon_for(&points, RobustnessKind::R1, &paper_r_grid(), 100.0, 10.0);
+        let picks = best_epsilon_for(&points, RobustnessKind::R1, &paper_r_grid(), 100.0, 10.0);
         for w in picks.windows(2) {
             assert!(
                 w[1].1 <= w[0].1 + 1e-12,

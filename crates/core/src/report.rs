@@ -1,6 +1,6 @@
 //! The user-facing schedule report.
 
-use rds_sched::RobustnessReport;
+use rds_sched::{FaultRobustnessReport, RobustnessReport};
 
 /// Flattened robustness report for one schedule, with optional HEFT
 /// comparison ratios.
@@ -64,6 +64,79 @@ impl ScheduleReport {
     }
 }
 
+/// Flattened fault-robustness report for one schedule under a recovery
+/// policy — the fault-model counterpart of [`ScheduleReport`].
+#[derive(Debug, Clone)]
+pub struct FaultReport {
+    /// Expected makespan `M₀` of the fault-free plan.
+    pub expected_makespan: f64,
+    /// Average slack `σ̄`.
+    pub average_slack: f64,
+    /// Mean realized makespan over completed realizations (NaN when every
+    /// realization failed).
+    pub mean_realized_makespan: f64,
+    /// Tardiness robustness `R1` over completed realizations.
+    pub r1: f64,
+    /// Miss-rate robustness `R2` (failures count as misses).
+    pub r2: f64,
+    /// Fraction of realizations that did not complete.
+    pub failed_rate: f64,
+    /// Mean replans per realization (recovery overhead).
+    pub mean_replans: f64,
+    /// Mean task retries per realization.
+    pub mean_retries: f64,
+    /// Mean work lost to aborts and crashes per realization.
+    pub mean_lost_work: f64,
+    /// Number of Monte Carlo realizations behind the estimates.
+    pub realizations: usize,
+}
+
+impl FaultReport {
+    /// Builds a report from the faulty Monte Carlo output.
+    #[must_use]
+    pub fn from_fault_robustness(r: &FaultRobustnessReport) -> Self {
+        Self {
+            expected_makespan: r.expected_makespan,
+            average_slack: r.average_slack,
+            mean_realized_makespan: r.mean_makespan,
+            r1: r.r1,
+            r2: r.r2,
+            failed_rate: r.failed_rate,
+            mean_replans: r.mean_replans,
+            mean_retries: r.mean_retries,
+            mean_lost_work: r.mean_lost_work,
+            realizations: r.realizations,
+        }
+    }
+
+    /// Renders a compact human-readable block.
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        format!(
+            "expected makespan M0 : {:>10.3}\n\
+             average slack      : {:>10.3}\n\
+             mean realized M    : {:>10.3}\n\
+             robustness R1      : {:>10.3}\n\
+             robustness R2      : {:>10.3}\n\
+             failed rate        : {:>10.4}\n\
+             mean replans       : {:>10.3}\n\
+             mean retries       : {:>10.3}\n\
+             mean lost work     : {:>10.3}\n\
+             realizations       : {:>10}",
+            self.expected_makespan,
+            self.average_slack,
+            self.mean_realized_makespan,
+            self.r1,
+            self.r2,
+            self.failed_rate,
+            self.mean_replans,
+            self.mean_retries,
+            self.mean_lost_work,
+            self.realizations
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,5 +153,21 @@ mod tests {
         let text = r.to_pretty_string();
         assert!(text.contains("robustness R1"));
         assert!(text.contains("10.000"));
+    }
+
+    #[test]
+    fn fault_report_copies_fields() {
+        let fr =
+            FaultRobustnessReport::from_outcomes(10.0, 1.0, vec![8.0, 12.0], 2, (3, 1, 5.0, 2.0));
+        let r = FaultReport::from_fault_robustness(&fr);
+        assert_eq!(r.expected_makespan, 10.0);
+        assert_eq!(r.realizations, 4);
+        assert_eq!(r.failed_rate, 0.5);
+        assert_eq!(r.mean_realized_makespan, 10.0);
+        assert_eq!(r.mean_replans, 0.75);
+        assert_eq!(r.mean_lost_work, 1.25);
+        let text = r.to_pretty_string();
+        assert!(text.contains("failed rate"));
+        assert!(text.contains("mean replans"));
     }
 }

@@ -160,10 +160,10 @@ impl RobustScheduler {
 
         let mc = RealizationConfig::with_realizations(self.config.realizations)
             .seed(self.config.seed ^ 0x5DEECE66D);
-        let robust_rr = monte_carlo(inst, &schedule, &mc)
-            .expect("GA schedules are precedence-valid");
-        let heft_rr = monte_carlo(inst, &heft.schedule, &mc)
-            .expect("HEFT schedules are precedence-valid");
+        let robust_rr =
+            monte_carlo(inst, &schedule, &mc).expect("GA schedules are precedence-valid");
+        let heft_rr =
+            monte_carlo(inst, &heft.schedule, &mc).expect("HEFT schedules are precedence-valid");
 
         Ok(RobustOutcome {
             schedule,
@@ -181,7 +181,11 @@ mod tests {
     use rds_sched::instance::InstanceSpec;
 
     fn inst(seed: u64) -> Instance {
-        InstanceSpec::new(30, 3).seed(seed).uncertainty_level(2.0).build().unwrap()
+        InstanceSpec::new(30, 3)
+            .seed(seed)
+            .uncertainty_level(2.0)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -217,7 +221,9 @@ mod tests {
     fn rejects_bad_epsilon_and_empty_instance() {
         let i = inst(3);
         assert_eq!(
-            RobustScheduler::new(RobustConfig::quick(0.5)).solve(&i).unwrap_err(),
+            RobustScheduler::new(RobustConfig::quick(0.5))
+                .solve(&i)
+                .unwrap_err(),
             SolveError::InvalidEpsilon(0.5)
         );
     }

@@ -4,7 +4,7 @@
 //! figures <subcommand> [flags]
 //!
 //! paper figures:  fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep all
-//! extensions:     corr future dynamic law ccr contention gatune
+//! extensions:     corr future dynamic law ccr contention gatune faults
 //! utilities:      report   (re-render every results/*.csv as tables)
 //!
 //! flags:
@@ -17,6 +17,7 @@
 //!   --uls a,b,c           uncertainty levels                [default 2,4,6,8]
 //!   --ccr X               communication-to-computation      [default 0.1]
 //!   --stride N            history sampling stride (fig2/3)  [default 10]
+//!   --fault-scales a,b,c  fault-rate multipliers (faults)    [default 0,0.25,0.5,1]
 //!   --seed N              master seed                       [default 42]
 //!   --out DIR             CSV output directory              [default results]
 //! ```
@@ -26,7 +27,10 @@
 use std::process::ExitCode;
 
 use rds_experiments::config::ExperimentConfig;
-use rds_experiments::figures::{ccr_study, contention_cmp, correlation, dynamic_cmp, fig2_3, fig4, fig5_6, fig7_8, future, gatune, law, sweep};
+use rds_experiments::figures::{
+    ccr_study, contention_cmp, correlation, dynamic_cmp, fault_cmp, fig2_3, fig4, fig5_6, fig7_8,
+    future, gatune, law, sweep,
+};
 use rds_experiments::output::FigureData;
 
 fn emit(fig: &FigureData, cfg: &ExperimentConfig) {
@@ -42,7 +46,7 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|sweep|all|\
-             corr|future|dynamic|law|contention|ccr|report> [flags]"
+             corr|future|dynamic|law|contention|ccr|gatune|faults|report> [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -96,6 +100,7 @@ fn main() -> ExitCode {
         "contention" => emit(&contention_cmp::run_contention(&cfg), &cfg),
         "ccr" => emit(&ccr_study::run_ccr(&cfg), &cfg),
         "gatune" => emit(&gatune::run_gatune(&cfg), &cfg),
+        "faults" => emit(&fault_cmp::run_fault_cmp(&cfg), &cfg),
         "report" => match rds_experiments::output::render_report(&cfg.out_dir) {
             Ok(text) => println!("{text}"),
             Err(e) => {

@@ -28,6 +28,10 @@ pub struct ExperimentConfig {
     /// Evolution-history sampling stride for Figs. 2–3 (realized metrics
     /// are recomputed every `stride` generations).
     pub history_stride: usize,
+    /// Fault-rate multipliers swept by the fault-robustness figure: each
+    /// scale multiplies every rate in the base
+    /// [`rds_sched::faults::FaultConfig`] (0 = fault-free control).
+    pub fault_scales: Vec<f64>,
     /// Output directory for CSV files.
     pub out_dir: String,
 }
@@ -45,6 +49,7 @@ impl Default for ExperimentConfig {
             seed: 42,
             ccr: 0.1,
             history_stride: 10,
+            fault_scales: vec![0.0, 0.25, 0.5, 1.0],
             out_dir: "results".to_owned(),
         }
     }
@@ -77,6 +82,7 @@ impl ExperimentConfig {
             seed: 7,
             ccr: 0.1,
             history_stride: 10,
+            fault_scales: vec![0.0, 1.0],
             out_dir: "results".to_owned(),
         }
     }
@@ -90,7 +96,9 @@ impl ExperimentConfig {
     /// by the generators).
     #[must_use]
     pub fn instance(&self, g: usize, ul: f64) -> Instance {
-        let graph_seed = SeedStream::new(self.seed).branch("graphs").nth_seed(g as u64);
+        let graph_seed = SeedStream::new(self.seed)
+            .branch("graphs")
+            .nth_seed(g as u64);
         InstanceSpec::new(self.tasks, self.procs)
             .seed(graph_seed)
             .uncertainty_level(ul)
@@ -116,7 +124,8 @@ impl ExperimentConfig {
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut take = || -> Result<&String, String> {
-                it.next().ok_or_else(|| format!("flag {flag} needs a value"))
+                it.next()
+                    .ok_or_else(|| format!("flag {flag} needs a value"))
             };
             match flag.as_str() {
                 "--full" => {
@@ -135,10 +144,10 @@ impl ExperimentConfig {
                 "--ccr" => cfg.ccr = parse(take()?)?,
                 "--out" => cfg.out_dir = take()?.clone(),
                 "--uls" => {
-                    cfg.uls = take()?
-                        .split(',')
-                        .map(|s| s.trim().parse::<f64>().map_err(|e| e.to_string()))
-                        .collect::<Result<Vec<_>, _>>()?;
+                    cfg.uls = parse_list(take()?)?;
+                }
+                "--fault-scales" => {
+                    cfg.fault_scales = parse_list(take()?)?;
                 }
                 other => return Err(format!("unknown flag {other}")),
             }
@@ -149,15 +158,25 @@ impl ExperimentConfig {
         if cfg.history_stride == 0 {
             return Err("stride must be positive".into());
         }
+        if cfg.fault_scales.iter().any(|&s| s < 0.0 || !s.is_finite()) {
+            return Err("fault scales must be finite and non-negative".into());
+        }
         Ok(cfg)
     }
+}
+
+fn parse_list(s: &str) -> Result<Vec<f64>, String> {
+    s.split(',')
+        .map(|v| v.trim().parse::<f64>().map_err(|e| e.to_string()))
+        .collect()
 }
 
 fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String>
 where
     T::Err: std::fmt::Display,
 {
-    s.parse::<T>().map_err(|e| format!("invalid value {s}: {e}"))
+    s.parse::<T>()
+        .map_err(|e| format!("invalid value {s}: {e}"))
 }
 
 /// Mean of the finite values in `xs`; `None` when none are finite.
@@ -216,6 +235,18 @@ mod tests {
         assert!(ExperimentConfig::from_args(&args(&["--graphs"])).is_err());
         assert!(ExperimentConfig::from_args(&args(&["--graphs", "zero"])).is_err());
         assert!(ExperimentConfig::from_args(&args(&["--graphs", "0"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--fault-scales", "-1"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--fault-scales", "0,nope"])).is_err());
+    }
+
+    #[test]
+    fn fault_scales_flag_applies() {
+        let cfg = ExperimentConfig::from_args(&args(&["--fault-scales", "0,0.5,2"])).unwrap();
+        assert_eq!(cfg.fault_scales, vec![0.0, 0.5, 2.0]);
+        assert_eq!(
+            ExperimentConfig::default().fault_scales,
+            vec![0.0, 0.25, 0.5, 1.0]
+        );
     }
 
     #[test]
@@ -224,10 +255,7 @@ mod tests {
         let a = cfg.instance(0, 2.0);
         let b = cfg.instance(0, 8.0);
         assert_eq!(a.graph, b.graph);
-        assert_ne!(
-            a.timing.ul_matrix().mean(),
-            b.timing.ul_matrix().mean()
-        );
+        assert_ne!(a.timing.ul_matrix().mean(), b.timing.ul_matrix().mean());
         let c = cfg.instance(1, 2.0);
         assert_ne!(a.graph, c.graph);
     }

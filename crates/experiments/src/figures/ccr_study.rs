@@ -39,8 +39,7 @@ fn study_one_graph(cfg: &ExperimentConfig, g: usize, ccr: f64) -> Row {
     cfg_ccr.ccr = ccr;
     let inst = cfg_ccr.instance(g, STUDY_UL);
     let heft = heft_schedule(&inst);
-    let mc = RealizationConfig::with_realizations(cfg.realizations)
-        .seed(cfg.sub_seed("mc-ccr", g));
+    let mc = RealizationConfig::with_realizations(cfg.realizations).seed(cfg.sub_seed("mc-ccr", g));
     let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("HEFT valid");
     let objective = Objective::EpsilonConstraint {
         epsilon: 1.2,

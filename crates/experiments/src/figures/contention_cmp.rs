@@ -44,10 +44,9 @@ fn contention_r1(
 ) -> (f64, f64) {
     let ds = DisjunctiveGraph::build(&inst.graph, schedule).expect("valid schedule");
     let expected = expected_durations(&inst.timing, schedule);
-    let m0 =
-        evaluate_with_contention(&inst.graph, &ds, schedule, &inst.platform, &expected)
-            .timed
-            .makespan;
+    let m0 = evaluate_with_contention(&inst.graph, &ds, schedule, &inst.platform, &expected)
+        .timed
+        .makespan;
     let seeds = SeedStream::new(seed);
     let assignment = schedule.assignment();
     let mean_tardiness: f64 = (0..realizations)
@@ -55,15 +54,10 @@ fn contention_r1(
         .map(|i| {
             let mut rng = seeds.nth_rng(i as u64);
             let durations = inst.timing.sample_assigned(assignment, &mut rng);
-            let m = evaluate_with_contention(
-                &inst.graph,
-                &ds,
-                schedule,
-                &inst.platform,
-                &durations,
-            )
-            .timed
-            .makespan;
+            let m =
+                evaluate_with_contention(&inst.graph, &ds, schedule, &inst.platform, &durations)
+                    .timed
+                    .makespan;
             (m - m0).max(0.0) / m0
         })
         .sum::<f64>()
@@ -171,12 +165,7 @@ mod tests {
         let fig = run_contention(&cfg);
         assert_eq!(fig.series.len(), 4);
         let get = |label: &str| -> f64 {
-            fig.series
-                .iter()
-                .find(|s| s.label == label)
-                .unwrap()
-                .points[0]
-                .1
+            fig.series.iter().find(|s| s.label == label).unwrap().points[0].1
         };
         assert!(get("penalty:HEFT") >= 1.0 - 1e-9);
         assert!(get("penalty:GA") >= 1.0 - 1e-9);

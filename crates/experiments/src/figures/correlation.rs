@@ -53,8 +53,8 @@ const MAX_SNAPSHOTS: usize = 30;
 fn samples_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> Vec<Sample> {
     let inst = cfg.instance(g, ul);
     let seeds = SeedStream::new(cfg.sub_seed("corr", g));
-    let mc = RealizationConfig::with_realizations(cfg.realizations)
-        .seed(seeds.branch("mc").nth_seed(0));
+    let mc =
+        RealizationConfig::with_realizations(cfg.realizations).seed(seeds.branch("mc").nth_seed(0));
 
     // The slack-maximizing trajectory (HEFT-seeded, so the low-slack end
     // is anchored by a *sensible* schedule, not a random one).
@@ -83,8 +83,7 @@ fn samples_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> Vec<Sample> {
         .iter()
         .map(|s| {
             let rep = monte_carlo(&inst, s, &mc).expect("valid schedule");
-            let analysis =
-                rds_sched::slack::analyze_expected(&inst, s).expect("valid schedule");
+            let analysis = rds_sched::slack::analyze_expected(&inst, s).expect("valid schedule");
             Sample {
                 slack: rep.average_slack,
                 slack_norm: rep.average_slack / rep.expected_makespan,
@@ -171,12 +170,7 @@ mod tests {
         let fig = run_correlation(&cfg);
         assert_eq!(fig.series.len(), 6);
         let get = |label: &str| -> f64 {
-            fig.series
-                .iter()
-                .find(|s| s.label == label)
-                .unwrap()
-                .points[0]
-                .1
+            fig.series.iter().find(|s| s.label == label).unwrap().points[0].1
         };
         // The paper's core claim, quantified: normalized slack rises with
         // measured robustness.

@@ -34,8 +34,8 @@ struct Row {
 fn study_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> [Row; 3] {
     let inst = cfg.instance(g, ul);
     let heft = heft_schedule(&inst);
-    let mc = RealizationConfig::with_realizations(cfg.realizations)
-        .seed(cfg.sub_seed("mc-dynamic", g));
+    let mc =
+        RealizationConfig::with_realizations(cfg.realizations).seed(cfg.sub_seed("mc-dynamic", g));
     let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("HEFT valid");
 
     let objective = Objective::EpsilonConstraint {
@@ -82,9 +82,14 @@ pub fn run_dynamic_cmp(cfg: &ExperimentConfig) -> FigureData {
         "UL",
         "M:* = mean realized makespan / HEFT; CoV:* = realized-makespan CoV",
     );
-    let mut m_series: Vec<Series> = LABELS.iter().map(|l| Series::new(format!("M:{l}"))).collect();
-    let mut cov_series: Vec<Series> =
-        LABELS.iter().map(|l| Series::new(format!("CoV:{l}"))).collect();
+    let mut m_series: Vec<Series> = LABELS
+        .iter()
+        .map(|l| Series::new(format!("M:{l}")))
+        .collect();
+    let mut cov_series: Vec<Series> = LABELS
+        .iter()
+        .map(|l| Series::new(format!("CoV:{l}")))
+        .collect();
 
     for &ul in &cfg.uls {
         let rows: Vec<[Row; 3]> = (0..cfg.graphs)
@@ -118,12 +123,7 @@ mod tests {
         let fig = run_dynamic_cmp(&cfg);
         assert_eq!(fig.series.len(), 6);
         let get = |label: &str| -> f64 {
-            fig.series
-                .iter()
-                .find(|s| s.label == label)
-                .unwrap()
-                .points[0]
-                .1
+            fig.series.iter().find(|s| s.label == label).unwrap().points[0].1
         };
         // HEFT normalizes to exactly 1.
         assert!((get("M:HEFT(static)") - 1.0).abs() < 1e-12);
@@ -133,7 +133,11 @@ mod tests {
         // The dynamic dispatcher is competitive: within 2x of HEFT.
         assert!(get("M:EFT(dynamic)") < 2.0);
         // All CoVs are positive and sane.
-        for l in ["CoV:HEFT(static)", "CoV:GA(static,eps=1.2)", "CoV:EFT(dynamic)"] {
+        for l in [
+            "CoV:HEFT(static)",
+            "CoV:GA(static,eps=1.2)",
+            "CoV:EFT(dynamic)",
+        ] {
             let v = get(l);
             assert!(v > 0.0 && v < 1.0, "{l} = {v}");
         }

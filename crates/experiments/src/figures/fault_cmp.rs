@@ -1,0 +1,246 @@
+//! Schedule robustness under injected faults.
+//!
+//! The paper's §5 environment is non-deterministic only in task durations;
+//! this study extends the same protocol with the fault model of
+//! [`rds_sched::faults`] — permanent processor failures, transient
+//! slowdown windows, stragglers and task crashes — and compares how the
+//! schedulers degrade as fault rates grow. Compared on the *same*
+//! realizations and fault scenarios (shared `(seed, realization,
+//! fault-kind)` streams):
+//!
+//! * static HEFT under the three recovery policies (`FailStop`,
+//!   `RetrySameProc`, `MigrateReplan`);
+//! * the paper's static-robust GA (ε = 1.2) under `FailStop` and
+//!   `MigrateReplan`;
+//! * the on-line EFT dispatcher, which retries crashes and routes around
+//!   dead processors by construction.
+//!
+//! Output series (x = fault-rate scale, averaged over graphs):
+//!
+//! * `Meff:<combo>` — fault-adjusted mean makespan
+//!   ([`FaultRobustnessReport::effective_mean`] with the pessimistic
+//!   restart penalty of [`failure_penalty`]), normalized by HEFT's
+//!   expected fault-free makespan `M₀`;
+//! * `fail:<combo>` — fraction of realizations the combo failed to finish;
+//! * `R1:<combo>` — tardiness robustness over completed realizations for
+//!   the migrating combos.
+//!
+//! [`FaultRobustnessReport::effective_mean`]: rds_sched::metrics::FaultRobustnessReport::effective_mean
+//! [`failure_penalty`]: rds_sched::realization::failure_penalty
+
+use rayon::prelude::*;
+
+use rds_ga::{GaEngine, Objective};
+use rds_heft::heft_schedule;
+use rds_sched::dynamic::{dynamic_makespans_faulty, DynamicPriority};
+use rds_sched::faults::FaultConfig;
+use rds_sched::realization::{failure_penalty, monte_carlo_faulty, RealizationConfig};
+use rds_sched::recovery::{RecoveryConfig, RecoveryPolicy};
+use rds_stats::series::Series;
+
+use crate::config::{mean_finite, ExperimentConfig};
+use crate::output::FigureData;
+
+/// Uncertainty level for the fault study (the paper's mid-range setting).
+const UL: f64 = 4.0;
+
+/// Combo labels, aligned with [`study_one_graph`]'s cell order.
+const LABELS: [&str; 6] = [
+    "HEFT+FailStop",
+    "HEFT+Retry",
+    "HEFT+Migrate",
+    "GA+FailStop",
+    "GA+Migrate",
+    "EFT(dynamic)",
+];
+
+/// Base fault mix scaled along the x axis: aggressive enough that the
+/// quick configuration separates the recovery policies, gated entirely by
+/// the scale (scale 0 is the fault-free control).
+#[must_use]
+pub fn base_faults() -> FaultConfig {
+    FaultConfig {
+        failure_rate: 0.25,
+        slowdown_rate: 0.3,
+        straggler_rate: 0.15,
+        crash_rate: 0.1,
+        ..FaultConfig::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    /// Fault-adjusted mean makespan / HEFT's fault-free `M₀`.
+    meff: f64,
+    /// Failed-realization rate.
+    fail: f64,
+    /// R1 over completed realizations.
+    r1: f64,
+}
+
+/// One graph, all scales × combos. Outer index: scale; inner: [`LABELS`].
+fn study_one_graph(cfg: &ExperimentConfig, g: usize) -> Vec<[Cell; 6]> {
+    let inst = cfg.instance(g, UL);
+    let heft = heft_schedule(&inst);
+    let objective = Objective::EpsilonConstraint {
+        epsilon: 1.2,
+        reference_makespan: heft.makespan,
+    };
+    let ga = GaEngine::new(&inst, cfg.ga.seed(cfg.sub_seed("ga-faults", g)), objective).run();
+    let ga_sched = ga.best_schedule(&inst);
+    let mc =
+        RealizationConfig::with_realizations(cfg.realizations).seed(cfg.sub_seed("mc-faults", g));
+    let penalty = failure_penalty(&inst);
+    let base = base_faults();
+
+    let statics: [(&rds_sched::schedule::Schedule, RecoveryPolicy); 5] = [
+        (&heft.schedule, RecoveryPolicy::FailStop),
+        (&heft.schedule, RecoveryPolicy::RetrySameProc),
+        (&heft.schedule, RecoveryPolicy::MigrateReplan),
+        (&ga_sched, RecoveryPolicy::FailStop),
+        (&ga_sched, RecoveryPolicy::MigrateReplan),
+    ];
+
+    cfg.fault_scales
+        .iter()
+        .map(|&scale| {
+            // One horizon for every combo so all see identical scenarios.
+            let faults = base.scaled(scale).with_horizon(heft.makespan);
+            let mut cells = [Cell {
+                meff: f64::NAN,
+                fail: f64::NAN,
+                r1: f64::NAN,
+            }; 6];
+            for (i, (schedule, policy)) in statics.iter().enumerate() {
+                let rep = monte_carlo_faulty(
+                    &inst,
+                    schedule,
+                    &mc,
+                    &faults,
+                    &RecoveryConfig::new(*policy),
+                )
+                .expect("schedules validated by their constructors");
+                cells[i] = Cell {
+                    meff: rep.effective_mean(penalty) / heft.makespan,
+                    fail: rep.failed_rate,
+                    r1: rep.r1,
+                };
+            }
+            // The dynamic dispatcher re-routes around failures natively;
+            // RetrySameProc gives it crash retries on top.
+            let dyn_ms = dynamic_makespans_faulty(
+                &inst,
+                DynamicPriority::UpwardRank,
+                cfg.realizations,
+                cfg.sub_seed("dyn-faults", g),
+                &faults,
+                &RecoveryConfig::new(RecoveryPolicy::RetrySameProc),
+            );
+            let failed = dyn_ms.iter().filter(|m| m.is_none()).count();
+            let sum: f64 = dyn_ms.iter().map(|m| m.unwrap_or(penalty)).sum();
+            cells[5] = Cell {
+                meff: sum / dyn_ms.len() as f64 / heft.makespan,
+                fail: failed as f64 / dyn_ms.len() as f64,
+                r1: f64::NAN,
+            };
+            cells
+        })
+        .collect()
+}
+
+/// Runs the fault-robustness study.
+#[must_use]
+pub fn run_fault_cmp(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "faults",
+        "Schedule robustness under injected faults",
+        "fault-rate scale",
+        "Meff:* = fault-adjusted mean makespan / HEFT M0; fail:* = failure rate; R1:*",
+    );
+    let per_graph: Vec<Vec<[Cell; 6]>> = (0..cfg.graphs)
+        .into_par_iter()
+        .map(|g| study_one_graph(cfg, g))
+        .collect();
+
+    let mut meff: Vec<Series> = LABELS
+        .iter()
+        .map(|l| Series::new(format!("Meff:{l}")))
+        .collect();
+    let mut fail: Vec<Series> = LABELS
+        .iter()
+        .map(|l| Series::new(format!("fail:{l}")))
+        .collect();
+    let mut r1 = vec![Series::new("R1:HEFT+Migrate"), Series::new("R1:GA+Migrate")];
+
+    for (si, &scale) in cfg.fault_scales.iter().enumerate() {
+        for c in 0..LABELS.len() {
+            let meffs: Vec<f64> = per_graph.iter().map(|g| g[si][c].meff).collect();
+            let fails: Vec<f64> = per_graph.iter().map(|g| g[si][c].fail).collect();
+            meff[c].push(scale, mean_finite(&meffs).unwrap_or(f64::NAN));
+            fail[c].push(scale, mean_finite(&fails).unwrap_or(f64::NAN));
+        }
+        for (ri, c) in [2usize, 4].into_iter().enumerate() {
+            let r1s: Vec<f64> = per_graph.iter().map(|g| g[si][c].r1).collect();
+            r1[ri].push(scale, mean_finite(&r1s).unwrap_or(f64::NAN));
+        }
+    }
+    for s in meff.into_iter().chain(fail).chain(r1) {
+        fig.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(fig: &FigureData, label: &str, x: f64) -> f64 {
+        fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+            .points
+            .iter()
+            .find(|&&(px, _)| (px - x).abs() < 1e-12)
+            .unwrap_or_else(|| panic!("missing x={x} in {label}"))
+            .1
+    }
+
+    #[test]
+    fn fault_study_separates_recovery_policies() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.tasks = 25;
+        cfg.procs = 4;
+        cfg.realizations = 40;
+        cfg.fault_scales = vec![0.0, 1.0];
+        cfg.ga = cfg.ga.max_generations(20).stall_generations(10);
+        let fig = run_fault_cmp(&cfg);
+        assert_eq!(fig.series.len(), 14);
+
+        // Fault-free control: nothing fails, recovery policy is irrelevant,
+        // so the HEFT combos coincide exactly on the shared realizations.
+        for l in LABELS {
+            assert_eq!(get(&fig, &format!("fail:{l}"), 0.0), 0.0, "{l}");
+        }
+        assert_eq!(
+            get(&fig, "Meff:HEFT+FailStop", 0.0),
+            get(&fig, "Meff:HEFT+Migrate", 0.0)
+        );
+
+        // With permanent failures on, FailStop loses realizations and the
+        // restart penalty makes migration strictly better (the acceptance
+        // criterion of the fault subsystem).
+        assert!(get(&fig, "fail:HEFT+FailStop", 1.0) > 0.0);
+        assert!(
+            get(&fig, "Meff:HEFT+Migrate", 1.0) < get(&fig, "Meff:HEFT+FailStop", 1.0),
+            "migrate {} !< failstop {}",
+            get(&fig, "Meff:HEFT+Migrate", 1.0),
+            get(&fig, "Meff:HEFT+FailStop", 1.0)
+        );
+        assert!(get(&fig, "Meff:GA+Migrate", 1.0) < get(&fig, "Meff:GA+FailStop", 1.0));
+        // Migration completes everything; so does the dynamic dispatcher.
+        assert_eq!(get(&fig, "fail:HEFT+Migrate", 1.0), 0.0);
+        assert_eq!(get(&fig, "fail:EFT(dynamic)", 1.0), 0.0);
+    }
+}

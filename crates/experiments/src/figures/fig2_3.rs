@@ -96,7 +96,12 @@ fn trace_one_graph(
         .collect()
 }
 
-fn run_evolution(cfg: &ExperimentConfig, objective: Objective, id: &str, title: &str) -> FigureData {
+fn run_evolution(
+    cfg: &ExperimentConfig,
+    objective: Objective,
+    id: &str,
+    title: &str,
+) -> FigureData {
     let steps: Vec<usize> = (0..=cfg.ga.max_generations)
         .step_by(cfg.history_stride)
         .collect();
@@ -174,7 +179,10 @@ mod tests {
         // 2 ULs × 3 metrics.
         assert_eq!(fig.series.len(), 6);
         for s in &fig.series {
-            assert_eq!(s.points.len(), cfg.ga.max_generations / cfg.history_stride + 1);
+            assert_eq!(
+                s.points.len(),
+                cfg.ga.max_generations / cfg.history_stride + 1
+            );
             // Step 0 is the reference: ln ratio 0.
             assert_eq!(s.points[0].1, 0.0);
         }

@@ -34,8 +34,8 @@ struct Improvement {
 fn improvement_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> Improvement {
     let inst = cfg.instance(g, ul);
     let heft = heft_schedule(&inst);
-    let mc = RealizationConfig::with_realizations(cfg.realizations)
-        .seed(cfg.sub_seed("mc-fig4", g));
+    let mc =
+        RealizationConfig::with_realizations(cfg.realizations).seed(cfg.sub_seed("mc-fig4", g));
     let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("HEFT schedule valid");
 
     let objective = Objective::EpsilonConstraint {

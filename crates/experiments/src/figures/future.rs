@@ -34,8 +34,8 @@ struct Row {
 fn study_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> Vec<Row> {
     let inst = cfg.instance(g, ul);
     let heft = heft_schedule(&inst);
-    let mc = RealizationConfig::with_realizations(cfg.realizations)
-        .seed(cfg.sub_seed("mc-future", g));
+    let mc =
+        RealizationConfig::with_realizations(cfg.realizations).seed(cfg.sub_seed("mc-future", g));
     let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("HEFT valid");
 
     let mut rows = Vec::with_capacity(SHEFT_KS.len() + 1);

@@ -48,7 +48,10 @@ fn slack_one(cfg: &ExperimentConfig, g: usize, population: usize, pm: f64, pc: f
         epsilon: 1.4,
         reference_makespan: heft.makespan,
     };
-    GaEngine::new(&inst, params, objective).run().best_eval.avg_slack
+    GaEngine::new(&inst, params, objective)
+        .run()
+        .best_eval
+        .avg_slack
 }
 
 /// Runs the tuning study.

@@ -48,8 +48,7 @@ fn gains_one_graph(cfg: &ExperimentConfig, g: usize, ul: f64) -> Vec<f64> {
     };
     let ga = GaEngine::new(&inst, cfg.ga.seed(cfg.sub_seed("ga-law", g)), objective).run();
     let robust = ga.best_schedule(&inst);
-    let mc = RealizationConfig::with_realizations(cfg.realizations)
-        .seed(cfg.sub_seed("mc-law", g));
+    let mc = RealizationConfig::with_realizations(cfg.realizations).seed(cfg.sub_seed("mc-law", g));
 
     LAWS.iter()
         .map(|&(law, _)| {
@@ -71,10 +70,7 @@ pub fn run_law(cfg: &ExperimentConfig) -> FigureData {
         "UL",
         "ln(R1_GA / R1_HEFT)",
     );
-    let mut series: Vec<Series> = LAWS
-        .iter()
-        .map(|&(_, label)| Series::new(label))
-        .collect();
+    let mut series: Vec<Series> = LAWS.iter().map(|&(_, label)| Series::new(label)).collect();
     for &ul in &cfg.uls {
         let rows: Vec<Vec<f64>> = (0..cfg.graphs)
             .into_par_iter()

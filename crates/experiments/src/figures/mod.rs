@@ -11,11 +11,12 @@ pub mod ccr_study;
 pub mod contention_cmp;
 pub mod correlation;
 pub mod dynamic_cmp;
-pub mod future;
-pub mod gatune;
+pub mod fault_cmp;
 pub mod fig2_3;
 pub mod fig4;
 pub mod fig5_6;
 pub mod fig7_8;
+pub mod future;
+pub mod gatune;
 pub mod law;
 pub mod sweep;

@@ -114,13 +114,13 @@ pub fn sweep_ul(cfg: &ExperimentConfig, ul: f64, epsilons: &[f64]) -> UlSweep {
     UlSweep {
         ul,
         epsilons: epsilons.to_vec(),
-        r1_improvement: agg(&|c, base, _|
-
+        r1_improvement: agg(&|c, base, _| {
             if base.r1.is_finite() && c.r1.is_finite() && base.r1 > 0.0 {
                 (c.r1 - base.r1) / base.r1
             } else {
                 f64::NAN
-            }),
+            }
+        }),
         r2_improvement: agg(&|c, base, _| {
             if base.r2.is_finite() && c.r2.is_finite() && base.r2 > 0.0 {
                 (c.r2 - base.r2) / base.r2

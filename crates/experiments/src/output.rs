@@ -129,12 +129,8 @@ impl FigureData {
             let label = parts
                 .next()
                 .ok_or_else(|| format!("line {}: missing series", i + 1))?;
-            let x: f64 = x
-                .parse()
-                .map_err(|e| format!("line {}: bad x '{x}': {e}", i + 1))?;
-            let y: f64 = y
-                .parse()
-                .map_err(|e| format!("line {}: bad y '{y}': {e}", i + 1))?;
+            let x = parse_cell(x).ok_or_else(|| format!("line {}: bad x '{x}'", i + 1))?;
+            let y = parse_cell(y).ok_or_else(|| format!("line {}: bad y '{y}'", i + 1))?;
             match fig.series.iter_mut().find(|s| s.label == label) {
                 Some(s) => s.push(x, y),
                 None => {
@@ -180,6 +176,15 @@ pub fn render_report(dir: &str) -> std::io::Result<String> {
         }
     }
     Ok(out)
+}
+
+/// Parses one CSV numeric cell: a plain float, or the [`rds_stats::series::NA`]
+/// sentinel written for non-finite values, which maps back to `NaN`.
+fn parse_cell(s: &str) -> Option<f64> {
+    if s.trim() == rds_stats::series::NA {
+        return Some(f64::NAN);
+    }
+    s.trim().parse::<f64>().ok().filter(|v| v.is_finite())
 }
 
 fn truncate(s: &str, n: usize) -> &str {
@@ -245,6 +250,29 @@ mod tests {
         let back = FigureData::from_csv("f", &fig.to_csv()).unwrap();
         assert_eq!(back.series[0].label, "UL=2.0,Makespan");
         assert_eq!(back.series[0].points, vec![(1.0, 2.0)]);
+    }
+
+    #[test]
+    fn non_finite_values_roundtrip_as_na() {
+        // Infinite robustness (no realization misses the bound) and NaN
+        // means (no completed realization) must survive a CSV round trip
+        // without producing unparseable rows.
+        let mut fig = FigureData::new("f", "t", "x", "y");
+        let mut s = Series::new("R1:HEFT");
+        s.push(0.0, f64::INFINITY);
+        s.push(0.5, f64::NAN);
+        s.push(1.0, 2.25);
+        fig.push(s);
+        let csv = fig.to_csv();
+        assert!(csv.contains("R1:HEFT,0,NA"));
+        assert!(!csv.contains("inf"));
+        assert!(!csv.contains("NaN"));
+        let back = FigureData::from_csv("f", &csv).unwrap();
+        let pts = &back.series[0].points;
+        assert_eq!(pts.len(), 3);
+        assert!(pts[0].1.is_nan());
+        assert!(pts[1].1.is_nan());
+        assert_eq!(pts[2], (1.0, 2.25));
     }
 
     #[test]

@@ -12,13 +12,31 @@ fn fig4_end_to_end_writes_csv_and_prints_table() {
     let dir = std::env::temp_dir().join(format!("rds_binsmoke_{}", std::process::id()));
     let out = figures()
         .args([
-            "fig4", "--graphs", "2", "--tasks", "20", "--procs", "3", "--realizations", "40",
-            "--generations", "15", "--uls", "2,6", "--seed", "3", "--out",
+            "fig4",
+            "--graphs",
+            "2",
+            "--tasks",
+            "20",
+            "--procs",
+            "3",
+            "--realizations",
+            "40",
+            "--generations",
+            "15",
+            "--uls",
+            "2,6",
+            "--seed",
+            "3",
+            "--out",
             dir.to_str().unwrap(),
         ])
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("fig4"));
     assert!(stdout.contains("Makespan"));

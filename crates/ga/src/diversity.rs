@@ -146,13 +146,19 @@ mod tests {
         let inst = InstanceSpec::new(20, 4).seed(4).build().unwrap();
         let early = GaEngine::new(
             &inst,
-            GaParams::quick().seed(5).max_generations(1).stall_generations(1),
+            GaParams::quick()
+                .seed(5)
+                .max_generations(1)
+                .stall_generations(1),
             Objective::MinimizeMakespan,
         )
         .run();
         let late = GaEngine::new(
             &inst,
-            GaParams::quick().seed(5).max_generations(80).stall_generations(80),
+            GaParams::quick()
+                .seed(5)
+                .max_generations(80)
+                .stall_generations(80),
             Objective::MinimizeMakespan,
         )
         .run();

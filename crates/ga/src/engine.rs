@@ -81,9 +81,7 @@ fn quality(obj: &Objective, e: &Evaluation) -> (bool, f64) {
                 -e.makespan
             }
         }
-        Objective::WeightedSum { weight } => {
-            (1.0 - weight) * e.avg_slack - weight * e.makespan
-        }
+        Objective::WeightedSum { weight } => (1.0 - weight) * e.avg_slack - weight * e.makespan,
     };
     (feasible, value)
 }
@@ -201,17 +199,19 @@ impl<'a> GaEngine<'a> {
         };
 
         let mut history: Vec<GenerationStats> = Vec::with_capacity(self.params.max_generations + 1);
-        let record =
-            |gen: usize, pop: &[Chromosome], evals: &[Evaluation], hist: &mut Vec<GenerationStats>| {
-                let bi = gen_best(pop, evals);
-                hist.push(GenerationStats {
-                    generation: gen,
-                    best_makespan: evals[bi].makespan,
-                    best_slack: evals[bi].avg_slack,
-                    best_feasible: self.objective.is_feasible(&evals[bi]),
-                    best_chromosome: pop[bi].clone(),
-                });
-            };
+        let record = |gen: usize,
+                      pop: &[Chromosome],
+                      evals: &[Evaluation],
+                      hist: &mut Vec<GenerationStats>| {
+            let bi = gen_best(pop, evals);
+            hist.push(GenerationStats {
+                generation: gen,
+                best_makespan: evals[bi].makespan,
+                best_slack: evals[bi].avg_slack,
+                best_feasible: self.objective.is_feasible(&evals[bi]),
+                best_chromosome: pop[bi].clone(),
+            });
+        };
         record(0, &pop, &evals, &mut history);
 
         let mut best_idx = gen_best(&pop, &evals);
@@ -239,8 +239,7 @@ impl<'a> GaEngine<'a> {
 
             // Selection.
             let winners = binary_tournament(&fitness, &mut rng);
-            let mut next: Vec<Chromosome> =
-                winners.iter().map(|&i| pop[i].clone()).collect();
+            let mut next: Vec<Chromosome> = winners.iter().map(|&i| pop[i].clone()).collect();
 
             // Crossover over consecutive pairs with probability pc.
             for pair in 0..np / 2 {
@@ -453,7 +452,10 @@ mod tests {
     #[test]
     fn initial_population_continuation_is_seamless() {
         let inst = quick_inst(11);
-        let params = GaParams::quick().seed(27).max_generations(10).stall_generations(10);
+        let params = GaParams::quick()
+            .seed(27)
+            .max_generations(10)
+            .stall_generations(10);
         let first = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
         // Continue from where the first run stopped.
         let second = GaEngine::new(&inst, params.seed(28), Objective::MinimizeMakespan)
@@ -476,7 +478,10 @@ mod tests {
     #[test]
     fn without_heft_seed_still_runs() {
         let inst = quick_inst(9);
-        let params = GaParams::quick().seed(23).without_heft_seed().max_generations(10);
+        let params = GaParams::quick()
+            .seed(23)
+            .without_heft_seed()
+            .max_generations(10);
         let r = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
         assert!(r.best_eval.makespan > 0.0);
     }

@@ -89,7 +89,10 @@ pub struct IslandResult {
 pub fn run_islands(inst: &Instance, params: IslandParams, objective: Objective) -> IslandResult {
     params.validate().expect("invalid island parameters");
     let seeds = SeedStream::new(params.base.seed);
-    let epochs = params.base.max_generations.div_ceil(params.migration_interval);
+    let epochs = params
+        .base
+        .max_generations
+        .div_ceil(params.migration_interval);
     let k = params.islands;
 
     // Initialize island populations: island 0 gets the HEFT seed (when
@@ -136,14 +139,16 @@ pub fn run_islands(inst: &Instance, params: IslandParams, objective: Objective) 
                 break;
             }
             // Rank source by fitness (population-based; evaluate fresh).
-            let src_evals: Vec<Evaluation> =
-                results[i].final_population.iter().map(|c| evaluate(inst, c)).collect();
+            let src_evals: Vec<Evaluation> = results[i]
+                .final_population
+                .iter()
+                .map(|c| evaluate(inst, c))
+                .collect();
             let src_fit = objective.fitness(&src_evals);
             let mut src_order: Vec<usize> = (0..src_fit.len()).collect();
             src_order.sort_by(|&a, &b| src_fit[b].total_cmp(&src_fit[a]));
 
-            let dst_evals: Vec<Evaluation> =
-                next[dst].iter().map(|c| evaluate(inst, c)).collect();
+            let dst_evals: Vec<Evaluation> = next[dst].iter().map(|c| evaluate(inst, c)).collect();
             let dst_fit = objective.fitness(&dst_evals);
             let mut dst_order: Vec<usize> = (0..dst_fit.len()).collect();
             dst_order.sort_by(|&a, &b| dst_fit[a].total_cmp(&dst_fit[b])); // worst first
@@ -189,7 +194,10 @@ mod tests {
 
     fn quick_params(seed: u64) -> IslandParams {
         let mut p = IslandParams::new(
-            GaParams::quick().seed(seed).max_generations(40).population(10),
+            GaParams::quick()
+                .seed(seed)
+                .max_generations(40)
+                .population(10),
         );
         p.islands = 3;
         p.migration_interval = 10;

@@ -310,10 +310,12 @@ mod tests {
         }
         for a in &r.front {
             for b in &r.front {
-                assert!(!dominates(&a.eval, &b.eval) || a.eval == b.eval || {
-                    // identical coordinates deduped; strict domination forbidden
-                    false
-                });
+                assert!(
+                    !dominates(&a.eval, &b.eval) || a.eval == b.eval || {
+                        // identical coordinates deduped; strict domination forbidden
+                        false
+                    }
+                );
             }
         }
         // Every front chromosome decodes to a valid schedule.

@@ -155,7 +155,13 @@ impl Objective {
                 let bound = self.bound().expect("epsilon constraint has a bound");
                 evals
                     .iter()
-                    .map(|e| if e.makespan <= bound { e.avg_slack } else { 0.0 })
+                    .map(|e| {
+                        if e.makespan <= bound {
+                            e.avg_slack
+                        } else {
+                            0.0
+                        }
+                    })
                     .collect()
             }
             Objective::WeightedSum { weight } => evals

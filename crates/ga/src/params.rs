@@ -100,10 +100,16 @@ impl GaParams {
             return Err("population must be at least 2".into());
         }
         if !(0.0..=1.0).contains(&self.crossover_prob) {
-            return Err(format!("crossover_prob {} outside [0,1]", self.crossover_prob));
+            return Err(format!(
+                "crossover_prob {} outside [0,1]",
+                self.crossover_prob
+            ));
         }
         if !(0.0..=1.0).contains(&self.mutation_prob) {
-            return Err(format!("mutation_prob {} outside [0,1]", self.mutation_prob));
+            return Err(format!(
+                "mutation_prob {} outside [0,1]",
+                self.mutation_prob
+            ));
         }
         if self.max_generations == 0 {
             return Err("max_generations must be positive".into());

@@ -97,11 +97,7 @@ pub struct RobustGaResult {
 }
 
 /// Evaluates one chromosome on the shared realization seeds.
-fn evaluate_mc(
-    inst: &Instance,
-    c: &Chromosome,
-    sample_seeds: &[u64],
-) -> RobustEvaluation {
+fn evaluate_mc(inst: &Instance, c: &Chromosome, sample_seeds: &[u64]) -> RobustEvaluation {
     let schedule = c.decode(inst.proc_count());
     let ds = DisjunctiveGraph::build(&inst.graph, &schedule)
         .expect("valid chromosome decodes to an acyclic disjunctive graph");
@@ -194,9 +190,8 @@ pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult 
         .map(|c| evaluate_mc(inst, c, &sample_seeds))
         .collect();
 
-    let quality = |e: &RobustEvaluation| -> (bool, f64) {
-        (e.makespan <= bound, -e.mean_tardiness)
-    };
+    let quality =
+        |e: &RobustEvaluation| -> (bool, f64) { (e.makespan <= bound, -e.mean_tardiness) };
     let better = |a: (bool, f64), b: (bool, f64)| a.0 & !b.0 || (a.0 == b.0 && a.1 > b.1);
 
     let mut best_idx = 0;
@@ -340,10 +335,8 @@ mod tests {
         let r = run_robust_ga(&i, RobustGaParams::quick(1.5).seed(9));
         let heft = rds_heft::heft_schedule(&i);
         let mc = rds_sched::realization::RealizationConfig::with_realizations(400).seed(777);
-        let ga_rep =
-            rds_sched::realization::monte_carlo(&i, &r.best.decode(3), &mc).unwrap();
-        let heft_rep =
-            rds_sched::realization::monte_carlo(&i, &heft.schedule, &mc).unwrap();
+        let ga_rep = rds_sched::realization::monte_carlo(&i, &r.best.decode(3), &mc).unwrap();
+        let heft_rep = rds_sched::realization::monte_carlo(&i, &heft.schedule, &mc).unwrap();
         assert!(
             ga_rep.mean_tardiness <= heft_rep.mean_tardiness * 1.1,
             "direct GA {} vs HEFT {}",

@@ -167,10 +167,10 @@ impl TaskGraph {
 
     /// Iterator over all edges as `(from, to, data)`.
     pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId, f64)> + '_ {
-        self.succs.iter().enumerate().flat_map(|(i, es)| {
-            es.iter()
-                .map(move |e| (TaskId(i as u32), e.task, e.data))
-        })
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, es)| es.iter().map(move |e| (TaskId(i as u32), e.task, e.data)))
     }
 
     /// Total of all edge data sizes (useful for CCR accounting).
@@ -189,10 +189,8 @@ impl TaskGraph {
             return false;
         }
         let canon = |g: &TaskGraph| -> Vec<(u32, u32, u64)> {
-            let mut edges: Vec<(u32, u32, u64)> = g
-                .edges()
-                .map(|(a, b, d)| (a.0, b.0, d.to_bits()))
-                .collect();
+            let mut edges: Vec<(u32, u32, u64)> =
+                g.edges().map(|(a, b, d)| (a.0, b.0, d.to_bits())).collect();
             edges.sort_unstable();
             edges
         };
@@ -327,8 +325,7 @@ impl TaskGraphBuilder {
     /// `true` if the edge is already present (lets generators avoid the
     /// duplicate-edge error without tracking their own set).
     pub fn has_edge(&self, from: TaskId, to: TaskId) -> bool {
-        from.index() < self.succs.len()
-            && self.succs[from.index()].iter().any(|e| e.task == to)
+        from.index() < self.succs.len() && self.succs[from.index()].iter().any(|e| e.task == to)
     }
 
     /// Finalizes the graph, verifying acyclicity (Kahn's algorithm).
@@ -382,9 +379,10 @@ pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
     for (from, to, data) in g.edges() {
         // The edge is redundant iff some *other* successor of `from`
         // reaches `to`.
-        let redundant = g.successors(from).iter().any(|mid| {
-            mid.task != to && reach[mid.task.index() * n + to.index()]
-        });
+        let redundant = g
+            .successors(from)
+            .iter()
+            .any(|mid| mid.task != to && reach[mid.task.index() * n + to.index()]);
         if !redundant {
             b.add_edge(from, to, data);
         }

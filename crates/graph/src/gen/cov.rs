@@ -134,7 +134,9 @@ mod tests {
     #[test]
     fn uncertainty_matrix_is_clamped_at_one() {
         // Low average UL forces many sub-1 draws; all must clamp to 1.
-        let m = CovMatrixSpec::uncertainty(100, 8, 1.05).generate(3).unwrap();
+        let m = CovMatrixSpec::uncertainty(100, 8, 1.05)
+            .generate(3)
+            .unwrap();
         for (_, _, v) in m.iter() {
             assert!(v >= 1.0);
         }
@@ -142,7 +144,9 @@ mod tests {
 
     #[test]
     fn uncertainty_matrix_mean_tracks_target() {
-        let m = CovMatrixSpec::uncertainty(300, 16, 6.0).generate(5).unwrap();
+        let m = CovMatrixSpec::uncertainty(300, 16, 6.0)
+            .generate(5)
+            .unwrap();
         assert!((m.mean() - 6.0).abs() < 0.6, "mean {}", m.mean());
     }
 
@@ -161,7 +165,11 @@ mod tests {
             within.push(sd / mean);
         }
         // Within-row relative spread ≈ 0.05; between-row relative spread ≈ 0.5.
-        assert!(between / 20.0 > 4.0 * within.mean(), "between {between}, within {}", within.mean());
+        assert!(
+            between / 20.0 > 4.0 * within.mean(),
+            "between {between}, within {}",
+            within.mean()
+        );
     }
 
     #[test]
@@ -174,7 +182,10 @@ mod tests {
     #[test]
     fn invalid_spec_is_an_error() {
         assert!(CovMatrixSpec::bcet(4, 4).mean(-1.0).generate(0).is_err());
-        assert!(CovMatrixSpec::bcet(4, 4).covs(0.0, 0.5).generate(0).is_err());
+        assert!(CovMatrixSpec::bcet(4, 4)
+            .covs(0.0, 0.5)
+            .generate(0)
+            .is_err());
     }
 
     #[test]

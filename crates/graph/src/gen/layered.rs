@@ -104,7 +104,10 @@ impl LayeredDagSpec {
             return Err(format!("alpha must be positive, got {}", self.alpha));
         }
         if !(self.avg_comp_cost.is_finite() && self.avg_comp_cost > 0.0) {
-            return Err(format!("avg_comp_cost must be positive, got {}", self.avg_comp_cost));
+            return Err(format!(
+                "avg_comp_cost must be positive, got {}",
+                self.avg_comp_cost
+            ));
         }
         if !(self.ccr.is_finite() && self.ccr >= 0.0) {
             return Err(format!("ccr must be non-negative, got {}", self.ccr));
@@ -113,7 +116,10 @@ impl LayeredDagSpec {
             return Err("max_in_degree must be >= 1".into());
         }
         if !(0.0..=1.0).contains(&self.long_edge_prob) {
-            return Err(format!("long_edge_prob must be in [0,1], got {}", self.long_edge_prob));
+            return Err(format!(
+                "long_edge_prob must be in [0,1], got {}",
+                self.long_edge_prob
+            ));
         }
         Ok(())
     }
@@ -281,8 +287,14 @@ mod tests {
     #[test]
     fn alpha_controls_shape() {
         // Wide graph (alpha large) should have more entries than a tall one.
-        let wide = LayeredDagSpec::with_tasks(100).alpha(4.0).generate(9).unwrap();
-        let tall = LayeredDagSpec::with_tasks(100).alpha(0.25).generate(9).unwrap();
+        let wide = LayeredDagSpec::with_tasks(100)
+            .alpha(4.0)
+            .generate(9)
+            .unwrap();
+        let tall = LayeredDagSpec::with_tasks(100)
+            .alpha(0.25)
+            .generate(9)
+            .unwrap();
         assert!(
             wide.entries().len() > tall.entries().len(),
             "wide {} vs tall {}",
@@ -290,9 +302,7 @@ mod tests {
             tall.entries().len()
         );
         // Tall graph should have a longer hop-count critical path.
-        let hops = |g: &TaskGraph| {
-            crate::paths::critical_path_length(g, |_| 1.0, |_, _, _| 0.0)
-        };
+        let hops = |g: &TaskGraph| crate::paths::critical_path_length(g, |_| 1.0, |_, _, _| 0.0);
         assert!(hops(&tall) > hops(&wide));
     }
 

@@ -290,9 +290,8 @@ mod tests {
 
     #[test]
     fn gaussian_elimination_depth_grows_linearly() {
-        let d = |m: usize| {
-            critical_path_length(&gaussian_elimination(m, 0.0), |_| 1.0, |_, _, _| 0.0)
-        };
+        let d =
+            |m: usize| critical_path_length(&gaussian_elimination(m, 0.0), |_| 1.0, |_, _, _| 0.0);
         // Each step adds pivot + update to the critical path: depth 2(m-1).
         assert_eq!(d(2), 2.0);
         assert_eq!(d(4), 6.0);
@@ -312,7 +311,7 @@ mod tests {
     #[test]
     fn fft_dependencies_are_butterflies() {
         let g = fft(2, 1.0); // width 4
-        // Task (1, 0) depends on (0,0) and (0,1).
+                             // Task (1, 0) depends on (0,0) and (0,1).
         let t10 = TaskId(4);
         let preds: Vec<u32> = g.predecessors(t10).iter().map(|e| e.task.0).collect();
         let mut sorted = preds.clone();
@@ -357,9 +356,7 @@ mod tests {
     fn cholesky_critical_path_scales_with_steps() {
         // Unit durations, zero comm: the dependency chain
         // POTRF(k) -> TRSM -> SYRK -> POTRF(k+1) gives depth 3(t-1)+1.
-        let d = |t: usize| {
-            critical_path_length(&cholesky(t, 0.0), |_| 1.0, |_, _, _| 0.0)
-        };
+        let d = |t: usize| critical_path_length(&cholesky(t, 0.0), |_| 1.0, |_, _, _| 0.0);
         assert_eq!(d(2), 4.0);
         assert_eq!(d(3), 7.0);
         assert_eq!(d(5), 13.0);

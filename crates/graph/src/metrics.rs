@@ -138,8 +138,18 @@ mod tests {
     #[test]
     fn layered_generator_width_tracks_alpha() {
         use crate::gen::layered::LayeredDagSpec;
-        let wide = graph_metrics(&LayeredDagSpec::with_tasks(100).alpha(4.0).generate(1).unwrap());
-        let tall = graph_metrics(&LayeredDagSpec::with_tasks(100).alpha(0.25).generate(1).unwrap());
+        let wide = graph_metrics(
+            &LayeredDagSpec::with_tasks(100)
+                .alpha(4.0)
+                .generate(1)
+                .unwrap(),
+        );
+        let tall = graph_metrics(
+            &LayeredDagSpec::with_tasks(100)
+                .alpha(0.25)
+                .generate(1)
+                .unwrap(),
+        );
         assert!(wide.max_level_width > tall.max_level_width);
         assert!(wide.depth < tall.depth);
         assert!(wide.avg_parallelism > tall.avg_parallelism);

@@ -83,7 +83,8 @@ pub fn is_topological_order(g: &TaskGraph, order: &[TaskId]) -> bool {
         }
         pos[t.index()] = i;
     }
-    g.edges().all(|(from, to, _)| pos[from.index()] < pos[to.index()])
+    g.edges()
+        .all(|(from, to, _)| pos[from.index()] < pos[to.index()])
 }
 
 /// Position-lookup table for an order: `positions[task] = index in order`.

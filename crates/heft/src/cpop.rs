@@ -36,9 +36,7 @@ pub fn cpop_schedule(inst: &Instance) -> HeftResult {
         .platform
         .procs()
         .min_by(|&a, &b| {
-            let cost = |p: ProcId| -> f64 {
-                critical.iter().map(|t| inst.expected(*t, p)).sum()
-            };
+            let cost = |p: ProcId| -> f64 { critical.iter().map(|t| inst.expected(*t, p)).sum() };
             cost(a).total_cmp(&cost(b))
         })
         .expect("at least one processor");
@@ -51,7 +49,11 @@ pub fn cpop_schedule(inst: &Instance) -> HeftResult {
     };
 
     // Priority queue of ready tasks by decreasing priority.
-    let mut indeg: Vec<usize> = inst.graph.tasks().map(|t| inst.graph.in_degree(t)).collect();
+    let mut indeg: Vec<usize> = inst
+        .graph
+        .tasks()
+        .map(|t| inst.graph.in_degree(t))
+        .collect();
     let mut ready: Vec<TaskId> = inst
         .graph
         .tasks()
@@ -93,7 +95,10 @@ pub fn cpop_schedule(inst: &Instance) -> HeftResult {
         let (p, est) = if is_critical[ti] {
             let r = ready_on(cp_proc, &assigned, &finish);
             let dur = inst.timing.expected(ti, cp_proc);
-            (cp_proc, timelines[cp_proc.index()].earliest_start(r, dur, true))
+            (
+                cp_proc,
+                timelines[cp_proc.index()].earliest_start(r, dur, true),
+            )
         } else {
             let mut best: Option<(f64, f64, ProcId)> = None;
             for p in inst.platform.procs() {
@@ -122,15 +127,10 @@ pub fn cpop_schedule(inst: &Instance) -> HeftResult {
     }
 
     let proc_tasks: Vec<Vec<TaskId>> = timelines.iter().map(ProcTimeline::task_order).collect();
-    let schedule =
-        Schedule::from_proc_lists(n, proc_tasks).expect("CPOP covers every task once");
-    let timed = rds_sched::timing::evaluate_expected(
-        &inst.graph,
-        &inst.platform,
-        &inst.timing,
-        &schedule,
-    )
-    .expect("CPOP schedule respects precedence");
+    let schedule = Schedule::from_proc_lists(n, proc_tasks).expect("CPOP covers every task once");
+    let timed =
+        rds_sched::timing::evaluate_expected(&inst.graph, &inst.platform, &inst.timing, &schedule)
+            .expect("CPOP schedule respects precedence");
     let makespan = timed.makespan;
     HeftResult {
         schedule,
@@ -149,7 +149,10 @@ mod tests {
         for seed in 0..6 {
             let inst = InstanceSpec::new(50, 4).seed(seed).build().unwrap();
             let r = cpop_schedule(&inst);
-            assert!(r.schedule.validate_against(&inst.graph).is_ok(), "seed {seed}");
+            assert!(
+                r.schedule.validate_against(&inst.graph).is_ok(),
+                "seed {seed}"
+            );
             assert!(r.makespan > 0.0);
         }
     }

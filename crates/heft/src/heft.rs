@@ -61,11 +61,7 @@ pub fn heft_schedule(inst: &Instance) -> HeftResult {
 /// List-schedules tasks following an explicit priority order (must be a
 /// topological order). Exposed so CPOP and the ablation benches (insertion
 /// on/off) can share the machinery.
-pub fn schedule_by_priority_list(
-    inst: &Instance,
-    order: &[TaskId],
-    insertion: bool,
-) -> HeftResult {
+pub fn schedule_by_priority_list(inst: &Instance, order: &[TaskId], insertion: bool) -> HeftResult {
     let n = inst.task_count();
     let m = inst.proc_count();
     debug_assert_eq!(order.len(), n);
@@ -83,9 +79,7 @@ pub fn schedule_by_priority_list(
             for e in inst.graph.predecessors(t) {
                 let q = e.task;
                 let arrive = finish[q.index()]
-                    + inst
-                        .platform
-                        .comm_time(e.data, assigned_proc[q.index()], p);
+                    + inst.platform.comm_time(e.data, assigned_proc[q.index()], p);
                 if arrive > ready {
                     ready = arrive;
                 }
@@ -112,13 +106,9 @@ pub fn schedule_by_priority_list(
     let proc_tasks: Vec<Vec<TaskId>> = timelines.iter().map(ProcTimeline::task_order).collect();
     let schedule =
         Schedule::from_proc_lists(n, proc_tasks).expect("list scheduling covers every task once");
-    let timed = rds_sched::timing::evaluate_expected(
-        &inst.graph,
-        &inst.platform,
-        &inst.timing,
-        &schedule,
-    )
-    .expect("list schedule respects precedence");
+    let timed =
+        rds_sched::timing::evaluate_expected(&inst.graph, &inst.platform, &inst.timing, &schedule)
+            .expect("list schedule respects precedence");
     let makespan = timed.makespan;
     HeftResult {
         schedule,
@@ -202,7 +192,11 @@ mod tests {
     #[test]
     fn insertion_never_hurts() {
         for seed in 0..8 {
-            let inst = InstanceSpec::new(40, 3).seed(seed).ccr(1.0).build().unwrap();
+            let inst = InstanceSpec::new(40, 3)
+                .seed(seed)
+                .ccr(1.0)
+                .build()
+                .unwrap();
             let order = rank_order(&inst.graph, &inst.platform, &inst.timing);
             let with = schedule_by_priority_list(&inst, &order, true);
             let without = schedule_by_priority_list(&inst, &order, false);

@@ -11,7 +11,9 @@
 //!
 //! * [`cpop`] — the CPOP (Critical-Path-on-a-Processor) companion heuristic
 //!   from the same paper, used as an extra baseline in ablations;
-//! * [`random_schedule`] — a valid random schedule, the null baseline.
+//! * [`random_schedule`] — a valid random schedule, the null baseline;
+//! * [`reschedule`] — partial-graph HEFT over a frozen execution prefix
+//!   (the planner behind migrate-on-failure recovery).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -21,6 +23,7 @@ pub mod heft;
 pub mod lookahead;
 pub mod random;
 pub mod ranks;
+pub mod reschedule;
 pub mod stochastic;
 pub mod timeline;
 
@@ -29,4 +32,5 @@ pub use heft::{heft_schedule, HeftResult};
 pub use lookahead::lookahead_heft_schedule;
 pub use random::random_schedule;
 pub use ranks::{downward_ranks, upward_ranks};
+pub use reschedule::{heft_reschedule, PartialState, RescheduleResult};
 pub use stochastic::sheft_schedule;

@@ -97,7 +97,8 @@ pub fn lookahead_heft_schedule(inst: &Instance) -> HeftResult {
             let better = match best {
                 None => true,
                 Some((bscore, beft, _, _)) => {
-                    score < bscore - 1e-12 || ((score - bscore).abs() <= 1e-12 && eft < beft - 1e-12)
+                    score < bscore - 1e-12
+                        || ((score - bscore).abs() <= 1e-12 && eft < beft - 1e-12)
                 }
             };
             if better {
@@ -114,13 +115,9 @@ pub fn lookahead_heft_schedule(inst: &Instance) -> HeftResult {
     let proc_tasks: Vec<Vec<TaskId>> = timelines.iter().map(ProcTimeline::task_order).collect();
     let schedule =
         Schedule::from_proc_lists(n, proc_tasks).expect("lookahead HEFT covers every task once");
-    let timed = rds_sched::timing::evaluate_expected(
-        &inst.graph,
-        &inst.platform,
-        &inst.timing,
-        &schedule,
-    )
-    .expect("lookahead HEFT respects precedence");
+    let timed =
+        rds_sched::timing::evaluate_expected(&inst.graph, &inst.platform, &inst.timing, &schedule)
+            .expect("lookahead HEFT respects precedence");
     let makespan = timed.makespan;
     HeftResult {
         schedule,
@@ -138,11 +135,18 @@ mod tests {
     #[test]
     fn lookahead_schedules_are_valid_and_deterministic() {
         for seed in 0..5 {
-            let inst = InstanceSpec::new(40, 4).seed(seed).ccr(1.0).build().unwrap();
+            let inst = InstanceSpec::new(40, 4)
+                .seed(seed)
+                .ccr(1.0)
+                .build()
+                .unwrap();
             let a = lookahead_heft_schedule(&inst);
             let b = lookahead_heft_schedule(&inst);
             assert_eq!(a.schedule, b.schedule);
-            assert!(a.schedule.validate_against(&inst.graph).is_ok(), "seed {seed}");
+            assert!(
+                a.schedule.validate_against(&inst.graph).is_ok(),
+                "seed {seed}"
+            );
             assert!(a.makespan > 0.0);
         }
     }
@@ -154,7 +158,11 @@ mod tests {
         let mut ratio_sum = 0.0;
         let runs = 10;
         for seed in 0..runs {
-            let inst = InstanceSpec::new(50, 4).seed(seed).ccr(2.0).build().unwrap();
+            let inst = InstanceSpec::new(50, 4)
+                .seed(seed)
+                .ccr(2.0)
+                .build()
+                .unwrap();
             let h = heft_schedule(&inst).makespan;
             let la = lookahead_heft_schedule(&inst).makespan;
             ratio_sum += la / h;
@@ -171,12 +179,19 @@ mod tests {
         let mut wins = 0;
         let runs = 12;
         for seed in 0..runs {
-            let inst = InstanceSpec::new(50, 4).seed(seed).ccr(2.0).build().unwrap();
+            let inst = InstanceSpec::new(50, 4)
+                .seed(seed)
+                .ccr(2.0)
+                .build()
+                .unwrap();
             if lookahead_heft_schedule(&inst).makespan < heft_schedule(&inst).makespan - 1e-9 {
                 wins += 1;
             }
         }
-        assert!(wins >= 2, "lookahead should beat HEFT on some instances, won {wins}/{runs}");
+        assert!(
+            wins >= 2,
+            "lookahead should beat HEFT on some instances, won {wins}/{runs}"
+        );
     }
 
     #[test]

@@ -98,8 +98,8 @@ mod tests {
 
     #[test]
     fn rank_order_topological_on_random_graphs() {
-        use rds_graph::gen::layered::LayeredDagSpec;
         use rds_graph::gen::cov::CovMatrixSpec;
+        use rds_graph::gen::layered::LayeredDagSpec;
         for seed in 0..5 {
             let g = LayeredDagSpec::with_tasks(60).generate(seed).unwrap();
             let p = Platform::uniform(4, 1.0).unwrap();

@@ -1,0 +1,291 @@
+//! Partial-graph HEFT rescheduling — the planner behind migrate-on-failure
+//! recovery.
+//!
+//! Given an execution frozen mid-flight (some tasks finished, some
+//! processors dead, each survivor busy until some time), re-runs HEFT's
+//! upward-rank + insertion-EFT pass over the *unfinished* subgraph on the
+//! *surviving* processors. The result extends the past instead of
+//! rewriting it: finished tasks keep their realized placements and finish
+//! times, and data produced on a dead processor is still consumable (the
+//! fault model assumes storage outlives compute).
+//!
+//! `rds_sched::recovery` embeds the same rank + EFT mathematics inline
+//! (the crate dependency points the other way); this module is the public
+//! entry point for callers that already sit above `rds-heft` — e.g. a
+//! driver restarting a paused experiment, or tooling exploring "what would
+//! HEFT do from here".
+
+use rds_graph::TaskId;
+use rds_platform::ProcId;
+use rds_sched::instance::Instance;
+use rds_sched::schedule::Schedule;
+
+use crate::ranks::rank_order;
+use crate::timeline::ProcTimeline;
+
+/// A frozen execution prefix to reschedule from.
+#[derive(Debug, Clone)]
+pub struct PartialState {
+    /// Per-task completion: `Some((proc, finish_time))` for tasks already
+    /// finished (or irrevocably committed), `None` for tasks to plan.
+    pub finished: Vec<Option<(ProcId, f64)>>,
+    /// Per-processor liveness; dead processors receive no new work.
+    pub alive: Vec<bool>,
+    /// Earliest time each alive processor can accept new work (ignored for
+    /// dead processors).
+    pub free_at: Vec<f64>,
+}
+
+impl PartialState {
+    /// The initial state: nothing finished, everything alive and free at 0.
+    #[must_use]
+    pub fn fresh(tasks: usize, procs: usize) -> Self {
+        Self {
+            finished: vec![None; tasks],
+            alive: vec![true; procs],
+            free_at: vec![0.0; procs],
+        }
+    }
+}
+
+/// Result of a partial reschedule.
+#[derive(Debug, Clone)]
+pub struct RescheduleResult {
+    /// Combined schedule: finished tasks on their realized processors (in
+    /// finish-time order), re-planned tasks on their new ones.
+    pub schedule: Schedule,
+    /// Per-task finish estimates: realized values for finished tasks,
+    /// expected-duration EFT estimates for re-planned ones.
+    pub est_finish: Vec<f64>,
+    /// Estimated overall makespan (max over `est_finish`).
+    pub est_makespan: f64,
+    /// Number of tasks that were re-planned.
+    pub replanned: usize,
+}
+
+/// Ways a partial reschedule can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RescheduleError {
+    /// `alive`/`free_at`/`finished` lengths disagree with the instance.
+    ShapeMismatch,
+    /// No processor is alive.
+    NoAliveProcessor,
+    /// A finished task's placement names a processor outside the platform.
+    InvalidPlacement(TaskId),
+}
+
+impl std::fmt::Display for RescheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShapeMismatch => write!(f, "state dimensions disagree with the instance"),
+            Self::NoAliveProcessor => write!(f, "no processor is alive"),
+            Self::InvalidPlacement(t) => write!(f, "finished task {t} placed off-platform"),
+        }
+    }
+}
+
+impl std::error::Error for RescheduleError {}
+
+/// Re-runs HEFT over the unfinished subgraph of `inst` on the surviving
+/// processors described by `state`.
+///
+/// Tasks are visited in full-graph upward-rank order (finished ones are
+/// skipped), so every unfinished task sees its predecessors either realized
+/// (from `state.finished`) or already re-planned. Processor choice is
+/// insertion-based earliest finish time, floored at the processor's
+/// `free_at`.
+///
+/// # Errors
+/// Returns a [`RescheduleError`] on dimension mismatches, when every
+/// processor is dead, or when a finished task's placement is off-platform.
+pub fn heft_reschedule(
+    inst: &Instance,
+    state: &PartialState,
+) -> Result<RescheduleResult, RescheduleError> {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    if state.finished.len() != n || state.alive.len() != m || state.free_at.len() != m {
+        return Err(RescheduleError::ShapeMismatch);
+    }
+    if !state.alive.iter().any(|&a| a) {
+        return Err(RescheduleError::NoAliveProcessor);
+    }
+    for (t, f) in state.finished.iter().enumerate() {
+        if let Some((p, _)) = f {
+            if p.index() >= m {
+                return Err(RescheduleError::InvalidPlacement(TaskId(t as u32)));
+            }
+        }
+    }
+
+    let order = rank_order(&inst.graph, &inst.platform, &inst.timing);
+    let mut timelines: Vec<ProcTimeline> = vec![ProcTimeline::new(); m];
+    let mut est_finish: Vec<f64> = (0..n)
+        .map(|t| state.finished[t].map_or(f64::NAN, |(_, f)| f))
+        .collect();
+    let mut placement: Vec<ProcId> = (0..n)
+        .map(|t| state.finished[t].map_or(ProcId(0), |(p, _)| p))
+        .collect();
+    let mut replanned = 0usize;
+
+    for &t in &order {
+        let ti = t.index();
+        if state.finished[ti].is_some() {
+            continue;
+        }
+        let mut best: Option<(f64, f64, ProcId)> = None; // (eft, est, proc)
+        for p in inst.platform.procs() {
+            if !state.alive[p.index()] {
+                continue;
+            }
+            let mut ready = state.free_at[p.index()];
+            for e in inst.graph.predecessors(t) {
+                let q = e.task;
+                debug_assert!(
+                    !est_finish[q.index()].is_nan(),
+                    "rank order visits predecessors first"
+                );
+                let arrive = est_finish[q.index()]
+                    + inst.platform.comm_time(e.data, placement[q.index()], p);
+                if arrive > ready {
+                    ready = arrive;
+                }
+            }
+            let dur = inst.timing.expected(ti, p);
+            let est = timelines[p.index()].earliest_start(ready, dur, true);
+            let eft = est + dur;
+            // Same comparison as `schedule_by_priority_list`, so a fresh
+            // state reproduces plain HEFT exactly.
+            let better = match best {
+                None => true,
+                Some((beft, _, bp)) => {
+                    eft < beft - 1e-12 || (eft <= beft + 1e-12 && p < bp && eft < beft + 1e-12)
+                }
+            };
+            if better {
+                best = Some((eft, est, p));
+            }
+        }
+        let (eft, est, p) = best.expect("at least one alive processor was verified above");
+        timelines[p.index()].commit(est, eft - est, t);
+        est_finish[ti] = eft;
+        placement[ti] = p;
+        replanned += 1;
+    }
+
+    // Combined schedule: finished tasks prefixed in realized finish order,
+    // replanned tasks appended in their new timeline order.
+    let mut proc_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); m];
+    let mut finished_by_proc: Vec<Vec<(f64, TaskId)>> = vec![Vec::new(); m];
+    for (t, f) in state.finished.iter().enumerate() {
+        if let Some((p, at)) = f {
+            finished_by_proc[p.index()].push((*at, TaskId(t as u32)));
+        }
+    }
+    for (p, done) in finished_by_proc.iter_mut().enumerate() {
+        done.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        proc_tasks[p].extend(done.iter().map(|&(_, t)| t));
+        proc_tasks[p].extend(timelines[p].task_order());
+    }
+    let schedule = Schedule::from_proc_lists(n, proc_tasks)
+        .expect("finished and replanned tasks partition the task set");
+    let est_makespan = est_finish.iter().copied().fold(0.0f64, f64::max);
+    Ok(RescheduleResult {
+        schedule,
+        est_finish,
+        est_makespan,
+        replanned,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heft::heft_schedule;
+    use rds_sched::instance::InstanceSpec;
+
+    fn inst(seed: u64) -> Instance {
+        InstanceSpec::new(40, 4)
+            .seed(seed)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fresh_state_reproduces_plain_heft() {
+        for seed in 0..6 {
+            let i = inst(seed);
+            let plain = heft_schedule(&i);
+            let fresh = PartialState::fresh(i.task_count(), i.proc_count());
+            let re = heft_reschedule(&i, &fresh).unwrap();
+            assert_eq!(re.schedule, plain.schedule, "seed {seed}");
+            assert_eq!(re.replanned, i.task_count());
+            assert!((re.est_makespan - plain.makespan).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reschedule_after_failure_avoids_dead_processor() {
+        let i = inst(7);
+        let plain = heft_schedule(&i);
+        // Freeze the execution at 40% of the makespan: everything that
+        // finished by then is done, processor 0 dies, survivors are busy
+        // until the freeze point.
+        let cut = 0.4 * plain.makespan;
+        let finished: Vec<Option<(ProcId, f64)>> = (0..i.task_count())
+            .map(|t| {
+                let tid = TaskId(t as u32);
+                let f = plain.timed.finish_of(tid);
+                (f <= cut).then(|| (plain.schedule.proc_of(tid), f))
+            })
+            .collect();
+        assert!(
+            finished.iter().any(Option::is_some) && finished.iter().any(Option::is_none),
+            "cut must split the task set"
+        );
+        let mut alive = vec![true; i.proc_count()];
+        alive[0] = false;
+        let state = PartialState {
+            finished: finished.clone(),
+            alive,
+            free_at: vec![cut; i.proc_count()],
+        };
+        let re = heft_reschedule(&i, &state).unwrap();
+        assert!(re.schedule.validate_against(&i.graph).is_ok());
+        // Dead processor receives no *new* work.
+        for &t in re.schedule.tasks_on(ProcId(0)) {
+            assert!(
+                finished[t.index()].is_some(),
+                "{t} was newly planned onto the dead processor"
+            );
+        }
+        // Re-planned tasks start no earlier than the freeze point.
+        for (t, f) in finished.iter().enumerate() {
+            if f.is_none() {
+                assert!(re.est_finish[t] >= cut - 1e-9);
+            }
+        }
+        assert!(re.est_makespan >= plain.makespan * 0.4);
+        assert_eq!(
+            re.replanned,
+            finished.iter().filter(|f| f.is_none()).count()
+        );
+    }
+
+    #[test]
+    fn shape_and_liveness_errors() {
+        let i = inst(1);
+        let mut bad = PartialState::fresh(i.task_count(), i.proc_count());
+        bad.alive = vec![false; i.proc_count()];
+        assert!(matches!(
+            heft_reschedule(&i, &bad),
+            Err(RescheduleError::NoAliveProcessor)
+        ));
+        let wrong = PartialState::fresh(i.task_count() + 1, i.proc_count());
+        assert!(matches!(
+            heft_reschedule(&i, &wrong),
+            Err(RescheduleError::ShapeMismatch)
+        ));
+    }
+}

@@ -57,12 +57,8 @@ pub fn sheft_schedule(inst: &Instance, k: f64) -> HeftResult {
     let adjusted = risk_adjusted_durations(inst, k);
     let surrogate_timing =
         TimingModel::deterministic(adjusted).expect("adjusted durations are positive");
-    let surrogate = Instance::new(
-        inst.graph.clone(),
-        inst.platform.clone(),
-        surrogate_timing,
-    )
-    .expect("surrogate shares the instance dimensions");
+    let surrogate = Instance::new(inst.graph.clone(), inst.platform.clone(), surrogate_timing)
+        .expect("surrogate shares the instance dimensions");
     let planned = heft_schedule(&surrogate);
 
     // Re-time the schedule under the true expected durations.

@@ -72,9 +72,7 @@ impl ProcTimeline {
     /// [`Self::earliest_start`].
     pub fn commit(&mut self, start: f64, duration: f64, task: TaskId) {
         let finish = start + duration;
-        let idx = self
-            .slots
-            .partition_point(|s| s.start < start);
+        let idx = self.slots.partition_point(|s| s.start < start);
         debug_assert!(
             idx == 0 || self.slots[idx - 1].finish <= start + 1e-9,
             "overlap with previous slot"
@@ -125,7 +123,7 @@ mod tests {
         let mut t = ProcTimeline::new();
         t.commit(0.0, 2.0, TaskId(0)); // [0,2)
         t.commit(6.0, 2.0, TaskId(1)); // [6,8)
-        // Gap [2,6): a 3-long task fits at 2.
+                                       // Gap [2,6): a 3-long task fits at 2.
         assert_eq!(t.earliest_start(0.0, 3.0, true), 2.0);
         // A 5-long task does not fit; goes after 8.
         assert_eq!(t.earliest_start(0.0, 5.0, true), 8.0);

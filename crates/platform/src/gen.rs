@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn zero_procs_is_error() {
         assert!(PlatformSpec::uniform(0).generate(0).is_err());
-        assert!(PlatformSpec::uniform(0).heterogeneous(2.0).generate(0).is_err());
+        assert!(PlatformSpec::uniform(0)
+            .heterogeneous(2.0)
+            .generate(0)
+            .is_err());
     }
 
     #[test]

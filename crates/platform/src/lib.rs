@@ -23,5 +23,5 @@ pub mod proc;
 pub mod timing;
 
 pub use gen::PlatformSpec;
-pub use proc::{Platform, ProcId};
+pub use proc::{Availability, Platform, ProcId};
 pub use timing::{RealizationLaw, TimingModel};

@@ -186,6 +186,91 @@ impl Platform {
     }
 }
 
+/// Per-processor liveness over time: which processors are up, and since
+/// when the dead ones are gone.
+///
+/// The paper's platform is immortal; the fault/recovery layer
+/// (`rds-sched`) marks processors down as permanent failures occur and
+/// consults this when placing work. Kept in the platform crate so every
+/// layer shares one vocabulary for "which processors may I use".
+#[derive(Debug, Clone, PartialEq)]
+pub struct Availability {
+    down_at: Vec<Option<f64>>,
+}
+
+impl Availability {
+    /// All `m` processors up.
+    ///
+    /// # Panics
+    /// Panics when `m == 0`.
+    #[must_use]
+    pub fn all_up(m: usize) -> Self {
+        assert!(m > 0, "platform must have at least one processor");
+        Self {
+            down_at: vec![None; m],
+        }
+    }
+
+    /// Number of processors tracked.
+    #[inline]
+    #[must_use]
+    pub fn proc_count(&self) -> usize {
+        self.down_at.len()
+    }
+
+    /// Marks `p` permanently down from time `at` (keeps the earliest mark
+    /// if called twice).
+    pub fn mark_down(&mut self, p: ProcId, at: f64) {
+        let slot = &mut self.down_at[p.index()];
+        match slot {
+            Some(existing) if *existing <= at => {}
+            _ => *slot = Some(at),
+        }
+    }
+
+    /// Is `p` up (never marked down)?
+    #[inline]
+    #[must_use]
+    pub fn is_up(&self, p: ProcId) -> bool {
+        self.down_at[p.index()].is_none()
+    }
+
+    /// Is `p` usable at time `t` (up, or marked down strictly after `t`)?
+    #[inline]
+    #[must_use]
+    pub fn is_up_at(&self, p: ProcId, t: f64) -> bool {
+        self.down_at[p.index()].is_none_or(|d| d > t)
+    }
+
+    /// When `p` went down, if it did.
+    #[inline]
+    #[must_use]
+    pub fn down_time(&self, p: ProcId) -> Option<f64> {
+        self.down_at[p.index()]
+    }
+
+    /// Number of processors still up.
+    #[must_use]
+    pub fn up_count(&self) -> usize {
+        self.down_at.iter().filter(|d| d.is_none()).count()
+    }
+
+    /// `true` while at least one processor is up.
+    #[must_use]
+    pub fn any_up(&self) -> bool {
+        self.down_at.iter().any(Option::is_none)
+    }
+
+    /// The processors still up, in id order.
+    pub fn up_procs(&self) -> impl Iterator<Item = ProcId> + '_ {
+        self.down_at
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.is_none())
+            .map(|(p, _)| ProcId(p as u32))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,5 +339,38 @@ mod tests {
         let p = Platform::uniform(4, 2.0).unwrap();
         // (m-1)/m * data/rate = 3/4 * 10/2 = 3.75
         assert!((p.mean_comm_time(10.0) - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn availability_tracks_downed_processors() {
+        let mut a = Availability::all_up(3);
+        assert_eq!(a.proc_count(), 3);
+        assert_eq!(a.up_count(), 3);
+        assert!(a.any_up());
+        a.mark_down(ProcId(1), 5.0);
+        assert!(!a.is_up(ProcId(1)));
+        assert!(a.is_up(ProcId(0)));
+        assert_eq!(a.down_time(ProcId(1)), Some(5.0));
+        assert_eq!(a.up_count(), 2);
+        // Time-scoped queries: usable strictly before the failure instant.
+        assert!(a.is_up_at(ProcId(1), 4.9));
+        assert!(!a.is_up_at(ProcId(1), 5.0));
+        assert!(a.is_up_at(ProcId(0), 1e12));
+        // Earliest mark wins.
+        a.mark_down(ProcId(1), 9.0);
+        assert_eq!(a.down_time(ProcId(1)), Some(5.0));
+        a.mark_down(ProcId(1), 2.0);
+        assert_eq!(a.down_time(ProcId(1)), Some(2.0));
+        assert_eq!(a.up_procs().collect::<Vec<_>>(), vec![ProcId(0), ProcId(2)]);
+        a.mark_down(ProcId(0), 0.0);
+        a.mark_down(ProcId(2), 0.0);
+        assert!(!a.any_up());
+        assert_eq!(a.up_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn availability_rejects_empty_platform() {
+        let _ = Availability::all_up(0);
     }
 }

@@ -229,11 +229,7 @@ impl TimingModel {
     /// Samples a full duration vector for an assignment `task → proc`
     /// (`assignment[i]` is task `i`'s processor). One realization of the
     /// schedule's execution environment.
-    pub fn sample_assigned<R: Rng + ?Sized>(
-        &self,
-        assignment: &[ProcId],
-        rng: &mut R,
-    ) -> Vec<f64> {
+    pub fn sample_assigned<R: Rng + ?Sized>(&self, assignment: &[ProcId], rng: &mut R) -> Vec<f64> {
         assignment
             .iter()
             .enumerate()
@@ -367,11 +363,7 @@ mod tests {
             }
             // Mean UL*b = 6. The truncated normal's mean is inflated by
             // λ(√3)·σ ≈ 0.215 here; allow for it.
-            assert!(
-                (st.mean() - 6.0).abs() < 0.3,
-                "{law:?} mean {}",
-                st.mean()
-            );
+            assert!((st.mean() - 6.0).abs() < 0.3, "{law:?} mean {}", st.mean());
         }
     }
 
@@ -380,9 +372,13 @@ mod tests {
         let bcet = Matrix::from_rows(&[&[2.0]]);
         let ul = Matrix::from_rows(&[&[3.0]]);
         let p99 = |law: RealizationLaw| -> f64 {
-            let m = TimingModel::new(bcet.clone(), ul.clone()).unwrap().with_law(law);
+            let m = TimingModel::new(bcet.clone(), ul.clone())
+                .unwrap()
+                .with_law(law);
             let mut rng = rng_from_seed(7);
-            let mut xs: Vec<f64> = (0..40_000).map(|_| m.sample(0, ProcId(0), &mut rng)).collect();
+            let mut xs: Vec<f64> = (0..40_000)
+                .map(|_| m.sample(0, ProcId(0), &mut rng))
+                .collect();
             xs.sort_by(f64::total_cmp);
             xs[(xs.len() as f64 * 0.99) as usize]
         };
@@ -399,7 +395,9 @@ mod tests {
             RealizationLaw::TruncatedNormal,
             RealizationLaw::ShiftedExponential,
         ] {
-            let m = TimingModel::deterministic(bcet.clone()).unwrap().with_law(law);
+            let m = TimingModel::deterministic(bcet.clone())
+                .unwrap()
+                .with_law(law);
             let mut rng = rng_from_seed(1);
             assert_eq!(m.sample(0, ProcId(0), &mut rng), 5.0);
         }

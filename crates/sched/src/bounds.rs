@@ -93,9 +93,21 @@ pub fn efficiency(
     let serial: f64 = busy;
     let _ = schedule;
     ScheduleEfficiency {
-        utilization: if makespan > 0.0 { busy / (m * makespan) } else { 0.0 },
-        speedup: if makespan > 0.0 { serial / makespan } else { 0.0 },
-        efficiency: if makespan > 0.0 { serial / makespan / m } else { 0.0 },
+        utilization: if makespan > 0.0 {
+            busy / (m * makespan)
+        } else {
+            0.0
+        },
+        speedup: if makespan > 0.0 {
+            serial / makespan
+        } else {
+            0.0
+        },
+        efficiency: if makespan > 0.0 {
+            serial / makespan / m
+        } else {
+            0.0
+        },
         bound_ratio: if bounds.best() > 0.0 {
             makespan / bounds.best()
         } else {
@@ -166,7 +178,10 @@ mod tests {
         assert!(e.utilization > 0.0 && e.utilization <= 1.0 + 1e-9);
         assert!(e.speedup > 0.0);
         assert!((e.efficiency - e.speedup / 4.0).abs() < 1e-12);
-        assert!((e.utilization - e.efficiency).abs() < 1e-12, "equal by definition here");
+        assert!(
+            (e.utilization - e.efficiency).abs() < 1e-12,
+            "equal by definition here"
+        );
         assert!(e.bound_ratio >= 1.0 - 1e-9);
     }
 

@@ -172,8 +172,7 @@ mod tests {
             .add_edge(TaskId(0), TaskId(2), 10.0);
         let g = b.build().unwrap();
         let p = Platform::uniform(3, 1.0).unwrap();
-        let s =
-            Schedule::from_proc_lists(3, vec![ids(&[0]), ids(&[1]), ids(&[2])]).unwrap();
+        let s = Schedule::from_proc_lists(3, vec![ids(&[0]), ids(&[1]), ids(&[2])]).unwrap();
         (g, p, s, vec![2.0, 1.0, 1.0])
     }
 
@@ -199,15 +198,18 @@ mod tests {
     #[test]
     fn contention_never_beats_contention_free() {
         for seed in 0..6 {
-            let inst = InstanceSpec::new(30, 4).seed(seed).ccr(1.0).build().unwrap();
+            let inst = InstanceSpec::new(30, 4)
+                .seed(seed)
+                .ccr(1.0)
+                .build()
+                .unwrap();
             let heft = rds_heft_like(&inst);
             let ds = DisjunctiveGraph::build(&inst.graph, &heft).unwrap();
             let dur = crate::timing::expected_durations(&inst.timing, &heft);
             let free = evaluate_with_durations(&ds, &heft, &inst.platform, &dur).makespan;
-            let cont =
-                evaluate_with_contention(&inst.graph, &ds, &heft, &inst.platform, &dur)
-                    .timed
-                    .makespan;
+            let cont = evaluate_with_contention(&inst.graph, &ds, &heft, &inst.platform, &dur)
+                .timed
+                .makespan;
             assert!(
                 cont >= free - 1e-9,
                 "seed {seed}: contention {cont} < contention-free {free}"

@@ -22,7 +22,10 @@ use rds_graph::TaskId;
 use rds_platform::ProcId;
 use rds_stats::rng::SeedStream;
 
+use crate::faults::{advance_through, FaultConfig, FaultScenario};
 use crate::instance::Instance;
+use crate::realization::sample_realized_matrix;
+use crate::recovery::{RecoveryConfig, RecoveryPolicy};
 use crate::schedule::Schedule;
 
 /// Result of one dynamic execution.
@@ -65,16 +68,9 @@ pub fn run_dynamic(
 
     // Pre-sample one realized duration per (task, proc) pair from the
     // realization law, so whichever placement the dynamic scheduler picks
-    // sees a consistent draw. Streams are per-task for determinism.
-    let seeds = SeedStream::new(realization_seed);
-    let realized: Vec<Vec<f64>> = (0..n)
-        .map(|t| {
-            let mut rng = seeds.nth_rng(t as u64);
-            (0..m)
-                .map(|p| inst.timing.sample(t, ProcId(p as u32), &mut rng))
-                .collect()
-        })
-        .collect();
+    // sees a consistent draw. Streams are per-task for determinism (the
+    // shared helper keeps this bit-compatible with the faulty executor).
+    let realized = sample_realized_matrix(&inst.timing, n, m, realization_seed);
 
     // Static priorities (expected-time upward ranks) when requested.
     let ranks = match priority {
@@ -86,7 +82,11 @@ pub fn run_dynamic(
         DynamicPriority::Fifo => vec![0.0; n],
     };
 
-    let mut indeg: Vec<usize> = inst.graph.tasks().map(|t| inst.graph.in_degree(t)).collect();
+    let mut indeg: Vec<usize> = inst
+        .graph
+        .tasks()
+        .map(|t| inst.graph.in_degree(t))
+        .collect();
     let mut ready: Vec<TaskId> = inst
         .graph
         .tasks()
@@ -117,7 +117,7 @@ pub fn run_dynamic(
                     .total_cmp(&ranks[b.index()])
                     .then_with(|| b.cmp(a))
             })
-            .expect("ready set non-empty");
+            .expect("ready set non-empty: the DAG is acyclic, so while unscheduled tasks remain at least one has all predecessors finished");
         let t = ready.swap_remove(ri);
         let ti = t.index();
 
@@ -129,9 +129,7 @@ pub fn run_dynamic(
             for e in inst.graph.predecessors(t) {
                 debug_assert!(done[e.task.index()], "ready implies preds finished");
                 let arrive = finish[e.task.index()]
-                    + inst
-                        .platform
-                        .comm_time(e.data, assigned[e.task.index()], p);
+                    + inst.platform.comm_time(e.data, assigned[e.task.index()], p);
                 if arrive > est {
                     est = arrive;
                 }
@@ -141,10 +139,11 @@ pub fn run_dynamic(
                 best = Some((eft, est, p));
             }
         }
-        let (_, est, p) = best.expect("at least one processor");
+        let (_, est, p) = best
+            .expect("at least one processor: Platform construction rejects empty processor sets");
 
         // Commit with the realized duration.
-        let real_dur = realized[ti][p.index()];
+        let real_dur = realized[(ti, p.index())];
         start[ti] = est;
         finish[ti] = est + real_dur;
         proc_free_at[p.index()] = finish[ti];
@@ -183,6 +182,219 @@ pub fn dynamic_makespans(
     let seeds = SeedStream::new(seed);
     (0..runs)
         .map(|i| run_dynamic(inst, priority, seeds.nth_seed(i as u64)).makespan)
+        .collect()
+}
+
+/// Dynamic dispatch through a fault scenario.
+///
+/// The on-line scheduler is inherently adaptive: a processor observed dead
+/// at dispatch time is simply never a placement candidate, so permanent
+/// failures migrate work implicitly — no replanning pass is needed. Faults
+/// interact with the dispatcher as follows:
+///
+/// * a task running on a processor at its failure instant is aborted; its
+///   work is lost and it re-enters the ready set, restartable no earlier
+///   than the failure time;
+/// * transient crashes follow `recovery`: retried in place after backoff,
+///   unless the policy is [`RecoveryPolicy::FailStop`] (or retries are
+///   exhausted), which fails the realization;
+/// * slowdown windows stretch committed intervals via the same piecewise
+///   integration as the static executor; stragglers inflate durations.
+///
+/// Returns `None` when the realization fails (fail-stop crash policy, or
+/// every processor died before completion).
+pub fn run_dynamic_faulty(
+    inst: &Instance,
+    priority: DynamicPriority,
+    realization_seed: u64,
+    scenario: &FaultScenario,
+    recovery: &RecoveryConfig,
+) -> Option<DynamicRun> {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+
+    let realized = sample_realized_matrix(&inst.timing, n, m, realization_seed);
+    let windows = scenario.windows_by_proc(m);
+    let fail_at: Vec<f64> = (0..m)
+        .map(|p| {
+            scenario
+                .failure_of(ProcId(p as u32))
+                .unwrap_or(f64::INFINITY)
+        })
+        .collect();
+
+    let ranks = match priority {
+        DynamicPriority::UpwardRank => rds_graph::paths::bottom_levels(
+            &inst.graph,
+            |t: TaskId| inst.timing.mean_expected(t.index()),
+            |_, _, data| inst.platform.mean_comm_time(data),
+        ),
+        DynamicPriority::Fifo => vec![0.0; n],
+    };
+
+    let mut indeg: Vec<usize> = inst
+        .graph
+        .tasks()
+        .map(|t| inst.graph.in_degree(t))
+        .collect();
+    let mut ready: Vec<TaskId> = inst
+        .graph
+        .tasks()
+        .filter(|t| indeg[t.index()] == 0)
+        .collect();
+
+    let mut proc_free_at = vec![0.0_f64; m];
+    let mut proc_lists: Vec<Vec<TaskId>> = vec![Vec::new(); m];
+    let mut assigned: Vec<ProcId> = vec![ProcId(0); n];
+    let mut start = vec![0.0_f64; n];
+    let mut finish = vec![0.0_f64; n];
+    let mut done = vec![false; n];
+    // Earliest time a task may (re)start — raised to the failure instant
+    // when an attempt is aborted, since the scheduler only learns of the
+    // loss when it happens.
+    let mut min_start = vec![0.0_f64; n];
+    let mut retried = vec![false; n];
+    let mut makespan = 0.0_f64;
+
+    let mut scheduled = 0usize;
+    while scheduled < n {
+        debug_assert!(!ready.is_empty(), "DAG is acyclic: some task is ready");
+        let (ri, _) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                ranks[a.index()]
+                    .total_cmp(&ranks[b.index()])
+                    .then_with(|| b.cmp(a))
+            })
+            .expect("ready set non-empty: the DAG is acyclic, so while unscheduled tasks remain at least one has all predecessors finished");
+        let t = ready[ri];
+        let ti = t.index();
+
+        // Earliest estimated finish over processors *alive at the
+        // candidate start time* (the online scheduler knows a processor is
+        // gone once its failure instant has passed).
+        let mut best: Option<(f64, f64, ProcId)> = None;
+        for p in inst.platform.procs() {
+            let mut est = proc_free_at[p.index()].max(min_start[ti]);
+            for e in inst.graph.predecessors(t) {
+                debug_assert!(done[e.task.index()], "ready implies preds finished");
+                let arrive = finish[e.task.index()]
+                    + inst.platform.comm_time(e.data, assigned[e.task.index()], p);
+                if arrive > est {
+                    est = arrive;
+                }
+            }
+            if est >= fail_at[p.index()] {
+                continue; // processor already dead at dispatch time
+            }
+            let eft = est + inst.timing.expected(ti, p);
+            if best.is_none_or(|(beft, _, _)| eft < beft - 1e-12) {
+                best = Some((eft, est, p));
+            }
+        }
+        // Every processor dead (or dead by the time this task could start):
+        // the realization cannot complete.
+        let (_, est, p) = best?;
+        ready.swap_remove(ri);
+        let pi = p.index();
+
+        // Commit with the realized duration, stretched by slowdown windows
+        // and straggler inflation; then let faults interrupt the interval.
+        let base = realized[(ti, pi)] * scenario.straggler_factor(t);
+        let fin;
+        if !retried[ti] && scenario.crash_of(t).is_some() {
+            let fraction = scenario.crash_of(t).expect("checked above");
+            let crash_at = advance_through(&windows[pi], est, fraction * base);
+            if crash_at >= fail_at[pi] {
+                // The processor died before the crash materialized: abort.
+                min_start[ti] = fail_at[pi];
+                proc_free_at[pi] = f64::INFINITY;
+                ready.push(t);
+                continue;
+            }
+            if recovery.policy == RecoveryPolicy::FailStop || recovery.max_retries == 0 {
+                return None;
+            }
+            retried[ti] = true;
+            let backoff = recovery.backoff * inst.timing.expected(ti, p);
+            fin = advance_through(&windows[pi], crash_at + backoff, base);
+        } else {
+            fin = advance_through(&windows[pi], est, base);
+        }
+        if fin > fail_at[pi] {
+            // The processor dies mid-execution: work lost, task back to the
+            // ready set, processor unusable from here on. (Finishing
+            // exactly at the failure instant counts as finished.)
+            min_start[ti] = fail_at[pi];
+            proc_free_at[pi] = f64::INFINITY;
+            ready.push(t);
+            continue;
+        }
+
+        start[ti] = est;
+        finish[ti] = fin;
+        proc_free_at[pi] = fin;
+        proc_lists[pi].push(t);
+        assigned[ti] = p;
+        done[ti] = true;
+        makespan = makespan.max(fin);
+        scheduled += 1;
+
+        for e in inst.graph.successors(t) {
+            indeg[e.task.index()] -= 1;
+            if indeg[e.task.index()] == 0 {
+                ready.push(e.task);
+            }
+        }
+    }
+
+    let schedule = Schedule::from_proc_lists(n, proc_lists)
+        .expect("dynamic dispatch schedules every task once");
+    Some(DynamicRun {
+        schedule,
+        start,
+        finish,
+        makespan,
+    })
+}
+
+/// Realized makespans of `runs` faulty dynamic executions (`None` for
+/// failed realizations).
+///
+/// Seeds mirror [`crate::realization::monte_carlo_faulty`]'s contract —
+/// realization `i` draws durations from `branch("fault-durations")` and its
+/// scenario from `branch("fault-scenario")` of `seed` — so dynamic and
+/// static policies face the *same* realizations when seeds agree, enabling
+/// paired comparison.
+///
+/// # Panics
+/// Panics when `faults.horizon <= 0` (callers must resolve the horizon —
+/// typically to a static plan's `M₀` — before sweeping).
+pub fn dynamic_makespans_faulty(
+    inst: &Instance,
+    priority: DynamicPriority,
+    runs: usize,
+    seed: u64,
+    faults: &FaultConfig,
+    recovery: &RecoveryConfig,
+) -> Vec<Option<f64>> {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    let dur_seeds = SeedStream::new(seed).branch("fault-durations");
+    let scen_seeds = SeedStream::new(seed).branch("fault-scenario");
+    (0..runs)
+        .map(|i| {
+            let scenario = FaultScenario::generate(faults, n, m, scen_seeds.nth_seed(i as u64));
+            run_dynamic_faulty(
+                inst,
+                priority,
+                dur_seeds.nth_seed(i as u64),
+                &scenario,
+                recovery,
+            )
+            .map(|r| r.makespan)
+        })
         .collect()
 }
 
@@ -286,6 +498,94 @@ mod tests {
         );
         // Sanity bound: dynamic must not be worse than 3x the zero-comm
         // critical path with mean durations.
-        assert!(dynamic <= 3.0 * heft.max(1.0), "dynamic {dynamic} vs cp {heft}");
+        assert!(
+            dynamic <= 3.0 * heft.max(1.0),
+            "dynamic {dynamic} vs cp {heft}"
+        );
+    }
+
+    #[test]
+    fn faulty_run_with_quiet_scenario_matches_plain_run() {
+        let i = inst(5, 4.0);
+        let plain = run_dynamic(&i, DynamicPriority::UpwardRank, 11);
+        let faulty = run_dynamic_faulty(
+            &i,
+            DynamicPriority::UpwardRank,
+            11,
+            &FaultScenario::default(),
+            &RecoveryConfig::default(),
+        )
+        .expect("quiet scenario always completes");
+        assert_eq!(plain.schedule, faulty.schedule);
+        assert_eq!(plain.makespan, faulty.makespan);
+        assert_eq!(plain.finish, faulty.finish);
+    }
+
+    #[test]
+    fn faulty_dynamic_routes_around_dead_processor() {
+        use crate::faults::ProcessorFailure;
+        let i = inst(6, 4.0);
+        let scenario = FaultScenario {
+            failures: vec![ProcessorFailure {
+                proc: ProcId(1),
+                at: 1e-6,
+            }],
+            ..FaultScenario::default()
+        };
+        let run = run_dynamic_faulty(
+            &i,
+            DynamicPriority::UpwardRank,
+            2,
+            &scenario,
+            &RecoveryConfig::default(),
+        )
+        .expect("three processors survive");
+        // Nothing may execute on the dead processor.
+        assert!(run.schedule.tasks_on(ProcId(1)).is_empty());
+        assert!(run.schedule.validate_against(&i.graph).is_ok());
+        assert!(run.makespan.is_finite());
+    }
+
+    #[test]
+    fn faulty_dynamic_sweep_mixes_failures_and_completions() {
+        let i = inst(7, 4.0);
+        let faults = FaultConfig {
+            crash_rate: 0.5,
+            horizon: 100.0,
+            ..FaultConfig::default()
+        };
+        // Fail-stop: crashes are fatal, so some realizations return None...
+        let stop = dynamic_makespans_faulty(
+            &i,
+            DynamicPriority::UpwardRank,
+            30,
+            3,
+            &faults,
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        );
+        assert_eq!(stop.len(), 30);
+        assert!(stop.iter().any(Option::is_none), "crashes at 0.5 must bite");
+        // ...while the adaptive policy completes everything.
+        let adapt = dynamic_makespans_faulty(
+            &i,
+            DynamicPriority::UpwardRank,
+            30,
+            3,
+            &faults,
+            &RecoveryConfig::default(),
+        );
+        assert!(adapt.iter().all(Option::is_some));
+        // Paired realizations: a run fail-stop completed had no crash to
+        // retry, so the adaptive policy saw identical draws and identical
+        // events — the makespans must match exactly.
+        for (s, a) in stop.iter().zip(&adapt) {
+            if let Some(sm) = s {
+                assert_eq!(
+                    *a,
+                    Some(*sm),
+                    "crash-free realizations are policy-invariant"
+                );
+            }
+        }
     }
 }

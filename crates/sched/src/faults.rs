@@ -1,0 +1,594 @@
+//! Fault model: deterministic, seed-derived fault scenarios.
+//!
+//! The paper's only non-determinism is the duration draw
+//! `U(b, (2·UL−1)·b)`; real heterogeneous platforms additionally lose
+//! processors, develop stragglers and slow down transiently. This module
+//! models those regimes as **fault scenarios** layered on top of a
+//! realization, so the Monte Carlo engine can measure robustness under
+//! faults the paper never injects (see [`crate::recovery`] for the policies
+//! that react to them).
+//!
+//! Four fault kinds:
+//!
+//! * **permanent processor failure** — processor `p` dies at time `t` and
+//!   never returns; tasks running on it are lost;
+//! * **transient slowdown** — processor `p` executes at `1/factor` speed
+//!   inside a window `[start, end]` (thermal throttling, co-tenant
+//!   interference);
+//! * **straggler** — one task's duration is inflated by a factor on
+//!   whatever processor it runs (data skew, cache pathology);
+//! * **transient task crash** — a task's first attempt dies after a
+//!   fraction of its duration and must be re-executed (the retryable kind).
+//!
+//! # Determinism contract
+//!
+//! [`FaultScenario::generate`] derives every draw from `(seed, fault-kind)`
+//! through [`SeedStream::branch`], mirroring the per-realization discipline
+//! of [`crate::realization`]: the Monte Carlo engine hands realization `i`
+//! the sub-seed `(master seed, i)`, and the generator branches one
+//! independent stream **per fault kind** from it. Consequences:
+//!
+//! * the same `(seed, realization)` reproduces the same scenario
+//!   bit-for-bit regardless of thread count;
+//! * adding a new fault kind (a new branch label) does not shift the draws
+//!   of existing kinds;
+//! * raising one kind's rate does not change *which* faults of the other
+//!   kinds occur, nor the onset times of faults that were already firing —
+//!   parameters are drawn unconditionally and the rate only gates them.
+
+use rds_graph::TaskId;
+use rds_platform::ProcId;
+use rds_stats::rng::SeedStream;
+
+use rand::Rng;
+
+/// The kinds of fault a scenario can contain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Permanent processor failure.
+    ProcessorFailure,
+    /// Transient processor slowdown window.
+    TransientSlowdown,
+    /// Task duration inflation.
+    Straggler,
+    /// Transient task crash (first attempt dies, retryable).
+    TaskCrash,
+}
+
+/// A permanent processor failure at an absolute time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessorFailure {
+    /// The processor that dies.
+    pub proc: ProcId,
+    /// Failure onset; tasks running on `proc` at this instant are lost.
+    pub at: f64,
+}
+
+/// A transient slowdown: `proc` runs at `1/factor` speed over
+/// `[start, end]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlowdownWindow {
+    /// Affected processor.
+    pub proc: ProcId,
+    /// Window start.
+    pub start: f64,
+    /// Window end (`> start`).
+    pub end: f64,
+    /// Rate divisor inside the window (`> 1`).
+    pub factor: f64,
+}
+
+/// A straggler task: its realized duration is multiplied by `factor`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Straggler {
+    /// Affected task.
+    pub task: TaskId,
+    /// Duration inflation factor (`≥ 1`).
+    pub factor: f64,
+}
+
+/// A transient task crash: the first attempt dies after `fraction` of its
+/// duration has executed and the work is lost.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskCrash {
+    /// Affected task.
+    pub task: TaskId,
+    /// Fraction of the attempt's duration completed when it dies
+    /// (`0 < fraction < 1`).
+    pub fraction: f64,
+}
+
+/// Per-kind fault rates and shape parameters.
+///
+/// Rates are probabilities *per potential site within the horizon*: each
+/// processor fails/slows independently with its rate, each task straggles/
+/// crashes independently with its rate. `horizon` is the absolute time
+/// window failure and slowdown onsets are drawn from — callers usually set
+/// it to the schedule's expected makespan `M₀` so faults actually land
+/// inside the execution (a non-positive horizon asks
+/// [`crate::realization::monte_carlo_faulty`] to substitute `M₀`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-processor probability of a permanent failure.
+    pub failure_rate: f64,
+    /// Per-processor probability of one slowdown window.
+    pub slowdown_rate: f64,
+    /// Maximum slowdown rate divisor; realized factors are drawn from
+    /// `U(1.5, max(1.5, slowdown_factor))`.
+    pub slowdown_factor: f64,
+    /// Slowdown window length as a fraction of the horizon.
+    pub slowdown_span: f64,
+    /// Per-task probability of being a straggler.
+    pub straggler_rate: f64,
+    /// Maximum straggler inflation; realized factors are drawn from
+    /// `U(1, max(1, straggler_factor))`.
+    pub straggler_factor: f64,
+    /// Per-task probability of one transient crash on the first attempt.
+    pub crash_rate: f64,
+    /// Absolute time window for failure/slowdown onsets (`≤ 0` means
+    /// "derive from the schedule's expected makespan").
+    pub horizon: f64,
+}
+
+impl Default for FaultConfig {
+    /// A moderate mixed-fault environment (horizon deferred to `M₀`).
+    fn default() -> Self {
+        Self {
+            failure_rate: 0.15,
+            slowdown_rate: 0.25,
+            slowdown_factor: 3.0,
+            slowdown_span: 0.3,
+            straggler_rate: 0.1,
+            straggler_factor: 3.0,
+            crash_rate: 0.05,
+            horizon: 0.0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A configuration with every rate zero — useful as a no-fault control.
+    #[must_use]
+    pub fn quiet() -> Self {
+        Self {
+            failure_rate: 0.0,
+            slowdown_rate: 0.0,
+            straggler_rate: 0.0,
+            crash_rate: 0.0,
+            ..Self::default()
+        }
+    }
+
+    /// Scales all four rates by `k` (clamped into `[0, 1]`), leaving the
+    /// shape parameters untouched — the x axis of the fault-rate sweeps.
+    #[must_use]
+    pub fn scaled(mut self, k: f64) -> Self {
+        let clamp = |r: f64| (r * k).clamp(0.0, 1.0);
+        self.failure_rate = clamp(self.failure_rate);
+        self.slowdown_rate = clamp(self.slowdown_rate);
+        self.straggler_rate = clamp(self.straggler_rate);
+        self.crash_rate = clamp(self.crash_rate);
+        self
+    }
+
+    /// Sets the absolute onset horizon.
+    #[must_use]
+    pub fn with_horizon(mut self, horizon: f64) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// `true` when every rate is zero (scenarios will be empty).
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.failure_rate <= 0.0
+            && self.slowdown_rate <= 0.0
+            && self.straggler_rate <= 0.0
+            && self.crash_rate <= 0.0
+    }
+
+    fn validate(&self, tag: &str) {
+        for (name, r) in [
+            ("failure_rate", self.failure_rate),
+            ("slowdown_rate", self.slowdown_rate),
+            ("straggler_rate", self.straggler_rate),
+            ("crash_rate", self.crash_rate),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&r),
+                "{tag}: {name} must be in [0,1], got {r}"
+            );
+        }
+        assert!(
+            self.horizon.is_finite() && self.horizon > 0.0,
+            "{tag}: horizon must be positive and finite, got {}",
+            self.horizon
+        );
+        assert!(
+            self.slowdown_span > 0.0 && self.slowdown_span.is_finite(),
+            "{tag}: slowdown_span must be positive, got {}",
+            self.slowdown_span
+        );
+    }
+}
+
+/// One realization's fault trace: which faults occur, where and when.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultScenario {
+    /// Permanent failures, sorted by onset time (at most `m − 1`: the
+    /// generator always leaves one survivor).
+    pub failures: Vec<ProcessorFailure>,
+    /// Slowdown windows (at most one per processor, so per-processor
+    /// windows never overlap).
+    pub slowdowns: Vec<SlowdownWindow>,
+    /// Straggler tasks.
+    pub stragglers: Vec<Straggler>,
+    /// Transiently crashing tasks.
+    pub crashes: Vec<TaskCrash>,
+}
+
+impl FaultScenario {
+    /// Generates the scenario for one realization.
+    ///
+    /// `seed` is the per-realization sub-seed (derive it as
+    /// `SeedStream::new(master).branch("fault-scenario").nth_seed(i)`);
+    /// every fault kind draws from its own [`SeedStream::branch`] of it.
+    ///
+    /// The generator guarantees **at least one surviving processor**: if
+    /// every processor draws a permanent failure, the latest-failing one is
+    /// spared (deterministically), so recovery policies always have
+    /// somewhere to migrate.
+    ///
+    /// # Panics
+    /// Panics when `cfg` is invalid (rates outside `[0,1]`, non-positive
+    /// horizon or span) or `procs == 0`.
+    #[must_use]
+    pub fn generate(cfg: &FaultConfig, tasks: usize, procs: usize, seed: u64) -> Self {
+        cfg.validate("FaultScenario::generate");
+        assert!(procs > 0, "need at least one processor");
+        let root = SeedStream::new(seed);
+
+        // Permanent failures. Parameters are drawn unconditionally so the
+        // stream stays aligned when rates change.
+        let mut rng = root.branch("proc-failure").next_rng();
+        let mut failures: Vec<ProcessorFailure> = Vec::new();
+        for p in 0..procs {
+            let gate: f64 = rng.gen();
+            let at = rng.gen_range(0.0..cfg.horizon);
+            if gate < cfg.failure_rate {
+                failures.push(ProcessorFailure {
+                    proc: ProcId(p as u32),
+                    at,
+                });
+            }
+        }
+        failures.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.proc.cmp(&b.proc)));
+        if failures.len() == procs {
+            // Spare the latest-failing processor so one always survives.
+            failures.pop();
+        }
+
+        // Transient slowdowns: at most one window per processor.
+        let mut rng = root.branch("slowdown").next_rng();
+        let mut slowdowns: Vec<SlowdownWindow> = Vec::new();
+        let span = cfg.slowdown_span * cfg.horizon;
+        let factor_hi = cfg.slowdown_factor.max(1.5);
+        for p in 0..procs {
+            let gate: f64 = rng.gen();
+            let start = rng.gen_range(0.0..cfg.horizon);
+            let factor = if factor_hi > 1.5 {
+                rng.gen_range(1.5..factor_hi)
+            } else {
+                1.5
+            };
+            if gate < cfg.slowdown_rate {
+                slowdowns.push(SlowdownWindow {
+                    proc: ProcId(p as u32),
+                    start,
+                    end: start + span,
+                    factor,
+                });
+            }
+        }
+
+        // Stragglers.
+        let mut rng = root.branch("straggler").next_rng();
+        let mut stragglers: Vec<Straggler> = Vec::new();
+        let infl_hi = cfg.straggler_factor.max(1.0);
+        for t in 0..tasks {
+            let gate: f64 = rng.gen();
+            let factor = if infl_hi > 1.0 {
+                rng.gen_range(1.0..infl_hi)
+            } else {
+                1.0
+            };
+            if gate < cfg.straggler_rate && factor > 1.0 {
+                stragglers.push(Straggler {
+                    task: TaskId(t as u32),
+                    factor,
+                });
+            }
+        }
+
+        // Transient crashes.
+        let mut rng = root.branch("task-crash").next_rng();
+        let mut crashes: Vec<TaskCrash> = Vec::new();
+        for t in 0..tasks {
+            let gate: f64 = rng.gen();
+            let fraction = rng.gen_range(0.1..0.9);
+            if gate < cfg.crash_rate {
+                crashes.push(TaskCrash {
+                    task: TaskId(t as u32),
+                    fraction,
+                });
+            }
+        }
+
+        Self {
+            failures,
+            slowdowns,
+            stragglers,
+            crashes,
+        }
+    }
+
+    /// `true` when the scenario contains no fault of any kind.
+    #[must_use]
+    pub fn is_quiet(&self) -> bool {
+        self.failures.is_empty()
+            && self.slowdowns.is_empty()
+            && self.stragglers.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Total number of faults across kinds.
+    #[must_use]
+    pub fn fault_count(&self) -> usize {
+        self.failures.len() + self.slowdowns.len() + self.stragglers.len() + self.crashes.len()
+    }
+
+    /// Permanent-failure time of `p`, if it fails.
+    #[must_use]
+    pub fn failure_of(&self, p: ProcId) -> Option<f64> {
+        self.failures.iter().find(|f| f.proc == p).map(|f| f.at)
+    }
+
+    /// Duration inflation of `t` (1 when not a straggler).
+    #[must_use]
+    pub fn straggler_factor(&self, t: TaskId) -> f64 {
+        self.stragglers
+            .iter()
+            .find(|s| s.task == t)
+            .map_or(1.0, |s| s.factor)
+    }
+
+    /// Crash fraction of `t`'s first attempt, if it crashes.
+    #[must_use]
+    pub fn crash_of(&self, t: TaskId) -> Option<f64> {
+        self.crashes
+            .iter()
+            .find(|c| c.task == t)
+            .map(|c| c.fraction)
+    }
+
+    /// The slowdown windows of each processor, sorted by start time —
+    /// the form [`advance_through`] consumes.
+    #[must_use]
+    pub fn windows_by_proc(&self, procs: usize) -> Vec<Vec<SlowdownWindow>> {
+        let mut by_proc: Vec<Vec<SlowdownWindow>> = vec![Vec::new(); procs];
+        for w in &self.slowdowns {
+            by_proc[w.proc.index()].push(*w);
+        }
+        for ws in &mut by_proc {
+            ws.sort_by(|a, b| a.start.total_cmp(&b.start));
+        }
+        by_proc
+    }
+}
+
+/// Advances `work` units of computation starting at time `from` on a
+/// processor whose speed is `1/factor` inside each of `windows` (sorted by
+/// start, non-overlapping) and 1 elsewhere; returns the completion time.
+///
+/// With no windows this is simply `from + work` — the invariant every
+/// executor test anchors on.
+#[must_use]
+pub fn advance_through(windows: &[SlowdownWindow], from: f64, work: f64) -> f64 {
+    let mut t = from;
+    let mut w = work;
+    for win in windows {
+        if win.end <= t {
+            continue;
+        }
+        // Full-speed segment before the window.
+        let free = (win.start - t).max(0.0);
+        if w <= free {
+            return t + w;
+        }
+        w -= free;
+        t = t.max(win.start);
+        // Inside the window work is consumed at rate 1/factor.
+        let capacity = (win.end - t) / win.factor;
+        if w <= capacity {
+            return t + w * win.factor;
+        }
+        w -= capacity;
+        t = win.end;
+    }
+    t + w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultConfig {
+        FaultConfig {
+            horizon: 100.0,
+            ..FaultConfig::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = FaultScenario::generate(&cfg(), 50, 8, 7);
+        let b = FaultScenario::generate(&cfg(), 50, 8, 7);
+        assert_eq!(a, b);
+        let c = FaultScenario::generate(&cfg(), 50, 8, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_rates_produce_quiet_scenarios() {
+        let quiet = FaultConfig::quiet().with_horizon(10.0);
+        for seed in 0..20 {
+            assert!(FaultScenario::generate(&quiet, 30, 4, seed).is_quiet());
+        }
+    }
+
+    #[test]
+    fn at_least_one_processor_survives() {
+        let certain = FaultConfig {
+            failure_rate: 1.0,
+            horizon: 10.0,
+            ..FaultConfig::quiet()
+        };
+        for seed in 0..20 {
+            let s = FaultScenario::generate(&certain, 10, 5, seed);
+            assert_eq!(s.failures.len(), 4, "exactly one survivor expected");
+            // And the spared processor is the latest-failing one: every
+            // kept onset is <= the dropped one would have been.
+            for w in s.failures.windows(2) {
+                assert!(w[0].at <= w[1].at, "failures must be time-sorted");
+            }
+        }
+    }
+
+    #[test]
+    fn raising_one_rate_preserves_other_kinds() {
+        let lo = FaultScenario::generate(&cfg(), 40, 6, 3);
+        let hi_cfg = FaultConfig {
+            failure_rate: 0.9,
+            ..cfg()
+        };
+        let hi = FaultScenario::generate(&hi_cfg, 40, 6, 3);
+        // Same seed: slowdowns/stragglers/crashes identical, failures a
+        // superset (the latest may be dropped by the survivor rule).
+        assert_eq!(lo.slowdowns, hi.slowdowns);
+        assert_eq!(lo.stragglers, hi.stragglers);
+        assert_eq!(lo.crashes, hi.crashes);
+        for f in &lo.failures {
+            assert!(
+                hi.failures.iter().any(|g| g.proc == f.proc && g.at == f.at),
+                "failure of {} lost when raising the rate",
+                f.proc
+            );
+        }
+    }
+
+    #[test]
+    fn rates_scale_monotonically() {
+        let base = cfg();
+        let mut counts = Vec::new();
+        for k in [0.0, 0.5, 1.0, 2.0] {
+            let scaled = base.scaled(k);
+            let total: usize = (0..30)
+                .map(|s| FaultScenario::generate(&scaled, 60, 8, s).fault_count())
+                .sum();
+            counts.push(total);
+        }
+        assert_eq!(counts[0], 0);
+        for w in counts.windows(2) {
+            assert!(w[0] <= w[1], "fault volume must grow with the scale");
+        }
+    }
+
+    #[test]
+    fn advance_without_windows_is_identity() {
+        assert_eq!(advance_through(&[], 3.0, 5.0), 8.0);
+    }
+
+    #[test]
+    fn advance_through_one_window_hand_computed() {
+        let w = [SlowdownWindow {
+            proc: ProcId(0),
+            start: 4.0,
+            end: 8.0,
+            factor: 2.0,
+        }];
+        // Entirely before the window.
+        assert_eq!(advance_through(&w, 0.0, 4.0), 4.0);
+        // 2 units free + 2 units at half speed -> 2 + 4 = finish at 8... no:
+        // start 2, free until 4 consumes 2; remaining 2 work at factor 2
+        // takes 4 time -> finish 8.
+        assert_eq!(advance_through(&w, 2.0, 4.0), 8.0);
+        // Starting inside the window.
+        assert_eq!(advance_through(&w, 6.0, 1.0), 8.0);
+        // Spilling past the window: 4 units capacity is (8-4)/2 = 2 work;
+        // 3 work from t=4 -> 2 inside (4 time units), 1 after -> 9.
+        assert_eq!(advance_through(&w, 4.0, 3.0), 9.0);
+        // Window already passed.
+        assert_eq!(advance_through(&w, 9.0, 2.0), 11.0);
+    }
+
+    #[test]
+    fn advance_is_monotone_in_work() {
+        let w = [
+            SlowdownWindow {
+                proc: ProcId(0),
+                start: 1.0,
+                end: 2.0,
+                factor: 3.0,
+            },
+            SlowdownWindow {
+                proc: ProcId(0),
+                start: 5.0,
+                end: 7.0,
+                factor: 2.0,
+            },
+        ];
+        let mut last = 0.0;
+        for i in 0..40 {
+            let work = f64::from(i) * 0.25;
+            let f = advance_through(&w, 0.5, work);
+            assert!(f >= last);
+            assert!(f >= 0.5 + work, "slowdowns can only delay");
+            last = f;
+        }
+    }
+
+    #[test]
+    fn scenario_accessors() {
+        let s = FaultScenario {
+            failures: vec![ProcessorFailure {
+                proc: ProcId(1),
+                at: 5.0,
+            }],
+            slowdowns: vec![SlowdownWindow {
+                proc: ProcId(0),
+                start: 1.0,
+                end: 2.0,
+                factor: 2.0,
+            }],
+            stragglers: vec![Straggler {
+                task: TaskId(3),
+                factor: 2.5,
+            }],
+            crashes: vec![TaskCrash {
+                task: TaskId(4),
+                fraction: 0.5,
+            }],
+        };
+        assert_eq!(s.failure_of(ProcId(1)), Some(5.0));
+        assert_eq!(s.failure_of(ProcId(0)), None);
+        assert_eq!(s.straggler_factor(TaskId(3)), 2.5);
+        assert_eq!(s.straggler_factor(TaskId(0)), 1.0);
+        assert_eq!(s.crash_of(TaskId(4)), Some(0.5));
+        assert_eq!(s.crash_of(TaskId(3)), None);
+        let by_proc = s.windows_by_proc(2);
+        assert_eq!(by_proc[0].len(), 1);
+        assert!(by_proc[1].is_empty());
+        assert_eq!(s.fault_count(), 4);
+        assert!(!s.is_quiet());
+    }
+}

@@ -31,11 +31,7 @@ impl Instance {
     /// # Errors
     /// Returns a message when the timing model's shape does not match the
     /// graph/platform.
-    pub fn new(
-        graph: TaskGraph,
-        platform: Platform,
-        timing: TimingModel,
-    ) -> Result<Self, String> {
+    pub fn new(graph: TaskGraph, platform: Platform, timing: TimingModel) -> Result<Self, String> {
         if timing.task_count() != graph.task_count() {
             return Err(format!(
                 "timing has {} tasks but graph has {}",
@@ -229,8 +225,16 @@ mod tests {
 
     #[test]
     fn ul_sweep_shares_graph_and_bcet() {
-        let lo = InstanceSpec::new(30, 3).seed(5).uncertainty_level(2.0).build().unwrap();
-        let hi = InstanceSpec::new(30, 3).seed(5).uncertainty_level(8.0).build().unwrap();
+        let lo = InstanceSpec::new(30, 3)
+            .seed(5)
+            .uncertainty_level(2.0)
+            .build()
+            .unwrap();
+        let hi = InstanceSpec::new(30, 3)
+            .seed(5)
+            .uncertainty_level(8.0)
+            .build()
+            .unwrap();
         assert_eq!(lo.graph, hi.graph);
         assert_eq!(lo.timing.bcet_matrix(), hi.timing.bcet_matrix());
         assert_ne!(lo.timing.ul_matrix(), hi.timing.ul_matrix());

@@ -74,15 +74,31 @@ pub fn write_instance(inst: &Instance) -> String {
     for (from, to, data) in edges {
         let _ = writeln!(out, "edge {} {} {:?}", from.index(), to.index(), data);
     }
-    let write_matrix = |out: &mut String, name: &str, rows: usize, get: &dyn Fn(usize, usize) -> f64, cols: usize| {
+    let write_matrix = |out: &mut String,
+                        name: &str,
+                        rows: usize,
+                        get: &dyn Fn(usize, usize) -> f64,
+                        cols: usize| {
         let _ = writeln!(out, "{name}");
         for r in 0..rows {
             let row: Vec<String> = (0..cols).map(|c| format!("{:?}", get(r, c))).collect();
             let _ = writeln!(out, "{}", row.join(" "));
         }
     };
-    write_matrix(&mut out, "bcet", n, &|r, c| inst.timing.bcet_matrix()[(r, c)], m);
-    write_matrix(&mut out, "ul", n, &|r, c| inst.timing.ul_matrix()[(r, c)], m);
+    write_matrix(
+        &mut out,
+        "bcet",
+        n,
+        &|r, c| inst.timing.bcet_matrix()[(r, c)],
+        m,
+    );
+    write_matrix(
+        &mut out,
+        "ul",
+        n,
+        &|r, c| inst.timing.ul_matrix()[(r, c)],
+        m,
+    );
     write_matrix(
         &mut out,
         "rates",
@@ -91,8 +107,10 @@ pub fn write_instance(inst: &Instance) -> String {
             if r == c {
                 0.0
             } else {
-                inst.platform
-                    .rate(rds_platform::ProcId(r as u32), rds_platform::ProcId(c as u32))
+                inst.platform.rate(
+                    rds_platform::ProcId(r as u32),
+                    rds_platform::ProcId(c as u32),
+                )
             }
         },
         m,
@@ -107,24 +125,30 @@ pub fn write_instance(inst: &Instance) -> String {
 pub fn read_instance(text: &str) -> Result<Instance, ParseError> {
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
     let mut next_content = move || -> Option<(usize, &str)> {
-        lines.by_ref().find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        lines
+            .by_ref()
+            .find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
     };
 
     let (ln, header) = next_content().ok_or_else(|| err(0, "empty input"))?;
     if header != "rds-instance v1" {
-        return Err(err(ln, format!("expected 'rds-instance v1', got '{header}'")));
+        return Err(err(
+            ln,
+            format!("expected 'rds-instance v1', got '{header}'"),
+        ));
     }
-    let parse_kv = |expected: &str, got: Option<(usize, &str)>| -> Result<(usize, usize), ParseError> {
-        let (ln, l) = got.ok_or_else(|| err(0, format!("missing '{expected}' line")))?;
-        let mut it = l.split_whitespace();
-        match (it.next(), it.next(), it.next()) {
-            (Some(k), Some(v), None) if k == expected => v
-                .parse::<usize>()
-                .map(|v| (ln, v))
-                .map_err(|e| err(ln, format!("bad {expected} count: {e}"))),
-            _ => Err(err(ln, format!("expected '{expected} <count>', got '{l}'"))),
-        }
-    };
+    let parse_kv =
+        |expected: &str, got: Option<(usize, &str)>| -> Result<(usize, usize), ParseError> {
+            let (ln, l) = got.ok_or_else(|| err(0, format!("missing '{expected}' line")))?;
+            let mut it = l.split_whitespace();
+            match (it.next(), it.next(), it.next()) {
+                (Some(k), Some(v), None) if k == expected => v
+                    .parse::<usize>()
+                    .map(|v| (ln, v))
+                    .map_err(|e| err(ln, format!("bad {expected} count: {e}"))),
+                _ => Err(err(ln, format!("expected '{expected} <count>', got '{l}'"))),
+            }
+        };
     let (_, n) = parse_kv("tasks", next_content())?;
     let (_, m) = parse_kv("procs", next_content())?;
     let (_, ne) = parse_kv("edges", next_content())?;
@@ -134,11 +158,20 @@ pub fn read_instance(text: &str) -> Result<Instance, ParseError> {
         let (ln, l) = next_content().ok_or_else(|| err(0, "unexpected EOF in edges"))?;
         let parts: Vec<&str> = l.split_whitespace().collect();
         if parts.len() != 4 || parts[0] != "edge" {
-            return Err(err(ln, format!("expected 'edge <from> <to> <data>', got '{l}'")));
+            return Err(err(
+                ln,
+                format!("expected 'edge <from> <to> <data>', got '{l}'"),
+            ));
         }
-        let from: u32 = parts[1].parse().map_err(|e| err(ln, format!("bad from: {e}")))?;
-        let to: u32 = parts[2].parse().map_err(|e| err(ln, format!("bad to: {e}")))?;
-        let data: f64 = parts[3].parse().map_err(|e| err(ln, format!("bad data: {e}")))?;
+        let from: u32 = parts[1]
+            .parse()
+            .map_err(|e| err(ln, format!("bad from: {e}")))?;
+        let to: u32 = parts[2]
+            .parse()
+            .map_err(|e| err(ln, format!("bad to: {e}")))?;
+        let data: f64 = parts[3]
+            .parse()
+            .map_err(|e| err(ln, format!("bad data: {e}")))?;
         builder.add_edge(TaskId(from), TaskId(to), data);
     }
     let graph = builder
@@ -152,10 +185,14 @@ pub fn read_instance(text: &str) -> Result<Instance, ParseError> {
         }
         let mut mat = Matrix::zeros(rows, cols);
         for r in 0..rows {
-            let (ln, l) = next_content().ok_or_else(|| err(0, format!("unexpected EOF in {name}")))?;
+            let (ln, l) =
+                next_content().ok_or_else(|| err(0, format!("unexpected EOF in {name}")))?;
             let vals: Vec<&str> = l.split_whitespace().collect();
             if vals.len() != cols {
-                return Err(err(ln, format!("{name} row {r}: expected {cols} values, got {}", vals.len())));
+                return Err(err(
+                    ln,
+                    format!("{name} row {r}: expected {cols} values, got {}", vals.len()),
+                ));
             }
             for (c, v) in vals.iter().enumerate() {
                 mat[(r, c)] = v
@@ -206,11 +243,16 @@ pub fn write_schedule(s: &Schedule) -> String {
 pub fn read_schedule(text: &str) -> Result<Schedule, ParseError> {
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
     let mut next_content = move || -> Option<(usize, &str)> {
-        lines.by_ref().find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        lines
+            .by_ref()
+            .find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
     };
     let (ln, header) = next_content().ok_or_else(|| err(0, "empty input"))?;
     if header != "rds-schedule v1" {
-        return Err(err(ln, format!("expected 'rds-schedule v1', got '{header}'")));
+        return Err(err(
+            ln,
+            format!("expected 'rds-schedule v1', got '{header}'"),
+        ));
     }
     let parse_kv = |expected: &str, got: Option<(usize, &str)>| -> Result<usize, ParseError> {
         let (ln, l) = got.ok_or_else(|| err(0, format!("missing '{expected}' line")))?;
@@ -251,7 +293,11 @@ mod tests {
 
     #[test]
     fn instance_roundtrip_exact() {
-        let inst = InstanceSpec::new(20, 3).seed(9).uncertainty_level(4.0).build().unwrap();
+        let inst = InstanceSpec::new(20, 3)
+            .seed(9)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
         let text = write_instance(&inst);
         let back = read_instance(&text).unwrap();
         // Structure (not adjacency-list order) must round-trip.

@@ -18,6 +18,12 @@
 //!   "real resource environment": realized durations are drawn from
 //!   `U(b, (2·UL−1)·b)` and aggregated into a robustness report
 //!   (rayon-parallel, deterministic per seed).
+//! * [`faults`] — deterministic, seed-derived fault scenarios layered on a
+//!   realization: permanent processor failures, transient slowdown
+//!   windows, stragglers, and transient task crashes.
+//! * [`recovery`] — pluggable recovery policies (fail-stop, retry with
+//!   backoff, migrate + replan) and the discrete-event executor that plays
+//!   a schedule through a fault scenario.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -26,20 +32,28 @@ pub mod bounds;
 pub mod contention;
 pub mod disjunctive;
 pub mod dynamic;
+pub mod faults;
 pub mod gantt;
 pub mod instance;
 pub mod io;
 pub mod metrics;
 pub mod realization;
+pub mod recovery;
 pub mod schedule;
 pub mod slack;
 pub mod timing;
 pub mod trace;
 
 pub use disjunctive::DisjunctiveGraph;
+pub use faults::{FaultConfig, FaultKind, FaultScenario};
 pub use instance::{Instance, InstanceSpec};
-pub use metrics::{r1_from_tardiness, r2_from_miss_rate, RobustnessReport};
-pub use realization::{monte_carlo, RealizationConfig};
+pub use metrics::{r1_from_tardiness, r2_from_miss_rate, FaultRobustnessReport, RobustnessReport};
+pub use realization::{
+    failure_penalty, monte_carlo, monte_carlo_faulty, sample_realized_matrix, RealizationConfig,
+};
+pub use recovery::{
+    execute_with_faults, FaultRun, Outcome, RecoveryConfig, RecoveryPolicy, RecoveryStats,
+};
 pub use schedule::{Schedule, ScheduleError};
 pub use slack::SlackAnalysis;
 pub use timing::TimedSchedule;

@@ -111,16 +111,15 @@ impl RobustnessReport {
     ///
     /// # Panics
     /// Panics when `makespans` is empty or `expected_makespan <= 0`.
-    pub fn from_makespans(
-        expected_makespan: f64,
-        average_slack: f64,
-        makespans: Vec<f64>,
-    ) -> Self {
+    pub fn from_makespans(expected_makespan: f64, average_slack: f64, makespans: Vec<f64>) -> Self {
         assert!(
             !makespans.is_empty(),
             "at least one realization is required"
         );
-        assert!(expected_makespan > 0.0, "expected makespan must be positive");
+        assert!(
+            expected_makespan > 0.0,
+            "expected makespan must be positive"
+        );
         let n = makespans.len();
         let mean_makespan = makespans.iter().sum::<f64>() / n as f64;
         let mean_tardiness = makespans
@@ -141,6 +140,135 @@ impl RobustnessReport {
             r2: r2_from_miss_rate(miss_rate),
             makespans: summary,
         }
+    }
+}
+
+/// Aggregated Monte Carlo results for one schedule executed through fault
+/// scenarios under a recovery policy (see `crate::recovery`).
+///
+/// Unlike [`RobustnessReport`], realizations can *fail* (fail-stop policies
+/// give up on permanent damage); `R1`/`R2` are computed over the completed
+/// realizations while `miss_rate` counts a failed realization as a miss —
+/// a run that never finishes certainly exceeded `M₀`.
+#[derive(Debug, Clone)]
+pub struct FaultRobustnessReport {
+    /// Expected makespan `M₀` of the fault-free plan.
+    pub expected_makespan: f64,
+    /// Average slack `σ̄` of the plan (expected durations).
+    pub average_slack: f64,
+    /// Number of realizations `N`.
+    pub realizations: usize,
+    /// Realizations that completed all tasks.
+    pub completed: usize,
+    /// `1 − completed / N`.
+    pub failed_rate: f64,
+    /// Mean realized makespan over *completed* realizations (NaN when none
+    /// completed).
+    pub mean_makespan: f64,
+    /// Mean relative tardiness over completed realizations (NaN when none
+    /// completed).
+    pub mean_tardiness: f64,
+    /// `R1 = 1/E[δ]` over completed realizations.
+    pub r1: f64,
+    /// Fraction of realizations exceeding `M₀`, counting failures as
+    /// misses.
+    pub miss_rate: f64,
+    /// `R2 = 1/α` with the failure-inclusive miss rate.
+    pub r2: f64,
+    /// Mean replans per realization.
+    pub mean_replans: f64,
+    /// Mean task retries per realization.
+    pub mean_retries: f64,
+    /// Mean work lost to aborts/crashes per realization (time units).
+    pub mean_lost_work: f64,
+    /// Mean backoff delay inserted per realization (time units).
+    pub mean_backoff_delay: f64,
+    /// Summary of the completed realized makespans (`None` when every
+    /// realization failed).
+    pub makespans: Option<Summary>,
+}
+
+impl FaultRobustnessReport {
+    /// Builds the report from `M₀`, the plan's average slack, the completed
+    /// makespans, the failed-realization count, and summed recovery totals
+    /// `(replans, retries, lost_work, backoff_delay)`.
+    ///
+    /// # Panics
+    /// Panics when there are zero realizations in total or
+    /// `expected_makespan <= 0`.
+    pub fn from_outcomes(
+        expected_makespan: f64,
+        average_slack: f64,
+        completed_makespans: Vec<f64>,
+        failed: usize,
+        totals: (usize, usize, f64, f64),
+    ) -> Self {
+        let completed = completed_makespans.len();
+        let n = completed + failed;
+        assert!(n > 0, "at least one realization is required");
+        assert!(
+            expected_makespan > 0.0,
+            "expected makespan must be positive"
+        );
+        let nf = n as f64;
+        let (mean_makespan, mean_tardiness, late) = if completed == 0 {
+            (f64::NAN, f64::NAN, 0usize)
+        } else {
+            let mean = completed_makespans.iter().sum::<f64>() / completed as f64;
+            let tard = completed_makespans
+                .iter()
+                .map(|&m| relative_tardiness(m, expected_makespan))
+                .sum::<f64>()
+                / completed as f64;
+            let late = completed_makespans
+                .iter()
+                .filter(|&&m| m > expected_makespan)
+                .count();
+            (mean, tard, late)
+        };
+        let miss_rate = (late + failed) as f64 / nf;
+        let (replans, retries, lost_work, backoff_delay) = totals;
+        Self {
+            expected_makespan,
+            average_slack,
+            realizations: n,
+            completed,
+            failed_rate: failed as f64 / nf,
+            mean_makespan,
+            mean_tardiness,
+            r1: if completed == 0 {
+                0.0 // every realization failed: no robustness to speak of
+            } else {
+                r1_from_tardiness(mean_tardiness)
+            },
+            miss_rate,
+            r2: r2_from_miss_rate(miss_rate),
+            mean_replans: replans as f64 / nf,
+            mean_retries: retries as f64 / nf,
+            mean_lost_work: lost_work / nf,
+            mean_backoff_delay: backoff_delay / nf,
+            makespans: if completed == 0 {
+                None
+            } else {
+                Some(Summary::from_samples(completed_makespans))
+            },
+        }
+    }
+
+    /// Effective mean makespan with failed realizations charged `penalty`
+    /// time units each. A survivor-biased plain mean would reward policies
+    /// that abandon hard realizations; charging a pessimistic
+    /// restart-from-scratch bound (e.g. twice the serial expected work)
+    /// makes policies comparable on one axis.
+    #[must_use]
+    pub fn effective_mean(&self, penalty: f64) -> f64 {
+        let failed = self.realizations - self.completed;
+        let completed_sum = if self.completed == 0 {
+            0.0
+        } else {
+            self.mean_makespan * self.completed as f64
+        };
+        (completed_sum + penalty * failed as f64) / self.realizations as f64
     }
 }
 
@@ -230,5 +358,57 @@ mod tests {
         let good = RobustnessReport::from_makespans(10.0, 0.0, vec![10.5, 10.5]);
         let bad = RobustnessReport::from_makespans(10.0, 0.0, vec![15.0, 15.0]);
         assert!(good.r1 > bad.r1);
+    }
+
+    #[test]
+    fn fault_report_hand_computed() {
+        // M0 = 10; completed 8, 12 (1 late), 2 failed of 4 total.
+        let r =
+            FaultRobustnessReport::from_outcomes(10.0, 1.0, vec![8.0, 12.0], 2, (3, 1, 5.0, 2.0));
+        assert_eq!(r.realizations, 4);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.failed_rate, 0.5);
+        assert_eq!(r.mean_makespan, 10.0);
+        // δ over completed: 0, 0.2 -> mean 0.1.
+        assert!((r.mean_tardiness - 0.1).abs() < 1e-12);
+        assert!((r.r1 - 10.0).abs() < 1e-9);
+        // Misses: the late completion + both failures = 3/4.
+        assert_eq!(r.miss_rate, 0.75);
+        assert!((r.r2 - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.mean_replans, 0.75);
+        assert_eq!(r.mean_retries, 0.25);
+        assert_eq!(r.mean_lost_work, 1.25);
+        assert_eq!(r.mean_backoff_delay, 0.5);
+        // Effective mean with penalty 30: (8 + 12 + 30 + 30) / 4 = 20.
+        assert_eq!(r.effective_mean(30.0), 20.0);
+        assert!(r.makespans.is_some());
+    }
+
+    #[test]
+    fn fault_report_with_no_faults_matches_plain_report() {
+        let ms = vec![8.0, 12.0, 10.0, 14.0];
+        let plain = RobustnessReport::from_makespans(10.0, 1.5, ms.clone());
+        let faulty = FaultRobustnessReport::from_outcomes(10.0, 1.5, ms, 0, (0, 0, 0.0, 0.0));
+        assert_eq!(faulty.failed_rate, 0.0);
+        assert_eq!(faulty.mean_makespan, plain.mean_makespan);
+        assert_eq!(faulty.mean_tardiness, plain.mean_tardiness);
+        assert_eq!(faulty.r1, plain.r1);
+        assert_eq!(faulty.miss_rate, plain.miss_rate);
+        assert_eq!(faulty.r2, plain.r2);
+        // With nothing failed the effective mean ignores the penalty.
+        assert_eq!(faulty.effective_mean(1e9), plain.mean_makespan);
+    }
+
+    #[test]
+    fn fault_report_all_failed_edge_case() {
+        let r = FaultRobustnessReport::from_outcomes(10.0, 0.0, vec![], 5, (0, 0, 0.0, 0.0));
+        assert_eq!(r.completed, 0);
+        assert_eq!(r.failed_rate, 1.0);
+        assert!(r.mean_makespan.is_nan());
+        assert_eq!(r.r1, 0.0);
+        assert_eq!(r.miss_rate, 1.0);
+        assert_eq!(r.r2, 1.0);
+        assert!(r.makespans.is_none());
+        assert_eq!(r.effective_mean(42.0), 42.0);
     }
 }

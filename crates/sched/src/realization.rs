@@ -13,11 +13,15 @@
 
 use rayon::prelude::*;
 
+use rds_platform::ProcId;
+use rds_stats::matrix::Matrix;
 use rds_stats::rng::SeedStream;
 
 use crate::disjunctive::{CycleError, DisjunctiveGraph};
+use crate::faults::{FaultConfig, FaultScenario};
 use crate::instance::Instance;
-use crate::metrics::RobustnessReport;
+use crate::metrics::{FaultRobustnessReport, RobustnessReport};
+use crate::recovery::{execute_with_faults, RecoveryConfig, RecoveryStats};
 use crate::schedule::Schedule;
 use crate::slack;
 use crate::timing;
@@ -148,6 +152,128 @@ pub fn monte_carlo(
     ))
 }
 
+/// Samples one realization's full `n × m` duration matrix (every task on
+/// every processor) from the instance's realization law.
+///
+/// Streams are per-task (`nth_rng(task)`), the exact discipline
+/// `dynamic.rs` uses, so a task's draws do not depend on how many
+/// processors other tasks were sampled for — and the dynamic dispatcher
+/// and the faulty executor see identical draws for the same
+/// `realization_seed`.
+#[must_use]
+pub fn sample_realized_matrix(
+    timing: &rds_platform::TimingModel,
+    tasks: usize,
+    procs: usize,
+    realization_seed: u64,
+) -> Matrix {
+    let seeds = SeedStream::new(realization_seed);
+    let mut mx = Matrix::zeros(tasks, procs);
+    for t in 0..tasks {
+        let mut rng = seeds.nth_rng(t as u64);
+        for p in 0..procs {
+            mx.set(t, p, timing.sample(t, ProcId(p as u32), &mut rng));
+        }
+    }
+    mx
+}
+
+/// Pessimistic restart-from-scratch makespan bound: twice the serial sum of
+/// per-task worst-processor expected durations. Used as the failure penalty
+/// in [`FaultRobustnessReport::effective_mean`] comparisons — any completed
+/// recovery (even single-survivor serial execution, where realized
+/// durations stay below `2·UL·b`) beats abandoning the realization.
+#[must_use]
+pub fn failure_penalty(inst: &Instance) -> f64 {
+    let serial_worst: f64 = (0..inst.task_count())
+        .map(|t| {
+            (0..inst.proc_count())
+                .map(|p| inst.timing.expected(t, ProcId(p as u32)))
+                .fold(0.0f64, f64::max)
+        })
+        .sum();
+    2.0 * serial_worst
+}
+
+/// Monte Carlo evaluation under injected faults: every realization draws a
+/// duration matrix *and* a [`FaultScenario`], executes the schedule through
+/// [`execute_with_faults`] with the given recovery policy, and the
+/// outcomes aggregate into a [`FaultRobustnessReport`].
+///
+/// Determinism contract `(seed, realization, fault-kind)`: realization `i`
+/// derives its duration stream from `branch("fault-durations")` and its
+/// scenario from `branch("fault-scenario")` of `cfg.seed`, each indexed by
+/// `nth_seed(i)` — results are bit-identical regardless of `cfg.parallel`
+/// or thread count, and match `dynamic_makespans_faulty` realization for
+/// realization when seeds agree.
+///
+/// When `faults.horizon <= 0` the schedule's expected makespan `M₀` is
+/// substituted, so failure/slowdown onsets land inside the execution
+/// window.
+///
+/// # Errors
+/// Returns [`CycleError`] when the schedule is incompatible with the
+/// instance's graph.
+///
+/// # Panics
+/// Panics when `cfg.realizations == 0` or the fault config is invalid.
+pub fn monte_carlo_faulty(
+    inst: &Instance,
+    schedule: &Schedule,
+    cfg: &RealizationConfig,
+    faults: &FaultConfig,
+    recovery: &RecoveryConfig,
+) -> Result<FaultRobustnessReport, CycleError> {
+    assert!(cfg.realizations > 0, "need at least one realization");
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
+    let durations = timing::expected_durations(&inst.timing, schedule);
+    let analysis = slack::analyze(&ds, schedule, &inst.platform, &durations);
+    let fcfg = if faults.horizon > 0.0 {
+        *faults
+    } else {
+        faults.with_horizon(analysis.makespan)
+    };
+
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    let dur_seeds = SeedStream::new(cfg.seed).branch("fault-durations");
+    let scen_seeds = SeedStream::new(cfg.seed).branch("fault-scenario");
+    let one = |i: usize| -> (Option<f64>, RecoveryStats) {
+        let mx = sample_realized_matrix(&inst.timing, n, m, dur_seeds.nth_seed(i as u64));
+        let scenario = FaultScenario::generate(&fcfg, n, m, scen_seeds.nth_seed(i as u64));
+        let run = execute_with_faults(inst, schedule, &mx, &scenario, recovery);
+        (run.outcome.makespan(), run.stats)
+    };
+    let outcomes: Vec<(Option<f64>, RecoveryStats)> = if cfg.parallel {
+        (0..cfg.realizations).into_par_iter().map(one).collect()
+    } else {
+        (0..cfg.realizations).map(one).collect()
+    };
+
+    let mut completed = Vec::with_capacity(outcomes.len());
+    let mut failed = 0usize;
+    let mut totals = RecoveryStats::default();
+    for (makespan, stats) in &outcomes {
+        match makespan {
+            Some(ms) => completed.push(*ms),
+            None => failed += 1,
+        }
+        totals.absorb(stats);
+    }
+    Ok(FaultRobustnessReport::from_outcomes(
+        analysis.makespan,
+        analysis.average_slack,
+        completed,
+        failed,
+        (
+            totals.replans,
+            totals.retries,
+            totals.lost_work,
+            totals.backoff_delay,
+        ),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -195,14 +321,19 @@ mod tests {
     fn realized_makespans_bounded_below_by_bcet_makespan() {
         // Every realized duration >= BCET, so every realized makespan is at
         // least the all-BCET makespan.
-        let inst = InstanceSpec::new(25, 3).seed(7).uncertainty_level(4.0).build().unwrap();
+        let inst = InstanceSpec::new(25, 3)
+            .seed(7)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
         let s = round_robin(&inst);
         let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
         let bcet_durs: Vec<f64> = (0..inst.task_count())
             .map(|i| inst.timing.best_case(i, s.proc_of(TaskId(i as u32))))
             .collect();
         let mut scratch = Vec::new();
-        let floor = timing::makespan_with_durations(&ds, &s, &inst.platform, &bcet_durs, &mut scratch);
+        let floor =
+            timing::makespan_with_durations(&ds, &s, &inst.platform, &bcet_durs, &mut scratch);
         let ms = realized_makespans(&inst, &s, &RealizationConfig::with_realizations(50).seed(9))
             .unwrap();
         for m in ms {
@@ -212,10 +343,18 @@ mod tests {
 
     #[test]
     fn monte_carlo_report_is_consistent() {
-        let inst = InstanceSpec::new(30, 3).seed(13).uncertainty_level(2.0).build().unwrap();
-        let s = round_robin(&inst);
-        let rep = monte_carlo(&inst, &s, &RealizationConfig::with_realizations(200).seed(1))
+        let inst = InstanceSpec::new(30, 3)
+            .seed(13)
+            .uncertainty_level(2.0)
+            .build()
             .unwrap();
+        let s = round_robin(&inst);
+        let rep = monte_carlo(
+            &inst,
+            &s,
+            &RealizationConfig::with_realizations(200).seed(1),
+        )
+        .unwrap();
         assert_eq!(rep.realizations, 200);
         assert!(rep.expected_makespan > 0.0);
         assert!(rep.mean_makespan > 0.0);
@@ -230,8 +369,16 @@ mod tests {
 
     #[test]
     fn higher_uncertainty_increases_tardiness() {
-        let lo = InstanceSpec::new(40, 4).seed(21).uncertainty_level(2.0).build().unwrap();
-        let hi = InstanceSpec::new(40, 4).seed(21).uncertainty_level(8.0).build().unwrap();
+        let lo = InstanceSpec::new(40, 4)
+            .seed(21)
+            .uncertainty_level(2.0)
+            .build()
+            .unwrap();
+        let hi = InstanceSpec::new(40, 4)
+            .seed(21)
+            .uncertainty_level(8.0)
+            .build()
+            .unwrap();
         let s_lo = round_robin(&lo);
         let s_hi = round_robin(&hi);
         let cfg = RealizationConfig::with_realizations(300).seed(2);
@@ -255,11 +402,136 @@ mod tests {
             rds_platform::TimingModel::deterministic(base.timing.bcet_matrix().clone()).unwrap();
         let inst = Instance::new(base.graph, base.platform, timing).unwrap();
         let s = round_robin(&inst);
-        let rep = monte_carlo(&inst, &s, &RealizationConfig::with_realizations(32).seed(8))
-            .unwrap();
+        let rep =
+            monte_carlo(&inst, &s, &RealizationConfig::with_realizations(32).seed(8)).unwrap();
         assert_eq!(rep.miss_rate, 0.0);
         assert_eq!(rep.r1, f64::INFINITY);
         assert_eq!(rep.r2, f64::INFINITY);
         assert!((rep.mean_makespan - rep.expected_makespan).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampled_matrix_is_deterministic_and_in_law_bounds() {
+        let inst = InstanceSpec::new(20, 3)
+            .seed(6)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
+        let a = sample_realized_matrix(&inst.timing, 20, 3, 42);
+        let b = sample_realized_matrix(&inst.timing, 20, 3, 42);
+        assert_eq!(a.as_slice(), b.as_slice());
+        for (t, p, d) in a.iter() {
+            let bcet = inst.timing.best_case(t, ProcId(p as u32));
+            assert!(d >= bcet - 1e-12, "draw below BCET at ({t},{p})");
+        }
+    }
+
+    #[test]
+    fn monte_carlo_faulty_deterministic_across_parallel_and_serial() {
+        use crate::faults::FaultConfig;
+        use crate::recovery::{RecoveryConfig, RecoveryPolicy};
+        let inst = InstanceSpec::new(30, 4)
+            .seed(9)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
+        let s = round_robin(&inst);
+        let faults = FaultConfig::default();
+        let rec = RecoveryConfig::new(RecoveryPolicy::MigrateReplan);
+        let par = monte_carlo_faulty(
+            &inst,
+            &s,
+            &RealizationConfig::with_realizations(48).seed(3),
+            &faults,
+            &rec,
+        )
+        .unwrap();
+        let ser = monte_carlo_faulty(
+            &inst,
+            &s,
+            &RealizationConfig::with_realizations(48).seed(3).serial(),
+            &faults,
+            &rec,
+        )
+        .unwrap();
+        // Bit-identical aggregation regardless of thread fan-out.
+        assert_eq!(par.completed, ser.completed);
+        assert_eq!(par.mean_makespan.to_bits(), ser.mean_makespan.to_bits());
+        assert_eq!(par.mean_tardiness.to_bits(), ser.mean_tardiness.to_bits());
+        assert_eq!(par.mean_lost_work.to_bits(), ser.mean_lost_work.to_bits());
+        assert_eq!(par.mean_replans, ser.mean_replans);
+    }
+
+    #[test]
+    fn monte_carlo_faulty_quiet_faults_match_plain_monte_carlo_shape() {
+        use crate::faults::FaultConfig;
+        use crate::recovery::{RecoveryConfig, RecoveryPolicy};
+        let inst = InstanceSpec::new(25, 3)
+            .seed(12)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
+        let s = round_robin(&inst);
+        let rep = monte_carlo_faulty(
+            &inst,
+            &s,
+            &RealizationConfig::with_realizations(64).seed(7),
+            &FaultConfig::quiet(),
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        )
+        .unwrap();
+        // No faults: nothing fails, no recovery effort, finite stats.
+        assert_eq!(rep.failed_rate, 0.0);
+        assert_eq!(rep.completed, 64);
+        assert_eq!(rep.mean_replans, 0.0);
+        assert_eq!(rep.mean_retries, 0.0);
+        assert_eq!(rep.mean_lost_work, 0.0);
+        assert!(rep.mean_makespan.is_finite() && rep.mean_makespan > 0.0);
+        // And it agrees with the fault-free engine's expected makespan.
+        let plain =
+            monte_carlo(&inst, &s, &RealizationConfig::with_realizations(64).seed(7)).unwrap();
+        assert!((rep.expected_makespan - plain.expected_makespan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migrate_replan_beats_fail_stop_under_permanent_failures() {
+        use crate::faults::FaultConfig;
+        use crate::recovery::{RecoveryConfig, RecoveryPolicy};
+        let inst = InstanceSpec::new(30, 4)
+            .seed(17)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
+        let s = round_robin(&inst);
+        let faults = FaultConfig {
+            failure_rate: 0.3,
+            ..FaultConfig::quiet()
+        };
+        let cfg = RealizationConfig::with_realizations(100).seed(5);
+        let stop = monte_carlo_faulty(
+            &inst,
+            &s,
+            &cfg,
+            &faults,
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        )
+        .unwrap();
+        let migrate = monte_carlo_faulty(
+            &inst,
+            &s,
+            &cfg,
+            &faults,
+            &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
+        )
+        .unwrap();
+        assert!(stop.failed_rate > 0.0, "failures must bite at rate 0.3");
+        assert_eq!(migrate.failed_rate, 0.0, "migrate-replan never gives up");
+        let penalty = failure_penalty(&inst);
+        assert!(
+            migrate.effective_mean(penalty) < stop.effective_mean(penalty),
+            "migrate {} !< fail-stop {}",
+            migrate.effective_mean(penalty),
+            stop.effective_mean(penalty)
+        );
     }
 }

@@ -1,0 +1,935 @@
+//! Recovery policies: executing a schedule through a fault scenario.
+//!
+//! [`execute_with_faults`] is a discrete-event executor that replays a
+//! static schedule against one realization's durations *and* one
+//! [`FaultScenario`](crate::faults::FaultScenario), reacting according to a
+//! pluggable [`RecoveryPolicy`]:
+//!
+//! * [`RecoveryPolicy::FailStop`] — no recovery; any permanent failure or
+//!   task crash that touches unfinished work fails the realization. This
+//!   measures the *raw damage* a fault regime inflicts.
+//! * [`RecoveryPolicy::RetrySameProc`] — transient task crashes are
+//!   re-executed on the same processor after a backoff delay; permanent
+//!   failures are still fatal.
+//! * [`RecoveryPolicy::MigrateReplan`] — on a permanent failure, the
+//!   unstarted remainder of the DAG is re-planned over the surviving
+//!   processors with a HEFT-style earliest-finish-time pass (the same
+//!   upward-rank + EFT mathematics as `rds-heft`, recomputed here because
+//!   `rds-heft` sits *above* this crate in the dependency graph; the
+//!   public partial-graph entry point lives in `rds_heft::reschedule`).
+//!
+//! Semantics, fixed for all policies:
+//!
+//! * tasks already **finished** are never re-executed;
+//! * a task **running** on a healthy processor is never migrated;
+//! * a task running on a processor at its failure instant is lost and
+//!   (under `MigrateReplan`) re-planned from scratch elsewhere;
+//! * slowdown windows and stragglers merely stretch durations — they never
+//!   fail a realization under any policy;
+//! * the executor is deterministic: all randomness lives in the realized
+//!   duration matrix and the fault scenario.
+
+use std::collections::VecDeque;
+
+use rds_graph::TaskId;
+use rds_platform::{Availability, ProcId};
+use rds_stats::matrix::Matrix;
+
+use crate::faults::{advance_through, FaultScenario};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// How the executor reacts to faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecoveryPolicy {
+    /// No recovery: permanent failures and task crashes fail the run.
+    FailStop,
+    /// Retry crashed tasks in place with backoff; failures remain fatal.
+    RetrySameProc,
+    /// Retry crashes in place *and* replan the unstarted subgraph onto
+    /// surviving processors when a processor dies.
+    #[default]
+    MigrateReplan,
+}
+
+impl RecoveryPolicy {
+    /// Stable label used in figures and traces.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::FailStop => "fail-stop",
+            Self::RetrySameProc => "retry-same",
+            Self::MigrateReplan => "migrate-replan",
+        }
+    }
+
+    /// All policies, in damage-to-resilience order.
+    #[must_use]
+    pub fn all() -> [Self; 3] {
+        [Self::FailStop, Self::RetrySameProc, Self::MigrateReplan]
+    }
+}
+
+/// Recovery tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// The policy.
+    pub policy: RecoveryPolicy,
+    /// Backoff before retrying a crashed task, as a fraction of the task's
+    /// expected duration on its processor (doubled per extra retry).
+    pub backoff: f64,
+    /// Maximum retries per task (transient crashes occur once per task, so
+    /// 1 suffices; 0 turns `RetrySameProc` into `FailStop` for crashes).
+    pub max_retries: u32,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self {
+            policy: RecoveryPolicy::MigrateReplan,
+            backoff: 0.25,
+            max_retries: 3,
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// Config for `policy` with default knobs.
+    #[must_use]
+    pub fn new(policy: RecoveryPolicy) -> Self {
+        Self {
+            policy,
+            ..Self::default()
+        }
+    }
+}
+
+/// Why a realization failed to complete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FailReason {
+    /// A processor with unfinished work died and the policy cannot migrate.
+    ProcessorLost(ProcId),
+    /// A task crashed and the policy cannot retry (or retries exhausted).
+    TaskCrashed(TaskId),
+    /// Every processor died before the DAG completed (`MigrateReplan` only;
+    /// the generator's survivor rule makes this unreachable for generated
+    /// scenarios, but hand-built ones may trigger it).
+    NoProcessorsLeft,
+}
+
+/// Outcome of executing one realization through a fault scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// All tasks finished; the realized makespan.
+    Completed {
+        /// The realized makespan.
+        makespan: f64,
+    },
+    /// The run aborted at `at`.
+    Failed {
+        /// When the run was declared failed.
+        at: f64,
+        /// Why it failed.
+        reason: FailReason,
+    },
+}
+
+impl Outcome {
+    /// The makespan when completed.
+    #[must_use]
+    pub fn makespan(&self) -> Option<f64> {
+        match *self {
+            Self::Completed { makespan } => Some(makespan),
+            Self::Failed { .. } => None,
+        }
+    }
+}
+
+/// Recovery effort spent during one run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RecoveryStats {
+    /// Number of replans triggered by permanent failures.
+    pub replans: usize,
+    /// Number of task retries after transient crashes.
+    pub retries: usize,
+    /// Work (in time units at full speed) lost to aborts and crashes.
+    pub lost_work: f64,
+    /// Total backoff delay inserted before retries.
+    pub backoff_delay: f64,
+}
+
+impl RecoveryStats {
+    /// Accumulates another run's stats (used by the Monte Carlo
+    /// aggregation).
+    pub fn absorb(&mut self, other: &Self) {
+        self.replans += other.replans;
+        self.retries += other.retries;
+        self.lost_work += other.lost_work;
+        self.backoff_delay += other.backoff_delay;
+    }
+}
+
+/// A timestamped recovery event, for traces and debugging.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// Processor `proc` died at `at`.
+    ProcessorFailed {
+        /// Processor.
+        proc: ProcId,
+        /// Time.
+        at: f64,
+    },
+    /// `task` was running on `proc` when it died; its work is lost.
+    TaskAborted {
+        /// Task.
+        task: TaskId,
+        /// Processor.
+        proc: ProcId,
+        /// Time.
+        at: f64,
+    },
+    /// `task`'s first attempt on `proc` crashed at `at`.
+    TaskCrashed {
+        /// Task.
+        task: TaskId,
+        /// Processor.
+        proc: ProcId,
+        /// Time.
+        at: f64,
+    },
+    /// `task` restarted on `proc` at `at` (after backoff).
+    TaskRetried {
+        /// Task.
+        task: TaskId,
+        /// Processor.
+        proc: ProcId,
+        /// Time.
+        at: f64,
+    },
+    /// The unstarted subgraph (`moved` tasks) was re-planned at `at`.
+    Replanned {
+        /// Time.
+        at: f64,
+        /// Number of tasks whose queue slot changed.
+        moved: usize,
+    },
+}
+
+impl RecoveryEvent {
+    /// Event timestamp.
+    #[must_use]
+    pub fn at(&self) -> f64 {
+        match *self {
+            Self::ProcessorFailed { at, .. }
+            | Self::TaskAborted { at, .. }
+            | Self::TaskCrashed { at, .. }
+            | Self::TaskRetried { at, .. }
+            | Self::Replanned { at, .. } => at,
+        }
+    }
+
+    /// The processor lane the event belongs to, when it has one.
+    #[must_use]
+    pub fn lane(&self) -> Option<ProcId> {
+        match *self {
+            Self::ProcessorFailed { proc, .. }
+            | Self::TaskAborted { proc, .. }
+            | Self::TaskCrashed { proc, .. }
+            | Self::TaskRetried { proc, .. } => Some(proc),
+            Self::Replanned { .. } => None,
+        }
+    }
+
+    /// Human-readable label for trace viewers.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            Self::ProcessorFailed { proc, .. } => format!("fail {proc}"),
+            Self::TaskAborted { task, .. } => format!("abort {task}"),
+            Self::TaskCrashed { task, .. } => format!("crash {task}"),
+            Self::TaskRetried { task, .. } => format!("retry {task}"),
+            Self::Replanned { moved, .. } => format!("replan {moved}"),
+        }
+    }
+}
+
+/// Full result of one faulty execution.
+#[derive(Debug, Clone)]
+pub struct FaultRun {
+    /// Completed-or-failed.
+    pub outcome: Outcome,
+    /// The schedule that actually executed (placement + per-processor
+    /// order), present only when the run completed.
+    pub schedule: Option<Schedule>,
+    /// Realized start times (NaN for tasks that never ran).
+    pub start: Vec<f64>,
+    /// Realized finish times (NaN for tasks that never finished).
+    pub finish: Vec<f64>,
+    /// Recovery effort.
+    pub stats: RecoveryStats,
+    /// Timestamped recovery events, in occurrence order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+/// One task either running or committed to run on a processor.
+#[derive(Debug, Clone, Copy)]
+struct Running {
+    task: TaskId,
+    start: f64,
+    finish: f64,
+}
+
+/// Executes `plan` against realized `durations` (an `n × m` matrix) and a
+/// fault `scenario` under the given recovery policy.
+///
+/// The executor is *omniscient about the present, blind to the future*:
+/// dispatch decisions use realized finish times of completed work (as an
+/// online runtime observing its own history would), while replans estimate
+/// remaining work with expected durations (the scheduler cannot see
+/// unrevealed draws).
+///
+/// # Panics
+/// Panics when `durations` is not `task_count × proc_count`.
+#[must_use]
+pub fn execute_with_faults(
+    inst: &Instance,
+    plan: &Schedule,
+    durations: &Matrix,
+    scenario: &FaultScenario,
+    cfg: &RecoveryConfig,
+) -> FaultRun {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    assert!(
+        durations.rows() == n && durations.cols() == m,
+        "durations must be {n}x{m}, got {}x{}",
+        durations.rows(),
+        durations.cols()
+    );
+
+    let windows = scenario.windows_by_proc(m);
+    let mut failures = scenario.failures.clone();
+    failures.sort_by(|a, b| a.at.total_cmp(&b.at).then(a.proc.cmp(&b.proc)));
+    let mut next_failure = 0usize;
+
+    let mut queue: Vec<VecDeque<TaskId>> = (0..m)
+        .map(|p| plan.tasks_on(ProcId(p as u32)).iter().copied().collect())
+        .collect();
+    let mut avail = Availability::all_up(m);
+    let mut running: Vec<Option<Running>> = vec![None; m];
+    let mut finished = vec![false; n];
+    let mut start = vec![f64::NAN; n];
+    let mut finish = vec![f64::NAN; n];
+    // Execution placement; starts as the plan and is overwritten whenever a
+    // task is (re-)dispatched, so communication uses actual locations.
+    let mut placement: Vec<ProcId> = plan.assignment().to_vec();
+    let mut exec_order: Vec<Vec<TaskId>> = vec![Vec::new(); m];
+    let mut retried = vec![0u32; n];
+    let mut proc_free = vec![0.0f64; m];
+    let mut done = 0usize;
+    let mut stats = RecoveryStats::default();
+    let mut events: Vec<RecoveryEvent> = Vec::new();
+    // Upward ranks for replanning, computed on first use.
+    let mut replan_order: Option<Vec<TaskId>> = None;
+
+    let fail = |at: f64,
+                reason: FailReason,
+                start: Vec<f64>,
+                finish: Vec<f64>,
+                stats: RecoveryStats,
+                events: Vec<RecoveryEvent>| FaultRun {
+        outcome: Outcome::Failed { at, reason },
+        schedule: None,
+        start,
+        finish,
+        stats,
+        events,
+    };
+
+    loop {
+        // Dispatch: start the head of every idle, alive processor's queue
+        // whose predecessors are all finished. Repeat until a fixed point —
+        // one completion can ready several heads.
+        let mut dispatched = true;
+        while dispatched {
+            dispatched = false;
+            for p in 0..m {
+                if !avail.is_up(ProcId(p as u32)) || running[p].is_some() {
+                    continue;
+                }
+                let Some(&t) = queue[p].front() else { continue };
+                if !inst
+                    .graph
+                    .predecessors(t)
+                    .iter()
+                    .all(|e| finished[e.task.index()])
+                {
+                    continue;
+                }
+                // Earliest start: processor free + data arrivals from the
+                // predecessors' *actual* placements.
+                let mut s = proc_free[p];
+                for e in inst.graph.predecessors(t) {
+                    let arrive = finish[e.task.index()]
+                        + inst.platform.comm_time(
+                            e.data,
+                            placement[e.task.index()],
+                            ProcId(p as u32),
+                        );
+                    if arrive > s {
+                        s = arrive;
+                    }
+                }
+                let base = durations[(t.index(), p)] * scenario.straggler_factor(t);
+                let fin;
+                if retried[t.index()] == 0 && scenario.crash_of(t).is_some() {
+                    let fraction = scenario.crash_of(t).expect("checked above");
+                    let crash_at = advance_through(&windows[p], s, fraction * base);
+                    events.push(RecoveryEvent::TaskCrashed {
+                        task: t,
+                        proc: ProcId(p as u32),
+                        at: crash_at,
+                    });
+                    if cfg.policy == RecoveryPolicy::FailStop || cfg.max_retries == 0 {
+                        return fail(
+                            crash_at,
+                            FailReason::TaskCrashed(t),
+                            start,
+                            finish,
+                            stats,
+                            events,
+                        );
+                    }
+                    // Retry in place after backoff (crashes fire once, so a
+                    // single retry always suffices).
+                    retried[t.index()] = 1;
+                    stats.retries += 1;
+                    stats.lost_work += fraction * base;
+                    let backoff = cfg.backoff * inst.timing.expected(t.index(), ProcId(p as u32));
+                    stats.backoff_delay += backoff;
+                    let restart = crash_at + backoff;
+                    events.push(RecoveryEvent::TaskRetried {
+                        task: t,
+                        proc: ProcId(p as u32),
+                        at: restart,
+                    });
+                    fin = advance_through(&windows[p], restart, base);
+                } else {
+                    fin = advance_through(&windows[p], s, base);
+                }
+                queue[p].pop_front();
+                running[p] = Some(Running {
+                    task: t,
+                    start: s,
+                    finish: fin,
+                });
+                start[t.index()] = s;
+                placement[t.index()] = ProcId(p as u32);
+                dispatched = true;
+            }
+        }
+        if done == n {
+            break;
+        }
+
+        // Next event: earliest completion vs earliest pending failure, with
+        // deterministic tie-breaks (completion first, then processor id).
+        let next_fin: Option<(f64, usize)> = running
+            .iter()
+            .enumerate()
+            .filter_map(|(p, r)| r.as_ref().map(|r| (r.finish, p)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let pending_failure = failures.get(next_failure);
+
+        let take_completion = match (next_fin, pending_failure) {
+            (Some((f, _)), Some(pf)) => f <= pf.at,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => {
+                // No running work, no pending failures, tasks remain: the
+                // plan queues stalled. Unreachable for valid plans (list
+                // schedules always progress); fail defensively rather than
+                // spin.
+                let at = proc_free.iter().copied().fold(0.0f64, f64::max);
+                return fail(
+                    at,
+                    FailReason::NoProcessorsLeft,
+                    start,
+                    finish,
+                    stats,
+                    events,
+                );
+            }
+        };
+
+        if take_completion {
+            let (_, p) = next_fin.expect("completion branch requires a running task");
+            let r = running[p].take().expect("selected processor is running");
+            finished[r.task.index()] = true;
+            finish[r.task.index()] = r.finish;
+            proc_free[p] = r.finish;
+            exec_order[p].push(r.task);
+            done += 1;
+            continue;
+        }
+
+        // Permanent processor failure.
+        let f = *failures
+            .get(next_failure)
+            .expect("failure branch requires a pending failure");
+        next_failure += 1;
+        let p = f.proc.index();
+        if !avail.is_up(f.proc) {
+            continue;
+        }
+        avail.mark_down(f.proc, f.at);
+        events.push(RecoveryEvent::ProcessorFailed {
+            proc: f.proc,
+            at: f.at,
+        });
+        if let Some(r) = running[p].take() {
+            // A committed task whose interval crosses the failure instant is
+            // aborted; one committed entirely before it already completed
+            // (completion events at time <= f.at were drained first).
+            stats.lost_work += (f.at - r.start).max(0.0);
+            events.push(RecoveryEvent::TaskAborted {
+                task: r.task,
+                proc: f.proc,
+                at: f.at,
+            });
+            start[r.task.index()] = f64::NAN;
+            queue[p].push_front(r.task);
+        }
+        proc_free[p] = f.at;
+        if queue[p].is_empty() {
+            // Harmless failure: the processor had nothing left to do.
+            continue;
+        }
+        match cfg.policy {
+            RecoveryPolicy::FailStop | RecoveryPolicy::RetrySameProc => {
+                return fail(
+                    f.at,
+                    FailReason::ProcessorLost(f.proc),
+                    start,
+                    finish,
+                    stats,
+                    events,
+                );
+            }
+            RecoveryPolicy::MigrateReplan => {
+                if !avail.any_up() {
+                    return fail(
+                        f.at,
+                        FailReason::NoProcessorsLeft,
+                        start,
+                        finish,
+                        stats,
+                        events,
+                    );
+                }
+                let order = replan_order.get_or_insert_with(|| rank_order_for(inst));
+                let moved = replan(
+                    inst, order, &avail, &finished, &finish, &running, &placement, &proc_free,
+                    f.at, &mut queue,
+                );
+                stats.replans += 1;
+                events.push(RecoveryEvent::Replanned { at: f.at, moved });
+            }
+        }
+    }
+
+    let makespan = finish.iter().copied().fold(0.0f64, f64::max);
+    let schedule = Schedule::from_proc_lists(n, exec_order)
+        .expect("faulty executor completes every task exactly once");
+    FaultRun {
+        outcome: Outcome::Completed { makespan },
+        schedule: Some(schedule),
+        start,
+        finish,
+        stats,
+        events,
+    }
+}
+
+/// Tasks in decreasing expected-time upward-rank order (HEFT's priority),
+/// the same prioritization `dynamic.rs` uses.
+fn rank_order_for(inst: &Instance) -> Vec<TaskId> {
+    let ranks = rds_graph::paths::bottom_levels(
+        &inst.graph,
+        |t: TaskId| inst.timing.mean_expected(t.index()),
+        |_, _, data| inst.platform.mean_comm_time(data),
+    );
+    let mut order: Vec<TaskId> = inst.graph.tasks().collect();
+    order.sort_by(|a, b| {
+        ranks[b.index()]
+            .total_cmp(&ranks[a.index()])
+            .then_with(|| a.cmp(b))
+    });
+    order
+}
+
+/// Re-plans every unfinished, uncommitted task onto the alive processors by
+/// earliest estimated finish time, rewriting the per-processor queues.
+/// Returns the number of tasks re-queued.
+#[allow(clippy::too_many_arguments)]
+fn replan(
+    inst: &Instance,
+    order: &[TaskId],
+    avail: &Availability,
+    finished: &[bool],
+    finish: &[f64],
+    running: &[Option<Running>],
+    placement: &[ProcId],
+    proc_free: &[f64],
+    now: f64,
+    queue: &mut [VecDeque<TaskId>],
+) -> usize {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+
+    // Committed (running) tasks stay where they are; mark them.
+    let mut committed = vec![false; n];
+    for r in running.iter().flatten() {
+        committed[r.task.index()] = true;
+    }
+
+    // Estimated availability of each alive processor, and estimated finish
+    // times: realized for finished work, committed for running work,
+    // estimated (expected durations) for re-planned work.
+    let mut free: Vec<f64> = (0..m)
+        .map(|p| {
+            if !avail.is_up(ProcId(p as u32)) {
+                f64::INFINITY
+            } else {
+                let busy = running[p].as_ref().map_or(0.0, |r| r.finish);
+                now.max(proc_free[p]).max(busy)
+            }
+        })
+        .collect();
+    let mut est_finish: Vec<f64> = (0..n)
+        .map(|t| if finished[t] { finish[t] } else { f64::NAN })
+        .collect();
+    for r in running.iter().flatten() {
+        est_finish[r.task.index()] = r.finish;
+    }
+    let mut est_place: Vec<ProcId> = placement.to_vec();
+
+    for q in queue.iter_mut() {
+        q.clear();
+    }
+    let mut moved = 0usize;
+    for &t in order {
+        let ti = t.index();
+        if finished[ti] || committed[ti] {
+            continue;
+        }
+        // Earliest estimated finish over alive processors; ties by id, the
+        // same comparison HEFT's placement loop uses.
+        let mut best: Option<(f64, ProcId)> = None;
+        for p in 0..m {
+            if !avail.is_up(ProcId(p as u32)) {
+                continue;
+            }
+            let mut est = free[p];
+            for e in inst.graph.predecessors(t) {
+                let arrive = est_finish[e.task.index()]
+                    + inst
+                        .platform
+                        .comm_time(e.data, est_place[e.task.index()], ProcId(p as u32));
+                if arrive > est {
+                    est = arrive;
+                }
+            }
+            let eft = est + inst.timing.expected(ti, ProcId(p as u32));
+            if best.is_none_or(|(beft, _)| eft < beft - 1e-12) {
+                best = Some((eft, ProcId(p as u32)));
+            }
+        }
+        let (eft, p) = best.expect("replan requires at least one alive processor");
+        queue[p.index()].push_back(t);
+        free[p.index()] = eft;
+        est_finish[ti] = eft;
+        est_place[ti] = p;
+        moved += 1;
+    }
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultConfig, ProcessorFailure, Straggler, TaskCrash};
+    use crate::instance::InstanceSpec;
+    use crate::timing;
+
+    fn inst(seed: u64) -> Instance {
+        InstanceSpec::new(30, 4)
+            .seed(seed)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap()
+    }
+
+    fn round_robin(i: &Instance) -> Schedule {
+        let order = rds_graph::topo::topological_order(&i.graph).unwrap();
+        let m = i.proc_count();
+        let assignment: Vec<ProcId> = (0..i.task_count())
+            .map(|t| ProcId((t % m) as u32))
+            .collect();
+        Schedule::from_order_and_assignment(&order, &assignment, m).unwrap()
+    }
+
+    fn expected_matrix(i: &Instance) -> Matrix {
+        Matrix::from_fn(i.task_count(), i.proc_count(), |t, p| {
+            i.timing.expected(t, ProcId(p as u32))
+        })
+    }
+
+    /// With a quiet scenario the executor must reproduce the static timing
+    /// of the plan exactly, for every policy.
+    #[test]
+    fn quiet_scenario_matches_static_timing() {
+        let i = inst(1);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let per_task: Vec<f64> = (0..i.task_count())
+            .map(|t| durations[(t, s.proc_of(TaskId(t as u32)).index())])
+            .collect();
+        let ds = crate::disjunctive::DisjunctiveGraph::build(&i.graph, &s).unwrap();
+        let reference = timing::evaluate_with_durations(&ds, &s, &i.platform, &per_task).makespan;
+        for policy in RecoveryPolicy::all() {
+            let run = execute_with_faults(
+                &i,
+                &s,
+                &durations,
+                &FaultScenario::default(),
+                &RecoveryConfig::new(policy),
+            );
+            let makespan = run.outcome.makespan().expect("quiet run completes");
+            assert!(
+                (makespan - reference).abs() < 1e-9,
+                "{policy:?}: {makespan} != static {reference}"
+            );
+            assert_eq!(run.stats, RecoveryStats::default());
+            assert!(run.events.is_empty());
+            assert_eq!(run.schedule.as_ref().unwrap(), &s);
+        }
+    }
+
+    #[test]
+    fn failstop_fails_on_processor_failure_with_pending_work() {
+        let i = inst(2);
+        let s = round_robin(&i);
+        let scenario = FaultScenario {
+            failures: vec![ProcessorFailure {
+                proc: ProcId(0),
+                at: 1e-6,
+            }],
+            ..FaultScenario::default()
+        };
+        let run = execute_with_faults(
+            &i,
+            &s,
+            &expected_matrix(&i),
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        );
+        match run.outcome {
+            Outcome::Failed { reason, .. } => {
+                assert_eq!(reason, FailReason::ProcessorLost(ProcId(0)));
+            }
+            Outcome::Completed { .. } => panic!("fail-stop must fail when a loaded proc dies"),
+        }
+        assert!(run.schedule.is_none());
+    }
+
+    #[test]
+    fn late_failure_after_all_work_is_harmless() {
+        let i = inst(3);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let quiet = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &FaultScenario::default(),
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        );
+        let m0 = quiet.outcome.makespan().unwrap();
+        let scenario = FaultScenario {
+            failures: vec![ProcessorFailure {
+                proc: ProcId(0),
+                at: m0 + 1.0,
+            }],
+            ..FaultScenario::default()
+        };
+        let run = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        );
+        assert_eq!(run.outcome.makespan(), Some(m0));
+    }
+
+    #[test]
+    fn migrate_replan_completes_despite_failure() {
+        let i = inst(4);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let quiet = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &FaultScenario::default(),
+            &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
+        );
+        let m0 = quiet.outcome.makespan().unwrap();
+        let scenario = FaultScenario {
+            failures: vec![ProcessorFailure {
+                proc: ProcId(0),
+                at: 0.3 * m0,
+            }],
+            ..FaultScenario::default()
+        };
+        let run = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
+        );
+        let makespan = run.outcome.makespan().expect("migrate-replan completes");
+        // Work was still outstanding at the failure instant (the quiet run
+        // finishes at m0 > 0.3*m0), and replanned tasks dispatch no earlier
+        // than the failure, so the realized makespan must exceed it. (The
+        // replan MAY beat m0 outright: EFT on the survivors can improve on a
+        // round-robin plan, so `makespan >= m0` would be unsound.)
+        assert!(
+            makespan > 0.3 * m0,
+            "unfinished work cannot end before the failure"
+        );
+        assert!(run.stats.replans >= 1);
+        let schedule = run.schedule.expect("completed run has a schedule");
+        assert!(schedule.validate_against(&i.graph).is_ok());
+        // Nothing may *finish* on the dead processor after its death.
+        for &t in schedule.tasks_on(ProcId(0)) {
+            assert!(
+                run.finish[t.index()] <= 0.3 * m0 + 1e-9,
+                "{t} finished on the dead processor after it died"
+            );
+        }
+        // Physical validity of the realized timeline: precedence (comm >= 0
+        // means finish-before-start suffices) and per-proc exclusivity.
+        for t in i.graph.tasks() {
+            for e in i.graph.predecessors(t) {
+                assert!(run.start[t.index()] >= run.finish[e.task.index()] - 1e-9);
+            }
+        }
+        for p in 0..i.proc_count() {
+            let tasks = schedule.tasks_on(ProcId(p as u32));
+            for w in tasks.windows(2) {
+                assert!(run.start[w[1].index()] >= run.finish[w[0].index()] - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_recovers_from_crash_failstop_does_not() {
+        let i = inst(5);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let scenario = FaultScenario {
+            crashes: vec![TaskCrash {
+                task: TaskId(0),
+                fraction: 0.5,
+            }],
+            ..FaultScenario::default()
+        };
+        let failstop = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        );
+        assert!(matches!(
+            failstop.outcome,
+            Outcome::Failed {
+                reason: FailReason::TaskCrashed(TaskId(0)),
+                ..
+            }
+        ));
+        let retry = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::RetrySameProc),
+        );
+        let quiet = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &FaultScenario::default(),
+            &RecoveryConfig::new(RecoveryPolicy::RetrySameProc),
+        );
+        let with_crash = retry.outcome.makespan().expect("retry completes");
+        let without = quiet.outcome.makespan().unwrap();
+        assert!(with_crash >= without, "a crash cannot make the run faster");
+        assert_eq!(retry.stats.retries, 1);
+        assert!(retry.stats.lost_work > 0.0);
+        assert!(retry.stats.backoff_delay > 0.0);
+    }
+
+    #[test]
+    fn straggler_only_delays_never_fails() {
+        let i = inst(6);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let scenario = FaultScenario {
+            stragglers: vec![Straggler {
+                task: TaskId(3),
+                factor: 5.0,
+            }],
+            ..FaultScenario::default()
+        };
+        for policy in RecoveryPolicy::all() {
+            let run =
+                execute_with_faults(&i, &s, &durations, &scenario, &RecoveryConfig::new(policy));
+            assert!(run.outcome.makespan().is_some(), "{policy:?} must complete");
+        }
+    }
+
+    #[test]
+    fn generated_scenarios_always_complete_under_migrate_replan() {
+        let i = inst(7);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let cfg = FaultConfig {
+            failure_rate: 0.5,
+            crash_rate: 0.3,
+            horizon: 50.0,
+            ..FaultConfig::default()
+        };
+        for seed in 0..25 {
+            let scenario = FaultScenario::generate(&cfg, i.task_count(), i.proc_count(), seed);
+            let run = execute_with_faults(
+                &i,
+                &s,
+                &durations,
+                &scenario,
+                &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
+            );
+            let makespan = run
+                .outcome
+                .makespan()
+                .expect("migrate-replan completes every generated scenario");
+            assert!(makespan.is_finite() && makespan > 0.0);
+            if let Some(sched) = run.schedule {
+                assert!(sched.validate_against(&i.graph).is_ok());
+            }
+        }
+    }
+}

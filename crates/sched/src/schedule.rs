@@ -31,7 +31,10 @@ impl fmt::Display for ScheduleError {
             ScheduleError::DuplicateTask(t) => write!(f, "task {t} scheduled more than once"),
             ScheduleError::MissingTask(t) => write!(f, "task {t} never scheduled"),
             ScheduleError::PrecedenceCycle => {
-                write!(f, "per-processor orders contradict the precedence constraints")
+                write!(
+                    f,
+                    "per-processor orders contradict the precedence constraints"
+                )
             }
         }
     }

@@ -92,8 +92,7 @@ pub fn analyze(
         let mut best = own;
         for e in ds.successors(t) {
             let q = e.task;
-            let cand =
-                own + platform.comm_time(e.data, pt, schedule.proc_of(q)) + bl[q.index()];
+            let cand = own + platform.comm_time(e.data, pt, schedule.proc_of(q)) + bl[q.index()];
             if cand > best {
                 best = cand;
             }
@@ -230,11 +229,7 @@ mod tests {
             .add_edge(TaskId(2), TaskId(3), 0.0);
         let g = b.build().unwrap();
         let p = Platform::uniform(3, 1.0).unwrap();
-        let s = Schedule::from_proc_lists(
-            4,
-            vec![ids(&[0, 3]), ids(&[1]), ids(&[2])],
-        )
-        .unwrap();
+        let s = Schedule::from_proc_lists(4, vec![ids(&[0, 3]), ids(&[1]), ids(&[2])]).unwrap();
         let dur = vec![1.0, 2.0, 8.0, 1.0];
         let ds = DisjunctiveGraph::build(&g, &s).unwrap();
         assert!(ds.are_independent(TaskId(1), TaskId(2)));

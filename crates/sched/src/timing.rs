@@ -121,10 +121,7 @@ pub fn makespan_with_durations(
 }
 
 /// Expected durations of every task on its assigned processor.
-pub fn expected_durations(
-    timing: &rds_platform::TimingModel,
-    schedule: &Schedule,
-) -> Vec<f64> {
+pub fn expected_durations(timing: &rds_platform::TimingModel, schedule: &Schedule) -> Vec<f64> {
     (0..schedule.task_count())
         .map(|i| timing.expected(i, schedule.proc_of(TaskId(i as u32))))
         .collect()

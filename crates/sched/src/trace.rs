@@ -3,17 +3,91 @@
 //! Serializes a timed schedule as a Trace Event Format JSON array: one
 //! complete ("X") event per task, one thread lane per processor — so any
 //! schedule produced by this workspace can be inspected interactively in
-//! a trace viewer. JSON is built by hand (the event format is trivial and
-//! the workspace avoids a JSON dependency).
+//! a trace viewer. Fault and recovery events (see [`crate::recovery`])
+//! render as instant ("i") events on their processor lane, making
+//! recovered runs inspectable next to the work they disrupted. JSON is
+//! built by hand (the event format is trivial and the workspace avoids a
+//! JSON dependency).
 
 use rds_platform::ProcId;
 
+use crate::faults::FaultScenario;
+use crate::recovery::RecoveryEvent;
 use crate::schedule::Schedule;
 use crate::timing::TimedSchedule;
 
-/// Escapes the few JSON-significant characters task labels can contain.
+/// Escapes JSON-significant characters in task labels: backslash, quote,
+/// and every control character below 0x20 (raw control characters are
+/// invalid inside JSON strings and break trace viewers).
 fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An instant marker on the trace timeline (rendered as a Trace Event
+/// Format "i" event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceInstant {
+    /// Marker label.
+    pub name: String,
+    /// Timestamp in schedule time units.
+    pub at: f64,
+    /// Processor lane, or `None` for a process-scoped marker.
+    pub lane: Option<ProcId>,
+}
+
+/// Converts recovery events into trace instants.
+#[must_use]
+pub fn instants_from_recovery(events: &[RecoveryEvent]) -> Vec<TraceInstant> {
+    events
+        .iter()
+        .map(|e| TraceInstant {
+            name: e.label(),
+            at: e.at(),
+            lane: e.lane(),
+        })
+        .collect()
+}
+
+/// Converts a fault scenario's processor-level faults (failures and
+/// slowdown windows) into trace instants, so the injected environment is
+/// visible even for runs that completed without recovery actions.
+#[must_use]
+pub fn instants_from_scenario(scenario: &FaultScenario) -> Vec<TraceInstant> {
+    let mut out = Vec::new();
+    for f in &scenario.failures {
+        out.push(TraceInstant {
+            name: format!("fail {}", f.proc),
+            at: f.at,
+            lane: Some(f.proc),
+        });
+    }
+    for w in &scenario.slowdowns {
+        out.push(TraceInstant {
+            name: format!("slow x{:.2} start", w.factor),
+            at: w.start,
+            lane: Some(w.proc),
+        });
+        out.push(TraceInstant {
+            name: format!("slow x{:.2} end", w.factor),
+            at: w.end,
+            lane: Some(w.proc),
+        });
+    }
+    out
 }
 
 /// Renders the Trace Event Format JSON for a timed schedule.
@@ -22,6 +96,17 @@ fn esc(s: &str) -> String {
 /// time unit maps to 1000 µs so sub-unit starts stay visible.
 #[must_use]
 pub fn to_chrome_trace(schedule: &Schedule, timed: &TimedSchedule) -> String {
+    to_chrome_trace_with_events(schedule, timed, &[])
+}
+
+/// [`to_chrome_trace`] plus instant markers (fault injections, recovery
+/// actions) interleaved on their processor lanes.
+#[must_use]
+pub fn to_chrome_trace_with_events(
+    schedule: &Schedule,
+    timed: &TimedSchedule,
+    instants: &[TraceInstant],
+) -> String {
     use std::fmt::Write as _;
     const SCALE: f64 = 1000.0;
     let mut out = String::from("[\n");
@@ -47,6 +132,24 @@ pub fn to_chrome_trace(schedule: &Schedule, timed: &TimedSchedule) -> String {
                 esc(&t.to_string())
             );
         }
+    }
+    for i in instants {
+        let ts = i.at * SCALE;
+        // Lane-scoped instants use scope "t" (thread); global ones "p".
+        let (tid, scope) = match i.lane {
+            Some(p) => (p.index(), "t"),
+            None => (0, "p"),
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "  {{\"name\":\"{}\",\"ph\":\"i\",\"pid\":1,\"tid\":{tid},\
+             \"ts\":{ts:.3},\"s\":\"{scope}\"}}",
+            esc(&i.name)
+        );
     }
     out.push_str("\n]\n");
     out
@@ -104,6 +207,20 @@ mod tests {
     }
 
     #[test]
+    fn escaping_handles_control_characters() {
+        assert_eq!(esc("a\nb"), "a\\nb");
+        assert_eq!(esc("a\tb"), "a\\tb");
+        assert_eq!(esc("a\rb"), "a\\rb");
+        // Other C0 controls become \u escapes.
+        assert_eq!(esc("a\u{0001}b"), "a\\u0001b");
+        assert_eq!(esc("bell\u{0007}"), "bell\\u0007");
+        // No raw control characters survive.
+        for c in ('\u{0000}'..'\u{0020}').map(|c| c.to_string()) {
+            assert!(!esc(&format!("x{c}y")).contains(&c));
+        }
+    }
+
+    #[test]
     fn durations_scale_to_microseconds() {
         let (s, t) = fixture();
         let json = to_chrome_trace(&s, &t);
@@ -111,5 +228,72 @@ mod tests {
         let task0 = rds_graph::TaskId(0);
         let span = (t.finish_of(task0) - t.start_of(task0)) * 1000.0;
         assert!(json.contains(&format!("\"dur\":{span:.3}")));
+    }
+
+    #[test]
+    fn instant_events_render_on_their_lanes() {
+        let (s, t) = fixture();
+        let instants = vec![
+            TraceInstant {
+                name: "fail p1".into(),
+                at: 2.5,
+                lane: Some(ProcId(1)),
+            },
+            TraceInstant {
+                name: "replan 4".into(),
+                at: 2.5,
+                lane: None,
+            },
+        ];
+        let json = to_chrome_trace_with_events(&s, &t, &instants);
+        assert_eq!(json.matches("\"ph\":\"i\"").count(), 2);
+        assert!(json.contains("\"name\":\"fail p1\",\"ph\":\"i\",\"pid\":1,\"tid\":1"));
+        assert!(json.contains("\"s\":\"t\""));
+        assert!(json.contains("\"s\":\"p\""));
+        assert!(json.contains("\"ts\":2500.000"));
+        // Still balanced JSON.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n]"));
+    }
+
+    #[test]
+    fn recovery_and_scenario_instants_convert() {
+        use crate::faults::{ProcessorFailure, SlowdownWindow};
+        use rds_graph::TaskId;
+        let events = vec![
+            RecoveryEvent::ProcessorFailed {
+                proc: ProcId(0),
+                at: 1.0,
+            },
+            RecoveryEvent::TaskRetried {
+                task: TaskId(2),
+                proc: ProcId(1),
+                at: 3.0,
+            },
+            RecoveryEvent::Replanned { at: 1.0, moved: 5 },
+        ];
+        let instants = instants_from_recovery(&events);
+        assert_eq!(instants.len(), 3);
+        assert_eq!(instants[0].lane, Some(ProcId(0)));
+        assert_eq!(instants[2].lane, None);
+        let scenario = FaultScenario {
+            failures: vec![ProcessorFailure {
+                proc: ProcId(1),
+                at: 4.0,
+            }],
+            slowdowns: vec![SlowdownWindow {
+                proc: ProcId(0),
+                start: 1.0,
+                end: 2.0,
+                factor: 2.0,
+            }],
+            ..FaultScenario::default()
+        };
+        let env = instants_from_scenario(&scenario);
+        // One failure marker + window start/end.
+        assert_eq!(env.len(), 3);
+        assert!(env.iter().any(|i| i.name.contains("fail")));
+        assert!(env.iter().any(|i| i.name.contains("start")));
+        assert!(env.iter().any(|i| i.name.contains("end")));
     }
 }

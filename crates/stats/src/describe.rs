@@ -342,7 +342,9 @@ mod tests {
         let hw = big.mean_ci95_half_width();
         assert!((hw - 1.96 * big.std_error()).abs() < 1e-12);
         // Degenerate cases.
-        assert!(OnlineStats::from_iter([1.0]).mean_ci95_half_width().is_nan());
+        assert!(OnlineStats::from_iter([1.0])
+            .mean_ci95_half_width()
+            .is_nan());
     }
 
     #[test]

@@ -22,15 +22,15 @@
 
 pub mod corr;
 pub mod describe;
-pub mod histogram;
 pub mod dist;
+pub mod histogram;
 pub mod matrix;
 pub mod rng;
 pub mod series;
 
 pub use corr::{pearson, spearman};
 pub use describe::{OnlineStats, Summary};
-pub use histogram::Histogram;
 pub use dist::{Gamma, UniformRange};
+pub use histogram::Histogram;
 pub use matrix::Matrix;
 pub use rng::{split_seed, SeedStream, StdRng64};

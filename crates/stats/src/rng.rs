@@ -123,7 +123,10 @@ mod tests {
         let mut seen = HashSet::new();
         for seed in 0..64u64 {
             for idx in 0..64u64 {
-                assert!(seen.insert(split_seed(seed, idx)), "collision at {seed},{idx}");
+                assert!(
+                    seen.insert(split_seed(seed, idx)),
+                    "collision at {seed},{idx}"
+                );
             }
         }
     }

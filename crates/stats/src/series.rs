@@ -68,21 +68,42 @@ impl Series {
     /// improvement with ε).
     #[must_use]
     pub fn is_non_decreasing_within(&self, tol: f64) -> bool {
-        self.points
-            .windows(2)
-            .all(|w| w[1].1 >= w[0].1 - tol)
+        self.points.windows(2).all(|w| w[1].1 >= w[0].1 - tol)
     }
 
-    /// Renders the series as CSV rows `label,x,y`.
+    /// Renders the series as CSV rows `label,x,y`. Non-finite values
+    /// (R1/R2 are +∞ when no realization misses the bound; means over an
+    /// empty set are NaN) are written as the sentinel [`NA`] so the CSV
+    /// stays loadable by spreadsheet tools and round-trips through
+    /// parsers that reject `inf`/`NaN` literals.
     pub fn to_csv_rows(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::with_capacity(self.points.len() * 32);
         for &(x, y) in &self.points {
-            let _ = writeln!(out, "{},{x},{y}", self.label);
+            let _ = write!(out, "{},", self.label);
+            match (x.is_finite(), y.is_finite()) {
+                (true, true) => {
+                    let _ = writeln!(out, "{x},{y}");
+                }
+                (true, false) => {
+                    let _ = writeln!(out, "{x},{NA}");
+                }
+                (false, true) => {
+                    let _ = writeln!(out, "{NA},{y}");
+                }
+                (false, false) => {
+                    let _ = writeln!(out, "{NA},{NA}");
+                }
+            }
         }
         out
     }
 }
+
+/// CSV sentinel for non-finite values (infinite robustness, empty means).
+/// Readers map it back to `NaN`; the direction of an infinity is not
+/// preserved, which is fine — every figure treats "no data" uniformly.
+pub const NA: &str = "NA";
 
 #[cfg(test)]
 mod tests {
@@ -132,5 +153,16 @@ mod tests {
         let csv = s.to_csv_rows();
         assert!(csv.contains("UL=2.0,Makespan,0,1"));
         assert_eq!(csv.lines().count(), 3);
+    }
+
+    #[test]
+    fn csv_rows_use_na_for_non_finite() {
+        let mut s = Series::new("R1");
+        s.push(2.0, f64::INFINITY);
+        s.push(4.0, f64::NAN);
+        s.push(6.0, 1.5);
+        let csv = s.to_csv_rows();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["R1,2,NA", "R1,4,NA", "R1,6,1.5"]);
     }
 }

@@ -32,7 +32,10 @@ fn main() {
     cfg.realizations = 600;
     let points = epsilon_sweep(&inst, &epsilons, &cfg);
 
-    println!("\n{:>6} {:>10} {:>10} {:>10} {:>10}", "eps", "M0", "slack", "R1", "R2");
+    println!(
+        "\n{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "eps", "M0", "slack", "R1", "R2"
+    );
     for p in &points {
         println!(
             "{:>6.1} {:>10.1} {:>10.2} {:>10.2} {:>10.2}",
@@ -52,7 +55,10 @@ fn main() {
     let front = pareto_front(&pp);
     println!("\nPareto-optimal eps values:");
     for f in &front {
-        println!("  eps = {:.1}: M0 = {:.1}, slack = {:.2}", f.tag, f.makespan, f.slack);
+        println!(
+            "  eps = {:.1}: M0 = {:.1}, slack = {:.2}",
+            f.tag, f.makespan, f.slack
+        );
     }
 
     // Best eps per user weight r (Eq. 9 with R1).

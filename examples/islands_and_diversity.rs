@@ -58,7 +58,8 @@ fn main() {
         "  islands 4x10 + ring migration: slack {:8.2}  (makespan {:.1})",
         islands.best_eval.avg_slack, islands.best_eval.makespan
     );
-    println!("  per-island bests: {:?}",
+    println!(
+        "  per-island bests: {:?}",
         islands
             .island_bests
             .iter()

@@ -77,7 +77,10 @@ fn main() {
     let heft_rep = monte_carlo(&inst, &heft.schedule, &mc).expect("valid");
     let cpop_rep = monte_carlo(&inst, &cpop.schedule, &mc).expect("valid");
 
-    println!("\n{:<22} {:>10} {:>10} {:>10} {:>10}", "scheduler", "M0", "slack", "R1", "miss rate");
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "scheduler", "M0", "slack", "R1", "miss rate"
+    );
     let row = |name: &str, r: &RobustnessReport| {
         println!(
             "{:<22} {:>10.1} {:>10.2} {:>10.2} {:>10.3}",

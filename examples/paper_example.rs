@@ -65,7 +65,10 @@ fn main() {
     let analysis = slack::analyze(&ds, &schedule, &inst.platform, &durations);
     println!("=== timing (expected durations) ===");
     println!("makespan M = {:.1}", timed.makespan);
-    println!("{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}", "task", "start", "finish", "Tl", "Bl", "slack");
+    println!(
+        "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "task", "start", "finish", "Tl", "Bl", "slack"
+    );
     for task in inst.graph.tasks() {
         println!(
             "{:>6} {:>8.1} {:>8.1} {:>8.1} {:>8.1} {:>8.1}",
@@ -109,8 +112,6 @@ fn main() {
         );
         inflated[victim] += 1.0;
         let m2 = evaluate_with_durations(&ds, &schedule, &inst.platform, &inflated).makespan;
-        println!(
-            "            one unit beyond the slack extends it to {m2:.1}"
-        );
+        println!("            one unit beyond the slack extends it to {m2:.1}");
     }
 }

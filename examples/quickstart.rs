@@ -44,7 +44,10 @@ fn main() {
     println!("\n=== robust (eps = 1.3) under uncertainty ===");
     println!("{}", ScheduleReport::to_pretty_string(&outcome.report));
 
-    println!("\nmakespan ratio (robust / HEFT): {:.3}", outcome.makespan_ratio());
+    println!(
+        "\nmakespan ratio (robust / HEFT): {:.3}",
+        outcome.makespan_ratio()
+    );
     if outcome.r1_ratio().is_finite() {
         println!("R1 ratio (robust / HEFT):       {:.3}", outcome.r1_ratio());
     }

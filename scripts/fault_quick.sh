@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Quick-scale fault-robustness figure: HEFT / GA / dynamic EFT under
+# increasing fault rates, across the three recovery policies. Defaults are
+# laptop-scale (minutes); set SCALE=--full for the paper-scale sweep, or
+# override knobs via FLAGS, e.g.
+#   FLAGS="--fault-scales 0,0.5,1,2 --realizations 500" scripts/fault_quick.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p rds-experiments
+
+FIG=target/release/figures
+OUT=${OUT:-results}
+SCALE=${SCALE:-}
+FLAGS=${FLAGS:-}
+
+$FIG faults $SCALE $FLAGS --out "$OUT"

@@ -26,6 +26,7 @@ $FIG law $SCALE --out "$OUT"
 $FIG ccr $SCALE --out "$OUT"
 $FIG contention $SCALE --ccr 1.0 --out "$OUT"
 $FIG gatune $SCALE --out "$OUT"
+$FIG faults $SCALE --out "$OUT"
 
 # Render everything as terminal tables.
 $FIG report --out "$OUT"

@@ -159,7 +159,11 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<(), String> {
     println!("tasks          : {}", inst.task_count());
     println!("processors     : {}", inst.proc_count());
     println!("edges          : {}", inst.graph.edge_count());
-    println!("entry/exit     : {} / {}", inst.graph.entries().len(), inst.graph.exits().len());
+    println!(
+        "entry/exit     : {} / {}",
+        inst.graph.entries().len(),
+        inst.graph.exits().len()
+    );
     println!("depth (hops)   : {hops}");
     println!("mean BCET      : {:.3}", inst.timing.bcet_matrix().mean());
     println!("mean UL        : {:.3}", inst.timing.ul_matrix().mean());
@@ -209,7 +213,11 @@ fn cmd_schedule(flags: &HashMap<String, String>) -> Result<(), String> {
             let sa = rds::anneal::anneal(&inst, rds::anneal::SaParams::default().seed(seed), obj);
             sa.best.decode(inst.proc_count())
         }
-        other => return Err(format!("unknown --algo '{other}' (heft|cpop|laheft|sheft|ga|random|sa)")),
+        other => {
+            return Err(format!(
+                "unknown --algo '{other}' (heft|cpop|laheft|sheft|ga|random|sa)"
+            ))
+        }
     };
 
     // Report the expected metrics before writing.
@@ -245,7 +253,10 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
     let mc = RealizationConfig::with_realizations(realizations).seed(seed);
     let rep = monte_carlo(&inst, &schedule, &mc)
         .map_err(|_| "schedule is incompatible with the instance's precedence constraints")?;
-    println!("{}", ScheduleReport::from_robustness(&rep).to_pretty_string());
+    println!(
+        "{}",
+        ScheduleReport::from_robustness(&rep).to_pretty_string()
+    );
     println!("makespan CoV       : {:>10.4}", rep.makespan_cov());
     println!("p95/M0 ratio       : {:>10.4}", rep.quantile_ratio(0.95));
     println!("P(M <= 1.1 M0)     : {:>10.4}", rep.prob_within(0.1));
@@ -263,13 +274,9 @@ fn cmd_gantt(flags: &HashMap<String, String>) -> Result<(), String> {
     let inst = load_instance(flags)?;
     let schedule = load_schedule(flags)?;
     check_compatible(&inst, &schedule)?;
-    let timed = rds::sched::timing::evaluate_expected(
-        &inst.graph,
-        &inst.platform,
-        &inst.timing,
-        &schedule,
-    )
-    .map_err(|_| "schedule is incompatible with the instance's precedence constraints")?;
+    let timed =
+        rds::sched::timing::evaluate_expected(&inst.graph, &inst.platform, &inst.timing, &schedule)
+            .map_err(|_| "schedule is incompatible with the instance's precedence constraints")?;
     if let Some(trace_path) = flags.get("trace") {
         let json = rds::sched::trace::to_chrome_trace(&schedule, &timed);
         std::fs::write(trace_path, json).map_err(|e| format!("writing {trace_path}: {e}"))?;

@@ -48,7 +48,8 @@ fn different_seeds_explore_different_solutions() {
     // Schedules may coincide by luck, but the full Monte Carlo trace
     // differs because realization seeds differ.
     assert!(
-        a.schedule != b.schedule || a.report.mean_realized_makespan != b.report.mean_realized_makespan
+        a.schedule != b.schedule
+            || a.report.mean_realized_makespan != b.report.mean_realized_makespan
     );
 }
 

@@ -1,0 +1,223 @@
+//! Property-based verification of the fault model's contracts:
+//!
+//! * Theorem 3.4 carries over to the fault executor: a single straggler
+//!   inflating a task by Δ ≤ σ never extends the makespan under
+//!   `FailStop` (stragglers only delay, never fail);
+//! * `MigrateReplan` always completes generated scenarios with a valid
+//!   schedule, and nothing executes on a processor after its failure;
+//! * scenario generation is a pure function of `(config, shape, seed)`.
+
+use proptest::prelude::*;
+
+use rds::ga::chromosome::Chromosome;
+use rds::prelude::*;
+use rds::sched::disjunctive::DisjunctiveGraph;
+use rds::sched::faults::Straggler;
+use rds::sched::slack;
+use rds::sched::timing::expected_durations;
+use rds::stats::rng::rng_from_seed;
+
+/// Builds a random instance plus a random valid schedule for it.
+fn setup(seed: u64, tasks: usize, procs: usize) -> (Instance, Schedule) {
+    let inst = InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .uncertainty_level(4.0)
+        .build()
+        .unwrap();
+    let mut rng = rng_from_seed(seed ^ 0xDEAD);
+    let c = Chromosome::random_for(&inst, &mut rng);
+    let s = c.decode(procs);
+    (inst, s)
+}
+
+/// Full `n × m` matrix of expected durations (the executor's input).
+fn expected_matrix(inst: &Instance) -> Matrix {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    let mut mx = Matrix::zeros(n, m);
+    for t in 0..n {
+        for p in 0..m {
+            mx.set(t, p, inst.timing.expected(t, ProcId(p as u32)));
+        }
+    }
+    mx
+}
+
+/// Empty scenario to splice hand-built faults into.
+fn quiet_scenario() -> FaultScenario {
+    FaultScenario {
+        failures: Vec::new(),
+        slowdowns: Vec::new(),
+        stragglers: Vec::new(),
+        crashes: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A single straggler inflating task `i` by Δ ≤ σ_i never extends the
+    /// realized makespan under `FailStop` — Theorem 3.4 restated against
+    /// the fault executor instead of the static evaluator.
+    #[test]
+    fn straggler_within_slack_never_extends_makespan(
+        seed in 0u64..500, tasks in 5usize..40, procs in 2usize..6, frac in 0.0f64..1.0
+    ) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let durations = expected_durations(&inst.timing, &s);
+        let analysis = slack::analyze(&ds, &s, &inst.platform, &durations);
+        let (victim, &sigma) = analysis
+            .slack
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap();
+        prop_assume!(sigma > 1e-9 && durations[victim] > 1e-9);
+
+        let mut scenario = quiet_scenario();
+        scenario.stragglers.push(Straggler {
+            task: TaskId(victim as u32),
+            factor: 1.0 + frac * sigma / durations[victim],
+        });
+        let run = execute_with_faults(
+            &inst,
+            &s,
+            &expected_matrix(&inst),
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        );
+        let m = run.outcome.makespan().expect("stragglers never fail a run");
+        prop_assert!(
+            m <= analysis.makespan * (1.0 + 1e-9),
+            "straggler on {victim} (Δ = {} ≤ σ = {sigma}) extended {} -> {m}",
+            frac * sigma, analysis.makespan
+        );
+    }
+
+    /// `MigrateReplan` completes every generated scenario with a valid
+    /// schedule: each task exactly once, precedence and processor
+    /// exclusivity respected, and no work finishing on a processor after
+    /// its failure onset.
+    #[test]
+    fn migrate_replan_always_yields_valid_schedule(
+        seed in 0u64..300, tasks in 5usize..30, procs in 2usize..6
+    ) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let durations = expected_durations(&inst.timing, &s);
+        let horizon = slack::analyze(&ds, &s, &inst.platform, &durations).makespan;
+        let faults = FaultConfig {
+            failure_rate: 0.5,
+            crash_rate: 0.3,
+            ..FaultConfig::default()
+        }
+        .with_horizon(horizon);
+        let scenario =
+            FaultScenario::generate(&faults, tasks, procs, seed ^ 0xFA17);
+        let run = execute_with_faults(
+            &inst,
+            &s,
+            &expected_matrix(&inst),
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
+        );
+        let realized = run
+            .schedule
+            .as_ref()
+            .expect("MigrateReplan completes: the generator leaves a survivor");
+        prop_assert!(run.outcome.makespan().is_some());
+        prop_assert!(realized.validate_against(&inst.graph).is_ok());
+
+        // Precedence on realized times.
+        for t in 0..tasks {
+            for e in inst.graph.predecessors(TaskId(t as u32)) {
+                prop_assert!(
+                    run.finish[e.task.index()] <= run.start[t] + 1e-9,
+                    "pred {} finishes after {t} starts", e.task
+                );
+            }
+        }
+        // Processor exclusivity on realized times.
+        for p in 0..procs {
+            let mut spans: Vec<(f64, f64)> = realized
+                .tasks_on(ProcId(p as u32))
+                .iter()
+                .map(|&t| (run.start[t.index()], run.finish[t.index()]))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(w[1].0 >= w[0].1 - 1e-9, "overlap on proc {p}");
+            }
+        }
+        // Dead processors finish nothing after their failure onset.
+        for f in &scenario.failures {
+            for &t in realized.tasks_on(f.proc) {
+                prop_assert!(
+                    run.finish[t.index()] <= f.at + 1e-9,
+                    "{t} finished at {} on {} which died at {}",
+                    run.finish[t.index()], f.proc, f.at
+                );
+            }
+        }
+    }
+
+    /// Scenario generation is deterministic in `(config, shape, seed)` and
+    /// scale 0 silences every fault kind.
+    #[test]
+    fn scenario_generation_is_deterministic(
+        seed in 0u64..1000, tasks in 1usize..40, procs in 1usize..8
+    ) {
+        let faults = FaultConfig::default().with_horizon(100.0);
+        let a = FaultScenario::generate(&faults, tasks, procs, seed);
+        let b = FaultScenario::generate(&faults, tasks, procs, seed);
+        prop_assert_eq!(&a.failures, &b.failures);
+        prop_assert_eq!(&a.slowdowns, &b.slowdowns);
+        prop_assert_eq!(&a.stragglers, &b.stragglers);
+        prop_assert_eq!(&a.crashes, &b.crashes);
+        prop_assert!(a.failures.len() < procs.max(1), "a survivor always remains");
+        let quiet = FaultScenario::generate(
+            &faults.scaled(0.0), tasks, procs, seed
+        );
+        prop_assert!(quiet.is_quiet());
+    }
+}
+
+/// Deterministic spot check: a straggler at exactly the slack boundary
+/// (Δ = σ) holds the makespan, while Δ = 4σ on the max-slack task must
+/// extend it by at least 3σ (the path through the victim has length
+/// M − σ + Δ) — and neither ever fails the run.
+#[test]
+fn straggler_boundary_holds_makespan() {
+    let (inst, s) = setup(11, 20, 3);
+    let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+    let durations = expected_durations(&inst.timing, &s);
+    let analysis = slack::analyze(&ds, &s, &inst.platform, &durations);
+    let (victim, &sigma) = analysis
+        .slack
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .unwrap();
+    assert!(sigma > 1e-9, "seed 11 has a slack-bearing task");
+    for (frac, must_hold) in [(1.0, true), (4.0, false)] {
+        let mut scenario = quiet_scenario();
+        scenario.stragglers.push(Straggler {
+            task: TaskId(victim as u32),
+            factor: 1.0 + frac * sigma / durations[victim],
+        });
+        let run = execute_with_faults(
+            &inst,
+            &s,
+            &expected_matrix(&inst),
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::FailStop),
+        );
+        let m = run.outcome.makespan().expect("stragglers never fail");
+        if must_hold {
+            assert!(m <= analysis.makespan * (1.0 + 1e-9), "{m}");
+        } else {
+            assert!(m >= analysis.makespan + 3.0 * sigma - 1e-6, "{m}");
+        }
+    }
+}

@@ -109,7 +109,11 @@ fn simulated_annealing_integrates_with_the_same_objectives() {
 fn island_ga_and_direct_mc_ga_integrate_through_the_facade() {
     use rds::ga::islands::{run_islands, IslandParams};
     use rds::ga::robust_engine::{run_robust_ga, RobustGaParams};
-    let inst = InstanceSpec::new(25, 3).seed(21).uncertainty_level(4.0).build().unwrap();
+    let inst = InstanceSpec::new(25, 3)
+        .seed(21)
+        .uncertainty_level(4.0)
+        .build()
+        .unwrap();
     let heft = heft_schedule(&inst);
 
     // Island model respects the epsilon constraint.
