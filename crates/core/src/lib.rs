@@ -48,8 +48,10 @@ pub mod prelude {
     };
     pub use rds_sched::bounds::{efficiency, makespan_lower_bounds};
     pub use rds_sched::{
-        execute_with_faults, monte_carlo, monte_carlo_faulty, FaultConfig, FaultRobustnessReport,
-        FaultScenario, Instance, InstanceSpec, RealizationConfig, RecoveryConfig, RecoveryPolicy,
+        execute_replicated, execute_with_faults, monte_carlo, monte_carlo_faulty,
+        monte_carlo_replicated, plan_replicas, CheckpointConfig, FaultConfig,
+        FaultRobustnessReport, FaultScenario, Instance, InstanceSpec, PlacementPolicy,
+        RealizationConfig, RecoveryConfig, RecoveryPolicy, ReplicaPlan, ReplicationConfig,
         RobustnessReport, Schedule,
     };
     pub use rds_stats::{Histogram, Matrix, OnlineStats, Summary};

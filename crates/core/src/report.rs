@@ -87,6 +87,14 @@ pub struct FaultReport {
     pub mean_retries: f64,
     /// Mean work lost to aborts and crashes per realization.
     pub mean_lost_work: f64,
+    /// Reliability: probability that a realization completes.
+    pub completion_probability: f64,
+    /// Mean tasks completed by a replica per realization.
+    pub mean_replica_wins: f64,
+    /// Mean wasted duplicate work per realization (losing copies).
+    pub mean_duplicate_work: f64,
+    /// Mean extra time paid for checkpoints per realization.
+    pub mean_checkpoint_overhead: f64,
     /// Number of Monte Carlo realizations behind the estimates.
     pub realizations: usize,
 }
@@ -105,6 +113,10 @@ impl FaultReport {
             mean_replans: r.mean_replans,
             mean_retries: r.mean_retries,
             mean_lost_work: r.mean_lost_work,
+            completion_probability: r.completion_probability,
+            mean_replica_wins: r.mean_replica_wins,
+            mean_duplicate_work: r.mean_duplicate_work,
+            mean_checkpoint_overhead: r.mean_checkpoint_overhead,
             realizations: r.realizations,
         }
     }
@@ -119,9 +131,13 @@ impl FaultReport {
              robustness R1      : {:>10.3}\n\
              robustness R2      : {:>10.3}\n\
              failed rate        : {:>10.4}\n\
+             completion prob    : {:>10.4}\n\
              mean replans       : {:>10.3}\n\
              mean retries       : {:>10.3}\n\
              mean lost work     : {:>10.3}\n\
+             mean replica wins  : {:>10.3}\n\
+             mean dup. work     : {:>10.3}\n\
+             mean ckpt overhead : {:>10.3}\n\
              realizations       : {:>10}",
             self.expected_makespan,
             self.average_slack,
@@ -129,9 +145,13 @@ impl FaultReport {
             self.r1,
             self.r2,
             self.failed_rate,
+            self.completion_probability,
             self.mean_replans,
             self.mean_retries,
             self.mean_lost_work,
+            self.mean_replica_wins,
+            self.mean_duplicate_work,
+            self.mean_checkpoint_overhead,
             self.realizations
         )
     }
@@ -157,17 +177,31 @@ mod tests {
 
     #[test]
     fn fault_report_copies_fields() {
-        let fr =
-            FaultRobustnessReport::from_outcomes(10.0, 1.0, vec![8.0, 12.0], 2, (3, 1, 5.0, 2.0));
+        let totals = rds_sched::RecoveryStats {
+            replans: 3,
+            retries: 1,
+            lost_work: 5.0,
+            backoff_delay: 2.0,
+            replica_wins: 2,
+            duplicate_work: 6.0,
+            checkpoint_overhead: 1.0,
+            ..rds_sched::RecoveryStats::default()
+        };
+        let fr = FaultRobustnessReport::from_outcomes(10.0, 1.0, vec![8.0, 12.0], 2, &totals);
         let r = FaultReport::from_fault_robustness(&fr);
         assert_eq!(r.expected_makespan, 10.0);
         assert_eq!(r.realizations, 4);
         assert_eq!(r.failed_rate, 0.5);
+        assert_eq!(r.completion_probability, 0.5);
         assert_eq!(r.mean_realized_makespan, 10.0);
         assert_eq!(r.mean_replans, 0.75);
         assert_eq!(r.mean_lost_work, 1.25);
+        assert_eq!(r.mean_replica_wins, 0.5);
+        assert_eq!(r.mean_duplicate_work, 1.5);
+        assert_eq!(r.mean_checkpoint_overhead, 0.25);
         let text = r.to_pretty_string();
         assert!(text.contains("failed rate"));
-        assert!(text.contains("mean replans"));
+        assert!(text.contains("completion prob"));
+        assert!(text.contains("mean replica wins"));
     }
 }

@@ -5,6 +5,7 @@
 //!
 //! paper figures:  fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep all
 //! extensions:     corr future dynamic law ccr contention gatune faults
+//!                 replication
 //! utilities:      report   (re-render every results/*.csv as tables)
 //!
 //! flags:
@@ -18,6 +19,10 @@
 //!   --ccr X               communication-to-computation      [default 0.1]
 //!   --stride N            history sampling stride (fig2/3)  [default 10]
 //!   --fault-scales a,b,c  fault-rate multipliers (faults)    [default 0,0.25,0.5,1]
+//!   --replication-budget X  replicas / task count (replication)  [default 1]
+//!   --placement P         critical|fragile|random           [default critical]
+//!   --ckpt-interval X     checkpoint interval in (0,1]      [default 0.25]
+//!   --ckpt-overhead X     per-checkpoint overhead fraction  [default 0.02]
 //!   --seed N              master seed                       [default 42]
 //!   --out DIR             CSV output directory              [default results]
 //! ```
@@ -29,7 +34,7 @@ use std::process::ExitCode;
 use rds_experiments::config::ExperimentConfig;
 use rds_experiments::figures::{
     ccr_study, contention_cmp, correlation, dynamic_cmp, fault_cmp, fig2_3, fig4, fig5_6, fig7_8,
-    future, gatune, law, sweep,
+    future, gatune, law, replication_cmp, sweep,
 };
 use rds_experiments::output::FigureData;
 
@@ -46,7 +51,7 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|sweep|all|\
-             corr|future|dynamic|law|contention|ccr|gatune|faults|report> [flags]"
+             corr|future|dynamic|law|contention|ccr|gatune|faults|replication|report> [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -101,6 +106,7 @@ fn main() -> ExitCode {
         "ccr" => emit(&ccr_study::run_ccr(&cfg), &cfg),
         "gatune" => emit(&gatune::run_gatune(&cfg), &cfg),
         "faults" => emit(&fault_cmp::run_fault_cmp(&cfg), &cfg),
+        "replication" => emit(&replication_cmp::run_replication_cmp(&cfg), &cfg),
         "report" => match rds_experiments::output::render_report(&cfg.out_dir) {
             Ok(text) => println!("{text}"),
             Err(e) => {

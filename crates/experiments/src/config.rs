@@ -2,6 +2,7 @@
 
 use rds_ga::GaParams;
 use rds_sched::instance::{Instance, InstanceSpec};
+use rds_sched::replication::PlacementPolicy;
 use rds_stats::rng::SeedStream;
 
 /// Scale and workload knobs shared by every figure generator.
@@ -32,6 +33,16 @@ pub struct ExperimentConfig {
     /// scale multiplies every rate in the base
     /// [`rds_sched::faults::FaultConfig`] (0 = fault-free control).
     pub fault_scales: Vec<f64>,
+    /// Replica budget for the replication study, as a fraction of the task
+    /// count (1.0 = one replica per task when slack windows allow).
+    pub replication_budget: f64,
+    /// Replica placement policy for the replication study.
+    pub placement: PlacementPolicy,
+    /// Checkpoint interval for the replication study, as a fraction of a
+    /// task's duration (must lie in `(0, 1]`).
+    pub checkpoint_interval: f64,
+    /// Per-checkpoint overhead as a fraction of the task's duration.
+    pub checkpoint_overhead: f64,
     /// Output directory for CSV files.
     pub out_dir: String,
 }
@@ -50,6 +61,10 @@ impl Default for ExperimentConfig {
             ccr: 0.1,
             history_stride: 10,
             fault_scales: vec![0.0, 0.25, 0.5, 1.0],
+            replication_budget: 1.0,
+            placement: PlacementPolicy::CriticalPathFirst,
+            checkpoint_interval: 0.25,
+            checkpoint_overhead: 0.02,
             out_dir: "results".to_owned(),
         }
     }
@@ -83,7 +98,7 @@ impl ExperimentConfig {
             ccr: 0.1,
             history_stride: 10,
             fault_scales: vec![0.0, 1.0],
-            out_dir: "results".to_owned(),
+            ..Self::default()
         }
     }
 
@@ -149,6 +164,14 @@ impl ExperimentConfig {
                 "--fault-scales" => {
                     cfg.fault_scales = parse_list(take()?)?;
                 }
+                "--replication-budget" => cfg.replication_budget = parse(take()?)?,
+                "--placement" => {
+                    let v = take()?;
+                    cfg.placement = PlacementPolicy::parse(v)
+                        .ok_or_else(|| format!("unknown placement policy {v}"))?;
+                }
+                "--ckpt-interval" => cfg.checkpoint_interval = parse(take()?)?,
+                "--ckpt-overhead" => cfg.checkpoint_overhead = parse(take()?)?,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -160,6 +183,15 @@ impl ExperimentConfig {
         }
         if cfg.fault_scales.iter().any(|&s| s < 0.0 || !s.is_finite()) {
             return Err("fault scales must be finite and non-negative".into());
+        }
+        if !cfg.replication_budget.is_finite() || cfg.replication_budget < 0.0 {
+            return Err("replication budget must be finite and non-negative".into());
+        }
+        if !(cfg.checkpoint_interval > 0.0 && cfg.checkpoint_interval <= 1.0) {
+            return Err("checkpoint interval must lie in (0, 1]".into());
+        }
+        if !cfg.checkpoint_overhead.is_finite() || cfg.checkpoint_overhead < 0.0 {
+            return Err("checkpoint overhead must be finite and non-negative".into());
         }
         Ok(cfg)
     }
@@ -237,6 +269,34 @@ mod tests {
         assert!(ExperimentConfig::from_args(&args(&["--graphs", "0"])).is_err());
         assert!(ExperimentConfig::from_args(&args(&["--fault-scales", "-1"])).is_err());
         assert!(ExperimentConfig::from_args(&args(&["--fault-scales", "0,nope"])).is_err());
+    }
+
+    #[test]
+    fn replication_flags_apply_and_validate() {
+        let cfg = ExperimentConfig::from_args(&args(&[
+            "--replication-budget",
+            "0.5",
+            "--placement",
+            "fragile",
+            "--ckpt-interval",
+            "0.2",
+            "--ckpt-overhead",
+            "0.05",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.replication_budget, 0.5);
+        assert_eq!(cfg.placement, PlacementPolicy::MostFragileFirst);
+        assert_eq!(cfg.checkpoint_interval, 0.2);
+        assert_eq!(cfg.checkpoint_overhead, 0.05);
+        assert!(ExperimentConfig::from_args(&args(&["--replication-budget", "-1"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--placement", "psychic"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--ckpt-interval", "0"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--ckpt-interval", "1.5"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--ckpt-overhead", "-0.1"])).is_err());
+        // Defaults: full coverage, critical-path-first, quarter checkpoints.
+        let d = ExperimentConfig::default();
+        assert_eq!(d.replication_budget, 1.0);
+        assert_eq!(d.placement, PlacementPolicy::CriticalPathFirst);
     }
 
     #[test]

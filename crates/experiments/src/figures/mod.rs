@@ -19,4 +19,5 @@ pub mod fig7_8;
 pub mod future;
 pub mod gatune;
 pub mod law;
+pub mod replication_cmp;
 pub mod sweep;

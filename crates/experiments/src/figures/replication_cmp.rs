@@ -1,0 +1,242 @@
+//! Proactive robustness: replication and checkpoint/restart.
+//!
+//! The fault study ([`crate::figures::fault_cmp`]) compares *reactive*
+//! recovery policies; this study measures what the two *proactive*
+//! mechanisms of [`rds_sched::replication`] and
+//! [`rds_sched::recovery::CheckpointConfig`] buy on top of a fixed
+//! reactive policy (`RetrySameProc` — deliberately the policy that cannot
+//! migrate, so survival hinges on the proactive provisions). All four
+//! combos see identical realizations and fault scenarios, and replicas
+//! draw from their own RNG substream, so the comparison is paired:
+//!
+//! * `baseline` — HEFT schedule, retry-in-place recovery;
+//! * `replication` — plus slack-aware replicas
+//!   ([`rds_sched::replication::plan_replicas`] under the configured
+//!   budget and placement policy), first-finisher-wins at runtime;
+//! * `checkpoint` — plus periodic checkpoints (resume-from-fraction);
+//! * `repl+ckpt` — both.
+//!
+//! Output series (x = fault-rate scale, averaged over graphs):
+//!
+//! * `Pc:<combo>` — completion probability;
+//! * `Meff:<combo>` — fault-adjusted mean makespan
+//!   ([`FaultRobustnessReport::effective_mean`]) / HEFT's fault-free `M₀`;
+//! * `dup:<combo>` — mean wasted duplicate work per realization / `M₀`
+//!   (the price of replication);
+//! * `wins:replication` — mean tasks completed by a replica.
+//!
+//! Replication never touches the fault-free plan: the planner only fills
+//! idle slack windows (`M₀` identical by construction, asserted by the
+//! executor's bit-identity tests), so at scale 0 every combo completes
+//! every realization and the only visible difference is duplicate work.
+//!
+//! [`FaultRobustnessReport::effective_mean`]: rds_sched::metrics::FaultRobustnessReport::effective_mean
+
+use rayon::prelude::*;
+
+use rds_heft::heft_schedule;
+use rds_sched::faults::FaultConfig;
+use rds_sched::realization::{failure_penalty, monte_carlo_replicated, RealizationConfig};
+use rds_sched::recovery::{CheckpointConfig, RecoveryConfig, RecoveryPolicy};
+use rds_sched::replication::{plan_replicas, ReplicaPlan, ReplicationConfig};
+use rds_stats::series::Series;
+
+use crate::config::{mean_finite, ExperimentConfig};
+use crate::output::FigureData;
+
+/// Uncertainty level for the replication study (the paper's mid-range).
+const UL: f64 = 4.0;
+
+/// Combo labels, aligned with [`study_one_graph`]'s cell order.
+const LABELS: [&str; 4] = ["baseline", "replication", "checkpoint", "repl+ckpt"];
+
+/// Base fault mix scaled along the x axis. Heavier on permanent failures
+/// and crashes than the reactive study: failures are what replicas absorb
+/// (under `RetrySameProc` a dead processor strands its queue), crashes are
+/// what checkpoints amortize.
+#[must_use]
+pub fn base_faults() -> FaultConfig {
+    FaultConfig {
+        failure_rate: 0.4,
+        slowdown_rate: 0.1,
+        straggler_rate: 0.1,
+        crash_rate: 0.3,
+        ..FaultConfig::default()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    /// Completion probability.
+    pc: f64,
+    /// Fault-adjusted mean makespan / HEFT's fault-free `M₀`.
+    meff: f64,
+    /// Mean duplicate work / `M₀`.
+    dup: f64,
+    /// Mean replica wins.
+    wins: f64,
+}
+
+/// One graph, all scales × combos. Outer index: scale; inner: [`LABELS`].
+fn study_one_graph(cfg: &ExperimentConfig, g: usize) -> Vec<[Cell; 4]> {
+    let inst = cfg.instance(g, UL);
+    let heft = heft_schedule(&inst);
+    let rcfg = ReplicationConfig {
+        budget: cfg.replication_budget,
+        policy: cfg.placement,
+        seed: cfg.sub_seed("replica-placement", g),
+        ..ReplicationConfig::default()
+    };
+    let plan = plan_replicas(&inst, &heft.schedule, &rcfg)
+        .expect("HEFT schedules are acyclic by construction");
+    let empty = ReplicaPlan::empty(inst.task_count());
+    let ckpt = CheckpointConfig::new(cfg.checkpoint_interval, cfg.checkpoint_overhead)
+        .expect("config validated by from_args");
+    let retry = RecoveryConfig::new(RecoveryPolicy::RetrySameProc);
+    let retry_ckpt = retry.with_checkpoint(ckpt);
+    // Plan × recovery per combo; an empty plan makes `monte_carlo_replicated`
+    // bit-identical to `monte_carlo_faulty`, so all four share one code path.
+    let combos: [(&ReplicaPlan, &RecoveryConfig); 4] = [
+        (&empty, &retry),
+        (&plan, &retry),
+        (&empty, &retry_ckpt),
+        (&plan, &retry_ckpt),
+    ];
+    let mc = RealizationConfig::with_realizations(cfg.realizations)
+        .seed(cfg.sub_seed("mc-replication", g));
+    let penalty = failure_penalty(&inst);
+    let base = base_faults();
+
+    cfg.fault_scales
+        .iter()
+        .map(|&scale| {
+            // One horizon for every combo so all see identical scenarios.
+            let faults = base.scaled(scale).with_horizon(heft.makespan);
+            let mut cells = [Cell {
+                pc: f64::NAN,
+                meff: f64::NAN,
+                dup: f64::NAN,
+                wins: f64::NAN,
+            }; 4];
+            for (i, &(replicas, recovery)) in combos.iter().enumerate() {
+                let rep =
+                    monte_carlo_replicated(&inst, &heft.schedule, replicas, &mc, &faults, recovery)
+                        .expect("HEFT schedules are acyclic by construction");
+                cells[i] = Cell {
+                    pc: rep.completion_probability,
+                    meff: rep.effective_mean(penalty) / heft.makespan,
+                    dup: rep.mean_duplicate_work / heft.makespan,
+                    wins: rep.mean_replica_wins,
+                };
+            }
+            cells
+        })
+        .collect()
+}
+
+/// Runs the replication/checkpoint study.
+#[must_use]
+pub fn run_replication_cmp(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "replication",
+        "Proactive robustness: replication and checkpoint/restart",
+        "fault-rate scale",
+        "Pc:* = completion probability; Meff:* = fault-adjusted mean / M0; \
+         dup:* = duplicate work / M0; wins",
+    );
+    let per_graph: Vec<Vec<[Cell; 4]>> = (0..cfg.graphs)
+        .into_par_iter()
+        .map(|g| study_one_graph(cfg, g))
+        .collect();
+
+    let mut pc: Vec<Series> = LABELS
+        .iter()
+        .map(|l| Series::new(format!("Pc:{l}")))
+        .collect();
+    let mut meff: Vec<Series> = LABELS
+        .iter()
+        .map(|l| Series::new(format!("Meff:{l}")))
+        .collect();
+    let mut dup: Vec<Series> = LABELS
+        .iter()
+        .map(|l| Series::new(format!("dup:{l}")))
+        .collect();
+    let mut wins = Series::new("wins:replication");
+
+    for (si, &scale) in cfg.fault_scales.iter().enumerate() {
+        for c in 0..LABELS.len() {
+            let pcs: Vec<f64> = per_graph.iter().map(|g| g[si][c].pc).collect();
+            let meffs: Vec<f64> = per_graph.iter().map(|g| g[si][c].meff).collect();
+            let dups: Vec<f64> = per_graph.iter().map(|g| g[si][c].dup).collect();
+            pc[c].push(scale, mean_finite(&pcs).unwrap_or(f64::NAN));
+            meff[c].push(scale, mean_finite(&meffs).unwrap_or(f64::NAN));
+            dup[c].push(scale, mean_finite(&dups).unwrap_or(f64::NAN));
+        }
+        let ws: Vec<f64> = per_graph.iter().map(|g| g[si][1].wins).collect();
+        wins.push(scale, mean_finite(&ws).unwrap_or(f64::NAN));
+    }
+    for s in pc.into_iter().chain(meff).chain(dup) {
+        fig.push(s);
+    }
+    fig.push(wins);
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(fig: &FigureData, label: &str, x: f64) -> f64 {
+        fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+            .points
+            .iter()
+            .find(|&&(px, _)| (px - x).abs() < 1e-12)
+            .unwrap_or_else(|| panic!("missing x={x} in {label}"))
+            .1
+    }
+
+    /// The study's acceptance criterion: at a fixed fault rate replication
+    /// achieves strictly higher completion probability than no-replication,
+    /// while at scale 0 (fault-free) every combo completes everything and
+    /// the planned makespans coincide.
+    #[test]
+    fn replication_study_raises_completion_probability() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.tasks = 25;
+        cfg.procs = 4;
+        cfg.realizations = 60;
+        cfg.fault_scales = vec![0.0, 1.0];
+        let fig = run_replication_cmp(&cfg);
+        assert_eq!(fig.series.len(), 13);
+
+        // Fault-free control: nothing fails under any combo (replicas and
+        // checkpoints are pure insurance; the planner never perturbs the
+        // fault-free plan).
+        for l in LABELS {
+            assert_eq!(get(&fig, &format!("Pc:{l}"), 0.0), 1.0, "{l}");
+        }
+        // First-finisher-wins can only shorten realizations, while
+        // checkpoints are paid on every attempt, crashed or not.
+        assert!(get(&fig, "Meff:replication", 0.0) <= get(&fig, "Meff:baseline", 0.0));
+        assert!(get(&fig, "Meff:checkpoint", 0.0) >= get(&fig, "Meff:baseline", 0.0));
+
+        // Under failures, retry-in-place strands queues; replicas rescue
+        // some of those realizations (and never lose one).
+        assert!(get(&fig, "Pc:baseline", 1.0) < 1.0);
+        assert!(
+            get(&fig, "Pc:replication", 1.0) > get(&fig, "Pc:baseline", 1.0),
+            "replication {} !> baseline {}",
+            get(&fig, "Pc:replication", 1.0),
+            get(&fig, "Pc:baseline", 1.0)
+        );
+        assert!(get(&fig, "Pc:repl+ckpt", 1.0) > get(&fig, "Pc:checkpoint", 1.0));
+        // Replication pays in duplicate work and records its wins.
+        assert!(get(&fig, "dup:replication", 1.0) > 0.0);
+        assert!(get(&fig, "wins:replication", 1.0) > 0.0);
+        assert!(get(&fig, "dup:baseline", 1.0) <= get(&fig, "dup:replication", 1.0));
+    }
+}

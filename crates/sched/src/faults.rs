@@ -37,10 +37,12 @@
 //!   parameters are drawn unconditionally and the rate only gates them.
 
 use rds_graph::TaskId;
-use rds_platform::ProcId;
+use rds_platform::{ProcId, TimingModel};
 use rds_stats::rng::SeedStream;
 
 use rand::Rng;
+
+use crate::replication::ReplicaPlan;
 
 /// The kinds of fault a scenario can contain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -386,6 +388,93 @@ impl FaultScenario {
     }
 }
 
+/// The realized draws of one replica execution: its duration on its host
+/// processor, and — when the replica attempt itself crashes — the fraction
+/// of that duration completed at the crash.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaDraw {
+    /// Realized duration of the replica on its planned processor.
+    pub duration: f64,
+    /// Crash fraction of the replica attempt, when it crashes (replicas are
+    /// not retried — a crashed replica is simply dead).
+    pub crash: Option<f64>,
+}
+
+/// Realized draws for every replica of a [`ReplicaPlan`], aligned by
+/// replica index.
+///
+/// # Determinism contract
+///
+/// Replica draws live in their **own substream**, keyed by
+/// `(seed, realization, task, replica-index)`:
+///
+/// * the Monte Carlo engine derives the per-realization `seed` from
+///   `branch("replica-draws")` of the master seed — a branch primary-task
+///   draws (`"fault-durations"`) and scenarios (`"fault-scenario"`) never
+///   touch, so **adding replicas never perturbs primary-task draws**;
+/// * within a realization, each replica draws from a stream keyed by its
+///   `(task, index-within-task)` pair, so growing the budget (adding more
+///   replicas or more tasks) never shifts the draws of replicas that were
+///   already planned.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplicaDraws {
+    /// Per-replica draws, indexed like `plan.replicas()`.
+    pub draws: Vec<ReplicaDraw>,
+}
+
+impl ReplicaDraws {
+    /// Draws durations and crash gates for every replica of `plan`.
+    ///
+    /// `seed` is the per-realization sub-seed (derive it as
+    /// `SeedStream::new(master).branch("replica-draws").nth_seed(i)`);
+    /// `crash_rate` gates each replica's own transient crash. Parameters
+    /// are drawn unconditionally so streams stay aligned when the rate
+    /// changes, mirroring [`FaultScenario::generate`].
+    #[must_use]
+    pub fn generate(plan: &ReplicaPlan, timing: &TimingModel, crash_rate: f64, seed: u64) -> Self {
+        let root = SeedStream::new(seed);
+        let mut draws = Vec::with_capacity(plan.count());
+        for (ri, r) in plan.replicas().iter().enumerate() {
+            let k = plan
+                .replicas_of(r.task)
+                .iter()
+                .position(|&x| x == ri)
+                .unwrap_or(0) as u64;
+            let task_stream = SeedStream::new(root.nth_seed(u64::from(r.task.0)));
+            let mut rng = task_stream.nth_rng(k);
+            let duration = timing.sample(r.task.index(), r.proc, &mut rng);
+            let gate: f64 = rng.gen();
+            let fraction = rng.gen_range(0.1..0.9);
+            let crash = (gate < crash_rate).then_some(fraction);
+            draws.push(ReplicaDraw { duration, crash });
+        }
+        Self { draws }
+    }
+
+    /// Draws for an empty plan (the no-replication baseline).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Nominal draws: every replica takes exactly its expected duration
+    /// and never crashes. Together with the insurance constraint of
+    /// [`crate::replication::plan_replicas`] this makes a fault-free
+    /// replicated run bit-identical to the primary-only run.
+    #[must_use]
+    pub fn nominal(plan: &ReplicaPlan, timing: &TimingModel) -> Self {
+        let draws = plan
+            .replicas()
+            .iter()
+            .map(|r| ReplicaDraw {
+                duration: timing.expected(r.task.index(), r.proc),
+                crash: None,
+            })
+            .collect();
+        Self { draws }
+    }
+}
+
 /// Advances `work` units of computation starting at time `from` on a
 /// processor whose speed is `1/factor` inside each of `windows` (sorted by
 /// start, non-overlapping) and 1 elsewhere; returns the completion time.
@@ -554,6 +643,90 @@ mod tests {
             assert!(f >= last);
             assert!(f >= 0.5 + work, "slowdowns can only delay");
             last = f;
+        }
+    }
+
+    /// Regression (replica RNG substream): replica draws are keyed by
+    /// `(seed, task, replica-index)`, so growing a plan never perturbs the
+    /// draws of replicas that already existed, and the draws live in a
+    /// stream disjoint from the primary-duration and scenario streams.
+    #[test]
+    fn replica_draws_are_stable_under_plan_growth() {
+        use crate::instance::InstanceSpec;
+        use crate::replication::{plan_replicas, ReplicationConfig};
+        use crate::schedule::Schedule;
+
+        let inst = InstanceSpec::new(24, 4)
+            .seed(3)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let assignment: Vec<ProcId> = (0..24).map(|t| ProcId((t % 4) as u32)).collect();
+        let s = Schedule::from_order_and_assignment(&order, &assignment, 4).unwrap();
+
+        let small = plan_replicas(&inst, &s, &ReplicationConfig::with_budget(0.25)).unwrap();
+        let cfg_big = ReplicationConfig {
+            budget: 1.0,
+            max_replicas_per_task: 2,
+            ..ReplicationConfig::default()
+        };
+        let big = plan_replicas(&inst, &s, &cfg_big).unwrap();
+        assert!(big.count() > small.count(), "bigger budget adds replicas");
+
+        let seed = 77u64;
+        let d_small = ReplicaDraws::generate(&small, &inst.timing, 0.5, seed);
+        let d_big = ReplicaDraws::generate(&big, &inst.timing, 0.5, seed);
+        // Every replica present in the small plan gets the same draw in the
+        // big plan (matched by (task, index-within-task, proc)).
+        for (ri, r) in small.replicas().iter().enumerate() {
+            let k = small
+                .replicas_of(r.task)
+                .iter()
+                .position(|&x| x == ri)
+                .unwrap();
+            let Some(&rj) = big.replicas_of(r.task).get(k) else {
+                continue;
+            };
+            if big.replicas()[rj].proc == r.proc {
+                assert_eq!(
+                    d_small.draws[ri], d_big.draws[rj],
+                    "draw of {} replica {k} shifted when the plan grew",
+                    r.task
+                );
+            }
+        }
+    }
+
+    /// Regression: changing the crash rate only gates crashes — durations
+    /// and crash fractions are drawn unconditionally and never shift.
+    #[test]
+    fn replica_crash_rate_only_gates() {
+        use crate::instance::InstanceSpec;
+        use crate::replication::{plan_replicas, ReplicationConfig};
+        use crate::schedule::Schedule;
+
+        let inst = InstanceSpec::new(20, 3)
+            .seed(5)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let assignment: Vec<ProcId> = (0..20).map(|t| ProcId((t % 3) as u32)).collect();
+        let s = Schedule::from_order_and_assignment(&order, &assignment, 3).unwrap();
+        let plan = plan_replicas(&inst, &s, &ReplicationConfig::with_budget(1.0)).unwrap();
+        assert!(!plan.is_empty());
+
+        let none = ReplicaDraws::generate(&plan, &inst.timing, 0.0, 9);
+        let all = ReplicaDraws::generate(&plan, &inst.timing, 1.0, 9);
+        assert_eq!(none.draws.len(), all.draws.len());
+        for (a, b) in none.draws.iter().zip(&all.draws) {
+            assert_eq!(
+                a.duration, b.duration,
+                "duration must not depend on the rate"
+            );
+            assert!(a.crash.is_none(), "rate 0 crashes nothing");
+            assert!(b.crash.is_some(), "rate 1 crashes everything");
         }
     }
 

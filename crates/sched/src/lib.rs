@@ -23,7 +23,12 @@
 //!   windows, stragglers, and transient task crashes.
 //! * [`recovery`] — pluggable recovery policies (fail-stop, retry with
 //!   backoff, migrate + replan) and the discrete-event executor that plays
-//!   a schedule through a fault scenario.
+//!   a schedule through a fault scenario, with first-finisher-wins replica
+//!   execution and optional checkpoint/restart.
+//! * [`replication`] — proactive robustness: slack-aware placement of task
+//!   replicas into idle windows of the expected timeline, under a
+//!   configurable budget and placement policy, such that the fault-free
+//!   makespan `M0` is untouched.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -39,21 +44,25 @@ pub mod io;
 pub mod metrics;
 pub mod realization;
 pub mod recovery;
+pub mod replication;
 pub mod schedule;
 pub mod slack;
 pub mod timing;
 pub mod trace;
 
 pub use disjunctive::DisjunctiveGraph;
-pub use faults::{FaultConfig, FaultKind, FaultScenario};
+pub use faults::{FaultConfig, FaultKind, FaultScenario, ReplicaDraw, ReplicaDraws};
 pub use instance::{Instance, InstanceSpec};
 pub use metrics::{r1_from_tardiness, r2_from_miss_rate, FaultRobustnessReport, RobustnessReport};
 pub use realization::{
-    failure_penalty, monte_carlo, monte_carlo_faulty, sample_realized_matrix, RealizationConfig,
+    failure_penalty, monte_carlo, monte_carlo_faulty, monte_carlo_replicated,
+    sample_realized_matrix, RealizationConfig,
 };
 pub use recovery::{
-    execute_with_faults, FaultRun, Outcome, RecoveryConfig, RecoveryPolicy, RecoveryStats,
+    execute_replicated, execute_with_faults, CheckpointConfig, CopySpan, ExecutionError, FaultRun,
+    Outcome, RecoveryConfig, RecoveryPolicy, RecoveryStats,
 };
+pub use replication::{plan_replicas, PlacementPolicy, ReplicaPlan, ReplicationConfig};
 pub use schedule::{Schedule, ScheduleError};
 pub use slack::SlackAnalysis;
 pub use timing::TimedSchedule;

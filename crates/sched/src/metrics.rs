@@ -12,6 +12,8 @@
 
 use rds_stats::describe::Summary;
 
+use crate::recovery::RecoveryStats;
+
 /// Relative tardiness `δ` of one realization.
 ///
 /// # Panics
@@ -183,6 +185,21 @@ pub struct FaultRobustnessReport {
     pub mean_lost_work: f64,
     /// Mean backoff delay inserted per realization (time units).
     pub mean_backoff_delay: f64,
+    /// Reliability: `P(run completes) = completed / N = 1 − failed_rate`.
+    pub completion_probability: f64,
+    /// Mean tasks completed by a replica per realization.
+    pub mean_replica_wins: f64,
+    /// Mean time consumed by replica executions per realization.
+    pub mean_replica_work: f64,
+    /// Mean wasted duplicate work per realization (losing copies).
+    pub mean_duplicate_work: f64,
+    /// Mean replica promotions (sole-surviving-copy events) per
+    /// realization.
+    pub mean_promotions: f64,
+    /// Mean extra time paid for checkpoints per realization.
+    pub mean_checkpoint_overhead: f64,
+    /// Mean work preserved by checkpoints per realization.
+    pub mean_saved_work: f64,
     /// Summary of the completed realized makespans (`None` when every
     /// realization failed).
     pub makespans: Option<Summary>,
@@ -190,8 +207,13 @@ pub struct FaultRobustnessReport {
 
 impl FaultRobustnessReport {
     /// Builds the report from `M₀`, the plan's average slack, the completed
-    /// makespans, the failed-realization count, and summed recovery totals
-    /// `(replans, retries, lost_work, backoff_delay)`.
+    /// makespans, the failed-realization count, and the summed
+    /// [`RecoveryStats`] across all realizations.
+    ///
+    /// `mean_makespan` is the expected makespan *conditioned on
+    /// completion*; pair it with [`Self::completion_probability`] (or use
+    /// [`Self::effective_mean`]) when comparing policies whose completion
+    /// rates differ.
     ///
     /// # Panics
     /// Panics when there are zero realizations in total or
@@ -201,7 +223,7 @@ impl FaultRobustnessReport {
         average_slack: f64,
         completed_makespans: Vec<f64>,
         failed: usize,
-        totals: (usize, usize, f64, f64),
+        totals: &RecoveryStats,
     ) -> Self {
         let completed = completed_makespans.len();
         let n = completed + failed;
@@ -227,7 +249,6 @@ impl FaultRobustnessReport {
             (mean, tard, late)
         };
         let miss_rate = (late + failed) as f64 / nf;
-        let (replans, retries, lost_work, backoff_delay) = totals;
         Self {
             expected_makespan,
             average_slack,
@@ -243,16 +264,31 @@ impl FaultRobustnessReport {
             },
             miss_rate,
             r2: r2_from_miss_rate(miss_rate),
-            mean_replans: replans as f64 / nf,
-            mean_retries: retries as f64 / nf,
-            mean_lost_work: lost_work / nf,
-            mean_backoff_delay: backoff_delay / nf,
+            mean_replans: totals.replans as f64 / nf,
+            mean_retries: totals.retries as f64 / nf,
+            mean_lost_work: totals.lost_work / nf,
+            mean_backoff_delay: totals.backoff_delay / nf,
+            completion_probability: completed as f64 / nf,
+            mean_replica_wins: totals.replica_wins as f64 / nf,
+            mean_replica_work: totals.replica_work / nf,
+            mean_duplicate_work: totals.duplicate_work / nf,
+            mean_promotions: totals.promotions as f64 / nf,
+            mean_checkpoint_overhead: totals.checkpoint_overhead / nf,
+            mean_saved_work: totals.saved_work / nf,
             makespans: if completed == 0 {
                 None
             } else {
                 Some(Summary::from_samples(completed_makespans))
             },
         }
+    }
+
+    /// Replication overhead: mean wasted duplicate work per realization,
+    /// relative to the fault-free makespan `M₀` — "how much redundant
+    /// compute did the insurance cost, in units of one nominal run".
+    #[must_use]
+    pub fn replication_overhead(&self) -> f64 {
+        self.mean_duplicate_work / self.expected_makespan
     }
 
     /// Effective mean makespan with failed realizations charged `penalty`
@@ -363,11 +399,32 @@ mod tests {
     #[test]
     fn fault_report_hand_computed() {
         // M0 = 10; completed 8, 12 (1 late), 2 failed of 4 total.
-        let r =
-            FaultRobustnessReport::from_outcomes(10.0, 1.0, vec![8.0, 12.0], 2, (3, 1, 5.0, 2.0));
+        let totals = RecoveryStats {
+            replans: 3,
+            retries: 1,
+            lost_work: 5.0,
+            backoff_delay: 2.0,
+            replica_starts: 6,
+            replica_wins: 2,
+            replica_work: 8.0,
+            duplicate_work: 6.0,
+            promotions: 1,
+            checkpoint_overhead: 1.0,
+            saved_work: 3.0,
+        };
+        let r = FaultRobustnessReport::from_outcomes(10.0, 1.0, vec![8.0, 12.0], 2, &totals);
         assert_eq!(r.realizations, 4);
         assert_eq!(r.completed, 2);
         assert_eq!(r.failed_rate, 0.5);
+        assert_eq!(r.completion_probability, 0.5);
+        assert_eq!(r.mean_replica_wins, 0.5);
+        assert_eq!(r.mean_replica_work, 2.0);
+        assert_eq!(r.mean_duplicate_work, 1.5);
+        assert_eq!(r.mean_promotions, 0.25);
+        assert_eq!(r.mean_checkpoint_overhead, 0.25);
+        assert_eq!(r.mean_saved_work, 0.75);
+        // 1.5 units of duplicate work per realization over M0 = 10.
+        assert!((r.replication_overhead() - 0.15).abs() < 1e-12);
         assert_eq!(r.mean_makespan, 10.0);
         // δ over completed: 0, 0.2 -> mean 0.1.
         assert!((r.mean_tardiness - 0.1).abs() < 1e-12);
@@ -388,8 +445,10 @@ mod tests {
     fn fault_report_with_no_faults_matches_plain_report() {
         let ms = vec![8.0, 12.0, 10.0, 14.0];
         let plain = RobustnessReport::from_makespans(10.0, 1.5, ms.clone());
-        let faulty = FaultRobustnessReport::from_outcomes(10.0, 1.5, ms, 0, (0, 0, 0.0, 0.0));
+        let faulty =
+            FaultRobustnessReport::from_outcomes(10.0, 1.5, ms, 0, &RecoveryStats::default());
         assert_eq!(faulty.failed_rate, 0.0);
+        assert_eq!(faulty.completion_probability, 1.0);
         assert_eq!(faulty.mean_makespan, plain.mean_makespan);
         assert_eq!(faulty.mean_tardiness, plain.mean_tardiness);
         assert_eq!(faulty.r1, plain.r1);
@@ -401,9 +460,11 @@ mod tests {
 
     #[test]
     fn fault_report_all_failed_edge_case() {
-        let r = FaultRobustnessReport::from_outcomes(10.0, 0.0, vec![], 5, (0, 0, 0.0, 0.0));
+        let r =
+            FaultRobustnessReport::from_outcomes(10.0, 0.0, vec![], 5, &RecoveryStats::default());
         assert_eq!(r.completed, 0);
         assert_eq!(r.failed_rate, 1.0);
+        assert_eq!(r.completion_probability, 0.0);
         assert!(r.mean_makespan.is_nan());
         assert_eq!(r.r1, 0.0);
         assert_eq!(r.miss_rate, 1.0);

@@ -18,10 +18,13 @@ use rds_stats::matrix::Matrix;
 use rds_stats::rng::SeedStream;
 
 use crate::disjunctive::{CycleError, DisjunctiveGraph};
-use crate::faults::{FaultConfig, FaultScenario};
+use crate::faults::{FaultConfig, FaultScenario, ReplicaDraws};
 use crate::instance::Instance;
 use crate::metrics::{FaultRobustnessReport, RobustnessReport};
-use crate::recovery::{execute_with_faults, RecoveryConfig, RecoveryStats};
+use crate::recovery::{
+    execute_replicated, execute_with_faults, CheckpointConfig, RecoveryConfig, RecoveryStats,
+};
+use crate::replication::ReplicaPlan;
 use crate::schedule::Schedule;
 use crate::slack;
 use crate::timing;
@@ -224,7 +227,48 @@ pub fn monte_carlo_faulty(
     faults: &FaultConfig,
     recovery: &RecoveryConfig,
 ) -> Result<FaultRobustnessReport, CycleError> {
+    monte_carlo_faulty_inner(inst, schedule, cfg, faults, recovery, None)
+}
+
+/// [`monte_carlo_faulty`] with proactive replication: every realization
+/// additionally draws per-replica durations and crash gates from the
+/// dedicated `branch("replica-draws")` substream (so primary-task draws are
+/// untouched by the presence of replicas) and executes through
+/// [`execute_replicated`] with first-finisher-wins semantics.
+///
+/// With an empty plan this is bit-identical to [`monte_carlo_faulty`].
+///
+/// # Errors
+/// Returns [`CycleError`] when the schedule is incompatible with the
+/// instance's graph.
+///
+/// # Panics
+/// Panics when `cfg.realizations == 0`, the fault config is invalid, or
+/// `recovery.checkpoint` is malformed.
+pub fn monte_carlo_replicated(
+    inst: &Instance,
+    schedule: &Schedule,
+    plan: &ReplicaPlan,
+    cfg: &RealizationConfig,
+    faults: &FaultConfig,
+    recovery: &RecoveryConfig,
+) -> Result<FaultRobustnessReport, CycleError> {
+    monte_carlo_faulty_inner(inst, schedule, cfg, faults, recovery, Some(plan))
+}
+
+fn monte_carlo_faulty_inner(
+    inst: &Instance,
+    schedule: &Schedule,
+    cfg: &RealizationConfig,
+    faults: &FaultConfig,
+    recovery: &RecoveryConfig,
+    replicas: Option<&ReplicaPlan>,
+) -> Result<FaultRobustnessReport, CycleError> {
     assert!(cfg.realizations > 0, "need at least one realization");
+    if let Some(c) = &recovery.checkpoint {
+        // Surface bad knobs once, up front, instead of per realization.
+        CheckpointConfig::new(c.interval, c.overhead).expect("invalid checkpoint config");
+    }
     let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
     let durations = timing::expected_durations(&inst.timing, schedule);
     let analysis = slack::analyze(&ds, schedule, &inst.platform, &durations);
@@ -238,10 +282,23 @@ pub fn monte_carlo_faulty(
     let m = inst.proc_count();
     let dur_seeds = SeedStream::new(cfg.seed).branch("fault-durations");
     let scen_seeds = SeedStream::new(cfg.seed).branch("fault-scenario");
+    let replica_seeds = SeedStream::new(cfg.seed).branch("replica-draws");
     let one = |i: usize| -> (Option<f64>, RecoveryStats) {
         let mx = sample_realized_matrix(&inst.timing, n, m, dur_seeds.nth_seed(i as u64));
         let scenario = FaultScenario::generate(&fcfg, n, m, scen_seeds.nth_seed(i as u64));
-        let run = execute_with_faults(inst, schedule, &mx, &scenario, recovery);
+        let run = match replicas {
+            Some(plan) => {
+                let draws = ReplicaDraws::generate(
+                    plan,
+                    &inst.timing,
+                    fcfg.crash_rate,
+                    replica_seeds.nth_seed(i as u64),
+                );
+                execute_replicated(inst, schedule, &mx, &scenario, recovery, plan, &draws)
+            }
+            None => execute_with_faults(inst, schedule, &mx, &scenario, recovery),
+        }
+        .expect("inputs were validated; execution cannot error");
         (run.outcome.makespan(), run.stats)
     };
     let outcomes: Vec<(Option<f64>, RecoveryStats)> = if cfg.parallel {
@@ -265,12 +322,7 @@ pub fn monte_carlo_faulty(
         analysis.average_slack,
         completed,
         failed,
-        (
-            totals.replans,
-            totals.retries,
-            totals.lost_work,
-            totals.backoff_delay,
-        ),
+        &totals,
     ))
 }
 
@@ -533,5 +585,72 @@ mod tests {
             migrate.effective_mean(penalty),
             stop.effective_mean(penalty)
         );
+    }
+
+    #[test]
+    fn replicated_with_empty_plan_matches_unreplicated_bitwise() {
+        use crate::faults::FaultConfig;
+        use crate::recovery::{RecoveryConfig, RecoveryPolicy};
+        use crate::replication::ReplicaPlan;
+        let inst = InstanceSpec::new(25, 3)
+            .seed(19)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
+        let s = round_robin(&inst);
+        let faults = FaultConfig::default();
+        let rec = RecoveryConfig::new(RecoveryPolicy::MigrateReplan);
+        let cfg = RealizationConfig::with_realizations(48).seed(3);
+        let plain = monte_carlo_faulty(&inst, &s, &cfg, &faults, &rec).unwrap();
+        let empty = ReplicaPlan::empty(inst.task_count());
+        let repl = monte_carlo_replicated(&inst, &s, &empty, &cfg, &faults, &rec).unwrap();
+        assert_eq!(plain.completed, repl.completed);
+        assert_eq!(plain.mean_makespan.to_bits(), repl.mean_makespan.to_bits());
+        assert_eq!(
+            plain.mean_lost_work.to_bits(),
+            repl.mean_lost_work.to_bits()
+        );
+        assert_eq!(repl.mean_replica_wins, 0.0);
+        assert_eq!(repl.mean_duplicate_work, 0.0);
+    }
+
+    #[test]
+    fn replication_raises_completion_probability_under_failures() {
+        use crate::faults::FaultConfig;
+        use crate::recovery::{RecoveryConfig, RecoveryPolicy};
+        use crate::replication::{plan_replicas, ReplicationConfig};
+        let inst = InstanceSpec::new(30, 4)
+            .seed(23)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap();
+        let s = round_robin(&inst);
+        let faults = FaultConfig {
+            failure_rate: 0.5,
+            ..FaultConfig::quiet()
+        };
+        let rec = RecoveryConfig::new(RecoveryPolicy::RetrySameProc);
+        let cfg = RealizationConfig::with_realizations(100).seed(5);
+        let base = monte_carlo_faulty(&inst, &s, &cfg, &faults, &rec).unwrap();
+        assert!(
+            base.failed_rate > 0.0,
+            "failures must bite without replicas"
+        );
+        let plan =
+            plan_replicas(&inst, &s, &ReplicationConfig::default().with_budget(1.0)).unwrap();
+        let repl = monte_carlo_replicated(&inst, &s, &plan, &cfg, &faults, &rec).unwrap();
+        assert!(
+            repl.completion_probability > base.completion_probability,
+            "replication {} !> baseline {}",
+            repl.completion_probability,
+            base.completion_probability
+        );
+        assert!(repl.mean_replica_wins > 0.0);
+        assert!(repl.replication_overhead() >= 0.0);
+        // Determinism across thread fan-out, replica draws included.
+        let serial =
+            monte_carlo_replicated(&inst, &s, &plan, &cfg.serial(), &faults, &rec).unwrap();
+        assert_eq!(repl.completed, serial.completed);
+        assert_eq!(repl.mean_makespan.to_bits(), serial.mean_makespan.to_bits());
     }
 }

@@ -18,6 +18,28 @@
 //!   `rds-heft` sits *above* this crate in the dependency graph; the
 //!   public partial-graph entry point lives in `rds_heft::reschedule`).
 //!
+//! [`execute_replicated`] extends the executor with the two *proactive*
+//! knobs of [`crate::replication`]:
+//!
+//! * **Replication, first-finisher-wins.** Replicas planned into idle slack
+//!   windows dispatch only on idle processors whose own queue head is not
+//!   ready, never earlier than their planned start. The first copy of a
+//!   task to finish defines the task's completion (ties go to the primary);
+//!   the losing copy's effort is charged to
+//!   [`RecoveryStats::duplicate_work`]. A dispensable running replica is
+//!   killed the moment it would delay a ready primary, so primaries are
+//!   never delayed and the fault-free run is bit-identical to the
+//!   primary-only run. When a primary copy is permanently lost (its host
+//!   died with it queued, or it crashed under a no-retry policy) its
+//!   surviving replicas are **promoted**: they become indispensable and
+//!   carry the task alone.
+//! * **Checkpoint/restart.** With a [`CheckpointConfig`], primary attempts
+//!   checkpoint every `interval` fraction of their duration (paying
+//!   `overhead` extra time per checkpoint) and restart from the last
+//!   checkpoint instead of from scratch after a crash or abort
+//!   (shared-storage model: a migrated task resumes its preserved fraction
+//!   on the new host). Replicas never checkpoint.
+//!
 //! Semantics, fixed for all policies:
 //!
 //! * tasks already **finished** are never re-executed;
@@ -25,18 +47,21 @@
 //! * a task running on a processor at its failure instant is lost and
 //!   (under `MigrateReplan`) re-planned from scratch elsewhere;
 //! * slowdown windows and stragglers merely stretch durations — they never
-//!   fail a realization under any policy;
+//!   fail a realization under any policy (stragglers stretch the *primary*
+//!   attempt only; replicas draw their own durations);
 //! * the executor is deterministic: all randomness lives in the realized
-//!   duration matrix and the fault scenario.
+//!   duration matrix, the fault scenario and the replica draws.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use rds_graph::TaskId;
 use rds_platform::{Availability, ProcId};
 use rds_stats::matrix::Matrix;
 
-use crate::faults::{advance_through, FaultScenario};
+use crate::faults::{advance_through, FaultScenario, ReplicaDraws};
 use crate::instance::Instance;
+use crate::replication::ReplicaPlan;
 use crate::schedule::Schedule;
 
 /// How the executor reacts to faults.
@@ -70,6 +95,74 @@ impl RecoveryPolicy {
     }
 }
 
+/// Checkpoint/restart tuning: periodic checkpoints with a
+/// resume-from-fraction cost model.
+///
+/// A checkpointing attempt of base duration `b` takes
+/// `b · (1 + overhead · k)` where `k = ⌈1/interval⌉ − 1` is the number of
+/// checkpoints taken; after a crash or abort the fraction
+/// `⌊f/interval⌋ · interval` of the attempt is preserved and only the
+/// remainder re-executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointConfig {
+    /// Fraction of an attempt between checkpoints, in `(0, 1]`.
+    pub interval: f64,
+    /// Fractional duration overhead per checkpoint (`≥ 0`).
+    pub overhead: f64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            interval: 0.25,
+            overhead: 0.02,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// A validated config.
+    ///
+    /// # Errors
+    /// Returns [`ExecutionError::BadCheckpoint`] when `interval` is outside
+    /// `(0, 1]` or `overhead` is negative or non-finite.
+    pub fn new(interval: f64, overhead: f64) -> Result<Self, ExecutionError> {
+        let cfg = Self { interval, overhead };
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    fn validate(&self) -> Result<(), ExecutionError> {
+        if !(self.interval > 0.0 && self.interval <= 1.0)
+            || !(self.overhead >= 0.0 && self.overhead.is_finite())
+        {
+            return Err(ExecutionError::BadCheckpoint {
+                interval: self.interval,
+                overhead: self.overhead,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checkpoints taken during a full attempt.
+    #[must_use]
+    pub fn count(&self) -> f64 {
+        ((1.0 / self.interval).ceil() - 1.0).max(0.0)
+    }
+
+    /// Duration inflation factor of a checkpointing attempt.
+    #[must_use]
+    pub fn inflate(&self) -> f64 {
+        1.0 + self.overhead * self.count()
+    }
+
+    /// Fraction of an attempt preserved when it dies at `fraction`.
+    #[must_use]
+    pub fn preserved(&self, fraction: f64) -> f64 {
+        ((fraction / self.interval).floor() * self.interval).clamp(0.0, 1.0)
+    }
+}
+
 /// Recovery tuning knobs.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RecoveryConfig {
@@ -81,6 +174,8 @@ pub struct RecoveryConfig {
     /// Maximum retries per task (transient crashes occur once per task, so
     /// 1 suffices; 0 turns `RetrySameProc` into `FailStop` for crashes).
     pub max_retries: u32,
+    /// Optional checkpoint/restart of primary attempts.
+    pub checkpoint: Option<CheckpointConfig>,
 }
 
 impl Default for RecoveryConfig {
@@ -89,6 +184,7 @@ impl Default for RecoveryConfig {
             policy: RecoveryPolicy::MigrateReplan,
             backoff: 0.25,
             max_retries: 3,
+            checkpoint: None,
         }
     }
 }
@@ -102,14 +198,92 @@ impl RecoveryConfig {
             ..Self::default()
         }
     }
+
+    /// Enables checkpoint/restart.
+    #[must_use]
+    pub fn with_checkpoint(mut self, checkpoint: CheckpointConfig) -> Self {
+        self.checkpoint = Some(checkpoint);
+        self
+    }
 }
+
+/// A malformed input that would previously have crashed the executor.
+///
+/// These are *caller* errors (wrong matrix shape, draws that do not match
+/// the plan) or internal invariant breaches surfaced as values instead of
+/// panics, so a bad schedule can never take down a whole Monte Carlo
+/// sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ExecutionError {
+    /// `durations` is not `tasks × procs`.
+    DurationShape {
+        /// Rows provided.
+        rows: usize,
+        /// Columns provided.
+        cols: usize,
+        /// Tasks expected.
+        tasks: usize,
+        /// Processors expected.
+        procs: usize,
+    },
+    /// The replica draws do not align with the replica plan.
+    ReplicaDrawMismatch {
+        /// Replicas in the plan.
+        replicas: usize,
+        /// Draws provided.
+        draws: usize,
+    },
+    /// A replica references a task or processor outside the instance.
+    ReplicaOutOfRange {
+        /// Replica index in the plan.
+        index: usize,
+    },
+    /// Invalid checkpoint parameters.
+    BadCheckpoint {
+        /// Offending interval.
+        interval: f64,
+        /// Offending overhead.
+        overhead: f64,
+    },
+    /// An executor invariant broke (a bug, reported instead of panicking).
+    Internal(&'static str),
+}
+
+impl fmt::Display for ExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Self::DurationShape {
+                rows,
+                cols,
+                tasks,
+                procs,
+            } => write!(f, "durations must be {tasks}x{procs}, got {rows}x{cols}"),
+            Self::ReplicaDrawMismatch { replicas, draws } => {
+                write!(f, "{draws} replica draws for a plan of {replicas} replicas")
+            }
+            Self::ReplicaOutOfRange { index } => {
+                write!(f, "replica {index} references an unknown task or processor")
+            }
+            Self::BadCheckpoint { interval, overhead } => write!(
+                f,
+                "checkpoint interval must lie in (0,1] and overhead be \
+                 non-negative, got interval {interval}, overhead {overhead}"
+            ),
+            Self::Internal(msg) => write!(f, "executor invariant broken: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecutionError {}
 
 /// Why a realization failed to complete.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum FailReason {
-    /// A processor with unfinished work died and the policy cannot migrate.
+    /// A processor with unfinished work died and neither the policy nor a
+    /// surviving replica can absorb it.
     ProcessorLost(ProcId),
-    /// A task crashed and the policy cannot retry (or retries exhausted).
+    /// A task crashed and the policy cannot retry (or retries exhausted)
+    /// and no surviving replica carries it.
     TaskCrashed(TaskId),
     /// Every processor died before the DAG completed (`MigrateReplan` only;
     /// the generator's survivor rule makes this unreachable for generated
@@ -156,6 +330,21 @@ pub struct RecoveryStats {
     pub lost_work: f64,
     /// Total backoff delay inserted before retries.
     pub backoff_delay: f64,
+    /// Replica executions started.
+    pub replica_starts: usize,
+    /// Tasks completed by a replica before (or instead of) their primary.
+    pub replica_wins: usize,
+    /// Total time consumed by replica executions (complete or partial).
+    pub replica_work: f64,
+    /// Wasted duplicate work: effort spent on copies that did not define
+    /// their task's completion (killed replicas, redundant primaries).
+    pub duplicate_work: f64,
+    /// Replicas promoted to sole surviving copy of their task.
+    pub promotions: usize,
+    /// Extra execution time paid for taking checkpoints.
+    pub checkpoint_overhead: f64,
+    /// Work preserved by checkpoints across crashes and aborts.
+    pub saved_work: f64,
 }
 
 impl RecoveryStats {
@@ -166,6 +355,13 @@ impl RecoveryStats {
         self.retries += other.retries;
         self.lost_work += other.lost_work;
         self.backoff_delay += other.backoff_delay;
+        self.replica_starts += other.replica_starts;
+        self.replica_wins += other.replica_wins;
+        self.replica_work += other.replica_work;
+        self.duplicate_work += other.duplicate_work;
+        self.promotions += other.promotions;
+        self.checkpoint_overhead += other.checkpoint_overhead;
+        self.saved_work += other.saved_work;
     }
 }
 
@@ -213,6 +409,44 @@ pub enum RecoveryEvent {
         /// Number of tasks whose queue slot changed.
         moved: usize,
     },
+    /// A replica of `task` started executing on `proc` at `at`.
+    ReplicaStarted {
+        /// Task.
+        task: TaskId,
+        /// Processor.
+        proc: ProcId,
+        /// Time.
+        at: f64,
+    },
+    /// A replica of `task` on `proc` finished first and defined the task's
+    /// completion.
+    ReplicaWon {
+        /// Task.
+        task: TaskId,
+        /// Processor.
+        proc: ProcId,
+        /// Time.
+        at: f64,
+    },
+    /// A replica of `task` on `proc` died at `at` (killed to make way for
+    /// a primary, lost with its processor, or crashed).
+    ReplicaKilled {
+        /// Task.
+        task: TaskId,
+        /// Processor.
+        proc: ProcId,
+        /// Time.
+        at: f64,
+    },
+    /// A replica of `task` on `proc` became the sole surviving copy.
+    ReplicaPromoted {
+        /// Task.
+        task: TaskId,
+        /// Processor.
+        proc: ProcId,
+        /// Time.
+        at: f64,
+    },
 }
 
 impl RecoveryEvent {
@@ -224,7 +458,11 @@ impl RecoveryEvent {
             | Self::TaskAborted { at, .. }
             | Self::TaskCrashed { at, .. }
             | Self::TaskRetried { at, .. }
-            | Self::Replanned { at, .. } => at,
+            | Self::Replanned { at, .. }
+            | Self::ReplicaStarted { at, .. }
+            | Self::ReplicaWon { at, .. }
+            | Self::ReplicaKilled { at, .. }
+            | Self::ReplicaPromoted { at, .. } => at,
         }
     }
 
@@ -235,7 +473,11 @@ impl RecoveryEvent {
             Self::ProcessorFailed { proc, .. }
             | Self::TaskAborted { proc, .. }
             | Self::TaskCrashed { proc, .. }
-            | Self::TaskRetried { proc, .. } => Some(proc),
+            | Self::TaskRetried { proc, .. }
+            | Self::ReplicaStarted { proc, .. }
+            | Self::ReplicaWon { proc, .. }
+            | Self::ReplicaKilled { proc, .. }
+            | Self::ReplicaPromoted { proc, .. } => Some(proc),
             Self::Replanned { .. } => None,
         }
     }
@@ -249,8 +491,32 @@ impl RecoveryEvent {
             Self::TaskCrashed { task, .. } => format!("crash {task}"),
             Self::TaskRetried { task, .. } => format!("retry {task}"),
             Self::Replanned { moved, .. } => format!("replan {moved}"),
+            Self::ReplicaStarted { task, .. } => format!("r-start {task}"),
+            Self::ReplicaWon { task, .. } => format!("r-win {task}"),
+            Self::ReplicaKilled { task, .. } => format!("r-kill {task}"),
+            Self::ReplicaPromoted { task, .. } => format!("r-promote {task}"),
         }
     }
+}
+
+/// One executed copy interval on the realized timeline: a primary or
+/// replica occupying `proc` over `[start, end]`. `won` marks the copy that
+/// defined its task's completion. Killed or aborted copies report the
+/// interval they actually occupied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopySpan {
+    /// The task the copy belongs to.
+    pub task: TaskId,
+    /// Host processor.
+    pub proc: ProcId,
+    /// Interval start.
+    pub start: f64,
+    /// Interval end.
+    pub end: f64,
+    /// `true` for replica copies.
+    pub replica: bool,
+    /// `true` when this copy defined the task's completion.
+    pub won: bool,
 }
 
 /// Full result of one faulty execution.
@@ -259,28 +525,52 @@ pub struct FaultRun {
     /// Completed-or-failed.
     pub outcome: Outcome,
     /// The schedule that actually executed (placement + per-processor
-    /// order), present only when the run completed.
+    /// order of the *winning* copies), present only when the run completed.
     pub schedule: Option<Schedule>,
-    /// Realized start times (NaN for tasks that never ran).
+    /// Realized start times of the winning copies (NaN for tasks that
+    /// never ran).
     pub start: Vec<f64>,
-    /// Realized finish times (NaN for tasks that never finished).
+    /// Realized finish times of the winning copies (NaN for tasks that
+    /// never finished).
     pub finish: Vec<f64>,
     /// Recovery effort.
     pub stats: RecoveryStats,
     /// Timestamped recovery events, in occurrence order.
     pub events: Vec<RecoveryEvent>,
+    /// Every executed copy interval (primaries and replicas, winners and
+    /// losers), for exclusivity checks and replica-aware Gantt lanes.
+    pub spans: Vec<CopySpan>,
 }
 
-/// One task either running or committed to run on a processor.
+/// Which copy of a task a running slot holds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum CopyKind {
+    Primary,
+    Replica(usize),
+}
+
+/// One task copy either running or committed to run on a processor.
 #[derive(Debug, Clone, Copy)]
 struct Running {
     task: TaskId,
     start: f64,
     finish: f64,
+    copy: CopyKind,
+    /// A replica attempt that will crash at `finish` instead of completing.
+    doomed: bool,
+}
+
+/// Runtime state of one planned replica.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RState {
+    Pending,
+    Running(usize),
+    Done,
+    Dead,
 }
 
 /// Executes `plan` against realized `durations` (an `n × m` matrix) and a
-/// fault `scenario` under the given recovery policy.
+/// fault `scenario` under the given recovery policy, without replicas.
 ///
 /// The executor is *omniscient about the present, blind to the future*:
 /// dispatch decisions use realized finish times of completed work (as an
@@ -288,24 +578,72 @@ struct Running {
 /// remaining work with expected durations (the scheduler cannot see
 /// unrevealed draws).
 ///
-/// # Panics
-/// Panics when `durations` is not `task_count × proc_count`.
-#[must_use]
+/// # Errors
+/// Returns [`ExecutionError`] when `durations` is not
+/// `task_count × proc_count` or an executor invariant breaks.
 pub fn execute_with_faults(
     inst: &Instance,
     plan: &Schedule,
     durations: &Matrix,
     scenario: &FaultScenario,
     cfg: &RecoveryConfig,
-) -> FaultRun {
+) -> Result<FaultRun, ExecutionError> {
+    execute_replicated(
+        inst,
+        plan,
+        durations,
+        scenario,
+        cfg,
+        &ReplicaPlan::empty(inst.task_count()),
+        &ReplicaDraws::empty(),
+    )
+}
+
+/// [`execute_with_faults`] with a replica plan: first-finisher-wins
+/// replication plus optional checkpoint/restart (see the module docs for
+/// the exact semantics).
+///
+/// `draws` must align with `replicas` (one
+/// [`ReplicaDraw`](crate::faults::ReplicaDraw) per planned replica, same
+/// order).
+///
+/// # Errors
+/// Returns [`ExecutionError`] on shape mismatches, an invalid checkpoint
+/// config, or a broken executor invariant.
+#[allow(clippy::too_many_lines)]
+pub fn execute_replicated(
+    inst: &Instance,
+    plan: &Schedule,
+    durations: &Matrix,
+    scenario: &FaultScenario,
+    cfg: &RecoveryConfig,
+    replicas: &ReplicaPlan,
+    draws: &ReplicaDraws,
+) -> Result<FaultRun, ExecutionError> {
     let n = inst.task_count();
     let m = inst.proc_count();
-    assert!(
-        durations.rows() == n && durations.cols() == m,
-        "durations must be {n}x{m}, got {}x{}",
-        durations.rows(),
-        durations.cols()
-    );
+    if durations.rows() != n || durations.cols() != m {
+        return Err(ExecutionError::DurationShape {
+            rows: durations.rows(),
+            cols: durations.cols(),
+            tasks: n,
+            procs: m,
+        });
+    }
+    if draws.draws.len() != replicas.count() {
+        return Err(ExecutionError::ReplicaDrawMismatch {
+            replicas: replicas.count(),
+            draws: draws.draws.len(),
+        });
+    }
+    for (ri, r) in replicas.replicas().iter().enumerate() {
+        if r.task.index() >= n || r.proc.index() >= m {
+            return Err(ExecutionError::ReplicaOutOfRange { index: ri });
+        }
+    }
+    if let Some(ckpt) = &cfg.checkpoint {
+        ckpt.validate()?;
+    }
 
     let windows = scenario.windows_by_proc(m);
     let mut failures = scenario.failures.clone();
@@ -320,42 +658,83 @@ pub fn execute_with_faults(
     let mut finished = vec![false; n];
     let mut start = vec![f64::NAN; n];
     let mut finish = vec![f64::NAN; n];
-    // Execution placement; starts as the plan and is overwritten whenever a
-    // task is (re-)dispatched, so communication uses actual locations.
+    // Completed copies of each task: (finish, location). Successor data can
+    // arrive from whichever completed copy is cheapest.
+    let mut sources: Vec<Vec<(f64, ProcId)>> = vec![Vec::new(); n];
+    // Execution placement of the winning copy; starts as the plan and is
+    // overwritten on (re-)dispatch, so communication uses actual locations.
     let mut placement: Vec<ProcId> = plan.assignment().to_vec();
     let mut exec_order: Vec<Vec<TaskId>> = vec![Vec::new(); m];
     let mut retried = vec![0u32; n];
+    // Durable fraction of each task's work (checkpointing only).
+    let mut progress = vec![0.0f64; n];
+    // `true` once no primary copy of the task can ever run again.
+    let mut primary_dead = vec![false; n];
     let mut proc_free = vec![0.0f64; m];
     let mut done = 0usize;
+    let mut now = 0.0f64;
     let mut stats = RecoveryStats::default();
     let mut events: Vec<RecoveryEvent> = Vec::new();
+    let mut spans: Vec<CopySpan> = Vec::new();
     // Upward ranks for replanning, computed on first use.
     let mut replan_order: Option<Vec<TaskId>> = None;
+
+    // Replica runtime state: per-replica lifecycle plus per-processor
+    // pending lists in planned-start order.
+    let mut rstate: Vec<RState> = vec![RState::Pending; replicas.count()];
+    let mut pending_by_proc: Vec<Vec<usize>> = vec![Vec::new(); m];
+    for (ri, r) in replicas.replicas().iter().enumerate() {
+        pending_by_proc[r.proc.index()].push(ri);
+    }
+    for list in &mut pending_by_proc {
+        list.sort_by(|&a, &b| {
+            replicas.replicas()[a]
+                .start
+                .total_cmp(&replicas.replicas()[b].start)
+                .then(a.cmp(&b))
+        });
+    }
+    let has_alive_copy = |rstate: &[RState], t: TaskId| -> bool {
+        replicas
+            .replicas_of(t)
+            .iter()
+            .any(|&ri| matches!(rstate[ri], RState::Pending | RState::Running(_)))
+    };
 
     let fail = |at: f64,
                 reason: FailReason,
                 start: Vec<f64>,
                 finish: Vec<f64>,
                 stats: RecoveryStats,
-                events: Vec<RecoveryEvent>| FaultRun {
+                events: Vec<RecoveryEvent>,
+                spans: Vec<CopySpan>| FaultRun {
         outcome: Outcome::Failed { at, reason },
         schedule: None,
         start,
         finish,
         stats,
         events,
+        spans,
     };
 
     loop {
         // Dispatch: start the head of every idle, alive processor's queue
-        // whose predecessors are all finished. Repeat until a fixed point —
-        // one completion can ready several heads.
+        // whose predecessors are all finished, then offer leftover idle
+        // processors to pending replicas. Repeat until a fixed point — one
+        // completion can ready several heads.
         let mut dispatched = true;
         while dispatched {
             dispatched = false;
             for p in 0..m {
-                if !avail.is_up(ProcId(p as u32)) || running[p].is_some() {
+                if !avail.is_up(ProcId(p as u32)) {
                     continue;
+                }
+                if matches!(running[p], Some(r) if r.copy == CopyKind::Primary) {
+                    continue;
+                }
+                // Tasks completed by a replica are dropped from the queue.
+                while queue[p].front().is_some_and(|t| finished[t.index()]) {
+                    queue[p].pop_front();
                 }
                 let Some(&t) = queue[p].front() else { continue };
                 if !inst
@@ -367,44 +746,118 @@ pub fn execute_with_faults(
                     continue;
                 }
                 // Earliest start: processor free + data arrivals from the
-                // predecessors' *actual* placements.
+                // cheapest *completed copy* of each predecessor.
                 let mut s = proc_free[p];
                 for e in inst.graph.predecessors(t) {
-                    let arrive = finish[e.task.index()]
-                        + inst.platform.comm_time(
-                            e.data,
-                            placement[e.task.index()],
-                            ProcId(p as u32),
-                        );
-                    if arrive > s {
-                        s = arrive;
+                    let mut best = f64::INFINITY;
+                    for &(f, loc) in &sources[e.task.index()] {
+                        let arrive = f + inst.platform.comm_time(e.data, loc, ProcId(p as u32));
+                        if arrive < best {
+                            best = arrive;
+                        }
+                    }
+                    if best > s {
+                        s = best;
                     }
                 }
-                let base = durations[(t.index(), p)] * scenario.straggler_factor(t);
+                // A replica currently holds the slot. If it is
+                // indispensable, wait; if it would finish before the
+                // primary could start anyway, let it; otherwise kill it —
+                // primaries are never delayed by dispensable replicas.
+                if let Some(r) = running[p] {
+                    let CopyKind::Replica(ri) = r.copy else {
+                        return Err(ExecutionError::Internal(
+                            "primary dispatch found a primary in a free slot",
+                        ));
+                    };
+                    if primary_dead[r.task.index()] {
+                        continue; // indispensable: the primary must wait
+                    }
+                    if r.finish <= s {
+                        continue; // finishes before the primary starts
+                    }
+                    kill_running_replica(
+                        p,
+                        ri,
+                        now,
+                        &mut running,
+                        &mut rstate,
+                        &mut stats,
+                        &mut events,
+                        &mut spans,
+                        &mut proc_free,
+                    );
+                }
+                let base = durations[(t.index(), p)]
+                    * scenario.straggler_factor(t)
+                    * (1.0 - progress[t.index()]);
+                let eff = match &cfg.checkpoint {
+                    Some(ckpt) => {
+                        let eff = base * ckpt.inflate();
+                        stats.checkpoint_overhead += eff - base;
+                        eff
+                    }
+                    None => base,
+                };
                 let fin;
                 if retried[t.index()] == 0 && scenario.crash_of(t).is_some() {
-                    let fraction = scenario.crash_of(t).expect("checked above");
-                    let crash_at = advance_through(&windows[p], s, fraction * base);
+                    let Some(fraction) = scenario.crash_of(t) else {
+                        return Err(ExecutionError::Internal("crash_of changed under us"));
+                    };
+                    let crash_at = advance_through(&windows[p], s, fraction * eff);
                     events.push(RecoveryEvent::TaskCrashed {
                         task: t,
                         proc: ProcId(p as u32),
                         at: crash_at,
                     });
                     if cfg.policy == RecoveryPolicy::FailStop || cfg.max_retries == 0 {
-                        return fail(
+                        if has_alive_copy(&rstate, t) {
+                            // The primary attempt is unrecoverable but a
+                            // replica survives: promote and move on.
+                            queue[p].pop_front();
+                            stats.lost_work += fraction * eff;
+                            spans.push(CopySpan {
+                                task: t,
+                                proc: ProcId(p as u32),
+                                start: s,
+                                end: crash_at,
+                                replica: false,
+                                won: false,
+                            });
+                            proc_free[p] = crash_at;
+                            promote_replicas(
+                                t,
+                                crash_at,
+                                replicas,
+                                &rstate,
+                                &mut primary_dead,
+                                &mut stats,
+                                &mut events,
+                            );
+                            dispatched = true;
+                            continue;
+                        }
+                        return Ok(fail(
                             crash_at,
                             FailReason::TaskCrashed(t),
                             start,
                             finish,
                             stats,
                             events,
-                        );
+                            spans,
+                        ));
                     }
                     // Retry in place after backoff (crashes fire once, so a
-                    // single retry always suffices).
+                    // single retry always suffices). Checkpoints preserve
+                    // the completed multiple of the interval.
                     retried[t.index()] = 1;
                     stats.retries += 1;
-                    stats.lost_work += fraction * base;
+                    let preserved = cfg
+                        .checkpoint
+                        .as_ref()
+                        .map_or(0.0, |c| c.preserved(fraction));
+                    stats.lost_work += (fraction - preserved) * eff;
+                    stats.saved_work += preserved * eff;
                     let backoff = cfg.backoff * inst.timing.expected(t.index(), ProcId(p as u32));
                     stats.backoff_delay += backoff;
                     let restart = crash_at + backoff;
@@ -413,18 +866,81 @@ pub fn execute_with_faults(
                         proc: ProcId(p as u32),
                         at: restart,
                     });
-                    fin = advance_through(&windows[p], restart, base);
+                    fin = advance_through(&windows[p], restart, (1.0 - preserved) * eff);
                 } else {
-                    fin = advance_through(&windows[p], s, base);
+                    fin = advance_through(&windows[p], s, eff);
                 }
                 queue[p].pop_front();
                 running[p] = Some(Running {
                     task: t,
                     start: s,
                     finish: fin,
+                    copy: CopyKind::Primary,
+                    doomed: false,
                 });
                 start[t.index()] = s;
                 placement[t.index()] = ProcId(p as u32);
+                dispatched = true;
+            }
+            // Replica dispatch: leftover idle processors host their next
+            // eligible pending replica (queue head unready or queue empty —
+            // a ready head was dispatched above).
+            for p in 0..m {
+                if !avail.is_up(ProcId(p as u32)) || running[p].is_some() {
+                    continue;
+                }
+                let Some(&ri) = pending_by_proc[p].iter().find(|&&ri| {
+                    rstate[ri] == RState::Pending && {
+                        let t = replicas.replicas()[ri].task;
+                        !finished[t.index()]
+                            && inst
+                                .graph
+                                .predecessors(t)
+                                .iter()
+                                .all(|e| finished[e.task.index()])
+                    }
+                }) else {
+                    continue;
+                };
+                let r = replicas.replicas()[ri];
+                let t = r.task;
+                // Never earlier than planned (the insurance constraint's
+                // runtime half) nor before the data arrives.
+                let mut s = proc_free[p].max(r.start);
+                for e in inst.graph.predecessors(t) {
+                    let mut best = f64::INFINITY;
+                    for &(f, loc) in &sources[e.task.index()] {
+                        let arrive = f + inst.platform.comm_time(e.data, loc, ProcId(p as u32));
+                        if arrive < best {
+                            best = arrive;
+                        }
+                    }
+                    if best > s {
+                        s = best;
+                    }
+                }
+                let draw = draws.draws[ri];
+                let (fin, doomed) = match draw.crash {
+                    Some(fraction) => (
+                        advance_through(&windows[p], s, fraction * draw.duration),
+                        true,
+                    ),
+                    None => (advance_through(&windows[p], s, draw.duration), false),
+                };
+                running[p] = Some(Running {
+                    task: t,
+                    start: s,
+                    finish: fin,
+                    copy: CopyKind::Replica(ri),
+                    doomed,
+                });
+                rstate[ri] = RState::Running(p);
+                stats.replica_starts += 1;
+                events.push(RecoveryEvent::ReplicaStarted {
+                    task: t,
+                    proc: ProcId(p as u32),
+                    at: s,
+                });
                 dispatched = true;
             }
         }
@@ -433,16 +949,22 @@ pub fn execute_with_faults(
         }
 
         // Next event: earliest completion vs earliest pending failure, with
-        // deterministic tie-breaks (completion first, then processor id).
-        let next_fin: Option<(f64, usize)> = running
+        // deterministic tie-breaks (completion first, primary before
+        // replica, then processor id).
+        let next_fin: Option<(f64, u8, usize)> = running
             .iter()
             .enumerate()
-            .filter_map(|(p, r)| r.as_ref().map(|r| (r.finish, p)))
-            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            .filter_map(|(p, r)| {
+                r.as_ref().map(|r| {
+                    let rank = u8::from(matches!(r.copy, CopyKind::Replica(_)));
+                    (r.finish, rank, p)
+                })
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
         let pending_failure = failures.get(next_failure);
 
         let take_completion = match (next_fin, pending_failure) {
-            (Some((f, _)), Some(pf)) => f <= pf.at,
+            (Some((f, _, _)), Some(pf)) => f <= pf.at,
             (Some(_), None) => true,
             (None, Some(_)) => false,
             (None, None) => {
@@ -451,103 +973,473 @@ pub fn execute_with_faults(
                 // schedules always progress); fail defensively rather than
                 // spin.
                 let at = proc_free.iter().copied().fold(0.0f64, f64::max);
-                return fail(
+                return Ok(fail(
                     at,
                     FailReason::NoProcessorsLeft,
                     start,
                     finish,
                     stats,
                     events,
-                );
+                    spans,
+                ));
             }
         };
 
         if take_completion {
-            let (_, p) = next_fin.expect("completion branch requires a running task");
-            let r = running[p].take().expect("selected processor is running");
-            finished[r.task.index()] = true;
-            finish[r.task.index()] = r.finish;
-            proc_free[p] = r.finish;
-            exec_order[p].push(r.task);
-            done += 1;
+            let Some((_, _, p)) = next_fin else {
+                return Err(ExecutionError::Internal(
+                    "completion branch requires a running task",
+                ));
+            };
+            let Some(r) = running[p].take() else {
+                return Err(ExecutionError::Internal(
+                    "selected processor is not running",
+                ));
+            };
+            now = r.finish;
+            let ti = r.task.index();
+            match r.copy {
+                CopyKind::Primary => {
+                    proc_free[p] = r.finish;
+                    sources[ti].push((r.finish, ProcId(p as u32)));
+                    if finished[ti] {
+                        // A replica already won; this completion is merely
+                        // a redundant data source.
+                        stats.duplicate_work += r.finish - r.start;
+                        spans.push(CopySpan {
+                            task: r.task,
+                            proc: ProcId(p as u32),
+                            start: r.start,
+                            end: r.finish,
+                            replica: false,
+                            won: false,
+                        });
+                    } else {
+                        finished[ti] = true;
+                        finish[ti] = r.finish;
+                        exec_order[p].push(r.task);
+                        done += 1;
+                        spans.push(CopySpan {
+                            task: r.task,
+                            proc: ProcId(p as u32),
+                            start: r.start,
+                            end: r.finish,
+                            replica: false,
+                            won: true,
+                        });
+                        kill_copies_of(
+                            r.task,
+                            now,
+                            replicas,
+                            &mut running,
+                            &mut rstate,
+                            &mut stats,
+                            &mut events,
+                            &mut spans,
+                            &mut proc_free,
+                        );
+                    }
+                }
+                CopyKind::Replica(ri) => {
+                    proc_free[p] = r.finish;
+                    let dur = r.finish - r.start;
+                    if r.doomed || finished[ti] {
+                        // Crashed replica attempt (or a defensive redundant
+                        // completion): dead, its effort wasted.
+                        rstate[ri] = RState::Dead;
+                        stats.replica_work += dur;
+                        stats.duplicate_work += dur;
+                        events.push(RecoveryEvent::ReplicaKilled {
+                            task: r.task,
+                            proc: ProcId(p as u32),
+                            at: r.finish,
+                        });
+                        spans.push(CopySpan {
+                            task: r.task,
+                            proc: ProcId(p as u32),
+                            start: r.start,
+                            end: r.finish,
+                            replica: true,
+                            won: false,
+                        });
+                        if !finished[ti] && primary_dead[ti] && !has_alive_copy(&rstate, r.task) {
+                            return Ok(fail(
+                                r.finish,
+                                FailReason::TaskCrashed(r.task),
+                                start,
+                                finish,
+                                stats,
+                                events,
+                                spans,
+                            ));
+                        }
+                    } else {
+                        // First finisher: the replica defines the task.
+                        rstate[ri] = RState::Done;
+                        finished[ti] = true;
+                        start[ti] = r.start;
+                        finish[ti] = r.finish;
+                        placement[ti] = ProcId(p as u32);
+                        sources[ti].push((r.finish, ProcId(p as u32)));
+                        exec_order[p].push(r.task);
+                        done += 1;
+                        stats.replica_wins += 1;
+                        stats.replica_work += dur;
+                        events.push(RecoveryEvent::ReplicaWon {
+                            task: r.task,
+                            proc: ProcId(p as u32),
+                            at: r.finish,
+                        });
+                        spans.push(CopySpan {
+                            task: r.task,
+                            proc: ProcId(p as u32),
+                            start: r.start,
+                            end: r.finish,
+                            replica: true,
+                            won: true,
+                        });
+                        // Sibling replicas die; a running primary keeps
+                        // going (it becomes a redundant data source).
+                        kill_copies_of(
+                            r.task,
+                            now,
+                            replicas,
+                            &mut running,
+                            &mut rstate,
+                            &mut stats,
+                            &mut events,
+                            &mut spans,
+                            &mut proc_free,
+                        );
+                    }
+                }
+            }
             continue;
         }
 
         // Permanent processor failure.
-        let f = *failures
-            .get(next_failure)
-            .expect("failure branch requires a pending failure");
+        let Some(&f) = failures.get(next_failure) else {
+            return Err(ExecutionError::Internal(
+                "failure branch requires a pending failure",
+            ));
+        };
         next_failure += 1;
         let p = f.proc.index();
         if !avail.is_up(f.proc) {
             continue;
         }
+        now = f.at;
         avail.mark_down(f.proc, f.at);
         events.push(RecoveryEvent::ProcessorFailed {
             proc: f.proc,
             at: f.at,
         });
         if let Some(r) = running[p].take() {
-            // A committed task whose interval crosses the failure instant is
-            // aborted; one committed entirely before it already completed
-            // (completion events at time <= f.at were drained first).
-            stats.lost_work += (f.at - r.start).max(0.0);
-            events.push(RecoveryEvent::TaskAborted {
-                task: r.task,
+            let ti = r.task.index();
+            match r.copy {
+                CopyKind::Primary if finished[ti] => {
+                    // A redundant primary died with its processor; only
+                    // duplicate effort is lost.
+                    let partial = (f.at.min(r.finish) - r.start).max(0.0);
+                    stats.duplicate_work += partial;
+                    if partial > 0.0 {
+                        spans.push(CopySpan {
+                            task: r.task,
+                            proc: f.proc,
+                            start: r.start,
+                            end: r.start + partial,
+                            replica: false,
+                            won: false,
+                        });
+                    }
+                }
+                CopyKind::Primary => {
+                    // A committed task whose interval crosses the failure
+                    // instant is aborted; one committed entirely before it
+                    // already completed (completion events at time <= f.at
+                    // were drained first). Checkpoints preserve the
+                    // completed multiple of the interval for the re-run.
+                    let wall = r.finish - r.start;
+                    let g = if wall > 0.0 {
+                        ((f.at - r.start).max(0.0) / wall).min(1.0)
+                    } else {
+                        0.0
+                    };
+                    let preserved = cfg.checkpoint.as_ref().map_or(0.0, |c| c.preserved(g));
+                    stats.lost_work += (g - preserved) * wall;
+                    stats.saved_work += preserved * wall;
+                    progress[ti] += preserved * (1.0 - progress[ti]);
+                    events.push(RecoveryEvent::TaskAborted {
+                        task: r.task,
+                        proc: f.proc,
+                        at: f.at,
+                    });
+                    if f.at > r.start {
+                        spans.push(CopySpan {
+                            task: r.task,
+                            proc: f.proc,
+                            start: r.start,
+                            end: f.at,
+                            replica: false,
+                            won: false,
+                        });
+                    }
+                    start[ti] = f64::NAN;
+                    queue[p].push_front(r.task);
+                }
+                CopyKind::Replica(ri) => {
+                    rstate[ri] = RState::Dead;
+                    let partial = (f.at.min(r.finish) - r.start).max(0.0);
+                    stats.replica_work += partial;
+                    stats.duplicate_work += partial;
+                    events.push(RecoveryEvent::ReplicaKilled {
+                        task: r.task,
+                        proc: f.proc,
+                        at: f.at,
+                    });
+                    if partial > 0.0 {
+                        spans.push(CopySpan {
+                            task: r.task,
+                            proc: f.proc,
+                            start: r.start,
+                            end: r.start + partial,
+                            replica: true,
+                            won: false,
+                        });
+                    }
+                    if !finished[ti] && primary_dead[ti] && !has_alive_copy(&rstate, r.task) {
+                        return Ok(fail(
+                            f.at,
+                            FailReason::ProcessorLost(f.proc),
+                            start,
+                            finish,
+                            stats,
+                            events,
+                            spans,
+                        ));
+                    }
+                }
+            }
+        }
+        // Pending replicas hosted on the dead processor die with it.
+        for &ri in &pending_by_proc[p] {
+            if rstate[ri] != RState::Pending {
+                continue;
+            }
+            rstate[ri] = RState::Dead;
+            let rt = replicas.replicas()[ri].task;
+            events.push(RecoveryEvent::ReplicaKilled {
+                task: rt,
                 proc: f.proc,
                 at: f.at,
             });
-            start[r.task.index()] = f64::NAN;
-            queue[p].push_front(r.task);
-        }
-        proc_free[p] = f.at;
-        if queue[p].is_empty() {
-            // Harmless failure: the processor had nothing left to do.
-            continue;
-        }
-        match cfg.policy {
-            RecoveryPolicy::FailStop | RecoveryPolicy::RetrySameProc => {
-                return fail(
+            if !finished[rt.index()] && primary_dead[rt.index()] && !has_alive_copy(&rstate, rt) {
+                return Ok(fail(
                     f.at,
                     FailReason::ProcessorLost(f.proc),
                     start,
                     finish,
                     stats,
                     events,
-                );
+                    spans,
+                ));
+            }
+        }
+        proc_free[p] = f.at;
+        // Tasks a replica already finished are no longer stranded.
+        queue[p].retain(|t| !finished[t.index()]);
+        if queue[p].is_empty() {
+            // Harmless failure: the processor had nothing left to do.
+            continue;
+        }
+        match cfg.policy {
+            RecoveryPolicy::FailStop | RecoveryPolicy::RetrySameProc => {
+                // Without migration the stranded queue is fatal — unless
+                // every stranded task still has a living replica, which is
+                // then promoted to carry the task alone.
+                if queue[p].iter().all(|&t| has_alive_copy(&rstate, t)) {
+                    let stranded: Vec<TaskId> = queue[p].drain(..).collect();
+                    for t in stranded {
+                        promote_replicas(
+                            t,
+                            f.at,
+                            replicas,
+                            &rstate,
+                            &mut primary_dead,
+                            &mut stats,
+                            &mut events,
+                        );
+                    }
+                } else {
+                    return Ok(fail(
+                        f.at,
+                        FailReason::ProcessorLost(f.proc),
+                        start,
+                        finish,
+                        stats,
+                        events,
+                        spans,
+                    ));
+                }
             }
             RecoveryPolicy::MigrateReplan => {
                 if !avail.any_up() {
-                    return fail(
+                    return Ok(fail(
                         f.at,
                         FailReason::NoProcessorsLeft,
                         start,
                         finish,
                         stats,
                         events,
-                    );
+                        spans,
+                    ));
                 }
                 let order = replan_order.get_or_insert_with(|| rank_order_for(inst));
                 let moved = replan(
-                    inst, order, &avail, &finished, &finish, &running, &placement, &proc_free,
-                    f.at, &mut queue,
-                );
+                    inst,
+                    order,
+                    &avail,
+                    &finished,
+                    &finish,
+                    &primary_dead,
+                    &running,
+                    &placement,
+                    &proc_free,
+                    f.at,
+                    &mut queue,
+                )?;
                 stats.replans += 1;
                 events.push(RecoveryEvent::Replanned { at: f.at, moved });
             }
         }
     }
 
+    // Copies still running when the last task finished are wasted trailing
+    // work: account them and close their spans.
+    for (p, slot) in running.iter_mut().enumerate() {
+        if let Some(r) = slot.take() {
+            let dur = r.finish - r.start;
+            match r.copy {
+                CopyKind::Primary => stats.duplicate_work += dur,
+                CopyKind::Replica(ri) => {
+                    rstate[ri] = RState::Dead;
+                    stats.replica_work += dur;
+                    stats.duplicate_work += dur;
+                }
+            }
+            spans.push(CopySpan {
+                task: r.task,
+                proc: ProcId(p as u32),
+                start: r.start,
+                end: r.finish,
+                replica: matches!(r.copy, CopyKind::Replica(_)),
+                won: false,
+            });
+        }
+    }
+
     let makespan = finish.iter().copied().fold(0.0f64, f64::max);
     let schedule = Schedule::from_proc_lists(n, exec_order)
-        .expect("faulty executor completes every task exactly once");
-    FaultRun {
+        .map_err(|_| ExecutionError::Internal("executor did not complete every task once"))?;
+    Ok(FaultRun {
         outcome: Outcome::Completed { makespan },
         schedule: Some(schedule),
         start,
         finish,
         stats,
         events,
+        spans,
+    })
+}
+
+/// Kills the replica in `running[p]` at time `at` (it never completes).
+#[allow(clippy::too_many_arguments)]
+fn kill_running_replica(
+    p: usize,
+    ri: usize,
+    at: f64,
+    running: &mut [Option<Running>],
+    rstate: &mut [RState],
+    stats: &mut RecoveryStats,
+    events: &mut Vec<RecoveryEvent>,
+    spans: &mut Vec<CopySpan>,
+    proc_free: &mut [f64],
+) {
+    let Some(r) = running[p].take() else { return };
+    rstate[ri] = RState::Dead;
+    let end = at.min(r.finish);
+    let partial = (end - r.start).max(0.0);
+    if partial > 0.0 {
+        stats.replica_work += partial;
+        stats.duplicate_work += partial;
+        proc_free[p] = proc_free[p].max(end);
+        spans.push(CopySpan {
+            task: r.task,
+            proc: ProcId(p as u32),
+            start: r.start,
+            end,
+            replica: true,
+            won: false,
+        });
+    }
+    events.push(RecoveryEvent::ReplicaKilled {
+        task: r.task,
+        proc: ProcId(p as u32),
+        at,
+    });
+}
+
+/// Kills every remaining copy of `t` (its winner just finished): pending
+/// replicas die silently, running replicas are killed at `at`. A running
+/// redundant *primary* keeps going — it will complete as an extra data
+/// source.
+#[allow(clippy::too_many_arguments)]
+fn kill_copies_of(
+    t: TaskId,
+    at: f64,
+    replicas: &ReplicaPlan,
+    running: &mut [Option<Running>],
+    rstate: &mut Vec<RState>,
+    stats: &mut RecoveryStats,
+    events: &mut Vec<RecoveryEvent>,
+    spans: &mut Vec<CopySpan>,
+    proc_free: &mut [f64],
+) {
+    for &ri in replicas.replicas_of(t) {
+        match rstate[ri] {
+            RState::Pending => rstate[ri] = RState::Dead,
+            RState::Running(q) => {
+                kill_running_replica(q, ri, at, running, rstate, stats, events, spans, proc_free);
+            }
+            RState::Done | RState::Dead => {}
+        }
+    }
+}
+
+/// Marks `t`'s primary as permanently lost and promotes its surviving
+/// replicas to indispensable copies.
+fn promote_replicas(
+    t: TaskId,
+    at: f64,
+    replicas: &ReplicaPlan,
+    rstate: &[RState],
+    primary_dead: &mut [bool],
+    stats: &mut RecoveryStats,
+    events: &mut Vec<RecoveryEvent>,
+) {
+    if primary_dead[t.index()] {
+        return;
+    }
+    primary_dead[t.index()] = true;
+    for &ri in replicas.replicas_of(t) {
+        if matches!(rstate[ri], RState::Pending | RState::Running(_)) {
+            stats.promotions += 1;
+            events.push(RecoveryEvent::ReplicaPromoted {
+                task: t,
+                proc: replicas.replicas()[ri].proc,
+                at,
+            });
+        }
     }
 }
 
@@ -570,6 +1462,7 @@ fn rank_order_for(inst: &Instance) -> Vec<TaskId> {
 
 /// Re-plans every unfinished, uncommitted task onto the alive processors by
 /// earliest estimated finish time, rewriting the per-processor queues.
+/// Tasks whose primary is permanently dead stay with their replicas.
 /// Returns the number of tasks re-queued.
 #[allow(clippy::too_many_arguments)]
 fn replan(
@@ -578,19 +1471,23 @@ fn replan(
     avail: &Availability,
     finished: &[bool],
     finish: &[f64],
+    primary_dead: &[bool],
     running: &[Option<Running>],
     placement: &[ProcId],
     proc_free: &[f64],
     now: f64,
     queue: &mut [VecDeque<TaskId>],
-) -> usize {
+) -> Result<usize, ExecutionError> {
     let n = inst.task_count();
     let m = inst.proc_count();
 
-    // Committed (running) tasks stay where they are; mark them.
+    // Committed (running) primaries of unfinished tasks stay where they
+    // are; replicas are not commitments — their tasks re-queue and race.
     let mut committed = vec![false; n];
     for r in running.iter().flatten() {
-        committed[r.task.index()] = true;
+        if r.copy == CopyKind::Primary && !finished[r.task.index()] {
+            committed[r.task.index()] = true;
+        }
     }
 
     // Estimated availability of each alive processor, and estimated finish
@@ -610,7 +1507,9 @@ fn replan(
         .map(|t| if finished[t] { finish[t] } else { f64::NAN })
         .collect();
     for r in running.iter().flatten() {
-        est_finish[r.task.index()] = r.finish;
+        if r.copy == CopyKind::Primary {
+            est_finish[r.task.index()] = r.finish;
+        }
     }
     let mut est_place: Vec<ProcId> = placement.to_vec();
 
@@ -620,7 +1519,7 @@ fn replan(
     let mut moved = 0usize;
     for &t in order {
         let ti = t.index();
-        if finished[ti] || committed[ti] {
+        if finished[ti] || committed[ti] || primary_dead[ti] {
             continue;
         }
         // Earliest estimated finish over alive processors; ties by id, the
@@ -645,14 +1544,18 @@ fn replan(
                 best = Some((eft, ProcId(p as u32)));
             }
         }
-        let (eft, p) = best.expect("replan requires at least one alive processor");
+        let Some((eft, p)) = best else {
+            return Err(ExecutionError::Internal(
+                "replan requires at least one alive processor",
+            ));
+        };
         queue[p.index()].push_back(t);
         free[p.index()] = eft;
         est_finish[ti] = eft;
         est_place[ti] = p;
         moved += 1;
     }
-    moved
+    Ok(moved)
 }
 
 #[cfg(test)]
@@ -660,6 +1563,7 @@ mod tests {
     use super::*;
     use crate::faults::{FaultConfig, ProcessorFailure, Straggler, TaskCrash};
     use crate::instance::InstanceSpec;
+    use crate::replication::{plan_replicas, ReplicationConfig};
     use crate::timing;
 
     fn inst(seed: u64) -> Instance {
@@ -704,7 +1608,8 @@ mod tests {
                 &durations,
                 &FaultScenario::default(),
                 &RecoveryConfig::new(policy),
-            );
+            )
+            .unwrap();
             let makespan = run.outcome.makespan().expect("quiet run completes");
             assert!(
                 (makespan - reference).abs() < 1e-9,
@@ -713,6 +1618,8 @@ mod tests {
             assert_eq!(run.stats, RecoveryStats::default());
             assert!(run.events.is_empty());
             assert_eq!(run.schedule.as_ref().unwrap(), &s);
+            assert_eq!(run.spans.len(), i.task_count());
+            assert!(run.spans.iter().all(|sp| sp.won && !sp.replica));
         }
     }
 
@@ -733,7 +1640,8 @@ mod tests {
             &expected_matrix(&i),
             &scenario,
             &RecoveryConfig::new(RecoveryPolicy::FailStop),
-        );
+        )
+        .unwrap();
         match run.outcome {
             Outcome::Failed { reason, .. } => {
                 assert_eq!(reason, FailReason::ProcessorLost(ProcId(0)));
@@ -754,7 +1662,8 @@ mod tests {
             &durations,
             &FaultScenario::default(),
             &RecoveryConfig::new(RecoveryPolicy::FailStop),
-        );
+        )
+        .unwrap();
         let m0 = quiet.outcome.makespan().unwrap();
         let scenario = FaultScenario {
             failures: vec![ProcessorFailure {
@@ -769,7 +1678,8 @@ mod tests {
             &durations,
             &scenario,
             &RecoveryConfig::new(RecoveryPolicy::FailStop),
-        );
+        )
+        .unwrap();
         assert_eq!(run.outcome.makespan(), Some(m0));
     }
 
@@ -784,7 +1694,8 @@ mod tests {
             &durations,
             &FaultScenario::default(),
             &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
-        );
+        )
+        .unwrap();
         let m0 = quiet.outcome.makespan().unwrap();
         let scenario = FaultScenario {
             failures: vec![ProcessorFailure {
@@ -799,7 +1710,8 @@ mod tests {
             &durations,
             &scenario,
             &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
-        );
+        )
+        .unwrap();
         let makespan = run.outcome.makespan().expect("migrate-replan completes");
         // Work was still outstanding at the failure instant (the quiet run
         // finishes at m0 > 0.3*m0), and replanned tasks dispatch no earlier
@@ -853,7 +1765,8 @@ mod tests {
             &durations,
             &scenario,
             &RecoveryConfig::new(RecoveryPolicy::FailStop),
-        );
+        )
+        .unwrap();
         assert!(matches!(
             failstop.outcome,
             Outcome::Failed {
@@ -867,14 +1780,16 @@ mod tests {
             &durations,
             &scenario,
             &RecoveryConfig::new(RecoveryPolicy::RetrySameProc),
-        );
+        )
+        .unwrap();
         let quiet = execute_with_faults(
             &i,
             &s,
             &durations,
             &FaultScenario::default(),
             &RecoveryConfig::new(RecoveryPolicy::RetrySameProc),
-        );
+        )
+        .unwrap();
         let with_crash = retry.outcome.makespan().expect("retry completes");
         let without = quiet.outcome.makespan().unwrap();
         assert!(with_crash >= without, "a crash cannot make the run faster");
@@ -897,7 +1812,8 @@ mod tests {
         };
         for policy in RecoveryPolicy::all() {
             let run =
-                execute_with_faults(&i, &s, &durations, &scenario, &RecoveryConfig::new(policy));
+                execute_with_faults(&i, &s, &durations, &scenario, &RecoveryConfig::new(policy))
+                    .unwrap();
             assert!(run.outcome.makespan().is_some(), "{policy:?} must complete");
         }
     }
@@ -921,7 +1837,8 @@ mod tests {
                 &durations,
                 &scenario,
                 &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
-            );
+            )
+            .unwrap();
             let makespan = run
                 .outcome
                 .makespan()
@@ -931,5 +1848,170 @@ mod tests {
                 assert!(sched.validate_against(&i.graph).is_ok());
             }
         }
+    }
+
+    /// Malformed inputs surface as typed errors instead of panics.
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        let i = inst(10);
+        let s = round_robin(&i);
+        let bad = Matrix::from_fn(3, 2, |_, _| 1.0);
+        let err = execute_with_faults(
+            &i,
+            &s,
+            &bad,
+            &FaultScenario::default(),
+            &RecoveryConfig::default(),
+        );
+        assert!(matches!(err, Err(ExecutionError::DurationShape { .. })));
+
+        let plan = plan_replicas(&i, &s, &ReplicationConfig::default()).unwrap();
+        assert!(!plan.is_empty());
+        let err = execute_replicated(
+            &i,
+            &s,
+            &expected_matrix(&i),
+            &FaultScenario::default(),
+            &RecoveryConfig::default(),
+            &plan,
+            &ReplicaDraws::empty(),
+        );
+        assert!(matches!(
+            err,
+            Err(ExecutionError::ReplicaDrawMismatch { .. })
+        ));
+
+        assert!(CheckpointConfig::new(0.0, 0.1).is_err());
+        assert!(CheckpointConfig::new(0.5, -1.0).is_err());
+        assert!(CheckpointConfig::new(0.25, 0.02).is_ok());
+        assert!(!ExecutionError::Internal("x").to_string().is_empty());
+    }
+
+    /// Checkpoints convert crash losses into saved work; with zero
+    /// checkpoint overhead the checkpointed run can only be faster.
+    #[test]
+    fn checkpointing_preserves_crash_work() {
+        let i = inst(9);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let scenario = FaultScenario {
+            crashes: vec![TaskCrash {
+                task: TaskId(0),
+                fraction: 0.5,
+            }],
+            ..FaultScenario::default()
+        };
+        let plain = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::RetrySameProc),
+        )
+        .unwrap();
+        let free_ckpt = RecoveryConfig::new(RecoveryPolicy::RetrySameProc)
+            .with_checkpoint(CheckpointConfig::new(0.25, 0.0).unwrap());
+        let ckpt = execute_with_faults(&i, &s, &durations, &scenario, &free_ckpt).unwrap();
+        // fraction 0.5 is an exact multiple of interval 0.25: nothing lost.
+        assert!(ckpt.stats.saved_work > 0.0);
+        assert!(ckpt.stats.lost_work.abs() < 1e-12);
+        assert!(plain.stats.lost_work > 0.0);
+        assert!(
+            ckpt.outcome.makespan().unwrap() <= plain.outcome.makespan().unwrap(),
+            "free checkpoints cannot slow the run down"
+        );
+
+        // Non-zero overhead is paid even on a quiet run.
+        let paid_ckpt = RecoveryConfig::new(RecoveryPolicy::RetrySameProc)
+            .with_checkpoint(CheckpointConfig::new(0.25, 0.1).unwrap());
+        let quiet_plain = execute_with_faults(
+            &i,
+            &s,
+            &durations,
+            &FaultScenario::default(),
+            &RecoveryConfig::new(RecoveryPolicy::RetrySameProc),
+        )
+        .unwrap();
+        let quiet_paid =
+            execute_with_faults(&i, &s, &durations, &FaultScenario::default(), &paid_ckpt).unwrap();
+        assert!(quiet_paid.stats.checkpoint_overhead > 0.0);
+        assert!(quiet_paid.outcome.makespan().unwrap() > quiet_plain.outcome.makespan().unwrap());
+    }
+
+    /// A processor failure that strands queued work is fatal under
+    /// `RetrySameProc` — unless every stranded task has a surviving
+    /// replica, which is promoted and carries the task.
+    #[test]
+    fn replicas_rescue_a_stranded_queue_without_migration() {
+        let i = inst(11);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let scenario = FaultScenario {
+            failures: vec![ProcessorFailure {
+                proc: ProcId(0),
+                at: 1e-6,
+            }],
+            ..FaultScenario::default()
+        };
+        let cfg = RecoveryConfig::new(RecoveryPolicy::RetrySameProc);
+        let bare = execute_with_faults(&i, &s, &durations, &scenario, &cfg).unwrap();
+        assert!(
+            matches!(bare.outcome, Outcome::Failed { .. }),
+            "without replicas the stranded queue is fatal"
+        );
+
+        let rcfg = ReplicationConfig::default().with_budget(1.0);
+        let plan = plan_replicas(&i, &s, &rcfg).unwrap();
+        assert_eq!(plan.count(), i.task_count(), "budget 1.0 covers every task");
+        let draws = ReplicaDraws::nominal(&plan, &i.timing);
+        let run = execute_replicated(&i, &s, &durations, &scenario, &cfg, &plan, &draws).unwrap();
+        let makespan = run
+            .outcome
+            .makespan()
+            .expect("promoted replicas must carry the stranded tasks");
+        assert!(makespan.is_finite() && makespan > 0.0);
+        assert!(run.stats.promotions >= 1);
+        assert!(run.stats.replica_wins >= 1);
+        let schedule = run.schedule.expect("completed run has a schedule");
+        assert!(schedule.validate_against(&i.graph).is_ok());
+        assert!(
+            schedule.tasks_on(ProcId(0)).is_empty() || run.finish.iter().all(|f| f.is_finite())
+        );
+    }
+
+    /// With nominal replica draws and a quiet scenario, replication leaves
+    /// the realized timeline bit-identical to the primary-only run: the
+    /// insurance constraint plus primary-first tie-breaks mean no replica
+    /// ever wins, and the kill/defer rule never delays a primary.
+    #[test]
+    fn quiet_replicated_run_is_bit_identical_to_primary_only() {
+        let i = inst(8);
+        let s = round_robin(&i);
+        let durations = expected_matrix(&i);
+        let cfg = RecoveryConfig::default();
+        let base =
+            execute_with_faults(&i, &s, &durations, &FaultScenario::default(), &cfg).unwrap();
+        let plan = plan_replicas(&i, &s, &ReplicationConfig::default()).unwrap();
+        assert!(!plan.is_empty());
+        let draws = ReplicaDraws::nominal(&plan, &i.timing);
+        let repl = execute_replicated(
+            &i,
+            &s,
+            &durations,
+            &FaultScenario::default(),
+            &cfg,
+            &plan,
+            &draws,
+        )
+        .unwrap();
+        let m0 = base.outcome.makespan().unwrap();
+        let m0r = repl.outcome.makespan().unwrap();
+        assert_eq!(m0.to_bits(), m0r.to_bits(), "M0 must be bit-identical");
+        for t in 0..i.task_count() {
+            assert_eq!(base.start[t].to_bits(), repl.start[t].to_bits());
+            assert_eq!(base.finish[t].to_bits(), repl.finish[t].to_bits());
+        }
+        assert_eq!(repl.stats.replica_wins, 0);
+        assert_eq!(repl.schedule.as_ref().unwrap(), &s);
     }
 }

@@ -1,0 +1,665 @@
+//! Proactive replication: placing redundant task copies in slack windows.
+//!
+//! The paper's slack theory (Definition 3.3, Theorem 3.4) identifies where a
+//! schedule can absorb extra work for free: wherever the disjunctive graph
+//! `G_s` leaves a processor idle, running something there cannot extend the
+//! makespan as long as the primary timeline is untouched. This module
+//! exploits that observation *proactively*: given a static schedule, it
+//! computes the expected timeline, enumerates the **idle gaps** of every
+//! processor, and places replicas of critical or failure-prone tasks into
+//! those gaps on processors *other than* their primary host.
+//!
+//! Replicas obey two planning constraints that make them free insurance:
+//!
+//! 1. **Gap fit** — a replica's planned window lies entirely inside an idle
+//!    gap of the expected timeline, so in expectation it displaces nothing.
+//! 2. **Insurance constraint** — a replica's planned finish is at least its
+//!    primary's expected finish. Combined with the executor's
+//!    first-finisher-wins semantics (primary wins ties), the fault-free run
+//!    is *bit-identical* to the primary-only run: `M₀` is unchanged.
+//!
+//! At runtime (see [`crate::recovery::execute_replicated`]) the first copy
+//! of a task to finish defines the task's completion; a replica therefore
+//! only helps — it rescues tasks stranded on failed processors, races
+//! stragglers, and survives transient crashes of the primary attempt.
+//!
+//! Three placement policies order the candidates:
+//!
+//! * [`PlacementPolicy::CriticalPathFirst`] — smallest slack first: the
+//!   tasks whose delay immediately extends the makespan;
+//! * [`PlacementPolicy::MostFragileFirst`] — latest expected finish first:
+//!   the tasks exposed the longest to processor failures;
+//! * [`PlacementPolicy::RandomBaseline`] — a seeded shuffle, the control
+//!   arm for the placement studies.
+
+use rand::Rng;
+use rds_graph::TaskId;
+use rds_platform::ProcId;
+use rds_stats::rng::rng_from_seed;
+
+use crate::disjunctive::{CycleError, DisjunctiveGraph};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::slack;
+use crate::timing;
+
+/// How replica candidates are prioritized under the budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PlacementPolicy {
+    /// Replicate tasks in ascending slack order (critical tasks first).
+    #[default]
+    CriticalPathFirst,
+    /// Replicate tasks in descending expected-finish order — the tasks
+    /// whose completion is exposed to failures for the longest.
+    MostFragileFirst,
+    /// Seeded random order; the control baseline for placement studies.
+    RandomBaseline,
+}
+
+impl PlacementPolicy {
+    /// Stable label used in figures and traces.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::CriticalPathFirst => "critical-first",
+            Self::MostFragileFirst => "fragile-first",
+            Self::RandomBaseline => "random",
+        }
+    }
+
+    /// All policies, informed-to-baseline order.
+    #[must_use]
+    pub fn all() -> [Self; 3] {
+        [
+            Self::CriticalPathFirst,
+            Self::MostFragileFirst,
+            Self::RandomBaseline,
+        ]
+    }
+
+    /// Parses a label (as accepted by the experiment CLI).
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "critical" | "critical-first" => Some(Self::CriticalPathFirst),
+            "fragile" | "fragile-first" => Some(Self::MostFragileFirst),
+            "random" => Some(Self::RandomBaseline),
+            _ => None,
+        }
+    }
+}
+
+/// Replication tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationConfig {
+    /// Replica budget as a fraction of the task count: at most
+    /// `ceil(budget · n)` replicas are placed (0 disables replication).
+    pub budget: f64,
+    /// Candidate prioritization.
+    pub policy: PlacementPolicy,
+    /// Maximum replicas per task (distinct processors).
+    pub max_replicas_per_task: usize,
+    /// Seed for [`PlacementPolicy::RandomBaseline`]'s shuffle.
+    pub seed: u64,
+}
+
+impl Default for ReplicationConfig {
+    fn default() -> Self {
+        Self {
+            budget: 0.5,
+            policy: PlacementPolicy::CriticalPathFirst,
+            max_replicas_per_task: 1,
+            seed: 0,
+        }
+    }
+}
+
+impl ReplicationConfig {
+    /// Config with the given budget, default policy.
+    #[must_use]
+    pub fn with_budget(budget: f64) -> Self {
+        Self {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the placement policy.
+    #[must_use]
+    pub fn policy(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the shuffle seed (random baseline only).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.budget.is_finite() && self.budget >= 0.0,
+            "replication budget must be finite and non-negative, got {}",
+            self.budget
+        );
+    }
+}
+
+/// One planned replica: a redundant copy of `task` on `proc`, scheduled to
+/// occupy `[start, finish]` of the expected timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Replica {
+    /// The replicated task.
+    pub task: TaskId,
+    /// Host processor (never the task's primary processor).
+    pub proc: ProcId,
+    /// Planned start on the expected timeline; the executor never starts a
+    /// replica earlier than this.
+    pub start: f64,
+    /// Planned finish (`start` + expected duration on `proc`); at least the
+    /// primary's expected finish (insurance constraint).
+    pub finish: f64,
+}
+
+/// A full replica placement for one schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplicaPlan {
+    replicas: Vec<Replica>,
+    by_task: Vec<Vec<usize>>,
+    expected_makespan: f64,
+}
+
+impl ReplicaPlan {
+    /// The empty plan (no replicas) for `task_count` tasks — the
+    /// no-replication baseline.
+    #[must_use]
+    pub fn empty(task_count: usize) -> Self {
+        Self {
+            replicas: Vec::new(),
+            by_task: vec![Vec::new(); task_count],
+            expected_makespan: 0.0,
+        }
+    }
+
+    /// All planned replicas.
+    #[must_use]
+    pub fn replicas(&self) -> &[Replica] {
+        &self.replicas
+    }
+
+    /// Number of replicas placed.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// `true` when no replica was placed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.replicas.is_empty()
+    }
+
+    /// Indices (into [`ReplicaPlan::replicas`]) of `t`'s replicas.
+    #[must_use]
+    pub fn replicas_of(&self, t: TaskId) -> &[usize] {
+        &self.by_task[t.index()]
+    }
+
+    /// Expected makespan `M₀` of the underlying schedule (the planner's
+    /// timeline the gaps were carved from).
+    #[must_use]
+    pub fn expected_makespan(&self) -> f64 {
+        self.expected_makespan
+    }
+
+    /// Total planned replica work (sum of expected replica durations).
+    #[must_use]
+    pub fn planned_work(&self) -> f64 {
+        self.replicas.iter().map(|r| r.finish - r.start).sum()
+    }
+}
+
+/// An idle window of one processor on the expected timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IdleGap {
+    /// Gap start.
+    pub start: f64,
+    /// Gap end (`f64::INFINITY` for the trailing gap after the last task).
+    pub end: f64,
+}
+
+/// Enumerates the idle gaps of every processor on the expected timeline:
+/// before the first task, between consecutive tasks, and the unbounded
+/// trailing gap after the last one.
+#[must_use]
+pub fn idle_gaps(
+    schedule: &Schedule,
+    timed: &timing::TimedSchedule,
+    procs: usize,
+) -> Vec<Vec<IdleGap>> {
+    let mut gaps: Vec<Vec<IdleGap>> = Vec::with_capacity(procs);
+    for p in 0..procs {
+        let mut proc_gaps = Vec::new();
+        let mut cur = 0.0_f64;
+        for &t in schedule.tasks_on(ProcId(p as u32)) {
+            let s = timed.start_of(t);
+            if s > cur {
+                proc_gaps.push(IdleGap { start: cur, end: s });
+            }
+            cur = cur.max(timed.finish_of(t));
+        }
+        proc_gaps.push(IdleGap {
+            start: cur,
+            end: f64::INFINITY,
+        });
+        gaps.push(proc_gaps);
+    }
+    gaps
+}
+
+/// Plans replicas for `schedule` under `cfg`.
+///
+/// The planner evaluates the expected timeline, carves out every
+/// processor's idle gaps, orders the tasks by the placement policy and
+/// greedily assigns each candidate a replica on the processor (excluding
+/// its primary host and hosts of its earlier replicas) where the replica's
+/// planned finish is earliest — subject to the gap-fit and insurance
+/// constraints documented at the module level. Placement mutates the gap
+/// set, so replicas on one processor never overlap each other.
+///
+/// # Errors
+/// Returns [`CycleError`] when the schedule is incompatible with the
+/// instance's graph.
+///
+/// # Panics
+/// Panics when `cfg.budget` is negative or non-finite.
+pub fn plan_replicas(
+    inst: &Instance,
+    schedule: &Schedule,
+    cfg: &ReplicationConfig,
+) -> Result<ReplicaPlan, CycleError> {
+    cfg.validate();
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
+    let durations = timing::expected_durations(&inst.timing, schedule);
+    let analysis = slack::analyze(&ds, schedule, &inst.platform, &durations);
+    let timed = timing::evaluate_with_durations(&ds, schedule, &inst.platform, &durations);
+
+    let mut plan = ReplicaPlan {
+        replicas: Vec::new(),
+        by_task: vec![Vec::new(); n],
+        expected_makespan: analysis.makespan,
+    };
+    let cap = (cfg.budget * n as f64).ceil() as usize;
+    if cap == 0 || m < 2 || n == 0 {
+        return Ok(plan);
+    }
+
+    let candidates = candidate_order(cfg, &analysis, &timed, &durations);
+    let mut gaps = idle_gaps(schedule, &timed, m);
+
+    for &t in &candidates {
+        if plan.replicas.len() >= cap {
+            break;
+        }
+        let quota = cfg
+            .max_replicas_per_task
+            .min(cap - plan.replicas.len())
+            .min(m - 1);
+        for _ in 0..quota {
+            let Some((proc, start, finish, gap_idx)) =
+                best_placement(inst, schedule, &timed, &gaps, &plan, t)
+            else {
+                break; // no processor fits another copy of t
+            };
+            split_gap(&mut gaps[proc.index()], gap_idx, start, finish);
+            let ri = plan.replicas.len();
+            plan.replicas.push(Replica {
+                task: t,
+                proc,
+                start,
+                finish,
+            });
+            plan.by_task[t.index()].push(ri);
+        }
+    }
+    Ok(plan)
+}
+
+/// Tasks in the order the policy wants them replicated.
+fn candidate_order(
+    cfg: &ReplicationConfig,
+    analysis: &slack::SlackAnalysis,
+    timed: &timing::TimedSchedule,
+    durations: &[f64],
+) -> Vec<TaskId> {
+    let n = durations.len();
+    let mut order: Vec<TaskId> = (0..n).map(|i| TaskId(i as u32)).collect();
+    match cfg.policy {
+        PlacementPolicy::CriticalPathFirst => {
+            order.sort_by(|a, b| {
+                analysis.slack[a.index()]
+                    .total_cmp(&analysis.slack[b.index()])
+                    .then(durations[b.index()].total_cmp(&durations[a.index()]))
+                    .then(a.cmp(b))
+            });
+        }
+        PlacementPolicy::MostFragileFirst => {
+            order.sort_by(|a, b| {
+                timed.finish[b.index()]
+                    .total_cmp(&timed.finish[a.index()])
+                    .then(durations[b.index()].total_cmp(&durations[a.index()]))
+                    .then(a.cmp(b))
+            });
+        }
+        PlacementPolicy::RandomBaseline => {
+            let mut rng = rng_from_seed(cfg.seed);
+            // Fisher–Yates, same idiom as the GA's selection shuffle.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+        }
+    }
+    order
+}
+
+/// The feasible placement of one more replica of `t` with the earliest
+/// planned finish: `(proc, start, finish, gap index)`.
+fn best_placement(
+    inst: &Instance,
+    schedule: &Schedule,
+    timed: &timing::TimedSchedule,
+    gaps: &[Vec<IdleGap>],
+    plan: &ReplicaPlan,
+    t: TaskId,
+) -> Option<(ProcId, f64, f64, usize)> {
+    let primary = schedule.proc_of(t);
+    let primary_finish = timed.finish_of(t);
+    let mut best: Option<(ProcId, f64, f64, usize)> = None;
+    for p in 0..inst.proc_count() {
+        let proc = ProcId(p as u32);
+        if proc == primary
+            || plan.by_task[t.index()]
+                .iter()
+                .any(|&ri| plan.replicas[ri].proc == proc)
+        {
+            continue;
+        }
+        // Data from the primary locations of the predecessors.
+        let mut ready = 0.0_f64;
+        for e in inst.graph.predecessors(t) {
+            let arrive = timed.finish_of(e.task)
+                + inst
+                    .platform
+                    .comm_time(e.data, schedule.proc_of(e.task), proc);
+            if arrive > ready {
+                ready = arrive;
+            }
+        }
+        let d = inst.timing.expected(t.index(), proc);
+        for (gi, gap) in gaps[p].iter().enumerate() {
+            let mut s = gap.start.max(ready);
+            let mut fin = s + d;
+            // Insurance constraint: the replica must not be able to beat
+            // its primary in the fault-free run. Nudge the start up until
+            // the planned finish is at least the primary's expected finish
+            // (a plain `primary_finish - d` can round a hair short).
+            if fin < primary_finish {
+                s = (primary_finish - d).max(s);
+                fin = s + d;
+                while fin < primary_finish {
+                    s += (primary_finish - fin).max(primary_finish.abs() * f64::EPSILON);
+                    fin = s + d;
+                }
+            }
+            if fin <= gap.end {
+                let better =
+                    best.is_none_or(|(bp, _, bfin, _)| fin < bfin || (fin == bfin && proc < bp));
+                if better {
+                    best = Some((proc, s, fin, gi));
+                }
+                break; // later gaps on p only finish later
+            }
+        }
+    }
+    best
+}
+
+/// Removes `[start, finish]` from gap `gi`, keeping the non-degenerate
+/// remainders.
+fn split_gap(gaps: &mut Vec<IdleGap>, gi: usize, start: f64, finish: f64) {
+    let gap = gaps.remove(gi);
+    let mut insert_at = gi;
+    if start > gap.start {
+        gaps.insert(
+            insert_at,
+            IdleGap {
+                start: gap.start,
+                end: start,
+            },
+        );
+        insert_at += 1;
+    }
+    if finish < gap.end {
+        gaps.insert(
+            insert_at,
+            IdleGap {
+                start: finish,
+                end: gap.end,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+
+    fn inst(seed: u64) -> Instance {
+        InstanceSpec::new(30, 4)
+            .seed(seed)
+            .uncertainty_level(4.0)
+            .build()
+            .unwrap()
+    }
+
+    fn round_robin(i: &Instance) -> Schedule {
+        let order = rds_graph::topo::topological_order(&i.graph).unwrap();
+        let m = i.proc_count();
+        let assignment: Vec<ProcId> = (0..i.task_count())
+            .map(|t| ProcId((t % m) as u32))
+            .collect();
+        Schedule::from_order_and_assignment(&order, &assignment, m).unwrap()
+    }
+
+    #[test]
+    fn zero_budget_places_nothing() {
+        let i = inst(1);
+        let s = round_robin(&i);
+        let plan = plan_replicas(&i, &s, &ReplicationConfig::with_budget(0.0)).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.count(), 0);
+    }
+
+    #[test]
+    fn budget_caps_replica_count() {
+        let i = inst(2);
+        let s = round_robin(&i);
+        for budget in [0.1, 0.3, 1.0] {
+            let plan = plan_replicas(&i, &s, &ReplicationConfig::with_budget(budget)).unwrap();
+            let cap = (budget * i.task_count() as f64).ceil() as usize;
+            assert!(plan.count() <= cap, "{} replicas > cap {cap}", plan.count());
+        }
+    }
+
+    #[test]
+    fn replicas_avoid_primary_processor_and_duplicates() {
+        let i = inst(3);
+        let s = round_robin(&i);
+        let cfg = ReplicationConfig {
+            budget: 1.0,
+            max_replicas_per_task: 2,
+            ..ReplicationConfig::default()
+        };
+        let plan = plan_replicas(&i, &s, &cfg).unwrap();
+        assert!(!plan.is_empty());
+        for r in plan.replicas() {
+            assert_ne!(r.proc, s.proc_of(r.task), "replica on primary proc");
+        }
+        for t in i.graph.tasks() {
+            let procs: Vec<ProcId> = plan
+                .replicas_of(t)
+                .iter()
+                .map(|&ri| plan.replicas()[ri].proc)
+                .collect();
+            let mut uniq = procs.clone();
+            uniq.sort();
+            uniq.dedup();
+            assert_eq!(uniq.len(), procs.len(), "{t} replicated twice on one proc");
+        }
+    }
+
+    #[test]
+    fn insurance_constraint_holds() {
+        let i = inst(4);
+        let s = round_robin(&i);
+        let ds = DisjunctiveGraph::build(&i.graph, &s).unwrap();
+        let durations = timing::expected_durations(&i.timing, &s);
+        let timed = timing::evaluate_with_durations(&ds, &s, &i.platform, &durations);
+        for policy in PlacementPolicy::all() {
+            let cfg = ReplicationConfig::with_budget(1.0).policy(policy);
+            let plan = plan_replicas(&i, &s, &cfg).unwrap();
+            for r in plan.replicas() {
+                assert!(
+                    r.finish >= timed.finish_of(r.task),
+                    "{policy:?}: replica of {} plans to finish at {} before primary {}",
+                    r.task,
+                    r.finish,
+                    timed.finish_of(r.task)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replica_windows_fit_idle_gaps_without_overlap() {
+        let i = inst(5);
+        let s = round_robin(&i);
+        let ds = DisjunctiveGraph::build(&i.graph, &s).unwrap();
+        let durations = timing::expected_durations(&i.timing, &s);
+        let timed = timing::evaluate_with_durations(&ds, &s, &i.platform, &durations);
+        let plan = plan_replicas(&i, &s, &ReplicationConfig::with_budget(1.0)).unwrap();
+        // Collect per-processor busy spans: primaries plus replicas.
+        for p in 0..i.proc_count() {
+            let mut spans: Vec<(f64, f64)> = s
+                .tasks_on(ProcId(p as u32))
+                .iter()
+                .map(|&t| (timed.start_of(t), timed.finish_of(t)))
+                .collect();
+            spans.extend(
+                plan.replicas()
+                    .iter()
+                    .filter(|r| r.proc.index() == p)
+                    .map(|r| (r.start, r.finish)),
+            );
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "overlap on proc {p}: {:?} then {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn policies_are_deterministic_and_random_depends_on_seed() {
+        let i = inst(6);
+        let s = round_robin(&i);
+        let cfg = ReplicationConfig::with_budget(0.4);
+        let a = plan_replicas(&i, &s, &cfg).unwrap();
+        let b = plan_replicas(&i, &s, &cfg).unwrap();
+        assert_eq!(a, b);
+        let r1 = plan_replicas(
+            &i,
+            &s,
+            &ReplicationConfig::with_budget(0.4)
+                .policy(PlacementPolicy::RandomBaseline)
+                .seed(1),
+        )
+        .unwrap();
+        let r2 = plan_replicas(
+            &i,
+            &s,
+            &ReplicationConfig::with_budget(0.4)
+                .policy(PlacementPolicy::RandomBaseline)
+                .seed(1),
+        )
+        .unwrap();
+        assert_eq!(r1, r2, "same seed must reproduce the shuffle");
+    }
+
+    #[test]
+    fn critical_first_prefers_low_slack_tasks() {
+        let i = inst(7);
+        let s = round_robin(&i);
+        let analysis = slack::analyze_expected(&i, &s).unwrap();
+        let cfg = ReplicationConfig::with_budget(0.2); // few replicas
+        let plan = plan_replicas(&i, &s, &cfg).unwrap();
+        assert!(!plan.is_empty());
+        // The mean slack of the replicated tasks must not exceed the mean
+        // slack over all tasks — the policy front-loads critical work.
+        let picked: f64 = plan
+            .replicas()
+            .iter()
+            .map(|r| analysis.slack_of(r.task))
+            .sum::<f64>()
+            / plan.count() as f64;
+        assert!(
+            picked <= analysis.average_slack + 1e-9,
+            "critical-first picked mean slack {picked} > average {}",
+            analysis.average_slack
+        );
+    }
+
+    #[test]
+    fn idle_gaps_cover_the_complement_of_busy_time() {
+        let i = inst(8);
+        let s = round_robin(&i);
+        let ds = DisjunctiveGraph::build(&i.graph, &s).unwrap();
+        let durations = timing::expected_durations(&i.timing, &s);
+        let timed = timing::evaluate_with_durations(&ds, &s, &i.platform, &durations);
+        let gaps = idle_gaps(&s, &timed, i.proc_count());
+        for (p, proc_gaps) in gaps.iter().enumerate() {
+            assert!(proc_gaps.last().unwrap().end.is_infinite());
+            for g in proc_gaps {
+                assert!(g.end > g.start);
+                // No primary task may overlap a gap.
+                for &t in s.tasks_on(ProcId(p as u32)) {
+                    let (ts, tf) = (timed.start_of(t), timed.finish_of(t));
+                    assert!(
+                        tf <= g.start + 1e-9 || ts >= g.end - 1e-9,
+                        "task {t} [{ts},{tf}] overlaps gap [{},{}] on {p}",
+                        g.start,
+                        g.end
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_labels_round_trip() {
+        for policy in PlacementPolicy::all() {
+            assert_eq!(PlacementPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(PlacementPolicy::parse("nope"), None);
+    }
+}

@@ -271,11 +271,18 @@ mod tests {
                 at: 3.0,
             },
             RecoveryEvent::Replanned { at: 1.0, moved: 5 },
+            RecoveryEvent::ReplicaWon {
+                task: TaskId(4),
+                proc: ProcId(1),
+                at: 5.0,
+            },
         ];
         let instants = instants_from_recovery(&events);
-        assert_eq!(instants.len(), 3);
+        assert_eq!(instants.len(), 4);
         assert_eq!(instants[0].lane, Some(ProcId(0)));
         assert_eq!(instants[2].lane, None);
+        assert_eq!(instants[3].lane, Some(ProcId(1)));
+        assert!(instants[3].name.contains("r-win"));
         let scenario = FaultScenario {
             failures: vec![ProcessorFailure {
                 proc: ProcId(1),

@@ -1,0 +1,217 @@
+//! Property-based verification of the replication subsystem's contracts:
+//!
+//! * **first-finisher-wins only helps** — under scenarios without
+//!   permanent failures, executing with a replica plan never realizes a
+//!   larger makespan than the primary-only run on the same durations and
+//!   scenario;
+//! * **the fault-free plan is untouched** — with a quiet scenario and
+//!   nominal replica draws, the replicated run is bit-identical to the
+//!   primary-only run (makespan and every task's start/finish), for every
+//!   placement policy and budget;
+//! * **replicas respect processor exclusivity** — no two copy spans
+//!   (primary or replica) overlap on any processor, even through failures,
+//!   kills and promotions.
+
+use proptest::prelude::*;
+
+use rand::Rng as _;
+use rds_platform::ProcId;
+use rds_sched::faults::{FaultConfig, FaultScenario, ReplicaDraws};
+use rds_sched::realization::sample_realized_matrix;
+use rds_sched::recovery::{
+    execute_replicated, execute_with_faults, RecoveryConfig, RecoveryPolicy,
+};
+use rds_sched::replication::{plan_replicas, PlacementPolicy, ReplicationConfig};
+use rds_sched::{Instance, InstanceSpec, Schedule};
+use rds_stats::matrix::Matrix;
+use rds_stats::rng::rng_from_seed;
+
+/// Builds a random instance plus a random valid schedule for it.
+fn setup(seed: u64, tasks: usize, procs: usize) -> (Instance, Schedule) {
+    let inst = InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .uncertainty_level(4.0)
+        .build()
+        .unwrap();
+    let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+    let mut rng = rng_from_seed(seed ^ 0x7E91);
+    let assignment: Vec<ProcId> = (0..tasks)
+        .map(|_| ProcId(rng.gen_range(0..procs) as u32))
+        .collect();
+    let s = Schedule::from_order_and_assignment(&order, &assignment, procs).unwrap();
+    (inst, s)
+}
+
+/// Full `n × m` matrix of expected durations.
+fn expected_matrix(inst: &Instance) -> Matrix {
+    Matrix::from_fn(inst.task_count(), inst.proc_count(), |t, p| {
+        inst.timing.expected(t, ProcId(p as u32))
+    })
+}
+
+fn policy_from(idx: usize) -> PlacementPolicy {
+    PlacementPolicy::all()[idx % 3]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A replica can only help: on scenarios without permanent failures
+    /// (crashes, stragglers, slowdowns allowed) the replicated run always
+    /// completes and never realizes a larger makespan than the primary-only
+    /// run on the identical durations and scenario.
+    #[test]
+    fn first_finisher_never_increases_makespan(
+        seed in 0u64..400,
+        tasks in 5usize..30,
+        procs in 2usize..6,
+        budget in 0.0f64..1.0,
+        pol in 0usize..3,
+    ) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let durations = sample_realized_matrix(
+            &inst.timing, tasks, procs, seed ^ 0xD1CE,
+        );
+        let faults = FaultConfig {
+            failure_rate: 0.0,
+            crash_rate: 0.4,
+            straggler_rate: 0.2,
+            slowdown_rate: 0.2,
+            ..FaultConfig::default()
+        }
+        .with_horizon(50.0);
+        let scenario = FaultScenario::generate(&faults, tasks, procs, seed ^ 0x5CEA);
+        let recovery = RecoveryConfig::new(RecoveryPolicy::RetrySameProc);
+
+        let rcfg = ReplicationConfig {
+            budget,
+            policy: policy_from(pol),
+            seed,
+            ..ReplicationConfig::default()
+        };
+        let plan = plan_replicas(&inst, &s, &rcfg).unwrap();
+        let draws = ReplicaDraws::generate(&plan, &inst.timing, faults.crash_rate, seed ^ 0xADD);
+
+        let solo = execute_with_faults(&inst, &s, &durations, &scenario, &recovery).unwrap();
+        let both =
+            execute_replicated(&inst, &s, &durations, &scenario, &recovery, &plan, &draws)
+                .unwrap();
+        let m_solo = solo.outcome.makespan().expect("no failures: retry completes");
+        let m_both = both.outcome.makespan().expect("replicas never hurt completion");
+        prop_assert!(
+            m_both <= m_solo + 1e-9,
+            "replicas extended the makespan: {m_both} > {m_solo} \
+             (budget {budget}, {} replicas)",
+            plan.count()
+        );
+    }
+
+    /// Proactive placement is invisible in the fault-free run: with a quiet
+    /// scenario, expected durations and nominal replica draws, makespan and
+    /// every task's start/finish are bit-identical to the primary-only run.
+    #[test]
+    fn quiet_run_is_bit_identical_under_any_plan(
+        seed in 0u64..400,
+        tasks in 5usize..30,
+        procs in 2usize..6,
+        budget in 0.0f64..1.0,
+        pol in 0usize..3,
+    ) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let durations = expected_matrix(&inst);
+        let recovery = RecoveryConfig::new(RecoveryPolicy::RetrySameProc);
+        let rcfg = ReplicationConfig {
+            budget,
+            policy: policy_from(pol),
+            seed,
+            ..ReplicationConfig::default()
+        };
+        let plan = plan_replicas(&inst, &s, &rcfg).unwrap();
+        let draws = ReplicaDraws::nominal(&plan, &inst.timing);
+
+        let solo = execute_with_faults(
+            &inst, &s, &durations, &FaultScenario::default(), &recovery,
+        )
+        .unwrap();
+        let both = execute_replicated(
+            &inst, &s, &durations, &FaultScenario::default(), &recovery, &plan, &draws,
+        )
+        .unwrap();
+        prop_assert_eq!(
+            both.outcome.makespan().unwrap().to_bits(),
+            solo.outcome.makespan().unwrap().to_bits(),
+            "M0 perturbed by {} replicas", plan.count()
+        );
+        for t in 0..tasks {
+            prop_assert_eq!(both.start[t].to_bits(), solo.start[t].to_bits(), "start of {t}");
+            prop_assert_eq!(both.finish[t].to_bits(), solo.finish[t].to_bits(), "finish of {t}");
+        }
+        prop_assert_eq!(both.stats.replica_wins, 0);
+        prop_assert_eq!(both.schedule.as_ref(), solo.schedule.as_ref());
+    }
+
+    /// Copy spans — primary attempts and replica executions alike, complete
+    /// or killed — never overlap on a processor, under the full fault model
+    /// and every recovery policy.
+    #[test]
+    fn copy_spans_respect_processor_exclusivity(
+        seed in 0u64..400,
+        tasks in 5usize..30,
+        procs in 2usize..6,
+        budget in 0.2f64..1.0,
+        pol in 0usize..3,
+        policy_idx in 0usize..3,
+    ) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let durations = sample_realized_matrix(
+            &inst.timing, tasks, procs, seed ^ 0xD1CE,
+        );
+        let faults = FaultConfig {
+            failure_rate: 0.5,
+            crash_rate: 0.3,
+            straggler_rate: 0.2,
+            slowdown_rate: 0.2,
+            ..FaultConfig::default()
+        }
+        .with_horizon(50.0);
+        let scenario = FaultScenario::generate(&faults, tasks, procs, seed ^ 0x5CEA);
+        let recovery = RecoveryConfig::new(RecoveryPolicy::all()[policy_idx]);
+        let rcfg = ReplicationConfig {
+            budget,
+            policy: policy_from(pol),
+            seed,
+            ..ReplicationConfig::default()
+        };
+        let plan = plan_replicas(&inst, &s, &rcfg).unwrap();
+        let draws = ReplicaDraws::generate(&plan, &inst.timing, faults.crash_rate, seed ^ 0xADD);
+
+        // Completion is not guaranteed here (FailStop/Retry under permanent
+        // failures); exclusivity must hold either way.
+        let run =
+            execute_replicated(&inst, &s, &durations, &scenario, &recovery, &plan, &draws)
+                .unwrap();
+        for p in 0..procs {
+            let mut spans: Vec<(f64, f64, bool)> = run
+                .spans
+                .iter()
+                .filter(|sp| sp.proc == ProcId(p as u32))
+                .map(|sp| (sp.start, sp.end, sp.replica))
+                .collect();
+            spans.sort_by(|a, b| a.0.total_cmp(&b.0));
+            for w in spans.windows(2) {
+                prop_assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "copies overlap on proc {p}: \
+                     [{}, {}] (replica: {}) then [{}, {}] (replica: {})",
+                    w[0].0, w[0].1, w[0].2, w[1].0, w[1].1, w[1].2
+                );
+            }
+            // Spans never extend past the processor's failure onset.
+            if let Some(f) = scenario.failures.iter().find(|f| f.proc == ProcId(p as u32)) {
+                for &(_, end, _) in &spans {
+                    prop_assert!(end <= f.at + 1e-9, "span past failure on proc {p}");
+                }
+            }
+        }
+    }
+}

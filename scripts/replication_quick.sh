@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Quick-scale proactive-robustness figure: HEFT + retry-in-place recovery
+# with/without slack-aware replication and checkpoint/restart, under
+# increasing fault rates. Defaults are laptop-scale (minutes); set
+# SCALE=--full for the paper-scale sweep, or override knobs via FLAGS, e.g.
+#   FLAGS="--replication-budget 0.5 --placement fragile" scripts/replication_quick.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p rds-experiments
+
+FIG=target/release/figures
+OUT=${OUT:-results}
+SCALE=${SCALE:-}
+FLAGS=${FLAGS:-}
+
+$FIG replication $SCALE $FLAGS --out "$OUT"

@@ -86,7 +86,8 @@ proptest! {
             &expected_matrix(&inst),
             &scenario,
             &RecoveryConfig::new(RecoveryPolicy::FailStop),
-        );
+        )
+        .unwrap();
         let m = run.outcome.makespan().expect("stragglers never fail a run");
         prop_assert!(
             m <= analysis.makespan * (1.0 + 1e-9),
@@ -121,7 +122,8 @@ proptest! {
             &expected_matrix(&inst),
             &scenario,
             &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
-        );
+        )
+        .unwrap();
         let realized = run
             .schedule
             .as_ref()
@@ -212,7 +214,8 @@ fn straggler_boundary_holds_makespan() {
             &expected_matrix(&inst),
             &scenario,
             &RecoveryConfig::new(RecoveryPolicy::FailStop),
-        );
+        )
+        .unwrap();
         let m = run.outcome.makespan().expect("stragglers never fail");
         if must_hold {
             assert!(m <= analysis.makespan * (1.0 + 1e-9), "{m}");
