@@ -297,9 +297,14 @@ fn monte_carlo_faulty_inner(
                 execute_replicated(inst, schedule, &mx, &scenario, recovery, plan, &draws)
             }
             None => execute_with_faults(inst, schedule, &mx, &scenario, recovery),
+        };
+        match run {
+            Ok(run) => (run.outcome.makespan(), run.stats),
+            // Shapes are correct by construction here, so only an internal
+            // invariant breach can land in this arm; score the realization
+            // as failed rather than panicking the whole sweep.
+            Err(_) => (None, RecoveryStats::default()),
         }
-        .expect("inputs were validated; execution cannot error");
-        (run.outcome.makespan(), run.stats)
     };
     let outcomes: Vec<(Option<f64>, RecoveryStats)> = if cfg.parallel {
         (0..cfg.realizations).into_par_iter().map(one).collect()
@@ -636,8 +641,7 @@ mod tests {
             base.failed_rate > 0.0,
             "failures must bite without replicas"
         );
-        let plan =
-            plan_replicas(&inst, &s, &ReplicationConfig::default().with_budget(1.0)).unwrap();
+        let plan = plan_replicas(&inst, &s, &ReplicationConfig::with_budget(1.0)).unwrap();
         let repl = monte_carlo_replicated(&inst, &s, &plan, &cfg, &faults, &rec).unwrap();
         assert!(
             repl.completion_probability > base.completion_probability,

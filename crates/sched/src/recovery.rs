@@ -556,7 +556,9 @@ struct Running {
     start: f64,
     finish: f64,
     copy: CopyKind,
-    /// A replica attempt that will crash at `finish` instead of completing.
+    /// An attempt that will crash at `finish` instead of completing: any
+    /// replica with a crash draw, or a primary whose crash is unrecoverable
+    /// (fail-stop / no retries left).
     doomed: bool,
 }
 
@@ -800,73 +802,49 @@ pub fn execute_replicated(
                     None => base,
                 };
                 let fin;
+                let mut doomed = false;
                 if retried[t.index()] == 0 && scenario.crash_of(t).is_some() {
                     let Some(fraction) = scenario.crash_of(t) else {
                         return Err(ExecutionError::Internal("crash_of changed under us"));
                     };
                     let crash_at = advance_through(&windows[p], s, fraction * eff);
-                    events.push(RecoveryEvent::TaskCrashed {
-                        task: t,
-                        proc: ProcId(p as u32),
-                        at: crash_at,
-                    });
                     if cfg.policy == RecoveryPolicy::FailStop || cfg.max_retries == 0 {
-                        if has_alive_copy(&rstate, t) {
-                            // The primary attempt is unrecoverable but a
-                            // replica survives: promote and move on.
-                            queue[p].pop_front();
-                            stats.lost_work += fraction * eff;
-                            spans.push(CopySpan {
-                                task: t,
-                                proc: ProcId(p as u32),
-                                start: s,
-                                end: crash_at,
-                                replica: false,
-                                won: false,
-                            });
-                            proc_free[p] = crash_at;
-                            promote_replicas(
-                                t,
-                                crash_at,
-                                replicas,
-                                &rstate,
-                                &mut primary_dead,
-                                &mut stats,
-                                &mut events,
-                            );
-                            dispatched = true;
-                            continue;
-                        }
-                        return Ok(fail(
-                            crash_at,
-                            FailReason::TaskCrashed(t),
-                            start,
-                            finish,
-                            stats,
-                            events,
-                            spans,
-                        ));
+                        // The attempt is unrecoverable, but the crash only
+                        // fires when its event drains at `crash_at`. Until
+                        // then it occupies the processor like any running
+                        // task, so an earlier processor failure truncates
+                        // the attempt instead of the crash committing a
+                        // span (and a promotion) from the future.
+                        fin = crash_at;
+                        doomed = true;
+                    } else {
+                        events.push(RecoveryEvent::TaskCrashed {
+                            task: t,
+                            proc: ProcId(p as u32),
+                            at: crash_at,
+                        });
+                        // Retry in place after backoff (crashes fire once,
+                        // so a single retry always suffices). Checkpoints
+                        // preserve the completed multiple of the interval.
+                        retried[t.index()] = 1;
+                        stats.retries += 1;
+                        let preserved = cfg
+                            .checkpoint
+                            .as_ref()
+                            .map_or(0.0, |c| c.preserved(fraction));
+                        stats.lost_work += (fraction - preserved) * eff;
+                        stats.saved_work += preserved * eff;
+                        let backoff =
+                            cfg.backoff * inst.timing.expected(t.index(), ProcId(p as u32));
+                        stats.backoff_delay += backoff;
+                        let restart = crash_at + backoff;
+                        events.push(RecoveryEvent::TaskRetried {
+                            task: t,
+                            proc: ProcId(p as u32),
+                            at: restart,
+                        });
+                        fin = advance_through(&windows[p], restart, (1.0 - preserved) * eff);
                     }
-                    // Retry in place after backoff (crashes fire once, so a
-                    // single retry always suffices). Checkpoints preserve
-                    // the completed multiple of the interval.
-                    retried[t.index()] = 1;
-                    stats.retries += 1;
-                    let preserved = cfg
-                        .checkpoint
-                        .as_ref()
-                        .map_or(0.0, |c| c.preserved(fraction));
-                    stats.lost_work += (fraction - preserved) * eff;
-                    stats.saved_work += preserved * eff;
-                    let backoff = cfg.backoff * inst.timing.expected(t.index(), ProcId(p as u32));
-                    stats.backoff_delay += backoff;
-                    let restart = crash_at + backoff;
-                    events.push(RecoveryEvent::TaskRetried {
-                        task: t,
-                        proc: ProcId(p as u32),
-                        at: restart,
-                    });
-                    fin = advance_through(&windows[p], restart, (1.0 - preserved) * eff);
                 } else {
                     fin = advance_through(&windows[p], s, eff);
                 }
@@ -876,7 +854,7 @@ pub fn execute_replicated(
                     start: s,
                     finish: fin,
                     copy: CopyKind::Primary,
-                    doomed: false,
+                    doomed,
                 });
                 start[t.index()] = s;
                 placement[t.index()] = ProcId(p as u32);
@@ -999,6 +977,54 @@ pub fn execute_replicated(
             now = r.finish;
             let ti = r.task.index();
             match r.copy {
+                CopyKind::Primary if r.doomed => {
+                    // The unrecoverable crash scheduled at dispatch fires
+                    // now; the attempt produced no output, so it is never a
+                    // data source.
+                    proc_free[p] = r.finish;
+                    events.push(RecoveryEvent::TaskCrashed {
+                        task: r.task,
+                        proc: ProcId(p as u32),
+                        at: r.finish,
+                    });
+                    spans.push(CopySpan {
+                        task: r.task,
+                        proc: ProcId(p as u32),
+                        start: r.start,
+                        end: r.finish,
+                        replica: false,
+                        won: false,
+                    });
+                    let dur = r.finish - r.start;
+                    if finished[ti] {
+                        // A replica already won; only duplicate effort died.
+                        stats.duplicate_work += dur;
+                    } else {
+                        stats.lost_work += dur;
+                        if has_alive_copy(&rstate, r.task) {
+                            // A replica survives: promote and move on.
+                            promote_replicas(
+                                r.task,
+                                r.finish,
+                                replicas,
+                                &rstate,
+                                &mut primary_dead,
+                                &mut stats,
+                                &mut events,
+                            );
+                        } else {
+                            return Ok(fail(
+                                r.finish,
+                                FailReason::TaskCrashed(r.task),
+                                start,
+                                finish,
+                                stats,
+                                events,
+                                spans,
+                            ));
+                        }
+                    }
+                }
                 CopyKind::Primary => {
                     proc_free[p] = r.finish;
                     sources[ti].push((r.finish, ProcId(p as u32)));
@@ -1168,7 +1194,15 @@ pub fn execute_replicated(
                     let preserved = cfg.checkpoint.as_ref().map_or(0.0, |c| c.preserved(g));
                     stats.lost_work += (g - preserved) * wall;
                     stats.saved_work += preserved * wall;
-                    progress[ti] += preserved * (1.0 - progress[ti]);
+                    // A doomed attempt's wall only spans the crash fraction
+                    // of the task, so scale the checkpoint credit down to
+                    // the share of remaining work it actually covered.
+                    let covered = if r.doomed {
+                        scenario.crash_of(r.task).unwrap_or(1.0)
+                    } else {
+                        1.0
+                    };
+                    progress[ti] += preserved * covered * (1.0 - progress[ti]);
                     events.push(RecoveryEvent::TaskAborted {
                         task: r.task,
                         proc: f.proc,
@@ -1315,10 +1349,16 @@ pub fn execute_replicated(
     }
 
     // Copies still running when the last task finished are wasted trailing
-    // work: account them and close their spans.
+    // work: account them and close their spans, truncated at the
+    // processor's failure onset when one is still pending — no copy can
+    // outlive its processor, even past the last drained event.
     for (p, slot) in running.iter_mut().enumerate() {
         if let Some(r) = slot.take() {
-            let dur = r.finish - r.start;
+            let cut = failures
+                .iter()
+                .find(|f| f.proc.index() == p)
+                .map_or(r.finish, |f| f.at.min(r.finish));
+            let dur = (cut - r.start).max(0.0);
             match r.copy {
                 CopyKind::Primary => stats.duplicate_work += dur,
                 CopyKind::Replica(ri) => {
@@ -1327,14 +1367,16 @@ pub fn execute_replicated(
                     stats.duplicate_work += dur;
                 }
             }
-            spans.push(CopySpan {
-                task: r.task,
-                proc: ProcId(p as u32),
-                start: r.start,
-                end: r.finish,
-                replica: matches!(r.copy, CopyKind::Replica(_)),
-                won: false,
-            });
+            if dur > 0.0 {
+                spans.push(CopySpan {
+                    task: r.task,
+                    proc: ProcId(p as u32),
+                    start: r.start,
+                    end: cut,
+                    replica: matches!(r.copy, CopyKind::Replica(_)),
+                    won: false,
+                });
+            }
         }
     }
 
@@ -1960,7 +2002,7 @@ mod tests {
             "without replicas the stranded queue is fatal"
         );
 
-        let rcfg = ReplicationConfig::default().with_budget(1.0);
+        let rcfg = ReplicationConfig::with_budget(1.0);
         let plan = plan_replicas(&i, &s, &rcfg).unwrap();
         assert_eq!(plan.count(), i.task_count(), "budget 1.0 covers every task");
         let draws = ReplicaDraws::nominal(&plan, &i.timing);
