@@ -5,7 +5,7 @@
 //!
 //! paper figures:  fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep all
 //! extensions:     corr future dynamic law ccr contention gatune faults
-//!                 replication
+//!                 replication adaptive
 //! utilities:      report   (re-render every results/*.csv as tables)
 //!
 //! flags:
@@ -23,6 +23,10 @@
 //!   --placement P         critical|fragile|random           [default critical]
 //!   --ckpt-interval X     checkpoint interval in (0,1]      [default 0.25]
 //!   --ckpt-overhead X     per-checkpoint overhead fraction  [default 0.02]
+//!   --epsilon X           deadline factor epsilon (adaptive) [default 1.2]
+//!   --trigger X           sentinel trigger fraction          [default 0.3]
+//!   --max-replans N       sentinel replan budget             [default 3]
+//!   --optional-fraction X droppable task fraction (adaptive) [default 0.25]
 //!   --seed N              master seed                       [default 42]
 //!   --out DIR             CSV output directory              [default results]
 //! ```
@@ -33,8 +37,8 @@ use std::process::ExitCode;
 
 use rds_experiments::config::ExperimentConfig;
 use rds_experiments::figures::{
-    ccr_study, contention_cmp, correlation, dynamic_cmp, fault_cmp, fig2_3, fig4, fig5_6, fig7_8,
-    future, gatune, law, replication_cmp, sweep,
+    adaptive_cmp, ccr_study, contention_cmp, correlation, dynamic_cmp, fault_cmp, fig2_3, fig4,
+    fig5_6, fig7_8, future, gatune, law, replication_cmp, sweep,
 };
 use rds_experiments::output::FigureData;
 
@@ -51,7 +55,8 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|sweep|all|\
-             corr|future|dynamic|law|contention|ccr|gatune|faults|replication|report> [flags]"
+             corr|future|dynamic|law|contention|ccr|gatune|faults|replication|adaptive|report> \
+             [flags]"
         );
         return ExitCode::FAILURE;
     };
@@ -107,6 +112,7 @@ fn main() -> ExitCode {
         "gatune" => emit(&gatune::run_gatune(&cfg), &cfg),
         "faults" => emit(&fault_cmp::run_fault_cmp(&cfg), &cfg),
         "replication" => emit(&replication_cmp::run_replication_cmp(&cfg), &cfg),
+        "adaptive" => emit(&adaptive_cmp::run_adaptive_cmp(&cfg), &cfg),
         "report" => match rds_experiments::output::render_report(&cfg.out_dir) {
             Ok(text) => println!("{text}"),
             Err(e) => {

@@ -43,6 +43,19 @@ pub struct ExperimentConfig {
     pub checkpoint_interval: f64,
     /// Per-checkpoint overhead as a fraction of the task's duration.
     pub checkpoint_overhead: f64,
+    /// Deadline factor ε for the adaptive study: the deadline is
+    /// `ε · M₀` (must be ≥ 1).
+    pub epsilon: f64,
+    /// Sentinel trigger fraction: an overrun fires when it exceeds this
+    /// fraction of the task's slack account.
+    pub sentinel_trigger: f64,
+    /// Sentinel replan budget per realization.
+    pub max_replans: usize,
+    /// Fraction of each graph's tasks marked droppable (`optional`) for
+    /// the adaptive study's graceful-degradation stage, taken from the
+    /// rear of a topological order so the optional set is
+    /// successor-closed.
+    pub optional_fraction: f64,
     /// Output directory for CSV files.
     pub out_dir: String,
 }
@@ -65,6 +78,10 @@ impl Default for ExperimentConfig {
             placement: PlacementPolicy::CriticalPathFirst,
             checkpoint_interval: 0.25,
             checkpoint_overhead: 0.02,
+            epsilon: 1.2,
+            sentinel_trigger: 0.3,
+            max_replans: 3,
+            optional_fraction: 0.25,
             out_dir: "results".to_owned(),
         }
     }
@@ -172,6 +189,10 @@ impl ExperimentConfig {
                 }
                 "--ckpt-interval" => cfg.checkpoint_interval = parse(take()?)?,
                 "--ckpt-overhead" => cfg.checkpoint_overhead = parse(take()?)?,
+                "--epsilon" => cfg.epsilon = parse(take()?)?,
+                "--trigger" => cfg.sentinel_trigger = parse(take()?)?,
+                "--max-replans" => cfg.max_replans = parse(take()?)?,
+                "--optional-fraction" => cfg.optional_fraction = parse(take()?)?,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -192,6 +213,15 @@ impl ExperimentConfig {
         }
         if !cfg.checkpoint_overhead.is_finite() || cfg.checkpoint_overhead < 0.0 {
             return Err("checkpoint overhead must be finite and non-negative".into());
+        }
+        if !cfg.epsilon.is_finite() || cfg.epsilon < 1.0 {
+            return Err("epsilon must be finite and at least 1".into());
+        }
+        if !cfg.sentinel_trigger.is_finite() || cfg.sentinel_trigger < 0.0 {
+            return Err("trigger must be finite and non-negative".into());
+        }
+        if !(0.0..=1.0).contains(&cfg.optional_fraction) {
+            return Err("optional fraction must lie in [0, 1]".into());
         }
         Ok(cfg)
     }
@@ -297,6 +327,31 @@ mod tests {
         let d = ExperimentConfig::default();
         assert_eq!(d.replication_budget, 1.0);
         assert_eq!(d.placement, PlacementPolicy::CriticalPathFirst);
+    }
+
+    #[test]
+    fn sentinel_flags_apply_and_validate() {
+        let cfg = ExperimentConfig::from_args(&args(&[
+            "--epsilon",
+            "1.5",
+            "--trigger",
+            "0.1",
+            "--max-replans",
+            "5",
+            "--optional-fraction",
+            "0.4",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.epsilon, 1.5);
+        assert_eq!(cfg.sentinel_trigger, 0.1);
+        assert_eq!(cfg.max_replans, 5);
+        assert_eq!(cfg.optional_fraction, 0.4);
+        assert!(ExperimentConfig::from_args(&args(&["--epsilon", "0.9"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--trigger", "-0.1"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--optional-fraction", "1.1"])).is_err());
+        let d = ExperimentConfig::default();
+        assert_eq!(d.epsilon, 1.2);
+        assert_eq!(d.max_replans, 3);
     }
 
     #[test]

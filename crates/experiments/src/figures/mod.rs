@@ -7,6 +7,7 @@
 //! * [`fig5_6`] — robustness improvement when relaxing ε.
 //! * [`fig7_8`] — best ε for the overall performance P(s).
 
+pub mod adaptive_cmp;
 pub mod ccr_study;
 pub mod contention_cmp;
 pub mod correlation;

@@ -85,6 +85,13 @@ pub struct TaskGraph {
     succs: Vec<Vec<Edge>>,
     preds: Vec<Vec<Edge>>,
     edge_count: usize,
+    /// Per-task importance weight (default 1.0); the degradation metric of
+    /// the adaptive executor reports dropped weight over total weight.
+    weight: Vec<f64>,
+    /// Per-task optionality (default `false`). Optional tasks may be shed
+    /// under deadline pressure; the closure invariant (an optional task's
+    /// successors are all optional) is enforced by [`Self::mark_optional`].
+    optional: Vec<bool>,
 }
 
 impl TaskGraph {
@@ -176,6 +183,66 @@ impl TaskGraph {
     /// Total of all edge data sizes (useful for CCR accounting).
     pub fn total_edge_data(&self) -> f64 {
         self.edges().map(|(_, _, d)| d).sum()
+    }
+
+    /// Importance weight of `t` (1.0 unless set).
+    #[inline]
+    pub fn weight_of(&self, t: TaskId) -> f64 {
+        self.weight[t.index()]
+    }
+
+    /// `true` when `t` may be shed under deadline pressure.
+    #[inline]
+    pub fn is_optional(&self, t: TaskId) -> bool {
+        self.optional[t.index()]
+    }
+
+    /// Sum of all task weights.
+    pub fn total_weight(&self) -> f64 {
+        self.weight.iter().sum()
+    }
+
+    /// Sum of the weights of tasks marked optional.
+    pub fn optional_weight(&self) -> f64 {
+        self.weight
+            .iter()
+            .zip(&self.optional)
+            .filter(|&(_, &o)| o)
+            .map(|(&w, _)| w)
+            .sum()
+    }
+
+    /// All tasks currently marked optional.
+    pub fn optional_tasks(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.is_optional(t)).collect()
+    }
+
+    /// Sets the importance weight of `t`.
+    ///
+    /// # Panics
+    /// Panics when `w` is negative or non-finite.
+    pub fn set_weight(&mut self, t: TaskId, w: f64) {
+        assert!(w.is_finite() && w >= 0.0, "invalid task weight {w} for {t}");
+        self.weight[t.index()] = w;
+    }
+
+    /// Marks `t` optional if every successor of `t` is already optional,
+    /// returning whether the mark was applied.
+    ///
+    /// The closure invariant matters for shedding: dropping a task kills
+    /// everything downstream of it, so a task may only be optional when its
+    /// whole successor cone is. Mark tasks in reverse topological order to
+    /// build an optional fringe from the exits inward.
+    pub fn mark_optional(&mut self, t: TaskId) -> bool {
+        if self.succs[t.index()]
+            .iter()
+            .all(|e| self.optional[e.task.index()])
+        {
+            self.optional[t.index()] = true;
+            true
+        } else {
+            false
+        }
     }
 
     /// Order-insensitive structural equality: same task count and same
@@ -337,10 +404,13 @@ impl TaskGraphBuilder {
         if let Some(e) = self.error {
             return Err(e);
         }
+        let n = self.succs.len();
         let g = TaskGraph {
             succs: self.succs,
             preds: self.preds,
             edge_count: self.edge_count,
+            weight: vec![1.0; n],
+            optional: vec![false; n],
         };
         // Kahn: if we cannot consume every node, there is a cycle.
         let mut indeg: Vec<usize> = g.tasks().map(|t| g.in_degree(t)).collect();
@@ -387,7 +457,11 @@ pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
             b.add_edge(from, to, data);
         }
     }
-    b.build().expect("subset of a DAG is a DAG")
+    let mut r = b.build().expect("subset of a DAG is a DAG");
+    // Reduction changes edges only; weights and optional flags carry over.
+    r.weight.clone_from(&g.weight);
+    r.optional.clone_from(&g.optional);
+    r
 }
 
 /// Builds the 8-task example graph of the paper's Figure 1(a).
@@ -617,5 +691,54 @@ mod tests {
         let g = diamond();
         assert_eq!(g.edges().count(), 4);
         assert_eq!(g.total_edge_data(), 10.0);
+    }
+
+    #[test]
+    fn weights_default_to_one() {
+        let g = diamond();
+        for t in g.tasks() {
+            assert_eq!(g.weight_of(t), 1.0);
+            assert!(!g.is_optional(t));
+        }
+        assert_eq!(g.total_weight(), 4.0);
+        assert_eq!(g.optional_weight(), 0.0);
+        assert!(g.optional_tasks().is_empty());
+    }
+
+    #[test]
+    fn mark_optional_enforces_successor_closure() {
+        let mut g = diamond();
+        // 1 feeds 3; 3 is mandatory, so 1 cannot be shed yet.
+        assert!(!g.mark_optional(TaskId(1)));
+        assert!(!g.is_optional(TaskId(1)));
+        // Exits are always markable; then the fringe grows inward.
+        assert!(g.mark_optional(TaskId(3)));
+        assert!(g.mark_optional(TaskId(1)));
+        assert!(g.is_optional(TaskId(1)));
+        assert_eq!(g.optional_tasks(), vec![TaskId(1), TaskId(3)]);
+        g.set_weight(TaskId(3), 2.5);
+        assert_eq!(g.total_weight(), 5.5);
+        assert_eq!(g.optional_weight(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid task weight")]
+    fn set_weight_rejects_negative() {
+        let mut g = diamond();
+        g.set_weight(TaskId(0), -1.0);
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_flags() {
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 1.0)
+            .add_edge(TaskId(1), TaskId(2), 2.0)
+            .add_edge(TaskId(0), TaskId(2), 9.0);
+        let mut g = b.build().unwrap();
+        assert!(g.mark_optional(TaskId(2)));
+        g.set_weight(TaskId(1), 4.0);
+        let r = transitive_reduction(&g);
+        assert!(r.is_optional(TaskId(2)));
+        assert_eq!(r.weight_of(TaskId(1)), 4.0);
     }
 }

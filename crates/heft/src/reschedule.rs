@@ -9,19 +9,20 @@
 //! times, and data produced on a dead processor is still consumable (the
 //! fault model assumes storage outlives compute).
 //!
-//! `rds_sched::recovery` embeds the same rank + EFT mathematics inline
-//! (the crate dependency points the other way); this module is the public
-//! entry point for callers that already sit above `rds-heft` — e.g. a
-//! driver restarting a paused experiment, or tooling exploring "what would
-//! HEFT do from here".
+//! The rank + EFT core is shared with `rds_sched::recovery`'s runtime
+//! replanner: both delegate to `rds_sched::replan::replan_partial` (the
+//! crate dependency points the other way, so the single implementation
+//! lives below in `rds-sched`). This module is the public entry point for
+//! callers that already sit above `rds-heft` — e.g. a driver restarting a
+//! paused experiment, or tooling exploring "what would HEFT do from here"
+//! — and `tests/reschedule_crosscheck.rs` pins the two call paths to
+//! identical output.
 
 use rds_graph::TaskId;
 use rds_platform::ProcId;
 use rds_sched::instance::Instance;
+use rds_sched::replan::{rank_order, replan_partial, FrozenState, ReplanError};
 use rds_sched::schedule::Schedule;
-
-use crate::ranks::rank_order;
-use crate::timeline::ProcTimeline;
 
 /// A frozen execution prefix to reschedule from.
 #[derive(Debug, Clone)]
@@ -104,74 +105,18 @@ pub fn heft_reschedule(
 ) -> Result<RescheduleResult, RescheduleError> {
     let n = inst.task_count();
     let m = inst.proc_count();
-    if state.finished.len() != n || state.alive.len() != m || state.free_at.len() != m {
-        return Err(RescheduleError::ShapeMismatch);
-    }
-    if !state.alive.iter().any(|&a| a) {
-        return Err(RescheduleError::NoAliveProcessor);
-    }
-    for (t, f) in state.finished.iter().enumerate() {
-        if let Some((p, _)) = f {
-            if p.index() >= m {
-                return Err(RescheduleError::InvalidPlacement(TaskId(t as u32)));
-            }
-        }
-    }
-
-    let order = rank_order(&inst.graph, &inst.platform, &inst.timing);
-    let mut timelines: Vec<ProcTimeline> = vec![ProcTimeline::new(); m];
-    let mut est_finish: Vec<f64> = (0..n)
-        .map(|t| state.finished[t].map_or(f64::NAN, |(_, f)| f))
-        .collect();
-    let mut placement: Vec<ProcId> = (0..n)
-        .map(|t| state.finished[t].map_or(ProcId(0), |(p, _)| p))
-        .collect();
-    let mut replanned = 0usize;
-
-    for &t in &order {
-        let ti = t.index();
-        if state.finished[ti].is_some() {
-            continue;
-        }
-        let mut best: Option<(f64, f64, ProcId)> = None; // (eft, est, proc)
-        for p in inst.platform.procs() {
-            if !state.alive[p.index()] {
-                continue;
-            }
-            let mut ready = state.free_at[p.index()];
-            for e in inst.graph.predecessors(t) {
-                let q = e.task;
-                debug_assert!(
-                    !est_finish[q.index()].is_nan(),
-                    "rank order visits predecessors first"
-                );
-                let arrive = est_finish[q.index()]
-                    + inst.platform.comm_time(e.data, placement[q.index()], p);
-                if arrive > ready {
-                    ready = arrive;
-                }
-            }
-            let dur = inst.timing.expected(ti, p);
-            let est = timelines[p.index()].earliest_start(ready, dur, true);
-            let eft = est + dur;
-            // Same comparison as `schedule_by_priority_list`, so a fresh
-            // state reproduces plain HEFT exactly.
-            let better = match best {
-                None => true,
-                Some((beft, _, bp)) => {
-                    eft < beft - 1e-12 || (eft <= beft + 1e-12 && p < bp && eft < beft + 1e-12)
-                }
-            };
-            if better {
-                best = Some((eft, est, p));
-            }
-        }
-        let (eft, est, p) = best.expect("at least one alive processor was verified above");
-        timelines[p.index()].commit(est, eft - est, t);
-        est_finish[ti] = eft;
-        placement[ti] = p;
-        replanned += 1;
-    }
+    let frozen = FrozenState {
+        finished: state.finished.clone(),
+        alive: state.alive.clone(),
+        free_at: state.free_at.clone(),
+        skip: vec![false; state.finished.len()],
+    };
+    let order = rank_order(inst);
+    let result = replan_partial(inst, &order, &frozen).map_err(|e| match e {
+        ReplanError::ShapeMismatch => RescheduleError::ShapeMismatch,
+        ReplanError::NoAliveProcessor => RescheduleError::NoAliveProcessor,
+        ReplanError::InvalidPlacement(t) => RescheduleError::InvalidPlacement(t),
+    })?;
 
     // Combined schedule: finished tasks prefixed in realized finish order,
     // replanned tasks appended in their new timeline order.
@@ -185,16 +130,15 @@ pub fn heft_reschedule(
     for (p, done) in finished_by_proc.iter_mut().enumerate() {
         done.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         proc_tasks[p].extend(done.iter().map(|&(_, t)| t));
-        proc_tasks[p].extend(timelines[p].task_order());
+        proc_tasks[p].extend(result.proc_tasks[p].iter().copied());
     }
     let schedule = Schedule::from_proc_lists(n, proc_tasks)
         .expect("finished and replanned tasks partition the task set");
-    let est_makespan = est_finish.iter().copied().fold(0.0f64, f64::max);
     Ok(RescheduleResult {
         schedule,
-        est_finish,
-        est_makespan,
-        replanned,
+        est_finish: result.est_finish,
+        est_makespan: result.est_makespan,
+        replanned: result.replanned,
     })
 }
 

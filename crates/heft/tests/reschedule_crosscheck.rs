@@ -1,0 +1,137 @@
+//! Cross-check: `rds_heft::reschedule` and the runtime replanner in
+//! `rds-sched` must produce identical schedules from the same frozen
+//! state.
+//!
+//! Historically the rank + insertion-EFT mathematics was duplicated on
+//! both sides of the crate boundary (`rds-heft` sits above `rds-sched`,
+//! so `recovery.rs` restated the pass inline) and could drift silently.
+//! Both now delegate to `rds_sched::replan::replan_partial`; these tests
+//! pin the delegation so a future re-divergence fails loudly.
+
+use rds_heft::heft_schedule;
+use rds_heft::reschedule::{heft_reschedule, PartialState};
+use rds_platform::ProcId;
+use rds_sched::instance::{Instance, InstanceSpec};
+use rds_sched::replan::{rank_order, replan_partial, FrozenState};
+use rds_graph::TaskId;
+
+fn inst(seed: u64, tasks: usize, procs: usize) -> Instance {
+    InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .uncertainty_level(3.0)
+        .build()
+        .unwrap()
+}
+
+/// A frozen mid-flight state: everything finishing by `cut` under plain
+/// HEFT is done, `dead` is down, survivors are busy until `cut`.
+fn freeze(i: &Instance, cut_frac: f64, dead: Option<usize>) -> PartialState {
+    let plain = heft_schedule(i);
+    let cut = cut_frac * plain.makespan;
+    let finished: Vec<Option<(ProcId, f64)>> = (0..i.task_count())
+        .map(|t| {
+            let tid = TaskId(t as u32);
+            let f = plain.timed.finish_of(tid);
+            (f <= cut).then(|| (plain.schedule.proc_of(tid), f))
+        })
+        .collect();
+    let mut alive = vec![true; i.proc_count()];
+    if let Some(d) = dead {
+        alive[d] = false;
+    }
+    PartialState {
+        finished,
+        alive,
+        free_at: vec![cut; i.proc_count()],
+    }
+}
+
+fn to_frozen(state: &PartialState) -> FrozenState {
+    FrozenState {
+        finished: state.finished.clone(),
+        alive: state.alive.clone(),
+        free_at: state.free_at.clone(),
+        skip: vec![false; state.finished.len()],
+    }
+}
+
+#[test]
+fn heft_and_sched_replanners_agree_bitwise() {
+    for seed in 0..8u64 {
+        let i = inst(seed, 40, 4);
+        for (cut, dead) in [(0.3, Some(0)), (0.5, Some(1)), (0.4, None), (0.0, Some(2))] {
+            let state = freeze(&i, cut, dead);
+            let heft_side = heft_reschedule(&i, &state).unwrap();
+            let order = rank_order(&i);
+            let sched_side = replan_partial(&i, &order, &to_frozen(&state)).unwrap();
+
+            assert_eq!(heft_side.replanned, sched_side.replanned, "seed {seed}");
+            assert_eq!(
+                heft_side.est_makespan.to_bits(),
+                sched_side.est_makespan.to_bits(),
+                "seed {seed} cut {cut}"
+            );
+            for t in 0..i.task_count() {
+                assert_eq!(
+                    heft_side.est_finish[t].to_bits(),
+                    sched_side.est_finish[t].to_bits(),
+                    "seed {seed} task {t}"
+                );
+            }
+            // The heft-side schedule is the sched-side per-processor lists
+            // with the realized prefix prepended.
+            for p in i.platform.procs() {
+                let on_p = heft_side.schedule.tasks_on(p);
+                let prefix: Vec<TaskId> = on_p
+                    .iter()
+                    .copied()
+                    .filter(|t| state.finished[t.index()].is_some())
+                    .collect();
+                let replanned_on_p: Vec<TaskId> = on_p
+                    .iter()
+                    .copied()
+                    .filter(|t| state.finished[t.index()].is_none())
+                    .collect();
+                assert_eq!(
+                    replanned_on_p, sched_side.proc_tasks[p.index()],
+                    "seed {seed} proc {p}"
+                );
+                // Prefix and replanned tasks are contiguous, prefix first.
+                assert_eq!(prefix.len() + replanned_on_p.len(), on_p.len());
+                assert!(on_p
+                    .iter()
+                    .take(prefix.len())
+                    .all(|t| state.finished[t.index()].is_some()));
+                for &t in &replanned_on_p {
+                    assert_eq!(sched_side.placement[t.index()], p);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn fresh_state_matches_plain_heft_through_both_paths() {
+    for seed in 0..4u64 {
+        let i = inst(seed ^ 0x5A, 30, 3);
+        let plain = heft_schedule(&i);
+        let fresh = PartialState::fresh(i.task_count(), i.proc_count());
+        let heft_side = heft_reschedule(&i, &fresh).unwrap();
+        assert_eq!(heft_side.schedule, plain.schedule, "seed {seed}");
+
+        let order = rank_order(&i);
+        let sched_side = replan_partial(
+            &i,
+            &order,
+            &FrozenState::fresh(i.task_count(), i.proc_count()),
+        )
+        .unwrap();
+        for p in i.platform.procs() {
+            assert_eq!(
+                sched_side.proc_tasks[p.index()],
+                plain.schedule.tasks_on(p).to_vec(),
+                "seed {seed} proc {p}"
+            );
+        }
+    }
+}

@@ -1,9 +1,18 @@
 //! Gantt-chart rendering of timed schedules: ASCII for terminals, SVG for
 //! reports. Both are hand-rolled string builders — no drawing dependency.
+//!
+//! Two families of charts:
+//! - [`ascii_gantt`] / [`svg_gantt`] draw a *planned* timed schedule;
+//! - [`ascii_gantt_run`] / [`svg_gantt_run`] draw a *realized*
+//!   [`FaultRun`], where recovery may have moved tasks off their planned
+//!   processors, replicas raced primaries, and degradation may have
+//!   dropped optional tasks. Migrated, replicated, lost, and dropped work
+//!   are each visually distinct.
 
 use rds_graph::TaskId;
 use rds_platform::ProcId;
 
+use crate::recovery::FaultRun;
 use crate::schedule::Schedule;
 use crate::timing::TimedSchedule;
 
@@ -121,6 +130,197 @@ pub fn svg_gantt(schedule: &Schedule, timed: &TimedSchedule, width_px: u32) -> S
     out
 }
 
+/// Horizon of a realized run: the latest finite span end, falling back to
+/// the outcome's makespan (or failure time).
+fn run_span(run: &FaultRun) -> f64 {
+    let spans_end = run
+        .spans
+        .iter()
+        .map(|s| s.end)
+        .filter(|e| e.is_finite())
+        .fold(0.0f64, f64::max);
+    let outcome_end = match run.outcome {
+        crate::recovery::Outcome::Completed { makespan } => makespan,
+        crate::recovery::Outcome::Failed { at, .. } => at,
+    };
+    spans_end.max(outcome_end).max(f64::MIN_POSITIVE)
+}
+
+/// Tasks the run degraded away: never finished with a realized time and
+/// never appear as a winning copy.
+fn dropped_tasks(run: &FaultRun) -> Vec<TaskId> {
+    (0..run.finish.len())
+        .map(|t| TaskId(t as u32))
+        .filter(|t| run.finish[t.index()].is_nan())
+        .collect()
+}
+
+/// Renders an ASCII Gantt chart of a realized [`FaultRun`] against the
+/// original plan. One row per processor; every executed copy interval is
+/// drawn with a fill telling its story apart:
+///
+/// - `#` — winning primary on its planned processor;
+/// - `%` — winning primary *migrated* off its planned processor by a
+///   repair;
+/// - `=` — replica copy (speculative or planned);
+/// - `x` — a lost copy (crashed, killed, or out-raced).
+///
+/// Winning boxes wide enough carry their task label. Tasks dropped by
+/// graceful degradation never executed, so they have no box; they are
+/// listed on a trailing `dropped:` line instead (`dropped: -` when none).
+///
+/// # Panics
+/// Panics when `width < 10`.
+#[must_use]
+pub fn ascii_gantt_run(plan: &Schedule, run: &FaultRun, width: usize) -> String {
+    assert!(width >= 10, "chart needs at least 10 columns");
+    let mut out = String::new();
+    let span = run_span(run);
+    let col = |t: f64| -> usize { ((t / span) * width as f64).round() as usize };
+
+    for p in 0..plan.proc_count() {
+        let pid = ProcId(p as u32);
+        let mut row = vec![b'.'; width];
+        // Losing copies first so winners overdraw them on shared cells.
+        let mut spans: Vec<&crate::recovery::CopySpan> =
+            run.spans.iter().filter(|s| s.proc == pid).collect();
+        spans.sort_by_key(|s| s.won);
+        for s in spans {
+            let a = col(s.start).min(width.saturating_sub(1));
+            let b = col(s.end).clamp(a + 1, width);
+            let fill = if !s.won {
+                b'x'
+            } else if s.replica {
+                b'='
+            } else if plan.proc_of(s.task) != s.proc {
+                b'%'
+            } else {
+                b'#'
+            };
+            for cell in &mut row[a..b] {
+                *cell = fill;
+            }
+            let label = format!("{}", s.task);
+            if s.won && b - a >= label.len() + 2 {
+                row[a] = b'[';
+                row[b - 1] = b']';
+                for (k, ch) in label.bytes().enumerate() {
+                    row[a + 1 + k] = ch;
+                }
+            }
+        }
+        out.push_str(&format!("p{p:<3}|"));
+        out.push_str(std::str::from_utf8(&row).expect("ascii row"));
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "{:width$}\n",
+        format!("0{:>w$.1}", span, w = width + 3),
+        width = width
+    ));
+    let dropped = dropped_tasks(run);
+    if dropped.is_empty() {
+        out.push_str("dropped: -\n");
+    } else {
+        out.push_str("dropped:");
+        for t in dropped {
+            out.push_str(&format!(" {t}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders an SVG Gantt chart of a realized [`FaultRun`]. Styling mirrors
+/// [`ascii_gantt_run`]: winning primaries keep the planned chart's pastel
+/// fill, migrated winners get a thick red outline, replicas a dashed
+/// outline, and losing copies fade to low opacity. Dropped tasks are
+/// listed under the axis.
+#[must_use]
+pub fn svg_gantt_run(plan: &Schedule, run: &FaultRun, width_px: u32) -> String {
+    use std::fmt::Write as _;
+    const LANE_H: u32 = 28;
+    const PAD: u32 = 40;
+    let m = plan.proc_count() as u32;
+    let height = m * LANE_H + 2 * PAD;
+    let span = run_span(run);
+    let x = |t: f64| -> f64 { f64::from(PAD) + (t / span) * f64::from(width_px - 2 * PAD) };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width_px}\" height=\"{height}\" viewBox=\"0 0 {width_px} {height}\">"
+    );
+    let _ = writeln!(out, "  <style>text{{font:10px sans-serif}}</style>");
+    for p in 0..plan.proc_count() {
+        let pid = ProcId(p as u32);
+        let y = PAD + p as u32 * LANE_H;
+        let _ = writeln!(
+            out,
+            "  <text x=\"4\" y=\"{}\">p{p}</text>",
+            y + LANE_H / 2 + 4
+        );
+        let _ = writeln!(
+            out,
+            "  <line x1=\"{PAD}\" y1=\"{}\" x2=\"{}\" y2=\"{}\" stroke=\"#ccc\"/>",
+            y + LANE_H,
+            width_px - PAD,
+            y + LANE_H
+        );
+        let mut spans: Vec<&crate::recovery::CopySpan> =
+            run.spans.iter().filter(|s| s.proc == pid).collect();
+        spans.sort_by_key(|s| s.won);
+        for s in spans {
+            let x0 = x(s.start);
+            let w = (x(s.end) - x0).max(1.0);
+            let hue = (s.task.0 * 47) % 360;
+            let migrated = !s.replica && plan.proc_of(s.task) != s.proc;
+            let stroke = if migrated { "#c0392b" } else { "#333" };
+            let stroke_w = if migrated { 2.5 } else { 1.0 };
+            let dash = if s.replica { " stroke-dasharray=\"4 2\"" } else { "" };
+            let opacity = if s.won { 1.0 } else { 0.35 };
+            let _ = writeln!(
+                out,
+                "  <rect x=\"{x0:.1}\" y=\"{}\" width=\"{w:.1}\" height=\"{}\" fill=\"hsl({hue},60%,70%)\" fill-opacity=\"{opacity}\" stroke=\"{stroke}\" stroke-width=\"{stroke_w}\"{dash}/>",
+                y + 3,
+                LANE_H - 6
+            );
+            if s.won {
+                let _ = writeln!(
+                    out,
+                    "  <text x=\"{:.1}\" y=\"{}\">{}</text>",
+                    x0 + 2.0,
+                    y + LANE_H / 2 + 4,
+                    s.task
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  <text x=\"{PAD}\" y=\"{}\">0</text>",
+        height - PAD / 2
+    );
+    let _ = writeln!(
+        out,
+        "  <text x=\"{}\" y=\"{}\" text-anchor=\"end\">{span:.1}</text>",
+        width_px - PAD,
+        height - PAD / 2,
+    );
+    let dropped = dropped_tasks(run);
+    if !dropped.is_empty() {
+        let names: Vec<String> = dropped.iter().map(ToString::to_string).collect();
+        let _ = writeln!(
+            out,
+            "  <text x=\"{PAD}\" y=\"{}\" fill=\"#999\">dropped: {}</text>",
+            height - PAD / 2 + 14,
+            names.join(" ")
+        );
+    }
+    let _ = writeln!(out, "</svg>");
+    out
+}
+
 /// Convenience: evaluates and renders the expected-duration ASCII chart.
 ///
 /// # Errors
@@ -225,5 +425,122 @@ mod tests {
         let (inst, s, _) = fixture();
         let chart = ascii_gantt_expected(&inst, &s, 50).unwrap();
         assert!(chart.contains("p0"));
+    }
+
+    /// A hand-built run exercising every visual class at once: a winning
+    /// primary in place, a migrated winner, a winning replica, a lost
+    /// copy, and a dropped task.
+    fn synthetic_run() -> crate::recovery::FaultRun {
+        use crate::recovery::{CopySpan, FaultRun, Outcome, RecoveryStats};
+        let n = 12;
+        let mut start = vec![0.0; n];
+        let mut finish = vec![8.0; n];
+        start[5] = f64::NAN;
+        finish[5] = f64::NAN; // dropped by degradation
+        let spans = vec![
+            // Winning primary on its planned processor (task 0 plans p0).
+            CopySpan {
+                task: TaskId(0),
+                proc: ProcId(0),
+                start: 0.0,
+                end: 4.0,
+                replica: false,
+                won: true,
+            },
+            // Winning primary migrated off its planned processor
+            // (task 1 plans p1, ran on p2).
+            CopySpan {
+                task: TaskId(1),
+                proc: ProcId(2),
+                start: 1.0,
+                end: 6.0,
+                replica: false,
+                won: true,
+            },
+            // Winning replica.
+            CopySpan {
+                task: TaskId(2),
+                proc: ProcId(1),
+                start: 0.0,
+                end: 5.0,
+                replica: true,
+                won: true,
+            },
+            // Lost primary copy of the same task (out-raced).
+            CopySpan {
+                task: TaskId(2),
+                proc: ProcId(2),
+                start: 6.0,
+                end: 10.0,
+                replica: false,
+                won: false,
+            },
+        ];
+        FaultRun {
+            outcome: Outcome::Completed { makespan: 10.0 },
+            schedule: None,
+            start,
+            finish,
+            stats: RecoveryStats::default(),
+            events: Vec::new(),
+            spans,
+        }
+    }
+
+    #[test]
+    fn run_chart_distinguishes_migrated_replica_lost_and_dropped() {
+        let (_, s, _) = fixture();
+        let run = synthetic_run();
+        let chart = ascii_gantt_run(&s, &run, 60);
+        assert!(chart.contains('#'), "in-place winner fill missing");
+        assert!(chart.contains('%'), "migrated fill missing");
+        assert!(chart.contains('='), "replica fill missing");
+        assert!(chart.contains('x'), "lost-copy fill missing");
+        assert!(chart.contains("dropped: v5"), "dropped footer missing:\n{chart}");
+
+        let svg = svg_gantt_run(&s, &run, 600);
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), run.spans.len());
+        assert!(svg.contains("stroke-dasharray"), "replica dash missing");
+        assert!(svg.contains("#c0392b"), "migration outline missing");
+        assert!(svg.contains("fill-opacity=\"0.35\""), "lost fade missing");
+        assert!(svg.contains("dropped: v5"), "dropped legend missing");
+    }
+
+    #[test]
+    fn run_chart_from_real_migration_shows_moved_work() {
+        use crate::faults::{FaultScenario, ProcessorFailure};
+        use crate::recovery::{execute_with_faults, RecoveryConfig, RecoveryPolicy};
+        use rds_stats::matrix::Matrix;
+        let inst = InstanceSpec::new(16, 3).seed(9).build().unwrap();
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let assignment: Vec<ProcId> = (0..16).map(|i| ProcId((i % 3) as u32)).collect();
+        let s = Schedule::from_order_and_assignment(&order, &assignment, 3).unwrap();
+        let mx = Matrix::from_fn(16, 3, |t, p| inst.timing.expected(t, ProcId(p as u32)));
+        let m0 = crate::timing::evaluate_expected(&inst.graph, &inst.platform, &inst.timing, &s)
+            .unwrap()
+            .makespan;
+        let scenario = FaultScenario {
+            failures: vec![ProcessorFailure {
+                proc: ProcId(0),
+                at: 0.3 * m0,
+            }],
+            ..FaultScenario::default()
+        };
+        let run = execute_with_faults(
+            &inst,
+            &s,
+            &mx,
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
+        )
+        .unwrap();
+        let chart = ascii_gantt_run(&s, &run, 80);
+        assert_eq!(chart.lines().count(), 5); // 3 procs + axis + dropped
+        assert!(chart.contains('%'), "no migrated work rendered:\n{chart}");
+        assert!(chart.contains("dropped: -"));
+        let svg = svg_gantt_run(&s, &run, 600);
+        assert!(svg.contains("#c0392b"));
+        assert!(!svg.contains("dropped:"));
     }
 }

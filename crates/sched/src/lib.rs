@@ -44,8 +44,10 @@ pub mod io;
 pub mod metrics;
 pub mod realization;
 pub mod recovery;
+pub mod replan;
 pub mod replication;
 pub mod schedule;
+pub mod sentinel;
 pub mod slack;
 pub mod timing;
 pub mod trace;
@@ -55,14 +57,16 @@ pub use faults::{FaultConfig, FaultKind, FaultScenario, ReplicaDraw, ReplicaDraw
 pub use instance::{Instance, InstanceSpec};
 pub use metrics::{r1_from_tardiness, r2_from_miss_rate, FaultRobustnessReport, RobustnessReport};
 pub use realization::{
-    failure_penalty, monte_carlo, monte_carlo_faulty, monte_carlo_replicated,
-    sample_realized_matrix, RealizationConfig,
+    failure_penalty, monte_carlo, monte_carlo_adaptive, monte_carlo_faulty,
+    monte_carlo_replicated, sample_realized_matrix, RealizationConfig,
 };
 pub use recovery::{
     execute_replicated, execute_with_faults, CheckpointConfig, CopySpan, ExecutionError, FaultRun,
     Outcome, RecoveryConfig, RecoveryPolicy, RecoveryStats,
 };
+pub use replan::{rank_order, replan_partial, FrozenState, ReplanError, ReplanResult};
 pub use replication::{plan_replicas, PlacementPolicy, ReplicaPlan, ReplicationConfig};
 pub use schedule::{Schedule, ScheduleError};
+pub use sentinel::{execute_adaptive, SentinelConfig};
 pub use slack::SlackAnalysis;
 pub use timing::TimedSchedule;

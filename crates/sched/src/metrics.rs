@@ -200,6 +200,23 @@ pub struct FaultRobustnessReport {
     pub mean_checkpoint_overhead: f64,
     /// Mean work preserved by checkpoints per realization.
     pub mean_saved_work: f64,
+    /// Mean sentinel trigger firings per realization.
+    pub mean_sentinel_fires: f64,
+    /// Mean sentinel-initiated replans per realization (the repair count;
+    /// failure-forced replans are under [`Self::mean_replans`]).
+    pub mean_sentinel_replans: f64,
+    /// Mean speculation armings per realization.
+    pub mean_speculations: f64,
+    /// Mean optional tasks dropped per realization (degradation events).
+    pub mean_dropped_tasks: f64,
+    /// Mean dropped task weight per realization — divide by the graph's
+    /// total weight for a normalized degradation level.
+    pub mean_dropped_weight: f64,
+    /// The ε-deadline the run was executed against (adaptive runs only).
+    pub deadline: Option<f64>,
+    /// Fraction of realizations that missed the deadline (completions
+    /// beyond it plus failures); `None` until a deadline is attached.
+    pub deadline_miss_rate: Option<f64>,
     /// Summary of the completed realized makespans (`None` when every
     /// realization failed).
     pub makespans: Option<Summary>,
@@ -275,12 +292,43 @@ impl FaultRobustnessReport {
             mean_promotions: totals.promotions as f64 / nf,
             mean_checkpoint_overhead: totals.checkpoint_overhead / nf,
             mean_saved_work: totals.saved_work / nf,
+            mean_sentinel_fires: totals.sentinel_fires as f64 / nf,
+            mean_sentinel_replans: totals.sentinel_replans as f64 / nf,
+            mean_speculations: totals.speculations as f64 / nf,
+            mean_dropped_tasks: totals.dropped_tasks as f64 / nf,
+            mean_dropped_weight: totals.dropped_weight / nf,
+            deadline: None,
+            deadline_miss_rate: None,
             makespans: if completed == 0 {
                 None
             } else {
                 Some(Summary::from_samples(completed_makespans))
             },
         }
+    }
+
+    /// Attaches an ε-deadline and computes the deadline miss rate: the
+    /// fraction of realizations finishing strictly beyond `deadline`, with
+    /// failed realizations always counted as misses. Degraded completions
+    /// (dropped tasks) that land within the deadline are *not* misses —
+    /// the degradation level is reported separately via
+    /// [`Self::mean_dropped_weight`].
+    ///
+    /// # Panics
+    /// Panics when `deadline` is not positive and finite.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: f64) -> Self {
+        assert!(
+            deadline > 0.0 && deadline.is_finite(),
+            "deadline must be positive and finite"
+        );
+        let failed = self.realizations - self.completed;
+        let late = self.makespans.as_ref().map_or(0.0, |s| {
+            s.fraction_above(deadline) * self.completed as f64
+        });
+        self.deadline = Some(deadline);
+        self.deadline_miss_rate = Some((late + failed as f64) / self.realizations as f64);
+        self
     }
 
     /// Replication overhead: mean wasted duplicate work per realization,
@@ -305,6 +353,49 @@ impl FaultRobustnessReport {
             self.mean_makespan * self.completed as f64
         };
         (completed_sum + penalty * failed as f64) / self.realizations as f64
+    }
+
+    /// Bootstrap 95% confidence interval for [`Self::effective_mean`]:
+    /// resamples the per-realization effective makespans (completed values
+    /// plus one `penalty` entry per failure). Deterministic in `seed`;
+    /// `None` when there are no realizations or `resamples` is zero.
+    #[must_use]
+    pub fn effective_mean_ci(
+        &self,
+        penalty: f64,
+        resamples: usize,
+        seed: u64,
+    ) -> Option<rds_stats::BootstrapCi> {
+        let failed = self.realizations - self.completed;
+        let mut samples: Vec<f64> = self
+            .makespans
+            .as_ref()
+            .map(|s| s.sorted().to_vec())
+            .unwrap_or_default();
+        samples.extend(std::iter::repeat(penalty).take(failed));
+        rds_stats::bootstrap_mean_ci95(&samples, resamples, seed)
+    }
+
+    /// Bootstrap 95% confidence interval for the deadline miss rate
+    /// (resampling per-realization miss indicators, failures counted as
+    /// misses). `None` when no deadline is attached, there are no
+    /// realizations, or `resamples` is zero.
+    #[must_use]
+    pub fn deadline_miss_ci(&self, resamples: usize, seed: u64) -> Option<rds_stats::BootstrapCi> {
+        let deadline = self.deadline?;
+        let failed = self.realizations - self.completed;
+        let mut indicators: Vec<f64> = self
+            .makespans
+            .as_ref()
+            .map(|s| {
+                s.sorted()
+                    .iter()
+                    .map(|&m| f64::from(u8::from(m > deadline)))
+                    .collect()
+            })
+            .unwrap_or_default();
+        indicators.extend(std::iter::repeat(1.0).take(failed));
+        rds_stats::bootstrap_mean_ci95(&indicators, resamples, seed)
     }
 }
 
@@ -411,6 +502,11 @@ mod tests {
             promotions: 1,
             checkpoint_overhead: 1.0,
             saved_work: 3.0,
+            sentinel_fires: 4,
+            sentinel_replans: 2,
+            speculations: 1,
+            dropped_tasks: 2,
+            dropped_weight: 3.0,
         };
         let r = FaultRobustnessReport::from_outcomes(10.0, 1.0, vec![8.0, 12.0], 2, &totals);
         assert_eq!(r.realizations, 4);
@@ -439,6 +535,51 @@ mod tests {
         // Effective mean with penalty 30: (8 + 12 + 30 + 30) / 4 = 20.
         assert_eq!(r.effective_mean(30.0), 20.0);
         assert!(r.makespans.is_some());
+        assert_eq!(r.mean_sentinel_fires, 1.0);
+        assert_eq!(r.mean_sentinel_replans, 0.5);
+        assert_eq!(r.mean_speculations, 0.25);
+        assert_eq!(r.mean_dropped_tasks, 0.5);
+        assert_eq!(r.mean_dropped_weight, 0.75);
+        assert!(r.deadline.is_none() && r.deadline_miss_rate.is_none());
+        // ε-deadline 11: the 12 completion plus both failures miss -> 3/4.
+        let r = r.with_deadline(11.0);
+        assert_eq!(r.deadline, Some(11.0));
+        assert_eq!(r.deadline_miss_rate, Some(0.75));
+        // 13: only the failures miss.
+        let r = r.with_deadline(13.0);
+        assert_eq!(r.deadline_miss_rate, Some(0.5));
+    }
+
+    #[test]
+    fn bootstrap_cis_bracket_the_point_estimates() {
+        // 60 completions spread around 10, 20 failures.
+        let ms: Vec<f64> = (0..60).map(|i| 8.0 + 0.1 * f64::from(i)).collect();
+        let r = FaultRobustnessReport::from_outcomes(
+            10.0,
+            1.0,
+            ms,
+            20,
+            &RecoveryStats::default(),
+        )
+        .with_deadline(12.0);
+        let eff = r.effective_mean_ci(40.0, 300, 7).unwrap();
+        assert!(eff.contains(r.effective_mean(40.0)));
+        assert!(eff.half_width() > 0.0);
+        let miss = r.deadline_miss_ci(300, 7).unwrap();
+        assert!(miss.contains(r.deadline_miss_rate.unwrap()));
+        assert!(miss.lo >= 0.0 && miss.hi <= 1.0);
+        // Deterministic per seed.
+        let again = r.deadline_miss_ci(300, 7).unwrap();
+        assert_eq!(miss.lo.to_bits(), again.lo.to_bits());
+        // No deadline, no miss CI.
+        let bare = FaultRobustnessReport::from_outcomes(
+            10.0,
+            1.0,
+            vec![10.0],
+            0,
+            &RecoveryStats::default(),
+        );
+        assert!(bare.deadline_miss_ci(100, 1).is_none());
     }
 
     #[test]

@@ -256,6 +256,100 @@ pub fn monte_carlo_replicated(
     monte_carlo_faulty_inner(inst, schedule, cfg, faults, recovery, Some(plan))
 }
 
+/// [`monte_carlo_replicated`] with the sentinel attached: every realization
+/// executes through [`crate::sentinel::execute_adaptive`], so overruns that
+/// burn through a task's slack account trigger the escalation ladder
+/// (bounded replans, speculation, graceful degradation) on top of the
+/// reactive recovery policy.
+///
+/// The slack analysis feeding the sentinel's accounts is computed once from
+/// the expected-duration timing of `schedule` and shared across
+/// realizations. The report carries the ε-deadline
+/// `sentinel.epsilon · M₀` and its miss rate (failed realizations count as
+/// misses); degraded completions count as *completions* at their realized
+/// makespan — the degradation level is visible through
+/// `mean_dropped_tasks` / `mean_dropped_weight` instead.
+///
+/// Determinism contract is identical to [`monte_carlo_replicated`]: same
+/// three seed branches, bit-identical results regardless of `cfg.parallel`.
+///
+/// # Errors
+/// Returns [`CycleError`] when the schedule is incompatible with the
+/// instance's graph.
+///
+/// # Panics
+/// Panics when `cfg.realizations == 0`, the fault config is invalid,
+/// `recovery.checkpoint` is malformed, or the sentinel config is invalid.
+#[allow(clippy::too_many_arguments)]
+pub fn monte_carlo_adaptive(
+    inst: &Instance,
+    schedule: &Schedule,
+    plan: &ReplicaPlan,
+    cfg: &RealizationConfig,
+    faults: &FaultConfig,
+    recovery: &RecoveryConfig,
+    sentinel: &crate::sentinel::SentinelConfig,
+) -> Result<FaultRobustnessReport, CycleError> {
+    assert!(cfg.realizations > 0, "need at least one realization");
+    if let Some(c) = &recovery.checkpoint {
+        CheckpointConfig::new(c.interval, c.overhead).expect("invalid checkpoint config");
+    }
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
+    let durations = timing::expected_durations(&inst.timing, schedule);
+    let analysis = slack::analyze(&ds, schedule, &inst.platform, &durations);
+    let fcfg = if faults.horizon > 0.0 {
+        *faults
+    } else {
+        faults.with_horizon(analysis.makespan)
+    };
+
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    let dur_seeds = SeedStream::new(cfg.seed).branch("fault-durations");
+    let scen_seeds = SeedStream::new(cfg.seed).branch("fault-scenario");
+    let replica_seeds = SeedStream::new(cfg.seed).branch("replica-draws");
+    let one = |i: usize| -> (Option<f64>, RecoveryStats) {
+        let mx = sample_realized_matrix(&inst.timing, n, m, dur_seeds.nth_seed(i as u64));
+        let scenario = FaultScenario::generate(&fcfg, n, m, scen_seeds.nth_seed(i as u64));
+        let draws = ReplicaDraws::generate(
+            plan,
+            &inst.timing,
+            fcfg.crash_rate,
+            replica_seeds.nth_seed(i as u64),
+        );
+        match crate::sentinel::execute_adaptive(
+            inst, schedule, &mx, &scenario, recovery, plan, &draws, &analysis, sentinel,
+        ) {
+            Ok(run) => (run.outcome.makespan(), run.stats),
+            Err(_) => (None, RecoveryStats::default()),
+        }
+    };
+    let outcomes: Vec<(Option<f64>, RecoveryStats)> = if cfg.parallel {
+        (0..cfg.realizations).into_par_iter().map(one).collect()
+    } else {
+        (0..cfg.realizations).map(one).collect()
+    };
+
+    let mut completed = Vec::with_capacity(outcomes.len());
+    let mut failed = 0usize;
+    let mut totals = RecoveryStats::default();
+    for (makespan, stats) in &outcomes {
+        match makespan {
+            Some(ms) => completed.push(*ms),
+            None => failed += 1,
+        }
+        totals.absorb(stats);
+    }
+    Ok(FaultRobustnessReport::from_outcomes(
+        analysis.makespan,
+        analysis.average_slack,
+        completed,
+        failed,
+        &totals,
+    )
+    .with_deadline(sentinel.epsilon * analysis.makespan))
+}
+
 fn monte_carlo_faulty_inner(
     inst: &Instance,
     schedule: &Schedule,
@@ -617,6 +711,82 @@ mod tests {
         );
         assert_eq!(repl.mean_replica_wins, 0.0);
         assert_eq!(repl.mean_duplicate_work, 0.0);
+    }
+
+    #[test]
+    fn adaptive_is_deterministic_and_reports_deadline_metrics() {
+        use crate::faults::FaultConfig;
+        use crate::recovery::{RecoveryConfig, RecoveryPolicy};
+        use crate::replication::ReplicaPlan;
+        use crate::sentinel::SentinelConfig;
+        let inst = InstanceSpec::new(30, 4)
+            .seed(29)
+            .uncertainty_level(3.0)
+            .build()
+            .unwrap();
+        let s = round_robin(&inst);
+        let faults = FaultConfig::default();
+        let rec = RecoveryConfig::new(RecoveryPolicy::MigrateReplan);
+        let plan = ReplicaPlan::empty(inst.task_count());
+        let scfg = SentinelConfig::default();
+        let cfg = RealizationConfig::with_realizations(48).seed(11);
+        let par = monte_carlo_adaptive(&inst, &s, &plan, &cfg, &faults, &rec, &scfg).unwrap();
+        let ser = monte_carlo_adaptive(
+            &inst,
+            &s,
+            &plan,
+            &cfg.serial(),
+            &faults,
+            &rec,
+            &scfg,
+        )
+        .unwrap();
+        assert_eq!(par.completed, ser.completed);
+        assert_eq!(par.mean_makespan.to_bits(), ser.mean_makespan.to_bits());
+        assert_eq!(par.mean_sentinel_fires, ser.mean_sentinel_fires);
+        let deadline = par.deadline.expect("adaptive runs carry the ε-deadline");
+        assert!((deadline - scfg.epsilon * par.expected_makespan).abs() < 1e-12);
+        let miss = par.deadline_miss_rate.unwrap();
+        assert!((0.0..=1.0).contains(&miss));
+    }
+
+    #[test]
+    fn adaptive_with_deterministic_timing_matches_replicated_bitwise() {
+        use crate::faults::FaultConfig;
+        use crate::recovery::{RecoveryConfig, RecoveryPolicy};
+        use crate::replication::ReplicaPlan;
+        use crate::sentinel::SentinelConfig;
+        // UL exactly 1: realized == expected, so no task ever overruns its
+        // account and the sentinel stays silent — the adaptive engine must
+        // be bit-identical to the non-sentinel path.
+        let base = InstanceSpec::new(20, 3).seed(31).build().unwrap();
+        let timing =
+            rds_platform::TimingModel::deterministic(base.timing.bcet_matrix().clone()).unwrap();
+        let inst = Instance::new(base.graph, base.platform, timing).unwrap();
+        let s = round_robin(&inst);
+        let faults = FaultConfig::quiet();
+        let rec = RecoveryConfig::new(RecoveryPolicy::MigrateReplan);
+        let plan = ReplicaPlan::empty(inst.task_count());
+        let cfg = RealizationConfig::with_realizations(32).seed(13);
+        let adaptive = monte_carlo_adaptive(
+            &inst,
+            &s,
+            &plan,
+            &cfg,
+            &faults,
+            &rec,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
+        let plain = monte_carlo_replicated(&inst, &s, &plan, &cfg, &faults, &rec).unwrap();
+        assert_eq!(adaptive.completed, plain.completed);
+        assert_eq!(
+            adaptive.mean_makespan.to_bits(),
+            plain.mean_makespan.to_bits()
+        );
+        assert_eq!(adaptive.mean_sentinel_fires, 0.0);
+        assert_eq!(adaptive.mean_dropped_tasks, 0.0);
+        assert_eq!(adaptive.deadline_miss_rate, Some(0.0));
     }
 
     #[test]

@@ -345,6 +345,16 @@ pub struct RecoveryStats {
     pub checkpoint_overhead: f64,
     /// Work preserved by checkpoints across crashes and aborts.
     pub saved_work: f64,
+    /// Sentinel trigger firings (overruns beyond the slack threshold).
+    pub sentinel_fires: usize,
+    /// Replans initiated by the sentinel (excludes failure-forced replans).
+    pub sentinel_replans: usize,
+    /// Speculative replica armings requested by the sentinel.
+    pub speculations: usize,
+    /// Optional tasks dropped under graceful degradation.
+    pub dropped_tasks: usize,
+    /// Total weight of the dropped tasks.
+    pub dropped_weight: f64,
 }
 
 impl RecoveryStats {
@@ -362,6 +372,11 @@ impl RecoveryStats {
         self.promotions += other.promotions;
         self.checkpoint_overhead += other.checkpoint_overhead;
         self.saved_work += other.saved_work;
+        self.sentinel_fires += other.sentinel_fires;
+        self.sentinel_replans += other.sentinel_replans;
+        self.speculations += other.speculations;
+        self.dropped_tasks += other.dropped_tasks;
+        self.dropped_weight += other.dropped_weight;
     }
 }
 
@@ -447,6 +462,49 @@ pub enum RecoveryEvent {
         /// Time.
         at: f64,
     },
+    /// The sentinel detected that `task` finished `lateness` beyond its
+    /// planned finish, consuming more than the trigger fraction of its
+    /// slack account.
+    SentinelFired {
+        /// The overrunning task.
+        task: TaskId,
+        /// Time.
+        at: f64,
+        /// Realized finish minus planned finish.
+        lateness: f64,
+        /// The task's slack account at the firing.
+        slack: f64,
+    },
+    /// The sentinel re-planned the unstarted subgraph (`moved` tasks).
+    SentinelReplanned {
+        /// Time.
+        at: f64,
+        /// Number of tasks re-queued.
+        moved: usize,
+    },
+    /// The sentinel armed the pending replicas of `task` for speculation.
+    SpeculationArmed {
+        /// The speculated task.
+        task: TaskId,
+        /// Time.
+        at: f64,
+    },
+    /// `task` (marked optional) was dropped under graceful degradation.
+    TaskDropped {
+        /// The dropped task.
+        task: TaskId,
+        /// Time.
+        at: f64,
+    },
+    /// Minimum remaining slack over the unfinished subgraph, sampled at
+    /// each sentinel firing.
+    SlackSnapshot {
+        /// Time.
+        at: f64,
+        /// Minimum slack account over unfinished tasks (0 when none
+        /// remain).
+        min_slack: f64,
+    },
 }
 
 impl RecoveryEvent {
@@ -462,7 +520,12 @@ impl RecoveryEvent {
             | Self::ReplicaStarted { at, .. }
             | Self::ReplicaWon { at, .. }
             | Self::ReplicaKilled { at, .. }
-            | Self::ReplicaPromoted { at, .. } => at,
+            | Self::ReplicaPromoted { at, .. }
+            | Self::SentinelFired { at, .. }
+            | Self::SentinelReplanned { at, .. }
+            | Self::SpeculationArmed { at, .. }
+            | Self::TaskDropped { at, .. }
+            | Self::SlackSnapshot { at, .. } => at,
         }
     }
 
@@ -478,7 +541,12 @@ impl RecoveryEvent {
             | Self::ReplicaWon { proc, .. }
             | Self::ReplicaKilled { proc, .. }
             | Self::ReplicaPromoted { proc, .. } => Some(proc),
-            Self::Replanned { .. } => None,
+            Self::Replanned { .. }
+            | Self::SentinelFired { .. }
+            | Self::SentinelReplanned { .. }
+            | Self::SpeculationArmed { .. }
+            | Self::TaskDropped { .. }
+            | Self::SlackSnapshot { .. } => None,
         }
     }
 
@@ -495,6 +563,11 @@ impl RecoveryEvent {
             Self::ReplicaWon { task, .. } => format!("r-win {task}"),
             Self::ReplicaKilled { task, .. } => format!("r-kill {task}"),
             Self::ReplicaPromoted { task, .. } => format!("r-promote {task}"),
+            Self::SentinelFired { task, .. } => format!("sentinel {task}"),
+            Self::SentinelReplanned { moved, .. } => format!("s-replan {moved}"),
+            Self::SpeculationArmed { task, .. } => format!("speculate {task}"),
+            Self::TaskDropped { task, .. } => format!("drop {task}"),
+            Self::SlackSnapshot { min_slack, .. } => format!("slack {min_slack:.3}"),
         }
     }
 }
@@ -525,7 +598,9 @@ pub struct FaultRun {
     /// Completed-or-failed.
     pub outcome: Outcome,
     /// The schedule that actually executed (placement + per-processor
-    /// order of the *winning* copies), present only when the run completed.
+    /// order of the *winning* copies), present only when the run completed
+    /// without dropping tasks (a degraded run has no one-appearance-per-task
+    /// schedule).
     pub schedule: Option<Schedule>,
     /// Realized start times of the winning copies (NaN for tasks that
     /// never ran).
@@ -612,7 +687,6 @@ pub fn execute_with_faults(
 /// # Errors
 /// Returns [`ExecutionError`] on shape mismatches, an invalid checkpoint
 /// config, or a broken executor invariant.
-#[allow(clippy::too_many_lines)]
 pub fn execute_replicated(
     inst: &Instance,
     plan: &Schedule,
@@ -621,6 +695,26 @@ pub fn execute_replicated(
     cfg: &RecoveryConfig,
     replicas: &ReplicaPlan,
     draws: &ReplicaDraws,
+) -> Result<FaultRun, ExecutionError> {
+    execute_inner(inst, plan, durations, scenario, cfg, replicas, draws, None)
+}
+
+/// The event loop shared by [`execute_replicated`] and
+/// [`crate::sentinel::execute_adaptive`]. With `sentinel: None` the
+/// behavior (and bit pattern of every output) is exactly the historical
+/// replicated executor; with a sentinel attached, completions additionally
+/// settle the task's slack account and may fire escalating repairs (see
+/// the `sentinel` module docs).
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub(crate) fn execute_inner(
+    inst: &Instance,
+    plan: &Schedule,
+    durations: &Matrix,
+    scenario: &FaultScenario,
+    cfg: &RecoveryConfig,
+    replicas: &ReplicaPlan,
+    draws: &ReplicaDraws,
+    mut sentinel: Option<(&crate::sentinel::SentinelConfig, &mut crate::sentinel::SentinelState)>,
 ) -> Result<FaultRun, ExecutionError> {
     let n = inst.task_count();
     let m = inst.proc_count();
@@ -871,6 +965,12 @@ pub fn execute_replicated(
                     rstate[ri] == RState::Pending && {
                         let t = replicas.replicas()[ri].task;
                         !finished[t.index()]
+                            // Under the sentinel, planned replicas are held
+                            // back until speculation arms them (or their
+                            // primary is lost and they carry the task).
+                            && sentinel
+                                .as_ref()
+                                .is_none_or(|(_, s)| s.armed[t.index()] || primary_dead[t.index()])
                             && inst
                                 .graph
                                 .predecessors(t)
@@ -976,6 +1076,9 @@ pub fn execute_replicated(
             };
             now = r.finish;
             let ti = r.task.index();
+            // Set when this completion defines a task (fed to the sentinel
+            // hook below).
+            let mut won: Option<TaskId> = None;
             match r.copy {
                 CopyKind::Primary if r.doomed => {
                     // The unrecoverable crash scheduled at dispatch fires
@@ -1045,6 +1148,7 @@ pub fn execute_replicated(
                         finish[ti] = r.finish;
                         exec_order[p].push(r.task);
                         done += 1;
+                        won = Some(r.task);
                         spans.push(CopySpan {
                             task: r.task,
                             proc: ProcId(p as u32),
@@ -1109,6 +1213,7 @@ pub fn execute_replicated(
                         sources[ti].push((r.finish, ProcId(p as u32)));
                         exec_order[p].push(r.task);
                         done += 1;
+                        won = Some(r.task);
                         stats.replica_wins += 1;
                         stats.replica_work += dur;
                         events.push(RecoveryEvent::ReplicaWon {
@@ -1137,6 +1242,128 @@ pub fn execute_replicated(
                             &mut spans,
                             &mut proc_free,
                         );
+                    }
+                }
+            }
+            // Sentinel hook: a defining completion settles the task's slack
+            // account; consuming more than the trigger fraction fires an
+            // escalating response (replan → speculation → degradation).
+            if let (Some(t), Some((scfg, sstate))) = (won, sentinel.as_mut()) {
+                let wi = t.index();
+                let lateness = finish[wi] - sstate.account_pf[wi];
+                if lateness > scfg.trigger_fraction * sstate.account_slack[wi] + sstate.eps_abs {
+                    stats.sentinel_fires += 1;
+                    events.push(RecoveryEvent::SentinelFired {
+                        task: t,
+                        at: now,
+                        lateness,
+                        slack: sstate.account_slack[wi],
+                    });
+                    events.push(RecoveryEvent::SlackSnapshot {
+                        at: now,
+                        min_slack: sstate.min_unfinished_slack(&finished),
+                    });
+                    let projected = sstate.projected(lateness, &finished);
+                    let cooldown = scfg.cooldown * sstate.m0;
+                    if sstate.replans_used < scfg.max_replans
+                        && now >= sstate.last_replan_at + cooldown
+                        && avail.any_up()
+                    {
+                        // Stage 1: bounded replan of the unstarted subgraph
+                        // (cooldown hysteresis keeps overrun storms from
+                        // thrashing; the budget bounds total repairs).
+                        let order =
+                            replan_order.get_or_insert_with(|| crate::replan::rank_order(inst));
+                        let (moved, result) = replan(
+                            inst,
+                            order,
+                            &avail,
+                            &finished,
+                            &finish,
+                            &primary_dead,
+                            &running,
+                            &placement,
+                            &proc_free,
+                            now,
+                            &mut queue,
+                        )?;
+                        sstate.replans_used += 1;
+                        sstate.last_replan_at = now;
+                        stats.sentinel_replans += 1;
+                        events.push(RecoveryEvent::SentinelReplanned { at: now, moved });
+                        sstate.rebuild_accounts(inst, &result);
+                    } else if projected > sstate.deadline
+                        && sstate.speculations_used < scfg.max_speculations
+                    {
+                        // Stage 2: the deadline is threatened and replans
+                        // are exhausted (or cooling down) — arm the pending
+                        // replicas of the most critical unfinished task.
+                        let mut candidate: Option<TaskId> = None;
+                        for (ri, r) in replicas.replicas().iter().enumerate() {
+                            let rt = r.task;
+                            if rstate[ri] != RState::Pending
+                                || finished[rt.index()]
+                                || primary_dead[rt.index()]
+                                || sstate.armed[rt.index()]
+                            {
+                                continue;
+                            }
+                            if candidate.is_none_or(|c| {
+                                sstate.account_slack[rt.index()] < sstate.account_slack[c.index()]
+                            }) {
+                                candidate = Some(rt);
+                            }
+                        }
+                        if let Some(c) = candidate {
+                            sstate.armed[c.index()] = true;
+                            sstate.speculations_used += 1;
+                            stats.speculations += 1;
+                            events.push(RecoveryEvent::SpeculationArmed { task: c, at: now });
+                        }
+                    } else if projected > sstate.deadline && !sstate.degraded {
+                        // Stage 3: graceful degradation — shed pending
+                        // speculation costs, then drop the optional
+                        // subgraph, trading output weight for the deadline.
+                        sstate.degraded = true;
+                        for ri in 0..rstate.len() {
+                            let rt = replicas.replicas()[ri].task;
+                            if rstate[ri] == RState::Pending
+                                && !sstate.armed[rt.index()]
+                                && !primary_dead[rt.index()]
+                            {
+                                rstate[ri] = RState::Dead;
+                                events.push(RecoveryEvent::ReplicaKilled {
+                                    task: rt,
+                                    proc: replicas.replicas()[ri].proc,
+                                    at: now,
+                                });
+                            }
+                        }
+                        for t2 in inst.graph.tasks() {
+                            let i2 = t2.index();
+                            if finished[i2] || !inst.graph.is_optional(t2) || primary_dead[i2] {
+                                continue;
+                            }
+                            if running.iter().flatten().any(|r| r.task == t2) {
+                                continue; // let a running copy finish
+                            }
+                            finished[i2] = true;
+                            done += 1;
+                            stats.dropped_tasks += 1;
+                            stats.dropped_weight += inst.graph.weight_of(t2);
+                            events.push(RecoveryEvent::TaskDropped { task: t2, at: now });
+                            kill_copies_of(
+                                t2,
+                                now,
+                                replicas,
+                                &mut running,
+                                &mut rstate,
+                                &mut stats,
+                                &mut events,
+                                &mut spans,
+                                &mut proc_free,
+                            );
+                        }
                     }
                 }
             }
@@ -1328,8 +1555,8 @@ pub fn execute_replicated(
                         spans,
                     ));
                 }
-                let order = replan_order.get_or_insert_with(|| rank_order_for(inst));
-                let moved = replan(
+                let order = replan_order.get_or_insert_with(|| crate::replan::rank_order(inst));
+                let (moved, result) = replan(
                     inst,
                     order,
                     &avail,
@@ -1344,6 +1571,12 @@ pub fn execute_replicated(
                 )?;
                 stats.replans += 1;
                 events.push(RecoveryEvent::Replanned { at: f.at, moved });
+                // Failure-forced replans do not count against the
+                // sentinel's budget, but the slack accounts must track the
+                // repaired plan.
+                if let Some((_, sstate)) = sentinel.as_mut() {
+                    sstate.rebuild_accounts(inst, &result);
+                }
             }
         }
     }
@@ -1381,11 +1614,21 @@ pub fn execute_replicated(
     }
 
     let makespan = finish.iter().copied().fold(0.0f64, f64::max);
-    let schedule = Schedule::from_proc_lists(n, exec_order)
-        .map_err(|_| ExecutionError::Internal("executor did not complete every task once"))?;
+    // A degraded run never executed its dropped tasks, so no
+    // every-task-once schedule exists; the run still counts as completed
+    // (at its degradation level) rather than failed.
+    let schedule = if stats.dropped_tasks > 0 {
+        None
+    } else {
+        Some(
+            Schedule::from_proc_lists(n, exec_order).map_err(|_| {
+                ExecutionError::Internal("executor did not complete every task once")
+            })?,
+        )
+    };
     Ok(FaultRun {
         outcome: Outcome::Completed { makespan },
-        schedule: Some(schedule),
+        schedule,
         start,
         finish,
         stats,
@@ -1485,27 +1728,12 @@ fn promote_replicas(
     }
 }
 
-/// Tasks in decreasing expected-time upward-rank order (HEFT's priority),
-/// the same prioritization `dynamic.rs` uses.
-fn rank_order_for(inst: &Instance) -> Vec<TaskId> {
-    let ranks = rds_graph::paths::bottom_levels(
-        &inst.graph,
-        |t: TaskId| inst.timing.mean_expected(t.index()),
-        |_, _, data| inst.platform.mean_comm_time(data),
-    );
-    let mut order: Vec<TaskId> = inst.graph.tasks().collect();
-    order.sort_by(|a, b| {
-        ranks[b.index()]
-            .total_cmp(&ranks[a.index()])
-            .then_with(|| a.cmp(b))
-    });
-    order
-}
-
-/// Re-plans every unfinished, uncommitted task onto the alive processors by
-/// earliest estimated finish time, rewriting the per-processor queues.
-/// Tasks whose primary is permanently dead stay with their replicas.
-/// Returns the number of tasks re-queued.
+/// Re-plans every unfinished, uncommitted task onto the alive processors
+/// via the shared partial-graph HEFT pass in [`crate::replan`], rewriting
+/// the per-processor queues. Tasks whose primary is permanently dead stay
+/// with their replicas. Returns the number of tasks re-queued together
+/// with the full [`ReplanResult`] (the sentinel rebuilds its slack
+/// accounts from it).
 #[allow(clippy::too_many_arguments)]
 fn replan(
     inst: &Instance,
@@ -1519,85 +1747,66 @@ fn replan(
     proc_free: &[f64],
     now: f64,
     queue: &mut [VecDeque<TaskId>],
-) -> Result<usize, ExecutionError> {
+) -> Result<(usize, crate::replan::ReplanResult), ExecutionError> {
+    use crate::replan::{replan_partial, FrozenState, ReplanError};
+
     let n = inst.task_count();
     let m = inst.proc_count();
 
-    // Committed (running) primaries of unfinished tasks stay where they
-    // are; replicas are not commitments — their tasks re-queue and race.
-    let mut committed = vec![false; n];
-    for r in running.iter().flatten() {
-        if r.copy == CopyKind::Primary && !finished[r.task.index()] {
-            committed[r.task.index()] = true;
+    // Freeze the execution prefix: finished tasks at their realized
+    // (placement, finish); committed running primaries at their committed
+    // finish (a task running on a healthy processor is never migrated);
+    // replica-carried tasks (primary permanently dead) are skipped — they
+    // are not re-planned and their completion time is unknown, so their
+    // successors plan as if the data were available.
+    let mut state = FrozenState {
+        finished: (0..n)
+            .map(|t| {
+                if finished[t] {
+                    Some((placement[t], finish[t]))
+                } else {
+                    None
+                }
+            })
+            .collect(),
+        alive: (0..m).map(|p| avail.is_up(ProcId(p as u32))).collect(),
+        free_at: (0..m)
+            .map(|p| {
+                let busy = running[p].as_ref().map_or(0.0, |r| r.finish);
+                now.max(proc_free[p]).max(busy)
+            })
+            .collect(),
+        skip: vec![false; n],
+    };
+    for (p, slot) in running.iter().enumerate() {
+        if let Some(r) = slot {
+            if r.copy == CopyKind::Primary && !finished[r.task.index()] {
+                state.finished[r.task.index()] = Some((ProcId(p as u32), r.finish));
+            }
+        }
+    }
+    for t in 0..n {
+        if !finished[t] && primary_dead[t] && state.finished[t].is_none() {
+            state.skip[t] = true;
         }
     }
 
-    // Estimated availability of each alive processor, and estimated finish
-    // times: realized for finished work, committed for running work,
-    // estimated (expected durations) for re-planned work.
-    let mut free: Vec<f64> = (0..m)
-        .map(|p| {
-            if !avail.is_up(ProcId(p as u32)) {
-                f64::INFINITY
-            } else {
-                let busy = running[p].as_ref().map_or(0.0, |r| r.finish);
-                now.max(proc_free[p]).max(busy)
-            }
-        })
-        .collect();
-    let mut est_finish: Vec<f64> = (0..n)
-        .map(|t| if finished[t] { finish[t] } else { f64::NAN })
-        .collect();
-    for r in running.iter().flatten() {
-        if r.copy == CopyKind::Primary {
-            est_finish[r.task.index()] = r.finish;
+    let result = replan_partial(inst, order, &state).map_err(|e| match e {
+        ReplanError::NoAliveProcessor => {
+            ExecutionError::Internal("replan requires at least one alive processor")
         }
-    }
-    let mut est_place: Vec<ProcId> = placement.to_vec();
+        ReplanError::ShapeMismatch | ReplanError::InvalidPlacement(_) => {
+            ExecutionError::Internal("replan built an inconsistent frozen state")
+        }
+    })?;
 
     for q in queue.iter_mut() {
         q.clear();
     }
-    let mut moved = 0usize;
-    for &t in order {
-        let ti = t.index();
-        if finished[ti] || committed[ti] || primary_dead[ti] {
-            continue;
-        }
-        // Earliest estimated finish over alive processors; ties by id, the
-        // same comparison HEFT's placement loop uses.
-        let mut best: Option<(f64, ProcId)> = None;
-        for p in 0..m {
-            if !avail.is_up(ProcId(p as u32)) {
-                continue;
-            }
-            let mut est = free[p];
-            for e in inst.graph.predecessors(t) {
-                let arrive = est_finish[e.task.index()]
-                    + inst
-                        .platform
-                        .comm_time(e.data, est_place[e.task.index()], ProcId(p as u32));
-                if arrive > est {
-                    est = arrive;
-                }
-            }
-            let eft = est + inst.timing.expected(ti, ProcId(p as u32));
-            if best.is_none_or(|(beft, _)| eft < beft - 1e-12) {
-                best = Some((eft, ProcId(p as u32)));
-            }
-        }
-        let Some((eft, p)) = best else {
-            return Err(ExecutionError::Internal(
-                "replan requires at least one alive processor",
-            ));
-        };
-        queue[p.index()].push_back(t);
-        free[p.index()] = eft;
-        est_finish[ti] = eft;
-        est_place[ti] = p;
-        moved += 1;
+    for (p, list) in result.proc_tasks.iter().enumerate() {
+        queue[p].extend(list.iter().copied());
     }
-    Ok(moved)
+    Ok((result.replanned, result))
 }
 
 #[cfg(test)]

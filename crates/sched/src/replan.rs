@@ -1,0 +1,401 @@
+//! Shared partial-graph HEFT replanner.
+//!
+//! Re-plans the unfinished subgraph of an execution frozen mid-flight onto
+//! the surviving processors: tasks are visited in full-graph upward-rank
+//! order and placed by insertion-based earliest-finish-time, exactly
+//! HEFT's processor-selection mathematics (Topcuoglu et al. §III-C).
+//!
+//! This module is the *single* implementation behind both runtime
+//! replanning consumers:
+//!
+//! * [`crate::recovery`]'s migrate-and-replan policy and the sentinel's
+//!   overrun-triggered repairs call [`replan_partial`] directly;
+//! * `rds_heft::reschedule::heft_reschedule` (the public entry point one
+//!   crate up) delegates its core to [`replan_partial`] as well.
+//!
+//! Before this module existed the same rank + EFT pass was duplicated on
+//! both sides of the crate boundary and could drift silently; the
+//! cross-check test in `rds-heft` keeps the two call paths glued to this
+//! one implementation.
+
+use rds_graph::TaskId;
+use rds_platform::ProcId;
+
+use crate::instance::Instance;
+
+/// A frozen execution prefix to replan from.
+///
+/// The sibling of `rds_heft::reschedule::PartialState`, extended with a
+/// `skip` mask for tasks the replanner must leave alone without treating
+/// them as data sources (tasks carried solely by promoted replicas, whose
+/// completion time the planner cannot estimate).
+#[derive(Debug, Clone)]
+pub struct FrozenState {
+    /// Per-task completion: `Some((proc, finish_time))` for tasks already
+    /// finished or irrevocably committed, `None` for tasks to plan.
+    pub finished: Vec<Option<(ProcId, f64)>>,
+    /// Per-processor liveness; dead processors receive no new work.
+    pub alive: Vec<bool>,
+    /// Earliest time each alive processor can accept new work (ignored for
+    /// dead processors).
+    pub free_at: Vec<f64>,
+    /// Tasks to neither plan nor wait for: unfinished, but owned by an
+    /// out-of-band mechanism (e.g. a promoted replica). Their successors
+    /// are planned as if the skipped task's data were already available.
+    pub skip: Vec<bool>,
+}
+
+impl FrozenState {
+    /// The initial state: nothing finished or skipped, everything alive
+    /// and free at 0.
+    #[must_use]
+    pub fn fresh(tasks: usize, procs: usize) -> Self {
+        Self {
+            finished: vec![None; tasks],
+            alive: vec![true; procs],
+            free_at: vec![0.0; procs],
+            skip: vec![false; tasks],
+        }
+    }
+}
+
+/// Ways a partial replan can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplanError {
+    /// `alive`/`free_at`/`finished`/`skip` lengths disagree with the
+    /// instance.
+    ShapeMismatch,
+    /// No processor is alive.
+    NoAliveProcessor,
+    /// A finished task's placement names a processor outside the platform.
+    InvalidPlacement(TaskId),
+}
+
+impl std::fmt::Display for ReplanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ShapeMismatch => write!(f, "state dimensions disagree with the instance"),
+            Self::NoAliveProcessor => write!(f, "no processor is alive"),
+            Self::InvalidPlacement(t) => write!(f, "finished task {t} placed off-platform"),
+        }
+    }
+}
+
+impl std::error::Error for ReplanError {}
+
+/// Result of a partial replan.
+#[derive(Debug, Clone)]
+pub struct ReplanResult {
+    /// Newly planned tasks per processor, in their planned start order
+    /// (finished tasks are *not* included — callers that need the combined
+    /// schedule prepend the realized prefix themselves).
+    pub proc_tasks: Vec<Vec<TaskId>>,
+    /// Per-task planned start estimates (NaN for finished and skipped
+    /// tasks).
+    pub est_start: Vec<f64>,
+    /// Per-task finish estimates: realized values for finished tasks,
+    /// expected-duration EFT estimates for re-planned ones, NaN for
+    /// skipped ones.
+    pub est_finish: Vec<f64>,
+    /// Placement after the replan: original processors for finished tasks,
+    /// new ones for re-planned tasks (unchanged for skipped tasks).
+    pub placement: Vec<ProcId>,
+    /// Number of tasks that were re-planned.
+    pub replanned: usize,
+    /// Estimated overall makespan (max over finite `est_finish`).
+    pub est_makespan: f64,
+}
+
+/// Tasks in decreasing expected-time upward-rank order — HEFT's priority,
+/// identical to `rds_heft::ranks::rank_order` and the prioritization
+/// `dynamic.rs` uses (ties broken by ascending id).
+#[must_use]
+pub fn rank_order(inst: &Instance) -> Vec<TaskId> {
+    let ranks = rds_graph::paths::bottom_levels(
+        &inst.graph,
+        |t: TaskId| inst.timing.mean_expected(t.index()),
+        |_, _, data| inst.platform.mean_comm_time(data),
+    );
+    let mut order: Vec<TaskId> = inst.graph.tasks().collect();
+    order.sort_by(|a, b| {
+        ranks[b.index()]
+            .total_cmp(&ranks[a.index()])
+            .then_with(|| a.cmp(b))
+    });
+    order
+}
+
+/// One busy interval on a processor timeline (mirror of
+/// `rds_heft::timeline::Slot`; `rds-heft` sits above this crate, so the
+/// insertion logic is restated here and pinned to the original by the
+/// fresh-state-reproduces-HEFT tests).
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    start: f64,
+    finish: f64,
+    task: TaskId,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Timeline {
+    slots: Vec<Slot>,
+}
+
+impl Timeline {
+    /// Earliest start `≥ ready` for a task of length `duration`,
+    /// considering idle gaps between committed intervals.
+    fn earliest_start(&self, ready: f64, duration: f64) -> f64 {
+        let mut prev_finish = 0.0_f64;
+        for s in &self.slots {
+            let candidate = ready.max(prev_finish);
+            if candidate + duration <= s.start {
+                return candidate;
+            }
+            prev_finish = prev_finish.max(s.finish);
+        }
+        ready.max(prev_finish)
+    }
+
+    fn commit(&mut self, start: f64, duration: f64, task: TaskId) {
+        let finish = start + duration;
+        let idx = self.slots.partition_point(|s| s.start < start);
+        debug_assert!(
+            idx == 0 || self.slots[idx - 1].finish <= start + 1e-9,
+            "overlap with previous slot"
+        );
+        debug_assert!(
+            idx == self.slots.len() || finish <= self.slots[idx].start + 1e-9,
+            "overlap with next slot"
+        );
+        self.slots.insert(
+            idx,
+            Slot {
+                start,
+                finish,
+                task,
+            },
+        );
+    }
+}
+
+/// Re-plans every unfinished, unskipped task of `inst` onto the alive
+/// processors of `state` by insertion-based earliest finish time.
+///
+/// `order` must be a priority order of the **full** graph that visits
+/// predecessors before successors (use [`rank_order`]); finished and
+/// skipped tasks in it are passed over. Ready times floor at the
+/// processor's `free_at` and rise with data arrivals from each
+/// predecessor's frozen or estimated finish (data on a dead processor is
+/// still consumable — the fault model assumes storage outlives compute).
+/// Predecessors that are skipped contribute no arrival constraint.
+///
+/// # Errors
+/// Returns a [`ReplanError`] on dimension mismatches, when every processor
+/// is dead, or when a finished task's placement is off-platform.
+pub fn replan_partial(
+    inst: &Instance,
+    order: &[TaskId],
+    state: &FrozenState,
+) -> Result<ReplanResult, ReplanError> {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    if state.finished.len() != n
+        || state.alive.len() != m
+        || state.free_at.len() != m
+        || state.skip.len() != n
+    {
+        return Err(ReplanError::ShapeMismatch);
+    }
+    if !state.alive.iter().any(|&a| a) {
+        return Err(ReplanError::NoAliveProcessor);
+    }
+    for (t, f) in state.finished.iter().enumerate() {
+        if let Some((p, _)) = f {
+            if p.index() >= m {
+                return Err(ReplanError::InvalidPlacement(TaskId(t as u32)));
+            }
+        }
+    }
+
+    let mut timelines: Vec<Timeline> = vec![Timeline::default(); m];
+    let mut est_start: Vec<f64> = vec![f64::NAN; n];
+    let mut est_finish: Vec<f64> = (0..n)
+        .map(|t| state.finished[t].map_or(f64::NAN, |(_, f)| f))
+        .collect();
+    let mut placement: Vec<ProcId> = (0..n)
+        .map(|t| state.finished[t].map_or(ProcId(0), |(p, _)| p))
+        .collect();
+    let mut replanned = 0usize;
+
+    for &t in order {
+        let ti = t.index();
+        if state.finished[ti].is_some() || state.skip[ti] {
+            continue;
+        }
+        let mut best: Option<(f64, f64, ProcId)> = None; // (eft, est, proc)
+        for p in inst.platform.procs() {
+            if !state.alive[p.index()] {
+                continue;
+            }
+            let mut ready = state.free_at[p.index()];
+            for e in inst.graph.predecessors(t) {
+                let q = e.task;
+                debug_assert!(
+                    !est_finish[q.index()].is_nan() || state.skip[q.index()],
+                    "rank order visits predecessors first"
+                );
+                let arrive = est_finish[q.index()]
+                    + inst.platform.comm_time(e.data, placement[q.index()], p);
+                // A NaN arrival (skipped predecessor) imposes no
+                // constraint: the comparison is false by IEEE semantics.
+                if arrive > ready {
+                    ready = arrive;
+                }
+            }
+            let dur = inst.timing.expected(ti, p);
+            let est = timelines[p.index()].earliest_start(ready, dur);
+            let eft = est + dur;
+            // Same comparison as HEFT's `schedule_by_priority_list`, so a
+            // fresh state reproduces plain HEFT exactly.
+            let better = match best {
+                None => true,
+                Some((beft, _, bp)) => {
+                    eft < beft - 1e-12 || (eft <= beft + 1e-12 && p < bp && eft < beft + 1e-12)
+                }
+            };
+            if better {
+                best = Some((eft, est, p));
+            }
+        }
+        let Some((eft, est, p)) = best else {
+            return Err(ReplanError::NoAliveProcessor);
+        };
+        timelines[p.index()].commit(est, eft - est, t);
+        est_start[ti] = est;
+        est_finish[ti] = eft;
+        placement[ti] = p;
+        replanned += 1;
+    }
+
+    let proc_tasks: Vec<Vec<TaskId>> = timelines
+        .iter()
+        .map(|tl| tl.slots.iter().map(|s| s.task).collect())
+        .collect();
+    // NaN-safe fold: `max` keeps the accumulator when the operand is NaN.
+    let est_makespan = est_finish.iter().copied().fold(0.0f64, f64::max);
+    Ok(ReplanResult {
+        proc_tasks,
+        est_start,
+        est_finish,
+        placement,
+        replanned,
+        est_makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+
+    fn inst(seed: u64) -> Instance {
+        InstanceSpec::new(30, 4)
+            .seed(seed)
+            .uncertainty_level(3.0)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fresh_state_plans_every_task() {
+        let i = inst(3);
+        let order = rank_order(&i);
+        let state = FrozenState::fresh(i.task_count(), i.proc_count());
+        let r = replan_partial(&i, &order, &state).unwrap();
+        assert_eq!(r.replanned, i.task_count());
+        assert!(r.est_makespan > 0.0);
+        let planned: usize = r.proc_tasks.iter().map(Vec::len).sum();
+        assert_eq!(planned, i.task_count());
+        for t in 0..i.task_count() {
+            assert!(!r.est_finish[t].is_nan());
+            assert!(r.est_start[t] <= r.est_finish[t]);
+        }
+    }
+
+    #[test]
+    fn dead_processor_receives_no_work() {
+        let i = inst(5);
+        let order = rank_order(&i);
+        let mut state = FrozenState::fresh(i.task_count(), i.proc_count());
+        state.alive[1] = false;
+        state.free_at = vec![2.0; i.proc_count()];
+        let r = replan_partial(&i, &order, &state).unwrap();
+        assert!(r.proc_tasks[1].is_empty());
+        for t in 0..i.task_count() {
+            assert_ne!(r.placement[t], ProcId(1));
+            assert!(r.est_start[t] >= 2.0);
+        }
+    }
+
+    #[test]
+    fn skipped_tasks_are_not_planned_and_block_nothing() {
+        let i = inst(7);
+        let order = rank_order(&i);
+        let mut state = FrozenState::fresh(i.task_count(), i.proc_count());
+        // Skip an entry task: its successors must still be planned.
+        let entry = i.graph.entries()[0];
+        state.skip[entry.index()] = true;
+        let r = replan_partial(&i, &order, &state).unwrap();
+        assert_eq!(r.replanned, i.task_count() - 1);
+        assert!(r.est_finish[entry.index()].is_nan());
+        for e in i.graph.successors(entry) {
+            assert!(!r.est_finish[e.task.index()].is_nan());
+        }
+    }
+
+    #[test]
+    fn shape_and_liveness_errors() {
+        let i = inst(1);
+        let order = rank_order(&i);
+        let mut dead = FrozenState::fresh(i.task_count(), i.proc_count());
+        dead.alive = vec![false; i.proc_count()];
+        assert_eq!(
+            replan_partial(&i, &order, &dead).unwrap_err(),
+            ReplanError::NoAliveProcessor
+        );
+        let wrong = FrozenState::fresh(i.task_count() + 1, i.proc_count());
+        assert_eq!(
+            replan_partial(&i, &order, &wrong).unwrap_err(),
+            ReplanError::ShapeMismatch
+        );
+        let mut bad = FrozenState::fresh(i.task_count(), i.proc_count());
+        bad.finished[0] = Some((ProcId(99), 1.0));
+        assert_eq!(
+            replan_partial(&i, &order, &bad).unwrap_err(),
+            ReplanError::InvalidPlacement(TaskId(0))
+        );
+    }
+
+    #[test]
+    fn finished_prefix_is_respected() {
+        let i = inst(9);
+        let order = rank_order(&i);
+        let mut state = FrozenState::fresh(i.task_count(), i.proc_count());
+        // Freeze the entries as finished at t=10 on processor 0.
+        for t in i.graph.entries() {
+            state.finished[t.index()] = Some((ProcId(0), 10.0));
+        }
+        state.free_at = vec![10.0; i.proc_count()];
+        let r = replan_partial(&i, &order, &state).unwrap();
+        for t in i.graph.entries() {
+            assert_eq!(r.est_finish[t.index()], 10.0);
+            assert_eq!(r.placement[t.index()], ProcId(0));
+            assert!(!r.proc_tasks.iter().any(|l| l.contains(&t)));
+        }
+        for t in 0..i.task_count() {
+            if state.finished[t].is_none() {
+                assert!(r.est_start[t] >= 10.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,495 @@
+//! Slack-sentinel adaptive execution.
+//!
+//! The paper's slack theory (Def. 3.3, Theorem 3.4 / Corollary 3.5) bounds
+//! how much each task may overrun before the makespan degrades: any set of
+//! pairwise-independent overruns strictly below the per-task slacks σ_i
+//! leaves the realized makespan at M₀. The static layers exploit this
+//! offline (the GA's robustness surrogate, `slack::analyze`); this module
+//! makes it *operational at runtime*.
+//!
+//! [`execute_adaptive`] runs the replicated fault executor of
+//! [`crate::recovery`] with a **sentinel** attached: a per-task slack
+//! account seeded from the disjunctive-graph analysis (planned finish
+//! `Tl(i) + w_i` and slack σ_i), settled whenever a task completes. A task
+//! finishing more than `trigger_fraction · σ_i` past its planned finish
+//! *fires* the sentinel, which responds with exactly one escalation step
+//! per firing:
+//!
+//! 1. **Bounded replan** — the unstarted subgraph is re-planned over the
+//!    live processors through the shared partial-graph HEFT pass in
+//!    [`crate::replan`], and every slack account is recomputed from the
+//!    repaired plan. A cooldown (fraction of M₀ between replans) and a
+//!    `max_replans` budget guarantee overrun storms cannot thrash.
+//! 2. **Speculation** — once replans are exhausted (or cooling down) and
+//!    the projected makespan threatens the deadline, the pending replicas
+//!    of the most critical (minimum-slack) unfinished task are *armed*.
+//!    Planned replicas are otherwise held back under the sentinel, so
+//!    speculation spends the replication budget only when slack is
+//!    actually burning.
+//! 3. **Graceful degradation** — against the ε-deadline `ε · M₀`: unarmed
+//!    pending replicas are cancelled and every droppable task marked
+//!    `optional` in the DAG is shed, recording a degradation level
+//!    (dropped weight) instead of a deadline miss.
+//!
+//! **Quiet runs are bit-identical to the non-sentinel executor**: while no
+//! firing occurs the sentinel only *observes* — it never touches dispatch
+//! order, durations or data routing — so a run whose overruns all stay
+//! below the trigger threshold produces exactly the [`FaultRun`] that
+//! [`crate::recovery::execute_with_faults`] produces (this is tested
+//! bit-for-bit in `tests/sentinel_invariants.rs`).
+
+use rds_stats::matrix::Matrix;
+
+use crate::faults::{FaultScenario, ReplicaDraws};
+use crate::instance::Instance;
+use crate::recovery::{execute_inner, ExecutionError, FaultRun, RecoveryConfig};
+use crate::replan::ReplanResult;
+use crate::replication::ReplicaPlan;
+use crate::schedule::Schedule;
+use crate::slack::SlackAnalysis;
+use crate::timing;
+
+/// Sentinel tuning: when to fire and how far each escalation may go.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SentinelConfig {
+    /// Fraction of a task's slack account that may be consumed before the
+    /// sentinel fires, in `[0, ∞)`. Lower is more nervous; `1.0` fires
+    /// only on overruns that Corollary 3.5 no longer absorbs.
+    pub trigger_fraction: f64,
+    /// Minimum spacing between sentinel-initiated replans, as a fraction
+    /// of the nominal makespan M₀ (hysteresis against thrashing).
+    pub cooldown: f64,
+    /// Maximum sentinel-initiated replans per run (failure-forced replans
+    /// are not counted — they are mandatory, not elective).
+    pub max_replans: usize,
+    /// Maximum speculation armings per run.
+    pub max_speculations: usize,
+    /// Deadline factor: the run's deadline is `epsilon · M₀` (ε ≥ 1).
+    pub epsilon: f64,
+}
+
+impl Default for SentinelConfig {
+    fn default() -> Self {
+        Self {
+            trigger_fraction: 0.3,
+            cooldown: 0.05,
+            max_replans: 3,
+            max_speculations: 4,
+            epsilon: 1.2,
+        }
+    }
+}
+
+impl SentinelConfig {
+    /// This config with a different deadline factor.
+    #[must_use]
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// This config with a different trigger fraction.
+    #[must_use]
+    pub fn with_trigger(mut self, trigger_fraction: f64) -> Self {
+        self.trigger_fraction = trigger_fraction;
+        self
+    }
+
+    /// This config with a different replan budget.
+    #[must_use]
+    pub fn with_max_replans(mut self, max_replans: usize) -> Self {
+        self.max_replans = max_replans;
+        self
+    }
+
+    fn validate(&self) -> Result<(), ExecutionError> {
+        let ok = self.trigger_fraction >= 0.0
+            && self.trigger_fraction.is_finite()
+            && self.cooldown >= 0.0
+            && self.cooldown.is_finite()
+            && self.epsilon >= 1.0
+            && self.epsilon.is_finite();
+        if ok {
+            Ok(())
+        } else {
+            Err(ExecutionError::Internal(
+                "sentinel config requires finite trigger/cooldown >= 0 and epsilon >= 1",
+            ))
+        }
+    }
+}
+
+/// Live sentinel bookkeeping, threaded through the executor's event loop.
+#[derive(Debug, Clone)]
+pub(crate) struct SentinelState {
+    /// Planned finish of each task under the current plan (realized values
+    /// for work frozen by a repair).
+    pub(crate) account_pf: Vec<f64>,
+    /// Remaining slack account σ_i of each task under the current plan.
+    pub(crate) account_slack: Vec<f64>,
+    /// Nominal makespan M₀ of the original plan.
+    pub(crate) m0: f64,
+    /// The ε-deadline `epsilon · m0`.
+    pub(crate) deadline: f64,
+    /// Absolute floating-point guard added to the trigger threshold, so
+    /// bit-level rounding of an on-time finish can never fire.
+    pub(crate) eps_abs: f64,
+    /// Time of the last sentinel-initiated replan (−∞ before the first).
+    pub(crate) last_replan_at: f64,
+    /// Sentinel-initiated replans so far.
+    pub(crate) replans_used: usize,
+    /// Speculation armings so far.
+    pub(crate) speculations_used: usize,
+    /// Tasks whose planned replicas are cleared to dispatch.
+    pub(crate) armed: Vec<bool>,
+    /// Whether graceful degradation has been taken (one-shot).
+    pub(crate) degraded: bool,
+}
+
+impl SentinelState {
+    fn new(analysis: &SlackAnalysis, expected: &[f64], cfg: &SentinelConfig) -> Self {
+        let n = expected.len();
+        let account_pf: Vec<f64> = (0..n).map(|t| analysis.top_level[t] + expected[t]).collect();
+        Self {
+            account_pf,
+            account_slack: analysis.slack.clone(),
+            m0: analysis.makespan,
+            deadline: cfg.epsilon * analysis.makespan,
+            eps_abs: 1e-9 * analysis.makespan,
+            last_replan_at: f64::NEG_INFINITY,
+            replans_used: 0,
+            speculations_used: 0,
+            armed: vec![false; n],
+            degraded: false,
+        }
+    }
+
+    /// Minimum slack account over unfinished tasks (0 when none remain).
+    pub(crate) fn min_unfinished_slack(&self, finished: &[bool]) -> f64 {
+        let min = self
+            .account_slack
+            .iter()
+            .zip(finished)
+            .filter(|&(_, &f)| !f)
+            .map(|(&s, _)| s)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            min
+        } else {
+            0.0
+        }
+    }
+
+    /// Pessimistic makespan projection after an overrun of `lateness`: the
+    /// latest planned finish over the unfinished subgraph, pushed out by
+    /// the full observed lateness (as if no downstream slack absorbs it).
+    pub(crate) fn projected(&self, lateness: f64, finished: &[bool]) -> f64 {
+        let horizon = self
+            .account_pf
+            .iter()
+            .zip(finished)
+            .filter(|&(pf, &f)| !f && pf.is_finite())
+            .map(|(&pf, _)| pf)
+            .fold(0.0f64, f64::max);
+        horizon + lateness.max(0.0)
+    }
+
+    /// Re-seeds the accounts from a repair's [`ReplanResult`]: planned
+    /// finishes become the repaired estimates, and slacks are recomputed
+    /// for the re-planned subgraph by a backward latest-allowed-finish
+    /// pass anchored at the repaired makespan estimate (the disjunctive
+    /// graph of the new partial plan: DAG edges plus per-processor
+    /// successor chains).
+    pub(crate) fn rebuild_accounts(&mut self, inst: &Instance, result: &ReplanResult) {
+        let n = self.account_pf.len();
+        for t in 0..n {
+            if result.est_finish[t].is_finite() {
+                self.account_pf[t] = result.est_finish[t];
+            }
+        }
+
+        // Per-processor successor chains of the re-planned tasks.
+        let mut proc_succ: Vec<Option<rds_graph::TaskId>> = vec![None; n];
+        for list in &result.proc_tasks {
+            for w in list.windows(2) {
+                proc_succ[w[0].index()] = Some(w[1]);
+            }
+        }
+        let anchor = result.est_makespan;
+        // Latest allowed finish, computed in decreasing planned-start
+        // order: on a processor the successor starts later, and across a
+        // DAG edge the successor starts no earlier than the predecessor's
+        // estimated finish, so every constraint is resolved before use.
+        let mut replanned: Vec<rds_graph::TaskId> = inst
+            .graph
+            .tasks()
+            .filter(|t| result.est_start[t.index()].is_finite())
+            .collect();
+        replanned.sort_by(|a, b| {
+            result.est_start[b.index()]
+                .total_cmp(&result.est_start[a.index()])
+                .then_with(|| b.cmp(a))
+        });
+        let mut latest = vec![f64::NAN; n];
+        for &t in &replanned {
+            let ti = t.index();
+            let mut l = anchor;
+            for e in inst.graph.successors(t) {
+                let si = e.task.index();
+                if !latest[si].is_finite() {
+                    continue; // finished, skipped or dropped successor
+                }
+                let dur = result.est_finish[si] - result.est_start[si];
+                let comm =
+                    inst.platform
+                        .comm_time(e.data, result.placement[ti], result.placement[si]);
+                l = l.min(latest[si] - dur - comm);
+            }
+            if let Some(s) = proc_succ[ti] {
+                let si = s.index();
+                if latest[si].is_finite() {
+                    let dur = result.est_finish[si] - result.est_start[si];
+                    l = l.min(latest[si] - dur);
+                }
+            }
+            latest[ti] = l;
+            self.account_slack[ti] = (l - result.est_finish[ti]).max(0.0);
+        }
+    }
+}
+
+/// Executes `plan` through `scenario` with the slack sentinel attached.
+///
+/// `analysis` must be the expected-duration slack analysis of `plan` on
+/// `inst` (e.g. [`crate::slack::analyze_expected`]); its makespan defines
+/// M₀ and the ε-deadline. `replicas`/`draws` follow the semantics of
+/// [`crate::recovery::execute_replicated`], except that pending replicas
+/// only dispatch once armed by speculation (or promoted after losing their
+/// primary).
+///
+/// # Errors
+/// Returns [`ExecutionError`] on shape mismatches, an invalid sentinel or
+/// checkpoint config, or a broken executor invariant.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_adaptive(
+    inst: &Instance,
+    plan: &Schedule,
+    durations: &Matrix,
+    scenario: &FaultScenario,
+    cfg: &RecoveryConfig,
+    replicas: &ReplicaPlan,
+    draws: &ReplicaDraws,
+    analysis: &SlackAnalysis,
+    sentinel: &SentinelConfig,
+) -> Result<FaultRun, ExecutionError> {
+    sentinel.validate()?;
+    let expected = timing::expected_durations(&inst.timing, plan);
+    if expected.len() != inst.task_count() || analysis.slack.len() != inst.task_count() {
+        return Err(ExecutionError::Internal(
+            "slack analysis does not match the instance",
+        ));
+    }
+    let mut state = SentinelState::new(analysis, &expected, sentinel);
+    execute_inner(
+        inst,
+        plan,
+        durations,
+        scenario,
+        cfg,
+        replicas,
+        draws,
+        Some((sentinel, &mut state)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceSpec;
+    use crate::recovery::execute_with_faults;
+    use crate::slack;
+
+    fn setup(seed: u64) -> (Instance, Schedule) {
+        let inst = InstanceSpec::new(40, 4)
+            .seed(seed)
+            .uncertainty_level(3.0)
+            .build()
+            .unwrap();
+        let heft = rds_heft_like_schedule(&inst);
+        (inst, heft)
+    }
+
+    /// A deterministic list schedule without depending on `rds-heft`
+    /// (which sits above this crate): rank order, earliest-finish
+    /// append-only placement.
+    fn rds_heft_like_schedule(inst: &Instance) -> Schedule {
+        let order = crate::replan::rank_order(inst);
+        let state = crate::replan::FrozenState::fresh(inst.task_count(), inst.proc_count());
+        let r = crate::replan::replan_partial(inst, &order, &state).unwrap();
+        Schedule::from_proc_lists(inst.task_count(), r.proc_tasks).unwrap()
+    }
+
+    #[test]
+    fn quiet_run_matches_plain_executor_bit_for_bit() {
+        for seed in 0..4u64 {
+            let (inst, plan) = setup(seed);
+            let analysis = slack::analyze_expected(&inst, &plan).unwrap();
+            // Nominal durations: nothing overruns (critical tasks have zero
+            // slack, so *any* overrun beyond FP noise would fire).
+            let durations = Matrix::from_fn(inst.task_count(), inst.proc_count(), |t, p| {
+                inst.timing.expected(t, rds_platform::ProcId(p as u32))
+            });
+            let scenario = FaultScenario::default();
+            let cfg = RecoveryConfig::default();
+            let adaptive = execute_adaptive(
+                &inst,
+                &plan,
+                &durations,
+                &scenario,
+                &cfg,
+                &ReplicaPlan::empty(inst.task_count()),
+                &ReplicaDraws::empty(),
+                &analysis,
+                &SentinelConfig::default(),
+            )
+            .unwrap();
+            let plain = execute_with_faults(&inst, &plan, &durations, &scenario, &cfg).unwrap();
+            assert_eq!(adaptive.outcome, plain.outcome);
+            assert_eq!(adaptive.events, plain.events);
+            for t in 0..inst.task_count() {
+                assert_eq!(adaptive.start[t].to_bits(), plain.start[t].to_bits());
+                assert_eq!(adaptive.finish[t].to_bits(), plain.finish[t].to_bits());
+            }
+            assert_eq!(adaptive.schedule, plain.schedule);
+            assert_eq!(adaptive.stats.sentinel_fires, 0);
+        }
+    }
+
+    #[test]
+    fn overrun_fires_and_replans_within_budget() {
+        let (inst, plan) = setup(11);
+        let analysis = slack::analyze_expected(&inst, &plan).unwrap();
+        // Inflate every realized duration 3x: every completion overruns.
+        let durations = Matrix::from_fn(inst.task_count(), inst.proc_count(), |t, p| {
+            3.0 * inst.timing.expected(t, rds_platform::ProcId(p as u32))
+        });
+        let scfg = SentinelConfig {
+            trigger_fraction: 0.1,
+            cooldown: 0.01,
+            max_replans: 2,
+            ..SentinelConfig::default()
+        };
+        let run = execute_adaptive(
+            &inst,
+            &plan,
+            &durations,
+            &FaultScenario::default(),
+            &RecoveryConfig::default(),
+            &ReplicaPlan::empty(inst.task_count()),
+            &ReplicaDraws::empty(),
+            &analysis,
+            &scfg,
+        )
+        .unwrap();
+        assert!(matches!(run.outcome, crate::recovery::Outcome::Completed { .. }));
+        assert!(run.stats.sentinel_fires > 0, "uniform 3x overrun must fire");
+        assert!(run.stats.sentinel_replans >= 1);
+        assert!(run.stats.sentinel_replans <= scfg.max_replans);
+    }
+
+    #[test]
+    fn degradation_drops_optional_tasks_instead_of_missing() {
+        let (mut inst, plan) = setup(23);
+        // Mark every exit-side task optional (reverse topological order
+        // keeps the successor-closure invariant).
+        let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+        let mut marked = 0usize;
+        for &t in order.iter().rev() {
+            if marked >= inst.task_count() / 4 {
+                break;
+            }
+            if inst.graph.mark_optional(t) {
+                marked += 1;
+            }
+        }
+        assert!(marked > 0);
+        let analysis = slack::analyze_expected(&inst, &plan).unwrap();
+        let durations = Matrix::from_fn(inst.task_count(), inst.proc_count(), |t, p| {
+            4.0 * inst.timing.expected(t, rds_platform::ProcId(p as u32))
+        });
+        let scfg = SentinelConfig {
+            trigger_fraction: 0.05,
+            cooldown: 0.01,
+            max_replans: 0, // jump straight to deadline defence
+            max_speculations: 0,
+            epsilon: 1.2,
+        };
+        let run = execute_adaptive(
+            &inst,
+            &plan,
+            &durations,
+            &FaultScenario::default(),
+            &RecoveryConfig::default(),
+            &ReplicaPlan::empty(inst.task_count()),
+            &ReplicaDraws::empty(),
+            &analysis,
+            &scfg,
+        )
+        .unwrap();
+        assert!(matches!(run.outcome, crate::recovery::Outcome::Completed { .. }));
+        assert!(run.stats.dropped_tasks > 0, "4x overruns must degrade");
+        assert!(run.stats.dropped_weight > 0.0);
+        assert!(run.schedule.is_none(), "degraded runs have no full schedule");
+        assert!(run
+            .events
+            .iter()
+            .any(|e| matches!(e, crate::recovery::RecoveryEvent::TaskDropped { .. })));
+        // Dropped tasks never ran.
+        for t in 0..inst.task_count() {
+            if run.finish[t].is_nan() {
+                assert!(inst.graph.is_optional(rds_graph::TaskId(t as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn speculation_arms_replicas_under_pressure() {
+        let (inst, plan) = setup(31);
+        let analysis = slack::analyze_expected(&inst, &plan).unwrap();
+        let rcfg = crate::replication::ReplicationConfig {
+            budget: 0.5,
+            ..crate::replication::ReplicationConfig::default()
+        };
+        let replicas = crate::replication::plan_replicas(&inst, &plan, &rcfg).unwrap();
+        if replicas.count() == 0 {
+            return; // nothing to speculate with on this instance
+        }
+        let draws = ReplicaDraws::nominal(&replicas, &inst.timing);
+        let durations = Matrix::from_fn(inst.task_count(), inst.proc_count(), |t, p| {
+            3.0 * inst.timing.expected(t, rds_platform::ProcId(p as u32))
+        });
+        let scfg = SentinelConfig {
+            trigger_fraction: 0.05,
+            cooldown: 0.01,
+            max_replans: 0,
+            max_speculations: 3,
+            epsilon: 1.1,
+        };
+        let run = execute_adaptive(
+            &inst,
+            &plan,
+            &durations,
+            &FaultScenario::default(),
+            &RecoveryConfig::default(),
+            &replicas,
+            &draws,
+            &analysis,
+            &scfg,
+        )
+        .unwrap();
+        assert!(run.stats.speculations > 0, "pressure must trigger arming");
+        assert!(run.stats.speculations <= scfg.max_speculations);
+        // Replica starts only happen after arming under the sentinel.
+        assert!(run.stats.replica_starts <= replicas.count());
+    }
+}

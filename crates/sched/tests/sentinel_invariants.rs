@@ -1,0 +1,222 @@
+//! Property-based verification of the sentinel executor's contracts:
+//!
+//! * **slack absorbs independent overruns silently** — perturbing a
+//!   pairwise-independent set of tasks (an antichain of the disjunctive
+//!   graph, Corollary 3.5's hypothesis), each by strictly less than its
+//!   own slack, never extends the realized makespan beyond `M₀` and never
+//!   fires the sentinel at `trigger_fraction = 1.0`;
+//! * **a quiet run is bit-identical to the non-sentinel executor** — with
+//!   the sentinel attached but silent (nominal durations, quiet
+//!   scenario), outcome, per-task times, events, and schedule all match
+//!   [`execute_with_faults`] exactly;
+//! * **the replan budget binds in every realization** — under the full
+//!   fault model, sentinel-initiated replans never exceed
+//!   `max_replans`, and speculation never exceeds `max_speculations`.
+
+use proptest::prelude::*;
+
+use rand::Rng as _;
+use rds_platform::ProcId;
+use rds_sched::disjunctive::DisjunctiveGraph;
+use rds_sched::faults::{FaultConfig, FaultScenario, ReplicaDraws};
+use rds_sched::realization::sample_realized_matrix;
+use rds_sched::recovery::{execute_with_faults, RecoveryConfig, RecoveryPolicy};
+use rds_sched::replication::ReplicaPlan;
+use rds_sched::sentinel::{execute_adaptive, SentinelConfig};
+use rds_sched::{slack, Instance, InstanceSpec, Schedule};
+use rds_stats::matrix::Matrix;
+use rds_stats::rng::rng_from_seed;
+
+/// Builds a random instance plus a random valid schedule for it.
+fn setup(seed: u64, tasks: usize, procs: usize) -> (Instance, Schedule) {
+    let inst = InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .uncertainty_level(4.0)
+        .build()
+        .unwrap();
+    let order = rds_graph::topo::topological_order(&inst.graph).unwrap();
+    let mut rng = rng_from_seed(seed ^ 0x7E91);
+    let assignment: Vec<ProcId> = (0..tasks)
+        .map(|_| ProcId(rng.gen_range(0..procs) as u32))
+        .collect();
+    let s = Schedule::from_order_and_assignment(&order, &assignment, procs).unwrap();
+    (inst, s)
+}
+
+/// Full `n × m` matrix of expected durations.
+fn expected_matrix(inst: &Instance) -> Matrix {
+    Matrix::from_fn(inst.task_count(), inst.proc_count(), |t, p| {
+        inst.timing.expected(t, ProcId(p as u32))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Corollary 3.5, executed: overruns on a pairwise-independent task
+    /// set, each strictly below the task's own slack, leave the realized
+    /// makespan at `M₀` — and the sentinel (watching at
+    /// `trigger_fraction = 1.0`) has nothing to say about them.
+    #[test]
+    fn independent_overruns_below_slack_stay_silent(
+        seed in 0u64..400,
+        tasks in 8usize..30,
+        procs in 2usize..5,
+        frac in 0.1f64..0.5,
+    ) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let analysis = slack::analyze_expected(&inst, &s).unwrap();
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+
+        // Greedy antichain of slack-rich tasks in the disjunctive graph.
+        let mut chosen: Vec<usize> = Vec::new();
+        for t in 0..tasks {
+            if analysis.slack[t] > 1e-6
+                && chosen.iter().all(|&c| {
+                    ds.are_independent(
+                        rds_graph::TaskId(t as u32),
+                        rds_graph::TaskId(c as u32),
+                    )
+                })
+            {
+                chosen.push(t);
+            }
+        }
+
+        // Overrun each chosen task by `frac` (< 1) of its slack.
+        let mut durations = expected_matrix(&inst);
+        for &t in &chosen {
+            let pi = s.proc_of(rds_graph::TaskId(t as u32)).index();
+            let base = durations.get(t, pi).unwrap();
+            durations.set(t, pi, base + frac * analysis.slack[t]);
+        }
+
+        let run = execute_adaptive(
+            &inst,
+            &s,
+            &durations,
+            &FaultScenario::default(),
+            &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
+            &ReplicaPlan::empty(tasks),
+            &ReplicaDraws::default(),
+            &analysis,
+            &SentinelConfig::default().with_trigger(1.0),
+        )
+        .unwrap();
+        let realized = run.outcome.makespan().expect("quiet scenario completes");
+        prop_assert!(
+            realized <= analysis.makespan * (1.0 + 1e-9),
+            "{} independent sub-slack overruns extended M0: {realized} > {}",
+            chosen.len(),
+            analysis.makespan
+        );
+        prop_assert_eq!(
+            run.stats.sentinel_fires, 0,
+            "sentinel fired on slack-absorbed overruns"
+        );
+        prop_assert_eq!(run.stats.sentinel_replans, 0);
+        prop_assert_eq!(run.stats.dropped_tasks, 0);
+    }
+
+    /// With the sentinel attached but silent — nominal durations, no
+    /// faults — the adaptive executor is bit-identical to
+    /// [`execute_with_faults`]: same outcome, same per-task times, same
+    /// events, same realized schedule.
+    #[test]
+    fn quiet_adaptive_run_is_bit_identical_to_plain_executor(
+        seed in 0u64..400,
+        tasks in 5usize..30,
+        procs in 2usize..6,
+    ) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let analysis = slack::analyze_expected(&inst, &s).unwrap();
+        let durations = expected_matrix(&inst);
+        let recovery = RecoveryConfig::new(RecoveryPolicy::MigrateReplan);
+
+        let plain = execute_with_faults(
+            &inst, &s, &durations, &FaultScenario::default(), &recovery,
+        )
+        .unwrap();
+        let adaptive = execute_adaptive(
+            &inst,
+            &s,
+            &durations,
+            &FaultScenario::default(),
+            &recovery,
+            &ReplicaPlan::empty(tasks),
+            &ReplicaDraws::default(),
+            &analysis,
+            &SentinelConfig::default(),
+        )
+        .unwrap();
+
+        prop_assert_eq!(
+            adaptive.outcome.makespan().unwrap().to_bits(),
+            plain.outcome.makespan().unwrap().to_bits()
+        );
+        for t in 0..tasks {
+            prop_assert_eq!(adaptive.start[t].to_bits(), plain.start[t].to_bits(), "start {t}");
+            prop_assert_eq!(adaptive.finish[t].to_bits(), plain.finish[t].to_bits(), "finish {t}");
+        }
+        prop_assert_eq!(adaptive.events.len(), plain.events.len());
+        prop_assert_eq!(adaptive.schedule.as_ref(), plain.schedule.as_ref());
+        prop_assert_eq!(adaptive.stats.sentinel_fires, 0);
+        prop_assert_eq!(adaptive.stats.speculations, 0);
+        prop_assert_eq!(adaptive.stats.dropped_tasks, 0);
+    }
+
+    /// The escalation budgets bind in every realization, under the full
+    /// fault model (failures, slowdowns, stragglers, crashes) and
+    /// realized durations: sentinel replans ≤ `max_replans`, speculations
+    /// ≤ `max_speculations`.
+    #[test]
+    fn escalation_budgets_bind_under_full_fault_model(
+        seed in 0u64..400,
+        tasks in 8usize..30,
+        procs in 2usize..6,
+        max_replans in 0usize..4,
+        max_speculations in 0usize..4,
+    ) {
+        let (inst, s) = setup(seed, tasks, procs);
+        let analysis = slack::analyze_expected(&inst, &s).unwrap();
+        let durations = sample_realized_matrix(&inst.timing, tasks, procs, seed ^ 0xD1CE);
+        let faults = FaultConfig {
+            failure_rate: 0.3,
+            crash_rate: 0.2,
+            straggler_rate: 0.3,
+            slowdown_rate: 0.2,
+            ..FaultConfig::default()
+        }
+        .with_horizon(analysis.makespan);
+        let scenario = FaultScenario::generate(&faults, tasks, procs, seed ^ 0x5CEA);
+        let sentinel = SentinelConfig::default()
+            .with_trigger(0.1)
+            .with_max_replans(max_replans);
+
+        let run = execute_adaptive(
+            &inst,
+            &s,
+            &durations,
+            &scenario,
+            &RecoveryConfig::new(RecoveryPolicy::MigrateReplan),
+            &ReplicaPlan::empty(tasks),
+            &ReplicaDraws::default(),
+            &analysis,
+            &SentinelConfig {
+                max_speculations,
+                ..sentinel
+            },
+        )
+        .unwrap();
+        prop_assert!(
+            run.stats.sentinel_replans <= max_replans,
+            "{} sentinel replans exceed budget {max_replans}",
+            run.stats.sentinel_replans
+        );
+        prop_assert!(
+            run.stats.speculations <= max_speculations,
+            "{} speculations exceed budget {max_speculations}",
+            run.stats.speculations
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Non-parametric bootstrap confidence intervals.
+//!
+//! Monte Carlo robustness studies compare arms (static / dynamic /
+//! adaptive) on summary statistics — effective mean makespan, deadline
+//! miss rate — whose sampling distributions are skewed and partly
+//! discrete (a miss rate is a mean of indicators, an effective mean mixes
+//! completed makespans with a fixed failure penalty). The percentile
+//! bootstrap makes those comparisons honest without distributional
+//! assumptions: resample the realizations with replacement, recompute the
+//! statistic per resample, and report the empirical `[α/2, 1-α/2]`
+//! quantiles.
+//!
+//! All resampling is driven by an explicit seed so figures are
+//! reproducible bit-for-bit.
+
+use crate::rng::rng_from_seed;
+use rand::Rng;
+
+/// A two-sided confidence interval from a percentile bootstrap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BootstrapCi {
+    /// Lower bound of the interval.
+    pub lo: f64,
+    /// Upper bound of the interval.
+    pub hi: f64,
+    /// The statistic on the original (un-resampled) sample.
+    pub point: f64,
+}
+
+impl BootstrapCi {
+    /// Half the interval width.
+    #[must_use]
+    pub fn half_width(&self) -> f64 {
+        0.5 * (self.hi - self.lo)
+    }
+
+    /// Whether `value` lies inside the interval (inclusive).
+    #[must_use]
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.lo && value <= self.hi
+    }
+
+    /// Whether this interval and `other` share no point — the
+    /// bootstrap's notion of a clear separation between two arms.
+    #[must_use]
+    pub fn disjoint_from(&self, other: &BootstrapCi) -> bool {
+        self.hi < other.lo || other.hi < self.lo
+    }
+}
+
+/// Percentile-bootstrap confidence interval for an arbitrary statistic.
+///
+/// Draws `resamples` bootstrap samples (with replacement, same size as
+/// `samples`) from `samples`, applies `stat` to each, and returns the
+/// empirical `[α/2, 1-α/2]` percentile interval at confidence
+/// `confidence` (e.g. `0.95`). The resampling RNG is derived from `seed`,
+/// so results are deterministic.
+///
+/// Returns `None` when `samples` is empty or `resamples` is zero.
+///
+/// # Panics
+/// Panics if `confidence` is outside `(0, 1)` or `stat` returns NaN on a
+/// resample.
+pub fn bootstrap_ci<F>(
+    samples: &[f64],
+    resamples: usize,
+    confidence: f64,
+    seed: u64,
+    stat: F,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must lie in (0, 1), got {confidence}"
+    );
+    if samples.is_empty() || resamples == 0 {
+        return None;
+    }
+    let point = stat(samples);
+    let mut rng = rng_from_seed(seed);
+    let n = samples.len();
+    let mut scratch = vec![0.0f64; n];
+    let mut stats = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        for slot in &mut scratch {
+            *slot = samples[rng.gen_range(0..n)];
+        }
+        let s = stat(&scratch);
+        assert!(!s.is_nan(), "statistic returned NaN on a bootstrap resample");
+        stats.push(s);
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = 1.0 - confidence;
+    Some(BootstrapCi {
+        lo: percentile(&stats, alpha / 2.0),
+        hi: percentile(&stats, 1.0 - alpha / 2.0),
+        point,
+    })
+}
+
+/// 95% percentile-bootstrap interval for the sample mean.
+///
+/// Convenience wrapper over [`bootstrap_ci`] with the mean as statistic
+/// and confidence fixed at 0.95. Returns `None` on an empty sample.
+#[must_use]
+pub fn bootstrap_mean_ci95(samples: &[f64], resamples: usize, seed: u64) -> Option<BootstrapCi> {
+    bootstrap_ci(samples, resamples, 0.95, seed, mean)
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Linear-interpolation percentile of an already-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_ci_brackets_the_point_estimate() {
+        let samples: Vec<f64> = (0..200).map(|i| f64::from(i) * 0.1).collect();
+        let ci = bootstrap_mean_ci95(&samples, 500, 42).unwrap();
+        assert!(ci.lo <= ci.point && ci.point <= ci.hi);
+        assert!(ci.contains(ci.point));
+        assert!(ci.half_width() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let samples: Vec<f64> = (0..50).map(|i| f64::from(i).sin()).collect();
+        let a = bootstrap_mean_ci95(&samples, 200, 7).unwrap();
+        let b = bootstrap_mean_ci95(&samples, 200, 7).unwrap();
+        assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        let c = bootstrap_mean_ci95(&samples, 200, 8).unwrap();
+        assert!(a.lo.to_bits() != c.lo.to_bits() || a.hi.to_bits() != c.hi.to_bits());
+    }
+
+    #[test]
+    fn degenerate_sample_gives_zero_width() {
+        let samples = vec![3.5; 40];
+        let ci = bootstrap_mean_ci95(&samples, 100, 1).unwrap();
+        assert_eq!(ci.lo, 3.5);
+        assert_eq!(ci.hi, 3.5);
+        assert_eq!(ci.point, 3.5);
+        assert_eq!(ci.half_width(), 0.0);
+    }
+
+    #[test]
+    fn empty_sample_yields_none() {
+        assert!(bootstrap_mean_ci95(&[], 100, 0).is_none());
+        assert!(bootstrap_mean_ci95(&[1.0], 0, 0).is_none());
+    }
+
+    #[test]
+    fn narrows_with_sample_size() {
+        // CLT sanity: quadrupling the sample should roughly halve the CI.
+        let small: Vec<f64> = (0..50).map(|i| f64::from(i % 10)).collect();
+        let large: Vec<f64> = (0..800).map(|i| f64::from(i % 10)).collect();
+        let ci_s = bootstrap_mean_ci95(&small, 400, 3).unwrap();
+        let ci_l = bootstrap_mean_ci95(&large, 400, 3).unwrap();
+        assert!(ci_l.half_width() < ci_s.half_width());
+    }
+
+    #[test]
+    fn miss_rate_statistic_stays_in_unit_interval() {
+        // Indicator resampling — the miss-rate use case.
+        let indicators: Vec<f64> = (0..100).map(|i| f64::from(u8::from(i % 5 == 0))).collect();
+        let ci = bootstrap_ci(&indicators, 300, 0.95, 11, |xs| {
+            xs.iter().sum::<f64>() / xs.len() as f64
+        })
+        .unwrap();
+        assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+        assert!((ci.point - 0.2).abs() < 1e-12);
+        assert!(ci.contains(0.2));
+    }
+
+    #[test]
+    fn disjoint_intervals_detected() {
+        let a = BootstrapCi {
+            lo: 0.0,
+            hi: 1.0,
+            point: 0.5,
+        };
+        let b = BootstrapCi {
+            lo: 2.0,
+            hi: 3.0,
+            point: 2.5,
+        };
+        let c = BootstrapCi {
+            lo: 0.5,
+            hi: 2.5,
+            point: 1.5,
+        };
+        assert!(a.disjoint_from(&b));
+        assert!(b.disjoint_from(&a));
+        assert!(!a.disjoint_from(&c));
+        assert!(!b.disjoint_from(&c));
+    }
+}

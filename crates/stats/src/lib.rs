@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod bootstrap;
 pub mod corr;
 pub mod describe;
 pub mod dist;
@@ -28,6 +29,7 @@ pub mod matrix;
 pub mod rng;
 pub mod series;
 
+pub use bootstrap::{bootstrap_ci, bootstrap_mean_ci95, BootstrapCi};
 pub use corr::{pearson, spearman};
 pub use describe::{OnlineStats, Summary};
 pub use dist::{Gamma, UniformRange};

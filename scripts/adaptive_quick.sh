@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Quick-scale adaptive-robustness figure: the sentinel executor (slack
+# accounts, bounded replans, speculation, graceful degradation) against
+# static fail-stop, static-with-recovery, and fully dynamic baselines,
+# under an epsilon-deadline and a straggler-heavy fault mix. Defaults are
+# laptop-scale (minutes); set SCALE=--full for the paper-scale sweep, or
+# override knobs via FLAGS, e.g.
+#   FLAGS="--epsilon 1.5 --optional-fraction 0.4" scripts/adaptive_quick.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p rds-experiments
+
+FIG=target/release/figures
+OUT=${OUT:-results}
+SCALE=${SCALE:-}
+FLAGS=${FLAGS:-}
+
+$FIG adaptive $SCALE $FLAGS --uls "${ULS:-1.5,3}" --out "$OUT"
