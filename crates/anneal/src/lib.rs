@@ -129,9 +129,23 @@ fn energy(obj: &Objective, e: &Evaluation, scale: f64) -> f64 {
 /// Runs simulated annealing on an instance.
 ///
 /// # Panics
-/// Panics when `params` fail validation.
+/// Panics when `params` fail validation; long-running callers (the
+/// scheduling service) should use [`try_anneal`] instead.
 pub fn anneal(inst: &Instance, params: SaParams, objective: Objective) -> SaResult {
-    params.validate().expect("invalid SA parameters");
+    try_anneal(inst, params, objective).expect("invalid SA parameters")
+}
+
+/// Runs simulated annealing, reporting invalid parameters as a value
+/// instead of panicking.
+///
+/// # Errors
+/// Returns the first [`SaParams::validate`] failure.
+pub fn try_anneal(
+    inst: &Instance,
+    params: SaParams,
+    objective: Objective,
+) -> Result<SaResult, String> {
+    params.validate()?;
     let mut rng = rng_from_seed(params.seed);
 
     let mut current = if params.seed_heft {
@@ -176,12 +190,12 @@ pub fn anneal(inst: &Instance, params: SaParams, objective: Objective) -> SaResu
         temp *= params.cooling;
     }
 
-    SaResult {
+    Ok(SaResult {
         best,
         best_eval,
         moves,
         accepted,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -191,6 +205,15 @@ mod tests {
 
     fn inst(seed: u64) -> Instance {
         InstanceSpec::new(25, 3).seed(seed).build().unwrap()
+    }
+
+    #[test]
+    fn try_anneal_reports_invalid_params_as_value() {
+        let i = inst(9);
+        let mut p = SaParams::quick();
+        p.moves_per_temp = 0;
+        let err = try_anneal(&i, p, Objective::MinimizeMakespan).unwrap_err();
+        assert!(err.contains("moves_per_temp"));
     }
 
     #[test]

@@ -1,0 +1,73 @@
+//! Scheduling-service benchmarks: queue + worker-pool throughput with a
+//! cold cache (every job computed) vs a warm cache (every job a hit).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use rds_bench::bench_instance;
+use rds_service::{Algo, JobSpec, Service, ServiceConfig};
+
+/// A batch of GA jobs over `distinct` distinct (instance, seed) pairs,
+/// `repeat` submissions each. `distinct * repeat` jobs total; with a warm
+/// cache only `distinct` of them compute.
+fn ga_batch(instances: &[Arc<rds_sched::Instance>], repeat: usize) -> Vec<JobSpec> {
+    let mut jobs = Vec::with_capacity(instances.len() * repeat);
+    for (i, inst) in instances.iter().enumerate() {
+        for r in 0..repeat {
+            jobs.push(
+                JobSpec::new(format!("job-{i}-{r}"), Algo::Ga, Arc::clone(inst))
+                    .seed(i as u64)
+                    .generations(10),
+            );
+        }
+    }
+    jobs
+}
+
+fn bench_service_throughput(c: &mut Criterion) {
+    let instances: Vec<Arc<rds_sched::Instance>> = (0..4)
+        .map(|i| Arc::new(bench_instance(30 + 5 * i, 4, 2.0)))
+        .collect();
+    let config = ServiceConfig::default().workers(2).queue_capacity(64);
+
+    // Cold: distinct jobs only — every job runs its scheduler.
+    c.bench_function("service_cold_cache_4_ga_jobs", |b| {
+        b.iter_batched(
+            || ga_batch(&instances, 1),
+            |jobs| Service::run_batch(config, jobs),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Warm: the same four schedules requested four times each; 12 of the
+    // 16 jobs should be served from cache. The gap to a linear 4x of the
+    // cold time is the cache's win.
+    c.bench_function("service_warm_cache_16_ga_jobs", |b| {
+        b.iter_batched(
+            || ga_batch(&instances, 4),
+            |jobs| Service::run_batch(config, jobs),
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Express-only control: queue + pool overhead on sub-millisecond HEFT
+    // jobs, no cache effect (all distinct ids, same key — so measure with
+    // cache disabled).
+    c.bench_function("service_express_32_heft_jobs_nocache", |b| {
+        let nocache = config.cache_capacity(0);
+        let inst = Arc::new(bench_instance(50, 4, 2.0));
+        b.iter_batched(
+            || {
+                (0..32)
+                    .map(|i| JobSpec::new(format!("h-{i}"), Algo::Heft, Arc::clone(&inst)))
+                    .collect::<Vec<_>>()
+            },
+            |jobs| Service::run_batch(nocache, jobs),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_service_throughput);
+criterion_main!(benches);

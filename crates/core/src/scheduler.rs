@@ -75,6 +75,13 @@ pub enum SolveError {
     InvalidEpsilon(f64),
     /// The instance is degenerate (no tasks).
     EmptyInstance,
+    /// GA hyper-parameters failed validation.
+    InvalidParams(String),
+    /// A produced schedule was incompatible with the instance's precedence
+    /// constraints. This indicates a scheduler bug, but long-running
+    /// callers (the service layer) must receive it as a value, not a
+    /// panic.
+    IncompatibleSchedule(String),
 }
 
 impl std::fmt::Display for SolveError {
@@ -84,6 +91,13 @@ impl std::fmt::Display for SolveError {
                 write!(f, "epsilon must be >= 1.0 (got {e}); the constraint M0 < eps*M_HEFT would exclude HEFT itself")
             }
             SolveError::EmptyInstance => write!(f, "instance has no tasks"),
+            SolveError::InvalidParams(msg) => write!(f, "invalid GA parameters: {msg}"),
+            SolveError::IncompatibleSchedule(which) => {
+                write!(
+                    f,
+                    "{which} schedule is incompatible with the instance's precedence constraints"
+                )
+            }
         }
     }
 }
@@ -155,15 +169,19 @@ impl RobustScheduler {
             reference_makespan: heft.makespan,
         };
         let ga_params = self.config.ga.seed(self.config.seed);
-        let ga = GaEngine::new(inst, ga_params, objective).run();
+        let ga = GaEngine::try_new(inst, ga_params, objective)
+            .map_err(SolveError::InvalidParams)?
+            .run();
         let schedule = ga.best_schedule(inst);
 
         let mc = RealizationConfig::with_realizations(self.config.realizations)
             .seed(self.config.seed ^ 0x5DEECE66D);
-        let robust_rr =
-            monte_carlo(inst, &schedule, &mc).expect("GA schedules are precedence-valid");
-        let heft_rr =
-            monte_carlo(inst, &heft.schedule, &mc).expect("HEFT schedules are precedence-valid");
+        // Both schedules are precedence-valid by construction; surface a
+        // violation as a typed error so an embedding daemon never panics.
+        let robust_rr = monte_carlo(inst, &schedule, &mc)
+            .map_err(|_| SolveError::IncompatibleSchedule("GA".into()))?;
+        let heft_rr = monte_carlo(inst, &heft.schedule, &mc)
+            .map_err(|_| SolveError::IncompatibleSchedule("HEFT".into()))?;
 
         Ok(RobustOutcome {
             schedule,

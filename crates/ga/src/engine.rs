@@ -56,6 +56,10 @@ pub struct GaResult {
     /// The final population (used by the island model to continue
     /// evolution across migration epochs).
     pub final_population: Vec<Chromosome>,
+    /// `true` when a watch callback stopped the run before `max_generations`
+    /// / stall termination (see [`GaEngine::run_with_watch`]). The `best`
+    /// fields still hold the best-so-far solution.
+    pub interrupted: bool,
 }
 
 impl GaResult {
@@ -119,15 +123,29 @@ impl<'a> GaEngine<'a> {
     /// Creates an engine.
     ///
     /// # Panics
-    /// Panics when `params` fail validation.
+    /// Panics when `params` fail validation. Daemons handling untrusted
+    /// job input should use [`GaEngine::try_new`] instead.
     pub fn new(inst: &'a Instance, params: GaParams, objective: Objective) -> Self {
-        params.validate().expect("invalid GA parameters");
-        Self {
+        Self::try_new(inst, params, objective).expect("invalid GA parameters")
+    }
+
+    /// Creates an engine, returning the parameter-validation failure as a
+    /// value instead of panicking.
+    ///
+    /// # Errors
+    /// Returns the validation message when `params` are inconsistent.
+    pub fn try_new(
+        inst: &'a Instance,
+        params: GaParams,
+        objective: Objective,
+    ) -> Result<Self, String> {
+        params.validate()?;
+        Ok(Self {
             inst,
             params,
             objective,
             initial: None,
-        }
+        })
     }
 
     /// Supplies an explicit initial population (the island model resumes
@@ -176,6 +194,22 @@ impl<'a> GaEngine<'a> {
 
     /// Runs the GA to completion.
     pub fn run(&self) -> GaResult {
+        self.run_with_watch(&mut |_| false)
+    }
+
+    /// Runs the GA under a cooperative cancellation watch.
+    ///
+    /// `watch(gen)` is consulted before evolving generation `gen`
+    /// (`1..=max_generations`); returning `true` stops the run immediately
+    /// and marks the result [`GaResult::interrupted`], with `best` holding
+    /// the best-so-far solution. This is how a serving layer enforces
+    /// per-job deadline budgets without killing threads: the engine never
+    /// blocks for longer than one generation.
+    ///
+    /// A watch that always returns `false` is exactly [`GaEngine::run`]:
+    /// the RNG stream is untouched by watching, so interrupted and
+    /// uninterrupted runs agree on every generation they both execute.
+    pub fn run_with_watch(&self, watch: &mut dyn FnMut(usize) -> bool) -> GaResult {
         let mut rng = rng_from_seed(self.params.seed);
         let np = self.params.population;
 
@@ -221,8 +255,13 @@ impl<'a> GaEngine<'a> {
 
         let mut stall = 0usize;
         let mut generations = 0usize;
+        let mut interrupted = false;
 
         for gen in 1..=self.params.max_generations {
+            if watch(gen) {
+                interrupted = true;
+                break;
+            }
             generations = gen;
             let fitness = self.objective.fitness(&evals);
 
@@ -301,6 +340,7 @@ impl<'a> GaEngine<'a> {
             generations,
             history,
             final_population: pop,
+            interrupted,
         }
     }
 }
@@ -473,6 +513,42 @@ mod tests {
         let params = GaParams::quick().seed(1);
         let _ = GaEngine::new(&inst, params, Objective::MinimizeMakespan)
             .with_initial_population(vec![]);
+    }
+
+    #[test]
+    fn watch_interrupts_and_preserves_best_so_far() {
+        let inst = quick_inst(13);
+        let params = GaParams::quick().seed(31).max_generations(50);
+        let full = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        assert!(!full.interrupted);
+
+        // Stop before generation 6: identical prefix, flagged interrupted.
+        let cut = 6usize;
+        let stopped = GaEngine::new(&inst, params, Objective::MinimizeMakespan)
+            .run_with_watch(&mut |gen| gen >= cut);
+        assert!(stopped.interrupted);
+        assert_eq!(stopped.generations, cut - 1);
+        assert_eq!(stopped.history.len(), cut);
+        for (a, b) in stopped.history.iter().zip(&full.history) {
+            assert_eq!(a.best_chromosome, b.best_chromosome, "prefix must agree");
+        }
+        // Best-so-far is the best of the executed prefix; elitism makes the
+        // last recorded generation's best exactly that.
+        let last = stopped.history.last().unwrap();
+        assert_eq!(stopped.best_eval.makespan, last.best_makespan);
+        // A watch firing immediately yields the initial population's best.
+        let immediate =
+            GaEngine::new(&inst, params, Objective::MinimizeMakespan).run_with_watch(&mut |_| true);
+        assert!(immediate.interrupted);
+        assert_eq!(immediate.generations, 0);
+        assert_eq!(immediate.history.len(), 1);
+    }
+
+    #[test]
+    fn try_new_reports_invalid_params_as_value() {
+        let inst = quick_inst(14);
+        let bad = GaParams::quick().population(0);
+        assert!(GaEngine::try_new(&inst, bad, Objective::MinimizeMakespan).is_err());
     }
 
     #[test]

@@ -77,6 +77,98 @@ impl Instance {
     pub fn comm_time(&self, data: f64, from: ProcId, to: ProcId) -> f64 {
         self.platform.comm_time(data, from, to)
     }
+
+    /// A stable, content-addressed 64-bit fingerprint of the instance.
+    ///
+    /// Covers exactly the content the text format of [`crate::io`]
+    /// serializes: task/processor counts, the edge set (canonically ordered
+    /// by `(from, to)`, with bit-exact data sizes), the BCET and UL
+    /// matrices, and the off-diagonal transfer rates. Two instances that
+    /// round-trip through [`crate::io::write_instance`] /
+    /// [`crate::io::read_instance`] therefore hash identically, while any
+    /// change to the graph topology, `B`, `UL` or the rates changes the
+    /// hash (modulo 64-bit collisions).
+    ///
+    /// The hash is FNV-1a over a fixed byte encoding — independent of
+    /// platform, process and Rust version, so it is safe to persist as a
+    /// cache key (the service layer keys its schedule cache on it).
+    ///
+    /// Per-task `weight`/`optional` annotations are *not* covered: they are
+    /// not part of the serialized format (fingerprint version `v1`).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.bytes(b"rds-fp-v1");
+        h.u64(self.task_count() as u64);
+        h.u64(self.proc_count() as u64);
+        // Canonical edge order: adjacency-list order is a serialization
+        // detail (round-tripping may reorder it), the edge *set* is not.
+        let mut edges: Vec<(u32, u32, u64)> = self
+            .graph
+            .edges()
+            .map(|(from, to, data)| (from.0, to.0, data.to_bits()))
+            .collect();
+        edges.sort_unstable();
+        h.u64(edges.len() as u64);
+        for (from, to, data) in edges {
+            h.u64(u64::from(from));
+            h.u64(u64::from(to));
+            h.u64(data);
+        }
+        let (n, m) = (self.task_count(), self.proc_count());
+        h.bytes(b"bcet");
+        for r in 0..n {
+            for c in 0..m {
+                h.u64(self.timing.bcet_matrix()[(r, c)].to_bits());
+            }
+        }
+        h.bytes(b"ul");
+        for r in 0..n {
+            for c in 0..m {
+                h.u64(self.timing.ul_matrix()[(r, c)].to_bits());
+            }
+        }
+        // The writer stores an artificial diagonal; hash off-diagonal only.
+        h.bytes(b"rates");
+        for r in 0..m {
+            for c in 0..m {
+                if r != c {
+                    h.u64(
+                        self.platform
+                            .rate(ProcId(r as u32), ProcId(c as u32))
+                            .to_bits(),
+                    );
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit: tiny, dependency-free, stable across platforms. (The
+/// std `DefaultHasher` is explicitly *not* guaranteed stable across Rust
+/// releases, so it must not back a persistent cache key.)
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Self(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
 }
 
 /// Generator for random instances following §5 of the paper.
@@ -256,5 +348,86 @@ mod tests {
         let t = TaskId(4);
         let p = ProcId(1);
         assert_eq!(inst.expected(t, p), inst.timing.expected(4, p));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_seed_sensitive() {
+        let a = InstanceSpec::new(20, 3).seed(7).build().unwrap();
+        let b = InstanceSpec::new(20, 3).seed(7).build().unwrap();
+        let c = InstanceSpec::new(20, 3).seed(8).build().unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_every_ingredient() {
+        let base = InstanceSpec::new(12, 3).seed(9).build().unwrap();
+        let fp = base.fingerprint();
+
+        // Perturb one BCET entry.
+        let mut bcet = base.timing.bcet_matrix().clone();
+        bcet[(0, 0)] += 1.0;
+        let timing = rds_platform::TimingModel::new(bcet, base.timing.ul_matrix().clone()).unwrap();
+        let tweaked = Instance::new(base.graph.clone(), base.platform.clone(), timing).unwrap();
+        assert_ne!(
+            tweaked.fingerprint(),
+            fp,
+            "BCET change must change the hash"
+        );
+
+        // Perturb one UL entry.
+        let mut ul = base.timing.ul_matrix().clone();
+        ul[(1, 1)] += 0.25;
+        let timing = rds_platform::TimingModel::new(base.timing.bcet_matrix().clone(), ul).unwrap();
+        let tweaked = Instance::new(base.graph.clone(), base.platform.clone(), timing).unwrap();
+        assert_ne!(tweaked.fingerprint(), fp, "UL change must change the hash");
+
+        // Perturb the topology: drop one edge.
+        let mut builder = rds_graph::TaskGraphBuilder::with_tasks(base.task_count());
+        let edges: Vec<_> = base.graph.edges().collect();
+        for &(from, to, data) in edges.iter().skip(1) {
+            builder.add_edge(from, to, data);
+        }
+        let graph = builder.build().unwrap();
+        let tweaked = Instance::new(graph, base.platform.clone(), base.timing.clone()).unwrap();
+        assert_ne!(
+            tweaked.fingerprint(),
+            fp,
+            "edge removal must change the hash"
+        );
+
+        // Perturb one transfer rate.
+        let m = base.proc_count();
+        let mut rates = rds_stats::matrix::Matrix::zeros(m, m);
+        for r in 0..m {
+            for c in 0..m {
+                rates[(r, c)] = if r == c {
+                    1.0
+                } else {
+                    base.platform.rate(ProcId(r as u32), ProcId(c as u32))
+                };
+            }
+        }
+        rates[(0, 1)] *= 2.0;
+        let platform = rds_platform::Platform::from_rates(m, rates).unwrap();
+        let tweaked = Instance::new(base.graph.clone(), platform, base.timing.clone()).unwrap();
+        assert_ne!(
+            tweaked.fingerprint(),
+            fp,
+            "rate change must change the hash"
+        );
+    }
+
+    #[test]
+    fn fingerprint_ignores_weight_and_optional_annotations() {
+        // v1 covers exactly the io-serialized content; runtime annotations
+        // (not serialized) must not shift the cache key.
+        let base = InstanceSpec::new(10, 2).seed(4).build().unwrap();
+        let fp = base.fingerprint();
+        let mut graph = base.graph.clone();
+        graph.set_weight(TaskId(0), 3.0);
+        graph.mark_optional(TaskId(9));
+        let annotated = Instance::new(graph, base.platform.clone(), base.timing.clone()).unwrap();
+        assert_eq!(annotated.fingerprint(), fp);
     }
 }

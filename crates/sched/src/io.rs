@@ -286,6 +286,346 @@ pub fn read_schedule(text: &str) -> Result<Schedule, ParseError> {
     Schedule::from_proc_lists(n, proc_tasks).map_err(|e| err(0, format!("invalid schedule: {e}")))
 }
 
+/// A scheduling request: an instance plus scheduler choice and knobs,
+/// wrapped in a line-oriented envelope so a long-running service can read
+/// jobs off a byte stream. The embedded instance reuses the
+/// `rds-instance v1` format verbatim:
+///
+/// ```text
+/// rds-job v1
+/// id job-42
+/// algo ga
+/// epsilon 1.3
+/// seed 7
+/// generations 120      # optional
+/// deadline-ms 5000     # optional
+/// lane heavy           # optional (express|heavy); default derived from algo
+/// instance
+/// rds-instance v1
+/// ...
+/// end rds-job
+/// ```
+#[derive(Debug, Clone)]
+pub struct JobEnvelope {
+    /// Client-chosen job identifier (no whitespace; echoed in the result).
+    pub id: String,
+    /// Scheduler name (`heft|cpop|laheft|sheft|ga|sa`); interpreted by the
+    /// service layer, opaque here.
+    pub algo: String,
+    /// ε of the ε-constraint objective (Eq. 7). Default 1.3.
+    pub epsilon: f64,
+    /// Seed for seeded schedulers. Default 0.
+    pub seed: u64,
+    /// GA generation budget override.
+    pub generations: Option<usize>,
+    /// Wall-clock deadline budget in milliseconds; overrunning GA jobs are
+    /// cancelled cooperatively and degrade to best-so-far / HEFT.
+    pub deadline_ms: Option<u64>,
+    /// Priority-lane override (`express` or `heavy`).
+    pub lane: Option<String>,
+    /// The problem instance.
+    pub instance: Instance,
+}
+
+/// Terminator line of a job envelope.
+pub const JOB_END: &str = "end rds-job";
+/// Terminator line of a result envelope.
+pub const RESULT_END: &str = "end rds-result";
+
+/// Serializes a job envelope.
+#[must_use]
+pub fn write_job(job: &JobEnvelope) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "rds-job v1");
+    let _ = writeln!(out, "id {}", job.id);
+    let _ = writeln!(out, "algo {}", job.algo);
+    let _ = writeln!(out, "epsilon {:?}", job.epsilon);
+    let _ = writeln!(out, "seed {}", job.seed);
+    if let Some(g) = job.generations {
+        let _ = writeln!(out, "generations {g}");
+    }
+    if let Some(d) = job.deadline_ms {
+        let _ = writeln!(out, "deadline-ms {d}");
+    }
+    if let Some(lane) = &job.lane {
+        let _ = writeln!(out, "lane {lane}");
+    }
+    let _ = writeln!(out, "instance");
+    out.push_str(&write_instance(&job.instance));
+    let _ = writeln!(out, "{JOB_END}");
+    out
+}
+
+/// Splits a `key value` header line; the value may be empty.
+fn split_header(l: &str) -> (&str, &str) {
+    match l.split_once(char::is_whitespace) {
+        Some((k, v)) => (k, v.trim()),
+        None => (l, ""),
+    }
+}
+
+/// Parses a job envelope (everything up to and including [`JOB_END`]).
+///
+/// # Errors
+/// Returns [`ParseError`] with the offending line on any malformation —
+/// job input is untrusted, so every failure path is typed, never a panic.
+pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let (ln, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .ok_or_else(|| err(0, "empty input"))?;
+    if header != "rds-job v1" {
+        return Err(err(ln, format!("expected 'rds-job v1', got '{header}'")));
+    }
+    let mut id = None;
+    let mut algo = None;
+    let mut epsilon = 1.3;
+    let mut seed = 0u64;
+    let mut generations = None;
+    let mut deadline_ms = None;
+    let mut lane = None;
+    let mut instance_text: Option<String> = None;
+    while let Some((ln, l)) = lines.next() {
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        let (key, value) = split_header(l);
+        match key {
+            "id" => {
+                if value.is_empty() || value.split_whitespace().count() != 1 {
+                    return Err(err(ln, "id must be a single non-empty token"));
+                }
+                id = Some(value.to_owned());
+            }
+            "algo" => algo = Some(value.to_owned()),
+            "epsilon" => {
+                epsilon = value
+                    .parse()
+                    .map_err(|e| err(ln, format!("bad epsilon: {e}")))?;
+            }
+            "seed" => {
+                seed = value
+                    .parse()
+                    .map_err(|e| err(ln, format!("bad seed: {e}")))?;
+            }
+            "generations" => {
+                generations = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad generations: {e}")))?,
+                );
+            }
+            "deadline-ms" => {
+                deadline_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad deadline-ms: {e}")))?,
+                );
+            }
+            "lane" => {
+                if value != "express" && value != "heavy" {
+                    return Err(err(
+                        ln,
+                        format!("lane must be express|heavy, got '{value}'"),
+                    ));
+                }
+                lane = Some(value.to_owned());
+            }
+            "instance" => {
+                // Collect the embedded instance verbatim up to the
+                // terminator, then stop: the envelope ends there.
+                let mut body = String::new();
+                let mut terminated = false;
+                for (_, l) in lines.by_ref() {
+                    if l == JOB_END {
+                        terminated = true;
+                        break;
+                    }
+                    body.push_str(l);
+                    body.push('\n');
+                }
+                if !terminated {
+                    return Err(err(0, format!("missing '{JOB_END}' terminator")));
+                }
+                instance_text = Some(body);
+                break;
+            }
+            other => return Err(err(ln, format!("unknown job header '{other}'"))),
+        }
+    }
+    let instance_text = instance_text.ok_or_else(|| err(0, "missing 'instance' section"))?;
+    let instance = read_instance(&instance_text)?;
+    Ok(JobEnvelope {
+        id: id.ok_or_else(|| err(0, "missing 'id' header"))?,
+        algo: algo.ok_or_else(|| err(0, "missing 'algo' header"))?,
+        epsilon,
+        seed,
+        generations,
+        deadline_ms,
+        lane,
+        instance,
+    })
+}
+
+/// A scheduling response: status, accounting, and (on success) the
+/// schedule in the `rds-schedule v1` format:
+///
+/// ```text
+/// rds-result v1
+/// id job-42
+/// status ok
+/// cache miss
+/// degraded none
+/// makespan 123.25
+/// avg-slack 1.75
+/// schedule
+/// rds-schedule v1
+/// ...
+/// end rds-result
+/// ```
+///
+/// Rejections and errors carry a `reason` line instead of a schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultEnvelope {
+    /// Echoed job id.
+    pub id: String,
+    /// `ok`, `rejected` (admission control) or `error`.
+    pub status: String,
+    /// `hit`/`miss` when the service consulted its schedule cache.
+    pub cache: Option<String>,
+    /// Degradation tag (`none`, `deadline-best-so-far`, `deadline-heft`).
+    pub degraded: Option<String>,
+    /// Expected makespan `M₀` of the returned schedule.
+    pub makespan: Option<f64>,
+    /// Average slack of the returned schedule.
+    pub avg_slack: Option<f64>,
+    /// Human-readable reason for `rejected`/`error` statuses.
+    pub reason: Option<String>,
+    /// The schedule, present when `status == "ok"`.
+    pub schedule: Option<Schedule>,
+}
+
+/// Serializes a result envelope.
+#[must_use]
+pub fn write_result(res: &ResultEnvelope) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "rds-result v1");
+    let _ = writeln!(out, "id {}", res.id);
+    let _ = writeln!(out, "status {}", res.status);
+    if let Some(c) = &res.cache {
+        let _ = writeln!(out, "cache {c}");
+    }
+    if let Some(d) = &res.degraded {
+        let _ = writeln!(out, "degraded {d}");
+    }
+    if let Some(m) = res.makespan {
+        let _ = writeln!(out, "makespan {m:?}");
+    }
+    if let Some(s) = res.avg_slack {
+        let _ = writeln!(out, "avg-slack {s:?}");
+    }
+    if let Some(r) = &res.reason {
+        // Reasons are free text: strip newlines so the envelope stays
+        // line-framed even for adversarial error strings.
+        let _ = writeln!(out, "reason {}", r.replace(['\n', '\r'], " "));
+    }
+    if let Some(schedule) = &res.schedule {
+        let _ = writeln!(out, "schedule");
+        out.push_str(&write_schedule(schedule));
+    }
+    let _ = writeln!(out, "{RESULT_END}");
+    out
+}
+
+/// Parses a result envelope.
+///
+/// # Errors
+/// Returns [`ParseError`] on malformation.
+pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
+    let (ln, header) = lines
+        .by_ref()
+        .find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .ok_or_else(|| err(0, "empty input"))?;
+    if header != "rds-result v1" {
+        return Err(err(ln, format!("expected 'rds-result v1', got '{header}'")));
+    }
+    let mut res = ResultEnvelope {
+        id: String::new(),
+        status: String::new(),
+        cache: None,
+        degraded: None,
+        makespan: None,
+        avg_slack: None,
+        reason: None,
+        schedule: None,
+    };
+    let mut saw_id = false;
+    let mut saw_status = false;
+    while let Some((ln, l)) = lines.next() {
+        if l.is_empty() || l.starts_with('#') {
+            continue;
+        }
+        if l == RESULT_END {
+            break;
+        }
+        let (key, value) = split_header(l);
+        match key {
+            "id" => {
+                res.id = value.to_owned();
+                saw_id = true;
+            }
+            "status" => {
+                res.status = value.to_owned();
+                saw_status = true;
+            }
+            "cache" => res.cache = Some(value.to_owned()),
+            "degraded" => res.degraded = Some(value.to_owned()),
+            "makespan" => {
+                res.makespan = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad makespan: {e}")))?,
+                );
+            }
+            "avg-slack" => {
+                res.avg_slack = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad avg-slack: {e}")))?,
+                );
+            }
+            "reason" => res.reason = Some(value.to_owned()),
+            "schedule" => {
+                let mut body = String::new();
+                let mut terminated = false;
+                for (_, l) in lines.by_ref() {
+                    if l == RESULT_END {
+                        terminated = true;
+                        break;
+                    }
+                    body.push_str(l);
+                    body.push('\n');
+                }
+                if !terminated {
+                    return Err(err(0, format!("missing '{RESULT_END}' terminator")));
+                }
+                res.schedule = Some(read_schedule(&body)?);
+                break;
+            }
+            other => return Err(err(ln, format!("unknown result header '{other}'"))),
+        }
+    }
+    if !saw_id {
+        return Err(err(0, "missing 'id' header"));
+    }
+    if !saw_status {
+        return Err(err(0, "missing 'status' header"));
+    }
+    Ok(res)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +709,97 @@ mod tests {
         let commented = format!("# archive\n\n{}", text.replace("bcet", "# section\nbcet"));
         let back = read_instance(&commented).unwrap();
         assert!(back.graph.same_structure(&inst.graph));
+    }
+
+    #[test]
+    fn job_envelope_roundtrips() {
+        let inst = InstanceSpec::new(12, 3).seed(11).build().unwrap();
+        let job = JobEnvelope {
+            id: "job-7".into(),
+            algo: "ga".into(),
+            epsilon: 1.25,
+            seed: 42,
+            generations: Some(80),
+            deadline_ms: Some(1500),
+            lane: Some("heavy".into()),
+            instance: inst.clone(),
+        };
+        let text = write_job(&job);
+        let back = read_job(&text).unwrap();
+        assert_eq!(back.id, "job-7");
+        assert_eq!(back.algo, "ga");
+        assert_eq!(back.epsilon, 1.25);
+        assert_eq!(back.seed, 42);
+        assert_eq!(back.generations, Some(80));
+        assert_eq!(back.deadline_ms, Some(1500));
+        assert_eq!(back.lane.as_deref(), Some("heavy"));
+        assert!(back.instance.graph.same_structure(&inst.graph));
+        assert_eq!(back.instance.fingerprint(), inst.fingerprint());
+    }
+
+    #[test]
+    fn job_envelope_defaults_and_errors() {
+        let inst = InstanceSpec::new(5, 2).seed(1).build().unwrap();
+        let minimal = format!(
+            "rds-job v1\nid j\nalgo heft\ninstance\n{}{JOB_END}\n",
+            write_instance(&inst)
+        );
+        let job = read_job(&minimal).unwrap();
+        assert_eq!(job.epsilon, 1.3);
+        assert_eq!(job.seed, 0);
+        assert_eq!(job.generations, None);
+        assert_eq!(job.lane, None);
+
+        // Untrusted input: every malformation is a typed error, not a panic.
+        assert!(read_job("").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo heft\n").is_err()); // no instance
+        assert!(read_job("rds-job v2\n").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo heft\nepsilon nope\n").is_err());
+        assert!(read_job("rds-job v1\nid j\nwat 1\n").is_err());
+        let unterminated = format!(
+            "rds-job v1\nid j\nalgo heft\ninstance\n{}",
+            write_instance(&inst)
+        );
+        assert!(read_job(&unterminated).is_err());
+        // Truncated embedded instance.
+        let truncated = format!("rds-job v1\nid j\nalgo heft\ninstance\ntasks 3\n{JOB_END}\n");
+        assert!(read_job(&truncated).is_err());
+    }
+
+    #[test]
+    fn result_envelope_roundtrips() {
+        let inst = InstanceSpec::new(10, 2).seed(3).build().unwrap();
+        let schedule = rds_heft_like_schedule(&inst);
+        let res = ResultEnvelope {
+            id: "job-7".into(),
+            status: "ok".into(),
+            cache: Some("miss".into()),
+            degraded: Some("none".into()),
+            makespan: Some(123.5),
+            avg_slack: Some(4.25),
+            reason: None,
+            schedule: Some(schedule.clone()),
+        };
+        let text = write_result(&res);
+        let back = read_result(&text).unwrap();
+        assert_eq!(back, res);
+
+        let rejected = ResultEnvelope {
+            id: "job-8".into(),
+            status: "rejected".into(),
+            cache: None,
+            degraded: None,
+            makespan: None,
+            avg_slack: None,
+            reason: Some("queue full: heavy lane at capacity 2\nretry later".into()),
+            schedule: None,
+        };
+        let text = write_result(&rejected);
+        // Newlines in the reason must not break framing.
+        let back = read_result(&text).unwrap();
+        assert_eq!(back.status, "rejected");
+        assert!(back.reason.unwrap().contains("retry later"));
+        assert!(read_result("rds-result v1\nstatus ok\n").is_err()); // no id
     }
 
     #[test]

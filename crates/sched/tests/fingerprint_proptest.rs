@@ -1,0 +1,113 @@
+//! Property tests of the stable instance fingerprint: it must survive a
+//! serialization round-trip unchanged (the schedule cache outlives any
+//! in-memory representation) and must change whenever any schedule-
+//! relevant ingredient — topology, BCET, UL, or transfer rates — changes.
+
+use proptest::prelude::*;
+
+use rds_graph::{TaskGraphBuilder, TaskId};
+use rds_platform::{Platform, ProcId, TimingModel};
+use rds_sched::io;
+use rds_sched::{Instance, InstanceSpec};
+
+fn build(seed: u64, tasks: usize, procs: usize, ul: f64) -> Instance {
+    InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .uncertainty_level(ul)
+        .build()
+        .expect("generated instance is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fingerprint_survives_io_roundtrip(
+        seed in 0u64..1000,
+        tasks in 1usize..50,
+        procs in 1usize..8,
+        ul in 1.5f64..8.0,
+    ) {
+        let inst = build(seed, tasks, procs, ul);
+        let back = io::read_instance(&io::write_instance(&inst)).unwrap();
+        prop_assert_eq!(back.fingerprint(), inst.fingerprint());
+        // And it is a fixed point across a second trip.
+        let again = io::read_instance(&io::write_instance(&back)).unwrap();
+        prop_assert_eq!(again.fingerprint(), inst.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_separates_different_instances(
+        seed in 0u64..500,
+        tasks in 2usize..40,
+        procs in 2usize..6,
+    ) {
+        let a = build(seed, tasks, procs, 2.0);
+        let b = build(seed ^ 0x5EED, tasks, procs, 2.0);
+        // Same shape, different random content: collision here would mean
+        // the hash ignores the matrices.
+        prop_assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_bcet_and_ul(
+        seed in 0u64..500,
+        tasks in 2usize..40,
+        procs in 1usize..6,
+        task in 0usize..40,
+        delta in 0.5f64..10.0,
+    ) {
+        let base = build(seed, tasks, procs, 2.0);
+        let t = task % tasks;
+        let p = task % procs;
+
+        let mut bcet = base.timing.bcet_matrix().clone();
+        bcet[(t, p)] += delta;
+        let timing = TimingModel::new(bcet, base.timing.ul_matrix().clone()).unwrap();
+        let tweaked = Instance::new(base.graph.clone(), base.platform.clone(), timing).unwrap();
+        prop_assert_ne!(tweaked.fingerprint(), base.fingerprint());
+
+        let mut ul = base.timing.ul_matrix().clone();
+        ul[(t, p)] += delta;
+        let timing = TimingModel::new(base.timing.bcet_matrix().clone(), ul).unwrap();
+        let tweaked = Instance::new(base.graph.clone(), base.platform.clone(), timing).unwrap();
+        prop_assert_ne!(tweaked.fingerprint(), base.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_sees_topology_and_rates(
+        seed in 0u64..500,
+        tasks in 4usize..40,
+        procs in 2usize..6,
+    ) {
+        let base = build(seed, tasks, procs, 2.0);
+        let edges: Vec<(TaskId, TaskId, f64)> = base.graph.edges().collect();
+        prop_assume!(!edges.is_empty());
+
+        // Drop the first edge.
+        let mut builder = TaskGraphBuilder::with_tasks(base.task_count());
+        for &(from, to, data) in edges.iter().skip(1) {
+            builder.add_edge(from, to, data);
+        }
+        let graph = builder.build().unwrap();
+        let dropped = Instance::new(graph, base.platform.clone(), base.timing.clone()).unwrap();
+        prop_assert_ne!(dropped.fingerprint(), base.fingerprint());
+
+        // Double one off-diagonal transfer rate.
+        let m = base.proc_count();
+        let mut rates = rds_stats::matrix::Matrix::zeros(m, m);
+        for r in 0..m {
+            for c in 0..m {
+                rates[(r, c)] = if r == c {
+                    1.0
+                } else {
+                    base.platform.rate(ProcId(r as u32), ProcId(c as u32))
+                };
+            }
+        }
+        rates[(0, 1)] *= 2.0;
+        let platform = Platform::from_rates(m, rates).unwrap();
+        let tweaked = Instance::new(base.graph.clone(), platform, base.timing.clone()).unwrap();
+        prop_assert_ne!(tweaked.fingerprint(), base.fingerprint());
+    }
+}

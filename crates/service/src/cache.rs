@@ -1,0 +1,250 @@
+//! Content-addressed schedule cache.
+//!
+//! Keyed by the stable [`Instance::fingerprint`] *plus* every knob that
+//! changes the produced schedule (algorithm, ε, seed, generation budget):
+//! two requests with the same key are guaranteed — schedulers being
+//! deterministic per seed — to produce bit-identical schedules, so a hit
+//! can skip the GA entirely and return the archived result.
+//!
+//! Deadline-degraded results are never inserted: they depend on wall-clock
+//! load, not on the key.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+use rds_sched::{Instance, Schedule};
+
+use crate::job::{Algo, JobSpec};
+
+/// Cache key: instance content hash + schedule-determining knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    fingerprint: u64,
+    algo: &'static str,
+    /// `Sheft`'s k (bit pattern); zero for the others.
+    algo_param: u64,
+    epsilon: u64,
+    seed: u64,
+    generations: u64,
+}
+
+impl CacheKey {
+    /// Builds the key for a job.
+    #[must_use]
+    pub fn for_job(spec: &JobSpec) -> Self {
+        Self::new(
+            &spec.instance,
+            spec.algo,
+            spec.epsilon,
+            spec.seed,
+            spec.generations,
+        )
+    }
+
+    /// Builds a key from parts (benches warm the cache this way).
+    #[must_use]
+    pub fn new(
+        instance: &Instance,
+        algo: Algo,
+        epsilon: f64,
+        seed: u64,
+        generations: Option<usize>,
+    ) -> Self {
+        Self {
+            fingerprint: instance.fingerprint(),
+            algo: algo.name(),
+            algo_param: match algo {
+                Algo::Sheft { k } => k.to_bits(),
+                _ => 0,
+            },
+            epsilon: epsilon.to_bits(),
+            seed,
+            generations: generations.map_or(u64::MAX, |g| g as u64),
+        }
+    }
+}
+
+/// A cached schedule with its expected-time accounting.
+#[derive(Debug, Clone)]
+pub struct CachedSchedule {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Expected makespan `M₀`.
+    pub makespan: f64,
+    /// Average slack `σ̄`.
+    pub avg_slack: f64,
+}
+
+struct CacheInner {
+    map: HashMap<CacheKey, CachedSchedule>,
+    /// Insertion order for FIFO eviction (schedules are immutable and
+    /// recomputable; recency tracking buys little for a bounded archive).
+    order: VecDeque<CacheKey>,
+    hits: u64,
+    misses: u64,
+}
+
+/// The bounded, thread-safe schedule cache.
+pub struct ScheduleCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+}
+
+impl ScheduleCache {
+    /// Creates a cache holding at most `capacity` schedules. Capacity 0
+    /// disables caching (every lookup is a miss, nothing is stored).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                hits: 0,
+                misses: 0,
+            }),
+            capacity,
+        }
+    }
+
+    /// Looks up a key, counting the hit or miss.
+    #[must_use]
+    pub fn lookup(&self, key: &CacheKey) -> Option<CachedSchedule> {
+        let mut inner = self.inner.lock().expect("cache mutex");
+        match inner.map.get(key).cloned() {
+            Some(entry) => {
+                inner.hits += 1;
+                Some(entry)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts a clean (non-degraded) result, evicting the oldest entry
+    /// when at capacity. Re-inserting an existing key refreshes the value
+    /// without growing the cache.
+    pub fn insert(&self, key: CacheKey, value: CachedSchedule) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("cache mutex");
+        if inner.map.insert(key, value).is_none() {
+            inner.order.push_back(key);
+            while inner.map.len() > self.capacity {
+                if let Some(oldest) = inner.order.pop_front() {
+                    inner.map.remove(&oldest);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// `(hits, misses)` so far.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        let inner = self.inner.lock().expect("cache mutex");
+        (inner.hits, inner.misses)
+    }
+
+    /// Number of cached schedules.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache mutex").map.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::InstanceSpec;
+    use std::sync::Arc;
+
+    fn spec(seed: u64, algo: Algo) -> JobSpec {
+        let inst = Arc::new(InstanceSpec::new(10, 2).seed(seed).build().unwrap());
+        JobSpec::new(format!("j{seed}"), algo, inst).seed(seed)
+    }
+
+    fn entry(inst: &Instance) -> CachedSchedule {
+        // Any valid schedule works for cache plumbing tests.
+        let heft = rds_heft::heft_schedule(inst);
+        CachedSchedule {
+            schedule: heft.schedule,
+            makespan: heft.makespan,
+            avg_slack: 0.0,
+        }
+    }
+
+    #[test]
+    fn key_separates_every_knob() {
+        let a = spec(1, Algo::Ga);
+        let base = CacheKey::for_job(&a);
+        assert_eq!(CacheKey::for_job(&a.clone()), base);
+        // Different id, same content: same key (content-addressed).
+        let mut renamed = a.clone();
+        renamed.id = "other".into();
+        assert_eq!(CacheKey::for_job(&renamed), base);
+        assert_ne!(CacheKey::for_job(&spec(2, Algo::Ga)), base, "instance");
+        assert_ne!(CacheKey::for_job(&a.clone().seed(9)), base, "seed");
+        assert_ne!(CacheKey::for_job(&a.clone().epsilon(1.5)), base, "epsilon");
+        assert_ne!(CacheKey::for_job(&a.clone().generations(7)), base, "gens");
+        let mut sheft = a.clone();
+        sheft.algo = Algo::Sheft { k: 1.0 };
+        let k1 = CacheKey::for_job(&sheft);
+        assert_ne!(k1, base, "algo");
+        sheft.algo = Algo::Sheft { k: 2.0 };
+        assert_ne!(CacheKey::for_job(&sheft), k1, "algo param");
+    }
+
+    #[test]
+    fn lookup_counts_and_returns() {
+        let cache = ScheduleCache::new(4);
+        let s = spec(3, Algo::Heft);
+        let key = CacheKey::for_job(&s);
+        assert!(cache.lookup(&key).is_none());
+        cache.insert(key, entry(&s.instance));
+        let hit = cache.lookup(&key).expect("hit after insert");
+        assert!(hit.makespan > 0.0);
+        assert_eq!(cache.stats(), (1, 1));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_size() {
+        let cache = ScheduleCache::new(2);
+        let specs: Vec<_> = (0..4).map(|i| spec(i, Algo::Heft)).collect();
+        for s in &specs {
+            cache.insert(CacheKey::for_job(s), entry(&s.instance));
+        }
+        assert_eq!(cache.len(), 2);
+        // Oldest two evicted, newest two retained.
+        assert!(cache.lookup(&CacheKey::for_job(&specs[0])).is_none());
+        assert!(cache.lookup(&CacheKey::for_job(&specs[3])).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let cache = ScheduleCache::new(0);
+        let s = spec(5, Algo::Heft);
+        cache.insert(CacheKey::for_job(&s), entry(&s.instance));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&CacheKey::for_job(&s)).is_none());
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_growth() {
+        let cache = ScheduleCache::new(2);
+        let s = spec(6, Algo::Heft);
+        let key = CacheKey::for_job(&s);
+        cache.insert(key, entry(&s.instance));
+        cache.insert(key, entry(&s.instance));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,389 @@
+//! Job specifications, outcomes, and wire-envelope conversions.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rds_sched::io::{JobEnvelope, ResultEnvelope};
+use rds_sched::{Instance, Schedule};
+
+/// Scheduler choice of a job. Cheap one-shot list schedulers ride the
+/// express lane; search-based schedulers default to the heavy lane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algo {
+    /// Plain HEFT.
+    Heft,
+    /// CPOP.
+    Cpop,
+    /// Lookahead HEFT.
+    LookaheadHeft,
+    /// Stochastic HEFT with a mean + k·σ duration surrogate.
+    Sheft {
+        /// The σ multiplier.
+        k: f64,
+    },
+    /// The paper's ε-constraint GA (slack-robust).
+    Ga,
+    /// Simulated annealing under the same ε-constraint objective.
+    Sa,
+}
+
+impl Algo {
+    /// Parses a scheduler name as it appears in a job envelope.
+    ///
+    /// # Errors
+    /// Returns the unknown name.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "heft" => Algo::Heft,
+            "cpop" => Algo::Cpop,
+            "laheft" => Algo::LookaheadHeft,
+            "sheft" => Algo::Sheft { k: 1.0 },
+            "ga" => Algo::Ga,
+            "sa" => Algo::Sa,
+            other => {
+                return Err(format!(
+                    "unknown algo '{other}' (heft|cpop|laheft|sheft|ga|sa)"
+                ))
+            }
+        })
+    }
+
+    /// Canonical envelope name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Heft => "heft",
+            Algo::Cpop => "cpop",
+            Algo::LookaheadHeft => "laheft",
+            Algo::Sheft { .. } => "sheft",
+            Algo::Ga => "ga",
+            Algo::Sa => "sa",
+        }
+    }
+
+    /// The lane this scheduler runs on unless the job overrides it.
+    #[must_use]
+    pub fn default_lane(self) -> Lane {
+        match self {
+            Algo::Heft | Algo::Cpop | Algo::LookaheadHeft | Algo::Sheft { .. } => Lane::Express,
+            Algo::Ga | Algo::Sa => Lane::Heavy,
+        }
+    }
+}
+
+/// Priority lane of the job queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lane {
+    /// Cheap list schedulers: served first, low latency.
+    Express,
+    /// Search-based schedulers (GA/SA): served when no express work waits.
+    Heavy,
+}
+
+impl Lane {
+    /// Lane name as it appears in envelopes and metrics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lane::Express => "express",
+            Lane::Heavy => "heavy",
+        }
+    }
+}
+
+/// A fully validated job, ready to enqueue.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Client-chosen identifier, echoed in the result.
+    pub id: String,
+    /// Scheduler choice.
+    pub algo: Algo,
+    /// ε of the ε-constraint objective (GA/SA); must be ≥ 1.
+    pub epsilon: f64,
+    /// Seed for seeded schedulers.
+    pub seed: u64,
+    /// GA generation budget override.
+    pub generations: Option<usize>,
+    /// Wall-clock deadline budget. Overrunning GA jobs are cancelled
+    /// cooperatively and degrade (best-so-far, then HEFT).
+    pub deadline: Option<Duration>,
+    /// Lane override; defaults to [`Algo::default_lane`].
+    pub lane: Option<Lane>,
+    /// The instance, shared without copying across queue and cache.
+    pub instance: Arc<Instance>,
+}
+
+impl JobSpec {
+    /// A job with defaults (ε = 1.3, seed 0, no deadline, default lane).
+    #[must_use]
+    pub fn new(id: impl Into<String>, algo: Algo, instance: Arc<Instance>) -> Self {
+        Self {
+            id: id.into(),
+            algo,
+            epsilon: 1.3,
+            seed: 0,
+            generations: None,
+            deadline: None,
+            lane: None,
+            instance,
+        }
+    }
+
+    /// Sets the seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets ε.
+    #[must_use]
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the GA generation budget.
+    #[must_use]
+    pub fn generations(mut self, g: usize) -> Self {
+        self.generations = Some(g);
+        self
+    }
+
+    /// Sets the deadline budget.
+    #[must_use]
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// The lane the job will be queued on.
+    #[must_use]
+    pub fn lane(&self) -> Lane {
+        self.lane.unwrap_or_else(|| self.algo.default_lane())
+    }
+
+    /// Validates and converts a parsed wire envelope.
+    ///
+    /// # Errors
+    /// Returns a message describing the first invalid field — envelope
+    /// content is untrusted, so nothing here may panic.
+    pub fn from_envelope(env: JobEnvelope) -> Result<Self, String> {
+        let algo = Algo::parse(&env.algo)?;
+        let lane = match env.lane.as_deref() {
+            None => None,
+            Some("express") => Some(Lane::Express),
+            Some("heavy") => Some(Lane::Heavy),
+            Some(other) => return Err(format!("unknown lane '{other}'")),
+        };
+        let spec = Self {
+            id: env.id,
+            algo,
+            epsilon: env.epsilon,
+            seed: env.seed,
+            generations: env.generations,
+            deadline: env.deadline_ms.map(Duration::from_millis),
+            lane,
+            instance: Arc::new(env.instance),
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Admission-side validation shared by every entry point.
+    ///
+    /// # Errors
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.id.is_empty() || self.id.split_whitespace().count() != 1 {
+            return Err("job id must be a single non-empty token".into());
+        }
+        if self.instance.task_count() == 0 {
+            return Err("instance has no tasks".into());
+        }
+        if self.instance.proc_count() == 0 {
+            return Err("instance has no processors".into());
+        }
+        if !self.epsilon.is_finite() || self.epsilon < 1.0 {
+            return Err(format!(
+                "epsilon must be a finite value >= 1.0 (got {})",
+                self.epsilon
+            ));
+        }
+        if self.generations == Some(0) {
+            return Err("generations must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+/// How a completed job was degraded to meet its deadline budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Degradation {
+    /// Ran to completion within budget.
+    None,
+    /// The GA was cancelled mid-run; the best feasible solution found so
+    /// far was returned.
+    BestSoFar,
+    /// The GA was cancelled before finding a feasible solution; the plain
+    /// HEFT schedule was returned instead.
+    HeftFallback,
+}
+
+impl Degradation {
+    /// Envelope tag.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Degradation::None => "none",
+            Degradation::BestSoFar => "deadline-best-so-far",
+            Degradation::HeftFallback => "deadline-heft",
+        }
+    }
+}
+
+/// A successfully produced schedule with its accounting.
+#[derive(Debug, Clone)]
+pub struct JobOutput {
+    /// The schedule.
+    pub schedule: Schedule,
+    /// Expected makespan `M₀`.
+    pub makespan: f64,
+    /// Average slack `σ̄`.
+    pub avg_slack: f64,
+    /// Whether the schedule came from the cache.
+    pub cache_hit: bool,
+    /// Deadline degradation applied, if any.
+    pub degraded: Degradation,
+}
+
+/// Why a job produced no schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// Rejected at admission (validation or backpressure); never entered
+    /// the queue.
+    Rejected(String),
+    /// Accepted but the scheduler failed.
+    Failed(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::Rejected(r) => write!(f, "rejected: {r}"),
+            JobError::Failed(r) => write!(f, "failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// Terminal outcome of one job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Echoed job id.
+    pub id: String,
+    /// The schedule or the typed failure.
+    pub outcome: Result<JobOutput, JobError>,
+    /// Lane the job was (or would have been) served on.
+    pub lane: Lane,
+}
+
+impl JobResult {
+    /// Renders the result as a wire envelope.
+    #[must_use]
+    pub fn to_envelope(&self) -> ResultEnvelope {
+        match &self.outcome {
+            Ok(out) => ResultEnvelope {
+                id: self.id.clone(),
+                status: "ok".into(),
+                cache: Some(if out.cache_hit { "hit" } else { "miss" }.into()),
+                degraded: Some(out.degraded.name().into()),
+                makespan: Some(out.makespan),
+                avg_slack: Some(out.avg_slack),
+                reason: None,
+                schedule: Some(out.schedule.clone()),
+            },
+            Err(e) => ResultEnvelope {
+                id: self.id.clone(),
+                status: match e {
+                    JobError::Rejected(_) => "rejected",
+                    JobError::Failed(_) => "error",
+                }
+                .into(),
+                cache: None,
+                degraded: None,
+                makespan: None,
+                avg_slack: None,
+                reason: Some(match e {
+                    JobError::Rejected(r) | JobError::Failed(r) => r.clone(),
+                }),
+                schedule: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::InstanceSpec;
+
+    fn inst() -> Arc<Instance> {
+        Arc::new(InstanceSpec::new(10, 2).seed(1).build().unwrap())
+    }
+
+    #[test]
+    fn algo_parse_roundtrips_names() {
+        for name in ["heft", "cpop", "laheft", "sheft", "ga", "sa"] {
+            assert_eq!(Algo::parse(name).unwrap().name(), name);
+        }
+        assert!(Algo::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn lanes_default_by_cost() {
+        assert_eq!(Algo::Heft.default_lane(), Lane::Express);
+        assert_eq!(Algo::Sheft { k: 1.0 }.default_lane(), Lane::Express);
+        assert_eq!(Algo::Ga.default_lane(), Lane::Heavy);
+        assert_eq!(Algo::Sa.default_lane(), Lane::Heavy);
+        let mut spec = JobSpec::new("j", Algo::Ga, inst());
+        assert_eq!(spec.lane(), Lane::Heavy);
+        spec.lane = Some(Lane::Express);
+        assert_eq!(spec.lane(), Lane::Express);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let ok = JobSpec::new("j", Algo::Heft, inst());
+        assert!(ok.validate().is_ok());
+        assert!(JobSpec::new("", Algo::Heft, inst()).validate().is_err());
+        assert!(JobSpec::new("two words", Algo::Heft, inst())
+            .validate()
+            .is_err());
+        assert!(JobSpec::new("j", Algo::Ga, inst())
+            .epsilon(0.9)
+            .validate()
+            .is_err());
+        assert!(JobSpec::new("j", Algo::Ga, inst())
+            .epsilon(f64::NAN)
+            .validate()
+            .is_err());
+        let mut zero_gen = JobSpec::new("j", Algo::Ga, inst());
+        zero_gen.generations = Some(0);
+        assert!(zero_gen.validate().is_err());
+    }
+
+    #[test]
+    fn result_envelope_reflects_outcome() {
+        let res = JobResult {
+            id: "a".into(),
+            outcome: Err(JobError::Rejected("queue full".into())),
+            lane: Lane::Heavy,
+        };
+        let env = res.to_envelope();
+        assert_eq!(env.status, "rejected");
+        assert_eq!(env.reason.as_deref(), Some("queue full"));
+        assert!(env.schedule.is_none());
+    }
+}

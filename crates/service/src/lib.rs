@@ -1,0 +1,39 @@
+//! `rds-service`: a long-running scheduling service.
+//!
+//! Accepts jobs — an [`Instance`](rds_sched::Instance), a scheduler
+//! choice, and the ε / robustness knobs — and runs them on a fixed-size
+//! worker pool with:
+//!
+//! - a **bounded two-lane job queue** with admission control and
+//!   backpressure ([`queue`]): cheap list-scheduler jobs ride the express
+//!   lane past expensive GA/SA searches, and a full lane rejects with a
+//!   reason instead of blocking;
+//! - a **content-addressed schedule cache** ([`cache`]) keyed by the
+//!   stable instance fingerprint plus every schedule-determining knob,
+//!   with hit/miss accounting;
+//! - **per-job deadline budgets** that cancel overrunning GA runs
+//!   cooperatively and degrade to the best feasible solution so far, or
+//!   to plain HEFT ([`job::Degradation`]);
+//! - a [`metrics::ServiceMetrics`] snapshot: queue depth, in-flight,
+//!   completed/rejected/fallback counts, cache hit rate, per-lane
+//!   latency percentiles.
+//!
+//! [`Service::run_batch`] is the deterministic in-process harness: with
+//! unique job ids and seeded schedulers its result set is identical for
+//! any worker count. The `rds serve` / `rds submit` CLI wraps the same
+//! service behind the line-oriented envelopes of `rds_sched::io`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod job;
+pub mod metrics;
+pub mod queue;
+pub mod service;
+
+pub use cache::{CacheKey, CachedSchedule, ScheduleCache};
+pub use job::{Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane};
+pub use metrics::{LaneLatency, ServiceMetrics};
+pub use queue::{PushError, TwoLaneQueue};
+pub use service::{Service, ServiceConfig};

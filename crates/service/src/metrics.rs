@@ -1,0 +1,263 @@
+//! Service observability: counters and per-lane latency percentiles.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use rds_stats::describe::Summary;
+
+use crate::job::Lane;
+
+/// Shared mutable counters, updated by admission control and workers.
+#[derive(Default)]
+pub(crate) struct MetricsInner {
+    state: Mutex<MetricsState>,
+}
+
+#[derive(Default)]
+struct MetricsState {
+    submitted: u64,
+    completed: u64,
+    rejected_full: u64,
+    rejected_invalid: u64,
+    failed: u64,
+    deadline_fallbacks: u64,
+    in_flight: u64,
+    express_latencies: Vec<f64>,
+    heavy_latencies: Vec<f64>,
+}
+
+impl MetricsInner {
+    fn lock(&self) -> std::sync::MutexGuard<'_, MetricsState> {
+        self.state.lock().expect("metrics mutex")
+    }
+
+    pub(crate) fn submitted(&self) {
+        self.lock().submitted += 1;
+    }
+
+    pub(crate) fn rejected_full(&self) {
+        self.lock().rejected_full += 1;
+    }
+
+    pub(crate) fn rejected_invalid(&self) {
+        self.lock().rejected_invalid += 1;
+    }
+
+    pub(crate) fn job_started(&self) {
+        self.lock().in_flight += 1;
+    }
+
+    /// Records a finished job: its lane latency (seconds, enqueue to
+    /// completion), whether it failed, and whether it degraded to meet a
+    /// deadline.
+    pub(crate) fn job_finished(
+        &self,
+        lane: Lane,
+        latency_secs: f64,
+        failed: bool,
+        deadline_fallback: bool,
+    ) {
+        let mut s = self.lock();
+        s.in_flight = s.in_flight.saturating_sub(1);
+        if failed {
+            s.failed += 1;
+        } else {
+            s.completed += 1;
+        }
+        if deadline_fallback {
+            s.deadline_fallbacks += 1;
+        }
+        match lane {
+            Lane::Express => s.express_latencies.push(latency_secs),
+            Lane::Heavy => s.heavy_latencies.push(latency_secs),
+        }
+    }
+
+    pub(crate) fn snapshot(
+        &self,
+        queue_depths: (usize, usize),
+        cache_stats: (u64, u64),
+    ) -> ServiceMetrics {
+        let s = self.lock();
+        let (cache_hits, cache_misses) = cache_stats;
+        let looked_up = cache_hits + cache_misses;
+        ServiceMetrics {
+            submitted: s.submitted,
+            completed: s.completed,
+            rejected_full: s.rejected_full,
+            rejected_invalid: s.rejected_invalid,
+            failed: s.failed,
+            deadline_fallbacks: s.deadline_fallbacks,
+            in_flight: s.in_flight,
+            queue_depth_express: queue_depths.0,
+            queue_depth_heavy: queue_depths.1,
+            cache_hits,
+            cache_misses,
+            cache_hit_rate: if looked_up == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / looked_up as f64
+            },
+            express: LaneLatency::from_samples(&s.express_latencies),
+            heavy: LaneLatency::from_samples(&s.heavy_latencies),
+        }
+    }
+}
+
+/// Latency distribution of one lane (seconds, enqueue → completion).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaneLatency {
+    /// Number of jobs finished on this lane.
+    pub count: usize,
+    /// Median latency.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed.
+    pub max: f64,
+}
+
+impl LaneLatency {
+    fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return Self {
+                count: 0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
+        }
+        let summary = Summary::from_samples(samples.to_vec());
+        Self {
+            count: summary.len(),
+            p50: summary.quantile(0.50),
+            p95: summary.quantile(0.95),
+            p99: summary.quantile(0.99),
+            max: summary.max(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of the service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceMetrics {
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Jobs finished successfully (including degraded and cache hits).
+    pub completed: u64,
+    /// Jobs refused by backpressure (a lane at capacity).
+    pub rejected_full: u64,
+    /// Jobs refused by validation.
+    pub rejected_invalid: u64,
+    /// Jobs accepted but failed in the scheduler.
+    pub failed: u64,
+    /// Jobs that degraded (best-so-far or HEFT fallback) to meet a
+    /// deadline budget.
+    pub deadline_fallbacks: u64,
+    /// Jobs currently executing on workers.
+    pub in_flight: u64,
+    /// Express-lane queue depth at snapshot time.
+    pub queue_depth_express: usize,
+    /// Heavy-lane queue depth at snapshot time.
+    pub queue_depth_heavy: usize,
+    /// Schedule-cache hits.
+    pub cache_hits: u64,
+    /// Schedule-cache misses.
+    pub cache_misses: u64,
+    /// `hits / (hits + misses)`, 0 when no lookups.
+    pub cache_hit_rate: f64,
+    /// Express-lane latency distribution.
+    pub express: LaneLatency,
+    /// Heavy-lane latency distribution.
+    pub heavy: LaneLatency,
+}
+
+impl ServiceMetrics {
+    /// Multi-line human-readable rendering (the `rds serve` shutdown
+    /// report).
+    #[must_use]
+    pub fn to_pretty_string(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "jobs submitted      : {}", self.submitted);
+        let _ = writeln!(out, "jobs completed      : {}", self.completed);
+        let _ = writeln!(out, "jobs failed         : {}", self.failed);
+        let _ = writeln!(out, "rejected (full)     : {}", self.rejected_full);
+        let _ = writeln!(out, "rejected (invalid)  : {}", self.rejected_invalid);
+        let _ = writeln!(out, "deadline fallbacks  : {}", self.deadline_fallbacks);
+        let _ = writeln!(out, "in flight           : {}", self.in_flight);
+        let _ = writeln!(
+            out,
+            "queue depth         : express {} / heavy {}",
+            self.queue_depth_express, self.queue_depth_heavy
+        );
+        let _ = writeln!(
+            out,
+            "cache               : {} hits / {} misses (hit rate {:.2})",
+            self.cache_hits, self.cache_misses, self.cache_hit_rate
+        );
+        for (name, lane) in [("express", &self.express), ("heavy", &self.heavy)] {
+            let _ = writeln!(
+                out,
+                "{name:<7} latency     : n={} p50={:.4}s p95={:.4}s p99={:.4}s max={:.4}s",
+                lane.count, lane.p50, lane.p95, lane.p99, lane.max
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let m = MetricsInner::default();
+        m.submitted();
+        m.submitted();
+        m.rejected_full();
+        m.rejected_invalid();
+        m.job_started();
+        m.job_finished(Lane::Express, 0.5, false, false);
+        m.job_started();
+        m.job_finished(Lane::Heavy, 2.0, false, true);
+        let snap = m.snapshot((1, 2), (3, 1));
+        assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.completed, 2);
+        assert_eq!(snap.rejected_full, 1);
+        assert_eq!(snap.rejected_invalid, 1);
+        assert_eq!(snap.deadline_fallbacks, 1);
+        assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.queue_depth_express, 1);
+        assert_eq!(snap.queue_depth_heavy, 2);
+        assert_eq!(snap.cache_hits, 3);
+        assert!((snap.cache_hit_rate - 0.75).abs() < 1e-12);
+        assert_eq!(snap.express.count, 1);
+        assert_eq!(snap.express.p50, 0.5);
+        assert_eq!(snap.heavy.max, 2.0);
+    }
+
+    #[test]
+    fn failures_count_separately() {
+        let m = MetricsInner::default();
+        m.job_started();
+        m.job_finished(Lane::Express, 0.1, true, false);
+        let snap = m.snapshot((0, 0), (0, 0));
+        assert_eq!(snap.completed, 0);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+        assert_eq!(snap.heavy.count, 0);
+    }
+
+    #[test]
+    fn pretty_string_mentions_key_lines() {
+        let m = MetricsInner::default();
+        let s = m.snapshot((0, 0), (0, 0)).to_pretty_string();
+        assert!(s.contains("cache"));
+        assert!(s.contains("express latency"));
+        assert!(s.contains("rejected (full)"));
+    }
+}

@@ -1,0 +1,285 @@
+//! A bounded, two-lane MPMC job queue with admission control.
+//!
+//! Express jobs (cheap list schedulers) are always served before heavy
+//! jobs (GA/SA), so a burst of expensive search jobs cannot starve
+//! latency-sensitive requests. Each lane is independently bounded;
+//! [`TwoLaneQueue::try_push`] rejects instead of blocking when a lane is
+//! full — that rejection *is* the service's backpressure signal.
+//!
+//! Implemented with a `Mutex` + two `Condvar`s rather than channels: lane
+//! priority needs one consumer wait-point over two buffers, which a
+//! channel-per-lane cannot express without busy polling.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::job::Lane;
+
+/// Why a push was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PushError {
+    /// The lane's buffer is at capacity (backpressure; retry later).
+    Full {
+        /// The lane that was full.
+        lane: Lane,
+        /// Its configured capacity.
+        capacity: usize,
+    },
+    /// The queue was closed; no further work is accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PushError::Full { lane, capacity } => {
+                write!(
+                    f,
+                    "queue full: {} lane at capacity {}",
+                    lane.name(),
+                    capacity
+                )
+            }
+            PushError::Closed => write!(f, "queue closed"),
+        }
+    }
+}
+
+impl std::error::Error for PushError {}
+
+struct Inner<T> {
+    express: VecDeque<T>,
+    heavy: VecDeque<T>,
+    closed: bool,
+    /// While paused, consumers wait even if work is queued (deterministic
+    /// tests and `--hold` mode fill the queue before any draining starts).
+    paused: bool,
+}
+
+/// The queue. `T` is the queued work item.
+pub struct TwoLaneQueue<T> {
+    inner: Mutex<Inner<T>>,
+    /// Signals consumers: work available, unpaused, or closed.
+    consumer: Condvar,
+    /// Signals blocked producers: space freed in some lane.
+    producer: Condvar,
+    capacity: usize,
+}
+
+impl<T> TwoLaneQueue<T> {
+    /// Creates a queue with the given per-lane capacity (≥ 1).
+    ///
+    /// # Panics
+    /// Panics when `capacity` is zero — a zero-capacity admission queue
+    /// can never accept work.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            inner: Mutex::new(Inner {
+                express: VecDeque::new(),
+                heavy: VecDeque::new(),
+                closed: false,
+                paused: false,
+            }),
+            consumer: Condvar::new(),
+            producer: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Per-lane capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lane_mut(inner: &mut Inner<T>, lane: Lane) -> &mut VecDeque<T> {
+        match lane {
+            Lane::Express => &mut inner.express,
+            Lane::Heavy => &mut inner.heavy,
+        }
+    }
+
+    /// Non-blocking push: the admission-control path.
+    ///
+    /// # Errors
+    /// [`PushError::Full`] when the lane is at capacity, [`PushError::Closed`]
+    /// after [`TwoLaneQueue::close`].
+    pub fn try_push(&self, lane: Lane, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue mutex");
+        if inner.closed {
+            return Err(PushError::Closed);
+        }
+        let cap = self.capacity;
+        let buf = Self::lane_mut(&mut inner, lane);
+        if buf.len() >= cap {
+            return Err(PushError::Full {
+                lane,
+                capacity: cap,
+            });
+        }
+        buf.push_back(item);
+        drop(inner);
+        self.consumer.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push: waits for space instead of rejecting. Used by the
+    /// deterministic in-process harness, where backpressure should slow
+    /// the producer down rather than drop work.
+    ///
+    /// # Errors
+    /// [`PushError::Closed`] when the queue closes while waiting.
+    pub fn push_blocking(&self, lane: Lane, item: T) -> Result<(), PushError> {
+        let mut inner = self.inner.lock().expect("queue mutex");
+        loop {
+            if inner.closed {
+                return Err(PushError::Closed);
+            }
+            let cap = self.capacity;
+            let buf = Self::lane_mut(&mut inner, lane);
+            if buf.len() < cap {
+                buf.push_back(item);
+                drop(inner);
+                self.consumer.notify_one();
+                return Ok(());
+            }
+            inner = self.producer.wait(inner).expect("queue mutex");
+        }
+    }
+
+    /// Blocking pop honoring lane priority: express first, then heavy.
+    /// Returns `None` once the queue is closed *and* drained — the worker
+    /// shutdown signal.
+    pub fn pop(&self) -> Option<T> {
+        let mut inner = self.inner.lock().expect("queue mutex");
+        loop {
+            if !inner.paused {
+                if let Some(item) = inner
+                    .express
+                    .pop_front()
+                    .or_else(|| inner.heavy.pop_front())
+                {
+                    drop(inner);
+                    self.producer.notify_one();
+                    return Some(item);
+                }
+                if inner.closed {
+                    return None;
+                }
+            }
+            inner = self.consumer.wait(inner).expect("queue mutex");
+        }
+    }
+
+    /// Stops consumers from draining (queued work accumulates).
+    pub fn pause(&self) {
+        self.inner.lock().expect("queue mutex").paused = true;
+    }
+
+    /// Resumes draining after [`TwoLaneQueue::pause`].
+    pub fn resume(&self) {
+        self.inner.lock().expect("queue mutex").paused = false;
+        self.consumer.notify_all();
+    }
+
+    /// Closes the queue: pending work is still drained, new pushes fail,
+    /// and blocked consumers wake with `None` once empty.
+    pub fn close(&self) {
+        self.inner.lock().expect("queue mutex").closed = true;
+        self.consumer.notify_all();
+        self.producer.notify_all();
+    }
+
+    /// Current queue depths `(express, heavy)`.
+    #[must_use]
+    pub fn depths(&self) -> (usize, usize) {
+        let inner = self.inner.lock().expect("queue mutex");
+        (inner.express.len(), inner.heavy.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn rejects_when_full_and_reports_lane() {
+        let q = TwoLaneQueue::new(2);
+        q.try_push(Lane::Heavy, 1).unwrap();
+        q.try_push(Lane::Heavy, 2).unwrap();
+        let err = q.try_push(Lane::Heavy, 3).unwrap_err();
+        assert_eq!(
+            err,
+            PushError::Full {
+                lane: Lane::Heavy,
+                capacity: 2
+            }
+        );
+        assert!(err.to_string().contains("heavy lane at capacity 2"));
+        // Lanes are independently bounded.
+        q.try_push(Lane::Express, 4).unwrap();
+        assert_eq!(q.depths(), (1, 2));
+    }
+
+    #[test]
+    fn pop_prefers_express() {
+        let q = TwoLaneQueue::new(8);
+        q.try_push(Lane::Heavy, 1).unwrap();
+        q.try_push(Lane::Heavy, 2).unwrap();
+        q.try_push(Lane::Express, 10).unwrap();
+        assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(1));
+        q.try_push(Lane::Express, 11).unwrap();
+        assert_eq!(q.pop(), Some(11));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_signals_none() {
+        let q = TwoLaneQueue::new(4);
+        q.try_push(Lane::Express, 1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(Lane::Express, 2), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pause_holds_work_until_resume() {
+        let q = Arc::new(TwoLaneQueue::new(4));
+        q.pause();
+        q.try_push(Lane::Express, 7).unwrap();
+        let handle = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop())
+        };
+        // The consumer must not pick the item up while paused.
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(q.depths(), (1, 0));
+        q.resume();
+        assert_eq!(handle.join().unwrap(), Some(7));
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(TwoLaneQueue::new(1));
+        q.try_push(Lane::Heavy, 1).unwrap();
+        let producer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.push_blocking(Lane::Heavy, 2))
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(q.pop(), Some(1));
+        producer.join().unwrap().unwrap();
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = TwoLaneQueue::<u32>::new(0);
+    }
+}

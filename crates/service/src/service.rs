@@ -1,0 +1,482 @@
+//! The service proper: worker pool, admission control, execution,
+//! deadline degradation.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rds_ga::{GaEngine, GaParams, Objective};
+use rds_heft::{cpop_schedule, heft_schedule, lookahead_heft_schedule, sheft_schedule, HeftResult};
+use rds_sched::slack;
+use rds_sched::{Instance, Schedule};
+
+use crate::cache::{CacheKey, CachedSchedule, ScheduleCache};
+use crate::job::{Algo, Degradation, JobError, JobOutput, JobResult, JobSpec};
+use crate::metrics::{MetricsInner, ServiceMetrics};
+use crate::queue::{PushError, TwoLaneQueue};
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Worker threads (≥ 1).
+    pub workers: usize,
+    /// Per-lane queue capacity; a full lane rejects (backpressure).
+    pub queue_capacity: usize,
+    /// Schedule-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Start with draining paused: jobs accumulate in the queue until
+    /// [`Service::resume`]. Deterministic backpressure tests and the
+    /// `rds serve --hold` mode rely on this.
+    pub start_paused: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 64,
+            cache_capacity: 128,
+            start_paused: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the worker count.
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Sets the per-lane queue capacity.
+    #[must_use]
+    pub fn queue_capacity(mut self, n: usize) -> Self {
+        self.queue_capacity = n;
+        self
+    }
+
+    /// Sets the cache capacity.
+    #[must_use]
+    pub fn cache_capacity(mut self, n: usize) -> Self {
+        self.cache_capacity = n;
+        self
+    }
+
+    /// Starts the service paused.
+    #[must_use]
+    pub fn paused(mut self) -> Self {
+        self.start_paused = true;
+        self
+    }
+}
+
+struct QueuedJob {
+    spec: JobSpec,
+    enqueued: Instant,
+}
+
+struct Shared {
+    queue: TwoLaneQueue<QueuedJob>,
+    cache: ScheduleCache,
+    metrics: MetricsInner,
+}
+
+/// A running scheduling service. Dropping it without
+/// [`Service::shutdown`] closes the queue and detaches the workers.
+pub struct Service {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    results_tx: mpsc::Sender<JobResult>,
+}
+
+impl Service {
+    /// Starts the worker pool. Returns the service handle and the stream
+    /// of job results (in completion order).
+    ///
+    /// # Panics
+    /// Panics when `config.workers` is zero or `config.queue_capacity` is
+    /// zero — a service that can neither run nor queue work is a
+    /// configuration bug, caught before any job is accepted.
+    #[must_use]
+    pub fn start(config: ServiceConfig) -> (Self, mpsc::Receiver<JobResult>) {
+        assert!(config.workers > 0, "service needs at least one worker");
+        let shared = Arc::new(Shared {
+            queue: TwoLaneQueue::new(config.queue_capacity),
+            cache: ScheduleCache::new(config.cache_capacity),
+            metrics: MetricsInner::default(),
+        });
+        if config.start_paused {
+            shared.queue.pause();
+        }
+        let (results_tx, results_rx) = mpsc::channel();
+        let handles = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let tx = results_tx.clone();
+                std::thread::spawn(move || worker_loop(&shared, &tx))
+            })
+            .collect();
+        (
+            Self {
+                shared,
+                handles,
+                results_tx,
+            },
+            results_rx,
+        )
+    }
+
+    /// Admission control: validate, then enqueue without blocking.
+    ///
+    /// # Errors
+    /// [`JobError::Rejected`] when validation fails or the lane is full;
+    /// the job never entered the queue and no result will be emitted.
+    pub fn submit(&self, spec: JobSpec) -> Result<(), JobError> {
+        self.admit(spec, false)
+    }
+
+    /// Like [`Service::submit`] but waits for queue space instead of
+    /// rejecting (backpressure slows the producer; used by `run_batch`).
+    ///
+    /// # Errors
+    /// [`JobError::Rejected`] when validation fails or the queue closed.
+    pub fn submit_blocking(&self, spec: JobSpec) -> Result<(), JobError> {
+        self.admit(spec, true)
+    }
+
+    fn admit(&self, spec: JobSpec, blocking: bool) -> Result<(), JobError> {
+        if let Err(reason) = spec.validate() {
+            self.shared.metrics.rejected_invalid();
+            return Err(JobError::Rejected(reason));
+        }
+        let lane = spec.lane();
+        let job = QueuedJob {
+            spec,
+            enqueued: Instant::now(),
+        };
+        let pushed = if blocking {
+            self.shared.queue.push_blocking(lane, job)
+        } else {
+            self.shared.queue.try_push(lane, job)
+        };
+        match pushed {
+            Ok(()) => {
+                self.shared.metrics.submitted();
+                Ok(())
+            }
+            Err(e @ PushError::Full { .. }) => {
+                self.shared.metrics.rejected_full();
+                Err(JobError::Rejected(e.to_string()))
+            }
+            Err(e @ PushError::Closed) => Err(JobError::Rejected(e.to_string())),
+        }
+    }
+
+    /// A clone of the result sender, so an embedding frontend (the `rds
+    /// serve` loop) can inject synthesized results — e.g. rejection
+    /// envelopes — into the same ordered stream the workers feed.
+    #[must_use]
+    pub fn result_sender(&self) -> mpsc::Sender<JobResult> {
+        self.results_tx.clone()
+    }
+
+    /// Pauses draining (jobs accumulate).
+    pub fn pause(&self) {
+        self.shared.queue.pause();
+    }
+
+    /// Resumes draining.
+    pub fn resume(&self) {
+        self.shared.queue.resume();
+    }
+
+    /// Current metrics snapshot.
+    #[must_use]
+    pub fn metrics(&self) -> ServiceMetrics {
+        self.shared
+            .metrics
+            .snapshot(self.shared.queue.depths(), self.shared.cache.stats())
+    }
+
+    /// Closes the queue (drains pending work, rejects new work), joins
+    /// every worker, and returns the final metrics snapshot. The result
+    /// receiver disconnects once the last sender (including this
+    /// service's own) is gone.
+    pub fn shutdown(self) -> ServiceMetrics {
+        self.shared.queue.resume();
+        self.shared.queue.close();
+        for h in self.handles {
+            let _ = h.join();
+        }
+        self.shared
+            .metrics
+            .snapshot(self.shared.queue.depths(), self.shared.cache.stats())
+    }
+
+    /// Deterministic in-process harness: starts a service, feeds `jobs`
+    /// with blocking backpressure, waits for every accepted job, shuts
+    /// down, and returns `(results, metrics)` with results sorted by job
+    /// id. With unique ids and seeded jobs the result set is identical
+    /// for any worker count — the concurrency layer adds throughput, not
+    /// nondeterminism.
+    #[must_use]
+    pub fn run_batch(
+        config: ServiceConfig,
+        jobs: Vec<JobSpec>,
+    ) -> (Vec<JobResult>, ServiceMetrics) {
+        let mut config = config;
+        config.start_paused = false; // paused workers would deadlock the feeder
+        let (service, results_rx) = Self::start(config);
+        let mut results: Vec<JobResult> = Vec::with_capacity(jobs.len());
+        let mut accepted = 0usize;
+        for spec in jobs {
+            let id = spec.id.clone();
+            let lane = spec.lane();
+            match service.submit_blocking(spec) {
+                Ok(()) => accepted += 1,
+                Err(e) => results.push(JobResult {
+                    id,
+                    outcome: Err(e),
+                    lane,
+                }),
+            }
+        }
+        for _ in 0..accepted {
+            match results_rx.recv() {
+                Ok(r) => results.push(r),
+                Err(_) => break,
+            }
+        }
+        let metrics = service.shutdown();
+        results.sort_by(|a, b| a.id.cmp(&b.id));
+        (results, metrics)
+    }
+}
+
+fn worker_loop(shared: &Shared, results_tx: &mpsc::Sender<JobResult>) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.job_started();
+        let lane = job.spec.lane();
+        let id = job.spec.id.clone();
+        let outcome = execute(&job.spec, &shared.cache);
+        let latency = job.enqueued.elapsed().as_secs_f64();
+        let failed = outcome.is_err();
+        let fallback = matches!(
+            &outcome,
+            Ok(out) if out.degraded != Degradation::None
+        );
+        shared.metrics.job_finished(lane, latency, failed, fallback);
+        // A disconnected receiver means the frontend is gone; keep
+        // draining so shutdown still completes.
+        let _ = results_tx.send(JobResult { id, outcome, lane });
+    }
+}
+
+/// Runs one job: cache lookup → scheduler (with cooperative deadline
+/// cancellation for the GA) → assessment → cache fill.
+fn execute(spec: &JobSpec, cache: &ScheduleCache) -> Result<JobOutput, JobError> {
+    let key = CacheKey::for_job(spec);
+    if let Some(hit) = cache.lookup(&key) {
+        return Ok(JobOutput {
+            schedule: hit.schedule,
+            makespan: hit.makespan,
+            avg_slack: hit.avg_slack,
+            cache_hit: true,
+            degraded: Degradation::None,
+        });
+    }
+    let deadline = spec.deadline.map(|budget| Instant::now() + budget);
+    let (schedule, degraded) = produce_schedule(spec, deadline)?;
+    let (makespan, avg_slack) = assess(&spec.instance, &schedule)?;
+    if degraded == Degradation::None {
+        cache.insert(
+            key,
+            CachedSchedule {
+                schedule: schedule.clone(),
+                makespan,
+                avg_slack,
+            },
+        );
+    }
+    Ok(JobOutput {
+        schedule,
+        makespan,
+        avg_slack,
+        cache_hit: false,
+        degraded,
+    })
+}
+
+/// Expected-time makespan and average slack of a schedule, as a value
+/// (a malformed schedule must not panic the daemon).
+fn assess(inst: &Instance, schedule: &Schedule) -> Result<(f64, f64), JobError> {
+    let analysis = slack::analyze_expected(inst, schedule)
+        .map_err(|e| JobError::Failed(format!("produced schedule is invalid: {e}")))?;
+    Ok((analysis.makespan, analysis.average_slack))
+}
+
+fn produce_schedule(
+    spec: &JobSpec,
+    deadline: Option<Instant>,
+) -> Result<(Schedule, Degradation), JobError> {
+    let inst = spec.instance.as_ref();
+    let express = |r: HeftResult| Ok((r.schedule, Degradation::None));
+    match spec.algo {
+        Algo::Heft => express(heft_schedule(inst)),
+        Algo::Cpop => express(cpop_schedule(inst)),
+        Algo::LookaheadHeft => express(lookahead_heft_schedule(inst)),
+        Algo::Sheft { k } => express(sheft_schedule(inst, k)),
+        Algo::Ga => run_ga(spec, deadline),
+        Algo::Sa => {
+            let heft = heft_schedule(inst);
+            let objective = Objective::EpsilonConstraint {
+                epsilon: spec.epsilon,
+                reference_makespan: heft.makespan,
+            };
+            let params = rds_anneal::SaParams::default().seed(spec.seed);
+            let sa = rds_anneal::try_anneal(inst, params, objective)
+                .map_err(|e| JobError::Failed(format!("invalid SA parameters: {e}")))?;
+            Ok((sa.best.decode(inst.proc_count()), Degradation::None))
+        }
+    }
+}
+
+/// The ε-constraint GA with a cooperative deadline watch. On
+/// cancellation the escalation ladder mirrors the sentinel executor's:
+/// best feasible solution so far, then plain HEFT.
+fn run_ga(spec: &JobSpec, deadline: Option<Instant>) -> Result<(Schedule, Degradation), JobError> {
+    let inst = spec.instance.as_ref();
+    let heft = heft_schedule(inst);
+    let objective = Objective::EpsilonConstraint {
+        epsilon: spec.epsilon,
+        reference_makespan: heft.makespan,
+    };
+    let mut params = GaParams::paper().seed(spec.seed);
+    if let Some(g) = spec.generations {
+        params = params.max_generations(g).stall_generations((g / 5).max(10));
+    }
+    let engine = GaEngine::try_new(inst, params, objective)
+        .map_err(|e| JobError::Failed(format!("invalid GA parameters: {e}")))?;
+    let ga = match deadline {
+        Some(deadline) => engine.run_with_watch(&mut |_| Instant::now() >= deadline),
+        None => engine.run(),
+    };
+    if ga.interrupted {
+        if ga.best_feasible {
+            Ok((ga.best_schedule(inst), Degradation::BestSoFar))
+        } else {
+            Ok((heft.schedule, Degradation::HeftFallback))
+        }
+    } else {
+        Ok((ga.best_schedule(inst), Degradation::None))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::InstanceSpec;
+    use std::time::Duration;
+
+    fn inst(seed: u64) -> Arc<Instance> {
+        Arc::new(
+            InstanceSpec::new(15, 3)
+                .seed(seed)
+                .build()
+                .expect("test instance"),
+        )
+    }
+
+    #[test]
+    fn express_job_runs_and_matches_direct_heft() {
+        let i = inst(1);
+        let jobs = vec![JobSpec::new("a", Algo::Heft, Arc::clone(&i))];
+        let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), jobs);
+        assert_eq!(results.len(), 1);
+        let out = results[0].outcome.as_ref().expect("heft succeeds");
+        assert_eq!(out.schedule, heft_schedule(&i).schedule);
+        assert!(!out.cache_hit);
+        assert_eq!(metrics.completed, 1);
+        assert_eq!(metrics.cache_misses, 1);
+    }
+
+    #[test]
+    fn repeated_instance_hits_cache_and_agrees() {
+        let i = inst(2);
+        let jobs = vec![
+            JobSpec::new("a", Algo::Heft, Arc::clone(&i)),
+            JobSpec::new("b", Algo::Heft, Arc::clone(&i)),
+        ];
+        // One worker: the second lookup happens strictly after the first
+        // insert, so exactly one miss and one hit.
+        let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), jobs);
+        assert_eq!(metrics.cache_hits, 1);
+        assert_eq!(metrics.cache_misses, 1);
+        assert!((metrics.cache_hit_rate - 0.5).abs() < 1e-12);
+        let a = results[0].outcome.as_ref().unwrap();
+        let b = results[1].outcome.as_ref().unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+        assert!(a.cache_hit != b.cache_hit, "exactly one served from cache");
+    }
+
+    #[test]
+    fn invalid_job_is_rejected_synchronously() {
+        let (service, _rx) = Service::start(ServiceConfig::default().workers(1));
+        let bad = JobSpec::new("", Algo::Heft, inst(3));
+        let err = service.submit(bad).unwrap_err();
+        assert!(matches!(err, JobError::Rejected(_)));
+        let snap = service.metrics();
+        assert_eq!(snap.rejected_invalid, 1);
+        assert_eq!(snap.submitted, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_zero_degrades_deterministically() {
+        let i = inst(4);
+        let job = JobSpec::new("g", Algo::Ga, Arc::clone(&i))
+            .seed(7)
+            .deadline(Duration::ZERO);
+        let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), vec![job]);
+        let out = results[0].outcome.as_ref().expect("degraded, not failed");
+        assert_ne!(out.degraded, Degradation::None);
+        assert!(out.schedule.validate_against(&i.graph).is_ok());
+        assert_eq!(metrics.deadline_fallbacks, 1);
+        // Degraded results must not poison the cache.
+        let job2 = JobSpec::new("g2", Algo::Ga, Arc::clone(&i)).seed(7);
+        let (_, m2) = Service::run_batch(ServiceConfig::default().workers(1), vec![job2]);
+        assert_eq!(m2.cache_hits, 0);
+    }
+
+    #[test]
+    fn express_lane_overtakes_queued_heavy_work() {
+        // Paused service, heavy jobs queued first, then an express job:
+        // on resume with one worker the express job must finish first.
+        let i = inst(5);
+        let (service, rx) = Service::start(
+            ServiceConfig::default()
+                .workers(1)
+                .queue_capacity(8)
+                .paused(),
+        );
+        for n in 0..2 {
+            service
+                .submit(
+                    JobSpec::new(format!("heavy-{n}"), Algo::Ga, Arc::clone(&i))
+                        .seed(n)
+                        .generations(5),
+                )
+                .unwrap();
+        }
+        service
+            .submit(JobSpec::new("fast", Algo::Heft, Arc::clone(&i)))
+            .unwrap();
+        service.resume();
+        let first = rx.recv().unwrap();
+        assert_eq!(first.id, "fast");
+        service.shutdown();
+    }
+}

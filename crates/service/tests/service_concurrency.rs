@@ -1,0 +1,164 @@
+//! Concurrency guarantees of the scheduling service: worker-count
+//! independence, backpressure, deadline fallback, and cache coherence.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rds_sched::{Instance, InstanceSpec};
+use rds_service::{Algo, Degradation, JobError, JobSpec, Service, ServiceConfig};
+
+fn inst(seed: u64, tasks: usize, procs: usize) -> Arc<Instance> {
+    Arc::new(
+        InstanceSpec::new(tasks, procs)
+            .seed(seed)
+            .build()
+            .expect("test instance"),
+    )
+}
+
+/// A mixed batch: express list-scheduler jobs and quick seeded GA jobs
+/// over a few distinct instances (some shared, to exercise the cache).
+fn mixed_jobs() -> Vec<JobSpec> {
+    let a = inst(11, 20, 3);
+    let b = inst(22, 15, 4);
+    let mut jobs = vec![
+        JobSpec::new("h-a", Algo::Heft, Arc::clone(&a)),
+        JobSpec::new("h-b", Algo::Heft, Arc::clone(&b)),
+        JobSpec::new("c-a", Algo::Cpop, Arc::clone(&a)),
+        JobSpec::new("s-b", Algo::Sheft { k: 1.0 }, Arc::clone(&b)),
+    ];
+    for (n, seed) in [(0u32, 5u64), (1, 6), (2, 5)] {
+        jobs.push(
+            JobSpec::new(format!("g-{n}"), Algo::Ga, Arc::clone(&a))
+                .seed(seed)
+                .generations(8),
+        );
+    }
+    jobs
+}
+
+/// The tentpole determinism claim: `run_batch` produces the same result
+/// set regardless of worker count. Schedulers are deterministic per seed
+/// and cache hits return bit-identical schedules, so only completion
+/// *order* may differ — and `run_batch` sorts by id.
+#[test]
+fn run_batch_is_worker_count_invariant() {
+    let (one, m1) = Service::run_batch(ServiceConfig::default().workers(1), mixed_jobs());
+    let (four, m4) = Service::run_batch(ServiceConfig::default().workers(4), mixed_jobs());
+    assert_eq!(one.len(), four.len());
+    for (a, b) in one.iter().zip(four.iter()) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.lane, b.lane);
+        let (oa, ob) = (
+            a.outcome.as_ref().expect("1-worker job succeeds"),
+            b.outcome.as_ref().expect("4-worker job succeeds"),
+        );
+        assert_eq!(oa.schedule, ob.schedule, "job {}", a.id);
+        assert_eq!(
+            oa.makespan.to_bits(),
+            ob.makespan.to_bits(),
+            "job {} makespan",
+            a.id
+        );
+        assert_eq!(
+            oa.avg_slack.to_bits(),
+            ob.avg_slack.to_bits(),
+            "job {} slack",
+            a.id
+        );
+    }
+    assert_eq!(m1.completed, m4.completed);
+    assert_eq!(m1.failed + m4.failed, 0);
+    // g-0 and g-2 share instance+seed+knobs: with one worker the second
+    // is necessarily a cache hit. With four workers both may race past
+    // the cache, so only the single-worker count is exact.
+    assert_eq!(m1.cache_hits, 1);
+}
+
+#[test]
+fn full_lane_rejects_with_reason_and_metrics() {
+    let i = inst(33, 12, 3);
+    let (service, rx) = Service::start(
+        ServiceConfig::default()
+            .workers(1)
+            .queue_capacity(2)
+            .paused(),
+    );
+    service
+        .submit(JobSpec::new("a", Algo::Heft, Arc::clone(&i)))
+        .expect("fits");
+    service
+        .submit(JobSpec::new("b", Algo::Heft, Arc::clone(&i)))
+        .expect("fits");
+    let err = service
+        .submit(JobSpec::new("c", Algo::Heft, Arc::clone(&i)))
+        .expect_err("third job overflows the express lane");
+    match &err {
+        JobError::Rejected(reason) => {
+            assert!(reason.contains("queue full"), "got: {reason}");
+            assert!(reason.contains("express"), "got: {reason}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+    // The heavy lane is independently bounded: still open.
+    service
+        .submit(JobSpec::new("g", Algo::Ga, Arc::clone(&i)).generations(5))
+        .expect("heavy lane has space");
+    let snap = service.metrics();
+    assert_eq!(snap.rejected_full, 1);
+    assert_eq!(snap.submitted, 3);
+    assert_eq!(snap.queue_depth_express, 2);
+    service.resume();
+    let mut done = 0;
+    while done < 3 {
+        let r = rx.recv().expect("workers alive");
+        assert!(r.outcome.is_ok());
+        done += 1;
+    }
+    let snap = service.metrics();
+    assert_eq!(snap.completed, 3);
+    assert_eq!(snap.rejected_full, 1);
+    service.shutdown();
+}
+
+#[test]
+fn deadline_budget_degrades_instead_of_overrunning() {
+    let i = inst(44, 25, 3);
+    // Duration::ZERO expires before the first generation: the watch fires
+    // deterministically, so this test is not timing-sensitive.
+    let job = JobSpec::new("slow-ga", Algo::Ga, Arc::clone(&i))
+        .seed(3)
+        .generations(4000)
+        .deadline(Duration::ZERO);
+    let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), vec![job]);
+    let out = results[0]
+        .outcome
+        .as_ref()
+        .expect("degradation still yields a schedule");
+    assert_ne!(out.degraded, Degradation::None);
+    assert!(out.schedule.validate_against(&i.graph).is_ok());
+    assert!(out.makespan > 0.0);
+    assert_eq!(metrics.deadline_fallbacks, 1);
+    assert_eq!(metrics.completed, 1);
+}
+
+#[test]
+fn resubmission_is_served_from_cache() {
+    let i = inst(55, 18, 3);
+    let jobs = vec![
+        JobSpec::new("first", Algo::Ga, Arc::clone(&i))
+            .seed(9)
+            .generations(6),
+        JobSpec::new("second", Algo::Ga, Arc::clone(&i))
+            .seed(9)
+            .generations(6),
+    ];
+    let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), jobs);
+    assert_eq!(metrics.cache_hits, 1);
+    assert_eq!(metrics.cache_misses, 1);
+    let a = results[0].outcome.as_ref().expect("first job");
+    let b = results[1].outcome.as_ref().expect("second job");
+    assert_eq!(a.schedule, b.schedule);
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits());
+    assert!(a.cache_hit != b.cache_hit, "exactly one was the hit");
+}

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the scheduling service: a serve process fed over
+# pipes must return a valid schedule matching the in-process scheduler,
+# record a cache hit on an identical resubmission, and reject queue
+# overflow cleanly (with metrics reflecting it). Used by CI; also a
+# usage example for `rds serve` / `rds submit`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -z "${RDS:-}" ]; then
+  cargo build --release
+  RDS=target/release/rds
+fi
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "serve_quick: FAIL: $*" >&2; exit 1; }
+
+# --- 1. Instance + in-process reference schedule. -----------------------
+"$RDS" gen --tasks 30 --procs 4 --seed 11 -o "$TMP/inst.rds" >/dev/null
+"$RDS" schedule -i "$TMP/inst.rds" --algo heft -o "$TMP/ref.rds" >/dev/null
+
+# --- 2. Two identical jobs through a one-worker serve. ------------------
+"$RDS" submit -i "$TMP/inst.rds" --algo heft --id job-a --emit 1 > "$TMP/job.rds"
+{ cat "$TMP/job.rds"; sed 's/^id job-a$/id job-b/' "$TMP/job.rds"; } > "$TMP/jobs.rds"
+"$RDS" serve --workers 1 < "$TMP/jobs.rds" > "$TMP/results.rds" 2> "$TMP/metrics.txt"
+
+[ "$(grep -c '^status ok$' "$TMP/results.rds")" = 2 ] \
+  || fail "expected 2 ok results, got: $(cat "$TMP/results.rds")"
+grep -q '^cache hit$' "$TMP/results.rds" \
+  || fail "identical resubmission was not served from cache"
+grep -q '1 hits / 1 misses' "$TMP/metrics.txt" \
+  || fail "metrics do not record the cache hit: $(cat "$TMP/metrics.txt")"
+
+# The served schedule must be byte-identical to the in-process one.
+awk '/^schedule$/{grab=1; next} /^end rds-result$/{if(grab) exit} grab' \
+  "$TMP/results.rds" > "$TMP/served.rds"
+diff -u "$TMP/ref.rds" "$TMP/served.rds" \
+  || fail "served schedule differs from in-process HEFT"
+
+# --- 3. Queue overflow rejects cleanly. ---------------------------------
+# Hold mode queues without draining; capacity 1 means jobs 2-4 overflow.
+for n in 1 2 3 4; do
+  sed "s/^id job-a$/id ovf-$n/" "$TMP/job.rds"
+done > "$TMP/burst.rds"
+"$RDS" serve --workers 1 --queue-cap 1 --hold 1 < "$TMP/burst.rds" \
+  > "$TMP/burst_results.rds" 2> "$TMP/burst_metrics.txt"
+
+[ "$(grep -c '^status rejected$' "$TMP/burst_results.rds")" = 3 ] \
+  || fail "expected 3 rejections, got: $(cat "$TMP/burst_results.rds")"
+grep '^status rejected$' -A1 "$TMP/burst_results.rds" | grep -q 'queue full' \
+  || fail "rejection reason does not mention queue full"
+[ "$(grep -c '^status ok$' "$TMP/burst_results.rds")" = 1 ] \
+  || fail "the one admitted job should still complete"
+grep -q 'rejected (full)     : 3' "$TMP/burst_metrics.txt" \
+  || fail "metrics do not reflect the rejections: $(cat "$TMP/burst_metrics.txt")"
+
+# --- 4. Default-mode submit round trip (spawns its own serve child). ----
+"$RDS" submit -i "$TMP/inst.rds" --algo heft -o "$TMP/via_submit.rds" >/dev/null
+diff -u "$TMP/ref.rds" "$TMP/via_submit.rds" \
+  || fail "submit round trip diverged from in-process HEFT"
+
+# A malformed envelope must come back as a rejection, not kill the serve.
+printf 'rds-job v1\nid broken\nalgo quantum\nend rds-job\n' \
+  | "$RDS" serve --workers 1 2>/dev/null | grep -q '^status rejected$' \
+  || fail "unknown algo should yield a rejection envelope"
+
+echo "serve_quick: all checks passed"

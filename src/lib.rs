@@ -15,6 +15,8 @@
 //! * [`ga`] — the paper's bi-objective genetic algorithm.
 //! * [`anneal`] — a simulated-annealing alternative used in ablations.
 //! * [`core`] — the high-level ε-constraint robust scheduler API.
+//! * [`service`] — the concurrent scheduling service: job queue with
+//!   admission control, worker pool, schedule cache, deadline degradation.
 //!
 //! ## Quickstart
 //!
@@ -49,6 +51,7 @@ pub use rds_graph as graph;
 pub use rds_heft as heft;
 pub use rds_platform as platform;
 pub use rds_sched as sched;
+pub use rds_service as service;
 pub use rds_stats as stats;
 
 /// Convenient glob-import surface for applications.

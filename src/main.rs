@@ -6,6 +6,8 @@
 //! rds schedule -i inst.rds --algo ga --epsilon 1.3 -o sched.rds
 //! rds eval     -i inst.rds -s sched.rds --realizations 1000
 //! rds gantt    -i inst.rds -s sched.rds [--svg chart.svg]
+//! rds serve    --workers 4 --queue-cap 64 --cache-cap 128
+//! rds submit   -i inst.rds --algo ga --epsilon 1.3 --deadline-ms 2000
 //! ```
 //!
 //! Instances and schedules use the plain-text formats of
@@ -32,14 +34,20 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt> [flags]
+const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt|serve|submit> [flags]
 
   gen      --tasks N --procs M [--ul U] [--ccr C] [--alpha A] [--seed S] -o FILE
   info     -i INSTANCE
   schedule -i INSTANCE --algo heft|cpop|laheft|sheft|ga|random|sa
            [--epsilon E] [--k K] [--seed S] [--generations G] -o FILE
   eval     -i INSTANCE -s SCHEDULE [--realizations N] [--seed S] [--law uniform|normal|exp]
-  gantt    -i INSTANCE -s SCHEDULE [--width W] [--svg FILE] [--trace FILE]";
+  gantt    -i INSTANCE -s SCHEDULE [--width W] [--svg FILE] [--trace FILE]
+  serve    [--workers N] [--queue-cap N] [--cache-cap N] [--hold 1]
+           reads rds-job envelopes from stdin, writes rds-result envelopes
+           to stdout, metrics to stderr at shutdown
+  submit   -i INSTANCE [--algo A] [--epsilon E] [--seed S] [--generations G]
+           [--deadline-ms D] [--lane express|heavy] [--id ID] [-o FILE]
+           [--emit 1: print the job envelope instead of running it]";
 
 /// Parses `--flag value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -122,6 +130,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "schedule" => cmd_schedule(&flags),
         "eval" => cmd_eval(&flags),
         "gantt" => cmd_gantt(&flags),
+        "serve" => cmd_serve(&flags),
+        "submit" => cmd_submit(&flags),
         other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
     }
 }
@@ -292,6 +302,182 @@ fn cmd_gantt(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses an optional `--flag value`: absent flag stays `None`.
+fn get_opt<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    flags
+        .get(key)
+        .map(|v| {
+            v.parse::<T>()
+                .map_err(|e| format!("invalid --{key} '{v}': {e}"))
+        })
+        .transpose()
+}
+
+/// The scheduling service behind line-framed envelopes: jobs in on stdin,
+/// results out on stdout, metrics on stderr at shutdown.
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    use rds::service::{JobError, JobResult, JobSpec, Lane, Service, ServiceConfig};
+    use std::io::{BufRead as _, Write as _};
+
+    let workers: usize = get(flags, "workers", 2)?;
+    let queue_cap: usize = get(flags, "queue-cap", 64)?;
+    let cache_cap: usize = get(flags, "cache-cap", 128)?;
+    let hold: usize = get(flags, "hold", 0)?;
+    if workers == 0 || queue_cap == 0 {
+        return Err("serve needs --workers >= 1 and --queue-cap >= 1".into());
+    }
+
+    let mut config = ServiceConfig::default()
+        .workers(workers)
+        .queue_capacity(queue_cap)
+        .cache_capacity(cache_cap);
+    if hold != 0 {
+        // Hold mode: queue everything first, drain only after stdin EOF.
+        // Makes queue-overflow behavior deterministic for smoke tests.
+        config = config.paused();
+    }
+    let (service, results_rx) = Service::start(config);
+    let injector = service.result_sender();
+
+    // Writer thread: the only stdout producer, so result envelopes from
+    // concurrent workers never interleave.
+    let writer = std::thread::spawn(move || {
+        let stdout = std::io::stdout();
+        for result in results_rx {
+            let text = io::write_result(&result.to_envelope());
+            let mut out = stdout.lock();
+            let _ = out.write_all(text.as_bytes());
+            let _ = out.flush();
+        }
+    });
+
+    // Frame stdin into envelopes: collect lines up to the terminator.
+    let stdin = std::io::stdin();
+    let mut buf = String::new();
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| format!("reading stdin: {e}"))?;
+        let terminal = line.trim() == io::JOB_END;
+        buf.push_str(&line);
+        buf.push('\n');
+        if !terminal {
+            continue;
+        }
+        let text = std::mem::take(&mut buf);
+        // Untrusted input: every failure becomes a rejection envelope on
+        // the result stream, never a daemon exit.
+        let rejection = match io::read_job(&text) {
+            Ok(envelope) => {
+                let id = envelope.id.clone();
+                match JobSpec::from_envelope(envelope) {
+                    Ok(spec) => {
+                        let lane = spec.lane();
+                        service.submit(spec).err().map(|e| (id, e, lane))
+                    }
+                    Err(reason) => Some((id, JobError::Rejected(reason), Lane::Express)),
+                }
+            }
+            Err(e) => Some((
+                "-".to_owned(),
+                JobError::Rejected(format!("bad job envelope: {e}")),
+                Lane::Express,
+            )),
+        };
+        if let Some((id, err, lane)) = rejection {
+            let _ = injector.send(JobResult {
+                id,
+                outcome: Err(err),
+                lane,
+            });
+        }
+    }
+
+    if hold != 0 {
+        service.resume();
+    }
+    drop(injector);
+    let metrics = service.shutdown();
+    let _ = writer.join();
+    eprint!("{}", metrics.to_pretty_string());
+    Ok(())
+}
+
+/// One-shot client: builds a job envelope and either prints it (`--emit`)
+/// or drives a private single-worker `rds serve` child over pipes.
+fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
+    use std::io::Write as _;
+    use std::process::{Command, Stdio};
+
+    let instance = load_instance(flags)?;
+    let envelope = io::JobEnvelope {
+        id: get(flags, "id", "job-1".to_owned())?,
+        algo: get(flags, "algo", "heft".to_owned())?,
+        epsilon: get(flags, "epsilon", 1.3)?,
+        seed: get(flags, "seed", 0)?,
+        generations: get_opt(flags, "generations")?,
+        deadline_ms: get_opt(flags, "deadline-ms")?,
+        lane: flags.get("lane").cloned(),
+        instance,
+    };
+    let text = io::write_job(&envelope);
+    if get(flags, "emit", 0usize)? != 0 {
+        print!("{text}");
+        return Ok(());
+    }
+
+    let exe = std::env::current_exe().map_err(|e| format!("locating rds binary: {e}"))?;
+    let mut child = Command::new(exe)
+        .args(["serve", "--workers", "1"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawning serve child: {e}"))?;
+    child
+        .stdin
+        .take()
+        .ok_or("serve child has no stdin")?
+        .write_all(text.as_bytes())
+        .map_err(|e| format!("sending job to serve child: {e}"))?;
+    let output = child
+        .wait_with_output()
+        .map_err(|e| format!("waiting for serve child: {e}"))?;
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let result =
+        io::read_result(&stdout).map_err(|e| format!("parsing serve child response: {e}"))?;
+
+    if result.status != "ok" {
+        return Err(format!(
+            "job {} {}: {}",
+            result.id,
+            result.status,
+            result.reason.as_deref().unwrap_or("(no reason given)")
+        ));
+    }
+    println!(
+        "job {}: expected makespan {:.3}, average slack {:.3}, cache {}, degraded {}",
+        result.id,
+        result.makespan.unwrap_or(f64::NAN),
+        result.avg_slack.unwrap_or(f64::NAN),
+        result.cache.as_deref().unwrap_or("-"),
+        result.degraded.as_deref().unwrap_or("none"),
+    );
+    let schedule = result
+        .schedule
+        .ok_or("ok result carried no schedule — serve/submit version mismatch?")?;
+    if let Some(out) = flags.get("o") {
+        std::fs::write(out, io::write_schedule(&schedule))
+            .map_err(|e| format!("writing {out}: {e}"))?;
+        println!("wrote {out}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +558,15 @@ mod tests {
         ])
         .unwrap();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn get_opt_parses_optional_flags() {
+        let f = flags(&[("generations", "40")]);
+        assert_eq!(get_opt::<usize>(&f, "generations").unwrap(), Some(40));
+        assert_eq!(get_opt::<usize>(&f, "deadline-ms").unwrap(), None);
+        let bad = flags(&[("generations", "x")]);
+        assert!(get_opt::<usize>(&bad, "generations").is_err());
     }
 
     #[test]
