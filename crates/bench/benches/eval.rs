@@ -1,0 +1,95 @@
+//! Evaluation-kernel benchmarks backing `scripts/bench_snapshot.sh`.
+//!
+//! Three single-chromosome paths (alloc-per-eval reference, flat-CSR
+//! scratch arena, warm memo) and two population-sized paths (64
+//! chromosomes: sequential alloc-per-eval vs the parallel CSR kernel), all
+//! on the 100-task × 8-processor bench instance — the configuration the
+//! issue's ≥ 3× evals/sec acceptance criterion is measured on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rds_bench::bench_instance;
+use rds_ga::chromosome::Chromosome;
+use rds_ga::memo::EvalMemo;
+use rds_ga::objective::{evaluate, evaluate_all, evaluate_population, evaluate_with_scratch};
+use rds_sched::csr::EvalScratch;
+use rds_sched::Instance;
+use rds_stats::rng::rng_from_seed;
+
+fn setup(n: usize) -> (Instance, Vec<Chromosome>) {
+    let inst = bench_instance(100, 8, 2.0);
+    let mut rng = rng_from_seed(0xE7A1);
+    let chromosomes = (0..n)
+        .map(|_| Chromosome::random_for(&inst, &mut rng))
+        .collect();
+    (inst, chromosomes)
+}
+
+/// The seed path: per evaluation, build the nested disjunctive graph,
+/// collect durations, and run the allocating slack analysis.
+fn bench_eval_alloc(c: &mut Criterion) {
+    let (inst, cs) = setup(1);
+    c.bench_function("eval_alloc_100x8", |b| {
+        b.iter(|| evaluate(&inst, &cs[0]));
+    });
+}
+
+/// The flat-CSR scratch-arena kernel: same numbers, zero steady-state
+/// allocations.
+fn bench_eval_csr(c: &mut Criterion) {
+    let (inst, cs) = setup(1);
+    c.bench_function("eval_csr_100x8", |b| {
+        let mut scratch = EvalScratch::new();
+        b.iter(|| evaluate_with_scratch(&inst, &cs[0], &mut scratch));
+    });
+}
+
+/// A warm memo: every probe is a verified fingerprint hit.
+fn bench_eval_memo_warm(c: &mut Criterion) {
+    let (inst, cs) = setup(1);
+    c.bench_function("eval_memo_warm_100x8", |b| {
+        let mut memo = EvalMemo::new(64);
+        memo.insert(&cs[0], evaluate(&inst, &cs[0]));
+        b.iter(|| memo.get(&cs[0]).expect("warm memo hits"));
+    });
+}
+
+/// Population of 64 through the sequential alloc-per-eval path.
+fn bench_pop_alloc(c: &mut Criterion) {
+    let (inst, cs) = setup(64);
+    c.bench_function("eval_pop64_alloc_100x8", |b| {
+        b.iter(|| cs.iter().map(|x| evaluate(&inst, x)).collect::<Vec<_>>());
+    });
+}
+
+/// Population of 64 through the parallel CSR kernel (the GA's hot path;
+/// cold memo so every chromosome pays one kernel run per iteration).
+fn bench_pop_csr_parallel(c: &mut Criterion) {
+    let (inst, cs) = setup(64);
+    c.bench_function("eval_pop64_csr_par_100x8", |b| {
+        b.iter(|| evaluate_all(&inst, &cs));
+    });
+}
+
+/// Population of 64 through the memoized entry point with a warm memo —
+/// the steady-state cost of re-seeing a converged population.
+fn bench_pop_memo_warm(c: &mut Criterion) {
+    let (inst, cs) = setup(64);
+    c.bench_function("eval_pop64_memo_warm_100x8", |b| {
+        let mut memo = EvalMemo::new(256);
+        let (_, fresh) = evaluate_population(&inst, &cs, &mut memo);
+        assert_eq!(fresh, 64);
+        b.iter(|| evaluate_population(&inst, &cs, &mut memo));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_eval_alloc,
+    bench_eval_csr,
+    bench_eval_memo_warm,
+    bench_pop_alloc,
+    bench_pop_csr_parallel,
+    bench_pop_memo_warm
+);
+criterion_main!(benches);

@@ -6,7 +6,8 @@ use rds_bench::bench_instance;
 use rds_ga::chromosome::Chromosome;
 use rds_graph::gen::layered::LayeredDagSpec;
 use rds_graph::topo::random_topological_order;
-use rds_sched::disjunctive::DisjunctiveGraph;
+use rds_graph::TaskId;
+use rds_sched::disjunctive::{DisjunctiveGraph, ReachScratch};
 use rds_sched::realization::{realized_makespans_with, RealizationConfig};
 use rds_sched::timing::{expected_durations, makespan_with_durations};
 use rds_stats::dist::Gamma;
@@ -63,6 +64,23 @@ fn bench_disjunctive_and_timing(c: &mut Criterion) {
 
     c.bench_function("slack_analysis_100", |b| {
         b.iter(|| rds_sched::slack::analyze(&ds, &schedule, &inst.platform, &durations));
+    });
+
+    // Pairwise independence queries over the first 25 tasks, one reused
+    // scratch (the bitset walk that replaced the alloc-per-call DFS).
+    c.bench_function("are_independent_100", |b| {
+        let mut scratch = ReachScratch::new();
+        b.iter(|| {
+            let mut independent = 0u32;
+            for a in 0..25u32 {
+                for q in 0..25u32 {
+                    if ds.are_independent_with(TaskId(a), TaskId(q), &mut scratch) {
+                        independent += 1;
+                    }
+                }
+            }
+            independent
+        });
     });
 }
 

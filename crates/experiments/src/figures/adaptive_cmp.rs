@@ -83,8 +83,8 @@ pub fn base_faults() -> FaultConfig {
 /// successor-closed, which is what [`rds_graph`]'s `mark_optional`
 /// enforces. Returns the number marked.
 fn mark_rear_optional(inst: &mut rds_sched::instance::Instance, fraction: f64) -> usize {
-    let order = rds_graph::topo::topological_order(&inst.graph)
-        .expect("generated instances are acyclic");
+    let order =
+        rds_graph::topo::topological_order(&inst.graph).expect("generated instances are acyclic");
     #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
     let target = ((order.len() as f64) * fraction).round() as usize;
     let mut marked = 0;
@@ -330,6 +330,9 @@ mod tests {
         // The bootstrap CI brackets the point estimate.
         let lo = get(&fig, "miss_lo:sentinel@UL1.5", 0.5);
         let hi = get(&fig, "miss_hi:sentinel@UL1.5", 0.5);
-        assert!(lo <= sentinel && sentinel <= hi, "[{lo}, {hi}] !∋ {sentinel}");
+        assert!(
+            lo <= sentinel && sentinel <= hi,
+            "[{lo}, {hi}] !∋ {sentinel}"
+        );
     }
 }

@@ -14,7 +14,7 @@
 
 use rayon::prelude::*;
 
-use rds_ga::{GaEngine, GaParams, Objective};
+use rds_ga::{GaEngine, GaParams, GaRunStats, Objective};
 use rds_heft::heft_schedule;
 use rds_stats::series::Series;
 
@@ -32,7 +32,13 @@ pub const CONFIGS: [(&str, usize, f64, f64); 6] = [
     ("low-crossover pc=0.3", 20, 0.1, 0.3),
 ];
 
-fn slack_one(cfg: &ExperimentConfig, g: usize, population: usize, pm: f64, pc: f64) -> f64 {
+fn slack_one(
+    cfg: &ExperimentConfig,
+    g: usize,
+    population: usize,
+    pm: f64,
+    pc: f64,
+) -> (f64, GaRunStats) {
     let inst = cfg.instance(g, 4.0);
     let heft = heft_schedule(&inst);
     let budget = cfg.ga.max_generations * cfg.ga.population;
@@ -48,10 +54,8 @@ fn slack_one(cfg: &ExperimentConfig, g: usize, population: usize, pm: f64, pc: f
         epsilon: 1.4,
         reference_makespan: heft.makespan,
     };
-    GaEngine::new(&inst, params, objective)
-        .run()
-        .best_eval
-        .avg_slack
+    let result = GaEngine::new(&inst, params, objective).run();
+    (result.best_eval.avg_slack, result.stats)
 }
 
 /// Runs the tuning study.
@@ -64,31 +68,46 @@ pub fn run_gatune(cfg: &ExperimentConfig) -> FigureData {
         "best slack relative to the paper configuration",
     );
     // Per-graph paper-config slack as the normalizer.
-    let paper: Vec<f64> = (0..cfg.graphs)
+    let paper_runs: Vec<(f64, GaRunStats)> = (0..cfg.graphs)
         .into_par_iter()
         .map(|g| slack_one(cfg, g, CONFIGS[0].1, CONFIGS[0].2, CONFIGS[0].3))
         .collect();
+    let paper: Vec<f64> = paper_runs.iter().map(|&(s, _)| s).collect();
+    let mut stats = GaRunStats::default();
+    for (_, s) in &paper_runs {
+        stats.absorb(s);
+    }
 
     for (ci, &(label, np, pm, pc)) in CONFIGS.iter().enumerate() {
-        let ratios: Vec<f64> = (0..cfg.graphs)
+        let runs: Vec<(f64, GaRunStats)> = (0..cfg.graphs)
             .into_par_iter()
             .map(|g| {
-                let s = if ci == 0 {
-                    paper[g]
+                if ci == 0 {
+                    // Reuse the normalizer runs (stats already absorbed).
+                    (paper[g], GaRunStats::default())
                 } else {
                     slack_one(cfg, g, np, pm, pc)
-                };
-                if paper[g] > 0.0 {
-                    s / paper[g]
-                } else {
-                    f64::NAN
                 }
             })
             .collect();
+        let ratios: Vec<f64> = runs
+            .iter()
+            .zip(&paper)
+            .map(|(&(s, _), &p)| if p > 0.0 { s / p } else { f64::NAN })
+            .collect();
+        for (_, s) in &runs {
+            stats.absorb(s);
+        }
         let mut series = Series::new(label);
         series.push(ci as f64, mean_finite(&ratios).unwrap_or(f64::NAN));
         fig.push(series);
     }
+    eprintln!(
+        "gatune: {} kernel evals, memo hit rate {:.2}, {:.0} evals/s",
+        stats.kernel_evals,
+        stats.memo_hit_rate(),
+        stats.evals_per_sec()
+    );
     fig
 }
 

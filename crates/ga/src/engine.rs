@@ -12,14 +12,16 @@
 
 use rand::Rng;
 use std::collections::HashSet;
+use std::time::Instant;
 
 use rds_sched::instance::Instance;
 use rds_stats::rng::rng_from_seed;
 
 use crate::chromosome::Chromosome;
 use crate::crossover::crossover;
+use crate::memo::EvalMemo;
 use crate::mutation::mutate;
-use crate::objective::{evaluate, Evaluation, Objective};
+use crate::objective::{evaluate_population, Evaluation, Objective};
 use crate::params::GaParams;
 use crate::selection::binary_tournament;
 
@@ -38,6 +40,56 @@ pub struct GenerationStats {
     /// The generation's best chromosome (for post-hoc Monte Carlo
     /// evaluation along the evolution, Figs. 2–3).
     pub best_chromosome: Chromosome,
+}
+
+/// Evaluation-kernel counters of one GA run.
+///
+/// `kernel_evals + memo_hits` equals the number of chromosome evaluations
+/// the run *requested*; the memo answered `memo_hits` of them without
+/// touching the kernel. All counters except `eval_nanos` are deterministic
+/// for a given seed and thread count-independent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GaRunStats {
+    /// Full kernel evaluations performed (memo misses).
+    pub kernel_evals: u64,
+    /// Evaluations answered by the fingerprint memo.
+    pub memo_hits: u64,
+    /// Fingerprint collisions detected (counted, fell back to the kernel).
+    pub memo_collisions: u64,
+    /// Wall-clock nanoseconds spent inside population evaluation.
+    pub eval_nanos: u64,
+}
+
+impl GaRunStats {
+    /// Fraction of evaluation requests answered by the memo, in `[0, 1]`.
+    #[must_use]
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.kernel_evals;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+
+    /// Kernel throughput (full evaluations per second of evaluation time).
+    #[must_use]
+    pub fn evals_per_sec(&self) -> f64 {
+        if self.eval_nanos == 0 {
+            0.0
+        } else {
+            self.kernel_evals as f64 * 1e9 / self.eval_nanos as f64
+        }
+    }
+
+    /// Accumulates another run's counters into this one (aggregation
+    /// across runs/islands/studies).
+    pub fn absorb(&mut self, other: &GaRunStats) {
+        self.kernel_evals += other.kernel_evals;
+        self.memo_hits += other.memo_hits;
+        self.memo_collisions += other.memo_collisions;
+        self.eval_nanos += other.eval_nanos;
+    }
 }
 
 /// Result of a GA run.
@@ -60,6 +112,8 @@ pub struct GaResult {
     /// / stall termination (see [`GaEngine::run_with_watch`]). The `best`
     /// fields still hold the best-so-far solution.
     pub interrupted: bool,
+    /// Evaluation-kernel and memo counters for the run.
+    pub stats: GaRunStats,
 }
 
 impl GaResult {
@@ -217,7 +271,16 @@ impl<'a> GaEngine<'a> {
             Some(p) => p.clone(),
             None => self.initial_population(&mut rng),
         };
-        let mut evals: Vec<Evaluation> = pop.iter().map(|c| evaluate(self.inst, c)).collect();
+        // Evaluation pipeline: fingerprint memo in front of the parallel
+        // CSR kernel. Evaluation is pure and draws no randomness, so the
+        // results — and the RNG stream below — are bit-identical to a
+        // sequential, unmemoized run.
+        let mut memo = EvalMemo::new(self.params.memo_capacity);
+        let mut stats = GaRunStats::default();
+        let eval_start = Instant::now();
+        let (mut evals, fresh) = evaluate_population(self.inst, &pop, &mut memo);
+        stats.kernel_evals += fresh;
+        stats.eval_nanos += eval_start.elapsed().as_nanos() as u64;
 
         let gen_best = |pop: &[Chromosome], evals: &[Evaluation]| -> usize {
             let mut bi = 0;
@@ -298,9 +361,13 @@ impl<'a> GaEngine<'a> {
             }
 
             // Evaluate and apply elitism: replace the worst of the new
-            // population with the previous best.
-            let mut next_evals: Vec<Evaluation> =
-                next.iter().map(|c| evaluate(self.inst, c)).collect();
+            // population with the previous best. Unmutated tournament
+            // winners were evaluated (and memoized) last generation, so
+            // only fresh offspring reach the kernel here.
+            let eval_start = Instant::now();
+            let (mut next_evals, fresh) = evaluate_population(self.inst, &next, &mut memo);
+            stats.kernel_evals += fresh;
+            stats.eval_nanos += eval_start.elapsed().as_nanos() as u64;
             let next_fitness = self.objective.fitness(&next_evals);
             let worst_idx = next_fitness
                 .iter()
@@ -333,6 +400,10 @@ impl<'a> GaEngine<'a> {
             }
         }
 
+        let memo_stats = memo.stats();
+        stats.memo_hits = memo_stats.hits;
+        stats.memo_collisions = memo_stats.collisions;
+
         GaResult {
             best_feasible: best_q.0,
             best,
@@ -341,6 +412,7 @@ impl<'a> GaEngine<'a> {
             history,
             final_population: pop,
             interrupted,
+            stats,
         }
     }
 }
@@ -348,6 +420,7 @@ impl<'a> GaEngine<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::objective::evaluate;
     use rds_sched::instance::InstanceSpec;
 
     fn quick_inst(seed: u64) -> Instance {
@@ -542,6 +615,32 @@ mod tests {
         assert!(immediate.interrupted);
         assert_eq!(immediate.generations, 0);
         assert_eq!(immediate.history.len(), 1);
+    }
+
+    #[test]
+    fn memo_never_changes_results_and_records_hits() {
+        let inst = quick_inst(15);
+        let params = GaParams::quick().seed(33).max_generations(25);
+        let with_memo = GaEngine::new(&inst, params, Objective::MinimizeMakespan).run();
+        let without =
+            GaEngine::new(&inst, params.memo_capacity(0), Objective::MinimizeMakespan).run();
+        // Memoization is an optimization only: bit-identical evolution.
+        assert_eq!(with_memo.best, without.best);
+        assert_eq!(
+            with_memo.best_eval.makespan.to_bits(),
+            without.best_eval.makespan.to_bits()
+        );
+        assert_eq!(with_memo.generations, without.generations);
+        assert_eq!(with_memo.final_population, without.final_population);
+        // The disabled run pays the kernel for every request the memoized
+        // run answered from cache.
+        assert_eq!(without.stats.memo_hits, 0);
+        assert!(with_memo.stats.memo_hits > 0, "elites/clones must hit");
+        assert_eq!(
+            with_memo.stats.kernel_evals + with_memo.stats.memo_hits,
+            without.stats.kernel_evals
+        );
+        assert!(with_memo.stats.memo_hit_rate() > 0.0);
     }
 
     #[test]

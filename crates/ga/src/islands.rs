@@ -18,7 +18,7 @@ use rds_stats::rng::SeedStream;
 
 use crate::chromosome::Chromosome;
 use crate::engine::{GaEngine, GaResult};
-use crate::objective::{evaluate, Evaluation, Objective};
+use crate::objective::{evaluate_all, Evaluation, Objective};
 use crate::params::GaParams;
 
 /// Island-model parameters.
@@ -138,17 +138,14 @@ pub fn run_islands(inst: &Instance, params: IslandParams, objective: Objective) 
             if k == 1 {
                 break;
             }
-            // Rank source by fitness (population-based; evaluate fresh).
-            let src_evals: Vec<Evaluation> = results[i]
-                .final_population
-                .iter()
-                .map(|c| evaluate(inst, c))
-                .collect();
+            // Rank source by fitness (population-based; evaluate fresh
+            // through the scratch-arena kernel).
+            let src_evals: Vec<Evaluation> = evaluate_all(inst, &results[i].final_population);
             let src_fit = objective.fitness(&src_evals);
             let mut src_order: Vec<usize> = (0..src_fit.len()).collect();
             src_order.sort_by(|&a, &b| src_fit[b].total_cmp(&src_fit[a]));
 
-            let dst_evals: Vec<Evaluation> = next[dst].iter().map(|c| evaluate(inst, c)).collect();
+            let dst_evals: Vec<Evaluation> = evaluate_all(inst, &next[dst]);
             let dst_fit = objective.fitness(&dst_evals);
             let mut dst_order: Vec<usize> = (0..dst_fit.len()).collect();
             dst_order.sort_by(|&a, &b| dst_fit[a].total_cmp(&dst_fit[b])); // worst first

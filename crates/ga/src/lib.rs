@@ -18,6 +18,15 @@
 //!   selection → crossover → mutation, elitism, and the paper's stopping
 //!   rule (1000 generations or 100 without improvement), with a
 //!   per-generation history used by the figure generators.
+//! * [`memo`] — a fingerprint-keyed, collision-safe evaluation cache so
+//!   chromosomes the GA has already seen (elites, unmutated tournament
+//!   winners, converged populations) skip the evaluation kernel.
+//!
+//! Population evaluation runs through the flat-CSR scratch-arena kernel of
+//! `rds_sched::csr` ([`objective::evaluate_population`]), in parallel via
+//! rayon for large populations — results are bit-identical to the
+//! sequential path for any thread count because evaluation draws no random
+//! numbers and all memo/selection bookkeeping stays sequential.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -27,6 +36,7 @@ pub mod crossover;
 pub mod diversity;
 pub mod engine;
 pub mod islands;
+pub mod memo;
 pub mod mutation;
 pub mod nsga2;
 pub mod objective;
@@ -35,6 +45,7 @@ pub mod robust_engine;
 pub mod selection;
 
 pub use chromosome::Chromosome;
-pub use engine::{GaEngine, GaResult, GenerationStats};
+pub use engine::{GaEngine, GaResult, GaRunStats, GenerationStats};
+pub use memo::{EvalMemo, MemoStats};
 pub use objective::{Evaluation, Objective};
 pub use params::GaParams;

@@ -1,0 +1,254 @@
+//! Fingerprint-keyed evaluation memo.
+//!
+//! [`crate::objective::evaluate`] is a pure function of the chromosome (the
+//! instance is fixed for a GA run), so its results can be cached. The GA
+//! re-encounters chromosomes constantly — unmutated tournament winners,
+//! the carried-forward elite, and whole populations once the search
+//! converges — and each re-encounter can skip the evaluation kernel.
+//!
+//! The memo is keyed by [`Chromosome::fingerprint`] (64-bit FNV-1a). A
+//! fingerprint is *not* a proof of identity, so every hit is verified by
+//! comparing the stored chromosome with the probe: a mismatched entry is a
+//! **collision**, counted and treated as a miss, and the caller falls back
+//! to the full evaluation. Memoization therefore never changes GA results;
+//! it only changes how often the kernel runs.
+//!
+//! Eviction is *segmented* (generational): entries live in a `current` and
+//! a `previous` map. Inserts go to `current`; when `current` reaches the
+//! configured capacity it is demoted wholesale to `previous` (dropping the
+//! old `previous`), and probes that hit `previous` are promoted back into
+//! `current`. This bounds the memo to at most `2 × capacity` entries with
+//! O(1) amortized operations and LRU-like retention of the working set.
+
+use std::collections::HashMap;
+
+use crate::chromosome::Chromosome;
+use crate::objective::Evaluation;
+
+/// Hit/miss/collision counters of an [`EvalMemo`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Probes answered from the memo (equality-verified).
+    pub hits: u64,
+    /// Probes that found nothing (including while disabled: none counted).
+    pub misses: u64,
+    /// Probes whose fingerprint matched a *different* chromosome; counted
+    /// separately and treated as misses.
+    pub collisions: u64,
+}
+
+#[derive(Debug, Clone)]
+struct MemoEntry {
+    chromosome: Chromosome,
+    eval: Evaluation,
+}
+
+/// Bounded, collision-safe `Chromosome::fingerprint → Evaluation` memo.
+#[derive(Debug, Clone)]
+pub struct EvalMemo {
+    capacity: usize,
+    current: HashMap<u64, MemoEntry>,
+    previous: HashMap<u64, MemoEntry>,
+    stats: MemoStats,
+}
+
+impl EvalMemo {
+    /// A memo holding up to `capacity` recent entries (plus up to
+    /// `capacity` older ones pending eviction). `capacity == 0` disables
+    /// memoization entirely: every probe misses and inserts are dropped.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            current: HashMap::with_capacity(capacity.min(1024)),
+            previous: HashMap::new(),
+            stats: MemoStats::default(),
+        }
+    }
+
+    /// `true` when memoization is off (`capacity == 0`).
+    #[must_use]
+    pub fn is_disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Looks up a chromosome's cached evaluation, verifying identity.
+    ///
+    /// Returns `None` on a genuine miss *and* on a fingerprint collision
+    /// (stored chromosome differs) — the caller must then run the full
+    /// evaluation, which keeps memoization sound under collisions.
+    pub fn get(&mut self, c: &Chromosome) -> Option<Evaluation> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let key = c.fingerprint();
+        if let Some(entry) = self.current.get(&key) {
+            return if entry.chromosome == *c {
+                self.stats.hits += 1;
+                Some(entry.eval)
+            } else {
+                self.stats.collisions += 1;
+                self.stats.misses += 1;
+                None
+            };
+        }
+        if let Some(entry) = self.previous.remove(&key) {
+            if entry.chromosome == *c {
+                self.stats.hits += 1;
+                let eval = entry.eval;
+                self.insert_entry(key, entry);
+                return Some(eval);
+            }
+            self.stats.collisions += 1;
+            self.stats.misses += 1;
+            return None;
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Caches an evaluation. On a fingerprint collision the newer
+    /// chromosome replaces the older entry (last-writer-wins).
+    pub fn insert(&mut self, c: &Chromosome, eval: Evaluation) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.insert_entry(
+            c.fingerprint(),
+            MemoEntry {
+                chromosome: c.clone(),
+                eval,
+            },
+        );
+    }
+
+    fn insert_entry(&mut self, key: u64, entry: MemoEntry) {
+        if self.current.len() >= self.capacity && !self.current.contains_key(&key) {
+            self.previous = std::mem::take(&mut self.current);
+        }
+        self.current.insert(key, entry);
+    }
+
+    /// Number of live entries across both segments.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.current.is_empty() && self.previous.is_empty()
+    }
+
+    /// The accumulated hit/miss/collision counters.
+    #[must_use]
+    pub fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    /// Test hook: plant an entry under an arbitrary key to simulate a
+    /// fingerprint collision.
+    #[cfg(test)]
+    fn insert_raw(&mut self, key: u64, c: &Chromosome, eval: Evaluation) {
+        self.insert_entry(
+            key,
+            MemoEntry {
+                chromosome: c.clone(),
+                eval,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::rng::rng_from_seed;
+
+    fn eval(m: f64) -> Evaluation {
+        Evaluation {
+            makespan: m,
+            avg_slack: 1.0,
+        }
+    }
+
+    fn chromosomes(n: usize) -> Vec<Chromosome> {
+        let inst = InstanceSpec::new(15, 3).seed(7).build().unwrap();
+        let mut rng = rng_from_seed(42);
+        (0..n)
+            .map(|_| Chromosome::random_for(&inst, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let cs = chromosomes(2);
+        let mut memo = EvalMemo::new(16);
+        assert_eq!(memo.get(&cs[0]), None);
+        memo.insert(&cs[0], eval(10.0));
+        assert_eq!(memo.get(&cs[0]), Some(eval(10.0)));
+        assert_eq!(memo.get(&cs[1]), None);
+        let s = memo.stats();
+        assert_eq!((s.hits, s.misses, s.collisions), (1, 2, 0));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cs = chromosomes(1);
+        let mut memo = EvalMemo::new(0);
+        assert!(memo.is_disabled());
+        memo.insert(&cs[0], eval(1.0));
+        assert_eq!(memo.get(&cs[0]), None);
+        assert!(memo.is_empty());
+        // Disabled memos count nothing.
+        assert_eq!(memo.stats(), MemoStats::default());
+    }
+
+    #[test]
+    fn collision_detected_and_treated_as_miss() {
+        let cs = chromosomes(2);
+        let mut memo = EvalMemo::new(16);
+        // Plant cs[1]'s evaluation under cs[0]'s fingerprint.
+        memo.insert_raw(cs[0].fingerprint(), &cs[1], eval(99.0));
+        assert_eq!(memo.get(&cs[0]), None, "collision must not serve a hit");
+        let s = memo.stats();
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.hits, 0);
+        // The colliding probe's fresh result may then overwrite the entry.
+        memo.insert(&cs[0], eval(5.0));
+        assert_eq!(memo.get(&cs[0]), Some(eval(5.0)));
+    }
+
+    #[test]
+    fn segmented_eviction_bounds_size_and_keeps_working_set() {
+        let cs = chromosomes(10);
+        let mut memo = EvalMemo::new(4);
+        for (i, c) in cs.iter().enumerate() {
+            memo.insert(c, eval(i as f64));
+        }
+        assert!(memo.len() <= 8, "at most 2 × capacity entries");
+        // The most recent insert is always resident.
+        assert_eq!(memo.get(&cs[9]), Some(eval(9.0)));
+        // The oldest entries have been evicted.
+        assert_eq!(memo.get(&cs[0]), None);
+    }
+
+    #[test]
+    fn previous_segment_hit_promotes() {
+        let cs = chromosomes(5);
+        let mut memo = EvalMemo::new(2);
+        memo.insert(&cs[0], eval(0.0));
+        memo.insert(&cs[1], eval(1.0));
+        // Next insert demotes {0, 1} to the previous segment.
+        memo.insert(&cs[2], eval(2.0));
+        // A hit in `previous` is promoted back into `current` and stays
+        // alive through the next demotion.
+        assert_eq!(memo.get(&cs[0]), Some(eval(0.0)));
+        memo.insert(&cs[3], eval(3.0));
+        memo.insert(&cs[4], eval(4.0));
+        assert_eq!(memo.get(&cs[0]), Some(eval(0.0)));
+    }
+}

@@ -18,7 +18,7 @@ use rds_stats::rng::rng_from_seed;
 use crate::chromosome::Chromosome;
 use crate::crossover::crossover;
 use crate::mutation::mutate;
-use crate::objective::{evaluate, Evaluation};
+use crate::objective::{evaluate_all, Evaluation};
 use crate::params::GaParams;
 
 /// `true` when `a` Pareto-dominates `b` in (makespan ↓, slack ↑).
@@ -141,7 +141,7 @@ pub fn nsga2(inst: &Instance, params: GaParams) -> Nsga2Result {
     while pop.len() < np {
         pop.push(Chromosome::random_for(inst, &mut rng));
     }
-    let mut evals: Vec<Evaluation> = pop.iter().map(|c| evaluate(inst, c)).collect();
+    let mut evals: Vec<Evaluation> = evaluate_all(inst, &pop);
 
     for _gen in 0..params.max_generations {
         // Variation: binary tournaments on (rank, crowding), then
@@ -179,7 +179,7 @@ pub fn nsga2(inst: &Instance, params: GaParams) -> Nsga2Result {
                 offspring.push(c2);
             }
         }
-        let off_evals: Vec<Evaluation> = offspring.iter().map(|c| evaluate(inst, c)).collect();
+        let off_evals: Vec<Evaluation> = evaluate_all(inst, &offspring);
 
         // Environmental selection over parents + offspring.
         let mut all_pop = pop;

@@ -16,12 +16,16 @@
 //!   penalizing the individual's own slack by the same violation ratio,
 //!   which preserves the ordering intent (documented deviation).
 
+use rayon::prelude::*;
+
+use rds_sched::csr::EvalScratch;
 use rds_sched::disjunctive::DisjunctiveGraph;
 use rds_sched::instance::Instance;
 use rds_sched::slack;
 use rds_sched::timing::expected_durations;
 
 use crate::chromosome::Chromosome;
+use crate::memo::EvalMemo;
 
 /// Expected-time evaluation of one chromosome.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +52,95 @@ pub fn evaluate(inst: &Instance, c: &Chromosome) -> Evaluation {
         makespan: a.makespan,
         avg_slack: a.average_slack,
     }
+}
+
+/// Minimum batch size before population evaluation fans out over rayon —
+/// below this, per-task overhead outweighs the parallelism.
+const PAR_MIN: usize = 8;
+
+/// Zero-allocation twin of [`evaluate`]: builds the flat CSR of `G_s`
+/// directly from the chromosome's genes (no `Schedule` decode) inside the
+/// caller-owned [`EvalScratch`] and runs the in-place slack passes.
+/// Bit-identical to [`evaluate`] — asserted by the parity proptests.
+///
+/// # Panics
+/// Panics if the chromosome is invalid for the instance (operators
+/// preserve validity, so this indicates a bug).
+pub fn evaluate_with_scratch(
+    inst: &Instance,
+    c: &Chromosome,
+    scratch: &mut EvalScratch,
+) -> Evaluation {
+    let s = scratch
+        .evaluate(inst, &c.order, &c.assignment)
+        .expect("valid chromosome decodes to an acyclic disjunctive graph");
+    Evaluation {
+        makespan: s.makespan,
+        avg_slack: s.average_slack,
+    }
+}
+
+/// Evaluates a batch of chromosomes, fanning out over rayon with one
+/// [`EvalScratch`] per worker when the batch is large enough. Results are
+/// written by index, and evaluation draws no randomness, so the output is
+/// bit-identical for any thread count (including fully sequential).
+pub fn evaluate_all(inst: &Instance, chromosomes: &[Chromosome]) -> Vec<Evaluation> {
+    if chromosomes.len() >= PAR_MIN {
+        chromosomes
+            .par_iter()
+            .map_init(EvalScratch::new, |scratch, c| {
+                evaluate_with_scratch(inst, c, scratch)
+            })
+            .collect()
+    } else {
+        let mut scratch = EvalScratch::new();
+        chromosomes
+            .iter()
+            .map(|c| evaluate_with_scratch(inst, c, &mut scratch))
+            .collect()
+    }
+}
+
+/// Memoized population evaluation: probes the memo sequentially (so hit
+/// counters are deterministic), kernel-evaluates only the misses — in
+/// parallel, per-thread scratch, results written by index — then inserts
+/// the fresh results sequentially. Returns the evaluations plus the number
+/// of kernel evaluations performed (the memo answered the rest).
+///
+/// Determinism contract: identical inputs produce bit-identical outputs
+/// *and* identical memo state/counters for any rayon thread count.
+pub fn evaluate_population(
+    inst: &Instance,
+    pop: &[Chromosome],
+    memo: &mut EvalMemo,
+) -> (Vec<Evaluation>, u64) {
+    let mut results: Vec<Option<Evaluation>> = pop.iter().map(|c| memo.get(c)).collect();
+    let miss: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.is_none().then_some(i))
+        .collect();
+    let fresh: Vec<Evaluation> = if miss.len() >= PAR_MIN {
+        miss.par_iter()
+            .map_init(EvalScratch::new, |scratch, &i| {
+                evaluate_with_scratch(inst, &pop[i], scratch)
+            })
+            .collect()
+    } else {
+        let mut scratch = EvalScratch::new();
+        miss.iter()
+            .map(|&i| evaluate_with_scratch(inst, &pop[i], &mut scratch))
+            .collect()
+    };
+    for (&i, &eval) in miss.iter().zip(&fresh) {
+        memo.insert(&pop[i], eval);
+        results[i] = Some(eval);
+    }
+    let kernel_evals = miss.len() as u64;
+    (
+        results.into_iter().map(|r| r.expect("filled")).collect(),
+        kernel_evals,
+    )
 }
 
 /// The GA's objective function.
@@ -262,6 +355,38 @@ mod tests {
         // Intermediate weight trades off: no bound exists.
         assert!(Objective::WeightedSum { weight: 0.5 }.bound().is_none());
         assert!(Objective::WeightedSum { weight: 0.5 }.is_feasible(&evals[0]));
+    }
+
+    #[test]
+    fn scratch_batch_and_memo_paths_match_reference_bitwise() {
+        use crate::chromosome::Chromosome;
+        let inst = InstanceSpec::new(25, 3).seed(1).build().unwrap();
+        let mut rng = rng_from_seed(3);
+        let pop: Vec<Chromosome> = (0..10)
+            .map(|_| Chromosome::random_for(&inst, &mut rng))
+            .collect();
+        let reference: Vec<Evaluation> = pop.iter().map(|c| evaluate(&inst, c)).collect();
+        let mut scratch = EvalScratch::new();
+        for (c, r) in pop.iter().zip(&reference) {
+            let got = evaluate_with_scratch(&inst, c, &mut scratch);
+            assert_eq!(got.makespan.to_bits(), r.makespan.to_bits());
+            assert_eq!(got.avg_slack.to_bits(), r.avg_slack.to_bits());
+        }
+        assert_eq!(evaluate_all(&inst, &pop), reference);
+        let mut memo = EvalMemo::new(64);
+        let (evals, fresh) = evaluate_population(&inst, &pop, &mut memo);
+        assert_eq!(evals, reference);
+        assert_eq!(fresh, 10);
+        // Second pass: everything is memo-resident.
+        let (evals2, fresh2) = evaluate_population(&inst, &pop, &mut memo);
+        assert_eq!(evals2, reference);
+        assert_eq!(fresh2, 0);
+        assert_eq!(memo.stats().hits, 10);
+        // Disabled memo: same evaluations, all through the kernel.
+        let mut off = EvalMemo::new(0);
+        let (evals3, fresh3) = evaluate_population(&inst, &pop, &mut off);
+        assert_eq!(evals3, reference);
+        assert_eq!(fresh3, 10);
     }
 
     #[test]

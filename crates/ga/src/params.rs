@@ -22,6 +22,12 @@ pub struct GaParams {
     pub seed_heft: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Capacity of the fingerprint-keyed evaluation memo (number of cached
+    /// chromosome evaluations; `0` disables memoization). Memoization never
+    /// changes results — evaluation is a pure function — it only skips the
+    /// kernel for chromosomes already seen (elites, tournament clones,
+    /// converged populations).
+    pub memo_capacity: usize,
 }
 
 impl Default for GaParams {
@@ -34,6 +40,7 @@ impl Default for GaParams {
             stall_generations: 100,
             seed_heft: true,
             seed: 0,
+            memo_capacity: 4096,
         }
     }
 }
@@ -91,6 +98,13 @@ impl GaParams {
         self
     }
 
+    /// Sets the evaluation-memo capacity (`0` disables memoization).
+    #[must_use]
+    pub fn memo_capacity(mut self, capacity: usize) -> Self {
+        self.memo_capacity = capacity;
+        self
+    }
+
     /// Validates ranges.
     ///
     /// # Errors
@@ -134,6 +148,7 @@ mod tests {
         assert_eq!(p.max_generations, 1000);
         assert_eq!(p.stall_generations, 100);
         assert!(p.seed_heft);
+        assert_eq!(p.memo_capacity, 4096);
         assert!(p.validate().is_ok());
     }
 
@@ -144,6 +159,7 @@ mod tests {
         assert_eq!(p.population, 8);
         assert_eq!(p.max_generations, 5);
         assert!(!p.without_heft_seed().seed_heft);
+        assert_eq!(GaParams::quick().memo_capacity(0).memo_capacity, 0);
     }
 
     #[test]

@@ -16,12 +16,11 @@
 //!   (the final report should still use a large independent batch).
 
 use rand::Rng;
+use rayon::prelude::*;
 use std::collections::HashSet;
 
-use rds_sched::disjunctive::DisjunctiveGraph;
+use rds_sched::csr::EvalScratch;
 use rds_sched::instance::Instance;
-use rds_sched::slack;
-use rds_sched::timing::{expected_durations, makespan_with_durations};
 use rds_stats::rng::{rng_from_seed, SeedStream};
 
 use crate::chromosome::Chromosome;
@@ -96,36 +95,56 @@ pub struct RobustGaResult {
     pub generations: usize,
 }
 
-/// Evaluates one chromosome on the shared realization seeds.
-fn evaluate_mc(inst: &Instance, c: &Chromosome, sample_seeds: &[u64]) -> RobustEvaluation {
-    let schedule = c.decode(inst.proc_count());
-    let ds = DisjunctiveGraph::build(&inst.graph, &schedule)
-        .expect("valid chromosome decodes to an acyclic disjunctive graph");
-    let durations = expected_durations(&inst.timing, &schedule);
-    let analysis = slack::analyze(&ds, &schedule, &inst.platform, &durations);
-    let m0 = analysis.makespan;
+/// Per-thread buffers for [`evaluate_mc_with`]: the slack arena plus the
+/// realized-duration and finish-time vectors, all reused across
+/// chromosomes and realizations.
+#[derive(Debug, Default, Clone)]
+struct McScratch {
+    eval: EvalScratch,
+    realized: Vec<f64>,
+    finish: Vec<f64>,
+}
 
-    let assignment = schedule.assignment();
-    let mut scratch = Vec::new();
-    let mut realized = Vec::with_capacity(sample_seeds.len());
+/// Evaluates one chromosome on the shared realization seeds, reusing the
+/// caller's scratch. The CSR of `G_s` is built once per chromosome and
+/// re-walked for every realization.
+fn evaluate_mc_with(
+    inst: &Instance,
+    c: &Chromosome,
+    sample_seeds: &[u64],
+    scratch: &mut McScratch,
+) -> RobustEvaluation {
+    let summary = scratch
+        .eval
+        .evaluate(inst, &c.order, &c.assignment)
+        .expect("valid chromosome decodes to an acyclic disjunctive graph");
+    let m0 = summary.makespan;
+
     let mut tardiness_sum = 0.0;
     for &s in sample_seeds {
         let mut rng = rng_from_seed(s);
-        realized.clear();
-        realized.extend(
-            assignment
-                .iter()
-                .enumerate()
-                .map(|(t, &p)| inst.timing.sample(t, p, &mut rng)),
-        );
-        let m = makespan_with_durations(&ds, &schedule, &inst.platform, &realized, &mut scratch);
+        scratch.realized.clear();
+        for (t, &p) in c.assignment.iter().enumerate() {
+            scratch.realized.push(inst.timing.sample(t, p, &mut rng));
+        }
+        let m = scratch
+            .eval
+            .csr()
+            .makespan(&scratch.realized, &mut scratch.finish);
         tardiness_sum += (m - m0).max(0.0) / m0;
     }
     RobustEvaluation {
         makespan: m0,
-        avg_slack: analysis.average_slack,
+        avg_slack: summary.average_slack,
         mean_tardiness: tardiness_sum / sample_seeds.len() as f64,
     }
+}
+
+/// Evaluates one chromosome on the shared realization seeds (fresh
+/// buffers; kept as the simple entry point for tests).
+#[cfg(test)]
+fn evaluate_mc(inst: &Instance, c: &Chromosome, sample_seeds: &[u64]) -> RobustEvaluation {
+    evaluate_mc_with(inst, c, sample_seeds, &mut McScratch::default())
 }
 
 /// Population fitness: feasible → `−mean_tardiness`; infeasible → below
@@ -185,10 +204,28 @@ pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult 
             pop.push(c);
         }
     }
-    let mut evals: Vec<RobustEvaluation> = pop
-        .iter()
-        .map(|c| evaluate_mc(inst, c, &sample_seeds))
-        .collect();
+    // Monte-Carlo fitness is the expensive part: fan chromosomes out over
+    // rayon with per-thread scratch. Each chromosome's realizations use
+    // only its own seeded RNGs (common random numbers), so results are
+    // bit-identical for any thread count.
+    let eval_pop = |chroms: &[Chromosome]| -> Vec<RobustEvaluation> {
+        if chroms.len() >= 8 {
+            chroms
+                .par_iter()
+                .map_init(McScratch::default, |s, c| {
+                    evaluate_mc_with(inst, c, &sample_seeds, s)
+                })
+                .collect()
+        } else {
+            let mut s = McScratch::default();
+            chroms
+                .iter()
+                .map(|c| evaluate_mc_with(inst, c, &sample_seeds, &mut s))
+                .collect()
+        }
+    };
+
+    let mut evals: Vec<RobustEvaluation> = eval_pop(&pop);
 
     let quality =
         |e: &RobustEvaluation| -> (bool, f64) { (e.makespan <= bound, -e.mean_tardiness) };
@@ -233,10 +270,7 @@ pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult 
                 mutate(c, &inst.graph, inst.proc_count(), &mut rng);
             }
         }
-        let mut next_evals: Vec<RobustEvaluation> = next
-            .iter()
-            .map(|c| evaluate_mc(inst, c, &sample_seeds))
-            .collect();
+        let mut next_evals: Vec<RobustEvaluation> = eval_pop(&next);
         let next_fit = fitness(&next_evals, bound);
         let worst = next_fit
             .iter()

@@ -8,12 +8,12 @@
 //! Both now delegate to `rds_sched::replan::replan_partial`; these tests
 //! pin the delegation so a future re-divergence fails loudly.
 
+use rds_graph::TaskId;
 use rds_heft::heft_schedule;
 use rds_heft::reschedule::{heft_reschedule, PartialState};
 use rds_platform::ProcId;
 use rds_sched::instance::{Instance, InstanceSpec};
 use rds_sched::replan::{rank_order, replan_partial, FrozenState};
-use rds_graph::TaskId;
 
 fn inst(seed: u64, tasks: usize, procs: usize) -> Instance {
     InstanceSpec::new(tasks, procs)
@@ -93,7 +93,8 @@ fn heft_and_sched_replanners_agree_bitwise() {
                     .filter(|t| state.finished[t.index()].is_none())
                     .collect();
                 assert_eq!(
-                    replanned_on_p, sched_side.proc_tasks[p.index()],
+                    replanned_on_p,
+                    sched_side.proc_tasks[p.index()],
                     "seed {seed} proc {p}"
                 );
                 // Prefix and replanned tasks are contiguous, prefix first.

@@ -1,0 +1,560 @@
+//! Flat CSR evaluation kernel for the disjunctive graph.
+//!
+//! [`DisjunctiveGraph`](crate::disjunctive::DisjunctiveGraph) stores `G_s`
+//! as nested `Vec<Vec<DisEdge>>`, which is convenient but allocates one
+//! heap block per task per evaluation and scatters edges across the heap.
+//! The GA evaluates `G_s` once per chromosome per generation, so this
+//! module provides the same graph in compressed-sparse-row form:
+//! prefix-offset `u32` arrays for predecessors/successors plus parallel
+//! `f64` arrays carrying the *precomputed* transfer time of each edge
+//! (communication depends only on the edge's data size and the two
+//! endpoint processors, both fixed once the assignment is fixed).
+//!
+//! [`DisjunctiveCsr::build_from_parts`] rebuilds the CSR **in place** from
+//! an `(order, assignment)` pair — no `Schedule` needs to be materialized —
+//! reusing every buffer, so repeated evaluations of same-shape instances
+//! perform zero heap allocations. [`EvalScratch`] bundles the CSR with the
+//! slack buffers into a caller-owned arena; one arena per thread is the
+//! intended usage (see `rds-ga`'s population evaluation).
+//!
+//! Every pass replicates the reference implementations bit for bit:
+//! identical edge order (graph predecessors first, then the disjunctive
+//! predecessor), identical Kahn stack discipline, and identical floating-
+//! point expression shapes. The parity proptests in
+//! `crates/sched/tests/eval_kernel_proptest.rs` assert `==` on the results.
+
+use rds_graph::{TaskGraph, TaskId};
+use rds_platform::{Platform, ProcId};
+
+use crate::disjunctive::{CycleError, DisjunctiveGraph};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+use crate::slack::{analyze_into, SlackScratch, SlackSummary};
+
+/// Sentinel for "no task" in the packed `u32` arrays.
+const NONE: u32 = u32::MAX;
+
+/// The disjunctive graph `G_s` in compressed-sparse-row form with
+/// precomputed per-edge transfer times.
+///
+/// All buffers are retained across rebuilds: after the first build of a
+/// given shape, [`DisjunctiveCsr::build_from_parts`] and
+/// [`DisjunctiveCsr::build_from_schedule`] allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct DisjunctiveCsr {
+    tasks: u32,
+    /// `pred_off[t]..pred_off[t+1]` indexes `t`'s predecessors.
+    pred_off: Vec<u32>,
+    pred_task: Vec<u32>,
+    /// Transfer time of the mirrored predecessor edge (zero for
+    /// co-located endpoints and for pure disjunctive edges).
+    pred_comm: Vec<f64>,
+    succ_off: Vec<u32>,
+    succ_task: Vec<u32>,
+    succ_comm: Vec<f64>,
+    /// Kahn topological order (same order as the nested-vec builder).
+    topo: Vec<u32>,
+    disjunctive_edges: usize,
+    // Rebuild scratch, all reused.
+    indeg: Vec<u32>,
+    ready: Vec<u32>,
+    prev: Vec<u32>,
+    last_on_proc: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl DisjunctiveCsr {
+    /// An empty CSR; buffers grow on first build and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rebuilds the CSR in place from an execution order and a task →
+    /// processor assignment (the raw chromosome genes), without decoding a
+    /// [`Schedule`].
+    ///
+    /// # Errors
+    /// Returns [`CycleError`] when the order contradicts the precedence
+    /// constraints (cyclic `G_s`).
+    ///
+    /// # Panics
+    /// Panics if `order` or `assignment` length differs from the graph's
+    /// task count.
+    pub fn build_from_parts(
+        &mut self,
+        graph: &TaskGraph,
+        order: &[TaskId],
+        assignment: &[ProcId],
+        platform: &Platform,
+    ) -> Result<(), CycleError> {
+        let n = graph.task_count();
+        assert_eq!(order.len(), n, "order and graph task counts must agree");
+        assert_eq!(
+            assignment.len(),
+            n,
+            "assignment and graph task counts must agree"
+        );
+        // Disjunctive predecessor of each task = previous task on its
+        // processor in execution order (exactly `Schedule::prev_on_proc`).
+        self.last_on_proc.clear();
+        self.last_on_proc.resize(platform.proc_count(), NONE);
+        self.prev.clear();
+        self.prev.resize(n, NONE);
+        for &t in order {
+            let ti = t.index();
+            let p = assignment[ti].index();
+            self.prev[ti] = self.last_on_proc[p];
+            self.last_on_proc[p] = t.0;
+        }
+        self.assemble(graph, assignment, platform)
+    }
+
+    /// Rebuilds the CSR in place from a decoded [`Schedule`].
+    ///
+    /// # Errors
+    /// Returns [`CycleError`] when the schedule contradicts the precedence
+    /// constraints.
+    ///
+    /// # Panics
+    /// Panics if `schedule.task_count() != graph.task_count()`.
+    pub fn build_from_schedule(
+        &mut self,
+        graph: &TaskGraph,
+        schedule: &Schedule,
+        platform: &Platform,
+    ) -> Result<(), CycleError> {
+        let n = graph.task_count();
+        assert_eq!(
+            schedule.task_count(),
+            n,
+            "schedule and graph task counts must agree"
+        );
+        self.prev.clear();
+        self.prev.extend(
+            (0..n as u32).map(|t| match schedule.prev_on_proc(TaskId(t)) {
+                Some(q) => q.0,
+                None => NONE,
+            }),
+        );
+        self.assemble(graph, schedule.assignment(), platform)
+    }
+
+    /// Converts an already-built [`DisjunctiveGraph`] (edge order, topo
+    /// order, and edge count preserved; transfer times precomputed) — used
+    /// by the Monte Carlo realization loop, which evaluates one fixed
+    /// schedule thousands of times.
+    pub fn from_disjunctive(
+        ds: &DisjunctiveGraph,
+        schedule: &Schedule,
+        platform: &Platform,
+    ) -> Self {
+        let n = ds.task_count();
+        let mut csr = Self::new();
+        csr.tasks = n as u32;
+        csr.pred_off.push(0);
+        csr.succ_off.push(0);
+        for t in 0..n {
+            let tid = TaskId(t as u32);
+            let pt = schedule.proc_of(tid);
+            for e in ds.predecessors(tid) {
+                csr.pred_task.push(e.task.0);
+                csr.pred_comm
+                    .push(platform.comm_time(e.data, schedule.proc_of(e.task), pt));
+            }
+            csr.pred_off.push(csr.pred_task.len() as u32);
+            for e in ds.successors(tid) {
+                csr.succ_task.push(e.task.0);
+                csr.succ_comm
+                    .push(platform.comm_time(e.data, pt, schedule.proc_of(e.task)));
+            }
+            csr.succ_off.push(csr.succ_task.len() as u32);
+        }
+        csr.topo.extend(ds.topo_order().iter().map(|t| t.0));
+        csr.disjunctive_edges = ds.disjunctive_edge_count();
+        csr
+    }
+
+    /// Shared tail of the in-place builders: `self.prev` holds each task's
+    /// disjunctive predecessor (or [`NONE`]).
+    fn assemble(
+        &mut self,
+        graph: &TaskGraph,
+        assignment: &[ProcId],
+        platform: &Platform,
+    ) -> Result<(), CycleError> {
+        let n = graph.task_count();
+        self.tasks = n as u32;
+        self.disjunctive_edges = 0;
+        self.pred_off.clear();
+        self.pred_task.clear();
+        self.pred_comm.clear();
+        self.pred_off.push(0);
+        // `cursor[q]` counts q's successors during the pred sweep, then
+        // turns into q's scatter cursor for the succ fill.
+        self.cursor.clear();
+        self.cursor.resize(n, 0);
+        for t in graph.tasks() {
+            let ti = t.index();
+            let pt = assignment[ti];
+            // Conjunctive (graph) predecessors first, in graph order.
+            for e in graph.predecessors(t) {
+                let q = e.task.index();
+                self.pred_task.push(e.task.0);
+                self.pred_comm
+                    .push(platform.comm_time(e.data, assignment[q], pt));
+                self.cursor[q] += 1;
+            }
+            // Then the disjunctive predecessor unless it is already a graph
+            // predecessor (Def. 3.1: E' excludes edges already in E).
+            let prev = self.prev[ti];
+            if prev != NONE {
+                let start = self.pred_off[ti] as usize;
+                if !self.pred_task[start..].contains(&prev) {
+                    self.pred_task.push(prev);
+                    // Disjunctive edges carry no data, so comm is 0 exactly.
+                    self.pred_comm.push(0.0);
+                    self.cursor[prev as usize] += 1;
+                    self.disjunctive_edges += 1;
+                }
+            }
+            self.pred_off.push(self.pred_task.len() as u32);
+        }
+
+        // Successor offsets by prefix sum, then scatter the mirrored edges.
+        // Scanning tasks in ascending order keeps each successor list in the
+        // same order the nested-vec builder pushes them.
+        self.succ_off.clear();
+        self.succ_off.push(0);
+        let mut acc = 0u32;
+        for c in &mut self.cursor {
+            acc += *c;
+            self.succ_off.push(acc);
+            *c = 0;
+        }
+        let edges = self.pred_task.len();
+        self.succ_task.clear();
+        self.succ_task.resize(edges, 0);
+        self.succ_comm.clear();
+        self.succ_comm.resize(edges, 0.0);
+        for t in 0..n {
+            for e in self.pred_off[t] as usize..self.pred_off[t + 1] as usize {
+                let q = self.pred_task[e] as usize;
+                let pos = (self.succ_off[q] + self.cursor[q]) as usize;
+                self.succ_task[pos] = t as u32;
+                self.succ_comm[pos] = self.pred_comm[e];
+                self.cursor[q] += 1;
+            }
+        }
+
+        // Kahn topological sort — same stack discipline as
+        // `DisjunctiveGraph::build` (pop from the back, push newly ready
+        // tasks in successor order), so the order is identical.
+        self.indeg.clear();
+        for t in 0..n {
+            self.indeg.push(self.pred_off[t + 1] - self.pred_off[t]);
+        }
+        self.ready.clear();
+        for t in 0..n as u32 {
+            if self.indeg[t as usize] == 0 {
+                self.ready.push(t);
+            }
+        }
+        self.topo.clear();
+        while let Some(t) = self.ready.pop() {
+            self.topo.push(t);
+            for e in self.succ_off[t as usize] as usize..self.succ_off[t as usize + 1] as usize {
+                let q = self.succ_task[e] as usize;
+                self.indeg[q] -= 1;
+                if self.indeg[q] == 0 {
+                    self.ready.push(q as u32);
+                }
+            }
+        }
+        if self.topo.len() != n {
+            return Err(CycleError);
+        }
+        Ok(())
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.tasks as usize
+    }
+
+    /// Total edge count `|E ∪ E'|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.pred_task.len()
+    }
+
+    /// Number of pure disjunctive edges `|E'|`.
+    #[inline]
+    pub fn disjunctive_edge_count(&self) -> usize {
+        self.disjunctive_edges
+    }
+
+    /// The cached topological order (task indices).
+    #[inline]
+    pub fn topo(&self) -> &[u32] {
+        &self.topo
+    }
+
+    /// Predecessors of task `t` as `(tasks, transfer_times)` slices.
+    #[inline]
+    pub fn preds(&self, t: usize) -> (&[u32], &[f64]) {
+        let r = self.pred_off[t] as usize..self.pred_off[t + 1] as usize;
+        (&self.pred_task[r.clone()], &self.pred_comm[r])
+    }
+
+    /// Successors of task `t` as `(tasks, transfer_times)` slices.
+    #[inline]
+    pub fn succs(&self, t: usize) -> (&[u32], &[f64]) {
+        let r = self.succ_off[t] as usize..self.succ_off[t + 1] as usize;
+        (&self.succ_task[r.clone()], &self.succ_comm[r])
+    }
+
+    /// Makespan under a duration vector — bit-identical to
+    /// [`crate::timing::makespan_with_durations`], with `finish` reused as
+    /// the per-task finish-time buffer.
+    pub fn makespan(&self, durations: &[f64], finish: &mut Vec<f64>) -> f64 {
+        let n = self.tasks as usize;
+        debug_assert_eq!(durations.len(), n);
+        finish.clear();
+        finish.resize(n, 0.0);
+        let mut makespan = 0.0_f64;
+        for &t in &self.topo {
+            let ti = t as usize;
+            let mut s = 0.0_f64;
+            for e in self.pred_off[ti] as usize..self.pred_off[ti + 1] as usize {
+                let ready = finish[self.pred_task[e] as usize] + self.pred_comm[e];
+                if ready > s {
+                    s = ready;
+                }
+            }
+            let f = s + durations[ti];
+            finish[ti] = f;
+            if f > makespan {
+                makespan = f;
+            }
+        }
+        makespan
+    }
+}
+
+/// Caller-owned arena bundling a [`DisjunctiveCsr`] with the slack and
+/// duration buffers: one full chromosome evaluation with zero heap
+/// allocations after warm-up. Keep one per thread (rayon `map_init`).
+#[derive(Debug, Default, Clone)]
+pub struct EvalScratch {
+    csr: DisjunctiveCsr,
+    slack: SlackScratch,
+    durations: Vec<f64>,
+}
+
+impl EvalScratch {
+    /// A fresh arena; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Expected-duration slack evaluation of an `(order, assignment)` pair —
+    /// the GA hot path. Bit-identical to building a [`DisjunctiveGraph`]
+    /// and calling [`crate::slack::analyze`] with expected durations.
+    ///
+    /// # Errors
+    /// Returns [`CycleError`] when the order contradicts the precedence
+    /// constraints.
+    pub fn evaluate(
+        &mut self,
+        inst: &Instance,
+        order: &[TaskId],
+        assignment: &[ProcId],
+    ) -> Result<SlackSummary, CycleError> {
+        self.csr
+            .build_from_parts(&inst.graph, order, assignment, &inst.platform)?;
+        self.durations.clear();
+        for (t, &p) in assignment.iter().enumerate() {
+            self.durations.push(inst.timing.expected(t, p));
+        }
+        Ok(analyze_into(&self.csr, &self.durations, &mut self.slack))
+    }
+
+    /// Same as [`EvalScratch::evaluate`] but starting from a decoded
+    /// [`Schedule`].
+    ///
+    /// # Errors
+    /// Returns [`CycleError`] when the schedule contradicts the precedence
+    /// constraints.
+    pub fn evaluate_schedule(
+        &mut self,
+        inst: &Instance,
+        schedule: &Schedule,
+    ) -> Result<SlackSummary, CycleError> {
+        self.csr
+            .build_from_schedule(&inst.graph, schedule, &inst.platform)?;
+        self.durations.clear();
+        for (t, &p) in schedule.assignment().iter().enumerate() {
+            self.durations.push(inst.timing.expected(t, p));
+        }
+        Ok(analyze_into(&self.csr, &self.durations, &mut self.slack))
+    }
+
+    /// The CSR built by the last evaluation.
+    #[inline]
+    pub fn csr(&self) -> &DisjunctiveCsr {
+        &self.csr
+    }
+
+    /// Per-task top-level / bottom-level / slack buffers of the last
+    /// evaluation.
+    #[inline]
+    pub fn slack(&self) -> &SlackScratch {
+        &self.slack
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slack;
+    use crate::timing::{expected_durations, makespan_with_durations};
+    use rds_graph::TaskGraphBuilder;
+
+    fn ids(xs: &[u32]) -> Vec<TaskId> {
+        xs.iter().map(|&x| TaskId(x)).collect()
+    }
+
+    /// Same fixture as `timing::tests::fixture`.
+    fn fixture() -> (TaskGraph, Platform, Schedule, Vec<f64>) {
+        let mut b = TaskGraphBuilder::with_tasks(4);
+        b.add_edge(TaskId(0), TaskId(1), 4.0)
+            .add_edge(TaskId(0), TaskId(2), 8.0)
+            .add_edge(TaskId(1), TaskId(3), 2.0)
+            .add_edge(TaskId(2), TaskId(3), 2.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(2, 2.0).unwrap();
+        let s = Schedule::from_proc_lists(4, vec![ids(&[0, 1]), ids(&[2, 3])]).unwrap();
+        (g, p, s, vec![2.0, 3.0, 4.0, 1.0])
+    }
+
+    #[test]
+    fn csr_matches_nested_graph_structure() {
+        let (g, p, s, _) = fixture();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let mut csr = DisjunctiveCsr::new();
+        csr.build_from_schedule(&g, &s, &p).unwrap();
+        assert_eq!(csr.task_count(), ds.task_count());
+        assert_eq!(csr.disjunctive_edge_count(), ds.disjunctive_edge_count());
+        let topo: Vec<u32> = ds.topo_order().iter().map(|t| t.0).collect();
+        assert_eq!(csr.topo(), &topo[..]);
+        for t in 0..ds.task_count() {
+            let (pt, pc) = csr.preds(t);
+            let nested: Vec<(u32, f64)> = ds
+                .predecessors(TaskId(t as u32))
+                .iter()
+                .map(|e| {
+                    (
+                        e.task.0,
+                        p.comm_time(e.data, s.proc_of(e.task), s.proc_of(TaskId(t as u32))),
+                    )
+                })
+                .collect();
+            let flat: Vec<(u32, f64)> = pt.iter().copied().zip(pc.iter().copied()).collect();
+            assert_eq!(flat, nested);
+            let (st, _) = csr.succs(t);
+            let nested_succ: Vec<u32> = ds
+                .successors(TaskId(t as u32))
+                .iter()
+                .map(|e| e.task.0)
+                .collect();
+            assert_eq!(st, &nested_succ[..]);
+        }
+    }
+
+    #[test]
+    fn from_parts_equals_from_schedule() {
+        let (g, p, s, _) = fixture();
+        // Global order consistent with p0 = [0, 1], p1 = [2, 3].
+        let order = ids(&[0, 2, 1, 3]);
+        let mut a = DisjunctiveCsr::new();
+        a.build_from_schedule(&g, &s, &p).unwrap();
+        let mut b = DisjunctiveCsr::new();
+        b.build_from_parts(&g, &order, s.assignment(), &p).unwrap();
+        assert_eq!(a.topo(), b.topo());
+        assert_eq!(a.edge_count(), b.edge_count());
+        assert_eq!(a.disjunctive_edge_count(), b.disjunctive_edge_count());
+        for t in 0..a.task_count() {
+            assert_eq!(a.preds(t), b.preds(t));
+            assert_eq!(a.succs(t), b.succs(t));
+        }
+    }
+
+    #[test]
+    fn makespan_matches_reference_bitwise() {
+        let (g, p, s, dur) = fixture();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let csr = DisjunctiveCsr::from_disjunctive(&ds, &s, &p);
+        let mut fin = Vec::new();
+        let mut reference = Vec::new();
+        let m = csr.makespan(&dur, &mut fin);
+        let r = makespan_with_durations(&ds, &s, &p, &dur, &mut reference);
+        assert_eq!(m.to_bits(), r.to_bits());
+        assert_eq!(m, 11.0);
+    }
+
+    #[test]
+    fn scratch_evaluate_matches_analyze_bitwise() {
+        let (g, p, s, _) = fixture();
+        let bcet = rds_stats::matrix::Matrix::from_rows(&[
+            &[2.0, 2.0],
+            &[3.0, 3.0],
+            &[4.0, 4.0],
+            &[1.0, 1.0],
+        ]);
+        let ul = rds_stats::matrix::Matrix::filled(4, 2, 1.5);
+        let timing = rds_platform::TimingModel::new(bcet, ul).unwrap();
+        let inst = Instance::new(g, p, timing).unwrap();
+        let ds = DisjunctiveGraph::build(&inst.graph, &s).unwrap();
+        let durations = expected_durations(&inst.timing, &s);
+        let reference = slack::analyze(&ds, &s, &inst.platform, &durations);
+        let mut scratch = EvalScratch::new();
+        for _ in 0..3 {
+            // Repeats reuse all buffers and must not drift.
+            let got = scratch.evaluate_schedule(&inst, &s).unwrap();
+            assert_eq!(got.makespan.to_bits(), reference.makespan.to_bits());
+            assert_eq!(
+                got.average_slack.to_bits(),
+                reference.average_slack.to_bits()
+            );
+            assert_eq!(scratch.slack().top_level, reference.top_level);
+            assert_eq!(scratch.slack().bottom_level, reference.bottom_level);
+            assert_eq!(scratch.slack().slack, reference.slack);
+        }
+    }
+
+    #[test]
+    fn cyclic_order_rejected() {
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 1.0)
+            .add_edge(TaskId(1), TaskId(2), 1.0);
+        let g = b.build().unwrap();
+        let p = Platform::uniform(1, 1.0).unwrap();
+        let order = ids(&[2, 0, 1]);
+        let assignment = vec![ProcId(0); 3];
+        let mut csr = DisjunctiveCsr::new();
+        assert!(csr.build_from_parts(&g, &order, &assignment, &p).is_err());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = TaskGraphBuilder::with_tasks(0).build().unwrap();
+        let p = Platform::uniform(1, 1.0).unwrap();
+        let mut csr = DisjunctiveCsr::new();
+        csr.build_from_parts(&g, &[], &[], &p).unwrap();
+        assert_eq!(csr.task_count(), 0);
+        assert!(csr.topo().is_empty());
+        let mut fin = Vec::new();
+        assert_eq!(csr.makespan(&[], &mut fin), 0.0);
+    }
+}

@@ -37,6 +37,23 @@ impl std::fmt::Display for CycleError {
 
 impl std::error::Error for CycleError {}
 
+/// Reusable scratch for [`DisjunctiveGraph::are_independent_with`]: a
+/// packed visited bitset plus the DFS stack, both retained across calls so
+/// repeated reachability queries allocate nothing.
+#[derive(Debug, Default, Clone)]
+pub struct ReachScratch {
+    seen: Vec<u64>,
+    stack: Vec<u32>,
+}
+
+impl ReachScratch {
+    /// An empty scratch; buffers grow on first use and are then reused.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The materialized disjunctive graph with a cached topological order.
 #[derive(Debug, Clone)]
 pub struct DisjunctiveGraph {
@@ -156,22 +173,42 @@ impl DisjunctiveGraph {
 
     /// `true` when `a` and `b` are independent in `G_s` (neither reaches the
     /// other) — the hypothesis of Corollary 3.5.
+    ///
+    /// Convenience wrapper over [`DisjunctiveGraph::are_independent_with`]
+    /// using a thread-local [`ReachScratch`], so repeated queries allocate
+    /// nothing after the first call on each thread.
     pub fn are_independent(&self, a: TaskId, b: TaskId) -> bool {
-        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+        thread_local! {
+            static SCRATCH: std::cell::RefCell<ReachScratch> =
+                std::cell::RefCell::new(ReachScratch::default());
+        }
+        SCRATCH.with(|s| self.are_independent_with(a, b, &mut s.borrow_mut()))
     }
 
-    fn reaches(&self, from: TaskId, to: TaskId) -> bool {
-        let mut seen = vec![false; self.task_count()];
-        let mut stack = vec![from];
-        seen[from.index()] = true;
-        while let Some(t) = stack.pop() {
-            for e in &self.succs[t.index()] {
+    /// Allocation-free independence test reusing the caller's scratch —
+    /// use this on hot paths that probe many pairs.
+    pub fn are_independent_with(&self, a: TaskId, b: TaskId, scratch: &mut ReachScratch) -> bool {
+        a != b && !self.reaches_with(a, b, scratch) && !self.reaches_with(b, a, scratch)
+    }
+
+    /// DFS reachability over a reused bitset + stack.
+    fn reaches_with(&self, from: TaskId, to: TaskId, scratch: &mut ReachScratch) -> bool {
+        let words = self.task_count().div_ceil(64);
+        scratch.seen.clear();
+        scratch.seen.resize(words, 0);
+        scratch.stack.clear();
+        scratch.stack.push(from.0);
+        scratch.seen[from.index() / 64] |= 1u64 << (from.index() % 64);
+        while let Some(t) = scratch.stack.pop() {
+            for e in &self.succs[t as usize] {
                 if e.task == to {
                     return true;
                 }
-                if !seen[e.task.index()] {
-                    seen[e.task.index()] = true;
-                    stack.push(e.task);
+                let qi = e.task.index();
+                let mask = 1u64 << (qi % 64);
+                if scratch.seen[qi / 64] & mask == 0 {
+                    scratch.seen[qi / 64] |= mask;
+                    scratch.stack.push(e.task.0);
                 }
             }
         }
@@ -280,6 +317,24 @@ mod tests {
         assert!(ds.are_independent(TaskId(5), TaskId(3)));
         // v2 (1) precedes v4 (3) on p0 via E'.
         assert!(!ds.are_independent(TaskId(1), TaskId(3)));
+    }
+
+    #[test]
+    fn independence_stable_under_scratch_reuse() {
+        let g = fig1_example(1.0);
+        let s = fig1_schedule();
+        let ds = DisjunctiveGraph::build(&g, &s).unwrap();
+        let mut scratch = ReachScratch::default();
+        // Probe every pair twice through one scratch: results must agree
+        // with the thread-local wrapper and with themselves.
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let first = ds.are_independent_with(TaskId(a), TaskId(b), &mut scratch);
+                let second = ds.are_independent_with(TaskId(a), TaskId(b), &mut scratch);
+                assert_eq!(first, second);
+                assert_eq!(first, ds.are_independent(TaskId(a), TaskId(b)));
+            }
+        }
     }
 
     #[test]

@@ -277,7 +277,11 @@ pub fn svg_gantt_run(plan: &Schedule, run: &FaultRun, width_px: u32) -> String {
             let migrated = !s.replica && plan.proc_of(s.task) != s.proc;
             let stroke = if migrated { "#c0392b" } else { "#333" };
             let stroke_w = if migrated { 2.5 } else { 1.0 };
-            let dash = if s.replica { " stroke-dasharray=\"4 2\"" } else { "" };
+            let dash = if s.replica {
+                " stroke-dasharray=\"4 2\""
+            } else {
+                ""
+            };
             let opacity = if s.won { 1.0 } else { 0.35 };
             let _ = writeln!(
                 out,
@@ -496,7 +500,10 @@ mod tests {
         assert!(chart.contains('%'), "migrated fill missing");
         assert!(chart.contains('='), "replica fill missing");
         assert!(chart.contains('x'), "lost-copy fill missing");
-        assert!(chart.contains("dropped: v5"), "dropped footer missing:\n{chart}");
+        assert!(
+            chart.contains("dropped: v5"),
+            "dropped footer missing:\n{chart}"
+        );
 
         let svg = svg_gantt_run(&s, &run, 600);
         assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));

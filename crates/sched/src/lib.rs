@@ -8,6 +8,9 @@
 //! * [`disjunctive`] — the disjunctive graph `G_s = (V, E ∪ E')` of
 //!   Definition 3.1, with cycle detection (a schedule incompatible with the
 //!   precedence constraints yields a cyclic `G_s`).
+//! * [`csr`] — the same graph flattened into compressed-sparse-row arrays
+//!   with precomputed transfer times, plus the [`EvalScratch`] arena for
+//!   zero-allocation repeated evaluation (the GA/Monte-Carlo hot path).
 //! * [`timing`] — start/finish times and makespan under arbitrary duration
 //!   vectors: the makespan is the critical-path length of `G_s` (Claim 3.2).
 //! * [`slack`] — top/bottom levels on `G_s` and the slack of Definition 3.3,
@@ -35,6 +38,7 @@
 
 pub mod bounds;
 pub mod contention;
+pub mod csr;
 pub mod disjunctive;
 pub mod dynamic;
 pub mod faults;
@@ -52,13 +56,14 @@ pub mod slack;
 pub mod timing;
 pub mod trace;
 
-pub use disjunctive::DisjunctiveGraph;
+pub use csr::{DisjunctiveCsr, EvalScratch};
+pub use disjunctive::{DisjunctiveGraph, ReachScratch};
 pub use faults::{FaultConfig, FaultKind, FaultScenario, ReplicaDraw, ReplicaDraws};
 pub use instance::{Instance, InstanceSpec};
 pub use metrics::{r1_from_tardiness, r2_from_miss_rate, FaultRobustnessReport, RobustnessReport};
 pub use realization::{
-    failure_penalty, monte_carlo, monte_carlo_adaptive, monte_carlo_faulty,
-    monte_carlo_replicated, sample_realized_matrix, RealizationConfig,
+    failure_penalty, monte_carlo, monte_carlo_adaptive, monte_carlo_faulty, monte_carlo_replicated,
+    sample_realized_matrix, RealizationConfig,
 };
 pub use recovery::{
     execute_replicated, execute_with_faults, CheckpointConfig, CopySpan, ExecutionError, FaultRun,
@@ -68,5 +73,5 @@ pub use replan::{rank_order, replan_partial, FrozenState, ReplanError, ReplanRes
 pub use replication::{plan_replicas, PlacementPolicy, ReplicaPlan, ReplicationConfig};
 pub use schedule::{Schedule, ScheduleError};
 pub use sentinel::{execute_adaptive, SentinelConfig};
-pub use slack::SlackAnalysis;
+pub use slack::{SlackAnalysis, SlackScratch, SlackSummary};
 pub use timing::TimedSchedule;

@@ -323,9 +323,10 @@ impl FaultRobustnessReport {
             "deadline must be positive and finite"
         );
         let failed = self.realizations - self.completed;
-        let late = self.makespans.as_ref().map_or(0.0, |s| {
-            s.fraction_above(deadline) * self.completed as f64
-        });
+        let late = self
+            .makespans
+            .as_ref()
+            .map_or(0.0, |s| s.fraction_above(deadline) * self.completed as f64);
         self.deadline = Some(deadline);
         self.deadline_miss_rate = Some((late + failed as f64) / self.realizations as f64);
         self
@@ -554,14 +555,8 @@ mod tests {
     fn bootstrap_cis_bracket_the_point_estimates() {
         // 60 completions spread around 10, 20 failures.
         let ms: Vec<f64> = (0..60).map(|i| 8.0 + 0.1 * f64::from(i)).collect();
-        let r = FaultRobustnessReport::from_outcomes(
-            10.0,
-            1.0,
-            ms,
-            20,
-            &RecoveryStats::default(),
-        )
-        .with_deadline(12.0);
+        let r = FaultRobustnessReport::from_outcomes(10.0, 1.0, ms, 20, &RecoveryStats::default())
+            .with_deadline(12.0);
         let eff = r.effective_mean_ci(40.0, 300, 7).unwrap();
         assert!(eff.contains(r.effective_mean(40.0)));
         assert!(eff.half_width() > 0.0);

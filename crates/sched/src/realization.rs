@@ -100,16 +100,30 @@ pub fn realized_makespans_with(
 ) -> Vec<f64> {
     let seeds = SeedStream::new(cfg.seed);
     let assignment = schedule.assignment();
-    let one = |i: usize| -> f64 {
+    // Flatten `G_s` once: transfer times are fixed by the schedule, so
+    // every realization only re-samples durations and re-walks the flat
+    // arrays, reusing per-thread duration/finish buffers — zero
+    // allocations per realization. Draw order matches `sample_assigned`
+    // (per task, ascending) so the result is bit-identical to the
+    // nested-vec path.
+    let csr = crate::csr::DisjunctiveCsr::from_disjunctive(ds, schedule, &inst.platform);
+    let one = |bufs: &mut (Vec<f64>, Vec<f64>), i: usize| -> f64 {
+        let (durations, finish) = bufs;
         let mut rng = seeds.nth_rng(i as u64);
-        let durations = inst.timing.sample_assigned(assignment, &mut rng);
-        let mut scratch = Vec::new();
-        timing::makespan_with_durations(ds, schedule, &inst.platform, &durations, &mut scratch)
+        durations.clear();
+        for (t, &p) in assignment.iter().enumerate() {
+            durations.push(inst.timing.sample(t, p, &mut rng));
+        }
+        csr.makespan(durations, finish)
     };
     if cfg.parallel {
-        (0..cfg.realizations).into_par_iter().map(one).collect()
+        (0..cfg.realizations)
+            .into_par_iter()
+            .map_init(|| (Vec::new(), Vec::new()), |bufs, i| one(bufs, i))
+            .collect()
     } else {
-        (0..cfg.realizations).map(one).collect()
+        let mut bufs = (Vec::new(), Vec::new());
+        (0..cfg.realizations).map(|i| one(&mut bufs, i)).collect()
     }
 }
 
@@ -731,16 +745,8 @@ mod tests {
         let scfg = SentinelConfig::default();
         let cfg = RealizationConfig::with_realizations(48).seed(11);
         let par = monte_carlo_adaptive(&inst, &s, &plan, &cfg, &faults, &rec, &scfg).unwrap();
-        let ser = monte_carlo_adaptive(
-            &inst,
-            &s,
-            &plan,
-            &cfg.serial(),
-            &faults,
-            &rec,
-            &scfg,
-        )
-        .unwrap();
+        let ser =
+            monte_carlo_adaptive(&inst, &s, &plan, &cfg.serial(), &faults, &rec, &scfg).unwrap();
         assert_eq!(par.completed, ser.completed);
         assert_eq!(par.mean_makespan.to_bits(), ser.mean_makespan.to_bits());
         assert_eq!(par.mean_sentinel_fires, ser.mean_sentinel_fires);

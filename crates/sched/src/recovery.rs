@@ -714,7 +714,10 @@ pub(crate) fn execute_inner(
     cfg: &RecoveryConfig,
     replicas: &ReplicaPlan,
     draws: &ReplicaDraws,
-    mut sentinel: Option<(&crate::sentinel::SentinelConfig, &mut crate::sentinel::SentinelState)>,
+    mut sentinel: Option<(
+        &crate::sentinel::SentinelConfig,
+        &mut crate::sentinel::SentinelState,
+    )>,
 ) -> Result<FaultRun, ExecutionError> {
     let n = inst.task_count();
     let m = inst.proc_count();
@@ -1617,15 +1620,14 @@ pub(crate) fn execute_inner(
     // A degraded run never executed its dropped tasks, so no
     // every-task-once schedule exists; the run still counts as completed
     // (at its degradation level) rather than failed.
-    let schedule = if stats.dropped_tasks > 0 {
-        None
-    } else {
-        Some(
-            Schedule::from_proc_lists(n, exec_order).map_err(|_| {
+    let schedule =
+        if stats.dropped_tasks > 0 {
+            None
+        } else {
+            Some(Schedule::from_proc_lists(n, exec_order).map_err(|_| {
                 ExecutionError::Internal("executor did not complete every task once")
-            })?,
-        )
-    };
+            })?)
+        };
     Ok(FaultRun {
         outcome: Outcome::Completed { makespan },
         schedule,

@@ -149,7 +149,9 @@ pub(crate) struct SentinelState {
 impl SentinelState {
     fn new(analysis: &SlackAnalysis, expected: &[f64], cfg: &SentinelConfig) -> Self {
         let n = expected.len();
-        let account_pf: Vec<f64> = (0..n).map(|t| analysis.top_level[t] + expected[t]).collect();
+        let account_pf: Vec<f64> = (0..n)
+            .map(|t| analysis.top_level[t] + expected[t])
+            .collect();
         Self {
             account_pf,
             account_slack: analysis.slack.clone(),
@@ -391,7 +393,10 @@ mod tests {
             &scfg,
         )
         .unwrap();
-        assert!(matches!(run.outcome, crate::recovery::Outcome::Completed { .. }));
+        assert!(matches!(
+            run.outcome,
+            crate::recovery::Outcome::Completed { .. }
+        ));
         assert!(run.stats.sentinel_fires > 0, "uniform 3x overrun must fire");
         assert!(run.stats.sentinel_replans >= 1);
         assert!(run.stats.sentinel_replans <= scfg.max_replans);
@@ -436,10 +441,16 @@ mod tests {
             &scfg,
         )
         .unwrap();
-        assert!(matches!(run.outcome, crate::recovery::Outcome::Completed { .. }));
+        assert!(matches!(
+            run.outcome,
+            crate::recovery::Outcome::Completed { .. }
+        ));
         assert!(run.stats.dropped_tasks > 0, "4x overruns must degrade");
         assert!(run.stats.dropped_weight > 0.0);
-        assert!(run.schedule.is_none(), "degraded runs have no full schedule");
+        assert!(
+            run.schedule.is_none(),
+            "degraded runs have no full schedule"
+        );
         assert!(run
             .events
             .iter()

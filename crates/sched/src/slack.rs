@@ -53,6 +53,100 @@ impl SlackAnalysis {
     }
 }
 
+/// Reusable per-task output buffers for [`analyze_into`].
+///
+/// Buffers are cleared and refilled on every call but keep their capacity,
+/// so steady-state evaluations of same-shape instances allocate nothing.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct SlackScratch {
+    /// Top level `Tl(i)` of every task.
+    pub top_level: Vec<f64>,
+    /// Bottom level `Bl(i)` of every task.
+    pub bottom_level: Vec<f64>,
+    /// Slack `σ_i` of every task.
+    pub slack: Vec<f64>,
+}
+
+/// Scalar results of an in-place slack analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlackSummary {
+    /// Makespan `M` (critical path of `G_s`).
+    pub makespan: f64,
+    /// Average slack `σ̄`.
+    pub average_slack: f64,
+}
+
+/// In-place slack analysis over a flat [`DisjunctiveCsr`] — the zero-
+/// allocation twin of [`analyze`].
+///
+/// Runs the identical forward (top-level) and backward (bottom-level)
+/// longest-path passes over the CSR arrays, using the transfer times
+/// precomputed at CSR build time; the per-task vectors land in `out` and
+/// the scalars are returned. Results are bit-identical to [`analyze`]
+/// (asserted with `==` by `tests/eval_kernel_proptest.rs`).
+pub fn analyze_into(
+    csr: &crate::csr::DisjunctiveCsr,
+    durations: &[f64],
+    out: &mut SlackScratch,
+) -> SlackSummary {
+    let n = csr.task_count();
+    debug_assert_eq!(durations.len(), n);
+
+    // Forward pass: top levels (= earliest starts).
+    let tl = &mut out.top_level;
+    tl.clear();
+    tl.resize(n, 0.0);
+    for &t in csr.topo() {
+        let ti = t as usize;
+        let mut best = 0.0_f64;
+        let (pred_tasks, pred_comms) = csr.preds(ti);
+        for (&q, &comm) in pred_tasks.iter().zip(pred_comms) {
+            let qi = q as usize;
+            let cand = tl[qi] + durations[qi] + comm;
+            if cand > best {
+                best = cand;
+            }
+        }
+        tl[ti] = best;
+    }
+
+    // Backward pass: bottom levels.
+    let bl = &mut out.bottom_level;
+    bl.clear();
+    bl.resize(n, 0.0);
+    for &t in csr.topo().iter().rev() {
+        let ti = t as usize;
+        let own = durations[ti];
+        let mut best = own;
+        let (succ_tasks, succ_comms) = csr.succs(ti);
+        for (&q, &comm) in succ_tasks.iter().zip(succ_comms) {
+            let cand = own + comm + bl[q as usize];
+            if cand > best {
+                best = cand;
+            }
+        }
+        bl[ti] = best;
+    }
+
+    let makespan = (0..n).map(|i| tl[i] + bl[i]).fold(0.0, f64::max);
+    let slack = &mut out.slack;
+    slack.clear();
+    for i in 0..n {
+        // Clamp the tiny negative values produced by float rounding on the
+        // critical path itself (same clamp as `analyze`).
+        slack.push((makespan - bl[i] - tl[i]).max(0.0));
+    }
+    let average_slack = if n == 0 {
+        0.0
+    } else {
+        slack.iter().sum::<f64>() / n as f64
+    };
+    SlackSummary {
+        makespan,
+        average_slack,
+    }
+}
+
 /// Computes the slack analysis for a schedule under the given durations.
 ///
 /// `durations[i]` is task `i`'s duration on its assigned processor (usually

@@ -1,0 +1,188 @@
+//! Parity proofs for the flat-CSR evaluation kernel.
+//!
+//! Two families of properties, both asserted with *bit* equality (`==` on
+//! `f64::to_bits`, never approximate):
+//!
+//! 1. The CSR kernel (`EvalScratch::evaluate`, `DisjunctiveCsr::makespan`)
+//!    produces exactly the same numbers as the nested-graph reference path
+//!    (`DisjunctiveGraph` + `slack::analyze` / `timing::makespan_with_durations`)
+//!    on random instances and random chromosomes.
+//! 2. The GA is bit-identical across rayon thread counts: running
+//!    `GaEngine` inside 1-, 2- and 8-thread pools yields the same best
+//!    chromosome, evaluations, history and final population, and the same
+//!    kernel/memo counters (only wall-clock timing may differ).
+
+use proptest::prelude::*;
+
+use rds_ga::{Chromosome, GaEngine, GaParams, GaResult, Objective};
+use rds_sched::csr::{DisjunctiveCsr, EvalScratch};
+use rds_sched::disjunctive::DisjunctiveGraph;
+use rds_sched::instance::{Instance, InstanceSpec};
+use rds_sched::{slack, timing};
+use rds_stats::rng::rng_from_seed;
+
+fn instance(tasks: usize, procs: usize, seed: u64) -> Instance {
+    InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .build()
+        .expect("spec generates")
+}
+
+fn chromosome(inst: &Instance, seed: u64) -> Chromosome {
+    let mut rng = rng_from_seed(seed);
+    Chromosome::random_for(inst, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property 1a: scratch-arena slack analysis == reference analysis,
+    /// bit for bit, including every per-task vector.
+    #[test]
+    fn csr_slack_bit_identical_to_reference(
+        tasks in 5usize..40,
+        procs in 1usize..5,
+        inst_seed in any::<u64>(),
+        chrom_seed in any::<u64>(),
+    ) {
+        let inst = instance(tasks, procs, inst_seed);
+        let c = chromosome(&inst, chrom_seed);
+        let schedule = c.decode(procs);
+
+        let ds = DisjunctiveGraph::build(&inst.graph, &schedule).expect("acyclic");
+        let durations = timing::expected_durations(&inst.timing, &schedule);
+        let reference = slack::analyze(&ds, &schedule, &inst.platform, &durations);
+
+        let mut scratch = EvalScratch::new();
+        // Evaluate twice through the same scratch: reuse must not change
+        // anything.
+        for _ in 0..2 {
+            let summary = scratch
+                .evaluate(&inst, &c.order, &c.assignment)
+                .expect("acyclic");
+            prop_assert_eq!(summary.makespan.to_bits(), reference.makespan.to_bits());
+            prop_assert_eq!(
+                summary.average_slack.to_bits(),
+                reference.average_slack.to_bits()
+            );
+            prop_assert_eq!(&scratch.slack().top_level, &reference.top_level);
+            prop_assert_eq!(&scratch.slack().bottom_level, &reference.bottom_level);
+            prop_assert_eq!(&scratch.slack().slack, &reference.slack);
+        }
+    }
+
+    /// Property 1b: the CSR forward pass == the reference makespan on
+    /// *sampled* (non-expected) durations — the Monte-Carlo reuse path.
+    #[test]
+    fn csr_makespan_bit_identical_on_sampled_durations(
+        tasks in 5usize..40,
+        procs in 1usize..5,
+        inst_seed in any::<u64>(),
+        chrom_seed in any::<u64>(),
+        draw_seed in any::<u64>(),
+    ) {
+        let inst = instance(tasks, procs, inst_seed);
+        let c = chromosome(&inst, chrom_seed);
+        let schedule = c.decode(procs);
+        let ds = DisjunctiveGraph::build(&inst.graph, &schedule).expect("acyclic");
+        let csr = DisjunctiveCsr::from_disjunctive(&ds, &schedule, &inst.platform);
+
+        let mut rng = rng_from_seed(draw_seed);
+        let mut finish = Vec::new();
+        let mut reference_scratch = Vec::new();
+        for _ in 0..3 {
+            let durations = inst.timing.sample_assigned(&c.assignment, &mut rng);
+            let reference = timing::makespan_with_durations(
+                &ds,
+                &schedule,
+                &inst.platform,
+                &durations,
+                &mut reference_scratch,
+            );
+            let got = csr.makespan(&durations, &mut finish);
+            prop_assert_eq!(got.to_bits(), reference.to_bits());
+        }
+    }
+}
+
+/// Asserts everything observable about two GA results is identical except
+/// wall-clock timing (`eval_nanos`).
+fn assert_ga_results_identical(a: &GaResult, b: &GaResult) {
+    assert_eq!(a.best, b.best);
+    assert_eq!(
+        a.best_eval.makespan.to_bits(),
+        b.best_eval.makespan.to_bits()
+    );
+    assert_eq!(
+        a.best_eval.avg_slack.to_bits(),
+        b.best_eval.avg_slack.to_bits()
+    );
+    assert_eq!(a.best_feasible, b.best_feasible);
+    assert_eq!(a.generations, b.generations);
+    assert_eq!(a.final_population, b.final_population);
+    assert_eq!(a.history.len(), b.history.len());
+    for (x, y) in a.history.iter().zip(&b.history) {
+        assert_eq!(x.best_makespan.to_bits(), y.best_makespan.to_bits());
+        assert_eq!(x.best_slack.to_bits(), y.best_slack.to_bits());
+        assert_eq!(x.best_feasible, y.best_feasible);
+        assert_eq!(x.best_chromosome, y.best_chromosome);
+    }
+    // Kernel/memo counters are part of the determinism contract; only
+    // eval_nanos may differ between runs.
+    assert_eq!(a.stats.kernel_evals, b.stats.kernel_evals);
+    assert_eq!(a.stats.memo_hits, b.stats.memo_hits);
+    assert_eq!(a.stats.memo_collisions, b.stats.memo_collisions);
+}
+
+fn run_ga_in_pool(threads: usize, inst: &Instance, params: GaParams, obj: Objective) -> GaResult {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("pool builds")
+        .install(|| GaEngine::new(inst, params, obj).run())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property 2: the parallel population evaluation is bit-identical to
+    /// sequential for any rayon thread count (1/2/8), memo on or off.
+    #[test]
+    fn ga_bit_identical_across_thread_counts(
+        inst_seed in any::<u64>(),
+        ga_seed in any::<u64>(),
+        memo in any::<bool>(),
+    ) {
+        let inst = instance(25, 3, inst_seed);
+        let params = GaParams::quick()
+            .seed(ga_seed)
+            .population(16)
+            .max_generations(12)
+            .stall_generations(12)
+            .memo_capacity(if memo { 4096 } else { 0 });
+        let base = run_ga_in_pool(1, &inst, params, Objective::MinimizeMakespan);
+        for threads in [2usize, 8] {
+            let other = run_ga_in_pool(threads, &inst, params, Objective::MinimizeMakespan);
+            assert_ga_results_identical(&base, &other);
+        }
+    }
+}
+
+/// Fixed-seed smoke variant of property 2 (runs even when proptest is
+/// filtered out; also covers the slack-maximizing objective).
+#[test]
+fn ga_thread_parity_fixed_seed() {
+    let inst = instance(30, 4, 11);
+    for obj in [Objective::MinimizeMakespan, Objective::MaximizeSlack] {
+        let params = GaParams::quick()
+            .seed(23)
+            .population(16)
+            .max_generations(20)
+            .stall_generations(20);
+        let base = run_ga_in_pool(1, &inst, params, obj);
+        for threads in [2usize, 8] {
+            let other = run_ga_in_pool(threads, &inst, params, obj);
+            assert_ga_results_identical(&base, &other);
+        }
+    }
+}

@@ -3,6 +3,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
+use rds_ga::GaRunStats;
 use rds_sched::io::{JobEnvelope, ResultEnvelope};
 use rds_sched::{Instance, Schedule};
 
@@ -255,6 +256,10 @@ pub struct JobOutput {
     pub cache_hit: bool,
     /// Deadline degradation applied, if any.
     pub degraded: Degradation,
+    /// Evaluation-kernel and memo counters of the GA run that produced
+    /// the schedule; `None` for non-GA schedulers and cache hits. Not part
+    /// of the wire envelope — it feeds the service metrics.
+    pub ga_stats: Option<GaRunStats>,
 }
 
 /// Why a job produced no schedule.

@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 use std::sync::Mutex;
 
+use rds_ga::GaRunStats;
 use rds_stats::describe::Summary;
 
 use crate::job::Lane;
@@ -24,6 +25,7 @@ struct MetricsState {
     in_flight: u64,
     express_latencies: Vec<f64>,
     heavy_latencies: Vec<f64>,
+    ga: GaRunStats,
 }
 
 impl MetricsInner {
@@ -45,6 +47,11 @@ impl MetricsInner {
 
     pub(crate) fn job_started(&self) {
         self.lock().in_flight += 1;
+    }
+
+    /// Accumulates one GA run's evaluation-kernel and memo counters.
+    pub(crate) fn ga_run(&self, stats: &GaRunStats) {
+        self.lock().ga.absorb(stats);
     }
 
     /// Records a finished job: its lane latency (seconds, enqueue to
@@ -98,6 +105,10 @@ impl MetricsInner {
             } else {
                 cache_hits as f64 / looked_up as f64
             },
+            ga_kernel_evals: s.ga.kernel_evals,
+            ga_memo_hits: s.ga.memo_hits,
+            ga_memo_hit_rate: s.ga.memo_hit_rate(),
+            ga_evals_per_sec: s.ga.evals_per_sec(),
             express: LaneLatency::from_samples(&s.express_latencies),
             heavy: LaneLatency::from_samples(&s.heavy_latencies),
         }
@@ -169,6 +180,15 @@ pub struct ServiceMetrics {
     pub cache_misses: u64,
     /// `hits / (hits + misses)`, 0 when no lookups.
     pub cache_hit_rate: f64,
+    /// Full GA evaluation-kernel runs across all completed GA jobs.
+    pub ga_kernel_evals: u64,
+    /// GA evaluations answered by the fingerprint memo.
+    pub ga_memo_hits: u64,
+    /// `memo_hits / (memo_hits + kernel_evals)`, 0 when no GA ran.
+    pub ga_memo_hit_rate: f64,
+    /// Aggregate GA kernel throughput (evaluations per second of
+    /// evaluation wall-clock), 0 when no GA ran.
+    pub ga_evals_per_sec: f64,
     /// Express-lane latency distribution.
     pub express: LaneLatency,
     /// Heavy-lane latency distribution.
@@ -198,6 +218,11 @@ impl ServiceMetrics {
             "cache               : {} hits / {} misses (hit rate {:.2})",
             self.cache_hits, self.cache_misses, self.cache_hit_rate
         );
+        let _ = writeln!(
+            out,
+            "ga kernel           : {} evals / {} memo hits (hit rate {:.2}, {:.0} evals/s)",
+            self.ga_kernel_evals, self.ga_memo_hits, self.ga_memo_hit_rate, self.ga_evals_per_sec
+        );
         for (name, lane) in [("express", &self.express), ("heavy", &self.heavy)] {
             let _ = writeln!(
                 out,
@@ -224,6 +249,18 @@ mod tests {
         m.job_finished(Lane::Express, 0.5, false, false);
         m.job_started();
         m.job_finished(Lane::Heavy, 2.0, false, true);
+        m.ga_run(&GaRunStats {
+            kernel_evals: 75,
+            memo_hits: 20,
+            memo_collisions: 0,
+            eval_nanos: 500,
+        });
+        m.ga_run(&GaRunStats {
+            kernel_evals: 25,
+            memo_hits: 5,
+            memo_collisions: 1,
+            eval_nanos: 500,
+        });
         let snap = m.snapshot((1, 2), (3, 1));
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.completed, 2);
@@ -238,6 +275,11 @@ mod tests {
         assert_eq!(snap.express.count, 1);
         assert_eq!(snap.express.p50, 0.5);
         assert_eq!(snap.heavy.max, 2.0);
+        assert_eq!(snap.ga_kernel_evals, 100);
+        assert_eq!(snap.ga_memo_hits, 25);
+        assert!((snap.ga_memo_hit_rate - 0.2).abs() < 1e-12);
+        // 100 evals in 1000 ns = 1e8 evals/s.
+        assert!((snap.ga_evals_per_sec - 1e8).abs() < 1e-3);
     }
 
     #[test]
@@ -257,6 +299,7 @@ mod tests {
         let m = MetricsInner::default();
         let s = m.snapshot((0, 0), (0, 0)).to_pretty_string();
         assert!(s.contains("cache"));
+        assert!(s.contains("ga kernel"));
         assert!(s.contains("express latency"));
         assert!(s.contains("rejected (full)"));
     }

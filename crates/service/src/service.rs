@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use rds_ga::{GaEngine, GaParams, Objective};
+use rds_ga::{GaEngine, GaParams, GaRunStats, Objective};
 use rds_heft::{cpop_schedule, heft_schedule, lookahead_heft_schedule, sheft_schedule, HeftResult};
 use rds_sched::slack;
 use rds_sched::{Instance, Schedule};
@@ -267,6 +267,11 @@ fn worker_loop(shared: &Shared, results_tx: &mpsc::Sender<JobResult>) {
             &outcome,
             Ok(out) if out.degraded != Degradation::None
         );
+        if let Ok(out) = &outcome {
+            if let Some(gs) = &out.ga_stats {
+                shared.metrics.ga_run(gs);
+            }
+        }
         shared.metrics.job_finished(lane, latency, failed, fallback);
         // A disconnected receiver means the frontend is gone; keep
         // draining so shutdown still completes.
@@ -285,10 +290,11 @@ fn execute(spec: &JobSpec, cache: &ScheduleCache) -> Result<JobOutput, JobError>
             avg_slack: hit.avg_slack,
             cache_hit: true,
             degraded: Degradation::None,
+            ga_stats: None,
         });
     }
     let deadline = spec.deadline.map(|budget| Instant::now() + budget);
-    let (schedule, degraded) = produce_schedule(spec, deadline)?;
+    let (schedule, degraded, ga_stats) = produce_schedule(spec, deadline)?;
     let (makespan, avg_slack) = assess(&spec.instance, &schedule)?;
     if degraded == Degradation::None {
         cache.insert(
@@ -306,6 +312,7 @@ fn execute(spec: &JobSpec, cache: &ScheduleCache) -> Result<JobOutput, JobError>
         avg_slack,
         cache_hit: false,
         degraded,
+        ga_stats,
     })
 }
 
@@ -320,9 +327,9 @@ fn assess(inst: &Instance, schedule: &Schedule) -> Result<(f64, f64), JobError> 
 fn produce_schedule(
     spec: &JobSpec,
     deadline: Option<Instant>,
-) -> Result<(Schedule, Degradation), JobError> {
+) -> Result<(Schedule, Degradation, Option<GaRunStats>), JobError> {
     let inst = spec.instance.as_ref();
-    let express = |r: HeftResult| Ok((r.schedule, Degradation::None));
+    let express = |r: HeftResult| Ok((r.schedule, Degradation::None, None));
     match spec.algo {
         Algo::Heft => express(heft_schedule(inst)),
         Algo::Cpop => express(cpop_schedule(inst)),
@@ -338,7 +345,7 @@ fn produce_schedule(
             let params = rds_anneal::SaParams::default().seed(spec.seed);
             let sa = rds_anneal::try_anneal(inst, params, objective)
                 .map_err(|e| JobError::Failed(format!("invalid SA parameters: {e}")))?;
-            Ok((sa.best.decode(inst.proc_count()), Degradation::None))
+            Ok((sa.best.decode(inst.proc_count()), Degradation::None, None))
         }
     }
 }
@@ -346,7 +353,10 @@ fn produce_schedule(
 /// The ε-constraint GA with a cooperative deadline watch. On
 /// cancellation the escalation ladder mirrors the sentinel executor's:
 /// best feasible solution so far, then plain HEFT.
-fn run_ga(spec: &JobSpec, deadline: Option<Instant>) -> Result<(Schedule, Degradation), JobError> {
+fn run_ga(
+    spec: &JobSpec,
+    deadline: Option<Instant>,
+) -> Result<(Schedule, Degradation, Option<GaRunStats>), JobError> {
     let inst = spec.instance.as_ref();
     let heft = heft_schedule(inst);
     let objective = Objective::EpsilonConstraint {
@@ -363,14 +373,15 @@ fn run_ga(spec: &JobSpec, deadline: Option<Instant>) -> Result<(Schedule, Degrad
         Some(deadline) => engine.run_with_watch(&mut |_| Instant::now() >= deadline),
         None => engine.run(),
     };
+    let stats = Some(ga.stats);
     if ga.interrupted {
         if ga.best_feasible {
-            Ok((ga.best_schedule(inst), Degradation::BestSoFar))
+            Ok((ga.best_schedule(inst), Degradation::BestSoFar, stats))
         } else {
-            Ok((heft.schedule, Degradation::HeftFallback))
+            Ok((heft.schedule, Degradation::HeftFallback, stats))
         }
     } else {
-        Ok((ga.best_schedule(inst), Degradation::None))
+        Ok((ga.best_schedule(inst), Degradation::None, stats))
     }
 }
 

@@ -88,7 +88,10 @@ where
             *slot = samples[rng.gen_range(0..n)];
         }
         let s = stat(&scratch);
-        assert!(!s.is_nan(), "statistic returned NaN on a bootstrap resample");
+        assert!(
+            !s.is_nan(),
+            "statistic returned NaN on a bootstrap resample"
+        );
         stats.push(s);
     }
     stats.sort_by(f64::total_cmp);

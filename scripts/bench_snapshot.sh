@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs the evaluation-kernel criterion benchmarks (benches/eval.rs plus the
+# kernel micro-benches) and snapshots their mean estimates into
+# BENCH_eval.json: { bench -> { ns_per_iter, evals_per_sec } } plus the
+# headline speedup of the parallel CSR population path over the
+# alloc-per-eval path.
+#
+# Usage:
+#   scripts/bench_snapshot.sh          # full criterion run
+#   scripts/bench_snapshot.sh quick    # short sampling (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+OUT="${BENCH_OUT:-BENCH_eval.json}"
+
+FLAGS=()
+if [ "$MODE" = "quick" ]; then
+  FLAGS=(--warm-up-time 0.3 --measurement-time 1 --sample-size 10)
+fi
+
+cargo bench -p rds-bench --bench eval -- "${FLAGS[@]}"
+cargo bench -p rds-bench --bench kernels -- "${FLAGS[@]}" \
+  'slack_analysis_100|are_independent_100'
+
+python3 - "$OUT" <<'PY'
+import json
+import os
+import sys
+
+out_path = sys.argv[1]
+
+# Chromosome evaluations performed per criterion iteration: the pop64
+# benches evaluate 64 chromosomes per iteration, the rest one (the
+# non-eval kernels get no evals/sec entry).
+EVALS_PER_ITER = {
+    "eval_alloc_100x8": 1,
+    "eval_csr_100x8": 1,
+    "eval_memo_warm_100x8": 1,
+    "eval_pop64_alloc_100x8": 64,
+    "eval_pop64_csr_par_100x8": 64,
+    "eval_pop64_memo_warm_100x8": 64,
+    "slack_analysis_100": None,
+    "are_independent_100": None,
+}
+
+snapshot = {}
+for bench, evals in EVALS_PER_ITER.items():
+    est = os.path.join("target", "criterion", bench, "new", "estimates.json")
+    if not os.path.exists(est):
+        print(f"bench_snapshot: missing {est}", file=sys.stderr)
+        continue
+    with open(est) as f:
+        ns = json.load(f)["mean"]["point_estimate"]
+    entry = {"ns_per_iter": ns}
+    if evals is not None:
+        entry["evals_per_sec"] = evals * 1e9 / ns
+    snapshot[bench] = entry
+
+alloc = snapshot.get("eval_pop64_alloc_100x8")
+par = snapshot.get("eval_pop64_csr_par_100x8")
+if alloc and par:
+    snapshot["speedup_pop64_csr_par_vs_alloc"] = (
+        par["evals_per_sec"] / alloc["evals_per_sec"]
+    )
+
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"bench_snapshot: wrote {out_path}")
+for key in sorted(snapshot):
+    print(f"  {key}: {snapshot[key]}")
+PY
