@@ -5,7 +5,7 @@
 //!
 //! paper figures:  fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep all
 //! extensions:     corr future dynamic law ccr contention gatune faults
-//!                 replication adaptive
+//!                 replication adaptive online
 //! utilities:      report   (re-render every results/*.csv as tables)
 //!
 //! flags:
@@ -27,6 +27,11 @@
 //!   --trigger X           sentinel trigger fraction          [default 0.3]
 //!   --max-replans N       sentinel replan budget             [default 3]
 //!   --optional-fraction X droppable task fraction (adaptive) [default 0.25]
+//!   --online-jobs N       jobs per arrival stream (online)   [default 40]
+//!   --oversub a,b,c       oversubscription factors (online)  [default 1,1.5,2,3]
+//!   --admission-floor P   admission probability floor        [default 0.5]
+//!   --drop-floor P        mid-flight drop floor              [default 0.25]
+//!   --online-samples N    Monte Carlo samples per estimate   [default 64]
 //!   --seed N              master seed                       [default 42]
 //!   --out DIR             CSV output directory              [default results]
 //! ```
@@ -38,7 +43,7 @@ use std::process::ExitCode;
 use rds_experiments::config::ExperimentConfig;
 use rds_experiments::figures::{
     adaptive_cmp, ccr_study, contention_cmp, correlation, dynamic_cmp, fault_cmp, fig2_3, fig4,
-    fig5_6, fig7_8, future, gatune, law, replication_cmp, sweep,
+    fig5_6, fig7_8, future, gatune, law, online_cmp, replication_cmp, sweep,
 };
 use rds_experiments::output::FigureData;
 
@@ -55,7 +60,8 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|sweep|all|\
-             corr|future|dynamic|law|contention|ccr|gatune|faults|replication|adaptive|report> \
+             corr|future|dynamic|law|contention|ccr|gatune|faults|replication|adaptive|online|\
+             report> \
              [flags]"
         );
         return ExitCode::FAILURE;
@@ -113,6 +119,7 @@ fn main() -> ExitCode {
         "faults" => emit(&fault_cmp::run_fault_cmp(&cfg), &cfg),
         "replication" => emit(&replication_cmp::run_replication_cmp(&cfg), &cfg),
         "adaptive" => emit(&adaptive_cmp::run_adaptive_cmp(&cfg), &cfg),
+        "online" => emit(&online_cmp::run_online_cmp(&cfg), &cfg),
         "report" => match rds_experiments::output::render_report(&cfg.out_dir) {
             Ok(text) => println!("{text}"),
             Err(e) => {

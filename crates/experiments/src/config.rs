@@ -56,6 +56,20 @@ pub struct ExperimentConfig {
     /// rear of a topological order so the optional set is
     /// successor-closed.
     pub optional_fraction: f64,
+    /// Jobs per stream for the online multi-tenant study.
+    pub online_jobs: usize,
+    /// Oversubscription factors swept by the online study (mean offered
+    /// load relative to what the platform can absorb; 1 = critically
+    /// loaded).
+    pub oversubscriptions: Vec<f64>,
+    /// Completion-probability floor below which an online arrival is
+    /// rejected.
+    pub admission_floor: f64,
+    /// Completion-probability floor below which a committed online job is
+    /// shed/dropped mid-flight.
+    pub drop_floor: f64,
+    /// Monte-Carlo samples per online completion-probability estimate.
+    pub online_samples: usize,
     /// Output directory for CSV files.
     pub out_dir: String,
 }
@@ -82,6 +96,11 @@ impl Default for ExperimentConfig {
             sentinel_trigger: 0.3,
             max_replans: 3,
             optional_fraction: 0.25,
+            online_jobs: 40,
+            oversubscriptions: vec![1.0, 1.5, 2.0, 3.0],
+            admission_floor: 0.5,
+            drop_floor: 0.25,
+            online_samples: 64,
             out_dir: "results".to_owned(),
         }
     }
@@ -193,6 +212,11 @@ impl ExperimentConfig {
                 "--trigger" => cfg.sentinel_trigger = parse(take()?)?,
                 "--max-replans" => cfg.max_replans = parse(take()?)?,
                 "--optional-fraction" => cfg.optional_fraction = parse(take()?)?,
+                "--online-jobs" => cfg.online_jobs = parse(take()?)?,
+                "--oversub" => cfg.oversubscriptions = parse_list(take()?)?,
+                "--admission-floor" => cfg.admission_floor = parse(take()?)?,
+                "--drop-floor" => cfg.drop_floor = parse(take()?)?,
+                "--online-samples" => cfg.online_samples = parse(take()?)?,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -222,6 +246,19 @@ impl ExperimentConfig {
         }
         if !(0.0..=1.0).contains(&cfg.optional_fraction) {
             return Err("optional fraction must lie in [0, 1]".into());
+        }
+        if cfg.online_jobs == 0 || cfg.online_samples == 0 {
+            return Err("online jobs and samples must be positive".into());
+        }
+        if cfg
+            .oversubscriptions
+            .iter()
+            .any(|&o| !o.is_finite() || o <= 0.0)
+        {
+            return Err("oversubscription factors must be finite and positive".into());
+        }
+        if !(0.0..=1.0).contains(&cfg.admission_floor) || !(0.0..=1.0).contains(&cfg.drop_floor) {
+            return Err("admission and drop floors must lie in [0, 1]".into());
         }
         Ok(cfg)
     }
@@ -352,6 +389,35 @@ mod tests {
         let d = ExperimentConfig::default();
         assert_eq!(d.epsilon, 1.2);
         assert_eq!(d.max_replans, 3);
+    }
+
+    #[test]
+    fn online_flags_apply_and_validate() {
+        let cfg = ExperimentConfig::from_args(&args(&[
+            "--online-jobs",
+            "12",
+            "--oversub",
+            "1,2",
+            "--admission-floor",
+            "0.6",
+            "--drop-floor",
+            "0.2",
+            "--online-samples",
+            "32",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.online_jobs, 12);
+        assert_eq!(cfg.oversubscriptions, vec![1.0, 2.0]);
+        assert_eq!(cfg.admission_floor, 0.6);
+        assert_eq!(cfg.drop_floor, 0.2);
+        assert_eq!(cfg.online_samples, 32);
+        assert!(ExperimentConfig::from_args(&args(&["--online-jobs", "0"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--oversub", "0"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--admission-floor", "1.5"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--online-samples", "0"])).is_err());
+        let d = ExperimentConfig::default();
+        assert_eq!(d.oversubscriptions, vec![1.0, 1.5, 2.0, 3.0]);
+        assert_eq!(d.admission_floor, 0.5);
     }
 
     #[test]

@@ -20,5 +20,6 @@ pub mod fig7_8;
 pub mod future;
 pub mod gatune;
 pub mod law;
+pub mod online_cmp;
 pub mod replication_cmp;
 pub mod sweep;

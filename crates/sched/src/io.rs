@@ -299,7 +299,9 @@ pub fn read_schedule(text: &str) -> Result<Schedule, ParseError> {
 /// seed 7
 /// generations 120      # optional
 /// deadline-ms 5000     # optional
-/// lane heavy           # optional (express|heavy); default derived from algo
+/// lane heavy           # optional (express|heavy|online); default from algo
+/// arrival 0.0          # optional (online lane): simulated arrival time
+/// deadline 250.0       # optional (online lane): absolute completion deadline
 /// instance
 /// rds-instance v1
 /// ...
@@ -321,8 +323,14 @@ pub struct JobEnvelope {
     /// Wall-clock deadline budget in milliseconds; overrunning GA jobs are
     /// cancelled cooperatively and degrade to best-so-far / HEFT.
     pub deadline_ms: Option<u64>,
-    /// Priority-lane override (`express` or `heavy`).
+    /// Priority-lane override (`express`, `heavy` or `online`).
     pub lane: Option<String>,
+    /// Simulated arrival time of an online-lane job (scheduling time
+    /// units, not wall clock). Must be paired with `deadline`.
+    pub arrival: Option<f64>,
+    /// Absolute completion deadline of an online-lane job, in the same
+    /// simulated clock as `arrival`.
+    pub deadline: Option<f64>,
     /// The problem instance.
     pub instance: Instance,
 }
@@ -349,6 +357,12 @@ pub fn write_job(job: &JobEnvelope) -> String {
     }
     if let Some(lane) = &job.lane {
         let _ = writeln!(out, "lane {lane}");
+    }
+    if let Some(a) = job.arrival {
+        let _ = writeln!(out, "arrival {a:?}");
+    }
+    if let Some(d) = job.deadline {
+        let _ = writeln!(out, "deadline {d:?}");
     }
     let _ = writeln!(out, "instance");
     out.push_str(&write_instance(&job.instance));
@@ -385,6 +399,8 @@ pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
     let mut generations = None;
     let mut deadline_ms = None;
     let mut lane = None;
+    let mut arrival = None;
+    let mut deadline = None;
     let mut instance_text: Option<String> = None;
     while let Some((ln, l)) = lines.next() {
         if l.is_empty() || l.starts_with('#') {
@@ -424,13 +440,27 @@ pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
                 );
             }
             "lane" => {
-                if value != "express" && value != "heavy" {
+                if value != "express" && value != "heavy" && value != "online" {
                     return Err(err(
                         ln,
-                        format!("lane must be express|heavy, got '{value}'"),
+                        format!("lane must be express|heavy|online, got '{value}'"),
                     ));
                 }
                 lane = Some(value.to_owned());
+            }
+            "arrival" => {
+                arrival = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad arrival: {e}")))?,
+                );
+            }
+            "deadline" => {
+                deadline = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad deadline: {e}")))?,
+                );
             }
             "instance" => {
                 // Collect the embedded instance verbatim up to the
@@ -464,6 +494,8 @@ pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
         generations,
         deadline_ms,
         lane,
+        arrival,
+        deadline,
         instance,
     })
 }
@@ -479,6 +511,8 @@ pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
 /// degraded none
 /// makespan 123.25
 /// avg-slack 1.75
+/// verdict hit          # online lane: realized deadline verdict
+/// probability 0.875    # online lane: completion probability at admission
 /// schedule
 /// rds-schedule v1
 /// ...
@@ -500,6 +534,11 @@ pub struct ResultEnvelope {
     pub makespan: Option<f64>,
     /// Average slack of the returned schedule.
     pub avg_slack: Option<f64>,
+    /// Online-lane deadline verdict (`hit`, `miss`, `rejected`,
+    /// `dropped`).
+    pub verdict: Option<String>,
+    /// Online-lane completion probability estimated at admission.
+    pub probability: Option<f64>,
     /// Human-readable reason for `rejected`/`error` statuses.
     pub reason: Option<String>,
     /// The schedule, present when `status == "ok"`.
@@ -524,6 +563,12 @@ pub fn write_result(res: &ResultEnvelope) -> String {
     }
     if let Some(s) = res.avg_slack {
         let _ = writeln!(out, "avg-slack {s:?}");
+    }
+    if let Some(v) = &res.verdict {
+        let _ = writeln!(out, "verdict {v}");
+    }
+    if let Some(p) = res.probability {
+        let _ = writeln!(out, "probability {p:?}");
     }
     if let Some(r) = &res.reason {
         // Reasons are free text: strip newlines so the envelope stays
@@ -558,6 +603,8 @@ pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
         degraded: None,
         makespan: None,
         avg_slack: None,
+        verdict: None,
+        probability: None,
         reason: None,
         schedule: None,
     };
@@ -594,6 +641,14 @@ pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
                     value
                         .parse()
                         .map_err(|e| err(ln, format!("bad avg-slack: {e}")))?,
+                );
+            }
+            "verdict" => res.verdict = Some(value.to_owned()),
+            "probability" => {
+                res.probability = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad probability: {e}")))?,
                 );
             }
             "reason" => res.reason = Some(value.to_owned()),
@@ -722,6 +777,8 @@ mod tests {
             generations: Some(80),
             deadline_ms: Some(1500),
             lane: Some("heavy".into()),
+            arrival: Some(12.5),
+            deadline: Some(250.75),
             instance: inst.clone(),
         };
         let text = write_job(&job);
@@ -733,6 +790,8 @@ mod tests {
         assert_eq!(back.generations, Some(80));
         assert_eq!(back.deadline_ms, Some(1500));
         assert_eq!(back.lane.as_deref(), Some("heavy"));
+        assert_eq!(back.arrival, Some(12.5));
+        assert_eq!(back.deadline, Some(250.75));
         assert!(back.instance.graph.same_structure(&inst.graph));
         assert_eq!(back.instance.fingerprint(), inst.fingerprint());
     }
@@ -749,6 +808,8 @@ mod tests {
         assert_eq!(job.seed, 0);
         assert_eq!(job.generations, None);
         assert_eq!(job.lane, None);
+        assert_eq!(job.arrival, None);
+        assert_eq!(job.deadline, None);
 
         // Untrusted input: every malformation is a typed error, not a panic.
         assert!(read_job("").is_err());
@@ -756,6 +817,8 @@ mod tests {
         assert!(read_job("rds-job v2\n").is_err());
         assert!(read_job("rds-job v1\nid j\nalgo heft\nepsilon nope\n").is_err());
         assert!(read_job("rds-job v1\nid j\nwat 1\n").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo heft\narrival soon\n").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo heft\nlane bulk\n").is_err());
         let unterminated = format!(
             "rds-job v1\nid j\nalgo heft\ninstance\n{}",
             write_instance(&inst)
@@ -777,6 +840,8 @@ mod tests {
             degraded: Some("none".into()),
             makespan: Some(123.5),
             avg_slack: Some(4.25),
+            verdict: Some("hit".into()),
+            probability: Some(0.875),
             reason: None,
             schedule: Some(schedule.clone()),
         };
@@ -791,6 +856,8 @@ mod tests {
             degraded: None,
             makespan: None,
             avg_slack: None,
+            verdict: None,
+            probability: None,
             reason: Some("queue full: heavy lane at capacity 2\nretry later".into()),
             schedule: None,
         };

@@ -46,6 +46,7 @@ pub mod gantt;
 pub mod instance;
 pub mod io;
 pub mod metrics;
+pub mod online;
 pub mod realization;
 pub mod recovery;
 pub mod replan;
@@ -61,6 +62,12 @@ pub use disjunctive::{DisjunctiveGraph, ReachScratch};
 pub use faults::{FaultConfig, FaultKind, FaultScenario, ReplicaDraw, ReplicaDraws};
 pub use instance::{Instance, InstanceSpec};
 pub use metrics::{r1_from_tardiness, r2_from_miss_rate, FaultRobustnessReport, RobustnessReport};
+pub use online::{
+    completion_probability, plan_isolated, plan_with_deferred_optional, realized_completion,
+    run_online, AdmissionPolicy, DeferredPlan, DropPolicy, JobOutcome, JobVerdict, OnlineConfig,
+    OnlineError, OnlineEvent, OnlineEventKind, OnlineJob, OnlineReport, OnlineScratch,
+    OnlineStreamSpec,
+};
 pub use realization::{
     failure_penalty, monte_carlo, monte_carlo_adaptive, monte_carlo_faulty, monte_carlo_replicated,
     sample_realized_matrix, RealizationConfig,

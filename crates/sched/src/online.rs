@@ -1,0 +1,1401 @@
+//! Online multi-tenant scheduling with completion-probability admission
+//! and autonomous task dropping.
+//!
+//! Every other entry point in this crate is one-shot: a whole instance
+//! in, a schedule out. This module models the *streaming* regime: DAG
+//! jobs arrive continuously (a deterministic seeded arrival process) onto
+//! a shared live platform and are placed incrementally with the
+//! partial-graph HEFT replanner ([`crate::replan`]). Each job carries a
+//! deadline, and a robustness controller — in the spirit of Mokhtari et
+//! al.'s autonomous task-dropping mechanism — protects *aggregate*
+//! deadline performance under oversubscription:
+//!
+//! * **Admission** ([`AdmissionPolicy::CompletionProbability`]): at
+//!   arrival the job is tentatively planned on top of the estimated
+//!   processor backlogs and its probability of finishing by its deadline
+//!   is estimated by Monte-Carlo sampling with common random numbers
+//!   (CRN: sample `k` of task `t` of job `j` always draws from the same
+//!   substream, so re-estimates under heavier load are comparable
+//!   draw-for-draw). Arrivals below the admission floor are rejected —
+//!   backpressure by *predicted robustness*, not queue capacity.
+//! * **The drop ladder** ([`DropPolicy::Autonomous`]): at every arrival
+//!   the controller re-estimates each admitted job that has not yet
+//!   started. A job whose completion probability fell below the drop
+//!   floor first sheds its `optional`-marked tasks (the PR-3 graceful
+//!   degradation ladder) and is re-planned; if even the required subgraph
+//!   cannot be saved, the whole job is dropped, freeing its reserved
+//!   backlog for later arrivals.
+//!
+//! Every decision is recorded as a typed [`OnlineEvent`] (convertible to
+//! Chrome-trace instants via [`crate::trace::instants_from_online`]).
+//!
+//! # Determinism and the one-shot contract
+//!
+//! All execution accounting is done in each job's *local frame* (time
+//! relative to its arrival): the per-processor release floors handed to
+//! the planner and the estimator are `max(0, busy_until - arrival)`.
+//! When a job arrives on an idle platform the floors are exactly `0.0`,
+//! so the plan, the estimate and the realized spans are **bit-identical**
+//! to scheduling the job alone with [`plan_isolated`] — an undersubscribed
+//! stream degenerates to a sequence of independent one-shot problems
+//! (property-tested in `tests/online_invariants.rs`).
+//!
+//! Realized ("truth") durations are drawn from per-`(job, task)`
+//! substreams of `branch("online-truth")`; estimator draws come from
+//! `branch("online-estimate")`, so measuring a job never perturbs its
+//! execution. The estimator reuses caller-owned [`OnlineScratch`] buffers
+//! and allocates nothing in steady state.
+
+use std::sync::Arc;
+
+use rand::Rng as _;
+use rds_graph::TaskId;
+use rds_platform::{Platform, ProcId};
+use rds_stats::rng::SeedStream;
+
+use crate::instance::{Instance, InstanceSpec};
+use crate::replan::{rank_order, replan_partial, FrozenState, ReplanError, ReplanResult};
+use crate::schedule::Schedule;
+
+/// How arrivals are admitted onto the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Admit every arrival (the first-come-first-served baseline).
+    Fifo,
+    /// Admit only arrivals whose estimated completion probability clears
+    /// the configured floor.
+    CompletionProbability,
+}
+
+impl AdmissionPolicy {
+    /// Short label used in figures and traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            AdmissionPolicy::Fifo => "fifo",
+            AdmissionPolicy::CompletionProbability => "probability",
+        }
+    }
+}
+
+/// Whether admitted jobs may be degraded or abandoned mid-stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropPolicy {
+    /// Admitted work always runs to completion (the drop-nothing
+    /// baseline).
+    Never,
+    /// The autonomous controller sheds optional tasks and drops doomed
+    /// jobs whose completion probability falls below the drop floor.
+    Autonomous,
+}
+
+impl DropPolicy {
+    /// Short label used in figures and traces.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            DropPolicy::Never => "never",
+            DropPolicy::Autonomous => "autonomous",
+        }
+    }
+}
+
+/// Knobs of the online controller.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineConfig {
+    /// Monte-Carlo samples per completion-probability estimate.
+    pub samples: usize,
+    /// Master seed; estimator and truth streams branch from it.
+    pub seed: u64,
+    /// Admission rule for new arrivals.
+    pub admission: AdmissionPolicy,
+    /// Degradation rule for admitted-but-unstarted jobs.
+    pub drop_policy: DropPolicy,
+    /// Minimum completion probability an arrival must reach to be
+    /// admitted (only consulted by
+    /// [`AdmissionPolicy::CompletionProbability`]).
+    pub admission_floor: f64,
+    /// Probability below which an admitted, unstarted job is degraded
+    /// (shed, then dropped) by [`DropPolicy::Autonomous`].
+    pub drop_floor: f64,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        Self {
+            samples: 64,
+            seed: 0,
+            admission: AdmissionPolicy::CompletionProbability,
+            drop_policy: DropPolicy::Autonomous,
+            admission_floor: 0.5,
+            drop_floor: 0.25,
+        }
+    }
+}
+
+impl OnlineConfig {
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the Monte-Carlo sample count.
+    #[must_use]
+    pub fn samples(mut self, samples: usize) -> Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the admission policy.
+    #[must_use]
+    pub fn admission(mut self, policy: AdmissionPolicy) -> Self {
+        self.admission = policy;
+        self
+    }
+
+    /// Sets the drop policy.
+    #[must_use]
+    pub fn drop_policy(mut self, policy: DropPolicy) -> Self {
+        self.drop_policy = policy;
+        self
+    }
+
+    /// Sets admission and drop probability floors.
+    #[must_use]
+    pub fn floors(mut self, admission: f64, drop: f64) -> Self {
+        self.admission_floor = admission;
+        self.drop_floor = drop;
+        self
+    }
+}
+
+/// One job of an online stream.
+#[derive(Debug, Clone)]
+pub struct OnlineJob {
+    /// Stable job identity: seeds the job's truth and estimator
+    /// substreams, so the same id replays the same realization whether
+    /// the job runs alone or inside a stream.
+    pub id: usize,
+    /// Absolute arrival time.
+    pub arrival: f64,
+    /// Absolute completion deadline.
+    pub deadline: f64,
+    /// The job's DAG + timing; its platform must match the stream's
+    /// shared platform shape.
+    pub instance: Arc<Instance>,
+}
+
+/// Deterministic generator for an online workload: `jobs` random DAG jobs
+/// sharing one platform, arrivals spaced so the offered load is
+/// `oversubscription` times the sequential drain rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineStreamSpec {
+    /// Number of jobs in the stream.
+    pub jobs: usize,
+    /// Tasks per job DAG.
+    pub tasks: usize,
+    /// Processors of the shared platform.
+    pub procs: usize,
+    /// Uncertainty level of every job's timing model.
+    pub uncertainty_level: f64,
+    /// Offered-load factor: mean inter-arrival time is
+    /// `mean(M0) / oversubscription`, where `M0` is a job's isolated
+    /// planned makespan. Values above 1 oversubscribe the platform.
+    pub oversubscription: f64,
+    /// Per-job deadline as a multiple of its isolated planned makespan:
+    /// `deadline = arrival + deadline_factor · M0`.
+    pub deadline_factor: f64,
+    /// Fraction of each DAG (rear of the topological order, with
+    /// successor closure) marked `optional` — the shedding candidates of
+    /// the drop ladder.
+    pub optional_fraction: f64,
+    /// Master generation seed (instances, arrivals).
+    pub seed: u64,
+}
+
+impl OnlineStreamSpec {
+    /// A spec with study defaults (UL 4, 1.5× oversubscription, deadline
+    /// factor 2, a quarter of each DAG optional).
+    #[must_use]
+    pub fn new(jobs: usize, tasks: usize, procs: usize) -> Self {
+        Self {
+            jobs,
+            tasks,
+            procs,
+            uncertainty_level: 4.0,
+            oversubscription: 1.5,
+            deadline_factor: 2.0,
+            optional_fraction: 0.25,
+            seed: 0,
+        }
+    }
+
+    /// Sets the generation seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the uncertainty level.
+    #[must_use]
+    pub fn uncertainty_level(mut self, ul: f64) -> Self {
+        self.uncertainty_level = ul;
+        self
+    }
+
+    /// Sets the offered-load factor.
+    #[must_use]
+    pub fn oversubscription(mut self, factor: f64) -> Self {
+        self.oversubscription = factor;
+        self
+    }
+
+    /// Sets the deadline factor.
+    #[must_use]
+    pub fn deadline_factor(mut self, factor: f64) -> Self {
+        self.deadline_factor = factor;
+        self
+    }
+
+    /// Sets the optional-task fraction.
+    #[must_use]
+    pub fn optional_fraction(mut self, fraction: f64) -> Self {
+        self.optional_fraction = fraction;
+        self
+    }
+
+    /// Generates the stream: instances (with rear tasks marked optional),
+    /// a shared platform, seeded arrival times and deadlines.
+    ///
+    /// # Errors
+    /// Returns a message when the spec is degenerate (zero jobs,
+    /// non-positive oversubscription or deadline factor) or instance
+    /// generation fails.
+    pub fn generate(&self) -> Result<Vec<OnlineJob>, String> {
+        if self.jobs == 0 {
+            return Err("stream needs at least one job".into());
+        }
+        if !(self.oversubscription > 0.0) || !self.oversubscription.is_finite() {
+            return Err("oversubscription must be positive and finite".into());
+        }
+        if !(self.deadline_factor > 0.0) || !self.deadline_factor.is_finite() {
+            return Err("deadline factor must be positive and finite".into());
+        }
+        if !(0.0..=1.0).contains(&self.optional_fraction) {
+            return Err("optional fraction must lie in [0, 1]".into());
+        }
+        let root = SeedStream::new(self.seed);
+        let inst_seeds = root.branch("online-instances");
+        let mut shared: Option<Platform> = None;
+        let mut instances: Vec<Instance> = Vec::with_capacity(self.jobs);
+        let mut isolated: Vec<f64> = Vec::with_capacity(self.jobs);
+        for j in 0..self.jobs {
+            let built = InstanceSpec::new(self.tasks, self.procs)
+                .seed(inst_seeds.nth_seed(j as u64))
+                .uncertainty_level(self.uncertainty_level)
+                .build()?;
+            // Every job keeps its own DAG and timing but runs on the
+            // platform of the first job: one shared machine room.
+            let mut inst = match &shared {
+                None => {
+                    shared = Some(built.platform.clone());
+                    built
+                }
+                Some(p) => Instance::new(built.graph, p.clone(), built.timing)?,
+            };
+            mark_rear_optional(&mut inst, self.optional_fraction);
+            let plan = plan_isolated(&inst, false).map_err(|e| e.to_string())?;
+            isolated.push(plan.est_makespan);
+            instances.push(inst);
+        }
+        let mean_m0 = isolated.iter().sum::<f64>() / self.jobs as f64;
+        let mean_gap = mean_m0 / self.oversubscription;
+        let mut arrival_stream = root.branch("online-arrivals");
+        let mut rng = arrival_stream.next_rng();
+        let mut t = 0.0f64;
+        let mut out = Vec::with_capacity(self.jobs);
+        for (j, inst) in instances.into_iter().enumerate() {
+            if j > 0 {
+                t += mean_gap * rng.gen_range(0.5..1.5);
+            }
+            out.push(OnlineJob {
+                id: j,
+                arrival: t,
+                deadline: t + self.deadline_factor * isolated[j],
+                instance: Arc::new(inst),
+            });
+        }
+        Ok(out)
+    }
+}
+
+/// Marks roughly `fraction` of the instance's tasks — the rear of a
+/// topological order, so closures stay small — as optional.
+fn mark_rear_optional(inst: &mut Instance, fraction: f64) {
+    if fraction <= 0.0 {
+        return;
+    }
+    let n = inst.graph.task_count();
+    let want = ((fraction * n as f64).round() as usize).min(n);
+    let Some(order) = rds_graph::topo::topological_order(&inst.graph) else {
+        return;
+    };
+    for &t in order.iter().rev() {
+        if inst.graph.optional_tasks().len() >= want {
+            break;
+        }
+        inst.graph.mark_optional(t);
+    }
+}
+
+/// A controller decision, stamped with the stream time it was taken.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OnlineEvent {
+    /// Absolute time of the decision (the triggering arrival).
+    pub at: f64,
+    /// The job the decision concerns.
+    pub job: usize,
+    /// What was decided.
+    pub kind: OnlineEventKind,
+}
+
+/// The decision taken by the online controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineEventKind {
+    /// The arrival was admitted with the given completion probability.
+    Admitted {
+        /// Estimated completion probability at admission.
+        probability: f64,
+    },
+    /// The arrival was refused by probability-based admission.
+    Rejected {
+        /// Estimated completion probability at rejection.
+        probability: f64,
+    },
+    /// Optional tasks were shed from an admitted job (drop-ladder step 1).
+    Shed {
+        /// Number of tasks shed.
+        tasks: usize,
+        /// Completion probability before shedding.
+        before: f64,
+        /// Completion probability of the surviving required subgraph.
+        after: f64,
+    },
+    /// An admitted job was abandoned entirely (drop-ladder step 2).
+    Dropped {
+        /// Completion probability that condemned the job.
+        probability: f64,
+    },
+}
+
+impl OnlineEventKind {
+    /// Short label used in traces.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            OnlineEventKind::Admitted { .. } => "admit",
+            OnlineEventKind::Rejected { .. } => "reject",
+            OnlineEventKind::Shed { .. } => "shed",
+            OnlineEventKind::Dropped { .. } => "drop",
+        }
+    }
+}
+
+/// Terminal fate of one job of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobVerdict {
+    /// Refused at admission; never ran.
+    Rejected,
+    /// Admitted, then abandoned by the drop ladder; never produced spans.
+    Dropped,
+    /// Ran to completion by its deadline.
+    Hit,
+    /// Ran to completion after its deadline.
+    Miss,
+}
+
+impl JobVerdict {
+    /// Envelope / figure tag.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JobVerdict::Rejected => "rejected",
+            JobVerdict::Dropped => "dropped",
+            JobVerdict::Hit => "hit",
+            JobVerdict::Miss => "miss",
+        }
+    }
+}
+
+/// Per-job outcome of an online run.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job's id.
+    pub job: usize,
+    /// Its arrival time.
+    pub arrival: f64,
+    /// Its absolute deadline.
+    pub deadline: f64,
+    /// Terminal fate.
+    pub verdict: JobVerdict,
+    /// Completion probability estimated when the admission decision was
+    /// taken.
+    pub admission_probability: f64,
+    /// Final per-task placement (tentative for rejected jobs).
+    pub placement: Vec<ProcId>,
+    /// Realized start times *relative to the job's arrival*; `NaN` for
+    /// tasks that never ran (rejected/dropped jobs, shed tasks).
+    pub start: Vec<f64>,
+    /// Realized finish times, same frame and `NaN` convention.
+    pub finish: Vec<f64>,
+    /// Optional tasks removed by the drop ladder.
+    pub shed_tasks: Vec<TaskId>,
+}
+
+/// Aggregate result of an online run.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Per-job outcomes in arrival order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Controller decisions in the order they were taken.
+    pub events: Vec<OnlineEvent>,
+    /// Jobs that arrived.
+    pub arrived: usize,
+    /// Jobs admitted.
+    pub admitted: usize,
+    /// Jobs refused at admission.
+    pub rejected: usize,
+    /// Admitted jobs abandoned by the drop ladder.
+    pub dropped: usize,
+    /// Jobs that lost optional tasks to the drop ladder.
+    pub shed_jobs: usize,
+    /// Total optional tasks shed.
+    pub shed_tasks: usize,
+    /// Jobs that completed by their deadline.
+    pub hits: usize,
+    /// Jobs that completed after their deadline.
+    pub misses: usize,
+    /// `hits / arrived` — the study's headline metric: rejected and
+    /// dropped jobs count against it, so refusing work is only worth it
+    /// when it saves more deadlines than it forfeits.
+    pub deadline_hit_rate: f64,
+    /// Task weight delivered by deadline-hitting jobs (shed tasks
+    /// excluded).
+    pub goodput: f64,
+    /// Task weight of everything that arrived.
+    pub offered_weight: f64,
+    /// Absolute time the last executed task finished.
+    pub horizon: f64,
+}
+
+/// Ways an online run can fail.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineError {
+    /// A job's platform shape disagrees with the stream's.
+    ProcMismatch {
+        /// The offending job id.
+        job: usize,
+    },
+    /// Jobs are not sorted by arrival time.
+    Unsorted {
+        /// The out-of-order job id.
+        job: usize,
+    },
+    /// A controller knob is degenerate.
+    BadConfig(String),
+    /// The incremental planner failed.
+    Replan(ReplanError),
+}
+
+impl std::fmt::Display for OnlineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineError::ProcMismatch { job } => {
+                write!(f, "job {job} disagrees with the shared platform shape")
+            }
+            OnlineError::Unsorted { job } => write!(f, "job {job} arrives before its predecessor"),
+            OnlineError::BadConfig(m) => write!(f, "bad online config: {m}"),
+            OnlineError::Replan(e) => write!(f, "replan failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OnlineError {}
+
+impl From<ReplanError> for OnlineError {
+    fn from(e: ReplanError) -> Self {
+        OnlineError::Replan(e)
+    }
+}
+
+/// Reusable buffers for the completion-probability estimator: after the
+/// first call with a given shape, estimates allocate nothing.
+#[derive(Debug, Default)]
+pub struct OnlineScratch {
+    finish: Vec<f64>,
+    proc_free: Vec<f64>,
+}
+
+impl OnlineScratch {
+    /// Creates empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// One execution of a planned job in its local frame: tasks run in
+/// priority order, FIFO per processor, released at per-processor `floors`
+/// (backlog carried over from other tenants) and data arrivals from
+/// predecessors. Returns the local completion time (0 when the plan
+/// placed nothing). `finish` is left holding per-task local finish times
+/// (`NaN` for tasks the plan did not place).
+fn forward_pass<F: FnMut(usize, ProcId) -> f64>(
+    inst: &Instance,
+    order: &[TaskId],
+    plan: &ReplanResult,
+    floors: &[f64],
+    mut duration: F,
+    finish: &mut Vec<f64>,
+    proc_free: &mut Vec<f64>,
+) -> f64 {
+    let n = inst.task_count();
+    finish.clear();
+    finish.resize(n, f64::NAN);
+    proc_free.clear();
+    proc_free.extend_from_slice(floors);
+    let mut completion = 0.0f64;
+    for &t in order {
+        let ti = t.index();
+        if plan.est_start[ti].is_nan() {
+            continue; // not placed by this plan (shed or skipped)
+        }
+        let p = plan.placement[ti];
+        let mut ready = proc_free[p.index()];
+        for e in inst.graph.predecessors(t) {
+            let qf = finish[e.task.index()];
+            if qf.is_nan() {
+                continue; // shed predecessor constrains nothing
+            }
+            let arrive = qf
+                + inst
+                    .platform
+                    .comm_time(e.data, plan.placement[e.task.index()], p);
+            if arrive > ready {
+                ready = arrive;
+            }
+        }
+        let f = ready + duration(ti, p);
+        finish[ti] = f;
+        proc_free[p.index()] = f;
+        if f > completion {
+            completion = f;
+        }
+    }
+    completion
+}
+
+/// Estimates the probability that `plan` completes within `rel_deadline`
+/// (time units after the job's arrival), given per-processor release
+/// floors carrying the other tenants' backlog.
+///
+/// The estimate is Monte-Carlo with common random numbers: sample `k` of
+/// task `t` always draws from substream `(estimate_seed, k, t)`, so the
+/// estimate is a *monotone non-increasing* function of the floors —
+/// added load can only delay each sampled realization. Buffers come from
+/// the caller's [`OnlineScratch`]; steady-state calls allocate nothing.
+#[must_use]
+#[allow(clippy::too_many_arguments)] // the estimator's full context, mirrors the recovery kernels
+pub fn completion_probability(
+    inst: &Instance,
+    order: &[TaskId],
+    plan: &ReplanResult,
+    floors: &[f64],
+    rel_deadline: f64,
+    samples: usize,
+    estimate_seed: u64,
+    scratch: &mut OnlineScratch,
+) -> f64 {
+    if samples == 0 {
+        return 0.0;
+    }
+    let stream = SeedStream::new(estimate_seed);
+    let mut hits = 0usize;
+    for k in 0..samples {
+        let sample = SeedStream::new(stream.nth_seed(k as u64));
+        let completion = forward_pass(
+            inst,
+            order,
+            plan,
+            floors,
+            |t, p| {
+                let mut rng = sample.nth_rng(t as u64);
+                inst.timing.sample(t, p, &mut rng)
+            },
+            &mut scratch.finish,
+            &mut scratch.proc_free,
+        );
+        if completion <= rel_deadline {
+            hits += 1;
+        }
+    }
+    hits as f64 / samples as f64
+}
+
+/// Executes `plan` once under truth durations drawn from `truth_seed`
+/// (per-task substreams, disjoint from the estimator's by seed
+/// derivation), returning the realized local completion time. This is
+/// the service-side deadline verdict: the estimator guesses, this
+/// function decides.
+#[must_use]
+pub fn realized_completion(
+    inst: &Instance,
+    order: &[TaskId],
+    plan: &ReplanResult,
+    floors: &[f64],
+    truth_seed: u64,
+    scratch: &mut OnlineScratch,
+) -> f64 {
+    let stream = SeedStream::new(truth_seed);
+    forward_pass(
+        inst,
+        order,
+        plan,
+        floors,
+        |t, p| {
+            let mut rng = stream.nth_rng(t as u64);
+            inst.timing.sample(t, p, &mut rng)
+        },
+        &mut scratch.finish,
+        &mut scratch.proc_free,
+    )
+}
+
+/// Plans `inst` on an idle platform with the shared replanner —
+/// the one-shot reference the undersubscribed online path must reproduce
+/// bit-for-bit. With `shed_optional`, optional tasks are left out.
+///
+/// # Errors
+/// Propagates [`ReplanError`] from the replanner.
+pub fn plan_isolated(inst: &Instance, shed_optional: bool) -> Result<ReplanResult, ReplanError> {
+    let order = rank_order(inst);
+    let mut state = FrozenState::fresh(inst.task_count(), inst.proc_count());
+    if shed_optional {
+        for t in inst.graph.optional_tasks() {
+            state.skip[t.index()] = true;
+        }
+    }
+    replan_partial(inst, &order, &state)
+}
+
+/// Plans the unskipped tasks of `inst` with per-processor release floors.
+fn plan_with_floors(
+    inst: &Instance,
+    order: &[TaskId],
+    floors: &[f64],
+    skip: &[TaskId],
+) -> Result<ReplanResult, ReplanError> {
+    let mut state = FrozenState::fresh(inst.task_count(), inst.proc_count());
+    state.free_at.clear();
+    state.free_at.extend_from_slice(floors);
+    for &t in skip {
+        state.skip[t.index()] = true;
+    }
+    replan_partial(inst, order, &state)
+}
+
+/// A full schedule in which optional tasks are *deferred*: the required
+/// subgraph is planned first and optional tasks are appended strictly
+/// after each processor's required tail, so shedding them at run time
+/// cannot perturb the deadline-critical work. This is the service-side
+/// "degraded-by-drop" shape — a valid whole-graph [`Schedule`] whose
+/// deadline verdict is judged on the required portion alone.
+#[derive(Debug, Clone)]
+pub struct DeferredPlan {
+    /// The combined schedule (required tasks first on every processor).
+    pub schedule: Schedule,
+    /// Planned makespan of the required subgraph.
+    pub required_makespan: f64,
+    /// Planned makespan including the deferred optional tail.
+    pub full_makespan: f64,
+    /// The deferred (optional) tasks.
+    pub deferred: Vec<TaskId>,
+}
+
+/// Builds a [`DeferredPlan`] for `inst`.
+///
+/// # Errors
+/// Returns a message when planning or schedule assembly fails (both
+/// indicate a malformed instance).
+pub fn plan_with_deferred_optional(inst: &Instance) -> Result<DeferredPlan, String> {
+    let n = inst.task_count();
+    let m = inst.proc_count();
+    let order = rank_order(inst);
+    let optional = inst.graph.optional_tasks();
+    if optional.is_empty() {
+        let plan = plan_isolated(inst, false).map_err(|e| e.to_string())?;
+        let schedule =
+            Schedule::from_proc_lists(n, plan.proc_tasks.clone()).map_err(|e| e.to_string())?;
+        return Ok(DeferredPlan {
+            schedule,
+            required_makespan: plan.est_makespan,
+            full_makespan: plan.est_makespan,
+            deferred: optional,
+        });
+    }
+    let required = plan_isolated(inst, true).map_err(|e| e.to_string())?;
+    let mut state = FrozenState::fresh(n, m);
+    for t in inst.graph.tasks() {
+        let ti = t.index();
+        if !inst.graph.is_optional(t) {
+            state.finished[ti] = Some((required.placement[ti], required.est_finish[ti]));
+        }
+    }
+    for (p, tail) in state.free_at.iter_mut().enumerate() {
+        *tail = required.proc_tasks[p]
+            .iter()
+            .map(|t| required.est_finish[t.index()])
+            .fold(0.0f64, f64::max);
+    }
+    let full = replan_partial(inst, &order, &state).map_err(|e| e.to_string())?;
+    let combined: Vec<Vec<TaskId>> = required
+        .proc_tasks
+        .iter()
+        .zip(&full.proc_tasks)
+        .map(|(head, tail)| head.iter().chain(tail).copied().collect())
+        .collect();
+    let schedule = Schedule::from_proc_lists(n, combined).map_err(|e| e.to_string())?;
+    Ok(DeferredPlan {
+        schedule,
+        required_makespan: required.est_makespan,
+        full_makespan: full.est_makespan,
+        deferred: optional,
+    })
+}
+
+/// An admitted job and its committed plan.
+struct Committed {
+    /// Index into the caller's job slice.
+    idx: usize,
+    order: Vec<TaskId>,
+    plan: ReplanResult,
+    shed: Vec<TaskId>,
+    dropped: bool,
+    admission_probability: f64,
+}
+
+/// Realized spans of the committed stream under truth durations.
+struct Realization {
+    /// Per committed job: local start times (`NaN` where not executed).
+    start: Vec<Vec<f64>>,
+    /// Per committed job: local finish times.
+    finish: Vec<Vec<f64>>,
+    /// Per committed job: earliest absolute start (`+inf` when nothing
+    /// ran).
+    first_start_abs: Vec<f64>,
+}
+
+/// Truth duration closure for one job: per-`(job id, task)` substreams,
+/// so a job's realization is identical whether it runs alone or streamed.
+fn truth_durations<'a>(
+    inst: &'a Instance,
+    truth_root: &SeedStream,
+    job_id: usize,
+) -> impl FnMut(usize, ProcId) -> f64 + 'a {
+    let job_stream = SeedStream::new(truth_root.nth_seed(job_id as u64));
+    move |t, p| {
+        let mut rng = job_stream.nth_rng(t as u64);
+        inst.timing.sample(t, p, &mut rng)
+    }
+}
+
+/// Replays the committed stream in commit order with truth durations.
+fn realize(jobs: &[OnlineJob], committed: &[Committed], truth_root: &SeedStream) -> Realization {
+    let m = jobs.first().map_or(0, |j| j.instance.proc_count());
+    let mut proc_busy = vec![0.0f64; m];
+    let mut start = Vec::with_capacity(committed.len());
+    let mut finish = Vec::with_capacity(committed.len());
+    let mut first_start_abs = Vec::with_capacity(committed.len());
+    let mut proc_free: Vec<f64> = Vec::new();
+    for c in committed {
+        let job = &jobs[c.idx];
+        let n = job.instance.task_count();
+        if c.dropped {
+            start.push(vec![f64::NAN; n]);
+            finish.push(vec![f64::NAN; n]);
+            first_start_abs.push(f64::INFINITY);
+            continue;
+        }
+        let floors: Vec<f64> = proc_busy
+            .iter()
+            .map(|&b| (b - job.arrival).max(0.0))
+            .collect();
+        let mut fin = Vec::new();
+        forward_pass(
+            &job.instance,
+            &c.order,
+            &c.plan,
+            &floors,
+            truth_durations(&job.instance, truth_root, job.id),
+            &mut fin,
+            &mut proc_free,
+        );
+        // Recover start times from finishes and the same duration stream.
+        let mut dur = truth_durations(&job.instance, truth_root, job.id);
+        let mut st = vec![f64::NAN; n];
+        let mut first = f64::INFINITY;
+        for t in job.instance.graph.tasks() {
+            let ti = t.index();
+            if !fin[ti].is_nan() {
+                st[ti] = fin[ti] - dur(ti, c.plan.placement[ti]);
+                let abs = job.arrival + st[ti];
+                if abs < first {
+                    first = abs;
+                }
+            }
+        }
+        for (p, &free) in proc_free.iter().enumerate() {
+            if free > floors[p] {
+                proc_busy[p] = proc_busy[p].max(job.arrival + free);
+            }
+        }
+        start.push(st);
+        finish.push(fin);
+        first_start_abs.push(first);
+    }
+    Realization {
+        start,
+        finish,
+        first_start_abs,
+    }
+}
+
+/// Runs the online controller over a stream of jobs (sorted by arrival)
+/// sharing one platform shape.
+///
+/// At each arrival the controller (1) re-estimates every admitted,
+/// not-yet-started job against the live backlog and applies the drop
+/// ladder, then (2) plans the arrival on the remaining backlog and
+/// admits or rejects it. Execution is FIFO per processor in commitment
+/// order; realized durations come from the truth stream.
+///
+/// # Errors
+/// Returns [`OnlineError`] on shape mismatches, unsorted arrivals,
+/// degenerate knobs, or planner failures.
+pub fn run_online(jobs: &[OnlineJob], cfg: &OnlineConfig) -> Result<OnlineReport, OnlineError> {
+    if cfg.samples == 0 {
+        return Err(OnlineError::BadConfig("samples must be positive".into()));
+    }
+    for (label, v) in [
+        ("admission floor", cfg.admission_floor),
+        ("drop floor", cfg.drop_floor),
+    ] {
+        if !(0.0..=1.0).contains(&v) {
+            return Err(OnlineError::BadConfig(format!(
+                "{label} must lie in [0, 1], got {v}"
+            )));
+        }
+    }
+    let Some(first) = jobs.first() else {
+        return Ok(empty_report());
+    };
+    let m = first.instance.proc_count();
+    for (i, job) in jobs.iter().enumerate() {
+        if job.instance.proc_count() != m {
+            return Err(OnlineError::ProcMismatch { job: job.id });
+        }
+        if i > 0 && job.arrival < jobs[i - 1].arrival {
+            return Err(OnlineError::Unsorted { job: job.id });
+        }
+    }
+
+    let root = SeedStream::new(cfg.seed);
+    let est_root = root.branch("online-estimate");
+    let truth_root = root.branch("online-truth");
+    let mut committed: Vec<Committed> = Vec::new();
+    let mut events: Vec<OnlineEvent> = Vec::new();
+    let mut rejected: Vec<Option<(f64, ReplanResult)>> = (0..jobs.len()).map(|_| None).collect();
+    let mut scratch = OnlineScratch::new();
+    let mut est_finish = Vec::new();
+    let mut est_free = Vec::new();
+
+    for (ji, job) in jobs.iter().enumerate() {
+        let tau = job.arrival;
+        let real = realize(jobs, &committed, &truth_root);
+
+        // Controller view of per-processor backlog (absolute time):
+        // realized finishes where observed (≤ now), expected durations
+        // for everything still pending — the live slack accounts.
+        let mut proc_est = vec![0.0f64; m];
+        for ci in 0..committed.len() {
+            if committed[ci].dropped {
+                continue;
+            }
+            let cjob = &jobs[committed[ci].idx];
+            let arrival_i = cjob.arrival;
+            let floors: Vec<f64> = proc_est.iter().map(|&b| (b - arrival_i).max(0.0)).collect();
+            let started = real.first_start_abs[ci] <= tau;
+            if cfg.drop_policy == DropPolicy::Autonomous && !started {
+                let rel_deadline = cjob.deadline - arrival_i;
+                let est_seed = est_root.nth_seed(cjob.id as u64);
+                let p = completion_probability(
+                    &cjob.instance,
+                    &committed[ci].order,
+                    &committed[ci].plan,
+                    &floors,
+                    rel_deadline,
+                    cfg.samples,
+                    est_seed,
+                    &mut scratch,
+                );
+                if p < cfg.drop_floor {
+                    let optional = cjob.instance.graph.optional_tasks();
+                    let mut saved = false;
+                    if committed[ci].shed.is_empty() && !optional.is_empty() {
+                        let try_shed = plan_with_floors(
+                            &cjob.instance,
+                            &committed[ci].order,
+                            &floors,
+                            &optional,
+                        );
+                        if let Ok(shed_plan) = try_shed {
+                            let p2 = completion_probability(
+                                &cjob.instance,
+                                &committed[ci].order,
+                                &shed_plan,
+                                &floors,
+                                rel_deadline,
+                                cfg.samples,
+                                est_seed,
+                                &mut scratch,
+                            );
+                            if p2 >= cfg.drop_floor {
+                                events.push(OnlineEvent {
+                                    at: tau,
+                                    job: cjob.id,
+                                    kind: OnlineEventKind::Shed {
+                                        tasks: optional.len(),
+                                        before: p,
+                                        after: p2,
+                                    },
+                                });
+                                committed[ci].plan = shed_plan;
+                                committed[ci].shed = optional;
+                                saved = true;
+                            }
+                        }
+                    }
+                    if !saved {
+                        committed[ci].dropped = true;
+                        events.push(OnlineEvent {
+                            at: tau,
+                            job: cjob.id,
+                            kind: OnlineEventKind::Dropped { probability: p },
+                        });
+                        continue;
+                    }
+                }
+            }
+            // Fold this job's estimated backlog into the live accounts.
+            forward_pass(
+                &cjob.instance,
+                &committed[ci].order,
+                &committed[ci].plan,
+                &floors,
+                |t, p| {
+                    let observed = real.finish[ci].get(t).copied().unwrap_or(f64::NAN);
+                    if !observed.is_nan() && arrival_i + observed <= tau {
+                        let mut dur = truth_durations(&cjob.instance, &truth_root, cjob.id);
+                        dur(t, p)
+                    } else {
+                        cjob.instance.timing.expected(t, p)
+                    }
+                },
+                &mut est_finish,
+                &mut est_free,
+            );
+            for (p, &free) in est_free.iter().enumerate() {
+                if free > floors[p] {
+                    proc_est[p] = proc_est[p].max(arrival_i + free);
+                }
+            }
+        }
+
+        // Admission of the new arrival.
+        let order = rank_order(&job.instance);
+        let floors: Vec<f64> = proc_est.iter().map(|&b| (b - tau).max(0.0)).collect();
+        let plan = plan_with_floors(&job.instance, &order, &floors, &[])?;
+        let rel_deadline = job.deadline - tau;
+        let est_seed = est_root.nth_seed(job.id as u64);
+        let p = completion_probability(
+            &job.instance,
+            &order,
+            &plan,
+            &floors,
+            rel_deadline,
+            cfg.samples,
+            est_seed,
+            &mut scratch,
+        );
+        let mut admit_plan = plan;
+        let mut admit_shed: Vec<TaskId> = Vec::new();
+        let mut admit_p = p;
+        let mut admitted = true;
+        if cfg.admission == AdmissionPolicy::CompletionProbability && p < cfg.admission_floor {
+            let optional = job.instance.graph.optional_tasks();
+            let mut saved = false;
+            if cfg.drop_policy == DropPolicy::Autonomous && !optional.is_empty() {
+                if let Ok(shed_plan) = plan_with_floors(&job.instance, &order, &floors, &optional) {
+                    let p2 = completion_probability(
+                        &job.instance,
+                        &order,
+                        &shed_plan,
+                        &floors,
+                        rel_deadline,
+                        cfg.samples,
+                        est_seed,
+                        &mut scratch,
+                    );
+                    if p2 >= cfg.admission_floor {
+                        events.push(OnlineEvent {
+                            at: tau,
+                            job: job.id,
+                            kind: OnlineEventKind::Shed {
+                                tasks: optional.len(),
+                                before: p,
+                                after: p2,
+                            },
+                        });
+                        admit_plan = shed_plan;
+                        admit_shed = optional;
+                        admit_p = p2;
+                        saved = true;
+                    }
+                }
+            }
+            admitted = saved;
+        }
+        if admitted {
+            events.push(OnlineEvent {
+                at: tau,
+                job: job.id,
+                kind: OnlineEventKind::Admitted {
+                    probability: admit_p,
+                },
+            });
+            committed.push(Committed {
+                idx: ji,
+                order,
+                plan: admit_plan,
+                shed: admit_shed,
+                dropped: false,
+                admission_probability: admit_p,
+            });
+        } else {
+            events.push(OnlineEvent {
+                at: tau,
+                job: job.id,
+                kind: OnlineEventKind::Rejected { probability: p },
+            });
+            rejected[ji] = Some((p, admit_plan));
+        }
+    }
+
+    // Final realization and report assembly.
+    let real = realize(jobs, &committed, &truth_root);
+    let mut committed_of: Vec<Option<usize>> = vec![None; jobs.len()];
+    for (ci, c) in committed.iter().enumerate() {
+        committed_of[c.idx] = Some(ci);
+    }
+    let mut outcomes = Vec::with_capacity(jobs.len());
+    let mut report = empty_report();
+    report.arrived = jobs.len();
+    for (ji, job) in jobs.iter().enumerate() {
+        let n = job.instance.task_count();
+        report.offered_weight += job.instance.graph.total_weight();
+        let outcome = match committed_of[ji] {
+            None => {
+                let (p, plan) = rejected[ji].take().unwrap_or_else(|| {
+                    (
+                        0.0,
+                        ReplanResult {
+                            proc_tasks: vec![Vec::new(); m],
+                            est_start: vec![f64::NAN; n],
+                            est_finish: vec![f64::NAN; n],
+                            placement: vec![ProcId(0); n],
+                            replanned: 0,
+                            est_makespan: 0.0,
+                        },
+                    )
+                });
+                report.rejected += 1;
+                JobOutcome {
+                    job: job.id,
+                    arrival: job.arrival,
+                    deadline: job.deadline,
+                    verdict: JobVerdict::Rejected,
+                    admission_probability: p,
+                    placement: plan.placement,
+                    start: vec![f64::NAN; n],
+                    finish: vec![f64::NAN; n],
+                    shed_tasks: Vec::new(),
+                }
+            }
+            Some(ci) => {
+                let c = &committed[ci];
+                report.admitted += 1;
+                if !c.shed.is_empty() {
+                    report.shed_jobs += 1;
+                    report.shed_tasks += c.shed.len();
+                }
+                if c.dropped {
+                    report.dropped += 1;
+                    JobOutcome {
+                        job: job.id,
+                        arrival: job.arrival,
+                        deadline: job.deadline,
+                        verdict: JobVerdict::Dropped,
+                        admission_probability: c.admission_probability,
+                        placement: c.plan.placement.clone(),
+                        start: vec![f64::NAN; n],
+                        finish: vec![f64::NAN; n],
+                        shed_tasks: c.shed.clone(),
+                    }
+                } else {
+                    let completion = real.finish[ci]
+                        .iter()
+                        .copied()
+                        .filter(|f| !f.is_nan())
+                        .fold(0.0f64, f64::max);
+                    let hit = job.arrival + completion <= job.deadline;
+                    if hit {
+                        report.hits += 1;
+                        let executed_weight: f64 = job
+                            .instance
+                            .graph
+                            .tasks()
+                            .filter(|&t| !real.finish[ci][t.index()].is_nan())
+                            .map(|t| job.instance.graph.weight_of(t))
+                            .sum();
+                        report.goodput += executed_weight;
+                    } else {
+                        report.misses += 1;
+                    }
+                    report.horizon = report.horizon.max(job.arrival + completion);
+                    JobOutcome {
+                        job: job.id,
+                        arrival: job.arrival,
+                        deadline: job.deadline,
+                        verdict: if hit {
+                            JobVerdict::Hit
+                        } else {
+                            JobVerdict::Miss
+                        },
+                        admission_probability: c.admission_probability,
+                        placement: c.plan.placement.clone(),
+                        start: real.start[ci].clone(),
+                        finish: real.finish[ci].clone(),
+                        shed_tasks: c.shed.clone(),
+                    }
+                }
+            }
+        };
+        outcomes.push(outcome);
+    }
+    report.deadline_hit_rate = if report.arrived == 0 {
+        0.0
+    } else {
+        report.hits as f64 / report.arrived as f64
+    };
+    report.outcomes = outcomes;
+    report.events = events;
+    Ok(report)
+}
+
+fn empty_report() -> OnlineReport {
+    OnlineReport {
+        outcomes: Vec::new(),
+        events: Vec::new(),
+        arrived: 0,
+        admitted: 0,
+        rejected: 0,
+        dropped: 0,
+        shed_jobs: 0,
+        shed_tasks: 0,
+        hits: 0,
+        misses: 0,
+        deadline_hit_rate: 0.0,
+        goodput: 0.0,
+        offered_weight: 0.0,
+        horizon: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream(os: f64, jobs: usize, seed: u64) -> Vec<OnlineJob> {
+        OnlineStreamSpec::new(jobs, 18, 3)
+            .seed(seed)
+            .oversubscription(os)
+            .generate()
+            .expect("stream generates")
+    }
+
+    #[test]
+    fn stream_generation_is_deterministic_and_shares_the_platform() {
+        let a = stream(1.5, 6, 9);
+        let b = stream(1.5, 6, 9);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival.to_bits(), y.arrival.to_bits());
+            assert_eq!(x.deadline.to_bits(), y.deadline.to_bits());
+            assert!(x.deadline > x.arrival);
+        }
+        for w in a.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival, "arrivals sorted");
+        }
+        for j in &a {
+            assert_eq!(j.instance.platform, a[0].instance.platform);
+            assert!(!j.instance.graph.optional_tasks().is_empty());
+        }
+    }
+
+    #[test]
+    fn probability_is_bounded_and_saturates_at_extreme_deadlines() {
+        let jobs = stream(1.0, 1, 3);
+        let inst = &jobs[0].instance;
+        let order = rank_order(inst);
+        let plan = plan_isolated(inst, false).unwrap();
+        let floors = vec![0.0; inst.proc_count()];
+        let mut scratch = OnlineScratch::new();
+        let generous =
+            completion_probability(inst, &order, &plan, &floors, 1e12, 64, 7, &mut scratch);
+        let impossible =
+            completion_probability(inst, &order, &plan, &floors, 0.0, 64, 7, &mut scratch);
+        assert_eq!(generous, 1.0);
+        assert_eq!(impossible, 0.0);
+    }
+
+    #[test]
+    fn probability_is_monotone_in_backlog() {
+        let jobs = stream(1.0, 1, 5);
+        let inst = &jobs[0].instance;
+        let order = rank_order(inst);
+        let plan = plan_isolated(inst, false).unwrap();
+        let mut scratch = OnlineScratch::new();
+        // Deadline in the distribution's bulk so the estimate can move.
+        let rel = plan.est_makespan * 1.1;
+        let mut last = f64::INFINITY;
+        for load in [0.0, 0.2, 0.5, 1.0, 3.0] {
+            let floors = vec![plan.est_makespan * load; inst.proc_count()];
+            let p = completion_probability(inst, &order, &plan, &floors, rel, 48, 11, &mut scratch);
+            assert!(p <= last, "probability rose with load: {p} > {last}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn undersubscribed_stream_admits_everything_without_degradation() {
+        let jobs = stream(0.1, 5, 21);
+        let report = run_online(&jobs, &OnlineConfig::default().seed(21)).unwrap();
+        assert_eq!(report.arrived, 5);
+        assert_eq!(report.admitted, 5);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.shed_jobs, 0);
+        assert_eq!(report.hits + report.misses, 5);
+    }
+
+    #[test]
+    fn oversubscribed_probability_admission_rejects_and_records_events() {
+        let jobs = stream(3.0, 14, 2);
+        let report = run_online(&jobs, &OnlineConfig::default().seed(2)).unwrap();
+        assert!(report.rejected > 0, "3x oversubscription must reject");
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, OnlineEventKind::Rejected { .. })));
+        // Rejected work never produces spans.
+        for o in &report.outcomes {
+            if o.verdict == JobVerdict::Rejected {
+                assert!(o.start.iter().all(|s| s.is_nan()));
+            }
+        }
+        assert!((0.0..=1.0).contains(&report.deadline_hit_rate));
+    }
+
+    #[test]
+    fn fifo_never_rejects_and_drop_never_drops() {
+        let jobs = stream(3.0, 10, 4);
+        let fifo = OnlineConfig::default()
+            .seed(4)
+            .admission(AdmissionPolicy::Fifo)
+            .drop_policy(DropPolicy::Never);
+        let report = run_online(&jobs, &fifo).unwrap();
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.shed_jobs, 0);
+        assert_eq!(report.admitted, 10);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let jobs = stream(2.0, 8, 6);
+        let cfg = OnlineConfig::default().seed(6);
+        let a = run_online(&jobs, &cfg).unwrap();
+        let b = run_online(&jobs, &cfg).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.goodput.to_bits(), b.goodput.to_bits());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.verdict, y.verdict);
+            for (s, t) in x.finish.iter().zip(&y.finish) {
+                assert_eq!(s.to_bits(), t.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn deferred_plan_keeps_required_work_unperturbed() {
+        let jobs = stream(1.0, 1, 8);
+        let inst = &jobs[0].instance;
+        let deferred = plan_with_deferred_optional(inst).unwrap();
+        assert!(deferred.schedule.validate_against(&inst.graph).is_ok());
+        assert!(!deferred.deferred.is_empty());
+        assert!(deferred.required_makespan <= deferred.full_makespan);
+        // The required portion matches the shed-only plan exactly.
+        let required = plan_isolated(inst, true).unwrap();
+        assert_eq!(
+            deferred.required_makespan.to_bits(),
+            required.est_makespan.to_bits()
+        );
+    }
+
+    #[test]
+    fn degenerate_configs_are_typed_errors() {
+        let jobs = stream(1.0, 2, 1);
+        let bad = OnlineConfig::default().samples(0);
+        assert!(matches!(
+            run_online(&jobs, &bad),
+            Err(OnlineError::BadConfig(_))
+        ));
+        let bad = OnlineConfig::default().floors(1.5, 0.2);
+        assert!(matches!(
+            run_online(&jobs, &bad),
+            Err(OnlineError::BadConfig(_))
+        ));
+        let mut unsorted = jobs.clone();
+        unsorted.swap(0, 1);
+        if unsorted[0].arrival > unsorted[1].arrival {
+            assert!(matches!(
+                run_online(&unsorted, &OnlineConfig::default()),
+                Err(OnlineError::Unsorted { .. })
+            ));
+        }
+    }
+}

@@ -62,6 +62,38 @@ pub fn instants_from_recovery(events: &[RecoveryEvent]) -> Vec<TraceInstant> {
         .collect()
 }
 
+/// Converts online-controller decisions into trace instants, so
+/// admissions, rejections, sheds and drops line up with the executed
+/// spans on a stream timeline.
+#[must_use]
+pub fn instants_from_online(events: &[crate::online::OnlineEvent]) -> Vec<TraceInstant> {
+    use crate::online::OnlineEventKind;
+    events
+        .iter()
+        .map(|e| {
+            let name = match &e.kind {
+                OnlineEventKind::Admitted { probability } => {
+                    format!("admit job {} p={probability:.3}", e.job)
+                }
+                OnlineEventKind::Rejected { probability } => {
+                    format!("reject job {} p={probability:.3}", e.job)
+                }
+                OnlineEventKind::Shed { tasks, after, .. } => {
+                    format!("shed {} tasks of job {} p={after:.3}", tasks, e.job)
+                }
+                OnlineEventKind::Dropped { probability } => {
+                    format!("drop job {} p={probability:.3}", e.job)
+                }
+            };
+            TraceInstant {
+                name,
+                at: e.at,
+                lane: None,
+            }
+        })
+        .collect()
+}
+
 /// Converts a fault scenario's processor-level faults (failures and
 /// slowdown windows) into trace instants, so the injected environment is
 /// visible even for runs that completed without recovery actions.
@@ -302,5 +334,44 @@ mod tests {
         assert!(env.iter().any(|i| i.name.contains("fail")));
         assert!(env.iter().any(|i| i.name.contains("start")));
         assert!(env.iter().any(|i| i.name.contains("end")));
+    }
+
+    #[test]
+    fn online_events_become_labeled_instants() {
+        use crate::online::{OnlineEvent, OnlineEventKind};
+        let events = vec![
+            OnlineEvent {
+                at: 0.0,
+                job: 0,
+                kind: OnlineEventKind::Admitted { probability: 0.9 },
+            },
+            OnlineEvent {
+                at: 4.0,
+                job: 1,
+                kind: OnlineEventKind::Rejected { probability: 0.1 },
+            },
+            OnlineEvent {
+                at: 7.0,
+                job: 0,
+                kind: OnlineEventKind::Shed {
+                    tasks: 3,
+                    before: 0.2,
+                    after: 0.6,
+                },
+            },
+            OnlineEvent {
+                at: 9.0,
+                job: 2,
+                kind: OnlineEventKind::Dropped { probability: 0.05 },
+            },
+        ];
+        let instants = instants_from_online(&events);
+        assert_eq!(instants.len(), 4);
+        assert!(instants[0].name.contains("admit job 0"));
+        assert!(instants[1].name.contains("reject job 1"));
+        assert!(instants[2].name.contains("shed 3 tasks"));
+        assert!(instants[3].name.contains("drop job 2"));
+        assert!(instants.iter().all(|i| i.lane.is_none()));
+        assert_eq!(instants[1].at, 4.0);
     }
 }

@@ -1,0 +1,176 @@
+//! Property-based verification of the online controller's contracts:
+//!
+//! * **an undersubscribed stream degenerates to one-shot scheduling** —
+//!   when every job drains long before the next arrives, nothing is
+//!   rejected, shed, or dropped, and each job's admission probability,
+//!   placement and realized spans are bit-identical to running that job
+//!   through [`run_online`] alone (the module's headline determinism
+//!   claim);
+//! * **completion probability is monotone non-increasing in backlog** —
+//!   raising any per-processor release floor can only delay every CRN
+//!   sample, so the estimate never rises;
+//! * **refused work leaves no trace** — rejected and dropped jobs carry
+//!   all-`NaN` spans, shed tasks have `NaN` spans inside otherwise
+//!   executed jobs, and the head-count accounting (arrived = rejected +
+//!   dropped + hits + misses) balances exactly.
+
+use proptest::prelude::*;
+
+use rds_sched::online::{
+    completion_probability, run_online, JobVerdict, OnlineConfig, OnlineScratch, OnlineStreamSpec,
+};
+use rds_sched::replan::rank_order;
+use rds_sched::{plan_isolated, AdmissionPolicy, DropPolicy};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// With the mean inter-arrival gap at 20–50× the mean isolated
+    /// makespan (and realized durations bounded by `2·UL·BCET` under the
+    /// uniform law), every arrival meets an idle platform: the stream
+    /// must admit everything untouched and reproduce, bit for bit, what
+    /// each job does when streamed alone.
+    #[test]
+    fn undersubscribed_stream_is_a_sequence_of_one_shot_problems(
+        seed in 0u64..200,
+        oversub in 0.02f64..0.05,
+        jobs in 3usize..6,
+    ) {
+        let stream = OnlineStreamSpec::new(jobs, 14, 3)
+            .seed(seed)
+            .oversubscription(oversub)
+            .generate()
+            .unwrap();
+        let cfg = OnlineConfig::default().seed(seed ^ 0x51C).samples(24);
+        let report = run_online(&stream, &cfg).unwrap();
+        prop_assert_eq!(report.arrived, jobs);
+        prop_assert_eq!(report.admitted, jobs);
+        prop_assert_eq!(report.rejected, 0);
+        prop_assert_eq!(report.dropped, 0);
+        prop_assert_eq!(report.shed_jobs, 0);
+        prop_assert_eq!(report.shed_tasks, 0);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            // The same job, streamed alone under the same master seed.
+            let solo = run_online(&stream[i..=i], &cfg).unwrap();
+            let alone = &solo.outcomes[0];
+            prop_assert_eq!(outcome.verdict, alone.verdict);
+            prop_assert_eq!(
+                outcome.admission_probability.to_bits(),
+                alone.admission_probability.to_bits(),
+                "job {} admission probability drifted", i
+            );
+            prop_assert_eq!(&outcome.placement, &alone.placement);
+            for t in 0..outcome.start.len() {
+                prop_assert_eq!(
+                    outcome.start[t].to_bits(),
+                    alone.start[t].to_bits(),
+                    "job {} task {} start drifted", i, t
+                );
+                prop_assert_eq!(
+                    outcome.finish[t].to_bits(),
+                    alone.finish[t].to_bits(),
+                    "job {} task {} finish drifted", i, t
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// CRN makes the estimator monotone: raising any subset of the
+    /// per-processor floors re-runs the *same* sampled realizations under
+    /// strictly-no-earlier releases, so the hit count cannot grow.
+    #[test]
+    fn completion_probability_is_monotone_in_floors(
+        seed in 0u64..400,
+        est_seed in 0u64..400,
+        deadline_factor in 0.8f64..1.4,
+        base_load in 0.0f64..0.6,
+        extra in proptest::collection::vec(0.0f64..2.0, 3),
+    ) {
+        let stream = OnlineStreamSpec::new(1, 16, 3)
+            .seed(seed)
+            .generate()
+            .unwrap();
+        let inst = &stream[0].instance;
+        let order = rank_order(inst);
+        let plan = plan_isolated(inst, false).unwrap();
+        let mut scratch = OnlineScratch::new();
+        let rel = plan.est_makespan * deadline_factor;
+        let lo: Vec<f64> = vec![plan.est_makespan * base_load; inst.proc_count()];
+        let hi: Vec<f64> = lo
+            .iter()
+            .zip(&extra)
+            .map(|(&f, &e)| f + plan.est_makespan * e)
+            .collect();
+        let p_lo =
+            completion_probability(inst, &order, &plan, &lo, rel, 32, est_seed, &mut scratch);
+        let p_hi =
+            completion_probability(inst, &order, &plan, &hi, rel, 32, est_seed, &mut scratch);
+        prop_assert!((0.0..=1.0).contains(&p_lo));
+        prop_assert!((0.0..=1.0).contains(&p_hi));
+        prop_assert!(
+            p_hi <= p_lo,
+            "probability rose under heavier backlog: {} > {}", p_hi, p_lo
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Under genuine oversubscription with the full autonomous ladder,
+    /// whatever the controller refuses must vanish: rejected and dropped
+    /// jobs have no spans at all, shed tasks have no spans inside jobs
+    /// that ran, and every arrival is accounted for exactly once.
+    #[test]
+    fn refused_work_leaves_no_spans(
+        seed in 0u64..200,
+        oversub in 1.5f64..3.0,
+        jobs in 8usize..12,
+    ) {
+        let stream = OnlineStreamSpec::new(jobs, 14, 3)
+            .seed(seed)
+            .oversubscription(oversub)
+            .generate()
+            .unwrap();
+        let cfg = OnlineConfig::default()
+            .seed(seed ^ 0xA11)
+            .samples(24)
+            .admission(AdmissionPolicy::CompletionProbability)
+            .drop_policy(DropPolicy::Autonomous);
+        let report = run_online(&stream, &cfg).unwrap();
+        prop_assert_eq!(
+            report.rejected + report.dropped + report.hits + report.misses,
+            report.arrived
+        );
+        prop_assert_eq!(report.admitted, report.arrived - report.rejected);
+        let expected_rate = report.hits as f64 / report.arrived as f64;
+        prop_assert_eq!(report.deadline_hit_rate.to_bits(), expected_rate.to_bits());
+        for outcome in &report.outcomes {
+            match outcome.verdict {
+                JobVerdict::Rejected | JobVerdict::Dropped => {
+                    prop_assert!(outcome.start.iter().all(|s| s.is_nan()));
+                    prop_assert!(outcome.finish.iter().all(|f| f.is_nan()));
+                }
+                JobVerdict::Hit | JobVerdict::Miss => {
+                    for t in &outcome.shed_tasks {
+                        prop_assert!(
+                            outcome.start[t.index()].is_nan(),
+                            "shed task {:?} of job {} has a start", t, outcome.job
+                        );
+                        prop_assert!(outcome.finish[t.index()].is_nan());
+                    }
+                    let executed = outcome.finish.iter().filter(|f| !f.is_nan()).count();
+                    prop_assert_eq!(
+                        executed,
+                        outcome.finish.len() - outcome.shed_tasks.len(),
+                        "job {}: every unshed task must run", outcome.job
+                    );
+                }
+            }
+        }
+    }
+}

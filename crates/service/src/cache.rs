@@ -6,15 +6,24 @@
 //! deterministic per seed — to produce bit-identical schedules, so a hit
 //! can skip the GA entirely and return the archived result.
 //!
-//! Deadline-degraded results are never inserted: they depend on wall-clock
-//! load, not on the key.
+//! Degraded results are never inserted — the cache enforces this at its
+//! own boundary ([`ScheduleCache::insert`] takes the job's
+//! [`Degradation`] and refuses anything but [`Degradation::None`]):
+//! deadline-degraded schedules depend on wall-clock load and
+//! degraded-by-drop schedules on the stream's live backlog, neither of
+//! which the key captures.
+//!
+//! Lock poisoning is recovered ([`std::sync::PoisonError::into_inner`]):
+//! the guarded maps are only mutated by single non-panicking statements,
+//! so the state is consistent even if a worker panicked while holding the
+//! lock, and a cache must never take the serving loop down.
 
 use std::collections::{HashMap, VecDeque};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 use rds_sched::{Instance, Schedule};
 
-use crate::job::{Algo, JobSpec};
+use crate::job::{Algo, Degradation, JobSpec};
 
 /// Cache key: instance content hash + schedule-determining knobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,10 +115,15 @@ impl ScheduleCache {
         }
     }
 
+    /// Locks the state, recovering from poisoning (see module docs).
+    fn lock(&self) -> MutexGuard<'_, CacheInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Looks up a key, counting the hit or miss.
     #[must_use]
     pub fn lookup(&self, key: &CacheKey) -> Option<CachedSchedule> {
-        let mut inner = self.inner.lock().expect("cache mutex");
+        let mut inner = self.lock();
         match inner.map.get(key).cloned() {
             Some(entry) => {
                 inner.hits += 1;
@@ -122,14 +136,17 @@ impl ScheduleCache {
         }
     }
 
-    /// Inserts a clean (non-degraded) result, evicting the oldest entry
-    /// when at capacity. Re-inserting an existing key refreshes the value
-    /// without growing the cache.
-    pub fn insert(&self, key: CacheKey, value: CachedSchedule) {
-        if self.capacity == 0 {
+    /// Inserts a result, evicting the oldest entry when at capacity.
+    /// Re-inserting an existing key refreshes the value without growing
+    /// the cache. Degraded results (`degraded != Degradation::None`) are
+    /// silently refused: a deadline- or drop-degraded schedule reflects
+    /// transient load, not the key, and replaying it to a later identical
+    /// request would be wrong.
+    pub fn insert(&self, key: CacheKey, value: CachedSchedule, degraded: Degradation) {
+        if self.capacity == 0 || degraded != Degradation::None {
             return;
         }
-        let mut inner = self.inner.lock().expect("cache mutex");
+        let mut inner = self.lock();
         if inner.map.insert(key, value).is_none() {
             inner.order.push_back(key);
             while inner.map.len() > self.capacity {
@@ -145,14 +162,14 @@ impl ScheduleCache {
     /// `(hits, misses)` so far.
     #[must_use]
     pub fn stats(&self) -> (u64, u64) {
-        let inner = self.inner.lock().expect("cache mutex");
+        let inner = self.lock();
         (inner.hits, inner.misses)
     }
 
     /// Number of cached schedules.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache mutex").map.len()
+        self.lock().map.len()
     }
 
     /// `true` when nothing is cached.
@@ -210,7 +227,7 @@ mod tests {
         let s = spec(3, Algo::Heft);
         let key = CacheKey::for_job(&s);
         assert!(cache.lookup(&key).is_none());
-        cache.insert(key, entry(&s.instance));
+        cache.insert(key, entry(&s.instance), Degradation::None);
         let hit = cache.lookup(&key).expect("hit after insert");
         assert!(hit.makespan > 0.0);
         assert_eq!(cache.stats(), (1, 1));
@@ -221,7 +238,7 @@ mod tests {
         let cache = ScheduleCache::new(2);
         let specs: Vec<_> = (0..4).map(|i| spec(i, Algo::Heft)).collect();
         for s in &specs {
-            cache.insert(CacheKey::for_job(s), entry(&s.instance));
+            cache.insert(CacheKey::for_job(s), entry(&s.instance), Degradation::None);
         }
         assert_eq!(cache.len(), 2);
         // Oldest two evicted, newest two retained.
@@ -233,9 +250,56 @@ mod tests {
     fn zero_capacity_disables_storage() {
         let cache = ScheduleCache::new(0);
         let s = spec(5, Algo::Heft);
-        cache.insert(CacheKey::for_job(&s), entry(&s.instance));
+        cache.insert(CacheKey::for_job(&s), entry(&s.instance), Degradation::None);
         assert!(cache.is_empty());
         assert!(cache.lookup(&CacheKey::for_job(&s)).is_none());
+    }
+
+    #[test]
+    fn degraded_results_are_never_cached() {
+        let cache = ScheduleCache::new(4);
+        let s = spec(7, Algo::Heft);
+        let key = CacheKey::for_job(&s);
+        // Regression: a "degraded-by-drop" online result must not be
+        // replayed to a later identical request, nor may any deadline
+        // degradation leak into the archive.
+        for degraded in [
+            Degradation::DroppedOptional,
+            Degradation::BestSoFar,
+            Degradation::HeftFallback,
+        ] {
+            cache.insert(key, entry(&s.instance), degraded);
+            assert!(cache.is_empty(), "{degraded:?} was cached");
+            assert!(cache.lookup(&key).is_none());
+        }
+        cache.insert(key, entry(&s.instance), Degradation::None);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn survives_a_poisoned_lock() {
+        let cache = Arc::new(ScheduleCache::new(4));
+        let s = spec(8, Algo::Heft);
+        let key = CacheKey::for_job(&s);
+        cache.insert(key, entry(&s.instance), Degradation::None);
+        let poisoner = {
+            let cache = Arc::clone(&cache);
+            std::thread::spawn(move || {
+                let _guard = cache.inner.lock().unwrap();
+                panic!("deliberate poison");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(cache.inner.is_poisoned());
+        // Lookups and inserts keep working on the recovered state.
+        assert!(cache.lookup(&key).is_some());
+        let other = spec(9, Algo::Heft);
+        cache.insert(
+            CacheKey::for_job(&other),
+            entry(&other.instance),
+            Degradation::None,
+        );
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]
@@ -243,8 +307,8 @@ mod tests {
         let cache = ScheduleCache::new(2);
         let s = spec(6, Algo::Heft);
         let key = CacheKey::for_job(&s);
-        cache.insert(key, entry(&s.instance));
-        cache.insert(key, entry(&s.instance));
+        cache.insert(key, entry(&s.instance), Degradation::None);
+        cache.insert(key, entry(&s.instance), Degradation::None);
         assert_eq!(cache.len(), 1);
     }
 }

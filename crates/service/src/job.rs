@@ -77,6 +77,9 @@ impl Algo {
 pub enum Lane {
     /// Cheap list schedulers: served first, low latency.
     Express,
+    /// Deadline-carrying online jobs: admitted by completion probability,
+    /// served ahead of heavy search but behind express.
+    Online,
     /// Search-based schedulers (GA/SA): served when no express work waits.
     Heavy,
 }
@@ -87,8 +90,27 @@ impl Lane {
     pub fn name(self) -> &'static str {
         match self {
             Lane::Express => "express",
+            Lane::Online => "online",
             Lane::Heavy => "heavy",
         }
+    }
+}
+
+/// Arrival/deadline pair of an online-lane job, in simulated scheduling
+/// time units (the instance's own clock, not wall time).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineJobParams {
+    /// Simulated arrival time (≥ 0).
+    pub arrival: f64,
+    /// Absolute completion deadline (> arrival).
+    pub deadline: f64,
+}
+
+impl OnlineJobParams {
+    /// Deadline headroom relative to arrival.
+    #[must_use]
+    pub fn relative_deadline(self) -> f64 {
+        self.deadline - self.arrival
     }
 }
 
@@ -108,8 +130,11 @@ pub struct JobSpec {
     /// Wall-clock deadline budget. Overrunning GA jobs are cancelled
     /// cooperatively and degrade (best-so-far, then HEFT).
     pub deadline: Option<Duration>,
-    /// Lane override; defaults to [`Algo::default_lane`].
+    /// Lane override; defaults to [`Algo::default_lane`], or
+    /// [`Lane::Online`] when `online` parameters are present.
     pub lane: Option<Lane>,
+    /// Arrival/deadline of an online-lane job; `None` for classic jobs.
+    pub online: Option<OnlineJobParams>,
     /// The instance, shared without copying across queue and cache.
     pub instance: Arc<Instance>,
 }
@@ -126,6 +151,7 @@ impl JobSpec {
             generations: None,
             deadline: None,
             lane: None,
+            online: None,
             instance,
         }
     }
@@ -158,10 +184,26 @@ impl JobSpec {
         self
     }
 
-    /// The lane the job will be queued on.
+    /// Marks the job as an online arrival with the given simulated
+    /// arrival time and absolute deadline.
+    #[must_use]
+    pub fn online(mut self, arrival: f64, deadline: f64) -> Self {
+        self.online = Some(OnlineJobParams { arrival, deadline });
+        self
+    }
+
+    /// The lane the job will be queued on: an explicit override wins,
+    /// online parameters imply [`Lane::Online`], otherwise the
+    /// scheduler's default.
     #[must_use]
     pub fn lane(&self) -> Lane {
-        self.lane.unwrap_or_else(|| self.algo.default_lane())
+        if let Some(lane) = self.lane {
+            return lane;
+        }
+        if self.online.is_some() {
+            return Lane::Online;
+        }
+        self.algo.default_lane()
     }
 
     /// Validates and converts a parsed wire envelope.
@@ -175,7 +217,13 @@ impl JobSpec {
             None => None,
             Some("express") => Some(Lane::Express),
             Some("heavy") => Some(Lane::Heavy),
+            Some("online") => Some(Lane::Online),
             Some(other) => return Err(format!("unknown lane '{other}'")),
+        };
+        let online = match (env.arrival, env.deadline) {
+            (None, None) => None,
+            (Some(arrival), Some(deadline)) => Some(OnlineJobParams { arrival, deadline }),
+            _ => return Err("arrival and deadline must be provided together".into()),
         };
         let spec = Self {
             id: env.id,
@@ -185,6 +233,7 @@ impl JobSpec {
             generations: env.generations,
             deadline: env.deadline_ms.map(Duration::from_millis),
             lane,
+            online,
             instance: Arc::new(env.instance),
         };
         spec.validate()?;
@@ -214,6 +263,22 @@ impl JobSpec {
         if self.generations == Some(0) {
             return Err("generations must be positive".into());
         }
+        if let Some(online) = self.online {
+            if !online.arrival.is_finite() || online.arrival < 0.0 {
+                return Err(format!(
+                    "online arrival must be finite and >= 0 (got {})",
+                    online.arrival
+                ));
+            }
+            if !online.deadline.is_finite() || online.deadline <= online.arrival {
+                return Err(format!(
+                    "online deadline must be finite and after arrival (got {})",
+                    online.deadline
+                ));
+            }
+        } else if self.lane == Some(Lane::Online) {
+            return Err("online lane requires arrival and deadline".into());
+        }
         Ok(())
     }
 }
@@ -229,6 +294,9 @@ pub enum Degradation {
     /// The GA was cancelled before finding a feasible solution; the plain
     /// HEFT schedule was returned instead.
     HeftFallback,
+    /// An online job whose optional tasks were deferred by the drop
+    /// ladder: the deadline verdict covers the required subgraph only.
+    DroppedOptional,
 }
 
 impl Degradation {
@@ -239,6 +307,7 @@ impl Degradation {
             Degradation::None => "none",
             Degradation::BestSoFar => "deadline-best-so-far",
             Degradation::HeftFallback => "deadline-heft",
+            Degradation::DroppedOptional => "degraded-by-drop",
         }
     }
 }
@@ -260,6 +329,21 @@ pub struct JobOutput {
     /// the schedule; `None` for non-GA schedulers and cache hits. Not part
     /// of the wire envelope — it feeds the service metrics.
     pub ga_stats: Option<GaRunStats>,
+    /// Online-lane accounting (admission probability and realized
+    /// deadline verdict); `None` for classic jobs.
+    pub online: Option<OnlineOutcome>,
+}
+
+/// Online-lane accounting attached to a completed job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineOutcome {
+    /// Completion probability estimated at admission.
+    pub probability: f64,
+    /// Realized makespan of the deadline-counted (required) tasks under
+    /// the job's truth durations.
+    pub realized_makespan: f64,
+    /// Whether the job finished its counted tasks by its deadline.
+    pub hit: bool,
 }
 
 /// Why a job produced no schedule.
@@ -306,6 +390,10 @@ impl JobResult {
                 degraded: Some(out.degraded.name().into()),
                 makespan: Some(out.makespan),
                 avg_slack: Some(out.avg_slack),
+                verdict: out
+                    .online
+                    .map(|o| if o.hit { "hit" } else { "miss" }.into()),
+                probability: out.online.map(|o| o.probability),
                 reason: None,
                 schedule: Some(out.schedule.clone()),
             },
@@ -320,6 +408,8 @@ impl JobResult {
                 degraded: None,
                 makespan: None,
                 avg_slack: None,
+                verdict: None,
+                probability: None,
                 reason: Some(match e {
                     JobError::Rejected(r) | JobError::Failed(r) => r.clone(),
                 }),
@@ -377,6 +467,30 @@ mod tests {
         let mut zero_gen = JobSpec::new("j", Algo::Ga, inst());
         zero_gen.generations = Some(0);
         assert!(zero_gen.validate().is_err());
+    }
+
+    #[test]
+    fn online_params_imply_lane_and_validate() {
+        let spec = JobSpec::new("j", Algo::Heft, inst()).online(0.0, 50.0);
+        assert_eq!(spec.lane(), Lane::Online);
+        assert!(spec.validate().is_ok());
+        // Deadline must come after arrival.
+        assert!(JobSpec::new("j", Algo::Heft, inst())
+            .online(10.0, 10.0)
+            .validate()
+            .is_err());
+        assert!(JobSpec::new("j", Algo::Heft, inst())
+            .online(-1.0, 5.0)
+            .validate()
+            .is_err());
+        assert!(JobSpec::new("j", Algo::Heft, inst())
+            .online(0.0, f64::INFINITY)
+            .validate()
+            .is_err());
+        // Online lane without arrival/deadline is malformed.
+        let mut lane_only = JobSpec::new("j", Algo::Heft, inst());
+        lane_only.lane = Some(Lane::Online);
+        assert!(lane_only.validate().is_err());
     }
 
     #[test]

@@ -4,10 +4,15 @@
 //! choice, and the ε / robustness knobs — and runs them on a fixed-size
 //! worker pool with:
 //!
-//! - a **bounded two-lane job queue** with admission control and
+//! - a **bounded multi-lane job queue** with admission control and
 //!   backpressure ([`queue`]): cheap list-scheduler jobs ride the express
-//!   lane past expensive GA/SA searches, and a full lane rejects with a
-//!   reason instead of blocking;
+//!   lane past expensive GA/SA searches, deadline-carrying online
+//!   arrivals get their own middle-priority lane, and a full lane
+//!   rejects with a reason instead of blocking;
+//! - a **completion-probability admission gate** for online jobs
+//!   ([`service`]): arrivals unlikely to meet their deadline are shed
+//!   down to their required subgraph or rejected outright, and admitted
+//!   jobs are judged against an independent truth realization;
 //! - a **content-addressed schedule cache** ([`cache`]) keyed by the
 //!   stable instance fingerprint plus every schedule-determining knob,
 //!   with hit/miss accounting;
@@ -16,7 +21,8 @@
 //!   to plain HEFT ([`job::Degradation`]);
 //! - a [`metrics::ServiceMetrics`] snapshot: queue depth, in-flight,
 //!   completed/rejected/fallback counts, cache hit rate, per-lane
-//!   latency percentiles.
+//!   latency percentiles, online admission counts, deadline hit rate,
+//!   and goodput.
 //!
 //! [`Service::run_batch`] is the deterministic in-process harness: with
 //! unique job ids and seeded schedulers its result set is identical for
@@ -33,7 +39,10 @@ pub mod queue;
 pub mod service;
 
 pub use cache::{CacheKey, CachedSchedule, ScheduleCache};
-pub use job::{Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane};
+pub use job::{
+    Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane, OnlineJobParams,
+    OnlineOutcome,
+};
 pub use metrics::{LaneLatency, ServiceMetrics};
-pub use queue::{PushError, TwoLaneQueue};
+pub use queue::{LaneQueue, PushError};
 pub use service::{Service, ServiceConfig};

@@ -23,14 +23,26 @@ struct MetricsState {
     failed: u64,
     deadline_fallbacks: u64,
     in_flight: u64,
+    online_admitted: u64,
+    online_rejected: u64,
+    online_shed_tasks: u64,
+    online_hits: u64,
+    online_misses: u64,
+    goodput: f64,
     express_latencies: Vec<f64>,
+    online_latencies: Vec<f64>,
     heavy_latencies: Vec<f64>,
     ga: GaRunStats,
 }
 
 impl MetricsInner {
+    /// Locks the state, recovering from poisoning: every update below is
+    /// a single non-panicking statement, so the counters stay consistent
+    /// and a panicked worker must not take observability down with it.
     fn lock(&self) -> std::sync::MutexGuard<'_, MetricsState> {
-        self.state.lock().expect("metrics mutex")
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     pub(crate) fn submitted(&self) {
@@ -52,6 +64,33 @@ impl MetricsInner {
     /// Accumulates one GA run's evaluation-kernel and memo counters.
     pub(crate) fn ga_run(&self, stats: &GaRunStats) {
         self.lock().ga.absorb(stats);
+    }
+
+    /// Records an online arrival admitted by the probability gate.
+    pub(crate) fn online_admitted(&self) {
+        self.lock().online_admitted += 1;
+    }
+
+    /// Records an online arrival rejected by the probability gate.
+    pub(crate) fn online_rejected(&self) {
+        self.lock().online_rejected += 1;
+    }
+
+    /// Records `tasks` optional tasks shed by the drop ladder.
+    pub(crate) fn online_shed(&self, tasks: u64) {
+        self.lock().online_shed_tasks += tasks;
+    }
+
+    /// Records an admitted online job's deadline verdict; `weight` is the
+    /// expected work (task count) credited to goodput on a hit.
+    pub(crate) fn online_verdict(&self, hit: bool, weight: f64) {
+        let mut s = self.lock();
+        if hit {
+            s.online_hits += 1;
+            s.goodput += weight;
+        } else {
+            s.online_misses += 1;
+        }
     }
 
     /// Records a finished job: its lane latency (seconds, enqueue to
@@ -76,18 +115,20 @@ impl MetricsInner {
         }
         match lane {
             Lane::Express => s.express_latencies.push(latency_secs),
+            Lane::Online => s.online_latencies.push(latency_secs),
             Lane::Heavy => s.heavy_latencies.push(latency_secs),
         }
     }
 
     pub(crate) fn snapshot(
         &self,
-        queue_depths: (usize, usize),
+        queue_depths: (usize, usize, usize),
         cache_stats: (u64, u64),
     ) -> ServiceMetrics {
         let s = self.lock();
         let (cache_hits, cache_misses) = cache_stats;
         let looked_up = cache_hits + cache_misses;
+        let online_arrived = s.online_admitted + s.online_rejected;
         ServiceMetrics {
             submitted: s.submitted,
             completed: s.completed,
@@ -96,8 +137,20 @@ impl MetricsInner {
             failed: s.failed,
             deadline_fallbacks: s.deadline_fallbacks,
             in_flight: s.in_flight,
+            online_admitted: s.online_admitted,
+            online_rejected: s.online_rejected,
+            online_shed_tasks: s.online_shed_tasks,
+            online_hits: s.online_hits,
+            online_misses: s.online_misses,
+            deadline_hit_rate: if online_arrived == 0 {
+                0.0
+            } else {
+                s.online_hits as f64 / online_arrived as f64
+            },
+            goodput: s.goodput,
             queue_depth_express: queue_depths.0,
-            queue_depth_heavy: queue_depths.1,
+            queue_depth_online: queue_depths.1,
+            queue_depth_heavy: queue_depths.2,
             cache_hits,
             cache_misses,
             cache_hit_rate: if looked_up == 0 {
@@ -110,6 +163,7 @@ impl MetricsInner {
             ga_memo_hit_rate: s.ga.memo_hit_rate(),
             ga_evals_per_sec: s.ga.evals_per_sec(),
             express: LaneLatency::from_samples(&s.express_latencies),
+            online: LaneLatency::from_samples(&s.online_latencies),
             heavy: LaneLatency::from_samples(&s.heavy_latencies),
         }
     }
@@ -170,8 +224,26 @@ pub struct ServiceMetrics {
     pub deadline_fallbacks: u64,
     /// Jobs currently executing on workers.
     pub in_flight: u64,
+    /// Online arrivals admitted by the completion-probability gate.
+    pub online_admitted: u64,
+    /// Online arrivals rejected by the completion-probability gate.
+    pub online_rejected: u64,
+    /// Optional tasks shed by the drop ladder across all online jobs.
+    pub online_shed_tasks: u64,
+    /// Admitted online jobs that met their deadline.
+    pub online_hits: u64,
+    /// Admitted online jobs that missed their deadline.
+    pub online_misses: u64,
+    /// `hits / (admitted + rejected)` — rejections count against the
+    /// service, exactly as in the offline online-study metric. 0 when no
+    /// online job arrived.
+    pub deadline_hit_rate: f64,
+    /// Expected work (task count) of online jobs that hit their deadline.
+    pub goodput: f64,
     /// Express-lane queue depth at snapshot time.
     pub queue_depth_express: usize,
+    /// Online-lane queue depth at snapshot time.
+    pub queue_depth_online: usize,
     /// Heavy-lane queue depth at snapshot time.
     pub queue_depth_heavy: usize,
     /// Schedule-cache hits.
@@ -191,6 +263,8 @@ pub struct ServiceMetrics {
     pub ga_evals_per_sec: f64,
     /// Express-lane latency distribution.
     pub express: LaneLatency,
+    /// Online-lane latency distribution.
+    pub online: LaneLatency,
     /// Heavy-lane latency distribution.
     pub heavy: LaneLatency,
 }
@@ -210,8 +284,18 @@ impl ServiceMetrics {
         let _ = writeln!(out, "in flight           : {}", self.in_flight);
         let _ = writeln!(
             out,
-            "queue depth         : express {} / heavy {}",
-            self.queue_depth_express, self.queue_depth_heavy
+            "online admission    : {} admitted / {} rejected / {} tasks shed",
+            self.online_admitted, self.online_rejected, self.online_shed_tasks
+        );
+        let _ = writeln!(
+            out,
+            "deadline hit rate   : {:.2} ({} hit / {} miss, goodput {:.1})",
+            self.deadline_hit_rate, self.online_hits, self.online_misses, self.goodput
+        );
+        let _ = writeln!(
+            out,
+            "queue depth         : express {} / online {} / heavy {}",
+            self.queue_depth_express, self.queue_depth_online, self.queue_depth_heavy
         );
         let _ = writeln!(
             out,
@@ -223,7 +307,11 @@ impl ServiceMetrics {
             "ga kernel           : {} evals / {} memo hits (hit rate {:.2}, {:.0} evals/s)",
             self.ga_kernel_evals, self.ga_memo_hits, self.ga_memo_hit_rate, self.ga_evals_per_sec
         );
-        for (name, lane) in [("express", &self.express), ("heavy", &self.heavy)] {
+        for (name, lane) in [
+            ("express", &self.express),
+            ("online", &self.online),
+            ("heavy", &self.heavy),
+        ] {
             let _ = writeln!(
                 out,
                 "{name:<7} latency     : n={} p50={:.4}s p95={:.4}s p99={:.4}s max={:.4}s",
@@ -261,14 +349,32 @@ mod tests {
             memo_collisions: 1,
             eval_nanos: 500,
         });
-        let snap = m.snapshot((1, 2), (3, 1));
+        m.online_admitted();
+        m.online_admitted();
+        m.online_admitted();
+        m.online_rejected();
+        m.online_shed(4);
+        m.online_verdict(true, 30.0);
+        m.online_verdict(true, 10.0);
+        m.online_verdict(false, 25.0);
+        let snap = m.snapshot((1, 3, 2), (3, 1));
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.rejected_full, 1);
         assert_eq!(snap.rejected_invalid, 1);
         assert_eq!(snap.deadline_fallbacks, 1);
         assert_eq!(snap.in_flight, 0);
+        assert_eq!(snap.online_admitted, 3);
+        assert_eq!(snap.online_rejected, 1);
+        assert_eq!(snap.online_shed_tasks, 4);
+        assert_eq!(snap.online_hits, 2);
+        assert_eq!(snap.online_misses, 1);
+        // 2 hits over 4 arrivals: the rejection counts against the rate.
+        assert!((snap.deadline_hit_rate - 0.5).abs() < 1e-12);
+        // Goodput credits hits only.
+        assert!((snap.goodput - 40.0).abs() < 1e-12);
         assert_eq!(snap.queue_depth_express, 1);
+        assert_eq!(snap.queue_depth_online, 3);
         assert_eq!(snap.queue_depth_heavy, 2);
         assert_eq!(snap.cache_hits, 3);
         assert!((snap.cache_hit_rate - 0.75).abs() < 1e-12);
@@ -287,20 +393,25 @@ mod tests {
         let m = MetricsInner::default();
         m.job_started();
         m.job_finished(Lane::Express, 0.1, true, false);
-        let snap = m.snapshot((0, 0), (0, 0));
+        let snap = m.snapshot((0, 0, 0), (0, 0));
         assert_eq!(snap.completed, 0);
         assert_eq!(snap.failed, 1);
         assert_eq!(snap.cache_hit_rate, 0.0);
+        assert_eq!(snap.deadline_hit_rate, 0.0);
         assert_eq!(snap.heavy.count, 0);
+        assert_eq!(snap.online.count, 0);
     }
 
     #[test]
     fn pretty_string_mentions_key_lines() {
         let m = MetricsInner::default();
-        let s = m.snapshot((0, 0), (0, 0)).to_pretty_string();
+        let s = m.snapshot((0, 0, 0), (0, 0)).to_pretty_string();
         assert!(s.contains("cache"));
         assert!(s.contains("ga kernel"));
         assert!(s.contains("express latency"));
+        assert!(s.contains("online  latency"));
         assert!(s.contains("rejected (full)"));
+        assert!(s.contains("online admission"));
+        assert!(s.contains("deadline hit rate"));
     }
 }

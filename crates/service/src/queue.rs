@@ -1,17 +1,26 @@
-//! A bounded, two-lane MPMC job queue with admission control.
+//! A bounded, multi-lane MPMC job queue with admission control.
 //!
-//! Express jobs (cheap list schedulers) are always served before heavy
-//! jobs (GA/SA), so a burst of expensive search jobs cannot starve
-//! latency-sensitive requests. Each lane is independently bounded;
-//! [`TwoLaneQueue::try_push`] rejects instead of blocking when a lane is
-//! full — that rejection *is* the service's backpressure signal.
+//! Express jobs (cheap list schedulers) are always served before online
+//! jobs (deadline-carrying arrivals), which are served before heavy jobs
+//! (GA/SA) — so a burst of expensive search jobs cannot starve
+//! latency-sensitive requests, and deadline work never waits behind a
+//! long GA run. Each lane is independently bounded;
+//! [`LaneQueue::try_push`] rejects instead of blocking when a lane is
+//! full — that rejection *is* the service's backpressure signal (online
+//! jobs face a second, probability-based admission gate upstream).
 //!
 //! Implemented with a `Mutex` + two `Condvar`s rather than channels: lane
-//! priority needs one consumer wait-point over two buffers, which a
+//! priority needs one consumer wait-point over several buffers, which a
 //! channel-per-lane cannot express without busy polling.
+//!
+//! Lock poisoning is deliberately recovered ([`std::sync::PoisonError::into_inner`]):
+//! the guarded state is three `VecDeque`s and two flags, each mutated by
+//! a single non-panicking statement, so a poisoned mutex can only mean a
+//! panic elsewhere in a worker — abandoning the serving loop over it
+//! would turn one bad job into a full outage.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 use crate::job::Lane;
 
@@ -49,6 +58,7 @@ impl std::error::Error for PushError {}
 
 struct Inner<T> {
     express: VecDeque<T>,
+    online: VecDeque<T>,
     heavy: VecDeque<T>,
     closed: bool,
     /// While paused, consumers wait even if work is queued (deterministic
@@ -57,7 +67,7 @@ struct Inner<T> {
 }
 
 /// The queue. `T` is the queued work item.
-pub struct TwoLaneQueue<T> {
+pub struct LaneQueue<T> {
     inner: Mutex<Inner<T>>,
     /// Signals consumers: work available, unpaused, or closed.
     consumer: Condvar,
@@ -66,7 +76,7 @@ pub struct TwoLaneQueue<T> {
     capacity: usize,
 }
 
-impl<T> TwoLaneQueue<T> {
+impl<T> LaneQueue<T> {
     /// Creates a queue with the given per-lane capacity (≥ 1).
     ///
     /// # Panics
@@ -78,6 +88,7 @@ impl<T> TwoLaneQueue<T> {
         Self {
             inner: Mutex::new(Inner {
                 express: VecDeque::new(),
+                online: VecDeque::new(),
                 heavy: VecDeque::new(),
                 closed: false,
                 paused: false,
@@ -94,9 +105,15 @@ impl<T> TwoLaneQueue<T> {
         self.capacity
     }
 
+    /// Locks the state, recovering from poisoning (see module docs).
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     fn lane_mut(inner: &mut Inner<T>, lane: Lane) -> &mut VecDeque<T> {
         match lane {
             Lane::Express => &mut inner.express,
+            Lane::Online => &mut inner.online,
             Lane::Heavy => &mut inner.heavy,
         }
     }
@@ -105,9 +122,9 @@ impl<T> TwoLaneQueue<T> {
     ///
     /// # Errors
     /// [`PushError::Full`] when the lane is at capacity, [`PushError::Closed`]
-    /// after [`TwoLaneQueue::close`].
+    /// after [`LaneQueue::close`].
     pub fn try_push(&self, lane: Lane, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().expect("queue mutex");
+        let mut inner = self.lock();
         if inner.closed {
             return Err(PushError::Closed);
         }
@@ -132,7 +149,7 @@ impl<T> TwoLaneQueue<T> {
     /// # Errors
     /// [`PushError::Closed`] when the queue closes while waiting.
     pub fn push_blocking(&self, lane: Lane, item: T) -> Result<(), PushError> {
-        let mut inner = self.inner.lock().expect("queue mutex");
+        let mut inner = self.lock();
         loop {
             if inner.closed {
                 return Err(PushError::Closed);
@@ -145,20 +162,24 @@ impl<T> TwoLaneQueue<T> {
                 self.consumer.notify_one();
                 return Ok(());
             }
-            inner = self.producer.wait(inner).expect("queue mutex");
+            inner = self
+                .producer
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
-    /// Blocking pop honoring lane priority: express first, then heavy.
-    /// Returns `None` once the queue is closed *and* drained — the worker
-    /// shutdown signal.
+    /// Blocking pop honoring lane priority: express, then online, then
+    /// heavy. Returns `None` once the queue is closed *and* drained — the
+    /// worker shutdown signal.
     pub fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().expect("queue mutex");
+        let mut inner = self.lock();
         loop {
             if !inner.paused {
                 if let Some(item) = inner
                     .express
                     .pop_front()
+                    .or_else(|| inner.online.pop_front())
                     .or_else(|| inner.heavy.pop_front())
                 {
                     drop(inner);
@@ -169,34 +190,37 @@ impl<T> TwoLaneQueue<T> {
                     return None;
                 }
             }
-            inner = self.consumer.wait(inner).expect("queue mutex");
+            inner = self
+                .consumer
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Stops consumers from draining (queued work accumulates).
     pub fn pause(&self) {
-        self.inner.lock().expect("queue mutex").paused = true;
+        self.lock().paused = true;
     }
 
-    /// Resumes draining after [`TwoLaneQueue::pause`].
+    /// Resumes draining after [`LaneQueue::pause`].
     pub fn resume(&self) {
-        self.inner.lock().expect("queue mutex").paused = false;
+        self.lock().paused = false;
         self.consumer.notify_all();
     }
 
     /// Closes the queue: pending work is still drained, new pushes fail,
     /// and blocked consumers wake with `None` once empty.
     pub fn close(&self) {
-        self.inner.lock().expect("queue mutex").closed = true;
+        self.lock().closed = true;
         self.consumer.notify_all();
         self.producer.notify_all();
     }
 
-    /// Current queue depths `(express, heavy)`.
+    /// Current queue depths `(express, online, heavy)`.
     #[must_use]
-    pub fn depths(&self) -> (usize, usize) {
-        let inner = self.inner.lock().expect("queue mutex");
-        (inner.express.len(), inner.heavy.len())
+    pub fn depths(&self) -> (usize, usize, usize) {
+        let inner = self.lock();
+        (inner.express.len(), inner.online.len(), inner.heavy.len())
     }
 }
 
@@ -207,7 +231,7 @@ mod tests {
 
     #[test]
     fn rejects_when_full_and_reports_lane() {
-        let q = TwoLaneQueue::new(2);
+        let q = LaneQueue::new(2);
         q.try_push(Lane::Heavy, 1).unwrap();
         q.try_push(Lane::Heavy, 2).unwrap();
         let err = q.try_push(Lane::Heavy, 3).unwrap_err();
@@ -221,16 +245,19 @@ mod tests {
         assert!(err.to_string().contains("heavy lane at capacity 2"));
         // Lanes are independently bounded.
         q.try_push(Lane::Express, 4).unwrap();
-        assert_eq!(q.depths(), (1, 2));
+        q.try_push(Lane::Online, 5).unwrap();
+        assert_eq!(q.depths(), (1, 1, 2));
     }
 
     #[test]
-    fn pop_prefers_express() {
-        let q = TwoLaneQueue::new(8);
+    fn pop_prefers_express_then_online() {
+        let q = LaneQueue::new(8);
         q.try_push(Lane::Heavy, 1).unwrap();
+        q.try_push(Lane::Online, 20).unwrap();
         q.try_push(Lane::Heavy, 2).unwrap();
         q.try_push(Lane::Express, 10).unwrap();
         assert_eq!(q.pop(), Some(10));
+        assert_eq!(q.pop(), Some(20));
         assert_eq!(q.pop(), Some(1));
         q.try_push(Lane::Express, 11).unwrap();
         assert_eq!(q.pop(), Some(11));
@@ -239,7 +266,7 @@ mod tests {
 
     #[test]
     fn close_drains_then_signals_none() {
-        let q = TwoLaneQueue::new(4);
+        let q = LaneQueue::new(4);
         q.try_push(Lane::Express, 1).unwrap();
         q.close();
         assert_eq!(q.try_push(Lane::Express, 2), Err(PushError::Closed));
@@ -249,7 +276,7 @@ mod tests {
 
     #[test]
     fn pause_holds_work_until_resume() {
-        let q = Arc::new(TwoLaneQueue::new(4));
+        let q = Arc::new(LaneQueue::new(4));
         q.pause();
         q.try_push(Lane::Express, 7).unwrap();
         let handle = {
@@ -258,14 +285,14 @@ mod tests {
         };
         // The consumer must not pick the item up while paused.
         std::thread::sleep(std::time::Duration::from_millis(30));
-        assert_eq!(q.depths(), (1, 0));
+        assert_eq!(q.depths(), (1, 0, 0));
         q.resume();
         assert_eq!(handle.join().unwrap(), Some(7));
     }
 
     #[test]
     fn blocking_push_waits_for_space() {
-        let q = Arc::new(TwoLaneQueue::new(1));
+        let q = Arc::new(LaneQueue::new(1));
         q.try_push(Lane::Heavy, 1).unwrap();
         let producer = {
             let q = Arc::clone(&q);
@@ -278,8 +305,29 @@ mod tests {
     }
 
     #[test]
+    fn survives_a_poisoned_lock() {
+        let q = Arc::new(LaneQueue::new(4));
+        q.try_push(Lane::Express, 1).unwrap();
+        // Poison the mutex by panicking while holding it.
+        let poisoner = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.inner.lock().unwrap();
+                panic!("deliberate poison");
+            })
+        };
+        assert!(poisoner.join().is_err());
+        assert!(q.inner.is_poisoned());
+        // The queue keeps serving: state was consistent at poison time.
+        q.try_push(Lane::Heavy, 2).unwrap();
+        assert_eq!(q.depths(), (1, 0, 1));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_rejected() {
-        let _ = TwoLaneQueue::<u32>::new(0);
+        let _ = LaneQueue::<u32>::new(0);
     }
 }

@@ -9,15 +9,19 @@ use std::time::Instant;
 use rds_ga::{GaEngine, GaParams, GaRunStats, Objective};
 use rds_heft::{cpop_schedule, heft_schedule, lookahead_heft_schedule, sheft_schedule, HeftResult};
 use rds_sched::slack;
-use rds_sched::{Instance, Schedule};
+use rds_sched::{
+    completion_probability, plan_isolated, plan_with_deferred_optional, rank_order,
+    realized_completion, Instance, OnlineScratch, Schedule,
+};
+use rds_stats::rng::SeedStream;
 
 use crate::cache::{CacheKey, CachedSchedule, ScheduleCache};
-use crate::job::{Algo, Degradation, JobError, JobOutput, JobResult, JobSpec};
+use crate::job::{Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, OnlineOutcome};
 use crate::metrics::{MetricsInner, ServiceMetrics};
-use crate::queue::{PushError, TwoLaneQueue};
+use crate::queue::{LaneQueue, PushError};
 
 /// Service configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ServiceConfig {
     /// Worker threads (≥ 1).
     pub workers: usize,
@@ -29,6 +33,12 @@ pub struct ServiceConfig {
     /// [`Service::resume`]. Deterministic backpressure tests and the
     /// `rds serve --hold` mode rely on this.
     pub start_paused: bool,
+    /// Minimum completion probability for an online arrival to be
+    /// admitted (in `[0, 1]`). A job below the floor gets a second probe
+    /// with its optional tasks shed before it is rejected.
+    pub online_floor: f64,
+    /// Monte-Carlo samples per admission probe (≥ 1).
+    pub online_samples: usize,
 }
 
 impl Default for ServiceConfig {
@@ -38,6 +48,8 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 128,
             start_paused: false,
+            online_floor: 0.5,
+            online_samples: 64,
         }
     }
 }
@@ -70,17 +82,44 @@ impl ServiceConfig {
         self.start_paused = true;
         self
     }
+
+    /// Sets the online admission floor.
+    #[must_use]
+    pub fn online_floor(mut self, floor: f64) -> Self {
+        self.online_floor = floor;
+        self
+    }
+
+    /// Sets the Monte-Carlo sample count per admission probe.
+    #[must_use]
+    pub fn online_samples(mut self, samples: usize) -> Self {
+        self.online_samples = samples;
+        self
+    }
+}
+
+/// The admission gate's verdict on an online arrival, carried with the
+/// job through the queue so the worker judges the same plan shape the
+/// gate admitted.
+#[derive(Debug, Clone, Copy)]
+struct AdmittedOnline {
+    /// Completion probability estimated at admission.
+    probability: f64,
+    /// Whether the gate had to shed optional tasks to admit the job.
+    shed: bool,
 }
 
 struct QueuedJob {
     spec: JobSpec,
     enqueued: Instant,
+    online: Option<AdmittedOnline>,
 }
 
 struct Shared {
-    queue: TwoLaneQueue<QueuedJob>,
+    queue: LaneQueue<QueuedJob>,
     cache: ScheduleCache,
     metrics: MetricsInner,
+    config: ServiceConfig,
 }
 
 /// A running scheduling service. Dropping it without
@@ -102,10 +141,19 @@ impl Service {
     #[must_use]
     pub fn start(config: ServiceConfig) -> (Self, mpsc::Receiver<JobResult>) {
         assert!(config.workers > 0, "service needs at least one worker");
+        assert!(
+            config.online_floor >= 0.0 && config.online_floor <= 1.0,
+            "online admission floor must be in [0, 1]"
+        );
+        assert!(
+            config.online_samples > 0,
+            "online admission needs at least one sample"
+        );
         let shared = Arc::new(Shared {
-            queue: TwoLaneQueue::new(config.queue_capacity),
+            queue: LaneQueue::new(config.queue_capacity),
             cache: ScheduleCache::new(config.cache_capacity),
             metrics: MetricsInner::default(),
+            config,
         });
         if config.start_paused {
             shared.queue.pause();
@@ -151,10 +199,23 @@ impl Service {
             self.shared.metrics.rejected_invalid();
             return Err(JobError::Rejected(reason));
         }
+        let online = match self.probe_online(&spec) {
+            Ok(verdict) => verdict,
+            Err(e) => {
+                self.shared.metrics.online_rejected();
+                return Err(e);
+            }
+        };
         let lane = spec.lane();
+        let shed_tasks = match online {
+            Some(AdmittedOnline { shed: true, .. }) => spec.instance.graph.optional_tasks().len(),
+            _ => 0,
+        };
+        let is_online = online.is_some();
         let job = QueuedJob {
             spec,
             enqueued: Instant::now(),
+            online,
         };
         let pushed = if blocking {
             self.shared.queue.push_blocking(lane, job)
@@ -164,6 +225,12 @@ impl Service {
         match pushed {
             Ok(()) => {
                 self.shared.metrics.submitted();
+                if is_online {
+                    self.shared.metrics.online_admitted();
+                    if shed_tasks > 0 {
+                        self.shared.metrics.online_shed(shed_tasks as u64);
+                    }
+                }
                 Ok(())
             }
             Err(e @ PushError::Full { .. }) => {
@@ -172,6 +239,67 @@ impl Service {
             }
             Err(e @ PushError::Closed) => Err(JobError::Rejected(e.to_string())),
         }
+    }
+
+    /// The completion-probability gate for online arrivals. Returns
+    /// `Ok(None)` for classic jobs, `Ok(Some(_))` when admitted (possibly
+    /// only after shedding optional tasks), and `Err` when even the
+    /// required subgraph is unlikely to make the deadline.
+    fn probe_online(&self, spec: &JobSpec) -> Result<Option<AdmittedOnline>, JobError> {
+        let Some(params) = spec.online else {
+            return Ok(None);
+        };
+        let inst = spec.instance.as_ref();
+        let cfg = &self.shared.config;
+        let rel_deadline = params.relative_deadline();
+        let order = rank_order(inst);
+        let floors = vec![0.0; inst.proc_count()];
+        let mut scratch = OnlineScratch::new();
+        let estimate_seed = online_estimate_seed(spec.seed);
+        let full = plan_isolated(inst, false)
+            .map_err(|e| JobError::Rejected(format!("online probe failed to plan: {e}")))?;
+        let p_full = completion_probability(
+            inst,
+            &order,
+            &full,
+            &floors,
+            rel_deadline,
+            cfg.online_samples,
+            estimate_seed,
+            &mut scratch,
+        );
+        if p_full >= cfg.online_floor {
+            return Ok(Some(AdmittedOnline {
+                probability: p_full,
+                shed: false,
+            }));
+        }
+        // Second chance: shed the optional tasks and probe the required
+        // subgraph alone — the drop ladder applied at the door.
+        if !inst.graph.optional_tasks().is_empty() {
+            let required = plan_isolated(inst, true)
+                .map_err(|e| JobError::Rejected(format!("online probe failed to plan: {e}")))?;
+            let p_required = completion_probability(
+                inst,
+                &order,
+                &required,
+                &floors,
+                rel_deadline,
+                cfg.online_samples,
+                estimate_seed,
+                &mut scratch,
+            );
+            if p_required >= cfg.online_floor {
+                return Ok(Some(AdmittedOnline {
+                    probability: p_required,
+                    shed: true,
+                }));
+            }
+        }
+        Err(JobError::Rejected(format!(
+            "completion probability {:.3} below admission floor {:.2}",
+            p_full, cfg.online_floor
+        )))
     }
 
     /// A clone of the result sender, so an embedding frontend (the `rds
@@ -255,12 +383,23 @@ impl Service {
     }
 }
 
+/// Seed of the admission estimator's CRN substreams for a job seed.
+fn online_estimate_seed(seed: u64) -> u64 {
+    SeedStream::new(seed).branch("online-estimate").nth_seed(0)
+}
+
+/// Seed of the truth durations that decide a job's deadline verdict —
+/// disjoint from the estimator's stream, so the gate never "peeks".
+fn online_truth_seed(seed: u64) -> u64 {
+    SeedStream::new(seed).branch("online-truth").nth_seed(0)
+}
+
 fn worker_loop(shared: &Shared, results_tx: &mpsc::Sender<JobResult>) {
     while let Some(job) = shared.queue.pop() {
         shared.metrics.job_started();
         let lane = job.spec.lane();
         let id = job.spec.id.clone();
-        let outcome = execute(&job.spec, &shared.cache);
+        let outcome = execute(&job.spec, &shared.cache, job.online);
         let latency = job.enqueued.elapsed().as_secs_f64();
         let failed = outcome.is_err();
         let fallback = matches!(
@@ -271,6 +410,17 @@ fn worker_loop(shared: &Shared, results_tx: &mpsc::Sender<JobResult>) {
             if let Some(gs) = &out.ga_stats {
                 shared.metrics.ga_run(gs);
             }
+            if let Some(oo) = &out.online {
+                // Goodput credits the deadline-counted work: the whole
+                // graph, minus the optional tasks when they were shed.
+                let total = job.spec.instance.task_count();
+                let weight = if out.degraded == Degradation::DroppedOptional {
+                    (total - job.spec.instance.graph.optional_tasks().len()) as f64
+                } else {
+                    total as f64
+                };
+                shared.metrics.online_verdict(oo.hit, weight);
+            }
         }
         shared.metrics.job_finished(lane, latency, failed, fallback);
         // A disconnected receiver means the frontend is gone; keep
@@ -280,8 +430,16 @@ fn worker_loop(shared: &Shared, results_tx: &mpsc::Sender<JobResult>) {
 }
 
 /// Runs one job: cache lookup → scheduler (with cooperative deadline
-/// cancellation for the GA) → assessment → cache fill.
-fn execute(spec: &JobSpec, cache: &ScheduleCache) -> Result<JobOutput, JobError> {
+/// cancellation for the GA) → assessment → cache fill. Online jobs take
+/// their own path (see [`execute_online`]).
+fn execute(
+    spec: &JobSpec,
+    cache: &ScheduleCache,
+    online: Option<AdmittedOnline>,
+) -> Result<JobOutput, JobError> {
+    if let Some(adm) = online {
+        return execute_online(spec, adm);
+    }
     let key = CacheKey::for_job(spec);
     if let Some(hit) = cache.lookup(&key) {
         return Ok(JobOutput {
@@ -291,21 +449,22 @@ fn execute(spec: &JobSpec, cache: &ScheduleCache) -> Result<JobOutput, JobError>
             cache_hit: true,
             degraded: Degradation::None,
             ga_stats: None,
+            online: None,
         });
     }
     let deadline = spec.deadline.map(|budget| Instant::now() + budget);
     let (schedule, degraded, ga_stats) = produce_schedule(spec, deadline)?;
     let (makespan, avg_slack) = assess(&spec.instance, &schedule)?;
-    if degraded == Degradation::None {
-        cache.insert(
-            key,
-            CachedSchedule {
-                schedule: schedule.clone(),
-                makespan,
-                avg_slack,
-            },
-        );
-    }
+    // The cache enforces its own boundary: degraded results are refused.
+    cache.insert(
+        key,
+        CachedSchedule {
+            schedule: schedule.clone(),
+            makespan,
+            avg_slack,
+        },
+        degraded,
+    );
     Ok(JobOutput {
         schedule,
         makespan,
@@ -313,6 +472,61 @@ fn execute(spec: &JobSpec, cache: &ScheduleCache) -> Result<JobOutput, JobError>
         cache_hit: false,
         degraded,
         ga_stats,
+        online: None,
+    })
+}
+
+/// Runs an admitted online job: plan with the shared replanner (the
+/// shape the admission gate probed — the `algo` knob is ignored on the
+/// online lane), realize it once under the job's truth durations, and
+/// judge the deadline on the counted tasks. Online results bypass the
+/// cache entirely: the key does not capture arrival/deadline/backlog, so
+/// a cached entry could leak one stream state into another.
+fn execute_online(spec: &JobSpec, adm: AdmittedOnline) -> Result<JobOutput, JobError> {
+    let inst = spec.instance.as_ref();
+    let params = spec
+        .online
+        .ok_or_else(|| JobError::Failed("online job lost its parameters".into()))?;
+    let order = rank_order(inst);
+    let floors = vec![0.0; inst.proc_count()];
+    let mut scratch = OnlineScratch::new();
+    let (schedule, verdict_plan, degraded) = if adm.shed {
+        let deferred = plan_with_deferred_optional(inst).map_err(JobError::Failed)?;
+        let required = plan_isolated(inst, true).map_err(|e| JobError::Failed(e.to_string()))?;
+        let degraded = if deferred.deferred.is_empty() {
+            Degradation::None
+        } else {
+            Degradation::DroppedOptional
+        };
+        (deferred.schedule, required, degraded)
+    } else {
+        let plan = plan_isolated(inst, false).map_err(|e| JobError::Failed(e.to_string()))?;
+        let schedule = Schedule::from_proc_lists(inst.task_count(), plan.proc_tasks.clone())
+            .map_err(|e| JobError::Failed(e.to_string()))?;
+        (schedule, plan, Degradation::None)
+    };
+    let realized = realized_completion(
+        inst,
+        &order,
+        &verdict_plan,
+        &floors,
+        online_truth_seed(spec.seed),
+        &mut scratch,
+    );
+    let hit = realized <= params.relative_deadline();
+    let (makespan, avg_slack) = assess(inst, &schedule)?;
+    Ok(JobOutput {
+        schedule,
+        makespan,
+        avg_slack,
+        cache_hit: false,
+        degraded,
+        ga_stats: None,
+        online: Some(OnlineOutcome {
+            probability: adm.probability,
+            realized_makespan: realized,
+            hit,
+        }),
     })
 }
 
@@ -489,5 +703,121 @@ mod tests {
         let first = rx.recv().unwrap();
         assert_eq!(first.id, "fast");
         service.shutdown();
+    }
+
+    #[test]
+    fn online_job_admitted_and_judged() {
+        let i = inst(6);
+        // A deadline far beyond the expected makespan: the gate admits
+        // and the truth realization cannot miss.
+        let plan = plan_isolated(&i, false).unwrap();
+        let job = JobSpec::new("o", Algo::Heft, Arc::clone(&i))
+            .seed(3)
+            .online(0.0, plan.est_makespan * 10.0);
+        let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), vec![job]);
+        let out = results[0].outcome.as_ref().expect("admitted online job");
+        let oo = out.online.expect("online outcome attached");
+        assert!(oo.probability >= 0.5);
+        assert!(oo.hit);
+        assert!(oo.realized_makespan > 0.0);
+        assert_eq!(out.degraded, Degradation::None);
+        assert!(out.schedule.validate_against(&i.graph).is_ok());
+        assert_eq!(metrics.online_admitted, 1);
+        assert_eq!(metrics.online_rejected, 0);
+        assert_eq!(metrics.online_hits, 1);
+        assert!((metrics.deadline_hit_rate - 1.0).abs() < 1e-12);
+        assert!(metrics.goodput > 0.0);
+        // Online results bypass the cache entirely.
+        assert_eq!(metrics.cache_hits + metrics.cache_misses, 0);
+    }
+
+    #[test]
+    fn hopeless_online_job_is_rejected_at_the_door() {
+        let i = inst(7);
+        let job = JobSpec::new("o", Algo::Heft, Arc::clone(&i)).online(5.0, 5.0 + 1e-9);
+        let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), vec![job]);
+        assert!(matches!(
+            &results[0].outcome,
+            Err(JobError::Rejected(r)) if r.contains("admission floor")
+        ));
+        assert_eq!(metrics.online_rejected, 1);
+        assert_eq!(metrics.online_admitted, 0);
+        assert_eq!(metrics.submitted, 0);
+        assert_eq!(metrics.deadline_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn admission_gate_sheds_optional_tasks_before_rejecting() {
+        // Mark the rear three-quarters of the graph optional — from the
+        // exits inward, as `mark_optional`'s successor-closure invariant
+        // requires — leaving a small required subgraph that finishes far
+        // earlier than the whole job.
+        let mut raw = InstanceSpec::new(20, 3).seed(8).build().unwrap();
+        let topo = rds_graph::topo::topological_order(&raw.graph).expect("instance DAG is acyclic");
+        for &t in topo[5..].iter().rev() {
+            assert!(raw.graph.mark_optional(t), "rear task must be markable");
+        }
+        let i = Arc::new(raw);
+        // Find a deadline the full plan is unlikely to make but the
+        // required subgraph is likely to — probing exactly as the gate
+        // does, with the same estimator seed.
+        let order = rank_order(&i);
+        let full = plan_isolated(&i, false).unwrap();
+        let required = plan_isolated(&i, true).unwrap();
+        let est_seed = online_estimate_seed(11);
+        let floors = vec![0.0; i.proc_count()];
+        let samples = ServiceConfig::default().online_samples;
+        let mut scratch = OnlineScratch::new();
+        let lo = required.est_makespan * 0.5;
+        let hi = full.est_makespan * 1.5;
+        let mut chosen = None;
+        for k in 0..400 {
+            let rel = lo + (hi - lo) * (k as f64) / 400.0;
+            let pf = completion_probability(
+                &i,
+                &order,
+                &full,
+                &floors,
+                rel,
+                samples,
+                est_seed,
+                &mut scratch,
+            );
+            if pf >= 0.5 {
+                continue;
+            }
+            let pr = completion_probability(
+                &i,
+                &order,
+                &required,
+                &floors,
+                rel,
+                samples,
+                est_seed,
+                &mut scratch,
+            );
+            if pr >= 0.5 {
+                chosen = Some(rel);
+                break;
+            }
+        }
+        let rel = chosen.expect("a deadline band where only the shed plan passes");
+        let job = JobSpec::new("shed", Algo::Heft, Arc::clone(&i))
+            .seed(11)
+            .online(0.0, rel);
+        let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), vec![job]);
+        let out = results[0]
+            .outcome
+            .as_ref()
+            .expect("admitted after shedding");
+        assert_eq!(out.degraded, Degradation::DroppedOptional);
+        let oo = out.online.expect("online outcome attached");
+        assert!(oo.probability >= 0.5);
+        assert_eq!(metrics.online_admitted, 1);
+        assert!(metrics.online_shed_tasks > 0);
+        assert_eq!(metrics.deadline_fallbacks, 1);
+        // Shedding defers tasks, it does not remove them: the combined
+        // schedule still covers the whole graph.
+        assert!(out.schedule.validate_against(&i.graph).is_ok());
     }
 }

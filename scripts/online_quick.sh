@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Quick-scale online multi-tenant study: a seeded stream of deadline-
+# carrying DAG jobs on a shared platform, with completion-probability
+# admission and the autonomous drop ladder, against admit-everything
+# FIFO baselines. Asserts the headline claim of the study: under
+# oversubscription the probability gate rejects a nonzero fraction of
+# arrivals and ends up with a strictly higher deadline hit rate than the
+# admit-everything, never-drop baseline. Defaults are laptop-scale
+# (minutes); override knobs via FLAGS, e.g.
+#   FLAGS="--admission-floor 0.7 --online-jobs 30" scripts/online_quick.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p rds-experiments
+
+FIG=target/release/figures
+OUT=${OUT:-results}
+FLAGS=${FLAGS:-}
+
+$FIG online $FLAGS \
+  --graphs "${GRAPHS:-2}" --tasks "${TASKS:-20}" --procs "${PROCS:-3}" \
+  --online-jobs "${JOBS:-14}" --online-samples "${SAMPLES:-32}" \
+  --oversub "${OVERSUB:-0.25,3}" --uls "${ULS:-4}" --out "$OUT"
+
+CSV=$OUT/online.csv
+[ -f "$CSV" ] || { echo "online_quick: FAIL: $CSV was not written" >&2; exit 1; }
+
+# At the highest oversubscription the gate must say no sometimes, and
+# saying no must win: hit:prob strictly above hit:fifo-nodrop.
+awk -F, '
+  NR == 1 { next }
+  { if ($2 + 0 > xmax) xmax = $2 + 0 }
+  $1 == "rejected:prob"   { rej[$2] = $3 + 0 }
+  $1 == "hit:prob"        { prob[$2] = $3 + 0 }
+  $1 == "hit:fifo-nodrop" { fifo[$2] = $3 + 0 }
+  END {
+    x = xmax ""
+    if (!(x in prob) || !(x in fifo) || !(x in rej)) {
+      print "online_quick: FAIL: missing series at oversub " x > "/dev/stderr"
+      exit 1
+    }
+    if (rej[x] <= 0) {
+      print "online_quick: FAIL: no rejections at oversub " x > "/dev/stderr"
+      exit 1
+    }
+    if (prob[x] <= fifo[x]) {
+      printf "online_quick: FAIL: hit:prob %.3f !> hit:fifo-nodrop %.3f at oversub %s\n", \
+        prob[x], fifo[x], x > "/dev/stderr"
+      exit 1
+    }
+    printf "online_quick: hit rate %.3f (prob) vs %.3f (fifo-nodrop), %.0f%% rejected at %sx\n", \
+      prob[x], fifo[x], 100 * rej[x], x
+  }
+' "$CSV"
+
+echo "online_quick: all checks passed"

@@ -43,11 +43,13 @@ const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt|serve|submit> [fla
   eval     -i INSTANCE -s SCHEDULE [--realizations N] [--seed S] [--law uniform|normal|exp]
   gantt    -i INSTANCE -s SCHEDULE [--width W] [--svg FILE] [--trace FILE]
   serve    [--workers N] [--queue-cap N] [--cache-cap N] [--hold 1]
+           [--online-floor P] [--online-samples N]
            reads rds-job envelopes from stdin, writes rds-result envelopes
            to stdout, metrics to stderr at shutdown
   submit   -i INSTANCE [--algo A] [--epsilon E] [--seed S] [--generations G]
-           [--deadline-ms D] [--lane express|heavy] [--id ID] [-o FILE]
-           [--emit 1: print the job envelope instead of running it]";
+           [--deadline-ms D] [--lane express|online|heavy] [--id ID]
+           [--arrival T --deadline T: online job in simulated time]
+           [-o FILE] [--emit 1: print the job envelope instead of running it]";
 
 /// Parses `--flag value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -329,14 +331,24 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let queue_cap: usize = get(flags, "queue-cap", 64)?;
     let cache_cap: usize = get(flags, "cache-cap", 128)?;
     let hold: usize = get(flags, "hold", 0)?;
+    let online_floor: f64 = get(flags, "online-floor", 0.5)?;
+    let online_samples: usize = get(flags, "online-samples", 64)?;
     if workers == 0 || queue_cap == 0 {
         return Err("serve needs --workers >= 1 and --queue-cap >= 1".into());
+    }
+    if !(0.0..=1.0).contains(&online_floor) {
+        return Err("serve needs --online-floor in [0, 1]".into());
+    }
+    if online_samples == 0 {
+        return Err("serve needs --online-samples >= 1".into());
     }
 
     let mut config = ServiceConfig::default()
         .workers(workers)
         .queue_capacity(queue_cap)
-        .cache_capacity(cache_cap);
+        .cache_capacity(cache_cap)
+        .online_floor(online_floor)
+        .online_samples(online_samples);
     if hold != 0 {
         // Hold mode: queue everything first, drain only after stdin EOF.
         // Makes queue-overflow behavior deterministic for smoke tests.
@@ -422,6 +434,8 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
         generations: get_opt(flags, "generations")?,
         deadline_ms: get_opt(flags, "deadline-ms")?,
         lane: flags.get("lane").cloned(),
+        arrival: get_opt(flags, "arrival")?,
+        deadline: get_opt(flags, "deadline")?,
         instance,
     };
     let text = io::write_job(&envelope);
@@ -467,6 +481,12 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
         result.cache.as_deref().unwrap_or("-"),
         result.degraded.as_deref().unwrap_or("none"),
     );
+    if let Some(verdict) = result.verdict.as_deref() {
+        println!(
+            "online verdict {verdict} (admission probability {:.3})",
+            result.probability.unwrap_or(f64::NAN)
+        );
+    }
     let schedule = result
         .schedule
         .ok_or("ok result carried no schedule — serve/submit version mismatch?")?;
