@@ -35,7 +35,7 @@ fn bench_service_throughput(c: &mut Criterion) {
     c.bench_function("service_cold_cache_4_ga_jobs", |b| {
         b.iter_batched(
             || ga_batch(&instances, 1),
-            |jobs| Service::run_batch(config, jobs),
+            |jobs| Service::run_batch(config.clone(), jobs),
             BatchSize::SmallInput,
         );
     });
@@ -46,7 +46,7 @@ fn bench_service_throughput(c: &mut Criterion) {
     c.bench_function("service_warm_cache_16_ga_jobs", |b| {
         b.iter_batched(
             || ga_batch(&instances, 4),
-            |jobs| Service::run_batch(config, jobs),
+            |jobs| Service::run_batch(config.clone(), jobs),
             BatchSize::SmallInput,
         );
     });
@@ -55,7 +55,7 @@ fn bench_service_throughput(c: &mut Criterion) {
     // jobs, no cache effect (all distinct ids, same key — so measure with
     // cache disabled).
     c.bench_function("service_express_32_heft_jobs_nocache", |b| {
-        let nocache = config.cache_capacity(0);
+        let nocache = config.clone().cache_capacity(0);
         let inst = Arc::new(bench_instance(50, 4, 2.0));
         b.iter_batched(
             || {
@@ -63,7 +63,7 @@ fn bench_service_throughput(c: &mut Criterion) {
                     .map(|i| JobSpec::new(format!("h-{i}"), Algo::Heft, Arc::clone(&inst)))
                     .collect::<Vec<_>>()
             },
-            |jobs| Service::run_batch(nocache, jobs),
+            |jobs| Service::run_batch(nocache.clone(), jobs),
             BatchSize::SmallInput,
         );
     });

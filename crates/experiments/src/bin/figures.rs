@@ -5,7 +5,7 @@
 //!
 //! paper figures:  fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep all
 //! extensions:     corr future dynamic law ccr contention gatune faults
-//!                 replication adaptive online
+//!                 replication adaptive online chaos
 //! utilities:      report   (re-render every results/*.csv as tables)
 //!
 //! flags:
@@ -42,8 +42,8 @@ use std::process::ExitCode;
 
 use rds_experiments::config::ExperimentConfig;
 use rds_experiments::figures::{
-    adaptive_cmp, ccr_study, contention_cmp, correlation, dynamic_cmp, fault_cmp, fig2_3, fig4,
-    fig5_6, fig7_8, future, gatune, law, online_cmp, replication_cmp, sweep,
+    adaptive_cmp, ccr_study, chaos_study, contention_cmp, correlation, dynamic_cmp, fault_cmp,
+    fig2_3, fig4, fig5_6, fig7_8, future, gatune, law, online_cmp, replication_cmp, sweep,
 };
 use rds_experiments::output::FigureData;
 
@@ -60,7 +60,7 @@ fn main() -> ExitCode {
     let Some(cmd) = args.first() else {
         eprintln!(
             "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|sweep|all|\
-             corr|future|dynamic|law|contention|ccr|gatune|faults|replication|adaptive|online|\
+             corr|future|dynamic|law|contention|ccr|gatune|faults|replication|adaptive|online|chaos|\
              report> \
              [flags]"
         );
@@ -120,6 +120,7 @@ fn main() -> ExitCode {
         "replication" => emit(&replication_cmp::run_replication_cmp(&cfg), &cfg),
         "adaptive" => emit(&adaptive_cmp::run_adaptive_cmp(&cfg), &cfg),
         "online" => emit(&online_cmp::run_online_cmp(&cfg), &cfg),
+        "chaos" => emit(&chaos_study::run_chaos_study(&cfg), &cfg),
         "report" => match rds_experiments::output::render_report(&cfg.out_dir) {
             Ok(text) => println!("{text}"),
             Err(e) => {

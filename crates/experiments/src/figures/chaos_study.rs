@@ -1,0 +1,334 @@
+//! Crash-safety study: the service's durability and supervision claims
+//! measured under injected chaos, at increasing worker-panic rates.
+//!
+//! Three scenarios run at every panic rate on the x axis:
+//!
+//! * **live** — a batch drains through a journaled, supervised service
+//!   while chaos kills worker threads mid-job. Claims: no job is lost
+//!   (`lost:live` ≡ 0), the journal owes nothing after a clean drain
+//!   (`pending:live` ≡ 0), and panics convert into retries or typed
+//!   failures (`retries:live`, `failed:live`).
+//! * **restart** — the journal file is cut at byte N mid-run (a
+//!   simulated `kill -9`); a second service incarnation recovers it.
+//!   Claims: every accepted-and-unfinished job in the surviving prefix
+//!   is replayed to a terminal result (`lost:restart` ≡ 0), and
+//!   `recovery-ms:restart` reports the wall-clock cost of replay.
+//! * **brownout** — a paused service is flooded past its brownout
+//!   ladder, then drained under the same panic chaos. Claims: the
+//!   accounting of shed/fast-rejected/degraded/completed jobs balances
+//!   exactly (`lost:brownout` ≡ 0) while the ladder visibly engages
+//!   (`shed:brownout`, `degraded:brownout`).
+//!
+//! `scripts/chaos_quick.sh` snapshots this figure into
+//! `BENCH_serve.json` and fails CI on any nonzero loss.
+
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rds_sched::{Instance, InstanceSpec};
+use rds_service::{
+    Algo, BrownoutConfig, JobError, JobSpec, Journal, Service, ServiceChaos, ServiceConfig,
+    SupervisorConfig,
+};
+use rds_stats::series::Series;
+
+use crate::config::ExperimentConfig;
+use crate::output::FigureData;
+
+/// Worker-panic probabilities swept on the x axis.
+const PANIC_RATES: [f64; 3] = [0.0, 0.3, 0.6];
+
+/// Jobs per scenario run.
+const JOBS: usize = 12;
+
+fn unique_journal(tag: &str) -> PathBuf {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "rds_chaos_study_{}_{}_{tag}.wal",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn instance(cfg: &ExperimentConfig, which: usize) -> Arc<Instance> {
+    Arc::new(
+        InstanceSpec::new(cfg.tasks.clamp(10, 25), cfg.procs.clamp(2, 4))
+            .seed(cfg.sub_seed("chaos-instance", which))
+            .build()
+            .expect("chaos study instance"),
+    )
+}
+
+/// A mixed batch: express list-scheduler jobs plus a few quick GA jobs
+/// (heavy lane), so both lanes and both work shapes face the chaos.
+fn batch(cfg: &ExperimentConfig, n: usize) -> Vec<JobSpec> {
+    let a = instance(cfg, 0);
+    let b = instance(cfg, 1);
+    (0..n)
+        .map(|i| {
+            let inst = if i % 2 == 0 { &a } else { &b };
+            if i % 4 == 3 {
+                JobSpec::new(format!("job-{i:02}"), Algo::Ga, Arc::clone(inst))
+                    .seed(cfg.sub_seed("chaos-ga", i))
+                    .generations(6)
+            } else {
+                JobSpec::new(format!("job-{i:02}"), Algo::Heft, Arc::clone(inst))
+            }
+        })
+        .collect()
+}
+
+fn supervision() -> SupervisorConfig {
+    SupervisorConfig::default()
+        .max_attempts(4)
+        .backoff_base(Duration::from_millis(1))
+        .backoff_cap(Duration::from_millis(5))
+}
+
+fn chaos(cfg: &ExperimentConfig, rate: f64, arm: usize) -> ServiceChaos {
+    ServiceChaos::seeded(cfg.sub_seed("chaos-seed", arm)).panic_rate(rate)
+}
+
+/// Per-scenario outcome row, keyed into the figure's series.
+struct Cell {
+    lost: f64,
+    pending_after_drain: f64,
+    completed: f64,
+    failed: f64,
+    retries: f64,
+    restart_lost: f64,
+    restart_recovered: f64,
+    recovery_ms: f64,
+    brownout_lost: f64,
+    brownout_shed: f64,
+    brownout_degraded: f64,
+}
+
+/// Scenario 1: journaled service drains a batch while chaos kills
+/// workers. Returns (lost, pending-after-drain, completed, failed,
+/// retries-per-job).
+fn live_scenario(cfg: &ExperimentConfig, rate: f64) -> (f64, f64, f64, f64, f64) {
+    let path = unique_journal("live");
+    let _ = std::fs::remove_file(&path);
+    let config = ServiceConfig::default()
+        .workers(3)
+        .journal(&path)
+        .supervisor(supervision())
+        .chaos(chaos(cfg, rate, 0));
+    let (results, metrics) = Service::run_batch(config, batch(cfg, JOBS));
+    let lost = JOBS.saturating_sub(results.len());
+    // After a clean drain the journal owes the next incarnation nothing.
+    let recovery = Journal::recover_file(&path).expect("journal scans");
+    std::fs::remove_file(&path).ok();
+    (
+        lost as f64,
+        recovery.pending.len() as f64,
+        metrics.completed as f64 / JOBS as f64,
+        metrics.failed as f64 / JOBS as f64,
+        metrics.retries as f64 / JOBS as f64,
+    )
+}
+
+/// Scenario 2: the journal is cut at byte N mid-run; a fresh incarnation
+/// replays the surviving obligation. Returns (lost, recovered,
+/// recovery-ms).
+fn restart_scenario(cfg: &ExperimentConfig, rate: f64) -> (f64, f64, f64) {
+    let path = unique_journal("restart");
+    let _ = std::fs::remove_file(&path);
+    // Cut deep enough that the header plus several accepted records
+    // survive, shallow enough that the tail of the run is torn off.
+    let first = ServiceConfig::default()
+        .workers(2)
+        .journal(&path)
+        .supervisor(supervision())
+        .chaos(chaos(cfg, rate, 1).journal_kill_at(6000));
+    let _ = Service::run_batch(first, batch(cfg, JOBS));
+
+    // What does the cut file owe? (Ground truth for the loss count.)
+    let owed: HashSet<String> = Journal::recover_file(&path)
+        .expect("cut journal scans")
+        .pending
+        .iter()
+        .map(|e| e.id.clone())
+        .collect();
+
+    let second = ServiceConfig::default()
+        .workers(2)
+        .journal(&path)
+        .supervisor(supervision());
+    let (service, rx) = Service::try_start(second).expect("restart incarnation");
+    let started = Instant::now();
+    let report = service.recover().expect("journal recovery");
+    let mut terminal: HashSet<String> = HashSet::new();
+    for _ in 0..report.replayed + report.failed {
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(result) => {
+                terminal.insert(result.id);
+            }
+            Err(_) => break,
+        }
+    }
+    let recovery_ms = started.elapsed().as_secs_f64() * 1e3;
+    service.shutdown();
+    std::fs::remove_file(&path).ok();
+    let lost = owed.iter().filter(|id| !terminal.contains(*id)).count();
+    (lost as f64, report.replayed as f64, recovery_ms)
+}
+
+/// Scenario 3: flood a paused brownout service past its ladder, then
+/// drain under panic chaos. Returns (lost, shed-frac, degraded-frac).
+fn brownout_scenario(cfg: &ExperimentConfig, rate: f64) -> (f64, f64, f64) {
+    let config = ServiceConfig::default()
+        .workers(1)
+        .queue_capacity(64)
+        .paused()
+        .supervisor(supervision())
+        .brownout(
+            BrownoutConfig::default()
+                .depths(2.0, 5.0, 9.0)
+                .alpha(1.0)
+                .retry_after_ms(50),
+        )
+        .chaos(chaos(cfg, rate, 2));
+    let (service, rx) = Service::start(config);
+    let n = 2 * JOBS;
+    let mut refused = 0usize;
+    let mut accepted = 0usize;
+    for spec in batch(cfg, n) {
+        match service.submit(spec) {
+            Ok(()) => accepted += 1,
+            Err(JobError::Overloaded { .. } | JobError::Rejected(_)) => refused += 1,
+            Err(JobError::Failed(e)) => panic!("admission cannot fail a job: {e}"),
+        }
+    }
+    service.resume();
+    let mut terminal = 0usize;
+    while terminal < accepted {
+        match rx.recv_timeout(Duration::from_secs(30)) {
+            Ok(_) => terminal += 1,
+            Err(_) => break,
+        }
+    }
+    let metrics = service.shutdown();
+    let lost = accepted.saturating_sub(terminal) + n.saturating_sub(accepted + refused);
+    (
+        lost as f64,
+        (metrics.brownout_shed + metrics.breaker_fast_rejections) as f64 / n as f64,
+        metrics.brownout_degraded as f64 / n as f64,
+    )
+}
+
+fn run_rate(cfg: &ExperimentConfig, rate: f64) -> Cell {
+    let (lost, pending, completed, failed, retries) = live_scenario(cfg, rate);
+    let (restart_lost, restart_recovered, recovery_ms) = restart_scenario(cfg, rate);
+    let (brownout_lost, brownout_shed, brownout_degraded) = brownout_scenario(cfg, rate);
+    Cell {
+        lost,
+        pending_after_drain: pending,
+        completed,
+        failed,
+        retries,
+        restart_lost,
+        restart_recovered,
+        recovery_ms,
+        brownout_lost,
+        brownout_shed,
+        brownout_degraded,
+    }
+}
+
+/// Runs the crash-safety study across the panic-rate grid.
+#[must_use]
+pub fn run_chaos_study(cfg: &ExperimentConfig) -> FigureData {
+    let mut fig = FigureData::new(
+        "chaos",
+        "Crash-safe serving: job loss, recovery, and brownout under injected chaos",
+        "worker panic rate",
+        "lost:* must be 0; completed/failed/shed/degraded are fractions of \
+         offered jobs; recovery-ms is wall-clock replay time",
+    );
+    let labels = [
+        "lost:live",
+        "pending:live",
+        "completed:live",
+        "failed:live",
+        "retries:live",
+        "lost:restart",
+        "recovered:restart",
+        "recovery-ms:restart",
+        "lost:brownout",
+        "shed:brownout",
+        "degraded:brownout",
+    ];
+    let mut series: Vec<Series> = labels.iter().map(|l| Series::new(*l)).collect();
+    for &rate in &PANIC_RATES {
+        let cell = run_rate(cfg, rate);
+        let values = [
+            cell.lost,
+            cell.pending_after_drain,
+            cell.completed,
+            cell.failed,
+            cell.retries,
+            cell.restart_lost,
+            cell.restart_recovered,
+            cell.recovery_ms,
+            cell.brownout_lost,
+            cell.brownout_shed,
+            cell.brownout_degraded,
+        ];
+        for (s, v) in series.iter_mut().zip(values) {
+            s.push(rate, v);
+        }
+    }
+    for s in series {
+        fig.push(s);
+    }
+    fig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(fig: &FigureData, label: &str, x: f64) -> f64 {
+        fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+            .points
+            .iter()
+            .find(|&&(px, _)| (px - x).abs() < 1e-12)
+            .unwrap_or_else(|| panic!("missing x={x} in {label}"))
+            .1
+    }
+
+    /// The study's acceptance criterion: zero job loss in every scenario
+    /// at every panic rate, an empty journal after a clean drain, and a
+    /// brownout ladder that visibly sheds under flood.
+    #[test]
+    fn chaos_study_loses_nothing_and_recovers() {
+        let cfg = ExperimentConfig::smoke();
+        let fig = run_chaos_study(&cfg);
+        for &rate in &PANIC_RATES {
+            assert_eq!(get(&fig, "lost:live", rate), 0.0, "rate {rate}");
+            assert_eq!(get(&fig, "pending:live", rate), 0.0, "rate {rate}");
+            assert_eq!(get(&fig, "lost:restart", rate), 0.0, "rate {rate}");
+            assert_eq!(get(&fig, "lost:brownout", rate), 0.0, "rate {rate}");
+            assert!(
+                (get(&fig, "completed:live", rate) + get(&fig, "failed:live", rate) - 1.0).abs()
+                    < 1e-9,
+                "rate {rate}: every job ends terminal"
+            );
+            assert!(get(&fig, "shed:brownout", rate) > 0.0, "flood must shed");
+        }
+        // Chaos really fired at nonzero rates: retries or failures show.
+        assert!(
+            get(&fig, "retries:live", 0.6) + get(&fig, "failed:live", 0.6) > 0.0,
+            "panic chaos left no trace"
+        );
+        assert_eq!(get(&fig, "retries:live", 0.0), 0.0, "quiet path retries");
+    }
+}

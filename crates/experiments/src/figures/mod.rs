@@ -9,6 +9,7 @@
 
 pub mod adaptive_cmp;
 pub mod ccr_study;
+pub mod chaos_study;
 pub mod contention_cmp;
 pub mod correlation;
 pub mod dynamic_cmp;

@@ -541,6 +541,9 @@ pub struct ResultEnvelope {
     pub probability: Option<f64>,
     /// Human-readable reason for `rejected`/`error` statuses.
     pub reason: Option<String>,
+    /// Overload fast-rejections: how long the client should wait before
+    /// retrying, in milliseconds.
+    pub retry_after_ms: Option<u64>,
     /// The schedule, present when `status == "ok"`.
     pub schedule: Option<Schedule>,
 }
@@ -575,6 +578,9 @@ pub fn write_result(res: &ResultEnvelope) -> String {
         // line-framed even for adversarial error strings.
         let _ = writeln!(out, "reason {}", r.replace(['\n', '\r'], " "));
     }
+    if let Some(ms) = res.retry_after_ms {
+        let _ = writeln!(out, "retry-after-ms {ms}");
+    }
     if let Some(schedule) = &res.schedule {
         let _ = writeln!(out, "schedule");
         out.push_str(&write_schedule(schedule));
@@ -606,6 +612,7 @@ pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
         verdict: None,
         probability: None,
         reason: None,
+        retry_after_ms: None,
         schedule: None,
     };
     let mut saw_id = false;
@@ -652,6 +659,13 @@ pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
                 );
             }
             "reason" => res.reason = Some(value.to_owned()),
+            "retry-after-ms" => {
+                res.retry_after_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad retry-after-ms: {e}")))?,
+                );
+            }
             "schedule" => {
                 let mut body = String::new();
                 let mut terminated = false;
@@ -679,6 +693,235 @@ pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
         return Err(err(0, "missing 'status' header"));
     }
     Ok(res)
+}
+
+/// Header line of a journal file.
+pub const JOURNAL_HEADER: &str = "rds-journal v1";
+
+/// Lifecycle state recorded for a job in the durable journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JournalKind {
+    /// The job passed admission and is owed a result. The record's
+    /// payload carries the full job envelope so a restarted service can
+    /// reconstruct and replay the job.
+    Accepted,
+    /// A worker began executing the job (attempt counter in the payload).
+    Started,
+    /// The job produced a result envelope (schedule or typed failure
+    /// already delivered); it must never be replayed.
+    Completed,
+    /// The job was rejected after acceptance (e.g. shed under brownout);
+    /// terminal, never replayed.
+    Rejected,
+    /// The job failed terminally (attempt cap exceeded); never replayed.
+    Failed,
+}
+
+impl JournalKind {
+    /// Canonical tag as written in a record header.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            JournalKind::Accepted => "accepted",
+            JournalKind::Started => "started",
+            JournalKind::Completed => "completed",
+            JournalKind::Rejected => "rejected",
+            JournalKind::Failed => "failed",
+        }
+    }
+
+    /// Parses a record tag.
+    ///
+    /// # Errors
+    /// Returns the unknown tag.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        Ok(match name {
+            "accepted" => JournalKind::Accepted,
+            "started" => JournalKind::Started,
+            "completed" => JournalKind::Completed,
+            "rejected" => JournalKind::Rejected,
+            "failed" => JournalKind::Failed,
+            other => return Err(format!("unknown journal record kind '{other}'")),
+        })
+    }
+
+    /// `true` for states after which the job is owed nothing.
+    #[must_use]
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JournalKind::Completed | JournalKind::Rejected | JournalKind::Failed
+        )
+    }
+}
+
+/// One record of the durable job journal. The on-disk frame is
+///
+/// ```text
+/// jrec <seq> <kind> <id> <payload-bytes> <fnv1a-hex>\n
+/// <payload (exactly payload-bytes bytes)>
+/// ```
+///
+/// The checksum covers the header fields and the payload, so a torn
+/// write (partial header, partial payload) or a garbage suffix is
+/// detected and the valid prefix recovered — see [`scan_journal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalRecord {
+    /// Monotonic sequence number within the file.
+    pub seq: u64,
+    /// Lifecycle state.
+    pub kind: JournalKind,
+    /// The job id (single token, as in the job envelope).
+    pub id: String,
+    /// Record payload: the full job envelope for [`JournalKind::Accepted`],
+    /// free-form context (attempt counter, failure reason) otherwise.
+    /// May be empty.
+    pub payload: String,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn record_checksum(seq: u64, kind: JournalKind, id: &str, payload: &[u8]) -> u64 {
+    let mut h = fnv1a(format!("{seq} {} {id} {}", kind.name(), payload.len()).as_bytes());
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes one journal record (header line + payload bytes).
+#[must_use]
+pub fn write_journal_record(rec: &JournalRecord) -> String {
+    let payload = rec.payload.as_bytes();
+    let crc = record_checksum(rec.seq, rec.kind, &rec.id, payload);
+    let mut out = format!(
+        "jrec {} {} {} {} {:016x}\n",
+        rec.seq,
+        rec.kind.name(),
+        rec.id,
+        payload.len(),
+        crc
+    );
+    out.push_str(&rec.payload);
+    out
+}
+
+/// Result of scanning a journal file: the valid record prefix plus where
+/// (and why) the scan stopped, if it did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalScan {
+    /// Every intact record, in file order.
+    pub records: Vec<JournalRecord>,
+    /// Byte length of the valid prefix (header plus intact records). A
+    /// recovering writer truncates the file here before appending.
+    pub valid_len: usize,
+    /// `Some((offset, reason))` when a torn tail or garbage suffix was
+    /// found at `offset`; everything before it is intact.
+    pub corrupt: Option<(usize, String)>,
+}
+
+/// Scans raw journal bytes, tolerating a torn tail or garbage suffix:
+/// parsing stops at the first record whose header is malformed, whose
+/// payload is truncated, or whose checksum mismatches, and everything
+/// before that point is returned intact. An empty file is a valid empty
+/// journal.
+#[must_use]
+pub fn scan_journal(bytes: &[u8]) -> JournalScan {
+    let mut scan = JournalScan {
+        records: Vec::new(),
+        valid_len: 0,
+        corrupt: None,
+    };
+    if bytes.is_empty() {
+        return scan;
+    }
+    let corrupt = |scan: &mut JournalScan, offset: usize, reason: String| {
+        scan.corrupt = Some((offset, reason));
+    };
+    // File header.
+    let header_end = match bytes.iter().position(|&b| b == b'\n') {
+        Some(nl) => nl + 1,
+        None => {
+            corrupt(&mut scan, 0, "torn journal header".into());
+            return scan;
+        }
+    };
+    if &bytes[..header_end - 1] != JOURNAL_HEADER.as_bytes() {
+        corrupt(&mut scan, 0, format!("expected '{JOURNAL_HEADER}' header"));
+        return scan;
+    }
+    scan.valid_len = header_end;
+    let mut offset = header_end;
+    while offset < bytes.len() {
+        let Some(nl) = bytes[offset..].iter().position(|&b| b == b'\n') else {
+            corrupt(&mut scan, offset, "torn record header".into());
+            return scan;
+        };
+        let Ok(line) = std::str::from_utf8(&bytes[offset..offset + nl]) else {
+            corrupt(&mut scan, offset, "record header is not UTF-8".into());
+            return scan;
+        };
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        if parts.len() != 6 || parts[0] != "jrec" {
+            corrupt(
+                &mut scan,
+                offset,
+                format!("malformed record header '{line}'"),
+            );
+            return scan;
+        }
+        let (seq, kind, len, crc) = match (
+            parts[1].parse::<u64>(),
+            JournalKind::parse(parts[2]),
+            parts[4].parse::<usize>(),
+            u64::from_str_radix(parts[5], 16),
+        ) {
+            (Ok(s), Ok(k), Ok(l), Ok(c)) => (s, k, l, c),
+            _ => {
+                corrupt(
+                    &mut scan,
+                    offset,
+                    format!("unparsable record header '{line}'"),
+                );
+                return scan;
+            }
+        };
+        let id = parts[3].to_owned();
+        let payload_start = offset + nl + 1;
+        let payload_end = match payload_start.checked_add(len) {
+            Some(end) if end <= bytes.len() => end,
+            _ => {
+                corrupt(&mut scan, offset, "torn record payload".into());
+                return scan;
+            }
+        };
+        let payload_bytes = &bytes[payload_start..payload_end];
+        if record_checksum(seq, kind, &id, payload_bytes) != crc {
+            corrupt(&mut scan, offset, "record checksum mismatch".into());
+            return scan;
+        }
+        let Ok(payload) = std::str::from_utf8(payload_bytes) else {
+            corrupt(&mut scan, offset, "record payload is not UTF-8".into());
+            return scan;
+        };
+        scan.records.push(JournalRecord {
+            seq,
+            kind,
+            id,
+            payload: payload.to_owned(),
+        });
+        offset = payload_end;
+        scan.valid_len = offset;
+    }
+    scan
 }
 
 #[cfg(test)]
@@ -843,6 +1086,7 @@ mod tests {
             verdict: Some("hit".into()),
             probability: Some(0.875),
             reason: None,
+            retry_after_ms: None,
             schedule: Some(schedule.clone()),
         };
         let text = write_result(&res);
@@ -859,6 +1103,7 @@ mod tests {
             verdict: None,
             probability: None,
             reason: Some("queue full: heavy lane at capacity 2\nretry later".into()),
+            retry_after_ms: Some(250),
             schedule: None,
         };
         let text = write_result(&rejected);
@@ -866,7 +1111,128 @@ mod tests {
         let back = read_result(&text).unwrap();
         assert_eq!(back.status, "rejected");
         assert!(back.reason.unwrap().contains("retry later"));
+        assert_eq!(back.retry_after_ms, Some(250));
         assert!(read_result("rds-result v1\nstatus ok\n").is_err()); // no id
+    }
+
+    fn jrec(seq: u64, kind: JournalKind, id: &str, payload: &str) -> JournalRecord {
+        JournalRecord {
+            seq,
+            kind,
+            id: id.into(),
+            payload: payload.into(),
+        }
+    }
+
+    #[test]
+    fn journal_records_roundtrip_through_scan() {
+        let inst = InstanceSpec::new(8, 2).seed(5).build().unwrap();
+        let job = JobEnvelope {
+            id: "j1".into(),
+            algo: "heft".into(),
+            epsilon: 1.3,
+            seed: 0,
+            generations: None,
+            deadline_ms: None,
+            lane: None,
+            arrival: None,
+            deadline: None,
+            instance: inst,
+        };
+        let recs = vec![
+            jrec(0, JournalKind::Accepted, "j1", &write_job(&job)),
+            jrec(1, JournalKind::Started, "j1", "attempt 0"),
+            jrec(2, JournalKind::Completed, "j1", ""),
+        ];
+        let mut file = format!("{JOURNAL_HEADER}\n");
+        for r in &recs {
+            file.push_str(&write_journal_record(r));
+        }
+        let scan = scan_journal(file.as_bytes());
+        assert_eq!(scan.records, recs);
+        assert_eq!(scan.valid_len, file.len());
+        assert!(scan.corrupt.is_none());
+        // The accepted payload parses back into the same job.
+        let back = read_job(&scan.records[0].payload).unwrap();
+        assert_eq!(back.id, "j1");
+    }
+
+    #[test]
+    fn journal_scan_tolerates_torn_tail_and_garbage() {
+        let recs: Vec<JournalRecord> = (0..3)
+            .map(|i| jrec(i, JournalKind::Started, "j", &format!("attempt {i}")))
+            .collect();
+        let mut file = format!("{JOURNAL_HEADER}\n");
+        for r in &recs {
+            file.push_str(&write_journal_record(r));
+        }
+        let full = file.clone();
+        let full_scan = scan_journal(full.as_bytes());
+        assert_eq!(full_scan.records.len(), 3);
+
+        // Truncating at every byte offset never panics, never invents
+        // records, and keeps a prefix of the intact ones.
+        for cut in 0..full.len() {
+            let scan = scan_journal(&full.as_bytes()[..cut]);
+            assert!(scan.records.len() <= 3);
+            assert!(scan.valid_len <= cut);
+            for (i, r) in scan.records.iter().enumerate() {
+                assert_eq!(r, &recs[i]);
+            }
+        }
+
+        // A garbage suffix after intact records is cut off cleanly.
+        file.push_str("jrec not a valid header\n");
+        let scan = scan_journal(file.as_bytes());
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.valid_len, full.len());
+        assert!(scan.corrupt.is_some());
+
+        // Binary garbage likewise.
+        let mut binary = full.clone().into_bytes();
+        binary.extend_from_slice(&[0xff, 0x00, 0xfe, b'\n']);
+        let scan = scan_journal(&binary);
+        assert_eq!(scan.records.len(), 3);
+        assert_eq!(scan.valid_len, full.len());
+    }
+
+    #[test]
+    fn journal_scan_detects_corrupted_payload() {
+        let rec = jrec(0, JournalKind::Accepted, "j", "payload body here\n");
+        let mut file = format!("{JOURNAL_HEADER}\n{}", write_journal_record(&rec));
+        // Flip one payload byte: the checksum must catch it.
+        let flip = file.len() - 5;
+        let mut bytes = std::mem::take(&mut file).into_bytes();
+        bytes[flip] ^= 0x20;
+        let scan = scan_journal(&bytes);
+        assert!(scan.records.is_empty());
+        assert!(scan.corrupt.is_some());
+
+        // Empty file: valid empty journal.
+        let empty = scan_journal(b"");
+        assert!(empty.records.is_empty() && empty.corrupt.is_none());
+        // Wrong header: corrupt at 0.
+        let bad = scan_journal(b"not-a-journal\n");
+        assert_eq!(bad.corrupt.as_ref().map(|c| c.0), Some(0));
+    }
+
+    #[test]
+    fn journal_kind_roundtrips() {
+        for kind in [
+            JournalKind::Accepted,
+            JournalKind::Started,
+            JournalKind::Completed,
+            JournalKind::Rejected,
+            JournalKind::Failed,
+        ] {
+            assert_eq!(JournalKind::parse(kind.name()).unwrap(), kind);
+        }
+        assert!(JournalKind::parse("resurrected").is_err());
+        assert!(!JournalKind::Accepted.is_terminal());
+        assert!(!JournalKind::Started.is_terminal());
+        assert!(JournalKind::Completed.is_terminal());
+        assert!(JournalKind::Rejected.is_terminal());
+        assert!(JournalKind::Failed.is_terminal());
     }
 
     #[test]

@@ -1,0 +1,217 @@
+//! Chaos injection for the service itself.
+//!
+//! The repo already fault-injects the *schedules* it produces
+//! (`rds_sched::faults`); this module turns the same discipline on the
+//! *serving layer*: seeded, deterministic injection of worker panics,
+//! solve stalls, journal write errors, and a kill-at-byte-N cut that
+//! simulates the process dying mid-write. Every decision derives from
+//! `(seed, site, job id, attempt)` through [`SeedStream::branch`], so a
+//! chaos run reproduces bit-for-bit regardless of worker count or
+//! scheduling order, and enabling one injection site does not shift the
+//! draws of another.
+//!
+//! With all rates at zero (the default) the service must behave
+//! bit-identically to a build without chaos — the quiet-path contract
+//! the supervision tests pin.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rds_stats::rng::SeedStream;
+
+/// Chaos configuration. All rates are probabilities in `[0, 1]` applied
+/// independently per (job, attempt) or per journal record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServiceChaos {
+    /// Master seed of every injection decision.
+    pub seed: u64,
+    /// Probability that a worker panics mid-solve on a given attempt.
+    pub panic_rate: f64,
+    /// Probability that a solve stalls (cooperatively interruptible
+    /// sleep) before producing its result.
+    pub stall_rate: f64,
+    /// Injected stall length.
+    pub stall: Duration,
+    /// Probability that a journal write returns an I/O error.
+    pub journal_error_rate: f64,
+    /// Stop persisting journal bytes after this many have been written —
+    /// the tail of the final record is torn exactly at the boundary, as
+    /// if the process had been killed mid-`write(2)`.
+    pub journal_kill_at: Option<u64>,
+}
+
+impl Default for ServiceChaos {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            panic_rate: 0.0,
+            stall_rate: 0.0,
+            stall: Duration::from_millis(50),
+            journal_error_rate: 0.0,
+            journal_kill_at: None,
+        }
+    }
+}
+
+impl ServiceChaos {
+    /// A disabled config rooted at `seed` (turn sites on with the
+    /// builder methods).
+    #[must_use]
+    pub fn seeded(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the worker-panic rate.
+    #[must_use]
+    pub fn panic_rate(mut self, rate: f64) -> Self {
+        self.panic_rate = rate;
+        self
+    }
+
+    /// Sets the solve-stall rate.
+    #[must_use]
+    pub fn stall_rate(mut self, rate: f64) -> Self {
+        self.stall_rate = rate;
+        self
+    }
+
+    /// Sets the injected stall length.
+    #[must_use]
+    pub fn stall(mut self, d: Duration) -> Self {
+        self.stall = d;
+        self
+    }
+
+    /// Sets the journal write-error rate.
+    #[must_use]
+    pub fn journal_error_rate(mut self, rate: f64) -> Self {
+        self.journal_error_rate = rate;
+        self
+    }
+
+    /// Cuts the journal after `bytes` persisted bytes.
+    #[must_use]
+    pub fn journal_kill_at(mut self, bytes: u64) -> Self {
+        self.journal_kill_at = Some(bytes);
+        self
+    }
+
+    /// `true` when any injection site is armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.panic_rate > 0.0
+            || self.stall_rate > 0.0
+            || self.journal_error_rate > 0.0
+            || self.journal_kill_at.is_some()
+    }
+
+    /// The deterministic injection decision for `site` on `(id, attempt)`:
+    /// fires with probability `rate`, independently per site label.
+    #[must_use]
+    pub fn fires(&self, site: &str, id: &str, attempt: u32, rate: f64) -> bool {
+        if rate <= 0.0 {
+            return false;
+        }
+        if rate >= 1.0 {
+            return true;
+        }
+        let draw = SeedStream::new(self.seed)
+            .branch(site)
+            .branch(id)
+            .nth_seed(u64::from(attempt));
+        // 53-bit uniform in [0, 1), the standard f64 ladder.
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        unit < rate
+    }
+
+    /// Whether this `(id, attempt)` panics in the worker.
+    #[must_use]
+    pub fn panics(&self, id: &str, attempt: u32) -> bool {
+        self.fires("chaos-panic", id, attempt, self.panic_rate)
+    }
+
+    /// Whether this `(id, attempt)` stalls in the worker.
+    #[must_use]
+    pub fn stalls(&self, id: &str, attempt: u32) -> bool {
+        self.fires("chaos-stall", id, attempt, self.stall_rate)
+    }
+
+    /// Whether journal record number `record` has its write fail.
+    #[must_use]
+    pub fn journal_write_fails(&self, record: u64) -> bool {
+        // Record index doubles as the "attempt": one decision per record.
+        let idx = u32::try_from(record % u64::from(u32::MAX)).unwrap_or(u32::MAX);
+        self.fires("chaos-journal", "wal", idx, self.journal_error_rate)
+    }
+
+    /// Sleeps for the configured stall in small slices, returning early
+    /// (with `true`) when `cancel` is raised — this is how the
+    /// supervisor's wall-clock timeout converts an injected stall into a
+    /// retryable failure instead of a wedged worker.
+    pub fn sleep_stall(&self, cancel: &AtomicBool) -> bool {
+        let slice = Duration::from_millis(2);
+        let mut remaining = self.stall;
+        while remaining > Duration::ZERO {
+            if cancel.load(Ordering::Relaxed) {
+                return true;
+            }
+            let step = remaining.min(slice);
+            std::thread::sleep(step);
+            remaining = remaining.saturating_sub(step);
+        }
+        cancel.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_site_independent() {
+        let chaos = ServiceChaos::seeded(7).panic_rate(0.5).stall_rate(0.5);
+        for attempt in 0..8 {
+            assert_eq!(
+                chaos.panics("job-a", attempt),
+                chaos.panics("job-a", attempt)
+            );
+        }
+        // Different sites draw from independent streams: the full joint
+        // pattern over many jobs must differ between sites.
+        let panic_pattern: Vec<bool> = (0..64).map(|i| chaos.panics(&format!("j{i}"), 0)).collect();
+        let stall_pattern: Vec<bool> = (0..64).map(|i| chaos.stalls(&format!("j{i}"), 0)).collect();
+        assert_ne!(panic_pattern, stall_pattern);
+    }
+
+    #[test]
+    fn rates_gate_sanely() {
+        let off = ServiceChaos::seeded(1);
+        assert!(!off.is_armed());
+        assert!(!off.panics("j", 0));
+        assert!(!off.journal_write_fails(3));
+        let always = ServiceChaos::seeded(1).panic_rate(1.0);
+        assert!(always.is_armed());
+        assert!(always.panics("j", 0) && always.panics("k", 9));
+        // A 50% rate fires sometimes, not always, across attempts.
+        let half = ServiceChaos::seeded(3).panic_rate(0.5);
+        let fired: usize = (0..200).filter(|&a| half.panics("j", a)).count();
+        assert!(fired > 50 && fired < 150, "fired {fired}/200");
+    }
+
+    #[test]
+    fn stall_cancel_returns_early() {
+        let chaos = ServiceChaos::seeded(1)
+            .stall_rate(1.0)
+            .stall(Duration::from_secs(30));
+        let cancel = AtomicBool::new(true);
+        let t0 = std::time::Instant::now();
+        assert!(chaos.sleep_stall(&cancel));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // Uncancelled short stall runs to completion and reports false.
+        let short = ServiceChaos::seeded(1).stall(Duration::from_millis(5));
+        assert!(!short.sleep_stall(&AtomicBool::new(false)));
+    }
+}

@@ -240,6 +240,27 @@ impl JobSpec {
         Ok(spec)
     }
 
+    /// Renders the spec back into a wire envelope — the payload of the
+    /// durable journal's `accepted` record, so recovery can rebuild the
+    /// job exactly as it was admitted.
+    #[must_use]
+    pub fn to_envelope(&self) -> JobEnvelope {
+        JobEnvelope {
+            id: self.id.clone(),
+            algo: self.algo.name().to_owned(),
+            epsilon: self.epsilon,
+            seed: self.seed,
+            generations: self.generations,
+            deadline_ms: self
+                .deadline
+                .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+            lane: self.lane.map(|l| l.name().to_owned()),
+            arrival: self.online.map(|o| o.arrival),
+            deadline: self.online.map(|o| o.deadline),
+            instance: self.instance.as_ref().clone(),
+        }
+    }
+
     /// Admission-side validation shared by every entry point.
     ///
     /// # Errors
@@ -297,6 +318,10 @@ pub enum Degradation {
     /// An online job whose optional tasks were deferred by the drop
     /// ladder: the deadline verdict covers the required subgraph only.
     DroppedOptional,
+    /// A search job (GA/SA) forced down to plain HEFT by the overload
+    /// brownout ladder — the service traded schedule quality for
+    /// survival, not because this job's own deadline demanded it.
+    Brownout,
 }
 
 impl Degradation {
@@ -308,6 +333,7 @@ impl Degradation {
             Degradation::BestSoFar => "deadline-best-so-far",
             Degradation::HeftFallback => "deadline-heft",
             Degradation::DroppedOptional => "degraded-by-drop",
+            Degradation::Brownout => "brownout-heft",
         }
     }
 }
@@ -354,6 +380,14 @@ pub enum JobError {
     Rejected(String),
     /// Accepted but the scheduler failed.
     Failed(String),
+    /// Fast-rejected by the overload circuit breaker; the client should
+    /// wait `retry_after_ms` before retrying.
+    Overloaded {
+        /// Which brownout rung rejected the job.
+        reason: String,
+        /// Suggested client backoff in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -361,6 +395,10 @@ impl std::fmt::Display for JobError {
         match self {
             JobError::Rejected(r) => write!(f, "rejected: {r}"),
             JobError::Failed(r) => write!(f, "failed: {r}"),
+            JobError::Overloaded {
+                reason,
+                retry_after_ms,
+            } => write!(f, "overloaded: {reason} (retry after {retry_after_ms} ms)"),
         }
     }
 }
@@ -395,12 +433,13 @@ impl JobResult {
                     .map(|o| if o.hit { "hit" } else { "miss" }.into()),
                 probability: out.online.map(|o| o.probability),
                 reason: None,
+                retry_after_ms: None,
                 schedule: Some(out.schedule.clone()),
             },
             Err(e) => ResultEnvelope {
                 id: self.id.clone(),
                 status: match e {
-                    JobError::Rejected(_) => "rejected",
+                    JobError::Rejected(_) | JobError::Overloaded { .. } => "rejected",
                     JobError::Failed(_) => "error",
                 }
                 .into(),
@@ -412,7 +451,12 @@ impl JobResult {
                 probability: None,
                 reason: Some(match e {
                     JobError::Rejected(r) | JobError::Failed(r) => r.clone(),
+                    JobError::Overloaded { reason, .. } => reason.clone(),
                 }),
+                retry_after_ms: match e {
+                    JobError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+                    _ => None,
+                },
                 schedule: None,
             },
         }

@@ -1,0 +1,515 @@
+//! Durable job journal: an append-only write-ahead log of job
+//! lifecycles.
+//!
+//! Every envelope the service accepts is journaled **before** the
+//! submitter learns it was accepted, and the `accepted` record is
+//! fsync'd — so an accepted job survives a process kill. Workers append
+//! `started` / `completed` / `rejected` / `failed` records as the job
+//! moves through its life; on restart, [`Journal::recover_file`] scans
+//! the log (tolerating a torn tail or garbage suffix, see
+//! [`rds_sched::io::scan_journal`]) and returns the accepted-but-
+//! unfinished jobs so [`crate::Service::recover`] can replay them.
+//!
+//! Opening an existing journal repairs it: the file is truncated to its
+//! valid prefix before new records are appended, so one crash never
+//! poisons the next run's log.
+//!
+//! Chaos injection ([`ServiceChaos`]) can make any record write fail
+//! with a typed error or cut the file at byte N exactly as a mid-write
+//! crash would — the recovery proptests drive both.
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+use rds_sched::io::{
+    scan_journal, write_journal_record, JobEnvelope, JournalKind, JournalRecord, JOURNAL_HEADER,
+};
+
+use crate::chaos::ServiceChaos;
+
+/// Why a journal operation failed. Typed — journal trouble must degrade
+/// the service, never panic it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalError {
+    /// The underlying file operation failed (includes chaos-injected
+    /// write errors).
+    Io(String),
+    /// The file exists but is not a journal (bad header).
+    NotAJournal(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O: {e}"),
+            JournalError::NotAJournal(e) => write!(f, "not a journal: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+struct JournalInner {
+    file: File,
+    /// Next record sequence number.
+    seq: u64,
+    /// Bytes persisted so far (header included), for the kill-at cut.
+    bytes: u64,
+    /// Once the chaos kill boundary is crossed, nothing more is
+    /// persisted — the in-process service keeps running, but the file
+    /// looks exactly as if the process had died at that byte.
+    killed: bool,
+    records: u64,
+    write_errors: u64,
+}
+
+/// The append-only journal writer.
+pub struct Journal {
+    inner: Mutex<JournalInner>,
+    path: PathBuf,
+    chaos: Option<ServiceChaos>,
+}
+
+/// Counters for the metrics snapshot: `(records written, write errors)`.
+pub type JournalStats = (u64, u64);
+
+/// What a journal scan owes the restarting service.
+#[derive(Debug, Clone)]
+pub struct JournalRecovery {
+    /// Accepted jobs with no terminal record, in acceptance order: the
+    /// work a restarted service must replay.
+    pub pending: Vec<JobEnvelope>,
+    /// Ids with a `completed` record — must not be replayed.
+    pub completed: Vec<String>,
+    /// Intact records scanned.
+    pub records: usize,
+    /// `true` when a torn tail or garbage suffix was cut off.
+    pub torn: bool,
+    /// Accepted records whose embedded envelope no longer parses (they
+    /// are reported, not replayed — a half-written payload would have
+    /// failed the checksum, so this means an incompatible format).
+    pub unparsable: u64,
+}
+
+impl Journal {
+    /// Opens (or creates) a journal for appending. An existing file is
+    /// scanned and truncated to its valid prefix first, so a torn tail
+    /// from a previous crash is repaired before new records follow it.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] on file-system failure,
+    /// [`JournalError::NotAJournal`] when the file exists but carries a
+    /// foreign header (refusing to truncate someone else's data).
+    pub fn open(path: &Path, chaos: Option<ServiceChaos>) -> Result<Self, JournalError> {
+        let io_err = |e: std::io::Error| JournalError::Io(format!("{}: {e}", path.display()));
+        let existing = match std::fs::read(path) {
+            Ok(bytes) => Some(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(io_err(e)),
+        };
+        let (valid_len, next_seq, fresh) = match &existing {
+            None => (0u64, 0u64, true),
+            Some(bytes) if bytes.is_empty() => (0, 0, true),
+            Some(bytes) => {
+                let scan = scan_journal(bytes);
+                if scan.records.is_empty() && scan.corrupt.as_ref().is_some_and(|c| c.0 == 0) {
+                    return Err(JournalError::NotAJournal(format!(
+                        "{}: {}",
+                        path.display(),
+                        scan.corrupt.map(|c| c.1).unwrap_or_default()
+                    )));
+                }
+                let next = scan.records.last().map_or(0, |r| r.seq + 1);
+                (scan.valid_len as u64, next, scan.valid_len == 0)
+            }
+        };
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(path)
+            .map_err(io_err)?;
+        file.set_len(valid_len).map_err(io_err)?;
+        let mut inner = JournalInner {
+            file,
+            seq: next_seq,
+            bytes: valid_len,
+            killed: false,
+            records: 0,
+            write_errors: 0,
+        };
+        use std::io::Seek as _;
+        inner.file.seek(std::io::SeekFrom::End(0)).map_err(io_err)?;
+        let journal = Self {
+            inner: Mutex::new(inner),
+            path: path.to_path_buf(),
+            chaos,
+        };
+        if fresh {
+            journal.write_raw(format!("{JOURNAL_HEADER}\n"), true)?;
+        }
+        Ok(journal)
+    }
+
+    /// The journal's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Locks the writer, recovering from poisoning: every mutation below
+    /// leaves the state consistent (the file itself is the source of
+    /// truth), and a panicked worker must not take durability down.
+    fn lock(&self) -> MutexGuard<'_, JournalInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Writes raw bytes honoring the chaos kill boundary; `sync` forces
+    /// the bytes to disk before returning.
+    fn write_raw(&self, text: String, sync: bool) -> Result<(), JournalError> {
+        let mut inner = self.lock();
+        if inner.killed {
+            return Ok(());
+        }
+        let mut bytes = text.into_bytes();
+        if let Some(kill_at) = self.chaos.and_then(|c| c.journal_kill_at) {
+            let room = kill_at.saturating_sub(inner.bytes);
+            if (bytes.len() as u64) > room {
+                bytes.truncate(usize::try_from(room).unwrap_or(usize::MAX));
+                inner.killed = true;
+            }
+        }
+        let len = bytes.len() as u64;
+        let res = inner.file.write_all(&bytes).and_then(|()| {
+            if sync {
+                inner.file.sync_data()
+            } else {
+                Ok(())
+            }
+        });
+        match res {
+            Ok(()) => {
+                inner.bytes += len;
+                Ok(())
+            }
+            Err(e) => {
+                inner.write_errors += 1;
+                Err(JournalError::Io(format!("{}: {e}", self.path.display())))
+            }
+        }
+    }
+
+    /// Appends one record. `sync` controls whether the record is fsync'd
+    /// before the call returns (the durability point for `accepted`).
+    fn append(
+        &self,
+        kind: JournalKind,
+        id: &str,
+        payload: String,
+        sync: bool,
+    ) -> Result<(), JournalError> {
+        let (seq, injected) = {
+            let mut inner = self.lock();
+            let seq = inner.seq;
+            inner.seq += 1;
+            let injected = self
+                .chaos
+                .as_ref()
+                .is_some_and(|c| c.journal_write_fails(seq));
+            if injected {
+                inner.write_errors += 1;
+            } else {
+                inner.records += 1;
+            }
+            (seq, injected)
+        };
+        if injected {
+            return Err(JournalError::Io(format!(
+                "{}: injected journal write error (record {seq})",
+                self.path.display()
+            )));
+        }
+        let rec = JournalRecord {
+            seq,
+            kind,
+            id: id.to_owned(),
+            payload,
+        };
+        self.write_raw(write_journal_record(&rec), sync)
+    }
+
+    /// Journals an accepted job (the full envelope, fsync'd): once this
+    /// returns `Ok`, the job survives a process kill.
+    ///
+    /// # Errors
+    /// [`JournalError`] when the record could not be persisted — the
+    /// caller must then reject the job, because durability was promised.
+    pub fn accepted(&self, env: &JobEnvelope) -> Result<(), JournalError> {
+        self.append(
+            JournalKind::Accepted,
+            &env.id,
+            rds_sched::io::write_job(env),
+            true,
+        )
+    }
+
+    /// Journals the start of attempt `attempt` (buffered; loss on crash
+    /// only widens the replay set, never loses work).
+    pub fn started(&self, id: &str, attempt: u32) {
+        let _ = self.append(
+            JournalKind::Started,
+            id,
+            format!("attempt {attempt}\n"),
+            false,
+        );
+    }
+
+    /// Journals a delivered result (fsync'd, so a completed job is not
+    /// replayed by the next recovery).
+    pub fn completed(&self, id: &str) {
+        let _ = self.append(JournalKind::Completed, id, String::new(), true);
+    }
+
+    /// Journals a post-acceptance rejection (terminal).
+    pub fn rejected(&self, id: &str, reason: &str) {
+        let _ = self.append(
+            JournalKind::Rejected,
+            id,
+            format!("{}\n", reason.replace(['\n', '\r'], " ")),
+            true,
+        );
+    }
+
+    /// Journals a terminal failure (attempt cap exceeded or scheduler
+    /// error).
+    pub fn failed(&self, id: &str, reason: &str) {
+        let _ = self.append(
+            JournalKind::Failed,
+            id,
+            format!("{}\n", reason.replace(['\n', '\r'], " ")),
+            true,
+        );
+    }
+
+    /// `(records written, write errors)` so far, for metrics.
+    #[must_use]
+    pub fn stats(&self) -> JournalStats {
+        let inner = self.lock();
+        (inner.records, inner.write_errors)
+    }
+
+    /// `true` once the chaos kill boundary has been crossed.
+    #[must_use]
+    pub fn killed(&self) -> bool {
+        self.lock().killed
+    }
+
+    /// Scans a journal file and derives the recovery obligation: jobs
+    /// accepted but not yet completed/rejected/failed. A missing file is
+    /// an empty journal (nothing to replay).
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] when the file exists but cannot be read.
+    pub fn recover_file(path: &Path) -> Result<JournalRecovery, JournalError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(JournalError::Io(format!("{}: {e}", path.display()))),
+        };
+        let scan = scan_journal(&bytes);
+        Ok(Self::recovery_from_records(
+            &scan.records,
+            scan.corrupt.is_some(),
+        ))
+    }
+
+    /// Derives the recovery obligation from scanned records (exposed for
+    /// the property tests, which scan byte slices directly).
+    #[must_use]
+    pub fn recovery_from_records(records: &[JournalRecord], torn: bool) -> JournalRecovery {
+        // Last-writer-wins state machine per id, preserving acceptance
+        // order for the replay queue.
+        let mut order: Vec<String> = Vec::new();
+        let mut state: HashMap<String, (JournalKind, Option<JobEnvelope>)> = HashMap::new();
+        let mut completed = Vec::new();
+        let mut unparsable = 0u64;
+        for rec in records {
+            match rec.kind {
+                JournalKind::Accepted => match rds_sched::io::read_job(&rec.payload) {
+                    Ok(env) => {
+                        if !state.contains_key(&rec.id) {
+                            order.push(rec.id.clone());
+                        }
+                        state.insert(rec.id.clone(), (JournalKind::Accepted, Some(env)));
+                    }
+                    Err(_) => unparsable += 1,
+                },
+                JournalKind::Started => {
+                    if let Some(entry) = state.get_mut(&rec.id) {
+                        entry.0 = JournalKind::Started;
+                    }
+                }
+                JournalKind::Completed | JournalKind::Rejected | JournalKind::Failed => {
+                    if rec.kind == JournalKind::Completed {
+                        completed.push(rec.id.clone());
+                    }
+                    if let Some(entry) = state.get_mut(&rec.id) {
+                        entry.0 = rec.kind;
+                        entry.1 = None;
+                    }
+                }
+            }
+        }
+        let pending = order
+            .into_iter()
+            .filter_map(|id| {
+                state
+                    .get_mut(&id)
+                    .filter(|(kind, _)| !kind.is_terminal())
+                    .and_then(|(_, env)| env.take())
+            })
+            .collect();
+        JournalRecovery {
+            pending,
+            completed,
+            records: records.len(),
+            torn,
+            unparsable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::InstanceSpec;
+
+    fn env(id: &str) -> JobEnvelope {
+        JobEnvelope {
+            id: id.into(),
+            algo: "heft".into(),
+            epsilon: 1.3,
+            seed: 0,
+            generations: None,
+            deadline_ms: None,
+            lane: None,
+            arrival: None,
+            deadline: None,
+            instance: InstanceSpec::new(6, 2).seed(1).build().unwrap(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rds_journal_{}_{name}.wal", std::process::id()))
+    }
+
+    #[test]
+    fn accept_complete_lifecycle_recovers_nothing() {
+        let path = tmp("lifecycle");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path, None).unwrap();
+            j.accepted(&env("a")).unwrap();
+            j.started("a", 0);
+            j.completed("a");
+            j.accepted(&env("b")).unwrap();
+            assert_eq!(j.stats().0, 4);
+        }
+        let rec = Journal::recover_file(&path).unwrap();
+        assert_eq!(rec.completed, vec!["a".to_owned()]);
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.pending[0].id, "b");
+        assert!(!rec.torn);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reopen_repairs_torn_tail_and_appends() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let j = Journal::open(&path, None).unwrap();
+            j.accepted(&env("a")).unwrap();
+            j.completed("a");
+        }
+        // Tear the tail: chop 7 bytes off the completed record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let full = bytes.len();
+        bytes.truncate(full - 7);
+        std::fs::write(&path, &bytes).unwrap();
+        {
+            let j = Journal::open(&path, None).unwrap();
+            // The torn `completed` is gone, so "a" is pending again; a
+            // fresh record appends cleanly after the repaired prefix.
+            j.started("a", 1);
+            j.completed("a");
+        }
+        let rec = Journal::recover_file(&path).unwrap();
+        assert!(rec.pending.is_empty());
+        assert_eq!(rec.completed, vec!["a".to_owned()]);
+        assert!(!rec.torn, "reopen repaired the tail");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_kill_at_byte_tears_exactly_once() {
+        let path = tmp("killat");
+        let _ = std::fs::remove_file(&path);
+        let chaos = ServiceChaos::seeded(1).journal_kill_at(400);
+        let j = Journal::open(&path, Some(chaos)).unwrap();
+        for n in 0..6 {
+            let _ = j.accepted(&env(&format!("j{n}")));
+        }
+        assert!(j.killed());
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes.len(), 400, "cut exactly at the boundary");
+        // Recovery still yields every record that fully made it to disk.
+        let rec = Journal::recover_file(&path).unwrap();
+        assert!(rec.torn);
+        assert!(rec.pending.len() < 6);
+        for (i, p) in rec.pending.iter().enumerate() {
+            assert_eq!(p.id, format!("j{i}"));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_write_error_is_typed_and_counted() {
+        let path = tmp("werr");
+        let _ = std::fs::remove_file(&path);
+        let chaos = ServiceChaos::seeded(2).journal_error_rate(1.0);
+        let j = Journal::open(&path, Some(chaos)).unwrap();
+        let err = j.accepted(&env("a")).unwrap_err();
+        assert!(matches!(err, JournalError::Io(_)));
+        assert_eq!(j.stats(), (0, 1));
+        // The failed record never reached the file.
+        let rec = Journal::recover_file(&path).unwrap();
+        assert!(rec.pending.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let path = tmp("foreign");
+        std::fs::write(&path, "precious user data\n").unwrap();
+        let Err(err) = Journal::open(&path, None) else {
+            panic!("foreign file must be refused");
+        };
+        assert!(matches!(err, JournalError::NotAJournal(_)));
+        // The file was not touched.
+        assert_eq!(
+            std::fs::read_to_string(&path).unwrap(),
+            "precious user data\n"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_recovers_empty() {
+        let rec = Journal::recover_file(Path::new("/nonexistent/rds.wal")).unwrap();
+        assert!(rec.pending.is_empty() && rec.completed.is_empty());
+    }
+}

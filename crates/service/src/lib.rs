@@ -24,6 +24,24 @@
 //!   latency percentiles, online admission counts, deadline hit rate,
 //!   and goodput.
 //!
+//! Crash-safety layers, each optional and off by default:
+//!
+//! - a **durable job journal** ([`journal`]): an append-only WAL that
+//!   records every accepted job before the submitter learns of
+//!   acceptance, tolerates torn tails, and drives
+//!   [`Service::recover`]'s replay of unfinished work after a restart;
+//! - **worker supervision** ([`supervisor`]): panic isolation per
+//!   attempt, capped-backoff retries, per-job wall-clock timeouts,
+//!   dead-worker restart with in-flight job rescue, and typed `failed`
+//!   results for poison jobs;
+//! - an **overload brownout ladder** ([`service::BrownoutConfig`]):
+//!   queue-depth EWMAs degrade search jobs to HEFT, shed the heavy
+//!   lane, and open a circuit breaker that fast-rejects with a
+//!   `retry_after` hint, closing again through half-open probes;
+//! - a **seeded chaos harness** ([`chaos`]): deterministic injection of
+//!   worker panics, solve stalls, journal write errors, and
+//!   kill-at-byte-N crashes, for the recovery test suites.
+//!
 //! [`Service::run_batch`] is the deterministic in-process harness: with
 //! unique job ids and seeded schedulers its result set is identical for
 //! any worker count. The `rds serve` / `rds submit` CLI wraps the same
@@ -33,16 +51,24 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod chaos;
 pub mod job;
+pub mod journal;
 pub mod metrics;
 pub mod queue;
 pub mod service;
+pub mod supervisor;
 
 pub use cache::{CacheKey, CachedSchedule, ScheduleCache};
+pub use chaos::ServiceChaos;
 pub use job::{
     Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane, OnlineJobParams,
     OnlineOutcome,
 };
+pub use journal::{Journal, JournalError, JournalRecovery};
 pub use metrics::{LaneLatency, ServiceMetrics};
 pub use queue::{LaneQueue, PushError};
-pub use service::{Service, ServiceConfig};
+pub use service::{
+    BrownoutConfig, BrownoutLevel, RecoveryReport, Service, ServiceConfig, ServiceError,
+};
+pub use supervisor::SupervisorConfig;

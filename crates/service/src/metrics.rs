@@ -29,6 +29,15 @@ struct MetricsState {
     online_hits: u64,
     online_misses: u64,
     goodput: f64,
+    worker_panics: u64,
+    worker_restarts: u64,
+    retries: u64,
+    job_timeouts: u64,
+    recovered: u64,
+    brownout_degraded: u64,
+    brownout_shed: u64,
+    breaker_opens: u64,
+    breaker_fast_rejections: u64,
     express_latencies: Vec<f64>,
     online_latencies: Vec<f64>,
     heavy_latencies: Vec<f64>,
@@ -59,6 +68,58 @@ impl MetricsInner {
 
     pub(crate) fn job_started(&self) {
         self.lock().in_flight += 1;
+    }
+
+    /// Un-counts an in-flight job whose worker died; the rescue re-push
+    /// will count it again when a fresh worker picks it up.
+    pub(crate) fn job_abandoned(&self) {
+        let mut s = self.lock();
+        s.in_flight = s.in_flight.saturating_sub(1);
+    }
+
+    /// Records a worker panic (caught in place or fatal to the thread).
+    pub(crate) fn worker_panic(&self) {
+        self.lock().worker_panics += 1;
+    }
+
+    /// Records a dead worker respawned by the supervisor.
+    pub(crate) fn worker_restart(&self) {
+        self.lock().worker_restarts += 1;
+    }
+
+    /// Records a job attempt retried after a panic or timeout.
+    pub(crate) fn retry(&self) {
+        self.lock().retries += 1;
+    }
+
+    /// Records an attempt cancelled by the wall-clock timeout.
+    pub(crate) fn job_timeout(&self) {
+        self.lock().job_timeouts += 1;
+    }
+
+    /// Records a job replayed from the journal at recovery.
+    pub(crate) fn recovered(&self) {
+        self.lock().recovered += 1;
+    }
+
+    /// Records a search job forced down to HEFT by the brownout ladder.
+    pub(crate) fn brownout_degraded(&self) {
+        self.lock().brownout_degraded += 1;
+    }
+
+    /// Records a heavy-lane job shed by the brownout ladder.
+    pub(crate) fn brownout_shed(&self) {
+        self.lock().brownout_shed += 1;
+    }
+
+    /// Records the overload circuit breaker opening.
+    pub(crate) fn breaker_opened(&self) {
+        self.lock().breaker_opens += 1;
+    }
+
+    /// Records a job fast-rejected by the open circuit breaker.
+    pub(crate) fn breaker_fast_rejected(&self) {
+        self.lock().breaker_fast_rejections += 1;
     }
 
     /// Accumulates one GA run's evaluation-kernel and memo counters.
@@ -124,9 +185,12 @@ impl MetricsInner {
         &self,
         queue_depths: (usize, usize, usize),
         cache_stats: (u64, u64),
+        journal_stats: (u64, u64),
+        brownout_level: &str,
     ) -> ServiceMetrics {
         let s = self.lock();
         let (cache_hits, cache_misses) = cache_stats;
+        let (journal_records, journal_errors) = journal_stats;
         let looked_up = cache_hits + cache_misses;
         let online_arrived = s.online_admitted + s.online_rejected;
         ServiceMetrics {
@@ -148,6 +212,18 @@ impl MetricsInner {
                 s.online_hits as f64 / online_arrived as f64
             },
             goodput: s.goodput,
+            worker_panics: s.worker_panics,
+            worker_restarts: s.worker_restarts,
+            retries: s.retries,
+            job_timeouts: s.job_timeouts,
+            recovered: s.recovered,
+            brownout_degraded: s.brownout_degraded,
+            brownout_shed: s.brownout_shed,
+            breaker_opens: s.breaker_opens,
+            breaker_fast_rejections: s.breaker_fast_rejections,
+            journal_records,
+            journal_errors,
+            brownout_level: brownout_level.to_owned(),
             queue_depth_express: queue_depths.0,
             queue_depth_online: queue_depths.1,
             queue_depth_heavy: queue_depths.2,
@@ -240,6 +316,30 @@ pub struct ServiceMetrics {
     pub deadline_hit_rate: f64,
     /// Expected work (task count) of online jobs that hit their deadline.
     pub goodput: f64,
+    /// Worker panics observed (caught in place or fatal to the thread).
+    pub worker_panics: u64,
+    /// Dead workers respawned by the supervisor.
+    pub worker_restarts: u64,
+    /// Job attempts retried after a panic or timeout.
+    pub retries: u64,
+    /// Attempts cancelled by the per-job wall-clock timeout.
+    pub job_timeouts: u64,
+    /// Jobs replayed from the journal at recovery.
+    pub recovered: u64,
+    /// Search jobs forced down to HEFT by the brownout ladder.
+    pub brownout_degraded: u64,
+    /// Heavy-lane jobs shed by the brownout ladder.
+    pub brownout_shed: u64,
+    /// Times the overload circuit breaker opened.
+    pub breaker_opens: u64,
+    /// Jobs fast-rejected while the circuit breaker was open.
+    pub breaker_fast_rejections: u64,
+    /// Journal records persisted.
+    pub journal_records: u64,
+    /// Journal writes that failed (I/O or injected).
+    pub journal_errors: u64,
+    /// Current brownout rung (`off` when no brownout is configured).
+    pub brownout_level: String,
     /// Express-lane queue depth at snapshot time.
     pub queue_depth_express: usize,
     /// Online-lane queue depth at snapshot time.
@@ -296,6 +396,25 @@ impl ServiceMetrics {
             out,
             "queue depth         : express {} / online {} / heavy {}",
             self.queue_depth_express, self.queue_depth_online, self.queue_depth_heavy
+        );
+        let _ = writeln!(
+            out,
+            "supervision         : {} panics / {} restarts / {} retries / {} timeouts",
+            self.worker_panics, self.worker_restarts, self.retries, self.job_timeouts
+        );
+        let _ = writeln!(
+            out,
+            "journal             : {} records / {} errors / {} recovered",
+            self.journal_records, self.journal_errors, self.recovered
+        );
+        let _ = writeln!(
+            out,
+            "brownout            : level {} / {} degraded / {} shed / {} opens / {} fast-rejected",
+            self.brownout_level,
+            self.brownout_degraded,
+            self.brownout_shed,
+            self.breaker_opens,
+            self.breaker_fast_rejections
         );
         let _ = writeln!(
             out,
@@ -357,8 +476,29 @@ mod tests {
         m.online_verdict(true, 30.0);
         m.online_verdict(true, 10.0);
         m.online_verdict(false, 25.0);
-        let snap = m.snapshot((1, 3, 2), (3, 1));
+        m.worker_panic();
+        m.retry();
+        m.worker_restart();
+        m.job_timeout();
+        m.recovered();
+        m.brownout_degraded();
+        m.brownout_shed();
+        m.breaker_opened();
+        m.breaker_fast_rejected();
+        let snap = m.snapshot((1, 3, 2), (3, 1), (12, 2), "normal");
         assert_eq!(snap.submitted, 2);
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.job_timeouts, 1);
+        assert_eq!(snap.recovered, 1);
+        assert_eq!(snap.brownout_degraded, 1);
+        assert_eq!(snap.brownout_shed, 1);
+        assert_eq!(snap.breaker_opens, 1);
+        assert_eq!(snap.breaker_fast_rejections, 1);
+        assert_eq!(snap.journal_records, 12);
+        assert_eq!(snap.journal_errors, 2);
+        assert_eq!(snap.brownout_level, "normal");
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.rejected_full, 1);
         assert_eq!(snap.rejected_invalid, 1);
@@ -393,7 +533,7 @@ mod tests {
         let m = MetricsInner::default();
         m.job_started();
         m.job_finished(Lane::Express, 0.1, true, false);
-        let snap = m.snapshot((0, 0, 0), (0, 0));
+        let snap = m.snapshot((0, 0, 0), (0, 0), (0, 0), "off");
         assert_eq!(snap.completed, 0);
         assert_eq!(snap.failed, 1);
         assert_eq!(snap.cache_hit_rate, 0.0);
@@ -405,8 +545,13 @@ mod tests {
     #[test]
     fn pretty_string_mentions_key_lines() {
         let m = MetricsInner::default();
-        let s = m.snapshot((0, 0, 0), (0, 0)).to_pretty_string();
+        let s = m
+            .snapshot((0, 0, 0), (0, 0), (0, 0), "off")
+            .to_pretty_string();
         assert!(s.contains("cache"));
+        assert!(s.contains("supervision"));
+        assert!(s.contains("journal"));
+        assert!(s.contains("brownout"));
         assert!(s.contains("ga kernel"));
         assert!(s.contains("express latency"));
         assert!(s.contains("online  latency"));

@@ -118,23 +118,29 @@ impl<T> LaneQueue<T> {
         }
     }
 
-    /// Non-blocking push: the admission-control path.
+    /// Non-blocking push: the admission-control path. A refused item is
+    /// handed back with the error, so a caller holding a job it must not
+    /// lose (the supervisor rescuing work from a dead worker) can turn
+    /// the refusal into a typed result instead of silently dropping it.
     ///
     /// # Errors
     /// [`PushError::Full`] when the lane is at capacity, [`PushError::Closed`]
-    /// after [`LaneQueue::close`].
-    pub fn try_push(&self, lane: Lane, item: T) -> Result<(), PushError> {
+    /// after [`LaneQueue::close`] — both returning the item.
+    pub fn try_push(&self, lane: Lane, item: T) -> Result<(), (PushError, T)> {
         let mut inner = self.lock();
         if inner.closed {
-            return Err(PushError::Closed);
+            return Err((PushError::Closed, item));
         }
         let cap = self.capacity;
         let buf = Self::lane_mut(&mut inner, lane);
         if buf.len() >= cap {
-            return Err(PushError::Full {
-                lane,
-                capacity: cap,
-            });
+            return Err((
+                PushError::Full {
+                    lane,
+                    capacity: cap,
+                },
+                item,
+            ));
         }
         buf.push_back(item);
         drop(inner);
@@ -147,12 +153,13 @@ impl<T> LaneQueue<T> {
     /// the producer down rather than drop work.
     ///
     /// # Errors
-    /// [`PushError::Closed`] when the queue closes while waiting.
-    pub fn push_blocking(&self, lane: Lane, item: T) -> Result<(), PushError> {
+    /// [`PushError::Closed`] (with the item) when the queue closes while
+    /// waiting.
+    pub fn push_blocking(&self, lane: Lane, item: T) -> Result<(), (PushError, T)> {
         let mut inner = self.lock();
         loop {
             if inner.closed {
-                return Err(PushError::Closed);
+                return Err((PushError::Closed, item));
             }
             let cap = self.capacity;
             let buf = Self::lane_mut(&mut inner, lane);
@@ -234,7 +241,7 @@ mod tests {
         let q = LaneQueue::new(2);
         q.try_push(Lane::Heavy, 1).unwrap();
         q.try_push(Lane::Heavy, 2).unwrap();
-        let err = q.try_push(Lane::Heavy, 3).unwrap_err();
+        let (err, item) = q.try_push(Lane::Heavy, 3).unwrap_err();
         assert_eq!(
             err,
             PushError::Full {
@@ -242,6 +249,8 @@ mod tests {
                 capacity: 2
             }
         );
+        // The refused item comes back instead of being dropped.
+        assert_eq!(item, 3);
         assert!(err.to_string().contains("heavy lane at capacity 2"));
         // Lanes are independently bounded.
         q.try_push(Lane::Express, 4).unwrap();
@@ -269,7 +278,7 @@ mod tests {
         let q = LaneQueue::new(4);
         q.try_push(Lane::Express, 1).unwrap();
         q.close();
-        assert_eq!(q.try_push(Lane::Express, 2), Err(PushError::Closed));
+        assert_eq!(q.try_push(Lane::Express, 2), Err((PushError::Closed, 2)));
         assert_eq!(q.pop(), Some(1));
         assert_eq!(q.pop(), None);
     }

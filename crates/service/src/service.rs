@@ -1,10 +1,35 @@
 //! The service proper: worker pool, admission control, execution,
-//! deadline degradation.
+//! deadline degradation, durability, supervision, and overload
+//! brownout.
+//!
+//! Crash-safety layers (each optional, all off by default):
+//!
+//! - **journal** ([`crate::journal`]): accepted jobs are WAL-logged and
+//!   fsync'd before the submitter learns of acceptance;
+//!   [`Service::recover`] replays accepted-but-unfinished jobs after a
+//!   restart.
+//! - **supervision** ([`crate::supervisor`]): every attempt runs behind
+//!   `catch_unwind`; panics and wall-clock timeouts retry with capped
+//!   backoff up to an attempt cap, a dead worker thread is respawned and
+//!   its in-flight job rescued, and a poison job becomes a typed
+//!   `failed` result.
+//! - **brownout** ([`BrownoutConfig`]): a queue-depth EWMA drives a
+//!   load-shedding ladder — degrade search jobs to HEFT, shed the heavy
+//!   lane, then open a circuit breaker that fast-rejects with a
+//!   `retry_after` hint and closes again through half-open probes.
+//! - **chaos** ([`crate::chaos`]): seeded fault injection on all of the
+//!   above, for the recovery and supervision test harnesses.
+//!
+//! With none of these configured the service behaves bit-identically to
+//! the pre-durability implementation.
 
+use std::collections::HashSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rds_ga::{GaEngine, GaParams, GaRunStats, Objective};
 use rds_heft::{cpop_schedule, heft_schedule, lookahead_heft_schedule, sheft_schedule, HeftResult};
@@ -16,12 +41,15 @@ use rds_sched::{
 use rds_stats::rng::SeedStream;
 
 use crate::cache::{CacheKey, CachedSchedule, ScheduleCache};
-use crate::job::{Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, OnlineOutcome};
+use crate::chaos::ServiceChaos;
+use crate::job::{Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane, OnlineOutcome};
+use crate::journal::{Journal, JournalError};
 use crate::metrics::{MetricsInner, ServiceMetrics};
 use crate::queue::{LaneQueue, PushError};
+use crate::supervisor::{InFlight, SupervisorConfig, WorkerTable};
 
 /// Service configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServiceConfig {
     /// Worker threads (≥ 1).
     pub workers: usize,
@@ -39,6 +67,15 @@ pub struct ServiceConfig {
     pub online_floor: f64,
     /// Monte-Carlo samples per admission probe (≥ 1).
     pub online_samples: usize,
+    /// Durable job journal path; `None` keeps jobs in memory only.
+    pub journal: Option<PathBuf>,
+    /// Supervision policy (attempt cap, backoff, timeout).
+    pub supervisor: SupervisorConfig,
+    /// Overload brownout ladder; `None` leaves only queue-full
+    /// backpressure.
+    pub brownout: Option<BrownoutConfig>,
+    /// Chaos injection; `None` (or an unarmed config) is the quiet path.
+    pub chaos: Option<ServiceChaos>,
 }
 
 impl Default for ServiceConfig {
@@ -50,6 +87,10 @@ impl Default for ServiceConfig {
             start_paused: false,
             online_floor: 0.5,
             online_samples: 64,
+            journal: None,
+            supervisor: SupervisorConfig::default(),
+            brownout: None,
+            chaos: None,
         }
     }
 }
@@ -96,23 +137,238 @@ impl ServiceConfig {
         self.online_samples = samples;
         self
     }
+
+    /// Enables the durable job journal at `path`.
+    #[must_use]
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Sets the supervision policy.
+    #[must_use]
+    pub fn supervisor(mut self, cfg: SupervisorConfig) -> Self {
+        self.supervisor = cfg;
+        self
+    }
+
+    /// Enables the overload brownout ladder.
+    #[must_use]
+    pub fn brownout(mut self, cfg: BrownoutConfig) -> Self {
+        self.brownout = Some(cfg);
+        self
+    }
+
+    /// Enables chaos injection.
+    #[must_use]
+    pub fn chaos(mut self, chaos: ServiceChaos) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
+    /// Configuration validation shared by [`Service::try_start`].
+    ///
+    /// # Errors
+    /// Returns a message describing the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("service needs at least one worker".into());
+        }
+        if self.queue_capacity == 0 {
+            return Err("queue capacity must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.online_floor) {
+            return Err("online admission floor must be in [0, 1]".into());
+        }
+        if self.online_samples == 0 {
+            return Err("online admission needs at least one sample".into());
+        }
+        if self.supervisor.max_attempts == 0 {
+            return Err("supervisor attempt cap must be at least 1".into());
+        }
+        if let Some(b) = self.brownout {
+            if !(b.alpha > 0.0 && b.alpha <= 1.0) {
+                return Err("brownout EWMA alpha must be in (0, 1]".into());
+            }
+            if !(b.degrade_depth <= b.shed_depth && b.shed_depth <= b.open_depth) {
+                return Err("brownout thresholds must satisfy degrade <= shed <= open".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Overload brownout: thresholds on the queue-depth EWMA and circuit-
+/// breaker timing. The ladder is `normal` → `degrade` (GA/SA forced to
+/// HEFT) → `shed` (heavy lane rejected) → `open` (everything
+/// fast-rejected with `retry_after`), closing again through half-open
+/// probes once the cooldown elapses and the backlog drains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BrownoutConfig {
+    /// EWMA depth at which search jobs are degraded to HEFT.
+    pub degrade_depth: f64,
+    /// EWMA depth at which heavy-lane jobs are shed.
+    pub shed_depth: f64,
+    /// EWMA depth at which the circuit breaker opens.
+    pub open_depth: f64,
+    /// EWMA smoothing factor in `(0, 1]` (1 = raw depth).
+    pub alpha: f64,
+    /// Minimum time the breaker stays open before probing half-open.
+    pub cooldown: Duration,
+    /// Jobs admitted (degraded) per half-open episode before the breaker
+    /// re-opens if the backlog has not drained.
+    pub half_open_probes: u32,
+    /// `retry_after` hint attached to fast rejections, in milliseconds.
+    pub retry_after_ms: u64,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            degrade_depth: 8.0,
+            shed_depth: 16.0,
+            open_depth: 32.0,
+            alpha: 0.3,
+            cooldown: Duration::from_millis(250),
+            half_open_probes: 2,
+            retry_after_ms: 250,
+        }
+    }
+}
+
+impl BrownoutConfig {
+    /// Sets the three ladder thresholds at once.
+    #[must_use]
+    pub fn depths(mut self, degrade: f64, shed: f64, open: f64) -> Self {
+        self.degrade_depth = degrade;
+        self.shed_depth = shed;
+        self.open_depth = open;
+        self
+    }
+
+    /// Sets the EWMA smoothing factor.
+    #[must_use]
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the breaker cooldown.
+    #[must_use]
+    pub fn cooldown(mut self, d: Duration) -> Self {
+        self.cooldown = d;
+        self
+    }
+
+    /// Sets the half-open probe budget.
+    #[must_use]
+    pub fn half_open_probes(mut self, n: u32) -> Self {
+        self.half_open_probes = n;
+        self
+    }
+
+    /// Sets the `retry_after` hint.
+    #[must_use]
+    pub fn retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = ms;
+        self
+    }
+}
+
+/// Where the brownout ladder currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BrownoutLevel {
+    /// Full service.
+    Normal,
+    /// Search jobs (GA/SA) forced down to HEFT.
+    Degrade,
+    /// Heavy-lane jobs rejected; everything else degraded.
+    Shed,
+    /// Circuit open: all jobs fast-rejected with `retry_after`.
+    Open,
+    /// Probing recovery: a bounded number of degraded admissions.
+    HalfOpen,
+}
+
+impl BrownoutLevel {
+    /// Metrics tag.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            BrownoutLevel::Normal => "normal",
+            BrownoutLevel::Degrade => "degrade",
+            BrownoutLevel::Shed => "shed",
+            BrownoutLevel::Open => "open",
+            BrownoutLevel::HalfOpen => "half-open",
+        }
+    }
+}
+
+struct BrownoutState {
+    ewma: f64,
+    level: BrownoutLevel,
+    opened_at: Option<Instant>,
+    probes_left: u32,
+}
+
+/// Why the service could not start or recover.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// Invalid configuration (see [`ServiceConfig::validate`]).
+    Config(String),
+    /// The durable journal failed to open or scan.
+    Journal(JournalError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Config(e) => write!(f, "invalid service config: {e}"),
+            ServiceError::Journal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What [`Service::recover`] found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Accepted-but-unfinished jobs replayed into the queue.
+    pub replayed: usize,
+    /// Pending journal entries skipped because a job with that id is
+    /// already live in this service (repeated recovery is idempotent).
+    pub skipped_live: usize,
+    /// Jobs the journal shows as completed (not replayed).
+    pub already_completed: usize,
+    /// Pending entries that could not be replayed (failed re-validation
+    /// or re-admission); each got a terminal record and a typed result.
+    pub failed: usize,
+    /// Whether the journal had a torn tail or garbage suffix.
+    pub torn: bool,
 }
 
 /// The admission gate's verdict on an online arrival, carried with the
 /// job through the queue so the worker judges the same plan shape the
 /// gate admitted.
 #[derive(Debug, Clone, Copy)]
-struct AdmittedOnline {
+pub(crate) struct AdmittedOnline {
     /// Completion probability estimated at admission.
     probability: f64,
     /// Whether the gate had to shed optional tasks to admit the job.
     shed: bool,
 }
 
-struct QueuedJob {
-    spec: JobSpec,
-    enqueued: Instant,
-    online: Option<AdmittedOnline>,
+/// One queued unit of work, including its retry and brownout state.
+#[derive(Clone)]
+pub(crate) struct QueuedJob {
+    pub(crate) spec: JobSpec,
+    pub(crate) enqueued: Instant,
+    pub(crate) online: Option<AdmittedOnline>,
+    /// Attempts already spent (0 on first execution).
+    pub(crate) attempt: u32,
+    /// Admitted under brownout: search schedulers are forced to HEFT.
+    pub(crate) brownout: bool,
 }
 
 struct Shared {
@@ -120,13 +376,107 @@ struct Shared {
     cache: ScheduleCache,
     metrics: MetricsInner,
     config: ServiceConfig,
+    journal: Option<Journal>,
+    brownout: Option<Mutex<BrownoutState>>,
+    /// Ids accepted and not yet terminal — [`Service::recover`] skips
+    /// these so repeated recovery never double-enqueues a job.
+    live: Mutex<HashSet<String>>,
+    table: WorkerTable,
+}
+
+impl Shared {
+    fn lock_live(&self) -> std::sync::MutexGuard<'_, HashSet<String>> {
+        self.live.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn brownout_level_name(&self) -> &'static str {
+        match &self.brownout {
+            None => "off",
+            Some(state) => state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .level
+                .name(),
+        }
+    }
+
+    /// The brownout ladder, consulted once per admission. Returns
+    /// whether the job must be degraded (search → HEFT), or the typed
+    /// overload rejection.
+    fn brownout_gate(&self, lane: Lane) -> Result<bool, JobError> {
+        let Some(cfg) = self.config.brownout else {
+            return Ok(false);
+        };
+        let Some(state) = &self.brownout else {
+            return Ok(false);
+        };
+        let mut st = state.lock().unwrap_or_else(PoisonError::into_inner);
+        let (e, o, h) = self.queue.depths();
+        st.ewma = cfg.alpha * ((e + o + h) as f64) + (1.0 - cfg.alpha) * st.ewma;
+        let overloaded = |reason: &str| JobError::Overloaded {
+            reason: reason.to_owned(),
+            retry_after_ms: cfg.retry_after_ms,
+        };
+        if st.level == BrownoutLevel::Open {
+            let cooled = st.opened_at.is_none_or(|t| t.elapsed() >= cfg.cooldown);
+            if cooled {
+                st.level = BrownoutLevel::HalfOpen;
+                st.probes_left = cfg.half_open_probes;
+            } else {
+                self.metrics.breaker_fast_rejected();
+                return Err(overloaded("circuit open: service overloaded"));
+            }
+        }
+        if st.level == BrownoutLevel::HalfOpen {
+            if st.ewma < cfg.degrade_depth {
+                // Backlog drained during the open window: close fully and
+                // fall through to the ladder below.
+                st.level = BrownoutLevel::Normal;
+            } else if st.probes_left > 0 {
+                st.probes_left -= 1;
+                return Ok(true);
+            } else {
+                st.level = BrownoutLevel::Open;
+                st.opened_at = Some(Instant::now());
+                self.metrics.breaker_opened();
+                self.metrics.breaker_fast_rejected();
+                return Err(overloaded("circuit re-opened: overload persists"));
+            }
+        }
+        let next = if st.ewma >= cfg.open_depth {
+            BrownoutLevel::Open
+        } else if st.ewma >= cfg.shed_depth {
+            BrownoutLevel::Shed
+        } else if st.ewma >= cfg.degrade_depth {
+            BrownoutLevel::Degrade
+        } else {
+            BrownoutLevel::Normal
+        };
+        if next == BrownoutLevel::Open {
+            st.opened_at = Some(Instant::now());
+            self.metrics.breaker_opened();
+        }
+        st.level = next;
+        match next {
+            BrownoutLevel::Open => {
+                self.metrics.breaker_fast_rejected();
+                Err(overloaded("circuit opened: queue backlog over limit"))
+            }
+            BrownoutLevel::Shed if lane == Lane::Heavy => {
+                self.metrics.brownout_shed();
+                Err(overloaded("brownout: shedding heavy-lane work"))
+            }
+            BrownoutLevel::Shed | BrownoutLevel::Degrade => Ok(true),
+            BrownoutLevel::Normal | BrownoutLevel::HalfOpen => Ok(false),
+        }
+    }
 }
 
 /// A running scheduling service. Dropping it without
 /// [`Service::shutdown`] closes the queue and detaches the workers.
 pub struct Service {
     shared: Arc<Shared>,
-    handles: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
     results_tx: mpsc::Sender<JobResult>,
 }
 
@@ -135,54 +485,81 @@ impl Service {
     /// of job results (in completion order).
     ///
     /// # Panics
-    /// Panics when `config.workers` is zero or `config.queue_capacity` is
-    /// zero — a service that can neither run nor queue work is a
-    /// configuration bug, caught before any job is accepted.
+    /// Panics on an invalid configuration or an unusable journal path;
+    /// use [`Service::try_start`] for typed errors.
     #[must_use]
     pub fn start(config: ServiceConfig) -> (Self, mpsc::Receiver<JobResult>) {
-        assert!(config.workers > 0, "service needs at least one worker");
-        assert!(
-            config.online_floor >= 0.0 && config.online_floor <= 1.0,
-            "online admission floor must be in [0, 1]"
-        );
-        assert!(
-            config.online_samples > 0,
-            "online admission needs at least one sample"
-        );
+        match Self::try_start(config) {
+            Ok(pair) => pair,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Starts the worker pool, returning typed errors instead of
+    /// panicking.
+    ///
+    /// # Errors
+    /// [`ServiceError::Config`] on invalid configuration,
+    /// [`ServiceError::Journal`] when the journal cannot be opened.
+    pub fn try_start(
+        config: ServiceConfig,
+    ) -> Result<(Self, mpsc::Receiver<JobResult>), ServiceError> {
+        config.validate().map_err(ServiceError::Config)?;
+        let journal = match &config.journal {
+            Some(path) => Some(Journal::open(path, config.chaos).map_err(ServiceError::Journal)?),
+            None => None,
+        };
+        let brownout = config.brownout.map(|_| {
+            Mutex::new(BrownoutState {
+                ewma: 0.0,
+                level: BrownoutLevel::Normal,
+                opened_at: None,
+                probes_left: 0,
+            })
+        });
+        let workers = config.workers;
+        let start_paused = config.start_paused;
         let shared = Arc::new(Shared {
             queue: LaneQueue::new(config.queue_capacity),
             cache: ScheduleCache::new(config.cache_capacity),
             metrics: MetricsInner::default(),
             config,
+            journal,
+            brownout,
+            live: Mutex::new(HashSet::new()),
+            table: WorkerTable::new(workers),
         });
-        if config.start_paused {
+        if start_paused {
             shared.queue.pause();
         }
         let (results_tx, results_rx) = mpsc::channel();
-        let handles = (0..config.workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let tx = results_tx.clone();
-                std::thread::spawn(move || worker_loop(&shared, &tx))
-            })
-            .collect();
-        (
+        for slot in 0..workers {
+            let handle = spawn_worker(Arc::clone(&shared), results_tx.clone(), slot);
+            shared.table.set_handle(slot, handle);
+        }
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            let tx = results_tx.clone();
+            Some(std::thread::spawn(move || supervise(&shared, &tx)))
+        };
+        Ok((
             Self {
                 shared,
-                handles,
+                supervisor,
                 results_tx,
             },
             results_rx,
-        )
+        ))
     }
 
     /// Admission control: validate, then enqueue without blocking.
     ///
     /// # Errors
-    /// [`JobError::Rejected`] when validation fails or the lane is full;
+    /// [`JobError::Rejected`] when validation fails or the lane is full,
+    /// [`JobError::Overloaded`] when the brownout breaker fast-rejects;
     /// the job never entered the queue and no result will be emitted.
     pub fn submit(&self, spec: JobSpec) -> Result<(), JobError> {
-        self.admit(spec, false)
+        self.admit(spec, false, true)
     }
 
     /// Like [`Service::submit`] but waits for queue space instead of
@@ -191,14 +568,16 @@ impl Service {
     /// # Errors
     /// [`JobError::Rejected`] when validation fails or the queue closed.
     pub fn submit_blocking(&self, spec: JobSpec) -> Result<(), JobError> {
-        self.admit(spec, true)
+        self.admit(spec, true, true)
     }
 
-    fn admit(&self, spec: JobSpec, blocking: bool) -> Result<(), JobError> {
+    fn admit(&self, spec: JobSpec, blocking: bool, journal_accept: bool) -> Result<(), JobError> {
         if let Err(reason) = spec.validate() {
             self.shared.metrics.rejected_invalid();
             return Err(JobError::Rejected(reason));
         }
+        let lane = spec.lane();
+        let force_heft = self.shared.brownout_gate(lane)?;
         let online = match self.probe_online(&spec) {
             Ok(verdict) => verdict,
             Err(e) => {
@@ -206,16 +585,29 @@ impl Service {
                 return Err(e);
             }
         };
-        let lane = spec.lane();
+        // Durability point: the job is journaled (and fsync'd) before the
+        // submitter can observe acceptance. A journal that cannot record
+        // the job must reject it — acceptance promises crash-safety.
+        if journal_accept {
+            if let Some(j) = &self.shared.journal {
+                if let Err(e) = j.accepted(&spec.to_envelope()) {
+                    return Err(JobError::Rejected(format!("journal unavailable: {e}")));
+                }
+            }
+        }
         let shed_tasks = match online {
             Some(AdmittedOnline { shed: true, .. }) => spec.instance.graph.optional_tasks().len(),
             _ => 0,
         };
         let is_online = online.is_some();
+        let id = spec.id.clone();
+        self.shared.lock_live().insert(id.clone());
         let job = QueuedJob {
             spec,
             enqueued: Instant::now(),
             online,
+            attempt: 0,
+            brownout: force_heft,
         };
         let pushed = if blocking {
             self.shared.queue.push_blocking(lane, job)
@@ -233,11 +625,18 @@ impl Service {
                 }
                 Ok(())
             }
-            Err(e @ PushError::Full { .. }) => {
-                self.shared.metrics.rejected_full();
+            Err((e, _job)) => {
+                // The journal promised this job; close it out so recovery
+                // never replays a job the client saw rejected.
+                if let Some(j) = &self.shared.journal {
+                    j.rejected(&id, &e.to_string());
+                }
+                self.shared.lock_live().remove(&id);
+                if matches!(e, PushError::Full { .. }) {
+                    self.shared.metrics.rejected_full();
+                }
                 Err(JobError::Rejected(e.to_string()))
             }
-            Err(e @ PushError::Closed) => Err(JobError::Rejected(e.to_string())),
         }
     }
 
@@ -302,6 +701,65 @@ impl Service {
         )))
     }
 
+    /// Replays accepted-but-unfinished jobs from the configured journal
+    /// into the queue. Safe to call repeatedly: jobs already live in this
+    /// service (queued, running, or re-accepted) are skipped, and jobs
+    /// with a terminal record are never replayed.
+    ///
+    /// # Errors
+    /// [`ServiceError::Config`] when no journal is configured,
+    /// [`ServiceError::Journal`] when the journal cannot be read.
+    pub fn recover(&self) -> Result<RecoveryReport, ServiceError> {
+        let Some(path) = self.shared.config.journal.clone() else {
+            return Err(ServiceError::Config(
+                "recovery requires a configured journal".into(),
+            ));
+        };
+        let scan = Journal::recover_file(&path).map_err(ServiceError::Journal)?;
+        let mut report = RecoveryReport {
+            replayed: 0,
+            skipped_live: 0,
+            already_completed: scan.completed.len(),
+            failed: 0,
+            torn: scan.torn,
+        };
+        for env in scan.pending {
+            let id = env.id.clone();
+            if self.shared.lock_live().contains(&id) {
+                report.skipped_live += 1;
+                continue;
+            }
+            let (lane, admitted) = match JobSpec::from_envelope(env) {
+                Ok(spec) => {
+                    let lane = spec.lane();
+                    // Replays use blocking pushes (recovery must not drop
+                    // work to backpressure) and skip the `accepted`
+                    // record — the journal already holds it.
+                    (lane, self.admit(spec, true, false))
+                }
+                Err(reason) => (Lane::Express, Err(JobError::Rejected(reason))),
+            };
+            match admitted {
+                Ok(()) => {
+                    self.shared.metrics.recovered();
+                    report.replayed += 1;
+                }
+                Err(e) => {
+                    report.failed += 1;
+                    if let Some(j) = &self.shared.journal {
+                        j.rejected(&id, &e.to_string());
+                    }
+                    let _ = self.results_tx.send(JobResult {
+                        id,
+                        outcome: Err(e),
+                        lane,
+                    });
+                }
+            }
+        }
+        Ok(report)
+    }
+
     /// A clone of the result sender, so an embedding frontend (the `rds
     /// serve` loop) can inject synthesized results — e.g. rejection
     /// envelopes — into the same ordered stream the workers feed.
@@ -323,24 +781,27 @@ impl Service {
     /// Current metrics snapshot.
     #[must_use]
     pub fn metrics(&self) -> ServiceMetrics {
-        self.shared
-            .metrics
-            .snapshot(self.shared.queue.depths(), self.shared.cache.stats())
+        snapshot_metrics(&self.shared)
     }
 
     /// Closes the queue (drains pending work, rejects new work), joins
     /// every worker, and returns the final metrics snapshot. The result
     /// receiver disconnects once the last sender (including this
-    /// service's own) is gone.
+    /// service's own) is gone. Dead workers are respawned until the
+    /// queue drains, so pending work is never stranded by a crash during
+    /// shutdown.
     pub fn shutdown(self) -> ServiceMetrics {
         self.shared.queue.resume();
         self.shared.queue.close();
-        for h in self.handles {
+        while !self.shared.table.all_clean() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.shared.table.request_stop();
+        if let Some(h) = self.supervisor {
             let _ = h.join();
         }
-        self.shared
-            .metrics
-            .snapshot(self.shared.queue.depths(), self.shared.cache.stats())
+        self.shared.table.join_all();
+        snapshot_metrics(&self.shared)
     }
 
     /// Deterministic in-process harness: starts a service, feeds `jobs`
@@ -383,6 +844,16 @@ impl Service {
     }
 }
 
+fn snapshot_metrics(shared: &Shared) -> ServiceMetrics {
+    let journal_stats = shared.journal.as_ref().map_or((0, 0), Journal::stats);
+    shared.metrics.snapshot(
+        shared.queue.depths(),
+        shared.cache.stats(),
+        journal_stats,
+        shared.brownout_level_name(),
+    )
+}
+
 /// Seed of the admission estimator's CRN substreams for a job seed.
 fn online_estimate_seed(seed: u64) -> u64 {
     SeedStream::new(seed).branch("online-estimate").nth_seed(0)
@@ -394,39 +865,212 @@ fn online_truth_seed(seed: u64) -> u64 {
     SeedStream::new(seed).branch("online-truth").nth_seed(0)
 }
 
-fn worker_loop(shared: &Shared, results_tx: &mpsc::Sender<JobResult>) {
-    while let Some(job) = shared.queue.pop() {
-        shared.metrics.job_started();
-        let lane = job.spec.lane();
-        let id = job.spec.id.clone();
-        let outcome = execute(&job.spec, &shared.cache, job.online);
-        let latency = job.enqueued.elapsed().as_secs_f64();
-        let failed = outcome.is_err();
-        let fallback = matches!(
-            &outcome,
-            Ok(out) if out.degraded != Degradation::None
-        );
-        if let Ok(out) = &outcome {
-            if let Some(gs) = &out.ga_stats {
-                shared.metrics.ga_run(gs);
+fn spawn_worker(shared: Arc<Shared>, tx: mpsc::Sender<JobResult>, slot: usize) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while let Some(job) = shared.queue.pop() {
+            run_one(&shared, &tx, slot, job);
+        }
+        shared.table.mark_clean(slot);
+    })
+}
+
+/// The supervisor: raises cancel flags on overdue attempts, rescues jobs
+/// from dead worker threads, and respawns the workers — until shutdown
+/// asks it to stop.
+fn supervise(shared: &Arc<Shared>, tx: &mpsc::Sender<JobResult>) {
+    let poll = shared
+        .config
+        .supervisor
+        .poll_interval
+        .max(Duration::from_millis(1));
+    while !shared.table.stopped() {
+        for slot in 0..shared.table.workers() {
+            if let Some(timeout) = shared.config.supervisor.job_timeout {
+                if shared.table.cancel_overdue(slot, timeout) {
+                    shared.metrics.job_timeout();
+                }
             }
-            if let Some(oo) = &out.online {
-                // Goodput credits the deadline-counted work: the whole
-                // graph, minus the optional tasks when they were shed.
-                let total = job.spec.instance.task_count();
-                let weight = if out.degraded == Degradation::DroppedOptional {
-                    (total - job.spec.instance.graph.optional_tasks().len()) as f64
-                } else {
-                    total as f64
-                };
-                shared.metrics.online_verdict(oo.hit, weight);
+            if let Some(handle) = shared.table.take_dead(slot) {
+                let _ = handle.join();
+                shared.metrics.worker_panic();
+                shared.metrics.worker_restart();
+                if let Some(inflight) = shared.table.take(slot) {
+                    rescue(shared, tx, inflight.job);
+                }
+                shared
+                    .table
+                    .set_handle(slot, spawn_worker(Arc::clone(shared), tx.clone(), slot));
             }
         }
-        shared.metrics.job_finished(lane, latency, failed, fallback);
-        // A disconnected receiver means the frontend is gone; keep
-        // draining so shutdown still completes.
-        let _ = results_tx.send(JobResult { id, outcome, lane });
+        std::thread::sleep(poll);
     }
+}
+
+/// Puts a job rescued from a dead worker back through the retry ladder.
+fn rescue(shared: &Arc<Shared>, tx: &mpsc::Sender<JobResult>, mut job: QueuedJob) {
+    let max_attempts = shared.config.supervisor.max_attempts.max(1);
+    job.attempt += 1;
+    if job.attempt >= max_attempts {
+        finish_job(
+            shared,
+            tx,
+            &job,
+            Err(JobError::Failed(format!(
+                "gave up after {max_attempts} attempts (worker died)"
+            ))),
+        );
+        return;
+    }
+    shared.metrics.retry();
+    let lane = job.spec.lane();
+    match shared.queue.try_push(lane, job) {
+        Ok(()) => shared.metrics.job_abandoned(),
+        Err((e, job)) => finish_job(
+            shared,
+            tx,
+            &job,
+            Err(JobError::Failed(format!(
+                "worker died and re-enqueue failed: {e}"
+            ))),
+        ),
+    }
+}
+
+/// How one attempt at a job ended.
+enum AttemptEnd {
+    /// The job reached a terminal outcome (success or typed error).
+    Done(Result<JobOutput, JobError>),
+    /// The attempt was cancelled by the wall-clock timeout while wedged.
+    TimedOut,
+}
+
+/// Runs one job to a terminal result: attempts behind panic isolation,
+/// retries with backoff on panic or timeout, a typed failure once the
+/// attempt cap is spent.
+fn run_one(shared: &Arc<Shared>, tx: &mpsc::Sender<JobResult>, slot: usize, mut job: QueuedJob) {
+    shared.metrics.job_started();
+    let max_attempts = shared.config.supervisor.max_attempts.max(1);
+    loop {
+        if let Some(j) = &shared.journal {
+            j.started(&job.spec.id, job.attempt);
+        }
+        let cancel = Arc::new(AtomicBool::new(false));
+        shared.table.register(
+            slot,
+            InFlight {
+                job: job.clone(),
+                started: Instant::now(),
+                cancel: Arc::clone(&cancel),
+            },
+        );
+        // The chaos worker panic fires *outside* the panic isolation
+        // below: it kills the thread, exercising the supervisor's
+        // dead-worker rescue path rather than in-place retry.
+        if let Some(c) = &shared.config.chaos {
+            if c.panics(&job.spec.id, job.attempt) {
+                panic!("chaos: injected worker panic");
+            }
+        }
+        let end = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            attempt_job(shared, &job, &cancel)
+        }));
+        let _ = shared.table.take(slot);
+        match end {
+            Ok(AttemptEnd::Done(outcome)) => {
+                finish_job(shared, tx, &job, outcome);
+                return;
+            }
+            Ok(AttemptEnd::TimedOut) => {}
+            Err(_) => shared.metrics.worker_panic(),
+        }
+        job.attempt += 1;
+        if job.attempt >= max_attempts {
+            finish_job(
+                shared,
+                tx,
+                &job,
+                Err(JobError::Failed(format!(
+                    "gave up after {max_attempts} attempts (panic or timeout)"
+                ))),
+            );
+            return;
+        }
+        shared.metrics.retry();
+        std::thread::sleep(shared.config.supervisor.backoff(&job.spec.id, job.attempt));
+    }
+}
+
+/// One attempt: optional injected stall (cooperatively cancellable),
+/// then the execute path.
+fn attempt_job(shared: &Shared, job: &QueuedJob, cancel: &AtomicBool) -> AttemptEnd {
+    if let Some(c) = &shared.config.chaos {
+        if c.stalls(&job.spec.id, job.attempt) && c.sleep_stall(cancel) {
+            return AttemptEnd::TimedOut;
+        }
+    }
+    if cancel.load(Ordering::Relaxed) {
+        return AttemptEnd::TimedOut;
+    }
+    AttemptEnd::Done(execute(
+        &job.spec,
+        &shared.cache,
+        job.online,
+        job.brownout,
+        cancel,
+    ))
+}
+
+/// Terminal bookkeeping for one job: metrics, journal record, live-set
+/// removal, and the result send — shared by workers and the supervisor.
+fn finish_job(
+    shared: &Shared,
+    tx: &mpsc::Sender<JobResult>,
+    job: &QueuedJob,
+    outcome: Result<JobOutput, JobError>,
+) {
+    let lane = job.spec.lane();
+    let id = job.spec.id.clone();
+    let latency = job.enqueued.elapsed().as_secs_f64();
+    let failed = outcome.is_err();
+    let fallback = matches!(
+        &outcome,
+        Ok(out) if matches!(
+            out.degraded,
+            Degradation::BestSoFar | Degradation::HeftFallback | Degradation::DroppedOptional
+        )
+    );
+    if let Ok(out) = &outcome {
+        if out.degraded == Degradation::Brownout {
+            shared.metrics.brownout_degraded();
+        }
+        if let Some(gs) = &out.ga_stats {
+            shared.metrics.ga_run(gs);
+        }
+        if let Some(oo) = &out.online {
+            // Goodput credits the deadline-counted work: the whole
+            // graph, minus the optional tasks when they were shed.
+            let total = job.spec.instance.task_count();
+            let weight = if out.degraded == Degradation::DroppedOptional {
+                (total - job.spec.instance.graph.optional_tasks().len()) as f64
+            } else {
+                total as f64
+            };
+            shared.metrics.online_verdict(oo.hit, weight);
+        }
+    }
+    shared.metrics.job_finished(lane, latency, failed, fallback);
+    if let Some(j) = &shared.journal {
+        match &outcome {
+            Ok(_) => j.completed(&id),
+            Err(JobError::Rejected(r)) => j.rejected(&id, r),
+            Err(JobError::Failed(r)) => j.failed(&id, r),
+            Err(JobError::Overloaded { reason, .. }) => j.failed(&id, reason),
+        }
+    }
+    shared.lock_live().remove(&id);
+    // A disconnected receiver means the frontend is gone; keep draining
+    // so shutdown still completes.
+    let _ = tx.send(JobResult { id, outcome, lane });
 }
 
 /// Runs one job: cache lookup → scheduler (with cooperative deadline
@@ -436,6 +1080,8 @@ fn execute(
     spec: &JobSpec,
     cache: &ScheduleCache,
     online: Option<AdmittedOnline>,
+    brownout: bool,
+    cancel: &AtomicBool,
 ) -> Result<JobOutput, JobError> {
     if let Some(adm) = online {
         return execute_online(spec, adm);
@@ -453,7 +1099,7 @@ fn execute(
         });
     }
     let deadline = spec.deadline.map(|budget| Instant::now() + budget);
-    let (schedule, degraded, ga_stats) = produce_schedule(spec, deadline)?;
+    let (schedule, degraded, ga_stats) = produce_schedule(spec, deadline, brownout, cancel)?;
     let (makespan, avg_slack) = assess(&spec.instance, &schedule)?;
     // The cache enforces its own boundary: degraded results are refused.
     cache.insert(
@@ -541,15 +1187,23 @@ fn assess(inst: &Instance, schedule: &Schedule) -> Result<(f64, f64), JobError> 
 fn produce_schedule(
     spec: &JobSpec,
     deadline: Option<Instant>,
+    brownout: bool,
+    cancel: &AtomicBool,
 ) -> Result<(Schedule, Degradation, Option<GaRunStats>), JobError> {
     let inst = spec.instance.as_ref();
     let express = |r: HeftResult| Ok((r.schedule, Degradation::None, None));
+    // Brownout: the service is overloaded, so search jobs get the cheap
+    // list schedule instead — tagged, and never cached.
+    if brownout && matches!(spec.algo, Algo::Ga | Algo::Sa) {
+        let heft = heft_schedule(inst);
+        return Ok((heft.schedule, Degradation::Brownout, None));
+    }
     match spec.algo {
         Algo::Heft => express(heft_schedule(inst)),
         Algo::Cpop => express(cpop_schedule(inst)),
         Algo::LookaheadHeft => express(lookahead_heft_schedule(inst)),
         Algo::Sheft { k } => express(sheft_schedule(inst, k)),
-        Algo::Ga => run_ga(spec, deadline),
+        Algo::Ga => run_ga(spec, deadline, cancel),
         Algo::Sa => {
             let heft = heft_schedule(inst);
             let objective = Objective::EpsilonConstraint {
@@ -565,11 +1219,15 @@ fn produce_schedule(
 }
 
 /// The ε-constraint GA with a cooperative deadline watch. On
-/// cancellation the escalation ladder mirrors the sentinel executor's:
-/// best feasible solution so far, then plain HEFT.
+/// cancellation (deadline budget or the supervisor's wall-clock
+/// timeout) the escalation ladder mirrors the sentinel executor's: best
+/// feasible solution so far, then plain HEFT. `run_with_watch` with a
+/// never-firing watch is bit-identical to `run`, so the quiet path is
+/// unaffected.
 fn run_ga(
     spec: &JobSpec,
     deadline: Option<Instant>,
+    cancel: &AtomicBool,
 ) -> Result<(Schedule, Degradation, Option<GaRunStats>), JobError> {
     let inst = spec.instance.as_ref();
     let heft = heft_schedule(inst);
@@ -583,10 +1241,9 @@ fn run_ga(
     }
     let engine = GaEngine::try_new(inst, params, objective)
         .map_err(|e| JobError::Failed(format!("invalid GA parameters: {e}")))?;
-    let ga = match deadline {
-        Some(deadline) => engine.run_with_watch(&mut |_| Instant::now() >= deadline),
-        None => engine.run(),
-    };
+    let ga = engine.run_with_watch(&mut |_| {
+        cancel.load(Ordering::Relaxed) || deadline.is_some_and(|d| Instant::now() >= d)
+    });
     let stats = Some(ga.stats);
     if ga.interrupted {
         if ga.best_feasible {
@@ -603,7 +1260,6 @@ fn run_ga(
 mod tests {
     use super::*;
     use rds_sched::InstanceSpec;
-    use std::time::Duration;
 
     fn inst(seed: u64) -> Arc<Instance> {
         Arc::new(
@@ -625,6 +1281,11 @@ mod tests {
         assert!(!out.cache_hit);
         assert_eq!(metrics.completed, 1);
         assert_eq!(metrics.cache_misses, 1);
+        // The quiet path runs nothing from the robustness layers.
+        assert_eq!(metrics.worker_panics, 0);
+        assert_eq!(metrics.retries, 0);
+        assert_eq!(metrics.journal_records, 0);
+        assert_eq!(metrics.brownout_level, "off");
     }
 
     #[test]
@@ -657,6 +1318,23 @@ mod tests {
         assert_eq!(snap.rejected_invalid, 1);
         assert_eq!(snap.submitted, 0);
         service.shutdown();
+    }
+
+    #[test]
+    fn invalid_config_is_a_typed_error() {
+        fn start_err(config: ServiceConfig) -> ServiceError {
+            match Service::try_start(config) {
+                Ok(_) => panic!("config must be refused"),
+                Err(e) => e,
+            }
+        }
+        let err = start_err(ServiceConfig::default().workers(0));
+        assert!(matches!(err, ServiceError::Config(_)));
+        let err = start_err(ServiceConfig::default().online_floor(1.5));
+        assert!(err.to_string().contains("admission floor"));
+        // A journal path that cannot be created is typed, not a panic.
+        let err = start_err(ServiceConfig::default().journal("/nonexistent-dir/rds.wal"));
+        assert!(matches!(err, ServiceError::Journal(_)));
     }
 
     #[test]
@@ -819,5 +1497,134 @@ mod tests {
         // Shedding defers tasks, it does not remove them: the combined
         // schedule still covers the whole graph.
         assert!(out.schedule.validate_against(&i.graph).is_ok());
+    }
+
+    #[test]
+    fn brownout_ladder_degrades_sheds_and_opens() {
+        // A paused single-worker service with raw-depth tracking
+        // (alpha 1) walks the full ladder deterministically as the
+        // queue fills.
+        let i = inst(9);
+        let brown = BrownoutConfig::default()
+            .depths(2.0, 4.0, 6.0)
+            .alpha(1.0)
+            .cooldown(Duration::from_secs(3600));
+        let (service, rx) = Service::start(
+            ServiceConfig::default()
+                .workers(1)
+                .queue_capacity(32)
+                .brownout(brown)
+                .paused(),
+        );
+        // Depth 0, 1: normal admissions.
+        for n in 0..2 {
+            service
+                .submit(JobSpec::new(format!("n{n}"), Algo::Heft, Arc::clone(&i)))
+                .unwrap();
+        }
+        // Depth 2, 3: degrade — GA jobs are admitted but will come back
+        // as brownout-HEFT. Identical specs (same cache key): if the
+        // degraded result were cached, the second would surface as a hit.
+        for n in 0..2 {
+            service
+                .submit(
+                    JobSpec::new(format!("d{n}"), Algo::Ga, Arc::clone(&i))
+                        .seed(7)
+                        .generations(5),
+                )
+                .unwrap();
+        }
+        assert_eq!(service.metrics().brownout_level, "degrade");
+        // Depth 4: heavy-lane work is shed with a retry hint.
+        let err = service
+            .submit(JobSpec::new("shed-me", Algo::Ga, Arc::clone(&i)))
+            .unwrap_err();
+        assert!(
+            matches!(err, JobError::Overloaded { retry_after_ms, .. } if retry_after_ms == 250)
+        );
+        // Express jobs still pass while shedding (depth 4, 5).
+        for n in 0..2 {
+            service
+                .submit(JobSpec::new(format!("e{n}"), Algo::Heft, Arc::clone(&i)))
+                .unwrap();
+        }
+        // Depth 6: the breaker opens; even express is fast-rejected.
+        let err = service
+            .submit(JobSpec::new("fast", Algo::Heft, Arc::clone(&i)))
+            .unwrap_err();
+        assert!(matches!(err, JobError::Overloaded { .. }));
+        let snap = service.metrics();
+        assert_eq!(snap.brownout_level, "open");
+        assert_eq!(snap.brownout_shed, 1);
+        assert_eq!(snap.breaker_opens, 1);
+        assert!(snap.breaker_fast_rejections >= 1);
+        // Drain; the degraded GA jobs surface as brownout-HEFT, tagged
+        // and uncached.
+        service.resume();
+        let mut brownout_outputs = 0;
+        for _ in 0..6 {
+            let r = rx.recv().unwrap();
+            if let Ok(out) = &r.outcome {
+                if out.degraded == Degradation::Brownout {
+                    brownout_outputs += 1;
+                    assert!(!out.cache_hit, "brownout results must not be cached");
+                    assert_eq!(out.schedule, heft_schedule(&i).schedule);
+                }
+            }
+        }
+        let metrics = service.shutdown();
+        // Both identical GA jobs came back freshly degraded — the first
+        // one's brownout result was refused by the cache, so the second
+        // could not hit it. The three repeated HEFT jobs are the only
+        // cache hits.
+        assert_eq!(brownout_outputs, 2);
+        assert_eq!(metrics.brownout_degraded, 2);
+        assert_eq!(metrics.cache_hits, 3);
+        assert_eq!(metrics.cache_misses, 3);
+    }
+
+    #[test]
+    fn breaker_closes_through_half_open_probes() {
+        let i = inst(10);
+        let brown = BrownoutConfig::default()
+            .depths(2.0, 4.0, 6.0)
+            .alpha(1.0)
+            .cooldown(Duration::ZERO)
+            .half_open_probes(2);
+        let (service, rx) = Service::start(
+            ServiceConfig::default()
+                .workers(1)
+                .queue_capacity(32)
+                .brownout(brown)
+                .paused(),
+        );
+        for n in 0..7 {
+            let _ = service.submit(JobSpec::new(format!("j{n}"), Algo::Heft, Arc::clone(&i)));
+        }
+        assert_eq!(service.metrics().brownout_level, "open");
+        // Drain everything, then submit again: cooldown is zero, so the
+        // breaker goes half-open, sees an empty queue, and closes.
+        service.resume();
+        let accepted = service.metrics().submitted;
+        for _ in 0..accepted {
+            let _ = rx.recv();
+        }
+        service
+            .submit(JobSpec::new("after", Algo::Heft, Arc::clone(&i)))
+            .unwrap();
+        let level = service.metrics().brownout_level;
+        assert!(
+            level == "normal" || level == "half-open",
+            "breaker should be closing, got {level}"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn recover_requires_a_journal() {
+        let (service, _rx) = Service::start(ServiceConfig::default().workers(1));
+        let err = service.recover().unwrap_err();
+        assert!(matches!(err, ServiceError::Config(_)));
+        service.shutdown();
     }
 }

@@ -1,0 +1,280 @@
+//! Worker supervision: panic isolation, retry with capped backoff,
+//! wall-clock timeouts, and dead-worker restart bookkeeping.
+//!
+//! Each worker runs every job attempt behind `catch_unwind`, so a
+//! panicking scheduler costs one attempt, not the worker. A worker that
+//! dies anyway (the chaos harness injects exactly that) leaves its job
+//! registered in the [`WorkerTable`]'s in-flight slot; the supervisor
+//! thread notices the dead handle, rescues the job through the same
+//! retry ladder, and respawns the worker into the same slot — a job is
+//! never lost to a dead thread, and a slot never stays dead.
+//!
+//! Retries back off exponentially with deterministic jitter
+//! ([`SupervisorConfig::backoff`]), capped, and a job that exhausts its
+//! attempt cap becomes a typed `failed` result instead of a crash loop.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rds_stats::rng::SeedStream;
+
+use crate::service::QueuedJob;
+
+/// Supervision policy: attempt cap, backoff shape, per-job wall-clock
+/// timeout, and the supervisor's polling cadence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisorConfig {
+    /// Attempts per job before it is declared poison and failed (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the second attempt; doubles per further attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Wall-clock budget per attempt, enforced by the supervisor on top
+    /// of the cooperative deadline; `None` disables it.
+    pub job_timeout: Option<Duration>,
+    /// How often the supervisor checks for overdue attempts and dead
+    /// workers.
+    pub poll_interval: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(200),
+            job_timeout: None,
+            poll_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Sets the attempt cap.
+    #[must_use]
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        self.max_attempts = n;
+        self
+    }
+
+    /// Sets the backoff base.
+    #[must_use]
+    pub fn backoff_base(mut self, d: Duration) -> Self {
+        self.backoff_base = d;
+        self
+    }
+
+    /// Sets the backoff cap.
+    #[must_use]
+    pub fn backoff_cap(mut self, d: Duration) -> Self {
+        self.backoff_cap = d;
+        self
+    }
+
+    /// Sets the per-attempt wall-clock timeout.
+    #[must_use]
+    pub fn job_timeout(mut self, d: Duration) -> Self {
+        self.job_timeout = Some(d);
+        self
+    }
+
+    /// Sets the supervisor polling cadence.
+    #[must_use]
+    pub fn poll_interval(mut self, d: Duration) -> Self {
+        self.poll_interval = d;
+        self
+    }
+
+    /// The delay before retry number `attempt` (1-based): capped
+    /// exponential with deterministic jitter in `[50%, 150%]` of the
+    /// exponential step, so retrying jobs de-synchronize without making
+    /// test runs flaky.
+    #[must_use]
+    pub fn backoff(&self, id: &str, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(16);
+        let step = self
+            .backoff_base
+            .saturating_mul(1u32 << exp)
+            .min(self.backoff_cap);
+        let draw = SeedStream::new(0xB0FF)
+            .branch("backoff")
+            .branch(id)
+            .nth_seed(u64::from(attempt));
+        let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+        step.mul_f64(0.5 + unit).min(self.backoff_cap)
+    }
+}
+
+/// One job attempt currently running on a worker, registered so the
+/// supervisor can time it out or rescue it from a dead thread.
+pub(crate) struct InFlight {
+    /// The job (with its current attempt count) — a rescue re-enqueues
+    /// exactly this.
+    pub(crate) job: QueuedJob,
+    /// When this attempt started (timeout baseline).
+    pub(crate) started: Instant,
+    /// Raised by the supervisor to cancel the attempt cooperatively.
+    pub(crate) cancel: Arc<AtomicBool>,
+}
+
+/// Per-slot worker state shared between the pool, the supervisor, and
+/// shutdown: in-flight registration, thread handles, and clean-exit
+/// flags that distinguish drained workers from dead ones.
+pub(crate) struct WorkerTable {
+    slots: Vec<Mutex<Option<InFlight>>>,
+    handles: Vec<Mutex<Option<JoinHandle<()>>>>,
+    clean: Vec<AtomicBool>,
+    stop: AtomicBool,
+}
+
+fn relock<'a, T>(
+    guard: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    // Every critical section here is a single assignment or take; a
+    // poisoned lock means a worker died elsewhere, which is exactly the
+    // situation the table exists to survive.
+    guard.unwrap_or_else(PoisonError::into_inner)
+}
+
+impl WorkerTable {
+    pub(crate) fn new(workers: usize) -> Self {
+        Self {
+            slots: (0..workers).map(|_| Mutex::new(None)).collect(),
+            handles: (0..workers).map(|_| Mutex::new(None)).collect(),
+            clean: (0..workers).map(|_| AtomicBool::new(false)).collect(),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Registers the attempt now running on `slot`.
+    pub(crate) fn register(&self, slot: usize, inflight: InFlight) {
+        *relock(self.slots[slot].lock()) = Some(inflight);
+    }
+
+    /// Clears and returns `slot`'s in-flight attempt (worker finished it,
+    /// or the supervisor is rescuing it from a dead worker).
+    pub(crate) fn take(&self, slot: usize) -> Option<InFlight> {
+        relock(self.slots[slot].lock()).take()
+    }
+
+    /// Raises the cancel flag of an attempt that has overrun `timeout`.
+    /// Returns `true` when a cancellation was newly issued.
+    pub(crate) fn cancel_overdue(&self, slot: usize, timeout: Duration) -> bool {
+        let guard = relock(self.slots[slot].lock());
+        if let Some(inf) = guard.as_ref() {
+            if inf.started.elapsed() > timeout && !inf.cancel.swap(true, Ordering::Relaxed) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Installs a (re)spawned worker's handle, resetting its clean flag.
+    pub(crate) fn set_handle(&self, slot: usize, handle: JoinHandle<()>) {
+        self.clean[slot].store(false, Ordering::Release);
+        *relock(self.handles[slot].lock()) = Some(handle);
+    }
+
+    /// Marks a worker's normal (drained-queue) exit; called as the last
+    /// statement of the worker loop.
+    pub(crate) fn mark_clean(&self, slot: usize) {
+        self.clean[slot].store(true, Ordering::Release);
+    }
+
+    /// Takes the handle of a worker that died without a clean exit, if
+    /// any — the supervisor's death-detection probe.
+    pub(crate) fn take_dead(&self, slot: usize) -> Option<JoinHandle<()>> {
+        if self.clean[slot].load(Ordering::Acquire) {
+            return None;
+        }
+        let mut guard = relock(self.handles[slot].lock());
+        if guard.as_ref().is_some_and(JoinHandle::is_finished) {
+            return guard.take();
+        }
+        None
+    }
+
+    /// Whether every slot's worker has exited cleanly — the shutdown
+    /// drain condition (dead workers are respawned by the supervisor
+    /// until their replacement drains and exits clean).
+    pub(crate) fn all_clean(&self) -> bool {
+        self.clean.iter().all(|c| c.load(Ordering::Acquire))
+    }
+
+    /// Tells the supervisor to stop.
+    pub(crate) fn request_stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    pub(crate) fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Joins every remaining worker handle (shutdown's final step, after
+    /// the supervisor has stopped).
+    pub(crate) fn join_all(&self) {
+        for h in &self.handles {
+            if let Some(handle) = relock(h.lock()).take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let cfg = SupervisorConfig::default();
+        assert_eq!(cfg.backoff("j", 1), cfg.backoff("j", 1));
+        // Jitter keeps every delay within [base/2, cap].
+        for attempt in 1..10 {
+            let d = cfg.backoff("j", attempt);
+            assert!(d >= cfg.backoff_base / 2, "attempt {attempt}: {d:?}");
+            assert!(d <= cfg.backoff_cap, "attempt {attempt}: {d:?}");
+        }
+        // The cap binds for late attempts even with max jitter.
+        assert!(cfg.backoff("j", 30) <= cfg.backoff_cap);
+        // Different ids jitter differently somewhere in the ladder.
+        let a: Vec<Duration> = (1..8).map(|n| cfg.backoff("a", n)).collect();
+        let b: Vec<Duration> = (1..8).map(|n| cfg.backoff("b", n)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn table_tracks_clean_and_dead_workers() {
+        let table = WorkerTable::new(2);
+        assert!(!table.all_clean());
+        // Slot 0 exits cleanly; slot 1 dies by panic.
+        let t0 = std::thread::spawn(|| {});
+        table.set_handle(0, t0);
+        table.mark_clean(0);
+        let t1 = std::thread::spawn(|| panic!("deliberate test panic"));
+        table.set_handle(1, t1);
+        // Wait for the panicking thread to actually finish.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let dead = loop {
+            if let Some(h) = table.take_dead(1) {
+                break h;
+            }
+            assert!(Instant::now() < deadline, "dead worker never detected");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        assert!(dead.join().is_err());
+        // A clean slot is never reported dead.
+        assert!(table.take_dead(0).is_none());
+        assert!(!table.all_clean());
+        table.mark_clean(1);
+        assert!(table.all_clean());
+        table.join_all();
+    }
+}

@@ -1,0 +1,203 @@
+//! Supervision under injected chaos: a worker panic mid-job must end in
+//! a retried success or a typed `failed` result — never a lost job or a
+//! permanently dead worker slot — and the quiet path (chaos off, no
+//! journal) must stay bit-identical to the plain service.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rds_sched::{Instance, InstanceSpec};
+use rds_service::{
+    Algo, JobError, JobSpec, Service, ServiceChaos, ServiceConfig, SupervisorConfig,
+};
+
+fn inst(seed: u64, tasks: usize, procs: usize) -> Arc<Instance> {
+    Arc::new(
+        InstanceSpec::new(tasks, procs)
+            .seed(seed)
+            .build()
+            .expect("test instance"),
+    )
+}
+
+fn jobs(n: usize) -> Vec<JobSpec> {
+    let shared = inst(77, 16, 3);
+    (0..n)
+        .map(|i| JobSpec::new(format!("job-{i:02}"), Algo::Heft, Arc::clone(&shared)))
+        .collect()
+}
+
+/// Every submitted job comes back exactly once with a terminal outcome,
+/// even when chaos kills worker threads mid-job: a panicked attempt is
+/// retried on a fresh worker, and a poison job (panicking every attempt)
+/// surfaces as a typed `failed` — never a hang or a missing result.
+#[test]
+fn worker_panics_never_lose_jobs() {
+    for &panic_rate in &[0.3, 1.0] {
+        let n = 12;
+        let config = ServiceConfig::default()
+            .workers(3)
+            .supervisor(
+                SupervisorConfig::default()
+                    .max_attempts(3)
+                    .backoff_base(Duration::from_millis(1))
+                    .backoff_cap(Duration::from_millis(5)),
+            )
+            .chaos(ServiceChaos::seeded(42).panic_rate(panic_rate));
+        let (results, metrics) = Service::run_batch(config, jobs(n));
+
+        assert_eq!(
+            results.len(),
+            n,
+            "panic rate {panic_rate}: a job went missing"
+        );
+        let mut ids: Vec<&str> = results.iter().map(|r| r.id.as_str()).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "panic rate {panic_rate}: duplicated result");
+        for r in &results {
+            match &r.outcome {
+                Ok(out) => assert!(out.makespan > 0.0),
+                Err(JobError::Failed(reason)) => {
+                    assert!(
+                        reason.contains("gave up"),
+                        "panic rate {panic_rate}: unexpected failure: {reason}"
+                    );
+                }
+                Err(other) => panic!("panic rate {panic_rate}: unexpected error {other}"),
+            }
+        }
+        // Chaos fired and the supervisor answered: every panic produced
+        // either a retry or (at the attempt cap) a typed failure.
+        assert!(
+            metrics.worker_panics > 0,
+            "panic rate {panic_rate}: chaos never fired"
+        );
+        assert_eq!(
+            metrics.completed + metrics.failed,
+            n as u64,
+            "panic rate {panic_rate}: terminal accounting is off"
+        );
+        if panic_rate < 1.0 {
+            assert!(
+                metrics.completed > 0,
+                "some jobs must survive at rate {panic_rate}"
+            );
+        }
+    }
+}
+
+/// After chaos kills workers, the supervisor restarts them into the same
+/// slots: a follow-up chaos-free batch on the same service still
+/// completes, proving no slot died permanently.
+#[test]
+fn dead_worker_slots_are_restarted() {
+    let config = ServiceConfig::default()
+        .workers(2)
+        .supervisor(
+            SupervisorConfig::default()
+                .max_attempts(4)
+                .backoff_base(Duration::from_millis(1))
+                .backoff_cap(Duration::from_millis(5)),
+        )
+        .chaos(ServiceChaos::seeded(7).panic_rate(0.8));
+    let (service, rx) = Service::start(config);
+    for spec in jobs(8) {
+        service.submit_blocking(spec).expect("accepted");
+    }
+    let mut terminal = 0;
+    while terminal < 8 {
+        let r = rx.recv().expect("service alive");
+        assert!(matches!(&r.outcome, Ok(_) | Err(JobError::Failed(_))));
+        terminal += 1;
+    }
+    let metrics = service.metrics();
+    assert!(metrics.worker_panics > 0, "chaos never fired");
+    assert!(
+        metrics.worker_restarts >= 1,
+        "a dead worker must have been restarted into its slot"
+    );
+    service.shutdown();
+}
+
+/// A stalled attempt trips the per-job wall-clock timeout, is cancelled
+/// cooperatively, and the job is retried — ending terminal, not hung.
+#[test]
+fn stalled_jobs_time_out_and_finish() {
+    let config = ServiceConfig::default()
+        .workers(2)
+        .supervisor(
+            SupervisorConfig::default()
+                .max_attempts(2)
+                .job_timeout(Duration::from_millis(30))
+                .poll_interval(Duration::from_millis(2))
+                .backoff_base(Duration::from_millis(1))
+                .backoff_cap(Duration::from_millis(2)),
+        )
+        .chaos(
+            ServiceChaos::seeded(9)
+                .stall_rate(1.0)
+                .stall(Duration::from_secs(60)),
+        );
+    let (results, metrics) = Service::run_batch(config, jobs(3));
+    assert_eq!(results.len(), 3);
+    for r in &results {
+        let Err(JobError::Failed(reason)) = &r.outcome else {
+            panic!("an always-stalling job cannot succeed: {:?}", r.id);
+        };
+        assert!(reason.contains("gave up"), "got: {reason}");
+    }
+    assert!(
+        metrics.job_timeouts >= 3,
+        "timeouts: {}",
+        metrics.job_timeouts
+    );
+}
+
+/// The quiet path promise: with chaos off and no journal configured, the
+/// crash-safety machinery is inert — results are bit-identical to the
+/// seed service's output for the same batch.
+#[test]
+fn quiet_path_is_bit_identical_to_plain_service() {
+    let mk_jobs = || {
+        let a = inst(11, 20, 3);
+        let b = inst(22, 15, 4);
+        vec![
+            JobSpec::new("h-a", Algo::Heft, Arc::clone(&a)),
+            JobSpec::new("c-b", Algo::Cpop, Arc::clone(&b)),
+            JobSpec::new("g-a", Algo::Ga, Arc::clone(&a))
+                .seed(5)
+                .generations(8),
+            JobSpec::new("s-b", Algo::Sheft { k: 1.0 }, Arc::clone(&b)),
+        ]
+    };
+    let plain = ServiceConfig::default().workers(1);
+    let hardened = ServiceConfig::default().workers(1).supervisor(
+        SupervisorConfig::default()
+            .max_attempts(5)
+            .backoff_base(Duration::from_millis(1))
+            .backoff_cap(Duration::from_millis(8)),
+    );
+    let (a, ma) = Service::run_batch(plain, mk_jobs());
+    let (b, mb) = Service::run_batch(hardened, mk_jobs());
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.id, y.id);
+        let (ox, oy) = (
+            x.outcome.as_ref().expect("quiet job succeeds"),
+            y.outcome.as_ref().expect("quiet job succeeds"),
+        );
+        assert_eq!(ox.schedule, oy.schedule, "job {}", x.id);
+        assert_eq!(ox.makespan.to_bits(), oy.makespan.to_bits(), "job {}", x.id);
+        assert_eq!(
+            ox.avg_slack.to_bits(),
+            oy.avg_slack.to_bits(),
+            "job {}",
+            x.id
+        );
+        assert_eq!(ox.degraded, oy.degraded, "job {}", x.id);
+    }
+    assert_eq!(ma.completed, mb.completed);
+    assert_eq!(ma.worker_panics + mb.worker_panics, 0);
+    assert_eq!(ma.retries + mb.retries, 0);
+    assert_eq!(mb.journal_records, 0, "no journal configured, none written");
+}

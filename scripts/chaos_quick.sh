@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# Chaos smoke: the crash-safety promises exercised end to end.
+#
+#  1. Kill-and-recover round trip through the CLI: a journaled serve whose
+#     journal file is cut at byte N mid-run (chaos --chaos-kill-at, the
+#     file state of a `kill -9`); a second incarnation replays the
+#     surviving obligation and must account for every journaled job.
+#  2. Brownout flood: a held serve flooded past its ladder fast-rejects
+#     with a retry-after hint instead of queueing unbounded work.
+#  3. The `figures chaos` study (worker panics, restart recovery,
+#     brownout accounting at three panic rates), snapshotted into
+#     BENCH_serve.json — any nonzero `lost:*` value fails the run.
+#
+# Usage:
+#   scripts/chaos_quick.sh          # build + run (CI entry point)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -z "${RDS:-}" ]; then
+  cargo build --release --workspace
+  RDS=target/release/rds
+fi
+FIGURES="${FIGURES:-target/release/figures}"
+OUT="${BENCH_OUT:-BENCH_serve.json}"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "chaos_quick: FAIL: $*" >&2; exit 1; }
+
+# --- 1. Kill-and-recover round trip. ------------------------------------
+"$RDS" gen --tasks 20 --procs 3 --seed 13 -o "$TMP/inst.rds" >/dev/null
+"$RDS" submit -i "$TMP/inst.rds" --algo heft --id job-0 --emit 1 > "$TMP/job.rds"
+for n in 0 1 2 3 4 5 6 7; do
+  sed "s/^id job-0$/id job-$n/" "$TMP/job.rds"
+done > "$TMP/jobs.rds"
+
+# First incarnation: hold mode journals all eight accepts before any
+# job runs; the journal file freezes mid-way through the third accepted
+# record (simulated crash mid-write) while the process drains normally.
+KILL_AT=$(( $(wc -c < "$TMP/job.rds") * 5 / 2 ))
+"$RDS" serve --workers 2 --hold 1 --journal "$TMP/jobs.wal" \
+  --chaos-seed 5 --chaos-kill-at "$KILL_AT" \
+  < "$TMP/jobs.rds" > "$TMP/r1.rds" 2> "$TMP/m1.txt"
+[ "$(grep -c '^status ok$' "$TMP/r1.rds")" = 8 ] \
+  || fail "first incarnation lost a job: $(cat "$TMP/r1.rds")"
+[ -s "$TMP/jobs.wal" ] || fail "journal was never written"
+
+# Second incarnation: recover the cut journal, accept nothing new.
+"$RDS" serve --workers 2 --journal "$TMP/jobs.wal" --recover 1 \
+  < /dev/null > "$TMP/r2.rds" 2> "$TMP/m2.txt"
+grep -q '^recovery: ' "$TMP/m2.txt" \
+  || fail "no recovery report: $(cat "$TMP/m2.txt")"
+REC_LINE=$(grep '^recovery: ' "$TMP/m2.txt")
+REPLAYED=$(echo "$REC_LINE" | sed -n 's/^recovery: \([0-9]*\) replayed.*/\1/p')
+REC_FAILED=$(echo "$REC_LINE" | sed -n 's/.*\/ \([0-9]*\) failed.*/\1/p')
+RESULTS=$(grep -c '^end rds-result$' "$TMP/r2.rds" || true)
+[ "$REPLAYED" -gt 0 ] || fail "the cut journal owed jobs, none were replayed"
+[ "$RESULTS" = "$((REPLAYED + REC_FAILED))" ] \
+  || fail "replayed $REPLAYED (+$REC_FAILED failed) but emitted $RESULTS results"
+[ "$(grep -c '^status ok$' "$TMP/r2.rds")" = "$REPLAYED" ] \
+  || fail "a replayed job did not complete: $(cat "$TMP/r2.rds")"
+
+# Third incarnation: the journal now shows everything terminal.
+"$RDS" serve --workers 1 --journal "$TMP/jobs.wal" --recover 1 \
+  < /dev/null > "$TMP/r3.rds" 2> "$TMP/m3.txt"
+grep -q '^recovery: 0 replayed' "$TMP/m3.txt" \
+  || fail "recovery is not idempotent: $(cat "$TMP/m3.txt")"
+
+# --- 2. Brownout flood fast-rejects with a retry hint. -------------------
+for n in 0 1 2 3 4 5 6 7 8 9 10 11; do
+  sed "s/^id job-0$/id flood-$n/" "$TMP/job.rds"
+done > "$TMP/flood.rds"
+"$RDS" serve --workers 1 --hold 1 --brownout 1 \
+  --brownout-degrade 2 --brownout-shed 4 --brownout-open 6 \
+  --brownout-retry-ms 75 \
+  < "$TMP/flood.rds" > "$TMP/flood_results.rds" 2> "$TMP/flood_metrics.txt"
+grep -q '^status rejected$' "$TMP/flood_results.rds" \
+  || fail "flood past the open depth was not fast-rejected"
+grep -q '^retry-after-ms 75$' "$TMP/flood_results.rds" \
+  || fail "fast rejection carries no retry-after hint"
+[ "$(grep -c '^status ok$' "$TMP/flood_results.rds")" -ge 1 ] \
+  || fail "brownout must degrade, not refuse everything"
+
+# --- 3. Chaos study → BENCH_serve.json, zero loss enforced. --------------
+# (stderr holds the injected worker-panic backtraces — noise by design.)
+"$FIGURES" chaos --out "$TMP/results" > "$TMP/chaos_table.txt" \
+  2> "$TMP/chaos_stderr.txt" \
+  || { cat "$TMP/chaos_stderr.txt" >&2; fail "figures chaos failed"; }
+[ -f "$TMP/results/chaos.csv" ] || fail "chaos study wrote no CSV"
+
+python3 - "$TMP/results/chaos.csv" "$OUT" <<'PY'
+import csv
+import json
+import sys
+
+csv_path, out_path = sys.argv[1], sys.argv[2]
+series = {}
+with open(csv_path) as f:
+    for row in csv.DictReader(f):
+        series.setdefault(row["series"], {})[row["x"]] = float(row["y"])
+
+lost = {
+    name: points
+    for name, points in series.items()
+    if name.startswith("lost:") or name == "pending:live"
+}
+bad = {
+    name: {x: y for x, y in points.items() if y != 0.0}
+    for name, points in lost.items()
+}
+bad = {name: pts for name, pts in bad.items() if pts}
+if bad:
+    print(f"chaos_quick: FAIL: jobs lost under chaos: {bad}", file=sys.stderr)
+    sys.exit(1)
+
+snapshot = {
+    "zero_loss": True,
+    "panic_rates": sorted({x for pts in series.values() for x in pts}),
+    "series": series,
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"chaos_quick: wrote {out_path} (zero job loss at every panic rate)")
+PY
+
+echo "chaos_quick: all checks passed"

@@ -44,12 +44,20 @@ const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt|serve|submit> [fla
   gantt    -i INSTANCE -s SCHEDULE [--width W] [--svg FILE] [--trace FILE]
   serve    [--workers N] [--queue-cap N] [--cache-cap N] [--hold 1]
            [--online-floor P] [--online-samples N]
+           [--journal FILE [--recover 1]: durable job journal + replay]
+           [--max-attempts N] [--job-timeout-ms D]
+           [--brownout 1 [--brownout-degrade D --brownout-shed D
+            --brownout-open D] [--brownout-retry-ms MS]]
+           [--chaos-seed S [--chaos-panic-rate P] [--chaos-stall-rate P]
+            [--chaos-stall-ms MS] [--chaos-journal-error-rate P]
+            [--chaos-kill-at BYTES]]
            reads rds-job envelopes from stdin, writes rds-result envelopes
            to stdout, metrics to stderr at shutdown
   submit   -i INSTANCE [--algo A] [--epsilon E] [--seed S] [--generations G]
-           [--deadline-ms D] [--lane express|online|heavy] [--id ID]
-           [--arrival T --deadline T: online job in simulated time]
-           [-o FILE] [--emit 1: print the job envelope instead of running it]";
+           [--deadline-ms D] [--timeout MS] [--lane express|online|heavy]
+           [--id ID] [--arrival T --deadline T: online job in simulated time]
+           [-o FILE] [--emit 1: print the job envelope instead of running it]
+           exits non-zero on failed, rejected, or deadline-missing jobs";
 
 /// Parses `--flag value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -260,7 +268,7 @@ fn cmd_eval(flags: &HashMap<String, String>) -> Result<(), String> {
         };
         let timing = inst.timing.clone().with_law(law);
         inst = Instance::new(inst.graph, inst.platform, timing)
-            .expect("law swap preserves dimensions");
+            .map_err(|e| format!("instance became inconsistent after law swap: {e}"))?;
     }
     let mc = RealizationConfig::with_realizations(realizations).seed(seed);
     let rep = monte_carlo(&inst, &schedule, &mc)
@@ -324,8 +332,12 @@ where
 /// The scheduling service behind line-framed envelopes: jobs in on stdin,
 /// results out on stdout, metrics on stderr at shutdown.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
-    use rds::service::{JobError, JobResult, JobSpec, Lane, Service, ServiceConfig};
+    use rds::service::{
+        BrownoutConfig, JobError, JobResult, JobSpec, Lane, Service, ServiceChaos, ServiceConfig,
+        SupervisorConfig,
+    };
     use std::io::{BufRead as _, Write as _};
+    use std::time::Duration;
 
     let workers: usize = get(flags, "workers", 2)?;
     let queue_cap: usize = get(flags, "queue-cap", 64)?;
@@ -333,28 +345,81 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     let hold: usize = get(flags, "hold", 0)?;
     let online_floor: f64 = get(flags, "online-floor", 0.5)?;
     let online_samples: usize = get(flags, "online-samples", 64)?;
-    if workers == 0 || queue_cap == 0 {
-        return Err("serve needs --workers >= 1 and --queue-cap >= 1".into());
-    }
-    if !(0.0..=1.0).contains(&online_floor) {
-        return Err("serve needs --online-floor in [0, 1]".into());
-    }
-    if online_samples == 0 {
-        return Err("serve needs --online-samples >= 1".into());
-    }
 
+    // Bad values surface as the service's own typed config error at start.
     let mut config = ServiceConfig::default()
         .workers(workers)
         .queue_capacity(queue_cap)
         .cache_capacity(cache_cap)
         .online_floor(online_floor)
         .online_samples(online_samples);
+
+    // Durability: journal accepted jobs, optionally replay survivors.
+    if let Some(path) = flags.get("journal") {
+        config = config.journal(path);
+    }
+    let recover: usize = get(flags, "recover", 0)?;
+    if recover != 0 && config.journal.is_none() {
+        return Err("serve --recover requires --journal PATH".into());
+    }
+
+    // Supervision knobs.
+    let mut sup = SupervisorConfig::default();
+    if let Some(n) = get_opt::<u32>(flags, "max-attempts")? {
+        sup = sup.max_attempts(n);
+    }
+    if let Some(ms) = get_opt::<u64>(flags, "job-timeout-ms")? {
+        sup = sup.job_timeout(Duration::from_millis(ms));
+    }
+    config = config.supervisor(sup);
+
+    // Overload brownout ladder.
+    if get::<usize>(flags, "brownout", 0)? != 0 {
+        let mut brown = BrownoutConfig::default();
+        brown = brown.depths(
+            get(flags, "brownout-degrade", brown.degrade_depth)?,
+            get(flags, "brownout-shed", brown.shed_depth)?,
+            get(flags, "brownout-open", brown.open_depth)?,
+        );
+        brown = brown.retry_after_ms(get(flags, "brownout-retry-ms", brown.retry_after_ms)?);
+        config = config.brownout(brown);
+    }
+
+    // Chaos injection (testing only; all off by default).
+    if let Some(seed) = get_opt::<u64>(flags, "chaos-seed")? {
+        let mut chaos = ServiceChaos::seeded(seed)
+            .panic_rate(get(flags, "chaos-panic-rate", 0.0)?)
+            .stall_rate(get(flags, "chaos-stall-rate", 0.0)?)
+            .journal_error_rate(get(flags, "chaos-journal-error-rate", 0.0)?);
+        if let Some(ms) = get_opt::<u64>(flags, "chaos-stall-ms")? {
+            chaos = chaos.stall(Duration::from_millis(ms));
+        }
+        if let Some(n) = get_opt::<u64>(flags, "chaos-kill-at")? {
+            chaos = chaos.journal_kill_at(n);
+        }
+        config = config.chaos(chaos);
+    }
+
     if hold != 0 {
         // Hold mode: queue everything first, drain only after stdin EOF.
         // Makes queue-overflow behavior deterministic for smoke tests.
         config = config.paused();
     }
-    let (service, results_rx) = Service::start(config);
+    let (service, results_rx) = Service::try_start(config).map_err(|e| e.to_string())?;
+    if recover != 0 {
+        let report = service.recover().map_err(|e| e.to_string())?;
+        eprintln!(
+            "recovery: {} replayed / {} already completed / {} failed{}",
+            report.replayed,
+            report.already_completed,
+            report.failed,
+            if report.torn {
+                " / torn tail repaired"
+            } else {
+                ""
+            },
+        );
+    }
     let injector = service.result_sender();
 
     // Writer thread: the only stdout producer, so result envelopes from
@@ -445,8 +510,13 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
     }
 
     let exe = std::env::current_exe().map_err(|e| format!("locating rds binary: {e}"))?;
+    let mut serve_args = vec!["serve".to_owned(), "--workers".to_owned(), "1".to_owned()];
+    if let Some(ms) = get_opt::<u64>(flags, "timeout")? {
+        serve_args.push("--job-timeout-ms".to_owned());
+        serve_args.push(ms.to_string());
+    }
     let mut child = Command::new(exe)
-        .args(["serve", "--workers", "1"])
+        .args(&serve_args)
         .stdin(Stdio::piped())
         .stdout(Stdio::piped())
         .stderr(Stdio::null())
@@ -486,6 +556,11 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
             "online verdict {verdict} (admission probability {:.3})",
             result.probability.unwrap_or(f64::NAN)
         );
+        // A missed deadline is a scheduling failure even though the
+        // service completed the job; scripts keying on exit status care.
+        if verdict == "miss" {
+            return Err(format!("job {} missed its deadline", result.id));
+        }
     }
     let schedule = result
         .schedule
