@@ -335,6 +335,10 @@ pub struct JobEnvelope {
     pub instance: Instance,
 }
 
+/// Header line of a job envelope (networked framing dispatches on it).
+pub const JOB_HEADER: &str = "rds-job v1";
+/// Header line of a result envelope.
+pub const RESULT_HEADER: &str = "rds-result v1";
 /// Terminator line of a job envelope.
 pub const JOB_END: &str = "end rds-job";
 /// Terminator line of a result envelope.
@@ -344,7 +348,7 @@ pub const RESULT_END: &str = "end rds-result";
 #[must_use]
 pub fn write_job(job: &JobEnvelope) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "rds-job v1");
+    let _ = writeln!(out, "{JOB_HEADER}");
     let _ = writeln!(out, "id {}", job.id);
     let _ = writeln!(out, "algo {}", job.algo);
     let _ = writeln!(out, "epsilon {:?}", job.epsilon);
@@ -389,8 +393,8 @@ pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
         .by_ref()
         .find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
         .ok_or_else(|| err(0, "empty input"))?;
-    if header != "rds-job v1" {
-        return Err(err(ln, format!("expected 'rds-job v1', got '{header}'")));
+    if header != JOB_HEADER {
+        return Err(err(ln, format!("expected '{JOB_HEADER}', got '{header}'")));
     }
     let mut id = None;
     let mut algo = None;
@@ -552,7 +556,7 @@ pub struct ResultEnvelope {
 #[must_use]
 pub fn write_result(res: &ResultEnvelope) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "rds-result v1");
+    let _ = writeln!(out, "{RESULT_HEADER}");
     let _ = writeln!(out, "id {}", res.id);
     let _ = writeln!(out, "status {}", res.status);
     if let Some(c) = &res.cache {
@@ -599,8 +603,11 @@ pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
         .by_ref()
         .find(|(_, l)| !l.is_empty() && !l.starts_with('#'))
         .ok_or_else(|| err(0, "empty input"))?;
-    if header != "rds-result v1" {
-        return Err(err(ln, format!("expected 'rds-result v1', got '{header}'")));
+    if header != RESULT_HEADER {
+        return Err(err(
+            ln,
+            format!("expected '{RESULT_HEADER}', got '{header}'"),
+        ));
     }
     let mut res = ResultEnvelope {
         id: String::new(),

@@ -71,6 +71,53 @@ impl CacheKey {
             generations: generations.map_or(u64::MAX, |g| g as u64),
         }
     }
+
+    /// The instance fingerprint component of the key — shard routing and
+    /// cache-replication target selection key off it.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Decomposes the key into its wire fields for cache replication:
+    /// `(fingerprint, algo, algo-param bits, epsilon bits, seed,
+    /// generations)` — exactly what [`CacheKey::from_wire`] rebuilds.
+    #[must_use]
+    pub fn to_wire(&self) -> (u64, &'static str, u64, u64, u64, u64) {
+        (
+            self.fingerprint,
+            self.algo,
+            self.algo_param,
+            self.epsilon,
+            self.seed,
+            self.generations,
+        )
+    }
+
+    /// Rebuilds a key from wire fields received from a peer shard. The
+    /// algo name is routed through [`Algo::parse`] so a gossiped key is
+    /// pointer-identical to a locally built one.
+    ///
+    /// # Errors
+    /// Returns the unknown algo name.
+    pub fn from_wire(
+        fingerprint: u64,
+        algo: &str,
+        algo_param: u64,
+        epsilon: u64,
+        seed: u64,
+        generations: u64,
+    ) -> Result<Self, String> {
+        let algo = Algo::parse(algo)?;
+        Ok(Self {
+            fingerprint,
+            algo: algo.name(),
+            algo_param,
+            epsilon,
+            seed,
+            generations,
+        })
+    }
 }
 
 /// A cached schedule with its expected-time accounting.
@@ -219,6 +266,20 @@ mod tests {
         assert_ne!(k1, base, "algo");
         sheft.algo = Algo::Sheft { k: 2.0 };
         assert_ne!(CacheKey::for_job(&sheft), k1, "algo param");
+    }
+
+    #[test]
+    fn key_roundtrips_through_wire_fields() {
+        for algo in [Algo::Heft, Algo::Ga, Algo::Sheft { k: 1.5 }] {
+            let mut s = spec(4, algo);
+            s.generations = Some(40);
+            let key = CacheKey::for_job(&s);
+            let (fp, name, param, eps, seed, gens) = key.to_wire();
+            assert_eq!(fp, key.fingerprint());
+            let back = CacheKey::from_wire(fp, name, param, eps, seed, gens).unwrap();
+            assert_eq!(back, key);
+        }
+        assert!(CacheKey::from_wire(1, "quantum", 0, 0, 0, u64::MAX).is_err());
     }
 
     #[test]

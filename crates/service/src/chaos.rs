@@ -38,6 +38,21 @@ pub struct ServiceChaos {
     /// the tail of the final record is torn exactly at the boundary, as
     /// if the process had been killed mid-`write(2)`.
     pub journal_kill_at: Option<u64>,
+    /// Probability that a freshly accepted TCP connection is dropped
+    /// before any frame is read (a refused/reset connection).
+    pub net_refuse_rate: f64,
+    /// Probability that a result frame is cut mid-write and the socket
+    /// closed — the client sees a torn frame, exactly as a shard dying
+    /// mid-`write(2)` would produce.
+    pub net_cut_rate: f64,
+    /// Probability that a reply is silently dropped (written nowhere),
+    /// leaving the client to its read timeout.
+    pub net_drop_rate: f64,
+    /// Probability that a reply stalls for [`ServiceChaos::net_stall`]
+    /// before being written (a slow peer / congested link).
+    pub net_stall_rate: f64,
+    /// Injected socket stall length.
+    pub net_stall: Duration,
 }
 
 impl Default for ServiceChaos {
@@ -49,6 +64,11 @@ impl Default for ServiceChaos {
             stall: Duration::from_millis(50),
             journal_error_rate: 0.0,
             journal_kill_at: None,
+            net_refuse_rate: 0.0,
+            net_cut_rate: 0.0,
+            net_drop_rate: 0.0,
+            net_stall_rate: 0.0,
+            net_stall: Duration::from_millis(50),
         }
     }
 }
@@ -99,6 +119,41 @@ impl ServiceChaos {
         self
     }
 
+    /// Sets the connection-refusal rate.
+    #[must_use]
+    pub fn net_refuse_rate(mut self, rate: f64) -> Self {
+        self.net_refuse_rate = rate;
+        self
+    }
+
+    /// Sets the mid-frame cut rate.
+    #[must_use]
+    pub fn net_cut_rate(mut self, rate: f64) -> Self {
+        self.net_cut_rate = rate;
+        self
+    }
+
+    /// Sets the reply-drop rate.
+    #[must_use]
+    pub fn net_drop_rate(mut self, rate: f64) -> Self {
+        self.net_drop_rate = rate;
+        self
+    }
+
+    /// Sets the socket-stall rate.
+    #[must_use]
+    pub fn net_stall_rate(mut self, rate: f64) -> Self {
+        self.net_stall_rate = rate;
+        self
+    }
+
+    /// Sets the injected socket stall length.
+    #[must_use]
+    pub fn net_stall(mut self, d: Duration) -> Self {
+        self.net_stall = d;
+        self
+    }
+
     /// `true` when any injection site is armed.
     #[must_use]
     pub fn is_armed(&self) -> bool {
@@ -106,6 +161,10 @@ impl ServiceChaos {
             || self.stall_rate > 0.0
             || self.journal_error_rate > 0.0
             || self.journal_kill_at.is_some()
+            || self.net_refuse_rate > 0.0
+            || self.net_cut_rate > 0.0
+            || self.net_drop_rate > 0.0
+            || self.net_stall_rate > 0.0
     }
 
     /// The deterministic injection decision for `site` on `(id, attempt)`:
@@ -145,6 +204,33 @@ impl ServiceChaos {
         // Record index doubles as the "attempt": one decision per record.
         let idx = u32::try_from(record % u64::from(u32::MAX)).unwrap_or(u32::MAX);
         self.fires("chaos-journal", "wal", idx, self.journal_error_rate)
+    }
+
+    /// Whether connection number `conn` is dropped at accept.
+    #[must_use]
+    pub fn refuses_connect(&self, conn: u64) -> bool {
+        let idx = u32::try_from(conn % u64::from(u32::MAX)).unwrap_or(u32::MAX);
+        self.fires("chaos-net-refuse", "conn", idx, self.net_refuse_rate)
+    }
+
+    /// Whether delivery `attempt` of job `id`'s reply is cut mid-frame.
+    /// Keyed per delivery attempt (not per job), so a router retry of the
+    /// same id draws fresh — deterministic but not sticky.
+    #[must_use]
+    pub fn cuts_frame(&self, id: &str, attempt: u32) -> bool {
+        self.fires("chaos-net-cut", id, attempt, self.net_cut_rate)
+    }
+
+    /// Whether delivery `attempt` of job `id`'s reply is dropped.
+    #[must_use]
+    pub fn drops_reply(&self, id: &str, attempt: u32) -> bool {
+        self.fires("chaos-net-drop", id, attempt, self.net_drop_rate)
+    }
+
+    /// Whether delivery `attempt` of job `id`'s reply stalls first.
+    #[must_use]
+    pub fn stalls_socket(&self, id: &str, attempt: u32) -> bool {
+        self.fires("chaos-net-stall", id, attempt, self.net_stall_rate)
     }
 
     /// Sleeps for the configured stall in small slices, returning early
@@ -199,6 +285,28 @@ mod tests {
         let half = ServiceChaos::seeded(3).panic_rate(0.5);
         let fired: usize = (0..200).filter(|&a| half.panics("j", a)).count();
         assert!(fired > 50 && fired < 150, "fired {fired}/200");
+    }
+
+    #[test]
+    fn net_sites_draw_independently_and_per_attempt() {
+        let chaos = ServiceChaos::seeded(9).net_cut_rate(0.5).net_drop_rate(0.5);
+        assert_eq!(chaos.cuts_frame("j", 0), chaos.cuts_frame("j", 0));
+        // A redelivery draws fresh: the same ids at attempt 1 must not
+        // reproduce the attempt-0 pattern (else a dropped reply would be
+        // dropped on every retry, forever).
+        let a0: Vec<bool> = (0..64)
+            .map(|i| chaos.drops_reply(&format!("j{i}"), 0))
+            .collect();
+        let a1: Vec<bool> = (0..64)
+            .map(|i| chaos.drops_reply(&format!("j{i}"), 1))
+            .collect();
+        assert_ne!(a0, a1);
+        let cut: Vec<bool> = (0..64)
+            .map(|i| chaos.cuts_frame(&format!("j{i}"), 0))
+            .collect();
+        assert_ne!(cut, a0, "cut and drop draw from independent streams");
+        assert!(ServiceChaos::seeded(1).net_refuse_rate(0.1).is_armed());
+        assert!(!ServiceChaos::seeded(1).refuses_connect(5));
     }
 
     #[test]

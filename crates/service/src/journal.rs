@@ -64,6 +64,10 @@ struct JournalInner {
     killed: bool,
     records: u64,
     write_errors: u64,
+    compactions: u64,
+    /// Terminal records appended since the last compaction, for the
+    /// `compact_every` auto-trigger.
+    terminal_since_compact: u64,
 }
 
 /// The append-only journal writer.
@@ -71,10 +75,27 @@ pub struct Journal {
     inner: Mutex<JournalInner>,
     path: PathBuf,
     chaos: Option<ServiceChaos>,
+    /// Auto-compact after this many terminal records; `None` disables.
+    compact_every: Option<u64>,
 }
 
-/// Counters for the metrics snapshot: `(records written, write errors)`.
-pub type JournalStats = (u64, u64);
+/// Counters for the metrics snapshot:
+/// `(records written, write errors, compactions)`.
+pub type JournalStats = (u64, u64, u64);
+
+/// Outcome of one WAL compaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Accepted-but-unfinished records kept (rewritten as fresh
+    /// `accepted` records).
+    pub kept: usize,
+    /// Records dropped (terminal lifecycles and their attempt markers).
+    pub dropped: usize,
+    /// File size before compaction, bytes.
+    pub bytes_before: u64,
+    /// File size after compaction, bytes.
+    pub bytes_after: u64,
+}
 
 /// What a journal scan owes the restarting service.
 #[derive(Debug, Clone)]
@@ -140,6 +161,8 @@ impl Journal {
             killed: false,
             records: 0,
             write_errors: 0,
+            compactions: 0,
+            terminal_since_compact: 0,
         };
         use std::io::Seek as _;
         inner.file.seek(std::io::SeekFrom::End(0)).map_err(io_err)?;
@@ -147,6 +170,7 @@ impl Journal {
             inner: Mutex::new(inner),
             path: path.to_path_buf(),
             chaos,
+            compact_every: None,
         };
         if fresh {
             journal.write_raw(format!("{JOURNAL_HEADER}\n"), true)?;
@@ -158,6 +182,105 @@ impl Journal {
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// Auto-compacts the WAL after every `n` terminal records (`None` or
+    /// `Some(0)` disables). Set once at service start, before the journal
+    /// is shared.
+    pub fn set_compact_every(&mut self, n: Option<u64>) {
+        self.compact_every = n.filter(|&n| n > 0);
+    }
+
+    /// Rewrites the WAL keeping only accepted-but-unfinished records, so
+    /// sustained traffic cannot grow the file without bound. The new log
+    /// is written to a sibling temp file, fsync'd, and atomically renamed
+    /// over the live one — a crash mid-compaction leaves either the old
+    /// or the new file, never a mix. Pending jobs are re-sequenced from
+    /// zero; terminal lifecycles (and their attempt markers) vanish,
+    /// which is exactly equivalent to their jobs never having been
+    /// journaled.
+    ///
+    /// # Errors
+    /// [`JournalError::Io`] on any file-system failure, or when the chaos
+    /// kill boundary has frozen the file (compacting would resurrect a
+    /// "dead" journal).
+    pub fn compact(&self) -> Result<CompactionStats, JournalError> {
+        let io_err = |e: std::io::Error| JournalError::Io(format!("{}: {e}", self.path.display()));
+        let mut inner = self.lock();
+        if inner.killed {
+            return Err(JournalError::Io(format!(
+                "{}: journal frozen by chaos kill boundary",
+                self.path.display()
+            )));
+        }
+        let bytes = std::fs::read(&self.path).map_err(io_err)?;
+        let scan = scan_journal(&bytes);
+        let recovery = Self::recovery_from_records(&scan.records, scan.corrupt.is_some());
+        let mut text = format!("{JOURNAL_HEADER}\n");
+        let mut seq = 0u64;
+        for env in &recovery.pending {
+            let rec = JournalRecord {
+                seq,
+                kind: JournalKind::Accepted,
+                id: env.id.clone(),
+                payload: rds_sched::io::write_job(env),
+            };
+            text.push_str(&write_journal_record(&rec));
+            seq += 1;
+        }
+        let tmp = {
+            let mut s = self.path.as_os_str().to_owned();
+            s.push(".compact.tmp");
+            PathBuf::from(s)
+        };
+        {
+            let mut f = File::create(&tmp).map_err(io_err)?;
+            f.write_all(text.as_bytes()).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, &self.path).map_err(io_err)?;
+        // Best effort: persist the rename itself (the directory entry).
+        if let Some(dir) = self.path.parent() {
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        let mut file = OpenOptions::new()
+            .write(true)
+            .truncate(false)
+            .open(&self.path)
+            .map_err(io_err)?;
+        use std::io::Seek as _;
+        file.seek(std::io::SeekFrom::End(0)).map_err(io_err)?;
+        let stats = CompactionStats {
+            kept: recovery.pending.len(),
+            dropped: scan.records.len().saturating_sub(recovery.pending.len()),
+            bytes_before: bytes.len() as u64,
+            bytes_after: text.len() as u64,
+        };
+        inner.file = file;
+        inner.seq = seq;
+        inner.bytes = text.len() as u64;
+        inner.compactions += 1;
+        inner.terminal_since_compact = 0;
+        Ok(stats)
+    }
+
+    /// The `compact_every` auto-trigger, consulted after every terminal
+    /// record. Compaction trouble is swallowed: the append-only log is
+    /// still correct, just longer than it needs to be.
+    fn maybe_compact(&self) {
+        let Some(every) = self.compact_every else {
+            return;
+        };
+        let due = {
+            let mut inner = self.lock();
+            inner.terminal_since_compact += 1;
+            inner.terminal_since_compact >= every
+        };
+        if due {
+            let _ = self.compact();
+        }
     }
 
     /// Locks the writer, recovering from poisoning: every mutation below
@@ -271,6 +394,7 @@ impl Journal {
     /// replayed by the next recovery).
     pub fn completed(&self, id: &str) {
         let _ = self.append(JournalKind::Completed, id, String::new(), true);
+        self.maybe_compact();
     }
 
     /// Journals a post-acceptance rejection (terminal).
@@ -281,6 +405,7 @@ impl Journal {
             format!("{}\n", reason.replace(['\n', '\r'], " ")),
             true,
         );
+        self.maybe_compact();
     }
 
     /// Journals a terminal failure (attempt cap exceeded or scheduler
@@ -292,13 +417,15 @@ impl Journal {
             format!("{}\n", reason.replace(['\n', '\r'], " ")),
             true,
         );
+        self.maybe_compact();
     }
 
-    /// `(records written, write errors)` so far, for metrics.
+    /// `(records written, write errors, compactions)` so far, for
+    /// metrics.
     #[must_use]
     pub fn stats(&self) -> JournalStats {
         let inner = self.lock();
-        (inner.records, inner.write_errors)
+        (inner.records, inner.write_errors, inner.compactions)
     }
 
     /// `true` once the chaos kill boundary has been crossed.
@@ -484,7 +611,7 @@ mod tests {
         let j = Journal::open(&path, Some(chaos)).unwrap();
         let err = j.accepted(&env("a")).unwrap_err();
         assert!(matches!(err, JournalError::Io(_)));
-        assert_eq!(j.stats(), (0, 1));
+        assert_eq!(j.stats(), (0, 1, 0));
         // The failed record never reached the file.
         let rec = Journal::recover_file(&path).unwrap();
         assert!(rec.pending.is_empty());
@@ -511,5 +638,59 @@ mod tests {
     fn missing_file_recovers_empty() {
         let rec = Journal::recover_file(Path::new("/nonexistent/rds.wal")).unwrap();
         assert!(rec.pending.is_empty() && rec.completed.is_empty());
+    }
+
+    #[test]
+    fn compaction_keeps_only_pending_and_is_atomic() {
+        let path = tmp("compact");
+        let _ = std::fs::remove_file(&path);
+        let j = Journal::open(&path, None).unwrap();
+        for n in 0..6 {
+            j.accepted(&env(&format!("j{n}"))).unwrap();
+        }
+        for n in 0..5 {
+            j.started(&format!("j{n}"), 0);
+            j.completed(&format!("j{n}"));
+        }
+        let before = std::fs::metadata(&path).unwrap().len();
+        let stats = j.compact().unwrap();
+        assert_eq!(stats.kept, 1, "only j5 is still pending");
+        assert!(stats.dropped >= 15, "terminal lifecycles dropped");
+        assert_eq!(stats.bytes_before, before);
+        assert!(stats.bytes_after < stats.bytes_before);
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            stats.bytes_after,
+            "live file swapped atomically"
+        );
+        // The live handle keeps appending to the compacted file.
+        j.accepted(&env("late")).unwrap();
+        j.completed("j5");
+        assert_eq!(j.stats().2, 1);
+        drop(j);
+        let rec = Journal::recover_file(&path).unwrap();
+        assert_eq!(rec.pending.len(), 1);
+        assert_eq!(rec.pending[0].id, "late");
+        assert!(rec.completed.contains(&"j5".to_owned()));
+        assert!(!rec.torn);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn auto_compaction_triggers_every_n_terminals() {
+        let path = tmp("autocompact");
+        let _ = std::fs::remove_file(&path);
+        let mut j = Journal::open(&path, None).unwrap();
+        j.set_compact_every(Some(4));
+        for n in 0..8 {
+            let id = format!("j{n}");
+            j.accepted(&env(&id)).unwrap();
+            j.completed(&id);
+        }
+        assert!(j.stats().2 >= 2, "compacted at least twice in 8 terminals");
+        drop(j);
+        let rec = Journal::recover_file(&path).unwrap();
+        assert!(rec.pending.is_empty());
+        std::fs::remove_file(&path).ok();
     }
 }

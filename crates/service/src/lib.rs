@@ -46,6 +46,21 @@
 //! unique job ids and seeded schedulers its result set is identical for
 //! any worker count. The `rds serve` / `rds submit` CLI wraps the same
 //! service behind the line-oriented envelopes of `rds_sched::io`.
+//!
+//! Networked serving lifts the same envelopes onto TCP:
+//!
+//! - a **line-framed TCP shard** ([`net::NetServer`]): the stdin
+//!   envelope protocol over sockets, with frame-size and per-connection
+//!   inflight caps, health probes answering the brownout rung, and
+//!   **warm-cache replication** — every fresh solve is gossiped to the
+//!   fingerprint-successor shard so a failover lands on a warm cache;
+//! - a **failover router** ([`router`]): fingerprint-primary routing
+//!   with a rendezvous fallback order, active health probes, capped
+//!   seeded-jitter backoff, brownout `retry-after` honoring, and a
+//!   latency-hedged duplicate for straggling requests;
+//! - **network chaos** ([`chaos`]): seeded connection refusals,
+//!   mid-frame cuts, dropped replies, and socket stalls, drawn
+//!   independently per delivery attempt.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -55,7 +70,9 @@ pub mod chaos;
 pub mod job;
 pub mod journal;
 pub mod metrics;
+pub mod net;
 pub mod queue;
+pub mod router;
 pub mod service;
 pub mod supervisor;
 
@@ -67,7 +84,9 @@ pub use job::{
 };
 pub use journal::{Journal, JournalError, JournalRecovery};
 pub use metrics::{LaneLatency, ServiceMetrics};
+pub use net::{NetClientConfig, NetError, NetServer, NetServerConfig, NetServerMetrics};
 pub use queue::{LaneQueue, PushError};
+pub use router::{Router, RouterConfig, RouterMetrics, RouterServer};
 pub use service::{
     BrownoutConfig, BrownoutLevel, RecoveryReport, Service, ServiceConfig, ServiceError,
 };

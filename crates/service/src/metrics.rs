@@ -185,12 +185,12 @@ impl MetricsInner {
         &self,
         queue_depths: (usize, usize, usize),
         cache_stats: (u64, u64),
-        journal_stats: (u64, u64),
+        journal_stats: (u64, u64, u64),
         brownout_level: &str,
     ) -> ServiceMetrics {
         let s = self.lock();
         let (cache_hits, cache_misses) = cache_stats;
-        let (journal_records, journal_errors) = journal_stats;
+        let (journal_records, journal_errors, journal_compactions) = journal_stats;
         let looked_up = cache_hits + cache_misses;
         let online_arrived = s.online_admitted + s.online_rejected;
         ServiceMetrics {
@@ -223,6 +223,7 @@ impl MetricsInner {
             breaker_fast_rejections: s.breaker_fast_rejections,
             journal_records,
             journal_errors,
+            journal_compactions,
             brownout_level: brownout_level.to_owned(),
             queue_depth_express: queue_depths.0,
             queue_depth_online: queue_depths.1,
@@ -338,6 +339,8 @@ pub struct ServiceMetrics {
     pub journal_records: u64,
     /// Journal writes that failed (I/O or injected).
     pub journal_errors: u64,
+    /// WAL compactions performed (manual or `--journal-compact-every`).
+    pub journal_compactions: u64,
     /// Current brownout rung (`off` when no brownout is configured).
     pub brownout_level: String,
     /// Express-lane queue depth at snapshot time.
@@ -404,8 +407,8 @@ impl ServiceMetrics {
         );
         let _ = writeln!(
             out,
-            "journal             : {} records / {} errors / {} recovered",
-            self.journal_records, self.journal_errors, self.recovered
+            "journal             : {} records / {} errors / {} recovered / {} compactions",
+            self.journal_records, self.journal_errors, self.recovered, self.journal_compactions
         );
         let _ = writeln!(
             out,
@@ -485,7 +488,7 @@ mod tests {
         m.brownout_shed();
         m.breaker_opened();
         m.breaker_fast_rejected();
-        let snap = m.snapshot((1, 3, 2), (3, 1), (12, 2), "normal");
+        let snap = m.snapshot((1, 3, 2), (3, 1), (12, 2, 1), "normal");
         assert_eq!(snap.submitted, 2);
         assert_eq!(snap.worker_panics, 1);
         assert_eq!(snap.worker_restarts, 1);
@@ -498,6 +501,7 @@ mod tests {
         assert_eq!(snap.breaker_fast_rejections, 1);
         assert_eq!(snap.journal_records, 12);
         assert_eq!(snap.journal_errors, 2);
+        assert_eq!(snap.journal_compactions, 1);
         assert_eq!(snap.brownout_level, "normal");
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.rejected_full, 1);
@@ -533,7 +537,7 @@ mod tests {
         let m = MetricsInner::default();
         m.job_started();
         m.job_finished(Lane::Express, 0.1, true, false);
-        let snap = m.snapshot((0, 0, 0), (0, 0), (0, 0), "off");
+        let snap = m.snapshot((0, 0, 0), (0, 0), (0, 0, 0), "off");
         assert_eq!(snap.completed, 0);
         assert_eq!(snap.failed, 1);
         assert_eq!(snap.cache_hit_rate, 0.0);
@@ -546,7 +550,7 @@ mod tests {
     fn pretty_string_mentions_key_lines() {
         let m = MetricsInner::default();
         let s = m
-            .snapshot((0, 0, 0), (0, 0), (0, 0), "off")
+            .snapshot((0, 0, 0), (0, 0), (0, 0, 0), "off")
             .to_pretty_string();
         assert!(s.contains("cache"));
         assert!(s.contains("supervision"));

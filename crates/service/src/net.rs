@@ -1,0 +1,1399 @@
+//! Networked serving: the stdin/stdout envelope protocol lifted onto
+//! TCP.
+//!
+//! The wire format *is* the existing line-framed envelope set
+//! (`rds-job v1` / `rds-result v1` from [`rds_sched::io`]) plus three
+//! small frames this module adds: a single-line health probe
+//! (`rds-probe v1` → `rds-probe-ok level=<brownout-rung>`), a cache-
+//! replication frame (`rds-cache v1` … `end rds-cache`, acked with
+//! `rds-cache-ok`), and nothing else — no length prefixes, no binary
+//! framing, so `nc` against a shard still works.
+//!
+//! [`FrameScanner`] turns an arbitrary byte stream into complete
+//! frames: TCP is free to split or merge writes anywhere, so the
+//! scanner only ever acts on complete lines, buffers torn tails, and
+//! rejects unknown headers and over-limit frames with typed errors.
+//!
+//! [`NetServer`] wraps a [`Service`] behind a listener: one reader and
+//! one writer thread per connection, a dispatcher thread that demuxes
+//! the service's single result stream back to the requesting
+//! connection by job id, and a gossip thread that replicates warm
+//! cache entries to the fingerprint-successor shard
+//! ([`shard_preference`]) so a failover target already holds the dead
+//! shard's hot schedules.
+//!
+//! Chaos ([`crate::chaos::ServiceChaos`]) injects connection refusal,
+//! reply drops, mid-frame cuts, and socket stalls — keyed per delivery
+//! attempt, so a retried request draws fresh rather than being
+//! dropped forever.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs as _};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rds_sched::io::{
+    read_job, read_result, read_schedule, write_result, write_schedule, ResultEnvelope, JOB_END,
+    JOB_HEADER, RESULT_END, RESULT_HEADER,
+};
+
+use crate::cache::{CacheKey, CachedSchedule};
+use crate::chaos::ServiceChaos;
+use crate::job::{Degradation, JobResult, JobSpec};
+use crate::metrics::ServiceMetrics;
+use crate::service::{RecoveryReport, Service, ServiceError};
+
+/// Header line of the single-line health-probe frame.
+pub const PROBE_HEADER: &str = "rds-probe v1";
+/// Prefix of the single-line probe acknowledgement
+/// (`rds-probe-ok level=<brownout-rung>`).
+pub const PROBE_OK: &str = "rds-probe-ok";
+/// Header line of a cache-replication frame.
+pub const CACHE_HEADER: &str = "rds-cache v1";
+/// Terminator line of a cache-replication frame.
+pub const CACHE_END: &str = "end rds-cache";
+/// Single-line acknowledgement of an applied cache frame.
+pub const CACHE_OK: &str = "rds-cache-ok";
+
+/// A complete frame lifted off the byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A job request (full `rds-job v1` … `end rds-job` text).
+    Job(String),
+    /// A job result (full `rds-result v1` … `end rds-result` text).
+    Result(String),
+    /// A cache-replication entry (full `rds-cache v1` … text).
+    Cache(String),
+    /// A health probe.
+    Probe,
+    /// A probe acknowledgement (the full line, e.g.
+    /// `rds-probe-ok level=normal`).
+    ProbeOk(String),
+    /// A cache-frame acknowledgement.
+    CacheOk,
+}
+
+/// Why the scanner rejected the stream. Both are fatal to the
+/// connection: framing has been lost and resynchronization on a
+/// line-oriented protocol is not worth the ambiguity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The first line of a frame is not a known header (or not UTF-8).
+    Garbage(String),
+    /// A single frame exceeded the size limit without terminating.
+    TooLarge {
+        /// The configured limit, bytes.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Garbage(l) => write!(f, "unrecognized frame header: '{l}'"),
+            FrameError::TooLarge { limit } => {
+                write!(
+                    f,
+                    "frame exceeds the {limit}-byte limit without terminating"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame scanner: feed it raw socket reads, get back every
+/// frame completed so far. Partial lines and partial frames stay
+/// buffered; blank and `#`-comment lines between frames are skipped,
+/// exactly as the envelope parsers themselves do.
+pub struct FrameScanner {
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+fn trim_bytes(mut b: &[u8]) -> &[u8] {
+    while let [first, rest @ ..] = b {
+        if first.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    while let [rest @ .., last] = b {
+        if last.is_ascii_whitespace() {
+            b = rest;
+        } else {
+            break;
+        }
+    }
+    b
+}
+
+fn find_newline(b: &[u8], from: usize) -> Option<usize> {
+    b[from..].iter().position(|&c| c == b'\n').map(|p| from + p)
+}
+
+impl FrameScanner {
+    /// A scanner refusing frames larger than `max_frame` bytes.
+    #[must_use]
+    pub fn new(max_frame: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Bytes currently buffered (a non-zero value at EOF means the peer
+    /// died mid-frame — a torn frame).
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Appends `bytes` and returns every frame completed by them, in
+    /// stream order.
+    ///
+    /// # Errors
+    /// [`FrameError`] when framing is lost; the scanner is then
+    /// poisoned and the connection should be dropped.
+    pub fn push(&mut self, bytes: &[u8]) -> Result<Vec<Frame>, FrameError> {
+        self.buf.extend_from_slice(bytes);
+        let mut frames = Vec::new();
+        while let Some(frame) = self.scan_one()? {
+            frames.push(frame);
+        }
+        Ok(frames)
+    }
+
+    /// Lifts the next complete frame off the buffer, or `None` when the
+    /// buffered bytes do not yet complete one.
+    fn scan_one(&mut self) -> Result<Option<Frame>, FrameError> {
+        // Skip complete blank / comment lines before the header.
+        loop {
+            let Some(nl) = find_newline(&self.buf, 0) else {
+                return self.check_size();
+            };
+            let line = trim_bytes(&self.buf[..nl]);
+            if line.is_empty() || line.starts_with(b"#") {
+                self.buf.drain(..=nl);
+            } else {
+                break;
+            }
+        }
+        let header_nl = find_newline(&self.buf, 0).expect("checked above");
+        let Ok(header) = std::str::from_utf8(trim_bytes(&self.buf[..header_nl])) else {
+            return Err(FrameError::Garbage("<non-utf8 line>".into()));
+        };
+        // Single-line frames first.
+        if header == PROBE_HEADER {
+            self.buf.drain(..=header_nl);
+            return Ok(Some(Frame::Probe));
+        }
+        if header == CACHE_OK {
+            self.buf.drain(..=header_nl);
+            return Ok(Some(Frame::CacheOk));
+        }
+        if header.starts_with(PROBE_OK) {
+            let line = header.to_owned();
+            self.buf.drain(..=header_nl);
+            return Ok(Some(Frame::ProbeOk(line)));
+        }
+        let (end, wrap): (&str, fn(String) -> Frame) = match header {
+            JOB_HEADER => (JOB_END, Frame::Job),
+            RESULT_HEADER => (RESULT_END, Frame::Result),
+            CACHE_HEADER => (CACHE_END, Frame::Cache),
+            other => {
+                let mut shown: String = other.chars().take(80).collect();
+                if shown.len() < other.len() {
+                    shown.push('…');
+                }
+                return Err(FrameError::Garbage(shown));
+            }
+        };
+        // Walk subsequent complete lines looking for the terminator.
+        let mut pos = header_nl + 1;
+        while let Some(nl) = find_newline(&self.buf, pos) {
+            if trim_bytes(&self.buf[pos..nl]) == end.as_bytes() {
+                if nl + 1 > self.max_frame {
+                    return Err(FrameError::TooLarge {
+                        limit: self.max_frame,
+                    });
+                }
+                let Ok(text) = String::from_utf8(self.buf[..=nl].to_vec()) else {
+                    return Err(FrameError::Garbage("<non-utf8 frame body>".into()));
+                };
+                self.buf.drain(..=nl);
+                return Ok(Some(wrap(text)));
+            }
+            pos = nl + 1;
+        }
+        self.check_size()
+    }
+
+    fn check_size(&self) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() > self.max_frame {
+            Err(FrameError::TooLarge {
+                limit: self.max_frame,
+            })
+        } else {
+            Ok(None)
+        }
+    }
+}
+
+/// Highest-random-weight (rendezvous) score of `shard` for an instance
+/// fingerprint — FNV-1a over the fingerprint and shard index. Router
+/// failover and cache replication share this function, so the shard a
+/// request fails over to is exactly the shard its warm cache entry was
+/// gossiped to.
+#[must_use]
+pub fn rendezvous_weight(fingerprint: u64, shard: usize) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in fingerprint
+        .to_le_bytes()
+        .into_iter()
+        .chain((shard as u64).to_le_bytes())
+    {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// Shard preference order for a fingerprint over `n` shards: the
+/// primary is `fingerprint % n` (cheap, uniform), the fallbacks follow
+/// by descending rendezvous weight — a stable, per-fingerprint
+/// permutation of the remaining shards.
+#[must_use]
+pub fn shard_preference(fingerprint: u64, n: usize) -> Vec<usize> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let primary = usize::try_from(fingerprint % n as u64).unwrap_or(0);
+    let mut rest: Vec<usize> = (0..n).filter(|&s| s != primary).collect();
+    rest.sort_by_key(|&s| std::cmp::Reverse(rendezvous_weight(fingerprint, s)));
+    let mut order = Vec::with_capacity(n);
+    order.push(primary);
+    order.extend(rest);
+    order
+}
+
+/// Serializes a warm cache entry for replication to a peer shard. The
+/// schedule rides in the existing `rds-schedule v1` format; the key is
+/// shipped as its wire fields ([`CacheKey::to_wire`]) — the instance
+/// itself never crosses the wire, only its fingerprint.
+#[must_use]
+pub fn write_cache_entry(key: &CacheKey, entry: &CachedSchedule) -> String {
+    use std::fmt::Write as _;
+    let (fp, algo, param, eps, seed, gens) = key.to_wire();
+    let mut out = String::new();
+    let _ = writeln!(out, "{CACHE_HEADER}");
+    let _ = writeln!(out, "fingerprint {fp}");
+    let _ = writeln!(out, "algo {algo}");
+    let _ = writeln!(out, "algo-param {param}");
+    let _ = writeln!(out, "epsilon-bits {eps}");
+    let _ = writeln!(out, "seed {seed}");
+    let _ = writeln!(out, "generations {gens}");
+    let _ = writeln!(out, "makespan {:?}", entry.makespan);
+    let _ = writeln!(out, "avg-slack {:?}", entry.avg_slack);
+    let _ = writeln!(out, "schedule");
+    out.push_str(&write_schedule(&entry.schedule));
+    let _ = writeln!(out, "{CACHE_END}");
+    out
+}
+
+/// Parses a replication frame back into a cache key and entry.
+///
+/// # Errors
+/// Returns a message on any malformation — gossip input is as
+/// untrusted as job input.
+pub fn read_cache_entry(text: &str) -> Result<(CacheKey, CachedSchedule), String> {
+    let mut lines = text.lines().map(str::trim);
+    let header = lines
+        .by_ref()
+        .find(|l| !l.is_empty() && !l.starts_with('#'))
+        .ok_or_else(|| "empty cache frame".to_owned())?;
+    if header != CACHE_HEADER {
+        return Err(format!("expected '{CACHE_HEADER}', got '{header}'"));
+    }
+    let mut fingerprint = None;
+    let mut algo = None;
+    let mut param = 0u64;
+    let mut eps = None;
+    let mut seed = 0u64;
+    let mut gens = u64::MAX;
+    let mut makespan = None;
+    let mut avg_slack = None;
+    let mut schedule_text = String::new();
+    let mut in_schedule = false;
+    for line in lines {
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == CACHE_END {
+            break;
+        }
+        if in_schedule {
+            schedule_text.push_str(line);
+            schedule_text.push('\n');
+            continue;
+        }
+        let (k, v) = match line.split_once(char::is_whitespace) {
+            Some((k, v)) => (k, v.trim()),
+            None => (line, ""),
+        };
+        let int = |v: &str| {
+            v.parse::<u64>()
+                .map_err(|e| format!("bad integer '{v}': {e}"))
+        };
+        let flt = |v: &str| {
+            v.parse::<f64>()
+                .map_err(|e| format!("bad float '{v}': {e}"))
+        };
+        match k {
+            "fingerprint" => fingerprint = Some(int(v)?),
+            "algo" => algo = Some(v.to_owned()),
+            "algo-param" => param = int(v)?,
+            "epsilon-bits" => eps = Some(int(v)?),
+            "seed" => seed = int(v)?,
+            "generations" => gens = int(v)?,
+            "makespan" => makespan = Some(flt(v)?),
+            "avg-slack" => avg_slack = Some(flt(v)?),
+            "schedule" => in_schedule = true,
+            other => return Err(format!("unknown cache-frame key '{other}'")),
+        }
+    }
+    let fingerprint = fingerprint.ok_or("cache frame missing fingerprint")?;
+    let algo = algo.ok_or("cache frame missing algo")?;
+    let eps = eps.ok_or("cache frame missing epsilon-bits")?;
+    let makespan = makespan.ok_or("cache frame missing makespan")?;
+    let avg_slack = avg_slack.ok_or("cache frame missing avg-slack")?;
+    if schedule_text.is_empty() {
+        return Err("cache frame missing schedule".into());
+    }
+    let key = CacheKey::from_wire(fingerprint, &algo, param, eps, seed, gens)?;
+    let schedule = read_schedule(&schedule_text).map_err(|e| format!("bad schedule: {e}"))?;
+    Ok((
+        key,
+        CachedSchedule {
+            schedule,
+            makespan,
+            avg_slack,
+        },
+    ))
+}
+
+/// Why a network operation failed, typed so callers (the router's
+/// failover ladder, `rds submit --connect`) can distinguish retryable
+/// transport trouble from protocol violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// Could not establish a connection (refused, unreachable, bad
+    /// address).
+    Connect(String),
+    /// The peer accepted the connection but did not reply in time.
+    Timeout(String),
+    /// The connection died mid-exchange.
+    Io(String),
+    /// The peer replied with something that is not a valid frame (torn
+    /// frame, garbage, wrong frame kind).
+    Protocol(String),
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Connect(e) => write!(f, "connect failed: {e}"),
+            NetError::Timeout(e) => write!(f, "timed out: {e}"),
+            NetError::Io(e) => write!(f, "connection error: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+/// Client-side limits for one request against a shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// End-to-end budget for the reply (covers queueing and solve time
+    /// on the shard).
+    pub io_timeout: Duration,
+    /// Reply frames over this size are refused.
+    pub max_frame: usize,
+}
+
+impl Default for NetClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(30),
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Default frame-size cap (4 MiB — a dense 1000-task instance is well
+/// under 1 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 4 << 20;
+
+/// The read-poll slice: sockets time out at this granularity so loops
+/// can check deadlines and stop flags between reads.
+const POLL_SLICE: Duration = Duration::from_millis(50);
+
+fn connect(addr: &str, cfg: &NetClientConfig) -> Result<TcpStream, NetError> {
+    let addrs: Vec<SocketAddr> = addr
+        .to_socket_addrs()
+        .map_err(|e| NetError::Connect(format!("{addr}: {e}")))?
+        .collect();
+    let mut last: Option<std::io::Error> = None;
+    for a in addrs {
+        match TcpStream::connect_timeout(&a, cfg.connect_timeout) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(POLL_SLICE));
+                let _ = stream.set_write_timeout(Some(cfg.io_timeout));
+                return Ok(stream);
+            }
+            Err(e) => last = Some(e),
+        }
+    }
+    Err(NetError::Connect(format!(
+        "{addr}: {}",
+        last.map_or_else(|| "no addresses resolved".to_owned(), |e| e.to_string())
+    )))
+}
+
+/// Reads until one complete frame arrives, the deadline passes, or the
+/// peer hangs up.
+fn next_frame(
+    stream: &mut TcpStream,
+    deadline: Instant,
+    max_frame: usize,
+) -> Result<Frame, NetError> {
+    let mut scanner = FrameScanner::new(max_frame);
+    let mut buf = [0u8; 8192];
+    loop {
+        if Instant::now() >= deadline {
+            return Err(NetError::Timeout("no reply before the deadline".into()));
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => {
+                return Err(NetError::Protocol(if scanner.buffered() > 0 {
+                    "peer closed mid-frame (torn frame)".into()
+                } else {
+                    "peer closed without replying".into()
+                }));
+            }
+            Ok(n) => {
+                let mut frames = scanner
+                    .push(&buf[..n])
+                    .map_err(|e| NetError::Protocol(e.to_string()))?;
+                if !frames.is_empty() {
+                    return Ok(frames.swap_remove(0));
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) => {}
+            Err(e) => return Err(NetError::Io(e.to_string())),
+        }
+    }
+}
+
+/// Sends one job envelope (already serialized) to a shard and waits
+/// for its result envelope.
+///
+/// # Errors
+/// [`NetError`] on connect failure, timeout, transport error, or a
+/// malformed reply.
+pub fn request(
+    addr: &str,
+    job_text: &str,
+    cfg: &NetClientConfig,
+) -> Result<ResultEnvelope, NetError> {
+    let mut stream = connect(addr, cfg)?;
+    stream
+        .write_all(job_text.as_bytes())
+        .map_err(|e| NetError::Io(format!("send failed: {e}")))?;
+    let deadline = Instant::now() + cfg.io_timeout;
+    match next_frame(&mut stream, deadline, cfg.max_frame)? {
+        Frame::Result(text) => {
+            read_result(&text).map_err(|e| NetError::Protocol(format!("bad result: {e}")))
+        }
+        other => Err(NetError::Protocol(format!(
+            "expected a result frame, got {other:?}"
+        ))),
+    }
+}
+
+/// Health-probes a shard, returning its brownout rung name.
+///
+/// # Errors
+/// [`NetError`] when the shard is unreachable or replies with anything
+/// but a probe acknowledgement.
+pub fn probe(addr: &str, cfg: &NetClientConfig) -> Result<String, NetError> {
+    let mut stream = connect(addr, cfg)?;
+    stream
+        .write_all(format!("{PROBE_HEADER}\n").as_bytes())
+        .map_err(|e| NetError::Io(format!("send failed: {e}")))?;
+    let deadline = Instant::now() + cfg.io_timeout;
+    match next_frame(&mut stream, deadline, cfg.max_frame)? {
+        Frame::ProbeOk(line) => Ok(parse_probe_level(&line).unwrap_or("unknown").to_owned()),
+        other => Err(NetError::Protocol(format!(
+            "expected a probe ack, got {other:?}"
+        ))),
+    }
+}
+
+/// Extracts the brownout level from a probe-ack line.
+#[must_use]
+pub fn parse_probe_level(line: &str) -> Option<&str> {
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix("level="))
+}
+
+/// Ships one serialized cache frame to a peer shard and waits for the
+/// acknowledgement.
+///
+/// # Errors
+/// [`NetError`] when the peer is unreachable or does not ack.
+pub fn gossip_entry(addr: &str, cache_text: &str, cfg: &NetClientConfig) -> Result<(), NetError> {
+    let mut stream = connect(addr, cfg)?;
+    stream
+        .write_all(cache_text.as_bytes())
+        .map_err(|e| NetError::Io(format!("send failed: {e}")))?;
+    let deadline = Instant::now() + cfg.io_timeout;
+    match next_frame(&mut stream, deadline, cfg.max_frame)? {
+        Frame::CacheOk => Ok(()),
+        other => Err(NetError::Protocol(format!(
+            "expected a cache ack, got {other:?}"
+        ))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard server
+// ---------------------------------------------------------------------------
+
+/// Configuration for one networked shard.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub listen: String,
+    /// Peer shard addresses (including this shard's own published
+    /// address) used for cache replication.
+    pub peers: Vec<String>,
+    /// This shard's index within `peers`.
+    pub shard_index: usize,
+    /// Drop idle connections with no inflight jobs after this long.
+    pub idle_timeout: Option<Duration>,
+    /// Inbound frames over this size abort the connection.
+    pub max_frame: usize,
+    /// Per-connection cap on jobs awaiting results.
+    pub max_inflight: usize,
+    /// Seeded network fault injection (reply drops, frame cuts,
+    /// stalls, connection refusals).
+    pub chaos: Option<ServiceChaos>,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_owned(),
+            peers: Vec::new(),
+            shard_index: 0,
+            idle_timeout: None,
+            max_frame: DEFAULT_MAX_FRAME,
+            max_inflight: 64,
+            chaos: None,
+        }
+    }
+}
+
+impl NetServerConfig {
+    /// Sets the bind address.
+    #[must_use]
+    pub fn listen(mut self, addr: &str) -> Self {
+        self.listen = addr.to_owned();
+        self
+    }
+
+    /// Sets the replication peer set and this shard's index in it.
+    #[must_use]
+    pub fn peers(mut self, peers: Vec<String>, index: usize) -> Self {
+        self.peers = peers;
+        self.shard_index = index;
+        self
+    }
+
+    /// Sets the idle-connection timeout.
+    #[must_use]
+    pub fn idle_timeout(mut self, d: Duration) -> Self {
+        self.idle_timeout = Some(d);
+        self
+    }
+
+    /// Sets the inbound frame-size cap.
+    #[must_use]
+    pub fn max_frame(mut self, bytes: usize) -> Self {
+        self.max_frame = bytes;
+        self
+    }
+
+    /// Sets the per-connection inflight cap.
+    #[must_use]
+    pub fn max_inflight(mut self, n: usize) -> Self {
+        self.max_inflight = n.max(1);
+        self
+    }
+
+    /// Enables seeded network chaos.
+    #[must_use]
+    pub fn chaos(mut self, chaos: ServiceChaos) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
+/// One reply queued for a connection's writer thread.
+struct ConnReply {
+    /// `Some(job_id)` for job results (chaos applies); `None` for
+    /// protocol-level acks and rejections (always delivered intact).
+    id: Option<String>,
+    text: String,
+}
+
+/// Registry entry for a job whose result has not come back yet.
+struct PendingEntry {
+    tx: mpsc::Sender<ConnReply>,
+    /// The owning connection's inflight count.
+    pending: Arc<AtomicUsize>,
+    /// Cache key to replicate on a warm miss-then-solve, when the job
+    /// is cacheable.
+    gossip: Option<CacheKey>,
+}
+
+/// Counters for the networked front of a shard.
+#[derive(Default)]
+struct NetMetricsInner {
+    connections: AtomicU64,
+    refused: AtomicU64,
+    frames_in: AtomicU64,
+    jobs_in: AtomicU64,
+    probes: AtomicU64,
+    results_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    busy_rejections: AtomicU64,
+    duplicate_ids: AtomicU64,
+    gossip_in: AtomicU64,
+    gossip_out: AtomicU64,
+    gossip_fails: AtomicU64,
+    replies_dropped: AtomicU64,
+    frames_cut: AtomicU64,
+    replies_stalled: AtomicU64,
+}
+
+/// Point-in-time snapshot of a shard's transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetServerMetrics {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections refused by chaos injection.
+    pub refused: u64,
+    /// Complete frames parsed off sockets.
+    pub frames_in: u64,
+    /// Job envelopes admitted to the service queue.
+    pub jobs_in: u64,
+    /// Health probes answered.
+    pub probes: u64,
+    /// Result envelopes handed to writers.
+    pub results_out: u64,
+    /// Connections aborted for malformed traffic.
+    pub protocol_errors: u64,
+    /// Jobs bounced at the per-connection inflight cap.
+    pub busy_rejections: u64,
+    /// Jobs bounced for reusing an inflight id.
+    pub duplicate_ids: u64,
+    /// Replicated cache entries accepted from peers.
+    pub gossip_in: u64,
+    /// Cache entries shipped to the successor shard.
+    pub gossip_out: u64,
+    /// Replication attempts that failed (peer down).
+    pub gossip_fails: u64,
+    /// Job replies suppressed by chaos.
+    pub replies_dropped: u64,
+    /// Job replies cut mid-frame by chaos.
+    pub frames_cut: u64,
+    /// Job replies delayed by a chaos stall.
+    pub replies_stalled: u64,
+}
+
+impl NetMetricsInner {
+    fn snapshot(&self) -> NetServerMetrics {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        NetServerMetrics {
+            connections: g(&self.connections),
+            refused: g(&self.refused),
+            frames_in: g(&self.frames_in),
+            jobs_in: g(&self.jobs_in),
+            probes: g(&self.probes),
+            results_out: g(&self.results_out),
+            protocol_errors: g(&self.protocol_errors),
+            busy_rejections: g(&self.busy_rejections),
+            duplicate_ids: g(&self.duplicate_ids),
+            gossip_in: g(&self.gossip_in),
+            gossip_out: g(&self.gossip_out),
+            gossip_fails: g(&self.gossip_fails),
+            replies_dropped: g(&self.replies_dropped),
+            frames_cut: g(&self.frames_cut),
+            replies_stalled: g(&self.replies_stalled),
+        }
+    }
+}
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared between the accept loop, per-connection threads, the
+/// dispatcher, and the gossip worker.
+struct NetShared {
+    stop: AtomicBool,
+    /// job id -> where its result should be delivered.
+    registry: Mutex<HashMap<String, PendingEntry>>,
+    /// (peer addresses, own index) — swappable at runtime.
+    peers: Mutex<(Vec<String>, usize)>,
+    readers: Mutex<Vec<JoinHandle<()>>>,
+    writers: Mutex<Vec<JoinHandle<()>>>,
+    /// job id -> delivery attempts, so chaos draws fresh per retry.
+    delivery_attempts: Mutex<HashMap<String, u32>>,
+    metrics: NetMetricsInner,
+    config: NetServerConfig,
+}
+
+/// Renders a minimal result envelope for transport-level rejections
+/// and errors (bad parse, inflight cap, duplicate id).
+fn error_envelope(id: &str, status: &str, reason: String, retry_after_ms: Option<u64>) -> String {
+    write_result(&ResultEnvelope {
+        id: id.to_owned(),
+        status: status.to_owned(),
+        cache: None,
+        degraded: None,
+        makespan: None,
+        avg_slack: None,
+        verdict: None,
+        probability: None,
+        reason: Some(reason),
+        retry_after_ms,
+        schedule: None,
+    })
+}
+
+/// Per-connection reader: scans frames off the socket and dispatches
+/// jobs, probes, and gossiped cache entries.
+#[allow(clippy::too_many_lines)]
+fn reader_loop(
+    shared: &Arc<NetShared>,
+    service: &Arc<Service>,
+    mut stream: TcpStream,
+    reply_tx: &mpsc::Sender<ConnReply>,
+) {
+    let _ = stream.set_read_timeout(Some(POLL_SLICE));
+    let mut scanner = FrameScanner::new(shared.config.max_frame);
+    let pending = Arc::new(AtomicUsize::new(0));
+    let mut idle_since = Instant::now();
+    let mut buf = [0u8; 8192];
+    let m = &shared.metrics;
+    'conn: loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        if let Some(idle) = shared.config.idle_timeout {
+            if pending.load(Ordering::Relaxed) == 0 && idle_since.elapsed() >= idle {
+                break;
+            }
+        }
+        let frames = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                idle_since = Instant::now();
+                match scanner.push(&buf[..n]) {
+                    Ok(frames) => frames,
+                    Err(_) => {
+                        m.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        for frame in frames {
+            m.frames_in.fetch_add(1, Ordering::Relaxed);
+            match frame {
+                Frame::Job(text) => {
+                    let env = match read_job(&text) {
+                        Ok(env) => env,
+                        Err(e) => {
+                            m.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply_tx.send(ConnReply {
+                                id: None,
+                                text: error_envelope(
+                                    "unknown",
+                                    "error",
+                                    format!("bad job envelope: {e}"),
+                                    None,
+                                ),
+                            });
+                            continue;
+                        }
+                    };
+                    if pending.load(Ordering::Relaxed) >= shared.config.max_inflight {
+                        m.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        let _ = reply_tx.send(ConnReply {
+                            id: None,
+                            text: error_envelope(
+                                &env.id,
+                                "rejected",
+                                format!(
+                                    "connection inflight cap reached ({})",
+                                    shared.config.max_inflight
+                                ),
+                                Some(100),
+                            ),
+                        });
+                        continue;
+                    }
+                    let env_id = env.id.clone();
+                    let spec = match JobSpec::from_envelope(env) {
+                        Ok(spec) => spec,
+                        Err(reason) => {
+                            let _ = reply_tx.send(ConnReply {
+                                id: None,
+                                text: error_envelope(&env_id, "rejected", reason, None),
+                            });
+                            continue;
+                        }
+                    };
+                    let gossip_key = spec.online.is_none().then(|| CacheKey::for_job(&spec));
+                    {
+                        let mut reg = unpoison(shared.registry.lock());
+                        if reg.contains_key(&spec.id) {
+                            drop(reg);
+                            m.duplicate_ids.fetch_add(1, Ordering::Relaxed);
+                            let _ = reply_tx.send(ConnReply {
+                                id: None,
+                                text: error_envelope(
+                                    &spec.id,
+                                    "rejected",
+                                    "job id already inflight".to_owned(),
+                                    None,
+                                ),
+                            });
+                            continue;
+                        }
+                        reg.insert(
+                            spec.id.clone(),
+                            PendingEntry {
+                                tx: reply_tx.clone(),
+                                pending: Arc::clone(&pending),
+                                gossip: gossip_key,
+                            },
+                        );
+                    }
+                    pending.fetch_add(1, Ordering::Relaxed);
+                    let id = spec.id.clone();
+                    let lane = spec.lane();
+                    if let Err(err) = service.submit(spec) {
+                        unpoison(shared.registry.lock()).remove(&id);
+                        pending.fetch_sub(1, Ordering::Relaxed);
+                        let result = JobResult {
+                            id,
+                            outcome: Err(err),
+                            lane,
+                        };
+                        let _ = reply_tx.send(ConnReply {
+                            id: None,
+                            text: write_result(&result.to_envelope()),
+                        });
+                        continue;
+                    }
+                    m.jobs_in.fetch_add(1, Ordering::Relaxed);
+                }
+                Frame::Probe => {
+                    m.probes.fetch_add(1, Ordering::Relaxed);
+                    let _ = reply_tx.send(ConnReply {
+                        id: None,
+                        text: format!("{PROBE_OK} level={}\n", service.brownout_level_name()),
+                    });
+                }
+                Frame::Cache(text) => match read_cache_entry(&text) {
+                    Ok((key, entry)) => {
+                        m.gossip_in.fetch_add(1, Ordering::Relaxed);
+                        service.cache_insert(key, entry);
+                        let _ = reply_tx.send(ConnReply {
+                            id: None,
+                            text: format!("{CACHE_OK}\n"),
+                        });
+                    }
+                    Err(_) => {
+                        m.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                        break 'conn;
+                    }
+                },
+                Frame::Result(_) | Frame::ProbeOk(_) | Frame::CacheOk => {
+                    m.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    break 'conn;
+                }
+            }
+        }
+    }
+    // Abandon replies for jobs still inflight on this connection: keep
+    // the registry entries so the dispatcher can count them down, but
+    // results will hit a disconnected channel and be dropped.
+}
+
+/// Per-connection writer: drains queued replies onto the socket,
+/// applying chaos faults to job results only.
+fn writer_loop(
+    shared: &Arc<NetShared>,
+    mut stream: TcpStream,
+    reply_rx: &mpsc::Receiver<ConnReply>,
+) {
+    let m = &shared.metrics;
+    while let Ok(reply) = reply_rx.recv() {
+        let chaos_target = reply
+            .id
+            .as_deref()
+            .and_then(|id| shared.config.chaos.map(|c| (c, id.to_owned())));
+        if let Some((chaos, id)) = chaos_target {
+            let attempt = {
+                let mut attempts = unpoison(shared.delivery_attempts.lock());
+                let slot = attempts.entry(id.clone()).or_insert(0);
+                *slot += 1;
+                *slot
+            };
+            if chaos.stalls_socket(&id, attempt) {
+                m.replies_stalled.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(chaos.net_stall);
+            }
+            if chaos.drops_reply(&id, attempt) {
+                m.replies_dropped.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            if chaos.cuts_frame(&id, attempt) {
+                m.frames_cut.fetch_add(1, Ordering::Relaxed);
+                let half = reply.text.len() / 2;
+                let _ = stream.write_all(&reply.text.as_bytes()[..half]);
+                let _ = stream.flush();
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                break;
+            }
+        }
+        if stream.write_all(reply.text.as_bytes()).is_err() || stream.flush().is_err() {
+            break;
+        }
+    }
+}
+
+/// Routes finished jobs from the service back to the connection that
+/// submitted them, and feeds warm solves to the gossip worker.
+fn dispatcher_loop(
+    shared: &Arc<NetShared>,
+    results_rx: &mpsc::Receiver<JobResult>,
+    gossip_tx: &mpsc::Sender<(CacheKey, CachedSchedule)>,
+) {
+    let m = &shared.metrics;
+    while let Ok(result) = results_rx.recv() {
+        let entry = unpoison(shared.registry.lock()).remove(&result.id);
+        let Some(entry) = entry else {
+            // A replayed recovery job with no live connection.
+            continue;
+        };
+        entry.pending.fetch_sub(1, Ordering::Relaxed);
+        if let (Some(key), Ok(out)) = (&entry.gossip, &result.outcome) {
+            if !out.cache_hit && out.degraded == Degradation::None && out.online.is_none() {
+                let _ = gossip_tx.send((
+                    *key,
+                    CachedSchedule {
+                        schedule: out.schedule.clone(),
+                        makespan: out.makespan,
+                        avg_slack: out.avg_slack,
+                    },
+                ));
+            }
+        }
+        let text = write_result(&result.to_envelope());
+        m.results_out.fetch_add(1, Ordering::Relaxed);
+        let _ = entry.tx.send(ConnReply {
+            id: Some(result.id),
+            text,
+        });
+    }
+}
+
+/// Ships each warm cache entry to its fingerprint-successor shard so a
+/// failover lands on a warm cache.
+fn gossip_loop(shared: &Arc<NetShared>, gossip_rx: &mpsc::Receiver<(CacheKey, CachedSchedule)>) {
+    let cfg = NetClientConfig {
+        connect_timeout: Duration::from_millis(500),
+        io_timeout: Duration::from_secs(2),
+        max_frame: shared.config.max_frame,
+    };
+    let m = &shared.metrics;
+    while let Ok((key, entry)) = gossip_rx.recv() {
+        let (peers, me) = unpoison(shared.peers.lock()).clone();
+        if peers.len() < 2 {
+            continue;
+        }
+        let target = shard_preference(key.fingerprint(), peers.len())
+            .into_iter()
+            .find(|&s| s != me);
+        let Some(target) = target else { continue };
+        let text = write_cache_entry(&key, &entry);
+        match gossip_entry(&peers[target], &text, &cfg) {
+            Ok(()) => {
+                m.gossip_out.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                m.gossip_fails.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Accept loop: hands each connection a reader and a writer thread.
+fn accept_loop(shared: &Arc<NetShared>, service: &Arc<Service>, listener: &TcpListener) {
+    let mut conn_no: u64 = 0;
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+            Err(_) => {
+                std::thread::sleep(Duration::from_millis(20));
+                continue;
+            }
+        };
+        conn_no += 1;
+        if let Some(chaos) = &shared.config.chaos {
+            if chaos.refuses_connect(conn_no) {
+                shared.metrics.refused.fetch_add(1, Ordering::Relaxed);
+                drop(stream);
+                continue;
+            }
+        }
+        shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_nodelay(true);
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let (reply_tx, reply_rx) = mpsc::channel::<ConnReply>();
+        let r_shared = Arc::clone(shared);
+        let r_service = Arc::clone(service);
+        let reader = std::thread::spawn(move || {
+            reader_loop(&r_shared, &r_service, stream, &reply_tx);
+        });
+        let w_shared = Arc::clone(shared);
+        let writer = std::thread::spawn(move || {
+            writer_loop(&w_shared, write_half, &reply_rx);
+        });
+        unpoison(shared.readers.lock()).push(reader);
+        unpoison(shared.writers.lock()).push(writer);
+    }
+}
+
+/// A shard's networked front: a TCP listener speaking the envelope
+/// protocol over line frames, backed by an owned [`Service`].
+pub struct NetServer {
+    shared: Arc<NetShared>,
+    service: Arc<Service>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    dispatcher: Option<JoinHandle<()>>,
+    gossip: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds the listener and starts the accept, dispatcher, and
+    /// gossip threads around `service`. `results_rx` must be the
+    /// receiver paired with the service's result channel.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] when the bind fails.
+    pub fn start(
+        service: Service,
+        results_rx: mpsc::Receiver<JobResult>,
+        config: NetServerConfig,
+    ) -> Result<Self, NetError> {
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| NetError::Io(format!("bind {}: {e}", config.listen)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Io(format!("nonblocking: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(format!("local addr: {e}")))?;
+        let peers = (config.peers.clone(), config.shard_index);
+        let shared = Arc::new(NetShared {
+            stop: AtomicBool::new(false),
+            registry: Mutex::new(HashMap::new()),
+            peers: Mutex::new(peers),
+            readers: Mutex::new(Vec::new()),
+            writers: Mutex::new(Vec::new()),
+            delivery_attempts: Mutex::new(HashMap::new()),
+            metrics: NetMetricsInner::default(),
+            config,
+        });
+        let service = Arc::new(service);
+        let (gossip_tx, gossip_rx) = mpsc::channel::<(CacheKey, CachedSchedule)>();
+
+        let a_shared = Arc::clone(&shared);
+        let a_service = Arc::clone(&service);
+        let accept = std::thread::spawn(move || {
+            accept_loop(&a_shared, &a_service, &listener);
+        });
+
+        let d_shared = Arc::clone(&shared);
+        let dispatcher = std::thread::spawn(move || {
+            dispatcher_loop(&d_shared, &results_rx, &gossip_tx);
+        });
+
+        let g_shared = Arc::clone(&shared);
+        let gossip = std::thread::spawn(move || {
+            gossip_loop(&g_shared, &gossip_rx);
+        });
+
+        Ok(Self {
+            shared,
+            service,
+            local_addr,
+            accept: Some(accept),
+            dispatcher: Some(dispatcher),
+            gossip: Some(gossip),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the ephemeral port).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Swaps the replication peer set once real (ephemeral) addresses
+    /// are known.
+    pub fn set_peers(&self, peers: Vec<String>, index: usize) {
+        *unpoison(self.shared.peers.lock()) = (peers, index);
+    }
+
+    /// Replays the journal through the owned service.
+    ///
+    /// # Errors
+    /// Propagates [`ServiceError`] from the underlying recovery.
+    pub fn recover(&self) -> Result<RecoveryReport, ServiceError> {
+        self.service.recover()
+    }
+
+    /// Snapshot of the transport counters.
+    #[must_use]
+    pub fn net_metrics(&self) -> NetServerMetrics {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Stops accepting, drains the service, and joins every thread.
+    /// Returns the service metrics and the transport counters.
+    #[must_use]
+    pub fn shutdown(mut self) -> (ServiceMetrics, NetServerMetrics) {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in unpoison(self.shared.readers.lock()).drain(..) {
+            let _ = h.join();
+        }
+        let service = Arc::try_unwrap(self.service)
+            .unwrap_or_else(|_| panic!("service still shared at shutdown"));
+        let metrics = service.shutdown();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.gossip.take() {
+            let _ = h.join();
+        }
+        for h in unpoison(self.shared.writers.lock()).drain(..) {
+            let _ = h.join();
+        }
+        let net = self.shared.metrics.snapshot();
+        (metrics, net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use rds_sched::io::{write_job, JobEnvelope};
+    use rds_sched::InstanceSpec;
+
+    fn envelope(id: &str, seed: u64) -> JobEnvelope {
+        JobEnvelope {
+            id: id.into(),
+            algo: "heft".into(),
+            epsilon: 1.3,
+            seed: 0,
+            generations: None,
+            deadline_ms: None,
+            lane: None,
+            arrival: None,
+            deadline: None,
+            instance: InstanceSpec::new(20, 3).seed(seed).build().unwrap(),
+        }
+    }
+
+    fn job_text(id: &str, seed: u64) -> String {
+        write_job(&envelope(id, seed))
+    }
+
+    #[test]
+    fn scanner_reassembles_frames_fed_one_byte_at_a_time() {
+        let job = job_text("j1", 7);
+        let stream = format!("{job}{PROBE_HEADER}\n");
+        let mut scanner = FrameScanner::new(DEFAULT_MAX_FRAME);
+        let mut frames = Vec::new();
+        for b in stream.as_bytes() {
+            frames.extend(scanner.push(std::slice::from_ref(b)).unwrap());
+        }
+        assert_eq!(frames.len(), 2);
+        assert!(matches!(&frames[0], Frame::Job(t) if read_job(t).unwrap().id == "j1"));
+        assert!(matches!(frames[1], Frame::Probe));
+        assert_eq!(scanner.buffered(), 0);
+    }
+
+    #[test]
+    fn scanner_rejects_garbage_and_oversized_frames() {
+        let mut scanner = FrameScanner::new(DEFAULT_MAX_FRAME);
+        let err = scanner.push(b"not-a-header v9\n").unwrap_err();
+        assert!(matches!(err, FrameError::Garbage(_)));
+
+        let mut small = FrameScanner::new(64);
+        let body = format!("{JOB_HEADER}\n{}\n", "x".repeat(200));
+        let err = small.push(body.as_bytes()).unwrap_err();
+        assert!(matches!(err, FrameError::TooLarge { limit: 64 }));
+    }
+
+    #[test]
+    fn rendezvous_preference_is_a_deterministic_permutation() {
+        for fp in [0u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            let prefs = shard_preference(fp, 5);
+            assert_eq!(prefs[0], usize::try_from(fp % 5).unwrap());
+            let mut sorted = prefs.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2, 3, 4]);
+            assert_eq!(prefs, shard_preference(fp, 5));
+        }
+        assert_eq!(shard_preference(9, 1), vec![0]);
+    }
+
+    #[test]
+    fn cache_entry_roundtrips_through_the_wire() {
+        let spec = JobSpec::from_envelope(envelope("k", 5)).unwrap();
+        let key = CacheKey::for_job(&spec);
+        let heft = rds_heft::heft_schedule(&spec.instance);
+        let entry = CachedSchedule {
+            schedule: heft.schedule,
+            makespan: heft.makespan,
+            avg_slack: 1.25,
+        };
+        let text = write_cache_entry(&key, &entry);
+        let (key2, entry2) = read_cache_entry(&text).unwrap();
+        assert_eq!(key2.fingerprint(), key.fingerprint());
+        assert_eq!(key2.to_wire(), key.to_wire());
+        assert_eq!(entry2.schedule.assignment(), entry.schedule.assignment());
+        assert!((entry2.makespan - entry.makespan).abs() < 1e-9);
+        assert!((entry2.avg_slack - entry.avg_slack).abs() < 1e-9);
+    }
+
+    #[test]
+    fn end_to_end_request_probe_and_gossip_against_a_live_shard() {
+        let (service, results_rx) =
+            Service::try_start(ServiceConfig::default().workers(2)).unwrap();
+        let server = NetServer::start(
+            service,
+            results_rx,
+            NetServerConfig::default().max_inflight(8),
+        )
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let cfg = NetClientConfig::default();
+
+        let level = probe(&addr, &cfg).unwrap();
+        // Brownout is disabled by default, so the rung reads "off".
+        assert!(level == "off" || level == "normal", "level = {level}");
+
+        let reply = request(&addr, &job_text("net-1", 7), &cfg).unwrap();
+        assert_eq!(reply.id, "net-1");
+        assert_eq!(reply.status, "ok");
+        assert_eq!(reply.cache.as_deref(), Some("miss"));
+        assert!(reply.schedule.is_some());
+
+        // Gossip a solved entry in under a fresh key, then ask for that
+        // job: it must be a warm hit.
+        let spec = JobSpec::from_envelope(envelope("warm", 11)).unwrap();
+        let key = CacheKey::for_job(&spec);
+        let heft = rds_heft::heft_schedule(&spec.instance);
+        let entry = CachedSchedule {
+            schedule: heft.schedule,
+            makespan: heft.makespan,
+            avg_slack: 0.5,
+        };
+        gossip_entry(&addr, &write_cache_entry(&key, &entry), &cfg).unwrap();
+        let reply = request(&addr, &job_text("warm", 11), &cfg).unwrap();
+        assert_eq!(reply.status, "ok");
+        assert_eq!(reply.cache.as_deref(), Some("hit"));
+
+        let (metrics, net) = server.shutdown();
+        assert_eq!(net.jobs_in, 2);
+        assert_eq!(net.gossip_in, 1);
+        assert!(net.results_out >= 2);
+        assert!(metrics.completed >= 2);
+    }
+
+    #[test]
+    fn client_reports_typed_connect_failure() {
+        let cfg = NetClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            ..NetClientConfig::default()
+        };
+        let err = request("127.0.0.1:1", &job_text("x", 1), &cfg).unwrap_err();
+        assert!(matches!(err, NetError::Connect(_)), "got {err}");
+    }
+}

@@ -1,0 +1,783 @@
+//! Failover routing across networked shards.
+//!
+//! The router owns a fixed list of shard addresses and forwards each
+//! job envelope to the shard that owns its instance fingerprint
+//! (`fingerprint % N`), falling back along the rendezvous preference
+//! order of [`crate::net::shard_preference`] when the owner is down —
+//! the same order the shards use for cache replication, so a failed-over
+//! request lands exactly where its warm cache entry was gossiped.
+//!
+//! Failure handling:
+//!
+//! - a failed attempt marks the shard suspect and backs it off with
+//!   **capped exponential backoff plus seeded jitter**, then retries the
+//!   next shard in preference order;
+//! - a brownout fast-rejection carrying `retry-after-ms` is honored:
+//!   the router sleeps the advertised interval before the next attempt
+//!   instead of hammering the breaker;
+//! - a **health thread** probes every shard on a fixed cadence and
+//!   flips routability without waiting for a request to fail;
+//! - requests that outlive a **p95 latency EWMA** fire one hedged
+//!   duplicate at the next-preferred shard; the first finisher wins and
+//!   the duplicate is accounted, not double-counted.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rds_sched::io::{read_job, write_job, ResultEnvelope};
+use rds_stats::rng::SeedStream;
+
+use crate::net::{probe, request, shard_preference, NetClientConfig, NetError, DEFAULT_MAX_FRAME};
+
+fn unpoison<'a, T>(
+    r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    r.unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Routing, retry, and hedging knobs.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Shard addresses, indexed by shard number.
+    pub shards: Vec<String>,
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// End-to-end reply budget per attempt.
+    pub io_timeout: Duration,
+    /// Health-probe reply budget.
+    pub probe_timeout: Duration,
+    /// Cadence of the background health prober; `None` disables it.
+    pub health_interval: Option<Duration>,
+    /// Attempt cap per request; 0 means `shards.len() + 2`.
+    pub max_attempts: usize,
+    /// First backoff step after a shard failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// Hedge fires when an attempt exceeds `p95 EWMA × hedge_factor`.
+    pub hedge_factor: f64,
+    /// Floor for the hedge delay.
+    pub hedge_min: Duration,
+    /// Latency samples required before EWMA-based hedging arms.
+    pub min_hedge_samples: u64,
+    /// Fixed hedge delay override (bypasses the EWMA).
+    pub hedge_fixed: Option<Duration>,
+    /// Reply frame-size cap.
+    pub max_frame: usize,
+    /// Seed for backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            shards: Vec::new(),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(30),
+            probe_timeout: Duration::from_millis(500),
+            health_interval: Some(Duration::from_millis(500)),
+            max_attempts: 0,
+            backoff_base: Duration::from_millis(20),
+            backoff_cap: Duration::from_millis(500),
+            hedge_factor: 1.5,
+            hedge_min: Duration::from_millis(50),
+            min_hedge_samples: 16,
+            hedge_fixed: None,
+            max_frame: DEFAULT_MAX_FRAME,
+            seed: 0,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// Sets the shard address list.
+    #[must_use]
+    pub fn shards(mut self, shards: Vec<String>) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the attempt cap per request.
+    #[must_use]
+    pub fn max_attempts(mut self, n: usize) -> Self {
+        self.max_attempts = n;
+        self
+    }
+
+    /// Sets a fixed hedge delay (bypassing the latency EWMA).
+    #[must_use]
+    pub fn hedge_fixed(mut self, d: Duration) -> Self {
+        self.hedge_fixed = Some(d);
+        self
+    }
+
+    /// Sets the health-probe cadence (`None` disables probing).
+    #[must_use]
+    pub fn health_interval(mut self, d: Option<Duration>) -> Self {
+        self.health_interval = d;
+        self
+    }
+
+    /// Sets the per-attempt reply budget.
+    #[must_use]
+    pub fn io_timeout(mut self, d: Duration) -> Self {
+        self.io_timeout = d;
+        self
+    }
+
+    /// Sets the backoff jitter seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn attempts(&self) -> usize {
+        if self.max_attempts > 0 {
+            self.max_attempts
+        } else {
+            self.shards.len() + 2
+        }
+    }
+
+    fn client(&self) -> NetClientConfig {
+        NetClientConfig {
+            connect_timeout: self.connect_timeout,
+            io_timeout: self.io_timeout,
+            max_frame: self.max_frame,
+        }
+    }
+}
+
+/// Mutable per-shard routing state.
+#[derive(Debug, Clone)]
+struct ShardInfo {
+    /// Last health-probe or attempt verdict.
+    healthy: bool,
+    /// Do not route here before this instant (backoff or retry-after).
+    not_before: Option<Instant>,
+    /// Consecutive failures, drives the backoff exponent.
+    failures: u32,
+}
+
+#[derive(Default)]
+struct RouterMetricsInner {
+    requests: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    errors: AtomicU64,
+    retries: AtomicU64,
+    failovers: AtomicU64,
+    hedges: AtomicU64,
+    hedge_wins: AtomicU64,
+    retry_after_waits: AtomicU64,
+    probe_cycles: AtomicU64,
+}
+
+/// Point-in-time router counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RouterMetrics {
+    /// Requests routed.
+    pub requests: u64,
+    /// Requests that came back `ok`.
+    pub completed: u64,
+    /// Requests that ended `rejected` after all attempts.
+    pub rejected: u64,
+    /// Requests that ended in a transport error after all attempts.
+    pub errors: u64,
+    /// Extra attempts beyond each request's first.
+    pub retries: u64,
+    /// Attempts routed away from the fingerprint-primary shard
+    /// (because of a prior failure, a backoff window, or a health
+    /// probe verdict).
+    pub failovers: u64,
+    /// Hedged duplicates fired.
+    pub hedges: u64,
+    /// Hedged duplicates that finished first.
+    pub hedge_wins: u64,
+    /// Sleeps honoring a brownout `retry-after-ms` hint.
+    pub retry_after_waits: u64,
+    /// Completed health-probe sweeps.
+    pub probe_cycles: u64,
+}
+
+impl RouterMetricsInner {
+    fn snapshot(&self) -> RouterMetrics {
+        let g = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        RouterMetrics {
+            requests: g(&self.requests),
+            completed: g(&self.completed),
+            rejected: g(&self.rejected),
+            errors: g(&self.errors),
+            retries: g(&self.retries),
+            failovers: g(&self.failovers),
+            hedges: g(&self.hedges),
+            hedge_wins: g(&self.hedge_wins),
+            retry_after_waits: g(&self.retry_after_waits),
+            probe_cycles: g(&self.probe_cycles),
+        }
+    }
+}
+
+/// Asymmetric-step EWMA tracking the 95th latency percentile: samples
+/// above the estimate pull it up 19× harder than samples below pull it
+/// down, so it settles near the quantile where 5% of samples exceed it.
+struct LatencyTracker {
+    p95_ms: f64,
+    samples: u64,
+}
+
+impl LatencyTracker {
+    fn observe(&mut self, latency: Duration) {
+        let x = latency.as_secs_f64() * 1e3;
+        if self.samples == 0 {
+            self.p95_ms = x;
+        } else if x > self.p95_ms {
+            self.p95_ms += 0.19 * (x - self.p95_ms);
+        } else {
+            self.p95_ms += 0.01 * (x - self.p95_ms);
+        }
+        self.samples += 1;
+    }
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    shards: Mutex<Vec<ShardInfo>>,
+    latency: Mutex<LatencyTracker>,
+    metrics: RouterMetricsInner,
+    stop: AtomicBool,
+}
+
+/// The failover front tier: routes envelopes to shards, retries around
+/// failures, and hedges stragglers.
+pub struct Router {
+    shared: Arc<RouterShared>,
+    health: Option<JoinHandle<()>>,
+}
+
+/// Capped exponential backoff with a seeded jitter draw, mirroring the
+/// worker supervisor's retry ladder.
+fn backoff_step(base: Duration, cap: Duration, failures: u32, seed: u64, shard: usize) -> Duration {
+    let exp = failures.saturating_sub(1).min(16);
+    let step = base.saturating_mul(1 << exp).min(cap);
+    let draw = SeedStream::new(seed)
+        .branch("router-backoff")
+        .nth_seed(shard as u64 ^ (u64::from(failures) << 32));
+    let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+    step.mul_f64(0.5 + unit).min(cap)
+}
+
+impl Router {
+    /// Builds a router over `config.shards` and starts the health
+    /// prober when an interval is configured.
+    ///
+    /// # Errors
+    /// [`NetError::Protocol`] when the shard list is empty.
+    pub fn start(config: RouterConfig) -> Result<Self, NetError> {
+        if config.shards.is_empty() {
+            return Err(NetError::Protocol("router needs at least one shard".into()));
+        }
+        let shards = config
+            .shards
+            .iter()
+            .map(|_| ShardInfo {
+                healthy: true,
+                not_before: None,
+                failures: 0,
+            })
+            .collect();
+        let shared = Arc::new(RouterShared {
+            config,
+            shards: Mutex::new(shards),
+            latency: Mutex::new(LatencyTracker {
+                p95_ms: 0.0,
+                samples: 0,
+            }),
+            metrics: RouterMetricsInner::default(),
+            stop: AtomicBool::new(false),
+        });
+        let health = shared.config.health_interval.map(|interval| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || health_loop(&shared, interval))
+        });
+        Ok(Self { shared, health })
+    }
+
+    /// Routes one job envelope (text form) and returns the shard's
+    /// reply envelope.
+    ///
+    /// # Errors
+    /// [`NetError::Protocol`] when the text is not a job envelope;
+    /// the last attempt's transport error when every attempt fails.
+    pub fn route(&self, job_text: &str) -> Result<ResultEnvelope, NetError> {
+        let env =
+            read_job(job_text).map_err(|e| NetError::Protocol(format!("bad job envelope: {e}")))?;
+        let fingerprint = env.instance.fingerprint();
+        // Re-serialize so a routed envelope is byte-identical to a
+        // locally written one regardless of client formatting.
+        let text = write_job(&env);
+        self.route_raw(&text, fingerprint, &env.id)
+    }
+
+    /// Routes an already-validated envelope by fingerprint.
+    ///
+    /// # Errors
+    /// The last attempt's [`NetError`] when every attempt fails.
+    #[allow(clippy::too_many_lines)]
+    pub fn route_raw(
+        &self,
+        job_text: &str,
+        fingerprint: u64,
+        id: &str,
+    ) -> Result<ResultEnvelope, NetError> {
+        let shared = &self.shared;
+        let m = &shared.metrics;
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        let n = shared.config.shards.len();
+        let prefs = shard_preference(fingerprint, n);
+        let max_attempts = shared.config.attempts();
+        let mut tried = vec![0u32; n];
+        let mut last_err = NetError::Connect("no shard attempted".into());
+        for attempt in 0..max_attempts {
+            if attempt > 0 {
+                m.retries.fetch_add(1, Ordering::Relaxed);
+            }
+            let shard = self.pick_shard(&prefs, &tried);
+            tried[shard] += 1;
+            if shard != prefs[0] {
+                m.failovers.fetch_add(1, Ordering::Relaxed);
+            }
+            let started = Instant::now();
+            match self.attempt_with_hedge(job_text, &prefs, shard, id) {
+                Ok(reply) => {
+                    if reply.status == "rejected" {
+                        if let Some(wait_ms) = reply.retry_after_ms {
+                            // Brownout breaker: honor the advertised
+                            // interval before the next attempt.
+                            let wait = Duration::from_millis(wait_ms.min(5_000));
+                            {
+                                let mut shards = unpoison(shared.shards.lock());
+                                shards[shard].not_before = Some(Instant::now() + wait);
+                            }
+                            if attempt + 1 < max_attempts {
+                                m.retry_after_waits.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(wait);
+                                continue;
+                            }
+                        }
+                        m.rejected.fetch_add(1, Ordering::Relaxed);
+                        return Ok(reply);
+                    }
+                    {
+                        let mut shards = unpoison(shared.shards.lock());
+                        shards[shard].healthy = true;
+                        shards[shard].failures = 0;
+                        shards[shard].not_before = None;
+                    }
+                    unpoison(shared.latency.lock()).observe(started.elapsed());
+                    if reply.status == "ok" {
+                        m.completed.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        m.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(reply);
+                }
+                Err(err) => {
+                    let mut shards = unpoison(shared.shards.lock());
+                    let info = &mut shards[shard];
+                    info.healthy = false;
+                    info.failures += 1;
+                    let step = backoff_step(
+                        shared.config.backoff_base,
+                        shared.config.backoff_cap,
+                        info.failures,
+                        shared.config.seed,
+                        shard,
+                    );
+                    info.not_before = Some(Instant::now() + step);
+                    drop(shards);
+                    last_err = err;
+                }
+            }
+        }
+        m.errors.fetch_add(1, Ordering::Relaxed);
+        Err(last_err)
+    }
+
+    /// Picks the next shard: fewest attempts this request first, then
+    /// preference order; shards inside a backoff window are passed over
+    /// unless every shard is backing off, in which case the earliest
+    /// deadline is awaited.
+    fn pick_shard(&self, prefs: &[usize], tried: &[u32]) -> usize {
+        let shared = &self.shared;
+        loop {
+            let now = Instant::now();
+            let shards = unpoison(shared.shards.lock());
+            let mut best: Option<(u32, usize, usize)> = None;
+            let mut earliest: Option<Instant> = None;
+            for (rank, &shard) in prefs.iter().enumerate() {
+                let info = &shards[shard];
+                if let Some(nb) = info.not_before {
+                    if nb > now {
+                        earliest = Some(earliest.map_or(nb, |e| e.min(nb)));
+                        continue;
+                    }
+                }
+                let rank_adj = if info.healthy {
+                    rank
+                } else {
+                    rank + prefs.len()
+                };
+                let key = (tried[shard], rank_adj, shard);
+                if best.is_none_or(|b| (b.0, b.1) > (key.0, key.1)) {
+                    best = Some(key);
+                }
+            }
+            drop(shards);
+            if let Some((_, _, shard)) = best {
+                return shard;
+            }
+            // Every shard is backing off: wait out the earliest window.
+            let wait = earliest
+                .map_or(Duration::from_millis(10), |e| {
+                    e.saturating_duration_since(Instant::now())
+                })
+                .min(Duration::from_millis(250));
+            self.shared
+                .metrics
+                .retry_after_waits
+                .fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(wait.max(Duration::from_millis(1)));
+        }
+    }
+
+    /// One delivery attempt with an optional hedged duplicate: if the
+    /// primary attempt outlives the hedge delay, a duplicate fires at
+    /// the next-preferred shard and the first finisher wins.
+    fn attempt_with_hedge(
+        &self,
+        job_text: &str,
+        prefs: &[usize],
+        shard: usize,
+        _id: &str,
+    ) -> Result<ResultEnvelope, NetError> {
+        let shared = &self.shared;
+        let cfg = shared.config.client();
+        let hedge_delay = self.hedge_delay();
+        let hedge_target = prefs.iter().copied().find(|&s| s != shard);
+        let (hedge_delay, hedge_target) = match (hedge_delay, hedge_target) {
+            (Some(d), Some(t)) => (d, t),
+            // No hedging armed (or nowhere to hedge): plain attempt.
+            _ => return request(&shared.config.shards[shard], job_text, &cfg),
+        };
+
+        let (tx, rx) = mpsc::channel::<(bool, Result<ResultEnvelope, NetError>)>();
+        let spawn_attempt = |target: usize, hedged: bool| {
+            let addr = shared.config.shards[target].clone();
+            let text = job_text.to_owned();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send((hedged, request(&addr, &text, &cfg)));
+            })
+        };
+        let primary = spawn_attempt(shard, false);
+        let first = match rx.recv_timeout(hedge_delay) {
+            Ok(msg) => Some(msg),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let _ = primary.join();
+                return Err(NetError::Io("attempt thread died".into()));
+            }
+        };
+        let (hedged, outcome) = match first {
+            Some(msg) => msg,
+            None => {
+                shared.metrics.hedges.fetch_add(1, Ordering::Relaxed);
+                let _hedge = spawn_attempt(hedge_target, true);
+                match rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => return Err(NetError::Io("attempt threads died".into())),
+                }
+            }
+        };
+        // Prefer a success: if the first finisher failed, the slower
+        // twin may still deliver within the remaining budget.
+        let (hedged, outcome) = if outcome.is_err() {
+            match rx.recv_timeout(cfg.io_timeout) {
+                Ok(second) if second.1.is_ok() => second,
+                _ => (hedged, outcome),
+            }
+        } else {
+            (hedged, outcome)
+        };
+        if hedged && outcome.is_ok() {
+            shared.metrics.hedge_wins.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome
+    }
+
+    /// The armed hedge delay, or `None` while the EWMA is cold.
+    fn hedge_delay(&self) -> Option<Duration> {
+        let cfg = &self.shared.config;
+        if cfg.shards.len() < 2 {
+            return None;
+        }
+        if let Some(fixed) = cfg.hedge_fixed {
+            return Some(fixed);
+        }
+        let latency = unpoison(self.shared.latency.lock());
+        if latency.samples < cfg.min_hedge_samples {
+            return None;
+        }
+        let delay = Duration::from_secs_f64((latency.p95_ms * cfg.hedge_factor).max(0.1) / 1e3);
+        Some(delay.max(cfg.hedge_min))
+    }
+
+    /// The tracked p95 latency estimate in milliseconds, with its
+    /// sample count.
+    #[must_use]
+    pub fn p95_latency_ms(&self) -> (f64, u64) {
+        let latency = unpoison(self.shared.latency.lock());
+        (latency.p95_ms, latency.samples)
+    }
+
+    /// Snapshot of the routing counters.
+    #[must_use]
+    pub fn metrics(&self) -> RouterMetrics {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Current health verdict per shard (index-aligned with the
+    /// configured address list).
+    #[must_use]
+    pub fn shard_health(&self) -> Vec<bool> {
+        unpoison(self.shared.shards.lock())
+            .iter()
+            .map(|s| s.healthy)
+            .collect()
+    }
+
+    /// Stops the health prober and releases the router.
+    #[must_use]
+    pub fn shutdown(mut self) -> RouterMetrics {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.health.take() {
+            let _ = h.join();
+        }
+        self.shared.metrics.snapshot()
+    }
+}
+
+/// Background health sweep: probes every shard each interval and flips
+/// routability immediately.
+fn health_loop(shared: &Arc<RouterShared>, interval: Duration) {
+    let cfg = NetClientConfig {
+        connect_timeout: shared.config.probe_timeout,
+        io_timeout: shared.config.probe_timeout,
+        max_frame: shared.config.max_frame,
+    };
+    while !shared.stop.load(Ordering::Relaxed) {
+        for (i, addr) in shared.config.shards.iter().enumerate() {
+            if shared.stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let verdict = probe(addr, &cfg).is_ok();
+            let mut shards = unpoison(shared.shards.lock());
+            let info = &mut shards[i];
+            if verdict {
+                info.healthy = true;
+                info.failures = 0;
+                info.not_before = None;
+            } else {
+                info.healthy = false;
+            }
+        }
+        shared.metrics.probe_cycles.fetch_add(1, Ordering::Relaxed);
+        // Sleep in slices so shutdown stays prompt.
+        let mut remaining = interval;
+        while remaining > Duration::ZERO && !shared.stop.load(Ordering::Relaxed) {
+            let slice = remaining.min(Duration::from_millis(50));
+            std::thread::sleep(slice);
+            remaining = remaining.saturating_sub(slice);
+        }
+    }
+}
+
+/// TCP front for the router: accepts client connections speaking the
+/// same line-framed envelope protocol as the shards, and forwards each
+/// job through [`Router::route`].
+pub struct RouterServer {
+    router: Arc<Router>,
+    shared: Arc<RouterServerShared>,
+    accept: Option<JoinHandle<()>>,
+    local_addr: std::net::SocketAddr,
+}
+
+struct RouterServerShared {
+    stop: AtomicBool,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    max_frame: usize,
+}
+
+impl RouterServer {
+    /// Binds `listen` and starts accepting client connections.
+    ///
+    /// # Errors
+    /// [`NetError::Io`] when the bind fails.
+    pub fn start(router: Router, listen: &str) -> Result<Self, NetError> {
+        let listener = std::net::TcpListener::bind(listen)
+            .map_err(|e| NetError::Io(format!("bind {listen}: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NetError::Io(format!("nonblocking: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| NetError::Io(format!("local addr: {e}")))?;
+        let max_frame = router.shared.config.max_frame;
+        let router = Arc::new(router);
+        let shared = Arc::new(RouterServerShared {
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            max_frame,
+        });
+        let a_router = Arc::clone(&router);
+        let a_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || {
+            router_accept_loop(&a_shared, &a_router, &listener);
+        });
+        Ok(Self {
+            router,
+            shared,
+            accept: Some(accept),
+            local_addr,
+        })
+    }
+
+    /// The bound address.
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the wrapped router's counters.
+    #[must_use]
+    pub fn metrics(&self) -> RouterMetrics {
+        self.router.metrics()
+    }
+
+    /// Stops accepting, joins connections, and shuts the router down.
+    #[must_use]
+    pub fn shutdown(mut self) -> RouterMetrics {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in unpoison(self.shared.conns.lock()).drain(..) {
+            let _ = h.join();
+        }
+        match Arc::try_unwrap(self.router) {
+            Ok(router) => router.shutdown(),
+            Err(router) => router.metrics(),
+        }
+    }
+}
+
+fn router_accept_loop(
+    shared: &Arc<RouterServerShared>,
+    router: &Arc<Router>,
+    listener: &std::net::TcpListener,
+) {
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let c_shared = Arc::clone(shared);
+                let c_router = Arc::clone(router);
+                let handle = std::thread::spawn(move || {
+                    router_conn_loop(&c_shared, &c_router, stream);
+                });
+                unpoison(shared.conns.lock()).push(handle);
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Per-connection loop: jobs route to shards, probes answer locally.
+fn router_conn_loop(
+    shared: &Arc<RouterServerShared>,
+    router: &Arc<Router>,
+    mut stream: std::net::TcpStream,
+) {
+    use std::io::{Read as _, Write as _};
+
+    use rds_sched::io::write_result;
+
+    use crate::net::{Frame, FrameScanner};
+
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut scanner = FrameScanner::new(shared.max_frame);
+    let mut buf = [0u8; 8192];
+    loop {
+        if shared.stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let frames = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => match scanner.push(&buf[..n]) {
+                Ok(frames) => frames,
+                Err(_) => break,
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        for frame in frames {
+            match frame {
+                Frame::Job(text) => {
+                    let reply = match router.route(&text) {
+                        Ok(env) => write_result(&env),
+                        Err(err) => {
+                            let id = read_job(&text).map_or_else(|_| "unknown".into(), |e| e.id);
+                            write_result(&ResultEnvelope {
+                                id,
+                                status: "error".into(),
+                                cache: None,
+                                degraded: None,
+                                makespan: None,
+                                avg_slack: None,
+                                verdict: None,
+                                probability: None,
+                                reason: Some(err.to_string()),
+                                retry_after_ms: None,
+                                schedule: None,
+                            })
+                        }
+                    };
+                    if stream.write_all(reply.as_bytes()).is_err() || stream.flush().is_err() {
+                        return;
+                    }
+                }
+                Frame::Probe => {
+                    let line = "rds-probe-ok level=router\n";
+                    if stream.write_all(line.as_bytes()).is_err() {
+                        return;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+}

@@ -69,6 +69,9 @@ pub struct ServiceConfig {
     pub online_samples: usize,
     /// Durable job journal path; `None` keeps jobs in memory only.
     pub journal: Option<PathBuf>,
+    /// Auto-compact the journal after this many terminal records
+    /// (`None` disables): bounds WAL growth under sustained traffic.
+    pub journal_compact_every: Option<u64>,
     /// Supervision policy (attempt cap, backoff, timeout).
     pub supervisor: SupervisorConfig,
     /// Overload brownout ladder; `None` leaves only queue-full
@@ -88,6 +91,7 @@ impl Default for ServiceConfig {
             online_floor: 0.5,
             online_samples: 64,
             journal: None,
+            journal_compact_every: None,
             supervisor: SupervisorConfig::default(),
             brownout: None,
             chaos: None,
@@ -142,6 +146,13 @@ impl ServiceConfig {
     #[must_use]
     pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
         self.journal = Some(path.into());
+        self
+    }
+
+    /// Auto-compacts the journal after every `n` terminal records.
+    #[must_use]
+    pub fn journal_compact_every(mut self, n: u64) -> Self {
+        self.journal_compact_every = Some(n);
         self
     }
 
@@ -506,7 +517,11 @@ impl Service {
     ) -> Result<(Self, mpsc::Receiver<JobResult>), ServiceError> {
         config.validate().map_err(ServiceError::Config)?;
         let journal = match &config.journal {
-            Some(path) => Some(Journal::open(path, config.chaos).map_err(ServiceError::Journal)?),
+            Some(path) => {
+                let mut j = Journal::open(path, config.chaos).map_err(ServiceError::Journal)?;
+                j.set_compact_every(config.journal_compact_every);
+                Some(j)
+            }
             None => None,
         };
         let brownout = config.brownout.map(|_| {
@@ -768,6 +783,22 @@ impl Service {
         self.results_tx.clone()
     }
 
+    /// Inserts a warm schedule directly into the cache — the cache-
+    /// replication receive path: a peer shard gossips its fresh entries
+    /// here so failover keeps the hit rate. The cache's own boundary
+    /// still applies (degraded results are never accepted, capacity
+    /// evicts as usual).
+    pub fn cache_insert(&self, key: CacheKey, entry: CachedSchedule) {
+        self.shared.cache.insert(key, entry, Degradation::None);
+    }
+
+    /// The current brownout rung name (`off` when no brownout ladder is
+    /// configured) — served to network health probes.
+    #[must_use]
+    pub fn brownout_level_name(&self) -> &'static str {
+        self.shared.brownout_level_name()
+    }
+
     /// Pauses draining (jobs accumulate).
     pub fn pause(&self) {
         self.shared.queue.pause();
@@ -845,7 +876,7 @@ impl Service {
 }
 
 fn snapshot_metrics(shared: &Shared) -> ServiceMetrics {
-    let journal_stats = shared.journal.as_ref().map_or((0, 0), Journal::stats);
+    let journal_stats = shared.journal.as_ref().map_or((0, 0, 0), Journal::stats);
     shared.metrics.snapshot(
         shared.queue.depths(),
         shared.cache.stats(),

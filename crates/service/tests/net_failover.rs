@@ -1,0 +1,216 @@
+//! Failover drills for the networked serving tier: two live TCP shards
+//! behind a router, replicated warm cache, and seeded network chaos.
+//!
+//! The headline contract mirrors the crash-safety one, one level up the
+//! stack: killing a shard must lose **zero accepted jobs** (the
+//! journals of the survivors and the victim together account for every
+//! acceptance), and a failed-over request must land on the **warm
+//! replica** of its schedule, not a cold cache.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rds_sched::io::{write_job, JobEnvelope};
+use rds_sched::InstanceSpec;
+use rds_service::net::{NetServer, NetServerConfig};
+use rds_service::router::{Router, RouterConfig};
+use rds_service::{Journal, Service, ServiceChaos, ServiceConfig};
+
+fn envelope(id: &str, seed: u64) -> JobEnvelope {
+    JobEnvelope {
+        id: id.to_owned(),
+        algo: "heft".to_owned(),
+        epsilon: 1.3,
+        seed: 0,
+        generations: None,
+        deadline_ms: None,
+        lane: None,
+        arrival: None,
+        deadline: None,
+        instance: InstanceSpec::new(24, 3).seed(seed).build().unwrap(),
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("rds_netfail_{}_{name}.wal", std::process::id()))
+}
+
+fn start_shard(journal: &PathBuf, chaos: Option<ServiceChaos>) -> NetServer {
+    let mut config = ServiceConfig::default().workers(2).journal(journal);
+    let mut net = NetServerConfig::default();
+    if let Some(chaos) = chaos {
+        config = config.chaos(chaos);
+        net = net.chaos(chaos);
+    }
+    let (service, results_rx) = Service::try_start(config).expect("shard service");
+    NetServer::start(service, results_rx, net).expect("shard bind")
+}
+
+/// Waits until `cond` holds or the budget runs out; polling beats fixed
+/// sleeps for an async gossip hop.
+fn wait_for(budget: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + budget;
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cond()
+}
+
+/// Kill a shard mid-stream: every accepted job is accounted for across
+/// the two journals (zero loss), the router fails the traffic over, and
+/// the re-driven hot job hits the replicated warm cache on the
+/// survivor.
+#[test]
+fn shard_kill_loses_nothing_and_failover_hits_warm_cache() {
+    let j0 = tmp("kill_a");
+    let j1 = tmp("kill_b");
+    let _ = std::fs::remove_file(&j0);
+    let _ = std::fs::remove_file(&j1);
+
+    let shard0 = start_shard(&j0, None);
+    let shard1 = start_shard(&j1, None);
+    let addrs = vec![
+        shard0.local_addr().to_string(),
+        shard1.local_addr().to_string(),
+    ];
+    shard0.set_peers(addrs.clone(), 0);
+    shard1.set_peers(addrs.clone(), 1);
+
+    let router = Router::start(
+        RouterConfig::default()
+            .shards(addrs)
+            .io_timeout(Duration::from_secs(5))
+            .health_interval(Some(Duration::from_millis(100))),
+    )
+    .expect("router");
+
+    // Find a job whose primary is shard 0 so the kill hits its owner.
+    let (hot_id, hot_seed) = (0u32..64)
+        .map(|s| (format!("hot-{s}"), u64::from(s)))
+        .find(|(_, s)| envelope("probe", *s).instance.fingerprint().is_multiple_of(2))
+        .expect("some seed lands on shard 0");
+
+    // Warm the hot entry (miss + solve on shard 0, gossip to shard 1)
+    // plus background traffic across both shards.
+    let reply = router
+        .route(&write_job(&envelope(&hot_id, hot_seed)))
+        .expect("warm request");
+    assert_eq!(reply.status, "ok");
+    assert_eq!(reply.cache.as_deref(), Some("miss"));
+    let mut accepted = vec![hot_id.clone()];
+    for i in 0..6 {
+        let id = format!("bg-{i}");
+        let reply = router
+            .route(&write_job(&envelope(&id, 100 + i)))
+            .expect("background request");
+        assert_eq!(reply.status, "ok", "job {id}: {:?}", reply.reason);
+        accepted.push(id);
+    }
+
+    // The gossip hop is async: wait until the replica landed.
+    assert!(
+        wait_for(Duration::from_secs(5), || {
+            shard0.net_metrics().gossip_out + shard1.net_metrics().gossip_out > 0
+        }),
+        "no cache entry was ever replicated"
+    );
+
+    // Kill the hot job's owner, then re-drive the same job. The router
+    // must fail over to the survivor and find the replicated entry.
+    let (m0, n0) = shard0.shutdown();
+    assert_eq!(m0.failed, 0, "shard 0 failed jobs before the kill");
+    assert!(n0.gossip_out >= 1, "shard 0 never gossiped its warm solves");
+
+    let reply = router
+        .route(&write_job(&envelope(&format!("{hot_id}-replay"), hot_seed)))
+        .expect("failover request must eventually succeed");
+    assert_eq!(reply.status, "ok", "failover reply: {:?}", reply.reason);
+    assert_eq!(
+        reply.cache.as_deref(),
+        Some("hit"),
+        "failed-over request missed the replicated warm cache"
+    );
+    accepted.push(format!("{hot_id}-replay"));
+
+    let metrics = router.shutdown();
+    assert!(metrics.failovers >= 1, "router never failed over");
+    assert_eq!(metrics.errors, 0, "router lost a request: {metrics:?}");
+
+    let (m1, _) = shard1.shutdown();
+    assert_eq!(m1.failed, 0, "shard 1 failed jobs");
+
+    // Zero-loss ledger: every accepted job has a terminal record in
+    // exactly the journals, nothing is left pending.
+    let mut completed = Vec::new();
+    for j in [&j0, &j1] {
+        let rec = Journal::recover_file(j).expect("journal scans");
+        assert!(
+            rec.pending.is_empty(),
+            "journal {j:?} still has pending jobs: {:?}",
+            rec.pending.iter().map(|e| &e.id).collect::<Vec<_>>()
+        );
+        completed.extend(rec.completed);
+    }
+    for id in &accepted {
+        assert!(
+            completed.iter().any(|c| c == id),
+            "accepted job {id} has no completion record in any journal"
+        );
+    }
+
+    let _ = std::fs::remove_file(&j0);
+    let _ = std::fs::remove_file(&j1);
+}
+
+/// Seeded reply-drop chaos: the shard accepts and solves the job but
+/// chaos eats the reply. The client times out, the router retries, and
+/// the request still completes — the drop is visible in the shard's
+/// transport counters, not in lost work.
+#[test]
+fn dropped_replies_are_survived_by_router_retries() {
+    let j = tmp("drop");
+    let _ = std::fs::remove_file(&j);
+    let chaos = ServiceChaos::seeded(42).net_drop_rate(0.4);
+    let shard = start_shard(&j, Some(chaos));
+    let addr = shard.local_addr().to_string();
+
+    let router = Router::start(
+        RouterConfig::default()
+            .shards(vec![addr])
+            .max_attempts(10)
+            .io_timeout(Duration::from_millis(800))
+            .health_interval(None),
+    )
+    .expect("router");
+
+    let mut ok = 0;
+    for i in 0..8 {
+        let reply = router
+            .route(&write_job(&envelope(&format!("drop-{i}"), 200 + i)))
+            .expect("request survives drops via retries");
+        assert_eq!(reply.status, "ok");
+        ok += 1;
+    }
+    assert_eq!(ok, 8);
+
+    let metrics = router.shutdown();
+    let (_, net) = shard.shutdown();
+    assert!(
+        net.replies_dropped >= 1,
+        "chaos at rate 0.4 never dropped a reply: {net:?}"
+    );
+    assert!(
+        metrics.retries >= 1,
+        "drops happened but the router never retried: {metrics:?}"
+    );
+
+    let rec = Journal::recover_file(&j).expect("journal scans");
+    assert!(
+        rec.pending.is_empty(),
+        "dropped replies must not strand accepted jobs"
+    );
+    let _ = std::fs::remove_file(&j);
+}

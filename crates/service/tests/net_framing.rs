@@ -1,0 +1,196 @@
+//! Property-based verification of the TCP frame scanner.
+//!
+//! The scanner sits between `TcpStream::read` and the envelope parsers,
+//! so it must uphold its contract for *every* way the kernel can split
+//! a byte stream:
+//!
+//! * **reassembly is split-invariant** — any partition of a valid frame
+//!   sequence into read chunks yields exactly the same frames in order;
+//! * **trailing garbage is rejected, not absorbed** — a non-header line
+//!   after the last complete frame is a typed `Garbage` error;
+//! * **a torn frame is detectable at EOF** — bytes of an unterminated
+//!   frame stay buffered, never silently dropped;
+//! * **the size cap is enforced** — a frame that exceeds `max_frame`
+//!   without terminating errors out instead of growing the buffer.
+
+use proptest::prelude::*;
+
+use rds_sched::io::{read_job, write_job, JobEnvelope};
+use rds_sched::InstanceSpec;
+use rds_service::net::{Frame, FrameError, FrameScanner, DEFAULT_MAX_FRAME, PROBE_HEADER};
+
+fn job_text(id: &str, seed: u64, tasks: usize) -> String {
+    write_job(&JobEnvelope {
+        id: id.to_owned(),
+        algo: "heft".to_owned(),
+        epsilon: 1.3,
+        seed,
+        generations: None,
+        deadline_ms: None,
+        lane: None,
+        arrival: None,
+        deadline: None,
+        instance: InstanceSpec::new(tasks, 3).seed(seed).build().unwrap(),
+    })
+}
+
+/// Builds a frame sequence from a small recipe: each entry is either a
+/// job envelope (with varying size) or a probe line.
+fn build_stream(recipe: &[u8]) -> (String, usize) {
+    let mut out = String::new();
+    for (i, &kind) in recipe.iter().enumerate() {
+        if kind % 3 == 0 {
+            out.push_str(&format!("{PROBE_HEADER}\n"));
+        } else {
+            let tasks = 6 + usize::from(kind % 7) * 3;
+            out.push_str(&job_text(&format!("j{i}"), u64::from(kind), tasks));
+        }
+    }
+    (out, recipe.len())
+}
+
+/// Feeds `bytes` to a scanner in chunks cut at the given fractions.
+fn scan_in_chunks(bytes: &[u8], cuts: &[f64], max_frame: usize) -> Result<Vec<Frame>, FrameError> {
+    let mut offsets: Vec<usize> = cuts
+        .iter()
+        .map(|f| {
+            #[allow(
+                clippy::cast_precision_loss,
+                clippy::cast_possible_truncation,
+                clippy::cast_sign_loss
+            )]
+            let o = ((bytes.len() as f64) * f) as usize;
+            o.min(bytes.len())
+        })
+        .collect();
+    offsets.push(0);
+    offsets.push(bytes.len());
+    offsets.sort_unstable();
+    offsets.dedup();
+    let mut scanner = FrameScanner::new(max_frame);
+    let mut frames = Vec::new();
+    for pair in offsets.windows(2) {
+        frames.extend(scanner.push(&bytes[pair[0]..pair[1]])?);
+    }
+    assert_eq!(scanner.buffered(), 0, "complete stream left bytes buffered");
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any chunking of a valid frame sequence reassembles to the same
+    /// frames, in order, with ids intact.
+    #[test]
+    fn reassembly_is_split_invariant(
+        recipe in proptest::collection::vec(0u8..12, 1..5),
+        cuts in proptest::collection::vec(0.0f64..=1.0, 0..12),
+    ) {
+        let (stream, n) = build_stream(&recipe);
+        let frames = scan_in_chunks(stream.as_bytes(), &cuts, DEFAULT_MAX_FRAME)
+            .expect("valid stream must scan");
+        prop_assert_eq!(frames.len(), n);
+        for (i, (frame, &kind)) in frames.iter().zip(&recipe).enumerate() {
+            match frame {
+                Frame::Probe => prop_assert!(kind % 3 == 0, "frame {i} kind mismatch"),
+                Frame::Job(text) => {
+                    prop_assert!(kind % 3 != 0, "frame {i} kind mismatch");
+                    let env = read_job(text).expect("reassembled job must parse");
+                    prop_assert_eq!(env.id, format!("j{}", i));
+                }
+                other => prop_assert!(false, "unexpected frame {other:?}"),
+            }
+        }
+    }
+
+    /// Garbage after the last complete frame is a typed error no matter
+    /// how the stream was chunked before it.
+    #[test]
+    fn trailing_garbage_is_rejected(
+        recipe in proptest::collection::vec(0u8..12, 0..3),
+        cuts in proptest::collection::vec(0.0f64..=1.0, 0..6),
+        garbage_seed in proptest::collection::vec(0u8..27, 1..24),
+    ) {
+        // Lowercase words — no dash, so never a valid `rds-*` header.
+        let garbage: String = garbage_seed
+            .iter()
+            .map(|&b| if b == 26 { ' ' } else { char::from(b'a' + b) })
+            .collect();
+        prop_assume!(!garbage.trim().is_empty());
+        prop_assume!(!garbage.starts_with("rds-"));
+        let (mut stream, _) = build_stream(&recipe);
+        stream.push_str(&format!("{garbage}\n"));
+        let err = scan_in_chunks(stream.as_bytes(), &cuts, DEFAULT_MAX_FRAME)
+            .expect_err("garbage header must error");
+        prop_assert!(matches!(err, FrameError::Garbage(_)), "got {err}");
+    }
+
+    /// Cutting a frame sequence mid-frame leaves the tail buffered —
+    /// the server reads that as a torn frame at EOF, never as success.
+    #[test]
+    fn torn_tail_stays_buffered(
+        recipe in proptest::collection::vec(1u8..12, 1..4),
+        tear_frac in 0.05f64..0.95,
+    ) {
+        let (stream, _) = build_stream(&recipe);
+        let bytes = stream.as_bytes();
+        // Tear inside the *last* frame: find the later of the last job
+        // and last probe start, then cut strictly after it.
+        let last_start = stream
+            .rfind("rds-job v1\n")
+            .into_iter()
+            .chain(stream.rfind(&format!("{PROBE_HEADER}\n")))
+            .max()
+            .unwrap_or(0);
+        let span = bytes.len() - last_start;
+        prop_assume!(span > 2);
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let cut = last_start + 1 + ((span - 2) as f64 * tear_frac) as usize;
+        let mut scanner = FrameScanner::new(DEFAULT_MAX_FRAME);
+        let _ = scanner.push(&bytes[..cut]).expect("prefix of valid stream");
+        prop_assert!(scanner.buffered() > 0, "torn frame left nothing buffered");
+    }
+}
+
+/// A frame that outgrows the cap errors out with the configured limit,
+/// whether it arrives in one read or many.
+#[test]
+fn oversized_frame_hits_the_cap() {
+    let text = job_text("big", 1, 40);
+    let cap = text.len() / 2;
+    for chunk in [1usize, 7, 64, usize::MAX] {
+        let mut scanner = FrameScanner::new(cap);
+        let bytes = text.as_bytes();
+        let mut err = None;
+        let mut i = 0;
+        while i < bytes.len() {
+            let end = i.saturating_add(chunk).min(bytes.len());
+            match scanner.push(&bytes[i..end]) {
+                Ok(_) => i = end,
+                Err(e) => {
+                    err = Some(e);
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(FrameError::TooLarge { limit }) => assert_eq!(limit, cap),
+            other => panic!("chunk {chunk}: expected TooLarge, got {other:?}"),
+        }
+    }
+}
+
+/// Blank lines and comments between frames are protocol-legal filler.
+#[test]
+fn blank_and_comment_lines_between_frames_are_skipped() {
+    let stream = format!(
+        "\n# warm-up comment\n{}\n\n# between frames\n{PROBE_HEADER}\n",
+        job_text("j0", 3, 8).trim_end()
+    );
+    let mut scanner = FrameScanner::new(DEFAULT_MAX_FRAME);
+    let frames = scanner.push(stream.as_bytes()).unwrap();
+    assert_eq!(frames.len(), 2);
+    assert!(matches!(frames[0], Frame::Job(_)));
+    assert!(matches!(frames[1], Frame::Probe));
+    assert_eq!(scanner.buffered(), 0);
+}

@@ -1,0 +1,205 @@
+#!/usr/bin/env bash
+# Networked serving smoke: the fault-tolerance promises of the TCP tier
+# exercised end to end through the real binaries.
+#
+#  1. Kill-a-shard drill: two journaled shards behind `rds route`; a job
+#     whose fingerprint-primary is shard A is solved there and its warm
+#     cache entry gossiped to the rendezvous successor. `kill -9` shard A,
+#     re-drive the job through the router: it must fail over and come
+#     back as a **cache hit** from the replica, and shard A's journal
+#     must account for every job it accepted (zero loss).
+#  2. Network chaos: a shard with seeded reply-drop chaos behind a
+#     retrying router; every request still completes, and the shard's
+#     shutdown counters show the drops actually happened.
+#  3. Routed load: `loadgen` drives a mixed heft/GA workload through the
+#     router at two live shards and merges routed p50/p95/p99 plus
+#     hedge/failover counts into BENCH_serve.json under `routed`.
+#
+# Usage:
+#   scripts/serve_net_quick.sh      # build + run (CI entry point)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -z "${RDS:-}" ]; then
+  cargo build --release --workspace
+  RDS=target/release/rds
+fi
+LOADGEN="${LOADGEN:-target/release/loadgen}"
+OUT="${BENCH_OUT:-BENCH_serve.json}"
+
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+  for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+fail() { echo "serve_net_quick: FAIL: $*" >&2; exit 1; }
+
+# Fixed ports derived from the PID keep parallel CI jobs apart; the
+# binaries support :0 but the peer list must be known at launch. Stay
+# below the Linux ephemeral range (32768+) so an outbound client socket
+# in TIME_WAIT can never squat on a shard's listen port.
+BASE=$(( 21000 + ( $$ % 2000 ) ))
+ADDR_A="127.0.0.1:$BASE"
+ADDR_B="127.0.0.1:$((BASE + 1))"
+ADDR_R="127.0.0.1:$((BASE + 2))"
+ADDR_C="127.0.0.1:$((BASE + 3))"
+ADDR_R2="127.0.0.1:$((BASE + 4))"
+ADDR_D="127.0.0.1:$((BASE + 5))"
+ADDR_E="127.0.0.1:$((BASE + 6))"
+
+# Launches a background process holding a fifo open as its stdin (the
+# serve/route binaries run until stdin closes). $1 = tag, rest = argv.
+spawn() {
+  local tag=$1
+  shift
+  mkfifo "$TMP/$tag.ctl"
+  "$@" < "$TMP/$tag.ctl" > "$TMP/$tag.out" 2> "$TMP/$tag.err" &
+  PIDS+=($!)
+  eval "PID_$tag=$!"
+  # Hold a writer on the fifo; closing the fd shuts the process down.
+  exec {fd}> "$TMP/$tag.ctl"
+  eval "FD_$tag=$fd"
+  for _ in $(seq 1 100); do
+    grep -q '^listening ' "$TMP/$tag.out" 2>/dev/null && return 0
+    kill -0 "$(eval echo "\$PID_$tag")" 2>/dev/null \
+      || fail "$tag exited before binding: $(cat "$TMP/$tag.err")"
+    sleep 0.1
+  done
+  fail "$tag never reported a bound address"
+}
+
+# Graceful shutdown: close the fifo writer, wait for exit. Children
+# spawned later inherit earlier fifo writer fds, so stops must run in
+# LIFO order — the last-spawned process first.
+stop() {
+  local tag=$1 fd pid
+  fd=$(eval echo "\$FD_$tag")
+  pid=$(eval echo "\$PID_$tag")
+  eval "exec $fd>&-"
+  wait "$pid" 2>/dev/null || true
+}
+
+# --- 1. Kill-a-shard drill. ----------------------------------------------
+spawn A "$RDS" serve --workers 2 --journal "$TMP/a.wal" \
+  --listen "$ADDR_A" --peers "$ADDR_A,$ADDR_B" --shard-index 0
+spawn B "$RDS" serve --workers 2 --journal "$TMP/b.wal" \
+  --listen "$ADDR_B" --peers "$ADDR_A,$ADDR_B" --shard-index 1
+spawn R "$RDS" route --shards "$ADDR_A,$ADDR_B" --listen "$ADDR_R" \
+  --health-interval-ms 150
+
+# Find a job whose fingerprint-primary is shard A: the accepting shard
+# journals the envelope before replying, so ownership is observable.
+HOT_SEED=""
+for s in $(seq 13 28); do
+  "$RDS" gen --tasks 24 --procs 3 --seed "$s" -o "$TMP/inst-$s.rds" >/dev/null
+  "$RDS" submit -i "$TMP/inst-$s.rds" --algo heft --id "hot-$s" \
+    --connect "$ADDR_R" > "$TMP/hot-$s.txt" \
+    || fail "routed submit hot-$s failed: $(cat "$TMP/hot-$s.txt")"
+  if grep -q "^jrec [0-9]* accepted hot-$s " "$TMP/a.wal"; then
+    HOT_SEED=$s
+    break
+  fi
+done
+[ -n "$HOT_SEED" ] || fail "no seed in 13..28 landed on shard A"
+grep -q 'cache miss' "$TMP/hot-$HOT_SEED.txt" \
+  || fail "first routed solve was not a cache miss"
+
+# Background traffic so both journals carry accepted work.
+for n in 0 1 2 3; do
+  "$RDS" gen --tasks 20 --procs 3 --seed "$((100 + n))" -o "$TMP/bg-$n.rds" >/dev/null
+  "$RDS" submit -i "$TMP/bg-$n.rds" --algo heft --id "bg-$n" \
+    --connect "$ADDR_R" >/dev/null || fail "background job bg-$n failed"
+done
+
+sleep 1.5 # the gossip hop is async; give the replica time to land
+
+kill -9 "$PID_A" 2>/dev/null || fail "shard A already dead"
+wait "$PID_A" 2>/dev/null || true
+
+"$RDS" submit -i "$TMP/inst-$HOT_SEED.rds" --algo heft --id hot-replay \
+  --connect "$ADDR_R" > "$TMP/replay.txt" \
+  || fail "failover submit failed: $(cat "$TMP/replay.txt")"
+grep -q 'cache hit' "$TMP/replay.txt" \
+  || fail "failed-over request missed the replicated warm cache: $(cat "$TMP/replay.txt")"
+
+stop R
+grep -q '^failover            : ' "$TMP/R.err" || fail "router printed no metrics"
+FAILOVERS=$(sed -n 's/^failover .*: [0-9]* retries \/ \([0-9]*\) failovers.*/\1/p' "$TMP/R.err")
+[ "${FAILOVERS:-0}" -ge 1 ] || fail "router never failed over: $(cat "$TMP/R.err")"
+stop B
+
+# Zero-loss ledger: recover the killed shard's journal; every accepted
+# job must be terminal (we held its replies in hand before the kill) or
+# replayed to completion now.
+"$RDS" serve --workers 1 --journal "$TMP/a.wal" --recover 1 \
+  < /dev/null > "$TMP/rec.rds" 2> "$TMP/rec.txt"
+grep -q '^recovery: ' "$TMP/rec.txt" || fail "no recovery report for shard A"
+REPLAYED=$(sed -n 's/^recovery: \([0-9]*\) replayed.*/\1/p' "$TMP/rec.txt")
+REC_FAILED=$(sed -n 's/.*\/ \([0-9]*\) failed.*/\1/p' "$TMP/rec.txt")
+[ "${REC_FAILED:-0}" = 0 ] || fail "recovery lost jobs: $(cat "$TMP/rec.txt")"
+[ "$(grep -c '^status ok$' "$TMP/rec.rds" || true)" = "$REPLAYED" ] \
+  || fail "a replayed job did not complete: $(cat "$TMP/rec.rds")"
+
+# --- 2. Network chaos: dropped replies are survived by retries. ----------
+spawn C "$RDS" serve --workers 2 --journal "$TMP/c.wal" \
+  --listen "$ADDR_C" --chaos-seed 42 --chaos-net-drop-rate 0.5
+spawn R2 "$RDS" route --shards "$ADDR_C" --listen "$ADDR_R2" \
+  --retries 10 --io-timeout-ms 1500 --health-interval-ms 0
+for n in 0 1 2 3 4 5 6 7; do
+  "$RDS" submit -i "$TMP/bg-0.rds" --algo heft --id "chaos-$n" --seed "$n" \
+    --connect "$ADDR_R2" >/dev/null \
+    || fail "chaos job chaos-$n did not survive reply drops"
+done
+stop R2
+stop C
+grep -q '^net chaos ' "$TMP/C.err" || fail "chaos shard printed no transport counters"
+DROPPED=$(sed -n 's/^net chaos .*: [0-9]* refused \/ \([0-9]*\) replies dropped.*/\1/p' "$TMP/C.err")
+[ "${DROPPED:-0}" -ge 1 ] || fail "drop rate 0.5 never fired: $(cat "$TMP/C.err")"
+
+# --- 3. Routed load → BENCH_serve.json. ----------------------------------
+spawn D "$RDS" serve --workers 2 --listen "$ADDR_D" \
+  --peers "$ADDR_D,$ADDR_E" --shard-index 0
+spawn E "$RDS" serve --workers 2 --listen "$ADDR_E" \
+  --peers "$ADDR_D,$ADDR_E" --shard-index 1
+"$LOADGEN" --shards "$ADDR_D,$ADDR_E" --jobs 60 --threads 4 \
+  --tasks 24 --procs 3 --instances 6 --heavy-frac 0.25 --generations 12 \
+  --hedge-ms 250 --seed 7 --out "$TMP/routed.json" > /dev/null \
+  || fail "loadgen run failed"
+stop E
+stop D
+
+python3 - "$TMP/routed.json" "$OUT" <<'PY'
+import json
+import sys
+
+routed_path, out_path = sys.argv[1], sys.argv[2]
+with open(routed_path) as f:
+    routed = json.load(f)["routed"]
+
+if routed["ok"] == 0:
+    print("serve_net_quick: FAIL: loadgen completed no jobs", file=sys.stderr)
+    sys.exit(1)
+if routed["errors"] != 0:
+    print(f"serve_net_quick: FAIL: routed errors: {routed['errors']}", file=sys.stderr)
+    sys.exit(1)
+
+try:
+    with open(out_path) as f:
+        snapshot = json.load(f)
+except FileNotFoundError:
+    snapshot = {}
+snapshot["routed"] = routed
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(
+    f"serve_net_quick: wrote {out_path} "
+    f"(p50 {routed['p50_ms']:.1f} ms / p95 {routed['p95_ms']:.1f} ms / "
+    f"p99 {routed['p99_ms']:.1f} ms, {routed['hedges']} hedges, "
+    f"{routed['failovers']} failovers)"
+)
+PY
+
+echo "serve_net_quick: all checks passed"

@@ -1,0 +1,217 @@
+//! Mixed-traffic load generator for the networked serving tier.
+//!
+//! Embeds a [`rds_service::router::Router`] in-process, drives a fixed
+//! number of jobs through it from concurrent client threads, and writes
+//! routed latency percentiles plus rejection/hedge/failover counts as a
+//! JSON object — `scripts/serve_net_quick.sh` merges it into
+//! `BENCH_serve.json` under the `routed` key.
+//!
+//! Traffic mix: instances cycle through a seeded pool, and a seeded
+//! fraction of jobs run the GA (`--heavy-frac`) so latencies spread
+//! enough to exercise hedging.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use rds_sched::io::{write_job, JobEnvelope};
+use rds_sched::InstanceSpec;
+use rds_service::router::{Router, RouterConfig};
+use rds_stats::describe::Summary;
+use rds_stats::rng::SeedStream;
+
+const USAGE: &str = "usage: loadgen --shards A,B,.. [--jobs N] [--threads C]
+       [--tasks T] [--procs P] [--instances K] [--seed S]
+       [--heavy-frac F] [--generations G] [--hedge-ms MS] [--retries N]
+       [--io-timeout-ms MS] [--out FILE]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        if !flag.starts_with('-') {
+            return Err(format!("unexpected positional argument '{flag}'\n{USAGE}"));
+        }
+        let value = it
+            .next()
+            .ok_or_else(|| format!("flag {flag} needs a value\n{USAGE}"))?;
+        flags.insert(flag.trim_start_matches('-').to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        Some(v) => v
+            .parse::<T>()
+            .map_err(|e| format!("invalid --{key} '{v}': {e}")),
+        None => Ok(default),
+    }
+}
+
+fn main() -> std::process::ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => std::process::ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let flags = parse_flags(args)?;
+    let shards: Vec<String> = flags
+        .get("shards")
+        .ok_or_else(|| format!("missing required flag --shards\n{USAGE}"))?
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err("need at least one shard address".into());
+    }
+    let shard_count = shards.len();
+    let jobs: usize = get(&flags, "jobs", 200)?;
+    let threads: usize = get(&flags, "threads", 4)?.max(1);
+    let tasks: usize = get(&flags, "tasks", 30)?;
+    let procs: usize = get(&flags, "procs", 4)?;
+    let instances: usize = get(&flags, "instances", 8)?.max(1);
+    let seed: u64 = get(&flags, "seed", 0)?;
+    let heavy_frac: f64 = get(&flags, "heavy-frac", 0.2)?;
+    let generations: usize = get(&flags, "generations", 20)?;
+
+    let mut router_cfg = RouterConfig::default()
+        .shards(shards)
+        .max_attempts(get(&flags, "retries", 0)?)
+        .seed(seed);
+    if let Some(ms) = flags.get("hedge-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|e| format!("invalid --hedge-ms '{ms}': {e}"))?;
+        router_cfg = router_cfg.hedge_fixed(std::time::Duration::from_millis(ms));
+    }
+    if let Some(ms) = flags.get("io-timeout-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|e| format!("invalid --io-timeout-ms '{ms}': {e}"))?;
+        router_cfg = router_cfg.io_timeout(std::time::Duration::from_millis(ms));
+    }
+
+    // Pre-serialize every job so worker threads only measure transport
+    // and solve time, not generation.
+    let seeds = SeedStream::new(seed);
+    let pool: Vec<_> = (0..instances)
+        .map(|k| {
+            InstanceSpec::new(tasks, procs)
+                .seed(seeds.branch("instance").nth_seed(k as u64))
+                .build()
+                .map_err(|e| format!("building instance {k}: {e}"))
+        })
+        .collect::<Result<_, _>>()?;
+    let texts: Vec<String> = (0..jobs)
+        .map(|i| {
+            let draw = seeds.branch("mix").nth_seed(i as u64);
+            let unit = (draw >> 11) as f64 / (1u64 << 53) as f64;
+            let heavy = unit < heavy_frac;
+            write_job(&JobEnvelope {
+                id: format!("lg-{i}"),
+                algo: if heavy { "ga" } else { "heft" }.to_owned(),
+                epsilon: 1.3,
+                seed: seeds.branch("job-seed").nth_seed(i as u64),
+                generations: heavy.then_some(generations),
+                deadline_ms: None,
+                lane: None,
+                arrival: None,
+                deadline: None,
+                instance: pool[i % instances].clone(),
+            })
+        })
+        .collect();
+
+    let router = Router::start(router_cfg).map_err(|e| e.to_string())?;
+    let next = AtomicUsize::new(0);
+    let started = Instant::now();
+    let mut lane_latencies: Vec<Vec<f64>> = Vec::new();
+    let mut ok = 0u64;
+    let mut rejected = 0u64;
+    let mut errors = 0u64;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut latencies = Vec::new();
+                    let (mut ok, mut rejected, mut errors) = (0u64, 0u64, 0u64);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs {
+                            break;
+                        }
+                        let t0 = Instant::now();
+                        match router.route(&texts[i]) {
+                            Ok(env) if env.status == "ok" => {
+                                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                                ok += 1;
+                            }
+                            Ok(_) => rejected += 1,
+                            Err(_) => errors += 1,
+                        }
+                    }
+                    (latencies, ok, rejected, errors)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lat, o, r, e) = h.join().expect("loadgen worker panicked");
+            lane_latencies.push(lat);
+            ok += o;
+            rejected += r;
+            errors += e;
+        }
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let metrics = router.shutdown();
+
+    let all: Vec<f64> = lane_latencies.into_iter().flatten().collect();
+    let (p50, p95, p99, max) = if all.is_empty() {
+        (0.0, 0.0, 0.0, 0.0)
+    } else {
+        let s = Summary::from_samples(all);
+        (
+            s.quantile(0.50),
+            s.quantile(0.95),
+            s.quantile(0.99),
+            s.max(),
+        )
+    };
+
+    let json = format!(
+        "{{\n  \"routed\": {{\n    \"jobs\": {jobs},\n    \"threads\": {threads},\n    \"shards\": {shard_count},\n    \"wall_s\": {wall:.3},\n    \"throughput_jobs_per_s\": {tput:.1},\n    \"p50_ms\": {p50:.3},\n    \"p95_ms\": {p95:.3},\n    \"p99_ms\": {p99:.3},\n    \"max_ms\": {max:.3},\n    \"ok\": {ok},\n    \"rejected\": {rejected},\n    \"errors\": {errors},\n    \"retries\": {retries},\n    \"failovers\": {failovers},\n    \"hedges\": {hedges},\n    \"hedge_wins\": {hedge_wins},\n    \"retry_after_waits\": {retry_after_waits}\n  }}\n}}\n",
+        tput = if wall > 0.0 { ok as f64 / wall } else { 0.0 },
+        retries = metrics.retries,
+        failovers = metrics.failovers,
+        hedges = metrics.hedges,
+        hedge_wins = metrics.hedge_wins,
+        retry_after_waits = metrics.retry_after_waits,
+    );
+    print!("{json}");
+    if let Some(out) = flags.get("out") {
+        std::fs::write(out, &json).map_err(|e| format!("writing {out}: {e}"))?;
+    }
+    eprintln!(
+        "loadgen: {ok} ok / {rejected} rejected / {errors} errors in {wall:.2}s ({} hedges, {} failovers)",
+        metrics.hedges, metrics.failovers,
+    );
+    if ok == 0 {
+        return Err("no job completed".into());
+    }
+    Ok(())
+}

@@ -34,7 +34,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt|serve|submit> [flags]
+const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt|serve|route|submit> [flags]
 
   gen      --tasks N --procs M [--ul U] [--ccr C] [--alpha A] [--seed S] -o FILE
   info     -i INSTANCE
@@ -44,20 +44,37 @@ const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt|serve|submit> [fla
   gantt    -i INSTANCE -s SCHEDULE [--width W] [--svg FILE] [--trace FILE]
   serve    [--workers N] [--queue-cap N] [--cache-cap N] [--hold 1]
            [--online-floor P] [--online-samples N]
-           [--journal FILE [--recover 1]: durable job journal + replay]
+           [--journal FILE [--recover 1] [--journal-compact-every N]]
            [--max-attempts N] [--job-timeout-ms D]
            [--brownout 1 [--brownout-degrade D --brownout-shed D
             --brownout-open D] [--brownout-retry-ms MS]]
            [--chaos-seed S [--chaos-panic-rate P] [--chaos-stall-rate P]
             [--chaos-stall-ms MS] [--chaos-journal-error-rate P]
-            [--chaos-kill-at BYTES]]
-           reads rds-job envelopes from stdin, writes rds-result envelopes
-           to stdout, metrics to stderr at shutdown
+            [--chaos-kill-at BYTES] [--chaos-net-refuse-rate P]
+            [--chaos-net-cut-rate P] [--chaos-net-drop-rate P]
+            [--chaos-net-stall-rate P] [--chaos-net-stall-ms MS]]
+           [--listen HOST:PORT [--peers A,B,..] [--shard-index I]
+            [--net-max-frame BYTES] [--net-max-inflight N]
+            [--net-idle-timeout-ms MS]: serve the envelope protocol over
+            TCP instead of stdin; prints the bound address, runs until
+            stdin closes]
+           without --listen: reads rds-job envelopes from stdin, writes
+           rds-result envelopes to stdout, metrics to stderr at shutdown
+  route    --shards A,B,.. [--listen HOST:PORT] [--retries N]
+           [--hedge-ms MS] [--health-interval-ms MS] [--io-timeout-ms MS]
+           [--seed S]
+           failover front tier: routes jobs to shards by instance
+           fingerprint, retries around dead shards with seeded backoff,
+           hedges stragglers; prints the bound address, runs until stdin
+           closes, metrics to stderr at shutdown
   submit   -i INSTANCE [--algo A] [--epsilon E] [--seed S] [--generations G]
            [--deadline-ms D] [--timeout MS] [--lane express|online|heavy]
            [--id ID] [--arrival T --deadline T: online job in simulated time]
            [-o FILE] [--emit 1: print the job envelope instead of running it]
-           exits non-zero on failed, rejected, or deadline-missing jobs";
+           [--connect HOST:PORT: send to a networked shard or router
+            instead of a local serve child]
+           exits non-zero on failed, rejected, or deadline-missing jobs
+           and on connect/timeout failures against --connect";
 
 /// Parses `--flag value` pairs after the subcommand.
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
@@ -141,6 +158,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "eval" => cmd_eval(&flags),
         "gantt" => cmd_gantt(&flags),
         "serve" => cmd_serve(&flags),
+        "route" => cmd_route(&flags),
         "submit" => cmd_submit(&flags),
         other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
     }
@@ -358,6 +376,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(path) = flags.get("journal") {
         config = config.journal(path);
     }
+    if let Some(every) = get_opt::<u64>(flags, "journal-compact-every")? {
+        config = config.journal_compact_every(every);
+    }
     let recover: usize = get(flags, "recover", 0)?;
     if recover != 0 && config.journal.is_none() {
         return Err("serve --recover requires --journal PATH".into());
@@ -390,14 +411,26 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         let mut chaos = ServiceChaos::seeded(seed)
             .panic_rate(get(flags, "chaos-panic-rate", 0.0)?)
             .stall_rate(get(flags, "chaos-stall-rate", 0.0)?)
-            .journal_error_rate(get(flags, "chaos-journal-error-rate", 0.0)?);
+            .journal_error_rate(get(flags, "chaos-journal-error-rate", 0.0)?)
+            .net_refuse_rate(get(flags, "chaos-net-refuse-rate", 0.0)?)
+            .net_cut_rate(get(flags, "chaos-net-cut-rate", 0.0)?)
+            .net_drop_rate(get(flags, "chaos-net-drop-rate", 0.0)?)
+            .net_stall_rate(get(flags, "chaos-net-stall-rate", 0.0)?);
         if let Some(ms) = get_opt::<u64>(flags, "chaos-stall-ms")? {
             chaos = chaos.stall(Duration::from_millis(ms));
+        }
+        if let Some(ms) = get_opt::<u64>(flags, "chaos-net-stall-ms")? {
+            chaos = chaos.net_stall(Duration::from_millis(ms));
         }
         if let Some(n) = get_opt::<u64>(flags, "chaos-kill-at")? {
             chaos = chaos.journal_kill_at(n);
         }
         config = config.chaos(chaos);
+    }
+
+    // Networked shard mode: same service, TCP front instead of stdin.
+    if let Some(listen) = flags.get("listen") {
+        return serve_listen(flags, config, recover != 0, listen);
     }
 
     if hold != 0 {
@@ -484,6 +517,143 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// TCP shard mode for `rds serve --listen`: bind, print the bound
+/// address on stdout (scripts capture ephemeral ports from it), run
+/// until stdin closes, then drain and report.
+fn serve_listen(
+    flags: &HashMap<String, String>,
+    config: rds::service::ServiceConfig,
+    recover: bool,
+    listen: &str,
+) -> Result<(), String> {
+    use rds::service::net::{NetServer, NetServerConfig};
+    use rds::service::Service;
+    use std::io::Read as _;
+    use std::time::Duration;
+
+    let chaos = config.chaos;
+    let mut net = NetServerConfig::default()
+        .listen(listen)
+        .max_frame(get(flags, "net-max-frame", 4 << 20)?)
+        .max_inflight(get(flags, "net-max-inflight", 64)?);
+    if let Some(ms) = get_opt::<u64>(flags, "net-idle-timeout-ms")? {
+        net = net.idle_timeout(Duration::from_millis(ms));
+    }
+    if let Some(peers) = flags.get("peers") {
+        let peers: Vec<String> = peers
+            .split(',')
+            .map(|p| p.trim().to_owned())
+            .filter(|p| !p.is_empty())
+            .collect();
+        let index: usize = get(flags, "shard-index", 0)?;
+        if index >= peers.len() {
+            return Err(format!(
+                "--shard-index {index} out of range for {} peers",
+                peers.len()
+            ));
+        }
+        net = net.peers(peers, index);
+    }
+    if let Some(chaos) = chaos {
+        net = net.chaos(chaos);
+    }
+
+    let (service, results_rx) = Service::try_start(config).map_err(|e| e.to_string())?;
+    let server = NetServer::start(service, results_rx, net).map_err(|e| e.to_string())?;
+    if recover {
+        let report = server.recover().map_err(|e| e.to_string())?;
+        eprintln!(
+            "recovery: {} replayed / {} already completed / {} failed{}",
+            report.replayed,
+            report.already_completed,
+            report.failed,
+            if report.torn {
+                " / torn tail repaired"
+            } else {
+                ""
+            },
+        );
+    }
+    println!("listening {}", server.local_addr());
+    // Hold the shard open until the launcher closes our stdin.
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    let (metrics, net_metrics) = server.shutdown();
+    eprint!("{}", metrics.to_pretty_string());
+    eprintln!(
+        "transport           : {} conns / {} jobs / {} probes / {} gossip-in / {} gossip-out ({} failed) / {} proto-errors",
+        net_metrics.connections,
+        net_metrics.jobs_in,
+        net_metrics.probes,
+        net_metrics.gossip_in,
+        net_metrics.gossip_out,
+        net_metrics.gossip_fails,
+        net_metrics.protocol_errors,
+    );
+    eprintln!(
+        "net chaos           : {} refused / {} replies dropped / {} frames cut / {} stalled",
+        net_metrics.refused,
+        net_metrics.replies_dropped,
+        net_metrics.frames_cut,
+        net_metrics.replies_stalled,
+    );
+    Ok(())
+}
+
+/// Failover router front tier: `rds route --shards A,B`.
+fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
+    use rds::service::router::{Router, RouterConfig, RouterServer};
+    use std::io::Read as _;
+    use std::time::Duration;
+
+    let shards: Vec<String> = require(flags, "shards")?
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if shards.is_empty() {
+        return Err("route needs at least one --shards address".into());
+    }
+    let mut config = RouterConfig::default()
+        .shards(shards)
+        .max_attempts(get(flags, "retries", 0)?)
+        .seed(get(flags, "seed", 0)?);
+    if let Some(ms) = get_opt::<u64>(flags, "hedge-ms")? {
+        config = config.hedge_fixed(Duration::from_millis(ms));
+    }
+    if let Some(ms) = get_opt::<u64>(flags, "health-interval-ms")? {
+        config = config.health_interval(if ms == 0 {
+            None
+        } else {
+            Some(Duration::from_millis(ms))
+        });
+    }
+    if let Some(ms) = get_opt::<u64>(flags, "io-timeout-ms")? {
+        config = config.io_timeout(Duration::from_millis(ms));
+    }
+
+    let listen = flags.get("listen").map_or("127.0.0.1:0", String::as_str);
+    let router = Router::start(config).map_err(|e| e.to_string())?;
+    let server = RouterServer::start(router, listen).map_err(|e| e.to_string())?;
+    println!("listening {}", server.local_addr());
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    let metrics = server.shutdown();
+    eprintln!(
+        "router              : {} requests / {} ok / {} rejected / {} errors",
+        metrics.requests, metrics.completed, metrics.rejected, metrics.errors,
+    );
+    eprintln!(
+        "failover            : {} retries / {} failovers / {} retry-after waits / {} probe cycles",
+        metrics.retries, metrics.failovers, metrics.retry_after_waits, metrics.probe_cycles,
+    );
+    eprintln!(
+        "hedging             : {} hedges / {} hedge wins",
+        metrics.hedges, metrics.hedge_wins,
+    );
+    Ok(())
+}
+
 /// One-shot client: builds a job envelope and either prints it (`--emit`)
 /// or drives a private single-worker `rds serve` child over pipes.
 fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -507,6 +677,18 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
     if get(flags, "emit", 0usize)? != 0 {
         print!("{text}");
         return Ok(());
+    }
+
+    // Networked client: one request against a shard or router; typed
+    // transport errors (connect/timeout/protocol) exit non-zero.
+    if let Some(addr) = flags.get("connect") {
+        use rds::service::net::{request, NetClientConfig};
+        let mut cfg = NetClientConfig::default();
+        if let Some(ms) = get_opt::<u64>(flags, "timeout")? {
+            cfg.io_timeout = std::time::Duration::from_millis(ms);
+        }
+        let result = request(addr, &text, &cfg).map_err(|e| format!("submit to {addr}: {e}"))?;
+        return report_result(result, flags);
     }
 
     let exe = std::env::current_exe().map_err(|e| format!("locating rds binary: {e}"))?;
@@ -534,10 +716,22 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
     let stdout = String::from_utf8_lossy(&output.stdout);
     let result =
         io::read_result(&stdout).map_err(|e| format!("parsing serve child response: {e}"))?;
+    report_result(result, flags)
+}
 
+/// Shared tail of `rds submit`: print the verdict, enforce exit-status
+/// semantics, optionally write the schedule.
+fn report_result(
+    result: io::ResultEnvelope,
+    flags: &HashMap<String, String>,
+) -> Result<(), String> {
     if result.status != "ok" {
+        let retry = result
+            .retry_after_ms
+            .map(|ms| format!(" (retry after {ms} ms)"))
+            .unwrap_or_default();
         return Err(format!(
-            "job {} {}: {}",
+            "job {} {}: {}{retry}",
             result.id,
             result.status,
             result.reason.as_deref().unwrap_or("(no reason given)")
