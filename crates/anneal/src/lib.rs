@@ -15,8 +15,54 @@ use rand::Rng;
 use rds_ga::chromosome::Chromosome;
 use rds_ga::mutation::mutate;
 use rds_ga::objective::{evaluate, Evaluation, Objective};
+use rds_graph::TaskId;
+use rds_platform::ProcId;
 use rds_sched::instance::Instance;
 use rds_stats::rng::rng_from_seed;
+
+/// Typed error from [`try_anneal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// Parameter validation failed; the message names the offending field.
+    InvalidParams(String),
+    /// An assignment places a task on a processor outside the task's
+    /// type-affinity mask (typed platforms only).
+    AffinityViolation {
+        /// The offending task.
+        task: TaskId,
+        /// The processor it was assigned to.
+        proc: ProcId,
+    },
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidParams(msg) => write!(f, "{msg}"),
+            Self::AffinityViolation { task, proc } => write!(
+                f,
+                "task {} assigned to processor {} outside its type-affinity mask",
+                task.index(),
+                proc.index()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// First type-affinity violation of an assignment, if any. Untyped
+/// platforms and unconstrained graphs never violate.
+fn affinity_violation(inst: &Instance, c: &Chromosome) -> Option<(TaskId, ProcId)> {
+    if !inst.platform.is_typed() || !inst.graph.has_affinity_constraints() {
+        return None;
+    }
+    c.assignment.iter().enumerate().find_map(|(t, &p)| {
+        let task = TaskId(t as u32);
+        let mask = inst.graph.affinity_of(task);
+        (!inst.platform.supports(p, mask)).then_some((task, p))
+    })
+}
 
 /// Simulated annealing parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,17 +181,26 @@ pub fn anneal(inst: &Instance, params: SaParams, objective: Objective) -> SaResu
     try_anneal(inst, params, objective).expect("invalid SA parameters")
 }
 
-/// Runs simulated annealing, reporting invalid parameters as a value
-/// instead of panicking.
+/// Runs simulated annealing, reporting invalid parameters and
+/// affinity-infeasible starting assignments as values instead of
+/// panicking.
+///
+/// On typed platforms the walk stays inside the type-feasible region:
+/// candidate moves that would place a task outside its affinity mask are
+/// rejected outright (counted as attempted, never accepted). Untyped
+/// platforms take the exact same path as before.
 ///
 /// # Errors
-/// Returns the first [`SaParams::validate`] failure.
+/// Returns [`SolveError::InvalidParams`] for the first
+/// [`SaParams::validate`] failure, or [`SolveError::AffinityViolation`]
+/// when the starting assignment (HEFT fallback on an impossible mask, or
+/// an unlucky random start) violates a task's type-affinity mask.
 pub fn try_anneal(
     inst: &Instance,
     params: SaParams,
     objective: Objective,
-) -> Result<SaResult, String> {
-    params.validate()?;
+) -> Result<SaResult, SolveError> {
+    params.validate().map_err(SolveError::InvalidParams)?;
     let mut rng = rng_from_seed(params.seed);
 
     let mut current = if params.seed_heft {
@@ -154,6 +209,9 @@ pub fn try_anneal(
     } else {
         Chromosome::random_for(inst, &mut rng)
     };
+    if let Some((task, proc)) = affinity_violation(inst, &current) {
+        return Err(SolveError::AffinityViolation { task, proc });
+    }
     let mut current_eval = evaluate(inst, &current);
     // Energy scale: the starting makespan keeps ΔE dimensionless-ish.
     let scale = current_eval.makespan.max(1.0);
@@ -172,6 +230,9 @@ pub fn try_anneal(
             moves += 1;
             let mut cand = current.clone();
             mutate(&mut cand, &inst.graph, inst.proc_count(), &mut rng);
+            if affinity_violation(inst, &cand).is_some() {
+                continue;
+            }
             let cand_eval = evaluate(inst, &cand);
             let cand_energy = energy(&objective, &cand_eval, scale);
             let de = cand_energy - current_energy;
@@ -213,7 +274,48 @@ mod tests {
         let mut p = SaParams::quick();
         p.moves_per_temp = 0;
         let err = try_anneal(&i, p, Objective::MinimizeMakespan).unwrap_err();
-        assert!(err.contains("moves_per_temp"));
+        assert!(err.to_string().contains("moves_per_temp"));
+        assert!(matches!(err, SolveError::InvalidParams(_)));
+    }
+
+    fn typed_inst(seed: u64) -> Instance {
+        // Two processors typed 0/1; every task restricted to type 1.
+        let base = InstanceSpec::new(20, 2).seed(seed).build().unwrap();
+        let mut g = base.graph.clone();
+        for t in 0..20 {
+            g.set_affinity(rds_graph::TaskId(t), 1 << 1);
+        }
+        let p = base.platform.clone().with_core_types(vec![0, 1]).unwrap();
+        Instance::new(g, p, base.timing.clone()).unwrap()
+    }
+
+    #[test]
+    fn violating_random_start_is_rejected_with_typed_error() {
+        let i = typed_inst(21);
+        let mut p = SaParams::quick().seed(1);
+        p.seed_heft = false;
+        // 20 tasks on 2 procs: a uniform random assignment lands at least
+        // one task on the forbidden type-0 processor with overwhelming
+        // probability.
+        let err = try_anneal(&i, p, Objective::MinimizeMakespan).unwrap_err();
+        assert!(matches!(err, SolveError::AffinityViolation { .. }));
+        assert!(err.to_string().contains("type-affinity"));
+    }
+
+    #[test]
+    fn typed_walk_stays_inside_affinity_masks() {
+        let i = typed_inst(22);
+        // HEFT now respects affinity masks, so the seed is feasible and
+        // every accepted move must stay feasible.
+        let r = anneal(&i, SaParams::quick().seed(3), Objective::MinimizeMakespan);
+        for (t, &p) in r.best.assignment.iter().enumerate() {
+            assert!(
+                i.platform.supports(p, i.graph.affinity_of(rds_graph::TaskId(t as u32))),
+                "task {t} escaped its affinity mask onto proc {}",
+                p.index()
+            );
+        }
+        assert!(r.best.is_valid(&i.graph, 2));
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! paper figures:  fig2 fig3 fig4 fig5 fig6 fig7 fig8 sweep all
 //! extensions:     corr future dynamic law ccr contention gatune faults
-//!                 replication adaptive online chaos
+//!                 replication adaptive online chaos energy
 //! utilities:      report   (re-render every results/*.csv as tables)
 //!
 //! flags:
@@ -32,6 +32,7 @@
 //!   --admission-floor P   admission probability floor        [default 0.5]
 //!   --drop-floor P        mid-flight drop floor              [default 0.25]
 //!   --online-samples N    Monte Carlo samples per estimate   [default 64]
+//!   --rel-mins a,b,c      reliability floors (energy)        [default 0.9,0.95,0.99]
 //!   --seed N              master seed                       [default 42]
 //!   --out DIR             CSV output directory              [default results]
 //! ```
@@ -42,8 +43,9 @@ use std::process::ExitCode;
 
 use rds_experiments::config::ExperimentConfig;
 use rds_experiments::figures::{
-    adaptive_cmp, ccr_study, chaos_study, contention_cmp, correlation, dynamic_cmp, fault_cmp,
-    fig2_3, fig4, fig5_6, fig7_8, future, gatune, law, online_cmp, replication_cmp, sweep,
+    adaptive_cmp, ccr_study, chaos_study, contention_cmp, correlation, dynamic_cmp, energy_cmp,
+    fault_cmp, fig2_3, fig4, fig5_6, fig7_8, future, gatune, law, online_cmp, replication_cmp,
+    sweep,
 };
 use rds_experiments::output::FigureData;
 
@@ -61,7 +63,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: figures <fig2|fig3|fig4|fig5|fig6|fig7|fig8|sweep|all|\
              corr|future|dynamic|law|contention|ccr|gatune|faults|replication|adaptive|online|chaos|\
-             report> \
+             energy|report> \
              [flags]"
         );
         return ExitCode::FAILURE;
@@ -120,6 +122,11 @@ fn main() -> ExitCode {
         "replication" => emit(&replication_cmp::run_replication_cmp(&cfg), &cfg),
         "adaptive" => emit(&adaptive_cmp::run_adaptive_cmp(&cfg), &cfg),
         "online" => emit(&online_cmp::run_online_cmp(&cfg), &cfg),
+        "energy" => {
+            let (summary, pareto) = energy_cmp::run_energy_cmp(&cfg);
+            emit(&summary, &cfg);
+            emit(&pareto, &cfg);
+        }
         "chaos" => emit(&chaos_study::run_chaos_study(&cfg), &cfg),
         "report" => match rds_experiments::output::render_report(&cfg.out_dir) {
             Ok(text) => println!("{text}"),

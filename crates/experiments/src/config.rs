@@ -70,6 +70,10 @@ pub struct ExperimentConfig {
     pub drop_floor: f64,
     /// Monte-Carlo samples per online completion-probability estimate.
     pub online_samples: usize,
+    /// Reliability floors swept by the energy study: each threshold
+    /// constrains the tri-objective front to schedules whose success
+    /// probability stays at or above it.
+    pub rel_mins: Vec<f64>,
     /// Output directory for CSV files.
     pub out_dir: String,
 }
@@ -101,6 +105,7 @@ impl Default for ExperimentConfig {
             admission_floor: 0.5,
             drop_floor: 0.25,
             online_samples: 64,
+            rel_mins: vec![0.90, 0.95, 0.99],
             out_dir: "results".to_owned(),
         }
     }
@@ -217,6 +222,7 @@ impl ExperimentConfig {
                 "--admission-floor" => cfg.admission_floor = parse(take()?)?,
                 "--drop-floor" => cfg.drop_floor = parse(take()?)?,
                 "--online-samples" => cfg.online_samples = parse(take()?)?,
+                "--rel-mins" => cfg.rel_mins = parse_list(take()?)?,
                 other => return Err(format!("unknown flag {other}")),
             }
         }
@@ -259,6 +265,9 @@ impl ExperimentConfig {
         }
         if !(0.0..=1.0).contains(&cfg.admission_floor) || !(0.0..=1.0).contains(&cfg.drop_floor) {
             return Err("admission and drop floors must lie in [0, 1]".into());
+        }
+        if cfg.rel_mins.is_empty() || cfg.rel_mins.iter().any(|&r| !(r > 0.0 && r <= 1.0)) {
+            return Err("reliability thresholds must lie in (0, 1]".into());
         }
         Ok(cfg)
     }
@@ -418,6 +427,16 @@ mod tests {
         let d = ExperimentConfig::default();
         assert_eq!(d.oversubscriptions, vec![1.0, 1.5, 2.0, 3.0]);
         assert_eq!(d.admission_floor, 0.5);
+    }
+
+    #[test]
+    fn rel_mins_flag_applies_and_validates() {
+        let cfg = ExperimentConfig::from_args(&args(&["--rel-mins", "0.8,0.99"])).unwrap();
+        assert_eq!(cfg.rel_mins, vec![0.8, 0.99]);
+        assert!(ExperimentConfig::from_args(&args(&["--rel-mins", "0"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--rel-mins", "1.1"])).is_err());
+        assert!(ExperimentConfig::from_args(&args(&["--rel-mins", ""])).is_err());
+        assert_eq!(ExperimentConfig::default().rel_mins, vec![0.90, 0.95, 0.99]);
     }
 
     #[test]

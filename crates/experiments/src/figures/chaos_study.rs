@@ -200,7 +200,9 @@ fn brownout_scenario(cfg: &ExperimentConfig, rate: f64) -> (f64, f64, f64) {
     for spec in batch(cfg, n) {
         match service.submit(spec) {
             Ok(()) => accepted += 1,
-            Err(JobError::Overloaded { .. } | JobError::Rejected(_)) => refused += 1,
+            Err(
+                JobError::Overloaded { .. } | JobError::Rejected(_) | JobError::RateLimited { .. },
+            ) => refused += 1,
             Err(JobError::Failed(e)) => panic!("admission cannot fail a job: {e}"),
         }
     }

@@ -1,0 +1,240 @@
+//! Energy- and reliability-aware tri-objective scheduling study.
+//!
+//! For every (uncertainty level, reliability floor) pair the study runs
+//! the constrained tri-objective NSGA-II ([`rds_ga::nsga2_tri`]) on each
+//! task graph: minimize expected makespan and total energy, maximize
+//! average slack, subject to schedule reliability ≥ the floor. The DVFS
+//! ladder lets the search slow tasks down for energy, which the
+//! exponential reliability model punishes — the floor decides how much
+//! of that trade is admissible.
+//!
+//! Two figures come out:
+//!
+//! * `energy` — the summary sweep (x = UL, one series set per floor):
+//!   - `hv:rX` — mean front hypervolume against the front's own nadir
+//!     point (margin 1.1), a volume-of-trade-space indicator;
+//!   - `saving:rX` — mean fractional energy saving of the cheapest
+//!     feasible front member over full-speed HEFT on the same instance;
+//!   - `front:rX` — mean front size;
+//!   - `feasible:rX` — fraction of graphs whose final front satisfies
+//!     the floor;
+//!   - `evalrate:rX` — mean tri-evaluations per second (kernel
+//!     throughput, snapshotted into `BENCH_energy.json` by
+//!     `scripts/energy_quick.sh`).
+//! * `energy_pareto` — the Pareto surface of graph 0 (x = front point
+//!   index sorted by makespan; series `rX:ulY:makespan|slack|energy|
+//!   reliability` carry the objective triple plus the constraint value
+//!   point by point).
+//!
+//! The claim under test: relaxing the reliability floor strictly grows
+//! the attainable energy saving — reliability is the price of slowing
+//! down.
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use rds_ga::{
+    evaluate_all_tri, nadir_reference, nsga2_tri, tri_hypervolume, Chromosome, TriChromosome,
+    TriEvaluation,
+};
+use rds_heft::heft_schedule;
+use rds_platform::EnergyModel;
+use rds_stats::series::Series;
+
+use crate::config::{mean_finite, ExperimentConfig};
+use crate::output::FigureData;
+
+/// Nadir margin for the per-front hypervolume reference point.
+const NADIR_MARGIN: f64 = 1.1;
+
+/// One (graph, UL, floor) cell of the sweep.
+struct Cell {
+    ul: f64,
+    rel_min: f64,
+    /// Front hypervolume against its own nadir (NaN when infeasible).
+    hv: f64,
+    /// Fractional energy saving of the cheapest feasible member vs
+    /// full-speed HEFT (NaN when infeasible).
+    saving: f64,
+    front_size: f64,
+    feasible: f64,
+    evals_per_sec: f64,
+    /// The front's evaluations, kept only for graph 0 (Pareto surface).
+    front: Vec<TriEvaluation>,
+}
+
+/// Runs one tri-objective search and scores its front.
+fn study_one(cfg: &ExperimentConfig, g: usize, ul: f64, rel_min: f64) -> Cell {
+    let inst = cfg.instance(g, ul);
+    let model = EnergyModel::default_for(cfg.procs);
+    let params = cfg
+        .ga
+        .seed(cfg.sub_seed(&format!("energy-ul{ul}-r{rel_min}"), g));
+
+    let started = Instant::now();
+    let result = nsga2_tri(&inst, &model, rel_min, params);
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    let evals_per_sec = result.evaluations as f64 / elapsed;
+
+    // Full-speed HEFT through the same model: the no-DVFS energy
+    // baseline every saving is measured against.
+    let heft = heft_schedule(&inst);
+    let full = TriChromosome::full_speed(
+        Chromosome::from_schedule(&inst.graph, &heft.schedule),
+        &model,
+    );
+    let baseline = evaluate_all_tri(&inst, &model, std::slice::from_ref(&full))[0];
+
+    let mut front: Vec<TriEvaluation> = result.front.iter().map(|p| p.eval).collect();
+    front.sort_by(|a, b| a.makespan.total_cmp(&b.makespan));
+
+    let (hv, saving) = if result.feasible {
+        let hv = nadir_reference(&front, NADIR_MARGIN)
+            .map_or(f64::NAN, |r| tri_hypervolume(&front, r));
+        let cheapest = front
+            .iter()
+            .map(|e| e.energy)
+            .fold(f64::INFINITY, f64::min);
+        let saving = if baseline.energy > 0.0 {
+            (baseline.energy - cheapest) / baseline.energy
+        } else {
+            f64::NAN
+        };
+        (hv, saving)
+    } else {
+        (f64::NAN, f64::NAN)
+    };
+
+    Cell {
+        ul,
+        rel_min,
+        hv,
+        saving,
+        front_size: front.len() as f64,
+        feasible: f64::from(u8::from(result.feasible)),
+        evals_per_sec,
+        front: if g == 0 { front } else { Vec::new() },
+    }
+}
+
+/// Runs the energy study: the summary sweep plus graph 0's Pareto
+/// surface.
+#[must_use]
+pub fn run_energy_cmp(cfg: &ExperimentConfig) -> (FigureData, FigureData) {
+    let mut fig = FigureData::new(
+        "energy",
+        "Tri-objective energy/reliability sweep: hypervolume and energy saving vs UL",
+        "uncertainty level",
+        "hv:rX = front hypervolume; saving:rX = energy saved vs full-speed HEFT; \
+         front:rX = front size; feasible:rX = fraction of feasible fronts; \
+         evalrate:rX = tri-evaluations per second",
+    );
+    let points: Vec<(usize, f64, f64)> = (0..cfg.graphs)
+        .flat_map(|g| {
+            cfg.uls.iter().flat_map(move |&ul| {
+                cfg.rel_mins.iter().map(move |&r| (g, ul, r))
+            })
+        })
+        .collect();
+    let cells: Vec<Cell> = points
+        .into_par_iter()
+        .map(|(g, ul, r)| study_one(cfg, g, ul, r))
+        .collect();
+
+    for &r in &cfg.rel_mins {
+        let tag = format!("r{r:.2}");
+        let mut hv = Series::new(format!("hv:{tag}"));
+        let mut saving = Series::new(format!("saving:{tag}"));
+        let mut front = Series::new(format!("front:{tag}"));
+        let mut feasible = Series::new(format!("feasible:{tag}"));
+        let mut evalrate = Series::new(format!("evalrate:{tag}"));
+        for &ul in &cfg.uls {
+            let rows: Vec<&Cell> = cells
+                .iter()
+                .filter(|c| (c.ul - ul).abs() < 1e-12 && (c.rel_min - r).abs() < 1e-12)
+                .collect();
+            let col = |f: fn(&Cell) -> f64| -> Vec<f64> { rows.iter().map(|c| f(c)).collect() };
+            hv.push(ul, mean_finite(&col(|c| c.hv)).unwrap_or(f64::NAN));
+            saving.push(ul, mean_finite(&col(|c| c.saving)).unwrap_or(f64::NAN));
+            front.push(ul, mean_finite(&col(|c| c.front_size)).unwrap_or(f64::NAN));
+            feasible.push(ul, mean_finite(&col(|c| c.feasible)).unwrap_or(f64::NAN));
+            evalrate.push(ul, mean_finite(&col(|c| c.evals_per_sec)).unwrap_or(f64::NAN));
+        }
+        for s in [hv, saving, front, feasible, evalrate] {
+            fig.push(s);
+        }
+    }
+
+    let mut pareto = FigureData::new(
+        "energy_pareto",
+        "Pareto surface of graph 0 (x = front index, makespan-sorted)",
+        "front point index",
+        "objective value per series (makespan / slack / energy / reliability)",
+    );
+    for cell in cells.iter().filter(|c| !c.front.is_empty()) {
+        let tag = format!("r{:.2}:ul{}", cell.rel_min, cell.ul);
+        let mut mk = Series::new(format!("{tag}:makespan"));
+        let mut sl = Series::new(format!("{tag}:slack"));
+        let mut en = Series::new(format!("{tag}:energy"));
+        let mut rel = Series::new(format!("{tag}:reliability"));
+        for (i, e) in cell.front.iter().enumerate() {
+            let x = i as f64;
+            mk.push(x, e.makespan);
+            sl.push(x, e.avg_slack);
+            en.push(x, e.energy);
+            rel.push(x, e.reliability);
+        }
+        for s in [mk, sl, en, rel] {
+            pareto.push(s);
+        }
+    }
+    (fig, pareto)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(fig: &FigureData, label: &str, x: f64) -> f64 {
+        fig.series
+            .iter()
+            .find(|s| s.label == label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+            .points
+            .iter()
+            .find(|&&(px, _)| (px - x).abs() < 1e-12)
+            .unwrap_or_else(|| panic!("missing x={x} in {label}"))
+            .1
+    }
+
+    /// Smoke acceptance: a lenient floor yields a feasible front with
+    /// positive hypervolume and a nonnegative energy saving, and the
+    /// Pareto surface honours the reliability constraint point by point.
+    #[test]
+    fn energy_study_emits_feasible_front_and_positive_hypervolume() {
+        let mut cfg = ExperimentConfig::smoke();
+        cfg.graphs = 2;
+        cfg.tasks = 16;
+        cfg.procs = 3;
+        cfg.uls = vec![2.0];
+        cfg.rel_mins = vec![0.85];
+        let (fig, pareto) = run_energy_cmp(&cfg);
+
+        assert_eq!(get(&fig, "feasible:r0.85", 2.0), 1.0);
+        assert!(get(&fig, "hv:r0.85", 2.0) > 0.0);
+        assert!(get(&fig, "front:r0.85", 2.0) >= 1.0);
+        assert!(get(&fig, "evalrate:r0.85", 2.0) > 0.0);
+        // Slowing down can only save energy, never cost it, relative to
+        // the full-speed HEFT baseline.
+        assert!(get(&fig, "saving:r0.85", 2.0) >= 0.0);
+
+        let rel = pareto
+            .series
+            .iter()
+            .find(|s| s.label == "r0.85:ul2:reliability")
+            .expect("graph 0 surface present");
+        assert!(!rel.points.is_empty());
+        assert!(rel.points.iter().all(|&(_, y)| y >= 0.85 && y <= 1.0));
+    }
+}

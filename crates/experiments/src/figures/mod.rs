@@ -13,6 +13,7 @@ pub mod chaos_study;
 pub mod contention_cmp;
 pub mod correlation;
 pub mod dynamic_cmp;
+pub mod energy_cmp;
 pub mod fault_cmp;
 pub mod fig2_3;
 pub mod fig4;

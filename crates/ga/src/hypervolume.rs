@@ -1,0 +1,194 @@
+//! Hypervolume indicator for 3-objective fronts.
+//!
+//! The hypervolume of a front w.r.t. a reference point `r` is the Lebesgue
+//! measure of the region dominated by the front and bounded by `r` — the
+//! standard strictly-monotonic quality indicator for Pareto fronts (larger
+//! is better; adding a non-dominated point never decreases it). All axes
+//! are *minimized*; [`tri_hypervolume`] adapts the scheduler's
+//! (makespan ↓, slack ↑, energy ↓) evaluations by negating slack.
+//!
+//! The implementation is the classical z-sweep: sort points by the third
+//! coordinate and accumulate, per z-slab, the 2-D union area of the boxes
+//! spanned by all points at or below the slab — `O(n² log n)`, plenty for
+//! GA front sizes (tens of points).
+
+use crate::tri::TriEvaluation;
+
+/// Union area in 2-D of the boxes `[x_i, rx] × [y_i, ry]`.
+///
+/// `pts` must only contain points with `x < rx` and `y < ry`.
+fn union_area_2d(pts: &mut Vec<[f64; 2]>, rx: f64, ry: f64) -> f64 {
+    if pts.is_empty() {
+        return 0.0;
+    }
+    pts.sort_by(|a, b| a[0].total_cmp(&b[0]).then(a[1].total_cmp(&b[1])));
+    let mut area = 0.0;
+    let mut cur_y = ry;
+    for p in pts.iter() {
+        if p[1] < cur_y {
+            area += (rx - p[0]) * (cur_y - p[1]);
+            cur_y = p[1];
+        }
+    }
+    area
+}
+
+/// Hypervolume of `points` (all objectives minimized) w.r.t. `reference`.
+///
+/// Points that do not strictly dominate the reference on every axis
+/// contribute nothing and are skipped; dominated points are harmless
+/// (the union measure ignores them). Returns `0.0` for an empty or fully
+/// out-of-reference front.
+#[must_use]
+pub fn hypervolume_3d(points: &[[f64; 3]], reference: [f64; 3]) -> f64 {
+    let mut pts: Vec<[f64; 3]> = points
+        .iter()
+        .copied()
+        .filter(|p| p[0] < reference[0] && p[1] < reference[1] && p[2] < reference[2])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sweep slabs along z: within [z_k, z_next), the dominated cross
+    // section is the union of the xy-boxes of every point with z ≤ z_k.
+    pts.sort_by(|a, b| a[2].total_cmp(&b[2]));
+    let mut hv = 0.0;
+    let mut active: Vec<[f64; 2]> = Vec::with_capacity(pts.len());
+    let mut i = 0;
+    while i < pts.len() {
+        let z = pts[i][2];
+        while i < pts.len() && pts[i][2] == z {
+            active.push([pts[i][0], pts[i][1]]);
+            i += 1;
+        }
+        let z_next = if i < pts.len() { pts[i][2] } else { reference[2] };
+        if z_next > z {
+            let mut slab = active.clone();
+            hv += union_area_2d(&mut slab, reference[0], reference[1]) * (z_next - z);
+        }
+    }
+    hv
+}
+
+/// Hypervolume of a tri-objective front in (makespan ↓, slack ↑,
+/// energy ↓) space. `reference` is `(makespan, slack, energy)` in the
+/// *original* orientation — a point worse than the whole front: makespan
+/// and energy above, slack below.
+#[must_use]
+pub fn tri_hypervolume(evals: &[TriEvaluation], reference: [f64; 3]) -> f64 {
+    let pts: Vec<[f64; 3]> = evals
+        .iter()
+        .map(|e| [e.makespan, -e.avg_slack, e.energy])
+        .collect();
+    hypervolume_3d(&pts, [reference[0], -reference[1], reference[2]])
+}
+
+/// A reference point safely worse than every member of `evals` on each
+/// axis: the nadir pushed out by `margin` (relative, e.g. `0.1` for 10 %
+/// beyond the worst observed value on every objective). Returns `None`
+/// for an empty front.
+#[must_use]
+pub fn nadir_reference(evals: &[TriEvaluation], margin: f64) -> Option<[f64; 3]> {
+    if evals.is_empty() {
+        return None;
+    }
+    let worst_mk = evals.iter().map(|e| e.makespan).fold(f64::NEG_INFINITY, f64::max);
+    let worst_sl = evals.iter().map(|e| e.avg_slack).fold(f64::INFINITY, f64::min);
+    let worst_en = evals.iter().map(|e| e.energy).fold(f64::NEG_INFINITY, f64::max);
+    let pad = |x: f64| {
+        let m = x.abs().max(1e-12) * margin;
+        x + m
+    };
+    // Slack is maximized: the reference sits *below* the worst slack.
+    Some([pad(worst_mk), worst_sl - worst_sl.abs().max(1e-12) * margin, pad(worst_en)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_volume_is_box_volume() {
+        let hv = hypervolume_3d(&[[1.0, 1.0, 1.0]], [2.0, 3.0, 4.0]);
+        assert!((hv - 1.0 * 2.0 * 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_reference_points_contribute_nothing() {
+        let hv = hypervolume_3d(&[[5.0, 1.0, 1.0]], [2.0, 3.0, 4.0]);
+        assert_eq!(hv, 0.0);
+        assert_eq!(hypervolume_3d(&[], [1.0, 1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn dominated_points_add_nothing() {
+        let lone = hypervolume_3d(&[[1.0, 1.0, 1.0]], [4.0, 4.0, 4.0]);
+        let with_dom = hypervolume_3d(&[[1.0, 1.0, 1.0], [2.0, 2.0, 2.0]], [4.0, 4.0, 4.0]);
+        assert!((lone - with_dom).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_union_counted_once() {
+        // Two points overlapping in the xy plane, same z.
+        let hv = hypervolume_3d(&[[1.0, 2.0, 1.0], [2.0, 1.0, 1.0]], [3.0, 3.0, 2.0]);
+        // Union area = 2*1 + 1*2 - 1*1 = 3; slab height 1.
+        assert!((hv - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_dominated_point_strictly_increases_volume() {
+        let base = vec![[1.0, 3.0, 1.0]];
+        let hv0 = hypervolume_3d(&base, [4.0, 4.0, 4.0]);
+        let mut more = base.clone();
+        more.push([3.0, 1.0, 1.0]);
+        let hv1 = hypervolume_3d(&more, [4.0, 4.0, 4.0]);
+        assert!(hv1 > hv0);
+    }
+
+    #[test]
+    fn z_slabs_accumulate() {
+        // A point at z=1 and a wider box appearing at z=2.
+        let hv = hypervolume_3d(&[[2.0, 2.0, 1.0], [1.0, 1.0, 2.0]], [3.0, 3.0, 3.0]);
+        // Slab [1,2): area (3-2)*(3-2)=1 -> 1. Slab [2,3): union of
+        // (1×1 box from first point) and (2×2 from second) = 4 -> 4.
+        assert!((hv - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tri_orientation_negates_slack() {
+        use crate::tri::TriEvaluation;
+        let e = TriEvaluation {
+            makespan: 1.0,
+            avg_slack: 2.0,
+            energy: 1.0,
+            reliability: 1.0,
+        };
+        // Reference: makespan 2, slack 1 (worse = lower), energy 2.
+        let hv = tri_hypervolume(&[e], [2.0, 1.0, 2.0]);
+        assert!((hv - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nadir_reference_bounds_the_front() {
+        let evals = vec![
+            TriEvaluation {
+                makespan: 10.0,
+                avg_slack: 2.0,
+                energy: 5.0,
+                reliability: 0.99,
+            },
+            TriEvaluation {
+                makespan: 12.0,
+                avg_slack: 3.0,
+                energy: 4.0,
+                reliability: 0.98,
+            },
+        ];
+        let r = nadir_reference(&evals, 0.1).unwrap();
+        assert!(r[0] > 12.0);
+        assert!(r[1] < 2.0);
+        assert!(r[2] > 5.0);
+        assert!(tri_hypervolume(&evals, r) > 0.0);
+        assert!(nadir_reference(&[], 0.1).is_none());
+    }
+}

@@ -21,6 +21,14 @@
 //! * [`memo`] — a fingerprint-keyed, collision-safe evaluation cache so
 //!   chromosomes the GA has already seen (elites, unmutated tournament
 //!   winners, converged populations) skip the evaluation kernel.
+//! * [`tri`] — the tri-objective extension: [`tri::TriChromosome`] adds a
+//!   per-task DVFS frequency string, evaluated for (makespan, slack,
+//!   energy) plus schedule reliability through `rds_sched::energy`.
+//! * [`nsga2`] — bi-objective NSGA-II, plus the reliability-constrained
+//!   tri-objective variant ([`nsga2::nsga2_tri`]) with feasibility-first
+//!   dominance.
+//! * [`hypervolume`] — the 3-D hypervolume indicator used to summarize
+//!   tri-objective front quality.
 //!
 //! Population evaluation runs through the flat-CSR scratch-arena kernel of
 //! `rds_sched::csr` ([`objective::evaluate_population`]), in parallel via
@@ -35,6 +43,7 @@ pub mod chromosome;
 pub mod crossover;
 pub mod diversity;
 pub mod engine;
+pub mod hypervolume;
 pub mod islands;
 pub mod memo;
 pub mod mutation;
@@ -43,9 +52,13 @@ pub mod objective;
 pub mod params;
 pub mod robust_engine;
 pub mod selection;
+pub mod tri;
 
 pub use chromosome::Chromosome;
 pub use engine::{GaEngine, GaResult, GaRunStats, GenerationStats};
+pub use hypervolume::{hypervolume_3d, nadir_reference, tri_hypervolume};
 pub use memo::{EvalMemo, MemoStats};
+pub use nsga2::{nsga2_tri, Nsga2TriResult, TriFrontPoint};
 pub use objective::{Evaluation, Objective};
 pub use params::GaParams;
+pub use tri::{evaluate_all_tri, TriChromosome, TriEvaluation};

@@ -12,6 +12,7 @@
 
 use rand::Rng;
 
+use rds_platform::EnergyModel;
 use rds_sched::instance::Instance;
 use rds_stats::rng::rng_from_seed;
 
@@ -20,6 +21,7 @@ use crate::crossover::crossover;
 use crate::mutation::mutate;
 use crate::objective::{evaluate_all, Evaluation};
 use crate::params::GaParams;
+use crate::tri::{crossover_tri, evaluate_all_tri, mutate_tri, TriChromosome, TriEvaluation};
 
 /// `true` when `a` Pareto-dominates `b` in (makespan ↓, slack ↑).
 #[must_use]
@@ -244,6 +246,282 @@ fn ordered(x: f64) -> std::cmp::Reverse<u64> {
     std::cmp::Reverse(x.to_bits())
 }
 
+// ---------------------------------------------------------------------------
+// Tri-objective extension: (makespan ↓, slack ↑, energy ↓) under a
+// schedule-reliability constraint, handled as feasibility-first dominance
+// (Deb's constraint handling: feasible beats infeasible, less-violating
+// beats more-violating, and only among feasible solutions does Pareto
+// dominance on the three objectives apply).
+// ---------------------------------------------------------------------------
+
+/// `true` when `a` Pareto-dominates `b` in (makespan ↓, slack ↑,
+/// energy ↓). Reliability is the constraint, not an objective — see
+/// [`constrained_dominates_tri`].
+#[must_use]
+pub fn dominates_tri(a: &TriEvaluation, b: &TriEvaluation) -> bool {
+    let no_worse =
+        a.makespan <= b.makespan && a.avg_slack >= b.avg_slack && a.energy <= b.energy;
+    let better = a.makespan < b.makespan || a.avg_slack > b.avg_slack || a.energy < b.energy;
+    no_worse && better
+}
+
+/// Feasibility-first dominance under the reliability constraint
+/// `reliability ≥ rel_min`:
+///
+/// 1. a feasible solution dominates every infeasible one;
+/// 2. between two infeasible solutions, the higher reliability (smaller
+///    violation) dominates;
+/// 3. between two feasible solutions, plain [`dominates_tri`] decides.
+#[must_use]
+pub fn constrained_dominates_tri(a: &TriEvaluation, b: &TriEvaluation, rel_min: f64) -> bool {
+    let fa = a.reliability >= rel_min;
+    let fb = b.reliability >= rel_min;
+    match (fa, fb) {
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => a.reliability > b.reliability,
+        (true, true) => dominates_tri(a, b),
+    }
+}
+
+/// Fast non-dominated sorting under constrained tri-objective dominance:
+/// returns the front index (0 = best) of every individual.
+#[must_use]
+pub fn non_dominated_sort_tri(evals: &[TriEvaluation], rel_min: f64) -> Vec<usize> {
+    let n = evals.len();
+    let mut dominated_by: Vec<usize> = vec![0; n];
+    let mut dominates_list: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            if constrained_dominates_tri(&evals[i], &evals[j], rel_min) {
+                dominates_list[i].push(j);
+            } else if constrained_dominates_tri(&evals[j], &evals[i], rel_min) {
+                dominated_by[i] += 1;
+            }
+        }
+    }
+    let mut front = vec![usize::MAX; n];
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut rank = 0;
+    while !current.is_empty() {
+        let mut next = Vec::new();
+        for &i in &current {
+            front[i] = rank;
+            for &j in &dominates_list[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        current = next;
+        rank += 1;
+    }
+    front
+}
+
+/// Crowding distances within one front over the three objectives
+/// (boundary points per objective get `+∞`, interior points the
+/// normalized cuboid side lengths — exactly the bi-objective rule with a
+/// third extractor).
+#[must_use]
+pub fn crowding_distance_tri(evals: &[TriEvaluation], members: &[usize]) -> Vec<f64> {
+    let m = members.len();
+    let mut dist = vec![0.0_f64; m];
+    if m <= 2 {
+        return vec![f64::INFINITY; m];
+    }
+    for get in [
+        (|e: &TriEvaluation| e.makespan) as fn(&TriEvaluation) -> f64,
+        |e: &TriEvaluation| e.avg_slack,
+        |e: &TriEvaluation| e.energy,
+    ] {
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by(|&a, &b| get(&evals[members[a]]).total_cmp(&get(&evals[members[b]])));
+        let lo = get(&evals[members[order[0]]]);
+        let hi = get(&evals[members[order[m - 1]]]);
+        dist[order[0]] = f64::INFINITY;
+        dist[order[m - 1]] = f64::INFINITY;
+        let span = hi - lo;
+        if span <= 0.0 {
+            continue;
+        }
+        for w in 1..m - 1 {
+            let prev = get(&evals[members[order[w - 1]]]);
+            let next = get(&evals[members[order[w + 1]]]);
+            dist[order[w]] += (next - prev) / span;
+        }
+    }
+    dist
+}
+
+/// One point of the final tri-objective front.
+#[derive(Debug, Clone)]
+pub struct TriFrontPoint {
+    /// The individual (scheduling + assignment + frequency strings).
+    pub chromosome: TriChromosome,
+    /// Its evaluation.
+    pub eval: TriEvaluation,
+}
+
+/// Result of a tri-objective NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct Nsga2TriResult {
+    /// The rank-0 set of the final population, sorted by makespan and
+    /// deduplicated on the objective triple. When any feasible individual
+    /// survives, constrained dominance guarantees the whole front is
+    /// feasible.
+    pub front: Vec<TriFrontPoint>,
+    /// Generations executed.
+    pub generations: usize,
+    /// Total chromosome evaluations performed (for evals/sec reporting).
+    pub evaluations: usize,
+    /// `true` when every front member meets the reliability constraint.
+    pub feasible: bool,
+}
+
+/// Runs the tri-objective, reliability-constrained NSGA-II. Same loop
+/// shape as [`nsga2`], with the frequency string carried through
+/// variation ([`crossover_tri`] / [`mutate_tri`]) and constrained
+/// dominance in both tournament and environmental selection.
+///
+/// # Panics
+/// Panics when `params` fail validation, `rel_min` is outside `[0, 1]`,
+/// or the model's processor count disagrees with the instance.
+pub fn nsga2_tri(
+    inst: &Instance,
+    model: &EnergyModel,
+    rel_min: f64,
+    params: GaParams,
+) -> Nsga2TriResult {
+    params.validate().expect("invalid GA parameters");
+    assert!(
+        (0.0..=1.0).contains(&rel_min),
+        "reliability threshold must be in [0, 1], got {rel_min}"
+    );
+    assert_eq!(
+        model.power.proc_count(),
+        inst.proc_count(),
+        "energy model and instance disagree on processor count"
+    );
+    let mut rng = rng_from_seed(params.seed);
+    let np = params.population;
+    let levels = model.ladder.len();
+    let mut evaluations = 0usize;
+
+    // Initial population: the HEFT seed enters at full speed (it anchors
+    // both the low-makespan and the high-reliability end).
+    let mut pop: Vec<TriChromosome> = Vec::with_capacity(np);
+    if params.seed_heft {
+        let heft = rds_heft::heft_schedule(inst);
+        let chrom = Chromosome::from_schedule(&inst.graph, &heft.schedule);
+        pop.push(TriChromosome::full_speed(chrom, model));
+    }
+    while pop.len() < np {
+        pop.push(TriChromosome::random_for(inst, model, &mut rng));
+    }
+    let mut evals: Vec<TriEvaluation> = evaluate_all_tri(inst, model, &pop);
+    evaluations += pop.len();
+
+    for _gen in 0..params.max_generations {
+        let fronts = non_dominated_sort_tri(&evals, rel_min);
+        let crowd = full_crowding_tri(&evals, &fronts);
+        let pick = |rng: &mut rds_stats::rng::StdRng64| -> usize {
+            let a = rng.gen_range(0..np);
+            let b = rng.gen_range(0..np);
+            if (fronts[a], std::cmp::Reverse(ordered(crowd[a])))
+                <= (fronts[b], std::cmp::Reverse(ordered(crowd[b])))
+            {
+                a
+            } else {
+                b
+            }
+        };
+        let mut offspring: Vec<TriChromosome> = Vec::with_capacity(np);
+        while offspring.len() < np {
+            let p1 = pick(&mut rng);
+            let p2 = pick(&mut rng);
+            let (mut c1, mut c2) = if rng.gen_bool(params.crossover_prob) {
+                crossover_tri(&pop[p1], &pop[p2], &mut rng)
+            } else {
+                (pop[p1].clone(), pop[p2].clone())
+            };
+            if rng.gen_bool(params.mutation_prob) {
+                mutate_tri(&mut c1, &inst.graph, inst.proc_count(), levels, &mut rng);
+            }
+            if rng.gen_bool(params.mutation_prob) {
+                mutate_tri(&mut c2, &inst.graph, inst.proc_count(), levels, &mut rng);
+            }
+            offspring.push(c1);
+            if offspring.len() < np {
+                offspring.push(c2);
+            }
+        }
+        let off_evals: Vec<TriEvaluation> = evaluate_all_tri(inst, model, &offspring);
+        evaluations += offspring.len();
+
+        let mut all_pop = pop;
+        all_pop.extend(offspring);
+        let mut all_evals = evals;
+        all_evals.extend(off_evals);
+        let fronts = non_dominated_sort_tri(&all_evals, rel_min);
+        let crowd = full_crowding_tri(&all_evals, &fronts);
+        let mut order: Vec<usize> = (0..all_pop.len()).collect();
+        order.sort_by(|&a, &b| {
+            fronts[a]
+                .cmp(&fronts[b])
+                .then_with(|| crowd[b].total_cmp(&crowd[a]))
+        });
+        order.truncate(np);
+        pop = order.iter().map(|&i| all_pop[i].clone()).collect();
+        evals = order.iter().map(|&i| all_evals[i]).collect();
+    }
+
+    let fronts = non_dominated_sort_tri(&evals, rel_min);
+    let mut front: Vec<TriFrontPoint> = pop
+        .into_iter()
+        .zip(evals)
+        .zip(&fronts)
+        .filter(|(_, &f)| f == 0)
+        .map(|((chromosome, eval), _)| TriFrontPoint { chromosome, eval })
+        .collect();
+    front.sort_by(|a, b| a.eval.makespan.total_cmp(&b.eval.makespan));
+    front.dedup_by(|a, b| {
+        a.eval.makespan == b.eval.makespan
+            && a.eval.avg_slack == b.eval.avg_slack
+            && a.eval.energy == b.eval.energy
+    });
+    let feasible = !front.is_empty() && front.iter().all(|p| p.eval.reliability >= rel_min);
+    Nsga2TriResult {
+        front,
+        generations: params.max_generations,
+        evaluations,
+        feasible,
+    }
+}
+
+/// Crowding distance across the whole population under the tri-objective
+/// rule, computed front by front.
+fn full_crowding_tri(evals: &[TriEvaluation], fronts: &[usize]) -> Vec<f64> {
+    let n = evals.len();
+    let max_front = fronts.iter().copied().max().unwrap_or(0);
+    let mut crowd = vec![0.0_f64; n];
+    for f in 0..=max_front {
+        let members: Vec<usize> = (0..n).filter(|&i| fronts[i] == f).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let d = crowding_distance_tri(evals, &members);
+        for (k, &i) in members.iter().enumerate() {
+            crowd[i] = d[k];
+        }
+    }
+    crowd
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -336,6 +614,166 @@ mod tests {
         }
     }
 
+    fn te(makespan: f64, avg_slack: f64, energy: f64, reliability: f64) -> TriEvaluation {
+        TriEvaluation {
+            makespan,
+            avg_slack,
+            energy,
+            reliability,
+        }
+    }
+
+    #[test]
+    fn tri_dominance_in_objective_space() {
+        assert!(dominates_tri(&te(1.0, 5.0, 2.0, 0.99), &te(2.0, 4.0, 3.0, 0.99)));
+        // Better energy alone dominates when the rest ties.
+        assert!(dominates_tri(&te(1.0, 5.0, 2.0, 0.99), &te(1.0, 5.0, 3.0, 0.99)));
+        // Trade-off: faster but more energy — no domination either way.
+        assert!(!dominates_tri(&te(1.0, 5.0, 4.0, 0.99), &te(2.0, 4.0, 3.0, 0.99)));
+        assert!(!dominates_tri(&te(2.0, 4.0, 3.0, 0.99), &te(1.0, 5.0, 4.0, 0.99)));
+        assert!(!dominates_tri(&te(1.0, 5.0, 2.0, 0.99), &te(1.0, 5.0, 2.0, 0.99)));
+    }
+
+    #[test]
+    fn constrained_dominance_is_feasibility_first() {
+        let rel_min = 0.9;
+        let feasible_bad = te(9.0, 0.1, 9.0, 0.95);
+        let infeasible_great = te(1.0, 9.0, 0.1, 0.5);
+        // Feasibility trumps all three objectives.
+        assert!(constrained_dominates_tri(&feasible_bad, &infeasible_great, rel_min));
+        assert!(!constrained_dominates_tri(&infeasible_great, &feasible_bad, rel_min));
+        // Both infeasible: higher reliability wins regardless of objectives.
+        let worse_rel = te(1.0, 9.0, 0.1, 0.4);
+        assert!(constrained_dominates_tri(&infeasible_great, &worse_rel, rel_min));
+        assert!(!constrained_dominates_tri(&worse_rel, &infeasible_great, rel_min));
+        // Both feasible: plain tri-objective Pareto dominance.
+        let a = te(1.0, 5.0, 2.0, 0.95);
+        let b = te(2.0, 4.0, 3.0, 0.99);
+        assert!(constrained_dominates_tri(&a, &b, rel_min));
+        assert!(!constrained_dominates_tri(&b, &a, rel_min));
+    }
+
+    #[test]
+    fn tri_sort_puts_feasible_ahead_of_infeasible() {
+        let evals = vec![
+            te(1.0, 9.0, 0.1, 0.5),  // infeasible, great objectives
+            te(9.0, 9.5, 9.0, 0.95), // feasible, slow but slack-rich
+            te(5.0, 5.0, 5.0, 0.97), // feasible
+            te(2.0, 2.0, 2.0, 0.4),  // infeasible, lowest reliability
+        ];
+        let fronts = non_dominated_sort_tri(&evals, 0.9);
+        assert_eq!(fronts[1], 0);
+        assert_eq!(fronts[2], 0);
+        assert!(fronts[0] > 0);
+        assert!(fronts[3] > fronts[0]);
+    }
+
+    #[test]
+    fn tri_crowding_boundaries_are_infinite() {
+        let evals = vec![
+            te(1.0, 1.0, 4.0, 1.0),
+            te(2.0, 2.0, 3.0, 1.0),
+            te(3.0, 3.0, 2.0, 1.0),
+            te(4.0, 4.0, 1.0, 1.0),
+        ];
+        let d = crowding_distance_tri(&evals, &[0, 1, 2, 3]);
+        assert!(d[0].is_infinite());
+        assert!(d[3].is_infinite());
+        assert!(d[1].is_finite() && d[1] > 0.0);
+        assert!(d[2].is_finite() && d[2] > 0.0);
+    }
+
+    #[test]
+    fn nsga2_tri_front_is_feasible_and_non_dominated() {
+        let inst = InstanceSpec::new(25, 3).seed(5).build().unwrap();
+        let model = rds_platform::EnergyModel::default_for(3);
+        let params = GaParams::quick().seed(7).max_generations(25);
+        let rel_min = 0.9;
+        let r = nsga2_tri(&inst, &model, rel_min, params);
+        assert!(!r.front.is_empty());
+        assert!(r.feasible, "default model at full speed must admit feasible schedules");
+        assert!(r.evaluations >= params.population * (1 + params.max_generations));
+        for p in &r.front {
+            assert!(p.eval.reliability >= rel_min);
+            assert!(p.eval.reliability <= 1.0);
+            assert!(p.eval.energy > 0.0);
+            assert!(p.chromosome.chrom.decode(3).validate_against(&inst.graph).is_ok());
+        }
+        for a in &r.front {
+            for b in &r.front {
+                assert!(
+                    !dominates_tri(&a.eval, &b.eval) || a.eval == b.eval,
+                    "front members must be mutually non-dominated"
+                );
+            }
+        }
+        for w in r.front.windows(2) {
+            assert!(w[0].eval.makespan <= w[1].eval.makespan);
+        }
+    }
+
+    #[test]
+    fn nsga2_tri_is_deterministic() {
+        let inst = InstanceSpec::new(20, 3).seed(6).build().unwrap();
+        let model = rds_platform::EnergyModel::default_for(3);
+        let params = GaParams::quick().seed(9).max_generations(12);
+        let a = nsga2_tri(&inst, &model, 0.8, params);
+        let b = nsga2_tri(&inst, &model, 0.8, params);
+        assert_eq!(a.front.len(), b.front.len());
+        for (x, y) in a.front.iter().zip(&b.front) {
+            assert_eq!(x.eval.makespan.to_bits(), y.eval.makespan.to_bits());
+            assert_eq!(x.eval.energy.to_bits(), y.eval.energy.to_bits());
+            assert_eq!(x.chromosome, y.chromosome);
+        }
+    }
+
+    #[test]
+    fn nsga2_tri_dvfs_finds_lower_energy_than_full_speed_front_end() {
+        // With a real ladder the GA should discover slower, cheaper
+        // schedules: the front's minimum energy must undercut the energy of
+        // running its own fastest member at full speed.
+        let inst = InstanceSpec::new(25, 3).seed(8).build().unwrap();
+        let model = rds_platform::EnergyModel::default_for(3);
+        let params = GaParams::quick().seed(3).population(24).max_generations(40);
+        let r = nsga2_tri(&inst, &model, 0.5, params);
+        assert!(r.feasible);
+        let fastest = &r.front[0];
+        let full = crate::tri::TriChromosome::full_speed(fastest.chromosome.chrom.clone(), &model);
+        let mut scratch = rds_sched::energy::EnergyScratch::new();
+        let full_eval = crate::tri::evaluate_tri_with_scratch(&inst, &model, &full, &mut scratch);
+        let min_energy = r
+            .front
+            .iter()
+            .map(|p| p.eval.energy)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            min_energy < full_eval.energy,
+            "expected DVFS to save energy: min front energy {min_energy} vs full-speed {}",
+            full_eval.energy
+        );
+    }
+
+    #[test]
+    fn nsga2_tri_respects_tight_reliability_threshold() {
+        // A threshold near the full-speed reliability forces the front to
+        // high frequencies; every member must still satisfy it.
+        let inst = InstanceSpec::new(20, 3).seed(11).build().unwrap();
+        let model = rds_platform::EnergyModel::default_for(3);
+        // Find the achievable full-speed reliability of the HEFT seed.
+        let heft = rds_heft::heft_schedule(&inst);
+        let chrom = Chromosome::from_schedule(&inst.graph, &heft.schedule);
+        let tc = crate::tri::TriChromosome::full_speed(chrom, &model);
+        let mut scratch = rds_sched::energy::EnergyScratch::new();
+        let seed_eval = crate::tri::evaluate_tri_with_scratch(&inst, &model, &tc, &mut scratch);
+        let rel_min = seed_eval.reliability * 0.999;
+        let params = GaParams::quick().seed(4).max_generations(15);
+        let r = nsga2_tri(&inst, &model, rel_min, params);
+        assert!(r.feasible, "HEFT seed itself satisfies the threshold");
+        for p in &r.front {
+            assert!(p.eval.reliability >= rel_min);
+        }
+    }
+
     #[test]
     fn nsga2_front_spans_a_tradeoff() {
         // With enough generations the front should contain more than one
@@ -352,5 +790,22 @@ mod tests {
         let last = &r.front[r.front.len() - 1].eval;
         assert!(last.avg_slack > first.avg_slack);
         assert!(last.makespan > first.makespan);
+    }
+
+    #[test]
+    fn nsga2_tri_front_spans_a_tradeoff() {
+        let inst = InstanceSpec::new(30, 4).seed(8).build().unwrap();
+        let model = rds_platform::EnergyModel::default_for(4);
+        let params = GaParams::quick().seed(3).population(24).max_generations(40);
+        let r = nsga2_tri(&inst, &model, 0.5, params);
+        assert!(
+            r.front.len() >= 2,
+            "expected a spread tri front, got {} point(s)",
+            r.front.len()
+        );
+        let energies: Vec<f64> = r.front.iter().map(|p| p.eval.energy).collect();
+        let min_e = energies.iter().copied().fold(f64::INFINITY, f64::min);
+        let max_e = energies.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max_e > min_e, "front should trade energy against speed");
     }
 }

@@ -1,0 +1,260 @@
+//! The tri-objective chromosome: scheduling string + assignment string +
+//! per-task DVFS *frequency string*.
+//!
+//! [`TriChromosome`] wraps the paper's [`Chromosome`] unchanged (so the
+//! bi-objective GA, its memo keys, and its operators are untouched) and
+//! adds one gene per task indexing the platform's
+//! [`rds_platform::FreqLadder`]. Variation
+//! composes the existing topology-preserving operators with
+//! frequency-string counterparts: single-point crossover over the
+//! frequency genes and a frequency-aware mutation that re-draws one task's
+//! ladder level alongside the precedence-window reposition.
+
+use rand::Rng;
+
+use rds_graph::TaskGraph;
+use rds_platform::EnergyModel;
+use rds_sched::energy::EnergyScratch;
+use rds_sched::instance::Instance;
+
+use rayon::prelude::*;
+
+use crate::chromosome::Chromosome;
+use crate::crossover::crossover;
+use crate::mutation::mutate;
+
+/// One tri-objective GA individual.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TriChromosome {
+    /// The bi-objective genes: scheduling string + assignment string.
+    pub chrom: Chromosome,
+    /// The frequency string: `freq[i]` indexes task `i`'s DVFS level in
+    /// the ladder (ascending; the top index is full speed).
+    pub freq: Vec<u8>,
+}
+
+impl TriChromosome {
+    /// Wraps a chromosome with every task at full speed — evaluates
+    /// bit-identically to the frequency-oblivious kernel.
+    #[must_use]
+    pub fn full_speed(chrom: Chromosome, model: &EnergyModel) -> Self {
+        let n = chrom.len();
+        Self {
+            chrom,
+            freq: vec![model.ladder.top_index() as u8; n],
+        }
+    }
+
+    /// Draws a uniformly random valid individual: random chromosome plus a
+    /// uniform ladder level per task.
+    pub fn random_for<R: Rng + ?Sized>(
+        inst: &Instance,
+        model: &EnergyModel,
+        rng: &mut R,
+    ) -> Self {
+        let chrom = Chromosome::random_for(inst, rng);
+        let levels = model.ladder.len();
+        let freq = (0..chrom.len())
+            .map(|_| rng.gen_range(0..levels) as u8)
+            .collect();
+        Self { chrom, freq }
+    }
+
+    /// Number of tasks.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.chrom.len()
+    }
+
+    /// `true` for the empty individual.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.chrom.is_empty()
+    }
+}
+
+/// Expected-time tri-objective evaluation of one individual.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriEvaluation {
+    /// Expected makespan `M₀` under frequency-scaled durations.
+    pub makespan: f64,
+    /// Average slack `σ̄` (robustness surrogate) under the same durations.
+    pub avg_slack: f64,
+    /// Total energy.
+    pub energy: f64,
+    /// Schedule reliability in `(0, 1]` — the constraint, not an
+    /// objective.
+    pub reliability: f64,
+}
+
+/// Evaluates one individual through the zero-alloc energy kernel.
+///
+/// # Panics
+/// Panics if the individual is invalid for the instance (operators
+/// preserve validity, so this indicates a bug).
+pub fn evaluate_tri_with_scratch(
+    inst: &Instance,
+    model: &EnergyModel,
+    c: &TriChromosome,
+    scratch: &mut EnergyScratch,
+) -> TriEvaluation {
+    let s = scratch
+        .evaluate(inst, model, &c.chrom.order, &c.chrom.assignment, &c.freq)
+        .expect("valid chromosome decodes to an acyclic disjunctive graph");
+    TriEvaluation {
+        makespan: s.makespan,
+        avg_slack: s.average_slack,
+        energy: s.energy,
+        reliability: s.reliability,
+    }
+}
+
+/// Minimum batch size before evaluation fans out over rayon (same
+/// threshold as the bi-objective kernel).
+const PAR_MIN: usize = 8;
+
+/// Evaluates a batch of individuals, one [`EnergyScratch`] per rayon
+/// worker for large batches. Evaluation draws no randomness and results
+/// are written by index, so the output is bit-identical for any thread
+/// count.
+pub fn evaluate_all_tri(
+    inst: &Instance,
+    model: &EnergyModel,
+    pop: &[TriChromosome],
+) -> Vec<TriEvaluation> {
+    if pop.len() >= PAR_MIN {
+        pop.par_iter()
+            .map_init(EnergyScratch::new, |scratch, c| {
+                evaluate_tri_with_scratch(inst, model, c, scratch)
+            })
+            .collect()
+    } else {
+        let mut scratch = EnergyScratch::new();
+        pop.iter()
+            .map(|c| evaluate_tri_with_scratch(inst, model, c, &mut scratch))
+            .collect()
+    }
+}
+
+/// Topology-preserving crossover of both parents' scheduling/assignment
+/// strings (the paper's operator, unchanged) plus single-point crossover
+/// of the frequency strings.
+pub fn crossover_tri<R: Rng + ?Sized>(
+    a: &TriChromosome,
+    b: &TriChromosome,
+    rng: &mut R,
+) -> (TriChromosome, TriChromosome) {
+    let (c1, c2) = crossover(&a.chrom, &b.chrom, rng);
+    let n = a.freq.len();
+    let (f1, f2) = if n < 2 {
+        (a.freq.clone(), b.freq.clone())
+    } else {
+        let cut = rng.gen_range(1..n);
+        let mut f1 = a.freq[..cut].to_vec();
+        f1.extend_from_slice(&b.freq[cut..]);
+        let mut f2 = b.freq[..cut].to_vec();
+        f2.extend_from_slice(&a.freq[cut..]);
+        (f1, f2)
+    };
+    (
+        TriChromosome { chrom: c1, freq: f1 },
+        TriChromosome { chrom: c2, freq: f2 },
+    )
+}
+
+/// Frequency-aware mutation: the precedence-window reposition + processor
+/// re-draw of the base operator, then one uniformly drawn task gets a
+/// uniformly drawn ladder level (ladders with a single level skip the
+/// frequency draw entirely, so trivial-ladder runs consume the same
+/// randomness pattern apart from the base operator).
+pub fn mutate_tri<R: Rng + ?Sized>(
+    c: &mut TriChromosome,
+    graph: &TaskGraph,
+    proc_count: usize,
+    ladder_levels: usize,
+    rng: &mut R,
+) {
+    mutate(&mut c.chrom, graph, proc_count, rng);
+    let n = c.freq.len();
+    if n == 0 || ladder_levels <= 1 {
+        return;
+    }
+    let t = rng.gen_range(0..n);
+    c.freq[t] = rng.gen_range(0..ladder_levels) as u8;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rds_sched::instance::InstanceSpec;
+    use rds_stats::rng::rng_from_seed;
+
+    fn setup() -> (Instance, EnergyModel) {
+        let inst = InstanceSpec::new(20, 3).seed(2).build().unwrap();
+        let model = EnergyModel::default_for(3);
+        (inst, model)
+    }
+
+    #[test]
+    fn random_individuals_are_valid() {
+        let (inst, model) = setup();
+        let mut rng = rng_from_seed(1);
+        for _ in 0..10 {
+            let c = TriChromosome::random_for(&inst, &model, &mut rng);
+            assert_eq!(c.len(), 20);
+            assert!(c.chrom.is_valid(&inst.graph, 3));
+            assert!(c.freq.iter().all(|&f| (f as usize) < model.ladder.len()));
+        }
+    }
+
+    #[test]
+    fn full_speed_wrap_pins_top_level() {
+        let (inst, model) = setup();
+        let mut rng = rng_from_seed(3);
+        let c = Chromosome::random_for(&inst, &mut rng);
+        let tc = TriChromosome::full_speed(c, &model);
+        assert!(tc
+            .freq
+            .iter()
+            .all(|&f| f as usize == model.ladder.top_index()));
+    }
+
+    #[test]
+    fn variation_preserves_validity_and_gene_ranges() {
+        let (inst, model) = setup();
+        let mut rng = rng_from_seed(4);
+        let mut a = TriChromosome::random_for(&inst, &model, &mut rng);
+        let b = TriChromosome::random_for(&inst, &model, &mut rng);
+        for _ in 0..50 {
+            let (c1, c2) = crossover_tri(&a, &b, &mut rng);
+            for c in [&c1, &c2] {
+                assert!(c.chrom.is_valid(&inst.graph, 3));
+                assert_eq!(c.freq.len(), 20);
+                assert!(c.freq.iter().all(|&f| (f as usize) < model.ladder.len()));
+            }
+            a = c1;
+            mutate_tri(&mut a, &inst.graph, 3, model.ladder.len(), &mut rng);
+            assert!(a.chrom.is_valid(&inst.graph, 3));
+            assert!(a.freq.iter().all(|&f| (f as usize) < model.ladder.len()));
+        }
+    }
+
+    #[test]
+    fn batch_evaluation_matches_sequential_bitwise() {
+        let (inst, model) = setup();
+        let mut rng = rng_from_seed(5);
+        let pop: Vec<TriChromosome> = (0..12)
+            .map(|_| TriChromosome::random_for(&inst, &model, &mut rng))
+            .collect();
+        let batch = evaluate_all_tri(&inst, &model, &pop);
+        let mut scratch = EnergyScratch::new();
+        for (c, e) in pop.iter().zip(&batch) {
+            let r = evaluate_tri_with_scratch(&inst, &model, c, &mut scratch);
+            assert_eq!(r, *e);
+            assert!(r.reliability > 0.0 && r.reliability <= 1.0);
+            assert!(r.energy > 0.0);
+        }
+    }
+}

@@ -92,6 +92,11 @@ pub struct TaskGraph {
     /// under deadline pressure; the closure invariant (an optional task's
     /// successors are all optional) is enforced by [`Self::mark_optional`].
     optional: Vec<bool>,
+    /// Per-task type-affinity mask (default `u64::MAX` — runs anywhere).
+    /// Bit `ty` set means the task may run on cores of type `ty`; typed
+    /// platforms (`rds-platform`) consult this during placement. Untyped
+    /// scheduling ignores it entirely.
+    affinity: Vec<u64>,
 }
 
 impl TaskGraph {
@@ -224,6 +229,27 @@ impl TaskGraph {
     pub fn set_weight(&mut self, t: TaskId, w: f64) {
         assert!(w.is_finite() && w >= 0.0, "invalid task weight {w} for {t}");
         self.weight[t.index()] = w;
+    }
+
+    /// Type-affinity mask of `t` (`u64::MAX` unless set — runs anywhere).
+    #[inline]
+    pub fn affinity_of(&self, t: TaskId) -> u64 {
+        self.affinity[t.index()]
+    }
+
+    /// `true` when any task carries a non-trivial affinity mask.
+    pub fn has_affinity_constraints(&self) -> bool {
+        self.affinity.iter().any(|&m| m != u64::MAX)
+    }
+
+    /// Sets the type-affinity mask of `t`.
+    ///
+    /// # Panics
+    /// Panics when `mask == 0` — a task that can run nowhere makes every
+    /// schedule infeasible.
+    pub fn set_affinity(&mut self, t: TaskId, mask: u64) {
+        assert!(mask != 0, "empty affinity mask for {t}");
+        self.affinity[t.index()] = mask;
     }
 
     /// Marks `t` optional if every successor of `t` is already optional,
@@ -411,6 +437,7 @@ impl TaskGraphBuilder {
             edge_count: self.edge_count,
             weight: vec![1.0; n],
             optional: vec![false; n],
+            affinity: vec![u64::MAX; n],
         };
         // Kahn: if we cannot consume every node, there is a cycle.
         let mut indeg: Vec<usize> = g.tasks().map(|t| g.in_degree(t)).collect();
@@ -458,9 +485,11 @@ pub fn transitive_reduction(g: &TaskGraph) -> TaskGraph {
         }
     }
     let mut r = b.build().expect("subset of a DAG is a DAG");
-    // Reduction changes edges only; weights and optional flags carry over.
+    // Reduction changes edges only; weights, optional flags, and affinity
+    // masks carry over.
     r.weight.clone_from(&g.weight);
     r.optional.clone_from(&g.optional);
+    r.affinity.clone_from(&g.affinity);
     r
 }
 
@@ -729,6 +758,25 @@ mod tests {
     }
 
     #[test]
+    fn affinity_defaults_to_full_mask() {
+        let mut g = diamond();
+        for t in g.tasks() {
+            assert_eq!(g.affinity_of(t), u64::MAX);
+        }
+        assert!(!g.has_affinity_constraints());
+        g.set_affinity(TaskId(1), 0b101);
+        assert_eq!(g.affinity_of(TaskId(1)), 0b101);
+        assert!(g.has_affinity_constraints());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty affinity mask")]
+    fn set_affinity_rejects_empty_mask() {
+        let mut g = diamond();
+        g.set_affinity(TaskId(0), 0);
+    }
+
+    #[test]
     fn transitive_reduction_preserves_flags() {
         let mut b = TaskGraphBuilder::with_tasks(3);
         b.add_edge(TaskId(0), TaskId(1), 1.0)
@@ -740,5 +788,18 @@ mod tests {
         let r = transitive_reduction(&g);
         assert!(r.is_optional(TaskId(2)));
         assert_eq!(r.weight_of(TaskId(1)), 4.0);
+    }
+
+    #[test]
+    fn transitive_reduction_preserves_affinity() {
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 1.0)
+            .add_edge(TaskId(1), TaskId(2), 2.0)
+            .add_edge(TaskId(0), TaskId(2), 9.0);
+        let mut g = b.build().unwrap();
+        g.set_affinity(TaskId(1), 0b11);
+        let r = transitive_reduction(&g);
+        assert_eq!(r.affinity_of(TaskId(1)), 0b11);
+        assert_eq!(r.affinity_of(TaskId(0)), u64::MAX);
     }
 }

@@ -70,10 +70,25 @@ pub fn schedule_by_priority_list(inst: &Instance, order: &[TaskId], insertion: b
     let mut assigned_proc: Vec<ProcId> = vec![ProcId(0); n];
     let mut finish: Vec<f64> = vec![0.0; n];
 
+    // Type-affinity filtering only engages on typed platforms with
+    // constrained tasks, so untyped instances walk the exact same EFT loop
+    // as before (bit-identical schedules).
+    let typed = inst.platform.is_typed() && inst.graph.has_affinity_constraints();
+
     for &t in order {
         let ti = t.index();
+        let mask = inst.graph.affinity_of(t);
+        // A task whose mask matches no processor type falls back to the
+        // full processor set (keeps list scheduling infallible; validation
+        // against impossible masks belongs to the caller).
+        let restrict = typed
+            && mask != u64::MAX
+            && inst.platform.procs().any(|p| inst.platform.supports(p, mask));
         let mut best: Option<(f64, f64, ProcId)> = None; // (eft, est, proc)
         for p in inst.platform.procs() {
+            if restrict && !inst.platform.supports(p, mask) {
+                continue;
+            }
             // Ready time on p: all predecessor data must have arrived.
             let mut ready = 0.0_f64;
             for e in inst.graph.predecessors(t) {
@@ -223,6 +238,69 @@ mod tests {
         let lower = rds_graph::paths::critical_path_length(&inst.graph, best_dur, |_, _, _| 0.0);
         let r = heft_schedule(&inst);
         assert!(r.makespan >= lower - 1e-9, "{} < {lower}", r.makespan);
+    }
+
+    #[test]
+    fn typed_affinity_masks_restrict_placement() {
+        // Two processors, types 0 and 1; every task prefers the *slow*
+        // proc 1 by affinity — HEFT must obey the mask even though proc 0
+        // would give better finish times.
+        let mut b = TaskGraphBuilder::with_tasks(3);
+        b.add_edge(TaskId(0), TaskId(1), 10.0)
+            .add_edge(TaskId(0), TaskId(2), 10.0);
+        let mut g = b.build().unwrap();
+        for t in 0..3 {
+            g.set_affinity(TaskId(t), 1 << 1);
+        }
+        let p = Platform::uniform(2, 1.0)
+            .unwrap()
+            .with_core_types(vec![0, 1])
+            .unwrap();
+        let bcet = Matrix::from_rows(&[&[2.0, 4.0], &[2.0, 4.0], &[2.0, 4.0]]);
+        let t = TimingModel::deterministic(bcet).unwrap();
+        let inst = Instance::new(g, p, t).unwrap();
+        let r = heft_schedule(&inst);
+        for task in 0..3 {
+            assert_eq!(r.schedule.proc_of(TaskId(task)), ProcId(1));
+        }
+    }
+
+    #[test]
+    fn untyped_platform_ignores_affinity_bit_identically() {
+        // Affinity annotations on an *untyped* platform must not change the
+        // schedule at all.
+        let base = InstanceSpec::new(40, 4).seed(13).build().unwrap();
+        let reference = heft_schedule(&base);
+        let mut g = base.graph.clone();
+        for t in 0..40 {
+            g.set_affinity(TaskId(t), 0b1);
+        }
+        let annotated =
+            Instance::new(g, base.platform.clone(), base.timing.clone()).unwrap();
+        let r = heft_schedule(&annotated);
+        assert_eq!(r.schedule, reference.schedule);
+        assert_eq!(r.makespan.to_bits(), reference.makespan.to_bits());
+    }
+
+    #[test]
+    fn impossible_mask_falls_back_to_all_processors() {
+        // Mask selects type 5, which no processor has: HEFT falls back to
+        // the unrestricted EFT loop instead of failing.
+        let mut b = TaskGraphBuilder::with_tasks(2);
+        b.add_edge(TaskId(0), TaskId(1), 1.0);
+        let mut g = b.build().unwrap();
+        g.set_affinity(TaskId(0), 1 << 5);
+        let p = Platform::uniform(2, 1.0)
+            .unwrap()
+            .with_core_types(vec![0, 1])
+            .unwrap();
+        let bcet = Matrix::from_rows(&[&[2.0, 4.0], &[2.0, 4.0]]);
+        let t = TimingModel::deterministic(bcet).unwrap();
+        let inst = Instance::new(g, p, t).unwrap();
+        let r = heft_schedule(&inst);
+        assert!(r.schedule.validate_against(&inst.graph).is_ok());
+        // Fell back to the fast processor.
+        assert_eq!(r.schedule.proc_of(TaskId(0)), ProcId(0));
     }
 
     #[test]

@@ -25,6 +25,11 @@ pub struct PlatformSpec {
     pub rate_span: f64,
     /// Make the rate matrix symmetric (`TR[a][b] == TR[b][a]`).
     pub symmetric: bool,
+    /// Number of distinct core types (`0` = untyped, the default and the
+    /// paper's model). When `≥ 1`, processor `j` gets type `j mod
+    /// type_count` — deterministic round-robin, so typing consumes no
+    /// randomness and the rate matrix is identical to the untyped draw.
+    pub type_count: usize,
 }
 
 impl PlatformSpec {
@@ -37,6 +42,7 @@ impl PlatformSpec {
             base_rate: 1.0,
             rate_span: 1.0,
             symmetric: true,
+            type_count: 0,
         }
     }
 
@@ -44,6 +50,14 @@ impl PlatformSpec {
     #[must_use]
     pub fn heterogeneous(mut self, span: f64) -> Self {
         self.rate_span = span;
+        self
+    }
+
+    /// Enables typed cores: processor `j` gets type `j mod count`
+    /// (`count` must be `≤ 64`; `0` keeps the platform untyped).
+    #[must_use]
+    pub fn typed(mut self, count: usize) -> Self {
+        self.type_count = count;
         self
     }
 
@@ -68,30 +82,38 @@ impl PlatformSpec {
     /// # Errors
     /// Returns [`PlatformError`] for invalid parameters.
     pub fn generate_with<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Platform, PlatformError> {
-        if self.rate_span <= 1.0 {
-            return Platform::uniform(self.procs, self.base_rate);
-        }
-        let m = self.procs;
-        if m == 0 {
-            return Err(PlatformError::Empty);
-        }
-        let half_span = self.rate_span.sqrt();
-        let lo = (self.base_rate / half_span).ln();
-        let hi = (self.base_rate * half_span).ln();
-        let mut rates = Matrix::filled(m, m, self.base_rate);
-        for a in 0..m {
-            for b in 0..m {
-                if a == b {
-                    continue;
-                }
-                if self.symmetric && b < a {
-                    rates[(a, b)] = rates[(b, a)];
-                } else {
-                    rates[(a, b)] = rng.gen_range(lo..hi).exp();
+        let platform = if self.rate_span <= 1.0 {
+            Platform::uniform(self.procs, self.base_rate)?
+        } else {
+            let m = self.procs;
+            if m == 0 {
+                return Err(PlatformError::Empty);
+            }
+            let half_span = self.rate_span.sqrt();
+            let lo = (self.base_rate / half_span).ln();
+            let hi = (self.base_rate * half_span).ln();
+            let mut rates = Matrix::filled(m, m, self.base_rate);
+            for a in 0..m {
+                for b in 0..m {
+                    if a == b {
+                        continue;
+                    }
+                    if self.symmetric && b < a {
+                        rates[(a, b)] = rates[(b, a)];
+                    } else {
+                        rates[(a, b)] = rng.gen_range(lo..hi).exp();
+                    }
                 }
             }
+            Platform::from_rates(m, rates)?
+        };
+        if self.type_count == 0 {
+            return Ok(platform);
         }
-        Platform::from_rates(m, rates)
+        let types = (0..self.procs)
+            .map(|j| (j % self.type_count) as u8)
+            .collect();
+        platform.with_core_types(types)
     }
 }
 
@@ -155,6 +177,30 @@ mod tests {
             .heterogeneous(2.0)
             .generate(0)
             .is_err());
+    }
+
+    #[test]
+    fn typed_spec_round_robins_core_types() {
+        let p = PlatformSpec::uniform(5).typed(2).generate(0).unwrap();
+        assert_eq!(p.core_types(), Some(&[0u8, 1, 0, 1, 0][..]));
+        // Typing must not perturb the rate draw: same seed, same rates.
+        let spec = PlatformSpec::uniform(4).heterogeneous(3.0);
+        let untyped = spec.generate(5).unwrap();
+        let typed = spec.typed(2).generate(5).unwrap();
+        for a in untyped.procs() {
+            for b in untyped.procs() {
+                assert_eq!(untyped.rate(a, b), typed.rate(a, b));
+            }
+        }
+        // type_count > 64 is rejected by the platform layer.
+        assert!(PlatformSpec::uniform(70).typed(70).generate(0).is_err());
+    }
+
+    #[test]
+    fn untyped_spec_matches_pre_typed_platform() {
+        let a = PlatformSpec::uniform(4).generate(0).unwrap();
+        let b = Platform::uniform(4, 1.0).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

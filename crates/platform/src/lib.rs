@@ -19,9 +19,11 @@
 #![deny(unsafe_code)]
 
 pub mod gen;
+pub mod power;
 pub mod proc;
 pub mod timing;
 
 pub use gen::PlatformSpec;
+pub use power::{EnergyModel, FreqLadder, PowerError, PowerModel, ReliabilityModel};
 pub use proc::{Availability, Platform, ProcId};
 pub use timing::{RealizationLaw, TimingModel};

@@ -1,0 +1,499 @@
+//! DVFS power and reliability models for energy-aware scheduling.
+//!
+//! Follows the standard CMOS model used by Tekawade & Banerjee (and the
+//! DVFS-reliability literature descending from Zhu et al.):
+//!
+//! * a processor runs at a discrete *normalized frequency* `f ∈ (0, 1]`
+//!   drawn from a [`FreqLadder`]; execution time scales as `base / f`
+//!   (at `f = 1` the division is exact, so full-frequency schedules are
+//!   bit-identical to the frequency-oblivious model);
+//! * power at frequency `f` is `P_j(f) = P_static_j + κ_j · f^α` with
+//!   `α ≈ 3` (dynamic power is cubic in frequency via `C·V²·f` and the
+//!   near-linear V–f relation), so task energy is `P_j(f) · duration`;
+//! * transient-fault rate *rises* as frequency drops (lower voltage means
+//!   smaller critical charge): `λ(f) = λ₀ · 10^(d·(1−f)/(1−f_min))`, so a
+//!   task of duration `t` completes fault-free with probability
+//!   `exp(−λ(f)·t)` and a schedule's reliability is the product over tasks.
+//!
+//! The three pieces are bundled as an [`EnergyModel`], the single handle
+//! the scheduling layers carry around.
+
+use std::fmt;
+
+use crate::proc::ProcId;
+
+/// Errors from power/reliability model construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// A frequency ladder was empty.
+    EmptyLadder,
+    /// A frequency level was outside `(0, 1]` or not strictly increasing.
+    InvalidLevel {
+        /// Index of the offending level.
+        index: usize,
+        /// The offending value.
+        level: f64,
+    },
+    /// A per-processor coefficient vector had the wrong length.
+    CoeffShape {
+        /// Expected processor count.
+        procs: usize,
+        /// Actual vector length.
+        len: usize,
+    },
+    /// A power coefficient was negative or non-finite.
+    InvalidCoeff {
+        /// Which coefficient family ("static", "dynamic", "exponent").
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A reliability parameter was invalid.
+    InvalidReliability {
+        /// Which parameter ("lambda0", "sensitivity").
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::EmptyLadder => write!(f, "frequency ladder must have at least one level"),
+            PowerError::InvalidLevel { index, level } => write!(
+                f,
+                "frequency level {level} at index {index} must lie in (0, 1] and increase strictly"
+            ),
+            PowerError::CoeffShape { procs, len } => {
+                write!(f, "per-processor coefficients must have length {procs}, got {len}")
+            }
+            PowerError::InvalidCoeff { what, value } => {
+                write!(f, "{what} power coefficient {value} must be finite and non-negative")
+            }
+            PowerError::InvalidReliability { what, value } => {
+                write!(f, "reliability parameter {what} = {value} is invalid")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}
+
+/// A discrete DVFS ladder of normalized frequencies in `(0, 1]`, sorted
+/// strictly ascending. The top level is always `1.0` (full speed), so any
+/// ladder contains the frequency-oblivious operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FreqLadder {
+    levels: Vec<f64>,
+}
+
+impl FreqLadder {
+    /// A ladder from explicit levels; `1.0` is appended when missing.
+    ///
+    /// # Errors
+    /// Returns [`PowerError`] when empty, out of `(0, 1]`, or not strictly
+    /// increasing.
+    pub fn new(mut levels: Vec<f64>) -> Result<Self, PowerError> {
+        if levels.is_empty() {
+            return Err(PowerError::EmptyLadder);
+        }
+        for (i, &l) in levels.iter().enumerate() {
+            if !(l.is_finite() && l > 0.0 && l <= 1.0) {
+                return Err(PowerError::InvalidLevel { index: i, level: l });
+            }
+            if i > 0 && l <= levels[i - 1] {
+                return Err(PowerError::InvalidLevel { index: i, level: l });
+            }
+        }
+        if *levels.last().expect("non-empty") < 1.0 {
+            levels.push(1.0);
+        }
+        Ok(Self { levels })
+    }
+
+    /// The trivial ladder `[1.0]` — no DVFS; every task runs at full speed.
+    #[must_use]
+    pub fn full() -> Self {
+        Self { levels: vec![1.0] }
+    }
+
+    /// `count` evenly spaced levels from `f_min` up to `1.0` inclusive.
+    ///
+    /// # Errors
+    /// Returns [`PowerError`] when `count == 0` or `f_min` is outside
+    /// `(0, 1]`.
+    pub fn uniform(count: usize, f_min: f64) -> Result<Self, PowerError> {
+        if count == 0 {
+            return Err(PowerError::EmptyLadder);
+        }
+        if !(f_min.is_finite() && f_min > 0.0 && f_min <= 1.0) {
+            return Err(PowerError::InvalidLevel {
+                index: 0,
+                level: f_min,
+            });
+        }
+        if count == 1 || f_min >= 1.0 {
+            return Ok(Self::full());
+        }
+        let step = (1.0 - f_min) / (count - 1) as f64;
+        let mut levels: Vec<f64> = (0..count).map(|i| f_min + step * i as f64).collect();
+        // Pin the endpoints exactly: the top level must be bit-exact 1.0 so
+        // full-speed schedules divide by exactly one.
+        levels[0] = f_min;
+        *levels.last_mut().expect("non-empty") = 1.0;
+        Self::new(levels)
+    }
+
+    /// Number of levels.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// `true` for the trivial single-level ladder.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false // constructors reject empty ladders
+    }
+
+    /// The frequency at `index` (ascending order).
+    ///
+    /// # Panics
+    /// Panics when `index` is out of range.
+    #[inline]
+    #[must_use]
+    pub fn level(&self, index: usize) -> f64 {
+        self.levels[index]
+    }
+
+    /// All levels, ascending.
+    #[inline]
+    #[must_use]
+    pub fn levels(&self) -> &[f64] {
+        &self.levels
+    }
+
+    /// The lowest frequency.
+    #[inline]
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.levels[0]
+    }
+
+    /// Index of the top (full-speed) level.
+    #[inline]
+    #[must_use]
+    pub fn top_index(&self) -> usize {
+        self.levels.len() - 1
+    }
+}
+
+/// Per-processor power model: `P_j(f) = P_static_j + κ_j · f^α`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    static_power: Vec<f64>,
+    dyn_coeff: Vec<f64>,
+    exponent: f64,
+}
+
+impl PowerModel {
+    /// A model from per-processor static powers and dynamic coefficients.
+    ///
+    /// # Errors
+    /// Returns [`PowerError`] on shape mismatch or invalid coefficients.
+    pub fn new(
+        static_power: Vec<f64>,
+        dyn_coeff: Vec<f64>,
+        exponent: f64,
+    ) -> Result<Self, PowerError> {
+        if static_power.len() != dyn_coeff.len() || static_power.is_empty() {
+            return Err(PowerError::CoeffShape {
+                procs: static_power.len().max(1),
+                len: dyn_coeff.len(),
+            });
+        }
+        for &v in &static_power {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(PowerError::InvalidCoeff { what: "static", value: v });
+            }
+        }
+        for &v in &dyn_coeff {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(PowerError::InvalidCoeff { what: "dynamic", value: v });
+            }
+        }
+        if !(exponent.is_finite() && exponent >= 1.0) {
+            return Err(PowerError::InvalidCoeff {
+                what: "exponent",
+                value: exponent,
+            });
+        }
+        Ok(Self {
+            static_power,
+            dyn_coeff,
+            exponent,
+        })
+    }
+
+    /// `m` identical processors with the given coefficients.
+    ///
+    /// # Errors
+    /// Returns [`PowerError`] on invalid coefficients or `m == 0`.
+    pub fn homogeneous(
+        m: usize,
+        static_power: f64,
+        dyn_coeff: f64,
+        exponent: f64,
+    ) -> Result<Self, PowerError> {
+        Self::new(vec![static_power; m], vec![dyn_coeff; m], exponent)
+    }
+
+    /// Number of processors covered.
+    #[inline]
+    #[must_use]
+    pub fn proc_count(&self) -> usize {
+        self.static_power.len()
+    }
+
+    /// The frequency exponent `α`.
+    #[inline]
+    #[must_use]
+    pub fn exponent(&self) -> f64 {
+        self.exponent
+    }
+
+    /// Power draw of processor `p` running at normalized frequency `f`.
+    #[inline]
+    #[must_use]
+    pub fn power(&self, p: ProcId, f: f64) -> f64 {
+        self.static_power[p.index()] + self.dyn_coeff[p.index()] * f.powf(self.exponent)
+    }
+
+    /// Energy of a task of duration `dur` on `p` at frequency `f`.
+    #[inline]
+    #[must_use]
+    pub fn energy(&self, p: ProcId, f: f64, dur: f64) -> f64 {
+        self.power(p, f) * dur
+    }
+}
+
+/// Exponential transient-fault model with frequency-dependent rate:
+/// `λ(f) = λ₀ · 10^(d·(1−f)/(1−f_min))`, so the rate is `λ₀` at full speed
+/// and `λ₀·10^d` at the ladder floor `f_min`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReliabilityModel {
+    lambda0: f64,
+    sensitivity: f64,
+    f_min: f64,
+}
+
+impl ReliabilityModel {
+    /// A model with base rate `λ₀` (per time unit at `f = 1`), sensitivity
+    /// exponent `d ≥ 0`, and ladder floor `f_min`.
+    ///
+    /// # Errors
+    /// Returns [`PowerError`] on non-finite / negative parameters.
+    pub fn new(lambda0: f64, sensitivity: f64, f_min: f64) -> Result<Self, PowerError> {
+        if !(lambda0.is_finite() && lambda0 >= 0.0) {
+            return Err(PowerError::InvalidReliability {
+                what: "lambda0",
+                value: lambda0,
+            });
+        }
+        if !(sensitivity.is_finite() && sensitivity >= 0.0) {
+            return Err(PowerError::InvalidReliability {
+                what: "sensitivity",
+                value: sensitivity,
+            });
+        }
+        if !(f_min.is_finite() && f_min > 0.0 && f_min <= 1.0) {
+            return Err(PowerError::InvalidReliability {
+                what: "f_min",
+                value: f_min,
+            });
+        }
+        Ok(Self {
+            lambda0,
+            sensitivity,
+            f_min,
+        })
+    }
+
+    /// Fault rate at normalized frequency `f`. Monotone non-increasing in
+    /// `f`; equal to `λ₀` at `f = 1` (and everywhere when the ladder is
+    /// trivial, `f_min = 1`).
+    #[inline]
+    #[must_use]
+    pub fn rate(&self, f: f64) -> f64 {
+        if self.f_min >= 1.0 {
+            return self.lambda0;
+        }
+        let exp = self.sensitivity * (1.0 - f) / (1.0 - self.f_min);
+        self.lambda0 * 10f64.powf(exp)
+    }
+
+    /// Probability a task of duration `dur` at frequency `f` completes
+    /// fault-free: `exp(−λ(f)·dur)`.
+    #[inline]
+    #[must_use]
+    pub fn task_reliability(&self, f: f64, dur: f64) -> f64 {
+        (-self.rate(f) * dur).exp()
+    }
+
+    /// The base rate `λ₀`.
+    #[inline]
+    #[must_use]
+    pub fn lambda0(&self) -> f64 {
+        self.lambda0
+    }
+}
+
+/// The bundle carried by energy-aware schedulers: the DVFS ladder plus the
+/// power and reliability models for one platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyModel {
+    /// The discrete frequency ladder shared by all processors.
+    pub ladder: FreqLadder,
+    /// Per-processor power coefficients.
+    pub power: PowerModel,
+    /// Frequency-dependent transient-fault model.
+    pub reliability: ReliabilityModel,
+}
+
+impl EnergyModel {
+    /// Bundles the three models.
+    #[must_use]
+    pub fn new(ladder: FreqLadder, power: PowerModel, reliability: ReliabilityModel) -> Self {
+        Self {
+            ladder,
+            power,
+            reliability,
+        }
+    }
+
+    /// Literature-typical defaults for `m` processors: a 4-level ladder
+    /// down to `f_min = 0.5`, static power `0.1`, dynamic coefficient
+    /// `1.0`, `α = 3`, `λ₀ = 10⁻⁴` faults per time unit, sensitivity
+    /// `d = 2` (rate grows 100× from full speed to the floor).
+    ///
+    /// # Panics
+    /// Panics when `m == 0`.
+    #[must_use]
+    pub fn default_for(m: usize) -> Self {
+        let ladder = FreqLadder::uniform(4, 0.5).expect("valid default ladder");
+        let power = PowerModel::homogeneous(m, 0.1, 1.0, 3.0).expect("valid default power");
+        let reliability = ReliabilityModel::new(1e-4, 2.0, ladder.min()).expect("valid default");
+        Self::new(ladder, power, reliability)
+    }
+
+    /// The frequency-oblivious bundle: trivial ladder, so every schedule
+    /// runs at full speed and timing is bit-identical to the base model.
+    ///
+    /// # Panics
+    /// Panics when `m == 0`.
+    #[must_use]
+    pub fn full_speed(m: usize) -> Self {
+        let ladder = FreqLadder::full();
+        let power = PowerModel::homogeneous(m, 0.1, 1.0, 3.0).expect("valid default power");
+        let reliability = ReliabilityModel::new(1e-4, 2.0, 1.0).expect("valid default");
+        Self::new(ladder, power, reliability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_construction_and_validation() {
+        let l = FreqLadder::new(vec![0.5, 0.75, 1.0]).unwrap();
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.min(), 0.5);
+        assert_eq!(l.level(l.top_index()), 1.0);
+        // 1.0 appended when missing.
+        let l = FreqLadder::new(vec![0.5, 0.75]).unwrap();
+        assert_eq!(l.levels(), &[0.5, 0.75, 1.0]);
+        assert_eq!(FreqLadder::new(vec![]).unwrap_err(), PowerError::EmptyLadder);
+        assert!(FreqLadder::new(vec![0.0]).is_err());
+        assert!(FreqLadder::new(vec![1.5]).is_err());
+        assert!(FreqLadder::new(vec![0.8, 0.8]).is_err());
+        assert!(FreqLadder::new(vec![0.8, 0.5]).is_err());
+    }
+
+    #[test]
+    fn uniform_ladder_pins_endpoints() {
+        let l = FreqLadder::uniform(4, 0.5).unwrap();
+        assert_eq!(l.len(), 4);
+        assert_eq!(l.min(), 0.5);
+        assert_eq!(l.level(3), 1.0);
+        assert_eq!(FreqLadder::uniform(1, 0.3).unwrap().levels(), &[1.0]);
+        assert_eq!(FreqLadder::full().levels(), &[1.0]);
+        assert!(FreqLadder::uniform(0, 0.5).is_err());
+        assert!(FreqLadder::uniform(3, 0.0).is_err());
+    }
+
+    #[test]
+    fn power_is_static_plus_cubic_dynamic() {
+        let pm = PowerModel::homogeneous(2, 0.1, 1.0, 3.0).unwrap();
+        assert_eq!(pm.proc_count(), 2);
+        let p = ProcId(0);
+        assert!((pm.power(p, 1.0) - 1.1).abs() < 1e-12);
+        assert!((pm.power(p, 0.5) - (0.1 + 0.125)).abs() < 1e-12);
+        assert!((pm.energy(p, 0.5, 10.0) - 2.25).abs() < 1e-12);
+        // Heterogeneous coefficients are per-processor.
+        let pm = PowerModel::new(vec![0.0, 1.0], vec![1.0, 2.0], 2.0).unwrap();
+        assert!((pm.power(ProcId(0), 0.5) - 0.25).abs() < 1e-12);
+        assert!((pm.power(ProcId(1), 0.5) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn power_model_validation() {
+        assert!(PowerModel::new(vec![0.1], vec![1.0, 2.0], 3.0).is_err());
+        assert!(PowerModel::homogeneous(0, 0.1, 1.0, 3.0).is_err());
+        assert!(PowerModel::homogeneous(2, -0.1, 1.0, 3.0).is_err());
+        assert!(PowerModel::homogeneous(2, 0.1, f64::NAN, 3.0).is_err());
+        assert!(PowerModel::homogeneous(2, 0.1, 1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn reliability_rate_rises_as_frequency_drops() {
+        let rm = ReliabilityModel::new(1e-4, 2.0, 0.5).unwrap();
+        assert!((rm.rate(1.0) - 1e-4).abs() < 1e-16);
+        assert!((rm.rate(0.5) - 1e-2).abs() < 1e-12);
+        assert!(rm.rate(0.75) > rm.rate(1.0));
+        assert!(rm.rate(0.5) > rm.rate(0.75));
+        // Reliability of a task: in (0, 1], decreasing with duration.
+        let r = rm.task_reliability(1.0, 100.0);
+        assert!(r > 0.0 && r <= 1.0);
+        assert!(rm.task_reliability(1.0, 200.0) < r);
+        assert_eq!(rm.task_reliability(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn trivial_ladder_keeps_base_rate() {
+        let rm = ReliabilityModel::new(1e-3, 5.0, 1.0).unwrap();
+        assert_eq!(rm.rate(1.0), 1e-3);
+        assert_eq!(rm.rate(0.5), 1e-3);
+    }
+
+    #[test]
+    fn reliability_validation() {
+        assert!(ReliabilityModel::new(-1.0, 2.0, 0.5).is_err());
+        assert!(ReliabilityModel::new(1e-4, -1.0, 0.5).is_err());
+        assert!(ReliabilityModel::new(1e-4, 2.0, 0.0).is_err());
+        assert!(ReliabilityModel::new(1e-4, 2.0, 1.5).is_err());
+    }
+
+    #[test]
+    fn default_bundle_is_consistent() {
+        let em = EnergyModel::default_for(3);
+        assert_eq!(em.power.proc_count(), 3);
+        assert_eq!(em.ladder.len(), 4);
+        assert_eq!(em.ladder.level(em.ladder.top_index()), 1.0);
+        let fs = EnergyModel::full_speed(3);
+        assert_eq!(fs.ladder.levels(), &[1.0]);
+    }
+}

@@ -45,6 +45,20 @@ pub enum PlatformError {
     },
     /// The platform had no processors.
     Empty,
+    /// The core-type vector was not `m` long.
+    TypeShape {
+        /// Expected processor count.
+        procs: usize,
+        /// Actual vector length.
+        len: usize,
+    },
+    /// A core type was `≥ 64` (types index a 64-bit affinity mask).
+    TypeRange {
+        /// Offending processor.
+        proc: ProcId,
+        /// Offending type value.
+        ty: u8,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -58,6 +72,12 @@ impl fmt::Display for PlatformError {
                 write!(f, "invalid transfer rate {rate} for {from} -> {to}")
             }
             PlatformError::Empty => write!(f, "platform must have at least one processor"),
+            PlatformError::TypeShape { procs, len } => {
+                write!(f, "core-type vector must have length {procs}, got {len}")
+            }
+            PlatformError::TypeRange { proc, ty } => {
+                write!(f, "core type {ty} on {proc} exceeds the 64-type mask width")
+            }
         }
     }
 }
@@ -70,9 +90,16 @@ impl std::error::Error for PlatformError {}
 /// same processor it costs zero (§3.1: intra-processor communication cost
 /// is assumed to be zero). Communication never contends and overlaps with
 /// computation, so no link-occupancy bookkeeping is needed.
+///
+/// Processors may optionally carry a *core type* (`0..64`): a task whose
+/// affinity mask has bit `ty` clear cannot run on a core of type `ty`.
+/// Untyped platforms (`core_types == None`, the default and the paper's
+/// model) accept every task everywhere and compare equal to pre-typed
+/// platforms with the same rates.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Platform {
     rates: Matrix,
+    core_types: Option<Vec<u8>>,
 }
 
 impl Platform {
@@ -94,6 +121,7 @@ impl Platform {
         }
         Ok(Self {
             rates: Matrix::filled(m, m, rate),
+            core_types: None,
         })
     }
 
@@ -124,7 +152,65 @@ impl Platform {
                 });
             }
         }
-        Ok(Self { rates })
+        Ok(Self {
+            rates,
+            core_types: None,
+        })
+    }
+
+    /// Attaches core types, one per processor, each `< 64` so it indexes a
+    /// bit of the per-task `u64` affinity mask.
+    ///
+    /// # Errors
+    /// Returns [`PlatformError`] on length mismatch or a type `≥ 64`.
+    pub fn with_core_types(mut self, types: Vec<u8>) -> Result<Self, PlatformError> {
+        if types.len() != self.proc_count() {
+            return Err(PlatformError::TypeShape {
+                procs: self.proc_count(),
+                len: types.len(),
+            });
+        }
+        if let Some((p, &ty)) = types.iter().enumerate().find(|(_, &t)| t >= 64) {
+            return Err(PlatformError::TypeRange {
+                proc: ProcId(p as u32),
+                ty,
+            });
+        }
+        self.core_types = Some(types);
+        Ok(self)
+    }
+
+    /// The core types, if this platform is typed.
+    #[inline]
+    #[must_use]
+    pub fn core_types(&self) -> Option<&[u8]> {
+        self.core_types.as_deref()
+    }
+
+    /// `true` when processors carry core types.
+    #[inline]
+    #[must_use]
+    pub fn is_typed(&self) -> bool {
+        self.core_types.is_some()
+    }
+
+    /// The core type of `p` (`0` on untyped platforms).
+    #[inline]
+    #[must_use]
+    pub fn core_type(&self, p: ProcId) -> u8 {
+        self.core_types.as_ref().map_or(0, |t| t[p.index()])
+    }
+
+    /// May a task with affinity `mask` run on `p`? Always `true` on
+    /// untyped platforms; on typed ones, bit `core_type(p)` of the mask
+    /// must be set.
+    #[inline]
+    #[must_use]
+    pub fn supports(&self, p: ProcId, mask: u64) -> bool {
+        match &self.core_types {
+            None => true,
+            Some(t) => mask & (1u64 << t[p.index()]) != 0,
+        }
     }
 
     /// Number of processors `m`.
@@ -372,5 +458,57 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn availability_rejects_empty_platform() {
         let _ = Availability::all_up(0);
+    }
+
+    #[test]
+    fn untyped_platform_supports_everything() {
+        let p = Platform::uniform(3, 1.0).unwrap();
+        assert!(!p.is_typed());
+        assert_eq!(p.core_types(), None);
+        assert_eq!(p.core_type(ProcId(2)), 0);
+        assert!(p.supports(ProcId(0), 0)); // even the empty mask
+        assert!(p.supports(ProcId(2), u64::MAX));
+    }
+
+    #[test]
+    fn typed_platform_masks_feasibility() {
+        let p = Platform::uniform(3, 1.0)
+            .unwrap()
+            .with_core_types(vec![0, 1, 0])
+            .unwrap();
+        assert!(p.is_typed());
+        assert_eq!(p.core_types(), Some(&[0u8, 1, 0][..]));
+        assert_eq!(p.core_type(ProcId(1)), 1);
+        // Mask with only bit 0: runs on type-0 cores only.
+        assert!(p.supports(ProcId(0), 1));
+        assert!(!p.supports(ProcId(1), 1));
+        assert!(p.supports(ProcId(2), 1));
+        // Mask with only bit 1.
+        assert!(!p.supports(ProcId(0), 2));
+        assert!(p.supports(ProcId(1), 2));
+        // Full mask runs anywhere.
+        assert!(p.supports(ProcId(1), u64::MAX));
+    }
+
+    #[test]
+    fn typing_preserves_untyped_equality() {
+        let a = Platform::uniform(2, 1.0).unwrap();
+        let b = Platform::uniform(2, 1.0).unwrap();
+        assert_eq!(a, b);
+        let typed = b.with_core_types(vec![0, 1]).unwrap();
+        assert_ne!(a, typed);
+    }
+
+    #[test]
+    fn core_type_validation() {
+        let p = Platform::uniform(2, 1.0).unwrap();
+        assert!(matches!(
+            p.clone().with_core_types(vec![0]).unwrap_err(),
+            PlatformError::TypeShape { procs: 2, len: 1 }
+        ));
+        assert!(matches!(
+            p.with_core_types(vec![0, 64]).unwrap_err(),
+            PlatformError::TypeRange { ty: 64, .. }
+        ));
     }
 }

@@ -1,0 +1,454 @@
+//! Energy and reliability scoring of schedules — the tri-objective
+//! extension (makespan, robustness surrogate σ̄, energy) under a
+//! reliability constraint.
+//!
+//! A *frequency vector* assigns every task an index into the platform's
+//! DVFS [`FreqLadder`]; task `i` on processor `j` at normalized frequency
+//! `f` then
+//!
+//! * runs for `c_ij / f` time units (`c_ij` = the expected or realized
+//!   base duration; at `f = 1` the division is exact, so full-speed
+//!   evaluations are bit-identical to the frequency-oblivious kernel);
+//! * consumes `(P_static_j + κ_j·f^α) · c_ij / f` energy units;
+//! * completes fault-free with probability `exp(−λ(f) · c_ij / f)` where
+//!   `λ(f)` rises exponentially as `f` drops ([`ReliabilityModel`]).
+//!
+//! Schedule energy is the sum over tasks; schedule reliability the product
+//! (accumulated as `exp(−Σ λ·t)` for numerical stability) — always in
+//! `(0, 1]`. [`EnergyScratch`] is the zero-alloc twin of
+//! [`EvalScratch`](crate::csr::EvalScratch): it owns the flat-CSR arena
+//! plus the scaled-duration buffer, so tri-objective GA evaluation
+//! allocates nothing after warm-up. [`realized_tri`] extends the Monte
+//! Carlo engine so each realization reports energy and reliability next to
+//! its makespan.
+
+use rayon::prelude::*;
+
+use rds_graph::TaskId;
+use rds_platform::{EnergyModel, ProcId};
+use rds_stats::rng::SeedStream;
+
+use crate::csr::DisjunctiveCsr;
+use crate::disjunctive::{CycleError, DisjunctiveGraph};
+use crate::instance::Instance;
+use crate::realization::RealizationConfig;
+use crate::schedule::Schedule;
+use crate::slack::{analyze_into, SlackScratch};
+
+/// Scalar results of one tri-objective evaluation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriSummary {
+    /// Makespan `M` under frequency-scaled expected durations.
+    pub makespan: f64,
+    /// Average slack `σ̄` (the robustness surrogate) under the same
+    /// durations.
+    pub average_slack: f64,
+    /// Total energy `Σ P_j(f_i) · t_i`.
+    pub energy: f64,
+    /// Schedule reliability `Π exp(−λ(f_i)·t_i) ∈ (0, 1]`.
+    pub reliability: f64,
+}
+
+/// Energy and reliability of a schedule without the makespan/slack pass
+/// (no disjunctive graph needed — both are sums over tasks).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Total energy.
+    pub energy: f64,
+    /// Schedule reliability in `(0, 1]`.
+    pub reliability: f64,
+}
+
+/// The frequency vector that pins every task to the ladder's top (full
+/// speed) — the frequency-oblivious operating point.
+#[must_use]
+pub fn full_speed_genes(tasks: usize, model: &EnergyModel) -> Vec<u8> {
+    vec![model.ladder.top_index() as u8; tasks]
+}
+
+/// Accumulates energy and the fault-rate integral over tasks in index
+/// order. Durations are the *frequency-scaled* execution times.
+fn accumulate(
+    model: &EnergyModel,
+    assignment: &[ProcId],
+    freqs: &[f64],
+    durations: &[f64],
+) -> EnergyReport {
+    let mut energy = 0.0_f64;
+    let mut hazard = 0.0_f64; // Σ λ(f_i) · t_i
+    for t in 0..assignment.len() {
+        let f = freqs[t];
+        let dur = durations[t];
+        energy += model.power.energy(assignment[t], f, dur);
+        hazard += model.reliability.rate(f) * dur;
+    }
+    EnergyReport {
+        energy,
+        reliability: (-hazard).exp(),
+    }
+}
+
+/// Resolves frequency-index genes to ladder values.
+///
+/// # Panics
+/// Panics when a gene indexes past the ladder.
+fn resolve_freqs(model: &EnergyModel, freq_idx: &[u8], out: &mut Vec<f64>) {
+    out.clear();
+    for &g in freq_idx {
+        out.push(model.ladder.level(g as usize));
+    }
+}
+
+/// Energy/reliability of `schedule` under expected durations and the given
+/// frequency genes (indices into `model.ladder`).
+///
+/// # Panics
+/// Panics when `freq_idx` length differs from the task count or a gene
+/// indexes past the ladder.
+#[must_use]
+pub fn score_schedule(
+    inst: &Instance,
+    model: &EnergyModel,
+    schedule: &Schedule,
+    freq_idx: &[u8],
+) -> EnergyReport {
+    score_assignment(inst, model, schedule.assignment(), freq_idx)
+}
+
+/// Energy/reliability of an assignment under expected durations and the
+/// given frequency genes.
+///
+/// # Panics
+/// Panics when lengths disagree with the task count or a gene indexes past
+/// the ladder.
+#[must_use]
+pub fn score_assignment(
+    inst: &Instance,
+    model: &EnergyModel,
+    assignment: &[ProcId],
+    freq_idx: &[u8],
+) -> EnergyReport {
+    let n = inst.task_count();
+    assert_eq!(assignment.len(), n, "assignment length must match tasks");
+    assert_eq!(freq_idx.len(), n, "frequency genes must match tasks");
+    let mut energy = 0.0_f64;
+    let mut hazard = 0.0_f64;
+    for t in 0..n {
+        let f = model.ladder.level(freq_idx[t] as usize);
+        let dur = inst.timing.expected(t, assignment[t]) / f;
+        energy += model.power.energy(assignment[t], f, dur);
+        hazard += model.reliability.rate(f) * dur;
+    }
+    EnergyReport {
+        energy,
+        reliability: (-hazard).exp(),
+    }
+}
+
+/// Caller-owned arena for tri-objective evaluation: the flat-CSR kernel
+/// plus scaled-duration and frequency buffers. One full evaluation with
+/// zero heap allocations after warm-up; keep one per thread.
+#[derive(Debug, Default, Clone)]
+pub struct EnergyScratch {
+    csr: DisjunctiveCsr,
+    slack: SlackScratch,
+    durations: Vec<f64>,
+    freqs: Vec<f64>,
+}
+
+impl EnergyScratch {
+    /// A fresh arena; buffers grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tri-objective evaluation of an `(order, assignment, frequency)`
+    /// triple under frequency-scaled expected durations.
+    ///
+    /// With every gene at the ladder top (`f = 1`), makespan and slack are
+    /// bit-identical to
+    /// [`EvalScratch::evaluate`](crate::csr::EvalScratch::evaluate) — the
+    /// scaling divides by exactly `1.0`.
+    ///
+    /// # Errors
+    /// Returns [`CycleError`] when the order contradicts the precedence
+    /// constraints.
+    ///
+    /// # Panics
+    /// Panics when slice lengths disagree with the task count or a gene
+    /// indexes past the ladder.
+    pub fn evaluate(
+        &mut self,
+        inst: &Instance,
+        model: &EnergyModel,
+        order: &[TaskId],
+        assignment: &[ProcId],
+        freq_idx: &[u8],
+    ) -> Result<TriSummary, CycleError> {
+        let n = inst.task_count();
+        assert_eq!(freq_idx.len(), n, "frequency genes must match tasks");
+        self.csr
+            .build_from_parts(&inst.graph, order, assignment, &inst.platform)?;
+        resolve_freqs(model, freq_idx, &mut self.freqs);
+        self.durations.clear();
+        for (t, &p) in assignment.iter().enumerate() {
+            self.durations.push(inst.timing.expected(t, p) / self.freqs[t]);
+        }
+        let s = analyze_into(&self.csr, &self.durations, &mut self.slack);
+        let er = accumulate(model, assignment, &self.freqs, &self.durations);
+        Ok(TriSummary {
+            makespan: s.makespan,
+            average_slack: s.average_slack,
+            energy: er.energy,
+            reliability: er.reliability,
+        })
+    }
+
+    /// Same as [`EnergyScratch::evaluate`] but starting from a decoded
+    /// [`Schedule`].
+    ///
+    /// # Errors
+    /// Returns [`CycleError`] when the schedule contradicts the precedence
+    /// constraints.
+    pub fn evaluate_schedule(
+        &mut self,
+        inst: &Instance,
+        model: &EnergyModel,
+        schedule: &Schedule,
+        freq_idx: &[u8],
+    ) -> Result<TriSummary, CycleError> {
+        let n = inst.task_count();
+        assert_eq!(freq_idx.len(), n, "frequency genes must match tasks");
+        self.csr
+            .build_from_schedule(&inst.graph, schedule, &inst.platform)?;
+        resolve_freqs(model, freq_idx, &mut self.freqs);
+        self.durations.clear();
+        for (t, &p) in schedule.assignment().iter().enumerate() {
+            self.durations.push(inst.timing.expected(t, p) / self.freqs[t]);
+        }
+        let s = analyze_into(&self.csr, &self.durations, &mut self.slack);
+        let er = accumulate(model, schedule.assignment(), &self.freqs, &self.durations);
+        Ok(TriSummary {
+            makespan: s.makespan,
+            average_slack: s.average_slack,
+            energy: er.energy,
+            reliability: er.reliability,
+        })
+    }
+
+    /// The CSR built by the last evaluation.
+    #[inline]
+    #[must_use]
+    pub fn csr(&self) -> &DisjunctiveCsr {
+        &self.csr
+    }
+
+    /// Per-task slack buffers of the last evaluation.
+    #[inline]
+    #[must_use]
+    pub fn slack(&self) -> &SlackScratch {
+        &self.slack
+    }
+}
+
+/// One Monte Carlo draw of the tri-objective metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriDraw {
+    /// Realized makespan (frequency-scaled realized durations).
+    pub makespan: f64,
+    /// Realized energy.
+    pub energy: f64,
+    /// Realized schedule reliability.
+    pub reliability: f64,
+}
+
+/// Draws `cfg.realizations` realized (makespan, energy, reliability)
+/// triples for `schedule` at the given frequency genes.
+///
+/// Realization `i` samples base durations exactly like
+/// [`realized_makespans`](crate::realization::realized_makespans) (same
+/// per-draw RNG streams; with a trivial ladder the makespans are
+/// bit-identical), then scales each by its task's frequency before
+/// re-timing and scoring.
+///
+/// # Errors
+/// Returns [`CycleError`] when the schedule is incompatible with the
+/// instance's graph.
+///
+/// # Panics
+/// Panics when `freq_idx` length differs from the task count or a gene
+/// indexes past the ladder.
+pub fn realized_tri(
+    inst: &Instance,
+    model: &EnergyModel,
+    schedule: &Schedule,
+    freq_idx: &[u8],
+    cfg: &RealizationConfig,
+) -> Result<Vec<TriDraw>, CycleError> {
+    let n = inst.task_count();
+    assert_eq!(freq_idx.len(), n, "frequency genes must match tasks");
+    let ds = DisjunctiveGraph::build(&inst.graph, schedule)?;
+    let csr = DisjunctiveCsr::from_disjunctive(&ds, schedule, &inst.platform);
+    let assignment = schedule.assignment();
+    let mut freqs = Vec::with_capacity(n);
+    resolve_freqs(model, freq_idx, &mut freqs);
+    let freqs = &freqs;
+    let csr = &csr;
+    let seeds = SeedStream::new(cfg.seed);
+    let one = |bufs: &mut (Vec<f64>, Vec<f64>), i: usize| -> TriDraw {
+        let (durations, finish) = bufs;
+        let mut rng = seeds.nth_rng(i as u64);
+        durations.clear();
+        for (t, &p) in assignment.iter().enumerate() {
+            durations.push(inst.timing.sample(t, p, &mut rng) / freqs[t]);
+        }
+        let makespan = csr.makespan(durations, finish);
+        let er = accumulate(model, assignment, freqs, durations);
+        TriDraw {
+            makespan,
+            energy: er.energy,
+            reliability: er.reliability,
+        }
+    };
+    Ok(if cfg.parallel {
+        (0..cfg.realizations)
+            .into_par_iter()
+            .map_init(|| (Vec::new(), Vec::new()), |bufs, i| one(bufs, i))
+            .collect()
+    } else {
+        let mut bufs = (Vec::new(), Vec::new());
+        (0..cfg.realizations).map(|i| one(&mut bufs, i)).collect()
+    })
+}
+
+/// Summary of a tri-objective Monte Carlo run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriReport {
+    /// Mean realized makespan.
+    pub mean_makespan: f64,
+    /// Mean realized energy.
+    pub mean_energy: f64,
+    /// Mean realized reliability.
+    pub mean_reliability: f64,
+    /// Minimum realized reliability over the draws.
+    pub min_reliability: f64,
+}
+
+impl TriReport {
+    /// Aggregates draws (means plus the reliability floor).
+    ///
+    /// # Panics
+    /// Panics on an empty draw set.
+    #[must_use]
+    pub fn from_draws(draws: &[TriDraw]) -> Self {
+        assert!(!draws.is_empty(), "need at least one draw");
+        let n = draws.len() as f64;
+        let mut mk = 0.0;
+        let mut en = 0.0;
+        let mut rel = 0.0;
+        let mut min_rel = f64::INFINITY;
+        for d in draws {
+            mk += d.makespan;
+            en += d.energy;
+            rel += d.reliability;
+            if d.reliability < min_rel {
+                min_rel = d.reliability;
+            }
+        }
+        Self {
+            mean_makespan: mk / n,
+            mean_energy: en / n,
+            mean_reliability: rel / n,
+            min_reliability: min_rel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::EvalScratch;
+    use crate::instance::InstanceSpec;
+    use crate::realization::realized_makespans;
+    use rds_graph::topo::topological_order;
+
+    fn fixture() -> (Instance, Schedule, EnergyModel) {
+        let inst = InstanceSpec::new(12, 3).seed(7).build().unwrap();
+        let order = topological_order(&inst.graph).unwrap();
+        let assignment: Vec<ProcId> = (0..12).map(|i| ProcId((i % 3) as u32)).collect();
+        let schedule = Schedule::from_order_and_assignment(&order, &assignment, 3).unwrap();
+        let model = EnergyModel::default_for(3);
+        (inst, schedule, model)
+    }
+
+    #[test]
+    fn full_speed_is_bit_identical_to_base_kernel() {
+        let (inst, schedule, model) = fixture();
+        let genes = full_speed_genes(12, &model);
+        let mut base = EvalScratch::new();
+        let b = base.evaluate_schedule(&inst, &schedule).unwrap();
+        let mut tri = EnergyScratch::new();
+        let t = tri
+            .evaluate_schedule(&inst, &model, &schedule, &genes)
+            .unwrap();
+        assert_eq!(t.makespan.to_bits(), b.makespan.to_bits());
+        assert_eq!(t.average_slack.to_bits(), b.average_slack.to_bits());
+        assert!(t.reliability > 0.0 && t.reliability <= 1.0);
+        assert!(t.energy > 0.0);
+    }
+
+    #[test]
+    fn lower_frequency_stretches_makespan_and_hurts_reliability() {
+        let (inst, schedule, model) = fixture();
+        let fast = full_speed_genes(12, &model);
+        let slow = vec![0u8; 12];
+        let mut s = EnergyScratch::new();
+        let hi = s.evaluate_schedule(&inst, &model, &schedule, &fast).unwrap();
+        let lo = s.evaluate_schedule(&inst, &model, &schedule, &slow).unwrap();
+        assert!(lo.makespan > hi.makespan);
+        assert!(lo.reliability < hi.reliability);
+        assert!(lo.reliability > 0.0);
+    }
+
+    #[test]
+    fn score_matches_scratch_energy() {
+        let (inst, schedule, model) = fixture();
+        let genes = vec![1u8; 12];
+        let mut s = EnergyScratch::new();
+        let tri = s
+            .evaluate_schedule(&inst, &model, &schedule, &genes)
+            .unwrap();
+        let er = score_schedule(&inst, &model, &schedule, &genes);
+        assert_eq!(tri.energy.to_bits(), er.energy.to_bits());
+        assert_eq!(tri.reliability.to_bits(), er.reliability.to_bits());
+    }
+
+    #[test]
+    fn realized_tri_matches_base_makespans_at_full_speed() {
+        let (inst, schedule, model) = fixture();
+        let genes = full_speed_genes(12, &model);
+        let cfg = RealizationConfig::with_realizations(64).seed(3);
+        let draws = realized_tri(&inst, &model, &schedule, &genes, &cfg).unwrap();
+        let base = realized_makespans(&inst, &schedule, &cfg).unwrap();
+        assert_eq!(draws.len(), base.len());
+        for (d, m) in draws.iter().zip(&base) {
+            assert_eq!(d.makespan.to_bits(), m.to_bits());
+            assert!(d.reliability > 0.0 && d.reliability <= 1.0);
+        }
+        let report = TriReport::from_draws(&draws);
+        assert!(report.min_reliability <= report.mean_reliability);
+        assert!(report.mean_energy > 0.0);
+    }
+
+    #[test]
+    fn serial_and_parallel_draws_agree() {
+        let (inst, schedule, model) = fixture();
+        let genes = vec![0u8; 12];
+        let par = RealizationConfig::with_realizations(32).seed(5);
+        let ser = par.serial();
+        let a = realized_tri(&inst, &model, &schedule, &genes, &par).unwrap();
+        let b = realized_tri(&inst, &model, &schedule, &genes, &ser).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -427,6 +427,7 @@ mod tests {
         let mut graph = base.graph.clone();
         graph.set_weight(TaskId(0), 3.0);
         graph.mark_optional(TaskId(9));
+        graph.set_affinity(TaskId(1), 0b11);
         let annotated = Instance::new(graph, base.platform.clone(), base.timing.clone()).unwrap();
         assert_eq!(annotated.fingerprint(), fp);
     }

@@ -302,6 +302,9 @@ pub fn read_schedule(text: &str) -> Result<Schedule, ParseError> {
 /// lane heavy           # optional (express|heavy|online); default from algo
 /// arrival 0.0          # optional (online lane): simulated arrival time
 /// deadline 250.0       # optional (online lane): absolute completion deadline
+/// objective tri        # optional (epsilon|tri); default epsilon
+/// rel-min 0.9          # optional (tri objective): reliability threshold
+/// client tenant-a      # optional: rate-limiting principal
 /// instance
 /// rds-instance v1
 /// ...
@@ -331,6 +334,14 @@ pub struct JobEnvelope {
     /// Absolute completion deadline of an online-lane job, in the same
     /// simulated clock as `arrival`.
     pub deadline: Option<f64>,
+    /// Objective mode: `epsilon` (default, the ε-constraint GA) or `tri`
+    /// (energy- and reliability-aware tri-objective NSGA-II).
+    pub objective: Option<String>,
+    /// Reliability threshold for the `tri` objective, in `(0, 1]`.
+    pub rel_min: Option<f64>,
+    /// Client principal for per-client rate limiting (single token, like
+    /// `id`). Anonymous jobs share one bucket.
+    pub client: Option<String>,
     /// The problem instance.
     pub instance: Instance,
 }
@@ -367,6 +378,15 @@ pub fn write_job(job: &JobEnvelope) -> String {
     }
     if let Some(d) = job.deadline {
         let _ = writeln!(out, "deadline {d:?}");
+    }
+    if let Some(o) = &job.objective {
+        let _ = writeln!(out, "objective {o}");
+    }
+    if let Some(r) = job.rel_min {
+        let _ = writeln!(out, "rel-min {r:?}");
+    }
+    if let Some(c) = &job.client {
+        let _ = writeln!(out, "client {c}");
     }
     let _ = writeln!(out, "instance");
     out.push_str(&write_instance(&job.instance));
@@ -405,6 +425,9 @@ pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
     let mut lane = None;
     let mut arrival = None;
     let mut deadline = None;
+    let mut objective = None;
+    let mut rel_min = None;
+    let mut client = None;
     let mut instance_text: Option<String> = None;
     while let Some((ln, l)) = lines.next() {
         if l.is_empty() || l.starts_with('#') {
@@ -466,6 +489,30 @@ pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
                         .map_err(|e| err(ln, format!("bad deadline: {e}")))?,
                 );
             }
+            "objective" => {
+                if value != "epsilon" && value != "tri" {
+                    return Err(err(
+                        ln,
+                        format!("objective must be epsilon|tri, got '{value}'"),
+                    ));
+                }
+                objective = Some(value.to_owned());
+            }
+            "rel-min" => {
+                let r: f64 = value
+                    .parse()
+                    .map_err(|e| err(ln, format!("bad rel-min: {e}")))?;
+                if !(r > 0.0 && r <= 1.0) {
+                    return Err(err(ln, format!("rel-min must be in (0, 1], got {r}")));
+                }
+                rel_min = Some(r);
+            }
+            "client" => {
+                if value.is_empty() || value.split_whitespace().count() != 1 {
+                    return Err(err(ln, "client must be a single non-empty token"));
+                }
+                client = Some(value.to_owned());
+            }
             "instance" => {
                 // Collect the embedded instance verbatim up to the
                 // terminator, then stop: the envelope ends there.
@@ -500,6 +547,9 @@ pub fn read_job(text: &str) -> Result<JobEnvelope, ParseError> {
         lane,
         arrival,
         deadline,
+        objective,
+        rel_min,
+        client,
         instance,
     })
 }
@@ -538,6 +588,10 @@ pub struct ResultEnvelope {
     pub makespan: Option<f64>,
     /// Average slack of the returned schedule.
     pub avg_slack: Option<f64>,
+    /// Total energy of the returned schedule (tri-objective jobs).
+    pub energy: Option<f64>,
+    /// Schedule reliability of the returned schedule (tri-objective jobs).
+    pub reliability: Option<f64>,
     /// Online-lane deadline verdict (`hit`, `miss`, `rejected`,
     /// `dropped`).
     pub verdict: Option<String>,
@@ -570,6 +624,12 @@ pub fn write_result(res: &ResultEnvelope) -> String {
     }
     if let Some(s) = res.avg_slack {
         let _ = writeln!(out, "avg-slack {s:?}");
+    }
+    if let Some(e) = res.energy {
+        let _ = writeln!(out, "energy {e:?}");
+    }
+    if let Some(r) = res.reliability {
+        let _ = writeln!(out, "reliability {r:?}");
     }
     if let Some(v) = &res.verdict {
         let _ = writeln!(out, "verdict {v}");
@@ -616,6 +676,8 @@ pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
         degraded: None,
         makespan: None,
         avg_slack: None,
+        energy: None,
+        reliability: None,
         verdict: None,
         probability: None,
         reason: None,
@@ -655,6 +717,20 @@ pub fn read_result(text: &str) -> Result<ResultEnvelope, ParseError> {
                     value
                         .parse()
                         .map_err(|e| err(ln, format!("bad avg-slack: {e}")))?,
+                );
+            }
+            "energy" => {
+                res.energy = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad energy: {e}")))?,
+                );
+            }
+            "reliability" => {
+                res.reliability = Some(
+                    value
+                        .parse()
+                        .map_err(|e| err(ln, format!("bad reliability: {e}")))?,
                 );
             }
             "verdict" => res.verdict = Some(value.to_owned()),
@@ -1029,6 +1105,9 @@ mod tests {
             lane: Some("heavy".into()),
             arrival: Some(12.5),
             deadline: Some(250.75),
+            objective: Some("tri".into()),
+            rel_min: Some(0.925),
+            client: Some("tenant-a".into()),
             instance: inst.clone(),
         };
         let text = write_job(&job);
@@ -1042,6 +1121,9 @@ mod tests {
         assert_eq!(back.lane.as_deref(), Some("heavy"));
         assert_eq!(back.arrival, Some(12.5));
         assert_eq!(back.deadline, Some(250.75));
+        assert_eq!(back.objective.as_deref(), Some("tri"));
+        assert_eq!(back.rel_min, Some(0.925));
+        assert_eq!(back.client.as_deref(), Some("tenant-a"));
         assert!(back.instance.graph.same_structure(&inst.graph));
         assert_eq!(back.instance.fingerprint(), inst.fingerprint());
     }
@@ -1060,6 +1142,9 @@ mod tests {
         assert_eq!(job.lane, None);
         assert_eq!(job.arrival, None);
         assert_eq!(job.deadline, None);
+        assert_eq!(job.objective, None);
+        assert_eq!(job.rel_min, None);
+        assert_eq!(job.client, None);
 
         // Untrusted input: every malformation is a typed error, not a panic.
         assert!(read_job("").is_err());
@@ -1069,6 +1154,11 @@ mod tests {
         assert!(read_job("rds-job v1\nid j\nwat 1\n").is_err());
         assert!(read_job("rds-job v1\nid j\nalgo heft\narrival soon\n").is_err());
         assert!(read_job("rds-job v1\nid j\nalgo heft\nlane bulk\n").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo ga\nobjective quad\n").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo ga\nrel-min 1.5\n").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo ga\nrel-min 0.0\n").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo ga\nclient \n").is_err());
+        assert!(read_job("rds-job v1\nid j\nalgo ga\nclient two tokens\n").is_err());
         let unterminated = format!(
             "rds-job v1\nid j\nalgo heft\ninstance\n{}",
             write_instance(&inst)
@@ -1090,6 +1180,8 @@ mod tests {
             degraded: Some("none".into()),
             makespan: Some(123.5),
             avg_slack: Some(4.25),
+            energy: Some(17.125),
+            reliability: Some(0.96875),
             verdict: Some("hit".into()),
             probability: Some(0.875),
             reason: None,
@@ -1107,6 +1199,8 @@ mod tests {
             degraded: None,
             makespan: None,
             avg_slack: None,
+            energy: None,
+            reliability: None,
             verdict: None,
             probability: None,
             reason: Some("queue full: heavy lane at capacity 2\nretry later".into()),
@@ -1144,6 +1238,9 @@ mod tests {
             lane: None,
             arrival: None,
             deadline: None,
+            objective: None,
+            rel_min: None,
+            client: None,
             instance: inst,
         };
         let recs = vec![

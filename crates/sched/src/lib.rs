@@ -11,6 +11,10 @@
 //! * [`csr`] — the same graph flattened into compressed-sparse-row arrays
 //!   with precomputed transfer times, plus the [`EvalScratch`] arena for
 //!   zero-allocation repeated evaluation (the GA/Monte-Carlo hot path).
+//! * [`energy`] — DVFS-aware energy and reliability scoring of schedules
+//!   (the tri-objective extension): frequency-scaled durations, per-task
+//!   power draw, exponential fault model, with a zero-alloc scratch twin
+//!   of the CSR kernel and Monte-Carlo energy/reliability distributions.
 //! * [`timing`] — start/finish times and makespan under arbitrary duration
 //!   vectors: the makespan is the critical-path length of `G_s` (Claim 3.2).
 //! * [`slack`] — top/bottom levels on `G_s` and the slack of Definition 3.3,
@@ -41,6 +45,7 @@ pub mod contention;
 pub mod csr;
 pub mod disjunctive;
 pub mod dynamic;
+pub mod energy;
 pub mod faults;
 pub mod gantt;
 pub mod instance;
@@ -59,6 +64,10 @@ pub mod trace;
 
 pub use csr::{DisjunctiveCsr, EvalScratch};
 pub use disjunctive::{DisjunctiveGraph, ReachScratch};
+pub use energy::{
+    full_speed_genes, realized_tri, score_assignment, score_schedule, EnergyReport, EnergyScratch,
+    TriDraw, TriReport, TriSummary,
+};
 pub use faults::{FaultConfig, FaultKind, FaultScenario, ReplicaDraw, ReplicaDraws};
 pub use instance::{Instance, InstanceSpec};
 pub use metrics::{r1_from_tardiness, r2_from_miss_rate, FaultRobustnessReport, RobustnessReport};

@@ -1,0 +1,213 @@
+//! Invariants of the energy/reliability scoring path and the
+//! tri-objective search built on it.
+//!
+//! Four families:
+//!
+//! 1. **Energy monotonicity.** On an idle-free schedule the only
+//!    time-proportional draw is leakage over busy time, so with a pure
+//!    static (leakage) power model, raising any task's frequency never
+//!    increases energy — the task finishes sooner and leaks less.
+//!    Dually, with a pure dynamic model (`P = κ·f^α`, `α > 1`), lowering
+//!    a frequency never increases energy — the classic DVFS saving.
+//! 2. **Reliability range and direction.** Schedule reliability always
+//!    lies in `(0, 1]`, and raising a frequency never lowers it (the
+//!    fault rate falls *and* the exposure window shrinks).
+//! 3. **Untyped bit-identity.** With every gene pinned to the ladder
+//!    top, the tri-objective kernel's makespan and average slack are
+//!    *bit*-identical to the frequency-oblivious CSR kernel — DVFS off
+//!    is exactly the pre-energy behavior.
+//! 4. **Front discipline.** The constrained NSGA-II front is mutually
+//!    non-dominated on (makespan ↓, slack ↑, energy ↓) and, when
+//!    feasible, every member meets the reliability floor.
+
+use proptest::prelude::*;
+use rand::Rng;
+
+use rds_ga::{nsga2_tri, Chromosome, GaParams};
+use rds_platform::{EnergyModel, FreqLadder, PowerModel, ReliabilityModel};
+use rds_sched::energy::{full_speed_genes, score_assignment, EnergyScratch};
+use rds_sched::csr::EvalScratch;
+use rds_sched::instance::{Instance, InstanceSpec};
+use rds_stats::rng::rng_from_seed;
+
+fn instance(tasks: usize, procs: usize, seed: u64) -> Instance {
+    InstanceSpec::new(tasks, procs)
+        .seed(seed)
+        .build()
+        .expect("spec generates")
+}
+
+/// A model with the given static/dynamic coefficients and the default
+/// 4-level ladder down to 0.5.
+fn model(m: usize, static_power: f64, dyn_coeff: f64) -> EnergyModel {
+    let ladder = FreqLadder::uniform(4, 0.5).expect("valid ladder");
+    let power = PowerModel::homogeneous(m, static_power, dyn_coeff, 3.0).expect("valid power");
+    let reliability = ReliabilityModel::new(1e-4, 2.0, ladder.min()).expect("valid reliability");
+    EnergyModel::new(ladder, power, reliability)
+}
+
+/// Random chromosome plus random frequency genes for `inst`.
+fn random_genes(inst: &Instance, model: &EnergyModel, seed: u64) -> (Chromosome, Vec<u8>) {
+    let mut rng = rng_from_seed(seed);
+    let chrom = Chromosome::random_for(inst, &mut rng);
+    let levels = model.ladder.len();
+    let freq = (0..inst.task_count())
+        .map(|_| rng.gen_range(0..levels) as u8)
+        .collect();
+    (chrom, freq)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Family 1a: pure-leakage energy is monotone non-increasing as any
+    /// frequency rises.
+    #[test]
+    fn leakage_energy_never_rises_with_frequency(
+        tasks in 4usize..24,
+        procs in 2usize..5,
+        inst_seed in any::<u64>(),
+        gene_seed in any::<u64>(),
+    ) {
+        let inst = instance(tasks, procs, inst_seed);
+        let m = model(procs, 0.5, 0.0);
+        let (chrom, freq) = random_genes(&inst, &m, gene_seed);
+        let base = score_assignment(&inst, &m, &chrom.assignment, &freq);
+        for t in 0..tasks {
+            if (freq[t] as usize) < m.ladder.top_index() {
+                let mut faster = freq.clone();
+                faster[t] += 1;
+                let e = score_assignment(&inst, &m, &chrom.assignment, &faster);
+                prop_assert!(e.energy <= base.energy,
+                    "raising task {t}'s frequency raised leakage energy: {} > {}",
+                    e.energy, base.energy);
+            }
+        }
+    }
+
+    /// Family 1b: pure-dynamic energy is monotone non-increasing as any
+    /// frequency drops (the DVFS saving direction, `E ∝ f^(α−1)`).
+    #[test]
+    fn dynamic_energy_never_rises_when_slowing_down(
+        tasks in 4usize..24,
+        procs in 2usize..5,
+        inst_seed in any::<u64>(),
+        gene_seed in any::<u64>(),
+    ) {
+        let inst = instance(tasks, procs, inst_seed);
+        let m = model(procs, 0.0, 1.0);
+        let (chrom, freq) = random_genes(&inst, &m, gene_seed);
+        let base = score_assignment(&inst, &m, &chrom.assignment, &freq);
+        for t in 0..tasks {
+            if freq[t] > 0 {
+                let mut slower = freq.clone();
+                slower[t] -= 1;
+                let e = score_assignment(&inst, &m, &chrom.assignment, &slower);
+                prop_assert!(e.energy <= base.energy,
+                    "lowering task {t}'s frequency raised dynamic energy: {} > {}",
+                    e.energy, base.energy);
+            }
+        }
+    }
+
+    /// Family 2: reliability lies in (0, 1] and never falls when a
+    /// frequency rises.
+    #[test]
+    fn reliability_in_unit_interval_and_monotone(
+        tasks in 4usize..24,
+        procs in 2usize..5,
+        inst_seed in any::<u64>(),
+        gene_seed in any::<u64>(),
+    ) {
+        let inst = instance(tasks, procs, inst_seed);
+        let m = model(procs, 0.1, 1.0);
+        let (chrom, freq) = random_genes(&inst, &m, gene_seed);
+        let base = score_assignment(&inst, &m, &chrom.assignment, &freq);
+        prop_assert!(base.reliability > 0.0 && base.reliability <= 1.0,
+            "reliability {} escaped (0, 1]", base.reliability);
+        for t in 0..tasks {
+            if (freq[t] as usize) < m.ladder.top_index() {
+                let mut faster = freq.clone();
+                faster[t] += 1;
+                let e = score_assignment(&inst, &m, &chrom.assignment, &faster);
+                prop_assert!(e.reliability >= base.reliability,
+                    "raising task {t}'s frequency lowered reliability: {} < {}",
+                    e.reliability, base.reliability);
+            }
+        }
+    }
+
+    /// Family 3: with every gene at the ladder top, the tri kernel's
+    /// makespan and slack are bit-identical to the frequency-oblivious
+    /// kernel (untyped, no-DVFS runs reproduce pre-energy numbers).
+    #[test]
+    fn full_speed_tri_kernel_bit_identical_to_base(
+        tasks in 4usize..32,
+        procs in 2usize..5,
+        inst_seed in any::<u64>(),
+        gene_seed in any::<u64>(),
+    ) {
+        let inst = instance(tasks, procs, inst_seed);
+        let m = model(procs, 0.1, 1.0);
+        let (chrom, _) = random_genes(&inst, &m, gene_seed);
+        let genes = full_speed_genes(tasks, &m);
+
+        let mut base = EvalScratch::new();
+        let reference = base
+            .evaluate(&inst, &chrom.order, &chrom.assignment)
+            .expect("acyclic");
+        let mut tri = EnergyScratch::new();
+        let summary = tri
+            .evaluate(&inst, &m, &chrom.order, &chrom.assignment, &genes)
+            .expect("acyclic");
+
+        prop_assert_eq!(summary.makespan.to_bits(), reference.makespan.to_bits());
+        prop_assert_eq!(
+            summary.average_slack.to_bits(),
+            reference.average_slack.to_bits()
+        );
+    }
+}
+
+/// `a` dominates `b` on (makespan ↓, slack ↑, energy ↓).
+fn dominates(a: &rds_ga::TriEvaluation, b: &rds_ga::TriEvaluation) -> bool {
+    let no_worse = a.makespan <= b.makespan && a.avg_slack >= b.avg_slack && a.energy <= b.energy;
+    let better = a.makespan < b.makespan || a.avg_slack > b.avg_slack || a.energy < b.energy;
+    no_worse && better
+}
+
+/// Family 4: the constrained NSGA-II front is mutually non-dominated,
+/// and when the run reports feasibility every member clears the floor.
+#[test]
+fn nsga2_tri_front_is_non_dominated_and_feasible() {
+    for seed in [3u64, 11, 29] {
+        let inst = instance(18, 3, seed);
+        let m = EnergyModel::default_for(3);
+        let rel_min = 0.85;
+        let params = GaParams::quick()
+            .max_generations(25)
+            .stall_generations(10)
+            .seed(seed);
+        let result = nsga2_tri(&inst, &m, rel_min, params);
+        assert!(!result.front.is_empty(), "seed {seed}: empty front");
+        assert!(result.feasible, "seed {seed}: infeasible at a lenient floor");
+        for p in &result.front {
+            assert!(
+                p.eval.reliability >= rel_min,
+                "seed {seed}: front member below the floor: {}",
+                p.eval.reliability
+            );
+            assert!(p.eval.reliability <= 1.0);
+        }
+        for (i, a) in result.front.iter().enumerate() {
+            for (j, b) in result.front.iter().enumerate() {
+                if i != j {
+                    assert!(
+                        !dominates(&a.eval, &b.eval),
+                        "seed {seed}: front member {i} dominates {j}"
+                    );
+                }
+            }
+        }
+    }
+}

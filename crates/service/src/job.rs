@@ -96,6 +96,33 @@ impl Lane {
     }
 }
 
+/// Objective mode of a search job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ObjectiveMode {
+    /// The paper's ε-constraint scalarization (default).
+    Epsilon,
+    /// Tri-objective NSGA-II over (makespan, slack, energy) under a
+    /// schedule-reliability constraint.
+    Tri {
+        /// Minimum acceptable schedule reliability, in `(0, 1]`.
+        rel_min: f64,
+    },
+}
+
+/// Default reliability threshold when a `tri` job does not set `rel-min`.
+pub const DEFAULT_REL_MIN: f64 = 0.9;
+
+impl ObjectiveMode {
+    /// Envelope tag (`epsilon` or `tri`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjectiveMode::Epsilon => "epsilon",
+            ObjectiveMode::Tri { .. } => "tri",
+        }
+    }
+}
+
 /// Arrival/deadline pair of an online-lane job, in simulated scheduling
 /// time units (the instance's own clock, not wall time).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -135,6 +162,12 @@ pub struct JobSpec {
     pub lane: Option<Lane>,
     /// Arrival/deadline of an online-lane job; `None` for classic jobs.
     pub online: Option<OnlineJobParams>,
+    /// Objective mode ([`ObjectiveMode::Epsilon`] unless the job opts
+    /// into `tri`).
+    pub objective: ObjectiveMode,
+    /// Client principal for per-client rate limiting; anonymous jobs
+    /// share one bucket.
+    pub client: Option<String>,
     /// The instance, shared without copying across queue and cache.
     pub instance: Arc<Instance>,
 }
@@ -152,6 +185,8 @@ impl JobSpec {
             deadline: None,
             lane: None,
             online: None,
+            objective: ObjectiveMode::Epsilon,
+            client: None,
             instance,
         }
     }
@@ -192,6 +227,21 @@ impl JobSpec {
         self
     }
 
+    /// Switches the job to the tri-objective mode with the given
+    /// reliability threshold.
+    #[must_use]
+    pub fn tri(mut self, rel_min: f64) -> Self {
+        self.objective = ObjectiveMode::Tri { rel_min };
+        self
+    }
+
+    /// Sets the rate-limiting client principal.
+    #[must_use]
+    pub fn client(mut self, client: impl Into<String>) -> Self {
+        self.client = Some(client.into());
+        self
+    }
+
     /// The lane the job will be queued on: an explicit override wins,
     /// online parameters imply [`Lane::Online`], otherwise the
     /// scheduler's default.
@@ -225,6 +275,18 @@ impl JobSpec {
             (Some(arrival), Some(deadline)) => Some(OnlineJobParams { arrival, deadline }),
             _ => return Err("arrival and deadline must be provided together".into()),
         };
+        let objective = match env.objective.as_deref() {
+            None | Some("epsilon") => {
+                if env.rel_min.is_some() {
+                    return Err("rel-min requires objective tri".into());
+                }
+                ObjectiveMode::Epsilon
+            }
+            Some("tri") => ObjectiveMode::Tri {
+                rel_min: env.rel_min.unwrap_or(DEFAULT_REL_MIN),
+            },
+            Some(other) => return Err(format!("unknown objective '{other}'")),
+        };
         let spec = Self {
             id: env.id,
             algo,
@@ -234,6 +296,8 @@ impl JobSpec {
             deadline: env.deadline_ms.map(Duration::from_millis),
             lane,
             online,
+            objective,
+            client: env.client,
             instance: Arc::new(env.instance),
         };
         spec.validate()?;
@@ -257,6 +321,15 @@ impl JobSpec {
             lane: self.lane.map(|l| l.name().to_owned()),
             arrival: self.online.map(|o| o.arrival),
             deadline: self.online.map(|o| o.deadline),
+            objective: match self.objective {
+                ObjectiveMode::Epsilon => None,
+                ObjectiveMode::Tri { .. } => Some("tri".to_owned()),
+            },
+            rel_min: match self.objective {
+                ObjectiveMode::Epsilon => None,
+                ObjectiveMode::Tri { rel_min } => Some(rel_min),
+            },
+            client: self.client.clone(),
             instance: self.instance.as_ref().clone(),
         }
     }
@@ -283,6 +356,19 @@ impl JobSpec {
         }
         if self.generations == Some(0) {
             return Err("generations must be positive".into());
+        }
+        if let ObjectiveMode::Tri { rel_min } = self.objective {
+            if !(rel_min > 0.0 && rel_min <= 1.0) || !rel_min.is_finite() {
+                return Err(format!("rel-min must be in (0, 1], got {rel_min}"));
+            }
+            if self.algo != Algo::Ga {
+                return Err("objective tri requires algo ga".into());
+            }
+        }
+        if let Some(client) = &self.client {
+            if client.is_empty() || client.split_whitespace().count() != 1 {
+                return Err("client must be a single non-empty token".into());
+            }
         }
         if let Some(online) = self.online {
             if !online.arrival.is_finite() || online.arrival < 0.0 {
@@ -347,6 +433,10 @@ pub struct JobOutput {
     pub makespan: f64,
     /// Average slack `σ̄`.
     pub avg_slack: f64,
+    /// Total energy of the schedule (tri-objective jobs only).
+    pub energy: Option<f64>,
+    /// Schedule reliability (tri-objective jobs only).
+    pub reliability: Option<f64>,
     /// Whether the schedule came from the cache.
     pub cache_hit: bool,
     /// Deadline degradation applied, if any.
@@ -388,6 +478,15 @@ pub enum JobError {
         /// Suggested client backoff in milliseconds.
         retry_after_ms: u64,
     },
+    /// Fast-rejected by the per-client rate limiter: this client's token
+    /// bucket is empty.
+    RateLimited {
+        /// The client principal whose bucket ran dry (`anonymous` when
+        /// the job carried no `client` field).
+        client: String,
+        /// Milliseconds until the bucket refills one token.
+        retry_after_ms: u64,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -399,6 +498,13 @@ impl std::fmt::Display for JobError {
                 reason,
                 retry_after_ms,
             } => write!(f, "overloaded: {reason} (retry after {retry_after_ms} ms)"),
+            JobError::RateLimited {
+                client,
+                retry_after_ms,
+            } => write!(
+                f,
+                "rate limited: client {client} exceeded its request rate (retry after {retry_after_ms} ms)"
+            ),
         }
     }
 }
@@ -428,6 +534,8 @@ impl JobResult {
                 degraded: Some(out.degraded.name().into()),
                 makespan: Some(out.makespan),
                 avg_slack: Some(out.avg_slack),
+                energy: out.energy,
+                reliability: out.reliability,
                 verdict: out
                     .online
                     .map(|o| if o.hit { "hit" } else { "miss" }.into()),
@@ -439,7 +547,9 @@ impl JobResult {
             Err(e) => ResultEnvelope {
                 id: self.id.clone(),
                 status: match e {
-                    JobError::Rejected(_) | JobError::Overloaded { .. } => "rejected",
+                    JobError::Rejected(_)
+                    | JobError::Overloaded { .. }
+                    | JobError::RateLimited { .. } => "rejected",
                     JobError::Failed(_) => "error",
                 }
                 .into(),
@@ -447,14 +557,20 @@ impl JobResult {
                 degraded: None,
                 makespan: None,
                 avg_slack: None,
+                energy: None,
+                reliability: None,
                 verdict: None,
                 probability: None,
                 reason: Some(match e {
                     JobError::Rejected(r) | JobError::Failed(r) => r.clone(),
                     JobError::Overloaded { reason, .. } => reason.clone(),
+                    JobError::RateLimited { client, .. } => {
+                        format!("client {client} exceeded its request rate")
+                    }
                 }),
                 retry_after_ms: match e {
-                    JobError::Overloaded { retry_after_ms, .. } => Some(*retry_after_ms),
+                    JobError::Overloaded { retry_after_ms, .. }
+                    | JobError::RateLimited { retry_after_ms, .. } => Some(*retry_after_ms),
                     _ => None,
                 },
                 schedule: None,
@@ -535,6 +651,55 @@ mod tests {
         let mut lane_only = JobSpec::new("j", Algo::Heft, inst());
         lane_only.lane = Some(Lane::Online);
         assert!(lane_only.validate().is_err());
+    }
+
+    #[test]
+    fn tri_objective_and_client_roundtrip_and_validate() {
+        let spec = JobSpec::new("j", Algo::Ga, inst()).tri(0.95).client("tenant-a");
+        assert!(spec.validate().is_ok());
+        let env = spec.to_envelope();
+        assert_eq!(env.objective.as_deref(), Some("tri"));
+        assert_eq!(env.rel_min, Some(0.95));
+        assert_eq!(env.client.as_deref(), Some("tenant-a"));
+        let back = JobSpec::from_envelope(env).unwrap();
+        assert_eq!(back.objective, ObjectiveMode::Tri { rel_min: 0.95 });
+        assert_eq!(back.client.as_deref(), Some("tenant-a"));
+
+        // Tri requires the GA and a sane threshold.
+        assert!(JobSpec::new("j", Algo::Heft, inst()).tri(0.9).validate().is_err());
+        assert!(JobSpec::new("j", Algo::Ga, inst()).tri(0.0).validate().is_err());
+        assert!(JobSpec::new("j", Algo::Ga, inst()).tri(1.5).validate().is_err());
+        assert!(JobSpec::new("j", Algo::Ga, inst())
+            .client("two tokens")
+            .validate()
+            .is_err());
+
+        // rel-min without objective tri is rejected at envelope level.
+        let mut env = JobSpec::new("j", Algo::Ga, inst()).to_envelope();
+        env.rel_min = Some(0.9);
+        assert!(JobSpec::from_envelope(env).is_err());
+
+        // tri without rel-min defaults.
+        let mut env = JobSpec::new("j", Algo::Ga, inst()).to_envelope();
+        env.objective = Some("tri".into());
+        let spec = JobSpec::from_envelope(env).unwrap();
+        assert_eq!(spec.objective, ObjectiveMode::Tri { rel_min: DEFAULT_REL_MIN });
+    }
+
+    #[test]
+    fn rate_limited_maps_to_rejected_with_retry_after() {
+        let res = JobResult {
+            id: "a".into(),
+            outcome: Err(JobError::RateLimited {
+                client: "tenant-a".into(),
+                retry_after_ms: 125,
+            }),
+            lane: Lane::Heavy,
+        };
+        let env = res.to_envelope();
+        assert_eq!(env.status, "rejected");
+        assert_eq!(env.retry_after_ms, Some(125));
+        assert!(env.reason.unwrap().contains("tenant-a"));
     }
 
     #[test]

@@ -525,6 +525,9 @@ mod tests {
             lane: None,
             arrival: None,
             deadline: None,
+            objective: None,
+            rel_min: None,
+            client: None,
             instance: InstanceSpec::new(6, 2).seed(1).build().unwrap(),
         }
     }

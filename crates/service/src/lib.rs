@@ -79,8 +79,8 @@ pub mod supervisor;
 pub use cache::{CacheKey, CachedSchedule, ScheduleCache};
 pub use chaos::ServiceChaos;
 pub use job::{
-    Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane, OnlineJobParams,
-    OnlineOutcome,
+    Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane, ObjectiveMode,
+    OnlineJobParams, OnlineOutcome, DEFAULT_REL_MIN,
 };
 pub use journal::{Journal, JournalError, JournalRecovery};
 pub use metrics::{LaneLatency, ServiceMetrics};
@@ -88,6 +88,7 @@ pub use net::{NetClientConfig, NetError, NetServer, NetServerConfig, NetServerMe
 pub use queue::{LaneQueue, PushError};
 pub use router::{Router, RouterConfig, RouterMetrics, RouterServer};
 pub use service::{
-    BrownoutConfig, BrownoutLevel, RecoveryReport, Service, ServiceConfig, ServiceError,
+    BrownoutConfig, BrownoutLevel, RateLimitConfig, RecoveryReport, Service, ServiceConfig,
+    ServiceError,
 };
 pub use supervisor::SupervisorConfig;

@@ -20,6 +20,7 @@ struct MetricsState {
     completed: u64,
     rejected_full: u64,
     rejected_invalid: u64,
+    rate_limited: u64,
     failed: u64,
     deadline_fallbacks: u64,
     in_flight: u64,
@@ -64,6 +65,11 @@ impl MetricsInner {
 
     pub(crate) fn rejected_invalid(&self) {
         self.lock().rejected_invalid += 1;
+    }
+
+    /// Records a submission refused by the per-client token bucket.
+    pub(crate) fn rate_limited(&self) {
+        self.lock().rate_limited += 1;
     }
 
     pub(crate) fn job_started(&self) {
@@ -198,6 +204,7 @@ impl MetricsInner {
             completed: s.completed,
             rejected_full: s.rejected_full,
             rejected_invalid: s.rejected_invalid,
+            rate_limited: s.rate_limited,
             failed: s.failed,
             deadline_fallbacks: s.deadline_fallbacks,
             in_flight: s.in_flight,
@@ -294,6 +301,8 @@ pub struct ServiceMetrics {
     pub rejected_full: u64,
     /// Jobs refused by validation.
     pub rejected_invalid: u64,
+    /// Submissions refused by the per-client token bucket.
+    pub rate_limited: u64,
     /// Jobs accepted but failed in the scheduler.
     pub failed: u64,
     /// Jobs that degraded (best-so-far or HEFT fallback) to meet a
@@ -383,6 +392,7 @@ impl ServiceMetrics {
         let _ = writeln!(out, "jobs failed         : {}", self.failed);
         let _ = writeln!(out, "rejected (full)     : {}", self.rejected_full);
         let _ = writeln!(out, "rejected (invalid)  : {}", self.rejected_invalid);
+        let _ = writeln!(out, "rejected (rate)     : {}", self.rate_limited);
         let _ = writeln!(out, "deadline fallbacks  : {}", self.deadline_fallbacks);
         let _ = writeln!(out, "in flight           : {}", self.in_flight);
         let _ = writeln!(
@@ -455,6 +465,8 @@ mod tests {
         m.submitted();
         m.rejected_full();
         m.rejected_invalid();
+        m.rate_limited();
+        m.rate_limited();
         m.job_started();
         m.job_finished(Lane::Express, 0.5, false, false);
         m.job_started();
@@ -506,6 +518,7 @@ mod tests {
         assert_eq!(snap.completed, 2);
         assert_eq!(snap.rejected_full, 1);
         assert_eq!(snap.rejected_invalid, 1);
+        assert_eq!(snap.rate_limited, 2);
         assert_eq!(snap.deadline_fallbacks, 1);
         assert_eq!(snap.in_flight, 0);
         assert_eq!(snap.online_admitted, 3);
@@ -560,6 +573,7 @@ mod tests {
         assert!(s.contains("express latency"));
         assert!(s.contains("online  latency"));
         assert!(s.contains("rejected (full)"));
+        assert!(s.contains("rejected (rate)"));
         assert!(s.contains("online admission"));
         assert!(s.contains("deadline hit rate"));
     }

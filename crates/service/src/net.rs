@@ -796,6 +796,8 @@ fn error_envelope(id: &str, status: &str, reason: String, retry_after_ms: Option
         probability: None,
         reason: Some(reason),
         retry_after_ms,
+        energy: None,
+        reliability: None,
         schedule: None,
     })
 }
@@ -1275,6 +1277,9 @@ mod tests {
             lane: None,
             arrival: None,
             deadline: None,
+            objective: None,
+            rel_min: None,
+            client: None,
             instance: InstanceSpec::new(20, 3).seed(seed).build().unwrap(),
         }
     }

@@ -21,6 +21,7 @@
 //!   duplicate at the next-preferred shard; the first finisher wins and
 //!   the duplicate is accounted, not double-counted.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -30,6 +31,7 @@ use rds_sched::io::{read_job, write_job, ResultEnvelope};
 use rds_stats::rng::SeedStream;
 
 use crate::net::{probe, request, shard_preference, NetClientConfig, NetError, DEFAULT_MAX_FRAME};
+use crate::service::{RateLimitConfig, TokenBucket};
 
 fn unpoison<'a, T>(
     r: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
@@ -68,6 +70,10 @@ pub struct RouterConfig {
     pub max_frame: usize,
     /// Seed for backoff jitter.
     pub seed: u64,
+    /// Per-client token-bucket rate limiting at the routing front
+    /// tier, keyed on the envelope's `client` field; `None` forwards
+    /// every request.
+    pub rate_limit: Option<RateLimitConfig>,
 }
 
 impl Default for RouterConfig {
@@ -87,6 +93,7 @@ impl Default for RouterConfig {
             hedge_fixed: None,
             max_frame: DEFAULT_MAX_FRAME,
             seed: 0,
+            rate_limit: None,
         }
     }
 }
@@ -134,6 +141,13 @@ impl RouterConfig {
         self
     }
 
+    /// Enables per-client token-bucket rate limiting at the router.
+    #[must_use]
+    pub fn rate_limit(mut self, cfg: RateLimitConfig) -> Self {
+        self.rate_limit = Some(cfg);
+        self
+    }
+
     fn attempts(&self) -> usize {
         if self.max_attempts > 0 {
             self.max_attempts
@@ -174,6 +188,7 @@ struct RouterMetricsInner {
     hedge_wins: AtomicU64,
     retry_after_waits: AtomicU64,
     probe_cycles: AtomicU64,
+    rate_limited: AtomicU64,
 }
 
 /// Point-in-time router counters.
@@ -201,6 +216,9 @@ pub struct RouterMetrics {
     pub retry_after_waits: u64,
     /// Completed health-probe sweeps.
     pub probe_cycles: u64,
+    /// Requests refused at the front tier by the per-client token
+    /// bucket (never forwarded to a shard).
+    pub rate_limited: u64,
 }
 
 impl RouterMetricsInner {
@@ -217,6 +235,7 @@ impl RouterMetricsInner {
             hedge_wins: g(&self.hedge_wins),
             retry_after_waits: g(&self.retry_after_waits),
             probe_cycles: g(&self.probe_cycles),
+            rate_limited: g(&self.rate_limited),
         }
     }
 }
@@ -248,6 +267,8 @@ struct RouterShared {
     shards: Mutex<Vec<ShardInfo>>,
     latency: Mutex<LatencyTracker>,
     metrics: RouterMetricsInner,
+    /// client key → token bucket; unused without a rate-limit config.
+    rate: Mutex<HashMap<String, TokenBucket>>,
     stop: AtomicBool,
 }
 
@@ -297,6 +318,7 @@ impl Router {
                 samples: 0,
             }),
             metrics: RouterMetricsInner::default(),
+            rate: Mutex::new(HashMap::new()),
             stop: AtomicBool::new(false),
         });
         let health = shared.config.health_interval.map(|interval| {
@@ -315,11 +337,54 @@ impl Router {
     pub fn route(&self, job_text: &str) -> Result<ResultEnvelope, NetError> {
         let env =
             read_job(job_text).map_err(|e| NetError::Protocol(format!("bad job envelope: {e}")))?;
+        if let Some(rejection) = self.rate_gate(env.client.as_deref(), &env.id) {
+            return Ok(rejection);
+        }
         let fingerprint = env.instance.fingerprint();
         // Re-serialize so a routed envelope is byte-identical to a
         // locally written one regardless of client formatting.
         let text = write_job(&env);
         self.route_raw(&text, fingerprint, &env.id)
+    }
+
+    /// The front-tier per-client token bucket: a rate-limited request
+    /// is rejected here and never forwarded to a shard (mirroring the
+    /// in-process gate in `Service::submit`). Jobs without a `client`
+    /// field share the `"anonymous"` bucket. Returns the rejection
+    /// envelope to hand back, or `None` to proceed.
+    fn rate_gate(&self, client: Option<&str>, id: &str) -> Option<ResultEnvelope> {
+        let cfg = self.shared.config.rate_limit?;
+        let key = client.unwrap_or("anonymous");
+        let retry_after_ms = {
+            let mut buckets = unpoison(self.shared.rate.lock());
+            let now = Instant::now();
+            let bucket = buckets
+                .entry(key.to_owned())
+                .or_insert_with(|| TokenBucket::full(&cfg, now));
+            match cfg.take(bucket, now) {
+                Ok(()) => return None,
+                Err(ms) => ms,
+            }
+        };
+        let m = &self.shared.metrics;
+        m.requests.fetch_add(1, Ordering::Relaxed);
+        m.rate_limited.fetch_add(1, Ordering::Relaxed);
+        m.rejected.fetch_add(1, Ordering::Relaxed);
+        Some(ResultEnvelope {
+            id: id.to_owned(),
+            status: "rejected".to_owned(),
+            cache: None,
+            degraded: None,
+            makespan: None,
+            avg_slack: None,
+            verdict: None,
+            probability: None,
+            reason: Some(format!("client {key} exceeded its request rate")),
+            retry_after_ms: Some(retry_after_ms),
+            energy: None,
+            reliability: None,
+            schedule: None,
+        })
     }
 
     /// Routes an already-validated envelope by fingerprint.
@@ -762,6 +827,8 @@ fn router_conn_loop(
                                 probability: None,
                                 reason: Some(err.to_string()),
                                 retry_after_ms: None,
+                                energy: None,
+                                reliability: None,
                                 schedule: None,
                             })
                         }

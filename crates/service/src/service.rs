@@ -23,7 +23,7 @@
 //! With none of these configured the service behaves bit-identically to
 //! the pre-durability implementation.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
@@ -31,8 +31,12 @@ use std::sync::{Arc, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use rds_ga::{GaEngine, GaParams, GaRunStats, Objective};
+use rds_ga::{
+    evaluate_all_tri, nsga2_tri, Chromosome, GaEngine, GaParams, GaRunStats, Objective,
+    TriChromosome,
+};
 use rds_heft::{cpop_schedule, heft_schedule, lookahead_heft_schedule, sheft_schedule, HeftResult};
+use rds_platform::EnergyModel;
 use rds_sched::slack;
 use rds_sched::{
     completion_probability, plan_isolated, plan_with_deferred_optional, rank_order,
@@ -42,7 +46,9 @@ use rds_stats::rng::SeedStream;
 
 use crate::cache::{CacheKey, CachedSchedule, ScheduleCache};
 use crate::chaos::ServiceChaos;
-use crate::job::{Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane, OnlineOutcome};
+use crate::job::{
+    Algo, Degradation, JobError, JobOutput, JobResult, JobSpec, Lane, ObjectiveMode, OnlineOutcome,
+};
 use crate::journal::{Journal, JournalError};
 use crate::metrics::{MetricsInner, ServiceMetrics};
 use crate::queue::{LaneQueue, PushError};
@@ -77,6 +83,9 @@ pub struct ServiceConfig {
     /// Overload brownout ladder; `None` leaves only queue-full
     /// backpressure.
     pub brownout: Option<BrownoutConfig>,
+    /// Per-client token-bucket rate limiting; `None` admits every
+    /// client at any rate.
+    pub rate_limit: Option<RateLimitConfig>,
     /// Chaos injection; `None` (or an unarmed config) is the quiet path.
     pub chaos: Option<ServiceChaos>,
 }
@@ -94,6 +103,7 @@ impl Default for ServiceConfig {
             journal_compact_every: None,
             supervisor: SupervisorConfig::default(),
             brownout: None,
+            rate_limit: None,
             chaos: None,
         }
     }
@@ -170,6 +180,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables per-client token-bucket rate limiting.
+    #[must_use]
+    pub fn rate_limit(mut self, cfg: RateLimitConfig) -> Self {
+        self.rate_limit = Some(cfg);
+        self
+    }
+
     /// Enables chaos injection.
     #[must_use]
     pub fn chaos(mut self, chaos: ServiceChaos) -> Self {
@@ -205,7 +222,88 @@ impl ServiceConfig {
                 return Err("brownout thresholds must satisfy degrade <= shed <= open".into());
             }
         }
+        if let Some(r) = self.rate_limit {
+            if !(r.rate_per_sec.is_finite() && r.rate_per_sec > 0.0) {
+                return Err("rate limit refill rate must be positive and finite".into());
+            }
+            if !(r.burst.is_finite() && r.burst >= 1.0) {
+                return Err("rate limit burst must be at least 1".into());
+            }
+        }
         Ok(())
+    }
+}
+
+/// Per-client token-bucket rate limit: each client key (the job's
+/// `client` field, `"anonymous"` when absent) owns a bucket holding up
+/// to `burst` tokens, refilled continuously at `rate_per_sec`. Every
+/// submission spends one token; an empty bucket rejects with
+/// [`JobError::RateLimited`] and a `retry_after` hint sized to the
+/// refill deficit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimitConfig {
+    /// Sustained admissions per second per client (> 0).
+    pub rate_per_sec: f64,
+    /// Bucket capacity: the burst a quiet client may spend at once
+    /// (≥ 1).
+    pub burst: f64,
+}
+
+impl Default for RateLimitConfig {
+    fn default() -> Self {
+        Self {
+            rate_per_sec: 50.0,
+            burst: 100.0,
+        }
+    }
+}
+
+impl RateLimitConfig {
+    /// Sets the sustained per-client rate.
+    #[must_use]
+    pub fn rate_per_sec(mut self, r: f64) -> Self {
+        self.rate_per_sec = r;
+        self
+    }
+
+    /// Sets the bucket capacity.
+    #[must_use]
+    pub fn burst(mut self, b: f64) -> Self {
+        self.burst = b;
+        self
+    }
+
+    /// Refills `bucket` for the time elapsed since its last visit and
+    /// spends one token. `Err(retry_after_ms)` when the bucket is
+    /// empty: the hint covers the refill deficit and is never 0, so
+    /// clients always back off at least a tick.
+    pub(crate) fn take(&self, bucket: &mut TokenBucket, now: Instant) -> Result<(), u64> {
+        let elapsed = now.duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rate_per_sec).min(self.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            return Ok(());
+        }
+        let deficit = 1.0 - bucket.tokens;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Err(((deficit / self.rate_per_sec * 1000.0).ceil() as u64).max(1))
+    }
+}
+
+/// One client's token bucket (lazily refilled on access).
+pub(crate) struct TokenBucket {
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket starting at full burst capacity.
+    pub(crate) fn full(cfg: &RateLimitConfig, now: Instant) -> Self {
+        Self {
+            tokens: cfg.burst,
+            refilled: now,
+        }
     }
 }
 
@@ -389,6 +487,9 @@ struct Shared {
     config: ServiceConfig,
     journal: Option<Journal>,
     brownout: Option<Mutex<BrownoutState>>,
+    /// client key → token bucket; unused (and empty) without a
+    /// [`RateLimitConfig`].
+    rate: Mutex<HashMap<String, TokenBucket>>,
     /// Ids accepted and not yet terminal — [`Service::recover`] skips
     /// these so repeated recovery never double-enqueues a job.
     live: Mutex<HashSet<String>>,
@@ -398,6 +499,31 @@ struct Shared {
 impl Shared {
     fn lock_live(&self) -> std::sync::MutexGuard<'_, HashSet<String>> {
         self.live.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The per-client token-bucket gate, consulted once per admission
+    /// (before any journaling, so a rate-limited job leaves no trace).
+    /// Jobs without a `client` field share the `"anonymous"` bucket.
+    fn rate_gate(&self, client: Option<&str>) -> Result<(), JobError> {
+        let Some(cfg) = self.config.rate_limit else {
+            return Ok(());
+        };
+        let key = client.unwrap_or("anonymous");
+        let mut buckets = self.rate.lock().unwrap_or_else(PoisonError::into_inner);
+        let now = Instant::now();
+        let bucket = buckets
+            .entry(key.to_owned())
+            .or_insert_with(|| TokenBucket::full(&cfg, now));
+        match cfg.take(bucket, now) {
+            Ok(()) => Ok(()),
+            Err(retry_after_ms) => {
+                self.metrics.rate_limited();
+                Err(JobError::RateLimited {
+                    client: key.to_owned(),
+                    retry_after_ms,
+                })
+            }
+        }
     }
 
     fn brownout_level_name(&self) -> &'static str {
@@ -541,6 +667,7 @@ impl Service {
             config,
             journal,
             brownout,
+            rate: Mutex::new(HashMap::new()),
             live: Mutex::new(HashSet::new()),
             table: WorkerTable::new(workers),
         });
@@ -591,6 +718,7 @@ impl Service {
             self.shared.metrics.rejected_invalid();
             return Err(JobError::Rejected(reason));
         }
+        self.shared.rate_gate(spec.client.as_deref())?;
         let lane = spec.lane();
         let force_heft = self.shared.brownout_gate(lane)?;
         let online = match self.probe_online(&spec) {
@@ -1096,6 +1224,11 @@ fn finish_job(
             Err(JobError::Rejected(r)) => j.rejected(&id, r),
             Err(JobError::Failed(r)) => j.failed(&id, r),
             Err(JobError::Overloaded { reason, .. }) => j.failed(&id, reason),
+            // Unreachable in practice: rate limiting happens at admission,
+            // before the job is journaled — close the record anyway.
+            Err(JobError::RateLimited { client, .. }) => {
+                j.rejected(&id, &format!("rate limited: {client}"));
+            }
         }
     }
     shared.lock_live().remove(&id);
@@ -1117,6 +1250,13 @@ fn execute(
     if let Some(adm) = online {
         return execute_online(spec, adm);
     }
+    // Tri-objective jobs bypass the cache both ways: the cache key does
+    // not capture the objective mode or the reliability threshold, so a
+    // hit could hand a tri client an ε-constraint result (or vice
+    // versa).
+    if let ObjectiveMode::Tri { rel_min } = spec.objective {
+        return execute_tri(spec, rel_min, brownout, cancel);
+    }
     let key = CacheKey::for_job(spec);
     if let Some(hit) = cache.lookup(&key) {
         return Ok(JobOutput {
@@ -1127,6 +1267,8 @@ fn execute(
             degraded: Degradation::None,
             ga_stats: None,
             online: None,
+            energy: None,
+            reliability: None,
         });
     }
     let deadline = spec.deadline.map(|budget| Instant::now() + budget);
@@ -1150,6 +1292,86 @@ fn execute(
         degraded,
         ga_stats,
         online: None,
+        energy: None,
+        reliability: None,
+    })
+}
+
+/// Runs a tri-objective (makespan × robustness × energy) job: NSGA-II
+/// over assignment, order, and per-task DVFS level under the job's
+/// reliability floor, reporting the minimum-energy member of the
+/// feasible front. Under brownout the search degrades to full-speed
+/// HEFT, scored through the same energy model so the client still sees
+/// energy and reliability. The returned wire schedule carries the
+/// assignment and order; the reported makespan/slack/energy are the
+/// DVFS-scaled figures of the chosen front member.
+fn execute_tri(
+    spec: &JobSpec,
+    rel_min: f64,
+    brownout: bool,
+    cancel: &AtomicBool,
+) -> Result<JobOutput, JobError> {
+    let inst = spec.instance.as_ref();
+    let model = EnergyModel::default_for(inst.proc_count());
+    if brownout || cancel.load(Ordering::Relaxed) {
+        let heft = heft_schedule(inst);
+        let chrom =
+            TriChromosome::full_speed(Chromosome::from_schedule(&inst.graph, &heft.schedule), &model);
+        let eval = evaluate_all_tri(inst, &model, std::slice::from_ref(&chrom))[0];
+        let degraded = if brownout {
+            Degradation::Brownout
+        } else {
+            Degradation::HeftFallback
+        };
+        return Ok(JobOutput {
+            schedule: heft.schedule,
+            makespan: eval.makespan,
+            avg_slack: eval.avg_slack,
+            cache_hit: false,
+            degraded,
+            ga_stats: None,
+            online: None,
+            energy: Some(eval.energy),
+            reliability: Some(eval.reliability),
+        });
+    }
+    let mut params = GaParams::paper().seed(spec.seed);
+    if let Some(g) = spec.generations {
+        params = params.max_generations(g).stall_generations((g / 5).max(10));
+    }
+    params
+        .validate()
+        .map_err(|e| JobError::Failed(format!("invalid GA parameters: {e}")))?;
+    let started = Instant::now();
+    let result = nsga2_tri(inst, &model, rel_min, params);
+    if !result.feasible {
+        return Err(JobError::Failed(format!(
+            "no schedule meets reliability threshold {rel_min}"
+        )));
+    }
+    let best = result
+        .front
+        .iter()
+        .min_by(|a, b| a.eval.energy.total_cmp(&b.eval.energy))
+        .ok_or_else(|| JobError::Failed("tri-objective search produced an empty front".into()))?;
+    let schedule = best.chromosome.chrom.decode(inst.proc_count());
+    #[allow(clippy::cast_possible_truncation)]
+    let stats = GaRunStats {
+        kernel_evals: result.evaluations as u64,
+        memo_hits: 0,
+        memo_collisions: 0,
+        eval_nanos: started.elapsed().as_nanos() as u64,
+    };
+    Ok(JobOutput {
+        schedule,
+        makespan: best.eval.makespan,
+        avg_slack: best.eval.avg_slack,
+        cache_hit: false,
+        degraded: Degradation::None,
+        ga_stats: Some(stats),
+        online: None,
+        energy: Some(best.eval.energy),
+        reliability: Some(best.eval.reliability),
     })
 }
 
@@ -1204,6 +1426,8 @@ fn execute_online(spec: &JobSpec, adm: AdmittedOnline) -> Result<JobOutput, JobE
             realized_makespan: realized,
             hit,
         }),
+        energy: None,
+        reliability: None,
     })
 }
 
@@ -1657,5 +1881,119 @@ mod tests {
         let err = service.recover().unwrap_err();
         assert!(matches!(err, ServiceError::Config(_)));
         service.shutdown();
+    }
+
+    #[test]
+    fn rate_limiter_spends_burst_and_isolates_clients() {
+        let i = inst(11);
+        // A glacial refill: the burst is all a client gets within the test.
+        let limit = RateLimitConfig {
+            rate_per_sec: 1e-6,
+            burst: 2.0,
+        };
+        let (service, rx) = Service::start(
+            ServiceConfig::default()
+                .workers(1)
+                .rate_limit(limit)
+                .paused(),
+        );
+        let job = |id: &str, client: &str| {
+            JobSpec::new(id, Algo::Heft, Arc::clone(&i)).client(client)
+        };
+        service.submit(job("a1", "tenant-a")).unwrap();
+        service.submit(job("a2", "tenant-a")).unwrap();
+        let err = service.submit(job("a3", "tenant-a")).unwrap_err();
+        match err {
+            JobError::RateLimited {
+                client,
+                retry_after_ms,
+            } => {
+                assert_eq!(client, "tenant-a");
+                assert!(retry_after_ms >= 1);
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+        // Another client has its own bucket, as does the anonymous pool.
+        service.submit(job("b1", "tenant-b")).unwrap();
+        service
+            .submit(JobSpec::new("anon1", Algo::Heft, Arc::clone(&i)))
+            .unwrap();
+        service
+            .submit(JobSpec::new("anon2", Algo::Heft, Arc::clone(&i)))
+            .unwrap();
+        let err = service
+            .submit(JobSpec::new("anon3", Algo::Heft, Arc::clone(&i)))
+            .unwrap_err();
+        assert!(matches!(err, JobError::RateLimited { client, .. } if client == "anonymous"));
+        service.resume();
+        for _ in 0..5 {
+            let _ = rx.recv();
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.rate_limited, 2);
+        assert_eq!(metrics.submitted, 5);
+        // A rate rejection is its own bucket, not a validation failure.
+        assert_eq!(metrics.rejected_invalid, 0);
+    }
+
+    #[test]
+    fn tri_job_reports_energy_and_reliability_and_bypasses_cache() {
+        let i = inst(12);
+        let spec = |id: &str| {
+            JobSpec::new(id, Algo::Ga, Arc::clone(&i))
+                .tri(0.5)
+                .generations(8)
+                .seed(3)
+        };
+        let jobs = vec![spec("t1"), spec("t2")];
+        let (results, metrics) = Service::run_batch(ServiceConfig::default().workers(1), jobs);
+        assert_eq!(results.len(), 2);
+        let a = results[0].outcome.as_ref().expect("tri job succeeds");
+        let b = results[1].outcome.as_ref().expect("tri job succeeds");
+        let energy = a.energy.expect("tri output carries energy");
+        let reliability = a.reliability.expect("tri output carries reliability");
+        assert!(energy > 0.0);
+        assert!(reliability > 0.0 && reliability <= 1.0);
+        // The chosen front member satisfies the job's reliability floor.
+        assert!(reliability >= 0.5);
+        assert!(a.makespan > 0.0);
+        let stats = a.ga_stats.as_ref().expect("tri search reports stats");
+        assert!(stats.kernel_evals > 0);
+        // Identical seeded jobs agree bitwise (the search is deterministic)
+        // without ever touching the cache: its key cannot tell objective
+        // modes apart.
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.energy, b.energy);
+        assert_eq!(a.reliability, b.reliability);
+        assert!(!a.cache_hit && !b.cache_hit);
+        assert_eq!(metrics.cache_hits, 0);
+        assert_eq!(metrics.cache_misses, 0);
+        assert_eq!(metrics.completed, 2);
+    }
+
+    #[test]
+    fn epsilon_jobs_do_not_carry_energy_fields() {
+        let i = inst(13);
+        let (results, _) = Service::run_batch(
+            ServiceConfig::default().workers(1),
+            vec![JobSpec::new("e", Algo::Heft, Arc::clone(&i))],
+        );
+        let out = results[0].outcome.as_ref().expect("heft succeeds");
+        assert_eq!(out.energy, None);
+        assert_eq!(out.reliability, None);
+    }
+
+    #[test]
+    fn rate_limit_config_is_validated() {
+        let bad_rate = ServiceConfig::default().rate_limit(RateLimitConfig {
+            rate_per_sec: 0.0,
+            burst: 2.0,
+        });
+        assert!(bad_rate.validate().unwrap_err().contains("refill rate"));
+        let bad_burst = ServiceConfig::default().rate_limit(RateLimitConfig {
+            rate_per_sec: 1.0,
+            burst: 0.5,
+        });
+        assert!(bad_burst.validate().unwrap_err().contains("burst"));
     }
 }

@@ -76,6 +76,9 @@ fn envelope(id: &str) -> JobEnvelope {
         lane: None,
         arrival: None,
         deadline: None,
+        objective: None,
+        rel_min: None,
+        client: None,
         instance: InstanceSpec::new(6, 2)
             .seed(1)
             .build()

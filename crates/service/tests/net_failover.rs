@@ -27,6 +27,9 @@ fn envelope(id: &str, seed: u64) -> JobEnvelope {
         lane: None,
         arrival: None,
         deadline: None,
+        objective: None,
+        rel_min: None,
+        client: None,
         instance: InstanceSpec::new(24, 3).seed(seed).build().unwrap(),
     }
 }
@@ -212,5 +215,53 @@ fn dropped_replies_are_survived_by_router_retries() {
         rec.pending.is_empty(),
         "dropped replies must not strand accepted jobs"
     );
+    let _ = std::fs::remove_file(&j);
+}
+
+/// The router's front-tier token bucket: an over-rate client is
+/// rejected locally with a `retry-after` hint and the surplus request
+/// never reaches a shard, while the in-budget requests route normally.
+#[test]
+fn router_rate_limit_rejects_before_forwarding() {
+    let j = tmp("ratelimit");
+    let _ = std::fs::remove_file(&j);
+    let shard = start_shard(&j, None);
+    let router = Router::start(
+        RouterConfig::default()
+            .shards(vec![shard.local_addr().to_string()])
+            .health_interval(None)
+            .rate_limit(rds_service::RateLimitConfig {
+                rate_per_sec: 1e-6, // glacial refill: the burst is the budget
+                burst: 2.0,
+            }),
+    )
+    .expect("router starts");
+    let job = |i: usize| {
+        let mut env = envelope(&format!("rl-{i}"), 7);
+        env.client = Some("tenant-a".to_owned());
+        write_job(&env)
+    };
+    for i in 0..2 {
+        let reply = router.route(&job(i)).expect("in-budget request routes");
+        assert_eq!(reply.status, "ok", "{reply:?}");
+    }
+    let reply = router
+        .route(&job(2))
+        .expect("a local rate rejection is still a reply");
+    assert_eq!(reply.status, "rejected");
+    assert!(
+        reply
+            .reason
+            .as_deref()
+            .unwrap_or_default()
+            .contains("request rate"),
+        "{reply:?}"
+    );
+    assert!(reply.retry_after_ms.unwrap_or(0) >= 1);
+    let metrics = router.shutdown();
+    assert_eq!(metrics.rate_limited, 1);
+    // Only the two admitted requests generated shard traffic.
+    let (service_metrics, _net) = shard.shutdown();
+    assert_eq!(service_metrics.submitted, 2);
     let _ = std::fs::remove_file(&j);
 }

@@ -30,6 +30,9 @@ fn job_text(id: &str, seed: u64, tasks: usize) -> String {
         lane: None,
         arrival: None,
         deadline: None,
+        objective: None,
+        rel_min: None,
+        client: None,
         instance: InstanceSpec::new(tasks, 3).seed(seed).build().unwrap(),
     })
 }

@@ -1,0 +1,110 @@
+#!/usr/bin/env bash
+# Energy smoke: a tiny tri-objective (makespan, slack, energy) NSGA-II
+# run under a reliability floor.
+#
+#  1. `figures energy` at smoke scale must produce a *feasible* front
+#     for the lenient floor at every swept UL (feasible:rX == 1), with
+#     strictly positive hypervolume and a non-negative energy saving
+#     over full-speed HEFT.
+#  2. Every point of the emitted Pareto surface must itself satisfy the
+#     floor (reliability >= rel_min).
+#  3. The front hypervolume and the tri-kernel evaluation rate are
+#     snapshotted into BENCH_energy.json (BENCH_OUT overrides the path).
+#
+# Usage:
+#   scripts/energy_quick.sh         # build + run (CI entry point)
+#   FIGURES=path/to/figures scripts/energy_quick.sh   # skip the build
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [ -z "${FIGURES:-}" ]; then
+  cargo build --release -p rds-experiments
+  FIGURES=target/release/figures
+fi
+OUT="${BENCH_OUT:-BENCH_energy.json}"
+REL="${REL:-0.85}"
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+fail() { echo "energy_quick: FAIL: $*" >&2; exit 1; }
+
+"$FIGURES" energy \
+  --graphs "${GRAPHS:-2}" --tasks "${TASKS:-16}" --procs "${PROCS:-3}" \
+  --generations "${GENERATIONS:-30}" --uls "${ULS:-2,8}" \
+  --rel-mins "$REL" --seed "${SEED:-7}" --out "$TMP/results" \
+  > "$TMP/table.txt"
+
+CSV="$TMP/results/energy.csv"
+PARETO="$TMP/results/energy_pareto.csv"
+[ -f "$CSV" ] || fail "$CSV was not written"
+[ -f "$PARETO" ] || fail "$PARETO was not written"
+
+python3 - "$CSV" "$PARETO" "$OUT" "$REL" <<'PY'
+import csv
+import json
+import sys
+
+csv_path, pareto_path, out_path, rel = sys.argv[1], sys.argv[2], sys.argv[3], float(sys.argv[4])
+tag = f"r{rel:.2f}"
+
+series = {}
+with open(csv_path) as f:
+    for row in csv.DictReader(f):
+        series.setdefault(row["series"], {})[float(row["x"])] = float(row["y"])
+
+def need(name):
+    if name not in series:
+        print(f"energy_quick: FAIL: missing series {name}", file=sys.stderr)
+        sys.exit(1)
+    return series[name]
+
+feasible = need(f"feasible:{tag}")
+hv = need(f"hv:{tag}")
+saving = need(f"saving:{tag}")
+rate = need(f"evalrate:{tag}")
+for ul, y in feasible.items():
+    if y != 1.0:
+        print(f"energy_quick: FAIL: infeasible front at UL {ul} (feasible={y})", file=sys.stderr)
+        sys.exit(1)
+for ul, y in hv.items():
+    if not y > 0.0:
+        print(f"energy_quick: FAIL: hypervolume {y} at UL {ul} is not positive", file=sys.stderr)
+        sys.exit(1)
+for ul, y in saving.items():
+    if y < 0.0:
+        print(f"energy_quick: FAIL: negative energy saving {y} at UL {ul}", file=sys.stderr)
+        sys.exit(1)
+
+# Every emitted Pareto point must clear the floor itself.
+points = 0
+with open(pareto_path) as f:
+    for row in csv.DictReader(f):
+        if row["series"].endswith(":reliability"):
+            points += 1
+            r = float(row["y"])
+            if not (rel <= r <= 1.0):
+                print(f"energy_quick: FAIL: Pareto point reliability {r} < floor {rel}",
+                      file=sys.stderr)
+                sys.exit(1)
+if points == 0:
+    print("energy_quick: FAIL: Pareto surface is empty", file=sys.stderr)
+    sys.exit(1)
+
+snapshot = {
+    "rel_min": rel,
+    "feasible": True,
+    "hypervolume": hv,
+    "energy_saving": saving,
+    "evals_per_sec": rate,
+    "pareto_points": points,
+}
+with open(out_path, "w") as f:
+    json.dump(snapshot, f, indent=2, sort_keys=True)
+    f.write("\n")
+mean_rate = sum(rate.values()) / len(rate)
+print(f"energy_quick: feasible fronts at floor {rel}, "
+      f"hv={min(hv.values()):.3g}..{max(hv.values()):.3g}, "
+      f"{points} Pareto points, {mean_rate:,.0f} evals/s -> {out_path}")
+PY
+
+echo "energy_quick: all checks passed"

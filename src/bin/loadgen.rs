@@ -132,6 +132,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 lane: None,
                 arrival: None,
                 deadline: None,
+                objective: None,
+                rel_min: None,
+                client: None,
                 instance: pool[i % instances].clone(),
             })
         })

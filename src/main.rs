@@ -48,6 +48,8 @@ const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt|serve|route|submit
            [--max-attempts N] [--job-timeout-ms D]
            [--brownout 1 [--brownout-degrade D --brownout-shed D
             --brownout-open D] [--brownout-retry-ms MS]]
+           [--rate-per-sec R [--rate-burst B]: per-client token-bucket
+            admission keyed on the job envelope's client field]
            [--chaos-seed S [--chaos-panic-rate P] [--chaos-stall-rate P]
             [--chaos-stall-ms MS] [--chaos-journal-error-rate P]
             [--chaos-kill-at BYTES] [--chaos-net-refuse-rate P]
@@ -62,13 +64,15 @@ const USAGE: &str = "usage: rds <gen|info|schedule|eval|gantt|serve|route|submit
            rds-result envelopes to stdout, metrics to stderr at shutdown
   route    --shards A,B,.. [--listen HOST:PORT] [--retries N]
            [--hedge-ms MS] [--health-interval-ms MS] [--io-timeout-ms MS]
-           [--seed S]
+           [--seed S] [--rate-per-sec R [--rate-burst B]]
            failover front tier: routes jobs to shards by instance
            fingerprint, retries around dead shards with seeded backoff,
            hedges stragglers; prints the bound address, runs until stdin
            closes, metrics to stderr at shutdown
   submit   -i INSTANCE [--algo A] [--epsilon E] [--seed S] [--generations G]
            [--deadline-ms D] [--timeout MS] [--lane express|online|heavy]
+           [--objective epsilon|tri [--rel-min R]: tri adds energy and a
+            reliability floor (ga only)] [--client NAME]
            [--id ID] [--arrival T --deadline T: online job in simulated time]
            [-o FILE] [--emit 1: print the job envelope instead of running it]
            [--connect HOST:PORT: send to a networked shard or router
@@ -351,8 +355,8 @@ where
 /// results out on stdout, metrics on stderr at shutdown.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
     use rds::service::{
-        BrownoutConfig, JobError, JobResult, JobSpec, Lane, Service, ServiceChaos, ServiceConfig,
-        SupervisorConfig,
+        BrownoutConfig, JobError, JobResult, JobSpec, Lane, RateLimitConfig, Service, ServiceChaos,
+        ServiceConfig, SupervisorConfig,
     };
     use std::io::{BufRead as _, Write as _};
     use std::time::Duration;
@@ -404,6 +408,14 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
         );
         brown = brown.retry_after_ms(get(flags, "brownout-retry-ms", brown.retry_after_ms)?);
         config = config.brownout(brown);
+    }
+
+    // Per-client token-bucket rate limiting.
+    if let Some(rate) = get_opt::<f64>(flags, "rate-per-sec")? {
+        let limit = RateLimitConfig::default()
+            .rate_per_sec(rate)
+            .burst(get(flags, "rate-burst", RateLimitConfig::default().burst)?);
+        config = config.rate_limit(limit);
     }
 
     // Chaos injection (testing only; all off by default).
@@ -631,6 +643,13 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     if let Some(ms) = get_opt::<u64>(flags, "io-timeout-ms")? {
         config = config.io_timeout(Duration::from_millis(ms));
     }
+    if let Some(rate) = get_opt::<f64>(flags, "rate-per-sec")? {
+        use rds::service::RateLimitConfig;
+        let limit = RateLimitConfig::default()
+            .rate_per_sec(rate)
+            .burst(get(flags, "rate-burst", RateLimitConfig::default().burst)?);
+        config = config.rate_limit(limit);
+    }
 
     let listen = flags.get("listen").map_or("127.0.0.1:0", String::as_str);
     let router = Router::start(config).map_err(|e| e.to_string())?;
@@ -640,8 +659,8 @@ fn cmd_route(flags: &HashMap<String, String>) -> Result<(), String> {
     let _ = std::io::stdin().read_to_end(&mut sink);
     let metrics = server.shutdown();
     eprintln!(
-        "router              : {} requests / {} ok / {} rejected / {} errors",
-        metrics.requests, metrics.completed, metrics.rejected, metrics.errors,
+        "router              : {} requests / {} ok / {} rejected / {} errors / {} rate limited",
+        metrics.requests, metrics.completed, metrics.rejected, metrics.errors, metrics.rate_limited,
     );
     eprintln!(
         "failover            : {} retries / {} failovers / {} retry-after waits / {} probe cycles",
@@ -671,6 +690,9 @@ fn cmd_submit(flags: &HashMap<String, String>) -> Result<(), String> {
         lane: flags.get("lane").cloned(),
         arrival: get_opt(flags, "arrival")?,
         deadline: get_opt(flags, "deadline")?,
+        objective: flags.get("objective").cloned(),
+        rel_min: get_opt(flags, "rel-min")?,
+        client: flags.get("client").cloned(),
         instance,
     };
     let text = io::write_job(&envelope);
@@ -745,6 +767,9 @@ fn report_result(
         result.cache.as_deref().unwrap_or("-"),
         result.degraded.as_deref().unwrap_or("none"),
     );
+    if let (Some(energy), Some(reliability)) = (result.energy, result.reliability) {
+        println!("energy {energy:.3}, reliability {reliability:.6}");
+    }
     if let Some(verdict) = result.verdict.as_deref() {
         println!(
             "online verdict {verdict} (admission probability {:.3})",
