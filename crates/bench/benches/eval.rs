@@ -5,6 +5,17 @@
 //! chromosomes: sequential alloc-per-eval vs the parallel CSR kernel), all
 //! on the 100-task × 8-processor bench instance — the configuration the
 //! issue's ≥ 3× evals/sec acceptance criterion is measured on.
+//!
+//! Plus the batched-SoA / delta pair backing the `mc_batched_vs_scalar`
+//! and `delta_vs_full` snapshot entries:
+//!
+//! * `mc_walk_*` — the pure kernel walk on 32 pre-sampled realizations
+//!   (sampling outside the timed region): one scalar CSR walk per
+//!   realization vs one SoA walk per `LANES` realizations;
+//! * `mc_eval_*` — the full Monte-Carlo evaluation path including
+//!   duration sampling (`evaluate_mc_scalar` vs `evaluate_mc_with`);
+//! * `delta_*` — full `EvalScratch::evaluate` vs
+//!   `EvalScratch::evaluate_delta` on a tail-only order perturbation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
@@ -12,9 +23,15 @@ use rds_bench::bench_instance;
 use rds_ga::chromosome::Chromosome;
 use rds_ga::memo::EvalMemo;
 use rds_ga::objective::{evaluate, evaluate_all, evaluate_population, evaluate_with_scratch};
-use rds_sched::csr::EvalScratch;
+use rds_ga::robust_engine::{
+    evaluate_mc_delta, evaluate_mc_scalar, evaluate_mc_with, McScalarScratch, McScratch,
+};
+use rds_sched::csr::{EvalScratch, LANES};
 use rds_sched::Instance;
-use rds_stats::rng::rng_from_seed;
+use rds_stats::rng::{rng_from_seed, SeedStream};
+
+/// Realizations per Monte-Carlo evaluation in the `mc_*` benches.
+const MC_K: usize = 32;
 
 fn setup(n: usize) -> (Instance, Vec<Chromosome>) {
     let inst = bench_instance(100, 8, 2.0);
@@ -83,6 +100,137 @@ fn bench_pop_memo_warm(c: &mut Criterion) {
     });
 }
 
+/// The pure Monte-Carlo kernel walk, sampling excluded: `MC_K`
+/// pre-sampled realizations through one scalar CSR walk each vs one SoA
+/// walk per [`LANES`] of them. This isolates the batching win the CI
+/// regression gate guards (`speedup_mc_batched_vs_scalar`).
+fn bench_mc_walk(c: &mut Criterion) {
+    let (inst, cs) = setup(1);
+    let chrom = &cs[0];
+    let n = chrom.order.len();
+    let mut scratch = EvalScratch::new();
+    scratch
+        .evaluate(&inst, &chrom.order, &chrom.assignment)
+        .expect("bench chromosome is valid");
+
+    let mut rng = rng_from_seed(0xBA7C);
+    let realizations: Vec<Vec<f64>> = (0..MC_K)
+        .map(|_| inst.timing.sample_assigned(&chrom.assignment, &mut rng))
+        .collect();
+    let chunks = MC_K.div_ceil(LANES);
+    let mut dur_soa = vec![0.0; chunks * LANES * n];
+    for (j, d) in realizations.iter().enumerate() {
+        let base = (j / LANES) * LANES * n + (j % LANES);
+        for (t, &x) in d.iter().enumerate() {
+            dur_soa[base + LANES * t] = x;
+        }
+    }
+
+    let csr = scratch.csr();
+    c.bench_function("mc_walk_scalar_100x8x32", |b| {
+        let mut finish = Vec::new();
+        b.iter(|| {
+            let mut acc = 0.0;
+            for d in &realizations {
+                acc += csr.makespan(d, &mut finish);
+            }
+            acc
+        });
+    });
+    c.bench_function("mc_walk_batched_100x8x32", |b| {
+        let mut fin_soa = vec![0.0; chunks * LANES * n];
+        let mut out = [0.0f64; LANES];
+        b.iter(|| {
+            let mut acc = 0.0;
+            for ci in 0..chunks {
+                let (lo, hi) = (ci * LANES * n, (ci + 1) * LANES * n);
+                csr.makespan_batch(&dur_soa[lo..hi], &mut fin_soa[lo..hi], &mut out);
+                for &m in &out {
+                    acc += m;
+                }
+            }
+            acc
+        });
+    });
+}
+
+/// A child differing from `parent` only by an adjacent independent-pair
+/// swap in the last quarter of the scheduling string, plus the swap's
+/// first-changed position — the canonical delta-eligible offspring.
+fn tail_swapped(inst: &Instance, parent: &Chromosome) -> (Chromosome, usize) {
+    let n = parent.order.len();
+    let mut child = parent.clone();
+    for i in (n * 3 / 4..n - 1).rev() {
+        let (a, b) = (child.order[i], child.order[i + 1]);
+        if !inst.graph.successors(a).iter().any(|e| e.task == b) {
+            child.order.swap(i, i + 1);
+            return (child, i);
+        }
+    }
+    panic!("bench instance has a swappable tail pair");
+}
+
+/// The full robust-MC evaluation path, sampling included — what one
+/// robust-GA fitness evaluation actually costs — plus the delta path,
+/// which reuses the parent's realized durations (no resampling) and
+/// re-walks only the suffix.
+fn bench_mc_eval(c: &mut Criterion) {
+    let (inst, cs) = setup(1);
+    let chrom = &cs[0];
+    let stream = SeedStream::new(0xC0FFEE);
+    let seeds: Vec<u64> = (0..MC_K).map(|i| stream.nth_seed(i as u64)).collect();
+    c.bench_function("mc_eval_scalar_100x8x32", |b| {
+        let mut s = McScalarScratch::default();
+        b.iter(|| evaluate_mc_scalar(&inst, chrom, &seeds, &mut s).expect("valid"));
+    });
+    c.bench_function("mc_eval_batched_100x8x32", |b| {
+        let mut s = McScratch::new();
+        b.iter(|| evaluate_mc_with(&inst, chrom, &seeds, &mut s).expect("valid"));
+    });
+
+    let mut parent = McScratch::new();
+    evaluate_mc_with(&inst, chrom, &seeds, &mut parent).expect("valid");
+    let (child, fc) = tail_swapped(&inst, chrom);
+    c.bench_function("mc_delta_100x8x32", |b| {
+        let mut s = McScratch::new();
+        b.iter(|| {
+            evaluate_mc_delta(&inst, &child, &seeds, &parent, &mut s, fc)
+                .expect("delta contract holds")
+                .expect("valid")
+        });
+    });
+}
+
+/// Full evaluation vs delta (suffix) evaluation of a child that differs
+/// from its parent only by an adjacent independent-pair swap in the last
+/// quarter of the scheduling string.
+fn bench_delta_vs_full(c: &mut Criterion) {
+    let (inst, cs) = setup(1);
+    let parent = &cs[0];
+    let mut prev = EvalScratch::new();
+    prev.evaluate(&inst, &parent.order, &parent.assignment)
+        .expect("bench chromosome is valid");
+
+    let (child, fc) = tail_swapped(&inst, parent);
+
+    c.bench_function("delta_full_100x8", |b| {
+        let mut s = EvalScratch::new();
+        b.iter(|| {
+            s.evaluate(&inst, &child.order, &child.assignment)
+                .expect("valid")
+                .makespan
+        });
+    });
+    c.bench_function("delta_suffix_100x8", |b| {
+        let mut s = EvalScratch::new();
+        b.iter(|| {
+            s.evaluate_delta(&inst, &child.order, &child.assignment, &prev, fc)
+                .expect("valid")
+                .makespan
+        });
+    });
+}
+
 criterion_group!(
     benches,
     bench_eval_alloc,
@@ -90,6 +238,9 @@ criterion_group!(
     bench_eval_memo_warm,
     bench_pop_alloc,
     bench_pop_csr_parallel,
-    bench_pop_memo_warm
+    bench_pop_memo_warm,
+    bench_mc_walk,
+    bench_mc_eval,
+    bench_delta_vs_full
 );
 criterion_main!(benches);

@@ -18,7 +18,7 @@ use rds_sched::instance::Instance;
 use rds_sched::schedule::Schedule;
 
 /// One GA individual.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
 pub struct Chromosome {
     /// The scheduling string: a topological order of all tasks.
     pub order: Vec<TaskId>,
@@ -110,6 +110,76 @@ impl Chromosome {
     /// Random chromosome for an instance (convenience).
     pub fn random_for<R: Rng + ?Sized>(inst: &Instance, rng: &mut R) -> Self {
         Self::random(&inst.graph, inst.proc_count(), rng)
+    }
+}
+
+/// Where a variation operator first touched a chromosome, expressed in
+/// *scheduling-string positions* — the currency of delta (suffix)
+/// evaluation. A chromosome's evaluation can reuse a parent's forward
+/// pass for every position before [`ChangeTrack::first_changed`]:
+///
+/// * `first_order` — the first position whose task differs from the
+///   parent's (`n` when the orders are identical);
+/// * `first_assign` — the first position (in the *child's* order) holding
+///   a task whose processor assignment differs from the parent's (`n`
+///   when the assignments agree).
+///
+/// Tracks compose across operators by taking position-wise minima
+/// ([`ChangeTrack::merge`]): if A→B leaves positions `< f₁` untouched and
+/// B→C leaves positions `< f₂` untouched, then A→C leaves positions
+/// `< min(f₁, f₂)` untouched — rotations and swaps never move a task
+/// *out* of the changed region into the common prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChangeTrack {
+    /// First scheduling-string position whose task changed (`n` = none).
+    pub first_order: usize,
+    /// First position holding an assignment-changed task (`n` = none).
+    pub first_assign: usize,
+}
+
+impl ChangeTrack {
+    /// The track of an exact clone of an `n`-task chromosome.
+    #[must_use]
+    pub fn unchanged(n: usize) -> Self {
+        Self {
+            first_order: n,
+            first_assign: n,
+        }
+    }
+
+    /// First position at which *anything* changed — the largest sound
+    /// `first_changed` for `EvalScratch::evaluate_delta`.
+    #[must_use]
+    pub fn first_changed(&self) -> usize {
+        self.first_order.min(self.first_assign)
+    }
+
+    /// Composes a subsequent operator's track into this one.
+    pub fn merge(&mut self, later: &ChangeTrack) {
+        self.first_order = self.first_order.min(later.first_order);
+        self.first_assign = self.first_assign.min(later.first_assign);
+    }
+
+    /// Computes the exact track between a parent and its child (same
+    /// length required). `O(n)`; used by crossover, whose changed region
+    /// is cheaper to measure than to predict.
+    #[must_use]
+    pub fn between(parent: &Chromosome, child: &Chromosome) -> Self {
+        let n = parent.order.len();
+        debug_assert_eq!(n, child.order.len());
+        let first_order = (0..n)
+            .find(|&j| parent.order[j] != child.order[j])
+            .unwrap_or(n);
+        let first_assign = (0..n)
+            .find(|&j| {
+                let t = child.order[j].index();
+                parent.assignment[t] != child.assignment[t]
+            })
+            .unwrap_or(n);
+        Self {
+            first_order,
+            first_assign,
+        }
     }
 }
 

@@ -17,7 +17,7 @@
 
 use rand::Rng;
 
-use crate::chromosome::Chromosome;
+use crate::chromosome::{ChangeTrack, Chromosome};
 
 /// Crosses two parents, producing two children.
 ///
@@ -74,14 +74,35 @@ pub fn crossover<R: Rng + ?Sized>(
     p2: &Chromosome,
     rng: &mut R,
 ) -> (Chromosome, Chromosome) {
+    let (c1, c2, _, _) = crossover_tracked(p1, p2, rng);
+    (c1, c2)
+}
+
+/// [`crossover`] plus each child's [`ChangeTrack`] against the parent
+/// whose left part it kept (`c1` vs `p1`, `c2` vs `p2`) — the parent a
+/// delta evaluation would reuse. Consumes exactly the same RNG draws as
+/// [`crossover`], so swapping the two never perturbs a GA run.
+pub fn crossover_tracked<R: Rng + ?Sized>(
+    p1: &Chromosome,
+    p2: &Chromosome,
+    rng: &mut R,
+) -> (Chromosome, Chromosome, ChangeTrack, ChangeTrack) {
     let n = p1.order.len();
     if n < 2 {
-        return (p1.clone(), p2.clone());
+        return (
+            p1.clone(),
+            p2.clone(),
+            ChangeTrack::unchanged(n),
+            ChangeTrack::unchanged(n),
+        );
     }
     // Cuts in 1..n keep both sides non-trivial for the scheduling string.
     let cut_order = rng.gen_range(1..n);
     let cut_assign = rng.gen_range(1..n);
-    crossover_at(p1, p2, cut_order, cut_assign)
+    let (c1, c2) = crossover_at(p1, p2, cut_order, cut_assign);
+    let t1 = ChangeTrack::between(p1, &c1);
+    let t2 = ChangeTrack::between(p2, &c2);
+    (c1, c2, t1, t2)
 }
 
 #[cfg(test)]

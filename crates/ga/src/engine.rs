@@ -18,10 +18,12 @@ use rds_sched::instance::Instance;
 use rds_stats::rng::rng_from_seed;
 
 use crate::chromosome::Chromosome;
-use crate::crossover::crossover;
+use crate::crossover::crossover_tracked;
 use crate::memo::EvalMemo;
-use crate::mutation::mutate;
-use crate::objective::{evaluate_population, Evaluation, Objective};
+use crate::mutation::mutate_tracked;
+use crate::objective::{
+    evaluate_population, evaluate_population_delta, DeltaHint, EvalState, Evaluation, Objective,
+};
 use crate::params::GaParams;
 use crate::selection::binary_tournament;
 
@@ -58,6 +60,17 @@ pub struct GaRunStats {
     pub memo_collisions: u64,
     /// Wall-clock nanoseconds spent inside population evaluation.
     pub eval_nanos: u64,
+    /// Kernel evaluations (a subset of `kernel_evals`) that ran as
+    /// suffix-only delta passes against a verified parent prefix.
+    pub delta_evals: u64,
+    /// Suffix tasks recomputed across all delta evaluations.
+    pub delta_suffix_tasks: u64,
+    /// Total task count across all delta evaluations (denominator of
+    /// [`GaRunStats::suffix_fraction`]).
+    pub delta_total_tasks: u64,
+    /// Monte-Carlo realization lanes walked through the batched SoA
+    /// kernel (robust engine only; `0` for the expected-time GA).
+    pub mc_lane_evals: u64,
 }
 
 impl GaRunStats {
@@ -82,6 +95,27 @@ impl GaRunStats {
         }
     }
 
+    /// Fraction of kernel evaluations that ran as delta passes, in `[0, 1]`.
+    #[must_use]
+    pub fn delta_hit_rate(&self) -> f64 {
+        if self.kernel_evals == 0 {
+            0.0
+        } else {
+            self.delta_evals as f64 / self.kernel_evals as f64
+        }
+    }
+
+    /// Average fraction of the scheduling string a delta evaluation had to
+    /// recompute, in `[0, 1]` (`0` when no delta evaluation ran).
+    #[must_use]
+    pub fn suffix_fraction(&self) -> f64 {
+        if self.delta_total_tasks == 0 {
+            0.0
+        } else {
+            self.delta_suffix_tasks as f64 / self.delta_total_tasks as f64
+        }
+    }
+
     /// Accumulates another run's counters into this one (aggregation
     /// across runs/islands/studies).
     pub fn absorb(&mut self, other: &GaRunStats) {
@@ -89,6 +123,10 @@ impl GaRunStats {
         self.memo_hits += other.memo_hits;
         self.memo_collisions += other.memo_collisions;
         self.eval_nanos += other.eval_nanos;
+        self.delta_evals += other.delta_evals;
+        self.delta_suffix_tasks += other.delta_suffix_tasks;
+        self.delta_total_tasks += other.delta_total_tasks;
+        self.mc_lane_evals += other.mc_lane_evals;
     }
 }
 
@@ -272,14 +310,35 @@ impl<'a> GaEngine<'a> {
             None => self.initial_population(&mut rng),
         };
         // Evaluation pipeline: fingerprint memo in front of the parallel
-        // CSR kernel. Evaluation is pure and draws no randomness, so the
-        // results — and the RNG stream below — are bit-identical to a
-        // sequential, unmemoized run.
+        // CSR kernel, with delta (suffix) evaluation layered on when
+        // enabled. Evaluation is pure and draws no randomness, and delta
+        // passes are bit-identical to full ones, so the results — and the
+        // RNG stream below — are bit-identical to a sequential, unmemoized,
+        // full-evaluation run.
         let mut memo = EvalMemo::new(self.params.memo_capacity);
         let mut stats = GaRunStats::default();
+        let use_delta = self.params.delta_eval;
+        let mut cur_states: Vec<EvalState> = if use_delta {
+            (0..np).map(|_| EvalState::new()).collect()
+        } else {
+            Vec::new()
+        };
+        let mut prev_states: Vec<EvalState> = cur_states.clone();
+        let mut hints: Vec<Option<DeltaHint>> = vec![None; np];
         let eval_start = Instant::now();
-        let (mut evals, fresh) = evaluate_population(self.inst, &pop, &mut memo);
-        stats.kernel_evals += fresh;
+        let mut evals = if use_delta {
+            let (e, pes) =
+                evaluate_population_delta(self.inst, &pop, &hints, &prev_states, &mut cur_states, &mut memo);
+            stats.kernel_evals += pes.kernel_evals;
+            stats.delta_evals += pes.delta_evals;
+            stats.delta_suffix_tasks += pes.delta_suffix_tasks;
+            stats.delta_total_tasks += pes.delta_total_tasks;
+            e
+        } else {
+            let (e, fresh) = evaluate_population(self.inst, &pop, &mut memo);
+            stats.kernel_evals += fresh;
+            e
+        };
         stats.eval_nanos += eval_start.elapsed().as_nanos() as u64;
 
         let gen_best = |pop: &[Chromosome], evals: &[Evaluation]| -> usize {
@@ -339,24 +398,42 @@ impl<'a> GaEngine<'a> {
             let elite = pop[prev_best_idx].clone();
             let elite_eval = evals[prev_best_idx];
 
-            // Selection.
+            // Selection. Each slot starts as a clone of its tournament
+            // winner; the hint records that parent slot and the first
+            // scheduling-string position the operators below touch.
             let winners = binary_tournament(&fitness, &mut rng);
             let mut next: Vec<Chromosome> = winners.iter().map(|&i| pop[i].clone()).collect();
+            let n_tasks = self.inst.task_count();
+            for (h, &w) in hints.iter_mut().zip(&winners) {
+                *h = Some(DeltaHint {
+                    parent: w,
+                    first_changed: n_tasks,
+                });
+            }
 
             // Crossover over consecutive pairs with probability pc.
             for pair in 0..np / 2 {
                 let (a, b) = (2 * pair, 2 * pair + 1);
                 if rng.gen_bool(self.params.crossover_prob) {
-                    let (c1, c2) = crossover(&next[a], &next[b], &mut rng);
+                    let (c1, c2, t1, t2) = crossover_tracked(&next[a], &next[b], &mut rng);
                     next[a] = c1;
                     next[b] = c2;
+                    if let Some(h) = hints[a].as_mut() {
+                        h.first_changed = h.first_changed.min(t1.first_changed());
+                    }
+                    if let Some(h) = hints[b].as_mut() {
+                        h.first_changed = h.first_changed.min(t2.first_changed());
+                    }
                 }
             }
 
             // Mutation with probability pm per individual.
-            for c in &mut next {
+            for (i, c) in next.iter_mut().enumerate() {
                 if rng.gen_bool(self.params.mutation_prob) {
-                    mutate(c, &self.inst.graph, self.inst.proc_count(), &mut rng);
+                    let t = mutate_tracked(c, &self.inst.graph, self.inst.proc_count(), &mut rng);
+                    if let Some(h) = hints[i].as_mut() {
+                        h.first_changed = h.first_changed.min(t.first_changed());
+                    }
                 }
             }
 
@@ -365,8 +442,26 @@ impl<'a> GaEngine<'a> {
             // winners were evaluated (and memoized) last generation, so
             // only fresh offspring reach the kernel here.
             let eval_start = Instant::now();
-            let (mut next_evals, fresh) = evaluate_population(self.inst, &next, &mut memo);
-            stats.kernel_evals += fresh;
+            let mut next_evals = if use_delta {
+                std::mem::swap(&mut cur_states, &mut prev_states);
+                let (e, pes) = evaluate_population_delta(
+                    self.inst,
+                    &next,
+                    &hints,
+                    &prev_states,
+                    &mut cur_states,
+                    &mut memo,
+                );
+                stats.kernel_evals += pes.kernel_evals;
+                stats.delta_evals += pes.delta_evals;
+                stats.delta_suffix_tasks += pes.delta_suffix_tasks;
+                stats.delta_total_tasks += pes.delta_total_tasks;
+                e
+            } else {
+                let (e, fresh) = evaluate_population(self.inst, &next, &mut memo);
+                stats.kernel_evals += fresh;
+                e
+            };
             stats.eval_nanos += eval_start.elapsed().as_nanos() as u64;
             let next_fitness = self.objective.fitness(&next_evals);
             let worst_idx = next_fitness
@@ -377,6 +472,12 @@ impl<'a> GaEngine<'a> {
                 .expect("non-empty population");
             next[worst_idx] = elite;
             next_evals[worst_idx] = elite_eval;
+            if use_delta {
+                // Keep the elite slot's state consistent with the elite
+                // chromosome, so it can parent delta evaluations next
+                // generation.
+                cur_states[worst_idx].copy_from(&prev_states[prev_best_idx]);
+            }
 
             pop = next;
             evals = next_evals;

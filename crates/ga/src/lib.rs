@@ -54,11 +54,15 @@ pub mod robust_engine;
 pub mod selection;
 pub mod tri;
 
-pub use chromosome::Chromosome;
+pub use chromosome::{ChangeTrack, Chromosome};
 pub use engine::{GaEngine, GaResult, GaRunStats, GenerationStats};
 pub use hypervolume::{hypervolume_3d, nadir_reference, tri_hypervolume};
 pub use memo::{EvalMemo, MemoStats};
 pub use nsga2::{nsga2_tri, Nsga2TriResult, TriFrontPoint};
-pub use objective::{Evaluation, Objective};
+pub use objective::{DeltaHint, EvalState, Evaluation, Objective, PopEvalStats};
 pub use params::GaParams;
+pub use robust_engine::{
+    evaluate_mc_delta, evaluate_mc_scalar, evaluate_mc_with, try_run_robust_ga, McScalarScratch,
+    McScratch, RobustGaError, RobustGaParams, RobustGaResult,
+};
 pub use tri::{evaluate_all_tri, TriChromosome, TriEvaluation};

@@ -15,7 +15,7 @@ use rand::Rng;
 use rds_graph::{TaskGraph, TaskId};
 use rds_platform::ProcId;
 
-use crate::chromosome::Chromosome;
+use crate::chromosome::{ChangeTrack, Chromosome};
 
 /// Mutates `c` in place.
 pub fn mutate<R: Rng + ?Sized>(
@@ -24,23 +24,48 @@ pub fn mutate<R: Rng + ?Sized>(
     proc_count: usize,
     rng: &mut R,
 ) {
-    let n = c.order.len();
-    if n == 0 {
-        return;
-    }
-    let v = c.order[rng.gen_range(0..n)];
-    reposition_in_window(c, graph, v, rng);
-    // New processor, drawn uniformly (may equal the old one).
-    c.assignment[v.index()] = ProcId(rng.gen_range(0..proc_count) as u32);
+    let _ = mutate_tracked(c, graph, proc_count, rng);
 }
 
-/// Moves `v` to a uniform position within its precedence window.
+/// [`mutate`] plus the [`ChangeTrack`] of the edit. The rotated window
+/// starts at `min(cur, target)`, so positions before it are untouched;
+/// the mutated task ends at `target` (or stays at `cur`), which is where
+/// an assignment change becomes visible. Consumes exactly the same RNG
+/// draws as [`mutate`].
+pub fn mutate_tracked<R: Rng + ?Sized>(
+    c: &mut Chromosome,
+    graph: &TaskGraph,
+    proc_count: usize,
+    rng: &mut R,
+) -> ChangeTrack {
+    let n = c.order.len();
+    if n == 0 {
+        return ChangeTrack::unchanged(0);
+    }
+    let v = c.order[rng.gen_range(0..n)];
+    let (cur, target) = reposition_in_window(c, graph, v, rng);
+    // New processor, drawn uniformly (may equal the old one).
+    let proc = ProcId(rng.gen_range(0..proc_count) as u32);
+    let proc_changed = c.assignment[v.index()] != proc;
+    c.assignment[v.index()] = proc;
+    ChangeTrack {
+        first_order: if target == cur {
+            n
+        } else {
+            cur.min(target)
+        },
+        first_assign: if proc_changed { target } else { n },
+    }
+}
+
+/// Moves `v` to a uniform position within its precedence window,
+/// returning `(current, target)` positions.
 fn reposition_in_window<R: Rng + ?Sized>(
     c: &mut Chromosome,
     graph: &TaskGraph,
     v: TaskId,
     rng: &mut R,
-) {
+) -> (usize, usize) {
     let n = c.order.len();
     let mut pos = vec![usize::MAX; n];
     for (i, t) in c.order.iter().enumerate() {
@@ -66,7 +91,7 @@ fn reposition_in_window<R: Rng + ?Sized>(
     // Choose the target slot among the window's positions.
     let target = rng.gen_range(lo..hi);
     if target == cur {
-        return;
+        return (cur, target);
     }
     // Rotate v into place, shifting the in-between tasks by one.
     if target < cur {
@@ -74,6 +99,7 @@ fn reposition_in_window<R: Rng + ?Sized>(
     } else {
         c.order[cur..=target].rotate_left(1);
     }
+    (cur, target)
 }
 
 #[cfg(test)]

@@ -101,6 +101,202 @@ pub fn evaluate_all(inst: &Instance, chromosomes: &[Chromosome]) -> Vec<Evaluati
     }
 }
 
+/// Per-slot carryover for delta (suffix) evaluation: the [`EvalScratch`]
+/// holding the slot's last forward pass, the chromosome it evaluated, and
+/// whether that state is trustworthy. One per population slot, ping-ponged
+/// between generations by the engine ([`evaluate_population_delta`]).
+#[derive(Debug, Default, Clone)]
+pub struct EvalState {
+    scratch: EvalScratch,
+    chrom: Chromosome,
+    valid: bool,
+}
+
+impl EvalState {
+    /// A fresh, invalid state (first generation; delta never applies).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `true` when this slot holds a reusable evaluation.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+
+    /// Takes over `src`'s evaluation state (elite slots and memo-answered
+    /// clones inherit their parent's forward pass without re-running the
+    /// kernel), reusing this slot's buffers.
+    pub fn copy_from(&mut self, src: &EvalState) {
+        self.scratch.adopt_eval_state(&src.scratch);
+        self.chrom.order.clone_from(&src.chrom.order);
+        self.chrom.assignment.clone_from(&src.chrom.assignment);
+        self.valid = src.valid;
+    }
+}
+
+/// Where a population slot's chromosome came from, for delta evaluation:
+/// the parent's slot index in the *previous* generation's state pool and
+/// the first scheduling-string position any operator touched
+/// (`ChangeTrack::first_changed`, `n` for exact clones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaHint {
+    /// Slot index of the parent in the previous generation.
+    pub parent: usize,
+    /// First changed scheduling-string position relative to that parent.
+    pub first_changed: usize,
+}
+
+/// Counters returned by [`evaluate_population_delta`]; all deterministic
+/// for a given seed and independent of the rayon thread count.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PopEvalStats {
+    /// Kernel evaluations performed (full + delta; memo answered the rest).
+    pub kernel_evals: u64,
+    /// Kernel evaluations that ran as suffix-only delta passes.
+    pub delta_evals: u64,
+    /// Total suffix tasks recomputed across delta evaluations.
+    pub delta_suffix_tasks: u64,
+    /// Total task count across delta evaluations (denominator for the
+    /// average suffix fraction).
+    pub delta_total_tasks: u64,
+}
+
+/// `true` when `c` can be delta-evaluated against `prev[h.parent]`: the
+/// parent state is valid and agrees with `c` on every scheduling-string
+/// position before `h.first_changed` — same task *and* same processor for
+/// that task. This is the exact soundness contract of
+/// `EvalScratch::evaluate_delta`; hints are advisory, this check is what
+/// guarantees bit-identity.
+fn delta_applicable(c: &Chromosome, h: DeltaHint, prev: &[EvalState]) -> bool {
+    let n = c.order.len();
+    let Some(p) = prev.get(h.parent) else {
+        return false;
+    };
+    if !p.valid || h.first_changed == 0 || p.chrom.order.len() != n {
+        return false;
+    }
+    let fc = h.first_changed.min(n);
+    for j in 0..fc {
+        let t = c.order[j];
+        if p.chrom.order[j] != t {
+            return false;
+        }
+        let ti = t.index();
+        if p.chrom.assignment[ti] != c.assignment[ti] {
+            return false;
+        }
+    }
+    true
+}
+
+/// [`evaluate_population`] with delta (suffix) evaluation: population
+/// slots whose chromosome shares a verified prefix with their parent's
+/// last evaluation reuse the parent's forward pass and recompute only the
+/// suffix. `prev` is the previous generation's state pool (indexed by
+/// [`DeltaHint::parent`]); `states` receives this generation's, slot by
+/// slot. Memo-answered slots inherit their parent's state when the
+/// chromosome is an exact clone, keeping delta chains alive across
+/// elitism and unmutated tournament winners.
+///
+/// Bit-identical to [`evaluate_population`] — delta passes reproduce the
+/// full kernel exactly (asserted by the parity proptests), and all
+/// memo/stats bookkeeping stays sequential.
+pub fn evaluate_population_delta(
+    inst: &Instance,
+    pop: &[Chromosome],
+    hints: &[Option<DeltaHint>],
+    prev: &[EvalState],
+    states: &mut [EvalState],
+    memo: &mut EvalMemo,
+) -> (Vec<Evaluation>, PopEvalStats) {
+    assert_eq!(pop.len(), hints.len(), "one hint per slot");
+    assert_eq!(pop.len(), states.len(), "one state per slot");
+    // Sequential memo probe (deterministic hit counters).
+    let hits: Vec<Option<Evaluation>> = pop.iter().map(|c| memo.get(c)).collect();
+    // Decide per miss whether the delta contract holds — sequential and
+    // cheap (O(prefix) compares), so the stats are deterministic.
+    let plans: Vec<Option<DeltaHint>> = pop
+        .iter()
+        .zip(&hits)
+        .zip(hints)
+        .map(|((c, hit), hint)| match (hit, hint) {
+            (None, Some(h)) if delta_applicable(c, *h, prev) => Some(*h),
+            _ => None,
+        })
+        .collect();
+
+    let do_slot = |i: usize, st: &mut EvalState| -> Evaluation {
+        let c = &pop[i];
+        if let Some(e) = hits[i] {
+            // Kernel skipped; keep the slot usable as a future delta
+            // parent when it is an exact clone of its own parent.
+            match hints[i] {
+                Some(h)
+                    if prev
+                        .get(h.parent)
+                        .is_some_and(|p| p.valid && p.chrom == *c) =>
+                {
+                    st.copy_from(&prev[h.parent]);
+                }
+                _ => st.valid = false,
+            }
+            return e;
+        }
+        let summary = match plans[i] {
+            Some(h) => st.scratch.evaluate_delta(
+                inst,
+                &c.order,
+                &c.assignment,
+                &prev[h.parent].scratch,
+                h.first_changed,
+            ),
+            None => st.scratch.evaluate(inst, &c.order, &c.assignment),
+        }
+        .expect("valid chromosome decodes to an acyclic disjunctive graph");
+        st.chrom.order.clone_from(&c.order);
+        st.chrom.assignment.clone_from(&c.assignment);
+        st.valid = true;
+        Evaluation {
+            makespan: summary.makespan,
+            avg_slack: summary.average_slack,
+        }
+    };
+
+    let misses = hits.iter().filter(|h| h.is_none()).count();
+    let evals: Vec<Evaluation> = if misses >= PAR_MIN {
+        states
+            .par_iter_mut()
+            .enumerate()
+            .map(|(i, st)| do_slot(i, st))
+            .collect()
+    } else {
+        states
+            .iter_mut()
+            .enumerate()
+            .map(|(i, st)| do_slot(i, st))
+            .collect()
+    };
+    // Sequential memo insert of the fresh results.
+    let mut stats = PopEvalStats {
+        kernel_evals: misses as u64,
+        ..PopEvalStats::default()
+    };
+    for i in 0..pop.len() {
+        if hits[i].is_none() {
+            memo.insert(&pop[i], evals[i]);
+            if let Some(h) = plans[i] {
+                let n = pop[i].order.len();
+                stats.delta_evals += 1;
+                stats.delta_suffix_tasks += (n - h.first_changed.min(n)) as u64;
+                stats.delta_total_tasks += n as u64;
+            }
+        }
+    }
+    (evals, stats)
+}
+
 /// Memoized population evaluation: probes the memo sequentially (so hit
 /// counters are deterministic), kernel-evaluates only the misses — in
 /// parallel, per-thread scratch, results written by index — then inserts

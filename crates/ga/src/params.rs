@@ -28,6 +28,13 @@ pub struct GaParams {
     /// kernel for chromosomes already seen (elites, tournament clones,
     /// converged populations).
     pub memo_capacity: usize,
+    /// Delta (suffix) evaluation: offspring that share a verified prefix
+    /// of the scheduling string with their parent reuse the parent's
+    /// forward pass and recompute only the suffix. Bit-identical to full
+    /// evaluation — results never change, only the kernel cost. `false`
+    /// forces the full pass everywhere (reference for parity tests and
+    /// ablations).
+    pub delta_eval: bool,
 }
 
 impl Default for GaParams {
@@ -41,6 +48,7 @@ impl Default for GaParams {
             seed_heft: true,
             seed: 0,
             memo_capacity: 4096,
+            delta_eval: true,
         }
     }
 }
@@ -105,6 +113,14 @@ impl GaParams {
         self
     }
 
+    /// Enables or disables delta (suffix) evaluation (`true` by default;
+    /// `false` is the full-pass reference).
+    #[must_use]
+    pub fn delta_eval(mut self, on: bool) -> Self {
+        self.delta_eval = on;
+        self
+    }
+
     /// Validates ranges.
     ///
     /// # Errors
@@ -149,6 +165,7 @@ mod tests {
         assert_eq!(p.stall_generations, 100);
         assert!(p.seed_heft);
         assert_eq!(p.memo_capacity, 4096);
+        assert!(p.delta_eval);
         assert!(p.validate().is_ok());
     }
 
@@ -160,6 +177,7 @@ mod tests {
         assert_eq!(p.max_generations, 5);
         assert!(!p.without_heft_seed().seed_heft);
         assert_eq!(GaParams::quick().memo_capacity(0).memo_capacity, 0);
+        assert!(!GaParams::quick().delta_eval(false).delta_eval);
     }
 
     #[test]

@@ -18,14 +18,18 @@
 use rand::Rng;
 use rayon::prelude::*;
 use std::collections::HashSet;
+use std::time::Instant;
 
-use rds_sched::csr::EvalScratch;
+use rds_sched::csr::{ensure_scratch_len, EvalScratch, LANES};
+use rds_sched::disjunctive::CycleError;
 use rds_sched::instance::Instance;
 use rds_stats::rng::{rng_from_seed, SeedStream};
 
 use crate::chromosome::Chromosome;
-use crate::crossover::crossover;
-use crate::mutation::mutate;
+use crate::crossover::crossover_tracked;
+use crate::engine::GaRunStats;
+use crate::mutation::mutate_tracked;
+use crate::objective::DeltaHint;
 use crate::params::GaParams;
 use crate::selection::binary_tournament;
 
@@ -93,31 +97,231 @@ pub struct RobustGaResult {
     pub best_eval: RobustEvaluation,
     /// Generations executed.
     pub generations: usize,
+    /// Evaluation-kernel counters (batched MC lanes, delta hits, timing).
+    pub stats: GaRunStats,
 }
 
-/// Per-thread buffers for [`evaluate_mc_with`]: the slack arena plus the
-/// realized-duration and finish-time vectors, all reused across
-/// chromosomes and realizations.
+/// Ways a robust GA run can fail, as values instead of panics — a
+/// malformed job reaching a service worker must not take the worker down.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RobustGaError {
+    /// The base GA parameters failed validation.
+    InvalidParams(String),
+    /// `mc_samples == 0`: the direct objective needs at least one
+    /// realization.
+    ZeroSamples,
+    /// A chromosome's `(order, assignment)` pair contradicts the
+    /// precedence constraints (operators preserve validity, so this
+    /// indicates corrupted input).
+    Cycle(CycleError),
+}
+
+impl std::fmt::Display for RobustGaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RobustGaError::InvalidParams(m) => write!(f, "invalid GA parameters: {m}"),
+            RobustGaError::ZeroSamples => write!(f, "need at least one realization"),
+            RobustGaError::Cycle(_) => {
+                write!(f, "chromosome contradicts the precedence constraints")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RobustGaError {}
+
+impl From<CycleError> for RobustGaError {
+    fn from(e: CycleError) -> Self {
+        RobustGaError::Cycle(e)
+    }
+}
+
+/// Per-slot buffers and carryover state for the batched Monte-Carlo
+/// kernel: the slack arena, the realized durations and finish times of
+/// all realizations in SoA layout (`buf[LANES * task + lane]`, chunked by
+/// [`LANES`] realizations), and the chromosome the state belongs to. A
+/// valid scratch can parent a delta evaluation
+/// ([`evaluate_mc_delta`]).
 #[derive(Debug, Default, Clone)]
-struct McScratch {
+pub struct McScratch {
+    eval: EvalScratch,
+    dur_soa: Vec<f64>,
+    fin_soa: Vec<f64>,
+    chrom: Chromosome,
+    valid: bool,
+}
+
+impl McScratch {
+    /// Fresh buffers; grow on first use.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Evaluates one chromosome on the shared realization seeds, reusing the
+/// caller's scratch. The CSR of `G_s` is built once per chromosome;
+/// realized durations are sampled per seed in the existing substream
+/// order into the SoA buffer, then the CSR is walked once per [`LANES`]
+/// realizations by the batched kernel — bit-identical to the scalar
+/// per-realization walk ([`evaluate_mc_scalar`], asserted by the parity
+/// tests).
+///
+/// # Errors
+/// Returns [`CycleError`] when the chromosome contradicts the precedence
+/// constraints.
+pub fn evaluate_mc_with(
+    inst: &Instance,
+    c: &Chromosome,
+    sample_seeds: &[u64],
+    scratch: &mut McScratch,
+) -> Result<RobustEvaluation, CycleError> {
+    scratch.valid = false;
+    let summary = scratch.eval.evaluate(inst, &c.order, &c.assignment)?;
+    let m0 = summary.makespan;
+    let n = c.assignment.len();
+    let k = sample_seeds.len();
+    let chunks = k.div_ceil(LANES);
+    ensure_scratch_len(&mut scratch.dur_soa, chunks * LANES * n);
+    ensure_scratch_len(&mut scratch.fin_soa, chunks * LANES * n);
+
+    // Sample in the existing per-(seed, task) substream order — seed-major,
+    // tasks ascending — scattering into the SoA lanes. Realization j lands
+    // in lane j % LANES of chunk j / LANES.
+    for (j, &s) in sample_seeds.iter().enumerate() {
+        let mut rng = rng_from_seed(s);
+        let base = (j / LANES) * LANES * n + (j % LANES);
+        for (t, &p) in c.assignment.iter().enumerate() {
+            scratch.dur_soa[base + LANES * t] = inst.timing.sample(t, p, &mut rng);
+        }
+    }
+
+    // One CSR walk per chunk; tardiness accumulates chunk-major,
+    // lane-minor = realization order, so the sum is bitwise identical to
+    // the scalar loop's. Padding lanes of a ragged tail are walked but
+    // ignored.
+    let mut tardiness_sum = 0.0;
+    let mut out = [0.0f64; LANES];
+    for ci in 0..chunks {
+        let live = LANES.min(k - ci * LANES);
+        let lo = ci * LANES * n;
+        let hi = lo + LANES * n;
+        scratch.eval.csr().makespan_batch(
+            &scratch.dur_soa[lo..hi],
+            &mut scratch.fin_soa[lo..hi],
+            &mut out,
+        );
+        for &m in &out[..live] {
+            tardiness_sum += (m - m0).max(0.0) / m0;
+        }
+    }
+    scratch.chrom.order.clone_from(&c.order);
+    scratch.chrom.assignment.clone_from(&c.assignment);
+    scratch.valid = true;
+    Ok(RobustEvaluation {
+        makespan: m0,
+        avg_slack: summary.average_slack,
+        mean_tardiness: tardiness_sum / k as f64,
+    })
+}
+
+/// Delta twin of [`evaluate_mc_with`]: when `c` differs from the
+/// chromosome in `parent` only at scheduling-string positions at or after
+/// `first_changed` — same assignment everywhere — the realized durations
+/// are identical draw-for-draw (duration sampling consumes a
+/// chromosome-dependent number of RNG draws per task, so *any* assignment
+/// change invalidates the whole stream), and every prefix task's realized
+/// finish time is unchanged. The expected-time pass and each chunk's CSR
+/// walk then only recompute the suffix.
+///
+/// Returns `None` when the contract does not hold (caller falls back to
+/// the full pass); `Some(result)` is bit-identical to
+/// [`evaluate_mc_with`].
+pub fn evaluate_mc_delta(
+    inst: &Instance,
+    c: &Chromosome,
+    sample_seeds: &[u64],
+    parent: &McScratch,
+    scratch: &mut McScratch,
+    first_changed: usize,
+) -> Option<Result<RobustEvaluation, CycleError>> {
+    let n = c.order.len();
+    let k = sample_seeds.len();
+    let chunks = k.div_ceil(LANES);
+    let fc = first_changed.min(n);
+    if !parent.valid
+        || fc == 0
+        || parent.chrom.order.len() != n
+        || parent.chrom.assignment != c.assignment
+        || parent.chrom.order[..fc] != c.order[..fc]
+        || parent.dur_soa.len() != chunks * LANES * n
+    {
+        return None;
+    }
+    scratch.valid = false;
+    let summary = match scratch
+        .eval
+        .evaluate_delta(inst, &c.order, &c.assignment, &parent.eval, fc)
+    {
+        Ok(s) => s,
+        Err(e) => return Some(Err(e)),
+    };
+    let m0 = summary.makespan;
+    // Identical assignment ⇒ identical realized durations; prefix finish
+    // times carry over, the suffix is re-walked per chunk.
+    scratch.dur_soa.clear();
+    scratch.dur_soa.extend_from_slice(&parent.dur_soa);
+    scratch.fin_soa.clear();
+    scratch.fin_soa.extend_from_slice(&parent.fin_soa);
+    let mut tardiness_sum = 0.0;
+    let mut out = [0.0f64; LANES];
+    for ci in 0..chunks {
+        let live = LANES.min(k - ci * LANES);
+        let lo = ci * LANES * n;
+        let hi = lo + LANES * n;
+        scratch.eval.csr().makespan_batch_delta(
+            &scratch.dur_soa[lo..hi],
+            &mut scratch.fin_soa[lo..hi],
+            &c.order[..fc],
+            &c.order[fc..],
+            &mut out,
+        );
+        for &m in &out[..live] {
+            tardiness_sum += (m - m0).max(0.0) / m0;
+        }
+    }
+    scratch.chrom.order.clone_from(&c.order);
+    scratch.chrom.assignment.clone_from(&c.assignment);
+    scratch.valid = true;
+    Some(Ok(RobustEvaluation {
+        makespan: m0,
+        avg_slack: summary.average_slack,
+        mean_tardiness: tardiness_sum / k as f64,
+    }))
+}
+
+/// Buffers for [`evaluate_mc_scalar`], the pre-batching reference kernel.
+#[derive(Debug, Default, Clone)]
+pub struct McScalarScratch {
     eval: EvalScratch,
     realized: Vec<f64>,
     finish: Vec<f64>,
 }
 
-/// Evaluates one chromosome on the shared realization seeds, reusing the
-/// caller's scratch. The CSR of `G_s` is built once per chromosome and
-/// re-walked for every realization.
-fn evaluate_mc_with(
+/// The scalar reference: one CSR walk per realization. Kept as the
+/// bit-identity anchor for the batched kernel (parity tests, the
+/// `mc_batched_vs_scalar` bench, and the CI regression gate).
+///
+/// # Errors
+/// Returns [`CycleError`] when the chromosome contradicts the precedence
+/// constraints.
+pub fn evaluate_mc_scalar(
     inst: &Instance,
     c: &Chromosome,
     sample_seeds: &[u64],
-    scratch: &mut McScratch,
-) -> RobustEvaluation {
-    let summary = scratch
-        .eval
-        .evaluate(inst, &c.order, &c.assignment)
-        .expect("valid chromosome decodes to an acyclic disjunctive graph");
+    scratch: &mut McScalarScratch,
+) -> Result<RobustEvaluation, CycleError> {
+    let summary = scratch.eval.evaluate(inst, &c.order, &c.assignment)?;
     let m0 = summary.makespan;
 
     let mut tardiness_sum = 0.0;
@@ -133,11 +337,11 @@ fn evaluate_mc_with(
             .makespan(&scratch.realized, &mut scratch.finish);
         tardiness_sum += (m - m0).max(0.0) / m0;
     }
-    RobustEvaluation {
+    Ok(RobustEvaluation {
         makespan: m0,
         avg_slack: summary.average_slack,
         mean_tardiness: tardiness_sum / sample_seeds.len() as f64,
-    }
+    })
 }
 
 /// Evaluates one chromosome on the shared realization seeds (fresh
@@ -145,6 +349,7 @@ fn evaluate_mc_with(
 #[cfg(test)]
 fn evaluate_mc(inst: &Instance, c: &Chromosome, sample_seeds: &[u64]) -> RobustEvaluation {
     evaluate_mc_with(inst, c, sample_seeds, &mut McScratch::default())
+        .expect("valid chromosome decodes to an acyclic disjunctive graph")
 }
 
 /// Population fitness: feasible → `−mean_tardiness`; infeasible → below
@@ -169,6 +374,72 @@ fn fitness(evals: &[RobustEvaluation], bound: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Minimum population before MC evaluation fans out over rayon.
+const PAR_MIN: usize = 8;
+
+/// Evaluates a population into per-slot states. Slots with a usable hint
+/// run the delta kernel against the previous generation's state pool;
+/// everything else takes the full batched pass. Per-slot work touches
+/// only its own state plus the shared `prev` pool, so the rayon fan-out
+/// is bit-identical to the sequential path. Returns per-slot results
+/// plus, per slot, the suffix start when the delta kernel ran.
+#[allow(clippy::too_many_arguments)] // the evaluator's full context
+fn eval_population_mc(
+    inst: &Instance,
+    chroms: &[Chromosome],
+    sample_seeds: &[u64],
+    hints: &[Option<DeltaHint>],
+    prev: &[McScratch],
+    states: &mut [McScratch],
+    use_delta: bool,
+    stats: &mut GaRunStats,
+) -> Result<Vec<RobustEvaluation>, CycleError> {
+    let slot = |i: usize, st: &mut McScratch| -> (Result<RobustEvaluation, CycleError>, Option<usize>) {
+        let c = &chroms[i];
+        if use_delta {
+            if let Some(h) = hints[i] {
+                if let Some(p) = prev.get(h.parent) {
+                    if let Some(r) = evaluate_mc_delta(inst, c, sample_seeds, p, st, h.first_changed)
+                    {
+                        return (r, Some(h.first_changed.min(c.len())));
+                    }
+                }
+            }
+        }
+        (evaluate_mc_with(inst, c, sample_seeds, st), None)
+    };
+
+    let slots: Vec<(Result<RobustEvaluation, CycleError>, Option<usize>)> =
+        if chroms.len() >= PAR_MIN {
+            states
+                .par_iter_mut()
+                .enumerate()
+                .map(|(i, st)| slot(i, st))
+                .collect()
+        } else {
+            states
+                .iter_mut()
+                .enumerate()
+                .map(|(i, st)| slot(i, st))
+                .collect()
+        };
+
+    let n = inst.task_count() as u64;
+    let k = sample_seeds.len() as u64;
+    let mut evals = Vec::with_capacity(chroms.len());
+    for (r, delta_fc) in slots {
+        evals.push(r?);
+        stats.kernel_evals += 1;
+        stats.mc_lane_evals += k;
+        if let Some(fc) = delta_fc {
+            stats.delta_evals += 1;
+            stats.delta_suffix_tasks += n - fc as u64;
+            stats.delta_total_tasks += n;
+        }
+    }
+    Ok(evals)
+}
+
 /// Runs the robustness-direct GA.
 ///
 /// # Panics
@@ -176,6 +447,27 @@ fn fitness(evals: &[RobustEvaluation], bound: f64) -> Vec<f64> {
 pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult {
     params.base.validate().expect("invalid GA parameters");
     assert!(params.mc_samples > 0, "need at least one realization");
+    match try_run_robust_ga(inst, params) {
+        Ok(r) => r,
+        Err(e) => panic!("robust GA failed: {e}"),
+    }
+}
+
+/// Runs the robustness-direct GA, reporting failures as values — the
+/// entry point for service workers, which must survive malformed jobs.
+///
+/// # Errors
+/// [`RobustGaError::InvalidParams`] / [`RobustGaError::ZeroSamples`] for
+/// bad configuration, [`RobustGaError::Cycle`] when a chromosome
+/// contradicts the precedence constraints.
+pub fn try_run_robust_ga(
+    inst: &Instance,
+    params: RobustGaParams,
+) -> Result<RobustGaResult, RobustGaError> {
+    params.base.validate().map_err(RobustGaError::InvalidParams)?;
+    if params.mc_samples == 0 {
+        return Err(RobustGaError::ZeroSamples);
+    }
     let heft = rds_heft::heft_schedule(inst);
     let bound = params.epsilon * heft.makespan;
 
@@ -187,6 +479,7 @@ pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult 
 
     let mut rng = rng_from_seed(params.base.seed);
     let np = params.base.population;
+    let n_tasks = inst.task_count();
 
     // Initial population: HEFT seed + unique randoms.
     let mut pop: Vec<Chromosome> = Vec::with_capacity(np);
@@ -204,28 +497,31 @@ pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult 
             pop.push(c);
         }
     }
-    // Monte-Carlo fitness is the expensive part: fan chromosomes out over
-    // rayon with per-thread scratch. Each chromosome's realizations use
-    // only its own seeded RNGs (common random numbers), so results are
-    // bit-identical for any thread count.
-    let eval_pop = |chroms: &[Chromosome]| -> Vec<RobustEvaluation> {
-        if chroms.len() >= 8 {
-            chroms
-                .par_iter()
-                .map_init(McScratch::default, |s, c| {
-                    evaluate_mc_with(inst, c, &sample_seeds, s)
-                })
-                .collect()
-        } else {
-            let mut s = McScratch::default();
-            chroms
-                .iter()
-                .map(|c| evaluate_mc_with(inst, c, &sample_seeds, &mut s))
-                .collect()
-        }
-    };
 
-    let mut evals: Vec<RobustEvaluation> = eval_pop(&pop);
+    // Monte-Carlo fitness is the expensive part: per-slot states fan out
+    // over rayon, the batched SoA kernel walks the CSR once per LANES
+    // realizations, and offspring delta-evaluate against their parent's
+    // slot. Each chromosome's realizations use only its own seeded RNGs
+    // (common random numbers), so results are bit-identical for any
+    // thread count, with and without batching or delta.
+    let use_delta = params.base.delta_eval;
+    let mut stats = GaRunStats::default();
+    let mut cur_states: Vec<McScratch> = (0..np).map(|_| McScratch::new()).collect();
+    let mut prev_states: Vec<McScratch> = cur_states.clone();
+    let mut hints: Vec<Option<DeltaHint>> = vec![None; np];
+
+    let eval_start = Instant::now();
+    let mut evals = eval_population_mc(
+        inst,
+        &pop,
+        &sample_seeds,
+        &hints,
+        &prev_states,
+        &mut cur_states,
+        use_delta,
+        &mut stats,
+    )?;
+    stats.eval_nanos += eval_start.elapsed().as_nanos() as u64;
 
     let quality =
         |e: &RobustEvaluation| -> (bool, f64) { (e.makespan <= bound, -e.mean_tardiness) };
@@ -257,20 +553,48 @@ pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult 
 
         let winners = binary_tournament(&fit, &mut rng);
         let mut next: Vec<Chromosome> = winners.iter().map(|&i| pop[i].clone()).collect();
+        for (h, &w) in hints.iter_mut().zip(&winners) {
+            *h = Some(DeltaHint {
+                parent: w,
+                first_changed: n_tasks,
+            });
+        }
         for pair in 0..np / 2 {
             let (a, b) = (2 * pair, 2 * pair + 1);
             if rng.gen_bool(params.base.crossover_prob) {
-                let (c1, c2) = crossover(&next[a], &next[b], &mut rng);
+                let (c1, c2, t1, t2) = crossover_tracked(&next[a], &next[b], &mut rng);
                 next[a] = c1;
                 next[b] = c2;
+                if let Some(h) = hints[a].as_mut() {
+                    h.first_changed = h.first_changed.min(t1.first_changed());
+                }
+                if let Some(h) = hints[b].as_mut() {
+                    h.first_changed = h.first_changed.min(t2.first_changed());
+                }
             }
         }
-        for c in &mut next {
+        for (i, c) in next.iter_mut().enumerate() {
             if rng.gen_bool(params.base.mutation_prob) {
-                mutate(c, &inst.graph, inst.proc_count(), &mut rng);
+                let t = mutate_tracked(c, &inst.graph, inst.proc_count(), &mut rng);
+                if let Some(h) = hints[i].as_mut() {
+                    h.first_changed = h.first_changed.min(t.first_changed());
+                }
             }
         }
-        let mut next_evals: Vec<RobustEvaluation> = eval_pop(&next);
+
+        std::mem::swap(&mut cur_states, &mut prev_states);
+        let eval_start = Instant::now();
+        let mut next_evals = eval_population_mc(
+            inst,
+            &next,
+            &sample_seeds,
+            &hints,
+            &prev_states,
+            &mut cur_states,
+            use_delta,
+            &mut stats,
+        )?;
+        stats.eval_nanos += eval_start.elapsed().as_nanos() as u64;
         let next_fit = fitness(&next_evals, bound);
         let worst = next_fit
             .iter()
@@ -280,6 +604,9 @@ pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult 
             .expect("non-empty population");
         next[worst] = elite;
         next_evals[worst] = elite_eval;
+        // The previous pool is done parenting this generation; hand the
+        // elite's state to its new slot so it can parent the next one.
+        std::mem::swap(&mut cur_states[worst], &mut prev_states[elite_idx]);
         pop = next;
         evals = next_evals;
 
@@ -303,11 +630,12 @@ pub fn run_robust_ga(inst: &Instance, params: RobustGaParams) -> RobustGaResult 
         }
     }
 
-    RobustGaResult {
+    Ok(RobustGaResult {
         best,
         best_eval,
         generations,
-    }
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -386,5 +714,99 @@ mod tests {
         let mut p = RobustGaParams::quick(1.2);
         p.mc_samples = 0;
         let _ = run_robust_ga(&i, p);
+    }
+
+    #[test]
+    fn try_run_reports_errors_as_values() {
+        let i = inst(4);
+        let mut p = RobustGaParams::quick(1.2);
+        p.mc_samples = 0;
+        assert!(matches!(
+            try_run_robust_ga(&i, p),
+            Err(RobustGaError::ZeroSamples)
+        ));
+        let mut p = RobustGaParams::quick(1.2);
+        p.base.population = 1;
+        assert!(matches!(
+            try_run_robust_ga(&i, p),
+            Err(RobustGaError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn batched_matches_scalar_bitwise_for_ragged_k() {
+        // Lane-exact identity of the SoA kernel against the scalar
+        // reference, across full chunks (8, 32), ragged tails (7, 9),
+        // and a single realization.
+        let i = inst(5);
+        let mut rng = rng_from_seed(42);
+        let c = Chromosome::random_for(&i, &mut rng);
+        let stream = SeedStream::new(0xFEED);
+        for k in [1usize, 7, 8, 9, 32] {
+            let seeds: Vec<u64> = (0..k).map(|j| stream.nth_seed(j as u64)).collect();
+            let b = evaluate_mc_with(&i, &c, &seeds, &mut McScratch::default()).unwrap();
+            let s = evaluate_mc_scalar(&i, &c, &seeds, &mut McScalarScratch::default()).unwrap();
+            assert_eq!(b.makespan.to_bits(), s.makespan.to_bits(), "k={k}");
+            assert_eq!(b.avg_slack.to_bits(), s.avg_slack.to_bits(), "k={k}");
+            assert_eq!(
+                b.mean_tardiness.to_bits(),
+                s.mean_tardiness.to_bits(),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn delta_matches_full_bitwise() {
+        // An order-only perturbation after a common prefix must take the
+        // delta path and reproduce the full batched result exactly.
+        let i = inst(6);
+        let mut rng = rng_from_seed(77);
+        let stream = SeedStream::new(0xFEED);
+        let seeds: Vec<u64> = (0..13).map(|j| stream.nth_seed(j as u64)).collect();
+        let mut hits = 0;
+        for _ in 0..40 {
+            let parent_c = Chromosome::random_for(&i, &mut rng);
+            let mut parent = McScratch::default();
+            evaluate_mc_with(&i, &parent_c, &seeds, &mut parent).unwrap();
+
+            let mut child = parent_c.clone();
+            let t = mutate_tracked(&mut child, &i.graph, i.proc_count(), &mut rng);
+            let fc = t.first_changed();
+            if t.first_assign < child.len() || fc == 0 || fc >= child.len() {
+                continue; // assignment changed or no-op: delta contract void
+            }
+            let mut scratch = McScratch::default();
+            let d = evaluate_mc_delta(&i, &child, &seeds, &parent, &mut scratch, fc)
+                .expect("order-only suffix change must satisfy the delta contract")
+                .unwrap();
+            let f = evaluate_mc_with(&i, &child, &seeds, &mut McScratch::default()).unwrap();
+            assert_eq!(d.makespan.to_bits(), f.makespan.to_bits());
+            assert_eq!(d.avg_slack.to_bits(), f.avg_slack.to_bits());
+            assert_eq!(d.mean_tardiness.to_bits(), f.mean_tardiness.to_bits());
+            hits += 1;
+        }
+        assert!(hits >= 5, "only {hits} delta-eligible mutations in 40");
+    }
+
+    #[test]
+    fn delta_ga_matches_full_ga_and_uses_delta() {
+        // The whole robust GA with delta + batching on is bit-identical
+        // to the full-pass reference, and the delta path actually fires.
+        let i = inst(7);
+        let p_on = RobustGaParams::quick(1.3).seed(11);
+        let mut p_off = p_on;
+        p_off.base = p_off.base.delta_eval(false);
+        let on = run_robust_ga(&i, p_on);
+        let off = run_robust_ga(&i, p_off);
+        assert_eq!(on.best, off.best);
+        assert_eq!(
+            on.best_eval.mean_tardiness.to_bits(),
+            off.best_eval.mean_tardiness.to_bits()
+        );
+        assert_eq!(on.generations, off.generations);
+        assert!(on.stats.delta_evals > 0, "delta path never fired");
+        assert_eq!(off.stats.delta_evals, 0);
+        assert!(on.stats.mc_lane_evals >= on.stats.kernel_evals * 16);
     }
 }

@@ -29,10 +29,30 @@ use rds_platform::{Platform, ProcId};
 use crate::disjunctive::{CycleError, DisjunctiveGraph};
 use crate::instance::Instance;
 use crate::schedule::Schedule;
-use crate::slack::{analyze_into, SlackScratch, SlackSummary};
+use crate::slack::{analyze_into, analyze_suffix_into, SlackScratch, SlackSummary};
 
 /// Sentinel for "no task" in the packed `u32` arrays.
 const NONE: u32 = u32::MAX;
+
+/// Lane width of the batched Monte-Carlo kernel: realizations evaluated
+/// per CSR traversal, interleaved in structure-of-arrays layout
+/// (`buf[LANES * task + lane]`). Eight `f64` lanes span two AVX2 (or four
+/// SSE2) vectors, wide enough for the inner max/add loop to vectorize
+/// across realizations while the per-task state still fits in registers.
+pub const LANES: usize = 8;
+
+/// Resizes a scratch buffer to `len` without re-zeroing when the length
+/// already matches. The batched and scalar walk kernels write every entry
+/// they read (tasks are visited in topological order), so carrying stale
+/// values across calls is safe — this skips an O(n) `memset` per
+/// evaluation on the hot path.
+#[inline]
+pub fn ensure_scratch_len(buf: &mut Vec<f64>, len: usize) {
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, 0.0);
+    }
+}
 
 /// The disjunctive graph `G_s` in compressed-sparse-row form with
 /// precomputed per-edge transfer times.
@@ -320,8 +340,9 @@ impl DisjunctiveCsr {
     pub fn makespan(&self, durations: &[f64], finish: &mut Vec<f64>) -> f64 {
         let n = self.tasks as usize;
         debug_assert_eq!(durations.len(), n);
-        finish.clear();
-        finish.resize(n, 0.0);
+        // Every entry is written before it is read (topo order), so a
+        // same-length buffer needs no re-zeroing.
+        ensure_scratch_len(finish, n);
         let mut makespan = 0.0_f64;
         for &t in &self.topo {
             let ti = t as usize;
@@ -339,6 +360,120 @@ impl DisjunctiveCsr {
             }
         }
         makespan
+    }
+
+    /// Batched makespan: walks the CSR **once** for [`LANES`] realizations
+    /// whose durations are interleaved in structure-of-arrays layout
+    /// (`durations[LANES * task + lane]`). `finish` must hold exactly
+    /// `LANES * task_count()` entries and receives the per-lane finish
+    /// times in the same layout; `out[lane]` receives each lane's makespan.
+    ///
+    /// Per-lane arithmetic has exactly the scalar [`DisjunctiveCsr::makespan`]
+    /// expression shapes (max of `finish + comm` over the same predecessor
+    /// list, then one add), so every lane is bit-identical to a scalar walk
+    /// over that lane's durations — asserted by the batch parity proptests.
+    /// Callers with fewer than [`LANES`] live realizations pad the tail
+    /// lanes with arbitrary finite durations and ignore those outputs.
+    ///
+    /// # Panics
+    /// Debug-panics when the buffer lengths disagree with the task count.
+    pub fn makespan_batch(&self, durations: &[f64], finish: &mut [f64], out: &mut [f64; LANES]) {
+        let n = self.tasks as usize;
+        debug_assert_eq!(durations.len(), LANES * n);
+        debug_assert_eq!(finish.len(), LANES * n);
+        *out = [0.0; LANES];
+        for &t in &self.topo {
+            let ti = t as usize;
+            let mut s = [0.0_f64; LANES];
+            for e in self.pred_off[ti] as usize..self.pred_off[ti + 1] as usize {
+                let qb = LANES * self.pred_task[e] as usize;
+                let comm = self.pred_comm[e];
+                // Fixed-size lane blocks: one bounds check per block, and
+                // the per-lane loop vectorizes to LANES/vector-width max
+                // instructions.
+                let fq: &[f64; LANES] =
+                    finish[qb..qb + LANES].try_into().expect("lane block");
+                for l in 0..LANES {
+                    let ready = fq[l] + comm;
+                    if ready > s[l] {
+                        s[l] = ready;
+                    }
+                }
+            }
+            let tb = LANES * ti;
+            let d: &[f64; LANES] = durations[tb..tb + LANES].try_into().expect("lane block");
+            for l in 0..LANES {
+                let f = s[l] + d[l];
+                s[l] = f;
+                if f > out[l] {
+                    out[l] = f;
+                }
+            }
+            finish[tb..tb + LANES].copy_from_slice(&s);
+        }
+    }
+
+    /// Suffix-only batched makespan for delta evaluation. `finish` already
+    /// holds valid per-lane finish times for every task in `prefix`
+    /// (copied from the parent evaluation); only the tasks in `suffix` are
+    /// re-walked, in the given order, and `out[lane]` receives the max
+    /// finish over *all* tasks.
+    ///
+    /// Contract (callers guarantee, [`EvalScratch::evaluate_delta`] spells
+    /// out why it holds): `prefix ++ suffix` is a valid topological order
+    /// of this CSR, and every predecessor of a suffix task is either a
+    /// prefix task or an earlier suffix task. Finish times are then
+    /// bit-identical to a full [`DisjunctiveCsr::makespan_batch`] walk:
+    /// each task's finish depends only on its (fixed-order) predecessor
+    /// list and their final values, never on the walk order.
+    pub fn makespan_batch_delta(
+        &self,
+        durations: &[f64],
+        finish: &mut [f64],
+        prefix: &[TaskId],
+        suffix: &[TaskId],
+        out: &mut [f64; LANES],
+    ) {
+        let n = self.tasks as usize;
+        debug_assert_eq!(durations.len(), LANES * n);
+        debug_assert_eq!(finish.len(), LANES * n);
+        debug_assert_eq!(prefix.len() + suffix.len(), n);
+        *out = [0.0; LANES];
+        for &t in prefix {
+            let tb = LANES * t.index();
+            let f: &[f64; LANES] = finish[tb..tb + LANES].try_into().expect("lane block");
+            for l in 0..LANES {
+                if f[l] > out[l] {
+                    out[l] = f[l];
+                }
+            }
+        }
+        for &t in suffix {
+            let ti = t.index();
+            let mut s = [0.0_f64; LANES];
+            for e in self.pred_off[ti] as usize..self.pred_off[ti + 1] as usize {
+                let qb = LANES * self.pred_task[e] as usize;
+                let comm = self.pred_comm[e];
+                let fq: &[f64; LANES] =
+                    finish[qb..qb + LANES].try_into().expect("lane block");
+                for l in 0..LANES {
+                    let ready = fq[l] + comm;
+                    if ready > s[l] {
+                        s[l] = ready;
+                    }
+                }
+            }
+            let tb = LANES * ti;
+            let d: &[f64; LANES] = durations[tb..tb + LANES].try_into().expect("lane block");
+            for l in 0..LANES {
+                let f = s[l] + d[l];
+                s[l] = f;
+                if f > out[l] {
+                    out[l] = f;
+                }
+            }
+            finish[tb..tb + LANES].copy_from_slice(&s);
+        }
     }
 }
 
@@ -378,6 +513,77 @@ impl EvalScratch {
             self.durations.push(inst.timing.expected(t, p));
         }
         Ok(analyze_into(&self.csr, &self.durations, &mut self.slack))
+    }
+
+    /// Delta (suffix) evaluation: re-evaluates an `(order, assignment)`
+    /// pair that agrees with `prev`'s last evaluation on every order
+    /// position before `first_changed` — same task at each prefix position
+    /// *and* the same processor for each of those tasks. Only the suffix's
+    /// top levels are recomputed; the prefix reuses `prev`'s, which is
+    /// sound because a prefix task's predecessors (conjunctive *and*
+    /// disjunctive — the previous task on its processor among the
+    /// unchanged prefix) all sit at earlier prefix positions with
+    /// unchanged assignments, so the prefix sub-graph of `G_s`, its
+    /// communication times, and hence the forward pass over it are
+    /// bitwise identical. The backward pass cannot be prefix-reused
+    /// (bottom levels depend on downstream changes) and runs in full.
+    ///
+    /// Bit-identical to [`EvalScratch::evaluate`] — asserted by the delta
+    /// parity proptests. Falls back to the full pass internally when
+    /// `first_changed == 0` or `prev` holds no matching-shape evaluation;
+    /// *callers* are responsible for falling back whenever the prefix
+    /// contract above does not hold.
+    ///
+    /// # Errors
+    /// Returns [`CycleError`] when the order contradicts the precedence
+    /// constraints.
+    pub fn evaluate_delta(
+        &mut self,
+        inst: &Instance,
+        order: &[TaskId],
+        assignment: &[ProcId],
+        prev: &EvalScratch,
+        first_changed: usize,
+    ) -> Result<SlackSummary, CycleError> {
+        let n = inst.graph.task_count();
+        let fc = first_changed.min(n);
+        if fc == 0 || prev.durations.len() != n || prev.slack.top_level.len() != n {
+            return self.evaluate(inst, order, assignment);
+        }
+        self.csr
+            .build_from_parts(&inst.graph, order, assignment, &inst.platform)?;
+        // Prefix tasks keep their expected durations (same processor) and
+        // their top levels; suffix tasks get both refreshed.
+        self.durations.clear();
+        self.durations.extend_from_slice(&prev.durations);
+        self.slack.top_level.clear();
+        self.slack.top_level.extend_from_slice(&prev.slack.top_level);
+        for &t in &order[fc..] {
+            let ti = t.index();
+            self.durations[ti] = inst.timing.expected(ti, assignment[ti]);
+        }
+        Ok(analyze_suffix_into(
+            &self.csr,
+            &self.durations,
+            &order[fc..],
+            &mut self.slack,
+        ))
+    }
+
+    /// Copies the delta-relevant state of `src`'s last evaluation — the
+    /// expected durations and top levels — into this arena, reusing its
+    /// buffers. Afterwards `self` can stand in for `src` as the `prev` of
+    /// [`EvalScratch::evaluate_delta`] (used when a GA slot inherits a
+    /// parent's state without re-running the kernel: elites and unmutated
+    /// tournament clones). The CSR itself is *not* copied — delta
+    /// evaluation always rebuilds it.
+    pub fn adopt_eval_state(&mut self, src: &EvalScratch) {
+        self.durations.clear();
+        self.durations.extend_from_slice(&src.durations);
+        self.slack.top_level.clear();
+        self.slack
+            .top_level
+            .extend_from_slice(&src.slack.top_level);
     }
 
     /// Same as [`EvalScratch::evaluate`] but starting from a decoded

@@ -28,7 +28,7 @@ use rds_graph::TaskId;
 use rds_platform::{EnergyModel, ProcId};
 use rds_stats::rng::SeedStream;
 
-use crate::csr::DisjunctiveCsr;
+use crate::csr::{ensure_scratch_len, DisjunctiveCsr, LANES};
 use crate::disjunctive::{CycleError, DisjunctiveGraph};
 use crate::instance::Instance;
 use crate::realization::RealizationConfig;
@@ -296,30 +296,63 @@ pub fn realized_tri(
     let freqs = &freqs;
     let csr = &csr;
     let seeds = SeedStream::new(cfg.seed);
-    let one = |bufs: &mut (Vec<f64>, Vec<f64>), i: usize| -> TriDraw {
-        let (durations, finish) = bufs;
-        let mut rng = seeds.nth_rng(i as u64);
-        durations.clear();
-        for (t, &p) in assignment.iter().enumerate() {
-            durations.push(inst.timing.sample(t, p, &mut rng) / freqs[t]);
-        }
-        let makespan = csr.makespan(durations, finish);
-        let er = accumulate(model, assignment, freqs, durations);
-        TriDraw {
-            makespan,
-            energy: er.energy,
-            reliability: er.reliability,
-        }
+    // Chunked like `realized_makespans_with`: each lane samples from its
+    // own realization stream in the original (per task, ascending) draw
+    // order, one batched SoA walk times all lanes, then each live lane's
+    // durations are gathered back for the energy/hazard accumulation —
+    // identical adds in identical order, so draws stay bit-identical to
+    // the scalar path. Ragged tail lanes carry padding and are dropped.
+    let chunks = cfg.realizations.div_ceil(LANES);
+    let zero = TriDraw {
+        makespan: 0.0,
+        energy: 0.0,
+        reliability: 0.0,
     };
-    Ok(if cfg.parallel {
-        (0..cfg.realizations)
+    let one = |bufs: &mut (Vec<f64>, Vec<f64>, Vec<f64>), c: usize| -> ([TriDraw; LANES], usize) {
+        let (durations, finish, lane_durations) = bufs;
+        ensure_scratch_len(durations, LANES * n);
+        ensure_scratch_len(finish, LANES * n);
+        ensure_scratch_len(lane_durations, n);
+        let lanes = LANES.min(cfg.realizations - c * LANES);
+        for l in 0..lanes {
+            let mut rng = seeds.nth_rng((c * LANES + l) as u64);
+            for (t, &p) in assignment.iter().enumerate() {
+                durations[LANES * t + l] = inst.timing.sample(t, p, &mut rng) / freqs[t];
+            }
+        }
+        let mut out = [0.0; LANES];
+        csr.makespan_batch(durations, finish, &mut out);
+        let mut draws = [zero; LANES];
+        for l in 0..lanes {
+            for t in 0..n {
+                lane_durations[t] = durations[LANES * t + l];
+            }
+            let er = accumulate(model, assignment, freqs, lane_durations);
+            draws[l] = TriDraw {
+                makespan: out[l],
+                energy: er.energy,
+                reliability: er.reliability,
+            };
+        }
+        (draws, lanes)
+    };
+    let chunked: Vec<([TriDraw; LANES], usize)> = if cfg.parallel {
+        (0..chunks)
             .into_par_iter()
-            .map_init(|| (Vec::new(), Vec::new()), |bufs, i| one(bufs, i))
+            .map_init(
+                || (Vec::new(), Vec::new(), Vec::new()),
+                |bufs, c| one(bufs, c),
+            )
             .collect()
     } else {
-        let mut bufs = (Vec::new(), Vec::new());
-        (0..cfg.realizations).map(|i| one(&mut bufs, i)).collect()
-    })
+        let mut bufs = (Vec::new(), Vec::new(), Vec::new());
+        (0..chunks).map(|c| one(&mut bufs, c)).collect()
+    };
+    let mut draws = Vec::with_capacity(cfg.realizations);
+    for (out, lanes) in chunked {
+        draws.extend_from_slice(&out[..lanes]);
+    }
+    Ok(draws)
 }
 
 /// Summary of a tri-objective Monte Carlo run.

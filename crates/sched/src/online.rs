@@ -53,6 +53,7 @@ use rds_graph::TaskId;
 use rds_platform::{Platform, ProcId};
 use rds_stats::rng::SeedStream;
 
+use crate::csr::{ensure_scratch_len, LANES};
 use crate::instance::{Instance, InstanceSpec};
 use crate::replan::{rank_order, replan_partial, FrozenState, ReplanError, ReplanResult};
 use crate::schedule::Schedule;
@@ -537,6 +538,9 @@ impl From<ReplanError> for OnlineError {
 pub struct OnlineScratch {
     finish: Vec<f64>,
     proc_free: Vec<f64>,
+    dur_soa: Vec<f64>,
+    finish_soa: Vec<f64>,
+    proc_free_soa: Vec<f64>,
 }
 
 impl OnlineScratch {
@@ -598,6 +602,68 @@ fn forward_pass<F: FnMut(usize, ProcId) -> f64>(
     completion
 }
 
+/// SoA companion to [`forward_pass`]: walks the plan once and advances
+/// [`LANES`] independent duration realizations in lock-step
+/// (`dur_soa[LANES * task + lane]`). Placement, the visit order and the
+/// skip/NaN structure are lane-uniform — only durations differ — so the
+/// lane-0 NaN test reproduces the scalar "unvisited or shed predecessor"
+/// skip exactly, and each lane computes bit-for-bit what a scalar pass
+/// over that lane's durations would.
+fn forward_pass_batch(
+    inst: &Instance,
+    order: &[TaskId],
+    plan: &ReplanResult,
+    floors: &[f64],
+    dur_soa: &[f64],
+    finish_soa: &mut [f64],
+    proc_free_soa: &mut [f64],
+    out: &mut [f64; LANES],
+) {
+    for f in finish_soa.iter_mut() {
+        *f = f64::NAN;
+    }
+    for (pi, &floor) in floors.iter().enumerate() {
+        for l in 0..LANES {
+            proc_free_soa[LANES * pi + l] = floor;
+        }
+    }
+    *out = [0.0; LANES];
+    for &t in order {
+        let ti = t.index();
+        if plan.est_start[ti].is_nan() {
+            continue; // not placed by this plan (shed or skipped)
+        }
+        let p = plan.placement[ti];
+        let pb = LANES * p.index();
+        let mut ready = [0.0f64; LANES];
+        ready.copy_from_slice(&proc_free_soa[pb..pb + LANES]);
+        for e in inst.graph.predecessors(t) {
+            let qb = LANES * e.task.index();
+            if finish_soa[qb].is_nan() {
+                continue; // shed predecessor constrains nothing
+            }
+            let comm = inst
+                .platform
+                .comm_time(e.data, plan.placement[e.task.index()], p);
+            for l in 0..LANES {
+                let arrive = finish_soa[qb + l] + comm;
+                if arrive > ready[l] {
+                    ready[l] = arrive;
+                }
+            }
+        }
+        let tb = LANES * ti;
+        for l in 0..LANES {
+            let f = ready[l] + dur_soa[tb + l];
+            finish_soa[tb + l] = f;
+            proc_free_soa[pb + l] = f;
+            if f > out[l] {
+                out[l] = f;
+            }
+        }
+    }
+}
+
 /// Estimates the probability that `plan` completes within `rel_deadline`
 /// (time units after the job's arrival), given per-processor release
 /// floors carrying the other tenants' backlog.
@@ -622,24 +688,44 @@ pub fn completion_probability(
     if samples == 0 {
         return 0.0;
     }
+    let n = inst.task_count();
+    ensure_scratch_len(&mut scratch.dur_soa, LANES * n);
+    ensure_scratch_len(&mut scratch.finish_soa, LANES * n);
+    ensure_scratch_len(&mut scratch.proc_free_soa, LANES * inst.proc_count());
     let stream = SeedStream::new(estimate_seed);
     let mut hits = 0usize;
-    for k in 0..samples {
-        let sample = SeedStream::new(stream.nth_seed(k as u64));
-        let completion = forward_pass(
+    let mut out = [0.0f64; LANES];
+    for c in 0..samples.div_ceil(LANES) {
+        let live = LANES.min(samples - c * LANES);
+        // Each (sample, task) duration comes from its own substream, so
+        // filling lanes task-major is draw-for-draw identical to the
+        // scalar sample-major loop.
+        for l in 0..live {
+            let sample = SeedStream::new(stream.nth_seed((c * LANES + l) as u64));
+            for &t in order {
+                let ti = t.index();
+                if plan.est_start[ti].is_nan() {
+                    continue;
+                }
+                let mut rng = sample.nth_rng(ti as u64);
+                scratch.dur_soa[LANES * ti + l] =
+                    inst.timing.sample(ti, plan.placement[ti], &mut rng);
+            }
+        }
+        forward_pass_batch(
             inst,
             order,
             plan,
             floors,
-            |t, p| {
-                let mut rng = sample.nth_rng(t as u64);
-                inst.timing.sample(t, p, &mut rng)
-            },
-            &mut scratch.finish,
-            &mut scratch.proc_free,
+            &scratch.dur_soa,
+            &mut scratch.finish_soa,
+            &mut scratch.proc_free_soa,
+            &mut out,
         );
-        if completion <= rel_deadline {
-            hits += 1;
+        for &completion in &out[..live] {
+            if completion <= rel_deadline {
+                hits += 1;
+            }
         }
     }
     hits as f64 / samples as f64

@@ -17,6 +17,7 @@ use rds_platform::ProcId;
 use rds_stats::matrix::Matrix;
 use rds_stats::rng::SeedStream;
 
+use crate::csr::{ensure_scratch_len, LANES};
 use crate::disjunctive::{CycleError, DisjunctiveGraph};
 use crate::faults::{FaultConfig, FaultScenario, ReplicaDraws};
 use crate::instance::Instance;
@@ -100,31 +101,47 @@ pub fn realized_makespans_with(
 ) -> Vec<f64> {
     let seeds = SeedStream::new(cfg.seed);
     let assignment = schedule.assignment();
+    let n = assignment.len();
     // Flatten `G_s` once: transfer times are fixed by the schedule, so
     // every realization only re-samples durations and re-walks the flat
     // arrays, reusing per-thread duration/finish buffers — zero
-    // allocations per realization. Draw order matches `sample_assigned`
-    // (per task, ascending) so the result is bit-identical to the
-    // nested-vec path.
+    // allocations per realization. Realizations are processed in chunks
+    // of `LANES`: each lane samples from its own realization's RNG stream
+    // in the original order (per task, ascending), then one batched SoA
+    // walk times all lanes at once. Per-lane results are bit-identical to
+    // the scalar path; tail lanes of a ragged final chunk carry padding
+    // durations and are discarded.
     let csr = crate::csr::DisjunctiveCsr::from_disjunctive(ds, schedule, &inst.platform);
-    let one = |bufs: &mut (Vec<f64>, Vec<f64>), i: usize| -> f64 {
+    let chunks = cfg.realizations.div_ceil(LANES);
+    let one = |bufs: &mut (Vec<f64>, Vec<f64>), c: usize| -> ([f64; LANES], usize) {
         let (durations, finish) = bufs;
-        let mut rng = seeds.nth_rng(i as u64);
-        durations.clear();
-        for (t, &p) in assignment.iter().enumerate() {
-            durations.push(inst.timing.sample(t, p, &mut rng));
+        ensure_scratch_len(durations, LANES * n);
+        ensure_scratch_len(finish, LANES * n);
+        let lanes = LANES.min(cfg.realizations - c * LANES);
+        for l in 0..lanes {
+            let mut rng = seeds.nth_rng((c * LANES + l) as u64);
+            for (t, &p) in assignment.iter().enumerate() {
+                durations[LANES * t + l] = inst.timing.sample(t, p, &mut rng);
+            }
         }
-        csr.makespan(durations, finish)
+        let mut out = [0.0; LANES];
+        csr.makespan_batch(durations, finish, &mut out);
+        (out, lanes)
     };
-    if cfg.parallel {
-        (0..cfg.realizations)
+    let chunked: Vec<([f64; LANES], usize)> = if cfg.parallel {
+        (0..chunks)
             .into_par_iter()
-            .map_init(|| (Vec::new(), Vec::new()), |bufs, i| one(bufs, i))
+            .map_init(|| (Vec::new(), Vec::new()), |bufs, c| one(bufs, c))
             .collect()
     } else {
         let mut bufs = (Vec::new(), Vec::new());
-        (0..cfg.realizations).map(|i| one(&mut bufs, i)).collect()
+        (0..chunks).map(|c| one(&mut bufs, c)).collect()
+    };
+    let mut makespans = Vec::with_capacity(cfg.realizations);
+    for (out, lanes) in chunked {
+        makespans.extend_from_slice(&out[..lanes]);
     }
+    makespans
 }
 
 /// Full Monte Carlo evaluation: expected makespan, slack, realized

@@ -110,6 +110,61 @@ pub fn analyze_into(
         tl[ti] = best;
     }
 
+    backward_and_summarize(csr, durations, out)
+}
+
+/// Suffix-only twin of [`analyze_into`] for delta evaluation: the forward
+/// pass recomputes top levels only for the tasks in `suffix` (walked in
+/// the given order — the tail of the chromosome's scheduling string, a
+/// valid topological order of `G_s`), reusing the prefix top levels the
+/// caller preloaded into `out.top_level`. The backward pass, makespan
+/// fold, and slack loop run in full with code identical to
+/// [`analyze_into`], so given a correct prefix the results are
+/// bit-identical to the full analysis (asserted by the delta parity
+/// proptests).
+///
+/// Callers ([`crate::csr::EvalScratch::evaluate_delta`]) guarantee that
+/// `out.top_level` holds `csr.task_count()` entries whose values for every
+/// non-suffix task equal what the full forward pass would compute.
+pub fn analyze_suffix_into(
+    csr: &crate::csr::DisjunctiveCsr,
+    durations: &[f64],
+    suffix: &[TaskId],
+    out: &mut SlackScratch,
+) -> SlackSummary {
+    let n = csr.task_count();
+    debug_assert_eq!(durations.len(), n);
+    debug_assert_eq!(out.top_level.len(), n);
+
+    let tl = &mut out.top_level;
+    for &t in suffix {
+        let ti = t.index();
+        let mut best = 0.0_f64;
+        let (pred_tasks, pred_comms) = csr.preds(ti);
+        for (&q, &comm) in pred_tasks.iter().zip(pred_comms) {
+            let qi = q as usize;
+            let cand = tl[qi] + durations[qi] + comm;
+            if cand > best {
+                best = cand;
+            }
+        }
+        tl[ti] = best;
+    }
+
+    backward_and_summarize(csr, durations, out)
+}
+
+/// Shared tail of [`analyze_into`] / [`analyze_suffix_into`]: full
+/// backward pass, makespan fold, and slack loop over the (already final)
+/// top levels in `out.top_level`.
+fn backward_and_summarize(
+    csr: &crate::csr::DisjunctiveCsr,
+    durations: &[f64],
+    out: &mut SlackScratch,
+) -> SlackSummary {
+    let n = csr.task_count();
+    let tl = &out.top_level;
+
     // Backward pass: bottom levels.
     let bl = &mut out.bottom_level;
     bl.clear();

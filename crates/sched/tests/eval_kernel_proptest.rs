@@ -15,7 +15,7 @@
 use proptest::prelude::*;
 
 use rds_ga::{Chromosome, GaEngine, GaParams, GaResult, Objective};
-use rds_sched::csr::{DisjunctiveCsr, EvalScratch};
+use rds_sched::csr::{DisjunctiveCsr, EvalScratch, LANES};
 use rds_sched::disjunctive::DisjunctiveGraph;
 use rds_sched::instance::{Instance, InstanceSpec};
 use rds_sched::{slack, timing};
@@ -103,6 +103,98 @@ proptest! {
             prop_assert_eq!(got.to_bits(), reference.to_bits());
         }
     }
+
+    /// Property 1c: lane `l` of the batched SoA kernel == the `l`-th
+    /// sequential scalar walk, bit for bit, including ragged tails
+    /// (`k` not a multiple of `LANES`; padding lanes ignored).
+    #[test]
+    fn makespan_batch_lane_equals_sequential(
+        tasks in 5usize..40,
+        procs in 1usize..5,
+        inst_seed in any::<u64>(),
+        chrom_seed in any::<u64>(),
+        draw_seed in any::<u64>(),
+        k in 1usize..=2 * LANES + 3,
+    ) {
+        let inst = instance(tasks, procs, inst_seed);
+        let c = chromosome(&inst, chrom_seed);
+        let schedule = c.decode(procs);
+        let ds = DisjunctiveGraph::build(&inst.graph, &schedule).expect("acyclic");
+        let csr = DisjunctiveCsr::from_disjunctive(&ds, &schedule, &inst.platform);
+        let n = tasks;
+
+        let mut rng = rng_from_seed(draw_seed);
+        let realizations: Vec<Vec<f64>> = (0..k)
+            .map(|_| inst.timing.sample_assigned(&c.assignment, &mut rng))
+            .collect();
+        let mut finish = Vec::new();
+        let scalar: Vec<f64> = realizations
+            .iter()
+            .map(|d| csr.makespan(d, &mut finish))
+            .collect();
+
+        let chunks = k.div_ceil(LANES);
+        let mut dur_soa = vec![0.0; chunks * LANES * n];
+        let mut fin_soa = vec![0.0; chunks * LANES * n];
+        for (j, d) in realizations.iter().enumerate() {
+            let base = (j / LANES) * LANES * n + (j % LANES);
+            for (t, &x) in d.iter().enumerate() {
+                dur_soa[base + LANES * t] = x;
+            }
+        }
+        let mut out = [0.0f64; LANES];
+        for ci in 0..chunks {
+            let (lo, hi) = (ci * LANES * n, (ci + 1) * LANES * n);
+            csr.makespan_batch(&dur_soa[lo..hi], &mut fin_soa[lo..hi], &mut out);
+            let live = LANES.min(k - ci * LANES);
+            for (l, &m) in out[..live].iter().enumerate() {
+                prop_assert_eq!(m.to_bits(), scalar[ci * LANES + l].to_bits());
+            }
+        }
+    }
+
+    /// Property 1d: delta (suffix) evaluation == full evaluation, bit for
+    /// bit — makespan, average slack, and every per-task level — for
+    /// order-only perturbations after a shared prefix.
+    #[test]
+    fn evaluate_delta_bit_identical_to_full(
+        tasks in 8usize..40,
+        procs in 2usize..5,
+        inst_seed in any::<u64>(),
+        chrom_seed in any::<u64>(),
+        mut_seed in any::<u64>(),
+    ) {
+        let inst = instance(tasks, procs, inst_seed);
+        let parent = chromosome(&inst, chrom_seed);
+        let mut prev = EvalScratch::new();
+        prev.evaluate(&inst, &parent.order, &parent.assignment)
+            .expect("acyclic");
+
+        // A precedence-window mutation with the assignment restored: the
+        // child differs from the parent only in scheduling-string
+        // positions >= first_order.
+        let mut rng = rng_from_seed(mut_seed);
+        let mut child = parent.clone();
+        let track =
+            rds_ga::mutation::mutate_tracked(&mut child, &inst.graph, procs, &mut rng);
+        child.assignment.clone_from(&parent.assignment);
+        let fc = track.first_order.min(child.order.len());
+        prop_assume!(fc > 0);
+
+        let mut delta = EvalScratch::new();
+        let got = delta
+            .evaluate_delta(&inst, &child.order, &child.assignment, &prev, fc)
+            .expect("acyclic");
+        let mut full = EvalScratch::new();
+        let want = full
+            .evaluate(&inst, &child.order, &child.assignment)
+            .expect("acyclic");
+        prop_assert_eq!(got.makespan.to_bits(), want.makespan.to_bits());
+        prop_assert_eq!(got.average_slack.to_bits(), want.average_slack.to_bits());
+        prop_assert_eq!(&delta.slack().top_level, &full.slack().top_level);
+        prop_assert_eq!(&delta.slack().bottom_level, &full.slack().bottom_level);
+        prop_assert_eq!(&delta.slack().slack, &full.slack().slack);
+    }
 }
 
 /// Asserts everything observable about two GA results is identical except
@@ -184,5 +276,27 @@ fn ga_thread_parity_fixed_seed() {
             let other = run_ga_in_pool(threads, &inst, params, obj);
             assert_ga_results_identical(&base, &other);
         }
+    }
+}
+
+/// Property 3: the GA with delta (suffix) evaluation on — the default —
+/// is bit-identical to the full-pass reference (`delta_eval(false)`),
+/// and the delta path actually fires.
+#[test]
+fn ga_delta_parity_fixed_seed() {
+    let inst = instance(30, 4, 13);
+    for obj in [Objective::MinimizeMakespan, Objective::MaximizeSlack] {
+        let params = GaParams::quick()
+            .seed(31)
+            .population(16)
+            .max_generations(20)
+            .stall_generations(20);
+        let on = GaEngine::new(&inst, params, obj).run();
+        let off = GaEngine::new(&inst, params.delta_eval(false), obj).run();
+        assert_ga_results_identical(&on, &off);
+        assert!(on.stats.delta_evals > 0, "delta path never fired ({obj:?})");
+        assert_eq!(off.stats.delta_evals, 0);
+        // Delta passes re-walk a strict subset of the string on average.
+        assert!(on.stats.suffix_fraction() < 1.0);
     }
 }

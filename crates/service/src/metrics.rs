@@ -246,6 +246,10 @@ impl MetricsInner {
             ga_memo_hits: s.ga.memo_hits,
             ga_memo_hit_rate: s.ga.memo_hit_rate(),
             ga_evals_per_sec: s.ga.evals_per_sec(),
+            ga_mc_lane_evals: s.ga.mc_lane_evals,
+            ga_delta_evals: s.ga.delta_evals,
+            ga_delta_hit_rate: s.ga.delta_hit_rate(),
+            ga_suffix_fraction: s.ga.suffix_fraction(),
             express: LaneLatency::from_samples(&s.express_latencies),
             online: LaneLatency::from_samples(&s.online_latencies),
             heavy: LaneLatency::from_samples(&s.heavy_latencies),
@@ -373,6 +377,16 @@ pub struct ServiceMetrics {
     /// Aggregate GA kernel throughput (evaluations per second of
     /// evaluation wall-clock), 0 when no GA ran.
     pub ga_evals_per_sec: f64,
+    /// Monte-Carlo realizations evaluated through the batched SoA lanes
+    /// (one per realization per robust-GA kernel eval).
+    pub ga_mc_lane_evals: u64,
+    /// Kernel evaluations served by the delta (suffix) path.
+    pub ga_delta_evals: u64,
+    /// `delta_evals / kernel_evals`, 0 when no GA ran.
+    pub ga_delta_hit_rate: f64,
+    /// Mean fraction of the scheduling string re-walked per delta eval
+    /// (`suffix_tasks / total_tasks`), 0 when the delta path never fired.
+    pub ga_suffix_fraction: f64,
     /// Express-lane latency distribution.
     pub express: LaneLatency,
     /// Online-lane latency distribution.
@@ -439,6 +453,14 @@ impl ServiceMetrics {
             "ga kernel           : {} evals / {} memo hits (hit rate {:.2}, {:.0} evals/s)",
             self.ga_kernel_evals, self.ga_memo_hits, self.ga_memo_hit_rate, self.ga_evals_per_sec
         );
+        let _ = writeln!(
+            out,
+            "ga batched/delta    : {} mc lanes / {} delta evals (hit rate {:.2}, suffix {:.2})",
+            self.ga_mc_lane_evals,
+            self.ga_delta_evals,
+            self.ga_delta_hit_rate,
+            self.ga_suffix_fraction
+        );
         for (name, lane) in [
             ("express", &self.express),
             ("online", &self.online),
@@ -476,12 +498,20 @@ mod tests {
             memo_hits: 20,
             memo_collisions: 0,
             eval_nanos: 500,
+            delta_evals: 30,
+            delta_suffix_tasks: 60,
+            delta_total_tasks: 300,
+            mc_lane_evals: 1200,
         });
         m.ga_run(&GaRunStats {
             kernel_evals: 25,
             memo_hits: 5,
             memo_collisions: 1,
             eval_nanos: 500,
+            delta_evals: 10,
+            delta_suffix_tasks: 40,
+            delta_total_tasks: 100,
+            mc_lane_evals: 400,
         });
         m.online_admitted();
         m.online_admitted();
@@ -543,6 +573,12 @@ mod tests {
         assert!((snap.ga_memo_hit_rate - 0.2).abs() < 1e-12);
         // 100 evals in 1000 ns = 1e8 evals/s.
         assert!((snap.ga_evals_per_sec - 1e8).abs() < 1e-3);
+        assert_eq!(snap.ga_mc_lane_evals, 1600);
+        assert_eq!(snap.ga_delta_evals, 40);
+        // 40 of 100 kernel evals went through the delta path.
+        assert!((snap.ga_delta_hit_rate - 0.4).abs() < 1e-12);
+        // 100 of 400 prefix+suffix tasks re-walked.
+        assert!((snap.ga_suffix_fraction - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -570,6 +606,7 @@ mod tests {
         assert!(s.contains("journal"));
         assert!(s.contains("brownout"));
         assert!(s.contains("ga kernel"));
+        assert!(s.contains("ga batched/delta"));
         assert!(s.contains("express latency"));
         assert!(s.contains("online  latency"));
         assert!(s.contains("rejected (full)"));

@@ -1361,6 +1361,7 @@ fn execute_tri(
         memo_hits: 0,
         memo_collisions: 0,
         eval_nanos: started.elapsed().as_nanos() as u64,
+        ..GaRunStats::default()
     };
     Ok(JobOutput {
         schedule,

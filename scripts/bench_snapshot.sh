@@ -2,8 +2,10 @@
 # Runs the evaluation-kernel criterion benchmarks (benches/eval.rs plus the
 # kernel micro-benches) and snapshots their mean estimates into
 # BENCH_eval.json: { bench -> { ns_per_iter, evals_per_sec } } plus the
-# headline speedup of the parallel CSR population path over the
-# alloc-per-eval path.
+# headline speedups: the parallel CSR population path over the
+# alloc-per-eval path, the batched SoA Monte-Carlo walk over the scalar
+# walk (the CI regression gate), and delta (suffix) evaluation over the
+# full pass.
 #
 # Usage:
 #   scripts/bench_snapshot.sh          # full criterion run
@@ -40,6 +42,15 @@ EVALS_PER_ITER = {
     "eval_pop64_alloc_100x8": 64,
     "eval_pop64_csr_par_100x8": 64,
     "eval_pop64_memo_warm_100x8": 64,
+    # mc_* benches run 32 realizations per iteration; evals/sec counts
+    # realizations.
+    "mc_walk_scalar_100x8x32": 32,
+    "mc_walk_batched_100x8x32": 32,
+    "mc_eval_scalar_100x8x32": 32,
+    "mc_eval_batched_100x8x32": 32,
+    "mc_delta_100x8x32": 32,
+    "delta_full_100x8": 1,
+    "delta_suffix_100x8": 1,
     "slack_analysis_100": None,
     "are_independent_100": None,
 }
@@ -63,6 +74,18 @@ if alloc and par:
     snapshot["speedup_pop64_csr_par_vs_alloc"] = (
         par["evals_per_sec"] / alloc["evals_per_sec"]
     )
+
+# Headline speedups of this PR's two kernels. The walk pair (sampling
+# outside the timed region) is the regression gate: batched below scalar
+# means the SoA kernel regressed.
+for name, slow, fast in [
+    ("speedup_mc_batched_vs_scalar", "mc_walk_scalar_100x8x32", "mc_walk_batched_100x8x32"),
+    ("speedup_mc_eval_batched_vs_scalar", "mc_eval_scalar_100x8x32", "mc_eval_batched_100x8x32"),
+    ("speedup_mc_delta_vs_batched", "mc_eval_batched_100x8x32", "mc_delta_100x8x32"),
+    ("speedup_delta_vs_full", "delta_full_100x8", "delta_suffix_100x8"),
+]:
+    if slow in snapshot and fast in snapshot:
+        snapshot[name] = snapshot[slow]["ns_per_iter"] / snapshot[fast]["ns_per_iter"]
 
 with open(out_path, "w") as f:
     json.dump(snapshot, f, indent=2, sort_keys=True)
